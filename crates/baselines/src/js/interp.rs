@@ -1,0 +1,719 @@
+//! The js-sim tree-walking evaluator and its [`FunctionRuntime`]
+//! front-end.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use super::lexer::tokenize;
+use super::parser::{count_nodes, parse, Expr, Stmt};
+use super::{HEAP_BYTES, JS_ROM_BYTES, STATE_BYTES};
+use crate::traits::{Footprint, FunctionRuntime, LoadCost, RunOutcome, RuntimeError};
+
+/// Cold-start cycles per source byte (tokenizer).
+pub const LOAD_CYCLES_PER_BYTE: u64 = 400;
+
+/// Cold-start cycles per AST node (parser) — RIOTjs parses faster than
+/// MicroPython compiles (Table 2: 5 589 µs vs 21 907 µs).
+pub const LOAD_CYCLES_PER_NODE: u64 = 300;
+
+/// Execution cycles per visited AST node (tree-walk dispatch plus
+/// dynamic-type checks).
+pub const RUN_CYCLES_PER_NODE: u64 = 74;
+
+/// Fixed per-invocation overhead.
+pub const RUN_OVERHEAD_CYCLES: u64 = 3_000;
+
+/// Node-visit ceiling (runaway protection).
+pub const MAX_STEPS: u64 = 50_000_000;
+
+/// Runtime values.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// IEEE 754 double (the only JS number type).
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(Rc<String>),
+    /// Array.
+    Array(Rc<RefCell<Vec<Value>>>),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+}
+
+impl Value {
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Bool(b) => *b,
+            Value::Str(s) => !s.is_empty(),
+            Value::Array(_) => true,
+            Value::Null | Value::Undefined => false,
+        }
+    }
+
+    fn to_number(&self) -> f64 {
+        match self {
+            Value::Num(n) => *n,
+            Value::Bool(b) => *b as i64 as f64,
+            Value::Null => 0.0,
+            Value::Undefined => f64::NAN,
+            Value::Str(s) => s.parse().unwrap_or(f64::NAN),
+            Value::Array(_) => f64::NAN,
+        }
+    }
+
+    /// JS `ToInt32`.
+    fn to_i32(&self) -> i32 {
+        let n = self.to_number();
+        if !n.is_finite() {
+            return 0;
+        }
+        (n as i64) as i32
+    }
+
+    /// JS `ToUint32`.
+    fn to_u32(&self) -> u32 {
+        self.to_i32() as u32
+    }
+}
+
+/// Run-time errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsError {
+    /// Unresolved name.
+    Reference(String),
+    /// Operation on an incompatible type.
+    Type(String),
+    /// Heap arena exhausted.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+    },
+    /// Node-visit budget exhausted.
+    StepLimit,
+}
+
+impl std::fmt::Display for JsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsError::Reference(n) => write!(f, "ReferenceError: {n} is not defined"),
+            JsError::Type(m) => write!(f, "TypeError: {m}"),
+            JsError::OutOfMemory { requested } => {
+                write!(f, "out of memory: {requested} bytes requested")
+            }
+            JsError::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for JsError {}
+
+#[derive(Debug, Clone)]
+struct FuncDef {
+    params: Vec<String>,
+    body: Vec<Stmt>,
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// The evaluator over a parsed program.
+#[derive(Debug)]
+pub struct Interp {
+    program: Vec<Stmt>,
+    globals: HashMap<String, Value>,
+    functions: HashMap<String, Rc<FuncDef>>,
+    steps: u64,
+    run_start: u64,
+    heap_used: usize,
+    gc_runs: u64,
+}
+
+impl Interp {
+    /// Creates an evaluator; function declarations are hoisted.
+    pub fn new(program: Vec<Stmt>) -> Self {
+        let mut functions = HashMap::new();
+        for stmt in &program {
+            if let Stmt::Function { name, params, body } = stmt {
+                functions.insert(
+                    name.clone(),
+                    Rc::new(FuncDef { params: params.clone(), body: body.clone() }),
+                );
+            }
+        }
+        Interp {
+            program,
+            globals: HashMap::new(),
+            functions,
+            steps: 0,
+            run_start: 0,
+            heap_used: 0,
+            gc_runs: 0,
+        }
+    }
+
+    /// Sets a global (host data injection).
+    pub fn set_global(&mut self, name: &str, value: Value) {
+        self.globals.insert(name.to_owned(), value);
+    }
+
+    /// Reads a global.
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        self.globals.get(name)
+    }
+
+    /// Node visits so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Modeled collections so far.
+    pub fn gc_runs(&self) -> u64 {
+        self.gc_runs
+    }
+
+    fn alloc(&mut self, bytes: usize) -> Result<(), JsError> {
+        if bytes > HEAP_BYTES {
+            return Err(JsError::OutOfMemory { requested: bytes });
+        }
+        if self.heap_used + bytes > HEAP_BYTES {
+            self.gc_runs += 1;
+            self.heap_used = 0;
+        }
+        self.heap_used += bytes;
+        Ok(())
+    }
+
+    fn tick(&mut self) -> Result<(), JsError> {
+        self.steps += 1;
+        if self.steps - self.run_start > MAX_STEPS {
+            return Err(JsError::StepLimit);
+        }
+        Ok(())
+    }
+
+    /// Runs the top-level program.
+    ///
+    /// # Errors
+    ///
+    /// Any [`JsError`].
+    pub fn run(&mut self) -> Result<(), JsError> {
+        // The step budget is per top-level invocation.
+        self.run_start = self.steps;
+        let program = std::mem::take(&mut self.program);
+        let mut locals = Vec::new();
+        for stmt in &program {
+            if let Flow::Return(_) = self.exec(stmt, &mut locals)? {
+                break;
+            }
+        }
+        self.program = program;
+        Ok(())
+    }
+
+    fn exec(
+        &mut self,
+        stmt: &Stmt,
+        locals: &mut Vec<HashMap<String, Value>>,
+    ) -> Result<Flow, JsError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Function { .. } => Ok(Flow::Normal), // hoisted
+            Stmt::VarDecl { name, init } => {
+                let v = match init {
+                    Some(e) => self.eval(e, locals)?,
+                    None => Value::Undefined,
+                };
+                match locals.last_mut() {
+                    Some(scope) => {
+                        scope.insert(name.clone(), v);
+                    }
+                    None => {
+                        self.globals.insert(name.clone(), v);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, locals)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, locals)?,
+                    None => Value::Undefined,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::While { cond, body } => {
+                loop {
+                    if !self.eval(cond, locals)?.truthy() {
+                        return Ok(Flow::Normal);
+                    }
+                    match self.exec_suite(body, locals)? {
+                        Flow::Break => return Ok(Flow::Normal),
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Continue | Flow::Normal => {}
+                    }
+                }
+            }
+            Stmt::For { init, cond, update, body } => {
+                if let Some(init) = init {
+                    self.exec(init, locals)?;
+                }
+                loop {
+                    if let Some(cond) = cond {
+                        if !self.eval(cond, locals)?.truthy() {
+                            return Ok(Flow::Normal);
+                        }
+                    }
+                    match self.exec_suite(body, locals)? {
+                        Flow::Break => return Ok(Flow::Normal),
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Continue | Flow::Normal => {}
+                    }
+                    if let Some(update) = update {
+                        self.eval(update, locals)?;
+                    }
+                }
+            }
+            Stmt::If { cond, then, otherwise } => {
+                if self.eval(cond, locals)?.truthy() {
+                    self.exec_suite(then, locals)
+                } else {
+                    self.exec_suite(otherwise, locals)
+                }
+            }
+        }
+    }
+
+    fn exec_suite(
+        &mut self,
+        stmts: &[Stmt],
+        locals: &mut Vec<HashMap<String, Value>>,
+    ) -> Result<Flow, JsError> {
+        for s in stmts {
+            match self.exec(s, locals)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn lookup(&self, name: &str, locals: &[HashMap<String, Value>]) -> Result<Value, JsError> {
+        for scope in locals.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Ok(v.clone());
+            }
+        }
+        self.globals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| JsError::Reference(name.to_owned()))
+    }
+
+    fn assign(
+        &mut self,
+        name: &str,
+        value: Value,
+        locals: &mut [HashMap<String, Value>],
+    ) {
+        for scope in locals.iter_mut().rev() {
+            if scope.contains_key(name) {
+                scope.insert(name.to_owned(), value);
+                return;
+            }
+        }
+        // Implicit global, JS-style.
+        self.globals.insert(name.to_owned(), value);
+    }
+
+    fn eval(
+        &mut self,
+        e: &Expr,
+        locals: &mut Vec<HashMap<String, Value>>,
+    ) -> Result<Value, JsError> {
+        self.tick()?;
+        match e {
+            Expr::Num(v) => Ok(Value::Num(*v)),
+            Expr::Str(s) => {
+                self.alloc(s.len())?;
+                Ok(Value::Str(Rc::new(s.clone())))
+            }
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Null => Ok(Value::Null),
+            Expr::Name(n) => self.lookup(n, locals),
+            Expr::Array(items) => {
+                self.alloc(16 + 8 * items.len())?;
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.eval(item, locals)?);
+                }
+                Ok(Value::Array(Rc::new(RefCell::new(out))))
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval(operand, locals)?;
+                Ok(match *op {
+                    "-" => Value::Num(-v.to_number()),
+                    "~" => Value::Num(!v.to_i32() as f64),
+                    _ => Value::Bool(!v.truthy()),
+                })
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                if *op == "&&" {
+                    let l = self.eval(lhs, locals)?;
+                    return if l.truthy() { self.eval(rhs, locals) } else { Ok(l) };
+                }
+                if *op == "||" {
+                    let l = self.eval(lhs, locals)?;
+                    return if l.truthy() { Ok(l) } else { self.eval(rhs, locals) };
+                }
+                let a = self.eval(lhs, locals)?;
+                let b = self.eval(rhs, locals)?;
+                Ok(match *op {
+                    "+" => Value::Num(a.to_number() + b.to_number()),
+                    "-" => Value::Num(a.to_number() - b.to_number()),
+                    "*" => Value::Num(a.to_number() * b.to_number()),
+                    "/" => Value::Num(a.to_number() / b.to_number()),
+                    "%" => Value::Num(a.to_number() % b.to_number()),
+                    "&" => Value::Num((a.to_i32() & b.to_i32()) as f64),
+                    "|" => Value::Num((a.to_i32() | b.to_i32()) as f64),
+                    "^" => Value::Num((a.to_i32() ^ b.to_i32()) as f64),
+                    "<<" => Value::Num((a.to_i32().wrapping_shl(b.to_u32() & 31)) as f64),
+                    ">>" => Value::Num((a.to_i32().wrapping_shr(b.to_u32() & 31)) as f64),
+                    ">>>" => Value::Num((a.to_u32().wrapping_shr(b.to_u32() & 31)) as f64),
+                    "==" | "===" => Value::Bool(js_eq(&a, &b)),
+                    "!=" | "!==" => Value::Bool(!js_eq(&a, &b)),
+                    "<" => Value::Bool(a.to_number() < b.to_number()),
+                    "<=" => Value::Bool(a.to_number() <= b.to_number()),
+                    ">" => Value::Bool(a.to_number() > b.to_number()),
+                    _ => Value::Bool(a.to_number() >= b.to_number()),
+                })
+            }
+            Expr::Assign { target, value } => {
+                let v = self.eval(value, locals)?;
+                match &**target {
+                    Expr::Name(n) => {
+                        self.assign(n, v.clone(), locals);
+                        Ok(v)
+                    }
+                    Expr::Index { obj, index } => {
+                        let obj_v = self.eval(obj, locals)?;
+                        let idx = self.eval(index, locals)?.to_number() as usize;
+                        match obj_v {
+                            Value::Array(arr) => {
+                                let mut arr = arr.borrow_mut();
+                                if idx >= arr.len() {
+                                    let grow = idx + 1 - arr.len();
+                                    self.alloc(8 * grow)?;
+                                    arr.resize(idx + 1, Value::Undefined);
+                                }
+                                arr[idx] = v.clone();
+                                Ok(v)
+                            }
+                            other => Err(JsError::Type(format!("{other:?} not indexable"))),
+                        }
+                    }
+                    _ => Err(JsError::Type("unsupported assignment target".into())),
+                }
+            }
+            Expr::Index { obj, index } => {
+                let obj_v = self.eval(obj, locals)?;
+                let idx = self.eval(index, locals)?.to_number();
+                if idx < 0.0 || idx.fract() != 0.0 {
+                    return Ok(Value::Undefined);
+                }
+                let idx = idx as usize;
+                match obj_v {
+                    Value::Array(arr) => {
+                        Ok(arr.borrow().get(idx).cloned().unwrap_or(Value::Undefined))
+                    }
+                    Value::Str(s) => Ok(s
+                        .as_bytes()
+                        .get(idx)
+                        .map(|b| {
+                            let mut tmp = String::with_capacity(1);
+                            tmp.push(*b as char);
+                            Value::Str(Rc::new(tmp))
+                        })
+                        .unwrap_or(Value::Undefined)),
+                    other => Err(JsError::Type(format!("{other:?} not indexable"))),
+                }
+            }
+            Expr::Member { obj, name } => {
+                let obj_v = self.eval(obj, locals)?;
+                match (obj_v, name.as_str()) {
+                    (Value::Array(a), "length") => Ok(Value::Num(a.borrow().len() as f64)),
+                    (Value::Str(s), "length") => Ok(Value::Num(s.len() as f64)),
+                    (_, other) => Err(JsError::Type(format!("unknown property `{other}`"))),
+                }
+            }
+            Expr::Call { callee, args } => {
+                let mut arg_vals = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_vals.push(self.eval(a, locals)?);
+                }
+                let func = match self.functions.get(callee) {
+                    Some(f) => f.clone(),
+                    None => return Err(JsError::Reference(callee.clone())),
+                };
+                let mut scope = HashMap::new();
+                for (i, p) in func.params.iter().enumerate() {
+                    scope.insert(
+                        p.clone(),
+                        arg_vals.get(i).cloned().unwrap_or(Value::Undefined),
+                    );
+                }
+                self.alloc(64)?; // activation record
+                locals.push(scope);
+                let flow = self.exec_suite(&func.body, locals);
+                locals.pop();
+                match flow? {
+                    Flow::Return(v) => Ok(v),
+                    _ => Ok(Value::Undefined),
+                }
+            }
+        }
+    }
+}
+
+fn js_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Null, Value::Null) | (Value::Undefined, Value::Undefined) => true,
+        (Value::Null, Value::Undefined) | (Value::Undefined, Value::Null) => true,
+        _ => a.to_number() == b.to_number(),
+    }
+}
+
+/// The JavaScript source of the fletcher32 benchmark applet.
+pub const FLETCHER_JS: &str = "\
+// fletcher32 checksum over a byte array (js-sim applet)
+function fletcher32(data, n) {
+    var sum1 = 0xffff;
+    var sum2 = 0xffff;
+    var i = 0;
+    while (i < n) {
+        var w = data[i];
+        if (i + 1 < n) { w = w + data[i + 1] * 256; }
+        sum1 = sum1 + w;
+        sum1 = (sum1 & 0xffff) + (sum1 >>> 16);
+        sum2 = sum2 + sum1;
+        sum2 = (sum2 & 0xffff) + (sum2 >>> 16);
+        i = i + 2;
+    }
+    sum1 = (sum1 & 0xffff) + (sum1 >>> 16);
+    sum2 = (sum2 & 0xffff) + (sum2 >>> 16);
+    return sum2 * 65536 + sum1;
+}
+result = fletcher32(data, data.length);
+";
+
+/// The RIOTjs stand-in runtime.
+#[derive(Debug, Default)]
+pub struct JsRuntime {
+    interp: Option<Interp>,
+    node_count: usize,
+}
+
+impl JsRuntime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        JsRuntime::default()
+    }
+}
+
+impl FunctionRuntime for JsRuntime {
+    fn name(&self) -> &'static str {
+        "RIOTjs"
+    }
+
+    fn footprint(&self) -> Footprint {
+        Footprint { rom_bytes: JS_ROM_BYTES, ram_bytes: HEAP_BYTES + STATE_BYTES }
+    }
+
+    fn fletcher_applet(&self) -> Vec<u8> {
+        FLETCHER_JS.as_bytes().to_vec()
+    }
+
+    fn load(&mut self, applet: &[u8]) -> Result<LoadCost, RuntimeError> {
+        let source = std::str::from_utf8(applet)
+            .map_err(|_| RuntimeError::new("js-sim", "source not utf-8"))?;
+        let toks = tokenize(source).map_err(|e| RuntimeError::new("js-sim", e.to_string()))?;
+        let stmts = parse(&toks).map_err(|e| RuntimeError::new("js-sim", e.to_string()))?;
+        self.node_count = count_nodes(&stmts);
+        let cycles = applet.len() as u64 * LOAD_CYCLES_PER_BYTE
+            + self.node_count as u64 * LOAD_CYCLES_PER_NODE;
+        self.interp = Some(Interp::new(stmts));
+        Ok(LoadCost { cycles })
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<RunOutcome, RuntimeError> {
+        let interp =
+            self.interp.as_mut().ok_or_else(|| RuntimeError::new("js-sim", "no program"))?;
+        let data: Vec<Value> = input.iter().map(|b| Value::Num(*b as f64)).collect();
+        interp.set_global("data", Value::Array(Rc::new(RefCell::new(data))));
+        let before = interp.steps();
+        interp.run().map_err(|e| RuntimeError::new("js-sim", e.to_string()))?;
+        let steps = interp.steps() - before;
+        let result = match interp.global("result") {
+            Some(v) => v.to_number() as i64,
+            None => 0,
+        };
+        Ok(RunOutcome {
+            result,
+            steps,
+            cycles: RUN_OVERHEAD_CYCLES + steps * RUN_CYCLES_PER_NODE,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{benchmark_input, fletcher32};
+
+    fn run_and_get(src: &str, global: &str) -> Value {
+        let toks = tokenize(src).unwrap();
+        let mut interp = Interp::new(parse(&toks).unwrap());
+        interp.run().unwrap();
+        interp.global(global).cloned().unwrap()
+    }
+
+    fn num_of(v: Value) -> f64 {
+        match v {
+            Value::Num(n) => n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(num_of(run_and_get("x = 2 + 3 * 4;", "x")), 14.0);
+        assert_eq!(num_of(run_and_get("x = 7 / 2;", "x")), 3.5);
+        assert_eq!(num_of(run_and_get("x = 7 % 4;", "x")), 3.0);
+    }
+
+    #[test]
+    fn bitwise_coerces_to_int32() {
+        assert_eq!(num_of(run_and_get("x = 3.7 & 6;", "x")), 2.0);
+        assert_eq!(num_of(run_and_get("x = -1 >>> 16;", "x")), 65535.0);
+        assert_eq!(num_of(run_and_get("x = -8 >> 1;", "x")), -4.0);
+        assert_eq!(num_of(run_and_get("x = 1 << 20;", "x")), 1048576.0);
+    }
+
+    #[test]
+    fn while_and_for_loops() {
+        let src = "\
+var total = 0;
+for (var i = 1; i <= 10; i = i + 1) { total = total + i; }
+var j = 3;
+while (j) { total = total + 100; j = j - 1; }";
+        assert_eq!(num_of(run_and_get(src, "total")), 55.0 + 300.0);
+    }
+
+    #[test]
+    fn break_continue() {
+        let src = "\
+var t = 0;
+for (var i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 9) { break; }
+    t = t + i;
+}";
+        assert_eq!(num_of(run_and_get(src, "t")), 25.0);
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        let src = "\
+function fact(n) {
+    if (n < 2) { return 1; }
+    return n * fact(n - 1);
+}
+var x = fact(6);";
+        assert_eq!(num_of(run_and_get(src, "x")), 720.0);
+    }
+
+    #[test]
+    fn function_locals_shadow_globals() {
+        let src = "\
+var x = 1;
+function f(x) { x = 99; return x; }
+var y = f(5);";
+        assert_eq!(num_of(run_and_get(src, "x")), 1.0);
+        assert_eq!(num_of(run_and_get(src, "y")), 99.0);
+    }
+
+    #[test]
+    fn arrays_and_length() {
+        let src = "\
+var a = [1, 2, 3];
+a[3] = 4;
+var n = a.length;
+var s = a[0] + a[3];";
+        assert_eq!(num_of(run_and_get(src, "n")), 4.0);
+        assert_eq!(num_of(run_and_get(src, "s")), 5.0);
+    }
+
+    #[test]
+    fn out_of_range_read_is_undefined() {
+        let src = "var a = [1]; var u = a[9]; var ok = u == null;";
+        assert!(matches!(run_and_get(src, "u"), Value::Undefined));
+    }
+
+    #[test]
+    fn short_circuit() {
+        // Calling an undefined function would throw; && must skip it.
+        let src = "var x = false && boom();";
+        assert!(!run_and_get(src, "x").truthy());
+        let src = "var y = 7 || boom();";
+        assert_eq!(num_of(run_and_get(src, "y")), 7.0);
+    }
+
+    #[test]
+    fn reference_error() {
+        let toks = tokenize("x = nope;").unwrap();
+        let mut interp = Interp::new(parse(&toks).unwrap());
+        assert_eq!(interp.run(), Err(JsError::Reference("nope".into())));
+    }
+
+    #[test]
+    fn runaway_loop_bounded() {
+        let toks = tokenize("while (true) { }").unwrap();
+        let mut interp = Interp::new(parse(&toks).unwrap());
+        assert_eq!(interp.run(), Err(JsError::StepLimit));
+    }
+
+    #[test]
+    fn fletcher_applet_matches_reference() {
+        let mut rt = JsRuntime::new();
+        rt.load(&rt.fletcher_applet()).unwrap();
+        let input = benchmark_input();
+        let out = rt.run(&input).unwrap();
+        assert_eq!(out.result as u32, fletcher32(&input));
+    }
+
+    #[test]
+    fn fletcher_timing_matches_paper_scale() {
+        let mut rt = JsRuntime::new();
+        let load = rt.load(&rt.fletcher_applet()).unwrap();
+        let out = rt.run(&benchmark_input()).unwrap();
+        let load_us = load.cycles as f64 / 64.0;
+        let run_us = out.cycles as f64 / 64.0;
+        // Paper Table 2: cold start 5 589 µs, run 14 726 µs.
+        assert!((2_500.0..12_000.0).contains(&load_us), "load {load_us} µs");
+        assert!((7_000.0..30_000.0).contains(&run_us), "run {run_us} µs");
+    }
+}

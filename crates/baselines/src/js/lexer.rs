@@ -1,0 +1,181 @@
+//! Tokenizer for the JavaScript subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (contents, quotes stripped).
+    Str(String),
+    /// Identifier.
+    Name(String),
+    /// Keyword.
+    Kw(&'static str),
+    /// Operator / punctuation.
+    Op(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A lexing/parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsSyntaxError {
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for JsSyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsSyntaxError {}
+
+const KEYWORDS: &[&str] = &[
+    "function", "var", "let", "while", "for", "if", "else", "return", "true", "false", "null",
+    "break", "continue",
+];
+
+const OPS: &[&str] = &[
+    "===", "!==", ">>>", "==", "!=", "<=", ">=", "<<", ">>", "&&", "||", "+", "-", "*", "/",
+    "%", "&", "|", "^", "~", "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ",", ";", ".",
+];
+
+/// Tokenizes JavaScript-subset source.
+///
+/// # Errors
+///
+/// [`JsSyntaxError`] on unexpected characters or unterminated strings.
+pub fn tokenize(source: &str) -> Result<Vec<Tok>, JsSyntaxError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'.' || bytes[i] == b'x')
+            {
+                // Stop a trailing `.` that belongs to member access? The
+                // subset only uses digits/hex/one decimal point.
+                i += 1;
+            }
+            let body = &source[start..i];
+            let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
+            {
+                u64::from_str_radix(hex, 16).ok().map(|v| v as f64)
+            } else {
+                body.parse::<f64>().ok()
+            };
+            match v {
+                Some(v) => out.push(Tok::Num(v)),
+                None => return Err(JsSyntaxError { msg: format!("bad number `{body}`") }),
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            let word = &source[start..i];
+            match KEYWORDS.iter().find(|k| **k == word) {
+                Some(k) => out.push(Tok::Kw(k)),
+                None => out.push(Tok::Name(word.to_owned())),
+            }
+            continue;
+        }
+        if c == '"' || c == '\'' {
+            let quote = bytes[i];
+            i += 1;
+            let start = i;
+            while i < bytes.len() && bytes[i] != quote {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(JsSyntaxError { msg: "unterminated string".into() });
+            }
+            out.push(Tok::Str(source[start..i].to_owned()));
+            i += 1;
+            continue;
+        }
+        for op in OPS {
+            if source[i..].starts_with(op) {
+                out.push(Tok::Op(op));
+                i += op.len();
+                continue 'outer;
+            }
+        }
+        return Err(JsSyntaxError { msg: format!("unexpected character `{c}`") });
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_names_keywords() {
+        let toks = tokenize("var x = 0xffff; x = 1.5;").unwrap();
+        assert_eq!(toks[0], Tok::Kw("var"));
+        assert_eq!(toks[1], Tok::Name("x".into()));
+        assert_eq!(toks[3], Tok::Num(65535.0));
+        assert!(toks.contains(&Tok::Num(1.5)));
+    }
+
+    #[test]
+    fn greedy_multi_char_operators() {
+        let toks = tokenize("a >>> 2 === b && c !== d").unwrap();
+        assert!(toks.contains(&Tok::Op(">>>")));
+        assert!(toks.contains(&Tok::Op("===")));
+        assert!(toks.contains(&Tok::Op("&&")));
+        assert!(toks.contains(&Tok::Op("!==")));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("// line\nx /* block */ = 1;").unwrap();
+        assert_eq!(toks[0], Tok::Name("x".into()));
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        let toks = tokenize("'ab' \"cd\"").unwrap();
+        assert_eq!(toks[0], Tok::Str("ab".into()));
+        assert_eq!(toks[1], Tok::Str("cd".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("'open").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! js-sim: a RIOTjs stand-in (paper §6).
+//!
+//! A JavaScript-subset engine with the architecture that drives RIOTjs's
+//! rows in Tables 1–2: source parsed to an AST at load time (cold
+//! start), a tree-walking evaluator (per-node dispatch weight), dynamic
+//! values on a fixed heap arena, and scope-chain name lookup.
+//!
+//! Supported subset: `function`, `var`/`let`, `while`, `for(;;)`,
+//! `if`/`else`, `return`, `break`, `continue`, assignment (including
+//! array elements), numbers (IEEE 754 doubles, with JS `ToInt32`
+//! semantics for bitwise operators), booleans, `null`, strings, arrays,
+//! `.length`, and short-circuit `&&`/`||`.
+
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+
+pub use interp::JsRuntime;
+
+/// Heap arena bytes (jerryscript-class default; Table 1 reports 18 KiB
+/// RAM for RIOTjs).
+pub const HEAP_BYTES: usize = 16 * 1024;
+
+/// Interpreter bookkeeping RAM besides the arena (scope chain, call
+/// stack reservations).
+pub const STATE_BYTES: usize = 2 * 1024;
+
+/// Engine flash footprint per the DESIGN.md flash model — calibrated to
+/// Table 1's RIOTjs row (121 KiB): parser, evaluator, object model,
+/// string machinery and builtin library.
+pub const JS_ROM_BYTES: usize = 121 * 1024;

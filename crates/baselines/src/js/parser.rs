@@ -1,0 +1,571 @@
+//! Recursive-descent parser for the JavaScript subset.
+
+use super::lexer::{JsSyntaxError, Tok};
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// Name reference.
+    Name(String),
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Binary operation (including `&&`/`||`).
+    Bin {
+        /// Operator lexeme.
+        op: &'static str,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation (`-`, `!`, `~`).
+    Unary {
+        /// Operator lexeme.
+        op: &'static str,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Assignment (target must be name / index / member).
+    Assign {
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Value.
+        value: Box<Expr>,
+    },
+    /// `obj[index]`.
+    Index {
+        /// Indexed expression.
+        obj: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// `obj.name` (only `.length` is meaningful at run time).
+    Member {
+        /// Object expression.
+        obj: Box<Expr>,
+        /// Property name.
+        name: String,
+    },
+    /// Function call (callee is a name).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var`/`let` declaration.
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Initialiser (optional).
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// Function declaration.
+    Function {
+        /// Function name.
+        name: String,
+        /// Parameters.
+        params: Vec<String>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; update) body`.
+    For {
+        /// Initialiser statement.
+        init: Option<Box<Stmt>>,
+        /// Condition (defaults to true).
+        cond: Option<Expr>,
+        /// Update expression.
+        update: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) then else otherwise`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// True branch.
+        then: Vec<Stmt>,
+        /// False branch.
+        otherwise: Vec<Stmt>,
+    },
+    /// `return expr?;`.
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+}
+
+/// Parses a token stream into statements.
+///
+/// # Errors
+///
+/// [`JsSyntaxError`] on malformed syntax.
+pub fn parse(toks: &[Tok]) -> Result<Vec<Stmt>, JsSyntaxError> {
+    let mut p = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    while *p.peek() != Tok::Eof {
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &Tok {
+        self.toks.get(self.pos).unwrap_or(&Tok::Eof)
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.peek().clone();
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, JsSyntaxError> {
+        Err(JsSyntaxError { msg: format!("{} at token {}", msg.into(), self.pos) })
+    }
+
+    fn eat_op(&mut self, op: &str) -> Result<(), JsSyntaxError> {
+        match self.next() {
+            Tok::Op(o) if o == op => Ok(()),
+            other => self.err(format!("expected `{op}`, got {other:?}")),
+        }
+    }
+
+    fn eat_semi(&mut self) -> Result<(), JsSyntaxError> {
+        // Semicolons are required in the subset (no ASI).
+        self.eat_op(";")
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, JsSyntaxError> {
+        self.eat_op("{")?;
+        let mut out = Vec::new();
+        while *self.peek() != Tok::Op("}") {
+            if *self.peek() == Tok::Eof {
+                return self.err("unterminated block");
+            }
+            out.push(self.statement()?);
+        }
+        self.pos += 1;
+        Ok(out)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, JsSyntaxError> {
+        match self.peek().clone() {
+            Tok::Kw("var") | Tok::Kw("let") => {
+                self.pos += 1;
+                let name = match self.next() {
+                    Tok::Name(n) => n,
+                    other => return self.err(format!("expected name, got {other:?}")),
+                };
+                let init = if *self.peek() == Tok::Op("=") {
+                    self.pos += 1;
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.eat_semi()?;
+                Ok(Stmt::VarDecl { name, init })
+            }
+            Tok::Kw("function") => {
+                self.pos += 1;
+                let name = match self.next() {
+                    Tok::Name(n) => n,
+                    other => return self.err(format!("expected function name, got {other:?}")),
+                };
+                self.eat_op("(")?;
+                let mut params = Vec::new();
+                if *self.peek() != Tok::Op(")") {
+                    loop {
+                        match self.next() {
+                            Tok::Name(p) => params.push(p),
+                            other => return self.err(format!("expected param, got {other:?}")),
+                        }
+                        if *self.peek() == Tok::Op(",") {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_op(")")?;
+                let body = self.block()?;
+                Ok(Stmt::Function { name, params, body })
+            }
+            Tok::Kw("while") => {
+                self.pos += 1;
+                self.eat_op("(")?;
+                let cond = self.expr()?;
+                self.eat_op(")")?;
+                let body = self.body_or_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Kw("for") => {
+                self.pos += 1;
+                self.eat_op("(")?;
+                let init = if *self.peek() == Tok::Op(";") {
+                    self.pos += 1;
+                    None
+                } else {
+                    Some(Box::new(self.statement()?)) // consumes its `;`
+                };
+                let cond = if *self.peek() == Tok::Op(";") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat_op(";")?;
+                let update = if *self.peek() == Tok::Op(")") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat_op(")")?;
+                let body = self.body_or_block()?;
+                Ok(Stmt::For { init, cond, update, body })
+            }
+            Tok::Kw("if") => {
+                self.pos += 1;
+                self.eat_op("(")?;
+                let cond = self.expr()?;
+                self.eat_op(")")?;
+                let then = self.body_or_block()?;
+                let otherwise = if *self.peek() == Tok::Kw("else") {
+                    self.pos += 1;
+                    if *self.peek() == Tok::Kw("if") {
+                        vec![self.statement()?]
+                    } else {
+                        self.body_or_block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, otherwise })
+            }
+            Tok::Kw("return") => {
+                self.pos += 1;
+                if *self.peek() == Tok::Op(";") {
+                    self.pos += 1;
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.eat_semi()?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Tok::Kw("break") => {
+                self.pos += 1;
+                self.eat_semi()?;
+                Ok(Stmt::Break)
+            }
+            Tok::Kw("continue") => {
+                self.pos += 1;
+                self.eat_semi()?;
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let e = self.expr()?;
+                self.eat_semi()?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn body_or_block(&mut self) -> Result<Vec<Stmt>, JsSyntaxError> {
+        if *self.peek() == Tok::Op("{") {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    /// Assignment (right-associative), then `||`, `&&`, bitor, bitxor,
+    /// bitand, equality, relational, shifts, additive, multiplicative,
+    /// unary, postfix.
+    fn expr(&mut self) -> Result<Expr, JsSyntaxError> {
+        let lhs = self.or_expr()?;
+        if *self.peek() == Tok::Op("=") {
+            self.pos += 1;
+            let value = self.expr()?;
+            match lhs {
+                Expr::Name(_) | Expr::Index { .. } | Expr::Member { .. } => {
+                    return Ok(Expr::Assign { target: Box::new(lhs), value: Box::new(value) });
+                }
+                _ => return self.err("invalid assignment target"),
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn bin_level<F>(&mut self, ops: &[&'static str], next: F) -> Result<Expr, JsSyntaxError>
+    where
+        F: Fn(&mut Self) -> Result<Expr, JsSyntaxError>,
+    {
+        let mut lhs = next(self)?;
+        loop {
+            let op = match self.peek() {
+                Tok::Op(o) if ops.contains(o) => *o,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = next(self)?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, JsSyntaxError> {
+        self.bin_level(&["||"], |p| {
+            p.bin_level(&["&&"], |p| {
+                p.bin_level(&["|"], |p| {
+                    p.bin_level(&["^"], |p| {
+                        p.bin_level(&["&"], |p| {
+                            p.bin_level(&["==", "!=", "===", "!=="], |p| {
+                                p.bin_level(&["<", "<=", ">", ">="], |p| {
+                                    p.bin_level(&["<<", ">>", ">>>"], |p| {
+                                        p.bin_level(&["+", "-"], |p| {
+                                            p.bin_level(&["*", "/", "%"], Self::unary)
+                                        })
+                                    })
+                                })
+                            })
+                        })
+                    })
+                })
+            })
+        })
+    }
+
+    fn unary(&mut self) -> Result<Expr, JsSyntaxError> {
+        match self.peek() {
+            Tok::Op(o @ ("-" | "!" | "~")) => {
+                let op = *o;
+                self.pos += 1;
+                let operand = self.unary()?;
+                Ok(Expr::Unary { op, operand: Box::new(operand) })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, JsSyntaxError> {
+        let mut e = self.atom()?;
+        loop {
+            match self.peek().clone() {
+                Tok::Op("[") => {
+                    self.pos += 1;
+                    let index = self.expr()?;
+                    self.eat_op("]")?;
+                    e = Expr::Index { obj: Box::new(e), index: Box::new(index) };
+                }
+                Tok::Op(".") => {
+                    self.pos += 1;
+                    match self.next() {
+                        Tok::Name(n) => e = Expr::Member { obj: Box::new(e), name: n },
+                        other => return self.err(format!("expected property, got {other:?}")),
+                    }
+                }
+                Tok::Op("(") => {
+                    let callee = match &e {
+                        Expr::Name(n) => n.clone(),
+                        _ => return self.err("only named functions are callable"),
+                    };
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::Op(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Op(",") {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_op(")")?;
+                    e = Expr::Call { callee, args };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, JsSyntaxError> {
+        match self.next() {
+            Tok::Num(v) => Ok(Expr::Num(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Name(n) => Ok(Expr::Name(n)),
+            Tok::Kw("true") => Ok(Expr::Bool(true)),
+            Tok::Kw("false") => Ok(Expr::Bool(false)),
+            Tok::Kw("null") => Ok(Expr::Null),
+            Tok::Op("(") => {
+                let e = self.expr()?;
+                self.eat_op(")")?;
+                Ok(e)
+            }
+            Tok::Op("[") => {
+                let mut items = Vec::new();
+                if *self.peek() != Tok::Op("]") {
+                    loop {
+                        items.push(self.expr()?);
+                        if *self.peek() == Tok::Op(",") {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_op("]")?;
+                Ok(Expr::Array(items))
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+/// Counts AST nodes (cold-start accounting).
+pub fn count_nodes(stmts: &[Stmt]) -> usize {
+    fn expr_nodes(e: &Expr) -> usize {
+        1 + match e {
+            Expr::Bin { lhs, rhs, .. } => expr_nodes(lhs) + expr_nodes(rhs),
+            Expr::Unary { operand, .. } => expr_nodes(operand),
+            Expr::Assign { target, value } => expr_nodes(target) + expr_nodes(value),
+            Expr::Index { obj, index } => expr_nodes(obj) + expr_nodes(index),
+            Expr::Member { obj, .. } => expr_nodes(obj),
+            Expr::Call { args, .. } => args.iter().map(expr_nodes).sum(),
+            Expr::Array(items) => items.iter().map(expr_nodes).sum(),
+            _ => 0,
+        }
+    }
+    stmts
+        .iter()
+        .map(|s| {
+            1 + match s {
+                Stmt::VarDecl { init, .. } => init.as_ref().map(expr_nodes).unwrap_or(0),
+                Stmt::Expr(e) => expr_nodes(e),
+                Stmt::Function { body, .. } => count_nodes(body),
+                Stmt::While { cond, body } => expr_nodes(cond) + count_nodes(body),
+                Stmt::For { init, cond, update, body } => {
+                    init.as_ref().map(|s| count_nodes(std::slice::from_ref(s))).unwrap_or(0)
+                        + cond.as_ref().map(expr_nodes).unwrap_or(0)
+                        + update.as_ref().map(expr_nodes).unwrap_or(0)
+                        + count_nodes(body)
+                }
+                Stmt::If { cond, then, otherwise } => {
+                    expr_nodes(cond) + count_nodes(then) + count_nodes(otherwise)
+                }
+                Stmt::Return(e) => e.as_ref().map(expr_nodes).unwrap_or(0),
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::js::lexer::tokenize;
+
+    fn parse_src(src: &str) -> Vec<Stmt> {
+        parse(&tokenize(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn var_and_assignment() {
+        let stmts = parse_src("var x = 1; x = x + 2;");
+        assert!(matches!(&stmts[0], Stmt::VarDecl { name, .. } if name == "x"));
+        assert!(matches!(&stmts[1], Stmt::Expr(Expr::Assign { .. })));
+    }
+
+    #[test]
+    fn function_and_call() {
+        let stmts = parse_src("function f(a, b) { return a + b; } var y = f(1, 2);");
+        assert!(matches!(&stmts[0], Stmt::Function { params, .. } if params.len() == 2));
+    }
+
+    #[test]
+    fn while_and_for() {
+        let stmts =
+            parse_src("while (x) { x = x - 1; } for (var i = 0; i < 3; i = i + 1) { f(); }");
+        assert!(matches!(&stmts[0], Stmt::While { .. }));
+        match &stmts[1] {
+            Stmt::For { init, cond, update, .. } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(update.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_if_chain() {
+        let stmts = parse_src("if (a) { f(); } else if (b) { g(); } else { h(); }");
+        match &stmts[0] {
+            Stmt::If { otherwise, .. } => {
+                assert!(matches!(&otherwise[0], Stmt::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn member_and_index() {
+        let stmts = parse_src("var n = data.length; var v = data[i + 1];");
+        assert!(matches!(
+            &stmts[0],
+            Stmt::VarDecl { init: Some(Expr::Member { name, .. }), .. } if name == "length"
+        ));
+        assert!(matches!(&stmts[1], Stmt::VarDecl { init: Some(Expr::Index { .. }), .. }));
+    }
+
+    #[test]
+    fn precedence_shift_vs_add() {
+        // (a & 0xffff) + (a >>> 16): `+` must be the root.
+        let stmts = parse_src("x = (a & 0xffff) + (a >>> 16);");
+        match &stmts[0] {
+            Stmt::Expr(Expr::Assign { value, .. }) => {
+                assert!(matches!(&**value, Expr::Bin { op: "+", .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_assignment_target_rejected() {
+        assert!(parse(&tokenize("1 = x;").unwrap()).is_err());
+    }
+
+    #[test]
+    fn node_count_positive() {
+        let stmts = parse_src("function f(a) { return a * 2; } var x = f(21);");
+        assert!(count_nodes(&stmts) > 5);
+    }
+}

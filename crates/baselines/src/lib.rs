@@ -1,0 +1,110 @@
+//! # fc-baselines — candidate virtualization runtimes (paper §6)
+//!
+//! The paper's first evaluation compares ultra-lightweight
+//! virtualization candidates for Femto-Containers: native C, eBPF
+//! (rBPF), WebAssembly (WASM3), Python (MicroPython) and JavaScript
+//! (RIOTjs). This crate implements each candidate from scratch behind
+//! one [`traits::FunctionRuntime`] interface so Tables 1 and 2 can be
+//! regenerated:
+//!
+//! * [`native`] — the checksum compiled into the firmware (plus the
+//!   shared fletcher32 reference and benchmark input);
+//! * [`rbpf_rt`] — the Femto-Container VM from `fc-rbpf`;
+//! * [`wasm`] — a WebAssembly MVP-subset binary engine (64 KiB page);
+//! * [`upy`] — a Python-subset lexer → parser → bytecode VM with a
+//!   fixed heap arena;
+//! * [`js`] — a JavaScript-subset tree-walking evaluator.
+//!
+//! Flash footprints follow the structural model in DESIGN.md §3; RAM
+//! footprints are the buffers each engine genuinely reserves; cold-start
+//! and run cycles are derived from each engine's real dynamic work
+//! counts via calibrated per-engine constants (also DESIGN.md §3).
+
+#![warn(missing_docs)]
+
+pub mod js;
+pub mod native;
+pub mod rbpf_rt;
+pub mod traits;
+pub mod upy;
+pub mod wasm;
+
+pub use js::JsRuntime;
+pub use native::{benchmark_input, fletcher32, NativeRuntime};
+pub use rbpf_rt::RbpfRuntime;
+pub use traits::{Footprint, FunctionRuntime, LoadCost, RunOutcome, RuntimeError};
+pub use upy::UpyRuntime;
+pub use wasm::WasmRuntime;
+
+/// All five candidate runtimes, in the paper's table order.
+pub fn all_runtimes() -> Vec<Box<dyn FunctionRuntime>> {
+    vec![
+        Box::new(NativeRuntime::new()),
+        Box::new(WasmRuntime::new()),
+        Box::new(RbpfRuntime::new()),
+        Box::new(JsRuntime::new()),
+        Box::new(UpyRuntime::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline result of §6: every candidate computes the same
+    /// checksum, and the paper's ordering holds — rBPF is the smallest
+    /// by an order of magnitude, scripts are the slowest by far.
+    #[test]
+    fn all_runtimes_agree_on_the_checksum() {
+        let input = benchmark_input();
+        let expected = fletcher32(&input) as i64;
+        for mut rt in all_runtimes() {
+            let applet = rt.fletcher_applet();
+            rt.load(&applet).unwrap_or_else(|e| panic!("{} load: {e}", rt.name()));
+            let out = rt.run(&input).unwrap_or_else(|e| panic!("{} run: {e}", rt.name()));
+            assert_eq!(out.result, expected, "{} result", rt.name());
+        }
+    }
+
+    #[test]
+    fn table1_ordering_holds() {
+        let rom = |rt: &dyn FunctionRuntime| rt.footprint().rom_bytes;
+        let rbpf = RbpfRuntime::new();
+        let wasm = WasmRuntime::new();
+        let upy = UpyRuntime::new();
+        let js = JsRuntime::new();
+        assert!(rom(&rbpf) * 10 < rom(&wasm), "rBPF is 10x smaller than WASM3");
+        assert!(rom(&wasm) < rom(&upy));
+        assert!(rom(&upy) < rom(&js));
+        assert!(rbpf.footprint().ram_bytes * 100 < wasm.footprint().ram_bytes);
+    }
+
+    #[test]
+    fn table2_ordering_holds() {
+        let input = benchmark_input();
+        let mut results = Vec::new();
+        for mut rt in all_runtimes() {
+            let applet = rt.fletcher_applet();
+            let load = rt.load(&applet).unwrap();
+            let out = rt.run(&input).unwrap();
+            results.push((rt.name(), load.cycles, out.cycles));
+        }
+        let get = |name: &str| {
+            results.iter().find(|(n, _, _)| *n == name).copied().expect("runtime present")
+        };
+        let (_, _, native_run) = get("Native C");
+        let (_, wasm_load, wasm_run) = get("WASM3");
+        let (_, rbpf_load, rbpf_run) = get("rBPF");
+        let (_, js_load, js_run) = get("RIOTjs");
+        let (_, upy_load, upy_run) = get("MicroPython");
+        // Execution: native < wasm < rbpf < scripts.
+        assert!(native_run * 10 < wasm_run);
+        assert!(wasm_run < rbpf_run);
+        assert!(rbpf_run * 4 < js_run);
+        assert!(rbpf_run * 4 < upy_run);
+        // Cold start: rbpf is orders of magnitude below everything else.
+        assert!(rbpf_load * 1000 < wasm_load);
+        assert!(rbpf_load * 1000 < upy_load);
+        assert!(js_load < upy_load, "RIOTjs parses faster than MicroPython compiles");
+    }
+}

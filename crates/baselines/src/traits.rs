@@ -1,0 +1,103 @@
+//! The common interface over the candidate virtualization techniques the
+//! paper benchmarks in §6: native C, eBPF (rBPF), WebAssembly (WASM3),
+//! JavaScript (RIOTjs) and Python (MicroPython).
+
+use std::error::Error;
+use std::fmt;
+
+/// Engine memory requirements (paper Table 1).
+///
+/// `rom_bytes` follows the flash model documented in DESIGN.md §3
+/// (structural inventory × ISA density); `ram_bytes` is the sum of the
+/// buffers the runtime actually reserves (heap arena, linear memory,
+/// value stack, VM state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Flash required by the engine.
+    pub rom_bytes: usize,
+    /// RAM required by one engine instance.
+    pub ram_bytes: usize,
+}
+
+/// Cost of loading an applet (paper Table 2, "cold start overhead").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadCost {
+    /// Simulated Cortex-M4 cycles for parse/validate/compile work.
+    pub cycles: u64,
+}
+
+/// Outcome of running a loaded applet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The applet's return value.
+    pub result: i64,
+    /// Abstract interpreter steps executed (for reporting).
+    pub steps: u64,
+    /// Simulated Cortex-M4 cycles for the execution.
+    pub cycles: u64,
+}
+
+/// A runtime failure in a baseline engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// Which engine failed.
+    pub engine: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl RuntimeError {
+    /// Creates an error.
+    pub fn new(engine: &'static str, message: impl Into<String>) -> Self {
+        RuntimeError { engine, message: message.into() }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.engine, self.message)
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// A hosted-function runtime candidate.
+///
+/// The lifecycle mirrors the paper's measurements: ship an applet
+/// (`fletcher_applet` returns the exact bytes measured as "code size"),
+/// load it once (cold start), run it per event.
+pub trait FunctionRuntime {
+    /// Engine name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Engine ROM/RAM requirements.
+    fn footprint(&self) -> Footprint;
+
+    /// The fletcher32 benchmark applet in this runtime's input format.
+    fn fletcher_applet(&self) -> Vec<u8>;
+
+    /// Parses/compiles an applet (cold start).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on malformed input.
+    fn load(&mut self, applet: &[u8]) -> Result<LoadCost, RuntimeError>;
+
+    /// Runs the loaded applet over `input`, returning its result.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] when no applet is loaded or execution faults.
+    fn run(&mut self, input: &[u8]) -> Result<RunOutcome, RuntimeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_error_display() {
+        let e = RuntimeError::new("wasm-sim", "stack underflow");
+        assert_eq!(e.to_string(), "wasm-sim: stack underflow");
+    }
+}

@@ -1,0 +1,460 @@
+//! Bytecode compiler for the Python subset (MicroPython compiles to
+//! bytecode at load time; this is the cold-start work Table 2 measures).
+
+use std::collections::HashMap;
+
+use super::lexer::LexError;
+use super::parser::{Expr, Stmt};
+
+/// Binary operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    FloorDiv,
+    Mod,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Bytecode operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push an integer constant.
+    Const(i64),
+    /// Push `True`/`False`.
+    Bool(bool),
+    /// Push `None`.
+    None,
+    /// Push a local variable.
+    LoadLocal(u16),
+    /// Store into a local variable.
+    StoreLocal(u16),
+    /// Push a global by name-table index.
+    LoadGlobal(u16),
+    /// Store a global by name-table index.
+    StoreGlobal(u16),
+    /// Binary operation on the two top stack values.
+    Bin(BinKind),
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise inversion.
+    Inv,
+    /// Unconditional jump to op index.
+    Jump(u32),
+    /// Pop; jump when falsy.
+    PopJumpIfFalse(u32),
+    /// `and`: jump keeping value when falsy, else pop.
+    JumpIfFalseOrPop(u32),
+    /// `or`: jump keeping value when truthy, else pop.
+    JumpIfTrueOrPop(u32),
+    /// Call the function named by name-table index with `argc` args.
+    Call {
+        /// Name-table index of the callee.
+        name: u16,
+        /// Argument count.
+        argc: u8,
+    },
+    /// `obj[idx]` (pops idx, obj; pushes value).
+    Subscr,
+    /// `obj[idx] = value` (pops value, idx, obj).
+    StoreSubscr,
+    /// Build a list from the top `n` values.
+    BuildList(u16),
+    /// Return top of stack.
+    Return,
+    /// Drop top of stack.
+    Pop,
+}
+
+/// One compiled function (or the module body, index 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeObject {
+    /// Number of parameters (leading locals).
+    pub n_params: usize,
+    /// Total local slots.
+    pub n_locals: usize,
+    /// The bytecode.
+    pub ops: Vec<Op>,
+}
+
+/// A compiled program: module body plus functions, sharing a name table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Interned names (globals and callees).
+    pub names: Vec<String>,
+    /// Code objects; index 0 is the module body.
+    pub codes: Vec<CodeObject>,
+    /// name-table index → code index, for defined functions.
+    pub functions: HashMap<u16, usize>,
+}
+
+impl Program {
+    /// Total bytecode operations across all code objects (cold-start
+    /// accounting).
+    pub fn op_count(&self) -> usize {
+        self.codes.iter().map(|c| c.ops.len()).sum()
+    }
+}
+
+/// Compiles parsed statements into a [`Program`].
+///
+/// # Errors
+///
+/// [`LexError`] (reused diagnostics) on semantic errors such as `break`
+/// outside a loop.
+pub fn compile(module: &[Stmt]) -> Result<Program, LexError> {
+    let mut program = Program::default();
+    // Reserve index 0 for the module body.
+    program.codes.push(CodeObject { n_params: 0, n_locals: 0, ops: Vec::new() });
+    let mut ctx = FnCtx::module();
+    compile_suite(module, &mut program, &mut ctx)?;
+    ctx.ops.push(Op::None);
+    ctx.ops.push(Op::Return);
+    program.codes[0] = CodeObject { n_params: 0, n_locals: 0, ops: ctx.ops };
+    Ok(program)
+}
+
+struct FnCtx {
+    ops: Vec<Op>,
+    locals: HashMap<String, u16>,
+    is_module: bool,
+    loop_stack: Vec<LoopCtx>,
+}
+
+struct LoopCtx {
+    start: u32,
+    breaks: Vec<usize>,
+}
+
+impl FnCtx {
+    fn module() -> Self {
+        FnCtx { ops: Vec::new(), locals: HashMap::new(), is_module: true, loop_stack: Vec::new() }
+    }
+
+    fn function(params: &[String], body: &[Stmt]) -> Self {
+        let mut locals = HashMap::new();
+        for p in params {
+            let idx = locals.len() as u16;
+            locals.insert(p.clone(), idx);
+        }
+        collect_assigned(body, &mut locals);
+        FnCtx { ops: Vec::new(), locals, is_module: false, loop_stack: Vec::new() }
+    }
+}
+
+/// Python scoping: any name assigned anywhere in a function body is a
+/// local throughout that body.
+fn collect_assigned(body: &[Stmt], locals: &mut HashMap<String, u16>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { target: Expr::Name(n), .. } => {
+                if !locals.contains_key(n) {
+                    let idx = locals.len() as u16;
+                    locals.insert(n.clone(), idx);
+                }
+            }
+            Stmt::While { body, .. } => collect_assigned(body, locals),
+            Stmt::If { then, otherwise, .. } => {
+                collect_assigned(then, locals);
+                collect_assigned(otherwise, locals);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn intern(program: &mut Program, name: &str) -> u16 {
+    if let Some(i) = program.names.iter().position(|n| n == name) {
+        return i as u16;
+    }
+    program.names.push(name.to_owned());
+    (program.names.len() - 1) as u16
+}
+
+fn compile_suite(
+    stmts: &[Stmt],
+    program: &mut Program,
+    ctx: &mut FnCtx,
+) -> Result<(), LexError> {
+    for stmt in stmts {
+        compile_stmt(stmt, program, ctx)?;
+    }
+    Ok(())
+}
+
+fn compile_stmt(stmt: &Stmt, program: &mut Program, ctx: &mut FnCtx) -> Result<(), LexError> {
+    match stmt {
+        Stmt::Pass => {}
+        Stmt::Expr(e) => {
+            compile_expr(e, program, ctx)?;
+            ctx.ops.push(Op::Pop);
+        }
+        Stmt::Assign { target, value } => match target {
+            Expr::Name(n) => {
+                compile_expr(value, program, ctx)?;
+                if !ctx.is_module && ctx.locals.contains_key(n) {
+                    ctx.ops.push(Op::StoreLocal(ctx.locals[n]));
+                } else {
+                    let idx = intern(program, n);
+                    ctx.ops.push(Op::StoreGlobal(idx));
+                }
+            }
+            Expr::Subscript { obj, index } => {
+                compile_expr(obj, program, ctx)?;
+                compile_expr(index, program, ctx)?;
+                compile_expr(value, program, ctx)?;
+                ctx.ops.push(Op::StoreSubscr);
+            }
+            _ => {
+                return Err(LexError { line: 0, msg: "invalid assignment target".into() });
+            }
+        },
+        Stmt::Return(e) => {
+            match e {
+                Some(e) => compile_expr(e, program, ctx)?,
+                None => ctx.ops.push(Op::None),
+            }
+            ctx.ops.push(Op::Return);
+        }
+        Stmt::While { cond, body } => {
+            let start = ctx.ops.len() as u32;
+            compile_expr(cond, program, ctx)?;
+            let exit_patch = ctx.ops.len();
+            ctx.ops.push(Op::PopJumpIfFalse(0));
+            ctx.loop_stack.push(LoopCtx { start, breaks: Vec::new() });
+            compile_suite(body, program, ctx)?;
+            ctx.ops.push(Op::Jump(start));
+            let end = ctx.ops.len() as u32;
+            ctx.ops[exit_patch] = Op::PopJumpIfFalse(end);
+            let loop_ctx = ctx.loop_stack.pop().expect("loop context");
+            for b in loop_ctx.breaks {
+                ctx.ops[b] = Op::Jump(end);
+            }
+        }
+        Stmt::If { cond, then, otherwise } => {
+            compile_expr(cond, program, ctx)?;
+            let else_patch = ctx.ops.len();
+            ctx.ops.push(Op::PopJumpIfFalse(0));
+            compile_suite(then, program, ctx)?;
+            if otherwise.is_empty() {
+                let end = ctx.ops.len() as u32;
+                ctx.ops[else_patch] = Op::PopJumpIfFalse(end);
+            } else {
+                let end_patch = ctx.ops.len();
+                ctx.ops.push(Op::Jump(0));
+                let else_start = ctx.ops.len() as u32;
+                ctx.ops[else_patch] = Op::PopJumpIfFalse(else_start);
+                compile_suite(otherwise, program, ctx)?;
+                let end = ctx.ops.len() as u32;
+                ctx.ops[end_patch] = Op::Jump(end);
+            }
+        }
+        Stmt::Break => {
+            let patch = ctx.ops.len();
+            ctx.ops.push(Op::Jump(0));
+            match ctx.loop_stack.last_mut() {
+                Some(l) => l.breaks.push(patch),
+                None => return Err(LexError { line: 0, msg: "break outside loop".into() }),
+            }
+        }
+        Stmt::Continue => {
+            let start = match ctx.loop_stack.last() {
+                Some(l) => l.start,
+                None => {
+                    return Err(LexError { line: 0, msg: "continue outside loop".into() });
+                }
+            };
+            ctx.ops.push(Op::Jump(start));
+        }
+        Stmt::Def { name, params, body } => {
+            if !ctx.is_module {
+                return Err(LexError { line: 0, msg: "nested def not supported".into() });
+            }
+            let mut fctx = FnCtx::function(params, body);
+            compile_suite(body, program, &mut fctx)?;
+            fctx.ops.push(Op::None);
+            fctx.ops.push(Op::Return);
+            let code = CodeObject {
+                n_params: params.len(),
+                n_locals: fctx.locals.len(),
+                ops: fctx.ops,
+            };
+            program.codes.push(code);
+            let code_idx = program.codes.len() - 1;
+            let name_idx = intern(program, name);
+            program.functions.insert(name_idx, code_idx);
+        }
+    }
+    Ok(())
+}
+
+fn compile_expr(e: &Expr, program: &mut Program, ctx: &mut FnCtx) -> Result<(), LexError> {
+    match e {
+        Expr::Int(v) => ctx.ops.push(Op::Const(*v)),
+        Expr::Bool(b) => ctx.ops.push(Op::Bool(*b)),
+        Expr::None => ctx.ops.push(Op::None),
+        Expr::Name(n) => {
+            if !ctx.is_module {
+                if let Some(idx) = ctx.locals.get(n) {
+                    ctx.ops.push(Op::LoadLocal(*idx));
+                    return Ok(());
+                }
+            }
+            let idx = intern(program, n);
+            ctx.ops.push(Op::LoadGlobal(idx));
+        }
+        Expr::Unary { op, operand } => {
+            compile_expr(operand, program, ctx)?;
+            ctx.ops.push(match op.as_str() {
+                "-" => Op::Neg,
+                "~" => Op::Inv,
+                _ => Op::Not,
+            });
+        }
+        Expr::Bin { op, lhs, rhs } => match op.as_str() {
+            "and" => {
+                compile_expr(lhs, program, ctx)?;
+                let patch = ctx.ops.len();
+                ctx.ops.push(Op::JumpIfFalseOrPop(0));
+                compile_expr(rhs, program, ctx)?;
+                let end = ctx.ops.len() as u32;
+                ctx.ops[patch] = Op::JumpIfFalseOrPop(end);
+            }
+            "or" => {
+                compile_expr(lhs, program, ctx)?;
+                let patch = ctx.ops.len();
+                ctx.ops.push(Op::JumpIfTrueOrPop(0));
+                compile_expr(rhs, program, ctx)?;
+                let end = ctx.ops.len() as u32;
+                ctx.ops[patch] = Op::JumpIfTrueOrPop(end);
+            }
+            other => {
+                compile_expr(lhs, program, ctx)?;
+                compile_expr(rhs, program, ctx)?;
+                let kind = match other {
+                    "+" => BinKind::Add,
+                    "-" => BinKind::Sub,
+                    "*" => BinKind::Mul,
+                    "//" => BinKind::FloorDiv,
+                    "%" => BinKind::Mod,
+                    "<<" => BinKind::Shl,
+                    ">>" => BinKind::Shr,
+                    "&" => BinKind::BitAnd,
+                    "|" => BinKind::BitOr,
+                    "^" => BinKind::BitXor,
+                    "==" => BinKind::Eq,
+                    "!=" => BinKind::Ne,
+                    "<" => BinKind::Lt,
+                    "<=" => BinKind::Le,
+                    ">" => BinKind::Gt,
+                    ">=" => BinKind::Ge,
+                    _ => {
+                        return Err(LexError { line: 0, msg: format!("operator `{other}`") });
+                    }
+                };
+                ctx.ops.push(Op::Bin(kind));
+            }
+        },
+        Expr::Call { name, args } => {
+            for a in args {
+                compile_expr(a, program, ctx)?;
+            }
+            let idx = intern(program, name);
+            ctx.ops.push(Op::Call { name: idx, argc: args.len() as u8 });
+        }
+        Expr::Subscript { obj, index } => {
+            compile_expr(obj, program, ctx)?;
+            compile_expr(index, program, ctx)?;
+            ctx.ops.push(Op::Subscr);
+        }
+        Expr::List(items) => {
+            for item in items {
+                compile_expr(item, program, ctx)?;
+            }
+            ctx.ops.push(Op::BuildList(items.len() as u16));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upy::lexer::tokenize;
+    use crate::upy::parser::parse;
+
+    fn compile_src(src: &str) -> Program {
+        compile(&parse(&tokenize(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn module_body_is_code_zero() {
+        let p = compile_src("x = 1");
+        assert_eq!(p.codes.len(), 1);
+        assert!(p.codes[0].ops.contains(&Op::Const(1)));
+    }
+
+    #[test]
+    fn function_gets_own_code_and_locals() {
+        let p = compile_src("def f(a):\n    b = a + 1\n    return b");
+        assert_eq!(p.codes.len(), 2);
+        let f = &p.codes[1];
+        assert_eq!(f.n_params, 1);
+        assert_eq!(f.n_locals, 2);
+        assert!(f.ops.contains(&Op::LoadLocal(0)));
+        assert!(f.ops.contains(&Op::StoreLocal(1)));
+    }
+
+    #[test]
+    fn while_compiles_to_backward_jump() {
+        let p = compile_src("x = 3\nwhile x:\n    x = x - 1");
+        let jumps: Vec<_> = p.codes[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Jump(_) | Op::PopJumpIfFalse(_)))
+            .collect();
+        assert_eq!(jumps.len(), 2);
+    }
+
+    #[test]
+    fn break_patches_to_loop_end() {
+        let p = compile_src("while 1:\n    break");
+        let ops = &p.codes[0].ops;
+        let end = ops.len() as u32 - 2; // before None, Return
+        assert!(ops.contains(&Op::Jump(end)), "{ops:?}");
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let stmts = parse(&tokenize("break").unwrap()).unwrap();
+        assert!(compile(&stmts).is_err());
+    }
+
+    #[test]
+    fn and_or_short_circuit_ops() {
+        let p = compile_src("x = a and b\ny = a or b");
+        let ops = &p.codes[0].ops;
+        assert!(ops.iter().any(|o| matches!(o, Op::JumpIfFalseOrPop(_))));
+        assert!(ops.iter().any(|o| matches!(o, Op::JumpIfTrueOrPop(_))));
+    }
+
+    #[test]
+    fn names_are_interned_once() {
+        let p = compile_src("x = 1\ny = x\nz = x");
+        assert_eq!(p.names.iter().filter(|n| *n == "x").count(), 1);
+    }
+}

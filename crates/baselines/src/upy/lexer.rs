@@ -1,0 +1,262 @@
+//! Indentation-aware tokenizer for the Python subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Name(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Operator / punctuation.
+    Op(&'static str),
+    /// Statement separator.
+    Newline,
+    /// Block open (indentation increased).
+    Indent,
+    /// Block close (indentation decreased).
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// Keywords of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Def,
+    While,
+    If,
+    Elif,
+    Else,
+    Return,
+    Pass,
+    Break,
+    Continue,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    None,
+}
+
+/// A lexing failure with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "def" => Kw::Def,
+        "while" => Kw::While,
+        "if" => Kw::If,
+        "elif" => Kw::Elif,
+        "else" => Kw::Else,
+        "return" => Kw::Return,
+        "pass" => Kw::Pass,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "and" => Kw::And,
+        "or" => Kw::Or,
+        "not" => Kw::Not,
+        "True" => Kw::True,
+        "False" => Kw::False,
+        "None" => Kw::None,
+        _ => return None,
+    })
+}
+
+/// Tokenizes source text, emitting `Indent`/`Dedent` pairs for blocks.
+///
+/// # Errors
+///
+/// [`LexError`] on bad characters, bad numbers or inconsistent
+/// indentation.
+pub fn tokenize(source: &str) -> Result<Vec<Tok>, LexError> {
+    let mut toks = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+
+    for (line_idx, raw_line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let without_comment = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        if without_comment.trim().is_empty() {
+            continue;
+        }
+        let indent = without_comment.len() - without_comment.trim_start_matches(' ').len();
+        if without_comment.trim_start_matches(' ').starts_with('\t') {
+            return Err(LexError { line: line_no, msg: "tabs not supported".into() });
+        }
+        let current = *indents.last().expect("indent stack non-empty");
+        if indent > current {
+            indents.push(indent);
+            toks.push(Tok::Indent);
+        } else if indent < current {
+            while *indents.last().expect("stack") > indent {
+                indents.pop();
+                toks.push(Tok::Dedent);
+            }
+            if *indents.last().expect("stack") != indent {
+                return Err(LexError { line: line_no, msg: "inconsistent dedent".into() });
+            }
+        }
+        lex_line(without_comment.trim_start_matches(' '), line_no, &mut toks)?;
+        toks.push(Tok::Newline);
+    }
+    while indents.len() > 1 {
+        indents.pop();
+        toks.push(Tok::Dedent);
+    }
+    toks.push(Tok::Eof);
+    Ok(toks)
+}
+
+fn lex_line(mut s: &str, line: usize, out: &mut Vec<Tok>) -> Result<(), LexError> {
+    const OPS: &[&str] = &[
+        "**", "//", "<<", ">>", "<=", ">=", "==", "!=", "+", "-", "*", "%", "&", "|", "^", "~",
+        "<", ">", "=", "(", ")", "[", "]", ",", ":",
+    ];
+    'outer: while !s.is_empty() {
+        let c = s.chars().next().expect("non-empty");
+        if c == ' ' {
+            s = &s[1..];
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let end = s.find(|c: char| !c.is_ascii_alphanumeric()).unwrap_or(s.len());
+            let body = &s[..end];
+            let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
+            {
+                i64::from_str_radix(hex, 16).ok()
+            } else {
+                body.parse::<i64>().ok()
+            };
+            match value {
+                Some(v) => out.push(Tok::Int(v)),
+                None => {
+                    return Err(LexError { line, msg: format!("bad number `{body}`") });
+                }
+            }
+            s = &s[end..];
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let end = s
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .unwrap_or(s.len());
+            let word = &s[..end];
+            match keyword(word) {
+                Some(kw) => out.push(Tok::Kw(kw)),
+                None => out.push(Tok::Name(word.to_owned())),
+            }
+            s = &s[end..];
+            continue;
+        }
+        for op in OPS {
+            if let Some(rest) = s.strip_prefix(op) {
+                out.push(Tok::Op(op));
+                s = rest;
+                continue 'outer;
+            }
+        }
+        return Err(LexError { line, msg: format!("unexpected character `{c}`") });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_statement() {
+        let toks = tokenize("x = 1 + 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Name("x".into()),
+                Tok::Op("="),
+                Tok::Int(1),
+                Tok::Op("+"),
+                Tok::Int(2),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let src = "\
+while x:
+    x = x - 1
+    if x:
+        pass
+y = 1";
+        let toks = tokenize(src).unwrap();
+        let indents = toks.iter().filter(|t| **t == Tok::Indent).count();
+        let dedents = toks.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(indents, 2);
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn trailing_dedents_emitted() {
+        let src = "if x:\n    pass";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[toks.len() - 2], Tok::Dedent);
+    }
+
+    #[test]
+    fn hex_and_keywords() {
+        let toks = tokenize("return 0xffff and True").unwrap();
+        assert_eq!(toks[0], Tok::Kw(Kw::Return));
+        assert_eq!(toks[1], Tok::Int(0xffff));
+        assert_eq!(toks[2], Tok::Kw(Kw::And));
+        assert_eq!(toks[3], Tok::Kw(Kw::True));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let toks = tokenize("# header\n\nx = 1  # trailing\n").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Newline).count(), 1);
+    }
+
+    #[test]
+    fn multi_char_operators_lex_greedily() {
+        let toks = tokenize("a >> 16 <= b // 2").unwrap();
+        assert!(toks.contains(&Tok::Op(">>")));
+        assert!(toks.contains(&Tok::Op("<=")));
+        assert!(toks.contains(&Tok::Op("//")));
+    }
+
+    #[test]
+    fn bad_character_rejected() {
+        let e = tokenize("x = $").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn inconsistent_dedent_rejected() {
+        let src = "if x:\n        pass\n    y = 1";
+        assert!(tokenize(src).is_err());
+    }
+}

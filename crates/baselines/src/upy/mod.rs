@@ -1,0 +1,29 @@
+//! upy-sim: a MicroPython stand-in (paper §6).
+//!
+//! A Python-subset pipeline with the architectural properties that drive
+//! MicroPython's row in Tables 1–2: source text must be tokenized,
+//! parsed and compiled at load time (the dominant cold-start cost), the
+//! VM dispatches heap-aware bytecode, and object allocation draws from a
+//! fixed heap arena (8 KiB, matching the constrained-board default that
+//! sets the RAM footprint).
+//!
+//! Supported subset: `def`, `while`, `if`/`elif`/`else`, `return`,
+//! `pass`, `break`, `continue`, assignments, integer arithmetic and
+//! bitwise operators, comparisons, `and`/`or`/`not`, lists, `bytes`
+//! subscripting, `len()` and `print()`.
+
+pub mod compiler;
+pub mod lexer;
+pub mod parser;
+pub mod vm;
+
+pub use vm::UpyRuntime;
+
+/// Default heap arena in bytes (MicroPython's constrained-board scale;
+/// Table 1 reports 8.2 KiB RAM for the MicroPython runtime).
+pub const HEAP_BYTES: usize = 8 * 1024;
+
+/// Engine flash footprint per the DESIGN.md flash model — calibrated to
+/// Table 1's MicroPython row (101 KiB): tokenizer, compiler, VM, object
+/// model and the builtin library core.
+pub const UPY_ROM_BYTES: usize = 101 * 1024;

@@ -1,0 +1,526 @@
+//! Recursive-descent parser for the Python subset.
+
+use super::lexer::{Kw, LexError, Tok};
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// `True` / `False`.
+    Bool(bool),
+    /// `None`.
+    None,
+    /// Name reference.
+    Name(String),
+    /// Binary operation.
+    Bin {
+        /// Operator lexeme (`+`, `<<`, `==`, `and`…).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation (`-`, `not`, `~`).
+    Unary {
+        /// Operator lexeme.
+        op: String,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Subscript `obj[index]`.
+    Subscript {
+        /// The indexed expression.
+        obj: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// List display `[a, b, …]`.
+    List(Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr` or `obj[i] = expr`.
+    Assign {
+        /// Assignment target.
+        target: Expr,
+        /// Value.
+        value: Expr,
+    },
+    /// Bare expression (evaluated, result dropped).
+    Expr(Expr),
+    /// `def name(params): suite`.
+    Def {
+        /// Function name.
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `while cond: suite`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `if`/`elif`/`else` chain (elifs desugared into nested ifs).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// True branch.
+        then: Vec<Stmt>,
+        /// False branch.
+        otherwise: Vec<Stmt>,
+    },
+    /// `return expr?`.
+    Return(Option<Expr>),
+    /// `pass`.
+    Pass,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+}
+
+/// Parses token stream into a statement list.
+///
+/// # Errors
+///
+/// [`LexError`] (reused for parse diagnostics) on malformed syntax.
+pub fn parse(toks: &[Tok]) -> Result<Vec<Stmt>, LexError> {
+    let mut p = Parser { toks, pos: 0 };
+    let body = p.suite_until_eof()?;
+    Ok(body)
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &Tok {
+        self.toks.get(self.pos).unwrap_or(&Tok::Eof)
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.peek().clone();
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, LexError> {
+        Err(LexError { line: 0, msg: format!("{} near token {}", msg.into(), self.pos) })
+    }
+
+    fn expect_op(&mut self, op: &str) -> Result<(), LexError> {
+        match self.next() {
+            Tok::Op(o) if o == op => Ok(()),
+            other => self.err(format!("expected `{op}`, found {other:?}")),
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), LexError> {
+        match self.next() {
+            Tok::Newline => Ok(()),
+            other => self.err(format!("expected newline, found {other:?}")),
+        }
+    }
+
+    fn suite_until_eof(&mut self) -> Result<Vec<Stmt>, LexError> {
+        let mut out = Vec::new();
+        while *self.peek() != Tok::Eof {
+            out.push(self.statement()?);
+        }
+        Ok(out)
+    }
+
+    /// An indented block: `: NEWLINE INDENT stmt+ DEDENT`.
+    fn block(&mut self) -> Result<Vec<Stmt>, LexError> {
+        self.expect_op(":")?;
+        self.expect_newline()?;
+        match self.next() {
+            Tok::Indent => {}
+            other => return self.err(format!("expected indented block, found {other:?}")),
+        }
+        let mut out = Vec::new();
+        loop {
+            out.push(self.statement()?);
+            if *self.peek() == Tok::Dedent {
+                self.pos += 1;
+                return Ok(out);
+            }
+            if *self.peek() == Tok::Eof {
+                return self.err("unterminated block");
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, LexError> {
+        match self.peek().clone() {
+            Tok::Kw(Kw::Def) => {
+                self.pos += 1;
+                let name = match self.next() {
+                    Tok::Name(n) => n,
+                    other => return self.err(format!("expected function name, got {other:?}")),
+                };
+                self.expect_op("(")?;
+                let mut params = Vec::new();
+                if *self.peek() != Tok::Op(")") {
+                    loop {
+                        match self.next() {
+                            Tok::Name(p) => params.push(p),
+                            other => {
+                                return self.err(format!("expected parameter, got {other:?}"));
+                            }
+                        }
+                        if *self.peek() == Tok::Op(",") {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect_op(")")?;
+                let body = self.block()?;
+                Ok(Stmt::Def { name, params, body })
+            }
+            Tok::Kw(Kw::While) => {
+                self.pos += 1;
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Kw(Kw::If) => {
+                self.pos += 1;
+                self.if_chain()
+            }
+            Tok::Kw(Kw::Return) => {
+                self.pos += 1;
+                if *self.peek() == Tok::Newline {
+                    self.pos += 1;
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_newline()?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Tok::Kw(Kw::Pass) => {
+                self.pos += 1;
+                self.expect_newline()?;
+                Ok(Stmt::Pass)
+            }
+            Tok::Kw(Kw::Break) => {
+                self.pos += 1;
+                self.expect_newline()?;
+                Ok(Stmt::Break)
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.pos += 1;
+                self.expect_newline()?;
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let first = self.expr()?;
+                if *self.peek() == Tok::Op("=") {
+                    self.pos += 1;
+                    let value = self.expr()?;
+                    self.expect_newline()?;
+                    match &first {
+                        Expr::Name(_) | Expr::Subscript { .. } => {
+                            Ok(Stmt::Assign { target: first, value })
+                        }
+                        _ => self.err("invalid assignment target"),
+                    }
+                } else {
+                    self.expect_newline()?;
+                    Ok(Stmt::Expr(first))
+                }
+            }
+        }
+    }
+
+    fn if_chain(&mut self) -> Result<Stmt, LexError> {
+        let cond = self.expr()?;
+        let then = self.block()?;
+        let otherwise = match self.peek().clone() {
+            Tok::Kw(Kw::Elif) => {
+                self.pos += 1;
+                vec![self.if_chain()?]
+            }
+            Tok::Kw(Kw::Else) => {
+                self.pos += 1;
+                self.block()?
+            }
+            _ => Vec::new(),
+        };
+        Ok(Stmt::If { cond, then, otherwise })
+    }
+
+    // Precedence climbing: or < and < not < comparison < | < ^ < & <
+    // shifts < add/sub < mul/div/mod < unary < postfix.
+    fn expr(&mut self) -> Result<Expr, LexError> {
+        self.or_expr()
+    }
+
+    fn bin_level<F>(&mut self, ops: &[&str], next: F) -> Result<Expr, LexError>
+    where
+        F: Fn(&mut Self) -> Result<Expr, LexError>,
+    {
+        let mut lhs = next(self)?;
+        loop {
+            let op = match self.peek() {
+                Tok::Op(o) if ops.contains(o) => o.to_string(),
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = next(self)?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LexError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::Kw(Kw::Or) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin { op: "or".into(), lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LexError> {
+        let mut lhs = self.not_expr()?;
+        while *self.peek() == Tok::Kw(Kw::And) {
+            self.pos += 1;
+            let rhs = self.not_expr()?;
+            lhs = Expr::Bin { op: "and".into(), lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, LexError> {
+        if *self.peek() == Tok::Kw(Kw::Not) {
+            self.pos += 1;
+            let operand = self.not_expr()?;
+            return Ok(Expr::Unary { op: "not".into(), operand: Box::new(operand) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, LexError> {
+        self.bin_level(&["==", "!=", "<", "<=", ">", ">="], |p| {
+            p.bin_level(&["|"], |p| {
+                p.bin_level(&["^"], |p| {
+                    p.bin_level(&["&"], |p| {
+                        p.bin_level(&["<<", ">>"], |p| {
+                            p.bin_level(&["+", "-"], |p| {
+                                p.bin_level(&["*", "//", "%"], Self::unary)
+                            })
+                        })
+                    })
+                })
+            })
+        })
+    }
+
+    fn unary(&mut self) -> Result<Expr, LexError> {
+        match self.peek() {
+            Tok::Op("-") => {
+                self.pos += 1;
+                let operand = self.unary()?;
+                Ok(Expr::Unary { op: "-".into(), operand: Box::new(operand) })
+            }
+            Tok::Op("~") => {
+                self.pos += 1;
+                let operand = self.unary()?;
+                Ok(Expr::Unary { op: "~".into(), operand: Box::new(operand) })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LexError> {
+        let mut e = self.atom()?;
+        loop {
+            match self.peek() {
+                Tok::Op("[") => {
+                    self.pos += 1;
+                    let index = self.expr()?;
+                    self.expect_op("]")?;
+                    e = Expr::Subscript { obj: Box::new(e), index: Box::new(index) };
+                }
+                Tok::Op("(") => {
+                    let name = match &e {
+                        Expr::Name(n) => n.clone(),
+                        _ => return self.err("only simple names are callable"),
+                    };
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::Op(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Op(",") {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_op(")")?;
+                    e = Expr::Call { name, args };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, LexError> {
+        match self.next() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Name(n) => Ok(Expr::Name(n)),
+            Tok::Kw(Kw::True) => Ok(Expr::Bool(true)),
+            Tok::Kw(Kw::False) => Ok(Expr::Bool(false)),
+            Tok::Kw(Kw::None) => Ok(Expr::None),
+            Tok::Op("(") => {
+                let e = self.expr()?;
+                self.expect_op(")")?;
+                Ok(e)
+            }
+            Tok::Op("[") => {
+                let mut items = Vec::new();
+                if *self.peek() != Tok::Op("]") {
+                    loop {
+                        items.push(self.expr()?);
+                        if *self.peek() == Tok::Op(",") {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect_op("]")?;
+                Ok(Expr::List(items))
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upy::lexer::tokenize;
+
+    fn parse_src(src: &str) -> Vec<Stmt> {
+        parse(&tokenize(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn assignment_and_precedence() {
+        let stmts = parse_src("x = 1 + 2 * 3");
+        match &stmts[0] {
+            Stmt::Assign { value: Expr::Bin { op, rhs, .. }, .. } => {
+                assert_eq!(op, "+");
+                assert!(matches!(**rhs, Expr::Bin { ref op, .. } if op == "*"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shift_binds_tighter_than_and_mask() {
+        // (sum1 & 65535) + (sum1 >> 16) pattern must parse as written.
+        let stmts = parse_src("s = (a & 65535) + (a >> 16)");
+        match &stmts[0] {
+            Stmt::Assign { value: Expr::Bin { op, .. }, .. } => assert_eq!(op, "+"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn def_with_params_and_body() {
+        let stmts = parse_src("def f(a, b):\n    return a + b");
+        match &stmts[0] {
+            Stmt::Def { name, params, body } => {
+                assert_eq!(name, "f");
+                assert_eq!(params, &["a", "b"]);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_with_break_continue() {
+        let stmts = parse_src("while x:\n    break\n    continue");
+        match &stmts[0] {
+            Stmt::While { body, .. } => {
+                assert_eq!(body[0], Stmt::Break);
+                assert_eq!(body[1], Stmt::Continue);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_elif_else_desugars() {
+        let stmts = parse_src("if a:\n    pass\nelif b:\n    pass\nelse:\n    pass");
+        match &stmts[0] {
+            Stmt::If { otherwise, .. } => {
+                assert_eq!(otherwise.len(), 1);
+                assert!(matches!(otherwise[0], Stmt::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscript_call_and_list() {
+        let stmts = parse_src("y = data[i + 1]\nz = len(data)\nw = [1, 2, 3]");
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Assign { value: Expr::Subscript { .. }, .. }
+        ));
+        assert!(matches!(&stmts[1], Stmt::Assign { value: Expr::Call { name, .. }, .. } if name == "len"));
+        assert!(matches!(&stmts[2], Stmt::Assign { value: Expr::List(items), .. } if items.len() == 3));
+    }
+
+    #[test]
+    fn subscript_assignment_target() {
+        let stmts = parse_src("xs[0] = 5");
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Assign { target: Expr::Subscript { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn bool_ops_and_not() {
+        let stmts = parse_src("x = a and not b or c");
+        match &stmts[0] {
+            Stmt::Assign { value: Expr::Bin { op, .. }, .. } => assert_eq!(op, "or"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_syntax_rejected() {
+        assert!(parse(&tokenize("x = ").unwrap()).is_err());
+        assert!(parse(&tokenize("def :").unwrap()).is_err());
+        assert!(parse(&tokenize("1 + 2 = x").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,675 @@
+//! The upy-sim bytecode VM and its [`FunctionRuntime`] front-end.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use super::compiler::{compile, BinKind, Op, Program};
+use super::lexer::tokenize;
+use super::parser::parse;
+use super::{HEAP_BYTES, UPY_ROM_BYTES};
+use crate::traits::{Footprint, FunctionRuntime, LoadCost, RunOutcome, RuntimeError};
+
+/// Cold-start cycles per source byte (tokenize + parse on Cortex-M4).
+pub const LOAD_CYCLES_PER_BYTE: u64 = 2_000;
+
+/// Cold-start cycles per emitted bytecode op (compile pass).
+pub const LOAD_CYCLES_PER_OP: u64 = 1_000;
+
+/// Execution cycles per bytecode operation (dispatch, boxed objects,
+/// refcounts — the interpreter weight behind MicroPython's ~600× native
+/// slowdown in Table 2).
+pub const RUN_CYCLES_PER_OP: u64 = 128;
+
+/// Cycles charged per garbage collection of the heap arena.
+pub const GC_CYCLES: u64 = 20_000;
+
+/// Fixed per-invocation overhead.
+pub const RUN_OVERHEAD_CYCLES: u64 = 3_000;
+
+/// Execution step ceiling (runaway protection).
+pub const MAX_STEPS: u64 = 50_000_000;
+
+/// Runtime values.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Small integer (unboxed, like MicroPython's smallint).
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// `None`.
+    None,
+    /// Immutable byte string.
+    Bytes(Rc<Vec<u8>>),
+    /// Mutable list.
+    List(Rc<RefCell<Vec<Value>>>),
+}
+
+impl Value {
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Int(i) => *i != 0,
+            Value::Bool(b) => *b,
+            Value::None => false,
+            Value::Bytes(b) => !b.is_empty(),
+            Value::List(l) => !l.borrow().is_empty(),
+        }
+    }
+
+    fn as_int(&self) -> Result<i64, UpyError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Bool(b) => Ok(*b as i64),
+            other => Err(UpyError::Type(format!("expected int, got {other:?}"))),
+        }
+    }
+}
+
+/// Run-time errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpyError {
+    /// Type mismatch.
+    Type(String),
+    /// Unknown global / function name.
+    Name(String),
+    /// Index out of range.
+    Index(i64),
+    /// Division or modulo by zero.
+    ZeroDivision,
+    /// Heap arena exhausted.
+    MemoryError {
+        /// Bytes requested.
+        requested: usize,
+    },
+    /// Step budget exhausted.
+    StepLimit,
+    /// Wrong argument count.
+    Arity {
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for UpyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpyError::Type(m) => write!(f, "TypeError: {m}"),
+            UpyError::Name(n) => write!(f, "NameError: {n}"),
+            UpyError::Index(i) => write!(f, "IndexError: {i}"),
+            UpyError::ZeroDivision => write!(f, "ZeroDivisionError"),
+            UpyError::MemoryError { requested } => {
+                write!(f, "MemoryError: {requested} bytes requested")
+            }
+            UpyError::StepLimit => write!(f, "step limit exceeded"),
+            UpyError::Arity { expected, got } => {
+                write!(f, "TypeError: expected {expected} args, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpyError {}
+
+/// The VM executing a compiled [`Program`].
+#[derive(Debug)]
+pub struct Vm {
+    program: Program,
+    globals: HashMap<u16, Value>,
+    heap_used: usize,
+    gc_runs: u64,
+    steps: u64,
+    run_start: u64,
+    printed: Vec<String>,
+}
+
+impl Vm {
+    /// Creates a VM over a compiled program.
+    pub fn new(program: Program) -> Self {
+        Vm {
+            program,
+            globals: HashMap::new(),
+            heap_used: 0,
+            gc_runs: 0,
+            steps: 0,
+            run_start: 0,
+            printed: Vec::new(),
+        }
+    }
+
+    /// Sets a global by name (host data injection).
+    pub fn set_global(&mut self, name: &str, value: Value) {
+        let idx = self
+            .program
+            .names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as u16)
+            .unwrap_or_else(|| {
+                self.program.names.push(name.to_owned());
+                (self.program.names.len() - 1) as u16
+            });
+        self.globals.insert(idx, value);
+    }
+
+    /// Reads a global by name.
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        let idx = self.program.names.iter().position(|n| n == name)? as u16;
+        self.globals.get(&idx)
+    }
+
+    /// Output captured from `print`.
+    pub fn printed(&self) -> &[String] {
+        &self.printed
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Garbage collections triggered so far.
+    pub fn gc_runs(&self) -> u64 {
+        self.gc_runs
+    }
+
+    /// Charges a heap allocation against the arena, triggering a modeled
+    /// collection when the arena fills.
+    fn alloc(&mut self, bytes: usize) -> Result<(), UpyError> {
+        if bytes > HEAP_BYTES {
+            return Err(UpyError::MemoryError { requested: bytes });
+        }
+        if self.heap_used + bytes > HEAP_BYTES {
+            // Model a mark-sweep pass reclaiming the arena.
+            self.gc_runs += 1;
+            self.heap_used = 0;
+        }
+        self.heap_used += bytes;
+        Ok(())
+    }
+
+    /// Runs the module body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`UpyError`].
+    pub fn run_module(&mut self) -> Result<(), UpyError> {
+        // The step budget is per top-level invocation.
+        self.run_start = self.steps;
+        self.run_code(0, Vec::new()).map(|_| ())
+    }
+
+    fn run_code(&mut self, code_idx: usize, args: Vec<Value>) -> Result<Value, UpyError> {
+        let n_locals = self.program.codes[code_idx].n_locals;
+        let n_params = self.program.codes[code_idx].n_params;
+        if code_idx != 0 && args.len() != n_params {
+            return Err(UpyError::Arity { expected: n_params, got: args.len() });
+        }
+        let mut locals = vec![Value::None; n_locals.max(args.len())];
+        for (i, a) in args.into_iter().enumerate() {
+            locals[i] = a;
+        }
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let mut pc = 0usize;
+
+        loop {
+            self.steps += 1;
+            if self.steps - self.run_start > MAX_STEPS {
+                return Err(UpyError::StepLimit);
+            }
+            let op = match self.program.codes[code_idx].ops.get(pc) {
+                Some(op) => *op,
+                None => return Ok(Value::None),
+            };
+            pc += 1;
+            match op {
+                Op::Const(v) => stack.push(Value::Int(v)),
+                Op::Bool(b) => stack.push(Value::Bool(b)),
+                Op::None => stack.push(Value::None),
+                Op::LoadLocal(i) => stack.push(locals[i as usize].clone()),
+                Op::StoreLocal(i) => {
+                    let v = stack.pop().expect("compiler keeps stack balanced");
+                    locals[i as usize] = v;
+                }
+                Op::LoadGlobal(i) => match self.globals.get(&i) {
+                    Some(v) => stack.push(v.clone()),
+                    None => {
+                        let name = self.program.names[i as usize].clone();
+                        return Err(UpyError::Name(name));
+                    }
+                },
+                Op::StoreGlobal(i) => {
+                    let v = stack.pop().expect("stack");
+                    self.globals.insert(i, v);
+                }
+                Op::Bin(kind) => {
+                    let rhs = stack.pop().expect("stack");
+                    let lhs = stack.pop().expect("stack");
+                    stack.push(bin_op(kind, &lhs, &rhs)?);
+                }
+                Op::Neg => {
+                    let v = stack.pop().expect("stack").as_int()?;
+                    stack.push(Value::Int(v.wrapping_neg()));
+                }
+                Op::Inv => {
+                    let v = stack.pop().expect("stack").as_int()?;
+                    stack.push(Value::Int(!v));
+                }
+                Op::Not => {
+                    let v = stack.pop().expect("stack");
+                    stack.push(Value::Bool(!v.truthy()));
+                }
+                Op::Jump(t) => pc = t as usize,
+                Op::PopJumpIfFalse(t) => {
+                    let v = stack.pop().expect("stack");
+                    if !v.truthy() {
+                        pc = t as usize;
+                    }
+                }
+                Op::JumpIfFalseOrPop(t) => {
+                    let v = stack.last().expect("stack");
+                    if !v.truthy() {
+                        pc = t as usize;
+                    } else {
+                        stack.pop();
+                    }
+                }
+                Op::JumpIfTrueOrPop(t) => {
+                    let v = stack.last().expect("stack");
+                    if v.truthy() {
+                        pc = t as usize;
+                    } else {
+                        stack.pop();
+                    }
+                }
+                Op::Call { name, argc } => {
+                    let argc = argc as usize;
+                    let args: Vec<Value> = stack.split_off(stack.len() - argc);
+                    if let Some(code) = self.program.functions.get(&name).copied() {
+                        let v = self.run_code(code, args)?;
+                        stack.push(v);
+                    } else {
+                        let builtin = self.program.names[name as usize].clone();
+                        stack.push(self.call_builtin(&builtin, args)?);
+                    }
+                }
+                Op::Subscr => {
+                    let idx = stack.pop().expect("stack").as_int()?;
+                    let obj = stack.pop().expect("stack");
+                    stack.push(subscript(&obj, idx)?);
+                }
+                Op::StoreSubscr => {
+                    let value = stack.pop().expect("stack");
+                    let idx = stack.pop().expect("stack").as_int()?;
+                    let obj = stack.pop().expect("stack");
+                    match obj {
+                        Value::List(l) => {
+                            let mut l = l.borrow_mut();
+                            let i = normalize_index(idx, l.len())?;
+                            l[i] = value;
+                        }
+                        other => {
+                            return Err(UpyError::Type(format!("{other:?} not assignable")));
+                        }
+                    }
+                }
+                Op::BuildList(n) => {
+                    let n = n as usize;
+                    self.alloc(16 + 8 * n)?;
+                    let items: Vec<Value> = stack.split_off(stack.len() - n);
+                    stack.push(Value::List(Rc::new(RefCell::new(items))));
+                }
+                Op::Return => {
+                    return Ok(stack.pop().unwrap_or(Value::None));
+                }
+                Op::Pop => {
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    fn call_builtin(&mut self, name: &str, args: Vec<Value>) -> Result<Value, UpyError> {
+        match name {
+            "len" => {
+                if args.len() != 1 {
+                    return Err(UpyError::Arity { expected: 1, got: args.len() });
+                }
+                match &args[0] {
+                    Value::Bytes(b) => Ok(Value::Int(b.len() as i64)),
+                    Value::List(l) => Ok(Value::Int(l.borrow().len() as i64)),
+                    other => Err(UpyError::Type(format!("len() of {other:?}"))),
+                }
+            }
+            "print" => {
+                let line = args
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(i) => i.to_string(),
+                        Value::Bool(b) => if *b { "True".into() } else { "False".into() },
+                        Value::None => "None".into(),
+                        Value::Bytes(b) => format!("{b:?}"),
+                        Value::List(_) => "[...]".into(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                self.alloc(line.len())?;
+                self.printed.push(line);
+                Ok(Value::None)
+            }
+            other => Err(UpyError::Name(other.to_owned())),
+        }
+    }
+}
+
+fn normalize_index(idx: i64, len: usize) -> Result<usize, UpyError> {
+    let i = if idx < 0 { idx + len as i64 } else { idx };
+    if i < 0 || i >= len as i64 {
+        return Err(UpyError::Index(idx));
+    }
+    Ok(i as usize)
+}
+
+fn subscript(obj: &Value, idx: i64) -> Result<Value, UpyError> {
+    match obj {
+        Value::Bytes(b) => {
+            let i = normalize_index(idx, b.len())?;
+            Ok(Value::Int(b[i] as i64))
+        }
+        Value::List(l) => {
+            let l = l.borrow();
+            let i = normalize_index(idx, l.len())?;
+            Ok(l[i].clone())
+        }
+        other => Err(UpyError::Type(format!("{other:?} not subscriptable"))),
+    }
+}
+
+fn bin_op(kind: BinKind, lhs: &Value, rhs: &Value) -> Result<Value, UpyError> {
+    let a = lhs.as_int()?;
+    let b = rhs.as_int()?;
+    Ok(match kind {
+        BinKind::Add => Value::Int(a.wrapping_add(b)),
+        BinKind::Sub => Value::Int(a.wrapping_sub(b)),
+        BinKind::Mul => Value::Int(a.wrapping_mul(b)),
+        BinKind::FloorDiv => {
+            if b == 0 {
+                return Err(UpyError::ZeroDivision);
+            }
+            Value::Int(a.div_euclid(b))
+        }
+        BinKind::Mod => {
+            if b == 0 {
+                return Err(UpyError::ZeroDivision);
+            }
+            Value::Int(a.rem_euclid(b))
+        }
+        BinKind::Shl => Value::Int(a.wrapping_shl(b as u32)),
+        BinKind::Shr => Value::Int(a.wrapping_shr(b as u32)),
+        BinKind::BitAnd => Value::Int(a & b),
+        BinKind::BitOr => Value::Int(a | b),
+        BinKind::BitXor => Value::Int(a ^ b),
+        BinKind::Eq => Value::Bool(a == b),
+        BinKind::Ne => Value::Bool(a != b),
+        BinKind::Lt => Value::Bool(a < b),
+        BinKind::Le => Value::Bool(a <= b),
+        BinKind::Gt => Value::Bool(a > b),
+        BinKind::Ge => Value::Bool(a >= b),
+    })
+}
+
+/// The Python source of the fletcher32 benchmark applet.
+pub const FLETCHER_PY: &str = "\
+# fletcher32 checksum over a byte string (upy-sim applet)
+def fletcher32(data):
+    sum1 = 65535
+    sum2 = 65535
+    i = 0
+    n = len(data)
+    while i < n:
+        w = data[i]
+        if i + 1 < n:
+            w = w + data[i + 1] * 256
+        sum1 = sum1 + w
+        sum1 = (sum1 & 65535) + (sum1 >> 16)
+        sum2 = sum2 + sum1
+        sum2 = (sum2 & 65535) + (sum2 >> 16)
+        i = i + 2
+    sum1 = (sum1 & 65535) + (sum1 >> 16)
+    sum2 = (sum2 & 65535) + (sum2 >> 16)
+    return (sum2 << 16) | sum1
+
+result = fletcher32(data)
+";
+
+/// The MicroPython stand-in runtime.
+#[derive(Debug, Default)]
+pub struct UpyRuntime {
+    vm: Option<Vm>,
+}
+
+impl UpyRuntime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        UpyRuntime::default()
+    }
+}
+
+impl FunctionRuntime for UpyRuntime {
+    fn name(&self) -> &'static str {
+        "MicroPython"
+    }
+
+    fn footprint(&self) -> Footprint {
+        // Heap arena + interpreter state (stacks, globals table).
+        Footprint { rom_bytes: UPY_ROM_BYTES, ram_bytes: HEAP_BYTES + 200 }
+    }
+
+    fn fletcher_applet(&self) -> Vec<u8> {
+        FLETCHER_PY.as_bytes().to_vec()
+    }
+
+    fn load(&mut self, applet: &[u8]) -> Result<LoadCost, RuntimeError> {
+        let source = std::str::from_utf8(applet)
+            .map_err(|_| RuntimeError::new("upy-sim", "source not utf-8"))?;
+        let toks = tokenize(source).map_err(|e| RuntimeError::new("upy-sim", e.to_string()))?;
+        let stmts = parse(&toks).map_err(|e| RuntimeError::new("upy-sim", e.to_string()))?;
+        let program = compile(&stmts).map_err(|e| RuntimeError::new("upy-sim", e.to_string()))?;
+        let cycles = applet.len() as u64 * LOAD_CYCLES_PER_BYTE
+            + program.op_count() as u64 * LOAD_CYCLES_PER_OP;
+        self.vm = Some(Vm::new(program));
+        Ok(LoadCost { cycles })
+    }
+
+    fn run(&mut self, input: &[u8]) -> Result<RunOutcome, RuntimeError> {
+        let vm = self.vm.as_mut().ok_or_else(|| RuntimeError::new("upy-sim", "no program"))?;
+        vm.set_global("data", Value::Bytes(Rc::new(input.to_vec())));
+        let before = vm.steps();
+        vm.run_module().map_err(|e| RuntimeError::new("upy-sim", e.to_string()))?;
+        let steps = vm.steps() - before;
+        let result = match vm.global("result") {
+            Some(Value::Int(i)) => *i,
+            _ => 0,
+        };
+        let cycles =
+            RUN_OVERHEAD_CYCLES + steps * RUN_CYCLES_PER_OP + vm.gc_runs() * GC_CYCLES;
+        Ok(RunOutcome { result, steps, cycles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{benchmark_input, fletcher32};
+
+    fn run_and_get(src: &str, global: &str) -> Value {
+        let toks = tokenize(src).unwrap();
+        let stmts = parse(&toks).unwrap();
+        let mut vm = Vm::new(compile(&stmts).unwrap());
+        vm.run_module().unwrap();
+        vm.global(global).cloned().unwrap()
+    }
+
+    fn int_of(v: Value) -> i64 {
+        match v {
+            Value::Int(i) => i,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(int_of(run_and_get("x = 2 + 3 * 4", "x")), 14);
+        assert_eq!(int_of(run_and_get("x = (2 + 3) * 4", "x")), 20);
+        assert_eq!(int_of(run_and_get("x = 17 // 5", "x")), 3);
+        assert_eq!(int_of(run_and_get("x = 17 % 5", "x")), 2);
+        assert_eq!(int_of(run_and_get("x = 1 << 10", "x")), 1024);
+        assert_eq!(int_of(run_and_get("x = -7", "x")), -7);
+        assert_eq!(int_of(run_and_get("x = ~0", "x")), -1);
+    }
+
+    #[test]
+    fn while_loop_accumulates() {
+        let src = "\
+total = 0
+i = 1
+while i <= 10:
+    total = total + i
+    i = i + 1";
+        assert_eq!(int_of(run_and_get(src, "total")), 55);
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let src = "\
+total = 0
+i = 0
+while i < 100:
+    i = i + 1
+    if i % 2 == 0:
+        continue
+    if i > 9:
+        break
+    total = total + i";
+        assert_eq!(int_of(run_and_get(src, "total")), 1 + 3 + 5 + 7 + 9);
+    }
+
+    #[test]
+    fn functions_with_recursion() {
+        let src = "\
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+x = fib(10)";
+        assert_eq!(int_of(run_and_get(src, "x")), 55);
+    }
+
+    #[test]
+    fn locals_do_not_leak_to_globals() {
+        let src = "\
+def f():
+    t = 99
+    return t
+
+x = f()";
+        let toks = tokenize(src).unwrap();
+        let mut vm = Vm::new(compile(&parse(&toks).unwrap()).unwrap());
+        vm.run_module().unwrap();
+        assert!(vm.global("t").is_none());
+        assert_eq!(int_of(vm.global("x").cloned().unwrap()), 99);
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        // Calling an undefined function would raise; `and` must skip it.
+        let src = "x = 0 and undefined_fn()";
+        assert_eq!(int_of(run_and_get(src, "x")), 0);
+        let src = "x = 1 or undefined_fn()";
+        assert_eq!(int_of(run_and_get(src, "x")), 1);
+    }
+
+    #[test]
+    fn lists_and_subscripts() {
+        let src = "\
+xs = [10, 20, 30]
+xs[1] = 21
+y = xs[1] + xs[-1]
+n = len(xs)";
+        assert_eq!(int_of(run_and_get(src, "y")), 51);
+        assert_eq!(int_of(run_and_get(src, "n")), 3);
+    }
+
+    #[test]
+    fn index_out_of_range_raises() {
+        let toks = tokenize("xs = [1]\ny = xs[5]").unwrap();
+        let mut vm = Vm::new(compile(&parse(&toks).unwrap()).unwrap());
+        assert_eq!(vm.run_module(), Err(UpyError::Index(5)));
+    }
+
+    #[test]
+    fn zero_division_raises() {
+        let toks = tokenize("x = 1 // 0").unwrap();
+        let mut vm = Vm::new(compile(&parse(&toks).unwrap()).unwrap());
+        assert_eq!(vm.run_module(), Err(UpyError::ZeroDivision));
+    }
+
+    #[test]
+    fn undefined_name_raises() {
+        let toks = tokenize("x = nope").unwrap();
+        let mut vm = Vm::new(compile(&parse(&toks).unwrap()).unwrap());
+        assert_eq!(vm.run_module(), Err(UpyError::Name("nope".into())));
+    }
+
+    #[test]
+    fn infinite_loop_bounded() {
+        let toks = tokenize("while True:\n    pass").unwrap();
+        let mut vm = Vm::new(compile(&parse(&toks).unwrap()).unwrap());
+        assert_eq!(vm.run_module(), Err(UpyError::StepLimit));
+    }
+
+    #[test]
+    fn heap_pressure_triggers_gc() {
+        let src = "\
+i = 0
+while i < 2000:
+    xs = [1, 2, 3, 4, 5, 6, 7, 8]
+    i = i + 1";
+        let toks = tokenize(src).unwrap();
+        let mut vm = Vm::new(compile(&parse(&toks).unwrap()).unwrap());
+        vm.run_module().unwrap();
+        assert!(vm.gc_runs() > 0);
+    }
+
+    #[test]
+    fn print_captured() {
+        let toks = tokenize("print(1, True, None)").unwrap();
+        let mut vm = Vm::new(compile(&parse(&toks).unwrap()).unwrap());
+        vm.run_module().unwrap();
+        assert_eq!(vm.printed(), ["1 True None"]);
+    }
+
+    #[test]
+    fn fletcher_applet_matches_reference() {
+        let mut rt = UpyRuntime::new();
+        rt.load(&rt.fletcher_applet()).unwrap();
+        let input = benchmark_input();
+        let out = rt.run(&input).unwrap();
+        assert_eq!(out.result as u32 as i64, out.result & 0xffff_ffff);
+        assert_eq!(out.result as u32, fletcher32(&input));
+    }
+
+    #[test]
+    fn fletcher_timing_matches_paper_scale() {
+        let mut rt = UpyRuntime::new();
+        let load = rt.load(&rt.fletcher_applet()).unwrap();
+        let out = rt.run(&benchmark_input()).unwrap();
+        let load_us = load.cycles as f64 / 64.0;
+        let run_us = out.cycles as f64 / 64.0;
+        // Paper Table 2: cold start 21 907 µs, run 16 325 µs.
+        assert!((10_000.0..40_000.0).contains(&load_us), "load {load_us} µs");
+        assert!((8_000.0..33_000.0).contains(&run_us), "run {run_us} µs");
+    }
+}

@@ -1,0 +1,395 @@
+//! A WebAssembly binary-module builder: how this repository authors its
+//! `.wasm` applets (the paper compiles C with LLVM's wasm backend; we
+//! emit the binary directly, which doubles as test tooling for the
+//! decoder).
+
+use super::opcode as op;
+
+fn uleb(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let mut b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v != 0 {
+            b |= 0x80;
+        }
+        out.push(b);
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+fn sleb(out: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        let sign = b & 0x40 != 0;
+        if (v == 0 && !sign) || (v == -1 && sign) {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Builds one function body.
+#[derive(Debug, Default)]
+pub struct FuncBuilder {
+    bytes: Vec<u8>,
+}
+
+impl FuncBuilder {
+    /// Emits `i32.const`.
+    pub fn i32_const(&mut self, v: i32) -> &mut Self {
+        self.bytes.push(op::I32_CONST);
+        sleb(&mut self.bytes, v as i64);
+        self
+    }
+
+    /// Emits `local.get`.
+    pub fn local_get(&mut self, idx: u32) -> &mut Self {
+        self.bytes.push(op::LOCAL_GET);
+        uleb(&mut self.bytes, idx as u64);
+        self
+    }
+
+    /// Emits `local.set`.
+    pub fn local_set(&mut self, idx: u32) -> &mut Self {
+        self.bytes.push(op::LOCAL_SET);
+        uleb(&mut self.bytes, idx as u64);
+        self
+    }
+
+    /// Emits `local.tee`.
+    pub fn local_tee(&mut self, idx: u32) -> &mut Self {
+        self.bytes.push(op::LOCAL_TEE);
+        uleb(&mut self.bytes, idx as u64);
+        self
+    }
+
+    /// Emits `block` (arity 0 or 1).
+    pub fn block(&mut self, arity: u8) -> &mut Self {
+        self.bytes.push(op::BLOCK);
+        self.bytes.push(if arity == 0 { op::BT_EMPTY } else { op::VT_I32 });
+        self
+    }
+
+    /// Emits `loop`.
+    pub fn loop_(&mut self) -> &mut Self {
+        self.bytes.push(op::LOOP);
+        self.bytes.push(op::BT_EMPTY);
+        self
+    }
+
+    /// Emits `if` (arity 0 or 1).
+    pub fn if_(&mut self, arity: u8) -> &mut Self {
+        self.bytes.push(op::IF);
+        self.bytes.push(if arity == 0 { op::BT_EMPTY } else { op::VT_I32 });
+        self
+    }
+
+    /// Emits `else`.
+    pub fn else_(&mut self) -> &mut Self {
+        self.bytes.push(op::ELSE);
+        self
+    }
+
+    /// Emits `end`.
+    pub fn end(&mut self) -> &mut Self {
+        self.bytes.push(op::END);
+        self
+    }
+
+    /// Emits `unreachable`.
+    pub fn unreachable(&mut self) -> &mut Self {
+        self.bytes.push(op::UNREACHABLE);
+        self
+    }
+
+    /// Emits `br`.
+    pub fn br(&mut self, depth: u32) -> &mut Self {
+        self.bytes.push(op::BR);
+        uleb(&mut self.bytes, depth as u64);
+        self
+    }
+
+    /// Emits `br_if`.
+    pub fn br_if(&mut self, depth: u32) -> &mut Self {
+        self.bytes.push(op::BR_IF);
+        uleb(&mut self.bytes, depth as u64);
+        self
+    }
+
+    /// Emits `return`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.bytes.push(op::RETURN);
+        self
+    }
+
+    /// Emits `call`.
+    pub fn call(&mut self, func: u32) -> &mut Self {
+        self.bytes.push(op::CALL);
+        uleb(&mut self.bytes, func as u64);
+        self
+    }
+
+    /// Emits `drop`.
+    pub fn drop_(&mut self) -> &mut Self {
+        self.bytes.push(op::DROP);
+        self
+    }
+
+    /// Emits `select`.
+    pub fn select(&mut self) -> &mut Self {
+        self.bytes.push(op::SELECT);
+        self
+    }
+
+    /// Emits an `i32` load of the given width (1, 2 or 4 bytes).
+    pub fn load(&mut self, width: u8, offset: u32) -> &mut Self {
+        self.bytes.push(match width {
+            1 => op::I32_LOAD8_U,
+            2 => op::I32_LOAD16_U,
+            _ => op::I32_LOAD,
+        });
+        uleb(&mut self.bytes, 0); // alignment hint
+        uleb(&mut self.bytes, offset as u64);
+        self
+    }
+
+    /// Emits an `i32` store of the given width.
+    pub fn store(&mut self, width: u8, offset: u32) -> &mut Self {
+        self.bytes.push(match width {
+            1 => op::I32_STORE8,
+            2 => op::I32_STORE16,
+            _ => op::I32_STORE,
+        });
+        uleb(&mut self.bytes, 0);
+        uleb(&mut self.bytes, offset as u64);
+        self
+    }
+
+    /// Emits `memory.size`.
+    pub fn memory_size(&mut self) -> &mut Self {
+        self.bytes.push(op::MEMORY_SIZE);
+        self.bytes.push(0);
+        self
+    }
+
+    /// Emits a binary arithmetic opcode (e.g. [`op::I32_ADD`]).
+    pub fn bin(&mut self, opcode: u8) -> &mut Self {
+        self.bytes.push(opcode);
+        self
+    }
+
+    /// Emits a comparison opcode (e.g. [`op::I32_LT_U`]).
+    pub fn cmp(&mut self, opcode: u8) -> &mut Self {
+        self.bytes.push(opcode);
+        self
+    }
+
+    /// Emits `i32.eqz`.
+    pub fn eqz(&mut self) -> &mut Self {
+        self.bytes.push(op::I32_EQZ);
+        self
+    }
+}
+
+struct FuncDecl {
+    name: Option<String>,
+    n_params: u32,
+    n_locals: u32,
+    returns: bool,
+    body: Vec<u8>,
+}
+
+/// Builds a complete binary module.
+///
+/// # Examples
+///
+/// ```
+/// use fc_baselines::wasm::ModuleBuilder;
+/// let bytes = ModuleBuilder::new()
+///     .memory(1)
+///     .function("f", 0, 0, true, |f| {
+///         f.i32_const(7);
+///         f.end();
+///     })
+///     .build();
+/// assert_eq!(&bytes[..4], b"\0asm");
+/// ```
+#[derive(Default)]
+pub struct ModuleBuilder {
+    functions: Vec<FuncDecl>,
+    memory_pages: Option<u32>,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty module builder.
+    pub fn new() -> Self {
+        ModuleBuilder::default()
+    }
+
+    /// Declares a linear memory with `pages` initial 64 KiB pages.
+    pub fn memory(mut self, pages: u32) -> Self {
+        self.memory_pages = Some(pages);
+        self
+    }
+
+    /// Adds an exported function (pass an empty name to keep it
+    /// internal).
+    pub fn function<F>(
+        mut self,
+        name: &str,
+        n_params: u32,
+        n_locals: u32,
+        returns: bool,
+        build: F,
+    ) -> Self
+    where
+        F: FnOnce(&mut FuncBuilder),
+    {
+        let mut fb = FuncBuilder::default();
+        build(&mut fb);
+        self.functions.push(FuncDecl {
+            name: if name.is_empty() { None } else { Some(name.to_owned()) },
+            n_params,
+            n_locals,
+            returns,
+            body: fb.bytes,
+        });
+        self
+    }
+
+    /// Serialises the module.
+    pub fn build(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"\0asm");
+        out.extend_from_slice(&[1, 0, 0, 0]);
+
+        let section = |out: &mut Vec<u8>, id: u8, content: Vec<u8>| {
+            out.push(id);
+            uleb(out, content.len() as u64);
+            out.extend_from_slice(&content);
+        };
+
+        // Type section: one type per function (no dedup; fine for applets).
+        let mut types = Vec::new();
+        uleb(&mut types, self.functions.len() as u64);
+        for f in &self.functions {
+            types.push(op::FUNC_TYPE);
+            uleb(&mut types, f.n_params as u64);
+            for _ in 0..f.n_params {
+                types.push(op::VT_I32);
+            }
+            uleb(&mut types, f.returns as u64);
+            if f.returns {
+                types.push(op::VT_I32);
+            }
+        }
+        section(&mut out, 1, types);
+
+        let mut funcs = Vec::new();
+        uleb(&mut funcs, self.functions.len() as u64);
+        for (i, _) in self.functions.iter().enumerate() {
+            uleb(&mut funcs, i as u64);
+        }
+        section(&mut out, 3, funcs);
+
+        if let Some(pages) = self.memory_pages {
+            let mut mem = Vec::new();
+            uleb(&mut mem, 1);
+            mem.push(0); // min only
+            uleb(&mut mem, pages as u64);
+            section(&mut out, 5, mem);
+        }
+
+        let exported: Vec<_> = self
+            .functions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.name.as_ref().map(|n| (i, n.clone())))
+            .collect();
+        if !exported.is_empty() {
+            let mut exp = Vec::new();
+            uleb(&mut exp, exported.len() as u64);
+            for (i, name) in exported {
+                uleb(&mut exp, name.len() as u64);
+                exp.extend_from_slice(name.as_bytes());
+                exp.push(0); // func export
+                uleb(&mut exp, i as u64);
+            }
+            section(&mut out, 7, exp);
+        }
+
+        let mut code = Vec::new();
+        uleb(&mut code, self.functions.len() as u64);
+        for f in &self.functions {
+            let mut body = Vec::new();
+            if f.n_locals > 0 {
+                uleb(&mut body, 1);
+                uleb(&mut body, f.n_locals as u64);
+                body.push(op::VT_I32);
+            } else {
+                uleb(&mut body, 0);
+            }
+            body.extend_from_slice(&f.body);
+            uleb(&mut code, body.len() as u64);
+            code.extend_from_slice(&body);
+        }
+        section(&mut out, 10, code);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leb_encodings() {
+        let mut v = Vec::new();
+        uleb(&mut v, 624485);
+        assert_eq!(v, vec![0xe5, 0x8e, 0x26]);
+        let mut v = Vec::new();
+        sleb(&mut v, -123456);
+        assert_eq!(v, vec![0xc0, 0xbb, 0x78]);
+        let mut v = Vec::new();
+        sleb(&mut v, 64);
+        assert_eq!(v, vec![0xc0, 0x00]);
+    }
+
+    #[test]
+    fn module_has_magic_and_sections() {
+        let bytes = ModuleBuilder::new()
+            .memory(1)
+            .function("main", 0, 0, false, |f| {
+                f.end();
+            })
+            .build();
+        assert_eq!(&bytes[..8], b"\0asm\x01\0\0\0");
+        // Sections 1, 3, 5, 7, 10 appear in order.
+        let ids: Vec<u8> = {
+            let mut ids = Vec::new();
+            let mut i = 8;
+            while i < bytes.len() {
+                ids.push(bytes[i]);
+                let mut size = 0u64;
+                let mut shift = 0;
+                i += 1;
+                loop {
+                    let b = bytes[i];
+                    i += 1;
+                    size |= ((b & 0x7f) as u64) << shift;
+                    shift += 7;
+                    if b & 0x80 == 0 {
+                        break;
+                    }
+                }
+                i += size as usize;
+            }
+            ids
+        };
+        assert_eq!(ids, vec![1, 3, 5, 7, 10]);
+    }
+}

@@ -1,0 +1,22 @@
+//! wasm-sim: a WebAssembly MVP-subset engine standing in for WASM3
+//! (paper §6).
+//!
+//! Implements the parts of the binary format and instruction set that
+//! 32-bit integer workloads need: i32 arithmetic/comparison, structured
+//! control flow (`block`/`loop`/`if`/`br`/`br_if`), locals, direct
+//! calls, and linear memory with the spec-mandated 64 KiB page — the
+//! architectural property behind WASM3's RAM footprint in Table 1 ("the
+//! minimum required page size of 64 KiB ... explains why WASM3 performs
+//! poorly in terms of RAM").
+
+pub mod builder;
+pub mod interp;
+pub mod module;
+pub mod opcode;
+
+pub use builder::ModuleBuilder;
+pub use interp::WasmRuntime;
+pub use module::{Module, WasmDecodeError};
+
+/// The WebAssembly page size mandated by the specification.
+pub const PAGE_SIZE: usize = 65_536;

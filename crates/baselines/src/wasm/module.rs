@@ -1,0 +1,568 @@
+//! WebAssembly binary-module decoding (MVP subset) and body
+//! pre-processing.
+//!
+//! Loading performs the work WASM3 counts as cold start: LEB decoding of
+//! every section, opcode-by-opcode body decode, and matching of
+//! structured control flow (each `block`/`loop`/`if` is resolved to its
+//! `else`/`end` instruction index so branches become O(1) at run time).
+
+use super::opcode as op;
+
+/// The decoded, pre-processed instruction stream of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Trap immediately.
+    Unreachable,
+    /// No-op.
+    Nop,
+    /// Structured block; `end` is the matching `End` index.
+    Block {
+        /// Index of the matching `End`.
+        end: usize,
+        /// Values the block yields (0 or 1).
+        arity: u8,
+    },
+    /// Loop header (branches come back here).
+    Loop,
+    /// Conditional; `else_` / `end` are instruction indices.
+    If {
+        /// Index just past the matching `Else` (or `End` if none).
+        else_: usize,
+        /// Index of the matching `End`.
+        end: usize,
+        /// Values the construct yields.
+        arity: u8,
+    },
+    /// Marker for the `else` arm (jump target bookkeeping).
+    Else {
+        /// Index of the matching `End`.
+        end: usize,
+    },
+    /// Close of a structured construct.
+    End,
+    /// Unconditional branch to relative depth.
+    Br(u32),
+    /// Conditional branch.
+    BrIf(u32),
+    /// Return from the function.
+    Return,
+    /// Direct call.
+    Call(u32),
+    /// Drop the top value.
+    Drop,
+    /// Ternary select.
+    Select,
+    /// Read a local.
+    LocalGet(u32),
+    /// Write a local.
+    LocalSet(u32),
+    /// Write a local, keeping the value on the stack.
+    LocalTee(u32),
+    /// Memory load: width in bytes (1, 2, 4), static offset.
+    Load {
+        /// Access width in bytes.
+        width: u8,
+        /// Static offset added to the address operand.
+        offset: u32,
+    },
+    /// Memory store.
+    Store {
+        /// Access width in bytes.
+        width: u8,
+        /// Static offset added to the address operand.
+        offset: u32,
+    },
+    /// Current memory size in pages.
+    MemorySize,
+    /// Push a constant.
+    I32Const(i32),
+    /// Unary test.
+    I32Eqz,
+    /// Binary comparison (by opcode byte).
+    Cmp(u8),
+    /// Binary arithmetic (by opcode byte).
+    Bin(u8),
+}
+
+/// One decoded function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Number of parameters.
+    pub n_params: u32,
+    /// Number of declared (non-param) locals.
+    pub n_locals: u32,
+    /// Whether the function returns a value.
+    pub returns: bool,
+    /// The pre-processed body.
+    pub body: Vec<Instr>,
+}
+
+/// A decoded module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Functions in index order.
+    pub functions: Vec<Function>,
+    /// Initial memory pages.
+    pub memory_pages: u32,
+    /// Exported functions: name → function index.
+    pub exports: Vec<(String, u32)>,
+    /// Bytes processed during decode (cold-start accounting).
+    pub bytes_decoded: usize,
+    /// Instructions decoded (cold-start accounting).
+    pub instrs_decoded: usize,
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WasmDecodeError {
+    /// Missing/incorrect magic or version.
+    BadHeader,
+    /// Ran out of bytes.
+    Truncated,
+    /// Malformed LEB128.
+    BadLeb,
+    /// A section/opcode outside the supported subset.
+    Unsupported {
+        /// What was encountered.
+        what: String,
+    },
+    /// Structurally invalid (unbalanced blocks, bad indices).
+    Invalid {
+        /// Explanation.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for WasmDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WasmDecodeError::BadHeader => write!(f, "bad wasm header"),
+            WasmDecodeError::Truncated => write!(f, "truncated module"),
+            WasmDecodeError::BadLeb => write!(f, "malformed leb128"),
+            WasmDecodeError::Unsupported { what } => write!(f, "unsupported: {what}"),
+            WasmDecodeError::Invalid { what } => write!(f, "invalid module: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WasmDecodeError {}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, WasmDecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(WasmDecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WasmDecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(WasmDecodeError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn uleb(&mut self) -> Result<u64, WasmDecodeError> {
+        let mut result = 0u64;
+        let mut shift = 0;
+        loop {
+            let b = self.u8()?;
+            result |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WasmDecodeError::BadLeb);
+            }
+        }
+    }
+
+    fn sleb32(&mut self) -> Result<i32, WasmDecodeError> {
+        let mut result = 0i64;
+        let mut shift = 0;
+        loop {
+            let b = self.u8()?;
+            result |= ((b & 0x7f) as i64) << shift;
+            shift += 7;
+            if b & 0x80 == 0 {
+                if shift < 64 && b & 0x40 != 0 {
+                    result |= -1i64 << shift;
+                }
+                return Ok(result as i32);
+            }
+            if shift > 35 {
+                return Err(WasmDecodeError::BadLeb);
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+}
+
+/// Parses a binary module.
+///
+/// # Errors
+///
+/// Any [`WasmDecodeError`].
+pub fn decode(bytes: &[u8]) -> Result<Module, WasmDecodeError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != b"\0asm" || r.take(4)? != [1, 0, 0, 0] {
+        return Err(WasmDecodeError::BadHeader);
+    }
+
+    // (params, returns) per type index.
+    let mut types: Vec<(u32, bool)> = Vec::new();
+    let mut func_types: Vec<u32> = Vec::new();
+    let mut module = Module::default();
+    let mut bodies: Vec<(u32, Vec<Instr>, usize)> = Vec::new();
+
+    while !r.done() {
+        let id = r.u8()?;
+        let size = r.uleb()? as usize;
+        let content = r.take(size)?;
+        let mut s = Reader { bytes: content, pos: 0 };
+        match id {
+            1 => {
+                // Type section.
+                let n = s.uleb()?;
+                for _ in 0..n {
+                    if s.u8()? != op::FUNC_TYPE {
+                        return Err(WasmDecodeError::Unsupported { what: "non-func type".into() });
+                    }
+                    let np = s.uleb()? as u32;
+                    for _ in 0..np {
+                        let vt = s.u8()?;
+                        if vt != op::VT_I32 {
+                            return Err(WasmDecodeError::Unsupported {
+                                what: format!("param type 0x{vt:02x}"),
+                            });
+                        }
+                    }
+                    let nr = s.uleb()?;
+                    if nr > 1 {
+                        return Err(WasmDecodeError::Unsupported {
+                            what: "multi-value results".into(),
+                        });
+                    }
+                    for _ in 0..nr {
+                        s.u8()?;
+                    }
+                    types.push((np, nr == 1));
+                }
+            }
+            3 => {
+                let n = s.uleb()?;
+                for _ in 0..n {
+                    func_types.push(s.uleb()? as u32);
+                }
+            }
+            5 => {
+                let n = s.uleb()?;
+                if n > 1 {
+                    return Err(WasmDecodeError::Unsupported { what: "multiple memories".into() });
+                }
+                if n == 1 {
+                    let flags = s.u8()?;
+                    let min = s.uleb()? as u32;
+                    if flags & 1 != 0 {
+                        s.uleb()?; // max, ignored
+                    }
+                    module.memory_pages = min;
+                }
+            }
+            7 => {
+                let n = s.uleb()?;
+                for _ in 0..n {
+                    let name_len = s.uleb()? as usize;
+                    let name = String::from_utf8_lossy(s.take(name_len)?).into_owned();
+                    let kind = s.u8()?;
+                    let idx = s.uleb()? as u32;
+                    if kind == 0 {
+                        module.exports.push((name, idx));
+                    }
+                }
+            }
+            10 => {
+                let n = s.uleb()?;
+                for _ in 0..n {
+                    let body_size = s.uleb()? as usize;
+                    let body_bytes = s.take(body_size)?;
+                    let mut b = Reader { bytes: body_bytes, pos: 0 };
+                    let mut n_locals = 0u32;
+                    let decl_count = b.uleb()?;
+                    for _ in 0..decl_count {
+                        let count = b.uleb()? as u32;
+                        let vt = b.u8()?;
+                        if vt != op::VT_I32 {
+                            return Err(WasmDecodeError::Unsupported {
+                                what: format!("local type 0x{vt:02x}"),
+                            });
+                        }
+                        n_locals += count;
+                    }
+                    let (instrs, count) = decode_body(&mut b)?;
+                    bodies.push((n_locals, instrs, count));
+                }
+            }
+            0 => { /* custom section: skipped */ }
+            other => {
+                return Err(WasmDecodeError::Unsupported {
+                    what: format!("section id {other}"),
+                });
+            }
+        }
+    }
+
+    if func_types.len() != bodies.len() {
+        return Err(WasmDecodeError::Invalid {
+            what: format!("{} signatures vs {} bodies", func_types.len(), bodies.len()),
+        });
+    }
+    let mut instr_total = 0;
+    for (ty_idx, (n_locals, body, count)) in func_types.iter().zip(bodies) {
+        let (n_params, returns) = *types
+            .get(*ty_idx as usize)
+            .ok_or(WasmDecodeError::Invalid { what: "type index".into() })?;
+        instr_total += count;
+        module.functions.push(Function { n_params, n_locals, returns, body });
+    }
+    module.bytes_decoded = bytes.len();
+    module.instrs_decoded = instr_total;
+    Ok(module)
+}
+
+/// Decodes one body and resolves structured control flow.
+fn decode_body(r: &mut Reader<'_>) -> Result<(Vec<Instr>, usize), WasmDecodeError> {
+    let mut out: Vec<Instr> = Vec::new();
+    // Stack of indices of open Block/If/Else entries awaiting their End.
+    let mut open: Vec<usize> = Vec::new();
+    loop {
+        let b = r.u8()?;
+        let instr = match b {
+            op::UNREACHABLE => Instr::Unreachable,
+            op::NOP => Instr::Nop,
+            op::BLOCK | op::LOOP | op::IF => {
+                let bt = r.u8()?;
+                let arity = match bt {
+                    op::BT_EMPTY => 0,
+                    op::VT_I32 => 1,
+                    other => {
+                        return Err(WasmDecodeError::Unsupported {
+                            what: format!("block type 0x{other:02x}"),
+                        });
+                    }
+                };
+                open.push(out.len());
+                match b {
+                    op::BLOCK => Instr::Block { end: 0, arity },
+                    op::LOOP => Instr::Loop,
+                    _ => Instr::If { else_: 0, end: 0, arity },
+                }
+            }
+            op::ELSE => {
+                let idx = *open.last().ok_or(WasmDecodeError::Invalid {
+                    what: "else without if".into(),
+                })?;
+                let here = out.len();
+                match &mut out[idx] {
+                    Instr::If { else_, .. } => *else_ = here + 1,
+                    _ => {
+                        return Err(WasmDecodeError::Invalid { what: "else without if".into() });
+                    }
+                }
+                Instr::Else { end: 0 }
+            }
+            op::END => {
+                let here = out.len();
+                match open.pop() {
+                    Some(idx) => {
+                        // Patch the opener (and any Else between).
+                        let mut else_pos = None;
+                        match &mut out[idx] {
+                            Instr::Block { end, .. } => *end = here,
+                            Instr::Loop => {}
+                            Instr::If { else_, end, .. } => {
+                                *end = here;
+                                if *else_ == 0 {
+                                    *else_ = here; // no else arm: false jumps to end
+                                } else {
+                                    else_pos = Some(*else_ - 1);
+                                }
+                            }
+                            _ => unreachable!("only openers are pushed"),
+                        }
+                        if let Some(ep) = else_pos {
+                            if let Instr::Else { end } = &mut out[ep] {
+                                *end = here;
+                            }
+                        }
+                        Instr::End
+                    }
+                    None => {
+                        // Function-closing end.
+                        out.push(Instr::End);
+                        let count = out.len();
+                        return Ok((out, count));
+                    }
+                }
+            }
+            op::BR => Instr::Br(r.uleb()? as u32),
+            op::BR_IF => Instr::BrIf(r.uleb()? as u32),
+            op::RETURN => Instr::Return,
+            op::CALL => Instr::Call(r.uleb()? as u32),
+            op::DROP => Instr::Drop,
+            op::SELECT => Instr::Select,
+            op::LOCAL_GET => Instr::LocalGet(r.uleb()? as u32),
+            op::LOCAL_SET => Instr::LocalSet(r.uleb()? as u32),
+            op::LOCAL_TEE => Instr::LocalTee(r.uleb()? as u32),
+            op::I32_LOAD | op::I32_LOAD8_U | op::I32_LOAD16_U => {
+                let _align = r.uleb()?;
+                let offset = r.uleb()? as u32;
+                let width = match b {
+                    op::I32_LOAD => 4,
+                    op::I32_LOAD16_U => 2,
+                    _ => 1,
+                };
+                Instr::Load { width, offset }
+            }
+            op::I32_STORE | op::I32_STORE8 | op::I32_STORE16 => {
+                let _align = r.uleb()?;
+                let offset = r.uleb()? as u32;
+                let width = match b {
+                    op::I32_STORE => 4,
+                    op::I32_STORE16 => 2,
+                    _ => 1,
+                };
+                Instr::Store { width, offset }
+            }
+            op::MEMORY_SIZE => {
+                r.u8()?; // reserved 0x00
+                Instr::MemorySize
+            }
+            op::I32_CONST => Instr::I32Const(r.sleb32()?),
+            op::I32_EQZ => Instr::I32Eqz,
+            c @ (op::I32_EQ..=op::I32_GE_U) => Instr::Cmp(c),
+            a @ (op::I32_ADD..=op::I32_SHR_U) => Instr::Bin(a),
+            other => {
+                return Err(WasmDecodeError::Unsupported {
+                    what: format!("opcode 0x{other:02x}"),
+                });
+            }
+        };
+        out.push(instr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wasm::builder::ModuleBuilder;
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(decode(b"\0asX\x01\0\0\0"), Err(WasmDecodeError::BadHeader));
+        assert_eq!(decode(b"\0as"), Err(WasmDecodeError::Truncated));
+    }
+
+    #[test]
+    fn minimal_module_round_trip() {
+        let bytes = ModuleBuilder::new()
+            .memory(1)
+            .function("answer", 0, 0, true, |f| {
+                f.i32_const(42);
+                f.end();
+            })
+            .build();
+        let m = decode(&bytes).unwrap();
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.memory_pages, 1);
+        assert_eq!(m.exports, vec![("answer".to_string(), 0)]);
+        assert!(m.functions[0].returns);
+    }
+
+    #[test]
+    fn control_flow_targets_resolved() {
+        let bytes = ModuleBuilder::new()
+            .function("f", 0, 1, true, |f| {
+                f.block(0); // 0
+                f.loop_(); // 1
+                f.i32_const(1); // 2
+                f.br_if(1); // 3
+                f.br(0); // 4
+                f.end(); // 5 (loop end)
+                f.end(); // 6 (block end)
+                f.i32_const(7);
+                f.end();
+            })
+            .build();
+        let m = decode(&bytes).unwrap();
+        match &m.functions[0].body[0] {
+            Instr::Block { end, .. } => assert_eq!(*end, 6),
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_targets_resolved() {
+        let bytes = ModuleBuilder::new()
+            .function("f", 1, 0, true, |f| {
+                f.local_get(0);
+                f.if_(1); // 1
+                f.i32_const(10); // 2
+                f.else_(); // 3
+                f.i32_const(20); // 4
+                f.end(); // 5
+                f.end();
+            })
+            .build();
+        let m = decode(&bytes).unwrap();
+        match &m.functions[0].body[1] {
+            Instr::If { else_, end, .. } => {
+                assert_eq!(*else_, 4);
+                assert_eq!(*end, 5);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_opcode_rejected() {
+        // f64.const (0x44) is outside the subset.
+        let mut bytes = ModuleBuilder::new()
+            .function("f", 0, 0, false, |f| {
+                f.end();
+            })
+            .build();
+        // Patch the body's final byte (the `end` opcode) — the code
+        // section is last in the module.
+        let pos = bytes.len() - 1;
+        assert_eq!(bytes[pos], 0x0b);
+        bytes[pos] = 0x44;
+        assert!(matches!(decode(&bytes), Err(WasmDecodeError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn decode_accounts_work() {
+        let bytes = ModuleBuilder::new()
+            .memory(1)
+            .function("f", 0, 2, true, |f| {
+                f.i32_const(1);
+                f.i32_const(2);
+                f.bin(op::I32_ADD);
+                f.end();
+            })
+            .build();
+        let m = decode(&bytes).unwrap();
+        assert_eq!(m.bytes_decoded, bytes.len());
+        assert_eq!(m.instrs_decoded, 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! WebAssembly opcode bytes (MVP subset).
+
+/// `unreachable`.
+pub const UNREACHABLE: u8 = 0x00;
+/// `nop`.
+pub const NOP: u8 = 0x01;
+/// `block bt`.
+pub const BLOCK: u8 = 0x02;
+/// `loop bt`.
+pub const LOOP: u8 = 0x03;
+/// `if bt`.
+pub const IF: u8 = 0x04;
+/// `else`.
+pub const ELSE: u8 = 0x05;
+/// `end`.
+pub const END: u8 = 0x0b;
+/// `br depth`.
+pub const BR: u8 = 0x0c;
+/// `br_if depth`.
+pub const BR_IF: u8 = 0x0d;
+/// `return`.
+pub const RETURN: u8 = 0x0f;
+/// `call funcidx`.
+pub const CALL: u8 = 0x10;
+/// `drop`.
+pub const DROP: u8 = 0x1a;
+/// `select`.
+pub const SELECT: u8 = 0x1b;
+/// `local.get idx`.
+pub const LOCAL_GET: u8 = 0x20;
+/// `local.set idx`.
+pub const LOCAL_SET: u8 = 0x21;
+/// `local.tee idx`.
+pub const LOCAL_TEE: u8 = 0x22;
+/// `i32.load align off`.
+pub const I32_LOAD: u8 = 0x28;
+/// `i32.load8_u align off`.
+pub const I32_LOAD8_U: u8 = 0x2d;
+/// `i32.load16_u align off`.
+pub const I32_LOAD16_U: u8 = 0x2f;
+/// `i32.store align off`.
+pub const I32_STORE: u8 = 0x36;
+/// `i32.store8 align off`.
+pub const I32_STORE8: u8 = 0x3a;
+/// `i32.store16 align off`.
+pub const I32_STORE16: u8 = 0x3b;
+/// `memory.size`.
+pub const MEMORY_SIZE: u8 = 0x3f;
+/// `i32.const n`.
+pub const I32_CONST: u8 = 0x41;
+/// `i32.eqz`.
+pub const I32_EQZ: u8 = 0x45;
+/// `i32.eq`.
+pub const I32_EQ: u8 = 0x46;
+/// `i32.ne`.
+pub const I32_NE: u8 = 0x47;
+/// `i32.lt_s`.
+pub const I32_LT_S: u8 = 0x48;
+/// `i32.lt_u`.
+pub const I32_LT_U: u8 = 0x49;
+/// `i32.gt_s`.
+pub const I32_GT_S: u8 = 0x4a;
+/// `i32.gt_u`.
+pub const I32_GT_U: u8 = 0x4b;
+/// `i32.le_s`.
+pub const I32_LE_S: u8 = 0x4c;
+/// `i32.le_u`.
+pub const I32_LE_U: u8 = 0x4d;
+/// `i32.ge_s`.
+pub const I32_GE_S: u8 = 0x4e;
+/// `i32.ge_u`.
+pub const I32_GE_U: u8 = 0x4f;
+/// `i32.add`.
+pub const I32_ADD: u8 = 0x6a;
+/// `i32.sub`.
+pub const I32_SUB: u8 = 0x6b;
+/// `i32.mul`.
+pub const I32_MUL: u8 = 0x6c;
+/// `i32.div_s`.
+pub const I32_DIV_S: u8 = 0x6d;
+/// `i32.div_u`.
+pub const I32_DIV_U: u8 = 0x6e;
+/// `i32.rem_s`.
+pub const I32_REM_S: u8 = 0x6f;
+/// `i32.rem_u`.
+pub const I32_REM_U: u8 = 0x70;
+/// `i32.and`.
+pub const I32_AND: u8 = 0x71;
+/// `i32.or`.
+pub const I32_OR: u8 = 0x72;
+/// `i32.xor`.
+pub const I32_XOR: u8 = 0x73;
+/// `i32.shl`.
+pub const I32_SHL: u8 = 0x74;
+/// `i32.shr_s`.
+pub const I32_SHR_S: u8 = 0x75;
+/// `i32.shr_u`.
+pub const I32_SHR_U: u8 = 0x76;
+
+/// The `i32` value type byte.
+pub const VT_I32: u8 = 0x7f;
+/// Empty block type.
+pub const BT_EMPTY: u8 = 0x40;
+/// Function type marker.
+pub const FUNC_TYPE: u8 = 0x60;

@@ -1,0 +1,100 @@
+//! Ablations for the design choices DESIGN.md §8 calls out:
+//!
+//! 1. allow-list scan depth — memory-check cost as the region count
+//!    grows (the price of software fault isolation);
+//! 2. defensive-interpreter structure — vanilla vs CertFC on identical
+//!    programs (the price of the verified artifact's shape);
+//! 3. finite-execution budget bookkeeping — tight vs huge budgets on a
+//!    loop-heavy program (cost of the `N_i`/`N_b` counters is in the
+//!    hot loop either way; this quantifies it end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_rbpf::certfc::CertInterpreter;
+use fc_rbpf::helpers::HelperRegistry;
+use fc_rbpf::interp::Interpreter;
+use fc_rbpf::mem::{MemoryMap, Perm};
+use fc_rbpf::vm::ExecConfig;
+use fc_rbpf::{asm, isa, verifier};
+use std::hint::black_box;
+
+fn load_heavy_program() -> verifier::VerifiedProgram {
+    // 64 loads from the stack inside a counted loop.
+    let mut src = String::from("mov r6, 32\nloop:\n");
+    for _ in 0..16 {
+        src.push_str("ldxdw r3, [r10-8]\n");
+    }
+    src.push_str("sub r6, 1\njne r6, 0, loop\nmov r0, r3\nexit");
+    let text = isa::encode_all(&asm::assemble(&src).expect("assembles"));
+    verifier::verify(&text, &Default::default()).expect("verifies")
+}
+
+fn bench_allowlist_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_allowlist_scan");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(30);
+    let prog = load_heavy_program();
+    for extra_regions in [0usize, 4, 8, 16] {
+        group.bench_function(format!("{extra_regions}_extra_regions"), |b| {
+            let mut mem = MemoryMap::new();
+            // Extra regions registered before the stack, so every stack
+            // access scans past them (worst case).
+            for i in 0..extra_regions {
+                mem.add_host_region(&format!("r{i}"), vec![0; 8], Perm::RO);
+            }
+            mem.add_stack(512);
+            let mut helpers = HelperRegistry::new();
+            let interp = Interpreter::new(&prog, ExecConfig::default());
+            b.iter(|| black_box(interp.run(&mut mem, &mut helpers, 0).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_defensive_structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_defensive_interpreter");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(30);
+    let prog = load_heavy_program();
+    group.bench_function("vanilla", |b| {
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        let interp = Interpreter::new(&prog, ExecConfig::default());
+        b.iter(|| black_box(interp.run(&mut mem, &mut helpers, 0).expect("runs")))
+    });
+    group.bench_function("certfc", |b| {
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        let interp = CertInterpreter::new(&prog, ExecConfig::default());
+        b.iter(|| black_box(interp.run(&mut mem, &mut helpers, 0).expect("runs")))
+    });
+    group.finish();
+}
+
+fn bench_budget_bookkeeping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_execution_budgets");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(30);
+    let prog = load_heavy_program();
+    for (name, cfg) in [
+        ("tight_budgets", ExecConfig::new(2048, 64)),
+        ("default_budgets", ExecConfig::default()),
+        ("huge_budgets", ExecConfig::new(u32::MAX, u32::MAX)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut mem = MemoryMap::new();
+            mem.add_stack(512);
+            let mut helpers = HelperRegistry::new();
+            let interp = Interpreter::new(&prog, cfg);
+            b.iter(|| black_box(interp.run(&mut mem, &mut helpers, 0).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allowlist_depth, bench_defensive_structure, bench_budget_bookkeeping);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Host wall-clock execution of the three paper applications through
+//! the hosting engine (Figure 9's measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_baselines::benchmark_input;
+use fc_core::apps;
+use fc_core::contract::ContractOffer;
+use fc_core::engine::{HostRegion, HostingEngine};
+use fc_core::helpers_impl::{coap_ctx_bytes, standard_helper_ids};
+use fc_core::hooks::{Hook, HookKind, HookPolicy};
+use fc_rtos::platform::{Engine, Platform};
+use fc_rtos::saul::{DeviceClass, Phydat};
+use std::hint::black_box;
+
+fn engine() -> HostingEngine {
+    let mut e = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+    e.register_hook(
+        Hook::new("timer", HookKind::Timer, HookPolicy::First),
+        ContractOffer::helpers(standard_helper_ids()),
+    );
+    e.env().saul.borrow_mut().register("temp0", DeviceClass::SenseTemp, || Phydat {
+        value: 2155,
+        scale: -2,
+    });
+    e
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_applications");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(30);
+
+    {
+        let mut e = engine();
+        let id = e
+            .install("fletcher", 1, &apps::fletcher32_app().to_bytes(), Default::default())
+            .expect("installs");
+        let ctx = apps::fletcher_ctx(&benchmark_input());
+        group.bench_function("fletcher32", |b| {
+            b.iter(|| black_box(e.execute(id, &ctx, &[]).expect("runs").result.clone()))
+        });
+    }
+    {
+        let mut e = engine();
+        let id = e
+            .install(
+                "pid_log",
+                1,
+                &apps::thread_counter().to_bytes(),
+                apps::thread_counter_request(),
+            )
+            .expect("installs");
+        let mut ctx = Vec::new();
+        ctx.extend_from_slice(&1u64.to_le_bytes());
+        ctx.extend_from_slice(&2u64.to_le_bytes());
+        group.bench_function("thread_log", |b| {
+            b.iter(|| black_box(e.execute(id, &ctx, &[]).expect("runs").result.clone()))
+        });
+    }
+    {
+        let mut e = engine();
+        e.env()
+            .stores
+            .borrow_mut()
+            .store(9, 1, fc_kvstore::Scope::Tenant, 1, 2155)
+            .expect("seeds");
+        let id = e
+            .install(
+                "coap_fmt",
+                1,
+                &apps::coap_formatter().to_bytes(),
+                apps::coap_formatter_request(),
+            )
+            .expect("installs");
+        let ctx = coap_ctx_bytes(64);
+        group.bench_function("coap_formatter", |b| {
+            b.iter(|| {
+                black_box(
+                    e.execute(id, &ctx, &[HostRegion::read_write("pkt", vec![0; 64])])
+                        .expect("runs")
+                        .result
+                        .clone(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Host wall-clock cost of firing a launchpad hook, empty vs with the
+//! thread-counter application attached (Table 4's measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_core::apps;
+use fc_core::contract::ContractOffer;
+use fc_core::engine::HostingEngine;
+use fc_core::helpers_impl::standard_helper_ids;
+use fc_core::hooks::{sched_hook_id, Hook, HookKind, HookPolicy};
+use fc_rtos::platform::{Engine, Platform};
+use std::hint::black_box;
+
+fn sched_ctx() -> Vec<u8> {
+    let mut ctx = Vec::new();
+    ctx.extend_from_slice(&1u64.to_le_bytes());
+    ctx.extend_from_slice(&2u64.to_le_bytes());
+    ctx
+}
+
+fn bench_hooks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_hook_overhead");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(40);
+
+    let mut empty = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+    empty.register_hook(
+        Hook::new("sched", HookKind::SchedSwitch, HookPolicy::First),
+        ContractOffer::helpers(standard_helper_ids()),
+    );
+    let ctx = sched_ctx();
+    group.bench_function("empty_hook", |b| {
+        b.iter(|| black_box(empty.fire_hook(sched_hook_id(), &ctx, &[]).expect("fires").cycles))
+    });
+
+    let mut with_app = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+    with_app.register_hook(
+        Hook::new("sched", HookKind::SchedSwitch, HookPolicy::First),
+        ContractOffer::helpers(standard_helper_ids()),
+    );
+    let id = with_app
+        .install("pid_log", 1, &apps::thread_counter().to_bytes(), apps::thread_counter_request())
+        .expect("installs");
+    with_app.attach(id, sched_hook_id()).expect("attaches");
+    group.bench_function("hook_with_application", |b| {
+        b.iter(|| {
+            black_box(with_app.fire_hook(sched_hook_id(), &ctx, &[]).expect("fires").cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hooks);
+criterion_main!(benches);

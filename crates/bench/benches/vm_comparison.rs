@@ -1,0 +1,39 @@
+//! Wall-clock comparison of the candidate runtimes on the fletcher32
+//! workload (the host-time counterpart of the paper's Table 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_baselines::{all_runtimes, benchmark_input};
+use std::hint::black_box;
+
+fn bench_run(c: &mut Criterion) {
+    let input = benchmark_input();
+    let mut group = c.benchmark_group("table2_run");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(20);
+    for mut rt in all_runtimes() {
+        let applet = rt.fletcher_applet();
+        rt.load(&applet).expect("loads");
+        group.bench_function(rt.name(), |b| {
+            b.iter(|| black_box(rt.run(black_box(&input)).expect("runs").result))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cold_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_cold_start");
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(20);
+    for mut rt in all_runtimes() {
+        let applet = rt.fletcher_applet();
+        group.bench_function(rt.name(), |b| {
+            b.iter(|| black_box(rt.load(black_box(&applet)).expect("loads")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run, bench_cold_start);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates every table and figure of the paper in one run.
+fn main() {
+    for report in fc_bench::all_reports() {
+        println!("{}", report.render());
+    }
+}

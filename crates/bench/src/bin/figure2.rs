@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 2 flash-distribution comparison.
+fn main() {
+    for report in fc_bench::figure2() {
+        println!("{}", report.render());
+    }
+}

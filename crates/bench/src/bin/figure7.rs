@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure7 experiment.
+fn main() {
+    println!("{}", fc_bench::figure7().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure8 experiment.
+fn main() {
+    println!("{}", fc_bench::figure8().render());
+}

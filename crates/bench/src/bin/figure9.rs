@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure9 experiment.
+fn main() {
+    println!("{}", fc_bench::figure9().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's multi instance experiment.
+fn main() {
+    println!("{}", fc_bench::multi_instance().render());
+}

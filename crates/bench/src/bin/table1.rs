@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 experiment.
+fn main() {
+    println!("{}", fc_bench::table1().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 experiment.
+fn main() {
+    println!("{}", fc_bench::table2().render());
+}

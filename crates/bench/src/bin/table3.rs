@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 experiment.
+fn main() {
+    println!("{}", fc_bench::table3().render());
+}

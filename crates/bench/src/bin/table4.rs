@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 experiment.
+fn main() {
+    println!("{}", fc_bench::table4().render());
+}

@@ -1,0 +1,531 @@
+//! One function per table and figure of the paper's evaluation section.
+//!
+//! Every function runs the *real* code paths (interpreters, engine,
+//! footprint models) and returns the measured/simulated values next to
+//! the numbers the paper reports, so drift is visible at a glance.
+
+use fc_baselines::{all_runtimes, benchmark_input};
+use fc_core::apps;
+use fc_core::contract::ContractOffer;
+use fc_core::engine::{HostRegion, HostingEngine};
+use fc_core::footprint::{engine_footprint, os_ram_bytes, os_rom_bytes, FirmwareImage};
+use fc_core::helpers_impl::{coap_ctx_bytes, standard_helper_ids};
+use fc_core::hooks::{sched_hook_id, Hook, HookKind, HookPolicy};
+use fc_rbpf::asm;
+use fc_rbpf::isa::{self, OpClass};
+use fc_rbpf::vm::ExecConfig;
+use fc_rtos::platform::{cycle_model, Engine, Platform, ALL_ENGINES, ALL_PLATFORMS};
+use fc_rtos::saul::{DeviceClass, Phydat};
+
+use crate::fmt::{bytes, render_table, us};
+
+/// A generic experiment result: a titled table.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment title (paper table/figure number).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Renders the report as aligned text.
+    pub fn render(&self) -> String {
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        render_table(&self.title, &headers, &self.rows)
+    }
+}
+
+/// **Table 1** — memory requirements of the candidate runtimes.
+pub fn table1() -> Report {
+    let paper: &[(&str, &str, &str)] = &[
+        ("WASM3", "64 KiB", "85 KiB"),
+        ("rBPF", "4.4 KiB", "0.6 KiB"),
+        ("RIOTjs", "121 KiB", "18 KiB"),
+        ("MicroPython", "101 KiB", "8.2 KiB"),
+    ];
+    let mut rows = Vec::new();
+    for rt in all_runtimes() {
+        if rt.name() == "Native C" {
+            continue;
+        }
+        let fp = rt.footprint();
+        let (p_rom, p_ram) = paper
+            .iter()
+            .find(|(n, _, _)| *n == rt.name())
+            .map(|(_, rom, ram)| (*rom, *ram))
+            .unwrap_or(("–", "–"));
+        rows.push(vec![
+            rt.name().to_owned(),
+            bytes(fp.rom_bytes),
+            bytes(fp.ram_bytes),
+            p_rom.to_owned(),
+            p_ram.to_owned(),
+        ]);
+    }
+    rows.push(vec![
+        "Host OS (without VM)".into(),
+        bytes(os_rom_bytes()),
+        bytes(os_ram_bytes()),
+        "52.5 KiB".into(),
+        "16.3 KiB".into(),
+    ]);
+    Report {
+        title: "Table 1: Memory requirements for Femto-Container runtimes".into(),
+        headers: ["Runtime", "ROM", "RAM", "paper ROM", "paper RAM"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// **Table 2** — size and performance of the fletcher32 applet per
+/// runtime.
+pub fn table2() -> Report {
+    let paper: &[(&str, &str, &str, &str)] = &[
+        ("Native C", "74 B", "–", "27 µs"),
+        ("WASM3", "322 B", "17.1 ms", "980 µs"),
+        ("rBPF", "456 B", "1.00 µs", "2.1 ms"),
+        ("RIOTjs", "593 B", "5.6 ms", "14.7 ms"),
+        ("MicroPython", "497 B", "21.9 ms", "16.3 ms"),
+    ];
+    let input = benchmark_input();
+    let mut rows = Vec::new();
+    for mut rt in all_runtimes() {
+        let applet = rt.fletcher_applet();
+        let load = rt.load(&applet).expect("applet loads");
+        let out = rt.run(&input).expect("applet runs");
+        let (p_size, p_cold, p_run) = paper
+            .iter()
+            .find(|(n, _, _, _)| *n == rt.name())
+            .map(|(_, s, c, r)| (*s, *c, *r))
+            .unwrap_or(("–", "–", "–"));
+        rows.push(vec![
+            rt.name().to_owned(),
+            bytes(applet.len()),
+            us(load.cycles as f64 / 64.0),
+            us(out.cycles as f64 / 64.0),
+            p_size.to_owned(),
+            p_cold.to_owned(),
+            p_run.to_owned(),
+        ]);
+    }
+    Report {
+        title: "Table 2: fletcher32 (360 B) hosted in different runtimes, Cortex-M4 @64 MHz"
+            .into(),
+        headers: [
+            "Runtime",
+            "code size",
+            "cold start",
+            "run time",
+            "paper size",
+            "paper cold",
+            "paper run",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
+/// **Figure 2** — flash distribution of the firmware image with a
+/// MicroPython vs an rBPF Femto-Container runtime.
+pub fn figure2() -> Vec<Report> {
+    let images = [
+        ("MicroPython", fc_baselines::upy::UPY_ROM_BYTES, "154 kB total, 66% runtime"),
+        ("rBPF Femto-Container", fc_baselines::rbpf_rt::RBPF_ROM_BYTES, "57 kB total, 8% runtime"),
+    ];
+    images
+        .iter()
+        .map(|(name, rom, paper)| {
+            let img = FirmwareImage::with_runtime(name, *rom);
+            let rows = img
+                .percentages()
+                .into_iter()
+                .zip(img.components.iter())
+                .map(|((n, pct), (_, b))| vec![n, bytes(*b), format!("{pct:.0}%")])
+                .collect();
+            Report {
+                title: format!(
+                    "Figure 2: RIOT with {name} runtime — {} total (paper: {paper})",
+                    bytes(img.total_rom())
+                ),
+                headers: ["Component", "Flash", "Share"].map(String::from).to_vec(),
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// **Table 3** — engine footprint on Cortex-M4.
+pub fn table3() -> Report {
+    let paper: &[(&str, usize, usize)] = &[
+        ("Femto-Containers", 2992, 624),
+        ("rBPF", 3032, 620),
+        ("CertFC", 1378, 672),
+    ];
+    let rows = [Engine::FemtoContainer, Engine::Rbpf, Engine::CertFc]
+        .iter()
+        .map(|e| {
+            let fp = engine_footprint(*e, Platform::CortexM4);
+            let (_, p_rom, p_ram) = paper
+                .iter()
+                .find(|(n, _, _)| *n == e.name())
+                .copied()
+                .unwrap_or(("", 0, 0));
+            vec![
+                e.name().to_owned(),
+                format!("{} B", fp.rom_bytes),
+                format!("{} B", fp.ram_bytes),
+                format!("{p_rom} B"),
+                format!("{p_ram} B"),
+            ]
+        })
+        .collect();
+    Report {
+        title: "Table 3: Memory footprint of a Femto-Container hosting minimal logic (Cortex-M4)"
+            .into(),
+        headers: ["Engine", "ROM", "RAM", "paper ROM", "paper RAM"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// **Figure 7** — engine flash across the three platforms.
+pub fn figure7() -> Report {
+    let mut rows = Vec::new();
+    for p in ALL_PLATFORMS {
+        for e in ALL_ENGINES {
+            let fp = engine_footprint(e, p);
+            rows.push(vec![
+                p.name().to_owned(),
+                e.name().to_owned(),
+                format!("{} B", fp.rom_bytes),
+            ]);
+        }
+    }
+    Report {
+        title: "Figure 7: Flash requirement per engine and platform (paper: bars 1.3–4.5 kB)"
+            .into(),
+        headers: ["Platform", "Engine", "Flash"].map(String::from).to_vec(),
+        rows,
+    }
+}
+
+/// The twelve instruction classes of Figure 8, with a generator
+/// producing a straight-line benchmark program for each.
+pub fn figure8_classes() -> Vec<(&'static str, String, OpClass)> {
+    let body = |insn: &str, n: usize| {
+        let mut src = String::from("mov r3, 1000\nmov r4, 3\n");
+        for _ in 0..n {
+            src.push_str(insn);
+            src.push('\n');
+        }
+        src.push_str("mov r0, r3\nexit");
+        src
+    };
+    vec![
+        ("ALU negate", body("neg r3", 64), OpClass::Alu64),
+        ("ALU Add", body("add r3, r4", 64), OpClass::Alu64),
+        ("ALU Add imm", body("add r3, 7", 64), OpClass::Alu64),
+        ("ALU multiply imm", body("mul r3, 7", 64), OpClass::Mul),
+        ("ALU right shift imm", body("rsh r3, 1", 64), OpClass::Alu64),
+        ("ALU divide imm", body("div r3, 7", 64), OpClass::Div),
+        ("MEM load double", body("ldxdw r3, [r10-8]", 64), OpClass::Load),
+        ("MEM store double imm", body("stdw [r10-8], 42", 64), OpClass::Store),
+        ("MEM store double", body("stxdw [r10-8], r3", 64), OpClass::Store),
+        ("Branch always", body("ja +0", 64), OpClass::BranchTaken),
+        ("Branch equal (jump)", body("jeq r4, 3, +0", 64), OpClass::BranchTaken),
+        ("Branch equal (continue)", body("jeq r4, 0, +0", 64), OpClass::BranchNotTaken),
+    ]
+}
+
+/// **Figure 8** — time per instruction on Cortex-M4 for the three
+/// engines, derived from executing each class's micro-program and
+/// charging its dynamic counts to the cycle model.
+pub fn figure8() -> Report {
+    let mut rows = Vec::new();
+    for (name, src, _class) in figure8_classes() {
+        let text = isa::encode_all(&asm::assemble(&src).expect("benchmark assembles"));
+        let prog = fc_rbpf::verifier::verify(&text, &Default::default()).expect("verifies");
+        let mut cells = vec![name.to_owned()];
+        for engine in ALL_ENGINES {
+            let mut mem = fc_rbpf::mem::MemoryMap::new();
+            mem.add_stack(512);
+            let mut helpers = fc_rbpf::helpers::HelperRegistry::new();
+            let exec = match engine {
+                Engine::CertFc => fc_rbpf::certfc::CertInterpreter::new(&prog, ExecConfig::default())
+                    .run(&mut mem, &mut helpers, 0)
+                    .expect("runs"),
+                _ => fc_rbpf::interp::Interpreter::new(&prog, ExecConfig::default())
+                    .run(&mut mem, &mut helpers, 0)
+                    .expect("runs"),
+            };
+            let model = cycle_model(Platform::CortexM4, engine);
+            // Isolate the benchmarked instruction: subtract the 4-op
+            // harness (2 movs, mov, exit) from totals.
+            let total = model.execution_cycles(&exec.counts);
+            let harness: u64 = model.startup
+                + 3 * model.op_cycles(OpClass::Alu64)
+                + model.op_cycles(OpClass::Exit);
+            let cycles_per_insn = (total - harness) as f64 / 64.0;
+            cells.push(us(cycles_per_insn / 64.0));
+        }
+        rows.push(cells);
+    }
+    Report {
+        title: "Figure 8: Time per instruction, Cortex-M4 (paper: 0.1–2.75 µs; CertFC slowest)"
+            .into(),
+        headers: ["Instruction", "rBPF", "Femto-Containers", "CertFC"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+fn engine_with_hooks(platform: Platform, flavor: Engine) -> HostingEngine {
+    let mut e = HostingEngine::new(platform, flavor);
+    for (name, kind) in [
+        ("sched", HookKind::SchedSwitch),
+        ("timer", HookKind::Timer),
+        ("coap", HookKind::CoapRequest),
+    ] {
+        e.register_hook(
+            Hook::new(name, kind, HookPolicy::First),
+            ContractOffer::helpers(standard_helper_ids()),
+        );
+    }
+    e.env().saul.borrow_mut().register("temp0", DeviceClass::SenseTemp, || Phydat {
+        value: 2155,
+        scale: -2,
+    });
+    e
+}
+
+/// **Figure 9** — execution time of the three example applications on
+/// each platform.
+pub fn figure9() -> Report {
+    let paper: &[(&str, &str)] = &[
+        ("Fletcher32 checksum", "1.3–2.2 ms"),
+        ("Thread log", "10–27 µs"),
+        ("CoAP response formatter", "23–72 µs"),
+    ];
+    let mut rows = Vec::new();
+    for (app_idx, (app_name, paper_range)) in paper.iter().enumerate() {
+        let mut cells = vec![app_name.to_string()];
+        for platform in ALL_PLATFORMS {
+            let mut e = engine_with_hooks(platform, Engine::FemtoContainer);
+            let report = match app_idx {
+                0 => {
+                    let id = e
+                        .install(
+                            "fletcher",
+                            1,
+                            &apps::fletcher32_app().to_bytes(),
+                            Default::default(),
+                        )
+                        .expect("installs");
+                    let input = benchmark_input();
+                    e.execute(id, &apps::fletcher_ctx(&input), &[]).expect("runs")
+                }
+                1 => {
+                    let id = e
+                        .install(
+                            "pid_log",
+                            1,
+                            &apps::thread_counter().to_bytes(),
+                            apps::thread_counter_request(),
+                        )
+                        .expect("installs");
+                    let mut ctx = Vec::new();
+                    ctx.extend_from_slice(&1u64.to_le_bytes());
+                    ctx.extend_from_slice(&2u64.to_le_bytes());
+                    e.execute(id, &ctx, &[]).expect("runs")
+                }
+                _ => {
+                    e.env()
+                        .stores
+                        .borrow_mut()
+                        .store(9, 1, fc_kvstore::Scope::Tenant, 1, 2155)
+                        .expect("seeds store");
+                    let id = e
+                        .install(
+                            "coap_fmt",
+                            1,
+                            &apps::coap_formatter().to_bytes(),
+                            apps::coap_formatter_request(),
+                        )
+                        .expect("installs");
+                    e.execute(
+                        id,
+                        &coap_ctx_bytes(64),
+                        &[HostRegion::read_write("pkt", vec![0; 64])],
+                    )
+                    .expect("runs")
+                }
+            };
+            assert!(report.result.is_ok(), "{app_name} on {}", platform.name());
+            cells.push(us(platform.us_from_cycles(report.total_cycles())));
+        }
+        cells.push(paper_range.to_string());
+        rows.push(cells);
+    }
+    Report {
+        title: "Figure 9: Execution duration of the example applications".into(),
+        headers: ["Application", "Cortex-M4", "ESP32", "RISC-V", "paper range"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// **Table 4** — hook overhead in clock ticks: empty launchpad vs
+/// launchpad with the thread-counter application attached.
+pub fn table4() -> Report {
+    let paper: &[(&str, u64, u64)] =
+        &[("Cortex-M4", 109, 1750), ("ESP32", 83, 1163), ("RISC-V", 106, 754)];
+    let mut rows = Vec::new();
+    for platform in ALL_PLATFORMS {
+        let mut e = engine_with_hooks(platform, Engine::FemtoContainer);
+        let empty = e.fire_hook(sched_hook_id(), &[0u8; 16], &[]).expect("fires").cycles;
+        let id = e
+            .install(
+                "pid_log",
+                1,
+                &apps::thread_counter().to_bytes(),
+                apps::thread_counter_request(),
+            )
+            .expect("installs");
+        e.attach(id, sched_hook_id()).expect("attaches");
+        let mut ctx = Vec::new();
+        ctx.extend_from_slice(&1u64.to_le_bytes());
+        ctx.extend_from_slice(&2u64.to_le_bytes());
+        let with_app = e.fire_hook(sched_hook_id(), &ctx, &[]).expect("fires").cycles;
+        let (_, p_empty, p_app) = paper
+            .iter()
+            .find(|(n, _, _)| *n == platform.name())
+            .copied()
+            .unwrap_or(("", 0, 0));
+        rows.push(vec![
+            platform.name().to_owned(),
+            empty.to_string(),
+            with_app.to_string(),
+            p_empty.to_string(),
+            p_app.to_string(),
+        ]);
+    }
+    Report {
+        title: "Table 4: Hook overhead in clock ticks (thread-switch example)".into(),
+        headers: ["Platform", "Empty hook", "Hook + app", "paper empty", "paper + app"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// **§10.3** — RAM accounting for the multi-tenant example (three
+/// containers, two tenants) plus the container-density estimate.
+pub fn multi_instance() -> Report {
+    let mut e = engine_with_hooks(Platform::CortexM4, Engine::FemtoContainer);
+    let t1 = e
+        .install("pid_log", 1, &apps::thread_counter().to_bytes(), apps::thread_counter_request())
+        .expect("installs");
+    let t2 = e
+        .install("sensor", 2, &apps::sensor_process().to_bytes(), apps::sensor_process_request())
+        .expect("installs");
+    let t3 = e
+        .install("coap_fmt", 2, &apps::coap_formatter().to_bytes(), apps::coap_formatter_request())
+        .expect("installs");
+    // Run each once so the stores materialise, as in the paper's setup.
+    let mut sched_ctx = Vec::new();
+    sched_ctx.extend_from_slice(&1u64.to_le_bytes());
+    sched_ctx.extend_from_slice(&2u64.to_le_bytes());
+    e.execute(t1, &sched_ctx, &[]).expect("runs");
+    e.execute(t2, &[0u8; 4], &[]).expect("runs");
+    e.execute(t3, &coap_ctx_bytes(64), &[HostRegion::read_write("pkt", vec![0; 64])])
+        .expect("runs");
+
+    let per_instance: Vec<usize> =
+        [t1, t2, t3].iter().map(|id| e.container(*id).unwrap().ram_bytes()).collect();
+    let stores = e.env().stores.borrow().ram_bytes();
+    let total = e.ram_bytes();
+    let avg_image = 2000usize;
+    let density = (256 * 1024) / (per_instance[0] + avg_image);
+    Report {
+        title: "§10.3: RAM for 3 containers / 2 tenants (paper: 3.2 KiB; density ≈100)".into(),
+        headers: ["Quantity", "Measured", "Paper"].map(String::from).to_vec(),
+        rows: vec![
+            vec!["Per-instance RAM".into(), format!("{} B", per_instance[0]), "624 B".into()],
+            vec!["Key-value stores + housekeeping".into(), format!("{stores} B"), "340 B".into()],
+            vec!["Total (3 containers, 2 tenants)".into(), bytes(total), "3.2 KiB".into()],
+            vec![
+                "Density on 256 KiB RAM (2 KB apps)".into(),
+                format!("≈{density} instances"),
+                "≈100 instances".into(),
+            ],
+        ],
+    }
+}
+
+/// Every experiment, in paper order (used by the EXPERIMENTS.md
+/// generator and the `all_experiments` binary).
+pub fn all_reports() -> Vec<Report> {
+    let mut reports = vec![table1(), table2()];
+    reports.extend(figure2());
+    reports.push(table3());
+    reports.push(figure7());
+    reports.push(figure8());
+    reports.push(figure9());
+    reports.push(table4());
+    reports.push(multi_instance());
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reports_render_nonempty() {
+        for report in all_reports() {
+            assert!(!report.rows.is_empty(), "{}", report.title);
+            let text = report.render();
+            assert!(text.lines().count() >= 3, "{}", report.title);
+        }
+    }
+
+    #[test]
+    fn table4_shape_matches_paper() {
+        let r = table4();
+        for row in &r.rows {
+            let empty: u64 = row[1].parse().unwrap();
+            let with_app: u64 = row[2].parse().unwrap();
+            let paper_with_app: u64 = row[4].parse().unwrap();
+            assert!(empty < 150, "empty hook ≈100 ticks");
+            assert!(with_app > empty * 5, "app dominates hook cost");
+            let ratio = with_app as f64 / paper_with_app as f64;
+            assert!((0.4..2.5).contains(&ratio), "{}: {with_app} vs {paper_with_app}", row[0]);
+        }
+    }
+
+    #[test]
+    fn figure9_riscv_is_fastest_platform() {
+        let r = figure9();
+        for row in &r.rows {
+            // Columns: app, cm4, esp32, riscv, paper. Parse the µs back.
+            let parse = |s: &str| -> f64 {
+                if let Some(ms) = s.strip_suffix(" ms") {
+                    ms.parse::<f64>().unwrap() * 1000.0
+                } else {
+                    s.strip_suffix(" µs").unwrap().parse().unwrap()
+                }
+            };
+            let cm4 = parse(&row[1]);
+            let riscv = parse(&row[3]);
+            assert!(riscv < cm4, "{}: {riscv} vs {cm4}", row[0]);
+        }
+    }
+}

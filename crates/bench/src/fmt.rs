@@ -1,0 +1,82 @@
+//! Minimal aligned-table printing for the experiment binaries.
+
+/// Renders an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let line = |out: &mut String, cells: Vec<String>| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(&mut out, headers.iter().map(|h| h.to_string()).collect());
+    line(
+        &mut out,
+        widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(&mut out, row.clone());
+    }
+    out
+}
+
+/// Formats microseconds compactly.
+pub fn us(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.1} ms", v / 1000.0)
+    } else if v >= 10.0 {
+        format!("{v:.0} µs")
+    } else {
+        format!("{v:.2} µs")
+    }
+}
+
+/// Formats a byte count as the paper does (KiB above 1024).
+pub fn bytes(v: usize) -> String {
+    if v >= 10 * 1024 {
+        format!("{:.1} KiB", v as f64 / 1024.0)
+    } else if v >= 1024 {
+        format!("{:.2} KiB", v as f64 / 1024.0)
+    } else {
+        format!("{v} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            "T",
+            &["a", "bb"],
+            &[vec!["xxx".into(), "y".into()], vec!["z".into(), "wwww".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("a  "));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(us(2133.0), "2.1 ms");
+        assert_eq!(us(27.0), "27 µs");
+        assert_eq!(us(1.0), "1.00 µs");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(64 * 1024), "64.0 KiB");
+    }
+}

@@ -1,0 +1,13 @@
+//! # fc-bench — the experiment harness
+//!
+//! One function per table/figure of the paper's evaluation. The
+//! `table*`/`figure*` binaries print each experiment side by side with
+//! the paper's reported numbers; the Criterion benches measure the real
+//! wall-clock cost of the same code paths on the host.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fmt;
+
+pub use experiments::*;

@@ -1,0 +1,109 @@
+//! Permission contracts between containers and the host OS (paper §5
+//! "Use of OS Interfaces" and §11 "Controlling Tenant Privileges").
+//!
+//! "The OS restricts the set of privileges that can be granted, the
+//! container specifies the set of privileges it requires, and the
+//! hosting engine grants the intersection of these sets."
+
+use std::collections::HashSet;
+
+/// Helper-identifier set shorthand.
+pub type HelperSet = HashSet<u32>;
+
+/// What a container asks for.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContractRequest {
+    /// Helper (system call) ids the application intends to use.
+    pub helpers: HelperSet,
+    /// Extra stack bytes beyond the eBPF default (paper §8.1 sketches
+    /// this as a future contract item; the engine honours it).
+    pub extra_stack: usize,
+}
+
+impl ContractRequest {
+    /// A request for the given helper ids.
+    pub fn helpers<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        ContractRequest { helpers: ids.into_iter().collect(), extra_stack: 0 }
+    }
+}
+
+/// What the hook/OS side offers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContractOffer {
+    /// Helper ids this hook's launchpad exposes.
+    pub helpers: HelperSet,
+    /// Maximum extra stack the OS will grant.
+    pub max_extra_stack: usize,
+}
+
+impl ContractOffer {
+    /// An offer of the given helper ids.
+    pub fn helpers<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        ContractOffer { helpers: ids.into_iter().collect(), max_extra_stack: 0 }
+    }
+}
+
+/// The granted contract: the intersection of request and offer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Contract {
+    /// Granted helper ids (request ∩ offer).
+    pub helpers: HelperSet,
+    /// Granted extra stack bytes (min of request and offer ceiling).
+    pub extra_stack: usize,
+}
+
+impl Contract {
+    /// Computes the grant.
+    pub fn grant(request: &ContractRequest, offer: &ContractOffer) -> Self {
+        Contract {
+            helpers: request.helpers.intersection(&offer.helpers).copied().collect(),
+            extra_stack: request.extra_stack.min(offer.max_extra_stack),
+        }
+    }
+
+    /// True when every requested helper was granted — callers may treat
+    /// a partial grant as a deployment error rather than a silent
+    /// downgrade.
+    pub fn satisfies(&self, request: &ContractRequest) -> bool {
+        request.helpers.is_subset(&self.helpers) && self.extra_stack >= request.extra_stack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_is_intersection() {
+        let req = ContractRequest::helpers([1, 2, 3]);
+        let offer = ContractOffer::helpers([2, 3, 4]);
+        let c = Contract::grant(&req, &offer);
+        assert_eq!(c.helpers, [2, 3].into_iter().collect());
+        assert!(!c.satisfies(&req));
+    }
+
+    #[test]
+    fn full_grant_satisfies() {
+        let req = ContractRequest::helpers([1, 2]);
+        let offer = ContractOffer::helpers([1, 2, 3]);
+        assert!(Contract::grant(&req, &offer).satisfies(&req));
+    }
+
+    #[test]
+    fn extra_stack_clamped_to_offer() {
+        let mut req = ContractRequest::helpers([]);
+        req.extra_stack = 1024;
+        let mut offer = ContractOffer::helpers([]);
+        offer.max_extra_stack = 256;
+        let c = Contract::grant(&req, &offer);
+        assert_eq!(c.extra_stack, 256);
+        assert!(!c.satisfies(&req));
+    }
+
+    #[test]
+    fn empty_request_always_satisfied() {
+        let req = ContractRequest::default();
+        let offer = ContractOffer::default();
+        assert!(Contract::grant(&req, &offer).satisfies(&req));
+    }
+}

@@ -1,0 +1,488 @@
+//! Secure deployment of containers over the network (paper §5):
+//! SUIT-manifest-driven install/update of applications onto hook
+//! launchpads, with the payload staged over block-wise CoAP.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use fc_net::block::{slice_block, Block};
+use fc_net::coap::{option, Code, Message};
+use fc_net::endpoint::CoapServer;
+use fc_rbpf::isa::{self, CALL};
+use fc_rbpf::program::FcProgram;
+use fc_suit::{Manifest, SigningKey, Uuid, UpdateError, UpdateManager, VerifyingKey};
+
+use crate::contract::ContractRequest;
+use crate::engine::{ContainerId, EngineError, HostingEngine};
+
+/// Why a deployment failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// Manifest/payload validation failed.
+    Update(UpdateError),
+    /// The hosting engine rejected the application.
+    Engine(EngineError),
+    /// The manifest's payload URI has not been staged.
+    PayloadUnavailable {
+        /// The URI the manifest named.
+        uri: String,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Update(e) => write!(f, "update rejected: {e}"),
+            DeployError::Engine(e) => write!(f, "engine rejected: {e}"),
+            DeployError::PayloadUnavailable { uri } => {
+                write!(f, "payload `{uri}` not available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<UpdateError> for DeployError {
+    fn from(e: UpdateError) -> Self {
+        DeployError::Update(e)
+    }
+}
+
+impl From<EngineError> for DeployError {
+    fn from(e: EngineError) -> Self {
+        DeployError::Engine(e)
+    }
+}
+
+/// Derives the helper set an application image actually calls, which
+/// becomes its contract request — the container cannot over-request.
+pub fn required_helpers(image: &FcProgram) -> HashSet<u32> {
+    image
+        .insns()
+        .unwrap_or_default()
+        .iter()
+        .filter(|i| i.opcode == CALL)
+        .map(|i| i.imm as u32)
+        .collect()
+}
+
+/// Author-side: builds and signs the manifest + payload pair for an
+/// application targeting a hook.
+pub fn author_update(
+    app: &FcProgram,
+    hook: Uuid,
+    sequence: u64,
+    uri: &str,
+    key: &SigningKey,
+    key_id: &[u8],
+) -> (Vec<u8>, Vec<u8>) {
+    let payload = app.to_bytes();
+    let manifest = Manifest {
+        sequence,
+        component: hook,
+        digest: fc_suit::sha256::sha256(&payload),
+        size: payload.len() as u32,
+        uri: uri.to_owned(),
+    };
+    (manifest.sign(key, key_id), payload)
+}
+
+/// Device-side deployment service: the SUIT update manager plus the
+/// binding from storage-location UUIDs to installed containers.
+#[derive(Debug, Default)]
+pub struct UpdateService {
+    manager: UpdateManager,
+    tenants: HashMap<Vec<u8>, fc_kvstore::TenantId>,
+    installed: HashMap<Uuid, ContainerId>,
+}
+
+impl UpdateService {
+    /// Creates a service with no trust anchors.
+    pub fn new() -> Self {
+        UpdateService::default()
+    }
+
+    /// Provisions a tenant: its signing key id, verification key and
+    /// tenant id for store scoping.
+    pub fn provision_tenant(
+        &mut self,
+        key_id: &[u8],
+        key: VerifyingKey,
+        tenant: fc_kvstore::TenantId,
+    ) {
+        self.manager.trust(key_id, key);
+        self.tenants.insert(key_id.to_vec(), tenant);
+    }
+
+    /// Container currently installed for a storage location.
+    pub fn installed_container(&self, component: Uuid) -> Option<ContainerId> {
+        self.installed.get(&component).copied()
+    }
+
+    /// Updates accepted so far.
+    pub fn accepted_count(&self) -> u64 {
+        self.manager.accepted_count()
+    }
+
+    /// Updates rejected so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.manager.rejected_count()
+    }
+
+    /// Applies a signed manifest end to end: verify → rollback-check →
+    /// fetch payload (through `fetch`) → digest-check → pre-flight
+    /// verify → install → attach to the hook named by the storage
+    /// location, replacing any previous container there.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DeployError`]; on error the previously installed container
+    /// keeps running (updates are atomic).
+    pub fn apply<F>(
+        &mut self,
+        engine: &mut HostingEngine,
+        envelope: &[u8],
+        mut fetch: F,
+    ) -> Result<(ContainerId, Uuid), DeployError>
+    where
+        F: FnMut(&str) -> Option<Vec<u8>>,
+    {
+        let pending = self.manager.begin(envelope)?;
+        let uri = pending.manifest.uri.clone();
+        let payload = fetch(&uri).ok_or(DeployError::PayloadUnavailable { uri })?;
+        let tenant = self
+            .tenants
+            .get(&pending.key_id)
+            .copied()
+            .unwrap_or_default();
+        let hook = pending.manifest.component;
+
+        // Validate the image against the engine *before* committing the
+        // sequence number, so a bad payload doesn't burn it.
+        let image = FcProgram::from_bytes(&payload).map_err(EngineError::Parse)?;
+        let request = ContractRequest {
+            helpers: required_helpers(&image),
+            extra_stack: 0,
+        };
+        let name = format!("suit-{}", hook);
+        let new_id = engine.install(&name, tenant, &payload, request)?;
+        match engine.attach(new_id, hook) {
+            Ok(()) => {}
+            Err(e) => {
+                engine.remove(new_id);
+                return Err(e.into());
+            }
+        }
+        // Commit the SUIT state only now.
+        let ready = match self.manager.complete(pending, payload) {
+            Ok(r) => r,
+            Err(e) => {
+                engine.detach(new_id, hook).ok();
+                engine.remove(new_id);
+                return Err(e.into());
+            }
+        };
+        debug_assert_eq!(ready.manifest.component, hook);
+        // Replace the previous container for this storage location.
+        if let Some(old) = self.installed.insert(hook, new_id) {
+            engine.detach(old, hook).ok();
+            engine.remove(old);
+        }
+        Ok((new_id, hook))
+    }
+}
+
+/// Shared handle type used by the CoAP endpoint glue.
+pub type Shared<T> = Rc<RefCell<T>>;
+
+/// Registers the device's SUIT CoAP endpoints on a server:
+///
+/// * `POST /suit/payload?name=<uri>` with Block1 options stages payload
+///   blocks;
+/// * `POST /suit/manifest` submits the signed manifest, triggering the
+///   full update pipeline against the staged payloads.
+pub fn register_coap_endpoints(
+    server: &mut CoapServer,
+    service: Shared<UpdateService>,
+    engine: Shared<HostingEngine>,
+) -> Shared<HashMap<String, Vec<u8>>> {
+    let staged: Shared<HashMap<String, Vec<u8>>> = Rc::new(RefCell::new(HashMap::new()));
+
+    {
+        let staged = staged.clone();
+        server.resource("suit/payload", move |req| {
+            let name = req
+                .options
+                .iter()
+                .find(|(n, _)| *n == option::URI_QUERY)
+                .map(|(_, v)| String::from_utf8_lossy(v).into_owned())
+                .unwrap_or_else(|| "default".to_owned());
+            let block = req
+                .option_uint(option::BLOCK1)
+                .and_then(Block::from_uint)
+                .unwrap_or(Block { num: 0, more: false, szx: 6 });
+            let mut staged = staged.borrow_mut();
+            let buf = staged.entry(name).or_default();
+            let offset = block.offset();
+            if block.num == 0 && buf.len() > req.payload.len() {
+                buf.clear();
+            }
+            if buf.len() >= offset + req.payload.len() {
+                // Duplicate block (the client retransmitted because our
+                // ACK was lost): idempotent success.
+            } else if buf.len() != offset {
+                // A hole: reject so the client restarts the transfer.
+                return Message::response_to(req, Code::BadRequest);
+            } else {
+                buf.extend_from_slice(&req.payload);
+            }
+            let mut resp = Message::response_to(
+                req,
+                if block.more { Code::Continue } else { Code::Changed },
+            );
+            resp.add_option_uint(option::BLOCK1, block.to_uint());
+            resp
+        });
+    }
+
+    {
+        let staged = staged.clone();
+        server.resource("suit/manifest", move |req| {
+            let mut service = service.borrow_mut();
+            let mut engine = engine.borrow_mut();
+            let staged = staged.borrow();
+            let result = service.apply(&mut engine, &req.payload, |uri| {
+                staged.get(uri).cloned()
+            });
+            match result {
+                Ok((id, _)) => {
+                    let mut resp = Message::response_to(req, Code::Changed);
+                    resp.payload = id.to_string().into_bytes();
+                    resp
+                }
+                Err(DeployError::Update(UpdateError::UnknownKeyId { .. }))
+                | Err(DeployError::Update(UpdateError::Manifest(_))) => {
+                    Message::response_to(req, Code::Unauthorized)
+                }
+                Err(_) => Message::response_to(req, Code::BadRequest),
+            }
+        });
+    }
+
+    staged
+}
+
+/// Author-side convenience: pushes a payload to the device in Block1
+/// chunks through a request-delivery closure (tests drive this over the
+/// lossy link; `send` returns the device's response).
+pub fn push_payload_blocks<F>(
+    uri: &str,
+    payload: &[u8],
+    block_size: usize,
+    mut send: F,
+) -> bool
+where
+    F: FnMut(Message) -> Option<Message>,
+{
+    let mut num = 0u32;
+    loop {
+        let block = Block::with_size(num, false, block_size);
+        let Some((chunk, more)) = slice_block(payload, block) else {
+            return num == 0 && payload.is_empty();
+        };
+        let mut req = Message::request(Code::Post, 0, &[]);
+        req.set_path("suit/payload");
+        req.add_option(option::URI_QUERY, uri.as_bytes().to_vec());
+        req.add_option_uint(option::BLOCK1, Block { num, more, szx: block.szx }.to_uint());
+        req.payload = chunk;
+        match send(req) {
+            Some(resp) if resp.code.is_success() => {}
+            _ => return false,
+        }
+        if !more {
+            return true;
+        }
+        num += 1;
+    }
+}
+
+/// Re-exported instruction constant check used by `required_helpers`
+/// (kept here so the module is self-contained in rustdoc).
+const _: () = assert!(CALL == isa::CALL);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use crate::contract::ContractOffer;
+    use crate::helpers_impl::standard_helper_ids;
+    use crate::hooks::{sched_hook_id, Hook, HookKind, HookPolicy};
+    use fc_rtos::platform::{Engine, Platform};
+
+    fn engine_with_sched_hook() -> HostingEngine {
+        let mut e = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+        e.register_hook(
+            Hook::new("sched", HookKind::SchedSwitch, HookPolicy::First),
+            ContractOffer::helpers(standard_helper_ids()),
+        );
+        e
+    }
+
+    fn maintainer() -> SigningKey {
+        SigningKey::from_seed(b"tenant-a-maintainer")
+    }
+
+    fn service() -> UpdateService {
+        let mut s = UpdateService::new();
+        s.provision_tenant(b"tenant-a", maintainer().verifying_key(), 1);
+        s
+    }
+
+    #[test]
+    fn required_helpers_derived_from_calls() {
+        let app = apps::thread_counter();
+        let req = required_helpers(&app);
+        assert_eq!(
+            req,
+            [fc_rbpf::helpers::ids::BPF_FETCH_GLOBAL, fc_rbpf::helpers::ids::BPF_STORE_GLOBAL]
+                .into_iter()
+                .collect()
+        );
+    }
+
+    #[test]
+    fn end_to_end_apply_installs_and_attaches() {
+        let mut engine = engine_with_sched_hook();
+        let mut svc = service();
+        let app = apps::thread_counter();
+        let (envelope, payload) =
+            author_update(&app, sched_hook_id(), 1, "app1", &maintainer(), b"tenant-a");
+        let (id, hook) = svc
+            .apply(&mut engine, &envelope, |uri| {
+                (uri == "app1").then(|| payload.clone())
+            })
+            .unwrap();
+        assert_eq!(hook, sched_hook_id());
+        assert_eq!(engine.attached(sched_hook_id()), vec![id]);
+        assert_eq!(svc.installed_container(sched_hook_id()), Some(id));
+    }
+
+    #[test]
+    fn update_replaces_previous_container() {
+        let mut engine = engine_with_sched_hook();
+        let mut svc = service();
+        let (env1, pay1) =
+            author_update(&apps::thread_counter(), sched_hook_id(), 1, "a", &maintainer(), b"tenant-a");
+        let (id1, _) = svc.apply(&mut engine, &env1, |_| Some(pay1.clone())).unwrap();
+        let (env2, pay2) =
+            author_update(&apps::thread_counter(), sched_hook_id(), 2, "a", &maintainer(), b"tenant-a");
+        let (id2, _) = svc.apply(&mut engine, &env2, |_| Some(pay2.clone())).unwrap();
+        assert_ne!(id1, id2);
+        assert_eq!(engine.attached(sched_hook_id()), vec![id2]);
+        assert_eq!(engine.container_count(), 1, "old container removed");
+    }
+
+    #[test]
+    fn replayed_manifest_rejected() {
+        let mut engine = engine_with_sched_hook();
+        let mut svc = service();
+        let (env1, pay1) =
+            author_update(&apps::thread_counter(), sched_hook_id(), 1, "a", &maintainer(), b"tenant-a");
+        svc.apply(&mut engine, &env1, |_| Some(pay1.clone())).unwrap();
+        let err = svc.apply(&mut engine, &env1, |_| Some(pay1.clone())).unwrap_err();
+        assert!(matches!(err, DeployError::Update(UpdateError::Rollback { .. })));
+    }
+
+    #[test]
+    fn tampered_payload_rejected_without_burning_sequence() {
+        let mut engine = engine_with_sched_hook();
+        let mut svc = service();
+        let (env, payload) =
+            author_update(&apps::thread_counter(), sched_hook_id(), 1, "a", &maintainer(), b"tenant-a");
+        let mut bad = payload.clone();
+        // Tamper inside the text section (keeps framing valid).
+        let n = bad.len();
+        bad[n - 9] ^= 0xff;
+        let err = svc.apply(&mut engine, &env, |_| Some(bad.clone())).unwrap_err();
+        assert!(matches!(
+            err,
+            DeployError::Update(UpdateError::DigestMismatch)
+                | DeployError::Engine(EngineError::Verify(_))
+        ));
+        assert_eq!(engine.container_count(), 0, "nothing installed");
+        // Genuine payload still deploys (sequence not burned).
+        svc.apply(&mut engine, &env, |_| Some(payload.clone())).unwrap();
+    }
+
+    #[test]
+    fn unknown_hook_in_manifest_rejected() {
+        let mut engine = engine_with_sched_hook();
+        let mut svc = service();
+        let bogus = Uuid::from_name("hooks", "does-not-exist");
+        let (env, pay) =
+            author_update(&apps::thread_counter(), bogus, 1, "a", &maintainer(), b"tenant-a");
+        let err = svc.apply(&mut engine, &env, |_| Some(pay.clone())).unwrap_err();
+        assert!(matches!(err, DeployError::Engine(EngineError::UnknownHook(_))));
+        assert_eq!(engine.container_count(), 0);
+    }
+
+    #[test]
+    fn missing_payload_reports_unavailable() {
+        let mut engine = engine_with_sched_hook();
+        let mut svc = service();
+        let (env, _pay) =
+            author_update(&apps::thread_counter(), sched_hook_id(), 1, "a", &maintainer(), b"tenant-a");
+        let err = svc.apply(&mut engine, &env, |_| None).unwrap_err();
+        assert!(matches!(err, DeployError::PayloadUnavailable { .. }));
+    }
+
+    #[test]
+    fn coap_endpoints_stage_and_install() {
+        let engine = Rc::new(RefCell::new(engine_with_sched_hook()));
+        let svc = Rc::new(RefCell::new(service()));
+        let mut server = CoapServer::new();
+        register_coap_endpoints(&mut server, svc.clone(), engine.clone());
+
+        let app = apps::thread_counter();
+        let (envelope, payload) =
+            author_update(&app, sched_hook_id(), 1, "app1", &maintainer(), b"tenant-a");
+
+        // Push the payload in 32-byte blocks.
+        let ok = push_payload_blocks("app1", &payload, 32, |req| Some(server.dispatch(&req)));
+        assert!(ok);
+
+        // Then the manifest.
+        let mut req = Message::request(Code::Post, 7, &[1]);
+        req.set_path("suit/manifest");
+        req.payload = envelope;
+        let resp = server.dispatch(&req);
+        assert_eq!(resp.code, Code::Changed);
+        assert_eq!(engine.borrow().container_count(), 1);
+        assert_eq!(svc.borrow().accepted_count(), 1);
+    }
+
+    #[test]
+    fn coap_manifest_with_bad_signature_gets_401() {
+        let engine = Rc::new(RefCell::new(engine_with_sched_hook()));
+        let svc = Rc::new(RefCell::new(service()));
+        let mut server = CoapServer::new();
+        register_coap_endpoints(&mut server, svc.clone(), engine.clone());
+        let attacker = SigningKey::from_seed(b"attacker");
+        let (envelope, _) = author_update(
+            &apps::thread_counter(),
+            sched_hook_id(),
+            1,
+            "x",
+            &attacker,
+            b"tenant-a", // claims tenant-a's key id
+        );
+        let mut req = Message::request(Code::Post, 7, &[1]);
+        req.set_path("suit/manifest");
+        req.payload = envelope;
+        let resp = server.dispatch(&req);
+        assert_eq!(resp.code, Code::Unauthorized);
+        assert_eq!(engine.borrow().container_count(), 0);
+    }
+}

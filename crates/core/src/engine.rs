@@ -1,0 +1,759 @@
+//! The Femto-Container hosting engine (paper §7, Figure 3): installs
+//! verified applications into slots, attaches them to launchpad hooks,
+//! and executes them in isolation when events fire.
+
+use std::collections::BTreeMap;
+
+use fc_kvstore::TenantId;
+use fc_rbpf::certfc::CertInterpreter;
+use fc_rbpf::error::VmError;
+use fc_rbpf::interp::Interpreter;
+use fc_rbpf::mem::{MemoryMap, Perm, CTX_VADDR, STACK_SIZE};
+use fc_rbpf::program::{FcProgram, ParseError};
+use fc_rbpf::verifier::{verify, VerifiedProgram, VerifierError};
+use fc_rbpf::vm::{ExecConfig, OpCounts};
+use fc_rtos::platform::{cycle_model, Engine as EngineFlavor, Platform};
+use fc_suit::Uuid;
+
+use crate::contract::{Contract, ContractOffer, ContractRequest};
+use crate::helpers_impl::{build_registry, HostEnv};
+use crate::hooks::Hook;
+
+/// Identifier the engine assigns to an installed container.
+pub type ContainerId = u32;
+
+/// Fixed per-instance housekeeping bytes (slot struct, region table —
+/// the paper's 624 B per instance = 512 B stack + register set +
+/// housekeeping, §10.3).
+pub const INSTANCE_OVERHEAD_BYTES: usize = 24;
+
+/// Why an engine operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Malformed application image.
+    Parse(ParseError),
+    /// The pre-flight checker rejected the application.
+    Verify(VerifierError),
+    /// Unknown hook UUID (bad storage location in a manifest).
+    UnknownHook(Uuid),
+    /// Unknown container id.
+    UnknownContainer(ContainerId),
+    /// The contract grant does not cover the request (missing helper
+    /// ids listed).
+    ContractUnsatisfied {
+        /// Helper ids requested but not offered.
+        missing: Vec<u32>,
+    },
+    /// The container is not attached to that hook.
+    NotAttached,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "image rejected: {e}"),
+            EngineError::Verify(e) => write!(f, "pre-flight check failed: {e}"),
+            EngineError::UnknownHook(u) => write!(f, "unknown hook {u}"),
+            EngineError::UnknownContainer(c) => write!(f, "unknown container {c}"),
+            EngineError::ContractUnsatisfied { missing } => {
+                write!(f, "contract not satisfied; missing helpers {missing:?}")
+            }
+            EngineError::NotAttached => write!(f, "container not attached to hook"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<VerifierError> for EngineError {
+    fn from(e: VerifierError) -> Self {
+        EngineError::Verify(e)
+    }
+}
+
+/// Per-container execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContainerMetrics {
+    /// Completed executions.
+    pub executions: u64,
+    /// Executions aborted by a fault.
+    pub faults: u64,
+    /// Total simulated cycles (VM + helper internals).
+    pub total_cycles: u64,
+}
+
+/// An installed container.
+#[derive(Debug)]
+pub struct ContainerSlot {
+    /// Engine-assigned id.
+    pub id: ContainerId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Human-readable name.
+    pub name: String,
+    image: FcProgram,
+    program: VerifiedProgram,
+    contract: Contract,
+    config: ExecConfig,
+    /// Execution statistics.
+    pub metrics: ContainerMetrics,
+}
+
+impl ContainerSlot {
+    /// Granted contract.
+    pub fn contract(&self) -> &Contract {
+        &self.contract
+    }
+
+    /// Per-instance RAM: VM stack (plus granted extra), register set
+    /// and housekeeping (paper Table 3 / §10.3: 624 B default).
+    pub fn ram_bytes(&self) -> usize {
+        STACK_SIZE + self.contract.extra_stack + 11 * 8 + INSTANCE_OVERHEAD_BYTES
+    }
+
+    /// Bytes of the stored application image (flash/storage cost).
+    pub fn image_bytes(&self) -> usize {
+        self.image.byte_size()
+    }
+}
+
+/// A host region granted to one execution (e.g. a packet buffer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostRegion {
+    /// Diagnostic name.
+    pub name: String,
+    /// Initial contents.
+    pub data: Vec<u8>,
+    /// Whether the container may write it.
+    pub writable: bool,
+}
+
+impl HostRegion {
+    /// A read-only grant (the paper's firewall example: inspect, not
+    /// modify).
+    pub fn read_only(name: &str, data: Vec<u8>) -> Self {
+        HostRegion { name: name.to_owned(), data, writable: false }
+    }
+
+    /// A read-write grant (e.g. a response buffer).
+    pub fn read_write(name: &str, data: Vec<u8>) -> Self {
+        HostRegion { name: name.to_owned(), data, writable: true }
+    }
+}
+
+/// Result of one container execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Which container ran.
+    pub container: ContainerId,
+    /// Its return value, or the fault that aborted it.
+    pub result: Result<u64, VmError>,
+    /// Dynamic operation counts.
+    pub counts: OpCounts,
+    /// Simulated VM cycles on the engine's platform.
+    pub vm_cycles: u64,
+    /// Simulated helper-internal cycles.
+    pub helper_cycles: u64,
+    /// Final contents of the context region.
+    pub ctx_back: Vec<u8>,
+    /// Final contents of each granted host region, in grant order.
+    pub regions_back: Vec<(String, Vec<u8>)>,
+}
+
+impl ExecutionReport {
+    /// Total simulated cycles for this execution.
+    pub fn total_cycles(&self) -> u64 {
+        self.vm_cycles + self.helper_cycles
+    }
+}
+
+/// Result of firing a hook.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HookReport {
+    /// Per-container reports, in attachment order.
+    pub executions: Vec<ExecutionReport>,
+    /// The policy-combined result the firmware acts on.
+    pub combined: Option<u64>,
+    /// Total simulated cycles including the launchpad overhead
+    /// (Table 4's "Hook with Application" measurement).
+    pub cycles: u64,
+}
+
+struct HookEntry {
+    hook: Hook,
+    offer: ContractOffer,
+    attached: Vec<ContainerId>,
+    fires: u64,
+}
+
+/// The hosting engine.
+///
+/// # Examples
+///
+/// ```
+/// use fc_core::engine::HostingEngine;
+/// use fc_core::contract::ContractRequest;
+/// use fc_rbpf::program::ProgramBuilder;
+/// use fc_rtos::platform::{Engine, Platform};
+///
+/// let mut engine = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+/// let image = ProgramBuilder::new().asm("mov r0, 42\nexit").unwrap().build();
+/// let id = engine
+///     .install("answer", 1, &image.to_bytes(), ContractRequest::default())
+///     .unwrap();
+/// let report = engine.execute(id, &[], &[]).unwrap();
+/// assert_eq!(report.result, Ok(42));
+/// ```
+pub struct HostingEngine {
+    platform: Platform,
+    flavor: EngineFlavor,
+    env: HostEnv,
+    containers: BTreeMap<ContainerId, ContainerSlot>,
+    hooks: BTreeMap<Uuid, HookEntry>,
+    next_id: ContainerId,
+    exec_config: ExecConfig,
+}
+
+impl HostingEngine {
+    /// Creates an engine for the given platform using the given
+    /// interpreter flavour (Femto-Containers or CertFC).
+    pub fn new(platform: Platform, flavor: EngineFlavor) -> Self {
+        HostingEngine {
+            platform,
+            flavor,
+            env: HostEnv::new(fc_kvstore::DEFAULT_CAPACITY),
+            containers: BTreeMap::new(),
+            hooks: BTreeMap::new(),
+            next_id: 1,
+            exec_config: ExecConfig::default(),
+        }
+    }
+
+    /// The engine's platform.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The interpreter flavour in use.
+    pub fn flavor(&self) -> EngineFlavor {
+        self.flavor
+    }
+
+    /// Overrides the finite-execution budgets applied to every
+    /// container.
+    pub fn set_exec_config(&mut self, config: ExecConfig) {
+        self.exec_config = config;
+    }
+
+    /// Host environment (stores, sensors, console) for inspection and
+    /// device registration.
+    pub fn env(&self) -> &HostEnv {
+        &self.env
+    }
+
+    /// Advances the engine's virtual clock (driven by the RTOS glue).
+    pub fn set_now_us(&self, now_us: u64) {
+        self.env.now_us.set(now_us);
+    }
+
+    /// Registers a launchpad hook with the helper set it offers.
+    pub fn register_hook(&mut self, hook: Hook, offer: ContractOffer) {
+        self.hooks
+            .insert(hook.id, HookEntry { hook, offer, attached: Vec::new(), fires: 0 });
+    }
+
+    /// Registered hook UUIDs.
+    pub fn hook_ids(&self) -> Vec<Uuid> {
+        self.hooks.keys().copied().collect()
+    }
+
+    /// Containers attached to a hook, in attachment order.
+    pub fn attached(&self, hook: Uuid) -> Vec<ContainerId> {
+        self.hooks.get(&hook).map(|h| h.attached.clone()).unwrap_or_default()
+    }
+
+    /// Installs an application image: parse → grant contract → verify
+    /// with the granted helper set (paper §7 pre-flight checks happen
+    /// exactly once, here).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Parse`] / [`EngineError::Verify`].
+    pub fn install(
+        &mut self,
+        name: &str,
+        tenant: TenantId,
+        image_bytes: &[u8],
+        request: ContractRequest,
+    ) -> Result<ContainerId, EngineError> {
+        // The engine-wide offer is the standard helper set; per-hook
+        // offers further restrict at attach time.
+        let offer = ContractOffer {
+            helpers: crate::helpers_impl::standard_helper_ids(),
+            max_extra_stack: 1024,
+        };
+        let contract = Contract::grant(&request, &offer);
+        if !contract.satisfies(&request) {
+            let missing: Vec<u32> = request
+                .helpers
+                .difference(&contract.helpers)
+                .copied()
+                .collect();
+            return Err(EngineError::ContractUnsatisfied { missing });
+        }
+        let image = FcProgram::from_bytes(image_bytes)?;
+        let program = verify(&image.text, &contract.helpers)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.containers.insert(
+            id,
+            ContainerSlot {
+                id,
+                tenant,
+                name: name.to_owned(),
+                image,
+                program,
+                contract,
+                config: self.exec_config,
+                metrics: ContainerMetrics::default(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Attaches an installed container to a hook, re-verifying the
+    /// program against the hook's (possibly narrower) helper offer.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownHook`] / [`EngineError::UnknownContainer`] /
+    /// [`EngineError::Verify`] when the hook offers fewer helpers than
+    /// the application calls.
+    pub fn attach(&mut self, container: ContainerId, hook: Uuid) -> Result<(), EngineError> {
+        let slot = self
+            .containers
+            .get(&container)
+            .ok_or(EngineError::UnknownContainer(container))?;
+        let entry = self.hooks.get_mut(&hook).ok_or(EngineError::UnknownHook(hook))?;
+        let effective: std::collections::HashSet<u32> = slot
+            .contract
+            .helpers
+            .intersection(&entry.offer.helpers)
+            .copied()
+            .collect();
+        verify(&slot.image.text, &effective)?;
+        if !entry.attached.contains(&container) {
+            entry.attached.push(container);
+        }
+        Ok(())
+    }
+
+    /// Detaches a container from a hook.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownHook`] / [`EngineError::NotAttached`].
+    pub fn detach(&mut self, container: ContainerId, hook: Uuid) -> Result<(), EngineError> {
+        let entry = self.hooks.get_mut(&hook).ok_or(EngineError::UnknownHook(hook))?;
+        let before = entry.attached.len();
+        entry.attached.retain(|c| *c != container);
+        if entry.attached.len() == before {
+            return Err(EngineError::NotAttached);
+        }
+        Ok(())
+    }
+
+    /// Removes a container entirely, detaching it everywhere and
+    /// dropping its local store.
+    pub fn remove(&mut self, container: ContainerId) -> bool {
+        for entry in self.hooks.values_mut() {
+            entry.attached.retain(|c| *c != container);
+        }
+        self.env.stores.borrow_mut().remove_container(container);
+        self.containers.remove(&container).is_some()
+    }
+
+    /// Looks up a container slot.
+    pub fn container(&self, id: ContainerId) -> Option<&ContainerSlot> {
+        self.containers.get(&id)
+    }
+
+    /// Number of installed containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Executes one container directly with the given event context and
+    /// host-granted regions.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownContainer`]; VM faults are reported inside
+    /// the [`ExecutionReport`], not as an `Err` — a faulting container
+    /// never takes the host down.
+    pub fn execute(
+        &mut self,
+        id: ContainerId,
+        ctx: &[u8],
+        extra: &[HostRegion],
+    ) -> Result<ExecutionReport, EngineError> {
+        let slot = self.containers.get(&id).ok_or(EngineError::UnknownContainer(id))?;
+        let mut mem = MemoryMap::new();
+        mem.add_stack(STACK_SIZE + slot.contract.extra_stack);
+        let ctx_region = if ctx.is_empty() {
+            None
+        } else {
+            Some(mem.add_ctx(ctx.to_vec(), Perm::RW))
+        };
+        let mut extra_ids = Vec::with_capacity(extra.len());
+        for r in extra {
+            let perm = if r.writable { Perm::RW } else { Perm::RO };
+            extra_ids.push(mem.add_host_region(&r.name, r.data.clone(), perm));
+        }
+        if !slot.image.data.is_empty() {
+            mem.add_data(slot.image.data.clone());
+        }
+        if !slot.image.rodata.is_empty() {
+            mem.add_rodata(slot.image.rodata.clone());
+        }
+
+        self.env.helper_cycles.set(0);
+        let mut helpers =
+            build_registry(&self.env, id, slot.tenant, &slot.contract.helpers);
+        let ctx_addr = if ctx.is_empty() { 0 } else { CTX_VADDR };
+        let outcome = match self.flavor {
+            EngineFlavor::CertFc => CertInterpreter::new(&slot.program, slot.config)
+                .run(&mut mem, &mut helpers, ctx_addr),
+            _ => Interpreter::new(&slot.program, slot.config).run(&mut mem, &mut helpers, ctx_addr),
+        };
+        drop(helpers);
+
+        let model = cycle_model(self.platform, self.flavor);
+        let (result, counts) = match outcome {
+            Ok(exec) => (Ok(exec.return_value), exec.counts),
+            Err(e) => (Err(e), OpCounts::default()),
+        };
+        let vm_cycles = model.execution_cycles(&counts);
+        let helper_cycles = self.env.helper_cycles.get();
+        let ctx_back = ctx_region.map(|r| mem.region_bytes(r).to_vec()).unwrap_or_default();
+        let regions_back = extra
+            .iter()
+            .zip(extra_ids)
+            .map(|(r, rid)| (r.name.clone(), mem.region_bytes(rid).to_vec()))
+            .collect();
+
+        let report = ExecutionReport {
+            container: id,
+            result,
+            counts,
+            vm_cycles,
+            helper_cycles,
+            ctx_back,
+            regions_back,
+        };
+        let slot = self.containers.get_mut(&id).expect("checked above");
+        slot.metrics.executions += 1;
+        if report.result.is_err() {
+            slot.metrics.faults += 1;
+        }
+        slot.metrics.total_cycles += report.total_cycles();
+        Ok(report)
+    }
+
+    /// Fires a hook: runs every attached container over the context and
+    /// combines results under the hook's policy.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownHook`]. Individual container faults are
+    /// contained in the per-execution reports.
+    pub fn fire_hook(
+        &mut self,
+        hook: Uuid,
+        ctx: &[u8],
+        extra: &[HostRegion],
+    ) -> Result<HookReport, EngineError> {
+        let (attached, policy) = {
+            let entry = self.hooks.get_mut(&hook).ok_or(EngineError::UnknownHook(hook))?;
+            entry.fires += 1;
+            (entry.attached.clone(), entry.hook.policy)
+        };
+        let mut executions = Vec::with_capacity(attached.len());
+        let mut cycles = self.platform.empty_hook_cycles();
+        for id in attached {
+            let report = self.execute(id, ctx, extra)?;
+            cycles += report.total_cycles();
+            executions.push(report);
+        }
+        let results: Vec<u64> =
+            executions.iter().filter_map(|e| e.result.as_ref().ok().copied()).collect();
+        let combined = policy.combine(&results);
+        Ok(HookReport { executions, combined, cycles })
+    }
+
+    /// Times a hook fire: the Table 4 measurement pair (empty hook
+    /// cycles, hook-with-application cycles).
+    pub fn hook_overhead_cycles(&self) -> u64 {
+        self.platform.empty_hook_cycles()
+    }
+
+    /// Total RAM attributable to container instances plus the stores
+    /// (the paper's §10.3 multi-instance accounting).
+    pub fn ram_bytes(&self) -> usize {
+        self.containers.values().map(ContainerSlot::ram_bytes).sum::<usize>()
+            + self.env.stores.borrow().ram_bytes()
+    }
+
+    /// Console lines captured from `bpf_printf`.
+    pub fn console(&self) -> Vec<String> {
+        self.env.console.borrow().clone()
+    }
+}
+
+impl std::fmt::Debug for HostingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostingEngine")
+            .field("platform", &self.platform)
+            .field("flavor", &self.flavor)
+            .field("containers", &self.containers.len())
+            .field("hooks", &self.hooks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers_impl::standard_helper_ids;
+    use crate::hooks::{Hook, HookKind, HookPolicy};
+    use fc_rbpf::helpers::ids;
+    use fc_rbpf::program::ProgramBuilder;
+
+    fn engine() -> HostingEngine {
+        HostingEngine::new(Platform::CortexM4, EngineFlavor::FemtoContainer)
+    }
+
+    fn image(src: &str) -> Vec<u8> {
+        ProgramBuilder::new()
+            .helpers(crate::helpers_impl::helper_name_table().iter().map(|(n, i)| (n.as_str(), *i)))
+            .asm(src)
+            .unwrap()
+            .build()
+            .to_bytes()
+    }
+
+    #[test]
+    fn install_and_execute() {
+        let mut e = engine();
+        let id = e.install("t", 1, &image("mov r0, 7\nexit"), ContractRequest::default()).unwrap();
+        let r = e.execute(id, &[], &[]).unwrap();
+        assert_eq!(r.result, Ok(7));
+        assert!(r.vm_cycles > 0);
+        assert_eq!(e.container(id).unwrap().metrics.executions, 1);
+    }
+
+    #[test]
+    fn install_rejects_bad_image_and_bad_program() {
+        let mut e = engine();
+        assert!(matches!(
+            e.install("x", 1, b"garbage", ContractRequest::default()),
+            Err(EngineError::Parse(_))
+        ));
+        // Valid image framing but invalid program (falls off the end).
+        let img = image("mov r0, 7\nexit");
+        let prog = FcProgram::from_bytes(&img).unwrap();
+        let bad = FcProgram { text: prog.text[..8].to_vec(), ..prog };
+        assert!(matches!(
+            e.install("x", 1, &bad.to_bytes(), ContractRequest::default()),
+            Err(EngineError::Verify(_))
+        ));
+    }
+
+    #[test]
+    fn helper_calls_require_contract() {
+        let mut e = engine();
+        // Program calls store_global but requests no helpers: pre-flight
+        // rejects it.
+        let img = image("mov r1, 1\nmov r2, 2\ncall bpf_store_global\nmov r0, 0\nexit");
+        assert!(matches!(
+            e.install("x", 1, &img, ContractRequest::default()),
+            Err(EngineError::Verify(VerifierError::HelperNotAllowed { .. }))
+        ));
+        // With the helper requested, it installs and runs.
+        let id = e
+            .install("x", 1, &img, ContractRequest::helpers([ids::BPF_STORE_GLOBAL]))
+            .unwrap();
+        let r = e.execute(id, &[], &[]).unwrap();
+        assert_eq!(r.result, Ok(0));
+        assert_eq!(e.env().stores.borrow().global().fetch(1), 2);
+    }
+
+    #[test]
+    fn faulting_container_is_contained() {
+        let mut e = engine();
+        let id = e
+            .install("oob", 1, &image("ldxdw r0, [r10+64]\nexit"), ContractRequest::default())
+            .unwrap();
+        let r = e.execute(id, &[], &[]).unwrap();
+        assert!(matches!(r.result, Err(VmError::InvalidMemoryAccess { .. })));
+        assert_eq!(e.container(id).unwrap().metrics.faults, 1);
+        // Engine still fully operational.
+        let id2 = e.install("ok", 1, &image("mov r0, 1\nexit"), ContractRequest::default()).unwrap();
+        assert_eq!(e.execute(id2, &[], &[]).unwrap().result, Ok(1));
+    }
+
+    #[test]
+    fn hook_attach_fire_detach() {
+        let mut e = engine();
+        e.register_hook(
+            Hook::new("custom", HookKind::Custom, HookPolicy::Sum),
+            ContractOffer::helpers(standard_helper_ids()),
+        );
+        let hook = crate::hooks::Hook::new("custom", HookKind::Custom, HookPolicy::Sum).id;
+        let a = e.install("a", 1, &image("mov r0, 10\nexit"), ContractRequest::default()).unwrap();
+        let b = e.install("b", 2, &image("mov r0, 32\nexit"), ContractRequest::default()).unwrap();
+        e.attach(a, hook).unwrap();
+        e.attach(b, hook).unwrap();
+        let report = e.fire_hook(hook, &[], &[]).unwrap();
+        assert_eq!(report.combined, Some(42));
+        assert_eq!(report.executions.len(), 2);
+        assert!(report.cycles > e.hook_overhead_cycles());
+        e.detach(a, hook).unwrap();
+        assert_eq!(e.fire_hook(hook, &[], &[]).unwrap().combined, Some(32));
+        assert!(matches!(e.detach(a, hook), Err(EngineError::NotAttached)));
+    }
+
+    #[test]
+    fn empty_hook_returns_default_flow() {
+        let mut e = engine();
+        e.register_hook(
+            Hook::new("empty", HookKind::Custom, HookPolicy::First),
+            ContractOffer::default(),
+        );
+        let hook = Hook::new("empty", HookKind::Custom, HookPolicy::First).id;
+        let report = e.fire_hook(hook, &[], &[]).unwrap();
+        assert_eq!(report.combined, None);
+        assert_eq!(report.cycles, e.platform().empty_hook_cycles());
+    }
+
+    #[test]
+    fn hook_offer_narrower_than_install_rejects_attach() {
+        let mut e = engine();
+        e.register_hook(
+            Hook::new("narrow", HookKind::Custom, HookPolicy::First),
+            ContractOffer::helpers([]), // offers nothing
+        );
+        let hook = Hook::new("narrow", HookKind::Custom, HookPolicy::First).id;
+        let img = image("mov r1, 1\nmov r2, 2\ncall bpf_store_global\nmov r0, 0\nexit");
+        let id = e
+            .install("x", 1, &img, ContractRequest::helpers([ids::BPF_STORE_GLOBAL]))
+            .unwrap();
+        assert!(matches!(e.attach(id, hook), Err(EngineError::Verify(_))));
+    }
+
+    #[test]
+    fn ctx_passed_and_returned() {
+        let mut e = engine();
+        let src = "\
+ldxdw r2, [r1]
+add r2, 1
+stxdw [r1], r2
+mov r0, r2
+exit";
+        let id = e.install("inc", 1, &image(src), ContractRequest::default()).unwrap();
+        let ctx = 41u64.to_le_bytes().to_vec();
+        let r = e.execute(id, &ctx, &[]).unwrap();
+        assert_eq!(r.result, Ok(42));
+        assert_eq!(r.ctx_back, 42u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn read_only_region_cannot_be_modified() {
+        let mut e = engine();
+        // Tries to write the first host region.
+        let src = "\
+lddw r1, 0x60000000
+stb [r1], 1
+mov r0, 0
+exit";
+        let id = e.install("fw", 1, &image(src), ContractRequest::default()).unwrap();
+        let r = e
+            .execute(id, &[], &[HostRegion::read_only("pkt", vec![0; 16])])
+            .unwrap();
+        assert!(matches!(r.result, Err(VmError::InvalidMemoryAccess { write: true, .. })));
+        // Read-only inspection works.
+        let src_read = "\
+lddw r1, 0x60000000
+ldxb r0, [r1]
+exit";
+        let id2 = e.install("fw2", 1, &image(src_read), ContractRequest::default()).unwrap();
+        let r2 = e
+            .execute(id2, &[], &[HostRegion::read_only("pkt", vec![9; 16])])
+            .unwrap();
+        assert_eq!(r2.result, Ok(9));
+    }
+
+    #[test]
+    fn local_stores_are_per_container_and_dropped_on_remove() {
+        let mut e = engine();
+        let src = "\
+mov r1, 5
+mov r2, 77
+call bpf_store_local
+mov r1, 5
+mov r2, r10
+add r2, -8
+call bpf_fetch_local
+ldxw r0, [r10-8]
+exit";
+        let req = ContractRequest::helpers([ids::BPF_STORE_LOCAL, ids::BPF_FETCH_LOCAL]);
+        let a = e.install("a", 1, &image(src), req.clone()).unwrap();
+        let r = e.execute(a, &[], &[]).unwrap();
+        assert_eq!(r.result, Ok(77));
+        assert!(e.env().stores.borrow().local(a).is_some());
+        assert!(e.remove(a));
+        assert!(e.env().stores.borrow().local(a).is_none());
+        assert!(matches!(e.execute(a, &[], &[]), Err(EngineError::UnknownContainer(_))));
+    }
+
+    #[test]
+    fn ram_accounting_matches_paper_per_instance() {
+        let mut e = engine();
+        let id = e.install("t", 1, &image("mov r0, 0\nexit"), ContractRequest::default()).unwrap();
+        let per_instance = e.container(id).unwrap().ram_bytes();
+        assert_eq!(per_instance, 624, "paper §10.3: 624 B per instance");
+    }
+
+    #[test]
+    fn certfc_flavor_executes_identically() {
+        let mut fc = engine();
+        let mut cert = HostingEngine::new(Platform::CortexM4, EngineFlavor::CertFc);
+        let img = image("mov r0, 9\nmul r0, r0\nexit");
+        let a = fc.install("x", 1, &img, ContractRequest::default()).unwrap();
+        let b = cert.install("x", 1, &img, ContractRequest::default()).unwrap();
+        let ra = fc.execute(a, &[], &[]).unwrap();
+        let rb = cert.execute(b, &[], &[]).unwrap();
+        assert_eq!(ra.result, rb.result);
+        assert!(rb.vm_cycles > ra.vm_cycles, "CertFC is slower");
+    }
+
+    #[test]
+    fn infinite_loop_contained_by_budget() {
+        let mut e = engine();
+        e.set_exec_config(ExecConfig::new(1000, 100));
+        let id = e
+            .install("spin", 1, &image("spin: ja spin\nexit"), ContractRequest::default())
+            .unwrap();
+        let r = e.execute(id, &[], &[]).unwrap();
+        assert!(matches!(
+            r.result,
+            Err(VmError::BranchBudgetExceeded { .. } | VmError::InstructionBudgetExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,189 @@
+//! Flash and RAM footprint models for the engine and OS images
+//! (paper Tables 1 & 3, Figures 2 & 7).
+//!
+//! Flash follows the structural model of DESIGN.md §3: each component's
+//! Cortex-M4 (Thumb-2) size is a calibrated constant derived from the
+//! paper's own measurements, and other ISAs scale through
+//! [`Platform::code_density_factor`]. RAM numbers come from the real
+//! per-instance structures (see [`crate::engine::ContainerSlot::ram_bytes`]).
+
+use fc_rtos::platform::{Engine, Platform};
+
+/// Flash/RAM requirement pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Flash bytes.
+    pub rom_bytes: usize,
+    /// RAM bytes.
+    pub ram_bytes: usize,
+}
+
+/// Engine footprint on a platform (paper Table 3 on Cortex-M4 and
+/// Figure 7 across platforms).
+///
+/// Thumb-2 baselines: Femto-Containers 2 992 B, rBPF 3 032 B, CertFC
+/// 1 378 B (the ∂x-extracted interpreter is structurally simpler — a
+/// 55 % flash reduction, §10.1). RAM: 624 B per instance for FC
+/// (512 B stack + 88 B registers + housekeeping), 620 B for rBPF (lighter
+/// slot struct), 672 B for CertFC (~50 B of VM state kept in the context
+/// struct instead of the thread stack).
+pub fn engine_footprint(engine: Engine, platform: Platform) -> Footprint {
+    let (rom_thumb2, ram) = match engine {
+        Engine::FemtoContainer => (2992, 624),
+        Engine::Rbpf => (3032, 620),
+        Engine::CertFc => (1378, 672),
+    };
+    Footprint {
+        rom_bytes: (rom_thumb2 as f64 * platform.code_density_factor()).round() as usize,
+        ram_bytes: ram,
+    }
+}
+
+/// One component of the OS firmware image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsComponent {
+    /// Component name as in the paper's Figure 2.
+    pub name: &'static str,
+    /// Flash bytes on Cortex-M4.
+    pub rom_bytes: usize,
+}
+
+/// The base RIOT image configured as in the paper's Appendix A
+/// (6LoWPAN, CoAP, SUIT-compliant OTA — "totalling 53 kBytes in Flash").
+/// The component split matches Figure 2's rBPF pie once the runtime is
+/// added.
+pub fn os_components() -> [OsComponent; 4] {
+    [
+        OsComponent { name: "Crypto", rom_bytes: 7_400 },
+        OsComponent { name: "Network stack", rom_bytes: 20_050 },
+        OsComponent { name: "Kernel", rom_bytes: 17_100 },
+        OsComponent { name: "OTA module", rom_bytes: 8_200 },
+    ]
+}
+
+/// Total flash of the base OS (Table 1's "Host OS (without VM)" row:
+/// 52.5 KiB).
+pub fn os_rom_bytes() -> usize {
+    os_components().iter().map(|c| c.rom_bytes).sum()
+}
+
+/// Base OS RAM (Table 1: 16.3 KiB — thread stacks, network buffers,
+/// kernel state).
+pub fn os_ram_bytes() -> usize {
+    16_690
+}
+
+/// A full firmware image: the OS plus a hosted-function runtime, for
+/// Figure 2's flash-distribution comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirmwareImage {
+    /// Runtime name shown in the figure.
+    pub runtime_name: String,
+    /// (component, flash bytes) rows including the runtime.
+    pub components: Vec<(String, usize)>,
+}
+
+impl FirmwareImage {
+    /// Composes the base OS with a runtime of the given flash size.
+    pub fn with_runtime(runtime_name: &str, runtime_rom: usize) -> Self {
+        let mut components: Vec<(String, usize)> = os_components()
+            .iter()
+            .map(|c| (c.name.to_owned(), c.rom_bytes))
+            .collect();
+        components.push((format!("{runtime_name} runtime"), runtime_rom));
+        FirmwareImage { runtime_name: runtime_name.to_owned(), components }
+    }
+
+    /// Total flash of the image.
+    pub fn total_rom(&self) -> usize {
+        self.components.iter().map(|(_, b)| *b).sum()
+    }
+
+    /// Percentage share per component (Figure 2's pie slices).
+    pub fn percentages(&self) -> Vec<(String, f64)> {
+        let total = self.total_rom() as f64;
+        self.components
+            .iter()
+            .map(|(n, b)| (n.clone(), *b as f64 * 100.0 / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_rtos::platform::{ALL_ENGINES, ALL_PLATFORMS};
+
+    #[test]
+    fn table3_values_on_cortex_m4() {
+        let fc = engine_footprint(Engine::FemtoContainer, Platform::CortexM4);
+        let rbpf = engine_footprint(Engine::Rbpf, Platform::CortexM4);
+        let cert = engine_footprint(Engine::CertFc, Platform::CortexM4);
+        assert_eq!((fc.rom_bytes, fc.ram_bytes), (2992, 624));
+        assert_eq!((rbpf.rom_bytes, rbpf.ram_bytes), (3032, 620));
+        assert_eq!((cert.rom_bytes, cert.ram_bytes), (1378, 672));
+    }
+
+    #[test]
+    fn certfc_reduces_flash_by_55_percent() {
+        let fc = engine_footprint(Engine::FemtoContainer, Platform::CortexM4);
+        let cert = engine_footprint(Engine::CertFc, Platform::CortexM4);
+        let reduction = 1.0 - cert.rom_bytes as f64 / fc.rom_bytes as f64;
+        assert!((0.50..0.60).contains(&reduction), "{reduction}");
+    }
+
+    #[test]
+    fn figure7_bars_fit_axis() {
+        // Figure 7's y-axis tops out at 4 500 B.
+        for p in ALL_PLATFORMS {
+            for e in ALL_ENGINES {
+                let fp = engine_footprint(e, p);
+                assert!(fp.rom_bytes <= 4_500, "{e:?}/{p:?}: {}", fp.rom_bytes);
+                assert!(fp.rom_bytes >= 1_000);
+            }
+        }
+    }
+
+    #[test]
+    fn esp32_images_are_largest() {
+        for e in ALL_ENGINES {
+            let cm4 = engine_footprint(e, Platform::CortexM4).rom_bytes;
+            let esp = engine_footprint(e, Platform::Esp32).rom_bytes;
+            let rv = engine_footprint(e, Platform::RiscV).rom_bytes;
+            assert!(esp > rv && rv > cm4);
+        }
+    }
+
+    #[test]
+    fn base_os_matches_table1() {
+        let rom_kib = os_rom_bytes() as f64 / 1024.0;
+        assert!((51.0..54.0).contains(&rom_kib), "{rom_kib} KiB");
+        let ram_kib = os_ram_bytes() as f64 / 1024.0;
+        assert!((16.0..16.6).contains(&ram_kib), "{ram_kib} KiB");
+    }
+
+    #[test]
+    fn figure2_rbpf_image_is_57kb_with_8_percent_runtime() {
+        let img = FirmwareImage::with_runtime("Femto-Container (rBPF)", 4_506);
+        let total_kb = img.total_rom() as f64 / 1000.0;
+        assert!((55.0..60.0).contains(&total_kb), "{total_kb} kB");
+        let (_, pct) = img.percentages().pop().expect("runtime row");
+        assert!((6.0..10.0).contains(&pct), "runtime share {pct}%");
+    }
+
+    #[test]
+    fn figure2_micropython_image_is_154kb_with_66_percent_runtime() {
+        let img = FirmwareImage::with_runtime("MicroPython", 101 * 1024);
+        let total_kb = img.total_rom() as f64 / 1000.0;
+        assert!((150.0..160.0).contains(&total_kb), "{total_kb} kB");
+        let (_, pct) = img.percentages().pop().expect("runtime row");
+        assert!((63.0..69.0).contains(&pct), "runtime share {pct}%");
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let img = FirmwareImage::with_runtime("x", 10_000);
+        let sum: f64 = img.percentages().iter().map(|(_, p)| p).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+}

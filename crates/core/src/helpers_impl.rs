@@ -1,0 +1,507 @@
+//! The standard system-call bridge between containers and the RTOS
+//! (paper §7): key-value stores, time, sensors, CoAP response
+//! formatting, string formatting, diagnostics.
+//!
+//! Each helper also carries a modeled *internal* cycle cost — the native
+//! work the OS performs on the container's behalf — accumulated per
+//! execution for the platform timing model (these native costs are why
+//! the paper's CoAP-formatter example "depends heavily on system calls"
+//! yet stays fast, §10.2).
+
+use std::cell::{Cell, RefCell};
+
+use fc_kvstore::{ContainerId, Scope, StoreManager, TenantId};
+use fc_rbpf::error::VmError;
+use fc_rbpf::helpers::{ids, HelperRegistry};
+use fc_rbpf::mem::HOST_VADDR_BASE;
+use fc_rtos::saul::SaulRegistry;
+
+use crate::contract::HelperSet;
+
+/// Host-side state shared with helper closures through interior
+/// mutability.
+#[derive(Debug, Default)]
+pub struct HostEnv {
+    /// All key-value stores on the device.
+    pub stores: RefCell<StoreManager>,
+    /// The SAUL device registry.
+    pub saul: RefCell<SaulRegistry>,
+    /// Captured `bpf_printf` output.
+    pub console: RefCell<Vec<String>>,
+    /// Virtual time in microseconds (advanced by the RTOS glue).
+    pub now_us: Cell<u64>,
+    /// LCG state for `bpf_random`.
+    pub rng_state: Cell<u64>,
+    /// Helper-internal cycles accumulated during the current execution.
+    pub helper_cycles: Cell<u64>,
+}
+
+impl HostEnv {
+    /// Creates an environment with the given store capacity.
+    pub fn new(store_capacity: usize) -> Self {
+        HostEnv {
+            stores: RefCell::new(StoreManager::new(store_capacity)),
+            saul: RefCell::new(SaulRegistry::new()),
+            console: RefCell::new(Vec::new()),
+            now_us: Cell::new(0),
+            rng_state: Cell::new(0x2545_f491_4f6c_dd1d),
+            helper_cycles: Cell::new(0),
+        }
+    }
+
+    fn charge(&self, cycles: u64) {
+        self.helper_cycles.set(self.helper_cycles.get() + cycles);
+    }
+}
+
+/// Modeled native cost of each helper (Cortex-M4 cycles; other
+/// platforms scale through the cycle model's call factor upstream).
+pub fn helper_internal_cycles(id: u32) -> u64 {
+    match id {
+        ids::BPF_PRINTF => 800,
+        ids::BPF_PRINT_NUM => 200,
+        ids::BPF_MEMCPY => 120,
+        ids::BPF_FETCH_LOCAL | ids::BPF_STORE_LOCAL => 150,
+        ids::BPF_FETCH_GLOBAL | ids::BPF_STORE_GLOBAL => 150,
+        ids::BPF_FETCH_SHARED | ids::BPF_STORE_SHARED => 170,
+        ids::BPF_NOW_MS | ids::BPF_ZTIMER_NOW => 60,
+        ids::BPF_SAUL_READ => 320,
+        ids::BPF_SAUL_FIND_NTH => 90,
+        ids::BPF_GCOAP_RESP_INIT => 520,
+        ids::BPF_COAP_ADD_FORMAT => 160,
+        ids::BPF_COAP_OPT_FINISH => 140,
+        ids::BPF_FMT_S16_DFP => 460,
+        ids::BPF_FMT_U32_DEC => 380,
+        ids::BPF_RANDOM => 80,
+        _ => 100,
+    }
+}
+
+/// All standard helper ids offered by the reference launchpads.
+pub fn standard_helper_ids() -> HelperSet {
+    [
+        ids::BPF_PRINTF,
+        ids::BPF_PRINT_NUM,
+        ids::BPF_MEMCPY,
+        ids::BPF_FETCH_LOCAL,
+        ids::BPF_STORE_LOCAL,
+        ids::BPF_FETCH_GLOBAL,
+        ids::BPF_STORE_GLOBAL,
+        ids::BPF_FETCH_SHARED,
+        ids::BPF_STORE_SHARED,
+        ids::BPF_NOW_MS,
+        ids::BPF_ZTIMER_NOW,
+        ids::BPF_SAUL_READ,
+        ids::BPF_SAUL_FIND_NTH,
+        ids::BPF_GCOAP_RESP_INIT,
+        ids::BPF_COAP_ADD_FORMAT,
+        ids::BPF_COAP_OPT_FINISH,
+        ids::BPF_FMT_S16_DFP,
+        ids::BPF_FMT_U32_DEC,
+        ids::BPF_RANDOM,
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Assembler name table for the standard helpers, letting application
+/// sources `call` them by name.
+pub fn helper_name_table() -> Vec<(String, u32)> {
+    [
+        ("bpf_printf", ids::BPF_PRINTF),
+        ("bpf_print_num", ids::BPF_PRINT_NUM),
+        ("bpf_memcpy", ids::BPF_MEMCPY),
+        ("bpf_fetch_local", ids::BPF_FETCH_LOCAL),
+        ("bpf_store_local", ids::BPF_STORE_LOCAL),
+        ("bpf_fetch_global", ids::BPF_FETCH_GLOBAL),
+        ("bpf_store_global", ids::BPF_STORE_GLOBAL),
+        ("bpf_fetch_shared", ids::BPF_FETCH_SHARED),
+        ("bpf_store_shared", ids::BPF_STORE_SHARED),
+        ("bpf_now_ms", ids::BPF_NOW_MS),
+        ("bpf_ztimer_now", ids::BPF_ZTIMER_NOW),
+        ("bpf_saul_read", ids::BPF_SAUL_READ),
+        ("bpf_saul_find_nth", ids::BPF_SAUL_FIND_NTH),
+        ("bpf_gcoap_resp_init", ids::BPF_GCOAP_RESP_INIT),
+        ("bpf_coap_add_format", ids::BPF_COAP_ADD_FORMAT),
+        ("bpf_coap_opt_finish", ids::BPF_COAP_OPT_FINISH),
+        ("bpf_fmt_s16_dfp", ids::BPF_FMT_S16_DFP),
+        ("bpf_fmt_u32_dec", ids::BPF_FMT_U32_DEC),
+        ("bpf_random", ids::BPF_RANDOM),
+    ]
+    .into_iter()
+    .map(|(n, i)| (n.to_owned(), i))
+    .collect()
+}
+
+/// Layout of the CoAP-hook context struct handed to containers:
+/// `{ pkt_vaddr: u64, buf_len: u32, cursor: u32 }`. The packet buffer is
+/// the first host-granted region, so its virtual address is
+/// [`HOST_VADDR_BASE`].
+pub fn coap_ctx_bytes(buf_len: u32) -> Vec<u8> {
+    let mut ctx = Vec::with_capacity(16);
+    ctx.extend_from_slice(&HOST_VADDR_BASE.to_le_bytes());
+    ctx.extend_from_slice(&buf_len.to_le_bytes());
+    ctx.extend_from_slice(&0u32.to_le_bytes());
+    ctx
+}
+
+/// Builds the helper registry for one container execution, exposing
+/// only the helpers granted by its contract.
+pub fn build_registry<'h>(
+    env: &'h HostEnv,
+    container: ContainerId,
+    tenant: TenantId,
+    granted: &HelperSet,
+) -> HelperRegistry<'h> {
+    let mut reg = HelperRegistry::new();
+    let has = |id: u32| granted.contains(&id);
+
+    if has(ids::BPF_PRINTF) {
+        reg.register(ids::BPF_PRINTF, "bpf_printf", move |mem, args| {
+            env.charge(helper_internal_cycles(ids::BPF_PRINTF));
+            let fmt = mem.c_string(args[0], 256)?;
+            let mut out = String::new();
+            let mut arg_i = 1;
+            let mut chars = fmt.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c == '%' {
+                    match chars.next() {
+                        Some('d') => {
+                            out.push_str(&(args.get(arg_i).copied().unwrap_or(0) as i64).to_string());
+                            arg_i += 1;
+                        }
+                        Some('u') => {
+                            out.push_str(&args.get(arg_i).copied().unwrap_or(0).to_string());
+                            arg_i += 1;
+                        }
+                        Some('x') => {
+                            out.push_str(&format!("{:x}", args.get(arg_i).copied().unwrap_or(0)));
+                            arg_i += 1;
+                        }
+                        Some('%') => out.push('%'),
+                        Some(other) => {
+                            out.push('%');
+                            out.push(other);
+                        }
+                        None => out.push('%'),
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            env.console.borrow_mut().push(out);
+            Ok(0)
+        });
+    }
+    if has(ids::BPF_PRINT_NUM) {
+        reg.register(ids::BPF_PRINT_NUM, "bpf_print_num", move |_mem, args| {
+            env.charge(helper_internal_cycles(ids::BPF_PRINT_NUM));
+            env.console.borrow_mut().push(format!("{}", args[0] as i64));
+            Ok(0)
+        });
+    }
+    if has(ids::BPF_MEMCPY) {
+        reg.register(ids::BPF_MEMCPY, "bpf_memcpy", move |mem, args| {
+            let len = args[2] as usize;
+            env.charge(helper_internal_cycles(ids::BPF_MEMCPY) + len as u64);
+            let src = mem.slice(args[1], len)?.to_vec();
+            mem.slice_mut(args[0], len)?.copy_from_slice(&src);
+            Ok(args[0])
+        });
+    }
+
+    // Key-value store family: fetch writes a 32-bit value through a
+    // pointer (matching the C API in paper Listing 2); store takes the
+    // value directly.
+    let mut kv = |id: u32, name: &'static str, scope: Scope, is_fetch: bool| {
+        if !has(id) {
+            return;
+        }
+        reg.register(id, name, move |mem, args| {
+            env.charge(helper_internal_cycles(id));
+            let key = args[0] as u32;
+            if is_fetch {
+                let v = env.stores.borrow().fetch(container, tenant, scope, key);
+                mem.store(args[1], 4, v as u32 as u64)?;
+                Ok(0)
+            } else {
+                env.stores
+                    .borrow_mut()
+                    .store(container, tenant, scope, key, args[1] as u32 as i64)
+                    .map_err(|e| VmError::HelperFault { id, reason: e.to_string() })?;
+                Ok(0)
+            }
+        });
+    };
+    kv(ids::BPF_FETCH_LOCAL, "bpf_fetch_local", Scope::Local, true);
+    kv(ids::BPF_STORE_LOCAL, "bpf_store_local", Scope::Local, false);
+    kv(ids::BPF_FETCH_GLOBAL, "bpf_fetch_global", Scope::Global, true);
+    kv(ids::BPF_STORE_GLOBAL, "bpf_store_global", Scope::Global, false);
+    kv(ids::BPF_FETCH_SHARED, "bpf_fetch_shared", Scope::Tenant, true);
+    kv(ids::BPF_STORE_SHARED, "bpf_store_shared", Scope::Tenant, false);
+
+    if has(ids::BPF_NOW_MS) {
+        reg.register(ids::BPF_NOW_MS, "bpf_now_ms", move |_mem, _args| {
+            env.charge(helper_internal_cycles(ids::BPF_NOW_MS));
+            Ok(env.now_us.get() / 1000)
+        });
+    }
+    if has(ids::BPF_ZTIMER_NOW) {
+        reg.register(ids::BPF_ZTIMER_NOW, "bpf_ztimer_now", move |_mem, _args| {
+            env.charge(helper_internal_cycles(ids::BPF_ZTIMER_NOW));
+            Ok(env.now_us.get())
+        });
+    }
+    if has(ids::BPF_SAUL_FIND_NTH) {
+        reg.register(ids::BPF_SAUL_FIND_NTH, "bpf_saul_find_nth", move |_mem, args| {
+            env.charge(helper_internal_cycles(ids::BPF_SAUL_FIND_NTH));
+            let n = args[0] as usize;
+            Ok(if env.saul.borrow().find_nth(n).is_some() { n as u64 } else { u64::MAX })
+        });
+    }
+    if has(ids::BPF_SAUL_READ) {
+        reg.register(ids::BPF_SAUL_READ, "bpf_saul_read", move |mem, args| {
+            env.charge(helper_internal_cycles(ids::BPF_SAUL_READ));
+            let n = args[0] as usize;
+            match env.saul.borrow_mut().read(n) {
+                Some(phydat) => {
+                    mem.store(args[1], 4, phydat.value as u32 as u64)?;
+                    Ok(0)
+                }
+                None => Err(VmError::HelperFault {
+                    id: ids::BPF_SAUL_READ,
+                    reason: format!("no saul device {n}"),
+                }),
+            }
+        });
+    }
+
+    // CoAP response formatting over the granted packet region. The ctx
+    // struct layout is documented at `coap_ctx_bytes`.
+    if has(ids::BPF_GCOAP_RESP_INIT) {
+        reg.register(ids::BPF_GCOAP_RESP_INIT, "bpf_gcoap_resp_init", move |mem, args| {
+            env.charge(helper_internal_cycles(ids::BPF_GCOAP_RESP_INIT));
+            let ctx = args[0];
+            let pkt = mem.load(ctx, 8)?;
+            // ACK, version 1, zero-length token; code from r2.
+            mem.store(pkt, 1, 0x60)?;
+            mem.store(pkt + 1, 1, args[1] & 0xff)?;
+            mem.store(pkt + 2, 2, 0)?;
+            mem.store(ctx + 12, 4, 4)?; // cursor
+            Ok(0)
+        });
+    }
+    if has(ids::BPF_COAP_ADD_FORMAT) {
+        reg.register(ids::BPF_COAP_ADD_FORMAT, "bpf_coap_add_format", move |mem, args| {
+            env.charge(helper_internal_cycles(ids::BPF_COAP_ADD_FORMAT));
+            let ctx = args[0];
+            let pkt = mem.load(ctx, 8)?;
+            let cursor = mem.load(ctx + 12, 4)?;
+            let fmt = args[1];
+            let used = if fmt == 0 {
+                // Content-Format (12), zero-length value.
+                mem.store(pkt + cursor, 1, 0xc0)?;
+                1
+            } else {
+                mem.store(pkt + cursor, 1, 0xc1)?;
+                mem.store(pkt + cursor + 1, 1, fmt & 0xff)?;
+                2
+            };
+            mem.store(ctx + 12, 4, cursor + used)?;
+            Ok(0)
+        });
+    }
+    if has(ids::BPF_COAP_OPT_FINISH) {
+        reg.register(ids::BPF_COAP_OPT_FINISH, "bpf_coap_opt_finish", move |mem, args| {
+            env.charge(helper_internal_cycles(ids::BPF_COAP_OPT_FINISH));
+            let ctx = args[0];
+            let pkt = mem.load(ctx, 8)?;
+            let cursor = mem.load(ctx + 12, 4)?;
+            mem.store(pkt + cursor, 1, 0xff)?;
+            let payload_off = cursor + 1;
+            mem.store(ctx + 12, 4, payload_off)?;
+            Ok(payload_off)
+        });
+    }
+    if has(ids::BPF_FMT_U32_DEC) {
+        reg.register(ids::BPF_FMT_U32_DEC, "bpf_fmt_u32_dec", move |mem, args| {
+            env.charge(helper_internal_cycles(ids::BPF_FMT_U32_DEC));
+            let text = (args[1] as u32).to_string();
+            let dst = mem.slice_mut(args[0], text.len())?;
+            dst.copy_from_slice(text.as_bytes());
+            Ok(text.len() as u64)
+        });
+    }
+    if has(ids::BPF_FMT_S16_DFP) {
+        reg.register(ids::BPF_FMT_S16_DFP, "bpf_fmt_s16_dfp", move |mem, args| {
+            env.charge(helper_internal_cycles(ids::BPF_FMT_S16_DFP));
+            // Render `value × 10^scale` where scale is a small negative
+            // exponent (RIOT's fmt_s16_dfp).
+            let value = args[1] as u32 as i32 as i64;
+            let scale = args[2] as u32 as i32;
+            let text = if scale >= 0 {
+                (value * 10i64.pow(scale as u32)).to_string()
+            } else {
+                let div = 10i64.pow((-scale) as u32);
+                let sign = if value < 0 { "-" } else { "" };
+                let v = value.abs();
+                format!("{sign}{}.{:0width$}", v / div, v % div, width = (-scale) as usize)
+            };
+            let dst = mem.slice_mut(args[0], text.len())?;
+            dst.copy_from_slice(text.as_bytes());
+            Ok(text.len() as u64)
+        });
+    }
+    if has(ids::BPF_RANDOM) {
+        reg.register(ids::BPF_RANDOM, "bpf_random", move |_mem, _args| {
+            env.charge(helper_internal_cycles(ids::BPF_RANDOM));
+            let mut s = env.rng_state.get();
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            env.rng_state.set(s);
+            Ok(s)
+        });
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_rbpf::mem::{MemoryMap, Perm, CTX_VADDR, STACK_VADDR};
+
+    fn env() -> HostEnv {
+        HostEnv::new(32)
+    }
+
+    #[test]
+    fn registry_only_exposes_granted_helpers() {
+        let env = env();
+        let granted: HelperSet = [ids::BPF_NOW_MS].into_iter().collect();
+        let reg = build_registry(&env, 1, 1, &granted);
+        assert_eq!(reg.granted_ids(), granted);
+    }
+
+    #[test]
+    fn kv_fetch_store_round_trip_through_memory() {
+        let env = env();
+        let mut reg = build_registry(&env, 1, 7, &standard_helper_ids());
+        let mut mem = MemoryMap::new();
+        mem.add_stack(64);
+        // store_global(5, 42)
+        reg.call(ids::BPF_STORE_GLOBAL, &mut mem, [5, 42, 0, 0, 0]).unwrap();
+        // fetch_global(5, stack)
+        reg.call(ids::BPF_FETCH_GLOBAL, &mut mem, [5, STACK_VADDR, 0, 0, 0]).unwrap();
+        assert_eq!(mem.load(STACK_VADDR, 4).unwrap(), 42);
+    }
+
+    #[test]
+    fn tenant_scope_isolated_between_tenants() {
+        let env = env();
+        {
+            let mut reg_a = build_registry(&env, 1, 100, &standard_helper_ids());
+            let mut mem = MemoryMap::new();
+            mem.add_stack(64);
+            reg_a.call(ids::BPF_STORE_SHARED, &mut mem, [1, 11, 0, 0, 0]).unwrap();
+        }
+        let mut reg_b = build_registry(&env, 2, 200, &standard_helper_ids());
+        let mut mem = MemoryMap::new();
+        mem.add_stack(64);
+        reg_b.call(ids::BPF_FETCH_SHARED, &mut mem, [1, STACK_VADDR, 0, 0, 0]).unwrap();
+        assert_eq!(mem.load(STACK_VADDR, 4).unwrap(), 0, "tenant B sees nothing");
+    }
+
+    #[test]
+    fn printf_formats_and_captures() {
+        let env = env();
+        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let mut mem = MemoryMap::new();
+        mem.add_rodata(b"t=%d hex=%x\0".to_vec());
+        let rodata = fc_rbpf::mem::RODATA_VADDR;
+        reg.call(ids::BPF_PRINTF, &mut mem, [rodata, 42, 255, 0, 0]).unwrap();
+        assert_eq!(env.console.borrow().as_slice(), ["t=42 hex=ff"]);
+    }
+
+    #[test]
+    fn saul_read_writes_sample() {
+        let env = env();
+        env.saul.borrow_mut().register("t0", fc_rtos::saul::DeviceClass::SenseTemp, || {
+            fc_rtos::saul::Phydat { value: 2155, scale: -2 }
+        });
+        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let mut mem = MemoryMap::new();
+        mem.add_stack(64);
+        reg.call(ids::BPF_SAUL_READ, &mut mem, [0, STACK_VADDR, 0, 0, 0]).unwrap();
+        assert_eq!(mem.load(STACK_VADDR, 4).unwrap(), 2155);
+        // Missing device faults.
+        assert!(reg.call(ids::BPF_SAUL_READ, &mut mem, [9, STACK_VADDR, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn coap_formatting_sequence_produces_valid_pdu() {
+        let env = env();
+        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let mut mem = MemoryMap::new();
+        mem.add_stack(64);
+        mem.add_ctx(coap_ctx_bytes(64), Perm::RW);
+        let pkt = mem.add_host_region("pkt", vec![0; 64], Perm::RW);
+        reg.call(ids::BPF_GCOAP_RESP_INIT, &mut mem, [CTX_VADDR, 0x45, 0, 0, 0]).unwrap();
+        reg.call(ids::BPF_COAP_ADD_FORMAT, &mut mem, [CTX_VADDR, 0, 0, 0, 0]).unwrap();
+        let off = reg.call(ids::BPF_COAP_OPT_FINISH, &mut mem, [CTX_VADDR, 0, 0, 0, 0]).unwrap();
+        let pkt_addr = mem.region_vaddr(pkt);
+        let len = reg
+            .call(ids::BPF_FMT_U32_DEC, &mut mem, [pkt_addr + off, 2155, 0, 0, 0])
+            .unwrap();
+        let total = (off + len) as usize;
+        let pdu = mem.region_bytes(pkt)[..total].to_vec();
+        // Header: ACK ver1 tkl0, code 2.05, then option 0xc0, 0xff, "2155".
+        assert_eq!(pdu[0], 0x60);
+        assert_eq!(pdu[1], 0x45);
+        assert_eq!(pdu[4], 0xc0);
+        assert_eq!(pdu[5], 0xff);
+        assert_eq!(&pdu[6..], b"2155");
+        // And it parses as a real CoAP message.
+        let msg = fc_net::coap::Message::decode(&pdu).unwrap();
+        assert_eq!(msg.code, fc_net::coap::Code::Content);
+        assert_eq!(msg.payload, b"2155");
+    }
+
+    #[test]
+    fn fmt_s16_dfp_renders_fixed_point() {
+        let env = env();
+        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let mut mem = MemoryMap::new();
+        mem.add_stack(64);
+        let scale_minus_2 = (-2i32) as u32 as u64;
+        let len = reg
+            .call(ids::BPF_FMT_S16_DFP, &mut mem, [STACK_VADDR, 2155, scale_minus_2, 0, 0])
+            .unwrap();
+        let text = &mem.region_bytes(mem.find_region("stack").unwrap())[..len as usize];
+        assert_eq!(text, b"21.55");
+    }
+
+    #[test]
+    fn helper_cycles_accumulate() {
+        let env = env();
+        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let mut mem = MemoryMap::new();
+        reg.call(ids::BPF_NOW_MS, &mut mem, [0; 5]).unwrap();
+        reg.call(ids::BPF_RANDOM, &mut mem, [0; 5]).unwrap();
+        assert_eq!(
+            env.helper_cycles.get(),
+            helper_internal_cycles(ids::BPF_NOW_MS) + helper_internal_cycles(ids::BPF_RANDOM)
+        );
+    }
+
+    #[test]
+    fn random_is_nonzero_and_changes() {
+        let env = env();
+        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let mut mem = MemoryMap::new();
+        let a = reg.call(ids::BPF_RANDOM, &mut mem, [0; 5]).unwrap();
+        let b = reg.call(ids::BPF_RANDOM, &mut mem, [0; 5]).unwrap();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

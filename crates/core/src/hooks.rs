@@ -1,0 +1,128 @@
+//! Launchpad hooks: the pre-determined attachment points compiled into
+//! the RTOS firmware (paper §5, "Slim Event-based Launchpad Execution
+//! Model", and §7 "Hooks & Event-based Execution").
+//!
+//! Containers can only be attached to and launched from these pads;
+//! inserting a *new* pad requires a firmware update, while attaching an
+//! application to an existing pad is a runtime operation driven by a
+//! SUIT manifest naming the pad's UUID.
+
+use fc_suit::Uuid;
+
+/// The namespace for hook UUIDs (storage-location ids in manifests).
+pub const HOOK_NAMESPACE: &str = "femto-container/hooks";
+
+/// What kind of kernel event triggers a hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HookKind {
+    /// Fired on every scheduler thread switch (paper §8.2).
+    SchedSwitch,
+    /// Fired by a periodic timer (paper §8.3, sensor logic).
+    Timer,
+    /// Fired on an incoming CoAP request (paper §8.3, response logic).
+    CoapRequest,
+    /// Fired on network packet reception (firewall-style inspection).
+    PacketRx,
+    /// Fired by explicit firmware code (Listing 1 style).
+    Custom,
+}
+
+/// How the results of multiple containers attached to one pad combine
+/// into the value the firmware acts on (paper §10.3: "It depends on the
+/// hook how the return value from each instance is processed further").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HookPolicy {
+    /// Use the first container's result (attachment order).
+    #[default]
+    First,
+    /// Use the last container's result.
+    Last,
+    /// Bitwise-or of all results (any container can assert a flag).
+    Any,
+    /// Sum of all results.
+    Sum,
+}
+
+impl HookPolicy {
+    /// Combines per-container results under this policy. `None` when no
+    /// container produced a value (firmware falls back to its default
+    /// flow, Figure 3 "Bypass with Default Result").
+    pub fn combine(self, results: &[u64]) -> Option<u64> {
+        if results.is_empty() {
+            return None;
+        }
+        Some(match self {
+            HookPolicy::First => results[0],
+            HookPolicy::Last => *results.last().expect("non-empty"),
+            HookPolicy::Any => results.iter().fold(0, |a, b| a | b),
+            HookPolicy::Sum => results.iter().fold(0u64, |a, b| a.wrapping_add(*b)),
+        })
+    }
+}
+
+/// A hook descriptor as compiled into the firmware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hook {
+    /// Stable UUID (the SUIT storage location).
+    pub id: Uuid,
+    /// Human-readable name.
+    pub name: String,
+    /// Triggering event kind.
+    pub kind: HookKind,
+    /// Result-combination policy.
+    pub policy: HookPolicy,
+}
+
+impl Hook {
+    /// Creates a hook; its UUID derives deterministically from the name
+    /// so maintainers can compute it offline when authoring manifests.
+    pub fn new(name: &str, kind: HookKind, policy: HookPolicy) -> Self {
+        Hook { id: Uuid::from_name(HOOK_NAMESPACE, name), name: name.to_owned(), kind, policy }
+    }
+}
+
+/// UUID of the standard scheduler-switch pad.
+pub fn sched_hook_id() -> Uuid {
+    Uuid::from_name(HOOK_NAMESPACE, "sched")
+}
+
+/// UUID of the standard periodic-timer pad.
+pub fn timer_hook_id() -> Uuid {
+    Uuid::from_name(HOOK_NAMESPACE, "timer")
+}
+
+/// UUID of the standard CoAP-request pad.
+pub fn coap_hook_id() -> Uuid {
+    Uuid::from_name(HOOK_NAMESPACE, "coap")
+}
+
+/// UUID of the standard packet-reception pad.
+pub fn packet_hook_id() -> Uuid {
+    Uuid::from_name(HOOK_NAMESPACE, "packet-rx")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hook_ids_are_stable_and_distinct() {
+        assert_eq!(sched_hook_id(), Hook::new("sched", HookKind::SchedSwitch, HookPolicy::First).id);
+        let ids = [sched_hook_id(), timer_hook_id(), coap_hook_id(), packet_hook_id()];
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn policies_combine() {
+        let r = [3u64, 4, 8];
+        assert_eq!(HookPolicy::First.combine(&r), Some(3));
+        assert_eq!(HookPolicy::Last.combine(&r), Some(8));
+        assert_eq!(HookPolicy::Any.combine(&r), Some(15));
+        assert_eq!(HookPolicy::Sum.combine(&r), Some(15));
+        assert_eq!(HookPolicy::First.combine(&[]), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Wiring between the hosting engine and the RTOS kernel (paper
+//! Figure 3): hooks fire from kernel events, containers run as regular
+//! activations, and their simulated cycles advance the kernel clock.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fc_rtos::kernel::Kernel;
+
+use crate::engine::HostingEngine;
+use crate::hooks::{sched_hook_id, timer_hook_id};
+
+/// Shared engine handle.
+pub type SharedEngine = Rc<RefCell<HostingEngine>>;
+
+/// Attaches the engine's scheduler launchpad to the kernel's
+/// thread-switch event: on every switch, containers attached to the
+/// `sched` hook run with the paper's `{ previous, next }` context
+/// (§8.2), and their cost is charged to the switching path.
+pub fn attach_sched_hook(kernel: &mut Kernel, engine: SharedEngine) {
+    kernel.on_thread_switch(move |ctx, sw| {
+        let mut engine = engine.borrow_mut();
+        engine.set_now_us(ctx.now_us());
+        let mut bytes = Vec::with_capacity(16);
+        // RIOT encodes "no previous thread" as KERNEL_PID_UNDEF; we use 0
+        // and number real threads from 1 in the context struct.
+        let prev = sw.previous.map(|p| p as u64 + 1).unwrap_or(0);
+        bytes.extend_from_slice(&prev.to_le_bytes());
+        bytes.extend_from_slice(&(sw.next as u64 + 1).to_le_bytes());
+        if let Ok(report) = engine.fire_hook(sched_hook_id(), &bytes, &[]) {
+            ctx.consume_cycles(report.cycles);
+        }
+    });
+}
+
+/// Attaches the engine's timer launchpad to a periodic kernel timer
+/// (the §8.3 sensor-processing trigger).
+pub fn attach_timer_hook(kernel: &mut Kernel, engine: SharedEngine, period_us: u64) {
+    kernel.set_periodic_event(period_us, move |ctx| {
+        let mut engine = engine.borrow_mut();
+        engine.set_now_us(ctx.now_us());
+        if let Ok(report) = engine.fire_hook(timer_hook_id(), &[0u8; 4], &[]) {
+            ctx.consume_cycles(report.cycles);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use crate::contract::ContractOffer;
+    use crate::helpers_impl::standard_helper_ids;
+    use crate::hooks::{Hook, HookKind, HookPolicy};
+    use fc_rtos::kernel::ThreadAction;
+    use fc_rtos::platform::{Engine, Platform};
+    use fc_rtos::saul::{DeviceClass, Phydat};
+
+    fn shared_engine() -> SharedEngine {
+        let mut e = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+        e.register_hook(
+            Hook::new("sched", HookKind::SchedSwitch, HookPolicy::First),
+            ContractOffer::helpers(standard_helper_ids()),
+        );
+        e.register_hook(
+            Hook::new("timer", HookKind::Timer, HookPolicy::First),
+            ContractOffer::helpers(standard_helper_ids()),
+        );
+        Rc::new(RefCell::new(e))
+    }
+
+    #[test]
+    fn sched_hook_counts_thread_activations_through_kernel() {
+        let engine = shared_engine();
+        {
+            let mut e = engine.borrow_mut();
+            let id = e
+                .install(
+                    "pid_log",
+                    1,
+                    &apps::thread_counter().to_bytes(),
+                    apps::thread_counter_request(),
+                )
+                .unwrap();
+            e.attach(id, sched_hook_id()).unwrap();
+        }
+        let mut kernel = Kernel::new(Platform::CortexM4);
+        attach_sched_hook(&mut kernel, engine.clone());
+        // Two threads alternating a few times.
+        for name in ["a", "b"] {
+            let mut left = 3;
+            kernel.spawn(name, 5, 512, move |_ctx| {
+                left -= 1;
+                if left == 0 {
+                    ThreadAction::Exit
+                } else {
+                    ThreadAction::Yield
+                }
+            });
+        }
+        kernel.run_until_idle(100_000_000);
+        let engine = engine.borrow();
+        let stores = engine.env().stores.borrow();
+        // Context numbers threads from 1; switch count must match the
+        // kernel's own bookkeeping.
+        let total: i64 = (1..=2).map(|t| stores.global().fetch(t)).sum();
+        assert_eq!(total as u64, kernel.context_switches());
+        assert!(total >= 2);
+    }
+
+    #[test]
+    fn timer_hook_drives_sensor_pipeline() {
+        let engine = shared_engine();
+        {
+            let mut e = engine.borrow_mut();
+            e.env().saul.borrow_mut().register("temp0", DeviceClass::SenseTemp, || Phydat {
+                value: 2100,
+                scale: -2,
+            });
+            let id = e
+                .install(
+                    "sensor",
+                    2,
+                    &apps::sensor_process().to_bytes(),
+                    apps::sensor_process_request(),
+                )
+                .unwrap();
+            e.attach(id, timer_hook_id()).unwrap();
+        }
+        let mut kernel = Kernel::new(Platform::CortexM4);
+        attach_timer_hook(&mut kernel, engine.clone(), 1_000);
+        kernel.run_for_us(5_500);
+        let engine = engine.borrow();
+        let avg = engine.env().stores.borrow().fetch(0, 2, fc_kvstore::Scope::Tenant, 1);
+        assert_eq!(avg, 2100, "steady signal converges to itself");
+        assert!(engine.env().saul.borrow().read_count(0).unwrap() >= 5);
+    }
+
+    #[test]
+    fn hook_cost_advances_kernel_clock() {
+        let engine = shared_engine();
+        {
+            let mut e = engine.borrow_mut();
+            let id = e
+                .install(
+                    "pid_log",
+                    1,
+                    &apps::thread_counter().to_bytes(),
+                    apps::thread_counter_request(),
+                )
+                .unwrap();
+            e.attach(id, sched_hook_id()).unwrap();
+        }
+        let mut with_hook = Kernel::new(Platform::CortexM4);
+        attach_sched_hook(&mut with_hook, engine);
+        with_hook.spawn("t", 5, 512, |_| ThreadAction::Exit);
+        with_hook.run_until_idle(100_000_000);
+
+        let mut bare = Kernel::new(Platform::CortexM4);
+        bare.spawn("t", 5, 512, |_| ThreadAction::Exit);
+        bare.run_until_idle(100_000_000);
+
+        assert!(
+            with_hook.now_cycles() > bare.now_cycles(),
+            "container work is charged to the switch path"
+        );
+    }
+}

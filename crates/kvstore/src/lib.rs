@@ -1,0 +1,342 @@
+//! # fc-kvstore — the Femto-Container key-value stores
+//!
+//! "In lieu of a file system, applications hosted in Femto-Containers can
+//! load and store simple values, by a numerical key reference, in a
+//! key-value store" (paper §7). Three scopes exist:
+//!
+//! * **local** — private to one container instance, persists across its
+//!   invocations;
+//! * **global** — shared by all applications on the device, the sanctioned
+//!   channel for cross-container communication;
+//! * **tenant-shared** — the "optional third intermediate-level" scoping a
+//!   store to all containers of one tenant while isolating it from other
+//!   tenants.
+//!
+//! The store is the only persistent state a container has; its RAM is
+//! accounted so the multi-instance experiments (§10.3) can report totals.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Identifier of a container instance (assigned by the hosting engine).
+pub type ContainerId = u32;
+
+/// Identifier of a tenant (a mutually distrusting stakeholder, §2).
+pub type TenantId = u32;
+
+/// Maximum number of keys a single store accepts before rejecting writes
+/// — bounds a malicious tenant's memory exhaustion (threat model §3,
+/// "resource exhaustion attacks").
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Fixed per-store housekeeping bytes counted by [`StoreManager::ram_bytes`]
+/// (list head, lock word, owner id — mirroring the C implementation's
+/// bookkeeping structs; the paper's two-tenant example measures 340 B
+/// total for stores plus housekeeping).
+pub const STORE_OVERHEAD_BYTES: usize = 16;
+
+/// Bytes accounted per occupied entry (key + value + list link).
+pub const ENTRY_BYTES: usize = 16;
+
+/// One key-value store: `u32` keys to `i64` values.
+///
+/// # Examples
+///
+/// ```
+/// use fc_kvstore::KvStore;
+/// let mut s = KvStore::new(8);
+/// s.store(1, 42).unwrap();
+/// assert_eq!(s.fetch(1), 42);
+/// assert_eq!(s.fetch(2), 0); // absent keys read as zero, like the C API
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStore {
+    entries: BTreeMap<u32, i64>,
+    capacity: usize,
+}
+
+/// Why a store rejected a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store is at capacity and the key is new.
+    CapacityExhausted {
+        /// The configured capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::CapacityExhausted { capacity } => {
+                write!(f, "store capacity of {capacity} keys exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl KvStore {
+    /// Creates a store bounded to `capacity` distinct keys.
+    pub fn new(capacity: usize) -> Self {
+        KvStore { entries: BTreeMap::new(), capacity }
+    }
+
+    /// Reads a value; absent keys read as `0`, matching the RIOT helper
+    /// semantics (`bpf_fetch_*` writes 0 when the key is unknown).
+    pub fn fetch(&self, key: u32) -> i64 {
+        self.entries.get(&key).copied().unwrap_or(0)
+    }
+
+    /// True when the key has been written.
+    pub fn contains(&self, key: u32) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Writes a value.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CapacityExhausted`] when a *new* key would exceed the
+    /// capacity; overwriting existing keys always succeeds.
+    pub fn store(&mut self, key: u32, value: i64) -> Result<(), StoreError> {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            return Err(StoreError::CapacityExhausted { capacity: self.capacity });
+        }
+        self.entries.insert(key, value);
+        Ok(())
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: u32) -> Option<i64> {
+        self.entries.remove(&key)
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, i64)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Accounted RAM of this store.
+    pub fn ram_bytes(&self) -> usize {
+        STORE_OVERHEAD_BYTES + self.entries.len() * ENTRY_BYTES
+    }
+}
+
+/// The scope a store operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Container-private store.
+    Local,
+    /// Device-global store.
+    Global,
+    /// Tenant-shared store.
+    Tenant,
+}
+
+/// Owns every store on the device and enforces scope isolation: a
+/// container can only reach its own local store, its own tenant's shared
+/// store, and the global store.
+#[derive(Debug, Default)]
+pub struct StoreManager {
+    global: KvStore,
+    tenants: BTreeMap<TenantId, KvStore>,
+    locals: BTreeMap<ContainerId, KvStore>,
+    capacity: usize,
+}
+
+impl StoreManager {
+    /// Creates a manager whose stores are bounded to `capacity` keys each.
+    pub fn new(capacity: usize) -> Self {
+        StoreManager {
+            global: KvStore::new(capacity),
+            tenants: BTreeMap::new(),
+            locals: BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// Fetches from the store `scope` resolves to for this container.
+    pub fn fetch(&self, container: ContainerId, tenant: TenantId, scope: Scope, key: u32) -> i64 {
+        match scope {
+            Scope::Local => self.locals.get(&container).map(|s| s.fetch(key)).unwrap_or(0),
+            Scope::Global => self.global.fetch(key),
+            Scope::Tenant => self.tenants.get(&tenant).map(|s| s.fetch(key)).unwrap_or(0),
+        }
+    }
+
+    /// Stores into the store `scope` resolves to for this container.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError::CapacityExhausted`].
+    pub fn store(
+        &mut self,
+        container: ContainerId,
+        tenant: TenantId,
+        scope: Scope,
+        key: u32,
+        value: i64,
+    ) -> Result<(), StoreError> {
+        let capacity = self.capacity;
+        match scope {
+            Scope::Local => self
+                .locals
+                .entry(container)
+                .or_insert_with(|| KvStore::new(capacity))
+                .store(key, value),
+            Scope::Global => self.global.store(key, value),
+            Scope::Tenant => self
+                .tenants
+                .entry(tenant)
+                .or_insert_with(|| KvStore::new(capacity))
+                .store(key, value),
+        }
+    }
+
+    /// Drops a container's local store (container removal).
+    pub fn remove_container(&mut self, container: ContainerId) {
+        self.locals.remove(&container);
+    }
+
+    /// Direct read access to the global store (host-side diagnostics).
+    pub fn global(&self) -> &KvStore {
+        &self.global
+    }
+
+    /// Direct read access to a tenant store, if materialised.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&KvStore> {
+        self.tenants.get(&tenant)
+    }
+
+    /// Direct read access to a container's local store, if materialised.
+    pub fn local(&self, container: ContainerId) -> Option<&KvStore> {
+        self.locals.get(&container)
+    }
+
+    /// Total accounted RAM across all materialised stores (paper §10.3:
+    /// "the key-value stores are also in RAM").
+    pub fn ram_bytes(&self) -> usize {
+        self.global.ram_bytes()
+            + self.tenants.values().map(KvStore::ram_bytes).sum::<usize>()
+            + self.locals.values().map(KvStore::ram_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_absent_key_is_zero() {
+        let s = KvStore::new(4);
+        assert_eq!(s.fetch(99), 0);
+    }
+
+    #[test]
+    fn store_fetch_overwrite() {
+        let mut s = KvStore::new(4);
+        s.store(1, 10).unwrap();
+        s.store(1, 20).unwrap();
+        assert_eq!(s.fetch(1), 20);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn capacity_rejects_new_keys_only() {
+        let mut s = KvStore::new(2);
+        s.store(1, 1).unwrap();
+        s.store(2, 2).unwrap();
+        assert_eq!(s.store(3, 3), Err(StoreError::CapacityExhausted { capacity: 2 }));
+        // Overwrites still allowed at capacity.
+        s.store(1, 11).unwrap();
+        assert_eq!(s.fetch(1), 11);
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut s = KvStore::new(1);
+        s.store(1, 1).unwrap();
+        assert_eq!(s.remove(1), Some(1));
+        assert_eq!(s.remove(1), None);
+        s.store(2, 2).unwrap();
+    }
+
+    #[test]
+    fn negative_values_round_trip() {
+        let mut s = KvStore::new(4);
+        s.store(0, -1).unwrap();
+        assert_eq!(s.fetch(0), -1);
+    }
+
+    #[test]
+    fn ram_accounting_grows_with_entries() {
+        let mut s = KvStore::new(8);
+        let base = s.ram_bytes();
+        s.store(1, 1).unwrap();
+        s.store(2, 2).unwrap();
+        assert_eq!(s.ram_bytes(), base + 2 * ENTRY_BYTES);
+    }
+
+    #[test]
+    fn manager_isolates_locals_between_containers() {
+        let mut m = StoreManager::new(8);
+        m.store(1, 0, Scope::Local, 5, 111).unwrap();
+        m.store(2, 0, Scope::Local, 5, 222).unwrap();
+        assert_eq!(m.fetch(1, 0, Scope::Local, 5), 111);
+        assert_eq!(m.fetch(2, 0, Scope::Local, 5), 222);
+    }
+
+    #[test]
+    fn manager_isolates_tenants() {
+        let mut m = StoreManager::new(8);
+        m.store(1, 10, Scope::Tenant, 5, 111).unwrap();
+        assert_eq!(m.fetch(2, 10, Scope::Tenant, 5), 111, "same tenant shares");
+        assert_eq!(m.fetch(3, 20, Scope::Tenant, 5), 0, "other tenant isolated");
+    }
+
+    #[test]
+    fn manager_global_visible_to_all() {
+        let mut m = StoreManager::new(8);
+        m.store(1, 10, Scope::Global, 7, 42).unwrap();
+        assert_eq!(m.fetch(99, 55, Scope::Global, 7), 42);
+    }
+
+    #[test]
+    fn remove_container_drops_local_store() {
+        let mut m = StoreManager::new(8);
+        m.store(1, 0, Scope::Local, 5, 1).unwrap();
+        assert!(m.local(1).is_some());
+        m.remove_container(1);
+        assert!(m.local(1).is_none());
+        assert_eq!(m.fetch(1, 0, Scope::Local, 5), 0);
+    }
+
+    #[test]
+    fn manager_ram_matches_paper_scale() {
+        // Paper §10.3: stores + housekeeping for the 3-container,
+        // 2-tenant example measured 340 B. Recreate that shape: one
+        // global, two tenant stores, three locals, a handful of keys.
+        let mut m = StoreManager::new(16);
+        for c in 1..=3u32 {
+            m.store(c, 0, Scope::Local, 0, 1).unwrap();
+        }
+        m.store(1, 1, Scope::Tenant, 0, 1).unwrap();
+        m.store(2, 2, Scope::Tenant, 0, 1).unwrap();
+        m.store(1, 1, Scope::Global, 0, 1).unwrap();
+        let ram = m.ram_bytes();
+        assert!(ram >= 150 && ram <= 512, "ram = {ram}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Block-wise transfer (RFC 7959) helpers.
+//!
+//! SUIT payloads exceed the 802.15.4-class MTU, so the update workflow
+//! fetches them in blocks. A Block1/Block2 option value packs
+//! `num << 4 | M << 3 | SZX` where the block size is `2^(SZX+4)`.
+
+/// A decoded Block1/Block2 option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Block number (0-based).
+    pub num: u32,
+    /// More-blocks flag.
+    pub more: bool,
+    /// Size exponent: block size is `2^(szx+4)`, `szx` in 0..=6.
+    pub szx: u8,
+}
+
+impl Block {
+    /// Creates a block descriptor from an explicit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size` is not a power of two in `16..=1024`.
+    pub fn with_size(num: u32, more: bool, size: usize) -> Self {
+        let szx = szx_for_size(size).expect("block size must be 16..=1024 power of two");
+        Block { num, more, szx }
+    }
+
+    /// Block size in bytes.
+    pub fn size(&self) -> usize {
+        1 << (self.szx + 4)
+    }
+
+    /// Byte offset of this block within the full representation.
+    pub fn offset(&self) -> usize {
+        self.num as usize * self.size()
+    }
+
+    /// Packs into the CoAP option uint.
+    pub fn to_uint(self) -> u64 {
+        ((self.num as u64) << 4) | ((self.more as u64) << 3) | (self.szx as u64 & 0x7)
+    }
+
+    /// Unpacks from the CoAP option uint; rejects the reserved SZX 7.
+    pub fn from_uint(v: u64) -> Option<Self> {
+        let szx = (v & 0x7) as u8;
+        if szx == 7 {
+            return None;
+        }
+        Some(Block { num: (v >> 4) as u32, more: v & 0x8 != 0, szx })
+    }
+}
+
+/// Returns the SZX exponent for a byte size, if representable.
+pub fn szx_for_size(size: usize) -> Option<u8> {
+    match size {
+        16 => Some(0),
+        32 => Some(1),
+        64 => Some(2),
+        128 => Some(3),
+        256 => Some(4),
+        512 => Some(5),
+        1024 => Some(6),
+        _ => None,
+    }
+}
+
+/// Slices `data` into the payload for `block`, with the corrected `more`
+/// flag. Returns `None` when the block starts past the end.
+pub fn slice_block(data: &[u8], block: Block) -> Option<(Vec<u8>, bool)> {
+    let start = block.offset();
+    if start >= data.len() && !(start == 0 && data.is_empty()) {
+        return None;
+    }
+    let end = (start + block.size()).min(data.len());
+    let more = end < data.len();
+    Some((data[start..end].to_vec(), more))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for num in [0u32, 1, 5, 1000] {
+            for more in [false, true] {
+                for szx in 0..=6u8 {
+                    let b = Block { num, more, szx };
+                    assert_eq!(Block::from_uint(b.to_uint()), Some(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_szx_rejected() {
+        assert_eq!(Block::from_uint(0x7), None);
+    }
+
+    #[test]
+    fn size_and_offset() {
+        let b = Block::with_size(3, true, 64);
+        assert_eq!(b.size(), 64);
+        assert_eq!(b.offset(), 192);
+        assert_eq!(b.szx, 2);
+    }
+
+    #[test]
+    fn slice_block_boundaries() {
+        let data: Vec<u8> = (0..150u8).collect();
+        let (b0, more0) = slice_block(&data, Block::with_size(0, false, 64)).unwrap();
+        assert_eq!(b0.len(), 64);
+        assert!(more0);
+        let (b2, more2) = slice_block(&data, Block::with_size(2, false, 64)).unwrap();
+        assert_eq!(b2.len(), 22);
+        assert!(!more2);
+        assert!(slice_block(&data, Block::with_size(3, false, 64)).is_none());
+    }
+
+    #[test]
+    fn slice_block_exact_multiple() {
+        let data = vec![0u8; 128];
+        let (b1, more) = slice_block(&data, Block::with_size(1, false, 64)).unwrap();
+        assert_eq!(b1.len(), 64);
+        assert!(!more);
+    }
+
+    #[test]
+    fn empty_data_single_empty_block() {
+        let (b, more) = slice_block(&[], Block::with_size(0, false, 64)).unwrap();
+        assert!(b.is_empty());
+        assert!(!more);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_panics() {
+        Block::with_size(0, false, 100);
+    }
+}

@@ -1,0 +1,521 @@
+//! CoAP message codec (RFC 7252 subset).
+//!
+//! The paper's devices expose CoAP endpoints (§3, §8.3) and receive
+//! software updates over CoAP (§5). This module implements the wire
+//! format: the 4-byte header, tokens, delta-encoded options, and payload
+//! framing — enough to carry the SUIT workflow and the networked-sensor
+//! example end to end.
+
+use std::error::Error;
+use std::fmt;
+
+/// CoAP protocol version (always 1).
+pub const VERSION: u8 = 1;
+
+/// Message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgType {
+    /// Confirmable: requires an ACK, retransmitted otherwise.
+    Con,
+    /// Non-confirmable.
+    Non,
+    /// Acknowledgement.
+    Ack,
+    /// Reset.
+    Rst,
+}
+
+impl MsgType {
+    fn bits(self) -> u8 {
+        match self {
+            MsgType::Con => 0,
+            MsgType::Non => 1,
+            MsgType::Ack => 2,
+            MsgType::Rst => 3,
+        }
+    }
+
+    fn from_bits(b: u8) -> Self {
+        match b & 0x3 {
+            0 => MsgType::Con,
+            1 => MsgType::Non,
+            2 => MsgType::Ack,
+            _ => MsgType::Rst,
+        }
+    }
+}
+
+/// Message codes (class.detail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// 0.00 — empty message (pure ACK / RST).
+    Empty,
+    /// 0.01 GET.
+    Get,
+    /// 0.02 POST.
+    Post,
+    /// 0.03 PUT.
+    Put,
+    /// 0.04 DELETE.
+    Delete,
+    /// 2.01 Created.
+    Created,
+    /// 2.02 Deleted.
+    Deleted,
+    /// 2.04 Changed.
+    Changed,
+    /// 2.05 Content.
+    Content,
+    /// 2.31 Continue (block-wise).
+    Continue,
+    /// 4.00 Bad Request.
+    BadRequest,
+    /// 4.01 Unauthorized.
+    Unauthorized,
+    /// 4.03 Forbidden.
+    Forbidden,
+    /// 4.04 Not Found.
+    NotFound,
+    /// 4.05 Method Not Allowed.
+    MethodNotAllowed,
+    /// 5.00 Internal Server Error.
+    InternalServerError,
+    /// Any other code, carried raw.
+    Other(u8),
+}
+
+impl Code {
+    /// The raw code byte (`class << 5 | detail`).
+    pub fn byte(self) -> u8 {
+        match self {
+            Code::Empty => 0x00,
+            Code::Get => 0x01,
+            Code::Post => 0x02,
+            Code::Put => 0x03,
+            Code::Delete => 0x04,
+            Code::Created => 0x41,
+            Code::Deleted => 0x42,
+            Code::Changed => 0x44,
+            Code::Content => 0x45,
+            Code::Continue => 0x5f,
+            Code::BadRequest => 0x80,
+            Code::Unauthorized => 0x81,
+            Code::Forbidden => 0x83,
+            Code::NotFound => 0x84,
+            Code::MethodNotAllowed => 0x85,
+            Code::InternalServerError => 0xa0,
+            Code::Other(b) => b,
+        }
+    }
+
+    /// Decodes a raw code byte.
+    pub fn from_byte(b: u8) -> Self {
+        match b {
+            0x00 => Code::Empty,
+            0x01 => Code::Get,
+            0x02 => Code::Post,
+            0x03 => Code::Put,
+            0x04 => Code::Delete,
+            0x41 => Code::Created,
+            0x42 => Code::Deleted,
+            0x44 => Code::Changed,
+            0x45 => Code::Content,
+            0x5f => Code::Continue,
+            0x80 => Code::BadRequest,
+            0x81 => Code::Unauthorized,
+            0x83 => Code::Forbidden,
+            0x84 => Code::NotFound,
+            0x85 => Code::MethodNotAllowed,
+            0xa0 => Code::InternalServerError,
+            other => Code::Other(other),
+        }
+    }
+
+    /// True for request codes (class 0, nonzero detail).
+    pub fn is_request(self) -> bool {
+        matches!(self, Code::Get | Code::Post | Code::Put | Code::Delete)
+    }
+
+    /// True for 2.xx success responses.
+    pub fn is_success(self) -> bool {
+        let b = self.byte();
+        (0x40..0x60).contains(&b)
+    }
+}
+
+/// Well-known option numbers used in this system.
+pub mod option {
+    /// Uri-Path (repeatable).
+    pub const URI_PATH: u16 = 11;
+    /// Content-Format.
+    pub const CONTENT_FORMAT: u16 = 12;
+    /// Uri-Query (repeatable).
+    pub const URI_QUERY: u16 = 15;
+    /// Block2 (response payload blocks).
+    pub const BLOCK2: u16 = 23;
+    /// Block1 (request payload blocks).
+    pub const BLOCK1: u16 = 27;
+    /// Size2 (total response size indication).
+    pub const SIZE2: u16 = 28;
+}
+
+/// Content-Format registry values used here.
+pub mod content_format {
+    /// `text/plain; charset=utf-8`.
+    pub const TEXT_PLAIN: u16 = 0;
+    /// `application/octet-stream`.
+    pub const OCTET_STREAM: u16 = 42;
+    /// `application/cbor`.
+    pub const CBOR: u16 = 60;
+}
+
+/// A decoded CoAP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Message type.
+    pub mtype: MsgType,
+    /// Code.
+    pub code: Code,
+    /// Message ID (deduplication and ACK matching).
+    pub message_id: u16,
+    /// Token (0–8 bytes, matches responses to requests).
+    pub token: Vec<u8>,
+    /// Options as (number, value), kept sorted by number.
+    pub options: Vec<(u16, Vec<u8>)>,
+    /// Payload (empty means none; the marker is omitted then).
+    pub payload: Vec<u8>,
+}
+
+/// Codec failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoapError {
+    /// Input shorter than a header.
+    Truncated,
+    /// Version field was not 1.
+    BadVersion,
+    /// Token length over 8.
+    BadTokenLength,
+    /// Malformed option encoding.
+    BadOption,
+    /// Payload marker present but payload empty.
+    EmptyPayloadAfterMarker,
+}
+
+impl fmt::Display for CoapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CoapError::Truncated => "truncated message",
+            CoapError::BadVersion => "unsupported coap version",
+            CoapError::BadTokenLength => "token length over 8",
+            CoapError::BadOption => "malformed option",
+            CoapError::EmptyPayloadAfterMarker => "payload marker with empty payload",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Error for CoapError {}
+
+impl Message {
+    /// Creates a request message.
+    pub fn request(code: Code, message_id: u16, token: &[u8]) -> Self {
+        Message {
+            mtype: MsgType::Con,
+            code,
+            message_id,
+            token: token.to_vec(),
+            options: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Creates the ACK/piggyback response to a request.
+    pub fn response_to(req: &Message, code: Code) -> Self {
+        Message {
+            mtype: match req.mtype {
+                MsgType::Con => MsgType::Ack,
+                _ => MsgType::Non,
+            },
+            code,
+            message_id: req.message_id,
+            token: req.token.clone(),
+            options: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Adds an option, keeping the list sorted by option number.
+    pub fn add_option(&mut self, number: u16, value: Vec<u8>) -> &mut Self {
+        let pos = self.options.partition_point(|(n, _)| *n <= number);
+        self.options.insert(pos, (number, value));
+        self
+    }
+
+    /// Appends each segment of a `/`-separated path as Uri-Path options.
+    pub fn set_path(&mut self, path: &str) -> &mut Self {
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            self.add_option(option::URI_PATH, seg.as_bytes().to_vec());
+        }
+        self
+    }
+
+    /// Reassembles the Uri-Path options into a `/`-joined string.
+    pub fn path(&self) -> String {
+        let segs: Vec<_> = self
+            .options
+            .iter()
+            .filter(|(n, _)| *n == option::URI_PATH)
+            .map(|(_, v)| String::from_utf8_lossy(v).into_owned())
+            .collect();
+        segs.join("/")
+    }
+
+    /// First value of an option, if present.
+    pub fn option(&self, number: u16) -> Option<&[u8]> {
+        self.options.iter().find(|(n, _)| *n == number).map(|(_, v)| v.as_slice())
+    }
+
+    /// Reads an option as a big-endian unsigned integer (CoAP `uint`).
+    pub fn option_uint(&self, number: u16) -> Option<u64> {
+        self.option(number).map(|v| v.iter().fold(0u64, |acc, b| (acc << 8) | *b as u64))
+    }
+
+    /// Sets an option to a minimally-encoded big-endian unsigned integer.
+    pub fn add_option_uint(&mut self, number: u16, value: u64) -> &mut Self {
+        let mut buf = value.to_be_bytes().to_vec();
+        while buf.first() == Some(&0) {
+            buf.remove(0);
+        }
+        self.add_option(number, buf)
+    }
+
+    /// Serialises to wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.token.len() + 16 + self.payload.len());
+        out.push((VERSION << 6) | (self.mtype.bits() << 4) | (self.token.len() as u8 & 0x0f));
+        out.push(self.code.byte());
+        out.extend_from_slice(&self.message_id.to_be_bytes());
+        out.extend_from_slice(&self.token);
+
+        let mut sorted = self.options.clone();
+        sorted.sort_by_key(|(n, _)| *n);
+        let mut prev = 0u16;
+        for (number, value) in &sorted {
+            let delta = number - prev;
+            prev = *number;
+            let (dn, dext) = nibble_ext(delta as u32);
+            let (ln, lext) = nibble_ext(value.len() as u32);
+            out.push((dn << 4) | ln);
+            out.extend_from_slice(&dext);
+            out.extend_from_slice(&lext);
+            out.extend_from_slice(value);
+        }
+        if !self.payload.is_empty() {
+            out.push(0xff);
+            out.extend_from_slice(&self.payload);
+        }
+        out
+    }
+
+    /// Parses from wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoapError`] naming the first malformation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CoapError> {
+        if bytes.len() < 4 {
+            return Err(CoapError::Truncated);
+        }
+        if bytes[0] >> 6 != VERSION {
+            return Err(CoapError::BadVersion);
+        }
+        let mtype = MsgType::from_bits(bytes[0] >> 4);
+        let tkl = (bytes[0] & 0x0f) as usize;
+        if tkl > 8 {
+            return Err(CoapError::BadTokenLength);
+        }
+        let code = Code::from_byte(bytes[1]);
+        let message_id = u16::from_be_bytes([bytes[2], bytes[3]]);
+        if bytes.len() < 4 + tkl {
+            return Err(CoapError::Truncated);
+        }
+        let token = bytes[4..4 + tkl].to_vec();
+
+        let mut options = Vec::new();
+        let mut i = 4 + tkl;
+        let mut number = 0u16;
+        let mut payload = Vec::new();
+        while i < bytes.len() {
+            if bytes[i] == 0xff {
+                if i + 1 >= bytes.len() {
+                    return Err(CoapError::EmptyPayloadAfterMarker);
+                }
+                payload = bytes[i + 1..].to_vec();
+                break;
+            }
+            let dn = bytes[i] >> 4;
+            let ln = bytes[i] & 0x0f;
+            i += 1;
+            let delta = read_ext(bytes, &mut i, dn)?;
+            let len = read_ext(bytes, &mut i, ln)? as usize;
+            number = number.checked_add(delta as u16).ok_or(CoapError::BadOption)?;
+            if i + len > bytes.len() {
+                return Err(CoapError::Truncated);
+            }
+            options.push((number, bytes[i..i + len].to_vec()));
+            i += len;
+        }
+        Ok(Message { mtype, code, message_id, token, options, payload })
+    }
+}
+
+/// Splits a value into the 4-bit nibble plus extension bytes per RFC 7252
+/// §3.1.
+fn nibble_ext(v: u32) -> (u8, Vec<u8>) {
+    if v < 13 {
+        (v as u8, Vec::new())
+    } else if v < 269 {
+        (13, vec![(v - 13) as u8])
+    } else {
+        (14, ((v - 269) as u16).to_be_bytes().to_vec())
+    }
+}
+
+fn read_ext(bytes: &[u8], i: &mut usize, nibble: u8) -> Result<u32, CoapError> {
+    match nibble {
+        0..=12 => Ok(nibble as u32),
+        13 => {
+            let b = *bytes.get(*i).ok_or(CoapError::Truncated)?;
+            *i += 1;
+            Ok(b as u32 + 13)
+        }
+        14 => {
+            if *i + 2 > bytes.len() {
+                return Err(CoapError::Truncated);
+            }
+            let v = u16::from_be_bytes([bytes[*i], bytes[*i + 1]]) as u32;
+            *i += 2;
+            Ok(v + 269)
+        }
+        _ => Err(CoapError::BadOption),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Message {
+        let mut m = Message::request(Code::Get, 0x1234, &[0xaa, 0xbb]);
+        m.set_path("suit/payload");
+        m.add_option_uint(option::CONTENT_FORMAT, content_format::OCTET_STREAM as u64);
+        m.payload = b"hello".to_vec();
+        m
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        let decoded = Message::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn round_trip_no_payload_no_options() {
+        let m = Message::request(Code::Get, 7, &[]);
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn header_layout() {
+        let m = Message::request(Code::Get, 0x0102, &[0x01]);
+        let bytes = m.encode();
+        assert_eq!(bytes[0], 0x41); // ver 1, CON, TKL 1
+        assert_eq!(bytes[1], 0x01); // GET
+        assert_eq!(&bytes[2..4], &[0x01, 0x02]);
+        assert_eq!(bytes[4], 0x01);
+    }
+
+    #[test]
+    fn option_delta_extension_boundaries() {
+        // Option numbers forcing 13- and 14-style extended deltas.
+        let mut m = Message::request(Code::Get, 1, &[]);
+        m.add_option(5, vec![1]);
+        m.add_option(300, vec![2]); // delta 295 -> 13-ext
+        m.add_option(2000, vec![3]); // delta 1700 -> 14-ext
+        let decoded = Message::decode(&m.encode()).unwrap();
+        assert_eq!(decoded.options, m.options);
+    }
+
+    #[test]
+    fn long_option_value_uses_length_extension() {
+        let mut m = Message::request(Code::Put, 1, &[]);
+        m.add_option(11, vec![7u8; 100]);
+        let decoded = Message::decode(&m.encode()).unwrap();
+        assert_eq!(decoded.option(11).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let mut m = Message::request(Code::Get, 1, &[]);
+        m.set_path("/a/b/c");
+        assert_eq!(m.path(), "a/b/c");
+        assert_eq!(Message::decode(&m.encode()).unwrap().path(), "a/b/c");
+    }
+
+    #[test]
+    fn uint_option_minimal_encoding() {
+        let mut m = Message::request(Code::Get, 1, &[]);
+        m.add_option_uint(option::BLOCK2, 0);
+        assert_eq!(m.option(option::BLOCK2).unwrap().len(), 0);
+        assert_eq!(m.option_uint(option::BLOCK2), Some(0));
+        let mut m2 = Message::request(Code::Get, 1, &[]);
+        m2.add_option_uint(option::BLOCK2, 0x0106);
+        assert_eq!(m2.option(option::BLOCK2).unwrap(), &[0x01, 0x06]);
+        assert_eq!(
+            Message::decode(&m2.encode()).unwrap().option_uint(option::BLOCK2),
+            Some(0x0106)
+        );
+    }
+
+    #[test]
+    fn response_to_mirrors_token_and_id() {
+        let req = sample();
+        let resp = Message::response_to(&req, Code::Content);
+        assert_eq!(resp.mtype, MsgType::Ack);
+        assert_eq!(resp.message_id, req.message_id);
+        assert_eq!(resp.token, req.token);
+        assert!(resp.code.is_success());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Message::decode(&[]), Err(CoapError::Truncated));
+        assert_eq!(Message::decode(&[0x01, 0, 0, 0]), Err(CoapError::BadVersion));
+        // TKL 9 invalid.
+        assert_eq!(Message::decode(&[0x49, 0, 0, 0]), Err(CoapError::BadTokenLength));
+        // Payload marker with nothing after it.
+        let m = Message::request(Code::Get, 1, &[]);
+        let mut bytes = m.encode();
+        bytes.push(0xff);
+        assert_eq!(Message::decode(&bytes), Err(CoapError::EmptyPayloadAfterMarker));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_option() {
+        let mut m = Message::request(Code::Get, 1, &[]);
+        m.add_option(11, vec![1, 2, 3, 4]);
+        let bytes = m.encode();
+        assert_eq!(Message::decode(&bytes[..bytes.len() - 2]), Err(CoapError::Truncated));
+    }
+
+    #[test]
+    fn code_properties() {
+        assert!(Code::Get.is_request());
+        assert!(!Code::Content.is_request());
+        assert!(Code::Content.is_success());
+        assert!(!Code::NotFound.is_success());
+        assert_eq!(Code::from_byte(0x45), Code::Content);
+        assert_eq!(Code::from_byte(0x99), Code::Other(0x99));
+    }
+}

@@ -1,0 +1,25 @@
+//! # fc-net — network substrate for Femto-Containers
+//!
+//! The paper's middleware receives updates and serves application
+//! traffic over CoAP on low-power wireless links (§5, §8.3). This crate
+//! provides that substrate, implemented from scratch:
+//!
+//! * [`coap`] — RFC 7252 message codec (header, token, delta-encoded
+//!   options, payload framing);
+//! * [`block`] — RFC 7959 block-wise transfer arithmetic;
+//! * [`endpoint`] — server-side resource dispatch and a retransmitting
+//!   confirmable client;
+//! * [`link`] — a seeded lossy datagram link standing in for the
+//!   802.15.4/6LoWPAN path (substitution documented in DESIGN.md §3).
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod coap;
+pub mod endpoint;
+pub mod link;
+
+pub use block::Block;
+pub use coap::{Code, CoapError, Message, MsgType};
+pub use endpoint::{CoapClient, CoapServer, ExchangeOutcome};
+pub use link::{Addr, Datagram, LinkConfig, LossyLink};

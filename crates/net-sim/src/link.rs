@@ -1,0 +1,261 @@
+//! A lossy low-power wireless link simulation.
+//!
+//! The paper's updates traverse "network paths including low-power
+//! wireless segments" (§5): small MTU, latency, and loss. This module
+//! models a UDP-style datagram service over such a link with
+//! deterministic, seedable loss so failure-injection tests reproduce.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A network address: node id and UDP-style port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr {
+    /// Node identifier.
+    pub node: u8,
+    /// Port number.
+    pub port: u16,
+}
+
+impl Addr {
+    /// Creates an address.
+    pub fn new(node: u8, port: u16) -> Self {
+        Addr { node, port }
+    }
+}
+
+/// One datagram in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Source address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Maximum CoAP datagram on an 802.15.4-class link after 6LoWPAN
+/// adaptation (conservative default; RFC 7252 recommends messages fit
+/// 1280-byte IPv6 MTU, but constrained links prefer far less).
+pub const DEFAULT_MTU: usize = 512;
+
+/// Configuration of a [`LossyLink`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Probability in `[0, 1]` that a datagram is silently dropped.
+    pub loss: f64,
+    /// One-way latency in microseconds.
+    pub latency_us: u64,
+    /// Maximum payload size; larger sends are rejected.
+    pub mtu: usize,
+    /// RNG seed for reproducible loss patterns.
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig { loss: 0.0, latency_us: 2_000, mtu: DEFAULT_MTU, seed: 0x5eed }
+    }
+}
+
+/// A bidirectional lossy datagram link.
+///
+/// # Examples
+///
+/// ```
+/// use fc_net::link::{Addr, Datagram, LinkConfig, LossyLink};
+/// let mut link = LossyLink::new(LinkConfig::default());
+/// link.send(0, Datagram {
+///     src: Addr::new(1, 1000),
+///     dst: Addr::new(2, 5683),
+///     payload: vec![1, 2, 3],
+/// }).unwrap();
+/// assert!(link.poll(2, 1_999).is_none()); // still in flight
+/// assert!(link.poll(2, 2_000).is_some());
+/// ```
+#[derive(Debug)]
+pub struct LossyLink {
+    config: LinkConfig,
+    rng: StdRng,
+    in_flight: VecDeque<(u64, Datagram)>,
+    sent: u64,
+    dropped: u64,
+}
+
+/// Why a send was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// Payload exceeds the link MTU.
+    TooLarge {
+        /// Payload size attempted.
+        size: usize,
+        /// Configured MTU.
+        mtu: usize,
+    },
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::TooLarge { size, mtu } => {
+                write!(f, "datagram of {size} bytes exceeds mtu {mtu}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+impl LossyLink {
+    /// Creates a link with the given configuration.
+    pub fn new(config: LinkConfig) -> Self {
+        LossyLink {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            in_flight: VecDeque::new(),
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Queues a datagram at virtual time `now_us`. Lost datagrams are
+    /// accepted (the sender cannot tell) but never delivered.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::TooLarge`] when the payload exceeds the MTU; link
+    /// layers in this class do not fragment.
+    pub fn send(&mut self, now_us: u64, dgram: Datagram) -> Result<(), SendError> {
+        if dgram.payload.len() > self.config.mtu {
+            return Err(SendError::TooLarge { size: dgram.payload.len(), mtu: self.config.mtu });
+        }
+        self.sent += 1;
+        if self.rng.gen_bool(self.config.loss.clamp(0.0, 1.0)) {
+            self.dropped += 1;
+            return Ok(());
+        }
+        let deliver_at = now_us + self.config.latency_us;
+        // Keep FIFO per insertion; latency is constant so order holds.
+        self.in_flight.push_back((deliver_at, dgram));
+        Ok(())
+    }
+
+    /// Delivers the next datagram addressed to `node` that has arrived by
+    /// `now_us`, if any.
+    pub fn poll(&mut self, node: u8, now_us: u64) -> Option<Datagram> {
+        let idx = self
+            .in_flight
+            .iter()
+            .position(|(at, d)| *at <= now_us && d.dst.node == node)?;
+        self.in_flight.remove(idx).map(|(_, d)| d)
+    }
+
+    /// Earliest pending delivery time for `node`, for schedulers.
+    pub fn next_delivery_us(&self, node: u8) -> Option<u64> {
+        self.in_flight.iter().filter(|(_, d)| d.dst.node == node).map(|(at, _)| *at).min()
+    }
+
+    /// Datagrams accepted so far (including lost ones).
+    pub fn sent_count(&self) -> u64 {
+        self.sent
+    }
+
+    /// Datagrams silently dropped so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Datagrams currently in flight.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dgram(to: u8) -> Datagram {
+        Datagram { src: Addr::new(1, 1000), dst: Addr::new(to, 5683), payload: vec![7; 10] }
+    }
+
+    #[test]
+    fn delivery_respects_latency() {
+        let mut link = LossyLink::new(LinkConfig { latency_us: 500, ..Default::default() });
+        link.send(100, dgram(2)).unwrap();
+        assert!(link.poll(2, 599).is_none());
+        assert!(link.poll(2, 600).is_some());
+        assert!(link.poll(2, 10_000).is_none(), "delivered once");
+    }
+
+    #[test]
+    fn delivery_filters_by_node() {
+        let mut link = LossyLink::new(LinkConfig::default());
+        link.send(0, dgram(2)).unwrap();
+        link.send(0, dgram(3)).unwrap();
+        assert_eq!(link.poll(3, 1_000_000).unwrap().dst.node, 3);
+        assert_eq!(link.poll(2, 1_000_000).unwrap().dst.node, 2);
+    }
+
+    #[test]
+    fn fifo_order_for_same_node() {
+        let mut link = LossyLink::new(LinkConfig::default());
+        for i in 0..3u8 {
+            let mut d = dgram(2);
+            d.payload = vec![i];
+            link.send(0, d).unwrap();
+        }
+        for i in 0..3u8 {
+            assert_eq!(link.poll(2, 1_000_000).unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn mtu_enforced() {
+        let mut link = LossyLink::new(LinkConfig { mtu: 16, ..Default::default() });
+        let mut d = dgram(2);
+        d.payload = vec![0; 17];
+        assert!(matches!(link.send(0, d), Err(SendError::TooLarge { size: 17, mtu: 16 })));
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut link =
+                LossyLink::new(LinkConfig { loss: 0.5, seed, ..Default::default() });
+            for _ in 0..100 {
+                link.send(0, dgram(2)).unwrap();
+            }
+            link.dropped_count()
+        };
+        assert_eq!(run(1), run(1));
+        // Roughly half dropped.
+        let d = run(1);
+        assert!((25..=75).contains(&d), "dropped {d}");
+    }
+
+    #[test]
+    fn zero_loss_delivers_everything() {
+        let mut link = LossyLink::new(LinkConfig::default());
+        for _ in 0..50 {
+            link.send(0, dgram(2)).unwrap();
+        }
+        let mut got = 0;
+        while link.poll(2, u64::MAX).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 50);
+    }
+
+    #[test]
+    fn next_delivery_reports_earliest() {
+        let mut link = LossyLink::new(LinkConfig { latency_us: 100, ..Default::default() });
+        link.send(50, dgram(2)).unwrap();
+        link.send(0, dgram(2)).unwrap();
+        assert_eq!(link.next_delivery_us(2), Some(100));
+        assert_eq!(link.next_delivery_us(9), None);
+    }
+}

@@ -1,0 +1,593 @@
+//! A two-pass text assembler for the eBPF instruction set.
+//!
+//! The paper's applications are written in C and compiled with LLVM's BPF
+//! backend; this reproduction ships an assembler instead so every hosted
+//! application is self-contained Rust + eBPF assembly. Syntax follows the
+//! ubpf/bpf_asm conventions:
+//!
+//! ```text
+//! ; thread counter (paper Listing 2)
+//! entry:
+//!     ldxdw r6, [r1+8]        ; ctx->next
+//!     jeq r6, 0, done
+//!     call bpf_fetch_global   ; helpers resolvable by name
+//!     add r0, 1
+//! done:
+//!     exit
+//! ```
+//!
+//! 64-bit ALU mnemonics are unsuffixed (`add`); 32-bit forms carry a `32`
+//! suffix (`add32`). Jump targets are labels or signed slot displacements.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::*;
+
+/// An assembly failure, with the 1-based source line that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Explanation of the failure.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// Assembles source text into instruction slots.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics, bad registers or unresolved labels.
+///
+/// # Examples
+///
+/// ```
+/// let insns = fc_rbpf::asm::assemble("mov r0, 7\nexit").unwrap();
+/// assert_eq!(insns.len(), 2);
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<Insn>, AsmError> {
+    assemble_with_helpers(source, &[])
+}
+
+/// Assembles source text, resolving `call <name>` through `helpers`.
+///
+/// # Errors
+///
+/// As [`assemble`], plus unknown helper names.
+pub fn assemble_with_helpers(
+    source: &str,
+    helpers: &[(String, u32)],
+) -> Result<Vec<Insn>, AsmError> {
+    let helper_map: HashMap<&str, u32> =
+        helpers.iter().map(|(n, id)| (n.as_str(), *id)).collect();
+
+    // Pass 1: parse lines, record label slot positions.
+    let mut labels: HashMap<String, i64> = HashMap::new();
+    let mut parsed: Vec<(usize, Stmt)> = Vec::new();
+    let mut slot: i64 = 0;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = label_prefix(rest) {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if !is_ident(name) {
+                return err(line_no, format!("invalid label name `{name}`"));
+            }
+            if labels.insert(name.to_owned(), slot).is_some() {
+                return err(line_no, format!("duplicate label `{name}`"));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let stmt = parse_stmt(line_no, rest, &helper_map)?;
+        slot += if stmt.wide { 2 } else { 1 };
+        parsed.push((line_no, stmt));
+    }
+
+    // Pass 2: resolve label displacements and emit.
+    let mut out = Vec::with_capacity(parsed.len());
+    let mut cur: i64 = 0;
+    for (line_no, stmt) in parsed {
+        let mut insn = stmt.insn;
+        cur += if stmt.wide { 2 } else { 1 };
+        if let Some(label) = stmt.target {
+            let target = *labels
+                .get(&label)
+                .ok_or_else(|| AsmError { line: line_no, msg: format!("unknown label `{label}`") })?;
+            let disp = target - cur;
+            if disp < i16::MIN as i64 || disp > i16::MAX as i64 {
+                return err(line_no, format!("jump to `{label}` out of 16-bit range"));
+            }
+            insn.off = disp as i16;
+        }
+        out.push(insn);
+        if stmt.wide {
+            out.push(Insn::new(0, 0, 0, 0, stmt.high_imm));
+        }
+    }
+    Ok(out)
+}
+
+struct Stmt {
+    insn: Insn,
+    wide: bool,
+    high_imm: i32,
+    target: Option<String>,
+}
+
+impl Stmt {
+    fn plain(insn: Insn) -> Self {
+        Stmt { insn, wide: false, high_imm: 0, target: None }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for marker in [";", "#", "//"] {
+        if let Some(pos) = line.find(marker) {
+            end = end.min(pos);
+        }
+    }
+    &line[..end]
+}
+
+/// Finds the colon terminating a leading label, if any.
+fn label_prefix(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    let head = &s[..colon];
+    if is_ident(head.trim()) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_reg(line: usize, tok: &str) -> Result<u8, AsmError> {
+    let tok = tok.trim();
+    if let Some(n) = tok.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) {
+        if (n as usize) < REG_COUNT {
+            return Ok(n);
+        }
+    }
+    err(line, format!("invalid register `{tok}`"))
+}
+
+fn parse_num(line: usize, tok: &str) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok.strip_prefix('+').unwrap_or(tok)),
+    };
+    let parsed = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        body.parse::<u64>().ok()
+    };
+    match parsed {
+        Some(v) => {
+            let v = v as i64;
+            Ok(if neg { v.wrapping_neg() } else { v })
+        }
+        None => err(line, format!("invalid number `{tok}`")),
+    }
+}
+
+fn parse_imm32(line: usize, tok: &str) -> Result<i32, AsmError> {
+    let v = parse_num(line, tok)?;
+    if v > u32::MAX as i64 || v < i32::MIN as i64 {
+        return err(line, format!("immediate `{tok}` out of 32-bit range"));
+    }
+    Ok(v as u32 as i32)
+}
+
+/// Parses a `[rN+off]` / `[rN-off]` / `[rN]` memory operand.
+fn parse_mem(line: usize, tok: &str) -> Result<(u8, i16), AsmError> {
+    let tok = tok.trim();
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| AsmError { line, msg: format!("expected `[reg+off]`, got `{tok}`") })?;
+    let (reg_part, off) = if let Some(plus) = inner.find('+') {
+        (&inner[..plus], parse_num(line, &inner[plus + 1..])?)
+    } else if let Some(minus) = inner.find('-') {
+        (&inner[..minus], -parse_num(line, &inner[minus + 1..])?)
+    } else {
+        (inner, 0)
+    };
+    if off < i16::MIN as i64 || off > i16::MAX as i64 {
+        return err(line, "memory offset out of 16-bit range");
+    }
+    Ok((parse_reg(line, reg_part)?, off as i16))
+}
+
+fn split_operands(s: &str) -> Vec<&str> {
+    s.split(',').map(str::trim).filter(|t| !t.is_empty()).collect()
+}
+
+fn parse_stmt(
+    line: usize,
+    text: &str,
+    helpers: &HashMap<&str, u32>,
+) -> Result<Stmt, AsmError> {
+    let (mnemonic, operand_text) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let ops = split_operands(operand_text);
+    let mnemonic_lc = mnemonic.to_ascii_lowercase();
+    let m = mnemonic_lc.as_str();
+
+    // ALU binary ops: name → (imm opcode base); reg form = base | 0x08.
+    let alu = |base: u8| -> Result<Stmt, AsmError> {
+        if ops.len() != 2 {
+            return err(line, format!("`{m}` expects 2 operands"));
+        }
+        let dst = parse_reg(line, ops[0])?;
+        if let Ok(src) = parse_reg(line, ops[1]) {
+            Ok(Stmt::plain(Insn::new(base | SRC_REG, dst, src, 0, 0)))
+        } else {
+            Ok(Stmt::plain(Insn::new(base, dst, 0, 0, parse_imm32(line, ops[1])?)))
+        }
+    };
+    // Conditional jumps: dst, (src|imm), target.
+    let jump = |base: u8| -> Result<Stmt, AsmError> {
+        if ops.len() != 3 {
+            return err(line, format!("`{m}` expects 3 operands"));
+        }
+        let dst = parse_reg(line, ops[0])?;
+        let (opcode, src, imm) = if let Ok(src) = parse_reg(line, ops[1]) {
+            (base | SRC_REG, src, 0)
+        } else {
+            (base, 0, parse_imm32(line, ops[1])?)
+        };
+        let mut stmt = Stmt::plain(Insn::new(opcode, dst, src, 0, imm));
+        set_target(line, &mut stmt, ops[2])?;
+        Ok(stmt)
+    };
+    let load = |opcode: u8| -> Result<Stmt, AsmError> {
+        if ops.len() != 2 {
+            return err(line, format!("`{m}` expects 2 operands"));
+        }
+        let dst = parse_reg(line, ops[0])?;
+        let (src, off) = parse_mem(line, ops[1])?;
+        Ok(Stmt::plain(Insn::new(opcode, dst, src, off, 0)))
+    };
+    let store_imm = |opcode: u8| -> Result<Stmt, AsmError> {
+        if ops.len() != 2 {
+            return err(line, format!("`{m}` expects 2 operands"));
+        }
+        let (dst, off) = parse_mem(line, ops[0])?;
+        Ok(Stmt::plain(Insn::new(opcode, dst, 0, off, parse_imm32(line, ops[1])?)))
+    };
+    let store_reg = |opcode: u8| -> Result<Stmt, AsmError> {
+        if ops.len() != 2 {
+            return err(line, format!("`{m}` expects 2 operands"));
+        }
+        let (dst, off) = parse_mem(line, ops[0])?;
+        let src = parse_reg(line, ops[1])?;
+        Ok(Stmt::plain(Insn::new(opcode, dst, src, off, 0)))
+    };
+    let endian = |opcode: u8, width: i32| -> Result<Stmt, AsmError> {
+        if ops.len() != 1 {
+            return err(line, format!("`{m}` expects 1 operand"));
+        }
+        Ok(Stmt::plain(Insn::new(opcode, parse_reg(line, ops[0])?, 0, 0, width)))
+    };
+
+    match m {
+        "add" => alu(ADD64_IMM),
+        "sub" => alu(SUB64_IMM),
+        "mul" => alu(MUL64_IMM),
+        "div" => alu(DIV64_IMM),
+        "or" => alu(OR64_IMM),
+        "and" => alu(AND64_IMM),
+        "lsh" => alu(LSH64_IMM),
+        "rsh" => alu(RSH64_IMM),
+        "mod" => alu(MOD64_IMM),
+        "xor" => alu(XOR64_IMM),
+        "mov" => alu(MOV64_IMM),
+        "arsh" => alu(ARSH64_IMM),
+        "add32" => alu(ADD32_IMM),
+        "sub32" => alu(SUB32_IMM),
+        "mul32" => alu(MUL32_IMM),
+        "div32" => alu(DIV32_IMM),
+        "or32" => alu(OR32_IMM),
+        "and32" => alu(AND32_IMM),
+        "lsh32" => alu(LSH32_IMM),
+        "rsh32" => alu(RSH32_IMM),
+        "mod32" => alu(MOD32_IMM),
+        "xor32" => alu(XOR32_IMM),
+        "mov32" => alu(MOV32_IMM),
+        "arsh32" => alu(ARSH32_IMM),
+        "neg" | "neg32" => {
+            if ops.len() != 1 {
+                return err(line, format!("`{m}` expects 1 operand"));
+            }
+            let opcode = if m == "neg" { NEG64 } else { NEG32 };
+            Ok(Stmt::plain(Insn::new(opcode, parse_reg(line, ops[0])?, 0, 0, 0)))
+        }
+        "le16" => endian(LE, 16),
+        "le32" => endian(LE, 32),
+        "le64" => endian(LE, 64),
+        "be16" => endian(BE, 16),
+        "be32" => endian(BE, 32),
+        "be64" => endian(BE, 64),
+        "lddw" => {
+            if ops.len() != 2 {
+                return err(line, "`lddw` expects 2 operands");
+            }
+            let dst = parse_reg(line, ops[0])?;
+            let v = parse_wide_num(line, ops[1])?;
+            Ok(Stmt {
+                insn: Insn::new(LDDW, dst, 0, 0, v as u32 as i32),
+                wide: true,
+                high_imm: (v >> 32) as u32 as i32,
+                target: None,
+            })
+        }
+        "lddwd" | "lddwr" => {
+            if ops.len() != 2 {
+                return err(line, format!("`{m}` expects 2 operands"));
+            }
+            let opcode = if m == "lddwd" { LDDWD_IMM } else { LDDWR_IMM };
+            let dst = parse_reg(line, ops[0])?;
+            Ok(Stmt {
+                insn: Insn::new(opcode, dst, 0, 0, parse_imm32(line, ops[1])?),
+                wide: true,
+                high_imm: 0,
+                target: None,
+            })
+        }
+        "ldxw" => load(LDXW),
+        "ldxh" => load(LDXH),
+        "ldxb" => load(LDXB),
+        "ldxdw" => load(LDXDW),
+        "stw" => store_imm(STW),
+        "sth" => store_imm(STH),
+        "stb" => store_imm(STB),
+        "stdw" => store_imm(STDW),
+        "stxw" => store_reg(STXW),
+        "stxh" => store_reg(STXH),
+        "stxb" => store_reg(STXB),
+        "stxdw" => store_reg(STXDW),
+        "ja" => {
+            if ops.len() != 1 {
+                return err(line, "`ja` expects 1 operand");
+            }
+            let mut stmt = Stmt::plain(Insn::new(JA, 0, 0, 0, 0));
+            set_target(line, &mut stmt, ops[0])?;
+            Ok(stmt)
+        }
+        "jeq" => jump(JEQ_IMM),
+        "jgt" => jump(JGT_IMM),
+        "jge" => jump(JGE_IMM),
+        "jlt" => jump(JLT_IMM),
+        "jle" => jump(JLE_IMM),
+        "jset" => jump(JSET_IMM),
+        "jne" => jump(JNE_IMM),
+        "jsgt" => jump(JSGT_IMM),
+        "jsge" => jump(JSGE_IMM),
+        "jslt" => jump(JSLT_IMM),
+        "jsle" => jump(JSLE_IMM),
+        "call" => {
+            if ops.len() != 1 {
+                return err(line, "`call` expects 1 operand");
+            }
+            let id = if let Some(id) = helpers.get(ops[0]) {
+                *id as i32
+            } else if is_ident(ops[0]) {
+                return err(line, format!("unknown helper `{}`", ops[0]));
+            } else {
+                parse_imm32(line, ops[0])?
+            };
+            Ok(Stmt::plain(Insn::new(CALL, 0, 0, 0, id)))
+        }
+        "exit" => {
+            if !ops.is_empty() {
+                return err(line, "`exit` takes no operands");
+            }
+            Ok(Stmt::plain(Insn::new(EXIT, 0, 0, 0, 0)))
+        }
+        other => err(line, format!("unknown mnemonic `{other}`")),
+    }
+}
+
+fn parse_wide_num(line: usize, tok: &str) -> Result<u64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let parsed = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        body.parse::<u64>().ok()
+    };
+    match parsed {
+        Some(v) => Ok(if neg { (v as i64).wrapping_neg() as u64 } else { v }),
+        None => err(line, format!("invalid 64-bit literal `{tok}`")),
+    }
+}
+
+fn set_target(line: usize, stmt: &mut Stmt, tok: &str) -> Result<(), AsmError> {
+    if is_ident(tok) {
+        stmt.target = Some(tok.to_owned());
+        Ok(())
+    } else {
+        let disp = parse_num(line, tok)?;
+        if disp < i16::MIN as i64 || disp > i16::MAX as i64 {
+            return err(line, "jump displacement out of 16-bit range");
+        }
+        stmt.insn.off = disp as i16;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_program() {
+        let insns = assemble("mov r0, 1\nadd r0, r1\nexit").unwrap();
+        assert_eq!(insns.len(), 3);
+        assert_eq!(insns[0].opcode, MOV64_IMM);
+        assert_eq!(insns[1].opcode, ADD64_REG);
+        assert_eq!(insns[2].opcode, EXIT);
+    }
+
+    #[test]
+    fn imm_vs_reg_forms() {
+        let insns = assemble("add r1, 5\nadd r1, r2").unwrap();
+        assert_eq!(insns[0].opcode, ADD64_IMM);
+        assert_eq!(insns[0].imm, 5);
+        assert_eq!(insns[1].opcode, ADD64_REG);
+        assert_eq!(insns[1].src, 2);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let src = "\
+top:
+    jeq r1, 0, done
+    sub r1, 1
+    ja top
+done:
+    exit";
+        let insns = assemble(src).unwrap();
+        assert_eq!(insns[0].off, 2); // slot 0 -> slot 3
+        assert_eq!(insns[2].off, -3); // slot 2 -> slot 0
+    }
+
+    #[test]
+    fn label_on_same_line_as_insn() {
+        let insns = assemble("start: mov r0, 0\nja start\nexit").unwrap();
+        assert_eq!(insns[1].off, -2);
+    }
+
+    #[test]
+    fn wide_instructions_count_two_slots_for_labels() {
+        let src = "\
+    lddw r1, 0x1122334455667788
+    ja end
+end:
+    exit";
+        let insns = assemble(src).unwrap();
+        assert_eq!(insns.len(), 4);
+        assert_eq!(insns[0].imm as u32, 0x5566_7788);
+        assert_eq!(insns[1].imm as u32, 0x1122_3344);
+        assert_eq!(insns[2].off, 0);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let insns = assemble("ldxdw r1, [r2+16]\nstxw [r10-8], r3\nstb [r4], 7").unwrap();
+        assert_eq!((insns[0].opcode, insns[0].src, insns[0].off), (LDXDW, 2, 16));
+        assert_eq!((insns[1].opcode, insns[1].dst, insns[1].off), (STXW, 10, -8));
+        assert_eq!((insns[2].opcode, insns[2].dst, insns[2].imm), (STB, 4, 7));
+    }
+
+    #[test]
+    fn helper_name_resolution() {
+        let insns = assemble_with_helpers(
+            "call bpf_now\ncall 0x30\nexit",
+            &[("bpf_now".to_owned(), 0x20)],
+        )
+        .unwrap();
+        assert_eq!(insns[0].imm, 0x20);
+        assert_eq!(insns[1].imm, 0x30);
+    }
+
+    #[test]
+    fn unknown_helper_name_is_an_error() {
+        let e = assemble("call nope\nexit").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("nope"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "; full comment\n\nmov r0, 0 # trailing\nexit // eol";
+        assert_eq!(assemble(src).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\na:\nexit").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let e = assemble("ja nowhere\nexit").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(assemble("mov r11, 0").is_err());
+        assert!(assemble("mov rx, 0").is_err());
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble("frobnicate r1, r2").unwrap_err();
+        assert!(e.msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn numeric_jump_displacement() {
+        let insns = assemble("jne r1, 0, +1\nexit\nexit").unwrap();
+        assert_eq!(insns[0].off, 1);
+    }
+
+    #[test]
+    fn endian_ops() {
+        let insns = assemble("le16 r1\nbe64 r2").unwrap();
+        assert_eq!((insns[0].opcode, insns[0].imm), (LE, 16));
+        assert_eq!((insns[1].opcode, insns[1].imm), (BE, 64));
+    }
+
+    #[test]
+    fn negative_immediates() {
+        let insns = assemble("mov r1, -1\nlddw r2, -2").unwrap();
+        assert_eq!(insns[0].imm, -1);
+        assert_eq!(insns[1].imm, -2);
+        assert_eq!(insns[2].imm, -1); // high word of -2
+    }
+
+    #[test]
+    fn lddwd_lddwr_extensions() {
+        let insns = assemble("lddwd r1, 8\nlddwr r2, 0").unwrap();
+        assert_eq!(insns[0].opcode, LDDWD_IMM);
+        assert_eq!(insns[2].opcode, LDDWR_IMM);
+        assert_eq!(insns.len(), 4);
+    }
+}

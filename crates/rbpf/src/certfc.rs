@@ -1,0 +1,517 @@
+//! CertFC: the verified-interpreter variant (paper §9).
+//!
+//! The paper extracts this interpreter from a Coq proof via the ∂x tool;
+//! the extracted C is a defensive, step-function-structured machine that
+//! re-validates *every* invariant at run time instead of trusting the
+//! pre-flight checker — the price of a reviewable, mechanically derived
+//! implementation. We reproduce the artifact's observable properties:
+//!
+//! * **identical semantics** to the vanilla interpreter (the property-test
+//!   suite runs both on random verified programs and compares results,
+//!   memory and fault behaviour);
+//! * an explicit [`CertState`] struct holding the machine state (the paper
+//!   notes CertFC "stor[es] extra state of the virtual machine in the
+//!   context struct and not on the thread stack", costing ~50 B more RAM);
+//! * a pure `step` function driven by a bounded loop, the shape proved
+//!   terminating in Coq;
+//! * defensive checks on every register access, shift, division and
+//!   program-counter move, making the interpreter safe even on programs
+//!   that *bypassed* verification (defence in depth).
+
+use crate::error::VmError;
+use crate::helpers::HelperRegistry;
+use crate::isa::{self, Insn, REG_COUNT, REG_MAX_WRITABLE};
+use crate::mem::{MemoryMap, DATA_VADDR, RODATA_VADDR};
+use crate::verifier::VerifiedProgram;
+use crate::vm::{ExecConfig, Execution, OpCounts};
+
+/// Size in bytes of the extra VM state CertFC keeps in its context struct
+/// rather than on the host thread stack (paper §10.1: "an increase of
+/// around 50 B per instance").
+pub const CERT_STATE_OVERHEAD: usize = core::mem::size_of::<CertState>()
+    - REG_COUNT * core::mem::size_of::<u64>();
+
+/// The explicit machine state of the CertFC step function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertState {
+    /// Register file `r0..r10`.
+    pub regs: [u64; REG_COUNT],
+    /// Program counter in instruction slots.
+    pub pc: usize,
+    /// Instructions executed so far.
+    pub executed: u32,
+    /// Branches executed so far.
+    pub branches: u32,
+    /// Dynamic operation counts.
+    pub counts: OpCounts,
+    /// Set when the machine has reached `exit`.
+    pub finished: bool,
+}
+
+impl CertState {
+    fn new(ctx: u64, stack_top: u64, entry: usize) -> Self {
+        let mut regs = [0u64; REG_COUNT];
+        regs[1] = ctx;
+        regs[10] = stack_top;
+        CertState {
+            regs,
+            pc: entry,
+            executed: 0,
+            branches: 0,
+            counts: OpCounts::default(),
+            finished: false,
+        }
+    }
+
+    /// Defensive register read: the register index is re-checked even
+    /// though verification guarantees it.
+    fn read_reg(&self, r: u8, pc: usize) -> Result<u64, VmError> {
+        if (r as usize) < REG_COUNT {
+            Ok(self.regs[r as usize])
+        } else {
+            Err(VmError::UnknownOpcode { pc, opcode: 0 })
+        }
+    }
+
+    /// Defensive register write: rejects out-of-range indices *and* the
+    /// read-only `r10` at run time.
+    fn write_reg(&mut self, r: u8, v: u64, pc: usize) -> Result<(), VmError> {
+        if r > REG_MAX_WRITABLE {
+            return Err(VmError::WriteToReadOnlyRegister { pc });
+        }
+        self.regs[r as usize] = v;
+        Ok(())
+    }
+}
+
+/// The CertFC interpreter.
+///
+/// Construction requires a [`VerifiedProgram`], matching the paper's
+/// pipeline where the (verified) pre-flight checker always runs first.
+#[derive(Debug)]
+pub struct CertInterpreter<'p> {
+    program: &'p VerifiedProgram,
+    config: ExecConfig,
+}
+
+impl<'p> CertInterpreter<'p> {
+    /// Creates a CertFC interpreter for a verified program.
+    pub fn new(program: &'p VerifiedProgram, config: ExecConfig) -> Self {
+        CertInterpreter { program, config }
+    }
+
+    /// Runs the program from slot 0 with `r1 = ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] aborts execution, leaving the host intact.
+    pub fn run(
+        &self,
+        mem: &mut MemoryMap,
+        helpers: &mut HelperRegistry<'_>,
+        ctx: u64,
+    ) -> Result<Execution, VmError> {
+        self.run_from(mem, helpers, ctx, 0)
+    }
+
+    /// Runs the program from an explicit entry slot.
+    ///
+    /// # Errors
+    ///
+    /// As [`CertInterpreter::run`].
+    pub fn run_from(
+        &self,
+        mem: &mut MemoryMap,
+        helpers: &mut HelperRegistry<'_>,
+        ctx: u64,
+        entry: usize,
+    ) -> Result<Execution, VmError> {
+        let mut st = CertState::new(ctx, mem.stack_top(), entry);
+        // The Coq proof bounds the step count by the fuel `N_i`; the loop
+        // below is that fuel argument made concrete.
+        for _ in 0..=self.config.max_instructions {
+            if st.finished {
+                return Ok(Execution { return_value: st.regs[0], counts: st.counts });
+            }
+            self.step(&mut st, mem, helpers)?;
+        }
+        if st.finished {
+            return Ok(Execution { return_value: st.regs[0], counts: st.counts });
+        }
+        Err(VmError::InstructionBudgetExceeded { budget: self.config.max_instructions })
+    }
+
+    /// Executes a single instruction, mutating the machine state.
+    ///
+    /// # Errors
+    ///
+    /// Any defensive check failure.
+    fn step(
+        &self,
+        st: &mut CertState,
+        mem: &mut MemoryMap,
+        helpers: &mut HelperRegistry<'_>,
+    ) -> Result<(), VmError> {
+        let insns = self.program.insns();
+        let pc = st.pc;
+        let insn = *insns.get(pc).ok_or(VmError::PcOutOfBounds { pc })?;
+
+        st.executed += 1;
+        if st.executed > self.config.max_instructions {
+            return Err(VmError::InstructionBudgetExceeded {
+                budget: self.config.max_instructions,
+            });
+        }
+        if insn.is_branch() {
+            st.branches += 1;
+            if st.branches > self.config.max_branches {
+                return Err(VmError::BranchBudgetExceeded { budget: self.config.max_branches });
+            }
+        }
+
+        let imm_s = insn.imm as i64 as u64;
+        let imm32 = insn.imm as u32;
+        let off = insn.off as i64 as u64;
+
+        use isa::*;
+        let mut next_pc = pc + 1;
+        match insn.opcode {
+            LDDW | LDDWD_IMM | LDDWR_IMM => {
+                let tail = insns
+                    .get(pc + 1)
+                    .ok_or(VmError::TruncatedWideInstruction { pc })?;
+                let hi = (tail.imm as u32 as u64) << 32;
+                let lo = insn.imm as u32 as u64;
+                let v = match insn.opcode {
+                    LDDW => hi | lo,
+                    LDDWD_IMM => DATA_VADDR.wrapping_add(lo).wrapping_add(hi),
+                    _ => RODATA_VADDR.wrapping_add(lo).wrapping_add(hi),
+                };
+                st.write_reg(insn.dst, v, pc)?;
+                st.counts.record(OpClass::WideLoad);
+                next_pc = pc + 2;
+            }
+            LDXW | LDXH | LDXB | LDXDW => {
+                let size = match insn.opcode {
+                    LDXW => 4,
+                    LDXH => 2,
+                    LDXB => 1,
+                    _ => 8,
+                };
+                let addr = st.read_reg(insn.src, pc)?.wrapping_add(off);
+                let v = mem.load(addr, size)?;
+                st.write_reg(insn.dst, v, pc)?;
+                st.counts.record(OpClass::Load);
+            }
+            STW | STH | STB | STDW => {
+                let size = match insn.opcode {
+                    STW => 4,
+                    STH => 2,
+                    STB => 1,
+                    _ => 8,
+                };
+                let addr = st.read_reg(insn.dst, pc)?.wrapping_add(off);
+                let value = if insn.opcode == STDW { imm_s } else { imm32 as u64 };
+                mem.store(addr, size, value)?;
+                st.counts.record(OpClass::Store);
+            }
+            STXW | STXH | STXB | STXDW => {
+                let size = match insn.opcode {
+                    STXW => 4,
+                    STXH => 2,
+                    STXB => 1,
+                    _ => 8,
+                };
+                let addr = st.read_reg(insn.dst, pc)?.wrapping_add(off);
+                let value = st.read_reg(insn.src, pc)?;
+                mem.store(addr, size, value)?;
+                st.counts.record(OpClass::Store);
+            }
+            op if op & 0x07 == CLS_ALU || op & 0x07 == CLS_ALU64 => {
+                self.step_alu(st, insn, pc)?;
+            }
+            JA => {
+                st.counts.record(OpClass::BranchTaken);
+                next_pc = checked_target(pc, insn.off, insns.len())?;
+            }
+            op if (op & 0x07 == CLS_JMP) && op != CALL && op != EXIT => {
+                let lhs = st.read_reg(insn.dst, pc)?;
+                let rhs = if op & SRC_REG != 0 { st.read_reg(insn.src, pc)? } else { imm_s };
+                let taken = match op & 0xf0 {
+                    0x10 => lhs == rhs,
+                    0x20 => lhs > rhs,
+                    0x30 => lhs >= rhs,
+                    0xa0 => lhs < rhs,
+                    0xb0 => lhs <= rhs,
+                    0x40 => lhs & rhs != 0,
+                    0x50 => lhs != rhs,
+                    0x60 => (lhs as i64) > rhs as i64,
+                    0x70 => (lhs as i64) >= rhs as i64,
+                    0xc0 => (lhs as i64) < (rhs as i64),
+                    0xd0 => (lhs as i64) <= (rhs as i64),
+                    _ => return Err(VmError::UnknownOpcode { pc, opcode: op }),
+                };
+                if taken {
+                    st.counts.record(OpClass::BranchTaken);
+                    next_pc = checked_target(pc, insn.off, insns.len())?;
+                } else {
+                    st.counts.record(OpClass::BranchNotTaken);
+                }
+            }
+            CALL => {
+                st.counts.record(OpClass::HelperCall);
+                let args =
+                    [st.regs[1], st.regs[2], st.regs[3], st.regs[4], st.regs[5]];
+                let ret = helpers.call(insn.imm as u32, mem, args)?;
+                st.write_reg(0, ret, pc)?;
+            }
+            EXIT => {
+                st.counts.record(OpClass::Exit);
+                st.finished = true;
+                return Ok(());
+            }
+            other => return Err(VmError::UnknownOpcode { pc, opcode: other }),
+        }
+        st.pc = next_pc;
+        Ok(())
+    }
+
+    fn step_alu(&self, st: &mut CertState, insn: Insn, pc: usize) -> Result<(), VmError> {
+        use isa::*;
+        let is64 = insn.class() == CLS_ALU64;
+        let imm_s = insn.imm as i64 as u64;
+        let imm32 = insn.imm as u32;
+        let dst_v = st.read_reg(insn.dst, pc)?;
+        let src_v = if insn.opcode & SRC_REG != 0 { st.read_reg(insn.src, pc)? } else { 0 };
+
+        // Unary / special forms first.
+        let result: u64 = match insn.opcode {
+            NEG32 => {
+                st.counts.record(OpClass::Alu32);
+                (dst_v as u32).wrapping_neg() as u64
+            }
+            NEG64 => {
+                st.counts.record(OpClass::Alu64);
+                dst_v.wrapping_neg()
+            }
+            LE => {
+                st.counts.record(OpClass::Alu32);
+                match insn.imm {
+                    16 => dst_v & 0xffff,
+                    32 => dst_v & 0xffff_ffff,
+                    64 => dst_v,
+                    _ => return Err(VmError::InvalidShift { pc }),
+                }
+            }
+            BE => {
+                st.counts.record(OpClass::Alu32);
+                match insn.imm {
+                    16 => (dst_v as u16).swap_bytes() as u64,
+                    32 => (dst_v as u32).swap_bytes() as u64,
+                    64 => dst_v.swap_bytes(),
+                    _ => return Err(VmError::InvalidShift { pc }),
+                }
+            }
+            _ => {
+                let rhs64 = if insn.opcode & SRC_REG != 0 { src_v } else { imm_s };
+                let rhs32 = if insn.opcode & SRC_REG != 0 { src_v as u32 } else { imm32 };
+                let op = insn.opcode & 0xf0;
+                if is64 {
+                    st.counts.record(match op {
+                        0x20 => OpClass::Mul,
+                        0x30 | 0x90 => OpClass::Div,
+                        _ => OpClass::Alu64,
+                    });
+                    match op {
+                        0x00 => dst_v.wrapping_add(rhs64),
+                        0x10 => dst_v.wrapping_sub(rhs64),
+                        0x20 => dst_v.wrapping_mul(rhs64),
+                        0x30 => {
+                            if rhs64 == 0 {
+                                return Err(VmError::DivisionByZero { pc });
+                            }
+                            dst_v / rhs64
+                        }
+                        0x40 => dst_v | rhs64,
+                        0x50 => dst_v & rhs64,
+                        0x60 => dst_v.wrapping_shl(rhs64 as u32),
+                        0x70 => dst_v.wrapping_shr(rhs64 as u32),
+                        0x90 => {
+                            if rhs64 == 0 {
+                                return Err(VmError::DivisionByZero { pc });
+                            }
+                            dst_v % rhs64
+                        }
+                        0xa0 => dst_v ^ rhs64,
+                        0xb0 => rhs64,
+                        0xc0 => (dst_v as i64).wrapping_shr(rhs64 as u32) as u64,
+                        _ => return Err(VmError::UnknownOpcode { pc, opcode: insn.opcode }),
+                    }
+                } else {
+                    st.counts.record(match op {
+                        0x20 => OpClass::Mul,
+                        0x30 | 0x90 => OpClass::Div,
+                        _ => OpClass::Alu32,
+                    });
+                    let d32 = dst_v as u32;
+                    (match op {
+                        0x00 => d32.wrapping_add(rhs32),
+                        0x10 => d32.wrapping_sub(rhs32),
+                        0x20 => d32.wrapping_mul(rhs32),
+                        0x30 => {
+                            if rhs32 == 0 {
+                                return Err(VmError::DivisionByZero { pc });
+                            }
+                            d32 / rhs32
+                        }
+                        0x40 => d32 | rhs32,
+                        0x50 => d32 & rhs32,
+                        0x60 => d32 << (rhs32 & 31),
+                        0x70 => d32 >> (rhs32 & 31),
+                        0x90 => {
+                            if rhs32 == 0 {
+                                return Err(VmError::DivisionByZero { pc });
+                            }
+                            d32 % rhs32
+                        }
+                        0xa0 => d32 ^ rhs32,
+                        0xb0 => rhs32,
+                        0xc0 => ((d32 as i32) >> (rhs32 & 31)) as u32,
+                        _ => return Err(VmError::UnknownOpcode { pc, opcode: insn.opcode }),
+                    }) as u64
+                }
+            }
+        };
+        st.write_reg(insn.dst, result, pc)
+    }
+}
+
+/// Defensive jump-target computation: re-checked at run time even though
+/// the verifier guarantees it statically.
+fn checked_target(pc: usize, off: i16, len: usize) -> Result<usize, VmError> {
+    let target = pc as i64 + 1 + off as i64;
+    if target < 0 || target >= len as i64 {
+        return Err(VmError::JumpOutOfBounds { pc, target });
+    }
+    Ok(target as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::interp::Interpreter;
+    use std::collections::HashSet;
+
+    fn both(src: &str) -> (Result<Execution, VmError>, Result<Execution, VmError>) {
+        let text = isa::encode_all(&assemble(src).unwrap());
+        let prog = crate::verifier::verify(&text, &HashSet::new()).unwrap();
+        let run = |cert: bool| {
+            let mut mem = MemoryMap::new();
+            mem.add_stack(512);
+            let mut helpers = HelperRegistry::new();
+            if cert {
+                CertInterpreter::new(&prog, ExecConfig::default()).run(
+                    &mut mem,
+                    &mut helpers,
+                    0,
+                )
+            } else {
+                Interpreter::new(&prog, ExecConfig::default()).run(&mut mem, &mut helpers, 0)
+            }
+        };
+        (run(false), run(true))
+    }
+
+    #[test]
+    fn agrees_with_vanilla_on_arithmetic() {
+        for src in [
+            "mov r0, 21\nadd r0, 21\nexit",
+            "mov r0, -7\nneg r0\nexit",
+            "mov32 r0, -1\nadd32 r0, 1\nexit",
+            "lddw r0, 0x1122334455667788\nbe32 r0\nexit",
+            "mov r0, 100\nmov r1, 7\ndiv r0, r1\nexit",
+            "mov r0, 1\nlsh r0, 40\nrsh r0, 8\nexit",
+            "mov r0, -16\narsh r0, 2\nexit",
+        ] {
+            let (a, b) = both(src);
+            assert_eq!(a, b, "divergence on {src}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_vanilla_on_memory() {
+        let src = "\
+mov r1, 0x5555
+stxdw [r10-8], r1
+ldxh r0, [r10-8]
+exit";
+        let (a, b) = both(src);
+        assert_eq!(a, b);
+        assert_eq!(a.unwrap().return_value, 0x5555);
+    }
+
+    #[test]
+    fn agrees_with_vanilla_on_faults() {
+        for src in [
+            "ldxdw r0, [r10+16]\nexit",
+            "mov r1, 0\ndiv r0, r1\nexit",
+            "mov r1, 0\nmod32 r0, r1\nexit",
+        ] {
+            let (a, b) = both(src);
+            assert_eq!(a, b, "divergence on {src}");
+            assert!(a.is_err());
+        }
+    }
+
+    #[test]
+    fn agrees_with_vanilla_on_loops_and_counts() {
+        let src = "\
+mov r0, 0
+mov r1, 32
+loop:
+add r0, r1
+sub r1, 1
+jne r1, 0, loop
+exit";
+        let (a, b) = both(src);
+        assert_eq!(a, b);
+        let out = a.unwrap();
+        assert_eq!(out.return_value, (1..=32).sum::<u64>());
+    }
+
+    #[test]
+    fn budget_exhaustion_matches_vanilla() {
+        let src = "spin: ja spin\nexit";
+        let text = isa::encode_all(&assemble(src).unwrap());
+        let prog = crate::verifier::verify(&text, &HashSet::new()).unwrap();
+        let cfg = ExecConfig::new(50, 1_000_000);
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        let v = Interpreter::new(&prog, cfg).run(&mut mem, &mut helpers, 0).unwrap_err();
+        let c = CertInterpreter::new(&prog, cfg).run(&mut mem, &mut helpers, 0).unwrap_err();
+        assert_eq!(v, c);
+    }
+
+    #[test]
+    fn helper_dispatch_works() {
+        let text = isa::encode_all(&assemble("mov r1, 4\ncall 9\nexit").unwrap());
+        let prog = crate::verifier::verify(&text, &[9u32].iter().copied().collect()).unwrap();
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        helpers.register(9, "sq", |_m, a| Ok(a[0] * a[0]));
+        let out = CertInterpreter::new(&prog, ExecConfig::default())
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap();
+        assert_eq!(out.return_value, 16);
+    }
+
+    #[test]
+    fn state_overhead_is_about_50_bytes() {
+        // The paper reports ~50 B of extra per-instance state for CertFC.
+        assert!(CERT_STATE_OVERHEAD >= 24 && CERT_STATE_OVERHEAD <= 160,
+            "unexpected overhead {CERT_STATE_OVERHEAD}");
+    }
+}

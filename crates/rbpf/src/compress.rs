@@ -1,0 +1,215 @@
+//! Variable-length instruction compression (paper §11, "Fixed- vs
+//! Variable-length Instructions").
+//!
+//! "Most of the instructions have bit fields that are fixed at zero. A
+//! possible way to reduce the size of these scripts is to compress the
+//! instructions into a variable size instruction set ... For example
+//! the immediate field is not used with half of the instructions and
+//! would reduce the instructions to 32 bits in size when removed."
+//!
+//! This module implements that idea for *transport*: instructions whose
+//! immediate is zero ship as 4 bytes, the rest as 8, distinguished by a
+//! one-byte-per-8-instructions presence bitmap. The device expands back
+//! to the fixed 64-bit format before verification, so the run-time
+//! security checks stay exactly as simple as the paper requires — the
+//! trade is install-time decode work for network/storage bytes.
+
+use crate::isa::{self, Insn, INSN_SIZE};
+
+/// Magic prefix of a compressed text section.
+pub const COMPRESSED_MAGIC: [u8; 4] = *b"fcC1";
+
+/// Compresses an encoded text section.
+///
+/// Layout: magic, `u32` slot count, a bitmap with one bit per slot
+/// (1 = immediate present), then per slot either 4 bytes
+/// (opcode, regs, offset) or 8 bytes (full instruction).
+pub fn compress(text: &[u8]) -> Option<Vec<u8>> {
+    let insns = isa::decode_all(text)?;
+    let mut out = Vec::with_capacity(text.len() / 2 + 16);
+    out.extend_from_slice(&COMPRESSED_MAGIC);
+    out.extend_from_slice(&(insns.len() as u32).to_le_bytes());
+    let mut bitmap = vec![0u8; insns.len().div_ceil(8)];
+    for (i, insn) in insns.iter().enumerate() {
+        if insn.imm != 0 {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out.extend_from_slice(&bitmap);
+    for insn in &insns {
+        let full = insn.encode();
+        out.extend_from_slice(&full[..4]);
+        if insn.imm != 0 {
+            out.extend_from_slice(&full[4..]);
+        }
+    }
+    Some(out)
+}
+
+/// Expands a compressed section back to fixed 64-bit instructions.
+///
+/// Returns `None` on framing errors; the result still goes through the
+/// normal pre-flight verifier (compression is transport-only and adds
+/// no trusted surface).
+pub fn decompress(bytes: &[u8]) -> Option<Vec<u8>> {
+    if bytes.len() < 8 || bytes[..4] != COMPRESSED_MAGIC {
+        return None;
+    }
+    let count = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+    let bitmap_len = count.div_ceil(8);
+    let bitmap = bytes.get(8..8 + bitmap_len)?;
+    let mut pos = 8 + bitmap_len;
+    let mut out = Vec::with_capacity(count * INSN_SIZE);
+    for i in 0..count {
+        let has_imm = bitmap[i / 8] & (1 << (i % 8)) != 0;
+        let head = bytes.get(pos..pos + 4)?;
+        pos += 4;
+        let mut slot = [0u8; INSN_SIZE];
+        slot[..4].copy_from_slice(head);
+        if has_imm {
+            let imm = bytes.get(pos..pos + 4)?;
+            pos += 4;
+            slot[4..].copy_from_slice(imm);
+        }
+        out.extend_from_slice(&slot);
+    }
+    if pos != bytes.len() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Size statistics of compressing a text section (the §11 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Fixed-format size in bytes.
+    pub fixed_bytes: usize,
+    /// Compressed transport size in bytes.
+    pub compressed_bytes: usize,
+    /// Instructions that shipped without an immediate.
+    pub short_insns: usize,
+    /// Total instructions.
+    pub total_insns: usize,
+}
+
+impl CompressionStats {
+    /// Computes the stats for a text section.
+    pub fn for_text(text: &[u8]) -> Option<Self> {
+        let insns = isa::decode_all(text)?;
+        let compressed = compress(text)?;
+        Some(CompressionStats {
+            fixed_bytes: text.len(),
+            compressed_bytes: compressed.len(),
+            short_insns: insns.iter().filter(|i| i.imm == 0).count(),
+            total_insns: insns.len(),
+        })
+    }
+
+    /// Transport bytes saved, as a fraction of the fixed format.
+    pub fn saving(&self) -> f64 {
+        1.0 - self.compressed_bytes as f64 / self.fixed_bytes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn text_of(src: &str) -> Vec<u8> {
+        isa::encode_all(&assemble(src).unwrap())
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let text = text_of(
+            "\
+mov r1, 7
+mov r2, r1
+add r2, r2
+stxdw [r10-8], r2
+ldxdw r0, [r10-8]
+jne r0, 14, +1
+exit
+exit",
+        );
+        let compressed = compress(&text).unwrap();
+        assert_eq!(decompress(&compressed).unwrap(), text);
+    }
+
+    #[test]
+    fn reg_heavy_code_compresses_well() {
+        // Register-to-register code carries no immediates: each slot
+        // drops to 4 bytes (the paper's "reduce ... to 32 bits").
+        let mut src = String::new();
+        for _ in 0..32 {
+            src.push_str("add r1, r2\nmov r3, r1\n");
+        }
+        src.push_str("exit");
+        let text = text_of(&src);
+        let stats = CompressionStats::for_text(&text).unwrap();
+        assert_eq!(stats.short_insns, stats.total_insns);
+        assert!(stats.saving() > 0.40, "saving {}", stats.saving());
+    }
+
+    #[test]
+    fn imm_heavy_code_pays_only_the_bitmap() {
+        let mut src = String::new();
+        for i in 1..=32 {
+            src.push_str(&format!("add r1, {i}\n"));
+        }
+        src.push_str("mov r0, 1\nexit"); // exit has imm 0
+        let text = text_of(&src);
+        let stats = CompressionStats::for_text(&text).unwrap();
+        // Overhead: 8-byte header + bitmap; savings: just the exit slot.
+        let overhead = stats.compressed_bytes as i64 - stats.fixed_bytes as i64;
+        assert!(overhead < 16, "overhead {overhead}");
+    }
+
+    #[test]
+    fn real_application_saves_transport_bytes() {
+        // The thread-counter-shaped pattern: mixed imm/reg forms.
+        let text = text_of(
+            "\
+ldxdw r6, [r1+8]
+jeq r6, 0, done
+mov r1, r6
+mov r2, r10
+add r2, -8
+call 0x12
+ldxw r3, [r10-8]
+add r3, 1
+mov r1, r6
+mov r2, r3
+call 0x14
+done:
+mov r0, 0
+exit",
+        );
+        let stats = CompressionStats::for_text(&text).unwrap();
+        assert!(stats.saving() > 0.15, "saving {}", stats.saving());
+        let compressed = compress(&text).unwrap();
+        // Decompressed output still verifies.
+        let expanded = decompress(&compressed).unwrap();
+        let helpers = [0x12u32, 0x14].into_iter().collect();
+        assert!(crate::verifier::verify(&expanded, &helpers).is_ok());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let text = text_of("mov r1, 7\nexit");
+        let compressed = compress(&text).unwrap();
+        for cut in 0..compressed.len() {
+            assert!(decompress(&compressed[..cut]).is_none(), "cut {cut}");
+        }
+        assert!(decompress(b"nope").is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let text = text_of("exit");
+        let mut compressed = compress(&text).unwrap();
+        compressed.push(0);
+        assert!(decompress(&compressed).is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Disassembler: renders instruction slots back to assembler syntax.
+//!
+//! The output round-trips through [`crate::asm::assemble`], which the
+//! property-test suite exercises on random verified programs.
+
+use crate::isa::*;
+
+/// Renders one instruction (given its optional following slot for
+/// `lddw`-family instructions) to assembler syntax.
+///
+/// Returns the rendered text and the number of slots consumed (1 or 2).
+pub fn disassemble_one(insn: &Insn, next: Option<&Insn>) -> (String, usize) {
+    let dst = insn.dst;
+    let src = insn.src;
+    let off = insn.off;
+    let imm = insn.imm;
+    let mem = |base: u8, off: i16| {
+        if off == 0 {
+            format!("[r{base}]")
+        } else if off > 0 {
+            format!("[r{base}+{off}]")
+        } else {
+            format!("[r{base}{off}]")
+        }
+    };
+    let alu = |name: &str, is_reg: bool| {
+        if is_reg {
+            (format!("{name} r{dst}, r{src}"), 1)
+        } else {
+            (format!("{name} r{dst}, {imm}"), 1)
+        }
+    };
+    let jmp = |name: &str, is_reg: bool| {
+        if is_reg {
+            (format!("{name} r{dst}, r{src}, {off:+}"), 1)
+        } else {
+            (format!("{name} r{dst}, {imm}, {off:+}"), 1)
+        }
+    };
+    match insn.opcode {
+        LDDW => {
+            let hi = next.map(|n| n.imm as u32 as u64).unwrap_or(0);
+            let v = (hi << 32) | insn.imm as u32 as u64;
+            (format!("lddw r{dst}, 0x{v:x}"), 2)
+        }
+        LDDWD_IMM => (format!("lddwd r{dst}, {imm}"), 2),
+        LDDWR_IMM => (format!("lddwr r{dst}, {imm}"), 2),
+        LDXW => (format!("ldxw r{dst}, {}", mem(src, off)), 1),
+        LDXH => (format!("ldxh r{dst}, {}", mem(src, off)), 1),
+        LDXB => (format!("ldxb r{dst}, {}", mem(src, off)), 1),
+        LDXDW => (format!("ldxdw r{dst}, {}", mem(src, off)), 1),
+        STW => (format!("stw {}, {imm}", mem(dst, off)), 1),
+        STH => (format!("sth {}, {imm}", mem(dst, off)), 1),
+        STB => (format!("stb {}, {imm}", mem(dst, off)), 1),
+        STDW => (format!("stdw {}, {imm}", mem(dst, off)), 1),
+        STXW => (format!("stxw {}, r{src}", mem(dst, off)), 1),
+        STXH => (format!("stxh {}, r{src}", mem(dst, off)), 1),
+        STXB => (format!("stxb {}, r{src}", mem(dst, off)), 1),
+        STXDW => (format!("stxdw {}, r{src}", mem(dst, off)), 1),
+        ADD32_IMM => alu("add32", false),
+        ADD32_REG => alu("add32", true),
+        SUB32_IMM => alu("sub32", false),
+        SUB32_REG => alu("sub32", true),
+        MUL32_IMM => alu("mul32", false),
+        MUL32_REG => alu("mul32", true),
+        DIV32_IMM => alu("div32", false),
+        DIV32_REG => alu("div32", true),
+        OR32_IMM => alu("or32", false),
+        OR32_REG => alu("or32", true),
+        AND32_IMM => alu("and32", false),
+        AND32_REG => alu("and32", true),
+        LSH32_IMM => alu("lsh32", false),
+        LSH32_REG => alu("lsh32", true),
+        RSH32_IMM => alu("rsh32", false),
+        RSH32_REG => alu("rsh32", true),
+        NEG32 => (format!("neg32 r{dst}"), 1),
+        MOD32_IMM => alu("mod32", false),
+        MOD32_REG => alu("mod32", true),
+        XOR32_IMM => alu("xor32", false),
+        XOR32_REG => alu("xor32", true),
+        MOV32_IMM => alu("mov32", false),
+        MOV32_REG => alu("mov32", true),
+        ARSH32_IMM => alu("arsh32", false),
+        ARSH32_REG => alu("arsh32", true),
+        LE => (format!("le{imm} r{dst}"), 1),
+        BE => (format!("be{imm} r{dst}"), 1),
+        ADD64_IMM => alu("add", false),
+        ADD64_REG => alu("add", true),
+        SUB64_IMM => alu("sub", false),
+        SUB64_REG => alu("sub", true),
+        MUL64_IMM => alu("mul", false),
+        MUL64_REG => alu("mul", true),
+        DIV64_IMM => alu("div", false),
+        DIV64_REG => alu("div", true),
+        OR64_IMM => alu("or", false),
+        OR64_REG => alu("or", true),
+        AND64_IMM => alu("and", false),
+        AND64_REG => alu("and", true),
+        LSH64_IMM => alu("lsh", false),
+        LSH64_REG => alu("lsh", true),
+        RSH64_IMM => alu("rsh", false),
+        RSH64_REG => alu("rsh", true),
+        NEG64 => (format!("neg r{dst}"), 1),
+        MOD64_IMM => alu("mod", false),
+        MOD64_REG => alu("mod", true),
+        XOR64_IMM => alu("xor", false),
+        XOR64_REG => alu("xor", true),
+        MOV64_IMM => alu("mov", false),
+        MOV64_REG => alu("mov", true),
+        ARSH64_IMM => alu("arsh", false),
+        ARSH64_REG => alu("arsh", true),
+        JA => (format!("ja {off:+}"), 1),
+        JEQ_IMM => jmp("jeq", false),
+        JEQ_REG => jmp("jeq", true),
+        JGT_IMM => jmp("jgt", false),
+        JGT_REG => jmp("jgt", true),
+        JGE_IMM => jmp("jge", false),
+        JGE_REG => jmp("jge", true),
+        JLT_IMM => jmp("jlt", false),
+        JLT_REG => jmp("jlt", true),
+        JLE_IMM => jmp("jle", false),
+        JLE_REG => jmp("jle", true),
+        JSET_IMM => jmp("jset", false),
+        JSET_REG => jmp("jset", true),
+        JNE_IMM => jmp("jne", false),
+        JNE_REG => jmp("jne", true),
+        JSGT_IMM => jmp("jsgt", false),
+        JSGT_REG => jmp("jsgt", true),
+        JSGE_IMM => jmp("jsge", false),
+        JSGE_REG => jmp("jsge", true),
+        JSLT_IMM => jmp("jslt", false),
+        JSLT_REG => jmp("jslt", true),
+        JSLE_IMM => jmp("jsle", false),
+        JSLE_REG => jmp("jsle", true),
+        CALL => (format!("call {imm}"), 1),
+        EXIT => ("exit".to_owned(), 1),
+        other => (format!(".byte 0x{other:02x}"), 1),
+    }
+}
+
+/// Disassembles a full instruction stream into one line per instruction.
+pub fn disassemble(insns: &[Insn]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < insns.len() {
+        let (line, consumed) = disassemble_one(&insns[i], insns.get(i + 1));
+        out.push_str(&line);
+        out.push('\n');
+        i += consumed;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn round_trip_simple() {
+        let src = "mov r0, 7\nadd r0, r1\nldxdw r2, [r1+8]\nstxdw [r10-8], r2\nexit\n";
+        let insns = assemble(src).unwrap();
+        let text = disassemble(&insns);
+        let again = assemble(&text).unwrap();
+        assert_eq!(insns, again);
+    }
+
+    #[test]
+    fn round_trip_wide_and_jumps() {
+        let src = "lddw r1, 0xdeadbeefcafe\njne r1, 0, +1\nexit\nexit\n";
+        let insns = assemble(src).unwrap();
+        let again = assemble(&disassemble(&insns)).unwrap();
+        assert_eq!(insns, again);
+    }
+
+    #[test]
+    fn unknown_opcode_rendered_as_byte() {
+        let (line, n) = disassemble_one(&Insn::new(0xff, 0, 0, 0, 0), None);
+        assert!(line.contains("0xff"));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn negative_memory_offset_renders_compactly() {
+        let insns = assemble("stxdw [r10-16], r1").unwrap();
+        let text = disassemble(&insns);
+        assert!(text.contains("[r10-16]"), "{text}");
+    }
+}

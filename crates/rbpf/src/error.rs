@@ -1,0 +1,169 @@
+//! Run-time fault types raised by the virtual machine.
+//!
+//! Every fault maps to one of the paper's abort conditions: illegal memory
+//! access (paper §7, Figure 4), exhausted execution budgets (finite
+//! execution, §7) or malformed state that slipped past a misconfigured
+//! verifier (defence in depth).
+
+use std::error::Error;
+use std::fmt;
+
+/// A fault encountered while executing a Femto-Container application.
+///
+/// Execution aborts on the first fault; the host OS is shielded from the
+/// faulting container (the fault never propagates as a panic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A load or store fell outside every allow-listed memory region, or
+    /// hit a region without the required permission.
+    InvalidMemoryAccess {
+        /// Virtual address of the attempted access.
+        addr: u64,
+        /// Width of the attempted access in bytes.
+        len: usize,
+        /// True when the access was a write.
+        write: bool,
+    },
+    /// Division (or modulo) by zero at run time.
+    DivisionByZero {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// An opcode unknown to the interpreter was reached.
+    UnknownOpcode {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+        /// The unknown opcode byte.
+        opcode: u8,
+    },
+    /// A `call` named a helper id that is not registered.
+    UnknownHelper {
+        /// The unresolved helper identifier.
+        id: u32,
+    },
+    /// A `call` named a helper the container's contract does not grant.
+    HelperDenied {
+        /// The denied helper identifier.
+        id: u32,
+    },
+    /// A helper executed but reported a failure.
+    HelperFault {
+        /// The helper identifier.
+        id: u32,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The total-instruction budget `N_i` was exhausted.
+    InstructionBudgetExceeded {
+        /// The configured budget.
+        budget: u32,
+    },
+    /// The branch budget `N_b` was exhausted.
+    BranchBudgetExceeded {
+        /// The configured budget.
+        budget: u32,
+    },
+    /// A jump targeted a slot outside the text section.
+    JumpOutOfBounds {
+        /// Program counter of the jump.
+        pc: usize,
+        /// The (invalid) target slot.
+        target: i64,
+    },
+    /// The program counter ran past the end of the text section without
+    /// reaching `exit`.
+    PcOutOfBounds {
+        /// The out-of-range program counter.
+        pc: usize,
+    },
+    /// A wide (`lddw`) instruction was truncated by the section end.
+    TruncatedWideInstruction {
+        /// Program counter of the truncated instruction.
+        pc: usize,
+    },
+    /// An instruction attempted to write the read-only register `r10`.
+    WriteToReadOnlyRegister {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// A shift amount was out of range for the operand width (defensive
+    /// check used by the CertFC interpreter).
+    InvalidShift {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::InvalidMemoryAccess { addr, len, write } => write!(
+                f,
+                "illegal {} of {} byte(s) at 0x{addr:08x}",
+                if *write { "write" } else { "read" },
+                len
+            ),
+            VmError::DivisionByZero { pc } => write!(f, "division by zero at pc {pc}"),
+            VmError::UnknownOpcode { pc, opcode } => {
+                write!(f, "unknown opcode 0x{opcode:02x} at pc {pc}")
+            }
+            VmError::UnknownHelper { id } => write!(f, "unknown helper id {id}"),
+            VmError::HelperDenied { id } => write!(f, "helper id {id} denied by contract"),
+            VmError::HelperFault { id, reason } => write!(f, "helper {id} failed: {reason}"),
+            VmError::InstructionBudgetExceeded { budget } => {
+                write!(f, "instruction budget of {budget} exhausted")
+            }
+            VmError::BranchBudgetExceeded { budget } => {
+                write!(f, "branch budget of {budget} exhausted")
+            }
+            VmError::JumpOutOfBounds { pc, target } => {
+                write!(f, "jump at pc {pc} targets out-of-bounds slot {target}")
+            }
+            VmError::PcOutOfBounds { pc } => write!(f, "pc {pc} outside text section"),
+            VmError::TruncatedWideInstruction { pc } => {
+                write!(f, "wide instruction truncated at pc {pc}")
+            }
+            VmError::WriteToReadOnlyRegister { pc } => {
+                write!(f, "write to read-only register r10 at pc {pc}")
+            }
+            VmError::InvalidShift { pc } => write!(f, "shift amount out of range at pc {pc}"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            VmError::InvalidMemoryAccess { addr: 0x10, len: 4, write: true },
+            VmError::DivisionByZero { pc: 3 },
+            VmError::UnknownOpcode { pc: 0, opcode: 0xff },
+            VmError::UnknownHelper { id: 9 },
+            VmError::HelperDenied { id: 2 },
+            VmError::HelperFault { id: 2, reason: "nope".into() },
+            VmError::InstructionBudgetExceeded { budget: 10 },
+            VmError::BranchBudgetExceeded { budget: 10 },
+            VmError::JumpOutOfBounds { pc: 1, target: -4 },
+            VmError::PcOutOfBounds { pc: 55 },
+            VmError::TruncatedWideInstruction { pc: 7 },
+            VmError::WriteToReadOnlyRegister { pc: 2 },
+            VmError::InvalidShift { pc: 2 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VmError>();
+    }
+}

@@ -1,0 +1,826 @@
+//! The vanilla Femto-Container interpreter (paper §7, "Jumptable &
+//! Interpreter").
+//!
+//! The hosting engine iterates over instruction slots and dispatches on
+//! the opcode byte through one dense `match`, which the compiler lowers to
+//! a computed jump table — the same design as the C implementation. All
+//! memory traffic funnels through the [`MemoryMap`] allow-list, and the
+//! finite-execution budgets abort runaway programs.
+
+use crate::error::VmError;
+use crate::helpers::HelperRegistry;
+use crate::isa;
+use crate::mem::{MemoryMap, DATA_VADDR, RODATA_VADDR};
+use crate::verifier::VerifiedProgram;
+use crate::vm::{ExecConfig, Execution, OpCounts};
+
+/// Interpreter over a verified program.
+///
+/// # Examples
+///
+/// ```
+/// use fc_rbpf::{asm, isa, verifier, interp::Interpreter, mem::MemoryMap};
+/// use fc_rbpf::helpers::HelperRegistry;
+/// use std::collections::HashSet;
+///
+/// let text = isa::encode_all(&asm::assemble("mov r0, 21\nadd r0, r0\nexit").unwrap());
+/// let prog = verifier::verify(&text, &HashSet::new()).unwrap();
+/// let mut mem = MemoryMap::new();
+/// mem.add_stack(512);
+/// let mut helpers = HelperRegistry::new();
+/// let out = Interpreter::new(&prog, Default::default())
+///     .run(&mut mem, &mut helpers, 0)
+///     .unwrap();
+/// assert_eq!(out.return_value, 42);
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    program: &'p VerifiedProgram,
+    config: ExecConfig,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter for a verified program.
+    pub fn new(program: &'p VerifiedProgram, config: ExecConfig) -> Self {
+        Interpreter { program, config }
+    }
+
+    /// The execution limits in force.
+    pub fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// Runs the program from slot 0 with `r1 = ctx`.
+    ///
+    /// `r10` is initialised to the top of the `stack` region in `mem`
+    /// (see [`MemoryMap::stack_top`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] aborts execution; the host remains intact and the
+    /// memory map reflects all stores performed before the fault.
+    pub fn run(
+        &self,
+        mem: &mut MemoryMap,
+        helpers: &mut HelperRegistry<'_>,
+        ctx: u64,
+    ) -> Result<Execution, VmError> {
+        self.run_from(mem, helpers, ctx, 0)
+    }
+
+    /// Runs the program from an explicit entry slot (named symbol).
+    ///
+    /// # Errors
+    ///
+    /// As [`Interpreter::run`]; additionally [`VmError::PcOutOfBounds`]
+    /// when `entry` is outside the text section.
+    pub fn run_from(
+        &self,
+        mem: &mut MemoryMap,
+        helpers: &mut HelperRegistry<'_>,
+        ctx: u64,
+        entry: usize,
+    ) -> Result<Execution, VmError> {
+        let insns = self.program.insns();
+        if entry >= insns.len() {
+            return Err(VmError::PcOutOfBounds { pc: entry });
+        }
+        let mut regs = [0u64; 11];
+        regs[1] = ctx;
+        regs[10] = mem.stack_top();
+
+        let mut counts = OpCounts::default();
+        let mut pc = entry;
+        let mut executed: u32 = 0;
+        let mut branches: u32 = 0;
+
+        macro_rules! alu64 {
+            ($dst:expr, $val:expr, $op:tt) => {{
+                regs[$dst as usize] = (regs[$dst as usize]).$op($val);
+            }};
+        }
+
+        loop {
+            let insn = match insns.get(pc) {
+                Some(i) => *i,
+                None => return Err(VmError::PcOutOfBounds { pc }),
+            };
+            executed += 1;
+            if executed > self.config.max_instructions {
+                return Err(VmError::InstructionBudgetExceeded {
+                    budget: self.config.max_instructions,
+                });
+            }
+            if insn.is_branch() {
+                branches += 1;
+                if branches > self.config.max_branches {
+                    return Err(VmError::BranchBudgetExceeded {
+                        budget: self.config.max_branches,
+                    });
+                }
+            }
+
+            let dst = insn.dst as usize;
+            let src = insn.src as usize;
+            let imm_s = insn.imm as i64 as u64; // sign-extended immediate
+            let imm32 = insn.imm as u32;
+            let off = insn.off as i64 as u64; // sign-extended offset
+
+            use isa::*;
+            match insn.opcode {
+                // --- wide loads --------------------------------------
+                LDDW => {
+                    let hi = insns.get(pc + 1).map(|n| n.imm as u32 as u64).unwrap_or(0);
+                    regs[dst] = (hi << 32) | insn.imm as u32 as u64;
+                    counts.record(OpClass::WideLoad);
+                    pc += 2;
+                    continue;
+                }
+                LDDWD_IMM => {
+                    let hi = insns.get(pc + 1).map(|n| n.imm as u32 as u64).unwrap_or(0);
+                    regs[dst] = DATA_VADDR
+                        .wrapping_add(insn.imm as u32 as u64)
+                        .wrapping_add(hi << 32);
+                    counts.record(OpClass::WideLoad);
+                    pc += 2;
+                    continue;
+                }
+                LDDWR_IMM => {
+                    let hi = insns.get(pc + 1).map(|n| n.imm as u32 as u64).unwrap_or(0);
+                    regs[dst] = RODATA_VADDR
+                        .wrapping_add(insn.imm as u32 as u64)
+                        .wrapping_add(hi << 32);
+                    counts.record(OpClass::WideLoad);
+                    pc += 2;
+                    continue;
+                }
+
+                // --- loads -------------------------------------------
+                LDXW => {
+                    regs[dst] = mem.load(regs[src].wrapping_add(off), 4)?;
+                    counts.record(OpClass::Load);
+                }
+                LDXH => {
+                    regs[dst] = mem.load(regs[src].wrapping_add(off), 2)?;
+                    counts.record(OpClass::Load);
+                }
+                LDXB => {
+                    regs[dst] = mem.load(regs[src].wrapping_add(off), 1)?;
+                    counts.record(OpClass::Load);
+                }
+                LDXDW => {
+                    regs[dst] = mem.load(regs[src].wrapping_add(off), 8)?;
+                    counts.record(OpClass::Load);
+                }
+
+                // --- stores ------------------------------------------
+                STW => {
+                    mem.store(regs[dst].wrapping_add(off), 4, imm32 as u64)?;
+                    counts.record(OpClass::Store);
+                }
+                STH => {
+                    mem.store(regs[dst].wrapping_add(off), 2, imm32 as u64)?;
+                    counts.record(OpClass::Store);
+                }
+                STB => {
+                    mem.store(regs[dst].wrapping_add(off), 1, imm32 as u64)?;
+                    counts.record(OpClass::Store);
+                }
+                STDW => {
+                    mem.store(regs[dst].wrapping_add(off), 8, imm_s)?;
+                    counts.record(OpClass::Store);
+                }
+                STXW => {
+                    mem.store(regs[dst].wrapping_add(off), 4, regs[src])?;
+                    counts.record(OpClass::Store);
+                }
+                STXH => {
+                    mem.store(regs[dst].wrapping_add(off), 2, regs[src])?;
+                    counts.record(OpClass::Store);
+                }
+                STXB => {
+                    mem.store(regs[dst].wrapping_add(off), 1, regs[src])?;
+                    counts.record(OpClass::Store);
+                }
+                STXDW => {
+                    mem.store(regs[dst].wrapping_add(off), 8, regs[src])?;
+                    counts.record(OpClass::Store);
+                }
+
+                // --- 32-bit ALU (results zero-extended) --------------
+                ADD32_IMM => {
+                    regs[dst] = (regs[dst] as u32).wrapping_add(imm32) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                ADD32_REG => {
+                    regs[dst] = (regs[dst] as u32).wrapping_add(regs[src] as u32) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                SUB32_IMM => {
+                    regs[dst] = (regs[dst] as u32).wrapping_sub(imm32) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                SUB32_REG => {
+                    regs[dst] = (regs[dst] as u32).wrapping_sub(regs[src] as u32) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                MUL32_IMM => {
+                    regs[dst] = (regs[dst] as u32).wrapping_mul(imm32) as u64;
+                    counts.record(OpClass::Mul);
+                }
+                MUL32_REG => {
+                    regs[dst] = (regs[dst] as u32).wrapping_mul(regs[src] as u32) as u64;
+                    counts.record(OpClass::Mul);
+                }
+                DIV32_IMM => {
+                    // imm == 0 rejected by the verifier.
+                    regs[dst] = ((regs[dst] as u32) / imm32) as u64;
+                    counts.record(OpClass::Div);
+                }
+                DIV32_REG => {
+                    let d = regs[src] as u32;
+                    if d == 0 {
+                        return Err(VmError::DivisionByZero { pc });
+                    }
+                    regs[dst] = ((regs[dst] as u32) / d) as u64;
+                    counts.record(OpClass::Div);
+                }
+                OR32_IMM => {
+                    regs[dst] = ((regs[dst] as u32) | imm32) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                OR32_REG => {
+                    regs[dst] = ((regs[dst] as u32) | (regs[src] as u32)) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                AND32_IMM => {
+                    regs[dst] = ((regs[dst] as u32) & imm32) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                AND32_REG => {
+                    regs[dst] = ((regs[dst] as u32) & (regs[src] as u32)) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                LSH32_IMM => {
+                    regs[dst] = ((regs[dst] as u32) << (imm32 & 31)) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                LSH32_REG => {
+                    regs[dst] = ((regs[dst] as u32) << ((regs[src] as u32) & 31)) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                RSH32_IMM => {
+                    regs[dst] = ((regs[dst] as u32) >> (imm32 & 31)) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                RSH32_REG => {
+                    regs[dst] = ((regs[dst] as u32) >> ((regs[src] as u32) & 31)) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                NEG32 => {
+                    regs[dst] = (regs[dst] as u32).wrapping_neg() as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                MOD32_IMM => {
+                    regs[dst] = ((regs[dst] as u32) % imm32) as u64;
+                    counts.record(OpClass::Div);
+                }
+                MOD32_REG => {
+                    let d = regs[src] as u32;
+                    if d == 0 {
+                        return Err(VmError::DivisionByZero { pc });
+                    }
+                    regs[dst] = ((regs[dst] as u32) % d) as u64;
+                    counts.record(OpClass::Div);
+                }
+                XOR32_IMM => {
+                    regs[dst] = ((regs[dst] as u32) ^ imm32) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                XOR32_REG => {
+                    regs[dst] = ((regs[dst] as u32) ^ (regs[src] as u32)) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                MOV32_IMM => {
+                    regs[dst] = imm32 as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                MOV32_REG => {
+                    regs[dst] = regs[src] as u32 as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                ARSH32_IMM => {
+                    regs[dst] = (((regs[dst] as i32) >> (imm32 & 31)) as u32) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                ARSH32_REG => {
+                    regs[dst] =
+                        (((regs[dst] as i32) >> ((regs[src] as u32) & 31)) as u32) as u64;
+                    counts.record(OpClass::Alu32);
+                }
+                LE => {
+                    regs[dst] = match insn.imm {
+                        16 => regs[dst] & 0xffff,
+                        32 => regs[dst] & 0xffff_ffff,
+                        _ => regs[dst],
+                    };
+                    counts.record(OpClass::Alu32);
+                }
+                BE => {
+                    regs[dst] = match insn.imm {
+                        16 => (regs[dst] as u16).swap_bytes() as u64,
+                        32 => (regs[dst] as u32).swap_bytes() as u64,
+                        _ => regs[dst].swap_bytes(),
+                    };
+                    counts.record(OpClass::Alu32);
+                }
+
+                // --- 64-bit ALU --------------------------------------
+                ADD64_IMM => {
+                    alu64!(dst, imm_s, wrapping_add);
+                    counts.record(OpClass::Alu64);
+                }
+                ADD64_REG => {
+                    alu64!(dst, regs[src], wrapping_add);
+                    counts.record(OpClass::Alu64);
+                }
+                SUB64_IMM => {
+                    alu64!(dst, imm_s, wrapping_sub);
+                    counts.record(OpClass::Alu64);
+                }
+                SUB64_REG => {
+                    alu64!(dst, regs[src], wrapping_sub);
+                    counts.record(OpClass::Alu64);
+                }
+                MUL64_IMM => {
+                    alu64!(dst, imm_s, wrapping_mul);
+                    counts.record(OpClass::Mul);
+                }
+                MUL64_REG => {
+                    alu64!(dst, regs[src], wrapping_mul);
+                    counts.record(OpClass::Mul);
+                }
+                DIV64_IMM => {
+                    regs[dst] /= imm_s;
+                    counts.record(OpClass::Div);
+                }
+                DIV64_REG => {
+                    if regs[src] == 0 {
+                        return Err(VmError::DivisionByZero { pc });
+                    }
+                    regs[dst] /= regs[src];
+                    counts.record(OpClass::Div);
+                }
+                OR64_IMM => {
+                    regs[dst] |= imm_s;
+                    counts.record(OpClass::Alu64);
+                }
+                OR64_REG => {
+                    regs[dst] |= regs[src];
+                    counts.record(OpClass::Alu64);
+                }
+                AND64_IMM => {
+                    regs[dst] &= imm_s;
+                    counts.record(OpClass::Alu64);
+                }
+                AND64_REG => {
+                    regs[dst] &= regs[src];
+                    counts.record(OpClass::Alu64);
+                }
+                LSH64_IMM => {
+                    regs[dst] = regs[dst].wrapping_shl(imm32);
+                    counts.record(OpClass::Alu64);
+                }
+                LSH64_REG => {
+                    regs[dst] = regs[dst].wrapping_shl(regs[src] as u32);
+                    counts.record(OpClass::Alu64);
+                }
+                RSH64_IMM => {
+                    regs[dst] = regs[dst].wrapping_shr(imm32);
+                    counts.record(OpClass::Alu64);
+                }
+                RSH64_REG => {
+                    regs[dst] = regs[dst].wrapping_shr(regs[src] as u32);
+                    counts.record(OpClass::Alu64);
+                }
+                NEG64 => {
+                    regs[dst] = regs[dst].wrapping_neg();
+                    counts.record(OpClass::Alu64);
+                }
+                MOD64_IMM => {
+                    regs[dst] %= imm_s;
+                    counts.record(OpClass::Div);
+                }
+                MOD64_REG => {
+                    if regs[src] == 0 {
+                        return Err(VmError::DivisionByZero { pc });
+                    }
+                    regs[dst] %= regs[src];
+                    counts.record(OpClass::Div);
+                }
+                XOR64_IMM => {
+                    regs[dst] ^= imm_s;
+                    counts.record(OpClass::Alu64);
+                }
+                XOR64_REG => {
+                    regs[dst] ^= regs[src];
+                    counts.record(OpClass::Alu64);
+                }
+                MOV64_IMM => {
+                    regs[dst] = imm_s;
+                    counts.record(OpClass::Alu64);
+                }
+                MOV64_REG => {
+                    regs[dst] = regs[src];
+                    counts.record(OpClass::Alu64);
+                }
+                ARSH64_IMM => {
+                    regs[dst] = ((regs[dst] as i64).wrapping_shr(imm32)) as u64;
+                    counts.record(OpClass::Alu64);
+                }
+                ARSH64_REG => {
+                    regs[dst] = ((regs[dst] as i64).wrapping_shr(regs[src] as u32)) as u64;
+                    counts.record(OpClass::Alu64);
+                }
+
+                // --- branches ----------------------------------------
+                JA => {
+                    counts.record(OpClass::BranchTaken);
+                    pc = (pc as i64 + 1 + insn.off as i64) as usize;
+                    continue;
+                }
+                JEQ_IMM | JEQ_REG | JGT_IMM | JGT_REG | JGE_IMM | JGE_REG | JLT_IMM
+                | JLT_REG | JLE_IMM | JLE_REG | JSET_IMM | JSET_REG | JNE_IMM | JNE_REG
+                | JSGT_IMM | JSGT_REG | JSGE_IMM | JSGE_REG | JSLT_IMM | JSLT_REG
+                | JSLE_IMM | JSLE_REG => {
+                    let rhs = if insn.opcode & SRC_REG != 0 { regs[src] } else { imm_s };
+                    let lhs = regs[dst];
+                    let taken = match insn.opcode & 0xf0 {
+                        0x10 => lhs == rhs,                     // jeq
+                        0x20 => lhs > rhs,                      // jgt
+                        0x30 => lhs >= rhs,                     // jge
+                        0xa0 => lhs < rhs,                      // jlt
+                        0xb0 => lhs <= rhs,                     // jle
+                        0x40 => lhs & rhs != 0,                 // jset
+                        0x50 => lhs != rhs,                     // jne
+                        0x60 => (lhs as i64) > rhs as i64,      // jsgt
+                        0x70 => (lhs as i64) >= rhs as i64,     // jsge
+                        0xc0 => (lhs as i64) < (rhs as i64),    // jslt
+                        _ => (lhs as i64) <= (rhs as i64),      // jsle (0xd0)
+                    };
+                    if taken {
+                        counts.record(OpClass::BranchTaken);
+                        pc = (pc as i64 + 1 + insn.off as i64) as usize;
+                        continue;
+                    } else {
+                        counts.record(OpClass::BranchNotTaken);
+                    }
+                }
+
+                // --- call / exit -------------------------------------
+                CALL => {
+                    counts.record(OpClass::HelperCall);
+                    let args = [regs[1], regs[2], regs[3], regs[4], regs[5]];
+                    regs[0] = helpers.call(insn.imm as u32, mem, args)?;
+                }
+                EXIT => {
+                    counts.record(OpClass::Exit);
+                    return Ok(Execution { return_value: regs[0], counts });
+                }
+
+                other => return Err(VmError::UnknownOpcode { pc, opcode: other }),
+            }
+            pc += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::mem::{Perm, CTX_VADDR};
+    use std::collections::HashSet;
+
+    fn run_src(src: &str) -> Result<Execution, VmError> {
+        run_src_full(src, &[], Vec::new())
+    }
+
+    fn run_src_full(
+        src: &str,
+        helper_ids: &[u32],
+        ctx: Vec<u8>,
+    ) -> Result<Execution, VmError> {
+        let text = isa::encode_all(&assemble(src).unwrap());
+        let prog =
+            crate::verifier::verify(&text, &helper_ids.iter().copied().collect()).unwrap();
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let ctx_addr = if ctx.is_empty() {
+            0
+        } else {
+            mem.add_ctx(ctx, Perm::RW);
+            CTX_VADDR
+        };
+        let mut helpers = HelperRegistry::new();
+        for id in helper_ids {
+            let id = *id;
+            helpers.register(id, "test", move |_m, args| Ok(args[0] + id as u64));
+        }
+        Interpreter::new(&prog, ExecConfig::default()).run(&mut mem, &mut helpers, ctx_addr)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(run_src("mov r0, 21\nadd r0, 21\nexit").unwrap().return_value, 42);
+        assert_eq!(run_src("mov r0, 50\nsub r0, 8\nexit").unwrap().return_value, 42);
+        assert_eq!(run_src("mov r0, 6\nmul r0, 7\nexit").unwrap().return_value, 42);
+        assert_eq!(run_src("mov r0, 85\ndiv r0, 2\nexit").unwrap().return_value, 42);
+        assert_eq!(run_src("mov r0, 142\nmod r0, 100\nexit").unwrap().return_value, 42);
+    }
+
+    #[test]
+    fn mov64_sign_extends_imm() {
+        assert_eq!(run_src("mov r0, -1\nexit").unwrap().return_value, u64::MAX);
+    }
+
+    #[test]
+    fn mov32_zero_extends() {
+        assert_eq!(
+            run_src("mov32 r0, -1\nexit").unwrap().return_value,
+            0xffff_ffff
+        );
+    }
+
+    #[test]
+    fn alu32_truncates_to_32_bits() {
+        let out = run_src("mov r0, -1\nadd32 r0, 1\nexit").unwrap();
+        assert_eq!(out.return_value, 0);
+    }
+
+    #[test]
+    fn shifts_and_bitops() {
+        assert_eq!(run_src("mov r0, 1\nlsh r0, 5\nexit").unwrap().return_value, 32);
+        assert_eq!(run_src("mov r0, 32\nrsh r0, 5\nexit").unwrap().return_value, 1);
+        assert_eq!(run_src("mov r0, -8\narsh r0, 2\nexit").unwrap().return_value, (-2i64) as u64);
+        assert_eq!(run_src("mov r0, 12\nor r0, 3\nexit").unwrap().return_value, 15);
+        assert_eq!(run_src("mov r0, 12\nand r0, 10\nexit").unwrap().return_value, 8);
+        assert_eq!(run_src("mov r0, 12\nxor r0, 10\nexit").unwrap().return_value, 6);
+        assert_eq!(run_src("mov r0, 5\nneg r0\nexit").unwrap().return_value, (-5i64) as u64);
+    }
+
+    #[test]
+    fn arsh32_uses_sign_of_bit_31() {
+        let out = run_src("mov32 r0, 0x80000000\narsh32 r0, 4\nexit").unwrap();
+        assert_eq!(out.return_value, 0xf800_0000);
+    }
+
+    #[test]
+    fn endianness_ops() {
+        assert_eq!(
+            run_src("lddw r0, 0x1122334455667788\nbe16 r0\nexit").unwrap().return_value,
+            0x8877
+        );
+        assert_eq!(
+            run_src("lddw r0, 0x1122334455667788\nbe32 r0\nexit").unwrap().return_value,
+            0x8877_6655
+        );
+        assert_eq!(
+            run_src("lddw r0, 0x1122334455667788\nbe64 r0\nexit").unwrap().return_value,
+            0x8877_6655_4433_2211
+        );
+        assert_eq!(
+            run_src("lddw r0, 0x1122334455667788\nle32 r0\nexit").unwrap().return_value,
+            0x5566_7788
+        );
+    }
+
+    #[test]
+    fn lddw_loads_full_64_bits() {
+        assert_eq!(
+            run_src("lddw r0, 0xdeadbeefcafebabe\nexit").unwrap().return_value,
+            0xdead_beef_cafe_babe
+        );
+    }
+
+    #[test]
+    fn stack_loads_and_stores() {
+        let src = "\
+mov r1, 0x1234
+stxdw [r10-8], r1
+ldxdw r0, [r10-8]
+exit";
+        assert_eq!(run_src(src).unwrap().return_value, 0x1234);
+    }
+
+    #[test]
+    fn byte_level_store_load() {
+        let src = "\
+stb [r10-4], 0xab
+ldxb r0, [r10-4]
+exit";
+        assert_eq!(run_src(src).unwrap().return_value, 0xab);
+    }
+
+    #[test]
+    fn out_of_stack_access_faults() {
+        let err = run_src("ldxdw r0, [r10+8]\nexit").unwrap_err();
+        assert!(matches!(err, VmError::InvalidMemoryAccess { write: false, .. }));
+        // r10 points one past the stack; stores above it fault too.
+        let err = run_src("stxdw [r10+0], r1\nexit").unwrap_err();
+        assert!(matches!(err, VmError::InvalidMemoryAccess { write: true, .. }));
+    }
+
+    #[test]
+    fn division_by_zero_register_faults() {
+        let err = run_src("mov r0, 1\nmov r1, 0\ndiv r0, r1\nexit").unwrap_err();
+        assert_eq!(err, VmError::DivisionByZero { pc: 2 });
+        let err = run_src("mov r0, 1\nmov r1, 0\nmod r0, r1\nexit").unwrap_err();
+        assert_eq!(err, VmError::DivisionByZero { pc: 2 });
+        let err = run_src("mov32 r0, 1\nmov32 r1, 0\ndiv32 r0, r1\nexit").unwrap_err();
+        assert_eq!(err, VmError::DivisionByZero { pc: 2 });
+    }
+
+    #[test]
+    fn loop_with_budget_counts() {
+        let src = "\
+mov r0, 0
+mov r1, 10
+loop:
+add r0, 2
+sub r1, 1
+jne r1, 0, loop
+exit";
+        let out = run_src(src).unwrap();
+        assert_eq!(out.return_value, 20);
+        assert_eq!(out.counts.branch_taken, 9);
+        assert_eq!(out.counts.branch_not_taken, 1);
+    }
+
+    #[test]
+    fn infinite_loop_aborted_by_branch_budget() {
+        let src = "spin: ja spin\nexit";
+        let text = isa::encode_all(&assemble(src).unwrap());
+        let prog = crate::verifier::verify(&text, &HashSet::new()).unwrap();
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        let cfg = ExecConfig::new(1_000_000, 100);
+        let err = Interpreter::new(&prog, cfg).run(&mut mem, &mut helpers, 0).unwrap_err();
+        assert_eq!(err, VmError::BranchBudgetExceeded { budget: 100 });
+    }
+
+    #[test]
+    fn straightline_bomb_aborted_by_instruction_budget() {
+        // A long run of ALU ops with a tiny instruction budget.
+        let mut src = String::new();
+        for _ in 0..64 {
+            src.push_str("add r0, 1\n");
+        }
+        src.push_str("exit");
+        let text = isa::encode_all(&assemble(&src).unwrap());
+        let prog = crate::verifier::verify(&text, &HashSet::new()).unwrap();
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        let cfg = ExecConfig::new(16, 16);
+        let err = Interpreter::new(&prog, cfg).run(&mut mem, &mut helpers, 0).unwrap_err();
+        assert_eq!(err, VmError::InstructionBudgetExceeded { budget: 16 });
+    }
+
+    #[test]
+    fn helper_call_routes_args_and_result() {
+        let out = run_src_full("mov r1, 40\ncall 2\nexit", &[2], Vec::new()).unwrap();
+        assert_eq!(out.return_value, 42);
+        assert_eq!(out.counts.helper_call, 1);
+    }
+
+    #[test]
+    fn ctx_pointer_in_r1() {
+        let ctx = 7u64.to_le_bytes().to_vec();
+        let out = run_src_full("ldxdw r0, [r1]\nexit", &[], ctx).unwrap();
+        assert_eq!(out.return_value, 7);
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        let src = "\
+mov r1, -5
+jsgt r1, -10, yes
+mov r0, 0
+exit
+yes:
+mov r0, 1
+exit";
+        assert_eq!(run_src(src).unwrap().return_value, 1);
+        let src2 = "\
+mov r1, -10
+jslt r1, -5, yes
+mov r0, 0
+exit
+yes:
+mov r0, 1
+exit";
+        assert_eq!(run_src(src2).unwrap().return_value, 1);
+    }
+
+    #[test]
+    fn unsigned_comparisons_treat_negative_as_large() {
+        let src = "\
+mov r1, -1
+jgt r1, 5, yes
+mov r0, 0
+exit
+yes:
+mov r0, 1
+exit";
+        assert_eq!(run_src(src).unwrap().return_value, 1);
+    }
+
+    #[test]
+    fn jset_tests_bits() {
+        let src = "\
+mov r1, 10
+jset r1, 2, yes
+mov r0, 0
+exit
+yes:
+mov r0, 1
+exit";
+        assert_eq!(run_src(src).unwrap().return_value, 1);
+    }
+
+    #[test]
+    fn lddwd_materialises_data_pointer() {
+        let text = isa::encode_all(&assemble("lddwd r1, 0\nldxw r0, [r1]\nexit").unwrap());
+        let prog = crate::verifier::verify(&text, &HashSet::new()).unwrap();
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        mem.add_data(0xfeed_f00du32.to_le_bytes().to_vec());
+        let mut helpers = HelperRegistry::new();
+        let out = Interpreter::new(&prog, ExecConfig::default())
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap();
+        assert_eq!(out.return_value, 0xfeed_f00d);
+    }
+
+    #[test]
+    fn lddwr_pointer_is_read_only() {
+        let text =
+            isa::encode_all(&assemble("lddwr r1, 0\nstxw [r1], r2\nexit").unwrap());
+        let prog = crate::verifier::verify(&text, &HashSet::new()).unwrap();
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        mem.add_rodata(vec![0; 8]);
+        let mut helpers = HelperRegistry::new();
+        let err = Interpreter::new(&prog, ExecConfig::default())
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap_err();
+        assert!(matches!(err, VmError::InvalidMemoryAccess { write: true, .. }));
+    }
+
+    #[test]
+    fn op_counts_reflect_execution() {
+        let out = run_src("mov r0, 2\nmul r0, 3\nstxdw [r10-8], r0\nldxdw r0, [r10-8]\nexit")
+            .unwrap();
+        assert_eq!(out.counts.alu64, 1);
+        assert_eq!(out.counts.mul, 1);
+        assert_eq!(out.counts.load, 1);
+        assert_eq!(out.counts.store, 1);
+        assert_eq!(out.counts.exit, 1);
+        assert_eq!(out.counts.total(), 5);
+    }
+
+    #[test]
+    fn fault_preserves_prior_stores() {
+        let text = isa::encode_all(
+            &assemble("mov r1, 7\nstxdw [r10-8], r1\nldxdw r0, [r10+64]\nexit").unwrap(),
+        );
+        let prog = crate::verifier::verify(&text, &HashSet::new()).unwrap();
+        let mut mem = MemoryMap::new();
+        let stack = mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        let err = Interpreter::new(&prog, ExecConfig::default())
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap_err();
+        assert!(matches!(err, VmError::InvalidMemoryAccess { .. }));
+        let bytes = mem.region_bytes(stack);
+        assert_eq!(bytes[504..512], 7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn run_from_symbol_entry() {
+        let src = "mov r0, 1\nexit\nmov r0, 2\nexit";
+        let text = isa::encode_all(&assemble(src).unwrap());
+        let prog = crate::verifier::verify(&text, &HashSet::new()).unwrap();
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        let interp = Interpreter::new(&prog, ExecConfig::default());
+        assert_eq!(interp.run_from(&mut mem, &mut helpers, 0, 2).unwrap().return_value, 2);
+        assert!(matches!(
+            interp.run_from(&mut mem, &mut helpers, 0, 99),
+            Err(VmError::PcOutOfBounds { pc: 99 })
+        ));
+    }
+}

@@ -1,0 +1,55 @@
+//! # fc-rbpf — the Femto-Container virtual machine
+//!
+//! This crate implements the paper's ultra-lightweight virtualization
+//! layer (Zandberg et al., *Femto-Containers*, MIDDLEWARE 2022, §5–§7,
+//! §9): the eBPF instruction set with the Femto-Container extensions, a
+//! text assembler and disassembler, the application binary format, the
+//! pre-flight instruction checker, the run-time memory allow-list, and
+//! two interpreters — the vanilla rBPF-derived engine and the
+//! CertFC-style defensive engine.
+//!
+//! ## Pipeline
+//!
+//! ```
+//! use fc_rbpf::{asm, isa, verifier, interp::Interpreter, mem::MemoryMap};
+//! use fc_rbpf::helpers::HelperRegistry;
+//! use std::collections::HashSet;
+//!
+//! // 1. Author an application (normally compiled from C via LLVM; here
+//! //    assembled from text).
+//! let insns = asm::assemble("mov r0, 40\nadd r0, 2\nexit")?;
+//! let text = isa::encode_all(&insns);
+//!
+//! // 2. Pre-flight verification, once, before first execution.
+//! let program = verifier::verify(&text, &HashSet::new())?;
+//!
+//! // 3. Build the memory allow-list and run.
+//! let mut mem = MemoryMap::new();
+//! mem.add_stack(fc_rbpf::mem::STACK_SIZE);
+//! let mut helpers = HelperRegistry::new();
+//! let out = Interpreter::new(&program, Default::default())
+//!     .run(&mut mem, &mut helpers, 0)?;
+//! assert_eq!(out.return_value, 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod certfc;
+pub mod compress;
+pub mod disasm;
+pub mod error;
+pub mod helpers;
+pub mod interp;
+pub mod isa;
+pub mod mem;
+pub mod program;
+pub mod verifier;
+pub mod vm;
+
+pub use error::VmError;
+pub use isa::Insn;
+pub use program::FcProgram;
+pub use verifier::{verify, VerifiedProgram, VerifierError};
+pub use vm::{ExecConfig, Execution, OpCounts};

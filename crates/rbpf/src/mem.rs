@@ -1,0 +1,432 @@
+//! The memory isolation model: allow-listed regions in a virtual address
+//! space (paper §7, "Isolation & Sandboxing", Figure 4).
+//!
+//! A Femto-Container never touches host memory directly. Instead the
+//! hosting engine builds a [`MemoryMap`] of named regions — the VM stack,
+//! the event context, the application's `.data`/`.rodata` sections, plus
+//! any regions explicitly granted by the host (e.g. a network packet with
+//! read-only permission). Every load and store resolves its *computed*
+//! virtual address against the allow-list at run time; an access outside
+//! every region, or lacking the required permission, aborts execution.
+
+use crate::error::VmError;
+
+/// Default byte budget of the VM stack, fixed by the eBPF specification
+/// (paper §8.1: "the fixed, small size of the stack (512 Bytes)").
+pub const STACK_SIZE: usize = 512;
+
+/// Virtual base address of the VM stack region.
+pub const STACK_VADDR: u64 = 0x1000_0000;
+/// Virtual base address of the event-context region.
+pub const CTX_VADDR: u64 = 0x2000_0000;
+/// Virtual base address of the application `.data` section.
+pub const DATA_VADDR: u64 = 0x3000_0000;
+/// Virtual base address of the application `.rodata` section.
+pub const RODATA_VADDR: u64 = 0x4000_0000;
+/// First virtual base address handed to host-granted regions.
+pub const HOST_VADDR_BASE: u64 = 0x6000_0000;
+/// Address stride between successive host-granted regions.
+pub const HOST_VADDR_STRIDE: u64 = 0x0100_0000;
+
+/// Permission flags attached to a memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perm {
+    read: bool,
+    write: bool,
+}
+
+impl Perm {
+    /// Read-only access.
+    pub const RO: Perm = Perm { read: true, write: false };
+    /// Write-only access (rare; kept for completeness).
+    pub const WO: Perm = Perm { read: false, write: true };
+    /// Read-write access.
+    pub const RW: Perm = Perm { read: true, write: true };
+
+    /// Returns whether reads are permitted.
+    pub fn can_read(self) -> bool {
+        self.read
+    }
+
+    /// Returns whether writes are permitted.
+    pub fn can_write(self) -> bool {
+        self.write
+    }
+
+    /// Returns whether the given access kind is permitted.
+    pub fn allows(self, write: bool) -> bool {
+        if write {
+            self.write
+        } else {
+            self.read
+        }
+    }
+}
+
+/// Identifier of a region inside a [`MemoryMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(usize);
+
+/// One allow-listed memory region.
+#[derive(Debug, Clone)]
+struct Region {
+    name: String,
+    vaddr: u64,
+    perm: Perm,
+    data: Vec<u8>,
+}
+
+/// The allow-list of memory regions reachable by one container instance.
+///
+/// # Examples
+///
+/// ```
+/// use fc_rbpf::mem::{MemoryMap, Perm};
+/// let mut map = MemoryMap::new();
+/// let stack = map.add_stack(512);
+/// map.store(map.region_vaddr(stack) + 8, 4, 0xdead_beef).unwrap();
+/// assert_eq!(map.load(map.region_vaddr(stack) + 8, 4).unwrap(), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryMap {
+    regions: Vec<Region>,
+    next_host_vaddr: u64,
+    /// Number of allow-list checks performed (for the isolation-cost
+    /// ablation benchmark).
+    checks: u64,
+    /// Number of region entries scanned across all checks.
+    entries_scanned: u64,
+}
+
+impl MemoryMap {
+    /// Creates an empty map with no accessible memory.
+    pub fn new() -> Self {
+        MemoryMap {
+            regions: Vec::new(),
+            next_host_vaddr: HOST_VADDR_BASE,
+            checks: 0,
+            entries_scanned: 0,
+        }
+    }
+
+    /// Adds a zero-initialised stack region of `len` bytes at the standard
+    /// stack base and returns its id.
+    pub fn add_stack(&mut self, len: usize) -> RegionId {
+        self.add_region_at("stack", STACK_VADDR, vec![0; len], Perm::RW)
+    }
+
+    /// Adds the event-context region at the standard context base.
+    pub fn add_ctx(&mut self, data: Vec<u8>, perm: Perm) -> RegionId {
+        self.add_region_at("ctx", CTX_VADDR, data, perm)
+    }
+
+    /// Adds the application `.data` section at its standard base.
+    pub fn add_data(&mut self, data: Vec<u8>) -> RegionId {
+        self.add_region_at(".data", DATA_VADDR, data, Perm::RW)
+    }
+
+    /// Adds the application `.rodata` section at its standard base.
+    pub fn add_rodata(&mut self, data: Vec<u8>) -> RegionId {
+        self.add_region_at(".rodata", RODATA_VADDR, data, Perm::RO)
+    }
+
+    /// Adds a host-granted region; the map assigns the next free virtual
+    /// base address and returns the region id.
+    ///
+    /// This is the mechanism behind the paper's firewall example: the OS
+    /// grants read-only access to a packet buffer, letting the container
+    /// inspect but not modify it.
+    pub fn add_host_region(&mut self, name: &str, data: Vec<u8>, perm: Perm) -> RegionId {
+        let vaddr = self.next_host_vaddr;
+        self.next_host_vaddr += HOST_VADDR_STRIDE;
+        self.add_region_at(name, vaddr, data, perm)
+    }
+
+    /// Adds a region at an explicit virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the new region would overlap an existing one; regions
+    /// are configured by the trusted hosting engine, so an overlap is a
+    /// host bug, not a container fault.
+    pub fn add_region_at(&mut self, name: &str, vaddr: u64, data: Vec<u8>, perm: Perm) -> RegionId {
+        let len = data.len() as u64;
+        for r in &self.regions {
+            let r_len = r.data.len() as u64;
+            let disjoint = vaddr >= r.vaddr + r_len || r.vaddr >= vaddr + len;
+            assert!(
+                disjoint || len == 0 || r_len == 0,
+                "region {name} at 0x{vaddr:08x} overlaps region {}",
+                r.name
+            );
+        }
+        self.regions.push(Region { name: name.to_owned(), vaddr, perm, data });
+        RegionId(self.regions.len() - 1)
+    }
+
+    /// Number of configured regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Virtual base address of a region.
+    pub fn region_vaddr(&self, id: RegionId) -> u64 {
+        self.regions[id.0].vaddr
+    }
+
+    /// Length in bytes of a region.
+    pub fn region_len(&self, id: RegionId) -> usize {
+        self.regions[id.0].data.len()
+    }
+
+    /// Read-only view of a region's bytes (host-side introspection).
+    pub fn region_bytes(&self, id: RegionId) -> &[u8] {
+        &self.regions[id.0].data
+    }
+
+    /// Mutable view of a region's bytes (host-side, bypasses permissions —
+    /// the host owns the memory).
+    pub fn region_bytes_mut(&mut self, id: RegionId) -> &mut [u8] {
+        &mut self.regions[id.0].data
+    }
+
+    /// Finds a region by name (first match).
+    pub fn find_region(&self, name: &str) -> Option<RegionId> {
+        self.regions.iter().position(|r| r.name == name).map(RegionId)
+    }
+
+    /// Virtual address one past the end of the stack region, which seeds
+    /// the read-only `r10` frame pointer. Zero when no stack exists.
+    pub fn stack_top(&self) -> u64 {
+        self.find_region("stack")
+            .map(|id| self.region_vaddr(id) + self.region_len(id) as u64)
+            .unwrap_or(0)
+    }
+
+    /// Total RAM attributable to this map's regions, for the paper's
+    /// per-instance RAM accounting (§10.3).
+    pub fn ram_bytes(&self) -> usize {
+        self.regions.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Number of allow-list checks performed so far.
+    pub fn check_count(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of allow-list entries scanned across all checks.
+    pub fn entries_scanned(&self) -> u64 {
+        self.entries_scanned
+    }
+
+    fn find(&mut self, addr: u64, len: usize, write: bool) -> Result<(usize, usize), VmError> {
+        self.checks += 1;
+        let denial = VmError::InvalidMemoryAccess { addr, len, write };
+        for (idx, r) in self.regions.iter().enumerate() {
+            self.entries_scanned += 1;
+            let r_len = r.data.len() as u64;
+            if addr >= r.vaddr && addr.saturating_add(len as u64) <= r.vaddr + r_len {
+                if !r.perm.allows(write) {
+                    return Err(denial);
+                }
+                return Ok((idx, (addr - r.vaddr) as usize));
+            }
+        }
+        Err(denial)
+    }
+
+    /// Loads `len` bytes (1, 2, 4 or 8) little-endian from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidMemoryAccess`] when the access is outside
+    /// every region or the region is not readable.
+    pub fn load(&mut self, addr: u64, len: usize) -> Result<u64, VmError> {
+        debug_assert!(matches!(len, 1 | 2 | 4 | 8));
+        let (idx, off) = self.find(addr, len, false)?;
+        let bytes = &self.regions[idx].data[off..off + len];
+        let mut v = 0u64;
+        for (i, b) in bytes.iter().enumerate() {
+            v |= (*b as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Stores the low `len` bytes (1, 2, 4 or 8) of `value` little-endian
+    /// at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidMemoryAccess`] when the access is outside
+    /// every region or the region is not writable.
+    pub fn store(&mut self, addr: u64, len: usize, value: u64) -> Result<(), VmError> {
+        debug_assert!(matches!(len, 1 | 2 | 4 | 8));
+        let (idx, off) = self.find(addr, len, true)?;
+        let bytes = &mut self.regions[idx].data[off..off + len];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Borrows `len` bytes at `addr` for a helper (read side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidMemoryAccess`] on an out-of-region or
+    /// non-readable access.
+    pub fn slice(&mut self, addr: u64, len: usize) -> Result<&[u8], VmError> {
+        let (idx, off) = self.find(addr, len, false)?;
+        Ok(&self.regions[idx].data[off..off + len])
+    }
+
+    /// Borrows `len` bytes at `addr` for a helper (write side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidMemoryAccess`] on an out-of-region or
+    /// non-writable access.
+    pub fn slice_mut(&mut self, addr: u64, len: usize) -> Result<&mut [u8], VmError> {
+        let (idx, off) = self.find(addr, len, true)?;
+        Ok(&mut self.regions[idx].data[off..off + len])
+    }
+
+    /// Reads a NUL-terminated string starting at `addr`, bounded by
+    /// `max_len` bytes; used by the `printf`-style helpers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidMemoryAccess`] when no terminator is
+    /// found inside the readable region within `max_len` bytes.
+    pub fn c_string(&mut self, addr: u64, max_len: usize) -> Result<String, VmError> {
+        let mut out = Vec::new();
+        for i in 0..max_len as u64 {
+            let b = self.load(addr + i, 1)? as u8;
+            if b == 0 {
+                return Ok(String::from_utf8_lossy(&out).into_owned());
+            }
+            out.push(b);
+        }
+        Err(VmError::InvalidMemoryAccess { addr, len: max_len, write: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_with_stack() -> (MemoryMap, RegionId) {
+        let mut m = MemoryMap::new();
+        let s = m.add_stack(STACK_SIZE);
+        (m, s)
+    }
+
+    #[test]
+    fn load_store_round_trip_all_widths() {
+        let (mut m, _) = map_with_stack();
+        for (len, val) in [(1usize, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, u64::MAX - 3)] {
+            m.store(STACK_VADDR, len, val).unwrap();
+            assert_eq!(m.load(STACK_VADDR, len).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let (mut m, s) = map_with_stack();
+        m.store(STACK_VADDR, 4, 0x0403_0201).unwrap();
+        assert_eq!(&m.region_bytes(s)[..4], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_region_access_is_rejected() {
+        let (mut m, _) = map_with_stack();
+        let err = m.load(STACK_VADDR + STACK_SIZE as u64, 1).unwrap_err();
+        assert!(matches!(err, VmError::InvalidMemoryAccess { write: false, .. }));
+    }
+
+    #[test]
+    fn access_straddling_region_end_is_rejected() {
+        let (mut m, _) = map_with_stack();
+        assert!(m.load(STACK_VADDR + STACK_SIZE as u64 - 4, 8).is_err());
+        assert!(m.load(STACK_VADDR + STACK_SIZE as u64 - 8, 8).is_ok());
+    }
+
+    #[test]
+    fn write_to_read_only_region_is_rejected() {
+        let mut m = MemoryMap::new();
+        m.add_rodata(vec![1, 2, 3, 4]);
+        assert!(m.load(RODATA_VADDR, 4).is_ok());
+        let err = m.store(RODATA_VADDR, 4, 0).unwrap_err();
+        assert!(matches!(err, VmError::InvalidMemoryAccess { write: true, .. }));
+    }
+
+    #[test]
+    fn address_zero_never_mapped_by_standard_layout() {
+        let (mut m, _) = map_with_stack();
+        assert!(m.load(0, 1).is_err());
+    }
+
+    #[test]
+    fn wraparound_address_is_rejected() {
+        let (mut m, _) = map_with_stack();
+        assert!(m.load(u64::MAX - 2, 8).is_err());
+    }
+
+    #[test]
+    fn host_regions_get_distinct_bases() {
+        let mut m = MemoryMap::new();
+        let a = m.add_host_region("pkt", vec![0; 64], Perm::RO);
+        let b = m.add_host_region("buf", vec![0; 64], Perm::RW);
+        assert_ne!(m.region_vaddr(a), m.region_vaddr(b));
+        assert_eq!(m.region_vaddr(a), HOST_VADDR_BASE);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_regions_panic() {
+        let mut m = MemoryMap::new();
+        m.add_region_at("a", 0x100, vec![0; 16], Perm::RW);
+        m.add_region_at("b", 0x108, vec![0; 16], Perm::RW);
+    }
+
+    #[test]
+    fn c_string_reads_until_nul() {
+        let mut m = MemoryMap::new();
+        m.add_rodata(b"hello\0world".to_vec());
+        assert_eq!(m.c_string(RODATA_VADDR, 64).unwrap(), "hello");
+    }
+
+    #[test]
+    fn c_string_without_terminator_errors() {
+        let mut m = MemoryMap::new();
+        m.add_rodata(b"hello".to_vec());
+        assert!(m.c_string(RODATA_VADDR, 64).is_err());
+    }
+
+    #[test]
+    fn ram_accounting_sums_regions() {
+        let mut m = MemoryMap::new();
+        m.add_stack(512);
+        m.add_ctx(vec![0; 16], Perm::RO);
+        assert_eq!(m.ram_bytes(), 528);
+    }
+
+    #[test]
+    fn check_counters_advance() {
+        let (mut m, _) = map_with_stack();
+        m.add_rodata(vec![0; 8]);
+        let before = m.check_count();
+        let _ = m.load(RODATA_VADDR, 4);
+        assert_eq!(m.check_count(), before + 1);
+        assert!(m.entries_scanned() >= 2);
+    }
+
+    #[test]
+    fn perm_allows() {
+        assert!(Perm::RO.allows(false));
+        assert!(!Perm::RO.allows(true));
+        assert!(Perm::RW.allows(true));
+        assert!(Perm::WO.allows(true));
+        assert!(!Perm::WO.allows(false));
+    }
+}

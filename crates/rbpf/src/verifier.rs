@@ -1,0 +1,660 @@
+//! The pre-flight instruction checker (paper §7 and §9).
+//!
+//! A Femto-Container application is verified exactly once, before its first
+//! execution. The checks mirror the formally verified CertFC checker:
+//!
+//! * every opcode is known to the interpreter;
+//! * register fields are in bounds (the encoding has room for 16 registers
+//!   but only 11 exist);
+//! * `r10` — the read-only stack pointer — never appears as a *written*
+//!   destination (stores may still use it as an address base);
+//! * every jump lands on an instruction slot inside the text section, and
+//!   never in the middle of a wide (`lddw`) instruction — computed jumps do
+//!   not exist in the ISA, so this check is complete (paper §7: "the jump
+//!   destinations no longer have to be verified [at run time]");
+//! * `call` targets name a helper granted by the container's contract;
+//! * the section ends cleanly (no truncated wide instruction, non-empty,
+//!   final reachable slot is terminal);
+//! * division/modulo by a *constant* zero is rejected outright (the
+//!   register form is a defensive run-time check instead).
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::*;
+
+/// Why the pre-flight checker rejected an application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifierError {
+    /// The text section is empty.
+    EmptyText,
+    /// The text section length is not a multiple of the instruction size.
+    UnalignedText {
+        /// Byte length found.
+        len: usize,
+    },
+    /// An opcode the interpreter does not implement.
+    UnknownOpcode {
+        /// Slot index.
+        pc: usize,
+        /// Offending opcode.
+        opcode: u8,
+    },
+    /// A register field exceeded `r10`.
+    RegisterOutOfBounds {
+        /// Slot index.
+        pc: usize,
+        /// Offending register number.
+        reg: u8,
+    },
+    /// `r10` used as a written destination.
+    WriteToReadOnlyRegister {
+        /// Slot index.
+        pc: usize,
+    },
+    /// A jump target outside the text section or into a wide instruction's
+    /// second slot.
+    InvalidJumpTarget {
+        /// Slot index of the jump.
+        pc: usize,
+        /// Target slot it computed.
+        target: i64,
+    },
+    /// A wide instruction's second slot is missing or malformed.
+    MalformedWideInstruction {
+        /// Slot index.
+        pc: usize,
+    },
+    /// Division or modulo by an immediate zero.
+    DivisionByZeroImmediate {
+        /// Slot index.
+        pc: usize,
+    },
+    /// A `call` to a helper the contract does not grant.
+    HelperNotAllowed {
+        /// Slot index.
+        pc: usize,
+        /// Helper id requested.
+        id: u32,
+    },
+    /// BPF-to-BPF calls (`call` with `src != 0`) are not supported.
+    UnsupportedCallKind {
+        /// Slot index.
+        pc: usize,
+    },
+    /// The last instruction can fall off the end of the section.
+    FallsOffEnd,
+    /// An `le`/`be` width immediate other than 16/32/64.
+    InvalidEndianWidth {
+        /// Slot index.
+        pc: usize,
+    },
+    /// A shift immediate out of range for the operand width.
+    InvalidShiftImmediate {
+        /// Slot index.
+        pc: usize,
+    },
+    /// A field the instruction does not use carries a non-zero value —
+    /// only canonical encodings are accepted (the CertFC checker
+    /// validates "the individual instruction fields", §7).
+    NonZeroUnusedField {
+        /// Slot index.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for VerifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifierError::EmptyText => write!(f, "empty text section"),
+            VerifierError::UnalignedText { len } => {
+                write!(f, "text length {len} not a multiple of 8")
+            }
+            VerifierError::UnknownOpcode { pc, opcode } => {
+                write!(f, "unknown opcode 0x{opcode:02x} at slot {pc}")
+            }
+            VerifierError::RegisterOutOfBounds { pc, reg } => {
+                write!(f, "register r{reg} out of bounds at slot {pc}")
+            }
+            VerifierError::WriteToReadOnlyRegister { pc } => {
+                write!(f, "write to read-only r10 at slot {pc}")
+            }
+            VerifierError::InvalidJumpTarget { pc, target } => {
+                write!(f, "jump at slot {pc} to invalid slot {target}")
+            }
+            VerifierError::MalformedWideInstruction { pc } => {
+                write!(f, "malformed wide instruction at slot {pc}")
+            }
+            VerifierError::DivisionByZeroImmediate { pc } => {
+                write!(f, "division by immediate zero at slot {pc}")
+            }
+            VerifierError::HelperNotAllowed { pc, id } => {
+                write!(f, "helper {id} not granted (slot {pc})")
+            }
+            VerifierError::UnsupportedCallKind { pc } => {
+                write!(f, "unsupported call kind at slot {pc}")
+            }
+            VerifierError::FallsOffEnd => write!(f, "control flow can fall off the end"),
+            VerifierError::InvalidEndianWidth { pc } => {
+                write!(f, "invalid endian width at slot {pc}")
+            }
+            VerifierError::InvalidShiftImmediate { pc } => {
+                write!(f, "shift immediate out of range at slot {pc}")
+            }
+            VerifierError::NonZeroUnusedField { pc } => {
+                write!(f, "non-canonical encoding (unused field set) at slot {pc}")
+            }
+        }
+    }
+}
+
+impl Error for VerifierError {}
+
+/// Bit distinguishing register from immediate ALU/JMP forms.
+const SRC_IMM_MASK: u8 = SRC_REG;
+
+/// The set of opcodes the interpreters implement.
+pub fn opcode_is_known(op: u8) -> bool {
+    matches!(
+        op,
+        LDDW | LDDWD_IMM
+            | LDDWR_IMM
+            | LDXW
+            | LDXH
+            | LDXB
+            | LDXDW
+            | STW
+            | STH
+            | STB
+            | STDW
+            | STXW
+            | STXH
+            | STXB
+            | STXDW
+            | LE
+            | BE
+            | JA
+            | CALL
+            | EXIT
+            | JEQ_IMM
+            | JEQ_REG
+            | JGT_IMM
+            | JGT_REG
+            | JGE_IMM
+            | JGE_REG
+            | JLT_IMM
+            | JLT_REG
+            | JLE_IMM
+            | JLE_REG
+            | JSET_IMM
+            | JSET_REG
+            | JNE_IMM
+            | JNE_REG
+            | JSGT_IMM
+            | JSGT_REG
+            | JSGE_IMM
+            | JSGE_REG
+            | JSLT_IMM
+            | JSLT_REG
+            | JSLE_IMM
+            | JSLE_REG
+            | ADD32_IMM
+            | ADD32_REG
+            | SUB32_IMM
+            | SUB32_REG
+            | MUL32_IMM
+            | MUL32_REG
+            | DIV32_IMM
+            | DIV32_REG
+            | OR32_IMM
+            | OR32_REG
+            | AND32_IMM
+            | AND32_REG
+            | LSH32_IMM
+            | LSH32_REG
+            | RSH32_IMM
+            | RSH32_REG
+            | NEG32
+            | MOD32_IMM
+            | MOD32_REG
+            | XOR32_IMM
+            | XOR32_REG
+            | MOV32_IMM
+            | MOV32_REG
+            | ARSH32_IMM
+            | ARSH32_REG
+            | ADD64_IMM
+            | ADD64_REG
+            | SUB64_IMM
+            | SUB64_REG
+            | MUL64_IMM
+            | MUL64_REG
+            | DIV64_IMM
+            | DIV64_REG
+            | OR64_IMM
+            | OR64_REG
+            | AND64_IMM
+            | AND64_REG
+            | LSH64_IMM
+            | LSH64_REG
+            | RSH64_IMM
+            | RSH64_REG
+            | NEG64
+            | MOD64_IMM
+            | MOD64_REG
+            | XOR64_IMM
+            | XOR64_REG
+            | MOV64_IMM
+            | MOV64_REG
+            | ARSH64_IMM
+            | ARSH64_REG
+    )
+}
+
+/// Verifies a text section against the given helper allow-list.
+///
+/// On success the returned [`VerifiedProgram`] wraps the decoded
+/// instructions; interpreters only accept this type, making "verified
+/// before first execution" a compile-time guarantee for embedders.
+///
+/// # Errors
+///
+/// Returns the first [`VerifierError`] encountered, mirroring the
+/// fail-fast behaviour of the CertFC checker.
+pub fn verify(
+    text: &[u8],
+    allowed_helpers: &HashSet<u32>,
+) -> Result<VerifiedProgram, VerifierError> {
+    if text.is_empty() {
+        return Err(VerifierError::EmptyText);
+    }
+    let insns = crate::isa::decode_all(text)
+        .ok_or(VerifierError::UnalignedText { len: text.len() })?;
+    let n = insns.len();
+
+    // First sweep: find the second slots of wide instructions; jumps must
+    // not land on them and they are not independently decoded.
+    let mut is_wide_tail = vec![false; n];
+    let mut pc = 0;
+    while pc < n {
+        if insns[pc].is_wide() {
+            if pc + 1 >= n {
+                return Err(VerifierError::MalformedWideInstruction { pc });
+            }
+            let tail = &insns[pc + 1];
+            if tail.opcode != 0 || tail.dst != 0 || tail.src != 0 || tail.off != 0 {
+                return Err(VerifierError::MalformedWideInstruction { pc });
+            }
+            is_wide_tail[pc + 1] = true;
+            pc += 2;
+        } else {
+            pc += 1;
+        }
+    }
+
+    for (pc, insn) in insns.iter().enumerate() {
+        if is_wide_tail[pc] {
+            continue;
+        }
+        if !opcode_is_known(insn.opcode) {
+            return Err(VerifierError::UnknownOpcode { pc, opcode: insn.opcode });
+        }
+        if insn.dst as usize >= REG_COUNT {
+            return Err(VerifierError::RegisterOutOfBounds { pc, reg: insn.dst });
+        }
+        if insn.src as usize >= REG_COUNT {
+            return Err(VerifierError::RegisterOutOfBounds { pc, reg: insn.src });
+        }
+
+        let class = insn.class();
+        let writes_dst = matches!(class, CLS_ALU | CLS_ALU64 | CLS_LD | CLS_LDX);
+        if writes_dst && insn.dst > REG_MAX_WRITABLE {
+            return Err(VerifierError::WriteToReadOnlyRegister { pc });
+        }
+
+        match insn.opcode {
+            CALL => {
+                if insn.src != 0 {
+                    return Err(VerifierError::UnsupportedCallKind { pc });
+                }
+                let id = insn.imm as u32;
+                if !allowed_helpers.contains(&id) {
+                    return Err(VerifierError::HelperNotAllowed { pc, id });
+                }
+            }
+            DIV32_IMM | DIV64_IMM | MOD32_IMM | MOD64_IMM if insn.imm == 0 => {
+                return Err(VerifierError::DivisionByZeroImmediate { pc });
+            }
+            LSH32_IMM | RSH32_IMM | ARSH32_IMM if !(0..32).contains(&insn.imm) => {
+                return Err(VerifierError::InvalidShiftImmediate { pc });
+            }
+            LSH64_IMM | RSH64_IMM | ARSH64_IMM if !(0..64).contains(&insn.imm) => {
+                return Err(VerifierError::InvalidShiftImmediate { pc });
+            }
+            LE | BE if !matches!(insn.imm, 16 | 32 | 64) => {
+                return Err(VerifierError::InvalidEndianWidth { pc });
+            }
+            _ => {}
+        }
+
+        if insn.is_branch() {
+            let target = pc as i64 + 1 + insn.off as i64;
+            if target < 0 || target >= n as i64 || is_wide_tail[target as usize] {
+                return Err(VerifierError::InvalidJumpTarget { pc, target });
+            }
+        }
+
+        // Canonical-encoding check: fields an instruction does not use
+        // must be zero.
+        let unused_nonzero = match insn.opcode {
+            LDDW | LDDWD_IMM | LDDWR_IMM => insn.src != 0 || insn.off != 0,
+            LDXW | LDXH | LDXB | LDXDW => insn.imm != 0,
+            STW | STH | STB | STDW => insn.src != 0,
+            STXW | STXH | STXB | STXDW => insn.imm != 0,
+            NEG32 | NEG64 => insn.src != 0 || insn.off != 0 || insn.imm != 0,
+            LE | BE => insn.src != 0 || insn.off != 0,
+            JA => insn.dst != 0 || insn.src != 0 || insn.imm != 0,
+            CALL => insn.dst != 0 || insn.off != 0,
+            EXIT => insn.dst != 0 || insn.src != 0 || insn.off != 0 || insn.imm != 0,
+            op if op & 0x07 == CLS_ALU || op & 0x07 == CLS_ALU64 => {
+                let reg_form = op & SRC_IMM_MASK != 0;
+                insn.off != 0
+                    || (reg_form && insn.imm != 0)
+                    || (!reg_form && insn.src != 0)
+            }
+            op if op & 0x07 == CLS_JMP => {
+                let reg_form = op & SRC_IMM_MASK != 0;
+                (reg_form && insn.imm != 0) || (!reg_form && insn.src != 0)
+            }
+            _ => false,
+        };
+        if unused_nonzero {
+            return Err(VerifierError::NonZeroUnusedField { pc });
+        }
+    }
+
+    // Control flow must not run off the end: the final decodable
+    // instruction must be terminal (`exit`) or an unconditional
+    // backwards/terminal jump.
+    let last_pc = if n >= 2 && is_wide_tail[n - 1] { n - 2 } else { n - 1 };
+    let last = &insns[last_pc];
+    let terminal = last.opcode == EXIT || last.opcode == JA;
+    if !terminal {
+        return Err(VerifierError::FallsOffEnd);
+    }
+
+    Ok(VerifiedProgram { insns, branch_count: count_branches(text) })
+}
+
+fn count_branches(text: &[u8]) -> u32 {
+    crate::isa::decode_all(text)
+        .map(|v| v.iter().filter(|i| i.is_branch()).count() as u32)
+        .unwrap_or(0)
+}
+
+/// A program that passed pre-flight verification.
+///
+/// Constructible only through [`verify`], so holding one is proof the
+/// checks ran. Interpreters take this type, never raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedProgram {
+    insns: Vec<Insn>,
+    branch_count: u32,
+}
+
+impl VerifiedProgram {
+    /// The decoded instruction slots.
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True when the program has no instructions (never: verification
+    /// rejects empty programs; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Number of static branch instructions (used to size the paper's
+    /// `N_b` budget).
+    pub fn branch_count(&self) -> u32 {
+        self.branch_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::isa;
+
+    fn verify_src(src: &str) -> Result<VerifiedProgram, VerifierError> {
+        let text = isa::encode_all(&assemble(src).unwrap());
+        verify(&text, &HashSet::new())
+    }
+
+    fn verify_src_helpers(src: &str, ids: &[u32]) -> Result<VerifiedProgram, VerifierError> {
+        let text = isa::encode_all(&assemble(src).unwrap());
+        verify(&text, &ids.iter().copied().collect())
+    }
+
+    #[test]
+    fn accepts_minimal_program() {
+        assert!(verify_src("mov r0, 0\nexit").is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_text() {
+        assert_eq!(verify(&[], &HashSet::new()), Err(VerifierError::EmptyText));
+    }
+
+    #[test]
+    fn rejects_unaligned_text() {
+        assert!(matches!(
+            verify(&[0u8; 9], &HashSet::new()),
+            Err(VerifierError::UnalignedText { len: 9 })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let mut text = isa::encode_all(&assemble("mov r0, 0\nexit").unwrap());
+        text[0] = 0xfe;
+        assert!(matches!(
+            verify(&text, &HashSet::new()),
+            Err(VerifierError::UnknownOpcode { pc: 0, opcode: 0xfe })
+        ));
+    }
+
+    #[test]
+    fn rejects_register_out_of_bounds() {
+        // Hand-encode `mov r12, 0`: the assembler already rejects it.
+        let insn = Insn::new(isa::MOV64_IMM, 12, 0, 0, 0);
+        let mut bytes = insn.encode().to_vec();
+        bytes[1] = 0x0c; // dst nibble = 12
+        let mut text = bytes;
+        text.extend_from_slice(&Insn::new(isa::EXIT, 0, 0, 0, 0).encode());
+        assert!(matches!(
+            verify(&text, &HashSet::new()),
+            Err(VerifierError::RegisterOutOfBounds { pc: 0, reg: 12 })
+        ));
+    }
+
+    #[test]
+    fn rejects_write_to_r10() {
+        let text = isa::encode_all(&[
+            Insn::new(isa::MOV64_IMM, 10, 0, 0, 0),
+            Insn::new(isa::EXIT, 0, 0, 0, 0),
+        ]);
+        assert_eq!(
+            verify(&text, &HashSet::new()),
+            Err(VerifierError::WriteToReadOnlyRegister { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn allows_r10_as_store_base() {
+        assert!(verify_src("stxdw [r10-8], r1\nexit").is_ok());
+    }
+
+    #[test]
+    fn allows_r10_as_source() {
+        assert!(verify_src("mov r1, r10\nexit").is_ok());
+    }
+
+    #[test]
+    fn rejects_load_into_r10() {
+        let text = isa::encode_all(&[
+            Insn::new(isa::LDXDW, 10, 1, 0, 0),
+            Insn::new(isa::EXIT, 0, 0, 0, 0),
+        ]);
+        assert_eq!(
+            verify(&text, &HashSet::new()),
+            Err(VerifierError::WriteToReadOnlyRegister { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_jump_before_start() {
+        assert!(matches!(
+            verify_src("ja -2\nexit"),
+            Err(VerifierError::InvalidJumpTarget { pc: 0, target: -1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_jump_past_end() {
+        assert!(matches!(
+            verify_src("jeq r1, 0, +5\nexit"),
+            Err(VerifierError::InvalidJumpTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_jump_into_wide_tail() {
+        // Slot 1 is the second half of the lddw.
+        let src = "lddw r1, 0x1122334455667788\nexit";
+        let mut insns = assemble(src).unwrap();
+        insns.insert(0, Insn::new(isa::JA, 0, 0, 1, 0)); // jumps to slot 2 = lddw tail
+        let text = isa::encode_all(&insns);
+        assert!(matches!(
+            verify(&text, &HashSet::new()),
+            Err(VerifierError::InvalidJumpTarget { pc: 0, target: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_wide_instruction() {
+        let text = Insn::new(isa::LDDW, 1, 0, 0, 0).encode().to_vec();
+        assert!(matches!(
+            verify(&text, &HashSet::new()),
+            Err(VerifierError::MalformedWideInstruction { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonzero_wide_tail() {
+        let text = isa::encode_all(&[
+            Insn::new(isa::LDDW, 1, 0, 0, 7),
+            Insn::new(isa::MOV64_IMM, 0, 0, 0, 0), // tail must be opcode 0
+            Insn::new(isa::EXIT, 0, 0, 0, 0),
+        ]);
+        assert!(matches!(
+            verify(&text, &HashSet::new()),
+            Err(VerifierError::MalformedWideInstruction { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_div_by_zero_immediate() {
+        assert!(matches!(
+            verify_src("div r1, 0\nexit"),
+            Err(VerifierError::DivisionByZeroImmediate { pc: 0 })
+        ));
+        assert!(matches!(
+            verify_src("mod32 r1, 0\nexit"),
+            Err(VerifierError::DivisionByZeroImmediate { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn register_division_is_allowed_statically() {
+        assert!(verify_src("div r1, r2\nexit").is_ok());
+    }
+
+    #[test]
+    fn rejects_disallowed_helper() {
+        assert!(matches!(
+            verify_src_helpers("call 7\nexit", &[]),
+            Err(VerifierError::HelperNotAllowed { pc: 0, id: 7 })
+        ));
+    }
+
+    #[test]
+    fn accepts_granted_helper() {
+        assert!(verify_src_helpers("call 7\nexit", &[7]).is_ok());
+    }
+
+    #[test]
+    fn rejects_bpf_to_bpf_call() {
+        let text = isa::encode_all(&[
+            Insn::new(isa::CALL, 0, 1, 0, 0),
+            Insn::new(isa::EXIT, 0, 0, 0, 0),
+        ]);
+        assert!(matches!(
+            verify(&text, &[0u32].iter().copied().collect()),
+            Err(VerifierError::UnsupportedCallKind { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        assert_eq!(verify_src("mov r0, 0"), Err(VerifierError::FallsOffEnd));
+    }
+
+    #[test]
+    fn accepts_trailing_backward_jump() {
+        assert!(verify_src("exit\nja -2").is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_endian_width() {
+        let text = isa::encode_all(&[
+            Insn::new(isa::LE, 1, 0, 0, 48),
+            Insn::new(isa::EXIT, 0, 0, 0, 0),
+        ]);
+        assert!(matches!(
+            verify(&text, &HashSet::new()),
+            Err(VerifierError::InvalidEndianWidth { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_shift_immediate() {
+        assert!(matches!(
+            verify_src("lsh32 r1, 32\nexit"),
+            Err(VerifierError::InvalidShiftImmediate { pc: 0 })
+        ));
+        assert!(matches!(
+            verify_src("rsh r1, 64\nexit"),
+            Err(VerifierError::InvalidShiftImmediate { pc: 0 })
+        ));
+        assert!(verify_src("lsh r1, 63\nexit").is_ok());
+    }
+
+    #[test]
+    fn branch_count_reported() {
+        let p = verify_src("jeq r1, 0, +1\nexit\nja -2\nexit").unwrap();
+        assert_eq!(p.branch_count(), 2);
+    }
+
+    #[test]
+    fn lddwd_lddwr_verify() {
+        assert!(verify_src("lddwd r1, 0\nlddwr r2, 4\nexit").is_ok());
+    }
+}

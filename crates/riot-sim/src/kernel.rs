@@ -1,0 +1,651 @@
+//! A RIOT-like RTOS kernel simulation: priority scheduler, threads,
+//! virtual clock, software timers and inter-thread messages.
+//!
+//! The paper's architecture assumes "an RTOS [that] supports real-time
+//! multi-threading with a scheduler" (§5) — every Femto-Container
+//! instance runs as a regular thread, and hooks fire on kernel events
+//! such as thread switches. This module provides that substrate as a
+//! deterministic discrete-event simulation: threads are behaviours
+//! (closures) activated by the scheduler; time is a cycle counter
+//! advanced by explicit cost accounting, so experiments are exactly
+//! reproducible.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::platform::{Platform, CLOCK_HZ};
+
+/// Identifier of a kernel thread (its PID, RIOT-style).
+pub type ThreadId = usize;
+
+/// Cost in cycles of one scheduler context switch (save/restore register
+/// set, queue bookkeeping; on the order of RIOT's measured switch cost).
+pub const CONTEXT_SWITCH_CYCLES: u64 = 120;
+
+/// Lifecycle states of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Runnable and queued.
+    Ready,
+    /// Currently executing.
+    Running,
+    /// Waiting for a message.
+    Blocked,
+    /// Waiting for a timer deadline.
+    Sleeping,
+    /// Terminated.
+    Zombie,
+}
+
+/// What a thread activation asks the kernel to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadAction {
+    /// Stay runnable; re-queue behind equal-priority peers.
+    Yield,
+    /// Sleep for the given number of microseconds.
+    SleepUs(u64),
+    /// Block until a message arrives (wakes immediately when the mailbox
+    /// is non-empty).
+    WaitMsg,
+    /// Terminate the thread.
+    Exit,
+}
+
+/// An inter-thread message (RIOT `msg_t`: a 16-bit type plus a value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending thread.
+    pub sender: ThreadId,
+    /// Application-defined message type.
+    pub kind: u16,
+    /// Payload value (RIOT uses a pointer-or-int union; we carry 64 bits).
+    pub value: u64,
+}
+
+/// Context passed to a thread switch listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchContext {
+    /// Thread being descheduled (`KERNEL_PID_UNDEF`-like `None` at boot).
+    pub previous: Option<ThreadId>,
+    /// Thread being scheduled.
+    pub next: ThreadId,
+}
+
+/// Behaviour of a thread: invoked on each activation with kernel access.
+pub type ThreadBehavior = Box<dyn FnMut(&mut KernelCtx<'_>) -> ThreadAction>;
+
+/// Listener fired on every thread switch (the scheduler launchpad of the
+/// paper's kernel-debug use case, §8.2).
+pub type SwitchListener = Box<dyn FnMut(&mut KernelCtx<'_>, SwitchContext)>;
+
+/// Listener fired when a named timer event elapses (the timer launchpad
+/// of the networked-sensor use case, §8.3).
+pub type TimerListener = Box<dyn FnMut(&mut KernelCtx<'_>)>;
+
+struct Thread {
+    name: String,
+    priority: u8,
+    state: ThreadState,
+    behavior: Option<ThreadBehavior>,
+    mailbox: VecDeque<Msg>,
+    stack_bytes: usize,
+    activations: u64,
+}
+
+#[derive(PartialEq, Eq)]
+struct TimerEntry {
+    deadline: u64,
+    seq: u64,
+    kind: TimerKind,
+}
+
+#[derive(PartialEq, Eq)]
+enum TimerKind {
+    WakeThread(ThreadId),
+    Event { listener: usize, period_cycles: Option<u64> },
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (deadline, seq).
+        other.deadline.cmp(&self.deadline).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated kernel.
+///
+/// # Examples
+///
+/// ```
+/// use fc_rtos::kernel::{Kernel, ThreadAction};
+/// use fc_rtos::platform::Platform;
+///
+/// let mut k = Kernel::new(Platform::CortexM4);
+/// let mut ticks = 0;
+/// k.spawn("worker", 7, 1024, move |ctx| {
+///     ctx.consume_cycles(64);
+///     ThreadAction::Exit
+/// });
+/// k.run_until_idle(1_000_000);
+/// assert!(k.now_us() >= 1);
+/// ```
+pub struct Kernel {
+    platform: Platform,
+    cycles: u64,
+    threads: Vec<Thread>,
+    ready: VecDeque<ThreadId>,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+    last_running: Option<ThreadId>,
+    switch_listeners: Vec<SwitchListener>,
+    timer_listeners: Vec<Option<TimerListener>>,
+    context_switches: u64,
+}
+
+impl Kernel {
+    /// Creates an idle kernel on the given platform.
+    pub fn new(platform: Platform) -> Self {
+        Kernel {
+            platform,
+            cycles: 0,
+            threads: Vec::new(),
+            ready: VecDeque::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            last_running: None,
+            switch_listeners: Vec::new(),
+            timer_listeners: Vec::new(),
+            context_switches: 0,
+        }
+    }
+
+    /// The platform this kernel simulates.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Current virtual time in cycles.
+    pub fn now_cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.cycles / (CLOCK_HZ / 1_000_000)
+    }
+
+    /// Number of thread switches performed.
+    pub fn context_switches(&self) -> u64 {
+        self.context_switches
+    }
+
+    /// Spawns a thread. Lower `priority` numbers run first (RIOT
+    /// convention). `stack_bytes` is accounted, not allocated.
+    pub fn spawn<F>(&mut self, name: &str, priority: u8, stack_bytes: usize, behavior: F) -> ThreadId
+    where
+        F: FnMut(&mut KernelCtx<'_>) -> ThreadAction + 'static,
+    {
+        let id = self.threads.len();
+        self.threads.push(Thread {
+            name: name.to_owned(),
+            priority,
+            state: ThreadState::Ready,
+            behavior: Some(Box::new(behavior)),
+            mailbox: VecDeque::new(),
+            stack_bytes,
+            activations: 0,
+        });
+        self.ready.push_back(id);
+        id
+    }
+
+    /// Registers a listener fired on every thread switch.
+    pub fn on_thread_switch<F>(&mut self, listener: F)
+    where
+        F: FnMut(&mut KernelCtx<'_>, SwitchContext) + 'static,
+    {
+        self.switch_listeners.push(Box::new(listener));
+    }
+
+    /// Registers a one-shot timer event after `after_us` microseconds.
+    pub fn set_timer_event<F>(&mut self, after_us: u64, listener: F)
+    where
+        F: FnMut(&mut KernelCtx<'_>) + 'static,
+    {
+        self.add_timer_listener(after_us, None, Box::new(listener));
+    }
+
+    /// Registers a periodic timer event with the given period.
+    pub fn set_periodic_event<F>(&mut self, period_us: u64, listener: F)
+    where
+        F: FnMut(&mut KernelCtx<'_>) + 'static,
+    {
+        let period_cycles = period_us * (CLOCK_HZ / 1_000_000);
+        self.add_timer_listener(period_us, Some(period_cycles), Box::new(listener));
+    }
+
+    fn add_timer_listener(
+        &mut self,
+        after_us: u64,
+        period_cycles: Option<u64>,
+        listener: TimerListener,
+    ) {
+        let idx = self.timer_listeners.len();
+        self.timer_listeners.push(Some(listener));
+        let deadline = self.cycles + after_us * (CLOCK_HZ / 1_000_000);
+        self.timer_seq += 1;
+        self.timers.push(TimerEntry {
+            deadline,
+            seq: self.timer_seq,
+            kind: TimerKind::Event { listener: idx, period_cycles },
+        });
+    }
+
+    /// Sends a message to a thread, waking it if it was blocked.
+    pub fn send(&mut self, from: ThreadId, to: ThreadId, kind: u16, value: u64) -> bool {
+        if to >= self.threads.len() || self.threads[to].state == ThreadState::Zombie {
+            return false;
+        }
+        self.threads[to].mailbox.push_back(Msg { sender: from, kind, value });
+        if self.threads[to].state == ThreadState::Blocked {
+            self.make_ready(to);
+        }
+        true
+    }
+
+    /// Thread metadata: name, priority, state, accounted stack size and
+    /// activation count.
+    pub fn thread_info(&self, id: ThreadId) -> Option<(&str, u8, ThreadState, usize, u64)> {
+        self.threads.get(id).map(|t| {
+            (t.name.as_str(), t.priority, t.state, t.stack_bytes, t.activations)
+        })
+    }
+
+    /// Number of spawned threads (including zombies).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn make_ready(&mut self, id: ThreadId) {
+        if self.threads[id].state != ThreadState::Ready
+            && self.threads[id].state != ThreadState::Running
+        {
+            self.threads[id].state = ThreadState::Ready;
+            self.ready.push_back(id);
+        }
+    }
+
+    /// Picks the highest-priority ready thread (FIFO among equals).
+    fn pick_next(&mut self) -> Option<ThreadId> {
+        let best = self
+            .ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(pos, id)| (self.threads[**id].priority, *pos))
+            .map(|(pos, _)| pos)?;
+        self.ready.remove(best)
+    }
+
+    /// Executes one scheduling step: either runs the next ready thread's
+    /// activation or advances the clock to the next timer. Returns
+    /// `false` when the system is fully idle.
+    pub fn step(&mut self) -> bool {
+        if let Some(next) = self.pick_next() {
+            self.activate(next);
+            return true;
+        }
+        // No ready thread: advance time to the next timer.
+        if let Some(entry) = self.timers.pop() {
+            self.cycles = self.cycles.max(entry.deadline);
+            self.fire_timer(entry);
+            return true;
+        }
+        false
+    }
+
+    fn fire_timer(&mut self, entry: TimerEntry) {
+        match entry.kind {
+            TimerKind::WakeThread(tid) => {
+                if self.threads[tid].state == ThreadState::Sleeping {
+                    self.make_ready(tid);
+                }
+            }
+            TimerKind::Event { listener, period_cycles } => {
+                if let Some(period) = period_cycles {
+                    self.timer_seq += 1;
+                    self.timers.push(TimerEntry {
+                        deadline: entry.deadline + period,
+                        seq: self.timer_seq,
+                        kind: TimerKind::Event { listener, period_cycles },
+                    });
+                }
+                if let Some(mut cb) = self.timer_listeners[listener].take() {
+                    let mut ctx = KernelCtx { kernel: self, current: None };
+                    cb(&mut ctx);
+                    self.timer_listeners[listener] = Some(cb);
+                }
+            }
+        }
+    }
+
+    fn activate(&mut self, id: ThreadId) {
+        // A switch happens whenever the running thread changes.
+        if self.last_running != Some(id) {
+            self.context_switches += 1;
+            self.cycles += CONTEXT_SWITCH_CYCLES;
+            let ctx_info = SwitchContext { previous: self.last_running, next: id };
+            let mut listeners = std::mem::take(&mut self.switch_listeners);
+            for l in &mut listeners {
+                let mut ctx = KernelCtx { kernel: self, current: None };
+                l(&mut ctx, ctx_info);
+            }
+            debug_assert!(self.switch_listeners.is_empty());
+            self.switch_listeners = listeners;
+            self.last_running = Some(id);
+        }
+        self.threads[id].state = ThreadState::Running;
+        self.threads[id].activations += 1;
+
+        let mut behavior = self.threads[id].behavior.take().expect("behavior present");
+        let action = {
+            let mut ctx = KernelCtx { kernel: self, current: Some(id) };
+            behavior(&mut ctx)
+        };
+        self.threads[id].behavior = Some(behavior);
+
+        match action {
+            ThreadAction::Yield => {
+                self.threads[id].state = ThreadState::Ready;
+                self.ready.push_back(id);
+            }
+            ThreadAction::SleepUs(us) => {
+                self.threads[id].state = ThreadState::Sleeping;
+                self.timer_seq += 1;
+                let deadline = self.cycles + us * (CLOCK_HZ / 1_000_000);
+                self.timers.push(TimerEntry {
+                    deadline,
+                    seq: self.timer_seq,
+                    kind: TimerKind::WakeThread(id),
+                });
+            }
+            ThreadAction::WaitMsg => {
+                if self.threads[id].mailbox.is_empty() {
+                    self.threads[id].state = ThreadState::Blocked;
+                } else {
+                    self.threads[id].state = ThreadState::Ready;
+                    self.ready.push_back(id);
+                }
+            }
+            ThreadAction::Exit => {
+                self.threads[id].state = ThreadState::Zombie;
+            }
+        }
+    }
+
+    /// Runs until idle or until the cycle limit is reached.
+    pub fn run_until_idle(&mut self, max_cycles: u64) {
+        while self.cycles < max_cycles && self.step() {}
+    }
+
+    /// Runs until the virtual clock reaches `us` microseconds (timers
+    /// included), or the system goes idle. Timers with deadlines beyond
+    /// the horizon are left pending for a later run.
+    pub fn run_for_us(&mut self, us: u64) {
+        let limit = us * (CLOCK_HZ / 1_000_000);
+        while self.cycles < limit {
+            if self.ready.is_empty() {
+                // Only the timer queue can make progress; stop rather
+                // than jump past the requested horizon.
+                match self.timers.peek() {
+                    Some(e) if e.deadline <= limit => {}
+                    _ => break,
+                }
+            }
+            if !self.step() {
+                break;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("platform", &self.platform)
+            .field("cycles", &self.cycles)
+            .field("threads", &self.threads.len())
+            .field("ready", &self.ready)
+            .finish()
+    }
+}
+
+/// Kernel access handed to thread behaviours and event listeners.
+pub struct KernelCtx<'k> {
+    kernel: &'k mut Kernel,
+    current: Option<ThreadId>,
+}
+
+impl KernelCtx<'_> {
+    /// The platform in use.
+    pub fn platform(&self) -> Platform {
+        self.kernel.platform
+    }
+
+    /// Identity of the running thread (`None` inside timer/switch
+    /// listeners, which run in interrupt-like context).
+    pub fn current(&self) -> Option<ThreadId> {
+        self.current
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.kernel.now_us()
+    }
+
+    /// Current virtual time in cycles.
+    pub fn now_cycles(&self) -> u64 {
+        self.kernel.now_cycles()
+    }
+
+    /// Advances the clock by `n` cycles — how simulated work accounts
+    /// for its cost.
+    pub fn consume_cycles(&mut self, n: u64) {
+        self.kernel.cycles += n;
+    }
+
+    /// Sends a message to another thread.
+    pub fn send(&mut self, to: ThreadId, kind: u16, value: u64) -> bool {
+        let from = self.current.unwrap_or(usize::MAX);
+        self.kernel.send(from, to, kind, value)
+    }
+
+    /// Receives the next message for the current thread, if any.
+    pub fn recv(&mut self) -> Option<Msg> {
+        let id = self.current?;
+        self.kernel.threads[id].mailbox.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn threads_run_by_priority() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new(Platform::CortexM4);
+        for (name, prio) in [("low", 10u8), ("high", 1), ("mid", 5)] {
+            let order = order.clone();
+            let name = name.to_owned();
+            k.spawn(&name.clone(), prio, 512, move |_ctx| {
+                order.borrow_mut().push(name.clone());
+                ThreadAction::Exit
+            });
+        }
+        k.run_until_idle(1_000_000);
+        assert_eq!(*order.borrow(), vec!["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn equal_priority_round_robin() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new(Platform::CortexM4);
+        for name in ["a", "b"] {
+            let order = order.clone();
+            let mut remaining = 2;
+            let name = name.to_owned();
+            k.spawn(&name.clone(), 5, 512, move |_ctx| {
+                order.borrow_mut().push(name.clone());
+                remaining -= 1;
+                if remaining == 0 {
+                    ThreadAction::Exit
+                } else {
+                    ThreadAction::Yield
+                }
+            });
+        }
+        k.run_until_idle(1_000_000);
+        assert_eq!(*order.borrow(), vec!["a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn sleep_wakes_after_deadline() {
+        let mut k = Kernel::new(Platform::CortexM4);
+        let woke_at = Rc::new(RefCell::new(0u64));
+        {
+            let woke_at = woke_at.clone();
+            let mut slept = false;
+            k.spawn("sleeper", 5, 512, move |ctx| {
+                if !slept {
+                    slept = true;
+                    ThreadAction::SleepUs(1000)
+                } else {
+                    *woke_at.borrow_mut() = ctx.now_us();
+                    ThreadAction::Exit
+                }
+            });
+        }
+        k.run_until_idle(10_000_000_000);
+        assert!(*woke_at.borrow() >= 1000, "woke at {}", woke_at.borrow());
+    }
+
+    #[test]
+    fn message_wakes_blocked_thread() {
+        let got = Rc::new(RefCell::new(None));
+        let mut k = Kernel::new(Platform::CortexM4);
+        let receiver = {
+            let got = got.clone();
+            let mut waited = false;
+            k.spawn("rx", 5, 512, move |ctx| {
+                if let Some(msg) = ctx.recv() {
+                    *got.borrow_mut() = Some(msg);
+                    return ThreadAction::Exit;
+                }
+                if waited {
+                    return ThreadAction::Exit;
+                }
+                waited = true;
+                ThreadAction::WaitMsg
+            })
+        };
+        k.spawn("tx", 6, 512, move |ctx| {
+            ctx.send(receiver, 7, 99);
+            ThreadAction::Exit
+        });
+        k.run_until_idle(1_000_000);
+        let msg = got.borrow().expect("message delivered");
+        assert_eq!(msg.kind, 7);
+        assert_eq!(msg.value, 99);
+    }
+
+    #[test]
+    fn switch_listener_sees_previous_and_next() {
+        let switches = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new(Platform::CortexM4);
+        {
+            let switches = switches.clone();
+            k.on_thread_switch(move |_ctx, sw| switches.borrow_mut().push(sw));
+        }
+        let a = k.spawn("a", 1, 512, |_| ThreadAction::Exit);
+        let b = k.spawn("b", 2, 512, |_| ThreadAction::Exit);
+        k.run_until_idle(1_000_000);
+        let sw = switches.borrow();
+        assert_eq!(sw.len(), 2);
+        assert_eq!(sw[0], SwitchContext { previous: None, next: a });
+        assert_eq!(sw[1], SwitchContext { previous: Some(a), next: b });
+    }
+
+    #[test]
+    fn periodic_timer_fires_repeatedly() {
+        let fires = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new(Platform::CortexM4);
+        {
+            let fires = fires.clone();
+            k.set_periodic_event(100, move |ctx| fires.borrow_mut().push(ctx.now_us()));
+        }
+        k.run_for_us(550);
+        let f = fires.borrow();
+        assert_eq!(f.len(), 5, "{f:?}");
+        assert_eq!(f[0], 100);
+        assert_eq!(f[4], 500);
+    }
+
+    #[test]
+    fn one_shot_timer_fires_once() {
+        let count = Rc::new(RefCell::new(0));
+        let mut k = Kernel::new(Platform::CortexM4);
+        {
+            let count = count.clone();
+            k.set_timer_event(50, move |_| *count.borrow_mut() += 1);
+        }
+        k.run_for_us(1000);
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn consume_cycles_advances_clock() {
+        let mut k = Kernel::new(Platform::CortexM4);
+        k.spawn("busy", 5, 512, |ctx| {
+            ctx.consume_cycles(6400);
+            ThreadAction::Exit
+        });
+        k.run_until_idle(1_000_000);
+        assert!(k.now_us() >= 100);
+    }
+
+    #[test]
+    fn send_to_zombie_fails() {
+        let mut k = Kernel::new(Platform::CortexM4);
+        let t = k.spawn("t", 5, 512, |_| ThreadAction::Exit);
+        k.run_until_idle(1_000_000);
+        assert!(!k.send(usize::MAX, t, 0, 0));
+        assert!(!k.send(usize::MAX, 999, 0, 0));
+    }
+
+    #[test]
+    fn context_switch_count_and_activations() {
+        let mut k = Kernel::new(Platform::CortexM4);
+        let t = k.spawn("t", 5, 512, {
+            let mut n = 0;
+            move |_| {
+                n += 1;
+                if n >= 3 {
+                    ThreadAction::Exit
+                } else {
+                    ThreadAction::Yield
+                }
+            }
+        });
+        k.run_until_idle(1_000_000);
+        // Re-activating the same thread is not a switch.
+        assert_eq!(k.context_switches(), 1);
+        assert_eq!(k.thread_info(t).unwrap().4, 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! # fc-rtos — RIOT-like RTOS simulation substrate
+//!
+//! The Femto-Containers paper (§5) assumes an underlying RTOS providing
+//! multi-threading, a priority scheduler, timers and hardware access.
+//! This crate is that substrate, built as a deterministic discrete-event
+//! simulation so experiments reproduce exactly:
+//!
+//! * [`kernel`] — threads, priority scheduling, messages, timers, and the
+//!   kernel-event listener points that Femto-Container hooks attach to;
+//! * [`saul`] — a SAUL-like sensor/actuator registry with synthetic
+//!   drivers;
+//! * [`platform`] — cycle-cost and code-density models for the paper's
+//!   three evaluation platforms (Cortex-M4, ESP32, RISC-V @ 64 MHz).
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod platform;
+pub mod saul;
+
+pub use kernel::{Kernel, KernelCtx, Msg, SwitchContext, ThreadAction, ThreadId, ThreadState};
+pub use platform::{cycle_model, CycleModel, Engine, Platform};

@@ -1,0 +1,344 @@
+//! Platform models for the three microcontroller architectures the paper
+//! evaluates (Appendix A): Arm Cortex-M4 (nRF52840), ESP32 (Xtensa LX6)
+//! and RISC-V (GD32VF103), all clocked at 64 MHz.
+//!
+//! ## Substitution note (see DESIGN.md §3)
+//!
+//! The paper measures wall-clock time on real boards. This reproduction
+//! executes the *same dynamic instruction streams* through real
+//! interpreters, then converts operation counts into cycles with the
+//! per-platform cost tables below. The tables were calibrated once
+//! against the paper's reported Cortex-M4 numbers (Table 2, Figure 8) and
+//! per-platform ratios (Figure 9, Table 4); they are deterministic model
+//! constants, not measurements. Relative claims — which engine is
+//! faster, by roughly what factor, on which platform — are preserved by
+//! construction of the interpreters' real operation counts.
+
+use fc_rbpf::isa::OpClass;
+use fc_rbpf::vm::OpCounts;
+
+/// Clock frequency shared by all evaluated boards (Appendix A).
+pub const CLOCK_HZ: u64 = 64_000_000;
+
+/// The three evaluated microcontroller platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Arm Cortex-M4 (Nordic nRF52840), Thumb-2 ISA.
+    CortexM4,
+    /// Espressif ESP32, Xtensa LX6 ISA (windowed registers).
+    Esp32,
+    /// RISC-V RV32IMC (GigaDevice GD32VF103).
+    RiscV,
+}
+
+/// All platforms, for iteration in benchmarks.
+pub const ALL_PLATFORMS: [Platform; 3] = [Platform::CortexM4, Platform::Esp32, Platform::RiscV];
+
+impl Platform {
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::CortexM4 => "Cortex-M4",
+            Platform::Esp32 => "ESP32",
+            Platform::RiscV => "RISC-V",
+        }
+    }
+
+    /// Converts cycles to microseconds at the 64 MHz evaluation clock.
+    pub fn us_from_cycles(self, cycles: u64) -> f64 {
+        cycles as f64 * 1e6 / CLOCK_HZ as f64
+    }
+
+    /// Converts microseconds to cycles at the 64 MHz evaluation clock.
+    pub fn cycles_from_us(self, us: f64) -> u64 {
+        (us * CLOCK_HZ as f64 / 1e6).round() as u64
+    }
+
+    /// Relative machine-code density versus Thumb-2 (flash bytes per
+    /// generated operation unit). Thumb-2 is the densest of the three;
+    /// Xtensa code for this workload measures ~35 % larger, RV32IMC
+    /// ~12 % larger (shape from the paper's Figure 7).
+    pub fn code_density_factor(self) -> f64 {
+        match self {
+            Platform::CortexM4 => 1.0,
+            Platform::Esp32 => 1.35,
+            Platform::RiscV => 1.12,
+        }
+    }
+
+    /// Launchpad (hook) overhead in clock ticks with no container
+    /// attached — the cost of the allow-list lookup and early-out in the
+    /// firmware's hook macro (paper Table 4, "Empty Hook").
+    pub fn empty_hook_cycles(self) -> u64 {
+        match self {
+            Platform::CortexM4 => 109,
+            Platform::Esp32 => 83,
+            Platform::RiscV => 106,
+        }
+    }
+}
+
+/// The three Femto-Container engine flavours compared in §10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The original rBPF virtual machine (Zandberg & Baccelli 2020).
+    Rbpf,
+    /// Femto-Containers: rBPF plus the hosting-engine extensions.
+    FemtoContainer,
+    /// CertFC: the formally verified interpreter and checker.
+    CertFc,
+}
+
+/// All engines, for iteration in benchmarks.
+pub const ALL_ENGINES: [Engine; 3] = [Engine::Rbpf, Engine::FemtoContainer, Engine::CertFc];
+
+impl Engine {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Rbpf => "rBPF",
+            Engine::FemtoContainer => "Femto-Containers",
+            Engine::CertFc => "CertFC",
+        }
+    }
+}
+
+/// Per-operation cycle costs of one engine on one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleModel {
+    /// Fetch/decode/jumptable dispatch per executed instruction.
+    pub dispatch: u64,
+    /// 32-bit ALU operation.
+    pub alu32: u64,
+    /// 64-bit ALU operation (register pairs on 32-bit cores).
+    pub alu64: u64,
+    /// Multiplication.
+    pub mul: u64,
+    /// Division / modulo (software-assisted 64-bit).
+    pub div: u64,
+    /// Memory load including the allow-list check.
+    pub load: u64,
+    /// Memory store including the allow-list check.
+    pub store: u64,
+    /// Taken branch.
+    pub branch_taken: u64,
+    /// Not-taken branch.
+    pub branch_not_taken: u64,
+    /// Helper-call transition (marshalling registers, indirect call).
+    pub helper_call: u64,
+    /// Wide (`lddw`) load.
+    pub wide_load: u64,
+    /// `exit` handling.
+    pub exit: u64,
+    /// One-time VM set-up per execution (register file, region table).
+    pub startup: u64,
+}
+
+impl CycleModel {
+    /// Cycle cost of one executed operation of `class`, including
+    /// dispatch.
+    pub fn op_cycles(&self, class: OpClass) -> u64 {
+        self.dispatch
+            + match class {
+                OpClass::Alu32 => self.alu32,
+                OpClass::Alu64 => self.alu64,
+                OpClass::Mul => self.mul,
+                OpClass::Div => self.div,
+                OpClass::Load => self.load,
+                OpClass::Store => self.store,
+                OpClass::BranchTaken => self.branch_taken,
+                OpClass::BranchNotTaken => self.branch_not_taken,
+                OpClass::HelperCall => self.helper_call,
+                OpClass::WideLoad => self.wide_load,
+                OpClass::Exit => self.exit,
+            }
+    }
+
+    /// Total simulated cycles for an execution's operation counts,
+    /// including the per-execution startup cost.
+    pub fn execution_cycles(&self, counts: &OpCounts) -> u64 {
+        use fc_rbpf::vm::ALL_OP_CLASSES;
+        let mut c = self.startup;
+        for class in ALL_OP_CLASSES {
+            c += counts.count(class) * self.op_cycles(class);
+        }
+        c
+    }
+}
+
+/// Baseline table: the Femto-Container engine on Cortex-M4, calibrated
+/// against Table 2 (fletcher32 ≈ 2.1 ms) and Figure 8 (0.2–2.75 µs per
+/// instruction at 64 MHz).
+const CM4_FC: CycleModel = CycleModel {
+    dispatch: 36,
+    alu32: 6,
+    alu64: 11,
+    mul: 22,
+    div: 65,
+    load: 42,
+    store: 48,
+    branch_taken: 15,
+    branch_not_taken: 9,
+    helper_call: 118,
+    wide_load: 20,
+    exit: 26,
+    startup: 64,
+};
+
+fn scale(base: CycleModel, f: PlatformFactors) -> CycleModel {
+    let m = |v: u64, f: f64| (v as f64 * f).round().max(1.0) as u64;
+    CycleModel {
+        dispatch: m(base.dispatch, f.dispatch),
+        alu32: m(base.alu32, f.alu),
+        alu64: m(base.alu64, f.alu),
+        mul: m(base.mul, f.alu),
+        div: m(base.div, f.alu),
+        load: m(base.load, f.mem),
+        store: m(base.store, f.mem),
+        branch_taken: m(base.branch_taken, f.branch),
+        branch_not_taken: m(base.branch_not_taken, f.branch),
+        helper_call: m(base.helper_call, f.call),
+        wide_load: m(base.wide_load, f.alu),
+        exit: m(base.exit, f.call),
+        startup: m(base.startup, f.call),
+    }
+}
+
+#[derive(Clone, Copy)]
+struct PlatformFactors {
+    dispatch: f64,
+    alu: f64,
+    mem: f64,
+    branch: f64,
+    call: f64,
+}
+
+/// Returns the cycle model of `engine` on `platform`.
+///
+/// Engine factors: rBPF and Femto-Containers are within measurement noise
+/// of each other (paper Figure 8: "the rBPF extensions incur minimal
+/// overhead"); CertFC pays for its defensive structure, most visibly on
+/// memory and dispatch.
+pub fn cycle_model(platform: Platform, engine: Engine) -> CycleModel {
+    // Platform character: ESP32 pays for flash-cache pressure on the
+    // interpreter loop (dispatch, memory) but its windowed registers make
+    // call-heavy paths cheap; the GD32V RISC-V core runs this integer
+    // workload in the fewest cycles (paper Table 4 and Figure 9).
+    let pf = match platform {
+        Platform::CortexM4 => {
+            PlatformFactors { dispatch: 1.0, alu: 1.0, mem: 1.0, branch: 1.0, call: 1.0 }
+        }
+        Platform::Esp32 => {
+            PlatformFactors { dispatch: 1.18, alu: 1.05, mem: 1.25, branch: 1.1, call: 0.55 }
+        }
+        Platform::RiscV => {
+            PlatformFactors { dispatch: 0.62, alu: 0.85, mem: 0.6, branch: 0.7, call: 0.45 }
+        }
+    };
+    let base = scale(CM4_FC, pf);
+    match engine {
+        Engine::FemtoContainer => base,
+        // rBPF lacks the FC extensions (no lddwd/lddwr resolution, one
+        // fewer indirection in the helper table): marginally cheaper
+        // dispatch, no other difference.
+        Engine::Rbpf => CycleModel { dispatch: base.dispatch.saturating_sub(1), ..base },
+        // CertFC re-validates registers, targets and arithmetic at every
+        // step (paper §10.1: "performance of the formally verified CertFC
+        // is lagging behind").
+        Engine::CertFc => scale(
+            base,
+            PlatformFactors { dispatch: 1.8, alu: 1.5, mem: 1.45, branch: 1.7, call: 1.25 },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_conversion_round_trips() {
+        let p = Platform::CortexM4;
+        assert_eq!(p.us_from_cycles(64), 1.0);
+        assert_eq!(p.cycles_from_us(1.0), 64);
+    }
+
+    #[test]
+    fn per_instruction_costs_land_in_papers_range() {
+        // Figure 8's y-axis spans 0–2.75 µs per instruction; the figure
+        // plots ALU, MEM and branch classes (helper calls are not shown).
+        let figure8_classes = [
+            OpClass::Alu32,
+            OpClass::Alu64,
+            OpClass::Mul,
+            OpClass::Div,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::BranchTaken,
+            OpClass::BranchNotTaken,
+            OpClass::WideLoad,
+        ];
+        for engine in ALL_ENGINES {
+            let m = cycle_model(Platform::CortexM4, engine);
+            for class in figure8_classes {
+                let us = Platform::CortexM4.us_from_cycles(m.op_cycles(class));
+                assert!(us > 0.05 && us < 2.75, "{engine:?}/{class:?} = {us} µs");
+            }
+        }
+    }
+
+    #[test]
+    fn certfc_is_slower_than_fc_everywhere() {
+        for p in ALL_PLATFORMS {
+            let fc = cycle_model(p, Engine::FemtoContainer);
+            let cert = cycle_model(p, Engine::CertFc);
+            for class in fc_rbpf::vm::ALL_OP_CLASSES {
+                assert!(cert.op_cycles(class) > fc.op_cycles(class), "{p:?}/{class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fc_and_rbpf_are_close() {
+        for p in ALL_PLATFORMS {
+            let fc = cycle_model(p, Engine::FemtoContainer);
+            let rb = cycle_model(p, Engine::Rbpf);
+            for class in fc_rbpf::vm::ALL_OP_CLASSES {
+                let a = fc.op_cycles(class) as f64;
+                let b = rb.op_cycles(class) as f64;
+                assert!((a - b).abs() / a < 0.05, "{p:?}/{class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn riscv_runs_fewest_cycles() {
+        let mut counts = OpCounts::default();
+        counts.alu64 = 100;
+        counts.load = 50;
+        counts.branch_taken = 30;
+        counts.helper_call = 2;
+        let cyc = |p| cycle_model(p, Engine::FemtoContainer).execution_cycles(&counts);
+        assert!(cyc(Platform::RiscV) < cyc(Platform::CortexM4));
+        assert!(cyc(Platform::RiscV) < cyc(Platform::Esp32));
+    }
+
+    #[test]
+    fn execution_cycles_includes_startup() {
+        let m = cycle_model(Platform::CortexM4, Engine::FemtoContainer);
+        assert_eq!(m.execution_cycles(&OpCounts::default()), m.startup);
+    }
+
+    #[test]
+    fn empty_hook_matches_table4() {
+        assert_eq!(Platform::CortexM4.empty_hook_cycles(), 109);
+        assert_eq!(Platform::Esp32.empty_hook_cycles(), 83);
+        assert_eq!(Platform::RiscV.empty_hook_cycles(), 106);
+    }
+
+    #[test]
+    fn density_ordering_matches_figure7() {
+        assert!(Platform::CortexM4.code_density_factor() < Platform::RiscV.code_density_factor());
+        assert!(Platform::RiscV.code_density_factor() < Platform::Esp32.code_density_factor());
+    }
+}

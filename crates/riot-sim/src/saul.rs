@@ -1,0 +1,216 @@
+//! A SAUL-like sensor/actuator registry ([S]ensor [A]ctuator [U]ber
+//! [L]ayer, RIOT's hardware-abstraction registry).
+//!
+//! The paper's networked-sensor prototype (§8.3) reads a sensor through
+//! system calls (`bpf_saul_reg_find_nth` / `saul_read`); this module
+//! provides the device registry those helpers bridge into. Drivers are
+//! closures, so tests and examples can register synthetic sensors with
+//! deterministic or pseudo-random readings.
+
+use std::fmt;
+
+/// Physical classes of SAUL devices (subset of RIOT's `saul_class_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Temperature sensor (centi-degrees Celsius).
+    SenseTemp,
+    /// Relative-humidity sensor (centi-percent).
+    SenseHum,
+    /// Ambient light sensor (lux).
+    SenseLight,
+    /// Accelerometer (milli-g).
+    SenseAccel,
+    /// LED / switch actuator.
+    ActSwitch,
+}
+
+impl DeviceClass {
+    /// RIOT-compatible numeric class id.
+    pub fn id(self) -> u8 {
+        match self {
+            DeviceClass::SenseTemp => 0x82,
+            DeviceClass::SenseHum => 0x83,
+            DeviceClass::SenseLight => 0x84,
+            DeviceClass::SenseAccel => 0x85,
+            DeviceClass::ActSwitch => 0x42,
+        }
+    }
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceClass::SenseTemp => "SENSE_TEMP",
+            DeviceClass::SenseHum => "SENSE_HUM",
+            DeviceClass::SenseLight => "SENSE_LIGHT",
+            DeviceClass::SenseAccel => "SENSE_ACCEL",
+            DeviceClass::ActSwitch => "ACT_SWITCH",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A reading: value plus decimal scale (RIOT `phydat_t`, one dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phydat {
+    /// Measured value.
+    pub value: i32,
+    /// Power-of-ten scale factor.
+    pub scale: i8,
+}
+
+type Driver = Box<dyn FnMut() -> Phydat>;
+
+struct Device {
+    name: String,
+    class: DeviceClass,
+    driver: Driver,
+    reads: u64,
+}
+
+/// The device registry.
+///
+/// # Examples
+///
+/// ```
+/// use fc_rtos::saul::{SaulRegistry, DeviceClass, Phydat};
+/// let mut reg = SaulRegistry::new();
+/// reg.register("temp0", DeviceClass::SenseTemp, || Phydat { value: 2150, scale: -2 });
+/// assert_eq!(reg.read(0).unwrap().value, 2150);
+/// ```
+#[derive(Default)]
+pub struct SaulRegistry {
+    devices: Vec<Device>,
+}
+
+impl SaulRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SaulRegistry { devices: Vec::new() }
+    }
+
+    /// Registers a device driver, returning its registry index.
+    pub fn register<F>(&mut self, name: &str, class: DeviceClass, driver: F) -> usize
+    where
+        F: FnMut() -> Phydat + 'static,
+    {
+        self.devices.push(Device {
+            name: name.to_owned(),
+            class,
+            driver: Box::new(driver),
+            reads: 0,
+        });
+        self.devices.len() - 1
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Finds the nth device (RIOT `saul_reg_find_nth`).
+    pub fn find_nth(&self, n: usize) -> Option<(&str, DeviceClass)> {
+        self.devices.get(n).map(|d| (d.name.as_str(), d.class))
+    }
+
+    /// Finds the first device of a class.
+    pub fn find_class(&self, class: DeviceClass) -> Option<usize> {
+        self.devices.iter().position(|d| d.class == class)
+    }
+
+    /// Reads device `n`.
+    pub fn read(&mut self, n: usize) -> Option<Phydat> {
+        let d = self.devices.get_mut(n)?;
+        d.reads += 1;
+        Some((d.driver)())
+    }
+
+    /// Number of reads performed on device `n`.
+    pub fn read_count(&self, n: usize) -> Option<u64> {
+        self.devices.get(n).map(|d| d.reads)
+    }
+}
+
+impl fmt::Debug for SaulRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<_> = self.devices.iter().map(|d| d.name.as_str()).collect();
+        f.debug_struct("SaulRegistry").field("devices", &names).finish()
+    }
+}
+
+/// A deterministic synthetic temperature source: a slow sinusoid-like
+/// triangle wave plus a small linear-congruential jitter, mimicking an
+/// indoor sensor. Used by examples and benchmarks in lieu of the paper's
+/// physical sensor.
+pub fn synthetic_temperature(seed: u64) -> impl FnMut() -> Phydat {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut t: i64 = 0;
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let jitter = ((state >> 33) % 21) as i64 - 10; // ±0.10 °C
+        t += 1;
+        let phase = t % 200;
+        let tri = if phase < 100 { phase } else { 200 - phase }; // 0..100
+        let centi_c = 2000 + tri * 5 + jitter; // 20.00 .. 25.00 °C
+        Phydat { value: centi_c as i32, scale: -2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_find_read() {
+        let mut reg = SaulRegistry::new();
+        let idx = reg.register("hum0", DeviceClass::SenseHum, || Phydat { value: 55, scale: 0 });
+        assert_eq!(reg.find_nth(idx).unwrap(), ("hum0", DeviceClass::SenseHum));
+        assert_eq!(reg.read(idx).unwrap(), Phydat { value: 55, scale: 0 });
+        assert_eq!(reg.read_count(idx), Some(1));
+    }
+
+    #[test]
+    fn find_class_picks_first() {
+        let mut reg = SaulRegistry::new();
+        reg.register("led", DeviceClass::ActSwitch, || Phydat { value: 0, scale: 0 });
+        reg.register("t0", DeviceClass::SenseTemp, || Phydat { value: 1, scale: 0 });
+        reg.register("t1", DeviceClass::SenseTemp, || Phydat { value: 2, scale: 0 });
+        assert_eq!(reg.find_class(DeviceClass::SenseTemp), Some(1));
+        assert_eq!(reg.find_class(DeviceClass::SenseLight), None);
+    }
+
+    #[test]
+    fn missing_device_returns_none() {
+        let mut reg = SaulRegistry::new();
+        assert!(reg.read(0).is_none());
+        assert!(reg.find_nth(3).is_none());
+    }
+
+    #[test]
+    fn synthetic_temperature_stays_in_range() {
+        let mut s = synthetic_temperature(42);
+        for _ in 0..1000 {
+            let p = s();
+            assert!(p.value >= 1950 && p.value <= 2560, "{}", p.value);
+            assert_eq!(p.scale, -2);
+        }
+    }
+
+    #[test]
+    fn synthetic_temperature_is_deterministic_per_seed() {
+        let a: Vec<_> = {
+            let mut s = synthetic_temperature(7);
+            (0..50).map(|_| s().value).collect()
+        };
+        let b: Vec<_> = {
+            let mut s = synthetic_temperature(7);
+            (0..50).map(|_| s().value).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,433 @@
+//! CBOR encoder/decoder (RFC 8949 subset), from scratch.
+//!
+//! SUIT manifests are CBOR maps wrapped in COSE structures (paper §5).
+//! This module supports the types those need: unsigned/negative
+//! integers, byte strings, text strings, arrays, maps, tags, booleans
+//! and null — with definite lengths only (the SUIT serialisation never
+//! needs indefinite forms).
+
+use std::error::Error;
+use std::fmt;
+
+/// A CBOR data item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Major type 0/1: integer (negative values use major type 1).
+    Int(i64),
+    /// Major type 2: byte string.
+    Bytes(Vec<u8>),
+    /// Major type 3: UTF-8 text.
+    Text(String),
+    /// Major type 4: array.
+    Array(Vec<Value>),
+    /// Major type 5: map, preserving insertion order.
+    Map(Vec<(Value, Value)>),
+    /// Major type 6: tagged value.
+    Tag(u64, Box<Value>),
+    /// Major type 7: boolean.
+    Bool(bool),
+    /// Major type 7: null.
+    Null,
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CborError {
+    /// Ran out of input.
+    Truncated,
+    /// An encoding this subset does not support (indefinite lengths,
+    /// floats, simple values beyond bool/null).
+    Unsupported {
+        /// The offending initial byte.
+        initial: u8,
+    },
+    /// Text string was not valid UTF-8.
+    InvalidUtf8,
+    /// Integer too large for `i64`.
+    IntegerOverflow,
+    /// Input continued past the first complete item.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CborError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CborError::Truncated => write!(f, "truncated cbor"),
+            CborError::Unsupported { initial } => {
+                write!(f, "unsupported cbor item 0x{initial:02x}")
+            }
+            CborError::InvalidUtf8 => write!(f, "text string not valid utf-8"),
+            CborError::IntegerOverflow => write!(f, "integer exceeds i64"),
+            CborError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing byte(s) after item")
+            }
+        }
+    }
+}
+
+impl Error for CborError {}
+
+impl Value {
+    /// Convenience constructor for a map with integer keys (the SUIT
+    /// manifest style).
+    pub fn int_map<I: IntoIterator<Item = (i64, Value)>>(entries: I) -> Value {
+        Value::Map(entries.into_iter().map(|(k, v)| (Value::Int(k), v)).collect())
+    }
+
+    /// Looks up an integer key in a map value.
+    pub fn map_get(&self, key: i64) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Int(i) if *i == key))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Extracts an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts a byte string.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a text string.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Extracts an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Serialises this item to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                if *i >= 0 {
+                    write_head(out, 0, *i as u64);
+                } else {
+                    write_head(out, 1, (-1 - *i) as u64);
+                }
+            }
+            Value::Bytes(b) => {
+                write_head(out, 2, b.len() as u64);
+                out.extend_from_slice(b);
+            }
+            Value::Text(t) => {
+                write_head(out, 3, t.len() as u64);
+                out.extend_from_slice(t.as_bytes());
+            }
+            Value::Array(items) => {
+                write_head(out, 4, items.len() as u64);
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+            Value::Map(entries) => {
+                write_head(out, 5, entries.len() as u64);
+                for (k, v) in entries {
+                    k.encode_into(out);
+                    v.encode_into(out);
+                }
+            }
+            Value::Tag(tag, inner) => {
+                write_head(out, 6, *tag);
+                inner.encode_into(out);
+            }
+            Value::Bool(false) => out.push(0xf4),
+            Value::Bool(true) => out.push(0xf5),
+            Value::Null => out.push(0xf6),
+        }
+    }
+
+    /// Parses exactly one item covering the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CborError`]; trailing bytes are rejected.
+    pub fn decode(bytes: &[u8]) -> Result<Value, CborError> {
+        let mut pos = 0;
+        let v = decode_item(bytes, &mut pos, 0)?;
+        if pos != bytes.len() {
+            return Err(CborError::TrailingBytes { remaining: bytes.len() - pos });
+        }
+        Ok(v)
+    }
+
+    /// Parses one item, returning it and the bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CborError`] except `TrailingBytes`.
+    pub fn decode_prefix(bytes: &[u8]) -> Result<(Value, usize), CborError> {
+        let mut pos = 0;
+        let v = decode_item(bytes, &mut pos, 0)?;
+        Ok((v, pos))
+    }
+}
+
+fn write_head(out: &mut Vec<u8>, major: u8, value: u64) {
+    let mt = major << 5;
+    if value < 24 {
+        out.push(mt | value as u8);
+    } else if value <= u8::MAX as u64 {
+        out.push(mt | 24);
+        out.push(value as u8);
+    } else if value <= u16::MAX as u64 {
+        out.push(mt | 25);
+        out.extend_from_slice(&(value as u16).to_be_bytes());
+    } else if value <= u32::MAX as u64 {
+        out.push(mt | 26);
+        out.extend_from_slice(&(value as u32).to_be_bytes());
+    } else {
+        out.push(mt | 27);
+        out.extend_from_slice(&value.to_be_bytes());
+    }
+}
+
+const MAX_DEPTH: u32 = 32;
+
+fn decode_item(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, CborError> {
+    if depth > MAX_DEPTH {
+        return Err(CborError::Unsupported { initial: 0 });
+    }
+    let initial = *bytes.get(*pos).ok_or(CborError::Truncated)?;
+    *pos += 1;
+    let major = initial >> 5;
+    let info = initial & 0x1f;
+    if major == 7 {
+        return match info {
+            20 => Ok(Value::Bool(false)),
+            21 => Ok(Value::Bool(true)),
+            22 => Ok(Value::Null),
+            _ => Err(CborError::Unsupported { initial }),
+        };
+    }
+    let arg = read_arg(bytes, pos, info, initial)?;
+    match major {
+        0 => {
+            if arg > i64::MAX as u64 {
+                return Err(CborError::IntegerOverflow);
+            }
+            Ok(Value::Int(arg as i64))
+        }
+        1 => {
+            if arg > i64::MAX as u64 {
+                return Err(CborError::IntegerOverflow);
+            }
+            Ok(Value::Int(-1 - arg as i64))
+        }
+        2 | 3 => {
+            let len = arg as usize;
+            if *pos + len > bytes.len() {
+                return Err(CborError::Truncated);
+            }
+            let raw = bytes[*pos..*pos + len].to_vec();
+            *pos += len;
+            if major == 2 {
+                Ok(Value::Bytes(raw))
+            } else {
+                String::from_utf8(raw).map(Value::Text).map_err(|_| CborError::InvalidUtf8)
+            }
+        }
+        4 => {
+            let mut items = Vec::new();
+            for _ in 0..arg {
+                items.push(decode_item(bytes, pos, depth + 1)?);
+            }
+            Ok(Value::Array(items))
+        }
+        5 => {
+            let mut entries = Vec::new();
+            for _ in 0..arg {
+                let k = decode_item(bytes, pos, depth + 1)?;
+                let v = decode_item(bytes, pos, depth + 1)?;
+                entries.push((k, v));
+            }
+            Ok(Value::Map(entries))
+        }
+        6 => Ok(Value::Tag(arg, Box::new(decode_item(bytes, pos, depth + 1)?))),
+        _ => Err(CborError::Unsupported { initial }),
+    }
+}
+
+fn read_arg(bytes: &[u8], pos: &mut usize, info: u8, initial: u8) -> Result<u64, CborError> {
+    let take = |pos: &mut usize, n: usize| -> Result<u64, CborError> {
+        if *pos + n > bytes.len() {
+            return Err(CborError::Truncated);
+        }
+        let mut v = 0u64;
+        for b in &bytes[*pos..*pos + n] {
+            v = (v << 8) | *b as u64;
+        }
+        *pos += n;
+        Ok(v)
+    };
+    match info {
+        0..=23 => Ok(info as u64),
+        24 => take(pos, 1),
+        25 => take(pos, 2),
+        26 => take(pos, 4),
+        27 => take(pos, 8),
+        _ => Err(CborError::Unsupported { initial }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: Value) {
+        let bytes = v.encode();
+        assert_eq!(Value::decode(&bytes).unwrap(), v, "bytes {bytes:02x?}");
+    }
+
+    #[test]
+    fn rfc8949_appendix_a_integers() {
+        // Known encodings from RFC 8949 Appendix A.
+        assert_eq!(Value::Int(0).encode(), vec![0x00]);
+        assert_eq!(Value::Int(10).encode(), vec![0x0a]);
+        assert_eq!(Value::Int(23).encode(), vec![0x17]);
+        assert_eq!(Value::Int(24).encode(), vec![0x18, 0x18]);
+        assert_eq!(Value::Int(100).encode(), vec![0x18, 0x64]);
+        assert_eq!(Value::Int(1000).encode(), vec![0x19, 0x03, 0xe8]);
+        assert_eq!(Value::Int(1_000_000).encode(), vec![0x1a, 0x00, 0x0f, 0x42, 0x40]);
+        assert_eq!(Value::Int(-1).encode(), vec![0x20]);
+        assert_eq!(Value::Int(-10).encode(), vec![0x29]);
+        assert_eq!(Value::Int(-100).encode(), vec![0x38, 0x63]);
+    }
+
+    #[test]
+    fn rfc8949_appendix_a_strings() {
+        assert_eq!(Value::Text("".into()).encode(), vec![0x60]);
+        assert_eq!(Value::Text("a".into()).encode(), vec![0x61, 0x61]);
+        assert_eq!(Value::Text("IETF".into()).encode(), vec![0x64, 0x49, 0x45, 0x54, 0x46]);
+        assert_eq!(Value::Bytes(vec![1, 2, 3, 4]).encode(), vec![0x44, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rfc8949_appendix_a_composites() {
+        assert_eq!(
+            Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)]).encode(),
+            vec![0x83, 0x01, 0x02, 0x03]
+        );
+        assert_eq!(
+            Value::int_map([(1, Value::Int(2)), (3, Value::Int(4))]).encode(),
+            vec![0xa2, 0x01, 0x02, 0x03, 0x04]
+        );
+        assert_eq!(Value::Bool(true).encode(), vec![0xf5]);
+        assert_eq!(Value::Null.encode(), vec![0xf6]);
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(Value::Int(i64::MAX));
+        round_trip(Value::Int(i64::MIN + 1));
+        round_trip(Value::Bytes((0..=255).collect()));
+        round_trip(Value::Text("héllo ☀".into()));
+        round_trip(Value::Array(vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Tag(24, Box::new(Value::Bytes(vec![9]))),
+        ]));
+        round_trip(Value::int_map([
+            (1, Value::Text("suit".into())),
+            (-2, Value::Array(vec![Value::Int(0)])),
+        ]));
+        round_trip(Value::Bytes(vec![0u8; 300])); // 2-byte length
+        round_trip(Value::Bytes(vec![0u8; 70_000])); // 4-byte length
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Value::Int(1).encode();
+        bytes.push(0x00);
+        assert_eq!(Value::decode(&bytes), Err(CborError::TrailingBytes { remaining: 1 }));
+    }
+
+    #[test]
+    fn decode_prefix_reports_consumption() {
+        let mut bytes = Value::Text("ab".into()).encode();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let (v, used) = Value::decode_prefix(&bytes).unwrap();
+        assert_eq!(v, Value::Text("ab".into()));
+        assert_eq!(used, 3);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = Value::Bytes(vec![1, 2, 3, 4]).encode();
+        for cut in 0..bytes.len() {
+            assert!(Value::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unsupported_forms_rejected() {
+        // Indefinite-length array (0x9f) and float (0xf9).
+        assert!(matches!(Value::decode(&[0x9f]), Err(CborError::Unsupported { .. })));
+        assert!(matches!(
+            Value::decode(&[0xf9, 0x00, 0x00]),
+            Err(CborError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // Text of length 1 with byte 0xff.
+        assert_eq!(Value::decode(&[0x61, 0xff]), Err(CborError::InvalidUtf8));
+    }
+
+    #[test]
+    fn uint64_overflow_rejected() {
+        // 0x1b + 2^63 exceeds i64.
+        let mut bytes = vec![0x1b];
+        bytes.extend_from_slice(&(u64::MAX).to_be_bytes());
+        assert_eq!(Value::decode(&bytes), Err(CborError::IntegerOverflow));
+    }
+
+    #[test]
+    fn deep_nesting_bounded() {
+        let mut bytes = Vec::new();
+        for _ in 0..100 {
+            bytes.push(0x81); // array(1)
+        }
+        bytes.push(0x00);
+        assert!(Value::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn map_get_finds_int_keys() {
+        let m = Value::int_map([(1, Value::Int(10)), (2, Value::Int(20))]);
+        assert_eq!(m.map_get(2).and_then(Value::as_int), Some(20));
+        assert_eq!(m.map_get(3), None);
+        assert_eq!(Value::Int(0).map_get(1), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! # fc-suit — secure software updates for Femto-Containers
+//!
+//! The paper deploys and updates containers over the network using SUIT
+//! manifests "(CBOR, COSE) to secure updates end-to-end over network
+//! paths including low-power wireless segments" (§5). This crate
+//! implements that stack from scratch:
+//!
+//! * [`cbor`] — RFC 8949 codec subset;
+//! * [`sha256`] / [`hmac`] — real FIPS 180-4 / RFC 2104 implementations
+//!   (validated against standard vectors);
+//! * [`sig`] — manifest signatures (simulated-strength Schnorr standing
+//!   in for ed25519; see the module docs and DESIGN.md §3);
+//! * [`cose`] — COSE_Sign1 envelopes;
+//! * [`manifest`] — the SUIT manifest model with storage-location UUIDs;
+//! * [`update`] — the device-side verify → rollback-check → digest-check
+//!   state machine;
+//! * [`uuid`] — storage-location identifiers.
+
+#![warn(missing_docs)]
+
+pub mod cbor;
+pub mod cose;
+pub mod hmac;
+pub mod manifest;
+pub mod sha256;
+pub mod sig;
+pub mod update;
+pub mod uuid;
+
+pub use manifest::{Manifest, ManifestError};
+pub use sig::{SigningKey, VerifyingKey};
+pub use update::{PendingUpdate, ReadyUpdate, UpdateError, UpdateManager};
+pub use uuid::Uuid;

@@ -1,0 +1,345 @@
+//! The device-side secure-update state machine.
+//!
+//! Workflow (paper §5, "Low-power Secure Runtime Update Primitives"):
+//!
+//! 1. a signed manifest arrives (pushed over CoAP);
+//! 2. the signature is verified against the tenant's pre-provisioned
+//!    key, and the sequence number must exceed the last installed one
+//!    for that storage location (rollback protection);
+//! 3. the payload is fetched (block-wise over CoAP) and its SHA-256
+//!    digest compared against the manifest;
+//! 4. only then is the application handed to the hosting engine for
+//!    pre-flight verification and hook attachment.
+//!
+//! This module owns steps 1–3 and stays transport-agnostic: the caller
+//! supplies payload bytes however it fetched them.
+
+use std::collections::HashMap;
+
+use crate::hmac::ct_eq;
+use crate::manifest::{Manifest, ManifestError};
+use crate::sha256::sha256;
+use crate::sig::VerifyingKey;
+use crate::uuid::Uuid;
+
+/// Why an update was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The manifest failed signature verification or parsing.
+    Manifest(ManifestError),
+    /// The signing key id is not provisioned on this device.
+    UnknownKeyId {
+        /// Key id presented.
+        key_id: Vec<u8>,
+    },
+    /// Sequence number not strictly greater than the installed one.
+    Rollback {
+        /// Sequence presented.
+        presented: u64,
+        /// Sequence currently installed.
+        installed: u64,
+    },
+    /// Payload digest mismatch.
+    DigestMismatch,
+    /// Payload size differs from the manifest.
+    SizeMismatch {
+        /// Size announced in the manifest.
+        expected: u32,
+        /// Size of the fetched payload.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::Manifest(e) => write!(f, "manifest rejected: {e}"),
+            UpdateError::UnknownKeyId { key_id } => {
+                write!(f, "unknown signing key id {key_id:02x?}")
+            }
+            UpdateError::Rollback { presented, installed } => write!(
+                f,
+                "rollback rejected: sequence {presented} not above installed {installed}"
+            ),
+            UpdateError::DigestMismatch => write!(f, "payload digest mismatch"),
+            UpdateError::SizeMismatch { expected, got } => {
+                write!(f, "payload size {got} differs from manifest {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<ManifestError> for UpdateError {
+    fn from(e: ManifestError) -> Self {
+        UpdateError::Manifest(e)
+    }
+}
+
+/// A manifest that passed signature and rollback checks and now awaits
+/// its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingUpdate {
+    /// The accepted manifest.
+    pub manifest: Manifest,
+    /// Key id that authenticated it.
+    pub key_id: Vec<u8>,
+}
+
+/// A fully validated update, ready for the hosting engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadyUpdate {
+    /// The manifest.
+    pub manifest: Manifest,
+    /// Key id that authenticated it.
+    pub key_id: Vec<u8>,
+    /// The verified payload (a Femto-Container application image).
+    pub payload: Vec<u8>,
+}
+
+/// Device-side update manager: provisioned trust anchors plus installed
+/// sequence numbers per storage location.
+#[derive(Debug, Default)]
+pub struct UpdateManager {
+    trusted: HashMap<Vec<u8>, VerifyingKey>,
+    installed_seq: HashMap<Uuid, u64>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl UpdateManager {
+    /// Creates a manager with no trust anchors.
+    pub fn new() -> Self {
+        UpdateManager::default()
+    }
+
+    /// Provisions a trusted key under a key id (done at manufacture /
+    /// commissioning, not over the air).
+    pub fn trust(&mut self, key_id: &[u8], key: VerifyingKey) {
+        self.trusted.insert(key_id.to_vec(), key);
+    }
+
+    /// Revokes a key id.
+    pub fn revoke(&mut self, key_id: &[u8]) -> bool {
+        self.trusted.remove(key_id).is_some()
+    }
+
+    /// Step 1+2: verify the envelope and rollback-check the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Any [`UpdateError`]; on error nothing is recorded.
+    pub fn begin(&mut self, envelope_bytes: &[u8]) -> Result<PendingUpdate, UpdateError> {
+        // Try every provisioned key whose id matches the envelope's kid;
+        // the kid is an unprotected routing hint, so the signature check
+        // is what actually authenticates.
+        let kid = match crate::cose::CoseSign1::decode(envelope_bytes) {
+            Ok(env) => env.key_id,
+            Err(e) => {
+                self.rejected += 1;
+                return Err(UpdateError::Manifest(ManifestError::Cose(e)));
+            }
+        };
+        let key = match self.trusted.get(&kid) {
+            Some(k) => *k,
+            None => {
+                self.rejected += 1;
+                return Err(UpdateError::UnknownKeyId { key_id: kid });
+            }
+        };
+        let (manifest, key_id) = match Manifest::verify_and_parse(envelope_bytes, &key) {
+            Ok(v) => v,
+            Err(e) => {
+                self.rejected += 1;
+                return Err(e.into());
+            }
+        };
+        let installed = self.installed_seq.get(&manifest.component).copied().unwrap_or(0);
+        if manifest.sequence <= installed {
+            self.rejected += 1;
+            return Err(UpdateError::Rollback { presented: manifest.sequence, installed });
+        }
+        Ok(PendingUpdate { manifest, key_id })
+    }
+
+    /// Step 3: validate the fetched payload against the manifest. On
+    /// success the sequence number is committed.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::SizeMismatch`] / [`UpdateError::DigestMismatch`];
+    /// the sequence number is *not* committed then, so a retry with the
+    /// correct payload remains possible.
+    pub fn complete(
+        &mut self,
+        pending: PendingUpdate,
+        payload: Vec<u8>,
+    ) -> Result<ReadyUpdate, UpdateError> {
+        if payload.len() != pending.manifest.size as usize {
+            self.rejected += 1;
+            return Err(UpdateError::SizeMismatch {
+                expected: pending.manifest.size,
+                got: payload.len(),
+            });
+        }
+        let digest = sha256(&payload);
+        if !ct_eq(&digest, &pending.manifest.digest) {
+            self.rejected += 1;
+            return Err(UpdateError::DigestMismatch);
+        }
+        self.installed_seq
+            .insert(pending.manifest.component, pending.manifest.sequence);
+        self.accepted += 1;
+        Ok(ReadyUpdate {
+            manifest: pending.manifest,
+            key_id: pending.key_id,
+            payload,
+        })
+    }
+
+    /// Sequence currently installed for a storage location (0 = none).
+    pub fn installed_sequence(&self, component: Uuid) -> u64 {
+        self.installed_seq.get(&component).copied().unwrap_or(0)
+    }
+
+    /// Updates accepted so far.
+    pub fn accepted_count(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Updates rejected so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::SigningKey;
+
+    fn maintainer() -> SigningKey {
+        SigningKey::from_seed(b"maintainer")
+    }
+
+    fn manager() -> UpdateManager {
+        let mut m = UpdateManager::new();
+        m.trust(b"tenant-a", maintainer().verifying_key());
+        m
+    }
+
+    fn manifest_for(payload: &[u8], seq: u64) -> Manifest {
+        Manifest {
+            sequence: seq,
+            component: Uuid::from_name("hooks", "timer"),
+            digest: sha256(payload),
+            size: payload.len() as u32,
+            uri: "suit/payload".into(),
+        }
+    }
+
+    #[test]
+    fn happy_path() {
+        let mut mgr = manager();
+        let payload = b"application image".to_vec();
+        let env = manifest_for(&payload, 1).sign(&maintainer(), b"tenant-a");
+        let pending = mgr.begin(&env).unwrap();
+        let ready = mgr.complete(pending, payload.clone()).unwrap();
+        assert_eq!(ready.payload, payload);
+        assert_eq!(mgr.accepted_count(), 1);
+        assert_eq!(mgr.installed_sequence(Uuid::from_name("hooks", "timer")), 1);
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let mut mgr = manager();
+        let payload = b"app".to_vec();
+        let env = manifest_for(&payload, 1).sign(&maintainer(), b"tenant-a");
+        let pending = mgr.begin(&env).unwrap();
+        mgr.complete(pending, payload).unwrap();
+        // Same manifest again: rollback.
+        assert!(matches!(
+            mgr.begin(&env),
+            Err(UpdateError::Rollback { presented: 1, installed: 1 })
+        ));
+    }
+
+    #[test]
+    fn downgrade_rejected() {
+        let mut mgr = manager();
+        let payload = b"app".to_vec();
+        let env5 = manifest_for(&payload, 5).sign(&maintainer(), b"tenant-a");
+        let pending = mgr.begin(&env5).unwrap();
+        mgr.complete(pending, payload.clone()).unwrap();
+        let env3 = manifest_for(&payload, 3).sign(&maintainer(), b"tenant-a");
+        assert!(matches!(mgr.begin(&env3), Err(UpdateError::Rollback { .. })));
+    }
+
+    #[test]
+    fn unknown_key_id_rejected() {
+        let mut mgr = manager();
+        let env = manifest_for(b"app", 1).sign(&maintainer(), b"stranger");
+        assert!(matches!(mgr.begin(&env), Err(UpdateError::UnknownKeyId { .. })));
+        assert_eq!(mgr.rejected_count(), 1);
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let mut mgr = manager();
+        // Attacker signs with their own key but claims tenant-a's kid.
+        let attacker = SigningKey::from_seed(b"attacker");
+        let env = manifest_for(b"evil", 1).sign(&attacker, b"tenant-a");
+        assert!(matches!(mgr.begin(&env), Err(UpdateError::Manifest(_))));
+    }
+
+    #[test]
+    fn wrong_payload_digest_rejected_without_committing_sequence() {
+        let mut mgr = manager();
+        let payload = b"good payload".to_vec();
+        let env = manifest_for(&payload, 1).sign(&maintainer(), b"tenant-a");
+        let pending = mgr.begin(&env).unwrap();
+        assert_eq!(
+            mgr.complete(pending, b"evil payload".to_vec()),
+            Err(UpdateError::DigestMismatch)
+        );
+        // Sequence not burned: the genuine payload can still install.
+        let pending = mgr.begin(&env).unwrap();
+        assert!(mgr.complete(pending, payload).is_ok());
+    }
+
+    #[test]
+    fn wrong_payload_size_rejected() {
+        let mut mgr = manager();
+        let payload = b"12345".to_vec();
+        let env = manifest_for(&payload, 1).sign(&maintainer(), b"tenant-a");
+        let pending = mgr.begin(&env).unwrap();
+        assert!(matches!(
+            mgr.complete(pending, b"123456".to_vec()),
+            Err(UpdateError::SizeMismatch { expected: 5, got: 6 })
+        ));
+    }
+
+    #[test]
+    fn sequences_tracked_per_component() {
+        let mut mgr = manager();
+        let p = b"x".to_vec();
+        let mut m1 = manifest_for(&p, 5);
+        m1.component = Uuid::from_name("hooks", "a");
+        let mut m2 = manifest_for(&p, 1);
+        m2.component = Uuid::from_name("hooks", "b");
+        let pend = mgr.begin(&m1.sign(&maintainer(), b"tenant-a")).unwrap();
+        mgr.complete(pend, p.clone()).unwrap();
+        // Different component still accepts lower sequence.
+        let pend = mgr.begin(&m2.sign(&maintainer(), b"tenant-a")).unwrap();
+        mgr.complete(pend, p).unwrap();
+    }
+
+    #[test]
+    fn revoked_key_rejected() {
+        let mut mgr = manager();
+        assert!(mgr.revoke(b"tenant-a"));
+        let env = manifest_for(b"app", 1).sign(&maintainer(), b"tenant-a");
+        assert!(matches!(mgr.begin(&env), Err(UpdateError::UnknownKeyId { .. })));
+    }
+}

@@ -1,0 +1,130 @@
+//! UUIDs naming SUIT storage locations.
+//!
+//! "The exact hook to attach the new Femto-Container to is done by
+//! specifying the hook as a unique identifier (UUID) as a storage
+//! location in the SUIT manifest" (paper §5).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::sha256::sha256;
+
+/// A 128-bit universally unique identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uuid(pub [u8; 16]);
+
+impl Uuid {
+    /// Derives a name-based UUID (v5-style, SHA-256 truncated) from a
+    /// namespace and name — hooks get stable ids this way.
+    pub fn from_name(namespace: &str, name: &str) -> Self {
+        let mut input = Vec::with_capacity(namespace.len() + name.len() + 1);
+        input.extend_from_slice(namespace.as_bytes());
+        input.push(0);
+        input.extend_from_slice(name.as_bytes());
+        let d = sha256(&input);
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(&d[..16]);
+        // Stamp version 5 and RFC 4122 variant bits.
+        bytes[6] = (bytes[6] & 0x0f) | 0x50;
+        bytes[8] = (bytes[8] & 0x3f) | 0x80;
+        Uuid(bytes)
+    }
+
+    /// The nil UUID.
+    pub const fn nil() -> Self {
+        Uuid([0; 16])
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// Parses from raw bytes.
+    pub fn from_slice(bytes: &[u8]) -> Option<Self> {
+        bytes.try_into().ok().map(Uuid)
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = &self.0;
+        write!(
+            f,
+            "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11], b[12],
+            b[13], b[14], b[15]
+        )
+    }
+}
+
+/// Error from [`Uuid::from_str`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseUuidError;
+
+impl fmt::Display for ParseUuidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid uuid syntax")
+    }
+}
+
+impl std::error::Error for ParseUuidError {}
+
+impl FromStr for Uuid {
+    type Err = ParseUuidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let hex: String = s.chars().filter(|c| *c != '-').collect();
+        if hex.len() != 32 {
+            return Err(ParseUuidError);
+        }
+        let mut bytes = [0u8; 16];
+        for i in 0..16 {
+            bytes[i] =
+                u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).map_err(|_| ParseUuidError)?;
+        }
+        Ok(Uuid(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_derivation_is_stable_and_distinct() {
+        let a = Uuid::from_name("hooks", "sched");
+        let b = Uuid::from_name("hooks", "sched");
+        let c = Uuid::from_name("hooks", "timer");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, Uuid::nil());
+    }
+
+    #[test]
+    fn version_and_variant_bits() {
+        let u = Uuid::from_name("ns", "n");
+        assert_eq!(u.0[6] >> 4, 5);
+        assert_eq!(u.0[8] >> 6, 0b10);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let u = Uuid::from_name("ns", "n");
+        let s = u.to_string();
+        assert_eq!(s.len(), 36);
+        assert_eq!(s.parse::<Uuid>().unwrap(), u);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("nope".parse::<Uuid>().is_err());
+        assert!("gg000000-0000-0000-0000-000000000000".parse::<Uuid>().is_err());
+    }
+
+    #[test]
+    fn from_slice_checks_length() {
+        assert!(Uuid::from_slice(&[0; 16]).is_some());
+        assert!(Uuid::from_slice(&[0; 15]).is_none());
+    }
+}

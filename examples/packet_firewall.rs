@@ -1,0 +1,91 @@
+//! A firewall-type trigger (paper §7): the OS grants a container
+//! *read-only* access to each incoming packet; the container inspects
+//! it and its verdict steers the firmware's control flow at the
+//! launchpad. The container can look but not touch — writes to the
+//! packet abort the VM, not the OS.
+//!
+//! ```sh
+//! cargo run --example packet_firewall
+//! ```
+
+use femto_containers::core::apps::packet_filter;
+use femto_containers::core::contract::{ContractOffer, ContractRequest};
+use femto_containers::core::engine::{HostRegion, HostingEngine};
+use femto_containers::core::hooks::{packet_hook_id, Hook, HookKind, HookPolicy};
+use femto_containers::rtos::platform::{Engine, Platform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+    // `Any` policy: if any attached filter says drop, the packet drops.
+    engine.register_hook(
+        Hook::new("packet-rx", HookKind::PacketRx, HookPolicy::Any),
+        ContractOffer::default(),
+    );
+
+    // Two tenants deploy filters for different ports on the same pad.
+    let f1 = engine.install("block-telnet", 1, &packet_filter(23).to_bytes(), ContractRequest::default())?;
+    let f2 = engine.install("block-coaps", 2, &packet_filter(5684).to_bytes(), ContractRequest::default())?;
+    engine.attach(f1, packet_hook_id())?;
+    engine.attach(f2, packet_hook_id())?;
+
+    let mk_packet = |port: u16, len: usize| {
+        let mut p = vec![0u8; len];
+        if len >= 4 {
+            p[2..4].copy_from_slice(&port.to_be_bytes());
+        }
+        p
+    };
+
+    let mut stats = (0u32, 0u32);
+    for (desc, port) in
+        [("mqtt", 1883u16), ("telnet", 23), ("coaps", 5684), ("http", 80), ("telnet again", 23)]
+    {
+        let pkt = mk_packet(port, 48);
+        let ctx = (pkt.len() as u32).to_le_bytes();
+        let report =
+            engine.fire_hook(packet_hook_id(), &ctx, &[HostRegion::read_only("pkt", pkt)])?;
+        let drop = report.combined == Some(1);
+        if drop {
+            stats.1 += 1;
+        } else {
+            stats.0 += 1;
+        }
+        println!(
+            "packet to port {port:<5} ({desc:<12}): {} [{:.1} µs in {} filters]",
+            if drop { "DROPPED" } else { "accepted" },
+            engine.platform().us_from_cycles(report.cycles),
+            report.executions.len(),
+        );
+    }
+    println!("accepted {} / dropped {}", stats.0, stats.1);
+    assert_eq!(stats, (2, 3), "telnet twice and coaps once are dropped");
+
+    // Demonstrate fault isolation: a buggy/malicious filter that tries
+    // to *modify* the packet is aborted, and the verdict of the honest
+    // filters still stands.
+    let evil_src = "\
+lddw r1, 0x60000000
+stb [r1], 0xff      ; try to rewrite the packet
+mov r0, 0
+exit";
+    let evil_app = femto_containers::rbpf::program::ProgramBuilder::new()
+        .asm(evil_src)?
+        .build();
+    let evil = engine.install("evil", 3, &evil_app.to_bytes(), ContractRequest::default())?;
+    engine.attach(evil, packet_hook_id())?;
+    let pkt = mk_packet(23, 48);
+    let report = engine.fire_hook(
+        packet_hook_id(),
+        &(pkt.len() as u32).to_le_bytes(),
+        &[HostRegion::read_only("pkt", pkt)],
+    )?;
+    let evil_report = report.executions.last().expect("evil ran");
+    println!(
+        "malicious filter verdict: {:?} — aborted by the memory allow-list",
+        evil_report.result
+    );
+    assert!(evil_report.result.is_err());
+    assert_eq!(report.combined, Some(1), "honest filters still dropped the telnet packet");
+    println!("OS and honest tenants unaffected — fault isolation holds");
+    Ok(())
+}

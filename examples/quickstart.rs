@@ -1,0 +1,51 @@
+//! Quickstart: author a tiny function in eBPF assembly, verify it, host
+//! it in a Femto-Container and execute it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use femto_containers::core::contract::ContractRequest;
+use femto_containers::core::engine::HostingEngine;
+use femto_containers::rbpf::program::ProgramBuilder;
+use femto_containers::rtos::platform::{Engine, Platform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Author an application. Real deployments compile C/Rust via
+    //    LLVM's BPF backend; the bundled assembler serves the same role.
+    let app = ProgramBuilder::new()
+        .asm(
+            "\
+; sum the integers 1..=10
+    mov r0, 0
+    mov r1, 10
+loop:
+    add r0, r1
+    sub r1, 1
+    jne r1, 0, loop
+    exit",
+        )?
+        .build();
+    println!("application image: {} bytes", app.to_bytes().len());
+
+    // 2. Create the hosting engine for a Cortex-M4 class device.
+    let mut engine = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+
+    // 3. Install: parse, grant the (empty) contract, run the pre-flight
+    //    verifier — exactly once, before first execution.
+    let id = engine.install("sum", 1, &app.to_bytes(), ContractRequest::default())?;
+
+    // 4. Execute. The container runs in its own memory allow-list with
+    //    finite-execution budgets; the report carries the result and the
+    //    simulated cost on the target platform.
+    let report = engine.execute(id, &[], &[])?;
+    println!("result: {:?}", report.result);
+    println!("instructions executed: {}", report.counts.total());
+    println!(
+        "simulated time on {}: {:.1} µs",
+        engine.platform().name(),
+        engine.platform().us_from_cycles(report.total_cycles())
+    );
+    assert_eq!(report.result, Ok(55));
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Secure over-the-air deployment (paper §5): a maintainer signs a SUIT
+//! manifest, pushes payload + manifest over a lossy CoAP link, and the
+//! device verifies everything before attaching the container. Attacks —
+//! tampering, forged keys, replay — are rejected.
+//!
+//! ```sh
+//! cargo run --example secure_update
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use femto_containers::core::apps;
+use femto_containers::core::contract::ContractOffer;
+use femto_containers::core::deploy::{
+    author_update, push_payload_blocks, register_coap_endpoints, UpdateService,
+};
+use femto_containers::core::engine::HostingEngine;
+use femto_containers::core::helpers_impl::standard_helper_ids;
+use femto_containers::core::hooks::{sched_hook_id, Hook, HookKind, HookPolicy};
+use femto_containers::net::coap::{Code, Message};
+use femto_containers::net::endpoint::{CoapClient, CoapServer, ExchangeOutcome};
+use femto_containers::net::link::{Addr, LinkConfig, LossyLink};
+use femto_containers::rtos::platform::{Engine, Platform};
+use femto_containers::suit::SigningKey;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Device side -------------------------------------------------
+    let mut engine = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+    engine.register_hook(
+        Hook::new("sched", HookKind::SchedSwitch, HookPolicy::First),
+        ContractOffer::helpers(standard_helper_ids()),
+    );
+    let engine = Rc::new(RefCell::new(engine));
+    let maintainer = SigningKey::from_seed(b"acme-maintainer-2026");
+    let mut service = UpdateService::new();
+    service.provision_tenant(b"acme", maintainer.verifying_key(), 1);
+    let service = Rc::new(RefCell::new(service));
+    let mut server = CoapServer::new();
+    register_coap_endpoints(&mut server, service.clone(), engine.clone());
+
+    // --- Network: 10 % loss, 2 ms latency, 512 B MTU ------------------
+    let mut link = LossyLink::new(LinkConfig { loss: 0.10, latency_us: 2_000, ..Default::default() });
+    let device = Addr::new(2, 5683);
+    let mut client = CoapClient::new(Addr::new(1, 40000));
+    let mut now_us = 0u64;
+
+    // --- Maintainer: author, sign, push ------------------------------
+    let app = apps::thread_counter();
+    let (envelope, payload) =
+        author_update(&app, sched_hook_id(), 1, "pid_log-v1", &maintainer, b"acme");
+    println!(
+        "authored update: {} B payload, {} B signed manifest, hook {}",
+        payload.len(),
+        envelope.len(),
+        sched_hook_id()
+    );
+
+    let pushed = push_payload_blocks("pid_log-v1", &payload, 64, |req| {
+        match client.exchange(&mut link, device, req, &mut now_us, |r| server.dispatch(r)) {
+            Ok(ExchangeOutcome::Response(resp)) => Some(resp),
+            _ => None,
+        }
+    });
+    println!(
+        "payload pushed in 64 B blocks over the lossy link: {} ({} datagrams, {} lost)",
+        pushed,
+        link.sent_count(),
+        link.dropped_count()
+    );
+
+    let mut manifest_req = Message::request(Code::Post, 0, &[]);
+    manifest_req.set_path("suit/manifest");
+    manifest_req.payload = envelope.clone();
+    let outcome =
+        client.exchange(&mut link, device, manifest_req, &mut now_us, |r| server.dispatch(r))?;
+    match outcome {
+        ExchangeOutcome::Response(resp) => {
+            println!("manifest accepted: {:?}", resp.code);
+            assert_eq!(resp.code, Code::Changed);
+        }
+        ExchangeOutcome::Timeout => panic!("link died"),
+    }
+    assert_eq!(engine.borrow().container_count(), 1);
+    println!("container installed and attached — device never rebooted");
+
+    // --- Attacks ------------------------------------------------------
+    // 1. Replay the same manifest (rollback).
+    let mut replay = Message::request(Code::Post, 0, &[]);
+    replay.set_path("suit/manifest");
+    replay.payload = envelope;
+    if let ExchangeOutcome::Response(resp) =
+        client.exchange(&mut link, device, replay, &mut now_us, |r| server.dispatch(r))?
+    {
+        println!("replayed manifest: {:?} (rejected)", resp.code);
+        assert!(!resp.code.is_success());
+    }
+    // 2. Forged manifest under a stranger's key.
+    let attacker = SigningKey::from_seed(b"attacker");
+    let (forged, _) = author_update(&app, sched_hook_id(), 9, "evil", &attacker, b"acme");
+    let mut forge_req = Message::request(Code::Post, 0, &[]);
+    forge_req.set_path("suit/manifest");
+    forge_req.payload = forged;
+    if let ExchangeOutcome::Response(resp) =
+        client.exchange(&mut link, device, forge_req, &mut now_us, |r| server.dispatch(r))?
+    {
+        println!("forged manifest:   {:?} (rejected)", resp.code);
+        assert_eq!(resp.code, Code::Unauthorized);
+    }
+    assert_eq!(engine.borrow().container_count(), 1, "attacks changed nothing");
+    println!(
+        "device state intact: {} accepted / {} rejected updates",
+        service.borrow().accepted_count(),
+        service.borrow().rejected_count()
+    );
+    Ok(())
+}

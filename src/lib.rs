@@ -1,0 +1,32 @@
+//! # Femto-Containers
+//!
+//! A from-scratch Rust reproduction of *"Femto-Containers: Lightweight
+//! Virtualization and Fault Isolation For Small Software Functions on
+//! Low-Power IoT Microcontrollers"* (Zandberg, Baccelli, Yuan, Besson,
+//! Talpin — ACM/IFIP MIDDLEWARE 2022).
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! * [`rbpf`] — the eBPF VM: ISA, assembler, pre-flight verifier,
+//!   memory allow-lists, vanilla and CertFC interpreters;
+//! * [`rtos`] — the RIOT-like kernel simulation and platform models;
+//! * [`net`] — CoAP/UDP codecs and the lossy-link simulation;
+//! * [`suit`] — CBOR/COSE/SHA-256 and the secure-update state machine;
+//! * [`kvstore`] — the local/global/tenant key-value stores;
+//! * [`baselines`] — the §6 candidate runtimes (native, WASM,
+//!   MicroPython-like, RIOTjs-like);
+//! * [`core`] — the hosting engine, hooks, contracts, applications and
+//!   deployment.
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries regenerating every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use fc_baselines as baselines;
+pub use fc_core as core;
+pub use fc_kvstore as kvstore;
+pub use fc_net as net;
+pub use fc_rbpf as rbpf;
+pub use fc_rtos as rtos;
+pub use fc_suit as suit;

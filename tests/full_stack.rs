@@ -1,0 +1,208 @@
+//! Full-stack integration: RTOS + engine + network + SUIT working
+//! together as in the paper's deployment story — a device boots, a
+//! maintainer deploys containers over a lossy link, events fire, and
+//! the multi-tenant state stays consistent.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use femto_containers::core::apps;
+use femto_containers::core::contract::ContractOffer;
+use femto_containers::core::deploy::{
+    author_update, push_payload_blocks, register_coap_endpoints, UpdateService,
+};
+use femto_containers::core::engine::{HostRegion, HostingEngine};
+use femto_containers::core::helpers_impl::{coap_ctx_bytes, standard_helper_ids};
+use femto_containers::core::hooks::{
+    coap_hook_id, sched_hook_id, timer_hook_id, Hook, HookKind, HookPolicy,
+};
+use femto_containers::core::integration::{attach_sched_hook, attach_timer_hook};
+use femto_containers::net::coap::{Code, Message};
+use femto_containers::net::endpoint::{CoapClient, CoapServer, ExchangeOutcome};
+use femto_containers::net::link::{Addr, LinkConfig, LossyLink};
+use femto_containers::rtos::kernel::{Kernel, ThreadAction};
+use femto_containers::rtos::platform::{Engine, Platform, ALL_PLATFORMS};
+use femto_containers::rtos::saul::{synthetic_temperature, DeviceClass};
+use femto_containers::suit::SigningKey;
+
+fn device_engine(platform: Platform) -> HostingEngine {
+    let mut e = HostingEngine::new(platform, Engine::FemtoContainer);
+    for (name, kind) in [
+        ("sched", HookKind::SchedSwitch),
+        ("timer", HookKind::Timer),
+        ("coap", HookKind::CoapRequest),
+    ] {
+        e.register_hook(
+            Hook::new(name, kind, HookPolicy::First),
+            ContractOffer::helpers(standard_helper_ids()),
+        );
+    }
+    e.env().saul.borrow_mut().register("temp0", DeviceClass::SenseTemp, {
+        let mut drv = synthetic_temperature(7);
+        move || drv()
+    });
+    e
+}
+
+/// The complete §8.3 scenario over a lossy network: deploy three
+/// containers from two tenants via SUIT, run the RTOS, query via CoAP.
+#[test]
+fn paper_section8_multi_tenant_scenario_end_to_end() {
+    let engine = Rc::new(RefCell::new(device_engine(Platform::CortexM4)));
+    let tenant_a_key = SigningKey::from_seed(b"tenant-a");
+    let tenant_b_key = SigningKey::from_seed(b"tenant-b");
+    let mut service = UpdateService::new();
+    service.provision_tenant(b"tenant-a", tenant_a_key.verifying_key(), 1);
+    service.provision_tenant(b"tenant-b", tenant_b_key.verifying_key(), 2);
+    let service = Rc::new(RefCell::new(service));
+    let mut server = CoapServer::new();
+    register_coap_endpoints(&mut server, service.clone(), engine.clone());
+
+    let mut link =
+        LossyLink::new(LinkConfig { loss: 0.15, latency_us: 1_500, seed: 3, ..Default::default() });
+    let device = Addr::new(2, 5683);
+    let mut client = CoapClient::new(Addr::new(1, 40001));
+    let mut now = 0u64;
+
+    // Deploy all three applications over the network.
+    let updates = [
+        (apps::thread_counter(), sched_hook_id(), &tenant_a_key, b"tenant-a" as &[u8], "pid-log"),
+        (apps::sensor_process(), timer_hook_id(), &tenant_b_key, b"tenant-b", "sensor"),
+        (apps::coap_formatter(), coap_hook_id(), &tenant_b_key, b"tenant-b", "coap-fmt"),
+    ];
+    for (app, hook, key, kid, uri) in updates {
+        let (envelope, payload) = author_update(&app, hook, 1, uri, key, kid);
+        let pushed = push_payload_blocks(uri, &payload, 64, |req| {
+            match client.exchange(&mut link, device, req, &mut now, |r| server.dispatch(r)) {
+                Ok(ExchangeOutcome::Response(resp)) => Some(resp),
+                _ => None,
+            }
+        });
+        assert!(pushed, "payload {uri} survived the lossy link");
+        let mut m = Message::request(Code::Post, 0, &[]);
+        m.set_path("suit/manifest");
+        m.payload = envelope;
+        match client.exchange(&mut link, device, m, &mut now, |r| server.dispatch(r)).unwrap() {
+            ExchangeOutcome::Response(resp) => assert_eq!(resp.code, Code::Changed, "{uri}"),
+            ExchangeOutcome::Timeout => panic!("manifest for {uri} timed out"),
+        }
+    }
+    assert_eq!(engine.borrow().container_count(), 3);
+
+    // Boot the RTOS: two worker threads plus the periodic sensor timer.
+    let mut kernel = Kernel::new(Platform::CortexM4);
+    attach_sched_hook(&mut kernel, engine.clone());
+    attach_timer_hook(&mut kernel, engine.clone(), 1_000);
+    for name in ["net", "app"] {
+        let mut rounds = 4u32;
+        kernel.spawn(name, 5, 1024, move |ctx| {
+            ctx.consume_cycles(5_000);
+            rounds -= 1;
+            if rounds == 0 {
+                ThreadAction::Exit
+            } else {
+                ThreadAction::SleepUs(700)
+            }
+        });
+    }
+    kernel.run_for_us(10_000);
+
+    let e = engine.borrow();
+    // Tenant A's counters tracked the switches.
+    let switch_total: i64 =
+        (1..=2).map(|t| e.env().stores.borrow().global().fetch(t)).sum();
+    assert_eq!(switch_total as u64, kernel.context_switches());
+    // Tenant B's moving average materialised.
+    let avg =
+        e.env().stores.borrow().fetch(0, 2, femto_containers::kvstore::Scope::Tenant, 1);
+    assert!(avg > 1900 && avg < 2600, "avg {avg}");
+    drop(e);
+
+    // A client queries the sensor value through the CoAP launchpad.
+    let mut e = engine.borrow_mut();
+    let report = e
+        .fire_hook(
+            coap_hook_id(),
+            &coap_ctx_bytes(64),
+            &[HostRegion::read_write("pkt", vec![0; 64])],
+        )
+        .unwrap();
+    let len = report.combined.expect("response built") as usize;
+    let msg = Message::decode(&report.executions[0].regions_back[0].1[..len]).unwrap();
+    assert_eq!(msg.code, Code::Content);
+    let text = String::from_utf8_lossy(&msg.payload).into_owned();
+    let value: i64 = text.parse().expect("decimal payload");
+    assert_eq!(value, avg, "CoAP answer equals the stored average");
+}
+
+/// The same engine pipeline runs on all three platforms with consistent
+/// results and platform-ordered timing.
+#[test]
+fn engine_portable_across_platforms() {
+    let input: Vec<u8> = (0..360).map(|i| (i % 251) as u8).collect();
+    let mut timings = Vec::new();
+    let mut results = Vec::new();
+    for platform in ALL_PLATFORMS {
+        let mut e = device_engine(platform);
+        let id = e
+            .install("fletcher", 1, &apps::fletcher32_app().to_bytes(), Default::default())
+            .unwrap();
+        let r = e.execute(id, &apps::fletcher_ctx(&input), &[]).unwrap();
+        results.push(r.result.clone().unwrap());
+        timings.push((platform, r.total_cycles()));
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "identical results everywhere");
+    let cycles = |p: Platform| timings.iter().find(|(q, _)| *q == p).unwrap().1;
+    assert!(cycles(Platform::RiscV) < cycles(Platform::CortexM4));
+}
+
+/// Multiple containers from different tenants attached to one pad, with
+/// the result-combination policy (paper §10.3).
+#[test]
+fn multiple_containers_share_one_hook() {
+    let mut e = device_engine(Platform::CortexM4);
+    let mk = |val: u32| {
+        femto_containers::rbpf::program::ProgramBuilder::new()
+            .asm(&format!("mov r0, {val}\nexit"))
+            .unwrap()
+            .build()
+            .to_bytes()
+    };
+    let hook = Hook::new("merge", HookKind::Custom, HookPolicy::Sum);
+    let hook_id = hook.id;
+    e.register_hook(hook, ContractOffer::default());
+    for (tenant, val) in [(1u32, 5u32), (2, 7), (3, 30)] {
+        let id = e.install(&format!("c{tenant}"), tenant, &mk(val), Default::default()).unwrap();
+        e.attach(id, hook_id).unwrap();
+    }
+    let report = e.fire_hook(hook_id, &[], &[]).unwrap();
+    assert_eq!(report.combined, Some(42));
+    assert_eq!(report.executions.len(), 3);
+}
+
+/// Container density estimate from §10.3: ~100 instances fit next to
+/// the OS in 256 KiB RAM.
+#[test]
+fn container_density_scales_to_about_100() {
+    let mut e = device_engine(Platform::CortexM4);
+    let app = apps::thread_counter().to_bytes();
+    let mut installed = 0;
+    // Install 100 instances and account their RAM.
+    for i in 0..100 {
+        let id = e
+            .install(&format!("inst{i}"), 1 + i % 4, &app, apps::thread_counter_request())
+            .unwrap();
+        installed += 1;
+        let _ = id;
+    }
+    assert_eq!(installed, 100);
+    let instance_ram = e.ram_bytes();
+    let image_ram: usize = (1..=100u32)
+        .filter_map(|id| e.container(id).map(|c| c.image_bytes()))
+        .sum();
+    let total = instance_ram + image_ram;
+    assert!(
+        total < 256 * 1024 - femto_containers::core::footprint::os_ram_bytes(),
+        "100 instances + images = {total} B must fit beside the OS in 256 KiB"
+    );
+}

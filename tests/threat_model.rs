@@ -1,0 +1,297 @@
+//! Threat-model integration tests (paper §3): every attack vector the
+//! paper enumerates, exercised end to end against the full stack.
+
+use femto_containers::core::apps;
+use femto_containers::core::contract::{ContractOffer, ContractRequest};
+use femto_containers::core::deploy::{author_update, UpdateService};
+use femto_containers::core::engine::{EngineError, HostRegion, HostingEngine};
+use femto_containers::core::helpers_impl::standard_helper_ids;
+use femto_containers::core::hooks::{sched_hook_id, Hook, HookKind, HookPolicy};
+use femto_containers::kvstore::Scope;
+use femto_containers::rbpf::error::VmError;
+use femto_containers::rbpf::helpers::ids;
+use femto_containers::rbpf::program::ProgramBuilder;
+use femto_containers::rbpf::verifier::VerifierError;
+use femto_containers::rbpf::vm::ExecConfig;
+use femto_containers::rtos::platform::{Engine, Platform};
+use femto_containers::suit::{SigningKey, UpdateError};
+
+fn engine() -> HostingEngine {
+    let mut e = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+    e.register_hook(
+        Hook::new("sched", HookKind::SchedSwitch, HookPolicy::First),
+        ContractOffer::helpers(standard_helper_ids()),
+    );
+    e
+}
+
+fn image(src: &str) -> Vec<u8> {
+    ProgramBuilder::new()
+        .helpers(
+            femto_containers::core::helpers_impl::helper_name_table()
+                .iter()
+                .map(|(n, i)| (n.as_str(), *i)),
+        )
+        .asm(src)
+        .expect("assembles")
+        .build()
+        .to_bytes()
+}
+
+// --- Malicious tenant: privilege escalation to the operating system ---
+
+#[test]
+fn tenant_cannot_read_outside_granted_regions() {
+    let mut e = engine();
+    // Probe addresses across the whole virtual address space.
+    for addr in ["0x0", "0x1000", "0x20000000", "0x60000000", "0xfffffff0"] {
+        let src = format!("lddw r1, {addr}\nldxdw r0, [r1]\nexit");
+        let id = e.install("probe", 66, &image(&src), ContractRequest::default()).unwrap();
+        let r = e.execute(id, &[], &[]).unwrap();
+        assert!(
+            matches!(r.result, Err(VmError::InvalidMemoryAccess { .. })),
+            "probe at {addr} was not contained: {:?}",
+            r.result
+        );
+    }
+}
+
+#[test]
+fn tenant_cannot_write_read_only_grants() {
+    let mut e = engine();
+    let src = "lddw r1, 0x60000000\nstdw [r1], 0x41\nmov r0, 0\nexit";
+    let id = e.install("vandal", 66, &image(src), ContractRequest::default()).unwrap();
+    let packet = vec![7u8; 32];
+    let r = e
+        .execute(id, &[], &[HostRegion::read_only("pkt", packet.clone())])
+        .unwrap();
+    assert!(matches!(r.result, Err(VmError::InvalidMemoryAccess { write: true, .. })));
+    assert_eq!(r.regions_back[0].1, packet, "packet bytes unchanged");
+}
+
+#[test]
+fn tenant_cannot_escape_via_jumps() {
+    // Jump past the end, before the start, and into an lddw tail: all
+    // rejected pre-flight, never executed.
+    for src in ["ja +10\nexit", "exit\nja -3"] {
+        let mut e = engine();
+        let err = e.install("jmp", 66, &image(src), ContractRequest::default()).unwrap_err();
+        assert!(matches!(err, EngineError::Verify(VerifierError::InvalidJumpTarget { .. })));
+    }
+}
+
+#[test]
+fn tenant_cannot_write_r10() {
+    let mut e = engine();
+    let text = femto_containers::rbpf::isa::encode_all(&[
+        femto_containers::rbpf::isa::Insn::new(femto_containers::rbpf::isa::MOV64_IMM, 10, 0, 0, 0),
+        femto_containers::rbpf::isa::Insn::new(femto_containers::rbpf::isa::EXIT, 0, 0, 0, 0),
+    ]);
+    let prog = femto_containers::rbpf::program::FcProgram { text, ..Default::default() };
+    let err = e.install("r10", 66, &prog.to_bytes(), ContractRequest::default()).unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::Verify(VerifierError::WriteToReadOnlyRegister { .. })
+    ));
+}
+
+// --- Malicious tenant: resource exhaustion -----------------------------
+
+#[test]
+fn tenant_cannot_spin_forever() {
+    let mut e = engine();
+    e.set_exec_config(ExecConfig::new(10_000, 1_000));
+    let id = e
+        .install("spin", 66, &image("spin: ja spin\nexit"), ContractRequest::default())
+        .unwrap();
+    let r = e.execute(id, &[], &[]).unwrap();
+    assert!(r.result.is_err());
+    // The engine remains live and other containers still run.
+    let ok = e.install("ok", 1, &image("mov r0, 1\nexit"), ContractRequest::default()).unwrap();
+    assert_eq!(e.execute(ok, &[], &[]).unwrap().result, Ok(1));
+}
+
+#[test]
+fn tenant_cannot_exhaust_store_capacity_of_others() {
+    let mut e = engine();
+    // Tenant 66 fills its own tenant store to capacity...
+    let mut src = String::new();
+    for k in 0..100 {
+        src.push_str(&format!("mov r1, {k}\nmov r2, 1\ncall bpf_store_shared\n"));
+    }
+    src.push_str("mov r0, 0\nexit");
+    let id = e
+        .install("hog", 66, &image(&src), ContractRequest::helpers([ids::BPF_STORE_SHARED]))
+        .unwrap();
+    let r = e.execute(id, &[], &[]).unwrap();
+    // The 65th insert fails with a helper fault (capacity 64).
+    assert!(matches!(r.result, Err(VmError::HelperFault { .. })));
+    // ...but tenant 1's store is untouched and fully usable.
+    e.env().stores.borrow_mut().store(1, 1, Scope::Tenant, 0, 42).unwrap();
+    assert_eq!(e.env().stores.borrow().fetch(1, 1, Scope::Tenant, 0), 42);
+}
+
+// --- Malicious tenant: privilege escalation to a different sandbox -----
+
+#[test]
+fn tenant_cannot_reach_another_tenants_store() {
+    let mut e = engine();
+    // Tenant 1 stores a secret in its shared store.
+    e.env().stores.borrow_mut().store(1, 1, Scope::Tenant, 7, 1234).unwrap();
+    // Tenant 66's container fetches key 7 from *its* shared store: the
+    // scope resolution isolates by tenant, so it reads 0.
+    let src = "\
+mov r1, 7
+mov r2, r10
+add r2, -8
+call bpf_fetch_shared
+ldxw r0, [r10-8]
+exit";
+    let id = e
+        .install("spy", 66, &image(src), ContractRequest::helpers([ids::BPF_FETCH_SHARED]))
+        .unwrap();
+    let r = e.execute(id, &[], &[]).unwrap();
+    assert_eq!(r.result, Ok(0), "tenant 66 must not see tenant 1's value");
+}
+
+#[test]
+fn tenant_cannot_call_ungranted_helpers() {
+    let mut e = engine();
+    // The application calls a helper it never requested: rejected at
+    // install (verifier), so the code never runs at all.
+    let src = "mov r1, 0\nmov r2, r10\nadd r2, -4\ncall bpf_saul_read\nmov r0, 0\nexit";
+    let err = e.install("sneak", 66, &image(src), ContractRequest::default()).unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::Verify(VerifierError::HelperNotAllowed { .. })
+    ));
+}
+
+#[test]
+fn containers_cannot_see_each_others_local_stores() {
+    let mut e = engine();
+    let store_src = "\
+mov r1, 0
+mov r2, 99
+call bpf_store_local
+mov r0, 0
+exit";
+    let load_src = "\
+mov r1, 0
+mov r2, r10
+add r2, -8
+call bpf_fetch_local
+ldxw r0, [r10-8]
+exit";
+    let req = ContractRequest::helpers([ids::BPF_STORE_LOCAL, ids::BPF_FETCH_LOCAL]);
+    let a = e.install("a", 1, &image(store_src), req.clone()).unwrap();
+    let b = e.install("b", 1, &image(load_src), req).unwrap();
+    e.execute(a, &[], &[]).unwrap();
+    // Same tenant, different container: local store still private.
+    assert_eq!(e.execute(b, &[], &[]).unwrap().result, Ok(0));
+}
+
+// --- Malicious client: install and update time attacks ----------------
+
+#[test]
+fn client_cannot_install_with_forged_signature() {
+    let mut e = engine();
+    let mut svc = UpdateService::new();
+    let honest = SigningKey::from_seed(b"honest");
+    svc.provision_tenant(b"honest", honest.verifying_key(), 1);
+    let attacker = SigningKey::from_seed(b"attacker");
+    let (envelope, payload) = author_update(
+        &apps::thread_counter(),
+        sched_hook_id(),
+        1,
+        "x",
+        &attacker,
+        b"honest",
+    );
+    let err = svc.apply(&mut e, &envelope, |_| Some(payload.clone())).unwrap_err();
+    assert!(matches!(
+        err,
+        femto_containers::core::deploy::DeployError::Update(UpdateError::Manifest(_))
+    ));
+    assert_eq!(e.container_count(), 0);
+}
+
+#[test]
+fn client_cannot_tamper_with_payload_in_transit() {
+    let mut e = engine();
+    let mut svc = UpdateService::new();
+    let key = SigningKey::from_seed(b"maintainer");
+    svc.provision_tenant(b"m", key.verifying_key(), 1);
+    let (envelope, payload) =
+        author_update(&apps::thread_counter(), sched_hook_id(), 1, "x", &key, b"m");
+    // Flip each payload byte in turn: no tampered variant may install.
+    for i in 0..payload.len() {
+        let mut bad = payload.clone();
+        bad[i] ^= 0x01;
+        let result = svc.apply(&mut e, &envelope, |_| Some(bad.clone()));
+        assert!(result.is_err(), "tampered byte {i} installed");
+        assert_eq!(e.container_count(), 0);
+    }
+    // The pristine payload still installs afterwards.
+    svc.apply(&mut e, &envelope, |_| Some(payload.clone())).unwrap();
+}
+
+#[test]
+fn client_cannot_replay_or_roll_back() {
+    let mut e = engine();
+    let mut svc = UpdateService::new();
+    let key = SigningKey::from_seed(b"maintainer");
+    svc.provision_tenant(b"m", key.verifying_key(), 1);
+    let (v5, p5) = author_update(&apps::thread_counter(), sched_hook_id(), 5, "x", &key, b"m");
+    svc.apply(&mut e, &v5, |_| Some(p5.clone())).unwrap();
+    for seq in [5u64, 4, 1] {
+        let (old, old_p) =
+            author_update(&apps::thread_counter(), sched_hook_id(), seq, "x", &key, b"m");
+        let err = svc.apply(&mut e, &old, |_| Some(old_p.clone())).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                femto_containers::core::deploy::DeployError::Update(UpdateError::Rollback { .. })
+            ),
+            "sequence {seq} accepted"
+        );
+    }
+}
+
+// --- Fault isolation on the hot path -----------------------------------
+
+#[test]
+fn faulting_container_on_sched_hook_leaves_rtos_consistent() {
+    use femto_containers::core::integration::attach_sched_hook;
+    use femto_containers::rtos::kernel::{Kernel, ThreadAction};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let mut e = engine();
+    e.set_exec_config(ExecConfig::new(512, 64));
+    // A container that faults on every invocation (OOB read).
+    let id = e
+        .install("crashy", 66, &image("ldxdw r0, [r10+32]\nexit"), ContractRequest::default())
+        .unwrap();
+    e.attach(id, sched_hook_id()).unwrap();
+    let shared = Rc::new(RefCell::new(e));
+    let mut kernel = Kernel::new(Platform::CortexM4);
+    attach_sched_hook(&mut kernel, shared.clone());
+    let mut done = 0u32;
+    kernel.spawn("worker", 5, 512, move |_| {
+        done += 1;
+        if done >= 5 {
+            ThreadAction::Exit
+        } else {
+            ThreadAction::Yield
+        }
+    });
+    kernel.run_until_idle(1_000_000_000);
+    // The workload completed despite the container crashing on the hot
+    // path at every switch.
+    let engine = shared.borrow();
+    let metrics = engine.container(id).unwrap().metrics;
+    assert!(kernel.context_switches() >= 1);
+    assert_eq!(metrics.executions, kernel.context_switches());
+    assert_eq!(metrics.faults, metrics.executions, "every invocation faulted, all contained");
+}
