@@ -161,12 +161,11 @@ impl FnCtx {
 fn collect_assigned(body: &[Stmt], locals: &mut HashMap<String, u16>) {
     for stmt in body {
         match stmt {
-            Stmt::Assign { target: Expr::Name(n), .. } => {
-                if !locals.contains_key(n) {
+            Stmt::Assign { target: Expr::Name(n), .. }
+                if !locals.contains_key(n) => {
                     let idx = locals.len() as u16;
                     locals.insert(n.clone(), idx);
                 }
-            }
             Stmt::While { body, .. } => collect_assigned(body, locals),
             Stmt::If { then, otherwise, .. } => {
                 collect_assigned(then, locals);

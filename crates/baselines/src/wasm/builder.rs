@@ -279,9 +279,7 @@ impl ModuleBuilder {
         for f in &self.functions {
             types.push(op::FUNC_TYPE);
             uleb(&mut types, f.n_params as u64);
-            for _ in 0..f.n_params {
-                types.push(op::VT_I32);
-            }
+            types.extend(std::iter::repeat_n(op::VT_I32, f.n_params as usize));
             uleb(&mut types, f.returns as u64);
             if f.returns {
                 types.push(op::VT_I32);

@@ -4,6 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fc_bench::figure8_classes;
 use fc_rbpf::certfc::CertInterpreter;
+use fc_rbpf::decode::DecodedProgram;
+use fc_rbpf::fast::FastInterpreter;
 use fc_rbpf::helpers::HelperRegistry;
 use fc_rbpf::interp::Interpreter;
 use fc_rbpf::mem::MemoryMap;
@@ -19,11 +21,19 @@ fn bench_classes(c: &mut Criterion) {
     for (name, src, _class) in figure8_classes() {
         let text = isa::encode_all(&asm::assemble(&src).expect("assembles"));
         let prog = verifier::verify(&text, &Default::default()).expect("verifies");
+        let decoded = DecodedProgram::lower(&prog);
         group.bench_function(format!("vanilla/{name}"), |b| {
             let mut mem = MemoryMap::new();
             mem.add_stack(512);
             let mut helpers = HelperRegistry::new();
             let interp = Interpreter::new(&prog, ExecConfig::default());
+            b.iter(|| black_box(interp.run(&mut mem, &mut helpers, 0).expect("runs")))
+        });
+        group.bench_function(format!("fastpath/{name}"), |b| {
+            let mut mem = MemoryMap::new();
+            mem.add_stack(512);
+            let mut helpers = HelperRegistry::new();
+            let interp = FastInterpreter::new(&decoded, ExecConfig::default());
             b.iter(|| black_box(interp.run(&mut mem, &mut helpers, 0).expect("runs")))
         });
         group.bench_function(format!("certfc/{name}"), |b| {

@@ -293,7 +293,7 @@ mod tests {
         for _ in 0..10 {
             e.execute(id, &[0u8; 4], &[]).unwrap();
         }
-        let avg = e.env().stores.borrow().tenant(2).unwrap().fetch(SENSOR_VALUE_KEY as u32);
+        let avg = e.env().stores.borrow().tenant(2).unwrap().fetch(SENSOR_VALUE_KEY);
         assert!(avg > 2008 && avg < 2100, "avg {avg} tracks the rising signal");
     }
 

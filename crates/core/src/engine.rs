@@ -1,14 +1,32 @@
 //! The Femto-Container hosting engine (paper §7, Figure 3): installs
 //! verified applications into slots, attaches them to launchpad hooks,
 //! and executes them in isolation when events fire.
+//!
+//! ## Zero-allocation event dispatch
+//!
+//! Hook dispatch sits on hot paths (scheduler switches, packet
+//! reception), so everything that *can* be built once per container is
+//! built at install time and reused per event:
+//!
+//! * the program is verified **and lowered** ([`DecodedProgram`]) once;
+//! * the helper registry is built once (the host environment is shared
+//!   by reference count, so helper closures are `'static`);
+//! * each slot owns an [`ExecArena`] whose [`MemoryMap`] skeleton
+//!   (stack + `.data` + `.rodata`) persists across events. Isolation is
+//!   preserved by re-establishing the initial state between runs: the
+//!   stack is zeroed, `.data` is rewritten from the installed image,
+//!   and per-event regions (context, host grants) are truncated away.
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use fc_kvstore::TenantId;
 use fc_rbpf::certfc::CertInterpreter;
+use fc_rbpf::decode::DecodedProgram;
 use fc_rbpf::error::VmError;
+use fc_rbpf::fast::FastInterpreter;
 use fc_rbpf::interp::Interpreter;
-use fc_rbpf::mem::{MemoryMap, Perm, CTX_VADDR, STACK_SIZE};
+use fc_rbpf::mem::{MemoryMap, Perm, RegionId, CTX_VADDR, STACK_SIZE};
 use fc_rbpf::program::{FcProgram, ParseError};
 use fc_rbpf::verifier::{verify, VerifiedProgram, VerifierError};
 use fc_rbpf::vm::{ExecConfig, OpCounts};
@@ -88,6 +106,48 @@ pub struct ContainerMetrics {
     pub total_cycles: u64,
 }
 
+/// Reusable per-slot execution state: the memory-map skeleton and its
+/// well-known regions, rebuilt (not reallocated) between events.
+#[derive(Debug)]
+struct ExecArena {
+    /// Map whose first `skeleton` regions (stack, `.data`, `.rodata`)
+    /// persist across events; per-event regions are appended after them
+    /// and truncated away by [`ExecArena::reset`].
+    mem: MemoryMap,
+    skeleton: usize,
+    stack: RegionId,
+    data: Option<RegionId>,
+}
+
+impl ExecArena {
+    fn new(stack_bytes: usize, image: &FcProgram) -> Self {
+        let mut mem = MemoryMap::new();
+        let stack = mem.add_stack(stack_bytes);
+        let data = if image.data.is_empty() {
+            None
+        } else {
+            Some(mem.add_data(image.data.clone()))
+        };
+        if !image.rodata.is_empty() {
+            mem.add_rodata(image.rodata.clone());
+        }
+        let skeleton = mem.region_count();
+        ExecArena { mem, skeleton, stack, data }
+    }
+
+    /// Restores the pristine pre-event state: drops per-event regions,
+    /// zeroes the stack and rewrites `.data` from the installed image —
+    /// the isolation guarantee of a freshly built map, without the
+    /// allocations.
+    fn reset(&mut self, image: &FcProgram) {
+        self.mem.truncate_regions(self.skeleton);
+        self.mem.region_bytes_mut(self.stack).fill(0);
+        if let Some(data) = self.data {
+            self.mem.region_bytes_mut(data).copy_from_slice(&image.data);
+        }
+    }
+}
+
 /// An installed container.
 #[derive(Debug)]
 pub struct ContainerSlot {
@@ -99,6 +159,11 @@ pub struct ContainerSlot {
     pub name: String,
     image: FcProgram,
     program: VerifiedProgram,
+    /// Fast-path lowering of `program`, produced once at install.
+    decoded: DecodedProgram,
+    /// Helper registry built once at install from the granted contract.
+    helpers: fc_rbpf::helpers::HelperRegistry<'static>,
+    arena: ExecArena,
     contract: Contract,
     config: ExecConfig,
     /// Execution statistics.
@@ -213,7 +278,7 @@ struct HookEntry {
 pub struct HostingEngine {
     platform: Platform,
     flavor: EngineFlavor,
-    env: HostEnv,
+    env: Rc<HostEnv>,
     containers: BTreeMap<ContainerId, ContainerSlot>,
     hooks: BTreeMap<Uuid, HookEntry>,
     next_id: ContainerId,
@@ -227,7 +292,7 @@ impl HostingEngine {
         HostingEngine {
             platform,
             flavor,
-            env: HostEnv::new(fc_kvstore::DEFAULT_CAPACITY),
+            env: Rc::new(HostEnv::new(fc_kvstore::DEFAULT_CAPACITY)),
             containers: BTreeMap::new(),
             hooks: BTreeMap::new(),
             next_id: 1,
@@ -309,8 +374,15 @@ impl HostingEngine {
         }
         let image = FcProgram::from_bytes(image_bytes)?;
         let program = verify(&image.text, &contract.helpers)?;
+        // Lower once for the fast path and re-check every call site
+        // against the granted set, so a bad helper binding fails the
+        // install, not the first event.
+        let decoded = DecodedProgram::lower(&program);
+        decoded.precheck_helpers(&contract.helpers)?;
         let id = self.next_id;
         self.next_id += 1;
+        let helpers = build_registry(&self.env, id, tenant, &contract.helpers);
+        let arena = ExecArena::new(STACK_SIZE + contract.extra_stack, &image);
         self.containers.insert(
             id,
             ContainerSlot {
@@ -319,6 +391,9 @@ impl HostingEngine {
                 name: name.to_owned(),
                 image,
                 program,
+                decoded,
+                helpers,
+                arena,
                 contract,
                 config: self.exec_config,
                 metrics: ContainerMetrics::default(),
@@ -403,9 +478,12 @@ impl HostingEngine {
         ctx: &[u8],
         extra: &[HostRegion],
     ) -> Result<ExecutionReport, EngineError> {
-        let slot = self.containers.get(&id).ok_or(EngineError::UnknownContainer(id))?;
-        let mut mem = MemoryMap::new();
-        mem.add_stack(STACK_SIZE + slot.contract.extra_stack);
+        let slot =
+            self.containers.get_mut(&id).ok_or(EngineError::UnknownContainer(id))?;
+        // Re-establish the pristine skeleton (zeroed stack, fresh
+        // `.data`), then append this event's regions.
+        slot.arena.reset(&slot.image);
+        let mem = &mut slot.arena.mem;
         let ctx_region = if ctx.is_empty() {
             None
         } else {
@@ -416,23 +494,20 @@ impl HostingEngine {
             let perm = if r.writable { Perm::RW } else { Perm::RO };
             extra_ids.push(mem.add_host_region(&r.name, r.data.clone(), perm));
         }
-        if !slot.image.data.is_empty() {
-            mem.add_data(slot.image.data.clone());
-        }
-        if !slot.image.rodata.is_empty() {
-            mem.add_rodata(slot.image.rodata.clone());
-        }
 
         self.env.helper_cycles.set(0);
-        let mut helpers =
-            build_registry(&self.env, id, slot.tenant, &slot.contract.helpers);
         let ctx_addr = if ctx.is_empty() { 0 } else { CTX_VADDR };
+        let helpers = &mut slot.helpers;
         let outcome = match self.flavor {
-            EngineFlavor::CertFc => CertInterpreter::new(&slot.program, slot.config)
-                .run(&mut mem, &mut helpers, ctx_addr),
-            _ => Interpreter::new(&slot.program, slot.config).run(&mut mem, &mut helpers, ctx_addr),
+            EngineFlavor::CertFc => {
+                CertInterpreter::new(&slot.program, slot.config).run(mem, helpers, ctx_addr)
+            }
+            EngineFlavor::Rbpf => {
+                Interpreter::new(&slot.program, slot.config).run(mem, helpers, ctx_addr)
+            }
+            EngineFlavor::FemtoContainer => FastInterpreter::new(&slot.decoded, slot.config)
+                .run(mem, helpers, ctx_addr),
         };
-        drop(helpers);
 
         let model = cycle_model(self.platform, self.flavor);
         let (result, counts) = match outcome {
@@ -457,7 +532,6 @@ impl HostingEngine {
             ctx_back,
             regions_back,
         };
-        let slot = self.containers.get_mut(&id).expect("checked above");
         slot.metrics.executions += 1;
         if report.result.is_err() {
             slot.metrics.faults += 1;
@@ -741,6 +815,96 @@ exit";
         let rb = cert.execute(b, &[], &[]).unwrap();
         assert_eq!(ra.result, rb.result);
         assert!(rb.vm_cycles > ra.vm_cycles, "CertFC is slower");
+    }
+
+    #[test]
+    fn arena_reuse_preserves_isolation_between_events() {
+        let mut e = engine();
+        // Writes a sentinel to the stack, then returns what it found
+        // there *before* writing: a second event must read 0, not the
+        // previous event's sentinel.
+        let src = "\
+ldxdw r0, [r10-8]
+mov r1, 0x5a5a
+stxdw [r10-8], r1
+exit";
+        let id = e.install("probe", 1, &image(src), ContractRequest::default()).unwrap();
+        for _ in 0..3 {
+            let r = e.execute(id, &[], &[]).unwrap();
+            assert_eq!(r.result, Ok(0), "stack leaked across events");
+        }
+    }
+
+    #[test]
+    fn arena_reuse_rebuilds_data_section() {
+        let mut e = engine();
+        // Increments the first word of .data and returns it: with .data
+        // rebuilt per event, every run sees the initial image value.
+        let src = "\
+lddwd r1, 0
+ldxw r2, [r1]
+add32 r2, 1
+stxw [r1], r2
+mov r0, r2
+exit";
+        let mut builder = ProgramBuilder::new();
+        builder.add_data(&7u32.to_le_bytes());
+        let img = builder.asm(src).unwrap().build().to_bytes();
+        let id = e.install("ctr", 1, &img, ContractRequest::default()).unwrap();
+        for _ in 0..3 {
+            assert_eq!(e.execute(id, &[], &[]).unwrap().result, Ok(8));
+        }
+    }
+
+    #[test]
+    fn arena_reuse_keeps_host_region_bases_stable() {
+        let mut e = engine();
+        // Reads the first host-granted region at its well-known base.
+        let src = "\
+lddw r1, 0x60000000
+ldxb r0, [r1]
+exit";
+        let id = e.install("rd", 1, &image(src), ContractRequest::default()).unwrap();
+        for v in [3u8, 9, 27] {
+            let r = e
+                .execute(id, &[], &[HostRegion::read_only("pkt", vec![v; 8])])
+                .unwrap();
+            assert_eq!(r.result, Ok(v as u64));
+        }
+        // And the context region does not persist into a later event
+        // that grants none.
+        let src_ctx = "ldxdw r0, [r1]\nexit";
+        let id2 = e.install("c", 1, &image(src_ctx), ContractRequest::default()).unwrap();
+        let ok = e.execute(id2, &5u64.to_le_bytes(), &[]).unwrap();
+        assert_eq!(ok.result, Ok(5));
+        let bad = e.execute(id2, &[], &[]).unwrap();
+        assert!(bad.result.is_err(), "stale ctx region reachable: {:?}", bad.result);
+    }
+
+    #[test]
+    fn all_flavors_agree_on_results() {
+        let src = "\
+mov r0, 0
+mov r1, 25
+loop: add r0, r1
+sub r1, 1
+jne r1, 0, loop
+stxdw [r10-16], r0
+ldxdw r0, [r10-16]
+exit";
+        let mut results = Vec::new();
+        for flavor in
+            [EngineFlavor::FemtoContainer, EngineFlavor::Rbpf, EngineFlavor::CertFc]
+        {
+            let mut e = HostingEngine::new(Platform::CortexM4, flavor);
+            let id =
+                e.install("x", 1, &image(src), ContractRequest::default()).unwrap();
+            let r = e.execute(id, &[], &[]).unwrap();
+            results.push((r.result, r.counts));
+        }
+        assert_eq!(results[0], results[1], "fast vs vanilla");
+        assert_eq!(results[1], results[2], "vanilla vs certfc");
+        assert_eq!(results[0].0, Ok(325));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! yet stays fast, §10.2).
 
 use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 use fc_kvstore::{ContainerId, Scope, StoreManager, TenantId};
 use fc_rbpf::error::VmError;
@@ -145,18 +146,24 @@ pub fn coap_ctx_bytes(buf_len: u32) -> Vec<u8> {
     ctx
 }
 
-/// Builds the helper registry for one container execution, exposing
-/// only the helpers granted by its contract.
-pub fn build_registry<'h>(
-    env: &'h HostEnv,
+/// Builds the helper registry for one container, exposing only the
+/// helpers granted by its contract.
+///
+/// The environment is shared by reference count, so the returned
+/// registry is `'static` and a hosting engine can build it **once per
+/// container at install time** and reuse it for every event — helper
+/// dispatch allocates nothing per execution.
+pub fn build_registry(
+    env: &Rc<HostEnv>,
     container: ContainerId,
     tenant: TenantId,
     granted: &HelperSet,
-) -> HelperRegistry<'h> {
+) -> HelperRegistry<'static> {
     let mut reg = HelperRegistry::new();
     let has = |id: u32| granted.contains(&id);
 
     if has(ids::BPF_PRINTF) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_PRINTF, "bpf_printf", move |mem, args| {
             env.charge(helper_internal_cycles(ids::BPF_PRINTF));
             let fmt = mem.c_string(args[0], 256)?;
@@ -194,6 +201,7 @@ pub fn build_registry<'h>(
         });
     }
     if has(ids::BPF_PRINT_NUM) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_PRINT_NUM, "bpf_print_num", move |_mem, args| {
             env.charge(helper_internal_cycles(ids::BPF_PRINT_NUM));
             env.console.borrow_mut().push(format!("{}", args[0] as i64));
@@ -201,6 +209,7 @@ pub fn build_registry<'h>(
         });
     }
     if has(ids::BPF_MEMCPY) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_MEMCPY, "bpf_memcpy", move |mem, args| {
             let len = args[2] as usize;
             env.charge(helper_internal_cycles(ids::BPF_MEMCPY) + len as u64);
@@ -217,6 +226,7 @@ pub fn build_registry<'h>(
         if !has(id) {
             return;
         }
+        let env = Rc::clone(env);
         reg.register(id, name, move |mem, args| {
             env.charge(helper_internal_cycles(id));
             let key = args[0] as u32;
@@ -241,18 +251,21 @@ pub fn build_registry<'h>(
     kv(ids::BPF_STORE_SHARED, "bpf_store_shared", Scope::Tenant, false);
 
     if has(ids::BPF_NOW_MS) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_NOW_MS, "bpf_now_ms", move |_mem, _args| {
             env.charge(helper_internal_cycles(ids::BPF_NOW_MS));
             Ok(env.now_us.get() / 1000)
         });
     }
     if has(ids::BPF_ZTIMER_NOW) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_ZTIMER_NOW, "bpf_ztimer_now", move |_mem, _args| {
             env.charge(helper_internal_cycles(ids::BPF_ZTIMER_NOW));
             Ok(env.now_us.get())
         });
     }
     if has(ids::BPF_SAUL_FIND_NTH) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_SAUL_FIND_NTH, "bpf_saul_find_nth", move |_mem, args| {
             env.charge(helper_internal_cycles(ids::BPF_SAUL_FIND_NTH));
             let n = args[0] as usize;
@@ -260,6 +273,7 @@ pub fn build_registry<'h>(
         });
     }
     if has(ids::BPF_SAUL_READ) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_SAUL_READ, "bpf_saul_read", move |mem, args| {
             env.charge(helper_internal_cycles(ids::BPF_SAUL_READ));
             let n = args[0] as usize;
@@ -279,6 +293,7 @@ pub fn build_registry<'h>(
     // CoAP response formatting over the granted packet region. The ctx
     // struct layout is documented at `coap_ctx_bytes`.
     if has(ids::BPF_GCOAP_RESP_INIT) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_GCOAP_RESP_INIT, "bpf_gcoap_resp_init", move |mem, args| {
             env.charge(helper_internal_cycles(ids::BPF_GCOAP_RESP_INIT));
             let ctx = args[0];
@@ -292,6 +307,7 @@ pub fn build_registry<'h>(
         });
     }
     if has(ids::BPF_COAP_ADD_FORMAT) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_COAP_ADD_FORMAT, "bpf_coap_add_format", move |mem, args| {
             env.charge(helper_internal_cycles(ids::BPF_COAP_ADD_FORMAT));
             let ctx = args[0];
@@ -312,6 +328,7 @@ pub fn build_registry<'h>(
         });
     }
     if has(ids::BPF_COAP_OPT_FINISH) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_COAP_OPT_FINISH, "bpf_coap_opt_finish", move |mem, args| {
             env.charge(helper_internal_cycles(ids::BPF_COAP_OPT_FINISH));
             let ctx = args[0];
@@ -324,6 +341,7 @@ pub fn build_registry<'h>(
         });
     }
     if has(ids::BPF_FMT_U32_DEC) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_FMT_U32_DEC, "bpf_fmt_u32_dec", move |mem, args| {
             env.charge(helper_internal_cycles(ids::BPF_FMT_U32_DEC));
             let text = (args[1] as u32).to_string();
@@ -333,6 +351,7 @@ pub fn build_registry<'h>(
         });
     }
     if has(ids::BPF_FMT_S16_DFP) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_FMT_S16_DFP, "bpf_fmt_s16_dfp", move |mem, args| {
             env.charge(helper_internal_cycles(ids::BPF_FMT_S16_DFP));
             // Render `value × 10^scale` where scale is a small negative
@@ -353,6 +372,7 @@ pub fn build_registry<'h>(
         });
     }
     if has(ids::BPF_RANDOM) {
+        let env = Rc::clone(env);
         reg.register(ids::BPF_RANDOM, "bpf_random", move |_mem, _args| {
             env.charge(helper_internal_cycles(ids::BPF_RANDOM));
             let mut s = env.rng_state.get();
@@ -371,8 +391,8 @@ mod tests {
     use super::*;
     use fc_rbpf::mem::{MemoryMap, Perm, CTX_VADDR, STACK_VADDR};
 
-    fn env() -> HostEnv {
-        HostEnv::new(32)
+    fn env() -> Rc<HostEnv> {
+        Rc::new(HostEnv::new(32))
     }
 
     #[test]

@@ -337,6 +337,6 @@ mod tests {
         m.store(2, 2, Scope::Tenant, 0, 1).unwrap();
         m.store(1, 1, Scope::Global, 0, 1).unwrap();
         let ram = m.ram_bytes();
-        assert!(ram >= 150 && ram <= 512, "ram = {ram}");
+        assert!((150..=512).contains(&ram), "ram = {ram}");
     }
 }

@@ -358,10 +358,13 @@ fn parse_stmt(
             }
             let opcode = if m == "lddwd" { LDDWD_IMM } else { LDDWR_IMM };
             let dst = parse_reg(line, ops[0])?;
+            // The section offset is 64-bit, split across the pair like
+            // `lddw` (low word here, high word in the second slot).
+            let v = parse_wide_num(line, ops[1])?;
             Ok(Stmt {
-                insn: Insn::new(opcode, dst, 0, 0, parse_imm32(line, ops[1])?),
+                insn: Insn::new(opcode, dst, 0, 0, v as u32 as i32),
                 wide: true,
-                high_imm: 0,
+                high_imm: (v >> 32) as u32 as i32,
                 target: None,
             })
         }

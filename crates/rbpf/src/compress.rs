@@ -14,7 +14,7 @@
 //! security checks stay exactly as simple as the paper requires — the
 //! trade is install-time decode work for network/storage bytes.
 
-use crate::isa::{self, Insn, INSN_SIZE};
+use crate::isa::{self, INSN_SIZE};
 
 /// Magic prefix of a compressed text section.
 pub const COMPRESSED_MAGIC: [u8; 4] = *b"fcC1";

@@ -43,8 +43,19 @@ pub fn disassemble_one(insn: &Insn, next: Option<&Insn>) -> (String, usize) {
             let v = (hi << 32) | insn.imm as u32 as u64;
             (format!("lddw r{dst}, 0x{v:x}"), 2)
         }
-        LDDWD_IMM => (format!("lddwd r{dst}, {imm}"), 2),
-        LDDWR_IMM => (format!("lddwr r{dst}, {imm}"), 2),
+        // The section offset is 64-bit, split across the pair like
+        // `lddw`; print the combined signed value so the high word
+        // survives a disassemble/re-assemble round trip.
+        LDDWD_IMM => {
+            let hi = next.map(|n| n.imm as u32 as u64).unwrap_or(0);
+            let v = ((hi << 32) | insn.imm as u32 as u64) as i64;
+            (format!("lddwd r{dst}, {v}"), 2)
+        }
+        LDDWR_IMM => {
+            let hi = next.map(|n| n.imm as u32 as u64).unwrap_or(0);
+            let v = ((hi << 32) | insn.imm as u32 as u64) as i64;
+            (format!("lddwr r{dst}, {v}"), 2)
+        }
         LDXW => (format!("ldxw r{dst}, {}", mem(src, off)), 1),
         LDXH => (format!("ldxh r{dst}, {}", mem(src, off)), 1),
         LDXB => (format!("ldxb r{dst}, {}", mem(src, off)), 1),

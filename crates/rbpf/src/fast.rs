@@ -1,0 +1,719 @@
+//! The decoded fast-path dispatch loop (tier two of the execution
+//! pipeline; see the crate docs).
+//!
+//! [`FastInterpreter`] executes a [`DecodedProgram`] and is
+//! **observationally equivalent** to the vanilla [`crate::interp::Interpreter`]
+//! on every verified program: same return value, same [`OpCounts`], same
+//! [`VmError`] (including the reported original program counter) on
+//! faults. The equivalence is enforced by the randomized differential
+//! suite in `tests/differential_vm.rs`.
+//!
+//! What makes it fast relative to the reference loop:
+//!
+//! * operands arrive pre-extracted and pre-sign-extended — the hot loop
+//!   does no field unpacking;
+//! * `lddw`-family pairs are fused, so wide loads cost one dispatch and
+//!   no second fetch;
+//! * branch targets are absolute decoded indices — taken branches are a
+//!   single assignment;
+//! * the instruction budget is one decrementing counter checked once
+//!   per dispatch (the branch budget is only touched inside branch
+//!   arms), instead of two compare-against-limit checks;
+//! * dynamic op accounting is a single indexed add into a flat array,
+//!   folded into [`OpCounts`] once at `exit`.
+
+use crate::decode::{DecodedInsn, DecodedProgram, Kind};
+use crate::error::VmError;
+use crate::helpers::HelperRegistry;
+use crate::isa::OpClass;
+use crate::mem::MemoryMap;
+use crate::vm::{ExecConfig, Execution};
+
+/// Applies one pure (register-only, non-faulting) ALU op `n` times —
+/// the execution body of the [`Kind::AluRep`] superinstruction. Each
+/// application repeats the member op's exact single-step semantics, so
+/// the result is identical to dispatching the op `n` times; LLVM
+/// strength-reduces the idempotent and affine cases.
+#[inline(always)]
+fn exec_pure_alu(kind: Kind, op: &DecodedInsn, regs: &mut [u64; 11], n: u32) {
+    let dst = op.dst as usize;
+    let src = op.src as usize;
+    macro_rules! rep {
+        ($body:expr) => {
+            for _ in 0..n {
+                $body;
+            }
+        };
+    }
+    match kind {
+        Kind::LdImm | Kind::Mov64Imm | Kind::Mov32Imm => regs[dst] = op.imm,
+        Kind::Add32Imm => {
+            rep!(regs[dst] = (regs[dst] as u32).wrapping_add(op.imm as u32) as u64)
+        }
+        Kind::Add32Reg => {
+            rep!(regs[dst] = (regs[dst] as u32).wrapping_add(regs[src] as u32) as u64)
+        }
+        Kind::Sub32Imm => {
+            rep!(regs[dst] = (regs[dst] as u32).wrapping_sub(op.imm as u32) as u64)
+        }
+        Kind::Sub32Reg => {
+            rep!(regs[dst] = (regs[dst] as u32).wrapping_sub(regs[src] as u32) as u64)
+        }
+        Kind::Mul32Imm => {
+            rep!(regs[dst] = (regs[dst] as u32).wrapping_mul(op.imm as u32) as u64)
+        }
+        Kind::Mul32Reg => {
+            rep!(regs[dst] = (regs[dst] as u32).wrapping_mul(regs[src] as u32) as u64)
+        }
+        Kind::Or32Imm => rep!(regs[dst] = ((regs[dst] as u32) | op.imm as u32) as u64),
+        Kind::Or32Reg => {
+            rep!(regs[dst] = ((regs[dst] as u32) | (regs[src] as u32)) as u64)
+        }
+        Kind::And32Imm => rep!(regs[dst] = ((regs[dst] as u32) & op.imm as u32) as u64),
+        Kind::And32Reg => {
+            rep!(regs[dst] = ((regs[dst] as u32) & (regs[src] as u32)) as u64)
+        }
+        Kind::Lsh32Imm => rep!(regs[dst] = ((regs[dst] as u32) << op.imm) as u64),
+        Kind::Lsh32Reg => {
+            rep!(regs[dst] = ((regs[dst] as u32) << ((regs[src] as u32) & 31)) as u64)
+        }
+        Kind::Rsh32Imm => rep!(regs[dst] = ((regs[dst] as u32) >> op.imm) as u64),
+        Kind::Rsh32Reg => {
+            rep!(regs[dst] = ((regs[dst] as u32) >> ((regs[src] as u32) & 31)) as u64)
+        }
+        Kind::Neg32 => rep!(regs[dst] = (regs[dst] as u32).wrapping_neg() as u64),
+        Kind::Xor32Imm => rep!(regs[dst] = ((regs[dst] as u32) ^ op.imm as u32) as u64),
+        Kind::Xor32Reg => {
+            rep!(regs[dst] = ((regs[dst] as u32) ^ (regs[src] as u32)) as u64)
+        }
+        Kind::Mov32Reg => regs[dst] = regs[src] as u32 as u64,
+        Kind::Arsh32Imm => {
+            rep!(regs[dst] = (((regs[dst] as i32) >> op.imm) as u32) as u64)
+        }
+        Kind::Arsh32Reg => {
+            rep!(regs[dst] =
+                (((regs[dst] as i32) >> ((regs[src] as u32) & 31)) as u32) as u64)
+        }
+        Kind::Le16 => regs[dst] &= 0xffff,
+        Kind::Le32 => regs[dst] &= 0xffff_ffff,
+        Kind::Le64 => {}
+        Kind::Be16 => rep!(regs[dst] = (regs[dst] as u16).swap_bytes() as u64),
+        Kind::Be32 => rep!(regs[dst] = (regs[dst] as u32).swap_bytes() as u64),
+        Kind::Be64 => rep!(regs[dst] = regs[dst].swap_bytes()),
+        Kind::Add64Imm => rep!(regs[dst] = regs[dst].wrapping_add(op.imm)),
+        Kind::Add64Reg => rep!(regs[dst] = regs[dst].wrapping_add(regs[src])),
+        Kind::Sub64Imm => rep!(regs[dst] = regs[dst].wrapping_sub(op.imm)),
+        Kind::Sub64Reg => rep!(regs[dst] = regs[dst].wrapping_sub(regs[src])),
+        Kind::Mul64Imm => rep!(regs[dst] = regs[dst].wrapping_mul(op.imm)),
+        Kind::Mul64Reg => rep!(regs[dst] = regs[dst].wrapping_mul(regs[src])),
+        Kind::Or64Imm => rep!(regs[dst] |= op.imm),
+        Kind::Or64Reg => rep!(regs[dst] |= regs[src]),
+        Kind::And64Imm => rep!(regs[dst] &= op.imm),
+        Kind::And64Reg => rep!(regs[dst] &= regs[src]),
+        Kind::Lsh64Imm => rep!(regs[dst] = regs[dst].wrapping_shl(op.imm as u32)),
+        Kind::Lsh64Reg => rep!(regs[dst] = regs[dst].wrapping_shl(regs[src] as u32)),
+        Kind::Rsh64Imm => rep!(regs[dst] = regs[dst].wrapping_shr(op.imm as u32)),
+        Kind::Rsh64Reg => rep!(regs[dst] = regs[dst].wrapping_shr(regs[src] as u32)),
+        Kind::Neg64 => rep!(regs[dst] = regs[dst].wrapping_neg()),
+        Kind::Xor64Imm => rep!(regs[dst] ^= op.imm),
+        Kind::Xor64Reg => rep!(regs[dst] ^= regs[src]),
+        Kind::Mov64Reg => regs[dst] = regs[src],
+        Kind::Arsh64Imm => {
+            rep!(regs[dst] = ((regs[dst] as i64).wrapping_shr(op.imm as u32)) as u64)
+        }
+        Kind::Arsh64Reg => {
+            rep!(regs[dst] = ((regs[dst] as i64).wrapping_shr(regs[src] as u32)) as u64)
+        }
+        // Constant divisors: fused only when the immediate is non-zero
+        // (the verifier guarantees it), so these cannot fault.
+        Kind::Div32Imm => rep!(regs[dst] = ((regs[dst] as u32) / op.imm as u32) as u64),
+        Kind::Mod32Imm => rep!(regs[dst] = ((regs[dst] as u32) % op.imm as u32) as u64),
+        Kind::Div64Imm => rep!(regs[dst] /= op.imm),
+        Kind::Mod64Imm => rep!(regs[dst] %= op.imm),
+        other => unreachable!("AluRep of non-pure kind {other:?}"),
+    }
+}
+
+/// Evaluates a branch condition without side effects — the decision
+/// body of the [`Kind::BranchRep`] superinstruction.
+#[inline(always)]
+fn eval_cond(kind: Kind, regs: &[u64; 11], op: &DecodedInsn) -> bool {
+    let dst = op.dst as usize;
+    let src = op.src as usize;
+    match kind {
+        Kind::Ja => true,
+        Kind::JeqImm => regs[dst] == op.imm,
+        Kind::JeqReg => regs[dst] == regs[src],
+        Kind::JgtImm => regs[dst] > op.imm,
+        Kind::JgtReg => regs[dst] > regs[src],
+        Kind::JgeImm => regs[dst] >= op.imm,
+        Kind::JgeReg => regs[dst] >= regs[src],
+        Kind::JltImm => regs[dst] < op.imm,
+        Kind::JltReg => regs[dst] < regs[src],
+        Kind::JleImm => regs[dst] <= op.imm,
+        Kind::JleReg => regs[dst] <= regs[src],
+        Kind::JsetImm => regs[dst] & op.imm != 0,
+        Kind::JsetReg => regs[dst] & regs[src] != 0,
+        Kind::JneImm => regs[dst] != op.imm,
+        Kind::JneReg => regs[dst] != regs[src],
+        Kind::JsgtImm => (regs[dst] as i64) > op.imm as i64,
+        Kind::JsgtReg => (regs[dst] as i64) > regs[src] as i64,
+        Kind::JsgeImm => (regs[dst] as i64) >= op.imm as i64,
+        Kind::JsgeReg => (regs[dst] as i64) >= regs[src] as i64,
+        Kind::JsltImm => (regs[dst] as i64) < (op.imm as i64),
+        Kind::JsltReg => (regs[dst] as i64) < (regs[src] as i64),
+        Kind::JsleImm => (regs[dst] as i64) <= (op.imm as i64),
+        Kind::JsleReg => (regs[dst] as i64) <= (regs[src] as i64),
+        other => unreachable!("BranchRep of non-branch kind {other:?}"),
+    }
+}
+
+/// Fast-path interpreter over a decoded program.
+///
+/// # Examples
+///
+/// ```
+/// use fc_rbpf::{asm, isa, verifier, mem::MemoryMap};
+/// use fc_rbpf::decode::DecodedProgram;
+/// use fc_rbpf::fast::FastInterpreter;
+/// use fc_rbpf::helpers::HelperRegistry;
+/// use std::collections::HashSet;
+///
+/// let text = isa::encode_all(&asm::assemble("mov r0, 21\nadd r0, r0\nexit").unwrap());
+/// let prog = verifier::verify(&text, &HashSet::new()).unwrap();
+/// let decoded = DecodedProgram::lower(&prog);
+/// let mut mem = MemoryMap::new();
+/// mem.add_stack(512);
+/// let mut helpers = HelperRegistry::new();
+/// let out = FastInterpreter::new(&decoded, Default::default())
+///     .run(&mut mem, &mut helpers, 0)
+///     .unwrap();
+/// assert_eq!(out.return_value, 42);
+/// ```
+#[derive(Debug)]
+pub struct FastInterpreter<'p> {
+    program: &'p DecodedProgram,
+    config: ExecConfig,
+}
+
+impl<'p> FastInterpreter<'p> {
+    /// Creates a fast-path interpreter for a decoded program.
+    pub fn new(program: &'p DecodedProgram, config: ExecConfig) -> Self {
+        FastInterpreter { program, config }
+    }
+
+    /// The execution limits in force.
+    pub fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// Runs the program from slot 0 with `r1 = ctx`.
+    ///
+    /// # Errors
+    ///
+    /// As the reference interpreter: any [`VmError`] aborts execution,
+    /// leaving the host intact and prior stores visible in `mem`.
+    pub fn run(
+        &self,
+        mem: &mut MemoryMap,
+        helpers: &mut HelperRegistry<'_>,
+        ctx: u64,
+    ) -> Result<Execution, VmError> {
+        self.run_from(mem, helpers, ctx, 0)
+    }
+
+    /// Runs the program from an explicit entry slot given in **original**
+    /// (pre-decode) instruction slots, mirroring
+    /// [`crate::interp::Interpreter::run_from`].
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::PcOutOfBounds`] when `entry` is outside the text
+    /// section, plus any run-time fault.
+    pub fn run_from(
+        &self,
+        mem: &mut MemoryMap,
+        helpers: &mut HelperRegistry<'_>,
+        ctx: u64,
+        entry: usize,
+    ) -> Result<Execution, VmError> {
+        if entry >= self.program.orig_len() {
+            return Err(VmError::PcOutOfBounds { pc: entry });
+        }
+        let entry = match self.program.decoded_index(entry) {
+            Some(i) => i,
+            None => {
+                // The reference interpreter would fetch the wide pair's
+                // zero-opcode tail: budget-check it, then reject it.
+                if self.config.max_instructions == 0 {
+                    return Err(VmError::InstructionBudgetExceeded { budget: 0 });
+                }
+                return Err(VmError::UnknownOpcode { pc: entry, opcode: 0 });
+            }
+        };
+
+        let ops = self.program.ops();
+        let mut regs = [0u64; 11];
+        regs[1] = ctx;
+        regs[10] = mem.stack_top();
+
+        // One extra scratch slot (index 11, `CLS_SCRATCH`) absorbs the
+        // unconditional pre-count of branch ops, whose dynamic
+        // taken/not-taken classification happens in the branch arm.
+        let mut counts = [0u64; OpClass::COUNT + 1];
+        const BNT: usize = 7; // OpClass::BranchNotTaken.index(); taken = 6.
+
+        let mut insn_left = self.config.max_instructions;
+        let mut branch_left = self.config.max_branches;
+        let mut pc = entry;
+
+        // Shared branch epilogue: one branchless indexed add records
+        // the outcome (index 6 = taken, 7 = not taken).
+        macro_rules! branch {
+            ($op:expr, $taken:expr) => {{
+                if branch_left == 0 {
+                    return Err(VmError::BranchBudgetExceeded {
+                        budget: self.config.max_branches,
+                    });
+                }
+                branch_left -= 1;
+                let taken = $taken;
+                counts[BNT - taken as usize] += 1;
+                if taken {
+                    pc = $op.target as usize;
+                    continue;
+                }
+            }};
+        }
+
+        loop {
+            // SAFETY: `pc` always indexes inside `ops`. Entry indices
+            // come from `decoded_index` (real ops only); branch targets
+            // were bounds-checked by the verifier and pre-resolved to
+            // real op indices by `DecodedProgram::lower`; sequential
+            // flow advances one op at a time and the stream ends with a
+            // `Kind::Sentinel` guard whose arm returns before any
+            // further advance. See the `DecodedProgram` bounds
+            // invariants.
+            let op = unsafe { ops.get_unchecked(pc) };
+            if insn_left == 0 {
+                return Err(VmError::InstructionBudgetExceeded {
+                    budget: self.config.max_instructions,
+                });
+            }
+            insn_left -= 1;
+
+            let dst = op.dst as usize;
+            let src = op.src as usize;
+            counts[op.cls as usize] += 1;
+
+            match op.kind {
+                Kind::LdImm => regs[dst] = op.imm,
+
+                Kind::Ldx4 => regs[dst] = mem.load(regs[src].wrapping_add(op.imm), 4)?,
+                Kind::Ldx2 => regs[dst] = mem.load(regs[src].wrapping_add(op.imm), 2)?,
+                Kind::Ldx1 => regs[dst] = mem.load(regs[src].wrapping_add(op.imm), 1)?,
+                Kind::Ldx8 => regs[dst] = mem.load(regs[src].wrapping_add(op.imm), 8)?,
+
+                Kind::St4 => {
+                    mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 4, op.imm)?
+                }
+                Kind::St2 => {
+                    mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 2, op.imm)?
+                }
+                Kind::St1 => {
+                    mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 1, op.imm)?
+                }
+                Kind::St8 => {
+                    mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 8, op.imm)?
+                }
+                Kind::Stx4 => mem.store(regs[dst].wrapping_add(op.imm), 4, regs[src])?,
+                Kind::Stx2 => mem.store(regs[dst].wrapping_add(op.imm), 2, regs[src])?,
+                Kind::Stx1 => mem.store(regs[dst].wrapping_add(op.imm), 1, regs[src])?,
+                Kind::Stx8 => mem.store(regs[dst].wrapping_add(op.imm), 8, regs[src])?,
+
+                Kind::Add32Imm => {
+                    regs[dst] = (regs[dst] as u32).wrapping_add(op.imm as u32) as u64
+                }
+                Kind::Add32Reg => {
+                    regs[dst] = (regs[dst] as u32).wrapping_add(regs[src] as u32) as u64
+                }
+                Kind::Sub32Imm => {
+                    regs[dst] = (regs[dst] as u32).wrapping_sub(op.imm as u32) as u64
+                }
+                Kind::Sub32Reg => {
+                    regs[dst] = (regs[dst] as u32).wrapping_sub(regs[src] as u32) as u64
+                }
+                Kind::Mul32Imm => {
+                    regs[dst] = (regs[dst] as u32).wrapping_mul(op.imm as u32) as u64
+                }
+                Kind::Mul32Reg => {
+                    regs[dst] = (regs[dst] as u32).wrapping_mul(regs[src] as u32) as u64
+                }
+                Kind::Div32Imm => {
+                    let d = op.imm as u32;
+                    if d == 0 {
+                        return Err(VmError::DivisionByZero { pc: op.pc as usize });
+                    }
+                    regs[dst] = ((regs[dst] as u32) / d) as u64;
+                }
+                Kind::Div32Reg => {
+                    let d = regs[src] as u32;
+                    if d == 0 {
+                        return Err(VmError::DivisionByZero { pc: op.pc as usize });
+                    }
+                    regs[dst] = ((regs[dst] as u32) / d) as u64;
+                }
+                Kind::Or32Imm => regs[dst] = ((regs[dst] as u32) | op.imm as u32) as u64,
+                Kind::Or32Reg => {
+                    regs[dst] = ((regs[dst] as u32) | (regs[src] as u32)) as u64
+                }
+                Kind::And32Imm => regs[dst] = ((regs[dst] as u32) & op.imm as u32) as u64,
+                Kind::And32Reg => {
+                    regs[dst] = ((regs[dst] as u32) & (regs[src] as u32)) as u64
+                }
+                Kind::Lsh32Imm => regs[dst] = ((regs[dst] as u32) << op.imm) as u64,
+                Kind::Lsh32Reg => {
+                    regs[dst] = ((regs[dst] as u32) << ((regs[src] as u32) & 31)) as u64
+                }
+                Kind::Rsh32Imm => regs[dst] = ((regs[dst] as u32) >> op.imm) as u64,
+                Kind::Rsh32Reg => {
+                    regs[dst] = ((regs[dst] as u32) >> ((regs[src] as u32) & 31)) as u64
+                }
+                Kind::Neg32 => regs[dst] = (regs[dst] as u32).wrapping_neg() as u64,
+                Kind::Mod32Imm => {
+                    let d = op.imm as u32;
+                    if d == 0 {
+                        return Err(VmError::DivisionByZero { pc: op.pc as usize });
+                    }
+                    regs[dst] = ((regs[dst] as u32) % d) as u64;
+                }
+                Kind::Mod32Reg => {
+                    let d = regs[src] as u32;
+                    if d == 0 {
+                        return Err(VmError::DivisionByZero { pc: op.pc as usize });
+                    }
+                    regs[dst] = ((regs[dst] as u32) % d) as u64;
+                }
+                Kind::Xor32Imm => regs[dst] = ((regs[dst] as u32) ^ op.imm as u32) as u64,
+                Kind::Xor32Reg => {
+                    regs[dst] = ((regs[dst] as u32) ^ (regs[src] as u32)) as u64
+                }
+                Kind::Mov32Imm => regs[dst] = op.imm,
+                Kind::Mov32Reg => regs[dst] = regs[src] as u32 as u64,
+                Kind::Arsh32Imm => {
+                    regs[dst] = (((regs[dst] as i32) >> op.imm) as u32) as u64
+                }
+                Kind::Arsh32Reg => {
+                    regs[dst] =
+                        (((regs[dst] as i32) >> ((regs[src] as u32) & 31)) as u32) as u64
+                }
+                Kind::Le16 => regs[dst] &= 0xffff,
+                Kind::Le32 => regs[dst] &= 0xffff_ffff,
+                Kind::Le64 => {}
+                Kind::Be16 => regs[dst] = (regs[dst] as u16).swap_bytes() as u64,
+                Kind::Be32 => regs[dst] = (regs[dst] as u32).swap_bytes() as u64,
+                Kind::Be64 => regs[dst] = regs[dst].swap_bytes(),
+
+                Kind::Add64Imm => regs[dst] = regs[dst].wrapping_add(op.imm),
+                Kind::Add64Reg => regs[dst] = regs[dst].wrapping_add(regs[src]),
+                Kind::Sub64Imm => regs[dst] = regs[dst].wrapping_sub(op.imm),
+                Kind::Sub64Reg => regs[dst] = regs[dst].wrapping_sub(regs[src]),
+                Kind::Mul64Imm => regs[dst] = regs[dst].wrapping_mul(op.imm),
+                Kind::Mul64Reg => regs[dst] = regs[dst].wrapping_mul(regs[src]),
+                Kind::Div64Imm => {
+                    if op.imm == 0 {
+                        return Err(VmError::DivisionByZero { pc: op.pc as usize });
+                    }
+                    regs[dst] /= op.imm;
+                }
+                Kind::Div64Reg => {
+                    if regs[src] == 0 {
+                        return Err(VmError::DivisionByZero { pc: op.pc as usize });
+                    }
+                    regs[dst] /= regs[src];
+                }
+                Kind::Or64Imm => regs[dst] |= op.imm,
+                Kind::Or64Reg => regs[dst] |= regs[src],
+                Kind::And64Imm => regs[dst] &= op.imm,
+                Kind::And64Reg => regs[dst] &= regs[src],
+                Kind::Lsh64Imm => regs[dst] = regs[dst].wrapping_shl(op.imm as u32),
+                Kind::Lsh64Reg => regs[dst] = regs[dst].wrapping_shl(regs[src] as u32),
+                Kind::Rsh64Imm => regs[dst] = regs[dst].wrapping_shr(op.imm as u32),
+                Kind::Rsh64Reg => regs[dst] = regs[dst].wrapping_shr(regs[src] as u32),
+                Kind::Neg64 => regs[dst] = regs[dst].wrapping_neg(),
+                Kind::Mod64Imm => {
+                    if op.imm == 0 {
+                        return Err(VmError::DivisionByZero { pc: op.pc as usize });
+                    }
+                    regs[dst] %= op.imm;
+                }
+                Kind::Mod64Reg => {
+                    if regs[src] == 0 {
+                        return Err(VmError::DivisionByZero { pc: op.pc as usize });
+                    }
+                    regs[dst] %= regs[src];
+                }
+                Kind::Xor64Imm => regs[dst] ^= op.imm,
+                Kind::Xor64Reg => regs[dst] ^= regs[src],
+                Kind::Mov64Imm => regs[dst] = op.imm,
+                Kind::Mov64Reg => regs[dst] = regs[src],
+                Kind::Arsh64Imm => {
+                    regs[dst] = ((regs[dst] as i64).wrapping_shr(op.imm as u32)) as u64
+                }
+                Kind::Arsh64Reg => {
+                    regs[dst] = ((regs[dst] as i64).wrapping_shr(regs[src] as u32)) as u64
+                }
+
+                // One comparison implementation for all three users
+                // (dispatch arms, BranchRep, and the reference match in
+                // eval_cond): the kind is a per-arm constant, so the
+                // inliner folds each call to the bare compare.
+                Kind::Ja => branch!(op, eval_cond(Kind::Ja, &regs, op)),
+                Kind::JeqImm => branch!(op, eval_cond(Kind::JeqImm, &regs, op)),
+                Kind::JeqReg => branch!(op, eval_cond(Kind::JeqReg, &regs, op)),
+                Kind::JgtImm => branch!(op, eval_cond(Kind::JgtImm, &regs, op)),
+                Kind::JgtReg => branch!(op, eval_cond(Kind::JgtReg, &regs, op)),
+                Kind::JgeImm => branch!(op, eval_cond(Kind::JgeImm, &regs, op)),
+                Kind::JgeReg => branch!(op, eval_cond(Kind::JgeReg, &regs, op)),
+                Kind::JltImm => branch!(op, eval_cond(Kind::JltImm, &regs, op)),
+                Kind::JltReg => branch!(op, eval_cond(Kind::JltReg, &regs, op)),
+                Kind::JleImm => branch!(op, eval_cond(Kind::JleImm, &regs, op)),
+                Kind::JleReg => branch!(op, eval_cond(Kind::JleReg, &regs, op)),
+                Kind::JsetImm => branch!(op, eval_cond(Kind::JsetImm, &regs, op)),
+                Kind::JsetReg => branch!(op, eval_cond(Kind::JsetReg, &regs, op)),
+                Kind::JneImm => branch!(op, eval_cond(Kind::JneImm, &regs, op)),
+                Kind::JneReg => branch!(op, eval_cond(Kind::JneReg, &regs, op)),
+                Kind::JsgtImm => branch!(op, eval_cond(Kind::JsgtImm, &regs, op)),
+                Kind::JsgtReg => branch!(op, eval_cond(Kind::JsgtReg, &regs, op)),
+                Kind::JsgeImm => branch!(op, eval_cond(Kind::JsgeImm, &regs, op)),
+                Kind::JsgeReg => branch!(op, eval_cond(Kind::JsgeReg, &regs, op)),
+                Kind::JsltImm => branch!(op, eval_cond(Kind::JsltImm, &regs, op)),
+                Kind::JsltReg => branch!(op, eval_cond(Kind::JsltReg, &regs, op)),
+                Kind::JsleImm => branch!(op, eval_cond(Kind::JsleImm, &regs, op)),
+                Kind::JsleReg => branch!(op, eval_cond(Kind::JsleReg, &regs, op)),
+
+                Kind::AluRep => {
+                    let n = op.target;
+                    // The loop head already paid budget and count for
+                    // this member; pay for the remaining n-1 here. When
+                    // the budget cannot cover the whole run, fall back
+                    // to single-step execution — the next member is
+                    // itself an `AluRep` head (or a plain op), so the
+                    // head check reproduces exact per-op exhaustion.
+                    if insn_left < n - 1 {
+                        exec_pure_alu(op.sub, op, &mut regs, 1);
+                        pc += 1;
+                        continue;
+                    }
+                    insn_left -= n - 1;
+                    counts[op.cls as usize] += (n - 1) as u64;
+                    exec_pure_alu(op.sub, op, &mut regs, n);
+                    pc += n as usize;
+                    continue;
+                }
+
+                Kind::BranchRep => {
+                    let n = op.target;
+                    // Members never modify registers, so one evaluation
+                    // decides every member's taken/not-taken count, and
+                    // either outcome lands past the run. Budgets that
+                    // cannot cover the whole run fall back to stepping
+                    // one member (whose real target is its fall-through
+                    // slot), reproducing exact per-op exhaustion.
+                    if insn_left < n - 1 || branch_left < n {
+                        if branch_left == 0 {
+                            return Err(VmError::BranchBudgetExceeded {
+                                budget: self.config.max_branches,
+                            });
+                        }
+                        branch_left -= 1;
+                        let t = eval_cond(op.sub, &regs, op);
+                        counts[BNT - t as usize] += 1;
+                        pc += 1;
+                        continue;
+                    }
+                    insn_left -= n - 1;
+                    branch_left -= n;
+                    let t = eval_cond(op.sub, &regs, op);
+                    counts[BNT - t as usize] += n as u64;
+                    pc += n as usize;
+                    continue;
+                }
+
+                Kind::Call => {
+                    let args = [regs[1], regs[2], regs[3], regs[4], regs[5]];
+                    regs[0] = helpers.call(op.imm as u32, mem, args)?;
+                }
+                Kind::Exit => {
+                    let real: &[u64; OpClass::COUNT] =
+                        counts[..OpClass::COUNT].try_into().expect("fixed split");
+                    return Ok(Execution {
+                        return_value: regs[0],
+                        counts: crate::vm::OpCounts::from_class_array(real),
+                    });
+                }
+                // Guard op past the program's end: sequential flow fell
+                // off the text section (impossible for verified
+                // programs, which end in a terminal op).
+                Kind::Sentinel => {
+                    return Err(VmError::PcOutOfBounds { pc: op.pc as usize });
+                }
+            }
+            pc += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::interp::Interpreter;
+    use crate::isa;
+    use crate::mem::Perm;
+    use crate::verifier::verify;
+    use std::collections::HashSet;
+
+    fn both(src: &str) -> (Result<Execution, VmError>, Result<Execution, VmError>) {
+        let text = isa::encode_all(&assemble(src).unwrap());
+        let prog = verify(&text, &HashSet::new()).unwrap();
+        let decoded = DecodedProgram::lower(&prog);
+        let run = |fast: bool| {
+            let mut mem = MemoryMap::new();
+            mem.add_stack(512);
+            mem.add_ctx(vec![0x5a; 16], Perm::RW);
+            let mut helpers = HelperRegistry::new();
+            if fast {
+                FastInterpreter::new(&decoded, ExecConfig::default())
+                    .run(&mut mem, &mut helpers, 0x2000_0000)
+            } else {
+                Interpreter::new(&prog, ExecConfig::default())
+                    .run(&mut mem, &mut helpers, 0x2000_0000)
+            }
+        };
+        (run(false), run(true))
+    }
+
+    #[test]
+    fn matches_reference_on_smoke_programs() {
+        for src in [
+            "mov r0, 21\nadd r0, r0\nexit",
+            "lddw r0, 0xdeadbeefcafebabe\nbe64 r0\nexit",
+            "mov r0, 0\nmov r1, 10\nloop: add r0, 2\nsub r1, 1\njne r1, 0, loop\nexit",
+            "mov r1, 0x1234\nstxdw [r10-8], r1\nldxdw r0, [r10-8]\nexit",
+            "ldxdw r0, [r1]\nexit",
+            "mov32 r0, 0x80000000\narsh32 r0, 4\nexit",
+            "mov r0, 1\nmov r1, 0\ndiv r0, r1\nexit",
+            "ldxdw r0, [r10+64]\nexit",
+        ] {
+            let (vanilla, fast) = both(src);
+            assert_eq!(vanilla, fast, "src: {src}");
+        }
+    }
+
+    #[test]
+    fn op_counts_match_reference() {
+        let (vanilla, fast) =
+            both("mov r0, 2\nmul r0, 3\nstxdw [r10-8], r0\nldxdw r0, [r10-8]\nexit");
+        assert_eq!(vanilla.unwrap().counts, fast.unwrap().counts);
+    }
+
+    #[test]
+    fn budgets_enforced_identically() {
+        let src = "spin: ja spin\nexit";
+        let text = isa::encode_all(&assemble(src).unwrap());
+        let prog = verify(&text, &HashSet::new()).unwrap();
+        let decoded = DecodedProgram::lower(&prog);
+        let cfg = ExecConfig::new(1_000_000, 100);
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        let err = FastInterpreter::new(&decoded, cfg)
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap_err();
+        assert_eq!(err, VmError::BranchBudgetExceeded { budget: 100 });
+
+        let cfg = ExecConfig::new(16, 1_000);
+        let err = FastInterpreter::new(&decoded, cfg)
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap_err();
+        assert_eq!(err, VmError::InstructionBudgetExceeded { budget: 16 });
+    }
+
+    #[test]
+    fn helper_calls_route_identically() {
+        let text = isa::encode_all(&assemble("mov r1, 40\ncall 2\nexit").unwrap());
+        let prog = verify(&text, &[2u32].iter().copied().collect()).unwrap();
+        let decoded = DecodedProgram::lower(&prog);
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        helpers.register(2, "plus2", |_m, args| Ok(args[0] + 2));
+        let out = FastInterpreter::new(&decoded, ExecConfig::default())
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap();
+        assert_eq!(out.return_value, 42);
+        assert_eq!(out.counts.helper_call, 1);
+    }
+
+    #[test]
+    fn run_from_entry_matches_reference() {
+        let src = "mov r0, 1\nexit\nmov r0, 2\nexit";
+        let text = isa::encode_all(&assemble(src).unwrap());
+        let prog = verify(&text, &HashSet::new()).unwrap();
+        let decoded = DecodedProgram::lower(&prog);
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        let fast = FastInterpreter::new(&decoded, ExecConfig::default());
+        assert_eq!(fast.run_from(&mut mem, &mut helpers, 0, 2).unwrap().return_value, 2);
+        assert!(matches!(
+            fast.run_from(&mut mem, &mut helpers, 0, 99),
+            Err(VmError::PcOutOfBounds { pc: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncated_wide_pair_faults_like_reference() {
+        // Bypasses verification: lowering a truncated wide head must
+        // not panic, and executing it must report the same fault as
+        // the reference interpreter.
+        for opcode in [isa::LDDW, isa::LDDWD_IMM, isa::LDDWR_IMM] {
+            let prog = crate::verifier::VerifiedProgram::unverified_for_tests(vec![
+                isa::Insn::new(opcode, 0, 0, 0, 0x77),
+            ]);
+            let decoded = DecodedProgram::lower(&prog);
+            let mut mem = MemoryMap::new();
+            mem.add_stack(64);
+            let mut helpers = HelperRegistry::new();
+            let fast = FastInterpreter::new(&decoded, ExecConfig::default())
+                .run(&mut mem, &mut helpers, 0)
+                .unwrap_err();
+            let vanilla = Interpreter::new(&prog, ExecConfig::default())
+                .run(&mut mem, &mut helpers, 0)
+                .unwrap_err();
+            assert_eq!(fast, VmError::PcOutOfBounds { pc: 1 });
+            assert_eq!(fast, vanilla);
+        }
+    }
+
+    #[test]
+    fn entry_on_wide_tail_matches_reference() {
+        let src = "lddw r0, 0x1122334455667788\nexit";
+        let text = isa::encode_all(&assemble(src).unwrap());
+        let prog = verify(&text, &HashSet::new()).unwrap();
+        let decoded = DecodedProgram::lower(&prog);
+        let mut mem = MemoryMap::new();
+        mem.add_stack(512);
+        let mut helpers = HelperRegistry::new();
+        let vanilla = Interpreter::new(&prog, ExecConfig::default())
+            .run_from(&mut mem, &mut helpers, 0, 1)
+            .unwrap_err();
+        let fast = FastInterpreter::new(&decoded, ExecConfig::default())
+            .run_from(&mut mem, &mut helpers, 0, 1)
+            .unwrap_err();
+        assert_eq!(vanilla, fast);
+        assert_eq!(fast, VmError::UnknownOpcode { pc: 1, opcode: 0 });
+    }
+}

@@ -111,7 +111,7 @@ impl<'h> HelperRegistry<'h> {
     pub fn name_table(&self) -> Vec<(String, u32)> {
         let mut v: Vec<_> =
             self.entries.iter().map(|(id, e)| (e.name.clone(), *id)).collect();
-        v.sort_by(|a, b| a.1.cmp(&b.1));
+        v.sort_by_key(|a| a.1);
         v
     }
 

@@ -129,15 +129,25 @@ impl<'p> Interpreter<'p> {
             use isa::*;
             match insn.opcode {
                 // --- wide loads --------------------------------------
+                // A truncated pair (second slot past the section end)
+                // can only reach an interpreter whose program bypassed
+                // verification; refuse it rather than fabricating a
+                // zero high word.
                 LDDW => {
-                    let hi = insns.get(pc + 1).map(|n| n.imm as u32 as u64).unwrap_or(0);
+                    let hi = match insns.get(pc + 1) {
+                        Some(n) => n.imm as u32 as u64,
+                        None => return Err(VmError::PcOutOfBounds { pc: pc + 1 }),
+                    };
                     regs[dst] = (hi << 32) | insn.imm as u32 as u64;
                     counts.record(OpClass::WideLoad);
                     pc += 2;
                     continue;
                 }
                 LDDWD_IMM => {
-                    let hi = insns.get(pc + 1).map(|n| n.imm as u32 as u64).unwrap_or(0);
+                    let hi = match insns.get(pc + 1) {
+                        Some(n) => n.imm as u32 as u64,
+                        None => return Err(VmError::PcOutOfBounds { pc: pc + 1 }),
+                    };
                     regs[dst] = DATA_VADDR
                         .wrapping_add(insn.imm as u32 as u64)
                         .wrapping_add(hi << 32);
@@ -146,7 +156,10 @@ impl<'p> Interpreter<'p> {
                     continue;
                 }
                 LDDWR_IMM => {
-                    let hi = insns.get(pc + 1).map(|n| n.imm as u32 as u64).unwrap_or(0);
+                    let hi = match insns.get(pc + 1) {
+                        Some(n) => n.imm as u32 as u64,
+                        None => return Err(VmError::PcOutOfBounds { pc: pc + 1 }),
+                    };
                     regs[dst] = RODATA_VADDR
                         .wrapping_add(insn.imm as u32 as u64)
                         .wrapping_add(hi << 32);
@@ -233,7 +246,12 @@ impl<'p> Interpreter<'p> {
                     counts.record(OpClass::Mul);
                 }
                 DIV32_IMM => {
-                    // imm == 0 rejected by the verifier.
+                    // imm == 0 is rejected by the verifier, but a zero
+                    // must never panic the *host* if an unverified
+                    // program reaches us (fault isolation).
+                    if imm32 == 0 {
+                        return Err(VmError::DivisionByZero { pc });
+                    }
                     regs[dst] = ((regs[dst] as u32) / imm32) as u64;
                     counts.record(OpClass::Div);
                 }
@@ -282,6 +300,9 @@ impl<'p> Interpreter<'p> {
                     counts.record(OpClass::Alu32);
                 }
                 MOD32_IMM => {
+                    if imm32 == 0 {
+                        return Err(VmError::DivisionByZero { pc });
+                    }
                     regs[dst] = ((regs[dst] as u32) % imm32) as u64;
                     counts.record(OpClass::Div);
                 }
@@ -361,6 +382,9 @@ impl<'p> Interpreter<'p> {
                     counts.record(OpClass::Mul);
                 }
                 DIV64_IMM => {
+                    if imm_s == 0 {
+                        return Err(VmError::DivisionByZero { pc });
+                    }
                     regs[dst] /= imm_s;
                     counts.record(OpClass::Div);
                 }
@@ -408,6 +432,9 @@ impl<'p> Interpreter<'p> {
                     counts.record(OpClass::Alu64);
                 }
                 MOD64_IMM => {
+                    if imm_s == 0 {
+                        return Err(VmError::DivisionByZero { pc });
+                    }
                     regs[dst] %= imm_s;
                     counts.record(OpClass::Div);
                 }
@@ -806,6 +833,47 @@ exit";
         assert!(matches!(err, VmError::InvalidMemoryAccess { .. }));
         let bytes = mem.region_bytes(stack);
         assert_eq!(bytes[504..512], 7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn truncated_wide_instruction_faults_not_zero_fills() {
+        // Bypasses verification (which rejects this program) to prove
+        // the defensive path: a lddw head with no pair slot must fault,
+        // not execute with a fabricated zero high word.
+        for op in [isa::LDDW, isa::LDDWD_IMM, isa::LDDWR_IMM] {
+            let prog = crate::verifier::VerifiedProgram::unverified_for_tests(vec![
+                crate::isa::Insn::new(op, 0, 0, 0, 0x77),
+            ]);
+            let mut mem = MemoryMap::new();
+            mem.add_stack(64);
+            let mut helpers = HelperRegistry::new();
+            let err = Interpreter::new(&prog, ExecConfig::default())
+                .run(&mut mem, &mut helpers, 0)
+                .unwrap_err();
+            assert_eq!(err, VmError::PcOutOfBounds { pc: 1 });
+        }
+    }
+
+    #[test]
+    fn division_by_zero_immediate_faults_defensively() {
+        // The verifier rejects constant zero divisors, so build the
+        // programs unverified: the interpreter must return a VM fault,
+        // never panic the host.
+        use crate::isa::Insn;
+        for op in [isa::DIV64_IMM, isa::MOD64_IMM, isa::DIV32_IMM, isa::MOD32_IMM] {
+            let prog = crate::verifier::VerifiedProgram::unverified_for_tests(vec![
+                Insn::new(isa::MOV64_IMM, 0, 0, 0, 7),
+                Insn::new(op, 0, 0, 0, 0),
+                Insn::new(isa::EXIT, 0, 0, 0, 0),
+            ]);
+            let mut mem = MemoryMap::new();
+            mem.add_stack(64);
+            let mut helpers = HelperRegistry::new();
+            let err = Interpreter::new(&prog, ExecConfig::default())
+                .run(&mut mem, &mut helpers, 0)
+                .unwrap_err();
+            assert_eq!(err, VmError::DivisionByZero { pc: 1 }, "opcode 0x{op:02x}");
+        }
     }
 
     #[test]

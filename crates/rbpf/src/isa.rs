@@ -351,7 +351,7 @@ impl Insn {
 ///
 /// Returns `None` when `text` is not a multiple of [`INSN_SIZE`].
 pub fn decode_all(text: &[u8]) -> Option<Vec<Insn>> {
-    if text.len() % INSN_SIZE != 0 {
+    if !text.len().is_multiple_of(INSN_SIZE) {
         return None;
     }
     Some(
@@ -396,6 +396,30 @@ pub enum OpClass {
     WideLoad,
     /// `exit`.
     Exit,
+}
+
+impl OpClass {
+    /// Number of distinct op classes.
+    pub const COUNT: usize = 11;
+
+    /// Dense index of this class, used by the fast path's flat counter
+    /// array (see `fc_rbpf::vm::OpCounts::from_class_array`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Alu32 => 0,
+            OpClass::Alu64 => 1,
+            OpClass::Mul => 2,
+            OpClass::Div => 3,
+            OpClass::Load => 4,
+            OpClass::Store => 5,
+            OpClass::BranchTaken => 6,
+            OpClass::BranchNotTaken => 7,
+            OpClass::HelperCall => 8,
+            OpClass::WideLoad => 9,
+            OpClass::Exit => 10,
+        }
+    }
 }
 
 /// Classifies an opcode for cycle accounting.

@@ -5,13 +5,55 @@
 //! §9): the eBPF instruction set with the Femto-Container extensions, a
 //! text assembler and disassembler, the application binary format, the
 //! pre-flight instruction checker, the run-time memory allow-list, and
-//! two interpreters — the vanilla rBPF-derived engine and the
-//! CertFC-style defensive engine.
+//! three execution engines — the vanilla rBPF-derived reference
+//! interpreter, the decoded fast path, and the CertFC-style defensive
+//! engine.
 //!
-//! ## Pipeline
+//! ## The two-tier execution pipeline: verify → decode → run
+//!
+//! Execution is staged so that every per-program cost is paid exactly
+//! once, before the first event:
+//!
+//! 1. **Verify** ([`verifier::verify`]) — the pre-flight checker runs
+//!    once per installed application and yields a [`VerifiedProgram`]:
+//!    opcodes known, registers in bounds, jump targets inside the text
+//!    section and never into a wide pair's second slot, helper calls
+//!    covered by the contract, constant divisors non-zero.
+//! 2. **Decode** ([`decode::DecodedProgram::lower`]) — the verified
+//!    instruction stream is lowered once into fixed-width decoded ops:
+//!    fields pre-extracted, immediates pre-sign/zero-extended and
+//!    shifts pre-masked, `lddw`-family pairs fused into single ops,
+//!    branch targets resolved to absolute decoded indices, and helper
+//!    call sites optionally re-checked against the granted set
+//!    ([`decode::DecodedProgram::precheck_helpers`]).
+//! 3. **Run** ([`fast::FastInterpreter`]) — the hot loop dispatches
+//!    decoded ops with a single decrementing instruction-budget check
+//!    and flat-array op accounting.
+//!
+//! The reference interpreter ([`interp::Interpreter`]) executes the
+//! [`VerifiedProgram`] directly and remains the semantic baseline: the
+//! randomized differential suite (`tests/differential_vm.rs`) checks
+//! that the fast path is observationally equivalent — same return
+//! values, same [`OpCounts`], same faults — on thousands of seeded
+//! programs, alongside the CertFC defensive engine ([`certfc`]).
+//!
+//! ## Memory-map cache invariants
+//!
+//! [`mem::MemoryMap`] accelerates the per-access allow-list check with a
+//! last-hit region cache and a vaddr-sorted binary-search index. The
+//! invariants (stable region indices, append/truncate-only mutation,
+//! rebuild on structural change, contents free to mutate) are documented
+//! in the [`mem`] module docs; hosting engines that reuse maps across
+//! events must only grow regions with `add_*` or shed them with
+//! [`mem::MemoryMap::truncate_regions`], never mutate bases or
+//! permissions in place.
+//!
+//! ## Pipeline example
 //!
 //! ```
-//! use fc_rbpf::{asm, isa, verifier, interp::Interpreter, mem::MemoryMap};
+//! use fc_rbpf::{asm, isa, verifier, mem::MemoryMap};
+//! use fc_rbpf::decode::DecodedProgram;
+//! use fc_rbpf::fast::FastInterpreter;
 //! use fc_rbpf::helpers::HelperRegistry;
 //! use std::collections::HashSet;
 //!
@@ -23,11 +65,14 @@
 //! // 2. Pre-flight verification, once, before first execution.
 //! let program = verifier::verify(&text, &HashSet::new())?;
 //!
-//! // 3. Build the memory allow-list and run.
+//! // 3. Lower once into the decoded fast-path format.
+//! let decoded = DecodedProgram::lower(&program);
+//!
+//! // 4. Build the memory allow-list and run.
 //! let mut mem = MemoryMap::new();
 //! mem.add_stack(fc_rbpf::mem::STACK_SIZE);
 //! let mut helpers = HelperRegistry::new();
-//! let out = Interpreter::new(&program, Default::default())
+//! let out = FastInterpreter::new(&decoded, Default::default())
 //!     .run(&mut mem, &mut helpers, 0)?;
 //! assert_eq!(out.return_value, 42);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -38,8 +83,10 @@
 pub mod asm;
 pub mod certfc;
 pub mod compress;
+pub mod decode;
 pub mod disasm;
 pub mod error;
+pub mod fast;
 pub mod helpers;
 pub mod interp;
 pub mod isa;
@@ -48,7 +95,9 @@ pub mod program;
 pub mod verifier;
 pub mod vm;
 
+pub use decode::DecodedProgram;
 pub use error::VmError;
+pub use fast::FastInterpreter;
 pub use isa::Insn;
 pub use program::FcProgram;
 pub use verifier::{verify, VerifiedProgram, VerifierError};

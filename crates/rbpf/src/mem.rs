@@ -8,6 +8,31 @@
 //! read-only permission). Every load and store resolves its *computed*
 //! virtual address against the allow-list at run time; an access outside
 //! every region, or lacking the required permission, aborts execution.
+//!
+//! ## Lookup fast path and cache invariants
+//!
+//! Address resolution is the hottest non-ALU operation in the VM, so the
+//! allow-list keeps two acceleration structures beside the region vector:
+//!
+//! * a **last-hit cache** ([`MemoryMap::find`] checks the region that
+//!   satisfied the previous access first — loops touching one buffer
+//!   resolve in a single bounds compare), and
+//! * a **vaddr-sorted index** used for binary search on a cache miss
+//!   (regions are disjoint by construction, so the candidate is always
+//!   the region with the greatest base `<=` the address).
+//!
+//! Invariants: region indices are stable (regions are only appended or
+//! truncated from the tail, never reordered), the sorted index lists
+//! only non-empty regions, and both structures are rebuilt/invalidated
+//! by [`MemoryMap::add_region_at`] and [`MemoryMap::truncate_regions`].
+//! Region *contents* may change freely without invalidation; base
+//! addresses and permissions are immutable after insertion.
+//!
+//! Well-known regions (stack, context, `.data`, `.rodata`) carry a
+//! [`RegionTag`] so hot paths resolve them without comparing name
+//! strings; [`MemoryMap::stack_top`] is a cached field read.
+
+use std::cell::Cell;
 
 use crate::error::VmError;
 
@@ -67,10 +92,27 @@ impl Perm {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RegionId(usize);
 
+/// Role of a region in the standard layout, letting hot paths resolve
+/// well-known regions without name-string comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionTag {
+    /// The VM stack (seeds the `r10` frame pointer).
+    Stack,
+    /// The event-context struct.
+    Ctx,
+    /// The application `.data` section.
+    Data,
+    /// The application `.rodata` section.
+    Rodata,
+    /// A host-granted region (packet buffers, response buffers, …).
+    Host,
+}
+
 /// One allow-listed memory region.
 #[derive(Debug, Clone)]
 struct Region {
     name: String,
+    tag: RegionTag,
     vaddr: u64,
     perm: Perm,
     data: Vec<u8>,
@@ -87,15 +129,32 @@ struct Region {
 /// map.store(map.region_vaddr(stack) + 8, 4, 0xdead_beef).unwrap();
 /// assert_eq!(map.load(map.region_vaddr(stack) + 8, 4).unwrap(), 0xdead_beef);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MemoryMap {
     regions: Vec<Region>,
+    /// Indices of non-empty regions sorted by base address (binary-search
+    /// index; empty regions can never satisfy an access of `len >= 1`).
+    order: Vec<u32>,
+    /// Region index that satisfied the previous check, or `u32::MAX`.
+    last_hit: Cell<u32>,
+    /// Cached `stack_top()` result (0 when no stack region exists).
+    stack_top: u64,
     next_host_vaddr: u64,
     /// Number of allow-list checks performed (for the isolation-cost
     /// ablation benchmark).
     checks: u64,
-    /// Number of region entries scanned across all checks.
+    /// Number of region entries probed across all checks (cache probes
+    /// plus binary-search comparisons).
     entries_scanned: u64,
+}
+
+/// No region has satisfied a lookup yet.
+const NO_HIT: u32 = u32::MAX;
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap::new()
+    }
 }
 
 impl MemoryMap {
@@ -103,6 +162,9 @@ impl MemoryMap {
     pub fn new() -> Self {
         MemoryMap {
             regions: Vec::new(),
+            order: Vec::new(),
+            last_hit: Cell::new(NO_HIT),
+            stack_top: 0,
             next_host_vaddr: HOST_VADDR_BASE,
             checks: 0,
             entries_scanned: 0,
@@ -112,22 +174,22 @@ impl MemoryMap {
     /// Adds a zero-initialised stack region of `len` bytes at the standard
     /// stack base and returns its id.
     pub fn add_stack(&mut self, len: usize) -> RegionId {
-        self.add_region_at("stack", STACK_VADDR, vec![0; len], Perm::RW)
+        self.add_tagged_region_at("stack", RegionTag::Stack, STACK_VADDR, vec![0; len], Perm::RW)
     }
 
     /// Adds the event-context region at the standard context base.
     pub fn add_ctx(&mut self, data: Vec<u8>, perm: Perm) -> RegionId {
-        self.add_region_at("ctx", CTX_VADDR, data, perm)
+        self.add_tagged_region_at("ctx", RegionTag::Ctx, CTX_VADDR, data, perm)
     }
 
     /// Adds the application `.data` section at its standard base.
     pub fn add_data(&mut self, data: Vec<u8>) -> RegionId {
-        self.add_region_at(".data", DATA_VADDR, data, Perm::RW)
+        self.add_tagged_region_at(".data", RegionTag::Data, DATA_VADDR, data, Perm::RW)
     }
 
     /// Adds the application `.rodata` section at its standard base.
     pub fn add_rodata(&mut self, data: Vec<u8>) -> RegionId {
-        self.add_region_at(".rodata", RODATA_VADDR, data, Perm::RO)
+        self.add_tagged_region_at(".rodata", RegionTag::Rodata, RODATA_VADDR, data, Perm::RO)
     }
 
     /// Adds a host-granted region; the map assigns the next free virtual
@@ -139,10 +201,11 @@ impl MemoryMap {
     pub fn add_host_region(&mut self, name: &str, data: Vec<u8>, perm: Perm) -> RegionId {
         let vaddr = self.next_host_vaddr;
         self.next_host_vaddr += HOST_VADDR_STRIDE;
-        self.add_region_at(name, vaddr, data, perm)
+        self.add_tagged_region_at(name, RegionTag::Host, vaddr, data, perm)
     }
 
-    /// Adds a region at an explicit virtual address.
+    /// Adds a region at an explicit virtual address (tagged as a
+    /// host-granted region).
     ///
     /// # Panics
     ///
@@ -150,6 +213,23 @@ impl MemoryMap {
     /// are configured by the trusted hosting engine, so an overlap is a
     /// host bug, not a container fault.
     pub fn add_region_at(&mut self, name: &str, vaddr: u64, data: Vec<u8>, perm: Perm) -> RegionId {
+        self.add_tagged_region_at(name, RegionTag::Host, vaddr, data, perm)
+    }
+
+    /// Adds a region with an explicit [`RegionTag`] at an explicit
+    /// virtual address, rebuilding the sorted lookup index.
+    ///
+    /// # Panics
+    ///
+    /// As [`MemoryMap::add_region_at`].
+    pub fn add_tagged_region_at(
+        &mut self,
+        name: &str,
+        tag: RegionTag,
+        vaddr: u64,
+        data: Vec<u8>,
+        perm: Perm,
+    ) -> RegionId {
         let len = data.len() as u64;
         for r in &self.regions {
             let r_len = r.data.len() as u64;
@@ -160,8 +240,53 @@ impl MemoryMap {
                 r.name
             );
         }
-        self.regions.push(Region { name: name.to_owned(), vaddr, perm, data });
+        if self.stack_top == 0 && (tag == RegionTag::Stack || name == "stack") {
+            self.stack_top = vaddr + len;
+        }
+        self.regions.push(Region { name: name.to_owned(), tag, vaddr, perm, data });
+        self.rebuild_index();
         RegionId(self.regions.len() - 1)
+    }
+
+    /// Drops every region with index `>= keep`, restoring the map to an
+    /// earlier skeleton (see the module docs' cache invariants). Used by
+    /// the engine's execution arena to shed per-event regions (context,
+    /// host grants) while retaining the stack and program sections.
+    pub fn truncate_regions(&mut self, keep: usize) {
+        if keep >= self.regions.len() {
+            return;
+        }
+        self.regions.truncate(keep);
+        if !self.regions.iter().any(|r| r.tag == RegionTag::Stack || r.name == "stack") {
+            self.stack_top = 0;
+        }
+        self.next_host_vaddr = self
+            .regions
+            .iter()
+            .filter(|r| r.tag == RegionTag::Host)
+            .map(|r| r.vaddr + HOST_VADDR_STRIDE)
+            .fold(HOST_VADDR_BASE, u64::max);
+        self.rebuild_index();
+    }
+
+    /// Rebuilds the vaddr-sorted index and invalidates the last-hit
+    /// cache after any structural change.
+    fn rebuild_index(&mut self) {
+        self.order.clear();
+        self.order.extend(
+            self.regions
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.data.is_empty())
+                .map(|(i, _)| i as u32),
+        );
+        self.order.sort_unstable_by_key(|&i| self.regions[i as usize].vaddr);
+        self.last_hit.set(NO_HIT);
+    }
+
+    /// First region carrying the given tag, if any.
+    pub fn region_by_tag(&self, tag: RegionTag) -> Option<RegionId> {
+        self.regions.iter().position(|r| r.tag == tag).map(RegionId)
     }
 
     /// Number of configured regions.
@@ -197,10 +322,12 @@ impl MemoryMap {
 
     /// Virtual address one past the end of the stack region, which seeds
     /// the read-only `r10` frame pointer. Zero when no stack exists.
+    ///
+    /// This is a cached field read — the value is maintained by
+    /// [`MemoryMap::add_tagged_region_at`] / [`MemoryMap::truncate_regions`]
+    /// so per-run setup never walks or string-compares region names.
     pub fn stack_top(&self) -> u64 {
-        self.find_region("stack")
-            .map(|id| self.region_vaddr(id) + self.region_len(id) as u64)
-            .unwrap_or(0)
+        self.stack_top
     }
 
     /// Total RAM attributable to this map's regions, for the paper's
@@ -222,15 +349,46 @@ impl MemoryMap {
     fn find(&mut self, addr: u64, len: usize, write: bool) -> Result<(usize, usize), VmError> {
         self.checks += 1;
         let denial = VmError::InvalidMemoryAccess { addr, len, write };
-        for (idx, r) in self.regions.iter().enumerate() {
+        let end = addr.saturating_add(len as u64);
+
+        // Fast path: the region that satisfied the previous access.
+        let hit = self.last_hit.get();
+        if hit != NO_HIT {
             self.entries_scanned += 1;
-            let r_len = r.data.len() as u64;
-            if addr >= r.vaddr && addr.saturating_add(len as u64) <= r.vaddr + r_len {
+            let r = &self.regions[hit as usize];
+            if addr >= r.vaddr && end <= r.vaddr + r.data.len() as u64 {
                 if !r.perm.allows(write) {
                     return Err(denial);
                 }
-                return Ok((idx, (addr - r.vaddr) as usize));
+                return Ok((hit as usize, (addr - r.vaddr) as usize));
             }
+        }
+
+        // Slow path: binary search the vaddr-sorted index. Regions are
+        // disjoint, so the only candidate is the region with the
+        // greatest base `<= addr`.
+        let mut lo = 0usize;
+        let mut hi = self.order.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            self.entries_scanned += 1;
+            if self.regions[self.order[mid] as usize].vaddr <= addr {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            return Err(denial);
+        }
+        let idx = self.order[lo - 1] as usize;
+        let r = &self.regions[idx];
+        if addr >= r.vaddr && end <= r.vaddr + r.data.len() as u64 {
+            if !r.perm.allows(write) {
+                return Err(denial);
+            }
+            self.last_hit.set(idx as u32);
+            return Ok((idx, (addr - r.vaddr) as usize));
         }
         Err(denial)
     }
@@ -417,8 +575,88 @@ mod tests {
         m.add_rodata(vec![0; 8]);
         let before = m.check_count();
         let _ = m.load(RODATA_VADDR, 4);
-        assert_eq!(m.check_count(), before + 1);
+        let _ = m.load(STACK_VADDR, 4);
+        assert_eq!(m.check_count(), before + 2);
         assert!(m.entries_scanned() >= 2);
+    }
+
+    #[test]
+    fn repeated_hits_use_the_region_cache() {
+        let (mut m, _) = map_with_stack();
+        m.add_rodata(vec![0; 64]);
+        // Prime the cache.
+        m.load(STACK_VADDR, 8).unwrap();
+        let scanned = m.entries_scanned();
+        m.load(STACK_VADDR + 8, 8).unwrap();
+        assert_eq!(m.entries_scanned(), scanned + 1, "cache hit probes one region");
+        // Switching regions falls back to binary search, then re-primes.
+        m.load(RODATA_VADDR, 4).unwrap();
+        let scanned = m.entries_scanned();
+        m.load(RODATA_VADDR + 4, 4).unwrap();
+        assert_eq!(m.entries_scanned(), scanned + 1);
+    }
+
+    #[test]
+    fn binary_search_resolves_many_regions() {
+        let mut m = MemoryMap::new();
+        m.add_stack(64);
+        let ids: Vec<_> = (0..16)
+            .map(|i| m.add_host_region(&format!("r{i}"), vec![i as u8; 32], Perm::RW))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let base = m.region_vaddr(*id);
+            assert_eq!(m.load(base, 1).unwrap(), i as u64);
+            assert_eq!(m.load(base + 31, 1).unwrap(), i as u64);
+            assert!(m.load(base + 32, 1).is_err());
+        }
+    }
+
+    #[test]
+    fn region_tags_resolve_without_names() {
+        let mut m = MemoryMap::new();
+        let s = m.add_stack(128);
+        let c = m.add_ctx(vec![0; 8], Perm::RW);
+        let d = m.add_data(vec![1, 2]);
+        let r = m.add_rodata(vec![3]);
+        let h = m.add_host_region("pkt", vec![0; 4], Perm::RO);
+        assert_eq!(m.region_by_tag(RegionTag::Stack), Some(s));
+        assert_eq!(m.region_by_tag(RegionTag::Ctx), Some(c));
+        assert_eq!(m.region_by_tag(RegionTag::Data), Some(d));
+        assert_eq!(m.region_by_tag(RegionTag::Rodata), Some(r));
+        assert_eq!(m.region_by_tag(RegionTag::Host), Some(h));
+        assert_eq!(m.stack_top(), STACK_VADDR + 128);
+    }
+
+    #[test]
+    fn truncate_restores_skeleton_and_vaddr_allocator() {
+        let mut m = MemoryMap::new();
+        m.add_stack(64);
+        m.add_rodata(vec![0; 8]);
+        let skeleton = m.region_count();
+        let a = m.add_host_region("pkt", vec![0; 16], Perm::RW);
+        let first_base = m.region_vaddr(a);
+        m.add_ctx(vec![0; 8], Perm::RW);
+        // Prime the cache on a region that is about to vanish.
+        m.load(first_base, 4).unwrap();
+        m.truncate_regions(skeleton);
+        assert_eq!(m.region_count(), skeleton);
+        assert!(m.load(first_base, 4).is_err(), "dropped region unreachable");
+        assert!(m.load(CTX_VADDR, 4).is_err());
+        assert_eq!(m.stack_top(), STACK_VADDR + 64, "stack survives truncation");
+        // The vaddr allocator rewinds so the next event sees the same base.
+        let b = m.add_host_region("pkt2", vec![0; 16], Perm::RW);
+        assert_eq!(m.region_vaddr(b), first_base);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        let m = MemoryMap::default();
+        let n = MemoryMap::new();
+        assert_eq!(m.region_count(), n.region_count());
+        assert_eq!(m.stack_top(), n.stack_top());
+        let mut m = m;
+        let id = m.add_host_region("x", vec![0; 4], Perm::RW);
+        assert_eq!(m.region_vaddr(id), HOST_VADDR_BASE);
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl FcProgram {
         for section in [&self.data, &self.rodata, &self.text] {
             out.extend_from_slice(section);
             // Sections are aligned relative to the end of the header.
-            while (out.len() - HEADER_SIZE) % SECTION_ALIGN != 0 {
+            while !(out.len() - HEADER_SIZE).is_multiple_of(SECTION_ALIGN) {
                 out.push(0);
             }
         }
@@ -116,7 +116,7 @@ impl FcProgram {
         let rodata_len = word(16) as usize;
         let text_len = word(20) as usize;
         let n_syms = word(24) as usize;
-        if text_len % INSN_SIZE != 0 {
+        if !text_len.is_multiple_of(INSN_SIZE) {
             return Err(ParseError::UnalignedText { len: text_len });
         }
         let align = |n: usize| n.div_ceil(SECTION_ALIGN) * SECTION_ALIGN;

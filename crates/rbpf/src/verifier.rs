@@ -425,6 +425,14 @@ impl VerifiedProgram {
     pub fn branch_count(&self) -> u32 {
         self.branch_count
     }
+
+    /// Test-only bypass of verification, for exercising the defensive
+    /// layers of the interpreters on programs `verify` would reject.
+    #[cfg(test)]
+    pub(crate) fn unverified_for_tests(insns: Vec<Insn>) -> Self {
+        let branch_count = insns.iter().filter(|i| i.is_branch()).count() as u32;
+        VerifiedProgram { insns, branch_count }
+    }
 }
 
 #[cfg(test)]
@@ -554,6 +562,39 @@ mod tests {
         assert!(matches!(
             verify(&text, &HashSet::new()),
             Err(VerifierError::MalformedWideInstruction { pc: 0 })
+        ));
+        // Same for the Femto-Container pointer-materialising variants.
+        for op in [isa::LDDWD_IMM, isa::LDDWR_IMM] {
+            let text = Insn::new(op, 1, 0, 0, 0).encode().to_vec();
+            assert!(matches!(
+                verify(&text, &HashSet::new()),
+                Err(VerifierError::MalformedWideInstruction { pc: 0 })
+            ));
+        }
+        // A wide head whose "pair" is the start of the next real
+        // instruction (non-zero opcode) is equally malformed.
+        let text = isa::encode_all(&[
+            Insn::new(isa::LDDW, 1, 0, 0, 1),
+            Insn::new(isa::EXIT, 0, 0, 0, 0),
+        ]);
+        assert!(matches!(
+            verify(&text, &HashSet::new()),
+            Err(VerifierError::MalformedWideInstruction { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_conditional_jump_into_wide_tail() {
+        // jeq +1 from slot 0 targets slot 2 — the lddw pair slot.
+        let text = isa::encode_all(&[
+            Insn::new(isa::JEQ_IMM, 1, 0, 1, 0),
+            Insn::new(isa::LDDW, 1, 0, 0, 7),
+            Insn::new(0, 0, 0, 0, 0),
+            Insn::new(isa::EXIT, 0, 0, 0, 0),
+        ]);
+        assert!(matches!(
+            verify(&text, &HashSet::new()),
+            Err(VerifierError::InvalidJumpTarget { pc: 0, target: 2 })
         ));
     }
 

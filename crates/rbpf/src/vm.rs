@@ -82,6 +82,27 @@ impl OpCounts {
         }
     }
 
+    /// Rebuilds counts from a flat array indexed by [`OpClass::index`].
+    ///
+    /// The decoded fast path counts operations in a flat `[u64; 11]`
+    /// (a single indexed add per op, no per-class match) and converts
+    /// once at `exit`.
+    pub fn from_class_array(counts: &[u64; OpClass::COUNT]) -> Self {
+        OpCounts {
+            alu32: counts[OpClass::Alu32.index()],
+            alu64: counts[OpClass::Alu64.index()],
+            mul: counts[OpClass::Mul.index()],
+            div: counts[OpClass::Div.index()],
+            load: counts[OpClass::Load.index()],
+            store: counts[OpClass::Store.index()],
+            branch_taken: counts[OpClass::BranchTaken.index()],
+            branch_not_taken: counts[OpClass::BranchNotTaken.index()],
+            helper_call: counts[OpClass::HelperCall.index()],
+            wide_load: counts[OpClass::WideLoad.index()],
+            exit: counts[OpClass::Exit.index()],
+        }
+    }
+
     /// Total operations executed.
     pub fn total(&self) -> u64 {
         self.alu32

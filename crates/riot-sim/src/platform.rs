@@ -313,11 +313,13 @@ mod tests {
 
     #[test]
     fn riscv_runs_fewest_cycles() {
-        let mut counts = OpCounts::default();
-        counts.alu64 = 100;
-        counts.load = 50;
-        counts.branch_taken = 30;
-        counts.helper_call = 2;
+        let counts = OpCounts {
+            alu64: 100,
+            load: 50,
+            branch_taken: 30,
+            helper_call: 2,
+            ..Default::default()
+        };
         let cyc = |p| cycle_model(p, Engine::FemtoContainer).execution_cycles(&counts);
         assert!(cyc(Platform::RiscV) < cyc(Platform::CortexM4));
         assert!(cyc(Platform::RiscV) < cyc(Platform::Esp32));

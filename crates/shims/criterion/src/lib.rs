@@ -1,0 +1,190 @@
+//! A dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no network access to crates.io, so this shim
+//! provides the (small) slice of criterion's API that the workspace's
+//! benches use: [`Criterion::benchmark_group`], group configuration
+//! knobs, [`BenchmarkGroup::bench_function`] with a [`Bencher`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is plain
+//! `Instant`-based sampling: per sample the routine runs in a batch
+//! sized so one batch takes roughly a millisecond, and the per-iteration
+//! mean, minimum and maximum across samples are reported on stdout in a
+//! `criterion`-like format.
+//!
+//! Passing `--test` (as `cargo bench -- --test` does under real
+//! criterion) switches to smoke mode: every routine runs exactly once,
+//! which CI uses to check the benches still execute without spending
+//! minutes measuring.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` for benches that import it
+/// from the crate rather than `std::hint`.
+pub use std::hint::black_box;
+
+/// Top-level harness handle, constructed by [`criterion_main!`].
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            test_mode: self.test_mode,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c Criterion,
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget for each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark routine.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(r) if !self.test_mode => println!(
+                "  {id:<40} time: [{} {} {}]",
+                fmt_ns(r.min_ns),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.max_ns)
+            ),
+            _ => println!("  {id:<40} ok (test mode)"),
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; printing is eager).
+    pub fn finish(&mut self) {}
+}
+
+struct SampleStats {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// Per-benchmark measurement driver handed to the routine closure.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    result: Option<SampleStats>,
+}
+
+impl Bencher {
+    /// Measures one iteration routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up, also sizing the batch so a batch lasts ~1 ms.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((1.0e-3 / per_iter) as u64).clamp(1, 1 << 24);
+
+        let budget_per_sample = self.measurement / self.sample_size as u32;
+        let mut means = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let sample_start = Instant::now();
+            let mut iters: u64 = 0;
+            while sample_start.elapsed() < budget_per_sample {
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                iters += batch;
+            }
+            means.push(sample_start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = means.iter().cloned().fold(0.0f64, f64::max);
+        self.result = Some(SampleStats { mean_ns: mean, min_ns: min, max_ns: max });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.4} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.4} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.4} µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

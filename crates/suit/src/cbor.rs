@@ -415,10 +415,7 @@ mod tests {
 
     #[test]
     fn deep_nesting_bounded() {
-        let mut bytes = Vec::new();
-        for _ in 0..100 {
-            bytes.push(0x81); // array(1)
-        }
+        let mut bytes = vec![0x81; 100]; // 100 nested array(1) heads
         bytes.push(0x00);
         assert!(Value::decode(&bytes).is_err());
     }
