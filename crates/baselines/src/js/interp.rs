@@ -145,7 +145,10 @@ impl Interp {
             if let Stmt::Function { name, params, body } = stmt {
                 functions.insert(
                     name.clone(),
-                    Rc::new(FuncDef { params: params.clone(), body: body.clone() }),
+                    Rc::new(FuncDef {
+                        params: params.clone(),
+                        body: body.clone(),
+                    }),
                 );
             }
         }
@@ -255,19 +258,22 @@ impl Interp {
             }
             Stmt::Break => Ok(Flow::Break),
             Stmt::Continue => Ok(Flow::Continue),
-            Stmt::While { cond, body } => {
-                loop {
-                    if !self.eval(cond, locals)?.truthy() {
-                        return Ok(Flow::Normal);
-                    }
-                    match self.exec_suite(body, locals)? {
-                        Flow::Break => return Ok(Flow::Normal),
-                        Flow::Return(v) => return Ok(Flow::Return(v)),
-                        Flow::Continue | Flow::Normal => {}
-                    }
+            Stmt::While { cond, body } => loop {
+                if !self.eval(cond, locals)?.truthy() {
+                    return Ok(Flow::Normal);
                 }
-            }
-            Stmt::For { init, cond, update, body } => {
+                match self.exec_suite(body, locals)? {
+                    Flow::Break => return Ok(Flow::Normal),
+                    Flow::Return(v) => return Ok(Flow::Return(v)),
+                    Flow::Continue | Flow::Normal => {}
+                }
+            },
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 if let Some(init) = init {
                     self.exec(init, locals)?;
                 }
@@ -287,7 +293,11 @@ impl Interp {
                     }
                 }
             }
-            Stmt::If { cond, then, otherwise } => {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 if self.eval(cond, locals)?.truthy() {
                     self.exec_suite(then, locals)
                 } else {
@@ -323,12 +333,7 @@ impl Interp {
             .ok_or_else(|| JsError::Reference(name.to_owned()))
     }
 
-    fn assign(
-        &mut self,
-        name: &str,
-        value: Value,
-        locals: &mut [HashMap<String, Value>],
-    ) {
+    fn assign(&mut self, name: &str, value: Value, locals: &mut [HashMap<String, Value>]) {
         for scope in locals.iter_mut().rev() {
             if scope.contains_key(name) {
                 scope.insert(name.to_owned(), value);
@@ -373,11 +378,19 @@ impl Interp {
             Expr::Bin { op, lhs, rhs } => {
                 if *op == "&&" {
                     let l = self.eval(lhs, locals)?;
-                    return if l.truthy() { self.eval(rhs, locals) } else { Ok(l) };
+                    return if l.truthy() {
+                        self.eval(rhs, locals)
+                    } else {
+                        Ok(l)
+                    };
                 }
                 if *op == "||" {
                     let l = self.eval(lhs, locals)?;
-                    return if l.truthy() { Ok(l) } else { self.eval(rhs, locals) };
+                    return if l.truthy() {
+                        Ok(l)
+                    } else {
+                        self.eval(rhs, locals)
+                    };
                 }
                 let a = self.eval(lhs, locals)?;
                 let b = self.eval(rhs, locals)?;
@@ -540,7 +553,10 @@ impl FunctionRuntime for JsRuntime {
     }
 
     fn footprint(&self) -> Footprint {
-        Footprint { rom_bytes: JS_ROM_BYTES, ram_bytes: HEAP_BYTES + STATE_BYTES }
+        Footprint {
+            rom_bytes: JS_ROM_BYTES,
+            ram_bytes: HEAP_BYTES + STATE_BYTES,
+        }
     }
 
     fn fletcher_applet(&self) -> Vec<u8> {
@@ -560,12 +576,16 @@ impl FunctionRuntime for JsRuntime {
     }
 
     fn run(&mut self, input: &[u8]) -> Result<RunOutcome, RuntimeError> {
-        let interp =
-            self.interp.as_mut().ok_or_else(|| RuntimeError::new("js-sim", "no program"))?;
+        let interp = self
+            .interp
+            .as_mut()
+            .ok_or_else(|| RuntimeError::new("js-sim", "no program"))?;
         let data: Vec<Value> = input.iter().map(|b| Value::Num(*b as f64)).collect();
         interp.set_global("data", Value::Array(Rc::new(RefCell::new(data))));
         let before = interp.steps();
-        interp.run().map_err(|e| RuntimeError::new("js-sim", e.to_string()))?;
+        interp
+            .run()
+            .map_err(|e| RuntimeError::new("js-sim", e.to_string()))?;
         let steps = interp.steps() - before;
         let result = match interp.global("result") {
             Some(v) => v.to_number() as i64,

@@ -40,8 +40,8 @@ const KEYWORDS: &[&str] = &[
 ];
 
 const OPS: &[&str] = &[
-    "===", "!==", ">>>", "==", "!=", "<=", ">=", "<<", ">>", "&&", "||", "+", "-", "*", "/",
-    "%", "&", "|", "^", "~", "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ",", ";", ".",
+    "===", "!==", ">>>", "==", "!=", "<=", ">=", "<<", ">>", "&&", "||", "+", "-", "*", "/", "%",
+    "&", "|", "^", "~", "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ",", ";", ".",
 ];
 
 /// Tokenizes JavaScript-subset source.
@@ -83,15 +83,18 @@ pub fn tokenize(source: &str) -> Result<Vec<Tok>, JsSyntaxError> {
                 i += 1;
             }
             let body = &source[start..i];
-            let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
-            {
+            let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
                 u64::from_str_radix(hex, 16).ok().map(|v| v as f64)
             } else {
                 body.parse::<f64>().ok()
             };
             match v {
                 Some(v) => out.push(Tok::Num(v)),
-                None => return Err(JsSyntaxError { msg: format!("bad number `{body}`") }),
+                None => {
+                    return Err(JsSyntaxError {
+                        msg: format!("bad number `{body}`"),
+                    })
+                }
             }
             continue;
         }
@@ -119,7 +122,9 @@ pub fn tokenize(source: &str) -> Result<Vec<Tok>, JsSyntaxError> {
                 i += 1;
             }
             if i >= bytes.len() {
-                return Err(JsSyntaxError { msg: "unterminated string".into() });
+                return Err(JsSyntaxError {
+                    msg: "unterminated string".into(),
+                });
             }
             out.push(Tok::Str(source[start..i].to_owned()));
             i += 1;
@@ -132,7 +137,9 @@ pub fn tokenize(source: &str) -> Result<Vec<Tok>, JsSyntaxError> {
                 continue 'outer;
             }
         }
-        return Err(JsSyntaxError { msg: format!("unexpected character `{c}`") });
+        return Err(JsSyntaxError {
+            msg: format!("unexpected character `{c}`"),
+        });
     }
     out.push(Tok::Eof);
     Ok(out)

@@ -150,7 +150,9 @@ impl Parser<'_> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, JsSyntaxError> {
-        Err(JsSyntaxError { msg: format!("{} at token {}", msg.into(), self.pos) })
+        Err(JsSyntaxError {
+            msg: format!("{} at token {}", msg.into(), self.pos),
+        })
     }
 
     fn eat_op(&mut self, op: &str) -> Result<(), JsSyntaxError> {
@@ -250,7 +252,12 @@ impl Parser<'_> {
                 };
                 self.eat_op(")")?;
                 let body = self.body_or_block()?;
-                Ok(Stmt::For { init, cond, update, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    update,
+                    body,
+                })
             }
             Tok::Kw("if") => {
                 self.pos += 1;
@@ -268,7 +275,11 @@ impl Parser<'_> {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then, otherwise })
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    otherwise,
+                })
             }
             Tok::Kw("return") => {
                 self.pos += 1;
@@ -317,7 +328,10 @@ impl Parser<'_> {
             let value = self.expr()?;
             match lhs {
                 Expr::Name(_) | Expr::Index { .. } | Expr::Member { .. } => {
-                    return Ok(Expr::Assign { target: Box::new(lhs), value: Box::new(value) });
+                    return Ok(Expr::Assign {
+                        target: Box::new(lhs),
+                        value: Box::new(value),
+                    });
                 }
                 _ => return self.err("invalid assignment target"),
             }
@@ -337,7 +351,11 @@ impl Parser<'_> {
             };
             self.pos += 1;
             let rhs = next(self)?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -369,7 +387,10 @@ impl Parser<'_> {
                 let op = *o;
                 self.pos += 1;
                 let operand = self.unary()?;
-                Ok(Expr::Unary { op, operand: Box::new(operand) })
+                Ok(Expr::Unary {
+                    op,
+                    operand: Box::new(operand),
+                })
             }
             _ => self.postfix(),
         }
@@ -383,12 +404,20 @@ impl Parser<'_> {
                     self.pos += 1;
                     let index = self.expr()?;
                     self.eat_op("]")?;
-                    e = Expr::Index { obj: Box::new(e), index: Box::new(index) };
+                    e = Expr::Index {
+                        obj: Box::new(e),
+                        index: Box::new(index),
+                    };
                 }
                 Tok::Op(".") => {
                     self.pos += 1;
                     match self.next() {
-                        Tok::Name(n) => e = Expr::Member { obj: Box::new(e), name: n },
+                        Tok::Name(n) => {
+                            e = Expr::Member {
+                                obj: Box::new(e),
+                                name: n,
+                            }
+                        }
                         other => return self.err(format!("expected property, got {other:?}")),
                     }
                 }
@@ -472,15 +501,24 @@ pub fn count_nodes(stmts: &[Stmt]) -> usize {
                 Stmt::Expr(e) => expr_nodes(e),
                 Stmt::Function { body, .. } => count_nodes(body),
                 Stmt::While { cond, body } => expr_nodes(cond) + count_nodes(body),
-                Stmt::For { init, cond, update, body } => {
-                    init.as_ref().map(|s| count_nodes(std::slice::from_ref(s))).unwrap_or(0)
+                Stmt::For {
+                    init,
+                    cond,
+                    update,
+                    body,
+                } => {
+                    init.as_ref()
+                        .map(|s| count_nodes(std::slice::from_ref(s)))
+                        .unwrap_or(0)
                         + cond.as_ref().map(expr_nodes).unwrap_or(0)
                         + update.as_ref().map(expr_nodes).unwrap_or(0)
                         + count_nodes(body)
                 }
-                Stmt::If { cond, then, otherwise } => {
-                    expr_nodes(cond) + count_nodes(then) + count_nodes(otherwise)
-                }
+                Stmt::If {
+                    cond,
+                    then,
+                    otherwise,
+                } => expr_nodes(cond) + count_nodes(then) + count_nodes(otherwise),
                 Stmt::Return(e) => e.as_ref().map(expr_nodes).unwrap_or(0),
                 _ => 0,
             }
@@ -516,7 +554,9 @@ mod tests {
             parse_src("while (x) { x = x - 1; } for (var i = 0; i < 3; i = i + 1) { f(); }");
         assert!(matches!(&stmts[0], Stmt::While { .. }));
         match &stmts[1] {
-            Stmt::For { init, cond, update, .. } => {
+            Stmt::For {
+                init, cond, update, ..
+            } => {
                 assert!(init.is_some());
                 assert!(cond.is_some());
                 assert!(update.is_some());
@@ -543,7 +583,13 @@ mod tests {
             &stmts[0],
             Stmt::VarDecl { init: Some(Expr::Member { name, .. }), .. } if name == "length"
         ));
-        assert!(matches!(&stmts[1], Stmt::VarDecl { init: Some(Expr::Index { .. }), .. }));
+        assert!(matches!(
+            &stmts[1],
+            Stmt::VarDecl {
+                init: Some(Expr::Index { .. }),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -60,8 +60,11 @@ mod tests {
         let expected = fletcher32(&input) as i64;
         for mut rt in all_runtimes() {
             let applet = rt.fletcher_applet();
-            rt.load(&applet).unwrap_or_else(|e| panic!("{} load: {e}", rt.name()));
-            let out = rt.run(&input).unwrap_or_else(|e| panic!("{} run: {e}", rt.name()));
+            rt.load(&applet)
+                .unwrap_or_else(|e| panic!("{} load: {e}", rt.name()));
+            let out = rt
+                .run(&input)
+                .unwrap_or_else(|e| panic!("{} run: {e}", rt.name()));
             assert_eq!(out.result, expected, "{} result", rt.name());
         }
     }
@@ -73,7 +76,10 @@ mod tests {
         let wasm = WasmRuntime::new();
         let upy = UpyRuntime::new();
         let js = JsRuntime::new();
-        assert!(rom(&rbpf) * 10 < rom(&wasm), "rBPF is 10x smaller than WASM3");
+        assert!(
+            rom(&rbpf) * 10 < rom(&wasm),
+            "rBPF is 10x smaller than WASM3"
+        );
         assert!(rom(&wasm) < rom(&upy));
         assert!(rom(&upy) < rom(&js));
         assert!(rbpf.footprint().ram_bytes * 100 < wasm.footprint().ram_bytes);
@@ -90,7 +96,11 @@ mod tests {
             results.push((rt.name(), load.cycles, out.cycles));
         }
         let get = |name: &str| {
-            results.iter().find(|(n, _, _)| *n == name).copied().expect("runtime present")
+            results
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .copied()
+                .expect("runtime present")
         };
         let (_, _, native_run) = get("Native C");
         let (_, wasm_load, wasm_run) = get("WASM3");
@@ -105,6 +115,9 @@ mod tests {
         // Cold start: rbpf is orders of magnitude below everything else.
         assert!(rbpf_load * 1000 < wasm_load);
         assert!(rbpf_load * 1000 < upy_load);
-        assert!(js_load < upy_load, "RIOTjs parses faster than MicroPython compiles");
+        assert!(
+            js_load < upy_load,
+            "RIOTjs parses faster than MicroPython compiles"
+        );
     }
 }

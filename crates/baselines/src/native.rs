@@ -76,7 +76,10 @@ impl FunctionRuntime for NativeRuntime {
     fn footprint(&self) -> Footprint {
         // The function is part of the firmware: its ROM is the code
         // itself; scratch RAM is a few registers' worth of spill.
-        Footprint { rom_bytes: NATIVE_CODE_SIZE, ram_bytes: 16 }
+        Footprint {
+            rom_bytes: NATIVE_CODE_SIZE,
+            ram_bytes: 16,
+        }
     }
 
     fn fletcher_applet(&self) -> Vec<u8> {

@@ -95,7 +95,10 @@ impl FunctionRuntime for RbpfRuntime {
     }
 
     fn footprint(&self) -> Footprint {
-        Footprint { rom_bytes: RBPF_ROM_BYTES, ram_bytes: RBPF_RAM_BYTES }
+        Footprint {
+            rom_bytes: RBPF_ROM_BYTES,
+            ram_bytes: RBPF_RAM_BYTES,
+        }
     }
 
     fn fletcher_applet(&self) -> Vec<u8> {
@@ -103,17 +106,21 @@ impl FunctionRuntime for RbpfRuntime {
     }
 
     fn load(&mut self, applet: &[u8]) -> Result<LoadCost, RuntimeError> {
-        let image = FcProgram::from_bytes(applet)
-            .map_err(|e| RuntimeError::new("rbpf", e.to_string()))?;
+        let image =
+            FcProgram::from_bytes(applet).map_err(|e| RuntimeError::new("rbpf", e.to_string()))?;
         let program = verify(&image.text, &HashSet::new())
             .map_err(|e| RuntimeError::new("rbpf", e.to_string()))?;
         self.program = Some(program);
-        Ok(LoadCost { cycles: SETUP_CYCLES })
+        Ok(LoadCost {
+            cycles: SETUP_CYCLES,
+        })
     }
 
     fn run(&mut self, input: &[u8]) -> Result<RunOutcome, RuntimeError> {
-        let program =
-            self.program.as_ref().ok_or_else(|| RuntimeError::new("rbpf", "no program"))?;
+        let program = self
+            .program
+            .as_ref()
+            .ok_or_else(|| RuntimeError::new("rbpf", "no program"))?;
         let mut mem = MemoryMap::new();
         mem.add_stack(STACK_SIZE);
         let mut ctx = Vec::with_capacity(8 + input.len());

@@ -49,7 +49,10 @@ pub struct RuntimeError {
 impl RuntimeError {
     /// Creates an error.
     pub fn new(engine: &'static str, message: impl Into<String>) -> Self {
-        RuntimeError { engine, message: message.into() }
+        RuntimeError {
+            engine,
+            message: message.into(),
+        }
     }
 }
 

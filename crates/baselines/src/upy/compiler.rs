@@ -119,12 +119,20 @@ impl Program {
 pub fn compile(module: &[Stmt]) -> Result<Program, LexError> {
     let mut program = Program::default();
     // Reserve index 0 for the module body.
-    program.codes.push(CodeObject { n_params: 0, n_locals: 0, ops: Vec::new() });
+    program.codes.push(CodeObject {
+        n_params: 0,
+        n_locals: 0,
+        ops: Vec::new(),
+    });
     let mut ctx = FnCtx::module();
     compile_suite(module, &mut program, &mut ctx)?;
     ctx.ops.push(Op::None);
     ctx.ops.push(Op::Return);
-    program.codes[0] = CodeObject { n_params: 0, n_locals: 0, ops: ctx.ops };
+    program.codes[0] = CodeObject {
+        n_params: 0,
+        n_locals: 0,
+        ops: ctx.ops,
+    };
     Ok(program)
 }
 
@@ -142,7 +150,12 @@ struct LoopCtx {
 
 impl FnCtx {
     fn module() -> Self {
-        FnCtx { ops: Vec::new(), locals: HashMap::new(), is_module: true, loop_stack: Vec::new() }
+        FnCtx {
+            ops: Vec::new(),
+            locals: HashMap::new(),
+            is_module: true,
+            loop_stack: Vec::new(),
+        }
     }
 
     fn function(params: &[String], body: &[Stmt]) -> Self {
@@ -152,7 +165,12 @@ impl FnCtx {
             locals.insert(p.clone(), idx);
         }
         collect_assigned(body, &mut locals);
-        FnCtx { ops: Vec::new(), locals, is_module: false, loop_stack: Vec::new() }
+        FnCtx {
+            ops: Vec::new(),
+            locals,
+            is_module: false,
+            loop_stack: Vec::new(),
+        }
     }
 }
 
@@ -161,13 +179,17 @@ impl FnCtx {
 fn collect_assigned(body: &[Stmt], locals: &mut HashMap<String, u16>) {
     for stmt in body {
         match stmt {
-            Stmt::Assign { target: Expr::Name(n), .. }
-                if !locals.contains_key(n) => {
-                    let idx = locals.len() as u16;
-                    locals.insert(n.clone(), idx);
-                }
+            Stmt::Assign {
+                target: Expr::Name(n),
+                ..
+            } if !locals.contains_key(n) => {
+                let idx = locals.len() as u16;
+                locals.insert(n.clone(), idx);
+            }
             Stmt::While { body, .. } => collect_assigned(body, locals),
-            Stmt::If { then, otherwise, .. } => {
+            Stmt::If {
+                then, otherwise, ..
+            } => {
                 collect_assigned(then, locals);
                 collect_assigned(otherwise, locals);
             }
@@ -184,11 +206,7 @@ fn intern(program: &mut Program, name: &str) -> u16 {
     (program.names.len() - 1) as u16
 }
 
-fn compile_suite(
-    stmts: &[Stmt],
-    program: &mut Program,
-    ctx: &mut FnCtx,
-) -> Result<(), LexError> {
+fn compile_suite(stmts: &[Stmt], program: &mut Program, ctx: &mut FnCtx) -> Result<(), LexError> {
     for stmt in stmts {
         compile_stmt(stmt, program, ctx)?;
     }
@@ -219,7 +237,10 @@ fn compile_stmt(stmt: &Stmt, program: &mut Program, ctx: &mut FnCtx) -> Result<(
                 ctx.ops.push(Op::StoreSubscr);
             }
             _ => {
-                return Err(LexError { line: 0, msg: "invalid assignment target".into() });
+                return Err(LexError {
+                    line: 0,
+                    msg: "invalid assignment target".into(),
+                });
             }
         },
         Stmt::Return(e) => {
@@ -234,7 +255,10 @@ fn compile_stmt(stmt: &Stmt, program: &mut Program, ctx: &mut FnCtx) -> Result<(
             compile_expr(cond, program, ctx)?;
             let exit_patch = ctx.ops.len();
             ctx.ops.push(Op::PopJumpIfFalse(0));
-            ctx.loop_stack.push(LoopCtx { start, breaks: Vec::new() });
+            ctx.loop_stack.push(LoopCtx {
+                start,
+                breaks: Vec::new(),
+            });
             compile_suite(body, program, ctx)?;
             ctx.ops.push(Op::Jump(start));
             let end = ctx.ops.len() as u32;
@@ -244,7 +268,11 @@ fn compile_stmt(stmt: &Stmt, program: &mut Program, ctx: &mut FnCtx) -> Result<(
                 ctx.ops[b] = Op::Jump(end);
             }
         }
-        Stmt::If { cond, then, otherwise } => {
+        Stmt::If {
+            cond,
+            then,
+            otherwise,
+        } => {
             compile_expr(cond, program, ctx)?;
             let else_patch = ctx.ops.len();
             ctx.ops.push(Op::PopJumpIfFalse(0));
@@ -267,21 +295,32 @@ fn compile_stmt(stmt: &Stmt, program: &mut Program, ctx: &mut FnCtx) -> Result<(
             ctx.ops.push(Op::Jump(0));
             match ctx.loop_stack.last_mut() {
                 Some(l) => l.breaks.push(patch),
-                None => return Err(LexError { line: 0, msg: "break outside loop".into() }),
+                None => {
+                    return Err(LexError {
+                        line: 0,
+                        msg: "break outside loop".into(),
+                    })
+                }
             }
         }
         Stmt::Continue => {
             let start = match ctx.loop_stack.last() {
                 Some(l) => l.start,
                 None => {
-                    return Err(LexError { line: 0, msg: "continue outside loop".into() });
+                    return Err(LexError {
+                        line: 0,
+                        msg: "continue outside loop".into(),
+                    });
                 }
             };
             ctx.ops.push(Op::Jump(start));
         }
         Stmt::Def { name, params, body } => {
             if !ctx.is_module {
-                return Err(LexError { line: 0, msg: "nested def not supported".into() });
+                return Err(LexError {
+                    line: 0,
+                    msg: "nested def not supported".into(),
+                });
             }
             let mut fctx = FnCtx::function(params, body);
             compile_suite(body, program, &mut fctx)?;
@@ -362,7 +401,10 @@ fn compile_expr(e: &Expr, program: &mut Program, ctx: &mut FnCtx) -> Result<(), 
                     ">" => BinKind::Gt,
                     ">=" => BinKind::Ge,
                     _ => {
-                        return Err(LexError { line: 0, msg: format!("operator `{other}`") });
+                        return Err(LexError {
+                            line: 0,
+                            msg: format!("operator `{other}`"),
+                        });
                     }
                 };
                 ctx.ops.push(Op::Bin(kind));
@@ -373,7 +415,10 @@ fn compile_expr(e: &Expr, program: &mut Program, ctx: &mut FnCtx) -> Result<(), 
                 compile_expr(a, program, ctx)?;
             }
             let idx = intern(program, name);
-            ctx.ops.push(Op::Call { name: idx, argc: args.len() as u8 });
+            ctx.ops.push(Op::Call {
+                name: idx,
+                argc: args.len() as u8,
+            });
         }
         Expr::Subscript { obj, index } => {
             compile_expr(obj, program, ctx)?;

@@ -103,7 +103,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Tok>, LexError> {
         }
         let indent = without_comment.len() - without_comment.trim_start_matches(' ').len();
         if without_comment.trim_start_matches(' ').starts_with('\t') {
-            return Err(LexError { line: line_no, msg: "tabs not supported".into() });
+            return Err(LexError {
+                line: line_no,
+                msg: "tabs not supported".into(),
+            });
         }
         let current = *indents.last().expect("indent stack non-empty");
         if indent > current {
@@ -115,7 +118,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Tok>, LexError> {
                 toks.push(Tok::Dedent);
             }
             if *indents.last().expect("stack") != indent {
-                return Err(LexError { line: line_no, msg: "inconsistent dedent".into() });
+                return Err(LexError {
+                    line: line_no,
+                    msg: "inconsistent dedent".into(),
+                });
             }
         }
         lex_line(without_comment.trim_start_matches(' '), line_no, &mut toks)?;
@@ -141,18 +147,23 @@ fn lex_line(mut s: &str, line: usize, out: &mut Vec<Tok>) -> Result<(), LexError
             continue;
         }
         if c.is_ascii_digit() {
-            let end = s.find(|c: char| !c.is_ascii_alphanumeric()).unwrap_or(s.len());
+            let end = s
+                .find(|c: char| !c.is_ascii_alphanumeric())
+                .unwrap_or(s.len());
             let body = &s[..end];
-            let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
-            {
-                i64::from_str_radix(hex, 16).ok()
-            } else {
-                body.parse::<i64>().ok()
-            };
+            let value =
+                if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+                    i64::from_str_radix(hex, 16).ok()
+                } else {
+                    body.parse::<i64>().ok()
+                };
             match value {
                 Some(v) => out.push(Tok::Int(v)),
                 None => {
-                    return Err(LexError { line, msg: format!("bad number `{body}`") });
+                    return Err(LexError {
+                        line,
+                        msg: format!("bad number `{body}`"),
+                    });
                 }
             }
             s = &s[end..];
@@ -177,7 +188,10 @@ fn lex_line(mut s: &str, line: usize, out: &mut Vec<Tok>) -> Result<(), LexError
                 continue 'outer;
             }
         }
-        return Err(LexError { line, msg: format!("unexpected character `{c}`") });
+        return Err(LexError {
+            line,
+            msg: format!("unexpected character `{c}`"),
+        });
     }
     Ok(())
 }

@@ -122,7 +122,10 @@ impl Parser<'_> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, LexError> {
-        Err(LexError { line: 0, msg: format!("{} near token {}", msg.into(), self.pos) })
+        Err(LexError {
+            line: 0,
+            msg: format!("{} near token {}", msg.into(), self.pos),
+        })
     }
 
     fn expect_op(&mut self, op: &str) -> Result<(), LexError> {
@@ -240,9 +243,10 @@ impl Parser<'_> {
                     let value = self.expr()?;
                     self.expect_newline()?;
                     match &first {
-                        Expr::Name(_) | Expr::Subscript { .. } => {
-                            Ok(Stmt::Assign { target: first, value })
-                        }
+                        Expr::Name(_) | Expr::Subscript { .. } => Ok(Stmt::Assign {
+                            target: first,
+                            value,
+                        }),
                         _ => self.err("invalid assignment target"),
                     }
                 } else {
@@ -267,7 +271,11 @@ impl Parser<'_> {
             }
             _ => Vec::new(),
         };
-        Ok(Stmt::If { cond, then, otherwise })
+        Ok(Stmt::If {
+            cond,
+            then,
+            otherwise,
+        })
     }
 
     // Precedence climbing: or < and < not < comparison < | < ^ < & <
@@ -288,7 +296,11 @@ impl Parser<'_> {
             };
             self.pos += 1;
             let rhs = next(self)?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -297,7 +309,11 @@ impl Parser<'_> {
         while *self.peek() == Tok::Kw(Kw::Or) {
             self.pos += 1;
             let rhs = self.and_expr()?;
-            lhs = Expr::Bin { op: "or".into(), lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: "or".into(),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -307,7 +323,11 @@ impl Parser<'_> {
         while *self.peek() == Tok::Kw(Kw::And) {
             self.pos += 1;
             let rhs = self.not_expr()?;
-            lhs = Expr::Bin { op: "and".into(), lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: "and".into(),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -316,7 +336,10 @@ impl Parser<'_> {
         if *self.peek() == Tok::Kw(Kw::Not) {
             self.pos += 1;
             let operand = self.not_expr()?;
-            return Ok(Expr::Unary { op: "not".into(), operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: "not".into(),
+                operand: Box::new(operand),
+            });
         }
         self.comparison()
     }
@@ -342,12 +365,18 @@ impl Parser<'_> {
             Tok::Op("-") => {
                 self.pos += 1;
                 let operand = self.unary()?;
-                Ok(Expr::Unary { op: "-".into(), operand: Box::new(operand) })
+                Ok(Expr::Unary {
+                    op: "-".into(),
+                    operand: Box::new(operand),
+                })
             }
             Tok::Op("~") => {
                 self.pos += 1;
                 let operand = self.unary()?;
-                Ok(Expr::Unary { op: "~".into(), operand: Box::new(operand) })
+                Ok(Expr::Unary {
+                    op: "~".into(),
+                    operand: Box::new(operand),
+                })
             }
             _ => self.postfix(),
         }
@@ -361,7 +390,10 @@ impl Parser<'_> {
                     self.pos += 1;
                     let index = self.expr()?;
                     self.expect_op("]")?;
-                    e = Expr::Subscript { obj: Box::new(e), index: Box::new(index) };
+                    e = Expr::Subscript {
+                        obj: Box::new(e),
+                        index: Box::new(index),
+                    };
                 }
                 Tok::Op("(") => {
                     let name = match &e {
@@ -433,7 +465,10 @@ mod tests {
     fn assignment_and_precedence() {
         let stmts = parse_src("x = 1 + 2 * 3");
         match &stmts[0] {
-            Stmt::Assign { value: Expr::Bin { op, rhs, .. }, .. } => {
+            Stmt::Assign {
+                value: Expr::Bin { op, rhs, .. },
+                ..
+            } => {
                 assert_eq!(op, "+");
                 assert!(matches!(**rhs, Expr::Bin { ref op, .. } if op == "*"));
             }
@@ -446,7 +481,10 @@ mod tests {
         // (sum1 & 65535) + (sum1 >> 16) pattern must parse as written.
         let stmts = parse_src("s = (a & 65535) + (a >> 16)");
         match &stmts[0] {
-            Stmt::Assign { value: Expr::Bin { op, .. }, .. } => assert_eq!(op, "+"),
+            Stmt::Assign {
+                value: Expr::Bin { op, .. },
+                ..
+            } => assert_eq!(op, "+"),
             other => panic!("{other:?}"),
         }
     }
@@ -493,10 +531,17 @@ mod tests {
         let stmts = parse_src("y = data[i + 1]\nz = len(data)\nw = [1, 2, 3]");
         assert!(matches!(
             &stmts[0],
-            Stmt::Assign { value: Expr::Subscript { .. }, .. }
+            Stmt::Assign {
+                value: Expr::Subscript { .. },
+                ..
+            }
         ));
-        assert!(matches!(&stmts[1], Stmt::Assign { value: Expr::Call { name, .. }, .. } if name == "len"));
-        assert!(matches!(&stmts[2], Stmt::Assign { value: Expr::List(items), .. } if items.len() == 3));
+        assert!(
+            matches!(&stmts[1], Stmt::Assign { value: Expr::Call { name, .. }, .. } if name == "len")
+        );
+        assert!(
+            matches!(&stmts[2], Stmt::Assign { value: Expr::List(items), .. } if items.len() == 3)
+        );
     }
 
     #[test]
@@ -504,7 +549,10 @@ mod tests {
         let stmts = parse_src("xs[0] = 5");
         assert!(matches!(
             &stmts[0],
-            Stmt::Assign { target: Expr::Subscript { .. }, .. }
+            Stmt::Assign {
+                target: Expr::Subscript { .. },
+                ..
+            }
         ));
     }
 
@@ -512,7 +560,10 @@ mod tests {
     fn bool_ops_and_not() {
         let stmts = parse_src("x = a and not b or c");
         match &stmts[0] {
-            Stmt::Assign { value: Expr::Bin { op, .. }, .. } => assert_eq!(op, "or"),
+            Stmt::Assign {
+                value: Expr::Bin { op, .. },
+                ..
+            } => assert_eq!(op, "or"),
             other => panic!("{other:?}"),
         }
     }

@@ -204,7 +204,10 @@ impl Vm {
         let n_locals = self.program.codes[code_idx].n_locals;
         let n_params = self.program.codes[code_idx].n_params;
         if code_idx != 0 && args.len() != n_params {
-            return Err(UpyError::Arity { expected: n_params, got: args.len() });
+            return Err(UpyError::Arity {
+                expected: n_params,
+                got: args.len(),
+            });
         }
         let mut locals = vec![Value::None; n_locals.max(args.len())];
         for (i, a) in args.into_iter().enumerate() {
@@ -334,7 +337,10 @@ impl Vm {
         match name {
             "len" => {
                 if args.len() != 1 {
-                    return Err(UpyError::Arity { expected: 1, got: args.len() });
+                    return Err(UpyError::Arity {
+                        expected: 1,
+                        got: args.len(),
+                    });
                 }
                 match &args[0] {
                     Value::Bytes(b) => Ok(Value::Int(b.len() as i64)),
@@ -347,7 +353,13 @@ impl Vm {
                     .iter()
                     .map(|v| match v {
                         Value::Int(i) => i.to_string(),
-                        Value::Bool(b) => if *b { "True".into() } else { "False".into() },
+                        Value::Bool(b) => {
+                            if *b {
+                                "True".into()
+                            } else {
+                                "False".into()
+                            }
+                        }
                         Value::None => "None".into(),
                         Value::Bytes(b) => format!("{b:?}"),
                         Value::List(_) => "[...]".into(),
@@ -463,7 +475,10 @@ impl FunctionRuntime for UpyRuntime {
 
     fn footprint(&self) -> Footprint {
         // Heap arena + interpreter state (stacks, globals table).
-        Footprint { rom_bytes: UPY_ROM_BYTES, ram_bytes: HEAP_BYTES + 200 }
+        Footprint {
+            rom_bytes: UPY_ROM_BYTES,
+            ram_bytes: HEAP_BYTES + 200,
+        }
     }
 
     fn fletcher_applet(&self) -> Vec<u8> {
@@ -483,18 +498,25 @@ impl FunctionRuntime for UpyRuntime {
     }
 
     fn run(&mut self, input: &[u8]) -> Result<RunOutcome, RuntimeError> {
-        let vm = self.vm.as_mut().ok_or_else(|| RuntimeError::new("upy-sim", "no program"))?;
+        let vm = self
+            .vm
+            .as_mut()
+            .ok_or_else(|| RuntimeError::new("upy-sim", "no program"))?;
         vm.set_global("data", Value::Bytes(Rc::new(input.to_vec())));
         let before = vm.steps();
-        vm.run_module().map_err(|e| RuntimeError::new("upy-sim", e.to_string()))?;
+        vm.run_module()
+            .map_err(|e| RuntimeError::new("upy-sim", e.to_string()))?;
         let steps = vm.steps() - before;
         let result = match vm.global("result") {
             Some(Value::Int(i)) => *i,
             _ => 0,
         };
-        let cycles =
-            RUN_OVERHEAD_CYCLES + steps * RUN_CYCLES_PER_OP + vm.gc_runs() * GC_CYCLES;
-        Ok(RunOutcome { result, steps, cycles })
+        let cycles = RUN_OVERHEAD_CYCLES + steps * RUN_CYCLES_PER_OP + vm.gc_runs() * GC_CYCLES;
+        Ok(RunOutcome {
+            result,
+            steps,
+            cycles,
+        })
     }
 }
 

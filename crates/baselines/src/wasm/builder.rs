@@ -70,7 +70,8 @@ impl FuncBuilder {
     /// Emits `block` (arity 0 or 1).
     pub fn block(&mut self, arity: u8) -> &mut Self {
         self.bytes.push(op::BLOCK);
-        self.bytes.push(if arity == 0 { op::BT_EMPTY } else { op::VT_I32 });
+        self.bytes
+            .push(if arity == 0 { op::BT_EMPTY } else { op::VT_I32 });
         self
     }
 
@@ -84,7 +85,8 @@ impl FuncBuilder {
     /// Emits `if` (arity 0 or 1).
     pub fn if_(&mut self, arity: u8) -> &mut Self {
         self.bytes.push(op::IF);
-        self.bytes.push(if arity == 0 { op::BT_EMPTY } else { op::VT_I32 });
+        self.bytes
+            .push(if arity == 0 { op::BT_EMPTY } else { op::VT_I32 });
         self
     }
 
@@ -252,7 +254,11 @@ impl ModuleBuilder {
         let mut fb = FuncBuilder::default();
         build(&mut fb);
         self.functions.push(FuncDecl {
-            name: if name.is_empty() { None } else { Some(name.to_owned()) },
+            name: if name.is_empty() {
+                None
+            } else {
+                Some(name.to_owned())
+            },
             n_params,
             n_locals,
             returns,

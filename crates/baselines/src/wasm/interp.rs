@@ -105,7 +105,12 @@ impl Instance {
     /// Instantiates a decoded module.
     pub fn new(module: Module) -> Self {
         let memory = vec![0u8; module.memory_pages as usize * PAGE_SIZE];
-        Instance { module, memory, steps: 0, call_start: 0 }
+        Instance {
+            module,
+            memory,
+            steps: 0,
+            call_start: 0,
+        }
     }
 
     /// Read access to linear memory.
@@ -125,7 +130,11 @@ impl Instance {
 
     /// Finds an exported function index by name.
     pub fn export(&self, name: &str) -> Option<u32> {
-        self.module.exports.iter().find(|(n, _)| n == name).map(|(_, i)| *i)
+        self.module
+            .exports
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, i)| *i)
     }
 
     /// Calls a function by index.
@@ -143,8 +152,11 @@ impl Instance {
         if depth > MAX_CALL_DEPTH {
             return Err(Trap::CallDepthExceeded);
         }
-        let f: &Function =
-            self.module.functions.get(func as usize).ok_or(Trap::BadFunction(func))?;
+        let f: &Function = self
+            .module
+            .functions
+            .get(func as usize)
+            .ok_or(Trap::BadFunction(func))?;
         let n_params = f.n_params as usize;
         let n_locals = f.n_locals as usize;
         let returns = f.returns;
@@ -195,7 +207,12 @@ impl Instance {
                     });
                 }
                 Instr::Loop => {
-                    ctrl.push(Ctrl { br_target: pc, is_loop: true, height: stack.len(), arity: 0 });
+                    ctrl.push(Ctrl {
+                        br_target: pc,
+                        is_loop: true,
+                        height: stack.len(),
+                        arity: 0,
+                    });
                 }
                 Instr::If { else_, end, arity } => {
                     let cond = pop!();
@@ -373,7 +390,11 @@ fn branch(
         .checked_sub(1 + depth as usize)
         .ok_or(Trap::StackUnderflow)?;
     let target = &ctrl[idx];
-    let carried = if target.is_loop { 0 } else { target.arity as usize };
+    let carried = if target.is_loop {
+        0
+    } else {
+        target.arity as usize
+    };
     if stack.len() < target.height + carried {
         return Err(Trap::StackUnderflow);
     }
@@ -429,7 +450,10 @@ pub fn fletcher_wasm_module() -> Vec<u8> {
                 .local_set(SUM1);
             fold(f, SUM1);
             // sum2 += sum1; fold
-            f.local_get(SUM2).local_get(SUM1).bin(op::I32_ADD).local_set(SUM2);
+            f.local_get(SUM2)
+                .local_get(SUM1)
+                .bin(op::I32_ADD)
+                .local_set(SUM2);
             fold(f, SUM2);
             // i += 2; continue
             f.local_get(I).i32_const(2).bin(op::I32_ADD).local_set(I);
@@ -438,7 +462,11 @@ pub fn fletcher_wasm_module() -> Vec<u8> {
             f.end(); // block
             fold(f, SUM1);
             fold(f, SUM2);
-            f.local_get(SUM2).i32_const(16).bin(op::I32_SHL).local_get(SUM1).bin(op::I32_OR);
+            f.local_get(SUM2)
+                .i32_const(16)
+                .bin(op::I32_SHL)
+                .local_get(SUM1)
+                .bin(op::I32_OR);
             f.end();
         })
         .build()
@@ -474,8 +502,7 @@ impl FunctionRuntime for WasmRuntime {
     }
 
     fn load(&mut self, applet: &[u8]) -> Result<LoadCost, RuntimeError> {
-        let module =
-            decode(applet).map_err(|e| RuntimeError::new("wasm-sim", e.to_string()))?;
+        let module = decode(applet).map_err(|e| RuntimeError::new("wasm-sim", e.to_string()))?;
         let cycles = module.bytes_decoded as u64 * LOAD_CYCLES_PER_BYTE
             + module.instrs_decoded as u64 * LOAD_CYCLES_PER_INSTR;
         self.instance = Some(Instance::new(module));
@@ -483,8 +510,10 @@ impl FunctionRuntime for WasmRuntime {
     }
 
     fn run(&mut self, input: &[u8]) -> Result<RunOutcome, RuntimeError> {
-        let inst =
-            self.instance.as_mut().ok_or_else(|| RuntimeError::new("wasm-sim", "no module"))?;
+        let inst = self
+            .instance
+            .as_mut()
+            .ok_or_else(|| RuntimeError::new("wasm-sim", "no module"))?;
         if inst.memory().len() < input.len() {
             return Err(RuntimeError::new("wasm-sim", "input larger than memory"));
         }
@@ -513,7 +542,12 @@ mod tests {
     use crate::native::{benchmark_input, fletcher32};
     use crate::wasm::builder::ModuleBuilder;
 
-    fn run_func<F>(n_params: u32, n_locals: u32, args: &[u32], build: F) -> Result<Option<u32>, Trap>
+    fn run_func<F>(
+        n_params: u32,
+        n_locals: u32,
+        args: &[u32],
+        build: F,
+    ) -> Result<Option<u32>, Trap>
     where
         F: FnOnce(&mut crate::wasm::builder::FuncBuilder),
     {
@@ -536,7 +570,11 @@ mod tests {
     #[test]
     fn locals_and_params() {
         let r = run_func(2, 1, &[30, 12], |f| {
-            f.local_get(0).local_get(1).bin(op::I32_ADD).local_tee(2).drop_();
+            f.local_get(0)
+                .local_get(1)
+                .bin(op::I32_ADD)
+                .local_tee(2)
+                .drop_();
             f.local_get(2).end();
         });
         assert_eq!(r.unwrap(), Some(42));

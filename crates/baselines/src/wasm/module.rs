@@ -229,14 +229,19 @@ pub fn decode(bytes: &[u8]) -> Result<Module, WasmDecodeError> {
         let id = r.u8()?;
         let size = r.uleb()? as usize;
         let content = r.take(size)?;
-        let mut s = Reader { bytes: content, pos: 0 };
+        let mut s = Reader {
+            bytes: content,
+            pos: 0,
+        };
         match id {
             1 => {
                 // Type section.
                 let n = s.uleb()?;
                 for _ in 0..n {
                     if s.u8()? != op::FUNC_TYPE {
-                        return Err(WasmDecodeError::Unsupported { what: "non-func type".into() });
+                        return Err(WasmDecodeError::Unsupported {
+                            what: "non-func type".into(),
+                        });
                     }
                     let np = s.uleb()? as u32;
                     for _ in 0..np {
@@ -268,7 +273,9 @@ pub fn decode(bytes: &[u8]) -> Result<Module, WasmDecodeError> {
             5 => {
                 let n = s.uleb()?;
                 if n > 1 {
-                    return Err(WasmDecodeError::Unsupported { what: "multiple memories".into() });
+                    return Err(WasmDecodeError::Unsupported {
+                        what: "multiple memories".into(),
+                    });
                 }
                 if n == 1 {
                     let flags = s.u8()?;
@@ -296,7 +303,10 @@ pub fn decode(bytes: &[u8]) -> Result<Module, WasmDecodeError> {
                 for _ in 0..n {
                     let body_size = s.uleb()? as usize;
                     let body_bytes = s.take(body_size)?;
-                    let mut b = Reader { bytes: body_bytes, pos: 0 };
+                    let mut b = Reader {
+                        bytes: body_bytes,
+                        pos: 0,
+                    };
                     let mut n_locals = 0u32;
                     let decl_count = b.uleb()?;
                     for _ in 0..decl_count {
@@ -331,9 +341,16 @@ pub fn decode(bytes: &[u8]) -> Result<Module, WasmDecodeError> {
     for (ty_idx, (n_locals, body, count)) in func_types.iter().zip(bodies) {
         let (n_params, returns) = *types
             .get(*ty_idx as usize)
-            .ok_or(WasmDecodeError::Invalid { what: "type index".into() })?;
+            .ok_or(WasmDecodeError::Invalid {
+                what: "type index".into(),
+            })?;
         instr_total += count;
-        module.functions.push(Function { n_params, n_locals, returns, body });
+        module.functions.push(Function {
+            n_params,
+            n_locals,
+            returns,
+            body,
+        });
     }
     module.bytes_decoded = bytes.len();
     module.instrs_decoded = instr_total;
@@ -365,7 +382,11 @@ fn decode_body(r: &mut Reader<'_>) -> Result<(Vec<Instr>, usize), WasmDecodeErro
                 match b {
                     op::BLOCK => Instr::Block { end: 0, arity },
                     op::LOOP => Instr::Loop,
-                    _ => Instr::If { else_: 0, end: 0, arity },
+                    _ => Instr::If {
+                        else_: 0,
+                        end: 0,
+                        arity,
+                    },
                 }
             }
             op::ELSE => {
@@ -376,7 +397,9 @@ fn decode_body(r: &mut Reader<'_>) -> Result<(Vec<Instr>, usize), WasmDecodeErro
                 match &mut out[idx] {
                     Instr::If { else_, .. } => *else_ = here + 1,
                     _ => {
-                        return Err(WasmDecodeError::Invalid { what: "else without if".into() });
+                        return Err(WasmDecodeError::Invalid {
+                            what: "else without if".into(),
+                        });
                     }
                 }
                 Instr::Else { end: 0 }
@@ -547,7 +570,10 @@ mod tests {
         let pos = bytes.len() - 1;
         assert_eq!(bytes[pos], 0x0b);
         bytes[pos] = 0x44;
-        assert!(matches!(decode(&bytes), Err(WasmDecodeError::Unsupported { .. })));
+        assert!(matches!(
+            decode(&bytes),
+            Err(WasmDecodeError::Unsupported { .. })
+        ));
     }
 
     #[test]

@@ -96,5 +96,10 @@ fn bench_budget_bookkeeping(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_allowlist_depth, bench_defensive_structure, bench_budget_bookkeeping);
+criterion_group!(
+    benches,
+    bench_allowlist_depth,
+    bench_defensive_structure,
+    bench_budget_bookkeeping
+);
 criterion_main!(benches);

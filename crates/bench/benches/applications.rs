@@ -18,10 +18,14 @@ fn engine() -> HostingEngine {
         Hook::new("timer", HookKind::Timer, HookPolicy::First),
         ContractOffer::helpers(standard_helper_ids()),
     );
-    e.env().saul.borrow_mut().register("temp0", DeviceClass::SenseTemp, || Phydat {
-        value: 2155,
-        scale: -2,
-    });
+    e.env()
+        .saul()
+        .lock()
+        .unwrap()
+        .register("temp0", DeviceClass::SenseTemp, || Phydat {
+            value: 2155,
+            scale: -2,
+        });
     e
 }
 
@@ -34,7 +38,12 @@ fn bench_apps(c: &mut Criterion) {
     {
         let mut e = engine();
         let id = e
-            .install("fletcher", 1, &apps::fletcher32_app().to_bytes(), Default::default())
+            .install(
+                "fletcher",
+                1,
+                &apps::fletcher32_app().to_bytes(),
+                Default::default(),
+            )
             .expect("installs");
         let ctx = apps::fletcher_ctx(&benchmark_input());
         group.bench_function("fletcher32", |b| {
@@ -61,8 +70,7 @@ fn bench_apps(c: &mut Criterion) {
     {
         let mut e = engine();
         e.env()
-            .stores
-            .borrow_mut()
+            .stores()
             .store(9, 1, fc_kvstore::Scope::Tenant, 1, 2155)
             .expect("seeds");
         let id = e

@@ -30,7 +30,14 @@ fn bench_hooks(c: &mut Criterion) {
     );
     let ctx = sched_ctx();
     group.bench_function("empty_hook", |b| {
-        b.iter(|| black_box(empty.fire_hook(sched_hook_id(), &ctx, &[]).expect("fires").cycles))
+        b.iter(|| {
+            black_box(
+                empty
+                    .fire_hook(sched_hook_id(), &ctx, &[])
+                    .expect("fires")
+                    .cycles,
+            )
+        })
     });
 
     let mut with_app = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
@@ -39,12 +46,22 @@ fn bench_hooks(c: &mut Criterion) {
         ContractOffer::helpers(standard_helper_ids()),
     );
     let id = with_app
-        .install("pid_log", 1, &apps::thread_counter().to_bytes(), apps::thread_counter_request())
+        .install(
+            "pid_log",
+            1,
+            &apps::thread_counter().to_bytes(),
+            apps::thread_counter_request(),
+        )
         .expect("installs");
     with_app.attach(id, sched_hook_id()).expect("attaches");
     group.bench_function("hook_with_application", |b| {
         b.iter(|| {
-            black_box(with_app.fire_hook(sched_hook_id(), &ctx, &[]).expect("fires").cycles)
+            black_box(
+                with_app
+                    .fire_hook(sched_hook_id(), &ctx, &[])
+                    .expect("fires")
+                    .cycles,
+            )
         })
     });
     group.finish();

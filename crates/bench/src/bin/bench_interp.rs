@@ -16,7 +16,7 @@
 //!
 //! Pass `--quick` for a smoke run (CI) with tiny measurement budgets.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fc_bench::figure8_classes;
@@ -89,11 +89,16 @@ fn bench_program(src: &str, budget: Duration) -> (f64, f64) {
 
     let interp = Interpreter::new(&prog, ExecConfig::default());
     let vanilla_ns = measure(budget, || {
-        interp.run(&mut mem, &mut helpers, 0).expect("runs").return_value
+        interp
+            .run(&mut mem, &mut helpers, 0)
+            .expect("runs")
+            .return_value
     });
     let fast = FastInterpreter::new(&decoded, ExecConfig::default());
     let fast_ns = measure(budget, || {
-        fast.run(&mut mem, &mut helpers, 0).expect("runs").return_value
+        fast.run(&mut mem, &mut helpers, 0)
+            .expect("runs")
+            .return_value
     });
     (vanilla_ns / ops, fast_ns / ops)
 }
@@ -124,7 +129,7 @@ ja loop"
 }
 
 fn seed_style_hook_event(
-    env: &Rc<HostEnv>,
+    env: &Arc<HostEnv>,
     image: &FcProgram,
     prog: &fc_rbpf::VerifiedProgram,
     ctx: &[u8],
@@ -140,7 +145,13 @@ fn seed_style_hook_event(
     if !image.rodata.is_empty() {
         mem.add_rodata(image.rodata.clone());
     }
-    let mut helpers = build_registry(env, 1, 1, &standard_helper_ids());
+    let mut helpers = build_registry(
+        env,
+        &fc_core::helpers_impl::HelperMeter::new(),
+        1,
+        1,
+        &standard_helper_ids(),
+    );
     let out = Interpreter::new(prog, ExecConfig::default())
         .run(&mut mem, &mut helpers, fc_rbpf::mem::CTX_VADDR)
         .expect("runs");
@@ -167,7 +178,11 @@ fn main() {
             "{name:<28} vanilla {vanilla:7.2} ns/op   fast {fast:7.2} ns/op   speedup {:.2}x",
             vanilla / fast
         );
-        rows.push(ClassRow { name, vanilla_ns_per_op: vanilla, fast_ns_per_op: fast });
+        rows.push(ClassRow {
+            name,
+            vanilla_ns_per_op: vanilla,
+            fast_ns_per_op: fast,
+        });
     }
 
     // --- 2. ALU/branch aggregates ----------------------------------
@@ -177,12 +192,12 @@ fn main() {
         .iter()
         .filter(|r| r.name.starts_with("ALU") || r.name.starts_with("Branch"))
         .collect();
-    let class_mix_speedup = (alu_branch.iter().map(|r| r.speedup().ln()).sum::<f64>()
-        / alu_branch.len() as f64)
-        .exp();
+    let class_mix_speedup =
+        (alu_branch.iter().map(|r| r.speedup().ln()).sum::<f64>() / alu_branch.len() as f64).exp();
     println!(
         "{:<28} geometric-mean speedup {class_mix_speedup:.2}x over {} classes",
-        "ALU/branch class mix", alu_branch.len()
+        "ALU/branch class mix",
+        alu_branch.len()
     );
 
     // Secondary: a looped, non-fusable ALU/branch workload (pure
@@ -198,7 +213,7 @@ fn main() {
     let image_bytes = apps::thread_counter().to_bytes();
     let image = FcProgram::from_bytes(&image_bytes).expect("parses");
     let prog = verifier::verify(&image.text, &standard_helper_ids()).expect("verifies");
-    let env = Rc::new(HostEnv::new(fc_kvstore::DEFAULT_CAPACITY));
+    let env = Arc::new(HostEnv::new(fc_kvstore::DEFAULT_CAPACITY));
     let mut ctx = Vec::new();
     ctx.extend_from_slice(&1u64.to_le_bytes());
     ctx.extend_from_slice(&2u64.to_le_bytes());
@@ -215,7 +230,10 @@ fn main() {
         .expect("installs");
     engine.attach(id, sched_hook_id()).expect("attaches");
     let arena_ns = measure(budget, || {
-        engine.fire_hook(sched_hook_id(), &ctx, &[]).expect("fires").cycles
+        engine
+            .fire_hook(sched_hook_id(), &ctx, &[])
+            .expect("fires")
+            .cycles
     });
 
     let seed_eps = 1.0e9 / seed_ns;

@@ -113,8 +113,7 @@ pub fn table2() -> Report {
         ]);
     }
     Report {
-        title: "Table 2: fletcher32 (360 B) hosted in different runtimes, Cortex-M4 @64 MHz"
-            .into(),
+        title: "Table 2: fletcher32 (360 B) hosted in different runtimes, Cortex-M4 @64 MHz".into(),
         headers: [
             "Runtime",
             "code size",
@@ -134,8 +133,16 @@ pub fn table2() -> Report {
 /// MicroPython vs an rBPF Femto-Container runtime.
 pub fn figure2() -> Vec<Report> {
     let images = [
-        ("MicroPython", fc_baselines::upy::UPY_ROM_BYTES, "154 kB total, 66% runtime"),
-        ("rBPF Femto-Container", fc_baselines::rbpf_rt::RBPF_ROM_BYTES, "57 kB total, 8% runtime"),
+        (
+            "MicroPython",
+            fc_baselines::upy::UPY_ROM_BYTES,
+            "154 kB total, 66% runtime",
+        ),
+        (
+            "rBPF Femto-Container",
+            fc_baselines::rbpf_rt::RBPF_ROM_BYTES,
+            "57 kB total, 8% runtime",
+        ),
     ];
     images
         .iter()
@@ -234,12 +241,32 @@ pub fn figure8_classes() -> Vec<(&'static str, String, OpClass)> {
         ("ALU multiply imm", body("mul r3, 7", 64), OpClass::Mul),
         ("ALU right shift imm", body("rsh r3, 1", 64), OpClass::Alu64),
         ("ALU divide imm", body("div r3, 7", 64), OpClass::Div),
-        ("MEM load double", body("ldxdw r3, [r10-8]", 64), OpClass::Load),
-        ("MEM store double imm", body("stdw [r10-8], 42", 64), OpClass::Store),
-        ("MEM store double", body("stxdw [r10-8], r3", 64), OpClass::Store),
+        (
+            "MEM load double",
+            body("ldxdw r3, [r10-8]", 64),
+            OpClass::Load,
+        ),
+        (
+            "MEM store double imm",
+            body("stdw [r10-8], 42", 64),
+            OpClass::Store,
+        ),
+        (
+            "MEM store double",
+            body("stxdw [r10-8], r3", 64),
+            OpClass::Store,
+        ),
         ("Branch always", body("ja +0", 64), OpClass::BranchTaken),
-        ("Branch equal (jump)", body("jeq r4, 3, +0", 64), OpClass::BranchTaken),
-        ("Branch equal (continue)", body("jeq r4, 0, +0", 64), OpClass::BranchNotTaken),
+        (
+            "Branch equal (jump)",
+            body("jeq r4, 3, +0", 64),
+            OpClass::BranchTaken,
+        ),
+        (
+            "Branch equal (continue)",
+            body("jeq r4, 0, +0", 64),
+            OpClass::BranchNotTaken,
+        ),
     ]
 }
 
@@ -257,9 +284,11 @@ pub fn figure8() -> Report {
             mem.add_stack(512);
             let mut helpers = fc_rbpf::helpers::HelperRegistry::new();
             let exec = match engine {
-                Engine::CertFc => fc_rbpf::certfc::CertInterpreter::new(&prog, ExecConfig::default())
-                    .run(&mut mem, &mut helpers, 0)
-                    .expect("runs"),
+                Engine::CertFc => {
+                    fc_rbpf::certfc::CertInterpreter::new(&prog, ExecConfig::default())
+                        .run(&mut mem, &mut helpers, 0)
+                        .expect("runs")
+                }
                 _ => fc_rbpf::interp::Interpreter::new(&prog, ExecConfig::default())
                     .run(&mut mem, &mut helpers, 0)
                     .expect("runs"),
@@ -298,10 +327,14 @@ fn engine_with_hooks(platform: Platform, flavor: Engine) -> HostingEngine {
             ContractOffer::helpers(standard_helper_ids()),
         );
     }
-    e.env().saul.borrow_mut().register("temp0", DeviceClass::SenseTemp, || Phydat {
-        value: 2155,
-        scale: -2,
-    });
+    e.env()
+        .saul()
+        .lock()
+        .unwrap()
+        .register("temp0", DeviceClass::SenseTemp, || Phydat {
+            value: 2155,
+            scale: -2,
+        });
     e
 }
 
@@ -329,7 +362,8 @@ pub fn figure9() -> Report {
                         )
                         .expect("installs");
                     let input = benchmark_input();
-                    e.execute(id, &apps::fletcher_ctx(&input), &[]).expect("runs")
+                    e.execute(id, &apps::fletcher_ctx(&input), &[])
+                        .expect("runs")
                 }
                 1 => {
                     let id = e
@@ -347,8 +381,7 @@ pub fn figure9() -> Report {
                 }
                 _ => {
                     e.env()
-                        .stores
-                        .borrow_mut()
+                        .stores()
                         .store(9, 1, fc_kvstore::Scope::Tenant, 1, 2155)
                         .expect("seeds store");
                     let id = e
@@ -385,12 +418,18 @@ pub fn figure9() -> Report {
 /// **Table 4** — hook overhead in clock ticks: empty launchpad vs
 /// launchpad with the thread-counter application attached.
 pub fn table4() -> Report {
-    let paper: &[(&str, u64, u64)] =
-        &[("Cortex-M4", 109, 1750), ("ESP32", 83, 1163), ("RISC-V", 106, 754)];
+    let paper: &[(&str, u64, u64)] = &[
+        ("Cortex-M4", 109, 1750),
+        ("ESP32", 83, 1163),
+        ("RISC-V", 106, 754),
+    ];
     let mut rows = Vec::new();
     for platform in ALL_PLATFORMS {
         let mut e = engine_with_hooks(platform, Engine::FemtoContainer);
-        let empty = e.fire_hook(sched_hook_id(), &[0u8; 16], &[]).expect("fires").cycles;
+        let empty = e
+            .fire_hook(sched_hook_id(), &[0u8; 16], &[])
+            .expect("fires")
+            .cycles;
         let id = e
             .install(
                 "pid_log",
@@ -403,7 +442,10 @@ pub fn table4() -> Report {
         let mut ctx = Vec::new();
         ctx.extend_from_slice(&1u64.to_le_bytes());
         ctx.extend_from_slice(&2u64.to_le_bytes());
-        let with_app = e.fire_hook(sched_hook_id(), &ctx, &[]).expect("fires").cycles;
+        let with_app = e
+            .fire_hook(sched_hook_id(), &ctx, &[])
+            .expect("fires")
+            .cycles;
         let (_, p_empty, p_app) = paper
             .iter()
             .find(|(n, _, _)| *n == platform.name())
@@ -419,9 +461,15 @@ pub fn table4() -> Report {
     }
     Report {
         title: "Table 4: Hook overhead in clock ticks (thread-switch example)".into(),
-        headers: ["Platform", "Empty hook", "Hook + app", "paper empty", "paper + app"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "Platform",
+            "Empty hook",
+            "Hook + app",
+            "paper empty",
+            "paper + app",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     }
 }
@@ -431,13 +479,28 @@ pub fn table4() -> Report {
 pub fn multi_instance() -> Report {
     let mut e = engine_with_hooks(Platform::CortexM4, Engine::FemtoContainer);
     let t1 = e
-        .install("pid_log", 1, &apps::thread_counter().to_bytes(), apps::thread_counter_request())
+        .install(
+            "pid_log",
+            1,
+            &apps::thread_counter().to_bytes(),
+            apps::thread_counter_request(),
+        )
         .expect("installs");
     let t2 = e
-        .install("sensor", 2, &apps::sensor_process().to_bytes(), apps::sensor_process_request())
+        .install(
+            "sensor",
+            2,
+            &apps::sensor_process().to_bytes(),
+            apps::sensor_process_request(),
+        )
         .expect("installs");
     let t3 = e
-        .install("coap_fmt", 2, &apps::coap_formatter().to_bytes(), apps::coap_formatter_request())
+        .install(
+            "coap_fmt",
+            2,
+            &apps::coap_formatter().to_bytes(),
+            apps::coap_formatter_request(),
+        )
         .expect("installs");
     // Run each once so the stores materialise, as in the paper's setup.
     let mut sched_ctx = Vec::new();
@@ -445,12 +508,18 @@ pub fn multi_instance() -> Report {
     sched_ctx.extend_from_slice(&2u64.to_le_bytes());
     e.execute(t1, &sched_ctx, &[]).expect("runs");
     e.execute(t2, &[0u8; 4], &[]).expect("runs");
-    e.execute(t3, &coap_ctx_bytes(64), &[HostRegion::read_write("pkt", vec![0; 64])])
-        .expect("runs");
+    e.execute(
+        t3,
+        &coap_ctx_bytes(64),
+        &[HostRegion::read_write("pkt", vec![0; 64])],
+    )
+    .expect("runs");
 
-    let per_instance: Vec<usize> =
-        [t1, t2, t3].iter().map(|id| e.container(*id).unwrap().ram_bytes()).collect();
-    let stores = e.env().stores.borrow().ram_bytes();
+    let per_instance: Vec<usize> = [t1, t2, t3]
+        .iter()
+        .map(|id| e.container(*id).unwrap().ram_bytes())
+        .collect();
+    let stores = e.env().stores().ram_bytes();
     let total = e.ram_bytes();
     let avg_image = 2000usize;
     let density = (256 * 1024) / (per_instance[0] + avg_image);
@@ -458,9 +527,21 @@ pub fn multi_instance() -> Report {
         title: "§10.3: RAM for 3 containers / 2 tenants (paper: 3.2 KiB; density ≈100)".into(),
         headers: ["Quantity", "Measured", "Paper"].map(String::from).to_vec(),
         rows: vec![
-            vec!["Per-instance RAM".into(), format!("{} B", per_instance[0]), "624 B".into()],
-            vec!["Key-value stores + housekeeping".into(), format!("{stores} B"), "340 B".into()],
-            vec!["Total (3 containers, 2 tenants)".into(), bytes(total), "3.2 KiB".into()],
+            vec![
+                "Per-instance RAM".into(),
+                format!("{} B", per_instance[0]),
+                "624 B".into(),
+            ],
+            vec![
+                "Key-value stores + housekeeping".into(),
+                format!("{stores} B"),
+                "340 B".into(),
+            ],
+            vec![
+                "Total (3 containers, 2 tenants)".into(),
+                bytes(total),
+                "3.2 KiB".into(),
+            ],
             vec![
                 "Density on 256 KiB RAM (2 KB apps)".into(),
                 format!("≈{density} instances"),
@@ -507,7 +588,11 @@ mod tests {
             assert!(empty < 150, "empty hook ≈100 ticks");
             assert!(with_app > empty * 5, "app dominates hook cost");
             let ratio = with_app as f64 / paper_with_app as f64;
-            assert!((0.4..2.5).contains(&ratio), "{}: {with_app} vs {paper_with_app}", row[0]);
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "{}: {with_app} vs {paper_with_app}",
+                row[0]
+            );
         }
     }
 

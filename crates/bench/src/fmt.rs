@@ -64,7 +64,10 @@ mod tests {
         let t = render_table(
             "T",
             &["a", "bb"],
-            &[vec!["xxx".into(), "y".into()], vec!["z".into(), "wwww".into()]],
+            &[
+                vec!["xxx".into(), "y".into()],
+                vec!["z".into(), "wwww".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 5);

@@ -246,7 +246,12 @@ mod tests {
             ContractOffer::helpers(standard_helper_ids()),
         );
         let id = e
-            .install("pid_log", 1, &thread_counter().to_bytes(), thread_counter_request())
+            .install(
+                "pid_log",
+                1,
+                &thread_counter().to_bytes(),
+                thread_counter_request(),
+            )
             .unwrap();
         e.attach(id, sched_hook_id()).unwrap();
         // Simulate switches to thread 3 twice and thread 5 once.
@@ -256,36 +261,53 @@ mod tests {
             ctx.extend_from_slice(&next.to_le_bytes());
             e.fire_hook(sched_hook_id(), &ctx, &[]).unwrap();
         }
-        let stores = e.env().stores.borrow();
-        assert_eq!(stores.global().fetch(3), 2);
-        assert_eq!(stores.global().fetch(5), 1);
-        assert_eq!(stores.global().fetch(0), 0, "idle (pid 0) never counted");
+        let global = e.env().stores().global_snapshot();
+        assert_eq!(global.fetch(3), 2);
+        assert_eq!(global.fetch(5), 1);
+        assert_eq!(global.fetch(0), 0, "idle (pid 0) never counted");
     }
 
     #[test]
     fn thread_counter_ignores_zero_pid() {
         let mut e = engine();
         let id = e
-            .install("pid_log", 1, &thread_counter().to_bytes(), thread_counter_request())
+            .install(
+                "pid_log",
+                1,
+                &thread_counter().to_bytes(),
+                thread_counter_request(),
+            )
             .unwrap();
         let ctx = [0u8; 16];
         let r = e.execute(id, &ctx, &[]).unwrap();
         assert_eq!(r.result, Ok(0));
-        assert!(e.env().stores.borrow().global().is_empty());
+        assert!(e.env().stores().global_snapshot().is_empty());
     }
 
     #[test]
     fn sensor_process_builds_moving_average() {
         let mut e = engine();
-        e.env().saul.borrow_mut().register("temp0", DeviceClass::SenseTemp, {
-            let mut v = 2000;
-            move || {
-                v += 8;
-                Phydat { value: v, scale: -2 }
-            }
-        });
+        e.env()
+            .saul()
+            .lock()
+            .unwrap()
+            .register("temp0", DeviceClass::SenseTemp, {
+                let mut v = 2000;
+                move || {
+                    v += 8;
+                    Phydat {
+                        value: v,
+                        scale: -2,
+                    }
+                }
+            });
         let id = e
-            .install("sensor", 2, &sensor_process().to_bytes(), sensor_process_request())
+            .install(
+                "sensor",
+                2,
+                &sensor_process().to_bytes(),
+                sensor_process_request(),
+            )
             .unwrap();
         let first = e.execute(id, &[0u8; 4], &[]).unwrap();
         // First sample seeds the average.
@@ -293,20 +315,40 @@ mod tests {
         for _ in 0..10 {
             e.execute(id, &[0u8; 4], &[]).unwrap();
         }
-        let avg = e.env().stores.borrow().tenant(2).unwrap().fetch(SENSOR_VALUE_KEY);
-        assert!(avg > 2008 && avg < 2100, "avg {avg} tracks the rising signal");
+        let avg = e
+            .env()
+            .stores()
+            .tenant_snapshot(2)
+            .unwrap()
+            .fetch(SENSOR_VALUE_KEY);
+        assert!(
+            avg > 2008 && avg < 2100,
+            "avg {avg} tracks the rising signal"
+        );
     }
 
     #[test]
     fn coap_formatter_emits_parsable_response() {
         let mut e = engine();
         // Seed the tenant store as sensor_process would.
-        e.env().stores.borrow_mut().store(9, 2, fc_kvstore::Scope::Tenant, 1, 2155).unwrap();
+        e.env()
+            .stores()
+            .store(9, 2, fc_kvstore::Scope::Tenant, 1, 2155)
+            .unwrap();
         let id = e
-            .install("fmt", 2, &coap_formatter().to_bytes(), coap_formatter_request())
+            .install(
+                "fmt",
+                2,
+                &coap_formatter().to_bytes(),
+                coap_formatter_request(),
+            )
             .unwrap();
         let r = e
-            .execute(id, &coap_ctx_bytes(64), &[HostRegion::read_write("pkt", vec![0; 64])])
+            .execute(
+                id,
+                &coap_ctx_bytes(64),
+                &[HostRegion::read_write("pkt", vec![0; 64])],
+            )
             .unwrap();
         let len = r.result.expect("formatter succeeds") as usize;
         let pdu = &r.regions_back[0].1[..len];
@@ -319,7 +361,12 @@ mod tests {
     fn fletcher_app_matches_reference() {
         let mut e = engine();
         let id = e
-            .install("fletcher", 1, &fletcher32_app().to_bytes(), ContractRequest::default())
+            .install(
+                "fletcher",
+                1,
+                &fletcher32_app().to_bytes(),
+                ContractRequest::default(),
+            )
             .unwrap();
         let input: Vec<u8> = (0..360).map(|i| 0x20 + (i * 7 % 95) as u8).collect();
         let r = e.execute(id, &fletcher_ctx(&input), &[]).unwrap();
@@ -344,7 +391,12 @@ mod tests {
     fn fletcher_timing_lands_in_figure9_range() {
         let mut e = engine();
         let id = e
-            .install("fletcher", 1, &fletcher32_app().to_bytes(), ContractRequest::default())
+            .install(
+                "fletcher",
+                1,
+                &fletcher32_app().to_bytes(),
+                ContractRequest::default(),
+            )
             .unwrap();
         let input: Vec<u8> = vec![0x41; 360];
         let r = e.execute(id, &fletcher_ctx(&input), &[]).unwrap();
@@ -357,7 +409,12 @@ mod tests {
     fn packet_filter_blocks_only_matching_port() {
         let mut e = engine();
         let id = e
-            .install("fw", 1, &packet_filter(5683).to_bytes(), ContractRequest::default())
+            .install(
+                "fw",
+                1,
+                &packet_filter(5683).to_bytes(),
+                ContractRequest::default(),
+            )
             .unwrap();
         let mk_pkt = |port: u16| {
             let mut p = vec![0u8; 8];
@@ -375,7 +432,11 @@ mod tests {
         assert_eq!(passed.result, Ok(0));
         // Short packet accepted (cannot carry a port).
         let short = e
-            .execute(id, &2u32.to_le_bytes(), &[HostRegion::read_only("pkt", vec![0; 2])])
+            .execute(
+                id,
+                &2u32.to_le_bytes(),
+                &[HostRegion::read_only("pkt", vec![0; 2])],
+            )
             .unwrap();
         assert_eq!(short.result, Ok(0));
     }

@@ -23,7 +23,10 @@ pub struct ContractRequest {
 impl ContractRequest {
     /// A request for the given helper ids.
     pub fn helpers<I: IntoIterator<Item = u32>>(ids: I) -> Self {
-        ContractRequest { helpers: ids.into_iter().collect(), extra_stack: 0 }
+        ContractRequest {
+            helpers: ids.into_iter().collect(),
+            extra_stack: 0,
+        }
     }
 }
 
@@ -39,7 +42,10 @@ pub struct ContractOffer {
 impl ContractOffer {
     /// An offer of the given helper ids.
     pub fn helpers<I: IntoIterator<Item = u32>>(ids: I) -> Self {
-        ContractOffer { helpers: ids.into_iter().collect(), max_extra_stack: 0 }
+        ContractOffer {
+            helpers: ids.into_iter().collect(),
+            max_extra_stack: 0,
+        }
     }
 }
 
@@ -56,7 +62,11 @@ impl Contract {
     /// Computes the grant.
     pub fn grant(request: &ContractRequest, offer: &ContractOffer) -> Self {
         Contract {
-            helpers: request.helpers.intersection(&offer.helpers).copied().collect(),
+            helpers: request
+                .helpers
+                .intersection(&offer.helpers)
+                .copied()
+                .collect(),
             extra_stack: request.extra_stack.min(offer.max_extra_stack),
         }
     }

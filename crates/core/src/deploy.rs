@@ -11,7 +11,7 @@ use fc_net::coap::{option, Code, Message};
 use fc_net::endpoint::CoapServer;
 use fc_rbpf::isa::{self, CALL};
 use fc_rbpf::program::FcProgram;
-use fc_suit::{Manifest, SigningKey, Uuid, UpdateError, UpdateManager, VerifyingKey};
+use fc_suit::{Manifest, SigningKey, UpdateError, UpdateManager, Uuid, VerifyingKey};
 
 use crate::contract::ContractRequest;
 use crate::engine::{ContainerId, EngineError, HostingEngine};
@@ -222,7 +222,11 @@ pub fn register_coap_endpoints(
             let block = req
                 .option_uint(option::BLOCK1)
                 .and_then(Block::from_uint)
-                .unwrap_or(Block { num: 0, more: false, szx: 6 });
+                .unwrap_or(Block {
+                    num: 0,
+                    more: false,
+                    szx: 6,
+                });
             let mut staged = staged.borrow_mut();
             let buf = staged.entry(name).or_default();
             let offset = block.offset();
@@ -240,7 +244,11 @@ pub fn register_coap_endpoints(
             }
             let mut resp = Message::response_to(
                 req,
-                if block.more { Code::Continue } else { Code::Changed },
+                if block.more {
+                    Code::Continue
+                } else {
+                    Code::Changed
+                },
             );
             resp.add_option_uint(option::BLOCK1, block.to_uint());
             resp
@@ -253,9 +261,7 @@ pub fn register_coap_endpoints(
             let mut service = service.borrow_mut();
             let mut engine = engine.borrow_mut();
             let staged = staged.borrow();
-            let result = service.apply(&mut engine, &req.payload, |uri| {
-                staged.get(uri).cloned()
-            });
+            let result = service.apply(&mut engine, &req.payload, |uri| staged.get(uri).cloned());
             match result {
                 Ok((id, _)) => {
                     let mut resp = Message::response_to(req, Code::Changed);
@@ -277,12 +283,7 @@ pub fn register_coap_endpoints(
 /// Author-side convenience: pushes a payload to the device in Block1
 /// chunks through a request-delivery closure (tests drive this over the
 /// lossy link; `send` returns the device's response).
-pub fn push_payload_blocks<F>(
-    uri: &str,
-    payload: &[u8],
-    block_size: usize,
-    mut send: F,
-) -> bool
+pub fn push_payload_blocks<F>(uri: &str, payload: &[u8], block_size: usize, mut send: F) -> bool
 where
     F: FnMut(Message) -> Option<Message>,
 {
@@ -295,7 +296,15 @@ where
         let mut req = Message::request(Code::Post, 0, &[]);
         req.set_path("suit/payload");
         req.add_option(option::URI_QUERY, uri.as_bytes().to_vec());
-        req.add_option_uint(option::BLOCK1, Block { num, more, szx: block.szx }.to_uint());
+        req.add_option_uint(
+            option::BLOCK1,
+            Block {
+                num,
+                more,
+                szx: block.szx,
+            }
+            .to_uint(),
+        );
         req.payload = chunk;
         match send(req) {
             Some(resp) if resp.code.is_success() => {}
@@ -346,9 +355,12 @@ mod tests {
         let req = required_helpers(&app);
         assert_eq!(
             req,
-            [fc_rbpf::helpers::ids::BPF_FETCH_GLOBAL, fc_rbpf::helpers::ids::BPF_STORE_GLOBAL]
-                .into_iter()
-                .collect()
+            [
+                fc_rbpf::helpers::ids::BPF_FETCH_GLOBAL,
+                fc_rbpf::helpers::ids::BPF_STORE_GLOBAL
+            ]
+            .into_iter()
+            .collect()
         );
     }
 
@@ -373,12 +385,28 @@ mod tests {
     fn update_replaces_previous_container() {
         let mut engine = engine_with_sched_hook();
         let mut svc = service();
-        let (env1, pay1) =
-            author_update(&apps::thread_counter(), sched_hook_id(), 1, "a", &maintainer(), b"tenant-a");
-        let (id1, _) = svc.apply(&mut engine, &env1, |_| Some(pay1.clone())).unwrap();
-        let (env2, pay2) =
-            author_update(&apps::thread_counter(), sched_hook_id(), 2, "a", &maintainer(), b"tenant-a");
-        let (id2, _) = svc.apply(&mut engine, &env2, |_| Some(pay2.clone())).unwrap();
+        let (env1, pay1) = author_update(
+            &apps::thread_counter(),
+            sched_hook_id(),
+            1,
+            "a",
+            &maintainer(),
+            b"tenant-a",
+        );
+        let (id1, _) = svc
+            .apply(&mut engine, &env1, |_| Some(pay1.clone()))
+            .unwrap();
+        let (env2, pay2) = author_update(
+            &apps::thread_counter(),
+            sched_hook_id(),
+            2,
+            "a",
+            &maintainer(),
+            b"tenant-a",
+        );
+        let (id2, _) = svc
+            .apply(&mut engine, &env2, |_| Some(pay2.clone()))
+            .unwrap();
         assert_ne!(id1, id2);
         assert_eq!(engine.attached(sched_hook_id()), vec![id2]);
         assert_eq!(engine.container_count(), 1, "old container removed");
@@ -388,24 +416,44 @@ mod tests {
     fn replayed_manifest_rejected() {
         let mut engine = engine_with_sched_hook();
         let mut svc = service();
-        let (env1, pay1) =
-            author_update(&apps::thread_counter(), sched_hook_id(), 1, "a", &maintainer(), b"tenant-a");
-        svc.apply(&mut engine, &env1, |_| Some(pay1.clone())).unwrap();
-        let err = svc.apply(&mut engine, &env1, |_| Some(pay1.clone())).unwrap_err();
-        assert!(matches!(err, DeployError::Update(UpdateError::Rollback { .. })));
+        let (env1, pay1) = author_update(
+            &apps::thread_counter(),
+            sched_hook_id(),
+            1,
+            "a",
+            &maintainer(),
+            b"tenant-a",
+        );
+        svc.apply(&mut engine, &env1, |_| Some(pay1.clone()))
+            .unwrap();
+        let err = svc
+            .apply(&mut engine, &env1, |_| Some(pay1.clone()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DeployError::Update(UpdateError::Rollback { .. })
+        ));
     }
 
     #[test]
     fn tampered_payload_rejected_without_burning_sequence() {
         let mut engine = engine_with_sched_hook();
         let mut svc = service();
-        let (env, payload) =
-            author_update(&apps::thread_counter(), sched_hook_id(), 1, "a", &maintainer(), b"tenant-a");
+        let (env, payload) = author_update(
+            &apps::thread_counter(),
+            sched_hook_id(),
+            1,
+            "a",
+            &maintainer(),
+            b"tenant-a",
+        );
         let mut bad = payload.clone();
         // Tamper inside the text section (keeps framing valid).
         let n = bad.len();
         bad[n - 9] ^= 0xff;
-        let err = svc.apply(&mut engine, &env, |_| Some(bad.clone())).unwrap_err();
+        let err = svc
+            .apply(&mut engine, &env, |_| Some(bad.clone()))
+            .unwrap_err();
         assert!(matches!(
             err,
             DeployError::Update(UpdateError::DigestMismatch)
@@ -413,7 +461,8 @@ mod tests {
         ));
         assert_eq!(engine.container_count(), 0, "nothing installed");
         // Genuine payload still deploys (sequence not burned).
-        svc.apply(&mut engine, &env, |_| Some(payload.clone())).unwrap();
+        svc.apply(&mut engine, &env, |_| Some(payload.clone()))
+            .unwrap();
     }
 
     #[test]
@@ -421,10 +470,21 @@ mod tests {
         let mut engine = engine_with_sched_hook();
         let mut svc = service();
         let bogus = Uuid::from_name("hooks", "does-not-exist");
-        let (env, pay) =
-            author_update(&apps::thread_counter(), bogus, 1, "a", &maintainer(), b"tenant-a");
-        let err = svc.apply(&mut engine, &env, |_| Some(pay.clone())).unwrap_err();
-        assert!(matches!(err, DeployError::Engine(EngineError::UnknownHook(_))));
+        let (env, pay) = author_update(
+            &apps::thread_counter(),
+            bogus,
+            1,
+            "a",
+            &maintainer(),
+            b"tenant-a",
+        );
+        let err = svc
+            .apply(&mut engine, &env, |_| Some(pay.clone()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DeployError::Engine(EngineError::UnknownHook(_))
+        ));
         assert_eq!(engine.container_count(), 0);
     }
 
@@ -432,8 +492,14 @@ mod tests {
     fn missing_payload_reports_unavailable() {
         let mut engine = engine_with_sched_hook();
         let mut svc = service();
-        let (env, _pay) =
-            author_update(&apps::thread_counter(), sched_hook_id(), 1, "a", &maintainer(), b"tenant-a");
+        let (env, _pay) = author_update(
+            &apps::thread_counter(),
+            sched_hook_id(),
+            1,
+            "a",
+            &maintainer(),
+            b"tenant-a",
+        );
         let err = svc.apply(&mut engine, &env, |_| None).unwrap_err();
         assert!(matches!(err, DeployError::PayloadUnavailable { .. }));
     }

@@ -8,17 +8,31 @@
 //! reception), so everything that *can* be built once per container is
 //! built at install time and reused per event:
 //!
-//! * the program is verified **and lowered** ([`DecodedProgram`]) once;
+//! * the program is verified **and lowered** ([`DecodedProgram`]) once,
+//!   and its helper call sites are **bound** to registry slots so hot
+//!   helpers dispatch without a hash lookup;
 //! * the helper registry is built once (the host environment is shared
-//!   by reference count, so helper closures are `'static`);
+//!   through an `Arc`, so helper closures are `'static` **and `Send`**);
 //! * each slot owns an [`ExecArena`] whose [`MemoryMap`] skeleton
 //!   (stack + `.data` + `.rodata`) persists across events. Isolation is
 //!   preserved by re-establishing the initial state between runs: the
 //!   stack is zeroed, `.data` is rewritten from the installed image,
-//!   and per-event regions (context, host grants) are truncated away.
+//!   and per-event regions (context, host grants) are recycled into a
+//!   buffer pool — in steady state an event allocates nothing.
+//!
+//! ## Concurrency boundary
+//!
+//! A `HostingEngine` is single-threaded by design (it models one
+//! execution shard), but it is `Send`, and several engines can share
+//! one [`HostEnv`] (see [`HostingEngine::with_env`]): that is exactly
+//! how the `fc-host` runtime runs N engine shards on N worker threads
+//! over common stores/sensors/clock. [`ContainerSlot`]s are themselves
+//! `Send` and can be moved between engines with
+//! [`HostingEngine::eject`] / [`HostingEngine::adopt`] as long as the
+//! engines share the same environment.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fc_kvstore::TenantId;
 use fc_rbpf::certfc::CertInterpreter;
@@ -34,7 +48,7 @@ use fc_rtos::platform::{cycle_model, Engine as EngineFlavor, Platform};
 use fc_suit::Uuid;
 
 use crate::contract::{Contract, ContractOffer, ContractRequest};
-use crate::helpers_impl::{build_registry, HostEnv};
+use crate::helpers_impl::{build_registry, HelperMeter, HostEnv};
 use crate::hooks::Hook;
 
 /// Identifier the engine assigns to an installed container.
@@ -112,11 +126,15 @@ pub struct ContainerMetrics {
 struct ExecArena {
     /// Map whose first `skeleton` regions (stack, `.data`, `.rodata`)
     /// persist across events; per-event regions are appended after them
-    /// and truncated away by [`ExecArena::reset`].
+    /// and recycled away by [`ExecArena::reset`].
     mem: MemoryMap,
     skeleton: usize,
     stack: RegionId,
     data: Option<RegionId>,
+    /// Buffers recovered from dropped per-event regions (context, host
+    /// grants), cleared but with capacity retained, so steady-state
+    /// events reuse allocations instead of making fresh ones.
+    pool: Vec<Vec<u8>>,
 }
 
 impl ExecArena {
@@ -132,19 +150,32 @@ impl ExecArena {
             mem.add_rodata(image.rodata.clone());
         }
         let skeleton = mem.region_count();
-        ExecArena { mem, skeleton, stack, data }
+        ExecArena {
+            mem,
+            skeleton,
+            stack,
+            data,
+            pool: Vec::new(),
+        }
     }
 
-    /// Restores the pristine pre-event state: drops per-event regions,
-    /// zeroes the stack and rewrites `.data` from the installed image —
-    /// the isolation guarantee of a freshly built map, without the
-    /// allocations.
+    /// Restores the pristine pre-event state: recycles per-event
+    /// regions into the buffer pool, zeroes the stack and rewrites
+    /// `.data` from the installed image — the isolation guarantee of a
+    /// freshly built map, without the allocations.
     fn reset(&mut self, image: &FcProgram) {
-        self.mem.truncate_regions(self.skeleton);
+        self.mem.recycle_regions(self.skeleton, &mut self.pool);
         self.mem.region_bytes_mut(self.stack).fill(0);
         if let Some(data) = self.data {
             self.mem.region_bytes_mut(data).copy_from_slice(&image.data);
         }
+    }
+
+    /// A cleared buffer (pooled if available) pre-filled with `init`.
+    fn event_buf(&mut self, init: &[u8]) -> Vec<u8> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.extend_from_slice(init);
+        buf
     }
 }
 
@@ -159,16 +190,28 @@ pub struct ContainerSlot {
     pub name: String,
     image: FcProgram,
     program: VerifiedProgram,
-    /// Fast-path lowering of `program`, produced once at install.
+    /// Fast-path lowering of `program`, produced once at install, with
+    /// helper call sites bound to registry slots.
     decoded: DecodedProgram,
     /// Helper registry built once at install from the granted contract.
     helpers: fc_rbpf::helpers::HelperRegistry<'static>,
+    /// Helper-internal cycle meter captured by `helpers`' closures.
+    meter: HelperMeter,
     arena: ExecArena,
     contract: Contract,
     config: ExecConfig,
     /// Execution statistics.
     pub metrics: ContainerMetrics,
 }
+
+// A slot is the unit of work a concurrent host moves between engine
+// shards; everything inside (decoded program, Send helpers, arena) is
+// thread-movable.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ContainerSlot>();
+    assert_send::<HostingEngine>();
+};
 
 impl ContainerSlot {
     /// Granted contract.
@@ -203,12 +246,20 @@ impl HostRegion {
     /// A read-only grant (the paper's firewall example: inspect, not
     /// modify).
     pub fn read_only(name: &str, data: Vec<u8>) -> Self {
-        HostRegion { name: name.to_owned(), data, writable: false }
+        HostRegion {
+            name: name.to_owned(),
+            data,
+            writable: false,
+        }
     }
 
     /// A read-write grant (e.g. a response buffer).
     pub fn read_write(name: &str, data: Vec<u8>) -> Self {
-        HostRegion { name: name.to_owned(), data, writable: true }
+        HostRegion {
+            name: name.to_owned(),
+            data,
+            writable: true,
+        }
     }
 }
 
@@ -278,7 +329,7 @@ struct HookEntry {
 pub struct HostingEngine {
     platform: Platform,
     flavor: EngineFlavor,
-    env: Rc<HostEnv>,
+    env: Arc<HostEnv>,
     containers: BTreeMap<ContainerId, ContainerSlot>,
     hooks: BTreeMap<Uuid, HookEntry>,
     next_id: ContainerId,
@@ -287,12 +338,26 @@ pub struct HostingEngine {
 
 impl HostingEngine {
     /// Creates an engine for the given platform using the given
-    /// interpreter flavour (Femto-Containers or CertFC).
+    /// interpreter flavour (Femto-Containers or CertFC), with a private
+    /// host environment.
     pub fn new(platform: Platform, flavor: EngineFlavor) -> Self {
+        Self::with_env(
+            platform,
+            flavor,
+            Arc::new(HostEnv::new(fc_kvstore::DEFAULT_CAPACITY)),
+        )
+    }
+
+    /// Creates an engine **shard** over a shared host environment: N
+    /// engines built from clones of the same `Arc<HostEnv>` see one set
+    /// of stores, sensors, console and clock, while keeping all
+    /// execution state (slots, arenas, registries) private. This is the
+    /// constructor the concurrent `fc-host` runtime uses.
+    pub fn with_env(platform: Platform, flavor: EngineFlavor, env: Arc<HostEnv>) -> Self {
         HostingEngine {
             platform,
             flavor,
-            env: Rc::new(HostEnv::new(fc_kvstore::DEFAULT_CAPACITY)),
+            env,
             containers: BTreeMap::new(),
             hooks: BTreeMap::new(),
             next_id: 1,
@@ -311,9 +376,15 @@ impl HostingEngine {
     }
 
     /// Overrides the finite-execution budgets applied to every
-    /// container.
+    /// container — the ones already installed as well as future
+    /// installs, so a tightened budget (the fairness/DoS control)
+    /// takes effect immediately and replicas installed later can
+    /// never run under a different budget than their originals.
     pub fn set_exec_config(&mut self, config: ExecConfig) {
         self.exec_config = config;
+        for slot in self.containers.values_mut() {
+            slot.config = config;
+        }
     }
 
     /// Host environment (stores, sensors, console) for inspection and
@@ -322,15 +393,28 @@ impl HostingEngine {
         &self.env
     }
 
+    /// Shared handle to the host environment, for building sibling
+    /// engine shards with [`HostingEngine::with_env`].
+    pub fn env_handle(&self) -> Arc<HostEnv> {
+        Arc::clone(&self.env)
+    }
+
     /// Advances the engine's virtual clock (driven by the RTOS glue).
     pub fn set_now_us(&self, now_us: u64) {
-        self.env.now_us.set(now_us);
+        self.env.set_now_us(now_us);
     }
 
     /// Registers a launchpad hook with the helper set it offers.
     pub fn register_hook(&mut self, hook: Hook, offer: ContractOffer) {
-        self.hooks
-            .insert(hook.id, HookEntry { hook, offer, attached: Vec::new(), fires: 0 });
+        self.hooks.insert(
+            hook.id,
+            HookEntry {
+                hook,
+                offer,
+                attached: Vec::new(),
+                fires: 0,
+            },
+        );
     }
 
     /// Registered hook UUIDs.
@@ -340,7 +424,10 @@ impl HostingEngine {
 
     /// Containers attached to a hook, in attachment order.
     pub fn attached(&self, hook: Uuid) -> Vec<ContainerId> {
-        self.hooks.get(&hook).map(|h| h.attached.clone()).unwrap_or_default()
+        self.hooks
+            .get(&hook)
+            .map(|h| h.attached.clone())
+            .unwrap_or_default()
     }
 
     /// Installs an application image: parse → grant contract → verify
@@ -352,6 +439,28 @@ impl HostingEngine {
     /// [`EngineError::Parse`] / [`EngineError::Verify`].
     pub fn install(
         &mut self,
+        name: &str,
+        tenant: TenantId,
+        image_bytes: &[u8],
+        request: ContractRequest,
+    ) -> Result<ContainerId, EngineError> {
+        self.install_with_id(self.next_id, name, tenant, image_bytes, request)
+    }
+
+    /// Installs an application image under a caller-chosen container id
+    /// — the entry point for a multi-engine host that assigns globally
+    /// unique ids across shards. An existing container under `id` is
+    /// replaced: the replacement starts **detached** (the old
+    /// program's hook attachments are dropped, so attaching the new
+    /// program re-runs every per-hook contract check), while the id's
+    /// local store persists until [`HostingEngine::remove`].
+    ///
+    /// # Errors
+    ///
+    /// As [`HostingEngine::install`].
+    pub fn install_with_id(
+        &mut self,
+        id: ContainerId,
         name: &str,
         tenant: TenantId,
         image_bytes: &[u8],
@@ -377,12 +486,23 @@ impl HostingEngine {
         // Lower once for the fast path and re-check every call site
         // against the granted set, so a bad helper binding fails the
         // install, not the first event.
-        let decoded = DecodedProgram::lower(&program);
+        let mut decoded = DecodedProgram::lower(&program);
         decoded.precheck_helpers(&contract.helpers)?;
-        let id = self.next_id;
-        self.next_id += 1;
-        let helpers = build_registry(&self.env, id, tenant, &contract.helpers);
+        self.next_id = self.next_id.max(id) + 1;
+        let meter = HelperMeter::new();
+        let helpers = build_registry(&self.env, &meter, id, tenant, &contract.helpers);
+        // Resolve call sites to registry slots: hot helper calls skip
+        // the id hash lookup from the first event on.
+        decoded.bind_helpers(&helpers);
         let arena = ExecArena::new(STACK_SIZE + contract.extra_stack, &image);
+        // A replaced container must not inherit the old program's
+        // attachments — they were granted against the *old* helper
+        // contract by `attach`'s per-hook verification.
+        if self.containers.contains_key(&id) {
+            for entry in self.hooks.values_mut() {
+                entry.attached.retain(|c| *c != id);
+            }
+        }
         self.containers.insert(
             id,
             ContainerSlot {
@@ -393,6 +513,7 @@ impl HostingEngine {
                 program,
                 decoded,
                 helpers,
+                meter,
                 arena,
                 contract,
                 config: self.exec_config,
@@ -415,7 +536,10 @@ impl HostingEngine {
             .containers
             .get(&container)
             .ok_or(EngineError::UnknownContainer(container))?;
-        let entry = self.hooks.get_mut(&hook).ok_or(EngineError::UnknownHook(hook))?;
+        let entry = self
+            .hooks
+            .get_mut(&hook)
+            .ok_or(EngineError::UnknownHook(hook))?;
         let effective: std::collections::HashSet<u32> = slot
             .contract
             .helpers
@@ -435,7 +559,10 @@ impl HostingEngine {
     ///
     /// [`EngineError::UnknownHook`] / [`EngineError::NotAttached`].
     pub fn detach(&mut self, container: ContainerId, hook: Uuid) -> Result<(), EngineError> {
-        let entry = self.hooks.get_mut(&hook).ok_or(EngineError::UnknownHook(hook))?;
+        let entry = self
+            .hooks
+            .get_mut(&hook)
+            .ok_or(EngineError::UnknownHook(hook))?;
         let before = entry.attached.len();
         entry.attached.retain(|c| *c != container);
         if entry.attached.len() == before {
@@ -450,8 +577,31 @@ impl HostingEngine {
         for entry in self.hooks.values_mut() {
             entry.attached.retain(|c| *c != container);
         }
-        self.env.stores.borrow_mut().remove_container(container);
+        self.env.stores().remove_container(container);
         self.containers.remove(&container).is_some()
+    }
+
+    /// Detaches a container everywhere and hands its slot out for
+    /// migration to a sibling engine shard ([`HostingEngine::adopt`]).
+    /// Unlike [`HostingEngine::remove`], the container's local store
+    /// survives — the slot keeps its identity.
+    pub fn eject(&mut self, container: ContainerId) -> Option<ContainerSlot> {
+        for entry in self.hooks.values_mut() {
+            entry.attached.retain(|c| *c != container);
+        }
+        self.containers.remove(&container)
+    }
+
+    /// Adopts a slot ejected from a sibling engine shard. The slot's
+    /// helper registry was built against the environment it was
+    /// installed over, so both engines must share one [`HostEnv`]
+    /// (see [`HostingEngine::with_env`]); the adopting engine only
+    /// guarantees id uniqueness among *its own* slots.
+    pub fn adopt(&mut self, slot: ContainerSlot) -> ContainerId {
+        let id = slot.id;
+        self.next_id = self.next_id.max(id) + 1;
+        self.containers.insert(id, slot);
+        id
     }
 
     /// Looks up a container slot.
@@ -478,24 +628,28 @@ impl HostingEngine {
         ctx: &[u8],
         extra: &[HostRegion],
     ) -> Result<ExecutionReport, EngineError> {
-        let slot =
-            self.containers.get_mut(&id).ok_or(EngineError::UnknownContainer(id))?;
+        let slot = self
+            .containers
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownContainer(id))?;
         // Re-establish the pristine skeleton (zeroed stack, fresh
-        // `.data`), then append this event's regions.
+        // `.data`), then append this event's regions from the pool.
         slot.arena.reset(&slot.image);
-        let mem = &mut slot.arena.mem;
         let ctx_region = if ctx.is_empty() {
             None
         } else {
-            Some(mem.add_ctx(ctx.to_vec(), Perm::RW))
+            let buf = slot.arena.event_buf(ctx);
+            Some(slot.arena.mem.add_ctx(buf, Perm::RW))
         };
         let mut extra_ids = Vec::with_capacity(extra.len());
         for r in extra {
             let perm = if r.writable { Perm::RW } else { Perm::RO };
-            extra_ids.push(mem.add_host_region(&r.name, r.data.clone(), perm));
+            let buf = slot.arena.event_buf(&r.data);
+            extra_ids.push(slot.arena.mem.add_host_region(&r.name, buf, perm));
         }
+        let mem = &mut slot.arena.mem;
 
-        self.env.helper_cycles.set(0);
+        slot.meter.reset();
         let ctx_addr = if ctx.is_empty() { 0 } else { CTX_VADDR };
         let helpers = &mut slot.helpers;
         let outcome = match self.flavor {
@@ -505,8 +659,9 @@ impl HostingEngine {
             EngineFlavor::Rbpf => {
                 Interpreter::new(&slot.program, slot.config).run(mem, helpers, ctx_addr)
             }
-            EngineFlavor::FemtoContainer => FastInterpreter::new(&slot.decoded, slot.config)
-                .run(mem, helpers, ctx_addr),
+            EngineFlavor::FemtoContainer => {
+                FastInterpreter::new(&slot.decoded, slot.config).run(mem, helpers, ctx_addr)
+            }
         };
 
         let model = cycle_model(self.platform, self.flavor);
@@ -515,8 +670,10 @@ impl HostingEngine {
             Err(e) => (Err(e), OpCounts::default()),
         };
         let vm_cycles = model.execution_cycles(&counts);
-        let helper_cycles = self.env.helper_cycles.get();
-        let ctx_back = ctx_region.map(|r| mem.region_bytes(r).to_vec()).unwrap_or_default();
+        let helper_cycles = slot.meter.get();
+        let ctx_back = ctx_region
+            .map(|r| mem.region_bytes(r).to_vec())
+            .unwrap_or_default();
         let regions_back = extra
             .iter()
             .zip(extra_ids)
@@ -554,7 +711,10 @@ impl HostingEngine {
         extra: &[HostRegion],
     ) -> Result<HookReport, EngineError> {
         let (attached, policy) = {
-            let entry = self.hooks.get_mut(&hook).ok_or(EngineError::UnknownHook(hook))?;
+            let entry = self
+                .hooks
+                .get_mut(&hook)
+                .ok_or(EngineError::UnknownHook(hook))?;
             entry.fires += 1;
             (entry.attached.clone(), entry.hook.policy)
         };
@@ -565,10 +725,16 @@ impl HostingEngine {
             cycles += report.total_cycles();
             executions.push(report);
         }
-        let results: Vec<u64> =
-            executions.iter().filter_map(|e| e.result.as_ref().ok().copied()).collect();
+        let results: Vec<u64> = executions
+            .iter()
+            .filter_map(|e| e.result.as_ref().ok().copied())
+            .collect();
         let combined = policy.combine(&results);
-        Ok(HookReport { executions, combined, cycles })
+        Ok(HookReport {
+            executions,
+            combined,
+            cycles,
+        })
     }
 
     /// Times a hook fire: the Table 4 measurement pair (empty hook
@@ -580,13 +746,16 @@ impl HostingEngine {
     /// Total RAM attributable to container instances plus the stores
     /// (the paper's §10.3 multi-instance accounting).
     pub fn ram_bytes(&self) -> usize {
-        self.containers.values().map(ContainerSlot::ram_bytes).sum::<usize>()
-            + self.env.stores.borrow().ram_bytes()
+        self.containers
+            .values()
+            .map(ContainerSlot::ram_bytes)
+            .sum::<usize>()
+            + self.env.stores().ram_bytes()
     }
 
     /// Console lines captured from `bpf_printf`.
     pub fn console(&self) -> Vec<String> {
-        self.env.console.borrow().clone()
+        self.env.console_lines()
     }
 }
 
@@ -615,7 +784,11 @@ mod tests {
 
     fn image(src: &str) -> Vec<u8> {
         ProgramBuilder::new()
-            .helpers(crate::helpers_impl::helper_name_table().iter().map(|(n, i)| (n.as_str(), *i)))
+            .helpers(
+                crate::helpers_impl::helper_name_table()
+                    .iter()
+                    .map(|(n, i)| (n.as_str(), *i)),
+            )
             .asm(src)
             .unwrap()
             .build()
@@ -625,7 +798,14 @@ mod tests {
     #[test]
     fn install_and_execute() {
         let mut e = engine();
-        let id = e.install("t", 1, &image("mov r0, 7\nexit"), ContractRequest::default()).unwrap();
+        let id = e
+            .install(
+                "t",
+                1,
+                &image("mov r0, 7\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
         let r = e.execute(id, &[], &[]).unwrap();
         assert_eq!(r.result, Ok(7));
         assert!(r.vm_cycles > 0);
@@ -642,7 +822,10 @@ mod tests {
         // Valid image framing but invalid program (falls off the end).
         let img = image("mov r0, 7\nexit");
         let prog = FcProgram::from_bytes(&img).unwrap();
-        let bad = FcProgram { text: prog.text[..8].to_vec(), ..prog };
+        let bad = FcProgram {
+            text: prog.text[..8].to_vec(),
+            ..prog
+        };
         assert!(matches!(
             e.install("x", 1, &bad.to_bytes(), ContractRequest::default()),
             Err(EngineError::Verify(_))
@@ -661,24 +844,44 @@ mod tests {
         ));
         // With the helper requested, it installs and runs.
         let id = e
-            .install("x", 1, &img, ContractRequest::helpers([ids::BPF_STORE_GLOBAL]))
+            .install(
+                "x",
+                1,
+                &img,
+                ContractRequest::helpers([ids::BPF_STORE_GLOBAL]),
+            )
             .unwrap();
         let r = e.execute(id, &[], &[]).unwrap();
         assert_eq!(r.result, Ok(0));
-        assert_eq!(e.env().stores.borrow().global().fetch(1), 2);
+        assert_eq!(
+            e.env().stores().fetch(id, 1, fc_kvstore::Scope::Global, 1),
+            2
+        );
     }
 
     #[test]
     fn faulting_container_is_contained() {
         let mut e = engine();
         let id = e
-            .install("oob", 1, &image("ldxdw r0, [r10+64]\nexit"), ContractRequest::default())
+            .install(
+                "oob",
+                1,
+                &image("ldxdw r0, [r10+64]\nexit"),
+                ContractRequest::default(),
+            )
             .unwrap();
         let r = e.execute(id, &[], &[]).unwrap();
         assert!(matches!(r.result, Err(VmError::InvalidMemoryAccess { .. })));
         assert_eq!(e.container(id).unwrap().metrics.faults, 1);
         // Engine still fully operational.
-        let id2 = e.install("ok", 1, &image("mov r0, 1\nexit"), ContractRequest::default()).unwrap();
+        let id2 = e
+            .install(
+                "ok",
+                1,
+                &image("mov r0, 1\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
         assert_eq!(e.execute(id2, &[], &[]).unwrap().result, Ok(1));
     }
 
@@ -690,8 +893,22 @@ mod tests {
             ContractOffer::helpers(standard_helper_ids()),
         );
         let hook = crate::hooks::Hook::new("custom", HookKind::Custom, HookPolicy::Sum).id;
-        let a = e.install("a", 1, &image("mov r0, 10\nexit"), ContractRequest::default()).unwrap();
-        let b = e.install("b", 2, &image("mov r0, 32\nexit"), ContractRequest::default()).unwrap();
+        let a = e
+            .install(
+                "a",
+                1,
+                &image("mov r0, 10\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        let b = e
+            .install(
+                "b",
+                2,
+                &image("mov r0, 32\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
         e.attach(a, hook).unwrap();
         e.attach(b, hook).unwrap();
         let report = e.fire_hook(hook, &[], &[]).unwrap();
@@ -726,7 +943,12 @@ mod tests {
         let hook = Hook::new("narrow", HookKind::Custom, HookPolicy::First).id;
         let img = image("mov r1, 1\nmov r2, 2\ncall bpf_store_global\nmov r0, 0\nexit");
         let id = e
-            .install("x", 1, &img, ContractRequest::helpers([ids::BPF_STORE_GLOBAL]))
+            .install(
+                "x",
+                1,
+                &img,
+                ContractRequest::helpers([ids::BPF_STORE_GLOBAL]),
+            )
             .unwrap();
         assert!(matches!(e.attach(id, hook), Err(EngineError::Verify(_))));
     }
@@ -740,7 +962,9 @@ add r2, 1
 stxdw [r1], r2
 mov r0, r2
 exit";
-        let id = e.install("inc", 1, &image(src), ContractRequest::default()).unwrap();
+        let id = e
+            .install("inc", 1, &image(src), ContractRequest::default())
+            .unwrap();
         let ctx = 41u64.to_le_bytes().to_vec();
         let r = e.execute(id, &ctx, &[]).unwrap();
         assert_eq!(r.result, Ok(42));
@@ -756,17 +980,24 @@ lddw r1, 0x60000000
 stb [r1], 1
 mov r0, 0
 exit";
-        let id = e.install("fw", 1, &image(src), ContractRequest::default()).unwrap();
+        let id = e
+            .install("fw", 1, &image(src), ContractRequest::default())
+            .unwrap();
         let r = e
             .execute(id, &[], &[HostRegion::read_only("pkt", vec![0; 16])])
             .unwrap();
-        assert!(matches!(r.result, Err(VmError::InvalidMemoryAccess { write: true, .. })));
+        assert!(matches!(
+            r.result,
+            Err(VmError::InvalidMemoryAccess { write: true, .. })
+        ));
         // Read-only inspection works.
         let src_read = "\
 lddw r1, 0x60000000
 ldxb r0, [r1]
 exit";
-        let id2 = e.install("fw2", 1, &image(src_read), ContractRequest::default()).unwrap();
+        let id2 = e
+            .install("fw2", 1, &image(src_read), ContractRequest::default())
+            .unwrap();
         let r2 = e
             .execute(id2, &[], &[HostRegion::read_only("pkt", vec![9; 16])])
             .unwrap();
@@ -790,16 +1021,26 @@ exit";
         let a = e.install("a", 1, &image(src), req.clone()).unwrap();
         let r = e.execute(a, &[], &[]).unwrap();
         assert_eq!(r.result, Ok(77));
-        assert!(e.env().stores.borrow().local(a).is_some());
+        assert!(e.env().stores().local_snapshot(a).is_some());
         assert!(e.remove(a));
-        assert!(e.env().stores.borrow().local(a).is_none());
-        assert!(matches!(e.execute(a, &[], &[]), Err(EngineError::UnknownContainer(_))));
+        assert!(e.env().stores().local_snapshot(a).is_none());
+        assert!(matches!(
+            e.execute(a, &[], &[]),
+            Err(EngineError::UnknownContainer(_))
+        ));
     }
 
     #[test]
     fn ram_accounting_matches_paper_per_instance() {
         let mut e = engine();
-        let id = e.install("t", 1, &image("mov r0, 0\nexit"), ContractRequest::default()).unwrap();
+        let id = e
+            .install(
+                "t",
+                1,
+                &image("mov r0, 0\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
         let per_instance = e.container(id).unwrap().ram_bytes();
         assert_eq!(per_instance, 624, "paper §10.3: 624 B per instance");
     }
@@ -809,8 +1050,12 @@ exit";
         let mut fc = engine();
         let mut cert = HostingEngine::new(Platform::CortexM4, EngineFlavor::CertFc);
         let img = image("mov r0, 9\nmul r0, r0\nexit");
-        let a = fc.install("x", 1, &img, ContractRequest::default()).unwrap();
-        let b = cert.install("x", 1, &img, ContractRequest::default()).unwrap();
+        let a = fc
+            .install("x", 1, &img, ContractRequest::default())
+            .unwrap();
+        let b = cert
+            .install("x", 1, &img, ContractRequest::default())
+            .unwrap();
         let ra = fc.execute(a, &[], &[]).unwrap();
         let rb = cert.execute(b, &[], &[]).unwrap();
         assert_eq!(ra.result, rb.result);
@@ -828,7 +1073,9 @@ ldxdw r0, [r10-8]
 mov r1, 0x5a5a
 stxdw [r10-8], r1
 exit";
-        let id = e.install("probe", 1, &image(src), ContractRequest::default()).unwrap();
+        let id = e
+            .install("probe", 1, &image(src), ContractRequest::default())
+            .unwrap();
         for _ in 0..3 {
             let r = e.execute(id, &[], &[]).unwrap();
             assert_eq!(r.result, Ok(0), "stack leaked across events");
@@ -850,7 +1097,9 @@ exit";
         let mut builder = ProgramBuilder::new();
         builder.add_data(&7u32.to_le_bytes());
         let img = builder.asm(src).unwrap().build().to_bytes();
-        let id = e.install("ctr", 1, &img, ContractRequest::default()).unwrap();
+        let id = e
+            .install("ctr", 1, &img, ContractRequest::default())
+            .unwrap();
         for _ in 0..3 {
             assert_eq!(e.execute(id, &[], &[]).unwrap().result, Ok(8));
         }
@@ -864,7 +1113,9 @@ exit";
 lddw r1, 0x60000000
 ldxb r0, [r1]
 exit";
-        let id = e.install("rd", 1, &image(src), ContractRequest::default()).unwrap();
+        let id = e
+            .install("rd", 1, &image(src), ContractRequest::default())
+            .unwrap();
         for v in [3u8, 9, 27] {
             let r = e
                 .execute(id, &[], &[HostRegion::read_only("pkt", vec![v; 8])])
@@ -874,11 +1125,17 @@ exit";
         // And the context region does not persist into a later event
         // that grants none.
         let src_ctx = "ldxdw r0, [r1]\nexit";
-        let id2 = e.install("c", 1, &image(src_ctx), ContractRequest::default()).unwrap();
+        let id2 = e
+            .install("c", 1, &image(src_ctx), ContractRequest::default())
+            .unwrap();
         let ok = e.execute(id2, &5u64.to_le_bytes(), &[]).unwrap();
         assert_eq!(ok.result, Ok(5));
         let bad = e.execute(id2, &[], &[]).unwrap();
-        assert!(bad.result.is_err(), "stale ctx region reachable: {:?}", bad.result);
+        assert!(
+            bad.result.is_err(),
+            "stale ctx region reachable: {:?}",
+            bad.result
+        );
     }
 
     #[test]
@@ -893,12 +1150,15 @@ stxdw [r10-16], r0
 ldxdw r0, [r10-16]
 exit";
         let mut results = Vec::new();
-        for flavor in
-            [EngineFlavor::FemtoContainer, EngineFlavor::Rbpf, EngineFlavor::CertFc]
-        {
+        for flavor in [
+            EngineFlavor::FemtoContainer,
+            EngineFlavor::Rbpf,
+            EngineFlavor::CertFc,
+        ] {
             let mut e = HostingEngine::new(Platform::CortexM4, flavor);
-            let id =
-                e.install("x", 1, &image(src), ContractRequest::default()).unwrap();
+            let id = e
+                .install("x", 1, &image(src), ContractRequest::default())
+                .unwrap();
             let r = e.execute(id, &[], &[]).unwrap();
             results.push((r.result, r.counts));
         }
@@ -908,12 +1168,110 @@ exit";
     }
 
     #[test]
+    fn replacement_install_drops_stale_attachments() {
+        let mut e = engine();
+        e.register_hook(
+            Hook::new("narrow", HookKind::Custom, HookPolicy::First),
+            ContractOffer::helpers([]), // offers no helpers
+        );
+        let hook = Hook::new("narrow", HookKind::Custom, HookPolicy::First).id;
+        let plain = image("mov r0, 1\nexit");
+        let id = e
+            .install("v1", 1, &plain, ContractRequest::default())
+            .unwrap();
+        e.attach(id, hook).unwrap();
+        // Replace the attached container with a helper-calling program:
+        // the stale attachment must NOT survive, because this hook's
+        // offer would have rejected it at attach time.
+        let helperful = image("mov r1, 1\nmov r2, 2\ncall bpf_store_global\nmov r0, 0\nexit");
+        e.install_with_id(
+            id,
+            "v2",
+            1,
+            &helperful,
+            ContractRequest::helpers([ids::BPF_STORE_GLOBAL]),
+        )
+        .unwrap();
+        assert!(e.attached(hook).is_empty(), "replacement starts detached");
+        let report = e.fire_hook(hook, &[], &[]).unwrap();
+        assert_eq!(report.combined, None);
+        // And re-attaching re-runs the per-hook contract check.
+        assert!(matches!(e.attach(id, hook), Err(EngineError::Verify(_))));
+    }
+
+    #[test]
+    fn sibling_shards_share_env_and_slots_migrate() {
+        let mut a = engine();
+        let mut b = HostingEngine::with_env(a.platform(), a.flavor(), a.env_handle());
+        let img = image("mov r1, 1\nmov r2, 2\ncall bpf_store_global\nmov r0, 0\nexit");
+        let id = a
+            .install(
+                "x",
+                1,
+                &img,
+                ContractRequest::helpers([ids::BPF_STORE_GLOBAL]),
+            )
+            .unwrap();
+        // Eject from shard A, adopt on shard B: same id, same contract,
+        // same (shared) stores.
+        let slot = a.eject(id).unwrap();
+        assert!(matches!(
+            a.execute(id, &[], &[]),
+            Err(EngineError::UnknownContainer(_))
+        ));
+        assert_eq!(b.adopt(slot), id);
+        let r = b.execute(id, &[], &[]).unwrap();
+        assert_eq!(r.result, Ok(0));
+        assert!(r.helper_cycles > 0, "meter travels with the slot");
+        // The global-store write is visible through shard A's env view.
+        assert_eq!(
+            a.env().stores().fetch(id, 1, fc_kvstore::Scope::Global, 1),
+            2
+        );
+        // And a whole engine (with installed slots) can cross threads.
+        let b = std::thread::spawn(move || {
+            let mut b = b;
+            b.execute(id, &[], &[]).unwrap().result
+        })
+        .join()
+        .unwrap();
+        assert_eq!(b, Ok(0));
+    }
+
+    #[test]
     fn infinite_loop_contained_by_budget() {
         let mut e = engine();
         e.set_exec_config(ExecConfig::new(1000, 100));
         let id = e
-            .install("spin", 1, &image("spin: ja spin\nexit"), ContractRequest::default())
+            .install(
+                "spin",
+                1,
+                &image("spin: ja spin\nexit"),
+                ContractRequest::default(),
+            )
             .unwrap();
+        let r = e.execute(id, &[], &[]).unwrap();
+        assert!(matches!(
+            r.result,
+            Err(VmError::BranchBudgetExceeded { .. } | VmError::InstructionBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn exec_config_change_applies_to_installed_containers() {
+        let mut e = engine();
+        // Installed under the default (generous) budgets…
+        let id = e
+            .install(
+                "spin",
+                1,
+                &image("spin: ja spin\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        // …then the budget is tightened: the running container must be
+        // contained by the *new* budget, not the one at install time.
+        e.set_exec_config(ExecConfig::new(1000, 100));
         let r = e.execute(id, &[], &[]).unwrap();
         assert!(matches!(
             r.result,

@@ -54,10 +54,22 @@ pub struct OsComponent {
 /// added.
 pub fn os_components() -> [OsComponent; 4] {
     [
-        OsComponent { name: "Crypto", rom_bytes: 7_400 },
-        OsComponent { name: "Network stack", rom_bytes: 20_050 },
-        OsComponent { name: "Kernel", rom_bytes: 17_100 },
-        OsComponent { name: "OTA module", rom_bytes: 8_200 },
+        OsComponent {
+            name: "Crypto",
+            rom_bytes: 7_400,
+        },
+        OsComponent {
+            name: "Network stack",
+            rom_bytes: 20_050,
+        },
+        OsComponent {
+            name: "Kernel",
+            rom_bytes: 17_100,
+        },
+        OsComponent {
+            name: "OTA module",
+            rom_bytes: 8_200,
+        },
     ]
 }
 
@@ -91,7 +103,10 @@ impl FirmwareImage {
             .map(|c| (c.name.to_owned(), c.rom_bytes))
             .collect();
         components.push((format!("{runtime_name} runtime"), runtime_rom));
-        FirmwareImage { runtime_name: runtime_name.to_owned(), components }
+        FirmwareImage {
+            runtime_name: runtime_name.to_owned(),
+            components,
+        }
     }
 
     /// Total flash of the image.

@@ -8,10 +8,10 @@
 //! the paper's CoAP-formatter example "depends heavily on system calls"
 //! yet stays fast, §10.2).
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-use fc_kvstore::{ContainerId, Scope, StoreManager, TenantId};
+use fc_kvstore::{ContainerId, Scope, ShardedStores, TenantId};
 use fc_rbpf::error::VmError;
 use fc_rbpf::helpers::{ids, HelperRegistry};
 use fc_rbpf::mem::HOST_VADDR_BASE;
@@ -19,39 +19,125 @@ use fc_rtos::saul::SaulRegistry;
 
 use crate::contract::HelperSet;
 
-/// Host-side state shared with helper closures through interior
-/// mutability.
-#[derive(Debug, Default)]
+/// Host-side state **shared across every engine shard** of a device (or
+/// hosting server): the key-value stores, the sensor registry, the
+/// console and the virtual clock. All interior mutability is
+/// thread-safe — the stores sit behind a sharded lock
+/// ([`ShardedStores`]), the SAUL registry and console behind plain
+/// mutexes, the clock and RNG in atomics — so helper closures capturing
+/// an `Arc<HostEnv>` are `Send` and containers can execute on worker
+/// threads.
+///
+/// Per-execution state deliberately lives *elsewhere*: each installed
+/// container carries its own [`HelperMeter`] (helper-internal cycle
+/// accounting) and execution arena, so two shards never contend on
+/// anything but genuinely shared stores.
+#[derive(Debug)]
 pub struct HostEnv {
-    /// All key-value stores on the device.
-    pub stores: RefCell<StoreManager>,
+    /// All key-value stores on the device, behind a sharded lock.
+    stores: ShardedStores,
     /// The SAUL device registry.
-    pub saul: RefCell<SaulRegistry>,
+    saul: Mutex<SaulRegistry>,
     /// Captured `bpf_printf` output.
-    pub console: RefCell<Vec<String>>,
+    console: Mutex<Vec<String>>,
     /// Virtual time in microseconds (advanced by the RTOS glue).
-    pub now_us: Cell<u64>,
-    /// LCG state for `bpf_random`.
-    pub rng_state: Cell<u64>,
-    /// Helper-internal cycles accumulated during the current execution.
-    pub helper_cycles: Cell<u64>,
+    now_us: AtomicU64,
+    /// Xorshift state for `bpf_random`.
+    rng_state: AtomicU64,
+}
+
+impl Default for HostEnv {
+    fn default() -> Self {
+        HostEnv::new(fc_kvstore::DEFAULT_CAPACITY)
+    }
 }
 
 impl HostEnv {
     /// Creates an environment with the given store capacity.
     pub fn new(store_capacity: usize) -> Self {
         HostEnv {
-            stores: RefCell::new(StoreManager::new(store_capacity)),
-            saul: RefCell::new(SaulRegistry::new()),
-            console: RefCell::new(Vec::new()),
-            now_us: Cell::new(0),
-            rng_state: Cell::new(0x2545_f491_4f6c_dd1d),
-            helper_cycles: Cell::new(0),
+            stores: ShardedStores::new(store_capacity),
+            saul: Mutex::new(SaulRegistry::new()),
+            console: Mutex::new(Vec::new()),
+            now_us: AtomicU64::new(0),
+            rng_state: AtomicU64::new(0x2545_f491_4f6c_dd1d),
         }
     }
 
-    fn charge(&self, cycles: u64) {
-        self.helper_cycles.set(self.helper_cycles.get() + cycles);
+    /// The device's key-value stores.
+    pub fn stores(&self) -> &ShardedStores {
+        &self.stores
+    }
+
+    /// The SAUL device registry (lock to register or read devices).
+    pub fn saul(&self) -> &Mutex<SaulRegistry> {
+        &self.saul
+    }
+
+    /// Appends a line to the captured console.
+    pub fn push_console(&self, line: String) {
+        self.console.lock().expect("console lock").push(line);
+    }
+
+    /// Snapshot of the captured `bpf_printf` output.
+    pub fn console_lines(&self) -> Vec<String> {
+        self.console.lock().expect("console lock").clone()
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+
+    /// Advances the virtual clock (driven by the RTOS glue).
+    pub fn set_now_us(&self, now_us: u64) {
+        self.now_us.store(now_us, Ordering::Relaxed);
+    }
+
+    /// Next pseudo-random value (lock-free xorshift over shared state).
+    pub fn rng_next(&self) -> u64 {
+        fn step(mut s: u64) -> u64 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+        let prev = self
+            .rng_state
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| Some(step(s)))
+            .expect("fetch_update with Some never fails");
+        step(prev)
+    }
+}
+
+/// Per-container accumulator for helper-internal cycles (the native
+/// work the OS performs on the container's behalf). The meter is
+/// captured by the container's helper closures at install time and
+/// read by the engine after each execution; because a container
+/// executes on at most one thread at a time, per-execution readings
+/// are exact even on a concurrent host.
+#[derive(Debug, Clone, Default)]
+pub struct HelperMeter(Arc<AtomicU64>);
+
+impl HelperMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds helper-internal cycles.
+    pub fn charge(&self, cycles: u64) {
+        self.0.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Zeroes the meter (start of an execution).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    /// Current reading.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -149,12 +235,15 @@ pub fn coap_ctx_bytes(buf_len: u32) -> Vec<u8> {
 /// Builds the helper registry for one container, exposing only the
 /// helpers granted by its contract.
 ///
-/// The environment is shared by reference count, so the returned
-/// registry is `'static` and a hosting engine can build it **once per
-/// container at install time** and reuse it for every event — helper
-/// dispatch allocates nothing per execution.
+/// The environment is shared through an atomically reference-counted
+/// handle and all captured state is thread-safe, so the returned
+/// registry is `'static` **and `Send`**: a hosting engine builds it
+/// once per container at install time, reuses it for every event, and
+/// may hand the whole container to a worker thread. Helper-internal
+/// cycles are charged to the container's own `meter`.
 pub fn build_registry(
-    env: &Rc<HostEnv>,
+    env: &Arc<HostEnv>,
+    meter: &HelperMeter,
     container: ContainerId,
     tenant: TenantId,
     granted: &HelperSet,
@@ -163,9 +252,10 @@ pub fn build_registry(
     let has = |id: u32| granted.contains(&id);
 
     if has(ids::BPF_PRINTF) {
-        let env = Rc::clone(env);
+        let env = Arc::clone(env);
+        let meter = meter.clone();
         reg.register(ids::BPF_PRINTF, "bpf_printf", move |mem, args| {
-            env.charge(helper_internal_cycles(ids::BPF_PRINTF));
+            meter.charge(helper_internal_cycles(ids::BPF_PRINTF));
             let fmt = mem.c_string(args[0], 256)?;
             let mut out = String::new();
             let mut arg_i = 1;
@@ -174,7 +264,9 @@ pub fn build_registry(
                 if c == '%' {
                     match chars.next() {
                         Some('d') => {
-                            out.push_str(&(args.get(arg_i).copied().unwrap_or(0) as i64).to_string());
+                            out.push_str(
+                                &(args.get(arg_i).copied().unwrap_or(0) as i64).to_string(),
+                            );
                             arg_i += 1;
                         }
                         Some('u') => {
@@ -196,23 +288,24 @@ pub fn build_registry(
                     out.push(c);
                 }
             }
-            env.console.borrow_mut().push(out);
+            env.push_console(out);
             Ok(0)
         });
     }
     if has(ids::BPF_PRINT_NUM) {
-        let env = Rc::clone(env);
+        let env = Arc::clone(env);
+        let meter = meter.clone();
         reg.register(ids::BPF_PRINT_NUM, "bpf_print_num", move |_mem, args| {
-            env.charge(helper_internal_cycles(ids::BPF_PRINT_NUM));
-            env.console.borrow_mut().push(format!("{}", args[0] as i64));
+            meter.charge(helper_internal_cycles(ids::BPF_PRINT_NUM));
+            env.push_console(format!("{}", args[0] as i64));
             Ok(0)
         });
     }
     if has(ids::BPF_MEMCPY) {
-        let env = Rc::clone(env);
+        let meter = meter.clone();
         reg.register(ids::BPF_MEMCPY, "bpf_memcpy", move |mem, args| {
             let len = args[2] as usize;
-            env.charge(helper_internal_cycles(ids::BPF_MEMCPY) + len as u64);
+            meter.charge(helper_internal_cycles(ids::BPF_MEMCPY) + len as u64);
             let src = mem.slice(args[1], len)?.to_vec();
             mem.slice_mut(args[0], len)?.copy_from_slice(&src);
             Ok(args[0])
@@ -226,58 +319,96 @@ pub fn build_registry(
         if !has(id) {
             return;
         }
-        let env = Rc::clone(env);
+        let env = Arc::clone(env);
+        let meter = meter.clone();
         reg.register(id, name, move |mem, args| {
-            env.charge(helper_internal_cycles(id));
+            meter.charge(helper_internal_cycles(id));
             let key = args[0] as u32;
             if is_fetch {
-                let v = env.stores.borrow().fetch(container, tenant, scope, key);
+                let v = env.stores().fetch(container, tenant, scope, key);
                 mem.store(args[1], 4, v as u32 as u64)?;
                 Ok(0)
             } else {
-                env.stores
-                    .borrow_mut()
+                env.stores()
                     .store(container, tenant, scope, key, args[1] as u32 as i64)
-                    .map_err(|e| VmError::HelperFault { id, reason: e.to_string() })?;
+                    .map_err(|e| VmError::HelperFault {
+                        id,
+                        reason: e.to_string(),
+                    })?;
                 Ok(0)
             }
         });
     };
     kv(ids::BPF_FETCH_LOCAL, "bpf_fetch_local", Scope::Local, true);
     kv(ids::BPF_STORE_LOCAL, "bpf_store_local", Scope::Local, false);
-    kv(ids::BPF_FETCH_GLOBAL, "bpf_fetch_global", Scope::Global, true);
-    kv(ids::BPF_STORE_GLOBAL, "bpf_store_global", Scope::Global, false);
-    kv(ids::BPF_FETCH_SHARED, "bpf_fetch_shared", Scope::Tenant, true);
-    kv(ids::BPF_STORE_SHARED, "bpf_store_shared", Scope::Tenant, false);
+    kv(
+        ids::BPF_FETCH_GLOBAL,
+        "bpf_fetch_global",
+        Scope::Global,
+        true,
+    );
+    kv(
+        ids::BPF_STORE_GLOBAL,
+        "bpf_store_global",
+        Scope::Global,
+        false,
+    );
+    kv(
+        ids::BPF_FETCH_SHARED,
+        "bpf_fetch_shared",
+        Scope::Tenant,
+        true,
+    );
+    kv(
+        ids::BPF_STORE_SHARED,
+        "bpf_store_shared",
+        Scope::Tenant,
+        false,
+    );
 
     if has(ids::BPF_NOW_MS) {
-        let env = Rc::clone(env);
+        let env = Arc::clone(env);
+        let meter = meter.clone();
         reg.register(ids::BPF_NOW_MS, "bpf_now_ms", move |_mem, _args| {
-            env.charge(helper_internal_cycles(ids::BPF_NOW_MS));
-            Ok(env.now_us.get() / 1000)
+            meter.charge(helper_internal_cycles(ids::BPF_NOW_MS));
+            Ok(env.now_us() / 1000)
         });
     }
     if has(ids::BPF_ZTIMER_NOW) {
-        let env = Rc::clone(env);
+        let env = Arc::clone(env);
+        let meter = meter.clone();
         reg.register(ids::BPF_ZTIMER_NOW, "bpf_ztimer_now", move |_mem, _args| {
-            env.charge(helper_internal_cycles(ids::BPF_ZTIMER_NOW));
-            Ok(env.now_us.get())
+            meter.charge(helper_internal_cycles(ids::BPF_ZTIMER_NOW));
+            Ok(env.now_us())
         });
     }
     if has(ids::BPF_SAUL_FIND_NTH) {
-        let env = Rc::clone(env);
-        reg.register(ids::BPF_SAUL_FIND_NTH, "bpf_saul_find_nth", move |_mem, args| {
-            env.charge(helper_internal_cycles(ids::BPF_SAUL_FIND_NTH));
-            let n = args[0] as usize;
-            Ok(if env.saul.borrow().find_nth(n).is_some() { n as u64 } else { u64::MAX })
-        });
+        let env = Arc::clone(env);
+        let meter = meter.clone();
+        reg.register(
+            ids::BPF_SAUL_FIND_NTH,
+            "bpf_saul_find_nth",
+            move |_mem, args| {
+                meter.charge(helper_internal_cycles(ids::BPF_SAUL_FIND_NTH));
+                let n = args[0] as usize;
+                Ok(
+                    if env.saul().lock().expect("saul lock").find_nth(n).is_some() {
+                        n as u64
+                    } else {
+                        u64::MAX
+                    },
+                )
+            },
+        );
     }
     if has(ids::BPF_SAUL_READ) {
-        let env = Rc::clone(env);
+        let env = Arc::clone(env);
+        let meter = meter.clone();
         reg.register(ids::BPF_SAUL_READ, "bpf_saul_read", move |mem, args| {
-            env.charge(helper_internal_cycles(ids::BPF_SAUL_READ));
+            meter.charge(helper_internal_cycles(ids::BPF_SAUL_READ));
             let n = args[0] as usize;
-            match env.saul.borrow_mut().read(n) {
+            let read = env.saul().lock().expect("saul lock").read(n);
+            match read {
                 Some(phydat) => {
                     mem.store(args[1], 4, phydat.value as u32 as u64)?;
                     Ok(0)
@@ -293,57 +424,69 @@ pub fn build_registry(
     // CoAP response formatting over the granted packet region. The ctx
     // struct layout is documented at `coap_ctx_bytes`.
     if has(ids::BPF_GCOAP_RESP_INIT) {
-        let env = Rc::clone(env);
-        reg.register(ids::BPF_GCOAP_RESP_INIT, "bpf_gcoap_resp_init", move |mem, args| {
-            env.charge(helper_internal_cycles(ids::BPF_GCOAP_RESP_INIT));
-            let ctx = args[0];
-            let pkt = mem.load(ctx, 8)?;
-            // ACK, version 1, zero-length token; code from r2.
-            mem.store(pkt, 1, 0x60)?;
-            mem.store(pkt + 1, 1, args[1] & 0xff)?;
-            mem.store(pkt + 2, 2, 0)?;
-            mem.store(ctx + 12, 4, 4)?; // cursor
-            Ok(0)
-        });
+        let meter = meter.clone();
+        reg.register(
+            ids::BPF_GCOAP_RESP_INIT,
+            "bpf_gcoap_resp_init",
+            move |mem, args| {
+                meter.charge(helper_internal_cycles(ids::BPF_GCOAP_RESP_INIT));
+                let ctx = args[0];
+                let pkt = mem.load(ctx, 8)?;
+                // ACK, version 1, zero-length token; code from r2.
+                mem.store(pkt, 1, 0x60)?;
+                mem.store(pkt + 1, 1, args[1] & 0xff)?;
+                mem.store(pkt + 2, 2, 0)?;
+                mem.store(ctx + 12, 4, 4)?; // cursor
+                Ok(0)
+            },
+        );
     }
     if has(ids::BPF_COAP_ADD_FORMAT) {
-        let env = Rc::clone(env);
-        reg.register(ids::BPF_COAP_ADD_FORMAT, "bpf_coap_add_format", move |mem, args| {
-            env.charge(helper_internal_cycles(ids::BPF_COAP_ADD_FORMAT));
-            let ctx = args[0];
-            let pkt = mem.load(ctx, 8)?;
-            let cursor = mem.load(ctx + 12, 4)?;
-            let fmt = args[1];
-            let used = if fmt == 0 {
-                // Content-Format (12), zero-length value.
-                mem.store(pkt + cursor, 1, 0xc0)?;
-                1
-            } else {
-                mem.store(pkt + cursor, 1, 0xc1)?;
-                mem.store(pkt + cursor + 1, 1, fmt & 0xff)?;
-                2
-            };
-            mem.store(ctx + 12, 4, cursor + used)?;
-            Ok(0)
-        });
+        let meter = meter.clone();
+        reg.register(
+            ids::BPF_COAP_ADD_FORMAT,
+            "bpf_coap_add_format",
+            move |mem, args| {
+                meter.charge(helper_internal_cycles(ids::BPF_COAP_ADD_FORMAT));
+                let ctx = args[0];
+                let pkt = mem.load(ctx, 8)?;
+                let cursor = mem.load(ctx + 12, 4)?;
+                let fmt = args[1];
+                let used = if fmt == 0 {
+                    // Content-Format (12), zero-length value.
+                    mem.store(pkt + cursor, 1, 0xc0)?;
+                    1
+                } else {
+                    mem.store(pkt + cursor, 1, 0xc1)?;
+                    mem.store(pkt + cursor + 1, 1, fmt & 0xff)?;
+                    2
+                };
+                mem.store(ctx + 12, 4, cursor + used)?;
+                Ok(0)
+            },
+        );
     }
     if has(ids::BPF_COAP_OPT_FINISH) {
-        let env = Rc::clone(env);
-        reg.register(ids::BPF_COAP_OPT_FINISH, "bpf_coap_opt_finish", move |mem, args| {
-            env.charge(helper_internal_cycles(ids::BPF_COAP_OPT_FINISH));
-            let ctx = args[0];
-            let pkt = mem.load(ctx, 8)?;
-            let cursor = mem.load(ctx + 12, 4)?;
-            mem.store(pkt + cursor, 1, 0xff)?;
-            let payload_off = cursor + 1;
-            mem.store(ctx + 12, 4, payload_off)?;
-            Ok(payload_off)
-        });
+        let meter = meter.clone();
+        reg.register(
+            ids::BPF_COAP_OPT_FINISH,
+            "bpf_coap_opt_finish",
+            move |mem, args| {
+                meter.charge(helper_internal_cycles(ids::BPF_COAP_OPT_FINISH));
+                let ctx = args[0];
+                let pkt = mem.load(ctx, 8)?;
+                let cursor = mem.load(ctx + 12, 4)?;
+                mem.store(pkt + cursor, 1, 0xff)?;
+                let payload_off = cursor + 1;
+                mem.store(ctx + 12, 4, payload_off)?;
+                Ok(payload_off)
+            },
+        );
     }
     if has(ids::BPF_FMT_U32_DEC) {
-        let env = Rc::clone(env);
+        let meter = meter.clone();
         reg.register(ids::BPF_FMT_U32_DEC, "bpf_fmt_u32_dec", move |mem, args| {
-            env.charge(helper_internal_cycles(ids::BPF_FMT_U32_DEC));
+            meter.charge(helper_internal_cycles(ids::BPF_FMT_U32_DEC));
             let text = (args[1] as u32).to_string();
             let dst = mem.slice_mut(args[0], text.len())?;
             dst.copy_from_slice(text.as_bytes());
@@ -351,9 +494,9 @@ pub fn build_registry(
         });
     }
     if has(ids::BPF_FMT_S16_DFP) {
-        let env = Rc::clone(env);
+        let meter = meter.clone();
         reg.register(ids::BPF_FMT_S16_DFP, "bpf_fmt_s16_dfp", move |mem, args| {
-            env.charge(helper_internal_cycles(ids::BPF_FMT_S16_DFP));
+            meter.charge(helper_internal_cycles(ids::BPF_FMT_S16_DFP));
             // Render `value × 10^scale` where scale is a small negative
             // exponent (RIOT's fmt_s16_dfp).
             let value = args[1] as u32 as i32 as i64;
@@ -364,7 +507,12 @@ pub fn build_registry(
                 let div = 10i64.pow((-scale) as u32);
                 let sign = if value < 0 { "-" } else { "" };
                 let v = value.abs();
-                format!("{sign}{}.{:0width$}", v / div, v % div, width = (-scale) as usize)
+                format!(
+                    "{sign}{}.{:0width$}",
+                    v / div,
+                    v % div,
+                    width = (-scale) as usize
+                )
             };
             let dst = mem.slice_mut(args[0], text.len())?;
             dst.copy_from_slice(text.as_bytes());
@@ -372,15 +520,11 @@ pub fn build_registry(
         });
     }
     if has(ids::BPF_RANDOM) {
-        let env = Rc::clone(env);
+        let env = Arc::clone(env);
+        let meter = meter.clone();
         reg.register(ids::BPF_RANDOM, "bpf_random", move |_mem, _args| {
-            env.charge(helper_internal_cycles(ids::BPF_RANDOM));
-            let mut s = env.rng_state.get();
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            env.rng_state.set(s);
-            Ok(s)
+            meter.charge(helper_internal_cycles(ids::BPF_RANDOM));
+            Ok(env.rng_next())
         });
     }
     reg
@@ -391,28 +535,44 @@ mod tests {
     use super::*;
     use fc_rbpf::mem::{MemoryMap, Perm, CTX_VADDR, STACK_VADDR};
 
-    fn env() -> Rc<HostEnv> {
-        Rc::new(HostEnv::new(32))
+    fn env() -> Arc<HostEnv> {
+        Arc::new(HostEnv::new(32))
+    }
+
+    fn registry(
+        env: &Arc<HostEnv>,
+        container: ContainerId,
+        tenant: TenantId,
+    ) -> HelperRegistry<'static> {
+        build_registry(
+            env,
+            &HelperMeter::new(),
+            container,
+            tenant,
+            &standard_helper_ids(),
+        )
     }
 
     #[test]
     fn registry_only_exposes_granted_helpers() {
         let env = env();
         let granted: HelperSet = [ids::BPF_NOW_MS].into_iter().collect();
-        let reg = build_registry(&env, 1, 1, &granted);
+        let reg = build_registry(&env, &HelperMeter::new(), 1, 1, &granted);
         assert_eq!(reg.granted_ids(), granted);
     }
 
     #[test]
     fn kv_fetch_store_round_trip_through_memory() {
         let env = env();
-        let mut reg = build_registry(&env, 1, 7, &standard_helper_ids());
+        let mut reg = registry(&env, 1, 7);
         let mut mem = MemoryMap::new();
         mem.add_stack(64);
         // store_global(5, 42)
-        reg.call(ids::BPF_STORE_GLOBAL, &mut mem, [5, 42, 0, 0, 0]).unwrap();
+        reg.call(ids::BPF_STORE_GLOBAL, &mut mem, [5, 42, 0, 0, 0])
+            .unwrap();
         // fetch_global(5, stack)
-        reg.call(ids::BPF_FETCH_GLOBAL, &mut mem, [5, STACK_VADDR, 0, 0, 0]).unwrap();
+        reg.call(ids::BPF_FETCH_GLOBAL, &mut mem, [5, STACK_VADDR, 0, 0, 0])
+            .unwrap();
         assert_eq!(mem.load(STACK_VADDR, 4).unwrap(), 42);
     }
 
@@ -420,58 +580,88 @@ mod tests {
     fn tenant_scope_isolated_between_tenants() {
         let env = env();
         {
-            let mut reg_a = build_registry(&env, 1, 100, &standard_helper_ids());
+            let mut reg_a = registry(&env, 1, 100);
             let mut mem = MemoryMap::new();
             mem.add_stack(64);
-            reg_a.call(ids::BPF_STORE_SHARED, &mut mem, [1, 11, 0, 0, 0]).unwrap();
+            reg_a
+                .call(ids::BPF_STORE_SHARED, &mut mem, [1, 11, 0, 0, 0])
+                .unwrap();
         }
-        let mut reg_b = build_registry(&env, 2, 200, &standard_helper_ids());
+        let mut reg_b = registry(&env, 2, 200);
         let mut mem = MemoryMap::new();
         mem.add_stack(64);
-        reg_b.call(ids::BPF_FETCH_SHARED, &mut mem, [1, STACK_VADDR, 0, 0, 0]).unwrap();
-        assert_eq!(mem.load(STACK_VADDR, 4).unwrap(), 0, "tenant B sees nothing");
+        reg_b
+            .call(ids::BPF_FETCH_SHARED, &mut mem, [1, STACK_VADDR, 0, 0, 0])
+            .unwrap();
+        assert_eq!(
+            mem.load(STACK_VADDR, 4).unwrap(),
+            0,
+            "tenant B sees nothing"
+        );
     }
 
     #[test]
     fn printf_formats_and_captures() {
         let env = env();
-        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let mut reg = registry(&env, 1, 1);
         let mut mem = MemoryMap::new();
         mem.add_rodata(b"t=%d hex=%x\0".to_vec());
         let rodata = fc_rbpf::mem::RODATA_VADDR;
-        reg.call(ids::BPF_PRINTF, &mut mem, [rodata, 42, 255, 0, 0]).unwrap();
-        assert_eq!(env.console.borrow().as_slice(), ["t=42 hex=ff"]);
+        reg.call(ids::BPF_PRINTF, &mut mem, [rodata, 42, 255, 0, 0])
+            .unwrap();
+        assert_eq!(env.console_lines(), ["t=42 hex=ff"]);
     }
 
     #[test]
     fn saul_read_writes_sample() {
         let env = env();
-        env.saul.borrow_mut().register("t0", fc_rtos::saul::DeviceClass::SenseTemp, || {
-            fc_rtos::saul::Phydat { value: 2155, scale: -2 }
-        });
-        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        env.saul()
+            .lock()
+            .unwrap()
+            .register("t0", fc_rtos::saul::DeviceClass::SenseTemp, || {
+                fc_rtos::saul::Phydat {
+                    value: 2155,
+                    scale: -2,
+                }
+            });
+        let mut reg = registry(&env, 1, 1);
         let mut mem = MemoryMap::new();
         mem.add_stack(64);
-        reg.call(ids::BPF_SAUL_READ, &mut mem, [0, STACK_VADDR, 0, 0, 0]).unwrap();
+        reg.call(ids::BPF_SAUL_READ, &mut mem, [0, STACK_VADDR, 0, 0, 0])
+            .unwrap();
         assert_eq!(mem.load(STACK_VADDR, 4).unwrap(), 2155);
         // Missing device faults.
-        assert!(reg.call(ids::BPF_SAUL_READ, &mut mem, [9, STACK_VADDR, 0, 0, 0]).is_err());
+        assert!(reg
+            .call(ids::BPF_SAUL_READ, &mut mem, [9, STACK_VADDR, 0, 0, 0])
+            .is_err());
     }
 
     #[test]
     fn coap_formatting_sequence_produces_valid_pdu() {
         let env = env();
-        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let mut reg = registry(&env, 1, 1);
         let mut mem = MemoryMap::new();
         mem.add_stack(64);
         mem.add_ctx(coap_ctx_bytes(64), Perm::RW);
         let pkt = mem.add_host_region("pkt", vec![0; 64], Perm::RW);
-        reg.call(ids::BPF_GCOAP_RESP_INIT, &mut mem, [CTX_VADDR, 0x45, 0, 0, 0]).unwrap();
-        reg.call(ids::BPF_COAP_ADD_FORMAT, &mut mem, [CTX_VADDR, 0, 0, 0, 0]).unwrap();
-        let off = reg.call(ids::BPF_COAP_OPT_FINISH, &mut mem, [CTX_VADDR, 0, 0, 0, 0]).unwrap();
+        reg.call(
+            ids::BPF_GCOAP_RESP_INIT,
+            &mut mem,
+            [CTX_VADDR, 0x45, 0, 0, 0],
+        )
+        .unwrap();
+        reg.call(ids::BPF_COAP_ADD_FORMAT, &mut mem, [CTX_VADDR, 0, 0, 0, 0])
+            .unwrap();
+        let off = reg
+            .call(ids::BPF_COAP_OPT_FINISH, &mut mem, [CTX_VADDR, 0, 0, 0, 0])
+            .unwrap();
         let pkt_addr = mem.region_vaddr(pkt);
         let len = reg
-            .call(ids::BPF_FMT_U32_DEC, &mut mem, [pkt_addr + off, 2155, 0, 0, 0])
+            .call(
+                ids::BPF_FMT_U32_DEC,
+                &mut mem,
+                [pkt_addr + off, 2155, 0, 0, 0],
+            )
             .unwrap();
         let total = (off + len) as usize;
         let pdu = mem.region_bytes(pkt)[..total].to_vec();
@@ -490,38 +680,63 @@ mod tests {
     #[test]
     fn fmt_s16_dfp_renders_fixed_point() {
         let env = env();
-        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let mut reg = registry(&env, 1, 1);
         let mut mem = MemoryMap::new();
         mem.add_stack(64);
         let scale_minus_2 = (-2i32) as u32 as u64;
         let len = reg
-            .call(ids::BPF_FMT_S16_DFP, &mut mem, [STACK_VADDR, 2155, scale_minus_2, 0, 0])
+            .call(
+                ids::BPF_FMT_S16_DFP,
+                &mut mem,
+                [STACK_VADDR, 2155, scale_minus_2, 0, 0],
+            )
             .unwrap();
         let text = &mem.region_bytes(mem.find_region("stack").unwrap())[..len as usize];
         assert_eq!(text, b"21.55");
     }
 
     #[test]
-    fn helper_cycles_accumulate() {
+    fn helper_cycles_accumulate_on_the_meter() {
         let env = env();
-        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let meter = HelperMeter::new();
+        let mut reg = build_registry(&env, &meter, 1, 1, &standard_helper_ids());
         let mut mem = MemoryMap::new();
         reg.call(ids::BPF_NOW_MS, &mut mem, [0; 5]).unwrap();
         reg.call(ids::BPF_RANDOM, &mut mem, [0; 5]).unwrap();
         assert_eq!(
-            env.helper_cycles.get(),
+            meter.get(),
             helper_internal_cycles(ids::BPF_NOW_MS) + helper_internal_cycles(ids::BPF_RANDOM)
         );
+        meter.reset();
+        assert_eq!(meter.get(), 0);
     }
 
     #[test]
     fn random_is_nonzero_and_changes() {
         let env = env();
-        let mut reg = build_registry(&env, 1, 1, &standard_helper_ids());
+        let mut reg = registry(&env, 1, 1);
         let mut mem = MemoryMap::new();
         let a = reg.call(ids::BPF_RANDOM, &mut mem, [0; 5]).unwrap();
         let b = reg.call(ids::BPF_RANDOM, &mut mem, [0; 5]).unwrap();
         assert_ne!(a, 0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn registry_is_send_with_env_captured() {
+        let env = env();
+        let reg = registry(&env, 1, 1);
+        fn assert_send<T: Send>(_: &T) {}
+        assert_send(&reg);
+        // And actually usable from another thread.
+        std::thread::spawn(move || {
+            let mut reg = reg;
+            let mut mem = MemoryMap::new();
+            reg.call(ids::BPF_STORE_GLOBAL, &mut mem, [3, 33, 0, 0, 0])
+                .unwrap();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(env.stores().fetch(1, 1, Scope::Global, 3), 33);
     }
 }

@@ -77,7 +77,12 @@ impl Hook {
     /// Creates a hook; its UUID derives deterministically from the name
     /// so maintainers can compute it offline when authoring manifests.
     pub fn new(name: &str, kind: HookKind, policy: HookPolicy) -> Self {
-        Hook { id: Uuid::from_name(HOOK_NAMESPACE, name), name: name.to_owned(), kind, policy }
+        Hook {
+            id: Uuid::from_name(HOOK_NAMESPACE, name),
+            name: name.to_owned(),
+            kind,
+            policy,
+        }
     }
 }
 
@@ -107,8 +112,16 @@ mod tests {
 
     #[test]
     fn hook_ids_are_stable_and_distinct() {
-        assert_eq!(sched_hook_id(), Hook::new("sched", HookKind::SchedSwitch, HookPolicy::First).id);
-        let ids = [sched_hook_id(), timer_hook_id(), coap_hook_id(), packet_hook_id()];
+        assert_eq!(
+            sched_hook_id(),
+            Hook::new("sched", HookKind::SchedSwitch, HookPolicy::First).id
+        );
+        let ids = [
+            sched_hook_id(),
+            timer_hook_id(),
+            coap_hook_id(),
+            packet_hook_id(),
+        ];
         for (i, a) in ids.iter().enumerate() {
             for b in &ids[i + 1..] {
                 assert_ne!(a, b);
@@ -124,5 +137,66 @@ mod tests {
         assert_eq!(HookPolicy::Any.combine(&r), Some(15));
         assert_eq!(HookPolicy::Sum.combine(&r), Some(15));
         assert_eq!(HookPolicy::First.combine(&[]), None);
+    }
+
+    #[test]
+    fn empty_results_mean_default_flow_for_every_policy() {
+        // `None` is the firmware's "bypass with default result" signal
+        // (Figure 3); all policies must produce it, never Some(0).
+        for policy in [
+            HookPolicy::First,
+            HookPolicy::Last,
+            HookPolicy::Any,
+            HookPolicy::Sum,
+        ] {
+            assert_eq!(policy.combine(&[]), None, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn single_result_is_identity_for_every_policy() {
+        for policy in [
+            HookPolicy::First,
+            HookPolicy::Last,
+            HookPolicy::Any,
+            HookPolicy::Sum,
+        ] {
+            assert_eq!(policy.combine(&[7]), Some(7), "{policy:?}");
+            assert_eq!(
+                policy.combine(&[0]),
+                Some(0),
+                "{policy:?}: a real zero is Some(0)"
+            );
+            assert_eq!(policy.combine(&[u64::MAX]), Some(u64::MAX), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn sum_wraps_on_overflow_instead_of_panicking() {
+        // A malicious container returning u64::MAX must not be able to
+        // panic the launchpad in a debug build: summation is defined
+        // as wrapping.
+        assert_eq!(HookPolicy::Sum.combine(&[u64::MAX, 2]), Some(1));
+        assert_eq!(HookPolicy::Sum.combine(&[u64::MAX, 1]), Some(0));
+        assert_eq!(
+            HookPolicy::Sum.combine(&[u64::MAX, u64::MAX]),
+            Some(u64::MAX - 1)
+        );
+        // Wrapping is order-independent.
+        assert_eq!(
+            HookPolicy::Sum.combine(&[2, u64::MAX]),
+            HookPolicy::Sum.combine(&[u64::MAX, 2])
+        );
+    }
+
+    #[test]
+    fn any_saturates_at_all_ones_and_never_loses_bits() {
+        assert_eq!(HookPolicy::Any.combine(&[u64::MAX, 5]), Some(u64::MAX));
+        assert_eq!(
+            HookPolicy::Any.combine(&[1 << 63, 1]),
+            Some((1 << 63) | 1),
+            "high and low bits both survive"
+        );
+        assert_eq!(HookPolicy::Any.combine(&[0, 0, 0]), Some(0));
     }
 }

@@ -100,10 +100,10 @@ mod tests {
         }
         kernel.run_until_idle(100_000_000);
         let engine = engine.borrow();
-        let stores = engine.env().stores.borrow();
+        let global = engine.env().stores().global_snapshot();
         // Context numbers threads from 1; switch count must match the
         // kernel's own bookkeeping.
-        let total: i64 = (1..=2).map(|t| stores.global().fetch(t)).sum();
+        let total: i64 = (1..=2).map(|t| global.fetch(t)).sum();
         assert_eq!(total as u64, kernel.context_switches());
         assert!(total >= 2);
     }
@@ -113,10 +113,14 @@ mod tests {
         let engine = shared_engine();
         {
             let mut e = engine.borrow_mut();
-            e.env().saul.borrow_mut().register("temp0", DeviceClass::SenseTemp, || Phydat {
-                value: 2100,
-                scale: -2,
-            });
+            e.env()
+                .saul()
+                .lock()
+                .unwrap()
+                .register("temp0", DeviceClass::SenseTemp, || Phydat {
+                    value: 2100,
+                    scale: -2,
+                });
             let id = e
                 .install(
                     "sensor",
@@ -131,9 +135,12 @@ mod tests {
         attach_timer_hook(&mut kernel, engine.clone(), 1_000);
         kernel.run_for_us(5_500);
         let engine = engine.borrow();
-        let avg = engine.env().stores.borrow().fetch(0, 2, fc_kvstore::Scope::Tenant, 1);
+        let avg = engine
+            .env()
+            .stores()
+            .fetch(0, 2, fc_kvstore::Scope::Tenant, 1);
         assert_eq!(avg, 2100, "steady signal converges to itself");
-        assert!(engine.env().saul.borrow().read_count(0).unwrap() >= 5);
+        assert!(engine.env().saul().lock().unwrap().read_count(0).unwrap() >= 5);
     }
 
     #[test]

@@ -16,6 +16,29 @@
 //! * [`footprint`] — the flash/RAM models behind Tables 1 & 3 and
 //!   Figures 2 & 7.
 //!
+//! ## Shared vs per-shard state (the `fc-host` concurrency boundary)
+//!
+//! The concurrent hosting runtime (`fc-host`) runs **N sibling
+//! engines** — one per worker thread — built over one
+//! [`helpers_impl::HostEnv`] via [`engine::HostingEngine::with_env`].
+//! The split of state is deliberate and load-bearing:
+//!
+//! * **Shared, thread-safe** (`Arc<HostEnv>`): the key-value stores
+//!   (global scope is the sanctioned cross-container channel, so it
+//!   must stay coherent across shards — it sits behind
+//!   [`fc_kvstore::ShardedStores`]' sharded locks), the SAUL sensor
+//!   registry, the console, the virtual clock and the RNG (atomics).
+//! * **Per shard, unlocked**: everything execution-hot — container
+//!   slots, decoded programs, helper registries (whose closures are
+//!   `Send` and capture the env through `Arc`), execution arenas with
+//!   their buffer pools, and each slot's [`helpers_impl::HelperMeter`]
+//!   for helper-cycle accounting.
+//!
+//! A [`engine::ContainerSlot`] is `Send` and migrates between sibling
+//! engines via [`engine::HostingEngine::eject`] /
+//! [`engine::HostingEngine::adopt`]; `install_with_id` lets a
+//! multi-engine host assign globally unique container ids.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -1,0 +1,176 @@
+//! CoAP load front-end: routes request paths onto `CoapRequest` hooks.
+//!
+//! The paper's networked-sensor example (§8.3) hangs one container off
+//! the CoAP-request launchpad of one device. A hosting server
+//! generalises that: each tenant resource (`/t0/temp`, `/t1/temp`, …)
+//! is its own hook, the front-end maps Uri-Path → hook, and the host
+//! spreads the hooks over shards — so requests for different resources
+//! execute concurrently while each resource keeps the paper's
+//! single-device semantics.
+//!
+//! Per request the front-end builds exactly what the single-device
+//! engine hands its CoAP containers: a `coap_ctx_bytes` context and a
+//! writable packet buffer as the first host-granted region. The
+//! container's combined return value is the response PDU length
+//! (the convention of `fc_core::apps::coap_formatter`).
+
+use std::collections::HashMap;
+
+use fc_core::engine::{HookReport, HostRegion};
+use fc_core::helpers_impl::coap_ctx_bytes;
+use fc_net::coap::{Code, Message};
+use fc_suit::Uuid;
+
+use crate::host::{FcHost, HostError};
+use crate::queue::Accepted;
+
+/// Default response packet buffer size (the paper's examples format
+/// well under 64 B of PDU).
+pub const DEFAULT_PKT_LEN: usize = 128;
+
+/// A decoded CoAP exchange outcome from [`CoapFront::dispatch_sync`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoapReply {
+    /// The raw hook report (per-container executions, cycles).
+    pub report: HookReport,
+    /// The response PDU, trimmed to the container-reported length.
+    pub pdu: Vec<u8>,
+    /// The response, when the PDU parses as CoAP.
+    pub message: Option<Message>,
+}
+
+/// Maps Uri-Paths onto hooks and packages requests as hook events.
+#[derive(Debug, Clone, Default)]
+pub struct CoapFront {
+    routes: HashMap<String, Uuid>,
+    pkt_len: usize,
+}
+
+impl CoapFront {
+    /// Creates a front-end with the default packet buffer size.
+    pub fn new() -> Self {
+        CoapFront {
+            routes: HashMap::new(),
+            pkt_len: DEFAULT_PKT_LEN,
+        }
+    }
+
+    /// Overrides the response packet buffer size.
+    pub fn with_pkt_len(mut self, pkt_len: usize) -> Self {
+        self.pkt_len = pkt_len;
+        self
+    }
+
+    /// Routes a resource path (e.g. `"t0/temp"`) onto a hook.
+    pub fn add_route(&mut self, path: &str, hook: Uuid) {
+        self.routes.insert(normalize(path), hook);
+    }
+
+    /// Number of registered routes.
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// The hook serving a path, if routed.
+    pub fn hook_for(&self, path: &str) -> Option<Uuid> {
+        self.routes.get(&normalize(path)).copied()
+    }
+
+    /// The (hook, ctx, packet region) triple a request maps to.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownHook`] with a nil UUID when the path has no
+    /// route (the CoAP analogue is a 4.04).
+    pub fn request_event(
+        &self,
+        request: &Message,
+    ) -> Result<(Uuid, Vec<u8>, HostRegion), HostError> {
+        let hook = self
+            .hook_for(&request.path())
+            .ok_or(HostError::UnknownHook(Uuid::from_name(
+                "coap/unrouted",
+                &request.path(),
+            )))?;
+        let ctx = coap_ctx_bytes(self.pkt_len as u32);
+        let pkt = HostRegion::read_write("pkt", vec![0; self.pkt_len]);
+        Ok((hook, ctx, pkt))
+    }
+
+    /// Enqueues a request without waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors as [`CoapFront::request_event`]; queue errors as
+    /// [`FcHost::fire`].
+    pub fn dispatch(&self, host: &FcHost, request: &Message) -> Result<Accepted, HostError> {
+        let (hook, ctx, pkt) = self.request_event(request)?;
+        host.fire(hook, &ctx, std::slice::from_ref(&pkt))
+    }
+
+    /// Serves a request end to end, returning the formatted response.
+    ///
+    /// # Errors
+    ///
+    /// As [`CoapFront::dispatch`], plus [`HostError::Shed`] when the
+    /// event was displaced before executing.
+    pub fn dispatch_sync(&self, host: &FcHost, request: &Message) -> Result<CoapReply, HostError> {
+        let (hook, ctx, pkt) = self.request_event(request)?;
+        let report = host.fire_sync(hook, &ctx, std::slice::from_ref(&pkt))?;
+        let pdu = response_pdu(&report);
+        let message = Message::decode(&pdu).ok();
+        Ok(CoapReply {
+            report,
+            pdu,
+            message,
+        })
+    }
+}
+
+/// Extracts the response PDU from a CoAP hook report: the packet
+/// region written by the first execution, trimmed to the combined
+/// return value (the formatter convention: r0 = PDU length).
+pub fn response_pdu(report: &HookReport) -> Vec<u8> {
+    let len = report.combined.unwrap_or(0) as usize;
+    report
+        .executions
+        .first()
+        .and_then(|e| e.regions_back.iter().find(|(name, _)| name == "pkt"))
+        .map(|(_, bytes)| bytes[..len.min(bytes.len())].to_vec())
+        .unwrap_or_default()
+}
+
+/// Checks a response PDU is a well-formed 2.05 Content reply.
+pub fn is_content_response(pdu: &[u8]) -> bool {
+    matches!(Message::decode(pdu), Ok(m) if m.code == Code::Content)
+}
+
+fn normalize(path: &str) -> String {
+    path.trim_matches('/').to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_normalise_leading_slash() {
+        let mut front = CoapFront::new();
+        let hook = Uuid::from_name("test", "h");
+        front.add_route("/t0/temp", hook);
+        assert_eq!(front.hook_for("t0/temp"), Some(hook));
+        assert_eq!(front.hook_for("/t0/temp/"), Some(hook));
+        assert_eq!(front.hook_for("t1/temp"), None);
+    }
+
+    #[test]
+    fn unrouted_request_is_rejected() {
+        let front = CoapFront::new();
+        let mut req = Message::request(Code::Get, 1, &[]);
+        req.set_path("nope");
+        assert!(matches!(
+            front.request_event(&req),
+            Err(HostError::UnknownHook(_))
+        ));
+    }
+}

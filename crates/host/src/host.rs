@@ -1,0 +1,709 @@
+//! The concurrent multi-tenant host: N engine shards behind per-hook
+//! event queues, with lifecycle routed through a shard map keyed by
+//! container id.
+//!
+//! ## Placement
+//!
+//! * **Hooks own shards.** Each registered hook is assigned a shard
+//!   round-robin; every event for that hook executes on that shard's
+//!   engine. A hook fire therefore runs its attached containers in
+//!   attachment order on one thread — per-event results are *identical*
+//!   to the single-threaded [`HostingEngine::fire_hook`] path (the
+//!   differential suite in `tests/host_differential.rs` enforces this).
+//! * **Containers follow their hooks.** `install` places a container
+//!   on the least-loaded shard; the first `attach` migrates the slot
+//!   (eject/adopt) to the hook's shard when it is still unattached, and
+//!   later attaches to hooks on *other* shards install replicas from
+//!   the retained image. Replicas share the container id — and hence
+//!   the same local store in the shared [`HostEnv`] — so placement is
+//!   invisible to the container.
+//!
+//! Throughput scales with shards because distinct hooks (in the CoAP
+//! front-end: distinct tenant resources) dispatch concurrently, while
+//! everything genuinely shared (stores, sensors, console, clock) lives
+//! in the `HostEnv` behind sharded locks.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use fc_core::contract::{ContractOffer, ContractRequest};
+use fc_core::engine::{
+    ContainerId, EngineError, ExecutionReport, HookReport, HostRegion, HostingEngine,
+};
+use fc_core::helpers_impl::HostEnv;
+use fc_core::hooks::Hook;
+use fc_kvstore::TenantId;
+use fc_rbpf::vm::ExecConfig;
+use fc_rtos::platform::{Engine as EngineFlavor, Platform};
+use fc_suit::Uuid;
+
+use crate::queue::{Accepted, Event, Inbox, ShedPolicy};
+use crate::shard::{spawn_shard, Command, OutstandingGauge, ShardParams, ShardReport, SharedInbox};
+use crate::stats::HostStats;
+
+/// Why a host operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// The hook is not registered with this host.
+    UnknownHook(Uuid),
+    /// The container id is not known to this host.
+    UnknownContainer(ContainerId),
+    /// The event was shed by backpressure.
+    Shed,
+    /// The owning shard rejected the operation.
+    Engine(EngineError),
+    /// The shard worker is gone (host shut down).
+    Disconnected,
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::UnknownHook(u) => write!(f, "unknown hook {u}"),
+            HostError::UnknownContainer(c) => write!(f, "unknown container {c}"),
+            HostError::Shed => write!(f, "event shed by backpressure"),
+            HostError::Engine(e) => write!(f, "engine: {e}"),
+            HostError::Disconnected => write!(f, "shard worker disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl From<EngineError> for HostError {
+    fn from(e: EngineError) -> Self {
+        HostError::Engine(e)
+    }
+}
+
+/// Configuration of a [`FcHost`].
+#[derive(Debug, Clone, Copy)]
+pub struct HostConfig {
+    /// Worker threads (= engine shards).
+    pub workers: usize,
+    /// Bounded capacity of each per-hook event queue.
+    pub queue_capacity: usize,
+    /// Events a worker drains per inbox lock acquisition.
+    pub drain_batch: usize,
+    /// Deficit-round-robin quantum, in VM instructions per round.
+    pub quantum_insns: u64,
+    /// Backpressure policy for full queues.
+    pub shed: ShedPolicy,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            workers: 4,
+            queue_capacity: 256,
+            drain_batch: 16,
+            quantum_insns: 4096,
+            shed: ShedPolicy::default(),
+        }
+    }
+}
+
+/// Retained installation inputs, for installing replicas on additional
+/// shards when a container attaches to hooks owned elsewhere.
+struct ContainerSpec {
+    name: String,
+    tenant: TenantId,
+    image: Arc<[u8]>,
+    request: ContractRequest,
+}
+
+struct Shard {
+    inbox: SharedInbox,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// The concurrent multi-tenant hosting runtime (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use fc_core::contract::{ContractOffer, ContractRequest};
+/// use fc_core::helpers_impl::standard_helper_ids;
+/// use fc_core::hooks::{Hook, HookKind, HookPolicy};
+/// use fc_host::{FcHost, HostConfig};
+/// use fc_rbpf::program::ProgramBuilder;
+/// use fc_rtos::platform::{Engine, Platform};
+///
+/// let mut host = FcHost::new(Platform::CortexM4, Engine::FemtoContainer, HostConfig::default());
+/// let hook = Hook::new("tick", HookKind::Timer, HookPolicy::First);
+/// let hook_id = hook.id;
+/// host.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+/// let image = ProgramBuilder::new().asm("mov r0, 42\nexit").unwrap().build();
+/// let id = host.install("answer", 1, &image.to_bytes(), ContractRequest::default()).unwrap();
+/// host.attach(id, hook_id).unwrap();
+/// let report = host.fire_sync(hook_id, &[], &[]).unwrap();
+/// assert_eq!(report.combined, Some(42));
+/// host.shutdown();
+/// ```
+pub struct FcHost {
+    shards: Vec<Shard>,
+    env: Arc<HostEnv>,
+    stats: Arc<HostStats>,
+    /// Events accepted but not yet executed (quiescence tracking).
+    outstanding: Arc<OutstandingGauge>,
+    config: HostConfig,
+    platform: Platform,
+    flavor: EngineFlavor,
+    /// Hook → owning shard.
+    hook_shard: HashMap<Uuid, usize>,
+    next_hook_shard: usize,
+    /// Container → shards carrying it (first entry = home/primary).
+    container_shards: BTreeMap<ContainerId, Vec<usize>>,
+    /// Container → hooks it is attached to.
+    attachments: HashMap<ContainerId, HashSet<Uuid>>,
+    specs: HashMap<ContainerId, ContainerSpec>,
+    /// Containers installed per shard (placement heuristic).
+    shard_load: Vec<usize>,
+    next_id: ContainerId,
+}
+
+impl FcHost {
+    /// Starts a host with `config.workers` shards over a fresh shared
+    /// environment.
+    pub fn new(platform: Platform, flavor: EngineFlavor, config: HostConfig) -> Self {
+        Self::with_env(
+            platform,
+            flavor,
+            config,
+            Arc::new(HostEnv::new(fc_kvstore::DEFAULT_CAPACITY)),
+        )
+    }
+
+    /// Starts a host over an existing shared environment.
+    pub fn with_env(
+        platform: Platform,
+        flavor: EngineFlavor,
+        mut config: HostConfig,
+        env: Arc<HostEnv>,
+    ) -> Self {
+        let workers = config.workers.max(1);
+        // A zero-capacity queue could never hold an event; DropOldest
+        // would displace from an empty queue.
+        config.queue_capacity = config.queue_capacity.max(1);
+        let stats = Arc::new(HostStats::new());
+        let outstanding = Arc::new(OutstandingGauge::new());
+        let params = ShardParams {
+            // A zero quantum would never let any queue's deficit go
+            // positive and livelock the scheduling loop.
+            quantum_insns: config.quantum_insns.clamp(1, i64::MAX as u64) as i64,
+            drain_batch: config.drain_batch.max(1),
+        };
+        let shards = (0..workers)
+            .map(|i| {
+                let inbox: SharedInbox = Arc::new((Mutex::new(Inbox::new()), Condvar::new()));
+                let worker = spawn_shard(
+                    i,
+                    platform,
+                    flavor,
+                    Arc::clone(&env),
+                    Arc::clone(&inbox),
+                    Arc::clone(&stats),
+                    Arc::clone(&outstanding),
+                    params,
+                );
+                Shard {
+                    inbox,
+                    worker: Some(worker),
+                }
+            })
+            .collect();
+        FcHost {
+            shards,
+            env,
+            stats,
+            outstanding,
+            config,
+            platform,
+            flavor,
+            hook_shard: HashMap::new(),
+            next_hook_shard: 0,
+            container_shards: BTreeMap::new(),
+            attachments: HashMap::new(),
+            specs: HashMap::new(),
+            shard_load: vec![0; workers],
+            next_id: 1,
+        }
+    }
+
+    /// Number of engine shards (= worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The host's platform model.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The interpreter flavour shards run.
+    pub fn flavor(&self) -> EngineFlavor {
+        self.flavor
+    }
+
+    /// The shared host environment (stores, sensors, console, clock).
+    pub fn env(&self) -> &HostEnv {
+        &self.env
+    }
+
+    /// Shared handle to the environment.
+    pub fn env_handle(&self) -> Arc<HostEnv> {
+        Arc::clone(&self.env)
+    }
+
+    /// Dispatch statistics.
+    pub fn stats(&self) -> &HostStats {
+        &self.stats
+    }
+
+    /// Shard a container currently calls home, if installed.
+    pub fn shard_of(&self, container: ContainerId) -> Option<usize> {
+        self.container_shards
+            .get(&container)
+            .and_then(|s| s.first().copied())
+    }
+
+    /// Shard owning a hook's event queue, if registered.
+    pub fn shard_of_hook(&self, hook: Uuid) -> Option<usize> {
+        self.hook_shard.get(&hook).copied()
+    }
+
+    fn send_command(&self, shard: usize, command: Command) {
+        let (lock, cvar) = &*self.shards[shard].inbox;
+        lock.lock().expect("inbox lock").control.push_back(command);
+        cvar.notify_one();
+    }
+
+    /// Overrides the finite-execution budgets on every shard, for
+    /// installed containers and future installs alike.
+    pub fn set_exec_config(&mut self, config: ExecConfig) {
+        for shard in 0..self.shards.len() {
+            self.send_command(shard, Command::SetExecConfig { config });
+        }
+    }
+
+    /// Registers a launchpad hook, assigning it a shard round-robin and
+    /// creating its bounded event queue there.
+    pub fn register_hook(&mut self, hook: Hook, offer: ContractOffer) {
+        let shard = match self.hook_shard.get(&hook.id) {
+            Some(&s) => s,
+            None => {
+                let s = self.next_hook_shard % self.shards.len();
+                self.next_hook_shard += 1;
+                self.hook_shard.insert(hook.id, s);
+                s
+            }
+        };
+        let (lock, cvar) = &*self.shards[shard].inbox;
+        {
+            let mut inbox = lock.lock().expect("inbox lock");
+            inbox.add_queue(hook.id);
+            inbox
+                .control
+                .push_back(Command::RegisterHook { hook, offer });
+        }
+        cvar.notify_one();
+    }
+
+    fn recv<T>(rx: Receiver<T>) -> Result<T, HostError> {
+        rx.recv().map_err(|_| HostError::Disconnected)
+    }
+
+    /// Installs an application on the least-loaded shard.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Engine`] carrying the shard's verdict (parse,
+    /// verification or contract failure).
+    pub fn install(
+        &mut self,
+        name: &str,
+        tenant: TenantId,
+        image: &[u8],
+        request: ContractRequest,
+    ) -> Result<ContainerId, HostError> {
+        let shard = self
+            .shard_load
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, n)| **n)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let id = self.next_id;
+        self.next_id += 1;
+        // One shared allocation serves the install command, the
+        // retained spec and every future replica placement.
+        let image: Arc<[u8]> = Arc::from(image);
+        let (tx, rx) = sync_channel(1);
+        self.send_command(
+            shard,
+            Command::Install {
+                id,
+                name: name.to_owned(),
+                tenant,
+                image: Arc::clone(&image),
+                request: request.clone(),
+                reply: tx,
+            },
+        );
+        Self::recv(rx)??;
+        self.container_shards.insert(id, vec![shard]);
+        self.shard_load[shard] += 1;
+        self.specs.insert(
+            id,
+            ContainerSpec {
+                name: name.to_owned(),
+                tenant,
+                image,
+                request,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Ensures `container` exists on `shard`, migrating the slot there
+    /// when it is still unattached (cheap, no re-verification) or
+    /// installing a replica from the retained image otherwise.
+    fn place_on(&mut self, container: ContainerId, shard: usize) -> Result<(), HostError> {
+        let shards = self
+            .container_shards
+            .get(&container)
+            .ok_or(HostError::UnknownContainer(container))?
+            .clone();
+        if shards.contains(&shard) {
+            return Ok(());
+        }
+        let unattached = self
+            .attachments
+            .get(&container)
+            .is_none_or(HashSet::is_empty);
+        if unattached && shards.len() == 1 {
+            // Migrate: eject from the home shard, adopt on the target.
+            let home = shards[0];
+            let (tx, rx) = sync_channel(1);
+            self.send_command(
+                home,
+                Command::Eject {
+                    id: container,
+                    reply: tx,
+                },
+            );
+            let slot = Self::recv(rx)?.ok_or(HostError::UnknownContainer(container))?;
+            self.send_command(
+                shard,
+                Command::Adopt {
+                    slot: Box::new(slot),
+                },
+            );
+            self.container_shards.insert(container, vec![shard]);
+            self.shard_load[home] -= 1;
+            self.shard_load[shard] += 1;
+            return Ok(());
+        }
+        // Replica: re-install the retained image under the same id.
+        let spec = self
+            .specs
+            .get(&container)
+            .ok_or(HostError::UnknownContainer(container))?;
+        let (tx, rx) = sync_channel(1);
+        self.send_command(
+            shard,
+            Command::Install {
+                id: container,
+                name: spec.name.clone(),
+                tenant: spec.tenant,
+                image: spec.image.clone(),
+                request: spec.request.clone(),
+                reply: tx,
+            },
+        );
+        Self::recv(rx)??;
+        self.container_shards
+            .entry(container)
+            .or_default()
+            .push(shard);
+        self.shard_load[shard] += 1;
+        Ok(())
+    }
+
+    /// Attaches a container to a hook, placing it on the hook's shard
+    /// first (see module docs on placement).
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownHook`] / [`HostError::UnknownContainer`] /
+    /// [`HostError::Engine`] when the hook's offer does not cover the
+    /// container's helper calls.
+    pub fn attach(&mut self, container: ContainerId, hook: Uuid) -> Result<(), HostError> {
+        let shard = *self
+            .hook_shard
+            .get(&hook)
+            .ok_or(HostError::UnknownHook(hook))?;
+        self.place_on(container, shard)?;
+        let (tx, rx) = sync_channel(1);
+        self.send_command(
+            shard,
+            Command::Attach {
+                id: container,
+                hook,
+                reply: tx,
+            },
+        );
+        Self::recv(rx)??;
+        self.attachments.entry(container).or_default().insert(hook);
+        Ok(())
+    }
+
+    /// Detaches a container from a hook.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownHook`] / [`HostError::Engine`].
+    pub fn detach(&mut self, container: ContainerId, hook: Uuid) -> Result<(), HostError> {
+        let shard = *self
+            .hook_shard
+            .get(&hook)
+            .ok_or(HostError::UnknownHook(hook))?;
+        let (tx, rx) = sync_channel(1);
+        self.send_command(
+            shard,
+            Command::Detach {
+                id: container,
+                hook,
+                reply: tx,
+            },
+        );
+        Self::recv(rx)??;
+        if let Some(set) = self.attachments.get_mut(&container) {
+            set.remove(&hook);
+        }
+        Ok(())
+    }
+
+    /// Removes a container from every shard carrying it, dropping its
+    /// local store.
+    pub fn remove(&mut self, container: ContainerId) -> bool {
+        let Some(shards) = self.container_shards.remove(&container) else {
+            return false;
+        };
+        let mut removed = false;
+        for shard in shards {
+            let (tx, rx) = sync_channel(1);
+            self.send_command(
+                shard,
+                Command::Remove {
+                    id: container,
+                    reply: tx,
+                },
+            );
+            removed |= Self::recv(rx).unwrap_or(false);
+            self.shard_load[shard] = self.shard_load[shard].saturating_sub(1);
+        }
+        self.attachments.remove(&container);
+        self.specs.remove(&container);
+        removed
+    }
+
+    /// Executes a container synchronously on its home shard.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownContainer`] / [`HostError::Engine`]; VM
+    /// faults are inside the report, as with the single engine.
+    pub fn execute(
+        &self,
+        container: ContainerId,
+        ctx: &[u8],
+        extra: &[HostRegion],
+    ) -> Result<ExecutionReport, HostError> {
+        let shard = self
+            .shard_of(container)
+            .ok_or(HostError::UnknownContainer(container))?;
+        let (tx, rx) = sync_channel(1);
+        self.send_command(
+            shard,
+            Command::Execute {
+                id: container,
+                ctx: ctx.to_vec(),
+                extra: extra.to_vec(),
+                reply: tx,
+            },
+        );
+        Ok(Self::recv(rx)??)
+    }
+
+    fn enqueue(
+        &self,
+        hook: Uuid,
+        ctx: &[u8],
+        extra: &[HostRegion],
+        reply: Option<std::sync::mpsc::SyncSender<Result<HookReport, EngineError>>>,
+    ) -> Result<Accepted, HostError> {
+        let shard = *self
+            .hook_shard
+            .get(&hook)
+            .ok_or(HostError::UnknownHook(hook))?;
+        let event = Event {
+            hook,
+            ctx: ctx.to_vec(),
+            extra: extra.to_vec(),
+            enqueued_at: Instant::now(),
+            reply,
+        };
+        // Count the event as outstanding *before* it becomes visible
+        // to the worker: once the inbox lock drops, the worker may
+        // execute it (and decrement) immediately, and quiesce() must
+        // never observe a published-but-uncounted event.
+        self.outstanding.add();
+        let (lock, cvar) = &*self.shards[shard].inbox;
+        let outcome = {
+            let mut inbox = lock.lock().expect("inbox lock");
+            inbox.enqueue(event, self.config.queue_capacity, self.config.shed)
+        };
+        match outcome {
+            Ok((accepted, displaced)) => {
+                cvar.notify_one();
+                self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                if displaced.is_some() {
+                    // The displaced event never executes; its
+                    // outstanding slot transfers to the new event.
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    self.stats.displaced.fetch_add(1, Ordering::Relaxed);
+                    self.outstanding.sub();
+                }
+                Ok(accepted)
+            }
+            Err(_event) => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                self.outstanding.sub();
+                Err(HostError::Shed)
+            }
+        }
+    }
+
+    /// Fires a hook asynchronously: the event is queued on the hook's
+    /// shard and executed by its worker.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownHook`], or [`HostError::Shed`] under
+    /// backpressure (the event did not enter the queue).
+    pub fn fire(
+        &self,
+        hook: Uuid,
+        ctx: &[u8],
+        extra: &[HostRegion],
+    ) -> Result<Accepted, HostError> {
+        self.enqueue(hook, ctx, extra, None)
+    }
+
+    /// Fires a hook and returns a receiver for its report, without
+    /// blocking — the building block for pipelined load generators and
+    /// the differential suite.
+    ///
+    /// # Errors
+    ///
+    /// As [`FcHost::fire`]. A later `recv` error means the event was
+    /// displaced by `DropOldest` backpressure after acceptance.
+    pub fn fire_with_reply(
+        &self,
+        hook: Uuid,
+        ctx: &[u8],
+        extra: &[HostRegion],
+    ) -> Result<Receiver<Result<HookReport, EngineError>>, HostError> {
+        let (tx, rx) = sync_channel(1);
+        self.enqueue(hook, ctx, extra, Some(tx))?;
+        Ok(rx)
+    }
+
+    /// Fires a hook and blocks for its report.
+    ///
+    /// # Errors
+    ///
+    /// As [`FcHost::fire`], plus [`HostError::Shed`] when the queued
+    /// event was displaced before executing and [`HostError::Engine`]
+    /// for engine-side failures.
+    pub fn fire_sync(
+        &self,
+        hook: Uuid,
+        ctx: &[u8],
+        extra: &[HostRegion],
+    ) -> Result<HookReport, HostError> {
+        let rx = self.fire_with_reply(hook, ctx, extra)?;
+        match rx.recv() {
+            Ok(result) => result.map_err(HostError::Engine),
+            // The event was displaced from the queue: its reply sender
+            // was dropped without a send.
+            Err(_) => Err(HostError::Shed),
+        }
+    }
+
+    /// Blocks (parked, not spinning) until every accepted event has
+    /// executed.
+    pub fn quiesce(&self) {
+        self.outstanding.wait_zero();
+    }
+
+    /// Point-in-time reports from every shard.
+    pub fn shard_reports(&self) -> Vec<ShardReport> {
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            let (tx, rx) = sync_channel(1);
+            self.send_command(shard, Command::Report { reply: tx });
+            if let Ok(r) = Self::recv(rx) {
+                reports.push(r);
+            }
+        }
+        reports
+    }
+
+    /// Drains outstanding work and stops every shard worker.
+    pub fn shutdown(&mut self) {
+        self.quiesce();
+        for shard in &self.shards {
+            let (lock, cvar) = &*shard.inbox;
+            lock.lock().expect("inbox lock").open = false;
+            cvar.notify_all();
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+impl Drop for FcHost {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for FcHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FcHost")
+            .field("shards", &self.shards.len())
+            .field("hooks", &self.hook_shard.len())
+            .field("containers", &self.container_shards.len())
+            .finish()
+    }
+}
+
+// The host façade itself crosses threads, and `&FcHost` can be shared
+// by several producer threads firing events concurrently (`fire` &co
+// take `&self`; lifecycle methods take `&mut self` and so remain
+// single-writer by construction).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<FcHost>();
+    assert_send::<HostingEngine>();
+};

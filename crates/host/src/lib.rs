@@ -1,0 +1,392 @@
+//! # fc-host — the concurrent multi-tenant hosting runtime
+//!
+//! The paper runs one hosting engine on one microcontroller. This crate
+//! is the layer above for the repo's north star — serving heavy traffic
+//! as fast as the hardware allows: a **work-queue executor over N
+//! engine shards** that keeps every per-device semantic intact while
+//! scaling event dispatch with worker threads.
+//!
+//! ```text
+//!             producers (CoAP front-end, RTOS glue, tests)
+//!                │ fire(hook, ctx, regions)
+//!                ▼ routed by hook → owning shard
+//!   ┌─ shard 0 ──────────────┐   ┌─ shard 1 ──────────────┐
+//!   │ control lane (install, │   │                        │
+//!   │   attach, …)           │   │          …             │
+//!   │ per-hook bounded FIFOs │   │                        │
+//!   │   (DRR over insn       │   │                        │
+//!   │    budgets, shed       │   │                        │
+//!   │    policies)           │   │                        │
+//!   │        ▼ batch drain   │   │        ▼               │
+//!   │ worker thread owning a │   │ worker thread owning a │
+//!   │ HostingEngine          │   │ HostingEngine          │
+//!   └───────────┬────────────┘   └──────────┬─────────────┘
+//!               └────────────┬──────────────┘
+//!                            ▼
+//!          shared HostEnv (Arc): sharded kv-store locks,
+//!          SAUL registry, console, virtual clock
+//! ```
+//!
+//! What lives where:
+//!
+//! * **Shared** ([`fc_core::helpers_impl::HostEnv`]): the key-value
+//!   stores (behind [`fc_kvstore::ShardedStores`]' sharded locks — the
+//!   global scope is the sanctioned cross-container channel and must
+//!   stay coherent across shards), the SAUL sensors, the console, and
+//!   the virtual clock.
+//! * **Per shard**: a whole [`fc_core::engine::HostingEngine`] — slots,
+//!   decoded programs, helper registries, execution arenas. Nothing
+//!   here is locked; the shard's worker thread owns it outright. The
+//!   `Send` boundary that makes this legal is enforced in `fc-rbpf`
+//!   (see its crate docs) and `fc-core`.
+//!
+//! Scheduling is deficit round-robin **in instruction units** over the
+//! per-hook queues ([`queue`] module docs), so a tenant burning long
+//! programs cannot starve its neighbours — the multi-tenant fairness
+//! obligation the paper meets with per-execution budgets, carried up
+//! to the queue layer. Full queues shed ([`ShedPolicy`]) instead of
+//! growing without bound.
+//!
+//! The [`coap::CoapFront`] maps tenant resource paths onto
+//! `CoapRequest` hooks, turning the host into a CoAP server shape: per
+//! hook, events behave exactly like the paper's single device (the
+//! differential suite proves per-event reports identical to
+//! [`fc_core::engine::HostingEngine::fire_hook`]); across hooks, the
+//! shards run concurrently.
+
+#![warn(missing_docs)]
+
+pub mod coap;
+pub mod host;
+pub mod queue;
+pub mod shard;
+pub mod stats;
+
+pub use coap::{CoapFront, CoapReply};
+pub use host::{FcHost, HostConfig, HostError};
+pub use queue::{Accepted, ShedPolicy};
+pub use shard::ShardReport;
+pub use stats::{HostStats, LatencyHistogram, TenantStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_core::contract::{ContractOffer, ContractRequest};
+    use fc_core::helpers_impl::standard_helper_ids;
+    use fc_core::hooks::{Hook, HookKind, HookPolicy};
+    use fc_rbpf::program::ProgramBuilder;
+    use fc_rtos::platform::{Engine, Platform};
+    use fc_suit::Uuid;
+
+    fn host(workers: usize) -> FcHost {
+        FcHost::new(
+            Platform::CortexM4,
+            Engine::FemtoContainer,
+            HostConfig {
+                workers,
+                ..HostConfig::default()
+            },
+        )
+    }
+
+    fn image(src: &str) -> Vec<u8> {
+        ProgramBuilder::new()
+            .helpers(
+                fc_core::helpers_impl::helper_name_table()
+                    .iter()
+                    .map(|(n, i)| (n.as_str(), *i)),
+            )
+            .asm(src)
+            .unwrap()
+            .build()
+            .to_bytes()
+    }
+
+    fn custom_hook(name: &str, policy: HookPolicy) -> Hook {
+        Hook::new(name, HookKind::Custom, policy)
+    }
+
+    #[test]
+    fn install_attach_fire_roundtrip() {
+        let mut h = host(2);
+        let hook = custom_hook("sum", HookPolicy::Sum);
+        let hook_id = hook.id;
+        h.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        let a = h
+            .install(
+                "a",
+                1,
+                &image("mov r0, 40\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        let b = h
+            .install(
+                "b",
+                2,
+                &image("mov r0, 2\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        h.attach(a, hook_id).unwrap();
+        h.attach(b, hook_id).unwrap();
+        let report = h.fire_sync(hook_id, &[], &[]).unwrap();
+        assert_eq!(report.combined, Some(42));
+        assert_eq!(report.executions.len(), 2);
+        h.shutdown();
+    }
+
+    #[test]
+    fn install_errors_propagate_from_the_shard() {
+        let mut h = host(2);
+        assert!(matches!(
+            h.install("bad", 1, b"garbage", ContractRequest::default()),
+            Err(HostError::Engine(fc_core::EngineError::Parse(_)))
+        ));
+        h.shutdown();
+    }
+
+    #[test]
+    fn zero_quantum_config_cannot_livelock_the_scheduler() {
+        let mut h = FcHost::new(
+            Platform::CortexM4,
+            Engine::FemtoContainer,
+            HostConfig {
+                workers: 1,
+                quantum_insns: 0,
+                ..HostConfig::default()
+            },
+        );
+        let hook = custom_hook("zq", HookPolicy::First);
+        let hook_id = hook.id;
+        h.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        let c = h
+            .install(
+                "c",
+                1,
+                &image("mov r0, 3\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        h.attach(c, hook_id).unwrap();
+        assert_eq!(h.fire_sync(hook_id, &[], &[]).unwrap().combined, Some(3));
+        h.shutdown();
+    }
+
+    #[test]
+    fn fire_unknown_hook_is_rejected() {
+        let h = host(1);
+        let ghost = Uuid::from_name("test", "ghost");
+        assert_eq!(h.fire(ghost, &[], &[]), Err(HostError::UnknownHook(ghost)));
+    }
+
+    #[test]
+    fn hooks_spread_round_robin_and_containers_follow() {
+        let mut h = host(4);
+        let mut shards = Vec::new();
+        for i in 0..4 {
+            let hook = custom_hook(&format!("h{i}"), HookPolicy::First);
+            let hook_id = hook.id;
+            h.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+            let c = h
+                .install(
+                    &format!("c{i}"),
+                    i,
+                    &image("mov r0, 1\nexit"),
+                    ContractRequest::default(),
+                )
+                .unwrap();
+            h.attach(c, hook_id).unwrap();
+            assert_eq!(
+                h.shard_of(c),
+                h.shard_of_hook(hook_id),
+                "container follows hook"
+            );
+            shards.push(h.shard_of_hook(hook_id).unwrap());
+        }
+        shards.sort_unstable();
+        assert_eq!(shards, vec![0, 1, 2, 3], "hooks cover all shards");
+        h.shutdown();
+    }
+
+    #[test]
+    fn container_on_two_hooks_gets_a_replica_with_shared_local_store() {
+        let mut h = host(2);
+        let h1 = custom_hook("first", HookPolicy::First);
+        let h2 = custom_hook("second", HookPolicy::First);
+        let (id1, id2) = (h1.id, h2.id);
+        h.register_hook(h1, ContractOffer::helpers(standard_helper_ids()));
+        h.register_hook(h2, ContractOffer::helpers(standard_helper_ids()));
+        assert_ne!(h.shard_of_hook(id1), h.shard_of_hook(id2));
+        // Bumps local key 1 and returns the new value.
+        let src = "\
+mov r1, 1
+mov r2, r10
+add r2, -8
+call bpf_fetch_local
+ldxw r6, [r10-8]
+add r6, 1
+mov r1, 1
+mov r2, r6
+call bpf_store_local
+mov r0, r6
+exit";
+        let req = ContractRequest::helpers([
+            fc_rbpf::helpers::ids::BPF_FETCH_LOCAL,
+            fc_rbpf::helpers::ids::BPF_STORE_LOCAL,
+        ]);
+        let c = h.install("counter", 7, &image(src), req).unwrap();
+        h.attach(c, id1).unwrap();
+        h.attach(c, id2).unwrap();
+        // Replicas on both shards share the container-local store.
+        assert_eq!(h.fire_sync(id1, &[], &[]).unwrap().combined, Some(1));
+        assert_eq!(h.fire_sync(id2, &[], &[]).unwrap().combined, Some(2));
+        assert_eq!(h.fire_sync(id1, &[], &[]).unwrap().combined, Some(3));
+        h.shutdown();
+    }
+
+    #[test]
+    fn detach_and_remove_clean_up() {
+        let mut h = host(2);
+        let hook = custom_hook("x", HookPolicy::First);
+        let hook_id = hook.id;
+        h.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        let c = h
+            .install(
+                "c",
+                1,
+                &image("mov r0, 5\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        h.attach(c, hook_id).unwrap();
+        h.detach(c, hook_id).unwrap();
+        assert_eq!(h.fire_sync(hook_id, &[], &[]).unwrap().combined, None);
+        assert!(h.remove(c));
+        assert!(!h.remove(c));
+        assert!(matches!(
+            h.execute(c, &[], &[]),
+            Err(HostError::UnknownContainer(_))
+        ));
+        h.shutdown();
+    }
+
+    #[test]
+    fn backpressure_sheds_and_reports() {
+        let mut h = FcHost::new(
+            Platform::CortexM4,
+            Engine::FemtoContainer,
+            HostConfig {
+                workers: 1,
+                queue_capacity: 2,
+                shed: ShedPolicy::DropNewest,
+                ..HostConfig::default()
+            },
+        );
+        // A hook that is slow enough to back the queue up: the gate
+        // container spins through its whole (small) budget.
+        let gate = custom_hook("gate", HookPolicy::First);
+        let gate_id = gate.id;
+        h.register_hook(gate, ContractOffer::helpers(standard_helper_ids()));
+        h.set_exec_config(fc_rbpf::vm::ExecConfig::new(2_000_000, 1_000_000));
+        let spin = "\
+mov r0, 0
+mov r1, 300000
+loop: sub r1, 1
+jne r1, 0, loop
+exit";
+        let c = h
+            .install("spin", 1, &image(spin), ContractRequest::default())
+            .unwrap();
+        h.attach(c, gate_id).unwrap();
+        let mut shed = 0u64;
+        for _ in 0..200 {
+            if h.fire(gate_id, &[], &[]) == Err(HostError::Shed) {
+                shed += 1;
+            }
+        }
+        assert!(shed > 0, "offered 200 events into a capacity-2 queue");
+        assert!(h.stats().shed_rate() > 0.0);
+        h.quiesce();
+        let done = h
+            .stats()
+            .dispatched
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(done + shed, 200);
+        h.shutdown();
+    }
+
+    #[test]
+    fn coap_front_serves_formatter_response() {
+        let mut h = host(2);
+        let hook = Hook::new("coap-t0", HookKind::CoapRequest, HookPolicy::First);
+        let hook_id = hook.id;
+        h.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        // Seed the tenant store like the sensor pipeline would.
+        h.env()
+            .stores()
+            .store(0, 2, fc_kvstore::Scope::Tenant, 1, 2155)
+            .unwrap();
+        let c = h
+            .install(
+                "fmt",
+                2,
+                &fc_core::apps::coap_formatter().to_bytes(),
+                fc_core::apps::coap_formatter_request(),
+            )
+            .unwrap();
+        h.attach(c, hook_id).unwrap();
+        let mut front = CoapFront::new().with_pkt_len(64);
+        front.add_route("t0/temp", hook_id);
+        let mut req = fc_net::coap::Message::request(fc_net::coap::Code::Get, 7, b"t");
+        req.set_path("t0/temp");
+        let reply = front.dispatch_sync(&h, &req).unwrap();
+        let msg = reply.message.expect("parses as CoAP");
+        assert_eq!(msg.code, fc_net::coap::Code::Content);
+        assert_eq!(msg.payload, b"2155");
+        assert!(coap::is_content_response(&reply.pdu));
+        h.shutdown();
+    }
+
+    #[test]
+    fn stats_track_tenant_instruction_shares() {
+        let mut h = host(2);
+        let heavy = custom_hook("heavy", HookPolicy::First);
+        let light = custom_hook("light", HookPolicy::First);
+        let (heavy_id, light_id) = (heavy.id, light.id);
+        h.register_hook(heavy, ContractOffer::helpers(standard_helper_ids()));
+        h.register_hook(light, ContractOffer::helpers(standard_helper_ids()));
+        let loop_src = "\
+mov r0, 0
+mov r1, 500
+loop: sub r1, 1
+jne r1, 0, loop
+exit";
+        let hc = h
+            .install("heavy", 1, &image(loop_src), ContractRequest::default())
+            .unwrap();
+        let lc = h
+            .install(
+                "light",
+                2,
+                &image("mov r0, 1\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        h.attach(hc, heavy_id).unwrap();
+        h.attach(lc, light_id).unwrap();
+        for _ in 0..10 {
+            h.fire(heavy_id, &[], &[]).unwrap();
+            h.fire(light_id, &[], &[]).unwrap();
+        }
+        h.quiesce();
+        let tenants = h.stats().tenants();
+        assert_eq!(tenants.len(), 2);
+        let (t1, t2) = (tenants[0].1, tenants[1].1);
+        assert_eq!(t1.executions, 10);
+        assert_eq!(t2.executions, 10);
+        assert!(t1.insns > 50 * t2.insns, "heavy tenant's share is visible");
+        assert!(h.stats().latency.count() >= 20);
+        h.shutdown();
+    }
+}

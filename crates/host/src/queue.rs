@@ -1,0 +1,358 @@
+//! Per-hook bounded event queues with deficit-round-robin scheduling.
+//!
+//! Each shard owns one [`Inbox`]: a control lane for lifecycle commands
+//! (drained with priority) and one bounded FIFO per registered hook.
+//! Producers enqueue under the inbox mutex and notify the shard's
+//! condvar; the worker drains **batches** so one lock acquisition pays
+//! for up to `drain_batch` events.
+//!
+//! ## Fair scheduling
+//!
+//! The worker picks events by deficit round-robin *in instruction
+//! units*: every queue visited in a scheduling round earns a quantum of
+//! deficit, spending it as its events execute (the charge is the actual
+//! VM instruction count the event retired, post-paid via
+//! [`Inbox::charge`]). A hook whose containers burn long programs
+//! therefore gets fewer event slots per round than a hook running short
+//! ones — per-tenant fairness falls out when tenants attach to their
+//! own hooks, which is how the CoAP front-end routes resources. Debt is
+//! clamped and forgiven when every backlogged queue is in debt, so the
+//! shard never idles while work is pending.
+//!
+//! ## Backpressure
+//!
+//! A full queue sheds according to [`ShedPolicy`]: `DropNewest` rejects
+//! the incoming event (the CoAP analogue: the request gets no
+//! response and the client retries), `DropOldest` displaces the
+//! stalest queued event in favour of the new one. A dropped event's
+//! reply channel is simply dropped, which a synchronous caller
+//! observes as [`crate::HostError::Shed`].
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::SyncSender;
+use std::time::Instant;
+
+use fc_core::engine::{EngineError, HookReport, HostRegion};
+use fc_suit::Uuid;
+
+use crate::shard::Command;
+
+/// What to do when a hook queue is full (paper-scale devices must
+/// bound queue memory; a hosting server must bound latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Reject the incoming event (tail drop).
+    #[default]
+    DropNewest,
+    /// Displace the oldest queued event (head drop).
+    DropOldest,
+}
+
+/// How an accepted event entered the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accepted {
+    /// Appended normally.
+    Queued,
+    /// Appended after displacing the oldest queued event
+    /// (`DropOldest` backpressure; the displaced event was shed).
+    QueuedDroppedOldest,
+}
+
+/// Debt clamp, in quanta: a queue can owe at most this many rounds.
+const MAX_DEBT_QUANTA: i64 = 8;
+
+/// One queued hook event.
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub hook: Uuid,
+    pub ctx: Vec<u8>,
+    pub extra: Vec<HostRegion>,
+    pub enqueued_at: Instant,
+    /// Present for synchronous fires; dropped replies signal shedding.
+    pub reply: Option<SyncSender<Result<HookReport, EngineError>>>,
+}
+
+/// A hook's FIFO plus its scheduling deficit (instruction units).
+pub(crate) struct HookQueue {
+    pub events: VecDeque<Event>,
+    pub deficit: i64,
+}
+
+/// A shard's whole intake: control lane + per-hook event queues.
+pub(crate) struct Inbox {
+    pub control: VecDeque<Command>,
+    pub queues: BTreeMap<Uuid, HookQueue>,
+    /// DRR visiting order (hook registration order).
+    order: Vec<Uuid>,
+    cursor: usize,
+    /// Total queued events across all hooks.
+    pub pending: usize,
+    /// Cleared on shutdown; the worker exits once drained.
+    pub open: bool,
+}
+
+impl Inbox {
+    pub fn new() -> Self {
+        Inbox {
+            control: VecDeque::new(),
+            queues: BTreeMap::new(),
+            order: Vec::new(),
+            cursor: 0,
+            pending: 0,
+            open: true,
+        }
+    }
+
+    /// Creates the queue for a newly registered hook (idempotent).
+    pub fn add_queue(&mut self, hook: Uuid) {
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.queues.entry(hook) {
+            slot.insert(HookQueue {
+                events: VecDeque::new(),
+                deficit: 0,
+            });
+            self.order.push(hook);
+        }
+    }
+
+    /// Enqueues an event, applying backpressure at `capacity`.
+    ///
+    /// Returns `Err(event)` when the event was shed (`DropNewest` on a
+    /// full queue, or the hook has no queue here); `Ok` carries how it
+    /// entered plus any displaced event (already shed, returned so the
+    /// caller can account it).
+    pub fn enqueue(
+        &mut self,
+        event: Event,
+        capacity: usize,
+        shed: ShedPolicy,
+    ) -> Result<(Accepted, Option<Event>), Event> {
+        let Some(q) = self.queues.get_mut(&event.hook) else {
+            return Err(event);
+        };
+        let mut displaced = None;
+        let mut how = Accepted::Queued;
+        if q.events.len() >= capacity {
+            match shed {
+                ShedPolicy::DropNewest => return Err(event),
+                ShedPolicy::DropOldest => {
+                    displaced = q.events.pop_front();
+                    // Guard against a zero-capacity queue (the host
+                    // clamps capacity to ≥ 1, but this type must not
+                    // rely on its caller for counter integrity).
+                    if displaced.is_some() {
+                        self.pending -= 1;
+                        how = Accepted::QueuedDroppedOldest;
+                    }
+                }
+            }
+        }
+        q.events.push_back(event);
+        self.pending += 1;
+        Ok((how, displaced))
+    }
+
+    /// Takes up to `max` events by deficit round-robin (see module
+    /// docs). Returns an empty batch only when nothing is pending.
+    pub fn take_batch(&mut self, quantum: i64, max: usize) -> Vec<Event> {
+        let mut batch = Vec::new();
+        if self.pending == 0 || self.order.is_empty() {
+            return batch;
+        }
+        loop {
+            let n = self.order.len();
+            let mut idle_visits = 0;
+            while batch.len() < max && idle_visits < n {
+                let hook = self.order[self.cursor % n];
+                self.cursor = (self.cursor + 1) % n;
+                let q = self.queues.get_mut(&hook).expect("ordered queue exists");
+                if q.events.is_empty() {
+                    // Classic DRR: an idle queue carries no credit
+                    // forward (debt from post-paid charges does
+                    // persist), so idling never buys future exemption
+                    // from instruction fairness.
+                    q.deficit = q.deficit.min(0);
+                    idle_visits += 1;
+                    continue;
+                }
+                if q.deficit <= 0 {
+                    q.deficit += quantum;
+                }
+                if q.deficit > 0 {
+                    batch.push(q.events.pop_front().expect("non-empty"));
+                    self.pending -= 1;
+                    idle_visits = 0;
+                } else {
+                    idle_visits += 1;
+                }
+            }
+            if !batch.is_empty() || self.pending == 0 || batch.len() >= max {
+                return batch;
+            }
+            // Every backlogged queue is in debt: forgive one quantum
+            // each (backlogged queues only, credit capped at one
+            // quantum) rather than idling with work pending.
+            for q in self.queues.values_mut() {
+                if !q.events.is_empty() {
+                    q.deficit = (q.deficit + quantum).min(quantum);
+                }
+            }
+        }
+    }
+
+    /// Post-pays an executed event's actual instruction cost against
+    /// its hook's deficit (debt clamped to [`MAX_DEBT_QUANTA`] rounds).
+    pub fn charge(&mut self, hook: Uuid, insns: u64, quantum: i64) {
+        if let Some(q) = self.queues.get_mut(&hook) {
+            let floor = -MAX_DEBT_QUANTA * quantum.max(1);
+            q.deficit = (q.deficit - insns.min(i64::MAX as u64) as i64).max(floor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(hook: Uuid) -> Event {
+        Event {
+            hook,
+            ctx: Vec::new(),
+            extra: Vec::new(),
+            enqueued_at: Instant::now(),
+            reply: None,
+        }
+    }
+
+    fn hook(n: &str) -> Uuid {
+        Uuid::from_name("test/hooks", n)
+    }
+
+    #[test]
+    fn enqueue_to_unknown_hook_is_shed() {
+        let mut inbox = Inbox::new();
+        assert!(inbox
+            .enqueue(ev(hook("h")), 4, ShedPolicy::DropNewest)
+            .is_err());
+    }
+
+    #[test]
+    fn drop_newest_sheds_incoming_at_capacity() {
+        let mut inbox = Inbox::new();
+        let h = hook("h");
+        inbox.add_queue(h);
+        for _ in 0..4 {
+            inbox.enqueue(ev(h), 4, ShedPolicy::DropNewest).unwrap();
+        }
+        assert!(inbox.enqueue(ev(h), 4, ShedPolicy::DropNewest).is_err());
+        assert_eq!(inbox.pending, 4);
+    }
+
+    #[test]
+    fn drop_oldest_displaces_head() {
+        let mut inbox = Inbox::new();
+        let h = hook("h");
+        inbox.add_queue(h);
+        for i in 0..4u8 {
+            let mut e = ev(h);
+            e.ctx = vec![i];
+            inbox.enqueue(e, 4, ShedPolicy::DropOldest).unwrap();
+        }
+        let mut newest = ev(h);
+        newest.ctx = vec![9];
+        let (how, displaced) = inbox.enqueue(newest, 4, ShedPolicy::DropOldest).unwrap();
+        assert_eq!(how, Accepted::QueuedDroppedOldest);
+        assert_eq!(displaced.unwrap().ctx, vec![0], "oldest goes");
+        assert_eq!(inbox.pending, 4);
+        let batch = inbox.take_batch(1024, 16);
+        assert_eq!(batch.last().unwrap().ctx, vec![9]);
+    }
+
+    #[test]
+    fn drr_alternates_between_equally_cheap_queues() {
+        let mut inbox = Inbox::new();
+        let (a, b) = (hook("a"), hook("b"));
+        inbox.add_queue(a);
+        inbox.add_queue(b);
+        for _ in 0..3 {
+            inbox.enqueue(ev(a), 16, ShedPolicy::DropNewest).unwrap();
+            inbox.enqueue(ev(b), 16, ShedPolicy::DropNewest).unwrap();
+        }
+        let batch = inbox.take_batch(100, 6);
+        let hooks: Vec<Uuid> = batch.iter().map(|e| e.hook).collect();
+        assert_eq!(hooks, vec![a, b, a, b, a, b], "round-robin interleave");
+    }
+
+    #[test]
+    fn expensive_queue_yields_slots_to_cheap_queue() {
+        let mut inbox = Inbox::new();
+        let (heavy, light) = (hook("heavy"), hook("light"));
+        inbox.add_queue(heavy);
+        inbox.add_queue(light);
+        for _ in 0..8 {
+            inbox
+                .enqueue(ev(heavy), 16, ShedPolicy::DropNewest)
+                .unwrap();
+            inbox
+                .enqueue(ev(light), 16, ShedPolicy::DropNewest)
+                .unwrap();
+        }
+        // Round 1: both run one event; heavy costs 10 quanta, light 0.1.
+        let quantum = 100;
+        let batch = inbox.take_batch(quantum, 2);
+        assert_eq!(batch.len(), 2);
+        inbox.charge(heavy, 1000, quantum);
+        inbox.charge(light, 10, quantum);
+        // Heavy is now deep in debt: the next several slots go to light.
+        let batch = inbox.take_batch(quantum, 4);
+        let lights = batch.iter().filter(|e| e.hook == light).count();
+        assert!(lights >= 3, "light got {lights}/4 slots");
+    }
+
+    #[test]
+    fn idle_queues_accumulate_no_scheduling_credit() {
+        let mut inbox = Inbox::new();
+        let (busy, idle) = (hook("busy"), hook("idle"));
+        inbox.add_queue(busy);
+        inbox.add_queue(idle);
+        let quantum = 10;
+        for _ in 0..20 {
+            inbox.enqueue(ev(busy), 64, ShedPolicy::DropNewest).unwrap();
+        }
+        // The busy queue stays pinned in debt, so many forgiveness
+        // rounds run while the other queue sits idle.
+        for _ in 0..20 {
+            assert_eq!(inbox.take_batch(quantum, 1).len(), 1);
+            inbox.charge(busy, 1_000, quantum);
+        }
+        let idle_deficit = inbox.queues.get(&idle).unwrap().deficit;
+        assert!(
+            idle_deficit <= quantum,
+            "idle queue must not bank credit, has {idle_deficit}"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_drop_oldest_does_not_corrupt_pending() {
+        let mut inbox = Inbox::new();
+        let h = hook("h");
+        inbox.add_queue(h);
+        // Degenerate capacity: nothing to displace, event still lands.
+        let (how, displaced) = inbox.enqueue(ev(h), 0, ShedPolicy::DropOldest).unwrap();
+        assert_eq!(how, Accepted::Queued);
+        assert!(displaced.is_none());
+        assert_eq!(inbox.pending, 1);
+        assert_eq!(inbox.take_batch(10, 4).len(), 1);
+        assert_eq!(inbox.pending, 0);
+    }
+
+    #[test]
+    fn all_queues_in_debt_still_make_progress() {
+        let mut inbox = Inbox::new();
+        let h = hook("h");
+        inbox.add_queue(h);
+        inbox.enqueue(ev(h), 4, ShedPolicy::DropNewest).unwrap();
+        inbox.charge(h, 1_000_000, 10); // way past the clamp
+        let batch = inbox.take_batch(10, 1);
+        assert_eq!(batch.len(), 1, "debt is forgiven rather than stalling");
+    }
+}

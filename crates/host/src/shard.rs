@@ -1,0 +1,347 @@
+//! One execution shard: a worker thread owning a [`HostingEngine`]
+//! and draining its [`Inbox`].
+//!
+//! Lifecycle commands travel on the control lane and are handled
+//! before events in every scheduling round, so an install/attach
+//! issued before a fire is always visible to that fire. Events execute
+//! *outside* the inbox lock — the worker takes a batch, releases the
+//! lock, runs the batch against its engine, then post-pays each
+//! event's instruction cost to the DRR state on the next lock
+//! acquisition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use fc_core::contract::{ContractOffer, ContractRequest};
+use fc_core::engine::{
+    ContainerId, ContainerSlot, EngineError, ExecutionReport, HostRegion, HostingEngine,
+};
+use fc_core::helpers_impl::HostEnv;
+use fc_core::hooks::Hook;
+use fc_kvstore::TenantId;
+use fc_rbpf::vm::ExecConfig;
+use fc_rtos::platform::{Engine as EngineFlavor, Platform};
+use fc_suit::Uuid;
+
+use crate::queue::Inbox;
+use crate::stats::HostStats;
+
+/// A lifecycle or query command routed to one shard's control lane.
+pub(crate) enum Command {
+    Install {
+        id: ContainerId,
+        name: String,
+        tenant: TenantId,
+        /// Shared with the host's retained spec and any replicas —
+        /// one allocation per image, however many shards carry it.
+        image: std::sync::Arc<[u8]>,
+        request: ContractRequest,
+        reply: SyncSender<Result<ContainerId, EngineError>>,
+    },
+    Eject {
+        id: ContainerId,
+        reply: SyncSender<Option<ContainerSlot>>,
+    },
+    Adopt {
+        slot: Box<ContainerSlot>,
+    },
+    Attach {
+        id: ContainerId,
+        hook: Uuid,
+        reply: SyncSender<Result<(), EngineError>>,
+    },
+    Detach {
+        id: ContainerId,
+        hook: Uuid,
+        reply: SyncSender<Result<(), EngineError>>,
+    },
+    Remove {
+        id: ContainerId,
+        reply: SyncSender<bool>,
+    },
+    Execute {
+        id: ContainerId,
+        ctx: Vec<u8>,
+        extra: Vec<HostRegion>,
+        reply: SyncSender<Result<ExecutionReport, EngineError>>,
+    },
+    RegisterHook {
+        hook: Hook,
+        offer: ContractOffer,
+    },
+    SetExecConfig {
+        config: ExecConfig,
+    },
+    Report {
+        reply: SyncSender<ShardReport>,
+    },
+}
+
+/// A point-in-time view of one shard, for balancing and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index within the host.
+    pub shard: usize,
+    /// Containers installed on this shard's engine.
+    pub containers: usize,
+    /// Events this shard has executed.
+    pub events: u64,
+    /// Wall-clock nanoseconds this shard spent executing events. On a
+    /// host with a core per worker this is the shard's busy time; on a
+    /// core-starved box it includes preemption while other shards run.
+    pub busy_ns: u64,
+    /// Simulated platform cycles this shard's events consumed
+    /// ([`fc_core::engine::HookReport::cycles`]) — the preemption-free
+    /// busy measure behind capacity metrics.
+    pub sim_cycles: u64,
+}
+
+/// The inbox plus its wakeup signal, shared producer/worker.
+pub(crate) type SharedInbox = Arc<(Mutex<Inbox>, Condvar)>;
+
+/// Accepted-but-not-executed event counter with a blocking wait:
+/// producers `add` on acceptance, workers `sub` after execution (on
+/// every path, including panics), and `wait_zero` parks instead of
+/// burning a core — on a box with fewer cores than workers a spinning
+/// waiter would steal CPU from the very shards it waits on.
+#[derive(Debug, Default)]
+pub(crate) struct OutstandingGauge {
+    count: AtomicU64,
+    lock: Mutex<()>,
+    zero: Condvar,
+}
+
+impl OutstandingGauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&self) {
+        self.count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub fn sub(&self) {
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Take the lock so a waiter between its count check and
+            // its wait cannot miss this notification.
+            let _guard = self.lock.lock().expect("gauge lock");
+            self.zero.notify_all();
+        }
+    }
+
+    pub fn wait_zero(&self) {
+        if self.count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut guard = self.lock.lock().expect("gauge lock");
+        while self.count.load(Ordering::Acquire) != 0 {
+            // The timeout is a belt-and-braces fallback; the notify
+            // under lock makes lost wakeups impossible in the first
+            // place.
+            let (g, _) = self
+                .zero
+                .wait_timeout(guard, std::time::Duration::from_millis(10))
+                .expect("gauge lock");
+            guard = g;
+        }
+    }
+}
+
+/// Scheduling parameters handed to each worker.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardParams {
+    pub quantum_insns: i64,
+    pub drain_batch: usize,
+}
+
+/// Spawns one shard worker owning a fresh engine over `env`.
+#[allow(clippy::too_many_arguments)] // internal wiring call, one site
+pub(crate) fn spawn_shard(
+    index: usize,
+    platform: Platform,
+    flavor: EngineFlavor,
+    env: Arc<HostEnv>,
+    inbox: SharedInbox,
+    stats: Arc<HostStats>,
+    outstanding: Arc<OutstandingGauge>,
+    params: ShardParams,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("fc-host-shard-{index}"))
+        .spawn(move || {
+            let engine = HostingEngine::with_env(platform, flavor, env);
+            run_shard(index, engine, inbox, stats, outstanding, params);
+        })
+        .expect("spawn shard worker")
+}
+
+fn run_shard(
+    index: usize,
+    mut engine: HostingEngine,
+    inbox: SharedInbox,
+    stats: Arc<HostStats>,
+    outstanding: Arc<OutstandingGauge>,
+    params: ShardParams,
+) {
+    let (lock, cvar) = &*inbox;
+    let mut events_done = 0u64;
+    let mut busy_ns = 0u64;
+    let mut sim_cycles = 0u64;
+    // Instruction costs of the last batch, post-paid to the DRR state.
+    let mut charges: Vec<(Uuid, u64)> = Vec::new();
+    // Per-tenant costs of the current batch, flushed to the shared
+    // stats map in one lock acquisition per batch (not per event).
+    let mut tenant_charges: Vec<(fc_kvstore::TenantId, u64)> = Vec::new();
+
+    loop {
+        let (commands, batch) = {
+            let mut inbox = lock.lock().expect("inbox lock");
+            for (hook, insns) in charges.drain(..) {
+                inbox.charge(hook, insns, params.quantum_insns);
+            }
+            loop {
+                let commands: Vec<Command> = inbox.control.drain(..).collect();
+                let batch = inbox.take_batch(params.quantum_insns, params.drain_batch);
+                if !commands.is_empty() || !batch.is_empty() {
+                    break (commands, batch);
+                }
+                if !inbox.open {
+                    return;
+                }
+                inbox = cvar.wait(inbox).expect("inbox lock");
+            }
+        };
+
+        for command in commands {
+            handle_command(
+                index,
+                &mut engine,
+                command,
+                events_done,
+                busy_ns,
+                sim_cycles,
+            );
+        }
+
+        let batch_len = batch.len();
+        for event in batch {
+            let started = Instant::now();
+            // A host-side panic inside an event (e.g. a poisoned
+            // shared-state lock in a helper) must not kill the worker:
+            // a dead worker would strand its queues, hang quiesce()
+            // and leave fire_sync callers blocked forever. VM faults
+            // are already values, so a panic here is a host bug — the
+            // event is recorded as a fault and the shard carries on.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.fire_hook(event.hook, &event.ctx, &event.extra)
+            }));
+            busy_ns += started.elapsed().as_nanos() as u64;
+            events_done += 1;
+            let latency_ns = event.enqueued_at.elapsed().as_nanos() as u64;
+
+            match outcome {
+                Ok(result) => {
+                    let mut insns = 0u64;
+                    let mut faults = 0u64;
+                    if let Ok(report) = &result {
+                        sim_cycles += report.cycles;
+                        for exec in &report.executions {
+                            let cost = exec.counts.total();
+                            insns += cost;
+                            faults += exec.result.is_err() as u64;
+                            if let Some(slot) = engine.container(exec.container) {
+                                tenant_charges.push((slot.tenant, cost));
+                            }
+                        }
+                    }
+                    // An empty hook still consumed a scheduling slot.
+                    charges.push((event.hook, insns.max(1)));
+                    stats.record_dispatch(latency_ns, insns, faults);
+                    if let Some(reply) = event.reply {
+                        // A disinterested caller may have dropped the
+                        // receiver.
+                        let _ = reply.send(result);
+                    }
+                }
+                Err(_panic) => {
+                    charges.push((event.hook, 1));
+                    stats.record_dispatch(latency_ns, 0, 1);
+                    // The reply sender drops without a send; a
+                    // fire_sync caller observes HostError::Shed.
+                }
+            }
+        }
+        // Flush the batch's tenant stats (one lock for the whole
+        // batch) before releasing the events' outstanding slots, so a
+        // caller returning from quiesce() sees every completed event's
+        // statistics.
+        stats.record_tenants(&tenant_charges);
+        tenant_charges.clear();
+        for _ in 0..batch_len {
+            outstanding.sub();
+        }
+    }
+}
+
+fn handle_command(
+    index: usize,
+    engine: &mut HostingEngine,
+    command: Command,
+    events: u64,
+    busy_ns: u64,
+    sim_cycles: u64,
+) {
+    match command {
+        Command::Install {
+            id,
+            name,
+            tenant,
+            image,
+            request,
+            reply,
+        } => {
+            let _ = reply.send(engine.install_with_id(id, &name, tenant, &image, request));
+        }
+        Command::Eject { id, reply } => {
+            let _ = reply.send(engine.eject(id));
+        }
+        Command::Adopt { slot } => {
+            engine.adopt(*slot);
+        }
+        Command::Attach { id, hook, reply } => {
+            let _ = reply.send(engine.attach(id, hook));
+        }
+        Command::Detach { id, hook, reply } => {
+            let _ = reply.send(engine.detach(id, hook));
+        }
+        Command::Remove { id, reply } => {
+            let _ = reply.send(engine.remove(id));
+        }
+        Command::Execute {
+            id,
+            ctx,
+            extra,
+            reply,
+        } => {
+            let _ = reply.send(engine.execute(id, &ctx, &extra));
+        }
+        Command::RegisterHook { hook, offer } => {
+            engine.register_hook(hook, offer);
+        }
+        Command::SetExecConfig { config } => {
+            engine.set_exec_config(config);
+        }
+        Command::Report { reply } => {
+            let _ = reply.send(ShardReport {
+                shard: index,
+                containers: engine.container_count(),
+                events,
+                busy_ns,
+                sim_cycles,
+            });
+        }
+    }
+}

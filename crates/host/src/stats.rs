@@ -1,0 +1,243 @@
+//! Host-wide dispatch statistics: lock-free counters, a log-scale
+//! latency histogram, and per-tenant fairness accounting.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use fc_kvstore::TenantId;
+
+/// Number of power-of-two latency buckets (covers 1 ns … ~584 years).
+const BUCKETS: usize = 64;
+
+/// A lock-free histogram over power-of-two nanosecond buckets, precise
+/// enough for p50/p99 dispatch-latency reporting without allocating or
+/// locking on the record path.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new([(); BUCKETS].map(|_| AtomicU64::new(0))),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        (63 - ns.max(1).leading_zeros()) as usize
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (ns) of the bucket containing the `q`-quantile
+    /// sample (`q` in `0.0..=1.0`); `0` when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Per-tenant dispatch totals, maintained by the shard workers for
+/// fairness inspection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Container executions performed on this tenant's behalf.
+    pub executions: u64,
+    /// VM instructions those executions retired.
+    pub insns: u64,
+}
+
+/// Counters shared by every shard of one [`crate::FcHost`].
+#[derive(Debug, Default)]
+pub struct HostStats {
+    /// Events accepted into a queue.
+    pub enqueued: AtomicU64,
+    /// Events fully executed.
+    pub dispatched: AtomicU64,
+    /// Events shed by backpressure (either the new event on
+    /// `DropNewest` or a displaced old one on `DropOldest`).
+    pub shed: AtomicU64,
+    /// The subset of `shed` that was displaced *after* acceptance
+    /// (`DropOldest`); needed to reconstruct offered load, since these
+    /// events were also counted in `enqueued`.
+    pub displaced: AtomicU64,
+    /// Container executions that ended in a fault.
+    pub faults: AtomicU64,
+    /// VM instructions retired across all events.
+    pub insns: AtomicU64,
+    /// Enqueue→completion dispatch latency.
+    pub latency: LatencyHistogram,
+    tenants: Mutex<BTreeMap<TenantId, TenantStats>>,
+}
+
+impl HostStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed event dispatch.
+    pub fn record_dispatch(&self, latency_ns: u64, insns: u64, faults: u64) {
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+        self.insns.fetch_add(insns, Ordering::Relaxed);
+        self.faults.fetch_add(faults, Ordering::Relaxed);
+        self.latency.record(latency_ns);
+    }
+
+    /// Credits tenants with executed instruction counts — one entry
+    /// per execution. Shard workers batch a whole drain's worth of
+    /// entries into a single call, so the shared map's lock sits off
+    /// the per-event hot path.
+    pub fn record_tenants(&self, charges: &[(TenantId, u64)]) {
+        if charges.is_empty() {
+            return;
+        }
+        let mut tenants = self.tenants.lock().expect("tenant stats lock");
+        for &(tenant, insns) in charges {
+            let t = tenants.entry(tenant).or_default();
+            t.executions += 1;
+            t.insns += insns;
+        }
+    }
+
+    /// Snapshot of per-tenant totals, sorted by tenant id.
+    pub fn tenants(&self) -> Vec<(TenantId, TenantStats)> {
+        self.tenants
+            .lock()
+            .expect("tenant stats lock")
+            .iter()
+            .map(|(t, s)| (*t, *s))
+            .collect()
+    }
+
+    /// Events offered so far: accepted ones plus those rejected at the
+    /// queue. Displaced events are excluded — they were already
+    /// counted when accepted.
+    pub fn offered(&self) -> u64 {
+        // The two counters are updated without mutual ordering, so a
+        // reader racing a displacement can see `displaced` ahead of
+        // `shed`; saturate instead of wrapping to garbage.
+        let rejected = self
+            .shed
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.displaced.load(Ordering::Relaxed));
+        self.enqueued.load(Ordering::Relaxed) + rejected
+    }
+
+    /// Shed fraction over everything offered so far (correct under
+    /// both shed policies).
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed.load(Ordering::Relaxed) as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_ns(0.5);
+        assert!((128..=512).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 >= 100_000, "p99 = {p99}");
+        assert!(h.quantile_ns(0.0) >= 64);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn tenant_totals_accumulate() {
+        let s = HostStats::new();
+        s.record_tenants(&[(1, 100), (2, 50)]);
+        s.record_tenants(&[(1, 100)]);
+        s.record_tenants(&[]);
+        let t = s.tenants();
+        assert_eq!(
+            t[0],
+            (
+                1,
+                TenantStats {
+                    executions: 2,
+                    insns: 200
+                }
+            )
+        );
+        assert_eq!(
+            t[1],
+            (
+                2,
+                TenantStats {
+                    executions: 1,
+                    insns: 50
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn shed_rate_counts_offered_load() {
+        let s = HostStats::new();
+        assert_eq!(s.shed_rate(), 0.0);
+        // DropNewest shape: 3 accepted, 1 rejected at the queue.
+        s.enqueued.fetch_add(3, Ordering::Relaxed);
+        s.shed.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(s.offered(), 4);
+        assert!((s.shed_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shed_rate_does_not_double_count_displaced_events() {
+        // DropOldest shape: 100 offers, all accepted, 60 displaced
+        // after acceptance. True shed fraction is 60%, not 60/160.
+        let s = HostStats::new();
+        s.enqueued.fetch_add(100, Ordering::Relaxed);
+        s.shed.fetch_add(60, Ordering::Relaxed);
+        s.displaced.fetch_add(60, Ordering::Relaxed);
+        assert_eq!(s.offered(), 100);
+        assert!((s.shed_rate() - 0.6).abs() < 1e-9);
+    }
+}

@@ -17,6 +17,10 @@
 
 #![warn(missing_docs)]
 
+pub mod sharded;
+
+pub use sharded::{ShardedStores, DEFAULT_STORE_SHARDS};
+
 use std::collections::BTreeMap;
 
 /// Identifier of a container instance (assigned by the hosting engine).
@@ -81,7 +85,10 @@ impl std::error::Error for StoreError {}
 impl KvStore {
     /// Creates a store bounded to `capacity` distinct keys.
     pub fn new(capacity: usize) -> Self {
-        KvStore { entries: BTreeMap::new(), capacity }
+        KvStore {
+            entries: BTreeMap::new(),
+            capacity,
+        }
     }
 
     /// Reads a value; absent keys read as `0`, matching the RIOT helper
@@ -103,7 +110,9 @@ impl KvStore {
     /// capacity; overwriting existing keys always succeeds.
     pub fn store(&mut self, key: u32, value: i64) -> Result<(), StoreError> {
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            return Err(StoreError::CapacityExhausted { capacity: self.capacity });
+            return Err(StoreError::CapacityExhausted {
+                capacity: self.capacity,
+            });
         }
         self.entries.insert(key, value);
         Ok(())
@@ -171,7 +180,11 @@ impl StoreManager {
     /// Fetches from the store `scope` resolves to for this container.
     pub fn fetch(&self, container: ContainerId, tenant: TenantId, scope: Scope, key: u32) -> i64 {
         match scope {
-            Scope::Local => self.locals.get(&container).map(|s| s.fetch(key)).unwrap_or(0),
+            Scope::Local => self
+                .locals
+                .get(&container)
+                .map(|s| s.fetch(key))
+                .unwrap_or(0),
             Scope::Global => self.global.fetch(key),
             Scope::Tenant => self.tenants.get(&tenant).map(|s| s.fetch(key)).unwrap_or(0),
         }
@@ -259,7 +272,10 @@ mod tests {
         let mut s = KvStore::new(2);
         s.store(1, 1).unwrap();
         s.store(2, 2).unwrap();
-        assert_eq!(s.store(3, 3), Err(StoreError::CapacityExhausted { capacity: 2 }));
+        assert_eq!(
+            s.store(3, 3),
+            Err(StoreError::CapacityExhausted { capacity: 2 })
+        );
         // Overwrites still allowed at capacity.
         s.store(1, 11).unwrap();
         assert_eq!(s.fetch(1), 11);

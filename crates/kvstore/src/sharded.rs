@@ -1,0 +1,288 @@
+//! Sharded, thread-safe key-value stores for the concurrent hosting
+//! runtime.
+//!
+//! [`ShardedStores`] provides the same scope model as [`StoreManager`]
+//! (local / tenant-shared / global, paper §7) behind fine-grained locks,
+//! so helper calls executing on different worker threads rarely
+//! contend:
+//!
+//! * the **global** store has its own lock (it is shared by every
+//!   container on the device, so it cannot be split without changing
+//!   visibility semantics);
+//! * **tenant** and **local** stores are spread over `N` shards by a
+//!   multiplicative hash of the owning tenant / container id. A given
+//!   store lives in exactly one shard, so lock order is trivial (one
+//!   lock per operation) and semantics match the single-threaded
+//!   manager exactly — only *contention*, never *placement*, depends on
+//!   the shard count.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::{ContainerId, KvStore, Scope, StoreError, TenantId};
+
+/// Default shard count for tenant/local stores. Chosen to comfortably
+/// exceed typical worker counts (1–8) so two workers touching different
+/// tenants almost never share a lock.
+pub const DEFAULT_STORE_SHARDS: usize = 8;
+
+/// One shard: the tenant and local stores whose owner ids hash here.
+#[derive(Debug, Default)]
+struct ScopeShard {
+    tenants: BTreeMap<TenantId, KvStore>,
+    locals: BTreeMap<ContainerId, KvStore>,
+}
+
+/// Thread-safe scoped stores behind a sharded lock (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use fc_kvstore::{ShardedStores, Scope};
+/// let stores = ShardedStores::new(8);
+/// stores.store(1, 10, Scope::Tenant, 5, 42).unwrap();
+/// assert_eq!(stores.fetch(2, 10, Scope::Tenant, 5), 42); // same tenant
+/// assert_eq!(stores.fetch(2, 11, Scope::Tenant, 5), 0); // other tenant
+/// ```
+#[derive(Debug)]
+pub struct ShardedStores {
+    global: Mutex<KvStore>,
+    shards: Box<[Mutex<ScopeShard>]>,
+    capacity: usize,
+}
+
+impl ShardedStores {
+    /// Creates sharded stores bounded to `capacity` keys each, with the
+    /// default shard count.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_STORE_SHARDS)
+    }
+
+    /// Creates sharded stores with an explicit shard count (≥ 1).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedStores {
+            global: Mutex::new(KvStore::new(capacity)),
+            shards: (0..shards)
+                .map(|_| Mutex::new(ScopeShard::default()))
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Number of scope shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Multiplicative (Fibonacci) hash of an owner id onto a shard.
+    fn shard_of(&self, owner: u32) -> &Mutex<ScopeShard> {
+        let h = (owner as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[h as usize % self.shards.len()]
+    }
+
+    /// Fetches from the store `scope` resolves to for this container;
+    /// absent keys (and never-materialised stores) read as `0`.
+    pub fn fetch(&self, container: ContainerId, tenant: TenantId, scope: Scope, key: u32) -> i64 {
+        match scope {
+            Scope::Global => self.global.lock().expect("store lock").fetch(key),
+            Scope::Tenant => {
+                let shard = self.shard_of(tenant).lock().expect("store lock");
+                shard
+                    .tenants
+                    .get(&tenant)
+                    .map(|s| s.fetch(key))
+                    .unwrap_or(0)
+            }
+            Scope::Local => {
+                let shard = self.shard_of(container).lock().expect("store lock");
+                shard
+                    .locals
+                    .get(&container)
+                    .map(|s| s.fetch(key))
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Stores into the store `scope` resolves to for this container.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError::CapacityExhausted`].
+    pub fn store(
+        &self,
+        container: ContainerId,
+        tenant: TenantId,
+        scope: Scope,
+        key: u32,
+        value: i64,
+    ) -> Result<(), StoreError> {
+        let capacity = self.capacity;
+        match scope {
+            Scope::Global => self.global.lock().expect("store lock").store(key, value),
+            Scope::Tenant => {
+                let mut shard = self.shard_of(tenant).lock().expect("store lock");
+                shard
+                    .tenants
+                    .entry(tenant)
+                    .or_insert_with(|| KvStore::new(capacity))
+                    .store(key, value)
+            }
+            Scope::Local => {
+                let mut shard = self.shard_of(container).lock().expect("store lock");
+                shard
+                    .locals
+                    .entry(container)
+                    .or_insert_with(|| KvStore::new(capacity))
+                    .store(key, value)
+            }
+        }
+    }
+
+    /// Drops a container's local store (container removal). Idempotent.
+    pub fn remove_container(&self, container: ContainerId) {
+        self.shard_of(container)
+            .lock()
+            .expect("store lock")
+            .locals
+            .remove(&container);
+    }
+
+    /// Snapshot of the global store (host-side diagnostics).
+    pub fn global_snapshot(&self) -> KvStore {
+        self.global.lock().expect("store lock").clone()
+    }
+
+    /// Snapshot of a tenant store, if materialised.
+    pub fn tenant_snapshot(&self, tenant: TenantId) -> Option<KvStore> {
+        self.shard_of(tenant)
+            .lock()
+            .expect("store lock")
+            .tenants
+            .get(&tenant)
+            .cloned()
+    }
+
+    /// Snapshot of a container's local store, if materialised.
+    pub fn local_snapshot(&self, container: ContainerId) -> Option<KvStore> {
+        self.shard_of(container)
+            .lock()
+            .expect("store lock")
+            .locals
+            .get(&container)
+            .cloned()
+    }
+
+    /// Total accounted RAM across all materialised stores, matching
+    /// [`StoreManager::ram_bytes`]'s accounting exactly.
+    pub fn ram_bytes(&self) -> usize {
+        let mut total = self.global.lock().expect("store lock").ram_bytes();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("store lock");
+            total += shard
+                .tenants
+                .values()
+                .map(KvStore::ram_bytes)
+                .sum::<usize>();
+            total += shard.locals.values().map(KvStore::ram_bytes).sum::<usize>();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StoreManager, ENTRY_BYTES};
+
+    #[test]
+    fn scope_semantics_match_store_manager() {
+        let sharded = ShardedStores::new(8);
+        let mut manager = StoreManager::new(8);
+        let ops = [
+            (1u32, 10u32, Scope::Local, 5u32, 100i64),
+            (2, 10, Scope::Local, 5, 200),
+            (1, 10, Scope::Tenant, 7, 300),
+            (3, 20, Scope::Tenant, 7, 400),
+            (1, 10, Scope::Global, 9, 500),
+        ];
+        for (c, t, s, k, v) in ops {
+            sharded.store(c, t, s, k, v).unwrap();
+            manager.store(c, t, s, k, v).unwrap();
+        }
+        for c in 1..=4u32 {
+            for t in [10u32, 20, 30] {
+                for s in [Scope::Local, Scope::Tenant, Scope::Global] {
+                    for k in [5u32, 7, 9] {
+                        assert_eq!(
+                            sharded.fetch(c, t, s, k),
+                            manager.fetch(c, t, s, k),
+                            "container {c} tenant {t} scope {s:?} key {k}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(sharded.ram_bytes(), manager.ram_bytes());
+    }
+
+    #[test]
+    fn remove_container_drops_local_only() {
+        let s = ShardedStores::new(8);
+        s.store(1, 10, Scope::Local, 1, 11).unwrap();
+        s.store(1, 10, Scope::Tenant, 1, 22).unwrap();
+        s.remove_container(1);
+        assert!(s.local_snapshot(1).is_none());
+        assert_eq!(s.fetch(1, 10, Scope::Local, 1), 0);
+        assert_eq!(
+            s.fetch(1, 10, Scope::Tenant, 1),
+            22,
+            "tenant store survives"
+        );
+        // Idempotent.
+        s.remove_container(1);
+    }
+
+    #[test]
+    fn capacity_enforced_per_store() {
+        let s = ShardedStores::new(2);
+        s.store(1, 10, Scope::Tenant, 1, 1).unwrap();
+        s.store(1, 10, Scope::Tenant, 2, 2).unwrap();
+        assert!(matches!(
+            s.store(1, 10, Scope::Tenant, 3, 3),
+            Err(StoreError::CapacityExhausted { capacity: 2 })
+        ));
+        // A different tenant's store has its own capacity.
+        s.store(1, 11, Scope::Tenant, 3, 3).unwrap();
+    }
+
+    #[test]
+    fn ram_accounting_grows_per_entry() {
+        let s = ShardedStores::new(16);
+        let base = s.ram_bytes();
+        s.store(1, 1, Scope::Global, 1, 1).unwrap();
+        s.store(1, 1, Scope::Local, 1, 1).unwrap();
+        assert!(s.ram_bytes() >= base + 2 * ENTRY_BYTES);
+    }
+
+    #[test]
+    fn concurrent_tenants_do_not_interleave_state() {
+        let s = std::sync::Arc::new(ShardedStores::new(64));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    s.store(t, t, Scope::Tenant, i % 32, (t as i64) << 32 | i as i64)
+                        .unwrap();
+                    let got = s.fetch(t, t, Scope::Tenant, i % 32);
+                    assert_eq!(got >> 32, t as i64, "tenant {t} saw foreign value");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

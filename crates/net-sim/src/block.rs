@@ -47,7 +47,11 @@ impl Block {
         if szx == 7 {
             return None;
         }
-        Some(Block { num: (v >> 4) as u32, more: v & 0x8 != 0, szx })
+        Some(Block {
+            num: (v >> 4) as u32,
+            more: v & 0x8 != 0,
+            szx,
+        })
     }
 }
 

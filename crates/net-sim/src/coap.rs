@@ -272,12 +272,16 @@ impl Message {
 
     /// First value of an option, if present.
     pub fn option(&self, number: u16) -> Option<&[u8]> {
-        self.options.iter().find(|(n, _)| *n == number).map(|(_, v)| v.as_slice())
+        self.options
+            .iter()
+            .find(|(n, _)| *n == number)
+            .map(|(_, v)| v.as_slice())
     }
 
     /// Reads an option as a big-endian unsigned integer (CoAP `uint`).
     pub fn option_uint(&self, number: u16) -> Option<u64> {
-        self.option(number).map(|v| v.iter().fold(0u64, |acc, b| (acc << 8) | *b as u64))
+        self.option(number)
+            .map(|v| v.iter().fold(0u64, |acc, b| (acc << 8) | *b as u64))
     }
 
     /// Sets an option to a minimally-encoded big-endian unsigned integer.
@@ -358,14 +362,23 @@ impl Message {
             i += 1;
             let delta = read_ext(bytes, &mut i, dn)?;
             let len = read_ext(bytes, &mut i, ln)? as usize;
-            number = number.checked_add(delta as u16).ok_or(CoapError::BadOption)?;
+            number = number
+                .checked_add(delta as u16)
+                .ok_or(CoapError::BadOption)?;
             if i + len > bytes.len() {
                 return Err(CoapError::Truncated);
             }
             options.push((number, bytes[i..i + len].to_vec()));
             i += len;
         }
-        Ok(Message { mtype, code, message_id, token, options, payload })
+        Ok(Message {
+            mtype,
+            code,
+            message_id,
+            token,
+            options,
+            payload,
+        })
     }
 }
 
@@ -473,7 +486,9 @@ mod tests {
         m2.add_option_uint(option::BLOCK2, 0x0106);
         assert_eq!(m2.option(option::BLOCK2).unwrap(), &[0x01, 0x06]);
         assert_eq!(
-            Message::decode(&m2.encode()).unwrap().option_uint(option::BLOCK2),
+            Message::decode(&m2.encode())
+                .unwrap()
+                .option_uint(option::BLOCK2),
             Some(0x0106)
         );
     }
@@ -491,14 +506,23 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(Message::decode(&[]), Err(CoapError::Truncated));
-        assert_eq!(Message::decode(&[0x01, 0, 0, 0]), Err(CoapError::BadVersion));
+        assert_eq!(
+            Message::decode(&[0x01, 0, 0, 0]),
+            Err(CoapError::BadVersion)
+        );
         // TKL 9 invalid.
-        assert_eq!(Message::decode(&[0x49, 0, 0, 0]), Err(CoapError::BadTokenLength));
+        assert_eq!(
+            Message::decode(&[0x49, 0, 0, 0]),
+            Err(CoapError::BadTokenLength)
+        );
         // Payload marker with nothing after it.
         let m = Message::request(Code::Get, 1, &[]);
         let mut bytes = m.encode();
         bytes.push(0xff);
-        assert_eq!(Message::decode(&bytes), Err(CoapError::EmptyPayloadAfterMarker));
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(CoapError::EmptyPayloadAfterMarker)
+        );
     }
 
     #[test]
@@ -506,7 +530,10 @@ mod tests {
         let mut m = Message::request(Code::Get, 1, &[]);
         m.add_option(11, vec![1, 2, 3, 4]);
         let bytes = m.encode();
-        assert_eq!(Message::decode(&bytes[..bytes.len() - 2]), Err(CoapError::Truncated));
+        assert_eq!(
+            Message::decode(&bytes[..bytes.len() - 2]),
+            Err(CoapError::Truncated)
+        );
     }
 
     #[test]

@@ -94,7 +94,9 @@ impl CoapServer {
 
 impl std::fmt::Debug for CoapServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CoapServer").field("paths", &self.paths()).finish()
+        f.debug_struct("CoapServer")
+            .field("paths", &self.paths())
+            .finish()
     }
 }
 
@@ -124,7 +126,11 @@ pub struct CoapClient {
 impl CoapClient {
     /// Creates a client bound to `addr`.
     pub fn new(addr: Addr) -> Self {
-        CoapClient { addr, next_mid: 1, next_token: 1 }
+        CoapClient {
+            addr,
+            next_mid: 1,
+            next_token: 1,
+        }
     }
 
     /// The client's address.
@@ -204,7 +210,11 @@ impl CoapClient {
                         let resp = serve(&req);
                         link.send(
                             *now_us,
-                            Datagram { src: server_addr, dst: d.src, payload: resp.encode() },
+                            Datagram {
+                                src: server_addr,
+                                dst: d.src,
+                                payload: resp.encode(),
+                            },
                         )?;
                     }
                 }
@@ -280,7 +290,9 @@ mod tests {
         req.payload = b"hi".to_vec();
         let mut now = 0;
         let out = client
-            .exchange(&mut link, Addr::new(2, 5683), req, &mut now, |r| server.dispatch(r))
+            .exchange(&mut link, Addr::new(2, 5683), req, &mut now, |r| {
+                server.dispatch(r)
+            })
             .unwrap();
         match out {
             ExchangeOutcome::Response(resp) => assert_eq!(resp.payload, b"hi"),
@@ -293,8 +305,11 @@ mod tests {
     fn exchange_survives_heavy_loss_via_retransmission() {
         // 40% loss each way; 5 attempts give good odds, and the seed is
         // fixed so this test is deterministic.
-        let mut link =
-            LossyLink::new(LinkConfig { loss: 0.4, seed: 11, ..Default::default() });
+        let mut link = LossyLink::new(LinkConfig {
+            loss: 0.4,
+            seed: 11,
+            ..Default::default()
+        });
         let mut server = echo_server();
         let mut client = CoapClient::new(Addr::new(1, 40000));
         let mut req = Message::request(Code::Post, 0, &[]);
@@ -302,7 +317,9 @@ mod tests {
         req.payload = b"lossy".to_vec();
         let mut now = 0;
         let out = client
-            .exchange(&mut link, Addr::new(2, 5683), req, &mut now, |r| server.dispatch(r))
+            .exchange(&mut link, Addr::new(2, 5683), req, &mut now, |r| {
+                server.dispatch(r)
+            })
             .unwrap();
         assert!(matches!(out, ExchangeOutcome::Response(_)), "{out:?}");
         assert!(link.sent_count() > 2, "retransmissions happened");
@@ -310,15 +327,20 @@ mod tests {
 
     #[test]
     fn exchange_times_out_on_dead_link() {
-        let mut link =
-            LossyLink::new(LinkConfig { loss: 1.0, seed: 7, ..Default::default() });
+        let mut link = LossyLink::new(LinkConfig {
+            loss: 1.0,
+            seed: 7,
+            ..Default::default()
+        });
         let mut server = echo_server();
         let mut client = CoapClient::new(Addr::new(1, 40000));
         let mut req = Message::request(Code::Get, 0, &[]);
         req.set_path("echo");
         let mut now = 0;
         let out = client
-            .exchange(&mut link, Addr::new(2, 5683), req, &mut now, |r| server.dispatch(r))
+            .exchange(&mut link, Addr::new(2, 5683), req, &mut now, |r| {
+                server.dispatch(r)
+            })
             .unwrap();
         assert_eq!(out, ExchangeOutcome::Timeout);
         assert_eq!(link.sent_count(), (MAX_RETRANSMIT + 1) as u64);

@@ -10,7 +10,9 @@
 //! * [`endpoint`] — server-side resource dispatch and a retransmitting
 //!   confirmable client;
 //! * [`link`] — a seeded lossy datagram link standing in for the
-//!   802.15.4/6LoWPAN path (substitution documented in DESIGN.md §3).
+//!   802.15.4/6LoWPAN path (substitution documented in DESIGN.md §3);
+//! * [`load`] — deterministic multi-tenant CoAP request load
+//!   generation for hosting benchmarks.
 
 #![warn(missing_docs)]
 
@@ -18,8 +20,9 @@ pub mod block;
 pub mod coap;
 pub mod endpoint;
 pub mod link;
+pub mod load;
 
 pub use block::Block;
-pub use coap::{Code, CoapError, Message, MsgType};
+pub use coap::{CoapError, Code, Message, MsgType};
 pub use endpoint::{CoapClient, CoapServer, ExchangeOutcome};
 pub use link::{Addr, Datagram, LinkConfig, LossyLink};

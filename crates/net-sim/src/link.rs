@@ -57,7 +57,12 @@ pub struct LinkConfig {
 
 impl Default for LinkConfig {
     fn default() -> Self {
-        LinkConfig { loss: 0.0, latency_us: 2_000, mtu: DEFAULT_MTU, seed: 0x5eed }
+        LinkConfig {
+            loss: 0.0,
+            latency_us: 2_000,
+            mtu: DEFAULT_MTU,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -130,7 +135,10 @@ impl LossyLink {
     /// layers in this class do not fragment.
     pub fn send(&mut self, now_us: u64, dgram: Datagram) -> Result<(), SendError> {
         if dgram.payload.len() > self.config.mtu {
-            return Err(SendError::TooLarge { size: dgram.payload.len(), mtu: self.config.mtu });
+            return Err(SendError::TooLarge {
+                size: dgram.payload.len(),
+                mtu: self.config.mtu,
+            });
         }
         self.sent += 1;
         if self.rng.gen_bool(self.config.loss.clamp(0.0, 1.0)) {
@@ -155,7 +163,11 @@ impl LossyLink {
 
     /// Earliest pending delivery time for `node`, for schedulers.
     pub fn next_delivery_us(&self, node: u8) -> Option<u64> {
-        self.in_flight.iter().filter(|(_, d)| d.dst.node == node).map(|(at, _)| *at).min()
+        self.in_flight
+            .iter()
+            .filter(|(_, d)| d.dst.node == node)
+            .map(|(at, _)| *at)
+            .min()
     }
 
     /// Datagrams accepted so far (including lost ones).
@@ -179,12 +191,19 @@ mod tests {
     use super::*;
 
     fn dgram(to: u8) -> Datagram {
-        Datagram { src: Addr::new(1, 1000), dst: Addr::new(to, 5683), payload: vec![7; 10] }
+        Datagram {
+            src: Addr::new(1, 1000),
+            dst: Addr::new(to, 5683),
+            payload: vec![7; 10],
+        }
     }
 
     #[test]
     fn delivery_respects_latency() {
-        let mut link = LossyLink::new(LinkConfig { latency_us: 500, ..Default::default() });
+        let mut link = LossyLink::new(LinkConfig {
+            latency_us: 500,
+            ..Default::default()
+        });
         link.send(100, dgram(2)).unwrap();
         assert!(link.poll(2, 599).is_none());
         assert!(link.poll(2, 600).is_some());
@@ -215,17 +234,26 @@ mod tests {
 
     #[test]
     fn mtu_enforced() {
-        let mut link = LossyLink::new(LinkConfig { mtu: 16, ..Default::default() });
+        let mut link = LossyLink::new(LinkConfig {
+            mtu: 16,
+            ..Default::default()
+        });
         let mut d = dgram(2);
         d.payload = vec![0; 17];
-        assert!(matches!(link.send(0, d), Err(SendError::TooLarge { size: 17, mtu: 16 })));
+        assert!(matches!(
+            link.send(0, d),
+            Err(SendError::TooLarge { size: 17, mtu: 16 })
+        ));
     }
 
     #[test]
     fn loss_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut link =
-                LossyLink::new(LinkConfig { loss: 0.5, seed, ..Default::default() });
+            let mut link = LossyLink::new(LinkConfig {
+                loss: 0.5,
+                seed,
+                ..Default::default()
+            });
             for _ in 0..100 {
                 link.send(0, dgram(2)).unwrap();
             }
@@ -252,7 +280,10 @@ mod tests {
 
     #[test]
     fn next_delivery_reports_earliest() {
-        let mut link = LossyLink::new(LinkConfig { latency_us: 100, ..Default::default() });
+        let mut link = LossyLink::new(LinkConfig {
+            latency_us: 100,
+            ..Default::default()
+        });
         link.send(50, dgram(2)).unwrap();
         link.send(0, dgram(2)).unwrap();
         assert_eq!(link.next_delivery_us(2), Some(100));

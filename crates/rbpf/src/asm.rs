@@ -43,7 +43,10 @@ impl fmt::Display for AsmError {
 impl Error for AsmError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, msg: msg.into() })
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// Assembles source text into instruction slots.
@@ -72,8 +75,7 @@ pub fn assemble_with_helpers(
     source: &str,
     helpers: &[(String, u32)],
 ) -> Result<Vec<Insn>, AsmError> {
-    let helper_map: HashMap<&str, u32> =
-        helpers.iter().map(|(n, id)| (n.as_str(), *id)).collect();
+    let helper_map: HashMap<&str, u32> = helpers.iter().map(|(n, id)| (n.as_str(), *id)).collect();
 
     // Pass 1: parse lines, record label slot positions.
     let mut labels: HashMap<String, i64> = HashMap::new();
@@ -112,9 +114,10 @@ pub fn assemble_with_helpers(
         let mut insn = stmt.insn;
         cur += if stmt.wide { 2 } else { 1 };
         if let Some(label) = stmt.target {
-            let target = *labels
-                .get(&label)
-                .ok_or_else(|| AsmError { line: line_no, msg: format!("unknown label `{label}`") })?;
+            let target = *labels.get(&label).ok_or_else(|| AsmError {
+                line: line_no,
+                msg: format!("unknown label `{label}`"),
+            })?;
             let disp = target - cur;
             if disp < i16::MIN as i64 || disp > i16::MAX as i64 {
                 return err(line_no, format!("jump to `{label}` out of 16-bit range"));
@@ -138,7 +141,12 @@ struct Stmt {
 
 impl Stmt {
     fn plain(insn: Insn) -> Self {
-        Stmt { insn, wide: false, high_imm: 0, target: None }
+        Stmt {
+            insn,
+            wide: false,
+            high_imm: 0,
+            target: None,
+        }
     }
 }
 
@@ -165,8 +173,11 @@ fn label_prefix(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 fn parse_reg(line: usize, tok: &str) -> Result<u8, AsmError> {
@@ -213,7 +224,10 @@ fn parse_mem(line: usize, tok: &str) -> Result<(u8, i16), AsmError> {
     let inner = tok
         .strip_prefix('[')
         .and_then(|t| t.strip_suffix(']'))
-        .ok_or_else(|| AsmError { line, msg: format!("expected `[reg+off]`, got `{tok}`") })?;
+        .ok_or_else(|| AsmError {
+            line,
+            msg: format!("expected `[reg+off]`, got `{tok}`"),
+        })?;
     let (reg_part, off) = if let Some(plus) = inner.find('+') {
         (&inner[..plus], parse_num(line, &inner[plus + 1..])?)
     } else if let Some(minus) = inner.find('-') {
@@ -228,14 +242,13 @@ fn parse_mem(line: usize, tok: &str) -> Result<(u8, i16), AsmError> {
 }
 
 fn split_operands(s: &str) -> Vec<&str> {
-    s.split(',').map(str::trim).filter(|t| !t.is_empty()).collect()
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect()
 }
 
-fn parse_stmt(
-    line: usize,
-    text: &str,
-    helpers: &HashMap<&str, u32>,
-) -> Result<Stmt, AsmError> {
+fn parse_stmt(line: usize, text: &str, helpers: &HashMap<&str, u32>) -> Result<Stmt, AsmError> {
     let (mnemonic, operand_text) = match text.find(char::is_whitespace) {
         Some(pos) => (&text[..pos], text[pos..].trim()),
         None => (text, ""),
@@ -253,7 +266,13 @@ fn parse_stmt(
         if let Ok(src) = parse_reg(line, ops[1]) {
             Ok(Stmt::plain(Insn::new(base | SRC_REG, dst, src, 0, 0)))
         } else {
-            Ok(Stmt::plain(Insn::new(base, dst, 0, 0, parse_imm32(line, ops[1])?)))
+            Ok(Stmt::plain(Insn::new(
+                base,
+                dst,
+                0,
+                0,
+                parse_imm32(line, ops[1])?,
+            )))
         }
     };
     // Conditional jumps: dst, (src|imm), target.
@@ -284,7 +303,13 @@ fn parse_stmt(
             return err(line, format!("`{m}` expects 2 operands"));
         }
         let (dst, off) = parse_mem(line, ops[0])?;
-        Ok(Stmt::plain(Insn::new(opcode, dst, 0, off, parse_imm32(line, ops[1])?)))
+        Ok(Stmt::plain(Insn::new(
+            opcode,
+            dst,
+            0,
+            off,
+            parse_imm32(line, ops[1])?,
+        )))
     };
     let store_reg = |opcode: u8| -> Result<Stmt, AsmError> {
         if ops.len() != 2 {
@@ -298,7 +323,13 @@ fn parse_stmt(
         if ops.len() != 1 {
             return err(line, format!("`{m}` expects 1 operand"));
         }
-        Ok(Stmt::plain(Insn::new(opcode, parse_reg(line, ops[0])?, 0, 0, width)))
+        Ok(Stmt::plain(Insn::new(
+            opcode,
+            parse_reg(line, ops[0])?,
+            0,
+            0,
+            width,
+        )))
     };
 
     match m {
@@ -331,7 +362,13 @@ fn parse_stmt(
                 return err(line, format!("`{m}` expects 1 operand"));
             }
             let opcode = if m == "neg" { NEG64 } else { NEG32 };
-            Ok(Stmt::plain(Insn::new(opcode, parse_reg(line, ops[0])?, 0, 0, 0)))
+            Ok(Stmt::plain(Insn::new(
+                opcode,
+                parse_reg(line, ops[0])?,
+                0,
+                0,
+                0,
+            )))
         }
         "le16" => endian(LE, 16),
         "le32" => endian(LE, 32),
@@ -434,7 +471,11 @@ fn parse_wide_num(line: usize, tok: &str) -> Result<u64, AsmError> {
         body.parse::<u64>().ok()
     };
     match parsed {
-        Some(v) => Ok(if neg { (v as i64).wrapping_neg() as u64 } else { v }),
+        Some(v) => Ok(if neg {
+            (v as i64).wrapping_neg() as u64
+        } else {
+            v
+        }),
         None => err(line, format!("invalid 64-bit literal `{tok}`")),
     }
 }
@@ -512,8 +553,14 @@ end:
     #[test]
     fn memory_operands() {
         let insns = assemble("ldxdw r1, [r2+16]\nstxw [r10-8], r3\nstb [r4], 7").unwrap();
-        assert_eq!((insns[0].opcode, insns[0].src, insns[0].off), (LDXDW, 2, 16));
-        assert_eq!((insns[1].opcode, insns[1].dst, insns[1].off), (STXW, 10, -8));
+        assert_eq!(
+            (insns[0].opcode, insns[0].src, insns[0].off),
+            (LDXDW, 2, 16)
+        );
+        assert_eq!(
+            (insns[1].opcode, insns[1].dst, insns[1].off),
+            (STXW, 10, -8)
+        );
         assert_eq!((insns[2].opcode, insns[2].dst, insns[2].imm), (STB, 4, 7));
     }
 

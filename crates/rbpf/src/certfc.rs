@@ -28,8 +28,8 @@ use crate::vm::{ExecConfig, Execution, OpCounts};
 /// Size in bytes of the extra VM state CertFC keeps in its context struct
 /// rather than on the host thread stack (paper §10.1: "an increase of
 /// around 50 B per instance").
-pub const CERT_STATE_OVERHEAD: usize = core::mem::size_of::<CertState>()
-    - REG_COUNT * core::mem::size_of::<u64>();
+pub const CERT_STATE_OVERHEAD: usize =
+    core::mem::size_of::<CertState>() - REG_COUNT * core::mem::size_of::<u64>();
 
 /// The explicit machine state of the CertFC step function.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,14 +131,22 @@ impl<'p> CertInterpreter<'p> {
         // below is that fuel argument made concrete.
         for _ in 0..=self.config.max_instructions {
             if st.finished {
-                return Ok(Execution { return_value: st.regs[0], counts: st.counts });
+                return Ok(Execution {
+                    return_value: st.regs[0],
+                    counts: st.counts,
+                });
             }
             self.step(&mut st, mem, helpers)?;
         }
         if st.finished {
-            return Ok(Execution { return_value: st.regs[0], counts: st.counts });
+            return Ok(Execution {
+                return_value: st.regs[0],
+                counts: st.counts,
+            });
         }
-        Err(VmError::InstructionBudgetExceeded { budget: self.config.max_instructions })
+        Err(VmError::InstructionBudgetExceeded {
+            budget: self.config.max_instructions,
+        })
     }
 
     /// Executes a single instruction, mutating the machine state.
@@ -165,7 +173,9 @@ impl<'p> CertInterpreter<'p> {
         if insn.is_branch() {
             st.branches += 1;
             if st.branches > self.config.max_branches {
-                return Err(VmError::BranchBudgetExceeded { budget: self.config.max_branches });
+                return Err(VmError::BranchBudgetExceeded {
+                    budget: self.config.max_branches,
+                });
             }
         }
 
@@ -211,7 +221,11 @@ impl<'p> CertInterpreter<'p> {
                     _ => 8,
                 };
                 let addr = st.read_reg(insn.dst, pc)?.wrapping_add(off);
-                let value = if insn.opcode == STDW { imm_s } else { imm32 as u64 };
+                let value = if insn.opcode == STDW {
+                    imm_s
+                } else {
+                    imm32 as u64
+                };
                 mem.store(addr, size, value)?;
                 st.counts.record(OpClass::Store);
             }
@@ -236,7 +250,11 @@ impl<'p> CertInterpreter<'p> {
             }
             op if (op & 0x07 == CLS_JMP) && op != CALL && op != EXIT => {
                 let lhs = st.read_reg(insn.dst, pc)?;
-                let rhs = if op & SRC_REG != 0 { st.read_reg(insn.src, pc)? } else { imm_s };
+                let rhs = if op & SRC_REG != 0 {
+                    st.read_reg(insn.src, pc)?
+                } else {
+                    imm_s
+                };
                 let taken = match op & 0xf0 {
                     0x10 => lhs == rhs,
                     0x20 => lhs > rhs,
@@ -260,8 +278,7 @@ impl<'p> CertInterpreter<'p> {
             }
             CALL => {
                 st.counts.record(OpClass::HelperCall);
-                let args =
-                    [st.regs[1], st.regs[2], st.regs[3], st.regs[4], st.regs[5]];
+                let args = [st.regs[1], st.regs[2], st.regs[3], st.regs[4], st.regs[5]];
                 let ret = helpers.call(insn.imm as u32, mem, args)?;
                 st.write_reg(0, ret, pc)?;
             }
@@ -282,7 +299,11 @@ impl<'p> CertInterpreter<'p> {
         let imm_s = insn.imm as i64 as u64;
         let imm32 = insn.imm as u32;
         let dst_v = st.read_reg(insn.dst, pc)?;
-        let src_v = if insn.opcode & SRC_REG != 0 { st.read_reg(insn.src, pc)? } else { 0 };
+        let src_v = if insn.opcode & SRC_REG != 0 {
+            st.read_reg(insn.src, pc)?
+        } else {
+            0
+        };
 
         // Unary / special forms first.
         let result: u64 = match insn.opcode {
@@ -313,8 +334,16 @@ impl<'p> CertInterpreter<'p> {
                 }
             }
             _ => {
-                let rhs64 = if insn.opcode & SRC_REG != 0 { src_v } else { imm_s };
-                let rhs32 = if insn.opcode & SRC_REG != 0 { src_v as u32 } else { imm32 };
+                let rhs64 = if insn.opcode & SRC_REG != 0 {
+                    src_v
+                } else {
+                    imm_s
+                };
+                let rhs32 = if insn.opcode & SRC_REG != 0 {
+                    src_v as u32
+                } else {
+                    imm32
+                };
                 let op = insn.opcode & 0xf0;
                 if is64 {
                     st.counts.record(match op {
@@ -345,7 +374,12 @@ impl<'p> CertInterpreter<'p> {
                         0xa0 => dst_v ^ rhs64,
                         0xb0 => rhs64,
                         0xc0 => (dst_v as i64).wrapping_shr(rhs64 as u32) as u64,
-                        _ => return Err(VmError::UnknownOpcode { pc, opcode: insn.opcode }),
+                        _ => {
+                            return Err(VmError::UnknownOpcode {
+                                pc,
+                                opcode: insn.opcode,
+                            })
+                        }
                     }
                 } else {
                     st.counts.record(match op {
@@ -377,7 +411,12 @@ impl<'p> CertInterpreter<'p> {
                         0xa0 => d32 ^ rhs32,
                         0xb0 => rhs32,
                         0xc0 => ((d32 as i32) >> (rhs32 & 31)) as u32,
-                        _ => return Err(VmError::UnknownOpcode { pc, opcode: insn.opcode }),
+                        _ => {
+                            return Err(VmError::UnknownOpcode {
+                                pc,
+                                opcode: insn.opcode,
+                            })
+                        }
                     }) as u64
                 }
             }
@@ -411,11 +450,7 @@ mod tests {
             mem.add_stack(512);
             let mut helpers = HelperRegistry::new();
             if cert {
-                CertInterpreter::new(&prog, ExecConfig::default()).run(
-                    &mut mem,
-                    &mut helpers,
-                    0,
-                )
+                CertInterpreter::new(&prog, ExecConfig::default()).run(&mut mem, &mut helpers, 0)
             } else {
                 Interpreter::new(&prog, ExecConfig::default()).run(&mut mem, &mut helpers, 0)
             }
@@ -489,8 +524,12 @@ exit";
         let mut mem = MemoryMap::new();
         mem.add_stack(512);
         let mut helpers = HelperRegistry::new();
-        let v = Interpreter::new(&prog, cfg).run(&mut mem, &mut helpers, 0).unwrap_err();
-        let c = CertInterpreter::new(&prog, cfg).run(&mut mem, &mut helpers, 0).unwrap_err();
+        let v = Interpreter::new(&prog, cfg)
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap_err();
+        let c = CertInterpreter::new(&prog, cfg)
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap_err();
         assert_eq!(v, c);
     }
 
@@ -513,7 +552,9 @@ exit";
     fn state_overhead_is_about_50_bytes() {
         // The paper reports ~50 B of extra per-instance state for CertFC;
         // the bound is a compile-time constant by design.
-        assert!(CERT_STATE_OVERHEAD >= 24 && CERT_STATE_OVERHEAD <= 160,
-            "unexpected overhead {CERT_STATE_OVERHEAD}");
+        assert!(
+            CERT_STATE_OVERHEAD >= 24 && CERT_STATE_OVERHEAD <= 160,
+            "unexpected overhead {CERT_STATE_OVERHEAD}"
+        );
     }
 }

@@ -164,9 +164,27 @@ impl Kind {
         matches!(
             self,
             Ja | JeqImm
-                | JeqReg | JgtImm | JgtReg | JgeImm | JgeReg | JltImm | JltReg | JleImm
-                | JleReg | JsetImm | JsetReg | JneImm | JneReg | JsgtImm | JsgtReg
-                | JsgeImm | JsgeReg | JsltImm | JsltReg | JsleImm | JsleReg
+                | JeqReg
+                | JgtImm
+                | JgtReg
+                | JgeImm
+                | JgeReg
+                | JltImm
+                | JltReg
+                | JleImm
+                | JleReg
+                | JsetImm
+                | JsetReg
+                | JneImm
+                | JneReg
+                | JsgtImm
+                | JsgtReg
+                | JsgeImm
+                | JsgeReg
+                | JsltImm
+                | JsltReg
+                | JsleImm
+                | JsleReg
         )
     }
 
@@ -177,14 +195,54 @@ impl Kind {
         matches!(
             self,
             LdImm
-                | Add32Imm | Add32Reg | Sub32Imm | Sub32Reg | Mul32Imm | Mul32Reg
-                | Or32Imm | Or32Reg | And32Imm | And32Reg | Lsh32Imm | Lsh32Reg
-                | Rsh32Imm | Rsh32Reg | Neg32 | Xor32Imm | Xor32Reg | Mov32Imm
-                | Mov32Reg | Arsh32Imm | Arsh32Reg | Le16 | Le32 | Le64 | Be16 | Be32
-                | Be64 | Add64Imm | Add64Reg | Sub64Imm | Sub64Reg | Mul64Imm
-                | Mul64Reg | Or64Imm | Or64Reg | And64Imm | And64Reg | Lsh64Imm
-                | Lsh64Reg | Rsh64Imm | Rsh64Reg | Neg64 | Xor64Imm | Xor64Reg
-                | Mov64Imm | Mov64Reg | Arsh64Imm | Arsh64Reg
+                | Add32Imm
+                | Add32Reg
+                | Sub32Imm
+                | Sub32Reg
+                | Mul32Imm
+                | Mul32Reg
+                | Or32Imm
+                | Or32Reg
+                | And32Imm
+                | And32Reg
+                | Lsh32Imm
+                | Lsh32Reg
+                | Rsh32Imm
+                | Rsh32Reg
+                | Neg32
+                | Xor32Imm
+                | Xor32Reg
+                | Mov32Imm
+                | Mov32Reg
+                | Arsh32Imm
+                | Arsh32Reg
+                | Le16
+                | Le32
+                | Le64
+                | Be16
+                | Be32
+                | Be64
+                | Add64Imm
+                | Add64Reg
+                | Sub64Imm
+                | Sub64Reg
+                | Mul64Imm
+                | Mul64Reg
+                | Or64Imm
+                | Or64Reg
+                | And64Imm
+                | And64Reg
+                | Lsh64Imm
+                | Lsh64Reg
+                | Rsh64Imm
+                | Rsh64Reg
+                | Neg64
+                | Xor64Imm
+                | Xor64Reg
+                | Mov64Imm
+                | Mov64Reg
+                | Arsh64Imm
+                | Arsh64Reg
         )
     }
 }
@@ -200,7 +258,10 @@ pub struct DecodedInsn {
     pub imm: u64,
     /// Original instruction slot, reported in faults.
     pub pc: u32,
-    /// Absolute decoded slot index of the branch target (branches only).
+    /// Per-kind side value: absolute decoded slot index of the branch
+    /// target (branches), run length (`AluRep`/`BranchRep`), or `1 +`
+    /// the registry slot of an install-time-bound helper call (`Call`;
+    /// `0` = unbound, dispatch by id).
     pub target: u32,
     /// Signed memory offset for immediate stores (`St*`).
     pub off: i16,
@@ -387,8 +448,11 @@ impl DecodedProgram {
                 0
             };
             if run >= 2 {
-                ops[i].kind =
-                    if op.sub.is_branch() { Kind::BranchRep } else { Kind::AluRep };
+                ops[i].kind = if op.sub.is_branch() {
+                    Kind::BranchRep
+                } else {
+                    Kind::AluRep
+                };
                 ops[i].target = run;
             }
         }
@@ -405,7 +469,11 @@ impl DecodedProgram {
             cls: CLS_SCRATCH,
         });
 
-        DecodedProgram { ops, pc_map, branch_count: program.branch_count() }
+        DecodedProgram {
+            ops,
+            pc_map,
+            branch_count: program.branch_count(),
+        }
     }
 
     /// The decoded operation stream, including the trailing sentinel.
@@ -469,6 +537,28 @@ impl DecodedProgram {
             }
         }
         Ok(())
+    }
+
+    /// Resolves every `call` site against a concrete registry, storing
+    /// `1 + slot` in the op's `target` field (`0` = unresolved). Bound
+    /// calls dispatch through [`crate::helpers::HelperRegistry::call_slot`]
+    /// — a direct vector index — instead of the id hash lookup, which
+    /// matters for event handlers dominated by hot helpers
+    /// (`bpf_now_ms`, `bpf_fetch_*`, the CoAP formatters).
+    ///
+    /// A hosting engine calls this once at install time, right after
+    /// building the container's registry; ids absent from the registry
+    /// stay unresolved and keep the exact fallback semantics (including
+    /// the [`crate::error::VmError::UnknownHelper`] fault).
+    pub fn bind_helpers(&mut self, registry: &crate::helpers::HelperRegistry<'_>) {
+        for op in &mut self.ops {
+            if op.kind == Kind::Call {
+                op.target = registry
+                    .slot_of(op.imm as u32)
+                    .map(|slot| slot + 1)
+                    .unwrap_or(0);
+            }
+        }
     }
 }
 
@@ -587,13 +677,14 @@ fn lower_narrow(insn: &Insn, pc: usize) -> DecodedInsn {
         Ldx1 | Ldx2 | Ldx4 | Ldx8 => OpClass::Load,
         St1 | St2 | St4 | St8 | Stx1 | Stx2 | Stx4 | Stx8 => OpClass::Store,
         Mul32Imm | Mul32Reg | Mul64Imm | Mul64Reg => OpClass::Mul,
-        Div32Imm | Div32Reg | Div64Imm | Div64Reg | Mod32Imm | Mod32Reg | Mod64Imm
-        | Mod64Reg => OpClass::Div,
+        Div32Imm | Div32Reg | Div64Imm | Div64Reg | Mod32Imm | Mod32Reg | Mod64Imm | Mod64Reg => {
+            OpClass::Div
+        }
         Call => OpClass::HelperCall,
         Exit => OpClass::Exit,
-        Ja | JeqImm | JeqReg | JgtImm | JgtReg | JgeImm | JgeReg | JltImm | JltReg
-        | JleImm | JleReg | JsetImm | JsetReg | JneImm | JneReg | JsgtImm | JsgtReg
-        | JsgeImm | JsgeReg | JsltImm | JsltReg | JsleImm | JsleReg => {
+        Ja | JeqImm | JeqReg | JgtImm | JgtReg | JgeImm | JgeReg | JltImm | JltReg | JleImm
+        | JleReg | JsetImm | JsetReg | JneImm | JneReg | JsgtImm | JsgtReg | JsgeImm | JsgeReg
+        | JsltImm | JsltReg | JsleImm | JsleReg => {
             // Dynamic taken/not-taken classification happens in the
             // dispatch arm; the unconditional pre-count is discarded.
             return DecodedInsn {
@@ -696,7 +787,14 @@ mod tests {
         let kinds: Vec<_> = p.ops().iter().map(|o| o.kind).collect();
         assert_eq!(
             &kinds[..6],
-            &[Kind::Le16, Kind::Le32, Kind::Le64, Kind::Be16, Kind::Be32, Kind::Be64]
+            &[
+                Kind::Le16,
+                Kind::Le32,
+                Kind::Le64,
+                Kind::Be16,
+                Kind::Be32,
+                Kind::Be64
+            ]
         );
     }
 
@@ -705,7 +803,9 @@ mod tests {
         let text = isa::encode_all(&assemble("call 7\nexit").unwrap());
         let prog = verify(&text, &[7u32].iter().copied().collect()).unwrap();
         let dec = DecodedProgram::lower(&prog);
-        assert!(dec.precheck_helpers(&[7u32].iter().copied().collect()).is_ok());
+        assert!(dec
+            .precheck_helpers(&[7u32].iter().copied().collect())
+            .is_ok());
         assert_eq!(
             dec.precheck_helpers(&HashSet::new()),
             Err(VerifierError::HelperNotAllowed { pc: 0, id: 7 })

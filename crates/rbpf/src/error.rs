@@ -140,12 +140,22 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            VmError::InvalidMemoryAccess { addr: 0x10, len: 4, write: true },
+            VmError::InvalidMemoryAccess {
+                addr: 0x10,
+                len: 4,
+                write: true,
+            },
             VmError::DivisionByZero { pc: 3 },
-            VmError::UnknownOpcode { pc: 0, opcode: 0xff },
+            VmError::UnknownOpcode {
+                pc: 0,
+                opcode: 0xff,
+            },
             VmError::UnknownHelper { id: 9 },
             VmError::HelperDenied { id: 2 },
-            VmError::HelperFault { id: 2, reason: "nope".into() },
+            VmError::HelperFault {
+                id: 2,
+                reason: "nope".into(),
+            },
             VmError::InstructionBudgetExceeded { budget: 10 },
             VmError::BranchBudgetExceeded { budget: 10 },
             VmError::JumpOutOfBounds { pc: 1, target: -4 },

@@ -91,8 +91,7 @@ fn exec_pure_alu(kind: Kind, op: &DecodedInsn, regs: &mut [u64; 11], n: u32) {
             rep!(regs[dst] = (((regs[dst] as i32) >> op.imm) as u32) as u64)
         }
         Kind::Arsh32Reg => {
-            rep!(regs[dst] =
-                (((regs[dst] as i32) >> ((regs[src] as u32) & 31)) as u32) as u64)
+            rep!(regs[dst] = (((regs[dst] as i32) >> ((regs[src] as u32) & 31)) as u32) as u64)
         }
         Kind::Le16 => regs[dst] &= 0xffff,
         Kind::Le32 => regs[dst] &= 0xffff_ffff,
@@ -248,7 +247,10 @@ impl<'p> FastInterpreter<'p> {
                 if self.config.max_instructions == 0 {
                     return Err(VmError::InstructionBudgetExceeded { budget: 0 });
                 }
-                return Err(VmError::UnknownOpcode { pc: entry, opcode: 0 });
+                return Err(VmError::UnknownOpcode {
+                    pc: entry,
+                    opcode: 0,
+                });
             }
         };
 
@@ -315,38 +317,24 @@ impl<'p> FastInterpreter<'p> {
                 Kind::Ldx1 => regs[dst] = mem.load(regs[src].wrapping_add(op.imm), 1)?,
                 Kind::Ldx8 => regs[dst] = mem.load(regs[src].wrapping_add(op.imm), 8)?,
 
-                Kind::St4 => {
-                    mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 4, op.imm)?
-                }
-                Kind::St2 => {
-                    mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 2, op.imm)?
-                }
-                Kind::St1 => {
-                    mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 1, op.imm)?
-                }
-                Kind::St8 => {
-                    mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 8, op.imm)?
-                }
+                Kind::St4 => mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 4, op.imm)?,
+                Kind::St2 => mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 2, op.imm)?,
+                Kind::St1 => mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 1, op.imm)?,
+                Kind::St8 => mem.store(regs[dst].wrapping_add(op.off as i64 as u64), 8, op.imm)?,
                 Kind::Stx4 => mem.store(regs[dst].wrapping_add(op.imm), 4, regs[src])?,
                 Kind::Stx2 => mem.store(regs[dst].wrapping_add(op.imm), 2, regs[src])?,
                 Kind::Stx1 => mem.store(regs[dst].wrapping_add(op.imm), 1, regs[src])?,
                 Kind::Stx8 => mem.store(regs[dst].wrapping_add(op.imm), 8, regs[src])?,
 
-                Kind::Add32Imm => {
-                    regs[dst] = (regs[dst] as u32).wrapping_add(op.imm as u32) as u64
-                }
+                Kind::Add32Imm => regs[dst] = (regs[dst] as u32).wrapping_add(op.imm as u32) as u64,
                 Kind::Add32Reg => {
                     regs[dst] = (regs[dst] as u32).wrapping_add(regs[src] as u32) as u64
                 }
-                Kind::Sub32Imm => {
-                    regs[dst] = (regs[dst] as u32).wrapping_sub(op.imm as u32) as u64
-                }
+                Kind::Sub32Imm => regs[dst] = (regs[dst] as u32).wrapping_sub(op.imm as u32) as u64,
                 Kind::Sub32Reg => {
                     regs[dst] = (regs[dst] as u32).wrapping_sub(regs[src] as u32) as u64
                 }
-                Kind::Mul32Imm => {
-                    regs[dst] = (regs[dst] as u32).wrapping_mul(op.imm as u32) as u64
-                }
+                Kind::Mul32Imm => regs[dst] = (regs[dst] as u32).wrapping_mul(op.imm as u32) as u64,
                 Kind::Mul32Reg => {
                     regs[dst] = (regs[dst] as u32).wrapping_mul(regs[src] as u32) as u64
                 }
@@ -365,13 +353,9 @@ impl<'p> FastInterpreter<'p> {
                     regs[dst] = ((regs[dst] as u32) / d) as u64;
                 }
                 Kind::Or32Imm => regs[dst] = ((regs[dst] as u32) | op.imm as u32) as u64,
-                Kind::Or32Reg => {
-                    regs[dst] = ((regs[dst] as u32) | (regs[src] as u32)) as u64
-                }
+                Kind::Or32Reg => regs[dst] = ((regs[dst] as u32) | (regs[src] as u32)) as u64,
                 Kind::And32Imm => regs[dst] = ((regs[dst] as u32) & op.imm as u32) as u64,
-                Kind::And32Reg => {
-                    regs[dst] = ((regs[dst] as u32) & (regs[src] as u32)) as u64
-                }
+                Kind::And32Reg => regs[dst] = ((regs[dst] as u32) & (regs[src] as u32)) as u64,
                 Kind::Lsh32Imm => regs[dst] = ((regs[dst] as u32) << op.imm) as u64,
                 Kind::Lsh32Reg => {
                     regs[dst] = ((regs[dst] as u32) << ((regs[src] as u32) & 31)) as u64
@@ -396,17 +380,12 @@ impl<'p> FastInterpreter<'p> {
                     regs[dst] = ((regs[dst] as u32) % d) as u64;
                 }
                 Kind::Xor32Imm => regs[dst] = ((regs[dst] as u32) ^ op.imm as u32) as u64,
-                Kind::Xor32Reg => {
-                    regs[dst] = ((regs[dst] as u32) ^ (regs[src] as u32)) as u64
-                }
+                Kind::Xor32Reg => regs[dst] = ((regs[dst] as u32) ^ (regs[src] as u32)) as u64,
                 Kind::Mov32Imm => regs[dst] = op.imm,
                 Kind::Mov32Reg => regs[dst] = regs[src] as u32 as u64,
-                Kind::Arsh32Imm => {
-                    regs[dst] = (((regs[dst] as i32) >> op.imm) as u32) as u64
-                }
+                Kind::Arsh32Imm => regs[dst] = (((regs[dst] as i32) >> op.imm) as u32) as u64,
                 Kind::Arsh32Reg => {
-                    regs[dst] =
-                        (((regs[dst] as i32) >> ((regs[src] as u32) & 31)) as u32) as u64
+                    regs[dst] = (((regs[dst] as i32) >> ((regs[src] as u32) & 31)) as u32) as u64
                 }
                 Kind::Le16 => regs[dst] &= 0xffff,
                 Kind::Le32 => regs[dst] &= 0xffff_ffff,
@@ -543,7 +522,13 @@ impl<'p> FastInterpreter<'p> {
 
                 Kind::Call => {
                     let args = [regs[1], regs[2], regs[3], regs[4], regs[5]];
-                    regs[0] = helpers.call(op.imm as u32, mem, args)?;
+                    // Call sites bound at install time skip the id hash
+                    // lookup (see `DecodedProgram::bind_helpers`).
+                    regs[0] = if op.target != 0 {
+                        helpers.call_slot(op.target as usize - 1, op.imm as u32, mem, args)?
+                    } else {
+                        helpers.call(op.imm as u32, mem, args)?
+                    };
                 }
                 Kind::Exit => {
                     let real: &[u64; OpClass::COUNT] =
@@ -585,11 +570,17 @@ mod tests {
             mem.add_ctx(vec![0x5a; 16], Perm::RW);
             let mut helpers = HelperRegistry::new();
             if fast {
-                FastInterpreter::new(&decoded, ExecConfig::default())
-                    .run(&mut mem, &mut helpers, 0x2000_0000)
+                FastInterpreter::new(&decoded, ExecConfig::default()).run(
+                    &mut mem,
+                    &mut helpers,
+                    0x2000_0000,
+                )
             } else {
-                Interpreter::new(&prog, ExecConfig::default())
-                    .run(&mut mem, &mut helpers, 0x2000_0000)
+                Interpreter::new(&prog, ExecConfig::default()).run(
+                    &mut mem,
+                    &mut helpers,
+                    0x2000_0000,
+                )
             }
         };
         (run(false), run(true))
@@ -667,7 +658,12 @@ mod tests {
         mem.add_stack(512);
         let mut helpers = HelperRegistry::new();
         let fast = FastInterpreter::new(&decoded, ExecConfig::default());
-        assert_eq!(fast.run_from(&mut mem, &mut helpers, 0, 2).unwrap().return_value, 2);
+        assert_eq!(
+            fast.run_from(&mut mem, &mut helpers, 0, 2)
+                .unwrap()
+                .return_value,
+            2
+        );
         assert!(matches!(
             fast.run_from(&mut mem, &mut helpers, 0, 99),
             Err(VmError::PcOutOfBounds { pc: 99 })
@@ -680,9 +676,10 @@ mod tests {
         // not panic, and executing it must report the same fault as
         // the reference interpreter.
         for opcode in [isa::LDDW, isa::LDDWD_IMM, isa::LDDWR_IMM] {
-            let prog = crate::verifier::VerifiedProgram::unverified_for_tests(vec![
-                isa::Insn::new(opcode, 0, 0, 0, 0x77),
-            ]);
+            let prog =
+                crate::verifier::VerifiedProgram::unverified_for_tests(vec![isa::Insn::new(
+                    opcode, 0, 0, 0, 0x77,
+                )]);
             let decoded = DecodedProgram::lower(&prog);
             let mut mem = MemoryMap::new();
             mem.add_stack(64);

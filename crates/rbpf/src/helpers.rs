@@ -60,14 +60,31 @@ pub mod ids {
 /// helper receives the container's [`MemoryMap`] so pointer arguments are
 /// resolved through the same allow-list as VM loads and stores — helpers
 /// cannot be tricked into touching memory the container could not.
-pub type HelperFn<'h> = Box<dyn FnMut(&mut MemoryMap, [u64; 5]) -> Result<u64, VmError> + 'h>;
+///
+/// Helpers are `Send` so a container (program, registry, memory map) can
+/// be installed on one thread and executed on a worker thread of a
+/// concurrent hosting runtime; host state captured by a helper closure
+/// must therefore be shared through thread-safe handles (`Arc` +
+/// locks/atomics), never `Rc`/`RefCell`.
+pub type HelperFn<'h> =
+    Box<dyn FnMut(&mut MemoryMap, [u64; 5]) -> Result<u64, VmError> + Send + 'h>;
 
 struct Entry<'h> {
+    id: u32,
     name: String,
     func: HelperFn<'h>,
 }
 
 /// Registry mapping helper ids to host closures.
+///
+/// Entries live in a dense slot vector with a side `id → slot` index:
+/// [`HelperRegistry::call`] pays one hash lookup, while
+/// [`HelperRegistry::call_slot`] — used by decoded programs whose call
+/// sites were resolved once at install time via
+/// [`crate::decode::DecodedProgram::bind_helpers`] — is a direct vector
+/// index. Slots are stable for the lifetime of the registry: replacing a
+/// helper reuses its slot and unregistering leaves a tombstone, so a
+/// bound program can never reach a *different* helper than it bound.
 ///
 /// # Examples
 ///
@@ -79,50 +96,82 @@ struct Entry<'h> {
 /// ```
 #[derive(Default)]
 pub struct HelperRegistry<'h> {
-    entries: HashMap<u32, Entry<'h>>,
+    /// Dense slot storage; `None` marks an unregistered (tombstoned) slot.
+    entries: Vec<Option<Entry<'h>>>,
+    /// Helper id → slot index.
+    index: HashMap<u32, u32>,
 }
 
 impl<'h> HelperRegistry<'h> {
     /// Creates an empty registry.
     pub fn new() -> Self {
-        HelperRegistry { entries: HashMap::new() }
+        HelperRegistry {
+            entries: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
-    /// Registers (or replaces) a helper.
+    /// Registers (or replaces) a helper. Replacement reuses the
+    /// original slot, keeping previously bound call sites valid.
     pub fn register<F>(&mut self, id: u32, name: &str, func: F)
     where
-        F: FnMut(&mut MemoryMap, [u64; 5]) -> Result<u64, VmError> + 'h,
+        F: FnMut(&mut MemoryMap, [u64; 5]) -> Result<u64, VmError> + Send + 'h,
     {
-        self.entries.insert(id, Entry { name: name.to_owned(), func: Box::new(func) });
+        let entry = Entry {
+            id,
+            name: name.to_owned(),
+            func: Box::new(func),
+        };
+        match self.index.get(&id) {
+            Some(&slot) => self.entries[slot as usize] = Some(entry),
+            None => {
+                self.index.insert(id, self.entries.len() as u32);
+                self.entries.push(Some(entry));
+            }
+        }
     }
 
-    /// Removes a helper, returning whether it existed.
+    /// Removes a helper, returning whether it existed. The slot is
+    /// tombstoned (not reused), so stale slot bindings fault with
+    /// [`VmError::UnknownHelper`] instead of reaching another helper.
     pub fn unregister(&mut self, id: u32) -> bool {
-        self.entries.remove(&id).is_some()
+        match self.index.remove(&id) {
+            Some(slot) => self.entries[slot as usize].take().is_some(),
+            None => false,
+        }
     }
 
     /// The set of helper ids this registry grants, in the shape the
     /// verifier consumes.
     pub fn granted_ids(&self) -> HashSet<u32> {
-        self.entries.keys().copied().collect()
+        self.index.keys().copied().collect()
+    }
+
+    /// Slot index of a helper id, for decode-time call-site resolution.
+    pub fn slot_of(&self, id: u32) -> Option<u32> {
+        self.index.get(&id).copied()
     }
 
     /// Name/id pairs for the assembler's `call <name>` resolution.
     pub fn name_table(&self) -> Vec<(String, u32)> {
-        let mut v: Vec<_> =
-            self.entries.iter().map(|(id, e)| (e.name.clone(), *id)).collect();
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .flatten()
+            .map(|e| (e.name.clone(), e.id))
+            .collect();
         v.sort_by_key(|a| a.1);
         v
     }
 
     /// Number of registered helpers.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// True when no helpers are registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Invokes helper `id`.
@@ -131,24 +180,51 @@ impl<'h> HelperRegistry<'h> {
     ///
     /// [`VmError::UnknownHelper`] when the id is not registered, or the
     /// helper's own fault.
-    pub fn call(
+    pub fn call(&mut self, id: u32, mem: &mut MemoryMap, args: [u64; 5]) -> Result<u64, VmError> {
+        let slot = match self.index.get(&id) {
+            Some(&slot) => slot as usize,
+            None => return Err(VmError::UnknownHelper { id }),
+        };
+        match &mut self.entries[slot] {
+            Some(e) => (e.func)(mem, args),
+            None => Err(VmError::UnknownHelper { id }),
+        }
+    }
+
+    /// Invokes the helper in `slot` directly, bypassing the id index —
+    /// the hot path for call sites resolved at install time.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::UnknownHelper`] when the slot is out of range or
+    /// tombstoned (`id` is only used for the error report), or the
+    /// helper's own fault.
+    pub fn call_slot(
         &mut self,
+        slot: usize,
         id: u32,
         mem: &mut MemoryMap,
         args: [u64; 5],
     ) -> Result<u64, VmError> {
-        match self.entries.get_mut(&id) {
-            Some(e) => (e.func)(mem, args),
-            None => Err(VmError::UnknownHelper { id }),
+        match self.entries.get_mut(slot) {
+            Some(Some(e)) => (e.func)(mem, args),
+            _ => Err(VmError::UnknownHelper { id }),
         }
     }
 }
 
 impl std::fmt::Debug for HelperRegistry<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut names: Vec<_> = self.entries.values().map(|e| e.name.as_str()).collect();
+        let mut names: Vec<_> = self
+            .entries
+            .iter()
+            .flatten()
+            .map(|e| e.name.as_str())
+            .collect();
         names.sort_unstable();
-        f.debug_struct("HelperRegistry").field("helpers", &names).finish()
+        f.debug_struct("HelperRegistry")
+            .field("helpers", &names)
+            .finish()
     }
 }
 
@@ -196,7 +272,9 @@ mod tests {
         reg.register(1, "read8", |mem, args| mem.load(args[0], 8));
         let mut mem = MemoryMap::new();
         mem.add_stack(64);
-        assert!(reg.call(1, &mut mem, [crate::mem::STACK_VADDR, 0, 0, 0, 0]).is_ok());
+        assert!(reg
+            .call(1, &mut mem, [crate::mem::STACK_VADDR, 0, 0, 0, 0])
+            .is_ok());
         assert!(matches!(
             reg.call(1, &mut mem, [0xdead, 0, 0, 0, 0]),
             Err(VmError::InvalidMemoryAccess { .. })
@@ -208,7 +286,10 @@ mod tests {
         let mut reg = HelperRegistry::new();
         reg.register(5, "b", |_m, _a| Ok(0));
         reg.register(2, "a", |_m, _a| Ok(0));
-        assert_eq!(reg.name_table(), vec![("a".to_owned(), 2), ("b".to_owned(), 5)]);
+        assert_eq!(
+            reg.name_table(),
+            vec![("a".to_owned(), 2), ("b".to_owned(), 5)]
+        );
     }
 
     #[test]
@@ -218,5 +299,40 @@ mod tests {
         assert!(reg.unregister(1));
         assert!(!reg.unregister(1));
         assert!(reg.granted_ids().is_empty());
+    }
+
+    #[test]
+    fn call_slot_matches_call() {
+        let mut reg = HelperRegistry::new();
+        reg.register(7, "seven", |_m, args| Ok(args[0] + 7));
+        reg.register(9, "nine", |_m, args| Ok(args[0] + 9));
+        let mut mem = MemoryMap::new();
+        let slot = reg.slot_of(9).unwrap() as usize;
+        assert_eq!(
+            reg.call_slot(slot, 9, &mut mem, [1, 0, 0, 0, 0]).unwrap(),
+            reg.call(9, &mut mem, [1, 0, 0, 0, 0]).unwrap(),
+        );
+    }
+
+    #[test]
+    fn replacement_reuses_slot_and_unregister_tombstones() {
+        let mut reg = HelperRegistry::new();
+        reg.register(1, "a", |_m, _a| Ok(10));
+        let slot = reg.slot_of(1).unwrap();
+        reg.register(1, "a2", |_m, _a| Ok(20));
+        assert_eq!(reg.slot_of(1), Some(slot), "replacement keeps the slot");
+        let mut mem = MemoryMap::new();
+        assert_eq!(
+            reg.call_slot(slot as usize, 1, &mut mem, [0; 5]).unwrap(),
+            20
+        );
+        assert!(reg.unregister(1));
+        // The tombstoned slot faults instead of reaching another helper.
+        reg.register(2, "b", |_m, _a| Ok(30));
+        assert_ne!(reg.slot_of(2), Some(slot), "tombstoned slot is not reused");
+        assert_eq!(
+            reg.call_slot(slot as usize, 1, &mut mem, [0; 5]),
+            Err(VmError::UnknownHelper { id: 1 })
+        );
     }
 }

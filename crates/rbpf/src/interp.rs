@@ -335,8 +335,7 @@ impl<'p> Interpreter<'p> {
                     counts.record(OpClass::Alu32);
                 }
                 ARSH32_REG => {
-                    regs[dst] =
-                        (((regs[dst] as i32) >> ((regs[src] as u32) & 31)) as u32) as u64;
+                    regs[dst] = (((regs[dst] as i32) >> ((regs[src] as u32) & 31)) as u32) as u64;
                     counts.record(OpClass::Alu32);
                 }
                 LE => {
@@ -476,24 +475,27 @@ impl<'p> Interpreter<'p> {
                     pc = (pc as i64 + 1 + insn.off as i64) as usize;
                     continue;
                 }
-                JEQ_IMM | JEQ_REG | JGT_IMM | JGT_REG | JGE_IMM | JGE_REG | JLT_IMM
-                | JLT_REG | JLE_IMM | JLE_REG | JSET_IMM | JSET_REG | JNE_IMM | JNE_REG
-                | JSGT_IMM | JSGT_REG | JSGE_IMM | JSGE_REG | JSLT_IMM | JSLT_REG
-                | JSLE_IMM | JSLE_REG => {
-                    let rhs = if insn.opcode & SRC_REG != 0 { regs[src] } else { imm_s };
+                JEQ_IMM | JEQ_REG | JGT_IMM | JGT_REG | JGE_IMM | JGE_REG | JLT_IMM | JLT_REG
+                | JLE_IMM | JLE_REG | JSET_IMM | JSET_REG | JNE_IMM | JNE_REG | JSGT_IMM
+                | JSGT_REG | JSGE_IMM | JSGE_REG | JSLT_IMM | JSLT_REG | JSLE_IMM | JSLE_REG => {
+                    let rhs = if insn.opcode & SRC_REG != 0 {
+                        regs[src]
+                    } else {
+                        imm_s
+                    };
                     let lhs = regs[dst];
                     let taken = match insn.opcode & 0xf0 {
-                        0x10 => lhs == rhs,                     // jeq
-                        0x20 => lhs > rhs,                      // jgt
-                        0x30 => lhs >= rhs,                     // jge
-                        0xa0 => lhs < rhs,                      // jlt
-                        0xb0 => lhs <= rhs,                     // jle
-                        0x40 => lhs & rhs != 0,                 // jset
-                        0x50 => lhs != rhs,                     // jne
-                        0x60 => (lhs as i64) > rhs as i64,      // jsgt
-                        0x70 => (lhs as i64) >= rhs as i64,     // jsge
-                        0xc0 => (lhs as i64) < (rhs as i64),    // jslt
-                        _ => (lhs as i64) <= (rhs as i64),      // jsle (0xd0)
+                        0x10 => lhs == rhs,                  // jeq
+                        0x20 => lhs > rhs,                   // jgt
+                        0x30 => lhs >= rhs,                  // jge
+                        0xa0 => lhs < rhs,                   // jlt
+                        0xb0 => lhs <= rhs,                  // jle
+                        0x40 => lhs & rhs != 0,              // jset
+                        0x50 => lhs != rhs,                  // jne
+                        0x60 => (lhs as i64) > rhs as i64,   // jsgt
+                        0x70 => (lhs as i64) >= rhs as i64,  // jsge
+                        0xc0 => (lhs as i64) < (rhs as i64), // jslt
+                        _ => (lhs as i64) <= (rhs as i64),   // jsle (0xd0)
                     };
                     if taken {
                         counts.record(OpClass::BranchTaken);
@@ -512,7 +514,10 @@ impl<'p> Interpreter<'p> {
                 }
                 EXIT => {
                     counts.record(OpClass::Exit);
-                    return Ok(Execution { return_value: regs[0], counts });
+                    return Ok(Execution {
+                        return_value: regs[0],
+                        counts,
+                    });
                 }
 
                 other => return Err(VmError::UnknownOpcode { pc, opcode: other }),
@@ -533,14 +538,9 @@ mod tests {
         run_src_full(src, &[], Vec::new())
     }
 
-    fn run_src_full(
-        src: &str,
-        helper_ids: &[u32],
-        ctx: Vec<u8>,
-    ) -> Result<Execution, VmError> {
+    fn run_src_full(src: &str, helper_ids: &[u32], ctx: Vec<u8>) -> Result<Execution, VmError> {
         let text = isa::encode_all(&assemble(src).unwrap());
-        let prog =
-            crate::verifier::verify(&text, &helper_ids.iter().copied().collect()).unwrap();
+        let prog = crate::verifier::verify(&text, &helper_ids.iter().copied().collect()).unwrap();
         let mut mem = MemoryMap::new();
         mem.add_stack(512);
         let ctx_addr = if ctx.is_empty() {
@@ -559,11 +559,30 @@ mod tests {
 
     #[test]
     fn arithmetic_basics() {
-        assert_eq!(run_src("mov r0, 21\nadd r0, 21\nexit").unwrap().return_value, 42);
-        assert_eq!(run_src("mov r0, 50\nsub r0, 8\nexit").unwrap().return_value, 42);
-        assert_eq!(run_src("mov r0, 6\nmul r0, 7\nexit").unwrap().return_value, 42);
-        assert_eq!(run_src("mov r0, 85\ndiv r0, 2\nexit").unwrap().return_value, 42);
-        assert_eq!(run_src("mov r0, 142\nmod r0, 100\nexit").unwrap().return_value, 42);
+        assert_eq!(
+            run_src("mov r0, 21\nadd r0, 21\nexit")
+                .unwrap()
+                .return_value,
+            42
+        );
+        assert_eq!(
+            run_src("mov r0, 50\nsub r0, 8\nexit").unwrap().return_value,
+            42
+        );
+        assert_eq!(
+            run_src("mov r0, 6\nmul r0, 7\nexit").unwrap().return_value,
+            42
+        );
+        assert_eq!(
+            run_src("mov r0, 85\ndiv r0, 2\nexit").unwrap().return_value,
+            42
+        );
+        assert_eq!(
+            run_src("mov r0, 142\nmod r0, 100\nexit")
+                .unwrap()
+                .return_value,
+            42
+        );
     }
 
     #[test]
@@ -587,13 +606,40 @@ mod tests {
 
     #[test]
     fn shifts_and_bitops() {
-        assert_eq!(run_src("mov r0, 1\nlsh r0, 5\nexit").unwrap().return_value, 32);
-        assert_eq!(run_src("mov r0, 32\nrsh r0, 5\nexit").unwrap().return_value, 1);
-        assert_eq!(run_src("mov r0, -8\narsh r0, 2\nexit").unwrap().return_value, (-2i64) as u64);
-        assert_eq!(run_src("mov r0, 12\nor r0, 3\nexit").unwrap().return_value, 15);
-        assert_eq!(run_src("mov r0, 12\nand r0, 10\nexit").unwrap().return_value, 8);
-        assert_eq!(run_src("mov r0, 12\nxor r0, 10\nexit").unwrap().return_value, 6);
-        assert_eq!(run_src("mov r0, 5\nneg r0\nexit").unwrap().return_value, (-5i64) as u64);
+        assert_eq!(
+            run_src("mov r0, 1\nlsh r0, 5\nexit").unwrap().return_value,
+            32
+        );
+        assert_eq!(
+            run_src("mov r0, 32\nrsh r0, 5\nexit").unwrap().return_value,
+            1
+        );
+        assert_eq!(
+            run_src("mov r0, -8\narsh r0, 2\nexit")
+                .unwrap()
+                .return_value,
+            (-2i64) as u64
+        );
+        assert_eq!(
+            run_src("mov r0, 12\nor r0, 3\nexit").unwrap().return_value,
+            15
+        );
+        assert_eq!(
+            run_src("mov r0, 12\nand r0, 10\nexit")
+                .unwrap()
+                .return_value,
+            8
+        );
+        assert_eq!(
+            run_src("mov r0, 12\nxor r0, 10\nexit")
+                .unwrap()
+                .return_value,
+            6
+        );
+        assert_eq!(
+            run_src("mov r0, 5\nneg r0\nexit").unwrap().return_value,
+            (-5i64) as u64
+        );
     }
 
     #[test]
@@ -605,19 +651,27 @@ mod tests {
     #[test]
     fn endianness_ops() {
         assert_eq!(
-            run_src("lddw r0, 0x1122334455667788\nbe16 r0\nexit").unwrap().return_value,
+            run_src("lddw r0, 0x1122334455667788\nbe16 r0\nexit")
+                .unwrap()
+                .return_value,
             0x8877
         );
         assert_eq!(
-            run_src("lddw r0, 0x1122334455667788\nbe32 r0\nexit").unwrap().return_value,
+            run_src("lddw r0, 0x1122334455667788\nbe32 r0\nexit")
+                .unwrap()
+                .return_value,
             0x8877_6655
         );
         assert_eq!(
-            run_src("lddw r0, 0x1122334455667788\nbe64 r0\nexit").unwrap().return_value,
+            run_src("lddw r0, 0x1122334455667788\nbe64 r0\nexit")
+                .unwrap()
+                .return_value,
             0x8877_6655_4433_2211
         );
         assert_eq!(
-            run_src("lddw r0, 0x1122334455667788\nle32 r0\nexit").unwrap().return_value,
+            run_src("lddw r0, 0x1122334455667788\nle32 r0\nexit")
+                .unwrap()
+                .return_value,
             0x5566_7788
         );
     }
@@ -625,7 +679,9 @@ mod tests {
     #[test]
     fn lddw_loads_full_64_bits() {
         assert_eq!(
-            run_src("lddw r0, 0xdeadbeefcafebabe\nexit").unwrap().return_value,
+            run_src("lddw r0, 0xdeadbeefcafebabe\nexit")
+                .unwrap()
+                .return_value,
             0xdead_beef_cafe_babe
         );
     }
@@ -652,10 +708,16 @@ exit";
     #[test]
     fn out_of_stack_access_faults() {
         let err = run_src("ldxdw r0, [r10+8]\nexit").unwrap_err();
-        assert!(matches!(err, VmError::InvalidMemoryAccess { write: false, .. }));
+        assert!(matches!(
+            err,
+            VmError::InvalidMemoryAccess { write: false, .. }
+        ));
         // r10 points one past the stack; stores above it fault too.
         let err = run_src("stxdw [r10+0], r1\nexit").unwrap_err();
-        assert!(matches!(err, VmError::InvalidMemoryAccess { write: true, .. }));
+        assert!(matches!(
+            err,
+            VmError::InvalidMemoryAccess { write: true, .. }
+        ));
     }
 
     #[test]
@@ -693,7 +755,9 @@ exit";
         mem.add_stack(512);
         let mut helpers = HelperRegistry::new();
         let cfg = ExecConfig::new(1_000_000, 100);
-        let err = Interpreter::new(&prog, cfg).run(&mut mem, &mut helpers, 0).unwrap_err();
+        let err = Interpreter::new(&prog, cfg)
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap_err();
         assert_eq!(err, VmError::BranchBudgetExceeded { budget: 100 });
     }
 
@@ -711,7 +775,9 @@ exit";
         mem.add_stack(512);
         let mut helpers = HelperRegistry::new();
         let cfg = ExecConfig::new(16, 16);
-        let err = Interpreter::new(&prog, cfg).run(&mut mem, &mut helpers, 0).unwrap_err();
+        let err = Interpreter::new(&prog, cfg)
+            .run(&mut mem, &mut helpers, 0)
+            .unwrap_err();
         assert_eq!(err, VmError::InstructionBudgetExceeded { budget: 16 });
     }
 
@@ -793,8 +859,7 @@ exit";
 
     #[test]
     fn lddwr_pointer_is_read_only() {
-        let text =
-            isa::encode_all(&assemble("lddwr r1, 0\nstxw [r1], r2\nexit").unwrap());
+        let text = isa::encode_all(&assemble("lddwr r1, 0\nstxw [r1], r2\nexit").unwrap());
         let prog = crate::verifier::verify(&text, &HashSet::new()).unwrap();
         let mut mem = MemoryMap::new();
         mem.add_stack(512);
@@ -803,13 +868,16 @@ exit";
         let err = Interpreter::new(&prog, ExecConfig::default())
             .run(&mut mem, &mut helpers, 0)
             .unwrap_err();
-        assert!(matches!(err, VmError::InvalidMemoryAccess { write: true, .. }));
+        assert!(matches!(
+            err,
+            VmError::InvalidMemoryAccess { write: true, .. }
+        ));
     }
 
     #[test]
     fn op_counts_reflect_execution() {
-        let out = run_src("mov r0, 2\nmul r0, 3\nstxdw [r10-8], r0\nldxdw r0, [r10-8]\nexit")
-            .unwrap();
+        let out =
+            run_src("mov r0, 2\nmul r0, 3\nstxdw [r10-8], r0\nldxdw r0, [r10-8]\nexit").unwrap();
         assert_eq!(out.counts.alu64, 1);
         assert_eq!(out.counts.mul, 1);
         assert_eq!(out.counts.load, 1);
@@ -860,7 +928,12 @@ exit";
         // programs unverified: the interpreter must return a VM fault,
         // never panic the host.
         use crate::isa::Insn;
-        for op in [isa::DIV64_IMM, isa::MOD64_IMM, isa::DIV32_IMM, isa::MOD32_IMM] {
+        for op in [
+            isa::DIV64_IMM,
+            isa::MOD64_IMM,
+            isa::DIV32_IMM,
+            isa::MOD32_IMM,
+        ] {
             let prog = crate::verifier::VerifiedProgram::unverified_for_tests(vec![
                 Insn::new(isa::MOV64_IMM, 0, 0, 0, 7),
                 Insn::new(op, 0, 0, 0, 0),
@@ -885,7 +958,13 @@ exit";
         mem.add_stack(512);
         let mut helpers = HelperRegistry::new();
         let interp = Interpreter::new(&prog, ExecConfig::default());
-        assert_eq!(interp.run_from(&mut mem, &mut helpers, 0, 2).unwrap().return_value, 2);
+        assert_eq!(
+            interp
+                .run_from(&mut mem, &mut helpers, 0, 2)
+                .unwrap()
+                .return_value,
+            2
+        );
         assert!(matches!(
             interp.run_from(&mut mem, &mut helpers, 0, 99),
             Err(VmError::PcOutOfBounds { pc: 99 })

@@ -299,7 +299,13 @@ impl Insn {
     /// assert_eq!(insn.imm, 42);
     /// ```
     pub fn new(opcode: u8, dst: u8, src: u8, off: i16, imm: i32) -> Self {
-        Insn { opcode, dst, src, off, imm }
+        Insn {
+            opcode,
+            dst,
+            src,
+            off,
+            imm,
+        }
     }
 
     /// Instruction class (low three bits of the opcode).

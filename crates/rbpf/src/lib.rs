@@ -45,8 +45,20 @@
 //! rebuild on structural change, contents free to mutate) are documented
 //! in the [`mem`] module docs; hosting engines that reuse maps across
 //! events must only grow regions with `add_*` or shed them with
-//! [`mem::MemoryMap::truncate_regions`], never mutate bases or
+//! [`mem::MemoryMap::truncate_regions`] /
+//! [`mem::MemoryMap::recycle_regions`], never mutate bases or
 //! permissions in place.
+//!
+//! ## The `Send` boundary
+//!
+//! Everything a concurrent hosting runtime needs to move a container
+//! onto a worker thread is `Send`: [`DecodedProgram`] and
+//! [`VerifiedProgram`] are plain data, [`mem::MemoryMap`] keeps only a
+//! thread-local `Cell` cache (it is deliberately **not** `Sync` — each
+//! worker owns its maps outright), and [`helpers::HelperRegistry`]
+//! requires `Send` closures, so host state captured by helpers must be
+//! shared through `Arc` + locks/atomics. The compile-time assertions
+//! live at the bottom of this file.
 //!
 //! ## Pipeline example
 //!
@@ -102,3 +114,16 @@ pub use isa::Insn;
 pub use program::FcProgram;
 pub use verifier::{verify, VerifiedProgram, VerifierError};
 pub use vm::{ExecConfig, Execution, OpCounts};
+
+// The `Send` boundary, enforced at compile time: a container's whole
+// execution state (program, decoded stream, memory map, helper
+// registry) can migrate to a worker thread.
+const fn _assert_send<T: Send>() {}
+const _: () = {
+    _assert_send::<DecodedProgram>();
+    _assert_send::<VerifiedProgram>();
+    _assert_send::<FcProgram>();
+    _assert_send::<mem::MemoryMap>();
+    _assert_send::<helpers::HelperRegistry<'static>>();
+    _assert_send::<FastInterpreter<'static>>();
+};

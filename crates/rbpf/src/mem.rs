@@ -62,11 +62,20 @@ pub struct Perm {
 
 impl Perm {
     /// Read-only access.
-    pub const RO: Perm = Perm { read: true, write: false };
+    pub const RO: Perm = Perm {
+        read: true,
+        write: false,
+    };
     /// Write-only access (rare; kept for completeness).
-    pub const WO: Perm = Perm { read: false, write: true };
+    pub const WO: Perm = Perm {
+        read: false,
+        write: true,
+    };
     /// Read-write access.
-    pub const RW: Perm = Perm { read: true, write: true };
+    pub const RW: Perm = Perm {
+        read: true,
+        write: true,
+    };
 
     /// Returns whether reads are permitted.
     pub fn can_read(self) -> bool {
@@ -174,7 +183,13 @@ impl MemoryMap {
     /// Adds a zero-initialised stack region of `len` bytes at the standard
     /// stack base and returns its id.
     pub fn add_stack(&mut self, len: usize) -> RegionId {
-        self.add_tagged_region_at("stack", RegionTag::Stack, STACK_VADDR, vec![0; len], Perm::RW)
+        self.add_tagged_region_at(
+            "stack",
+            RegionTag::Stack,
+            STACK_VADDR,
+            vec![0; len],
+            Perm::RW,
+        )
     }
 
     /// Adds the event-context region at the standard context base.
@@ -243,7 +258,13 @@ impl MemoryMap {
         if self.stack_top == 0 && (tag == RegionTag::Stack || name == "stack") {
             self.stack_top = vaddr + len;
         }
-        self.regions.push(Region { name: name.to_owned(), tag, vaddr, perm, data });
+        self.regions.push(Region {
+            name: name.to_owned(),
+            tag,
+            vaddr,
+            perm,
+            data,
+        });
         self.rebuild_index();
         RegionId(self.regions.len() - 1)
     }
@@ -257,7 +278,34 @@ impl MemoryMap {
             return;
         }
         self.regions.truncate(keep);
-        if !self.regions.iter().any(|r| r.tag == RegionTag::Stack || r.name == "stack") {
+        self.after_truncate();
+    }
+
+    /// Like [`MemoryMap::truncate_regions`], but hands each dropped
+    /// region's buffer (cleared, capacity retained) back through `pool`
+    /// so the next event's context / host-grant regions can reuse the
+    /// allocations — the per-event region path of the engine's
+    /// execution arena allocates nothing in steady state.
+    pub fn recycle_regions(&mut self, keep: usize, pool: &mut Vec<Vec<u8>>) {
+        if keep >= self.regions.len() {
+            return;
+        }
+        for region in self.regions.drain(keep..) {
+            let mut data = region.data;
+            data.clear();
+            pool.push(data);
+        }
+        self.after_truncate();
+    }
+
+    /// Shared fixups after dropping tail regions: cached stack top, the
+    /// host vaddr allocator, and the lookup index.
+    fn after_truncate(&mut self) {
+        if !self
+            .regions
+            .iter()
+            .any(|r| r.tag == RegionTag::Stack || r.name == "stack")
+        {
             self.stack_top = 0;
         }
         self.next_host_vaddr = self
@@ -280,7 +328,8 @@ impl MemoryMap {
                 .filter(|(_, r)| !r.data.is_empty())
                 .map(|(i, _)| i as u32),
         );
-        self.order.sort_unstable_by_key(|&i| self.regions[i as usize].vaddr);
+        self.order
+            .sort_unstable_by_key(|&i| self.regions[i as usize].vaddr);
         self.last_hit.set(NO_HIT);
     }
 
@@ -317,7 +366,10 @@ impl MemoryMap {
 
     /// Finds a region by name (first match).
     pub fn find_region(&self, name: &str) -> Option<RegionId> {
-        self.regions.iter().position(|r| r.name == name).map(RegionId)
+        self.regions
+            .iter()
+            .position(|r| r.name == name)
+            .map(RegionId)
     }
 
     /// Virtual address one past the end of the stack region, which seeds
@@ -465,7 +517,11 @@ impl MemoryMap {
             }
             out.push(b);
         }
-        Err(VmError::InvalidMemoryAccess { addr, len: max_len, write: false })
+        Err(VmError::InvalidMemoryAccess {
+            addr,
+            len: max_len,
+            write: false,
+        })
     }
 }
 
@@ -482,7 +538,12 @@ mod tests {
     #[test]
     fn load_store_round_trip_all_widths() {
         let (mut m, _) = map_with_stack();
-        for (len, val) in [(1usize, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, u64::MAX - 3)] {
+        for (len, val) in [
+            (1usize, 0xabu64),
+            (2, 0xbeef),
+            (4, 0xdead_beef),
+            (8, u64::MAX - 3),
+        ] {
             m.store(STACK_VADDR, len, val).unwrap();
             assert_eq!(m.load(STACK_VADDR, len).unwrap(), val);
         }
@@ -499,7 +560,10 @@ mod tests {
     fn out_of_region_access_is_rejected() {
         let (mut m, _) = map_with_stack();
         let err = m.load(STACK_VADDR + STACK_SIZE as u64, 1).unwrap_err();
-        assert!(matches!(err, VmError::InvalidMemoryAccess { write: false, .. }));
+        assert!(matches!(
+            err,
+            VmError::InvalidMemoryAccess { write: false, .. }
+        ));
     }
 
     #[test]
@@ -515,7 +579,10 @@ mod tests {
         m.add_rodata(vec![1, 2, 3, 4]);
         assert!(m.load(RODATA_VADDR, 4).is_ok());
         let err = m.store(RODATA_VADDR, 4, 0).unwrap_err();
-        assert!(matches!(err, VmError::InvalidMemoryAccess { write: true, .. }));
+        assert!(matches!(
+            err,
+            VmError::InvalidMemoryAccess { write: true, .. }
+        ));
     }
 
     #[test]
@@ -588,7 +655,11 @@ mod tests {
         m.load(STACK_VADDR, 8).unwrap();
         let scanned = m.entries_scanned();
         m.load(STACK_VADDR + 8, 8).unwrap();
-        assert_eq!(m.entries_scanned(), scanned + 1, "cache hit probes one region");
+        assert_eq!(
+            m.entries_scanned(),
+            scanned + 1,
+            "cache hit probes one region"
+        );
         // Switching regions falls back to binary search, then re-primes.
         m.load(RODATA_VADDR, 4).unwrap();
         let scanned = m.entries_scanned();
@@ -625,6 +696,28 @@ mod tests {
         assert_eq!(m.region_by_tag(RegionTag::Rodata), Some(r));
         assert_eq!(m.region_by_tag(RegionTag::Host), Some(h));
         assert_eq!(m.stack_top(), STACK_VADDR + 128);
+    }
+
+    #[test]
+    fn recycle_returns_cleared_buffers_to_the_pool() {
+        let mut m = MemoryMap::new();
+        m.add_stack(64);
+        let skeleton = m.region_count();
+        m.add_ctx(vec![7; 16], Perm::RW);
+        m.add_host_region("pkt", vec![9; 32], Perm::RO);
+        let mut pool = Vec::new();
+        m.recycle_regions(skeleton, &mut pool);
+        assert_eq!(m.region_count(), skeleton);
+        assert_eq!(pool.len(), 2);
+        assert!(
+            pool.iter().all(|b| b.is_empty()),
+            "buffers come back cleared"
+        );
+        assert!(pool.iter().any(|b| b.capacity() >= 32), "capacity retained");
+        // The map behaves exactly as after truncate_regions.
+        assert!(m.load(CTX_VADDR, 4).is_err());
+        let b = m.add_host_region("pkt2", vec![0; 16], Perm::RW);
+        assert_eq!(m.region_vaddr(b), HOST_VADDR_BASE);
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl FcProgram {
     /// verifier's job.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ParseError> {
         if bytes.len() < HEADER_SIZE {
-            return Err(ParseError::Truncated { needed: HEADER_SIZE, got: bytes.len() });
+            return Err(ParseError::Truncated {
+                needed: HEADER_SIZE,
+                got: bytes.len(),
+            });
         }
         let word = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
         if word(0) != MAGIC {
@@ -123,7 +126,10 @@ impl FcProgram {
         let section = |start: usize, len: usize| -> Result<Vec<u8>, ParseError> {
             let end = start + len;
             if end > bytes.len() {
-                return Err(ParseError::Truncated { needed: end, got: bytes.len() });
+                return Err(ParseError::Truncated {
+                    needed: end,
+                    got: bytes.len(),
+                });
             }
             Ok(bytes[start..end].to_vec())
         };
@@ -134,7 +140,10 @@ impl FcProgram {
         let mut symbols = Vec::with_capacity(n_syms);
         for _ in 0..n_syms {
             if cursor + 2 > bytes.len() {
-                return Err(ParseError::Truncated { needed: cursor + 2, got: bytes.len() });
+                return Err(ParseError::Truncated {
+                    needed: cursor + 2,
+                    got: bytes.len(),
+                });
             }
             let name_len = u16::from_le_bytes([bytes[cursor], bytes[cursor + 1]]) as usize;
             cursor += 2;
@@ -146,12 +155,16 @@ impl FcProgram {
             }
             let name = String::from_utf8_lossy(&bytes[cursor..cursor + name_len]).into_owned();
             cursor += name_len;
-            let off =
-                u32::from_le_bytes(bytes[cursor..cursor + 4].try_into().expect("4 bytes"));
+            let off = u32::from_le_bytes(bytes[cursor..cursor + 4].try_into().expect("4 bytes"));
             cursor += 4;
             symbols.push((name, off));
         }
-        Ok(FcProgram { data, rodata, text, symbols })
+        Ok(FcProgram {
+            data,
+            rodata,
+            text,
+            symbols,
+        })
     }
 }
 
@@ -272,7 +285,8 @@ impl ProgramBuilder {
 
     /// Records a named entry point at the current text position.
     pub fn symbol(mut self, name: &str) -> Self {
-        self.symbols.push((name.to_owned(), self.insns.len() as u32));
+        self.symbols
+            .push((name.to_owned(), self.insns.len() as u32));
         self
     }
 
@@ -296,7 +310,10 @@ mod tests {
         FcProgram {
             data: vec![1, 2, 3],
             rodata: b"hi\0".to_vec(),
-            text: isa::encode_all(&[Insn::new(MOV64_IMM, 0, 0, 0, 1), Insn::new(EXIT, 0, 0, 0, 0)]),
+            text: isa::encode_all(&[
+                Insn::new(MOV64_IMM, 0, 0, 0, 1),
+                Insn::new(EXIT, 0, 0, 0, 0),
+            ]),
             symbols: vec![("entry".into(), 0)],
         }
     }
@@ -318,7 +335,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = sample().to_bytes();
         bytes[0] ^= 0xff;
-        assert!(matches!(FcProgram::from_bytes(&bytes), Err(ParseError::BadMagic { .. })));
+        assert!(matches!(
+            FcProgram::from_bytes(&bytes),
+            Err(ParseError::BadMagic { .. })
+        ));
     }
 
     #[test]

@@ -269,8 +269,8 @@ pub fn verify(
     if text.is_empty() {
         return Err(VerifierError::EmptyText);
     }
-    let insns = crate::isa::decode_all(text)
-        .ok_or(VerifierError::UnalignedText { len: text.len() })?;
+    let insns =
+        crate::isa::decode_all(text).ok_or(VerifierError::UnalignedText { len: text.len() })?;
     let n = insns.len();
 
     // First sweep: find the second slots of wide instructions; jumps must
@@ -298,7 +298,10 @@ pub fn verify(
             continue;
         }
         if !opcode_is_known(insn.opcode) {
-            return Err(VerifierError::UnknownOpcode { pc, opcode: insn.opcode });
+            return Err(VerifierError::UnknownOpcode {
+                pc,
+                opcode: insn.opcode,
+            });
         }
         if insn.dst as usize >= REG_COUNT {
             return Err(VerifierError::RegisterOutOfBounds { pc, reg: insn.dst });
@@ -359,9 +362,7 @@ pub fn verify(
             EXIT => insn.dst != 0 || insn.src != 0 || insn.off != 0 || insn.imm != 0,
             op if op & 0x07 == CLS_ALU || op & 0x07 == CLS_ALU64 => {
                 let reg_form = op & SRC_IMM_MASK != 0;
-                insn.off != 0
-                    || (reg_form && insn.imm != 0)
-                    || (!reg_form && insn.src != 0)
+                insn.off != 0 || (reg_form && insn.imm != 0) || (!reg_form && insn.src != 0)
             }
             op if op & 0x07 == CLS_JMP => {
                 let reg_form = op & SRC_IMM_MASK != 0;
@@ -377,14 +378,21 @@ pub fn verify(
     // Control flow must not run off the end: the final decodable
     // instruction must be terminal (`exit`) or an unconditional
     // backwards/terminal jump.
-    let last_pc = if n >= 2 && is_wide_tail[n - 1] { n - 2 } else { n - 1 };
+    let last_pc = if n >= 2 && is_wide_tail[n - 1] {
+        n - 2
+    } else {
+        n - 1
+    };
     let last = &insns[last_pc];
     let terminal = last.opcode == EXIT || last.opcode == JA;
     if !terminal {
         return Err(VerifierError::FallsOffEnd);
     }
 
-    Ok(VerifiedProgram { insns, branch_count: count_branches(text) })
+    Ok(VerifiedProgram {
+        insns,
+        branch_count: count_branches(text),
+    })
 }
 
 fn count_branches(text: &[u8]) -> u32 {
@@ -431,7 +439,10 @@ impl VerifiedProgram {
     #[cfg(test)]
     pub(crate) fn unverified_for_tests(insns: Vec<Insn>) -> Self {
         let branch_count = insns.iter().filter(|i| i.is_branch()).count() as u32;
-        VerifiedProgram { insns, branch_count }
+        VerifiedProgram {
+            insns,
+            branch_count,
+        }
     }
 }
 
@@ -475,7 +486,10 @@ mod tests {
         text[0] = 0xfe;
         assert!(matches!(
             verify(&text, &HashSet::new()),
-            Err(VerifierError::UnknownOpcode { pc: 0, opcode: 0xfe })
+            Err(VerifierError::UnknownOpcode {
+                pc: 0,
+                opcode: 0xfe
+            })
         ));
     }
 

@@ -32,7 +32,10 @@ impl Default for ExecConfig {
 impl ExecConfig {
     /// Creates a config with explicit budgets.
     pub fn new(max_instructions: u32, max_branches: u32) -> Self {
-        ExecConfig { max_instructions, max_branches }
+        ExecConfig {
+            max_instructions,
+            max_branches,
+        }
     }
 }
 

@@ -101,13 +101,19 @@ struct TimerEntry {
 #[derive(PartialEq, Eq)]
 enum TimerKind {
     WakeThread(ThreadId),
-    Event { listener: usize, period_cycles: Option<u64> },
+    Event {
+        listener: usize,
+        period_cycles: Option<u64>,
+    },
 }
 
 impl Ord for TimerEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap by (deadline, seq).
-        other.deadline.cmp(&self.deadline).then(other.seq.cmp(&self.seq))
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -186,7 +192,13 @@ impl Kernel {
 
     /// Spawns a thread. Lower `priority` numbers run first (RIOT
     /// convention). `stack_bytes` is accounted, not allocated.
-    pub fn spawn<F>(&mut self, name: &str, priority: u8, stack_bytes: usize, behavior: F) -> ThreadId
+    pub fn spawn<F>(
+        &mut self,
+        name: &str,
+        priority: u8,
+        stack_bytes: usize,
+        behavior: F,
+    ) -> ThreadId
     where
         F: FnMut(&mut KernelCtx<'_>) -> ThreadAction + 'static,
     {
@@ -242,7 +254,10 @@ impl Kernel {
         self.timers.push(TimerEntry {
             deadline,
             seq: self.timer_seq,
-            kind: TimerKind::Event { listener: idx, period_cycles },
+            kind: TimerKind::Event {
+                listener: idx,
+                period_cycles,
+            },
         });
     }
 
@@ -251,7 +266,11 @@ impl Kernel {
         if to >= self.threads.len() || self.threads[to].state == ThreadState::Zombie {
             return false;
         }
-        self.threads[to].mailbox.push_back(Msg { sender: from, kind, value });
+        self.threads[to].mailbox.push_back(Msg {
+            sender: from,
+            kind,
+            value,
+        });
         if self.threads[to].state == ThreadState::Blocked {
             self.make_ready(to);
         }
@@ -262,7 +281,13 @@ impl Kernel {
     /// activation count.
     pub fn thread_info(&self, id: ThreadId) -> Option<(&str, u8, ThreadState, usize, u64)> {
         self.threads.get(id).map(|t| {
-            (t.name.as_str(), t.priority, t.state, t.stack_bytes, t.activations)
+            (
+                t.name.as_str(),
+                t.priority,
+                t.state,
+                t.stack_bytes,
+                t.activations,
+            )
         })
     }
 
@@ -315,17 +340,26 @@ impl Kernel {
                     self.make_ready(tid);
                 }
             }
-            TimerKind::Event { listener, period_cycles } => {
+            TimerKind::Event {
+                listener,
+                period_cycles,
+            } => {
                 if let Some(period) = period_cycles {
                     self.timer_seq += 1;
                     self.timers.push(TimerEntry {
                         deadline: entry.deadline + period,
                         seq: self.timer_seq,
-                        kind: TimerKind::Event { listener, period_cycles },
+                        kind: TimerKind::Event {
+                            listener,
+                            period_cycles,
+                        },
                     });
                 }
                 if let Some(mut cb) = self.timer_listeners[listener].take() {
-                    let mut ctx = KernelCtx { kernel: self, current: None };
+                    let mut ctx = KernelCtx {
+                        kernel: self,
+                        current: None,
+                    };
                     cb(&mut ctx);
                     self.timer_listeners[listener] = Some(cb);
                 }
@@ -338,10 +372,16 @@ impl Kernel {
         if self.last_running != Some(id) {
             self.context_switches += 1;
             self.cycles += CONTEXT_SWITCH_CYCLES;
-            let ctx_info = SwitchContext { previous: self.last_running, next: id };
+            let ctx_info = SwitchContext {
+                previous: self.last_running,
+                next: id,
+            };
             let mut listeners = std::mem::take(&mut self.switch_listeners);
             for l in &mut listeners {
-                let mut ctx = KernelCtx { kernel: self, current: None };
+                let mut ctx = KernelCtx {
+                    kernel: self,
+                    current: None,
+                };
                 l(&mut ctx, ctx_info);
             }
             debug_assert!(self.switch_listeners.is_empty());
@@ -353,7 +393,10 @@ impl Kernel {
 
         let mut behavior = self.threads[id].behavior.take().expect("behavior present");
         let action = {
-            let mut ctx = KernelCtx { kernel: self, current: Some(id) };
+            let mut ctx = KernelCtx {
+                kernel: self,
+                current: Some(id),
+            };
             behavior(&mut ctx)
         };
         self.threads[id].behavior = Some(behavior);
@@ -578,8 +621,20 @@ mod tests {
         k.run_until_idle(1_000_000);
         let sw = switches.borrow();
         assert_eq!(sw.len(), 2);
-        assert_eq!(sw[0], SwitchContext { previous: None, next: a });
-        assert_eq!(sw[1], SwitchContext { previous: Some(a), next: b });
+        assert_eq!(
+            sw[0],
+            SwitchContext {
+                previous: None,
+                next: a
+            }
+        );
+        assert_eq!(
+            sw[1],
+            SwitchContext {
+                previous: Some(a),
+                next: b
+            }
+        );
     }
 
     #[test]

@@ -225,15 +225,27 @@ pub fn cycle_model(platform: Platform, engine: Engine) -> CycleModel {
     // call-heavy paths cheap; the GD32V RISC-V core runs this integer
     // workload in the fewest cycles (paper Table 4 and Figure 9).
     let pf = match platform {
-        Platform::CortexM4 => {
-            PlatformFactors { dispatch: 1.0, alu: 1.0, mem: 1.0, branch: 1.0, call: 1.0 }
-        }
-        Platform::Esp32 => {
-            PlatformFactors { dispatch: 1.18, alu: 1.05, mem: 1.25, branch: 1.1, call: 0.55 }
-        }
-        Platform::RiscV => {
-            PlatformFactors { dispatch: 0.62, alu: 0.85, mem: 0.6, branch: 0.7, call: 0.45 }
-        }
+        Platform::CortexM4 => PlatformFactors {
+            dispatch: 1.0,
+            alu: 1.0,
+            mem: 1.0,
+            branch: 1.0,
+            call: 1.0,
+        },
+        Platform::Esp32 => PlatformFactors {
+            dispatch: 1.18,
+            alu: 1.05,
+            mem: 1.25,
+            branch: 1.1,
+            call: 0.55,
+        },
+        Platform::RiscV => PlatformFactors {
+            dispatch: 0.62,
+            alu: 0.85,
+            mem: 0.6,
+            branch: 0.7,
+            call: 0.45,
+        },
     };
     let base = scale(CM4_FC, pf);
     match engine {
@@ -241,13 +253,22 @@ pub fn cycle_model(platform: Platform, engine: Engine) -> CycleModel {
         // rBPF lacks the FC extensions (no lddwd/lddwr resolution, one
         // fewer indirection in the helper table): marginally cheaper
         // dispatch, no other difference.
-        Engine::Rbpf => CycleModel { dispatch: base.dispatch.saturating_sub(1), ..base },
+        Engine::Rbpf => CycleModel {
+            dispatch: base.dispatch.saturating_sub(1),
+            ..base
+        },
         // CertFC re-validates registers, targets and arithmetic at every
         // step (paper §10.1: "performance of the formally verified CertFC
         // is lagging behind").
         Engine::CertFc => scale(
             base,
-            PlatformFactors { dispatch: 1.8, alu: 1.5, mem: 1.45, branch: 1.7, call: 1.25 },
+            PlatformFactors {
+                dispatch: 1.8,
+                alu: 1.5,
+                mem: 1.45,
+                branch: 1.7,
+                call: 1.25,
+            },
         ),
     }
 }
@@ -293,7 +314,10 @@ mod tests {
             let fc = cycle_model(p, Engine::FemtoContainer);
             let cert = cycle_model(p, Engine::CertFc);
             for class in fc_rbpf::vm::ALL_OP_CLASSES {
-                assert!(cert.op_cycles(class) > fc.op_cycles(class), "{p:?}/{class:?}");
+                assert!(
+                    cert.op_cycles(class) > fc.op_cycles(class),
+                    "{p:?}/{class:?}"
+                );
             }
         }
     }

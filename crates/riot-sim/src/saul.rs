@@ -59,7 +59,9 @@ pub struct Phydat {
     pub scale: i8,
 }
 
-type Driver = Box<dyn FnMut() -> Phydat>;
+/// Drivers are `Send` so the registry can sit behind a lock shared by
+/// the concurrent hosting runtime's worker threads.
+type Driver = Box<dyn FnMut() -> Phydat + Send>;
 
 struct Device {
     name: String,
@@ -86,13 +88,15 @@ pub struct SaulRegistry {
 impl SaulRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
-        SaulRegistry { devices: Vec::new() }
+        SaulRegistry {
+            devices: Vec::new(),
+        }
     }
 
     /// Registers a device driver, returning its registry index.
     pub fn register<F>(&mut self, name: &str, class: DeviceClass, driver: F) -> usize
     where
-        F: FnMut() -> Phydat + 'static,
+        F: FnMut() -> Phydat + Send + 'static,
     {
         self.devices.push(Device {
             name: name.to_owned(),
@@ -139,7 +143,9 @@ impl SaulRegistry {
 impl fmt::Debug for SaulRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let names: Vec<_> = self.devices.iter().map(|d| d.name.as_str()).collect();
-        f.debug_struct("SaulRegistry").field("devices", &names).finish()
+        f.debug_struct("SaulRegistry")
+            .field("devices", &names)
+            .finish()
     }
 }
 
@@ -151,13 +157,18 @@ pub fn synthetic_temperature(seed: u64) -> impl FnMut() -> Phydat {
     let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
     let mut t: i64 = 0;
     move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let jitter = ((state >> 33) % 21) as i64 - 10; // ±0.10 °C
         t += 1;
         let phase = t % 200;
         let tri = if phase < 100 { phase } else { 200 - phase }; // 0..100
         let centi_c = 2000 + tri * 5 + jitter; // 20.00 .. 25.00 °C
-        Phydat { value: centi_c as i32, scale: -2 }
+        Phydat {
+            value: centi_c as i32,
+            scale: -2,
+        }
     }
 }
 
@@ -168,18 +179,36 @@ mod tests {
     #[test]
     fn register_find_read() {
         let mut reg = SaulRegistry::new();
-        let idx = reg.register("hum0", DeviceClass::SenseHum, || Phydat { value: 55, scale: 0 });
+        let idx = reg.register("hum0", DeviceClass::SenseHum, || Phydat {
+            value: 55,
+            scale: 0,
+        });
         assert_eq!(reg.find_nth(idx).unwrap(), ("hum0", DeviceClass::SenseHum));
-        assert_eq!(reg.read(idx).unwrap(), Phydat { value: 55, scale: 0 });
+        assert_eq!(
+            reg.read(idx).unwrap(),
+            Phydat {
+                value: 55,
+                scale: 0
+            }
+        );
         assert_eq!(reg.read_count(idx), Some(1));
     }
 
     #[test]
     fn find_class_picks_first() {
         let mut reg = SaulRegistry::new();
-        reg.register("led", DeviceClass::ActSwitch, || Phydat { value: 0, scale: 0 });
-        reg.register("t0", DeviceClass::SenseTemp, || Phydat { value: 1, scale: 0 });
-        reg.register("t1", DeviceClass::SenseTemp, || Phydat { value: 2, scale: 0 });
+        reg.register("led", DeviceClass::ActSwitch, || Phydat {
+            value: 0,
+            scale: 0,
+        });
+        reg.register("t0", DeviceClass::SenseTemp, || Phydat {
+            value: 1,
+            scale: 0,
+        });
+        reg.register("t1", DeviceClass::SenseTemp, || Phydat {
+            value: 2,
+            scale: 0,
+        });
         assert_eq!(reg.find_class(DeviceClass::SenseTemp), Some(1));
         assert_eq!(reg.find_class(DeviceClass::SenseLight), None);
     }

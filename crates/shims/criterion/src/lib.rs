@@ -152,7 +152,11 @@ impl Bencher {
         let mean = means.iter().sum::<f64>() / means.len() as f64;
         let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = means.iter().cloned().fold(0.0f64, f64::max);
-        self.result = Some(SampleStats { mean_ns: mean, min_ns: min, max_ns: max });
+        self.result = Some(SampleStats {
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+        });
     }
 }
 

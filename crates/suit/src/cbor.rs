@@ -74,7 +74,12 @@ impl Value {
     /// Convenience constructor for a map with integer keys (the SUIT
     /// manifest style).
     pub fn int_map<I: IntoIterator<Item = (i64, Value)>>(entries: I) -> Value {
-        Value::Map(entries.into_iter().map(|(k, v)| (Value::Int(k), v)).collect())
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (Value::Int(k), v))
+                .collect(),
+        )
     }
 
     /// Looks up an integer key in a map value.
@@ -176,7 +181,9 @@ impl Value {
         let mut pos = 0;
         let v = decode_item(bytes, &mut pos, 0)?;
         if pos != bytes.len() {
-            return Err(CborError::TrailingBytes { remaining: bytes.len() - pos });
+            return Err(CborError::TrailingBytes {
+                remaining: bytes.len() - pos,
+            });
         }
         Ok(v)
     }
@@ -254,7 +261,9 @@ fn decode_item(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, CborE
             if major == 2 {
                 Ok(Value::Bytes(raw))
             } else {
-                String::from_utf8(raw).map(Value::Text).map_err(|_| CborError::InvalidUtf8)
+                String::from_utf8(raw)
+                    .map(Value::Text)
+                    .map_err(|_| CborError::InvalidUtf8)
             }
         }
         4 => {
@@ -273,7 +282,10 @@ fn decode_item(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, CborE
             }
             Ok(Value::Map(entries))
         }
-        6 => Ok(Value::Tag(arg, Box::new(decode_item(bytes, pos, depth + 1)?))),
+        6 => Ok(Value::Tag(
+            arg,
+            Box::new(decode_item(bytes, pos, depth + 1)?),
+        )),
         _ => Err(CborError::Unsupported { initial }),
     }
 }
@@ -318,7 +330,10 @@ mod tests {
         assert_eq!(Value::Int(24).encode(), vec![0x18, 0x18]);
         assert_eq!(Value::Int(100).encode(), vec![0x18, 0x64]);
         assert_eq!(Value::Int(1000).encode(), vec![0x19, 0x03, 0xe8]);
-        assert_eq!(Value::Int(1_000_000).encode(), vec![0x1a, 0x00, 0x0f, 0x42, 0x40]);
+        assert_eq!(
+            Value::Int(1_000_000).encode(),
+            vec![0x1a, 0x00, 0x0f, 0x42, 0x40]
+        );
         assert_eq!(Value::Int(-1).encode(), vec![0x20]);
         assert_eq!(Value::Int(-10).encode(), vec![0x29]);
         assert_eq!(Value::Int(-100).encode(), vec![0x38, 0x63]);
@@ -328,8 +343,14 @@ mod tests {
     fn rfc8949_appendix_a_strings() {
         assert_eq!(Value::Text("".into()).encode(), vec![0x60]);
         assert_eq!(Value::Text("a".into()).encode(), vec![0x61, 0x61]);
-        assert_eq!(Value::Text("IETF".into()).encode(), vec![0x64, 0x49, 0x45, 0x54, 0x46]);
-        assert_eq!(Value::Bytes(vec![1, 2, 3, 4]).encode(), vec![0x44, 1, 2, 3, 4]);
+        assert_eq!(
+            Value::Text("IETF".into()).encode(),
+            vec![0x64, 0x49, 0x45, 0x54, 0x46]
+        );
+        assert_eq!(
+            Value::Bytes(vec![1, 2, 3, 4]).encode(),
+            vec![0x44, 1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -369,7 +390,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = Value::Int(1).encode();
         bytes.push(0x00);
-        assert_eq!(Value::decode(&bytes), Err(CborError::TrailingBytes { remaining: 1 }));
+        assert_eq!(
+            Value::decode(&bytes),
+            Err(CborError::TrailingBytes { remaining: 1 })
+        );
     }
 
     #[test]
@@ -392,7 +416,10 @@ mod tests {
     #[test]
     fn unsupported_forms_rejected() {
         // Indefinite-length array (0x9f) and float (0xf9).
-        assert!(matches!(Value::decode(&[0x9f]), Err(CborError::Unsupported { .. })));
+        assert!(matches!(
+            Value::decode(&[0x9f]),
+            Err(CborError::Unsupported { .. })
+        ));
         assert!(matches!(
             Value::decode(&[0xf9, 0x00, 0x00]),
             Err(CborError::Unsupported { .. })

@@ -106,8 +106,7 @@ impl CoseSign1 {
             Some(ALG_SIM_SCHNORR) => {}
             _ => return Err(CoseError::UnsupportedAlgorithm),
         }
-        let sig =
-            Signature::from_bytes(&self.signature).ok_or(CoseError::BadSignature)?;
+        let sig = Signature::from_bytes(&self.signature).ok_or(CoseError::BadSignature)?;
         if key.verify(&sig_structure(&self.protected, &self.payload), &sig) {
             Ok(())
         } else {
@@ -152,7 +151,12 @@ impl CoseSign1 {
             .to_vec();
         let payload = items[2].as_bytes().ok_or(CoseError::BadStructure)?.to_vec();
         let signature = items[3].as_bytes().ok_or(CoseError::BadStructure)?.to_vec();
-        Ok(CoseSign1 { protected, key_id, payload, signature })
+        Ok(CoseSign1 {
+            protected,
+            key_id,
+            payload,
+            signature,
+        })
     }
 }
 
@@ -182,7 +186,10 @@ mod tests {
     fn tampered_payload_rejected() {
         let mut envelope = CoseSign1::sign(b"payload", &key(), b"kid");
         envelope.payload[0] ^= 1;
-        assert_eq!(envelope.verify(&key().verifying_key()), Err(CoseError::BadSignature));
+        assert_eq!(
+            envelope.verify(&key().verifying_key()),
+            Err(CoseError::BadSignature)
+        );
     }
 
     #[test]
@@ -191,9 +198,11 @@ mod tests {
         // Re-encode the protected header with a different (still
         // supported) shape: append an entry.
         envelope.protected =
-            Value::int_map([(HDR_ALG, Value::Int(ALG_SIM_SCHNORR)), (99, Value::Int(1))])
-                .encode();
-        assert_eq!(envelope.verify(&key().verifying_key()), Err(CoseError::BadSignature));
+            Value::int_map([(HDR_ALG, Value::Int(ALG_SIM_SCHNORR)), (99, Value::Int(1))]).encode();
+        assert_eq!(
+            envelope.verify(&key().verifying_key()),
+            Err(CoseError::BadSignature)
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl Manifest {
         Value::int_map([
             (KEY_VERSION, Value::Int(MANIFEST_VERSION)),
             (KEY_SEQUENCE, Value::Int(self.sequence as i64)),
-            (KEY_COMPONENT, Value::Bytes(self.component.as_bytes().to_vec())),
+            (
+                KEY_COMPONENT,
+                Value::Bytes(self.component.as_bytes().to_vec()),
+            ),
             (KEY_DIGEST, Value::Bytes(self.digest.to_vec())),
             (KEY_SIZE, Value::Int(self.size as i64)),
             (KEY_URI, Value::Text(self.uri.clone())),
@@ -97,8 +100,9 @@ impl Manifest {
     /// [`ManifestError::MissingField`] / [`ManifestError::UnsupportedVersion`].
     pub fn from_cbor(v: &Value) -> Result<Self, ManifestError> {
         let get = |key: i64| v.map_get(key).ok_or(ManifestError::MissingField { key });
-        let version =
-            get(KEY_VERSION)?.as_int().ok_or(ManifestError::MissingField { key: KEY_VERSION })?;
+        let version = get(KEY_VERSION)?
+            .as_int()
+            .ok_or(ManifestError::MissingField { key: KEY_VERSION })?;
         if version != MANIFEST_VERSION {
             return Err(ManifestError::UnsupportedVersion { found: version });
         }
@@ -111,21 +115,27 @@ impl Manifest {
             .as_bytes()
             .and_then(Uuid::from_slice)
             .ok_or(ManifestError::MissingField { key: KEY_COMPONENT })?;
-        let digest_bytes =
-            get(KEY_DIGEST)?.as_bytes().ok_or(ManifestError::MissingField { key: KEY_DIGEST })?;
+        let digest_bytes = get(KEY_DIGEST)?
+            .as_bytes()
+            .ok_or(ManifestError::MissingField { key: KEY_DIGEST })?;
         let digest: [u8; 32] = digest_bytes
             .try_into()
             .map_err(|_| ManifestError::MissingField { key: KEY_DIGEST })?;
         let size = get(KEY_SIZE)?
             .as_int()
             .filter(|s| (0..=u32::MAX as i64).contains(s))
-            .ok_or(ManifestError::MissingField { key: KEY_SIZE })?
-            as u32;
+            .ok_or(ManifestError::MissingField { key: KEY_SIZE })? as u32;
         let uri = get(KEY_URI)?
             .as_text()
             .ok_or(ManifestError::MissingField { key: KEY_URI })?
             .to_owned();
-        Ok(Manifest { sequence, component, digest, size, uri })
+        Ok(Manifest {
+            sequence,
+            component,
+            digest,
+            size,
+            uri,
+        })
     }
 
     /// Signs this manifest into a transport-ready COSE_Sign1 envelope.
@@ -229,7 +239,10 @@ mod tests {
         if let Value::Map(entries) = &mut m {
             entries[0].1 = Value::Int(9);
         }
-        assert_eq!(Manifest::from_cbor(&m), Err(ManifestError::UnsupportedVersion { found: 9 }));
+        assert_eq!(
+            Manifest::from_cbor(&m),
+            Err(ManifestError::UnsupportedVersion { found: 9 })
+        );
     }
 
     #[test]

@@ -82,12 +82,16 @@ impl SigningKey {
     /// Derives a signing key from seed material (deterministic, so tests
     /// and examples reproduce; a real deployment would use an HSM/CSPRNG).
     pub fn from_seed(seed: &[u8]) -> Self {
-        SigningKey { sk: digest_to_scalar(&[b"fc-suit-sk", seed], Q) }
+        SigningKey {
+            sk: digest_to_scalar(&[b"fc-suit-sk", seed], Q),
+        }
     }
 
     /// The matching public key.
     pub fn verifying_key(&self) -> VerifyingKey {
-        VerifyingKey { pk: pow_mod(G, self.sk, P) }
+        VerifyingKey {
+            pk: pow_mod(G, self.sk, P),
+        }
     }
 
     /// Signs a message with a deterministic nonce.
@@ -173,8 +177,14 @@ mod tests {
         let pk = sk.verifying_key();
         let msg = b"msg";
         let sig = sk.sign(msg);
-        let bad_r = Signature { r: sig.r ^ 1, ..sig };
-        let bad_s = Signature { s: sig.s ^ 1, ..sig };
+        let bad_r = Signature {
+            r: sig.r ^ 1,
+            ..sig
+        };
+        let bad_s = Signature {
+            s: sig.s ^ 1,
+            ..sig
+        };
         assert!(!pk.verify(msg, &bad_r));
         assert!(!pk.verify(msg, &bad_s));
     }

@@ -57,7 +57,10 @@ impl std::fmt::Display for UpdateError {
             UpdateError::UnknownKeyId { key_id } => {
                 write!(f, "unknown signing key id {key_id:02x?}")
             }
-            UpdateError::Rollback { presented, installed } => write!(
+            UpdateError::Rollback {
+                presented,
+                installed,
+            } => write!(
                 f,
                 "rollback rejected: sequence {presented} not above installed {installed}"
             ),
@@ -155,10 +158,17 @@ impl UpdateManager {
                 return Err(e.into());
             }
         };
-        let installed = self.installed_seq.get(&manifest.component).copied().unwrap_or(0);
+        let installed = self
+            .installed_seq
+            .get(&manifest.component)
+            .copied()
+            .unwrap_or(0);
         if manifest.sequence <= installed {
             self.rejected += 1;
-            return Err(UpdateError::Rollback { presented: manifest.sequence, installed });
+            return Err(UpdateError::Rollback {
+                presented: manifest.sequence,
+                installed,
+            });
         }
         Ok(PendingUpdate { manifest, key_id })
     }
@@ -261,7 +271,10 @@ mod tests {
         // Same manifest again: rollback.
         assert!(matches!(
             mgr.begin(&env),
-            Err(UpdateError::Rollback { presented: 1, installed: 1 })
+            Err(UpdateError::Rollback {
+                presented: 1,
+                installed: 1
+            })
         ));
     }
 
@@ -273,14 +286,20 @@ mod tests {
         let pending = mgr.begin(&env5).unwrap();
         mgr.complete(pending, payload.clone()).unwrap();
         let env3 = manifest_for(&payload, 3).sign(&maintainer(), b"tenant-a");
-        assert!(matches!(mgr.begin(&env3), Err(UpdateError::Rollback { .. })));
+        assert!(matches!(
+            mgr.begin(&env3),
+            Err(UpdateError::Rollback { .. })
+        ));
     }
 
     #[test]
     fn unknown_key_id_rejected() {
         let mut mgr = manager();
         let env = manifest_for(b"app", 1).sign(&maintainer(), b"stranger");
-        assert!(matches!(mgr.begin(&env), Err(UpdateError::UnknownKeyId { .. })));
+        assert!(matches!(
+            mgr.begin(&env),
+            Err(UpdateError::UnknownKeyId { .. })
+        ));
         assert_eq!(mgr.rejected_count(), 1);
     }
 
@@ -316,7 +335,10 @@ mod tests {
         let pending = mgr.begin(&env).unwrap();
         assert!(matches!(
             mgr.complete(pending, b"123456".to_vec()),
-            Err(UpdateError::SizeMismatch { expected: 5, got: 6 })
+            Err(UpdateError::SizeMismatch {
+                expected: 5,
+                got: 6
+            })
         ));
     }
 
@@ -340,6 +362,9 @@ mod tests {
         let mut mgr = manager();
         assert!(mgr.revoke(b"tenant-a"));
         let env = manifest_for(b"app", 1).sign(&maintainer(), b"tenant-a");
-        assert!(matches!(mgr.begin(&env), Err(UpdateError::UnknownKeyId { .. })));
+        assert!(matches!(
+            mgr.begin(&env),
+            Err(UpdateError::UnknownKeyId { .. })
+        ));
     }
 }

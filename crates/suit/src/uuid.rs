@@ -119,7 +119,9 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         assert!("nope".parse::<Uuid>().is_err());
-        assert!("gg000000-0000-0000-0000-000000000000".parse::<Uuid>().is_err());
+        assert!("gg000000-0000-0000-0000-000000000000"
+            .parse::<Uuid>()
+            .is_err());
     }
 
     #[test]

@@ -35,8 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     engine
         .env()
-        .saul
-        .borrow_mut()
+        .saul()
+        .lock()
+        .unwrap()
         .register("temp0", DeviceClass::SenseTemp, {
             let mut drv = synthetic_temperature(42);
             move || drv()
@@ -70,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     engine.attach(formatter, coap_hook_id())?;
 
-    println!("3 containers, 2 tenants; engine RAM: {} B", engine.ram_bytes());
+    println!(
+        "3 containers, 2 tenants; engine RAM: {} B",
+        engine.ram_bytes()
+    );
 
     // Drive the device: 20 timer ticks interleaved with thread switches.
     for tick in 0..20u64 {
@@ -84,12 +88,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let avg = engine
         .env()
-        .stores
-        .borrow()
-        .tenant(TENANT_B)
+        .stores()
+        .tenant_snapshot(TENANT_B)
         .map(|s| s.fetch(apps::SENSOR_VALUE_KEY))
         .unwrap_or(0);
-    println!("tenant B moving average after 20 samples: {}.{:02} °C", avg / 100, avg % 100);
+    println!(
+        "tenant B moving average after 20 samples: {}.{:02} °C",
+        avg / 100,
+        avg % 100
+    );
 
     // A remote CoAP client asks for the value.
     let report = engine.fire_hook(
@@ -109,8 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Isolation check: tenant A sees none of tenant B's data.
-    let stores = engine.env().stores.borrow();
-    assert!(stores.tenant(TENANT_A).is_none());
+    assert!(engine.env().stores().tenant_snapshot(TENANT_A).is_none());
     println!("tenant A store untouched — isolation holds");
     Ok(())
 }

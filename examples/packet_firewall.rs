@@ -23,8 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Two tenants deploy filters for different ports on the same pad.
-    let f1 = engine.install("block-telnet", 1, &packet_filter(23).to_bytes(), ContractRequest::default())?;
-    let f2 = engine.install("block-coaps", 2, &packet_filter(5684).to_bytes(), ContractRequest::default())?;
+    let f1 = engine.install(
+        "block-telnet",
+        1,
+        &packet_filter(23).to_bytes(),
+        ContractRequest::default(),
+    )?;
+    let f2 = engine.install(
+        "block-coaps",
+        2,
+        &packet_filter(5684).to_bytes(),
+        ContractRequest::default(),
+    )?;
     engine.attach(f1, packet_hook_id())?;
     engine.attach(f2, packet_hook_id())?;
 
@@ -37,9 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let mut stats = (0u32, 0u32);
-    for (desc, port) in
-        [("mqtt", 1883u16), ("telnet", 23), ("coaps", 5684), ("http", 80), ("telnet again", 23)]
-    {
+    for (desc, port) in [
+        ("mqtt", 1883u16),
+        ("telnet", 23),
+        ("coaps", 5684),
+        ("http", 80),
+        ("telnet again", 23),
+    ] {
         let pkt = mk_packet(port, 48);
         let ctx = (pkt.len() as u32).to_le_bytes();
         let report =
@@ -85,7 +99,11 @@ exit";
         evil_report.result
     );
     assert!(evil_report.result.is_err());
-    assert_eq!(report.combined, Some(1), "honest filters still dropped the telnet packet");
+    assert_eq!(
+        report.combined,
+        Some(1),
+        "honest filters still dropped the telnet packet"
+    );
     println!("OS and honest tenants unaffected — fault isolation holds");
     Ok(())
 }

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     register_coap_endpoints(&mut server, service.clone(), engine.clone());
 
     // --- Network: 10 % loss, 2 ms latency, 512 B MTU ------------------
-    let mut link = LossyLink::new(LinkConfig { loss: 0.10, latency_us: 2_000, ..Default::default() });
+    let mut link = LossyLink::new(LinkConfig {
+        loss: 0.10,
+        latency_us: 2_000,
+        ..Default::default()
+    });
     let device = Addr::new(2, 5683);
     let mut client = CoapClient::new(Addr::new(1, 40000));
     let mut now_us = 0u64;
@@ -72,8 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut manifest_req = Message::request(Code::Post, 0, &[]);
     manifest_req.set_path("suit/manifest");
     manifest_req.payload = envelope.clone();
-    let outcome =
-        client.exchange(&mut link, device, manifest_req, &mut now_us, |r| server.dispatch(r))?;
+    let outcome = client.exchange(&mut link, device, manifest_req, &mut now_us, |r| {
+        server.dispatch(r)
+    })?;
     match outcome {
         ExchangeOutcome::Response(resp) => {
             println!("manifest accepted: {:?}", resp.code);
@@ -90,7 +95,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     replay.set_path("suit/manifest");
     replay.payload = envelope;
     if let ExchangeOutcome::Response(resp) =
-        client.exchange(&mut link, device, replay, &mut now_us, |r| server.dispatch(r))?
+        client.exchange(&mut link, device, replay, &mut now_us, |r| {
+            server.dispatch(r)
+        })?
     {
         println!("replayed manifest: {:?} (rejected)", resp.code);
         assert!(!resp.code.is_success());
@@ -102,12 +109,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     forge_req.set_path("suit/manifest");
     forge_req.payload = forged;
     if let ExchangeOutcome::Response(resp) =
-        client.exchange(&mut link, device, forge_req, &mut now_us, |r| server.dispatch(r))?
+        client.exchange(&mut link, device, forge_req, &mut now_us, |r| {
+            server.dispatch(r)
+        })?
     {
         println!("forged manifest:   {:?} (rejected)", resp.code);
         assert_eq!(resp.code, Code::Unauthorized);
     }
-    assert_eq!(engine.borrow().container_count(), 1, "attacks changed nothing");
+    assert_eq!(
+        engine.borrow().container_count(),
+        1,
+        "attacks changed nothing"
+    );
     println!(
         "device state intact: {} accepted / {} rejected updates",
         service.borrow().accepted_count(),

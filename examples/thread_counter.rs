@@ -56,13 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // External code reads the counters back (paper: "External code can
     // request these counters and provide debug feedback").
-    println!("kernel performed {} thread switches", kernel.context_switches());
+    println!(
+        "kernel performed {} thread switches",
+        kernel.context_switches()
+    );
     let engine = engine.borrow();
-    let stores = engine.env().stores.borrow();
+    let global = engine.env().stores().global_snapshot();
     let mut total = 0;
     for tid in 0..kernel.thread_count() {
         let (name, prio, ..) = kernel.thread_info(tid).expect("thread exists");
-        let count = stores.global().fetch(tid as u32 + 1);
+        let count = global.fetch(tid as u32 + 1);
         total += count;
         println!("  thread {name:<8} prio {prio}: {count} activations counted");
     }

@@ -16,7 +16,9 @@
 //! * [`baselines`] — the §6 candidate runtimes (native, WASM,
 //!   MicroPython-like, RIOTjs-like);
 //! * [`core`] — the hosting engine, hooks, contracts, applications and
-//!   deployment.
+//!   deployment;
+//! * [`host`] — the concurrent multi-tenant hosting runtime: sharded
+//!   engines, per-hook event queues, fair scheduling, CoAP front-end.
 //!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! binaries regenerating every table and figure of the paper.
@@ -25,6 +27,7 @@
 
 pub use fc_baselines as baselines;
 pub use fc_core as core;
+pub use fc_host as host;
 pub use fc_kvstore as kvstore;
 pub use fc_net as net;
 pub use fc_rbpf as rbpf;

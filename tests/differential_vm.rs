@@ -48,15 +48,14 @@ impl XorShift {
 const OPCODES: &[u8] = {
     use isa::*;
     &[
-        ADD64_IMM, ADD64_REG, SUB64_IMM, SUB64_REG, MUL64_IMM, MUL64_REG, DIV64_IMM,
-        DIV64_REG, MOD64_IMM, MOD64_REG, OR64_REG, AND64_IMM, LSH64_IMM, LSH64_REG,
-        RSH64_REG, ARSH64_IMM, ARSH64_REG, NEG64, XOR64_IMM, XOR64_REG, MOV64_IMM,
-        MOV64_REG, ADD32_IMM, ADD32_REG, SUB32_REG, MUL32_REG, MUL32_IMM, DIV32_IMM,
-        DIV32_REG, MOD32_IMM, MOD32_REG, RSH32_IMM, LSH32_REG, MOV32_IMM, MOV32_REG,
-        ARSH32_REG, ARSH32_IMM, NEG32, XOR32_IMM, LE, BE, LDDW, LDDWD_IMM, LDDWR_IMM,
-        LDXW, LDXH, LDXDW, LDXB, STW, STH, STB, STDW, STXW, STXDW, STXB, JA, JEQ_IMM,
-        JEQ_REG, JGT_IMM, JGT_REG, JGE_IMM, JLT_REG, JLE_IMM, JSET_IMM, JSET_REG,
-        JNE_IMM, JNE_REG, JSGT_IMM, JSGE_REG, JSLT_IMM, JSLE_REG, EXIT,
+        ADD64_IMM, ADD64_REG, SUB64_IMM, SUB64_REG, MUL64_IMM, MUL64_REG, DIV64_IMM, DIV64_REG,
+        MOD64_IMM, MOD64_REG, OR64_REG, AND64_IMM, LSH64_IMM, LSH64_REG, RSH64_REG, ARSH64_IMM,
+        ARSH64_REG, NEG64, XOR64_IMM, XOR64_REG, MOV64_IMM, MOV64_REG, ADD32_IMM, ADD32_REG,
+        SUB32_REG, MUL32_REG, MUL32_IMM, DIV32_IMM, DIV32_REG, MOD32_IMM, MOD32_REG, RSH32_IMM,
+        LSH32_REG, MOV32_IMM, MOV32_REG, ARSH32_REG, ARSH32_IMM, NEG32, XOR32_IMM, LE, BE, LDDW,
+        LDDWD_IMM, LDDWR_IMM, LDXW, LDXH, LDXDW, LDXB, STW, STH, STB, STDW, STXW, STXDW, STXB, JA,
+        JEQ_IMM, JEQ_REG, JGT_IMM, JGT_REG, JGE_IMM, JLT_REG, JLE_IMM, JSET_IMM, JSET_REG, JNE_IMM,
+        JNE_REG, JSGT_IMM, JSGE_REG, JSLT_IMM, JSLE_REG, EXIT,
     ]
 };
 
@@ -136,7 +135,11 @@ fn arb_program(rng: &mut XorShift) -> Vec<isa::Insn> {
     let mut insns = Vec::with_capacity(len + 2);
     for _ in 0..len {
         let insn = arb_insn(rng);
-        let reps = if rng.below(4) == 0 { 1 + rng.below(6) } else { 1 };
+        let reps = if rng.below(4) == 0 {
+            1 + rng.below(6)
+        } else {
+            1
+        };
         for _ in 0..reps {
             insns.push(insn);
             if insn.is_wide() {
@@ -184,7 +187,10 @@ fn engines_agree_on_seeded_random_programs() {
     // Keep drawing seeds until ≥1000 generated programs verified; the
     // acceptance floor for the differential corpus.
     while verified < 1_000 {
-        assert!(seed < 200_000, "generator stopped producing verified programs");
+        assert!(
+            seed < 200_000,
+            "generator stopped producing verified programs"
+        );
         let mut rng = XorShift::new(seed);
         seed += 1;
         let insns = arb_program(&mut rng);
@@ -287,16 +293,27 @@ fn allowlist_is_sound() {
         let addr = if rng.below(2) == 0 {
             rng.below(0x1_0000_0000)
         } else {
-            let base = [0x1000_0000u64, 0x1000_0000 + 512, 0x2000_0000, 0x2000_0000 + 64]
-                [rng.below(4) as usize];
+            let base = [
+                0x1000_0000u64,
+                0x1000_0000 + 512,
+                0x2000_0000,
+                0x2000_0000 + 64,
+            ][rng.below(4) as usize];
             base.wrapping_add(rng.below(32)).wrapping_sub(16)
         };
         let len = [1usize, 2, 4, 8][rng.below(4) as usize];
         let in_stack = addr >= 0x1000_0000 && addr + len as u64 <= 0x1000_0000 + 512;
         let in_ctx = addr >= 0x2000_0000 && addr + len as u64 <= 0x2000_0000 + 64;
         let read_ok = mem.load(addr, len).is_ok();
-        assert_eq!(read_ok, in_stack || in_ctx, "read at 0x{addr:08x} len {len}");
+        assert_eq!(
+            read_ok,
+            in_stack || in_ctx,
+            "read at 0x{addr:08x} len {len}"
+        );
         let write_ok = mem.store(addr, len, 0).is_ok();
-        assert_eq!(write_ok, in_stack, "ctx is read-only (0x{addr:08x} len {len})");
+        assert_eq!(
+            write_ok, in_stack,
+            "ctx is read-only (0x{addr:08x} len {len})"
+        );
     }
 }

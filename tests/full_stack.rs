@@ -37,10 +37,14 @@ fn device_engine(platform: Platform) -> HostingEngine {
             ContractOffer::helpers(standard_helper_ids()),
         );
     }
-    e.env().saul.borrow_mut().register("temp0", DeviceClass::SenseTemp, {
-        let mut drv = synthetic_temperature(7);
-        move || drv()
-    });
+    e.env()
+        .saul()
+        .lock()
+        .unwrap()
+        .register("temp0", DeviceClass::SenseTemp, {
+            let mut drv = synthetic_temperature(7);
+            move || drv()
+        });
     e
 }
 
@@ -58,17 +62,39 @@ fn paper_section8_multi_tenant_scenario_end_to_end() {
     let mut server = CoapServer::new();
     register_coap_endpoints(&mut server, service.clone(), engine.clone());
 
-    let mut link =
-        LossyLink::new(LinkConfig { loss: 0.15, latency_us: 1_500, seed: 3, ..Default::default() });
+    let mut link = LossyLink::new(LinkConfig {
+        loss: 0.15,
+        latency_us: 1_500,
+        seed: 3,
+        ..Default::default()
+    });
     let device = Addr::new(2, 5683);
     let mut client = CoapClient::new(Addr::new(1, 40001));
     let mut now = 0u64;
 
     // Deploy all three applications over the network.
     let updates = [
-        (apps::thread_counter(), sched_hook_id(), &tenant_a_key, b"tenant-a" as &[u8], "pid-log"),
-        (apps::sensor_process(), timer_hook_id(), &tenant_b_key, b"tenant-b", "sensor"),
-        (apps::coap_formatter(), coap_hook_id(), &tenant_b_key, b"tenant-b", "coap-fmt"),
+        (
+            apps::thread_counter(),
+            sched_hook_id(),
+            &tenant_a_key,
+            b"tenant-a" as &[u8],
+            "pid-log",
+        ),
+        (
+            apps::sensor_process(),
+            timer_hook_id(),
+            &tenant_b_key,
+            b"tenant-b",
+            "sensor",
+        ),
+        (
+            apps::coap_formatter(),
+            coap_hook_id(),
+            &tenant_b_key,
+            b"tenant-b",
+            "coap-fmt",
+        ),
     ];
     for (app, hook, key, kid, uri) in updates {
         let (envelope, payload) = author_update(&app, hook, 1, uri, key, kid);
@@ -82,7 +108,10 @@ fn paper_section8_multi_tenant_scenario_end_to_end() {
         let mut m = Message::request(Code::Post, 0, &[]);
         m.set_path("suit/manifest");
         m.payload = envelope;
-        match client.exchange(&mut link, device, m, &mut now, |r| server.dispatch(r)).unwrap() {
+        match client
+            .exchange(&mut link, device, m, &mut now, |r| server.dispatch(r))
+            .unwrap()
+        {
             ExchangeOutcome::Response(resp) => assert_eq!(resp.code, Code::Changed, "{uri}"),
             ExchangeOutcome::Timeout => panic!("manifest for {uri} timed out"),
         }
@@ -109,12 +138,19 @@ fn paper_section8_multi_tenant_scenario_end_to_end() {
 
     let e = engine.borrow();
     // Tenant A's counters tracked the switches.
-    let switch_total: i64 =
-        (1..=2).map(|t| e.env().stores.borrow().global().fetch(t)).sum();
+    let switch_total: i64 = (1..=2)
+        .map(|t| {
+            e.env()
+                .stores()
+                .fetch(0, 0, femto_containers::kvstore::Scope::Global, t)
+        })
+        .sum();
     assert_eq!(switch_total as u64, kernel.context_switches());
     // Tenant B's moving average materialised.
-    let avg =
-        e.env().stores.borrow().fetch(0, 2, femto_containers::kvstore::Scope::Tenant, 1);
+    let avg = e
+        .env()
+        .stores()
+        .fetch(0, 2, femto_containers::kvstore::Scope::Tenant, 1);
     assert!(avg > 1900 && avg < 2600, "avg {avg}");
     drop(e);
 
@@ -145,13 +181,21 @@ fn engine_portable_across_platforms() {
     for platform in ALL_PLATFORMS {
         let mut e = device_engine(platform);
         let id = e
-            .install("fletcher", 1, &apps::fletcher32_app().to_bytes(), Default::default())
+            .install(
+                "fletcher",
+                1,
+                &apps::fletcher32_app().to_bytes(),
+                Default::default(),
+            )
             .unwrap();
         let r = e.execute(id, &apps::fletcher_ctx(&input), &[]).unwrap();
         results.push(r.result.clone().unwrap());
         timings.push((platform, r.total_cycles()));
     }
-    assert!(results.windows(2).all(|w| w[0] == w[1]), "identical results everywhere");
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "identical results everywhere"
+    );
     let cycles = |p: Platform| timings.iter().find(|(q, _)| *q == p).unwrap().1;
     assert!(cycles(Platform::RiscV) < cycles(Platform::CortexM4));
 }
@@ -172,7 +216,9 @@ fn multiple_containers_share_one_hook() {
     let hook_id = hook.id;
     e.register_hook(hook, ContractOffer::default());
     for (tenant, val) in [(1u32, 5u32), (2, 7), (3, 30)] {
-        let id = e.install(&format!("c{tenant}"), tenant, &mk(val), Default::default()).unwrap();
+        let id = e
+            .install(&format!("c{tenant}"), tenant, &mk(val), Default::default())
+            .unwrap();
         e.attach(id, hook_id).unwrap();
     }
     let report = e.fire_hook(hook_id, &[], &[]).unwrap();
@@ -190,7 +236,12 @@ fn container_density_scales_to_about_100() {
     // Install 100 instances and account their RAM.
     for i in 0..100 {
         let id = e
-            .install(&format!("inst{i}"), 1 + i % 4, &app, apps::thread_counter_request())
+            .install(
+                &format!("inst{i}"),
+                1 + i % 4,
+                &app,
+                apps::thread_counter_request(),
+            )
             .unwrap();
         installed += 1;
         let _ = id;

@@ -1,0 +1,459 @@
+//! Differential and interleaving suites for the concurrent hosting
+//! runtime (`fc-host`).
+//!
+//! The load-bearing guarantee: routing an event through the sharded,
+//! queued, multi-threaded host produces a per-event [`HookReport`]
+//! **identical** to firing the same event on the single-threaded
+//! [`HostingEngine`] — same results, same op counts, same cycles, same
+//! region contents, same faults. Concurrency may reorder events of
+//! *different* hooks but never changes any event's outcome.
+
+use femto_containers::core::apps;
+use femto_containers::core::contract::{ContractOffer, ContractRequest};
+use femto_containers::core::engine::{HookReport, HostRegion, HostingEngine};
+use femto_containers::core::helpers_impl::{
+    coap_ctx_bytes, helper_name_table, standard_helper_ids,
+};
+use femto_containers::core::hooks::{Hook, HookKind, HookPolicy};
+use femto_containers::host::{CoapFront, FcHost, HostConfig, HostError, ShedPolicy};
+use femto_containers::kvstore::Scope;
+use femto_containers::net::load::{CoapLoadGen, LoadShape};
+use femto_containers::rbpf::program::ProgramBuilder;
+use femto_containers::rtos::platform::{Engine, Platform};
+use femto_containers::suit::Uuid;
+
+const PKT_LEN: usize = 64;
+
+fn image(src: &str) -> Vec<u8> {
+    ProgramBuilder::new()
+        .helpers(helper_name_table().iter().map(|(n, i)| (n.as_str(), *i)))
+        .asm(src)
+        .unwrap()
+        .build()
+        .to_bytes()
+}
+
+/// The §8.3-style responder: tenant-store read + CoAP formatting.
+fn responder() -> (Vec<u8>, ContractRequest) {
+    (
+        apps::coap_formatter().to_bytes(),
+        apps::coap_formatter_request(),
+    )
+}
+
+/// A compute-heavy tenant (long loop) — exercises DRR fairness.
+fn cruncher() -> (Vec<u8>, ContractRequest) {
+    let src = "\
+mov r0, 0
+mov r1, 2000
+loop: add r0, 7
+sub r1, 1
+jne r1, 0, loop
+and r0, 0xffff
+exit";
+    (image(src), ContractRequest::default())
+}
+
+/// A tenant that faults on every event (out-of-bounds load) — faults
+/// must be contained identically on both paths.
+fn faulter() -> (Vec<u8>, ContractRequest) {
+    (
+        image("ldxdw r0, [r10+4096]\nexit"),
+        ContractRequest::default(),
+    )
+}
+
+/// The shared multi-tenant scenario: 6 CoAP hooks; tenants 0..3 run
+/// responders, tenant 4 a cruncher, tenant 5 a faulter. Returns the
+/// hooks in tenant order.
+fn provision<H>(mut register: impl FnMut(&mut H, Hook, ContractOffer), host: &mut H) -> Vec<Uuid> {
+    let mut hooks = Vec::new();
+    for t in 0..6u32 {
+        let hook = Hook::new(
+            &format!("coap-diff-t{t}"),
+            HookKind::CoapRequest,
+            HookPolicy::First,
+        );
+        hooks.push(hook.id);
+        register(host, hook, ContractOffer::helpers(standard_helper_ids()));
+    }
+    hooks
+}
+
+fn tenant_program(t: u32) -> (Vec<u8>, ContractRequest) {
+    match t {
+        0..=3 => responder(),
+        4 => cruncher(),
+        _ => faulter(),
+    }
+}
+
+/// Deterministic event stream shared by both executions.
+fn event_stream(n: usize) -> Vec<usize> {
+    let mut gen = CoapLoadGen::new(
+        (0..6).map(|t| format!("t{t}/temp")).collect(),
+        0xd1ff,
+        LoadShape::Skewed,
+    );
+    (0..n)
+        .map(|_| {
+            let (path, _) = gen.next_request();
+            path[1..path.find('/').unwrap()].parse().unwrap()
+        })
+        .collect()
+}
+
+fn event_regions() -> (Vec<u8>, HostRegion) {
+    (
+        coap_ctx_bytes(PKT_LEN as u32),
+        HostRegion::read_write("pkt", vec![0; PKT_LEN]),
+    )
+}
+
+/// Single-threaded reference: the engine's own `fire_hook`.
+fn reference_reports(events: &[usize]) -> Vec<HookReport> {
+    let mut engine = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+    let hooks = provision(
+        |e: &mut HostingEngine, h, o| e.register_hook(h, o),
+        &mut engine,
+    );
+    for t in 0..6u32 {
+        engine
+            .env()
+            .stores()
+            .store(0, t, Scope::Tenant, 1, 2000 + t as i64)
+            .unwrap();
+        let (img, req) = tenant_program(t);
+        let id = engine.install(&format!("t{t}"), t, &img, req).unwrap();
+        engine.attach(id, hooks[t as usize]).unwrap();
+    }
+    events
+        .iter()
+        .map(|&t| {
+            let (ctx, pkt) = event_regions();
+            engine
+                .fire_hook(hooks[t], &ctx, std::slice::from_ref(&pkt))
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Concurrent host run over the same stream, reports collected per
+/// event index.
+fn host_reports(events: &[usize], workers: usize) -> Vec<HookReport> {
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers,
+            queue_capacity: events.len() + 1,
+            ..HostConfig::default()
+        },
+    );
+    let hooks = provision(
+        |h: &mut FcHost, hook, o| h.register_hook(hook, o),
+        &mut host,
+    );
+    for t in 0..6u32 {
+        host.env()
+            .stores()
+            .store(0, t, Scope::Tenant, 1, 2000 + t as i64)
+            .unwrap();
+        let (img, req) = tenant_program(t);
+        let id = host.install(&format!("t{t}"), t, &img, req).unwrap();
+        host.attach(id, hooks[t as usize]).unwrap();
+    }
+    // Fire everything first (events of different hooks run genuinely
+    // concurrently), then collect in offer order.
+    let receivers: Vec<_> = events
+        .iter()
+        .map(|&t| {
+            let (ctx, pkt) = event_regions();
+            host.fire_with_reply(hooks[t], &ctx, std::slice::from_ref(&pkt))
+                .unwrap()
+        })
+        .collect();
+    let reports = receivers
+        .into_iter()
+        .map(|rx| rx.recv().expect("not shed").expect("hook exists"))
+        .collect();
+    host.shutdown();
+    reports
+}
+
+#[test]
+fn per_event_reports_identical_to_single_threaded_fire_hook() {
+    let events = event_stream(300);
+    let reference = reference_reports(&events);
+    for workers in [1, 4] {
+        let concurrent = host_reports(&events, workers);
+        assert_eq!(reference.len(), concurrent.len());
+        for (i, (a, b)) in reference.iter().zip(&concurrent).enumerate() {
+            assert_eq!(
+                a, b,
+                "event {i} (tenant {}) diverged at {workers} workers",
+                events[i]
+            );
+        }
+    }
+    // The stream exercised every behaviour class.
+    let faults: usize = reference
+        .iter()
+        .flat_map(|r| &r.executions)
+        .filter(|e| e.result.is_err())
+        .count();
+    assert!(faults > 0, "faulting tenant fired");
+    assert!(
+        reference.iter().any(|r| r.combined.unwrap_or(0) > 4),
+        "responders formatted PDUs"
+    );
+}
+
+#[test]
+fn coap_front_responses_match_reference_pdus() {
+    let events = event_stream(60);
+    let reference = reference_reports(&events);
+
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 4,
+            ..HostConfig::default()
+        },
+    );
+    let hooks = provision(
+        |h: &mut FcHost, hook, o| h.register_hook(hook, o),
+        &mut host,
+    );
+    let mut front = CoapFront::new().with_pkt_len(PKT_LEN);
+    for t in 0..6u32 {
+        host.env()
+            .stores()
+            .store(0, t, Scope::Tenant, 1, 2000 + t as i64)
+            .unwrap();
+        let (img, req) = tenant_program(t);
+        let id = host.install(&format!("t{t}"), t, &img, req).unwrap();
+        host.attach(id, hooks[t as usize]).unwrap();
+        front.add_route(&format!("t{t}/temp"), hooks[t as usize]);
+    }
+    for (i, &t) in events.iter().enumerate() {
+        let mut req = femto_containers::net::coap::Message::request(
+            femto_containers::net::coap::Code::Get,
+            i as u16,
+            &[],
+        );
+        req.set_path(&format!("t{t}/temp"));
+        let reply = front.dispatch_sync(&host, &req).unwrap();
+        assert_eq!(reply.report, reference[i], "event {i}");
+        if t <= 3 {
+            let msg = reply.message.expect("responder events parse");
+            assert_eq!(msg.code, femto_containers::net::coap::Code::Content);
+            assert_eq!(msg.payload, (2000 + t).to_string().as_bytes());
+        }
+    }
+    host.shutdown();
+}
+
+#[test]
+fn concurrent_producers_all_dispatch() {
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 4,
+            queue_capacity: 4096,
+            ..HostConfig::default()
+        },
+    );
+    let hooks = provision(
+        |h: &mut FcHost, hook, o| h.register_hook(hook, o),
+        &mut host,
+    );
+    for t in 0..6u32 {
+        let (img, req) = tenant_program(t);
+        let id = host.install(&format!("t{t}"), t, &img, req).unwrap();
+        host.attach(id, hooks[t as usize]).unwrap();
+    }
+    let per_thread = 150;
+    std::thread::scope(|scope| {
+        for p in 0..3usize {
+            let host = &host;
+            let hooks = &hooks;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let (ctx, pkt) = event_regions();
+                    let hook = hooks[(p + i) % hooks.len()];
+                    host.fire(hook, &ctx, std::slice::from_ref(&pkt)).unwrap();
+                }
+            });
+        }
+    });
+    host.quiesce();
+    let stats = host.stats();
+    assert_eq!(
+        stats.dispatched.load(std::sync::atomic::Ordering::Relaxed),
+        3 * per_thread as u64
+    );
+    host.shutdown();
+}
+
+/// Seeded lifecycle/event interleaving: installs, attaches, detaches,
+/// removes and fires race through the shard control/event lanes in a
+/// reproducible order. The host must stay coherent — no panics, every
+/// accepted event accounted, errors only from the expected set.
+#[test]
+fn seeded_install_execute_interleaving_stays_coherent() {
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 4,
+            queue_capacity: 64,
+            shed: ShedPolicy::DropOldest,
+            ..HostConfig::default()
+        },
+    );
+    let hooks = provision(
+        |h: &mut FcHost, hook, o| h.register_hook(hook, o),
+        &mut host,
+    );
+    let mut rng = 0x5eed_5eed_u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut live: Vec<u32> = Vec::new();
+    let mut attempts = 0u64;
+    let mut synced = 0u64;
+    for step in 0..600 {
+        match next() % 10 {
+            // Install a container of a random behaviour class.
+            0 | 1 => {
+                let t = (next() % 6) as u32;
+                let (img, req) = tenant_program(t);
+                let id = host.install(&format!("s{step}"), t, &img, req).unwrap();
+                live.push(id);
+            }
+            // Attach a live container to a random hook.
+            2 | 3 => {
+                if let Some(&id) = live.get(next() as usize % live.len().max(1)) {
+                    let hook = hooks[next() as usize % hooks.len()];
+                    host.attach(id, hook).expect("attach of verified image");
+                }
+            }
+            // Detach (may legitimately report NotAttached).
+            4 => {
+                if let Some(&id) = live.get(next() as usize % live.len().max(1)) {
+                    let hook = hooks[next() as usize % hooks.len()];
+                    match host.detach(id, hook) {
+                        Ok(())
+                        | Err(HostError::Engine(
+                            femto_containers::core::EngineError::NotAttached,
+                        )) => {}
+                        other => panic!("unexpected detach outcome: {other:?}"),
+                    }
+                }
+            }
+            // Remove while its events may still be queued.
+            5 => {
+                if !live.is_empty() {
+                    let idx = next() as usize % live.len();
+                    let id = live.swap_remove(idx);
+                    assert!(host.remove(id), "live container removes");
+                }
+            }
+            // Async fire (sheds are legal under DropOldest).
+            6..=8 => {
+                let hook = hooks[next() as usize % hooks.len()];
+                let (ctx, pkt) = event_regions();
+                attempts += 1;
+                match host.fire(hook, &ctx, std::slice::from_ref(&pkt)) {
+                    Ok(_) | Err(HostError::Shed) => {}
+                    Err(e) => panic!("unexpected fire error: {e:?}"),
+                }
+            }
+            // Sync fire: must complete (or report displacement).
+            _ => {
+                let hook = hooks[next() as usize % hooks.len()];
+                let (ctx, pkt) = event_regions();
+                attempts += 1;
+                match host.fire_sync(hook, &ctx, std::slice::from_ref(&pkt)) {
+                    Ok(_) => synced += 1,
+                    Err(HostError::Shed) => {}
+                    Err(e) => panic!("unexpected fire_sync error: {e:?}"),
+                }
+            }
+        }
+    }
+    host.quiesce();
+    let stats = host.stats();
+    let dispatched = stats.dispatched.load(std::sync::atomic::Ordering::Relaxed);
+    let shed = stats.shed.load(std::sync::atomic::Ordering::Relaxed);
+    // Every attempt either executed, was rejected at the queue, or was
+    // displaced after acceptance — nothing vanishes.
+    assert_eq!(dispatched + shed, attempts, "event accounting balances");
+    assert!(synced > 0, "sync path exercised");
+    // The host still works after the storm.
+    let probe = host
+        .install(
+            "probe",
+            1,
+            &image("mov r0, 99\nexit"),
+            ContractRequest::default(),
+        )
+        .unwrap();
+    host.attach(probe, hooks[0]).unwrap();
+    let r = host.fire_sync(hooks[0], &[], &[]).unwrap();
+    let probe_exec = r.executions.iter().find(|e| e.container == probe).unwrap();
+    assert_eq!(probe_exec.result, Ok(99));
+    host.shutdown();
+}
+
+/// Removing a container with queued events: the events drain without
+/// it, never crash, and accounting still balances.
+#[test]
+fn remove_races_queued_events_safely() {
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 1,
+            queue_capacity: 512,
+            ..HostConfig::default()
+        },
+    );
+    let hook = Hook::new("race", HookKind::Custom, HookPolicy::Sum);
+    let hook_id = hook.id;
+    host.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+    let (img, req) = cruncher();
+    let doomed = host.install("doomed", 1, &img, req).unwrap();
+    host.attach(doomed, hook_id).unwrap();
+    let keeper = host
+        .install(
+            "keeper",
+            2,
+            &image("mov r0, 1\nexit"),
+            ContractRequest::default(),
+        )
+        .unwrap();
+    host.attach(keeper, hook_id).unwrap();
+    for _ in 0..50 {
+        host.fire(hook_id, &[], &[]).unwrap();
+    }
+    // The control lane outruns the 50 queued events: later ones fire
+    // with only the keeper attached.
+    assert!(host.remove(doomed));
+    host.quiesce();
+    assert_eq!(
+        host.stats()
+            .dispatched
+            .load(std::sync::atomic::Ordering::Relaxed),
+        50
+    );
+    let r = host.fire_sync(hook_id, &[], &[]).unwrap();
+    assert_eq!(r.combined, Some(1), "only the keeper remains");
+    host.shutdown();
+}

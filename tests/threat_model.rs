@@ -46,7 +46,9 @@ fn tenant_cannot_read_outside_granted_regions() {
     // Probe addresses across the whole virtual address space.
     for addr in ["0x0", "0x1000", "0x20000000", "0x60000000", "0xfffffff0"] {
         let src = format!("lddw r1, {addr}\nldxdw r0, [r1]\nexit");
-        let id = e.install("probe", 66, &image(&src), ContractRequest::default()).unwrap();
+        let id = e
+            .install("probe", 66, &image(&src), ContractRequest::default())
+            .unwrap();
         let r = e.execute(id, &[], &[]).unwrap();
         assert!(
             matches!(r.result, Err(VmError::InvalidMemoryAccess { .. })),
@@ -60,12 +62,17 @@ fn tenant_cannot_read_outside_granted_regions() {
 fn tenant_cannot_write_read_only_grants() {
     let mut e = engine();
     let src = "lddw r1, 0x60000000\nstdw [r1], 0x41\nmov r0, 0\nexit";
-    let id = e.install("vandal", 66, &image(src), ContractRequest::default()).unwrap();
+    let id = e
+        .install("vandal", 66, &image(src), ContractRequest::default())
+        .unwrap();
     let packet = vec![7u8; 32];
     let r = e
         .execute(id, &[], &[HostRegion::read_only("pkt", packet.clone())])
         .unwrap();
-    assert!(matches!(r.result, Err(VmError::InvalidMemoryAccess { write: true, .. })));
+    assert!(matches!(
+        r.result,
+        Err(VmError::InvalidMemoryAccess { write: true, .. })
+    ));
     assert_eq!(r.regions_back[0].1, packet, "packet bytes unchanged");
 }
 
@@ -75,8 +82,13 @@ fn tenant_cannot_escape_via_jumps() {
     // rejected pre-flight, never executed.
     for src in ["ja +10\nexit", "exit\nja -3"] {
         let mut e = engine();
-        let err = e.install("jmp", 66, &image(src), ContractRequest::default()).unwrap_err();
-        assert!(matches!(err, EngineError::Verify(VerifierError::InvalidJumpTarget { .. })));
+        let err = e
+            .install("jmp", 66, &image(src), ContractRequest::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Verify(VerifierError::InvalidJumpTarget { .. })
+        ));
     }
 }
 
@@ -87,8 +99,13 @@ fn tenant_cannot_write_r10() {
         femto_containers::rbpf::isa::Insn::new(femto_containers::rbpf::isa::MOV64_IMM, 10, 0, 0, 0),
         femto_containers::rbpf::isa::Insn::new(femto_containers::rbpf::isa::EXIT, 0, 0, 0, 0),
     ]);
-    let prog = femto_containers::rbpf::program::FcProgram { text, ..Default::default() };
-    let err = e.install("r10", 66, &prog.to_bytes(), ContractRequest::default()).unwrap_err();
+    let prog = femto_containers::rbpf::program::FcProgram {
+        text,
+        ..Default::default()
+    };
+    let err = e
+        .install("r10", 66, &prog.to_bytes(), ContractRequest::default())
+        .unwrap_err();
     assert!(matches!(
         err,
         EngineError::Verify(VerifierError::WriteToReadOnlyRegister { .. })
@@ -102,12 +119,24 @@ fn tenant_cannot_spin_forever() {
     let mut e = engine();
     e.set_exec_config(ExecConfig::new(10_000, 1_000));
     let id = e
-        .install("spin", 66, &image("spin: ja spin\nexit"), ContractRequest::default())
+        .install(
+            "spin",
+            66,
+            &image("spin: ja spin\nexit"),
+            ContractRequest::default(),
+        )
         .unwrap();
     let r = e.execute(id, &[], &[]).unwrap();
     assert!(r.result.is_err());
     // The engine remains live and other containers still run.
-    let ok = e.install("ok", 1, &image("mov r0, 1\nexit"), ContractRequest::default()).unwrap();
+    let ok = e
+        .install(
+            "ok",
+            1,
+            &image("mov r0, 1\nexit"),
+            ContractRequest::default(),
+        )
+        .unwrap();
     assert_eq!(e.execute(ok, &[], &[]).unwrap().result, Ok(1));
 }
 
@@ -121,14 +150,19 @@ fn tenant_cannot_exhaust_store_capacity_of_others() {
     }
     src.push_str("mov r0, 0\nexit");
     let id = e
-        .install("hog", 66, &image(&src), ContractRequest::helpers([ids::BPF_STORE_SHARED]))
+        .install(
+            "hog",
+            66,
+            &image(&src),
+            ContractRequest::helpers([ids::BPF_STORE_SHARED]),
+        )
         .unwrap();
     let r = e.execute(id, &[], &[]).unwrap();
     // The 65th insert fails with a helper fault (capacity 64).
     assert!(matches!(r.result, Err(VmError::HelperFault { .. })));
     // ...but tenant 1's store is untouched and fully usable.
-    e.env().stores.borrow_mut().store(1, 1, Scope::Tenant, 0, 42).unwrap();
-    assert_eq!(e.env().stores.borrow().fetch(1, 1, Scope::Tenant, 0), 42);
+    e.env().stores().store(1, 1, Scope::Tenant, 0, 42).unwrap();
+    assert_eq!(e.env().stores().fetch(1, 1, Scope::Tenant, 0), 42);
 }
 
 // --- Malicious tenant: privilege escalation to a different sandbox -----
@@ -137,7 +171,10 @@ fn tenant_cannot_exhaust_store_capacity_of_others() {
 fn tenant_cannot_reach_another_tenants_store() {
     let mut e = engine();
     // Tenant 1 stores a secret in its shared store.
-    e.env().stores.borrow_mut().store(1, 1, Scope::Tenant, 7, 1234).unwrap();
+    e.env()
+        .stores()
+        .store(1, 1, Scope::Tenant, 7, 1234)
+        .unwrap();
     // Tenant 66's container fetches key 7 from *its* shared store: the
     // scope resolution isolates by tenant, so it reads 0.
     let src = "\
@@ -148,7 +185,12 @@ call bpf_fetch_shared
 ldxw r0, [r10-8]
 exit";
     let id = e
-        .install("spy", 66, &image(src), ContractRequest::helpers([ids::BPF_FETCH_SHARED]))
+        .install(
+            "spy",
+            66,
+            &image(src),
+            ContractRequest::helpers([ids::BPF_FETCH_SHARED]),
+        )
         .unwrap();
     let r = e.execute(id, &[], &[]).unwrap();
     assert_eq!(r.result, Ok(0), "tenant 66 must not see tenant 1's value");
@@ -160,7 +202,9 @@ fn tenant_cannot_call_ungranted_helpers() {
     // The application calls a helper it never requested: rejected at
     // install (verifier), so the code never runs at all.
     let src = "mov r1, 0\nmov r2, r10\nadd r2, -4\ncall bpf_saul_read\nmov r0, 0\nexit";
-    let err = e.install("sneak", 66, &image(src), ContractRequest::default()).unwrap_err();
+    let err = e
+        .install("sneak", 66, &image(src), ContractRequest::default())
+        .unwrap_err();
     assert!(matches!(
         err,
         EngineError::Verify(VerifierError::HelperNotAllowed { .. })
@@ -208,7 +252,9 @@ fn client_cannot_install_with_forged_signature() {
         &attacker,
         b"honest",
     );
-    let err = svc.apply(&mut e, &envelope, |_| Some(payload.clone())).unwrap_err();
+    let err = svc
+        .apply(&mut e, &envelope, |_| Some(payload.clone()))
+        .unwrap_err();
     assert!(matches!(
         err,
         femto_containers::core::deploy::DeployError::Update(UpdateError::Manifest(_))
@@ -233,7 +279,8 @@ fn client_cannot_tamper_with_payload_in_transit() {
         assert_eq!(e.container_count(), 0);
     }
     // The pristine payload still installs afterwards.
-    svc.apply(&mut e, &envelope, |_| Some(payload.clone())).unwrap();
+    svc.apply(&mut e, &envelope, |_| Some(payload.clone()))
+        .unwrap();
 }
 
 #[test]
@@ -245,9 +292,17 @@ fn client_cannot_replay_or_roll_back() {
     let (v5, p5) = author_update(&apps::thread_counter(), sched_hook_id(), 5, "x", &key, b"m");
     svc.apply(&mut e, &v5, |_| Some(p5.clone())).unwrap();
     for seq in [5u64, 4, 1] {
-        let (old, old_p) =
-            author_update(&apps::thread_counter(), sched_hook_id(), seq, "x", &key, b"m");
-        let err = svc.apply(&mut e, &old, |_| Some(old_p.clone())).unwrap_err();
+        let (old, old_p) = author_update(
+            &apps::thread_counter(),
+            sched_hook_id(),
+            seq,
+            "x",
+            &key,
+            b"m",
+        );
+        let err = svc
+            .apply(&mut e, &old, |_| Some(old_p.clone()))
+            .unwrap_err();
         assert!(
             matches!(
                 err,
@@ -271,7 +326,12 @@ fn faulting_container_on_sched_hook_leaves_rtos_consistent() {
     e.set_exec_config(ExecConfig::new(512, 64));
     // A container that faults on every invocation (OOB read).
     let id = e
-        .install("crashy", 66, &image("ldxdw r0, [r10+32]\nexit"), ContractRequest::default())
+        .install(
+            "crashy",
+            66,
+            &image("ldxdw r0, [r10+32]\nexit"),
+            ContractRequest::default(),
+        )
         .unwrap();
     e.attach(id, sched_hook_id()).unwrap();
     let shared = Rc::new(RefCell::new(e));
@@ -293,5 +353,8 @@ fn faulting_container_on_sched_hook_leaves_rtos_consistent() {
     let metrics = engine.container(id).unwrap().metrics;
     assert!(kernel.context_switches() >= 1);
     assert_eq!(metrics.executions, kernel.context_switches());
-    assert_eq!(metrics.faults, metrics.executions, "every invocation faulted, all contained");
+    assert_eq!(
+        metrics.faults, metrics.executions,
+        "every invocation faulted, all contained"
+    );
 }
