@@ -13,7 +13,7 @@
 //!   helpers dispatch without a hash lookup;
 //! * the helper registry is built once (the host environment is shared
 //!   through an `Arc`, so helper closures are `'static` **and `Send`**);
-//! * each slot owns an [`ExecArena`] whose [`MemoryMap`] skeleton
+//! * each slot owns an `ExecArena` whose [`MemoryMap`] skeleton
 //!   (stack + `.data` + `.rodata`) persists across events. Isolation is
 //!   preserved by re-establishing the initial state between runs: the
 //!   stack is zeroed, `.data` is rewritten from the installed image,
@@ -417,6 +417,15 @@ impl HostingEngine {
         );
     }
 
+    /// Unregisters a launchpad hook, returning its descriptor and the
+    /// containers that were attached, **in attachment order** — the
+    /// contract a migrating host needs to re-create the hook on a
+    /// sibling shard with identical per-event semantics. The containers
+    /// themselves stay installed.
+    pub fn unregister_hook(&mut self, hook: Uuid) -> Option<(Hook, Vec<ContainerId>)> {
+        self.hooks.remove(&hook).map(|e| (e.hook, e.attached))
+    }
+
     /// Registered hook UUIDs.
     pub fn hook_ids(&self) -> Vec<Uuid> {
         self.hooks.keys().copied().collect()
@@ -704,37 +713,89 @@ impl HostingEngine {
     ///
     /// [`EngineError::UnknownHook`]. Individual container faults are
     /// contained in the per-execution reports.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fc_core::contract::{ContractOffer, ContractRequest};
+    /// use fc_core::engine::HostingEngine;
+    /// use fc_core::helpers_impl::standard_helper_ids;
+    /// use fc_core::hooks::{Hook, HookKind, HookPolicy};
+    /// use fc_rbpf::program::ProgramBuilder;
+    /// use fc_rtos::platform::{Engine, Platform};
+    ///
+    /// let mut engine = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+    /// let hook = Hook::new("tick", HookKind::Timer, HookPolicy::Sum);
+    /// let hook_id = hook.id;
+    /// engine.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+    /// let image = ProgramBuilder::new().asm("mov r0, 21\nexit").unwrap().build();
+    /// let a = engine.install("a", 1, &image.to_bytes(), ContractRequest::default()).unwrap();
+    /// let b = engine.install("b", 2, &image.to_bytes(), ContractRequest::default()).unwrap();
+    /// engine.attach(a, hook_id).unwrap();
+    /// engine.attach(b, hook_id).unwrap();
+    /// let report = engine.fire_hook(hook_id, &[], &[]).unwrap();
+    /// assert_eq!(report.combined, Some(42));
+    /// ```
     pub fn fire_hook(
         &mut self,
         hook: Uuid,
         ctx: &[u8],
         extra: &[HostRegion],
     ) -> Result<HookReport, EngineError> {
+        let mut reports = self.fire_hook_batch(hook, &[(ctx, extra)])?;
+        Ok(reports.pop().expect("one event in, one report out"))
+    }
+
+    /// Fires a hook over a whole batch of events with one hook lookup,
+    /// one attached-list clone and one cycle-model fetch — the
+    /// amortised entry point for embedders driving an engine directly.
+    /// (The concurrent `fc-host` runtime amortises at its queue layer
+    /// instead and deliberately drains **per event** — a batch of one
+    /// through this method — to keep panic isolation, reply streaming
+    /// and fault accounting at single-event granularity.) Per-event
+    /// reports are **identical** to calling
+    /// [`HostingEngine::fire_hook`] once per event, because that *is*
+    /// a batch of one.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownHook`]. Individual container faults are
+    /// contained in the per-execution reports.
+    pub fn fire_hook_batch(
+        &mut self,
+        hook: Uuid,
+        events: &[(&[u8], &[HostRegion])],
+    ) -> Result<Vec<HookReport>, EngineError> {
         let (attached, policy) = {
             let entry = self
                 .hooks
                 .get_mut(&hook)
                 .ok_or(EngineError::UnknownHook(hook))?;
-            entry.fires += 1;
+            entry.fires += events.len() as u64;
             (entry.attached.clone(), entry.hook.policy)
         };
-        let mut executions = Vec::with_capacity(attached.len());
-        let mut cycles = self.platform.empty_hook_cycles();
-        for id in attached {
-            let report = self.execute(id, ctx, extra)?;
-            cycles += report.total_cycles();
-            executions.push(report);
+        let empty_hook_cycles = self.platform.empty_hook_cycles();
+        let mut reports = Vec::with_capacity(events.len());
+        for (ctx, extra) in events {
+            let mut executions = Vec::with_capacity(attached.len());
+            let mut cycles = empty_hook_cycles;
+            for &id in &attached {
+                let report = self.execute(id, ctx, extra)?;
+                cycles += report.total_cycles();
+                executions.push(report);
+            }
+            let results: Vec<u64> = executions
+                .iter()
+                .filter_map(|e| e.result.as_ref().ok().copied())
+                .collect();
+            let combined = policy.combine(&results);
+            reports.push(HookReport {
+                executions,
+                combined,
+                cycles,
+            });
         }
-        let results: Vec<u64> = executions
-            .iter()
-            .filter_map(|e| e.result.as_ref().ok().copied())
-            .collect();
-        let combined = policy.combine(&results);
-        Ok(HookReport {
-            executions,
-            combined,
-            cycles,
-        })
+        Ok(reports)
     }
 
     /// Times a hook fire: the Table 4 measurement pair (empty hook
@@ -1236,6 +1297,90 @@ exit";
         .join()
         .unwrap();
         assert_eq!(b, Ok(0));
+    }
+
+    #[test]
+    fn fire_hook_batch_reports_identical_to_single_fires() {
+        // Two engines driven over the same five events: one per-event,
+        // one batched. The reports must match bit for bit — including
+        // the faulting container's.
+        let mk = || {
+            let mut e = engine();
+            e.register_hook(
+                Hook::new("b", HookKind::Custom, HookPolicy::Sum),
+                ContractOffer::helpers(standard_helper_ids()),
+            );
+            let hook = Hook::new("b", HookKind::Custom, HookPolicy::Sum).id;
+            let ok = e
+                .install(
+                    "ok",
+                    1,
+                    &image("ldxdw r0, [r1]\nadd r0, 1\nexit"),
+                    ContractRequest::default(),
+                )
+                .unwrap();
+            let bad = e
+                .install(
+                    "bad",
+                    2,
+                    &image("ldxdw r0, [r10+4096]\nexit"),
+                    ContractRequest::default(),
+                )
+                .unwrap();
+            e.attach(ok, hook).unwrap();
+            e.attach(bad, hook).unwrap();
+            (e, hook)
+        };
+        let ctxs: Vec<Vec<u8>> = (0..5u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let (mut single, hook) = mk();
+        let singles: Vec<HookReport> = ctxs
+            .iter()
+            .map(|c| single.fire_hook(hook, c, &[]).unwrap())
+            .collect();
+        let (mut batched, hook) = mk();
+        let events: Vec<(&[u8], &[HostRegion])> =
+            ctxs.iter().map(|c| (c.as_slice(), &[][..])).collect();
+        let batch = batched.fire_hook_batch(hook, &events).unwrap();
+        assert_eq!(singles, batch);
+        assert!(batch[0].executions[1].result.is_err(), "fault exercised");
+    }
+
+    #[test]
+    fn unregister_hook_returns_attachment_order_and_stops_fires() {
+        let mut e = engine();
+        e.register_hook(
+            Hook::new("u", HookKind::Custom, HookPolicy::First),
+            ContractOffer::helpers(standard_helper_ids()),
+        );
+        let hook = Hook::new("u", HookKind::Custom, HookPolicy::First).id;
+        let a = e
+            .install(
+                "a",
+                1,
+                &image("mov r0, 1\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        let b = e
+            .install(
+                "b",
+                1,
+                &image("mov r0, 2\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        e.attach(b, hook).unwrap();
+        e.attach(a, hook).unwrap();
+        let (desc, attached) = e.unregister_hook(hook).unwrap();
+        assert_eq!(desc.id, hook);
+        assert_eq!(attached, vec![b, a], "attachment order preserved");
+        assert!(matches!(
+            e.fire_hook(hook, &[], &[]),
+            Err(EngineError::UnknownHook(_))
+        ));
+        assert!(e.unregister_hook(hook).is_none());
+        // Containers survive unregistration.
+        assert_eq!(e.execute(a, &[], &[]).unwrap().result, Ok(1));
     }
 
     #[test]

@@ -15,14 +15,15 @@
 //! (the convention of `fc_core::apps::coap_formatter`).
 
 use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
 
-use fc_core::engine::{HookReport, HostRegion};
+use fc_core::engine::{EngineError, HookReport, HostRegion};
 use fc_core::helpers_impl::coap_ctx_bytes;
 use fc_net::coap::{Code, Message};
 use fc_suit::Uuid;
 
-use crate::host::{FcHost, HostError};
-use crate::queue::Accepted;
+use crate::host::{FcHost, HookEvent, HostError};
+use crate::queue::{Accepted, BatchAccepted};
 
 /// Default response packet buffer size (the paper's examples format
 /// well under 64 B of PDU).
@@ -124,6 +125,110 @@ impl CoapFront {
             pdu,
             message,
         })
+    }
+
+    /// Groups a request slice by target hook, preserving each hook's
+    /// request order — the shared front half of the batched dispatch
+    /// paths. Unrouted requests land in the error slots immediately.
+    fn batch_groups(
+        &self,
+        requests: &[Message],
+        errors: &mut [Option<HostError>],
+    ) -> Vec<(Uuid, Vec<usize>, Vec<HookEvent>)> {
+        let mut groups: Vec<(Uuid, Vec<usize>, Vec<HookEvent>)> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            match self.request_event(request) {
+                Ok((hook, ctx, pkt)) => {
+                    let event = HookEvent {
+                        ctx,
+                        extra: vec![pkt],
+                    };
+                    match groups.iter_mut().find(|(h, _, _)| *h == hook) {
+                        Some((_, idxs, events)) => {
+                            idxs.push(i);
+                            events.push(event);
+                        }
+                        None => groups.push((hook, vec![i], vec![event])),
+                    }
+                }
+                Err(e) => errors[i] = Some(e),
+            }
+        }
+        groups
+    }
+
+    /// Serves a whole read batch end to end: requests are grouped by
+    /// hook and each group rides one queue round-trip
+    /// ([`FcHost::fire_batch_with_reply`]); replies come back in
+    /// **request order**. Per-request outcomes are independent — an
+    /// unrouted path or a shed event fails its own slot only.
+    pub fn dispatch_batch(
+        &self,
+        host: &FcHost,
+        requests: &[Message],
+    ) -> Vec<Result<CoapReply, HostError>> {
+        let mut errors: Vec<Option<HostError>> = vec![None; requests.len()];
+        let mut slots: Vec<Option<CoapReply>> = vec![None; requests.len()];
+        // Enqueue ALL groups before collecting any reply, so groups on
+        // different shards execute concurrently — blocking on group 1's
+        // replies before offering group 2 would serialize the shards
+        // and turn batch latency into the sum of group times.
+        let mut outstanding: Vec<(usize, Receiver<Result<HookReport, EngineError>>)> = Vec::new();
+        for (hook, idxs, events) in self.batch_groups(requests, &mut errors) {
+            match host.fire_batch_with_reply(hook, events) {
+                Ok(receivers) => outstanding.extend(idxs.into_iter().zip(receivers)),
+                Err(e) => {
+                    for i in idxs {
+                        errors[i] = Some(e.clone());
+                    }
+                }
+            }
+        }
+        for (i, rx) in outstanding {
+            match rx.recv() {
+                Ok(Ok(report)) => {
+                    let pdu = response_pdu(&report);
+                    let message = Message::decode(&pdu).ok();
+                    slots[i] = Some(CoapReply {
+                        report,
+                        pdu,
+                        message,
+                    });
+                }
+                Ok(Err(e)) => errors[i] = Some(HostError::Engine(e)),
+                // Sender dropped without a send: shed.
+                Err(_) => errors[i] = Some(HostError::Shed),
+            }
+        }
+        slots
+            .into_iter()
+            .zip(errors)
+            .map(|(slot, err)| match slot {
+                Some(reply) => Ok(reply),
+                None => Err(err.expect("every slot resolved")),
+            })
+            .collect()
+    }
+
+    /// Fire-and-forget batch dispatch for load generation: groups the
+    /// requests by hook and enqueues each group with one queue
+    /// round-trip, without reply channels. Returns the summed
+    /// acceptance counts; unrouted requests count as rejected.
+    pub fn dispatch_batch_nowait(&self, host: &FcHost, requests: &[Message]) -> BatchAccepted {
+        let mut errors: Vec<Option<HostError>> = vec![None; requests.len()];
+        let mut total = BatchAccepted::default();
+        for (hook, idxs, events) in self.batch_groups(requests, &mut errors) {
+            match host.fire_batch(hook, events) {
+                Ok(out) => {
+                    total.accepted += out.accepted;
+                    total.rejected += out.rejected;
+                    total.displaced += out.displaced;
+                }
+                Err(_) => total.rejected += idxs.len(),
+            }
+        }
+        total.rejected += errors.iter().filter(|e| e.is_some()).count();
+        total
     }
 }
 

@@ -41,7 +41,7 @@ use fc_rbpf::vm::ExecConfig;
 use fc_rtos::platform::{Engine as EngineFlavor, Platform};
 use fc_suit::Uuid;
 
-use crate::queue::{Accepted, Event, Inbox, ShedPolicy};
+use crate::queue::{Accepted, BatchAccepted, Event, Inbox, ShedPolicy};
 use crate::shard::{spawn_shard, Command, OutstandingGauge, ShardParams, ShardReport, SharedInbox};
 use crate::stats::HostStats;
 
@@ -52,6 +52,8 @@ pub enum HostError {
     UnknownHook(Uuid),
     /// The container id is not known to this host.
     UnknownContainer(ContainerId),
+    /// The shard index does not name a shard of this host.
+    InvalidShard(usize),
     /// The event was shed by backpressure.
     Shed,
     /// The owning shard rejected the operation.
@@ -65,6 +67,7 @@ impl std::fmt::Display for HostError {
         match self {
             HostError::UnknownHook(u) => write!(f, "unknown hook {u}"),
             HostError::UnknownContainer(c) => write!(f, "unknown container {c}"),
+            HostError::InvalidShard(s) => write!(f, "invalid shard index {s}"),
             HostError::Shed => write!(f, "event shed by backpressure"),
             HostError::Engine(e) => write!(f, "engine: {e}"),
             HostError::Disconnected => write!(f, "shard worker disconnected"),
@@ -116,6 +119,26 @@ struct ContainerSpec {
     request: ContractRequest,
 }
 
+/// One hook event for the batched fire path: the context bytes plus the
+/// host-granted regions, exactly as [`FcHost::fire`] takes them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HookEvent {
+    /// Event context handed to every attached container.
+    pub ctx: Vec<u8>,
+    /// Host-granted regions (e.g. a writable packet buffer).
+    pub extra: Vec<HostRegion>,
+}
+
+impl HookEvent {
+    /// Builds an event from borrowed context and regions.
+    pub fn new(ctx: &[u8], extra: &[HostRegion]) -> Self {
+        HookEvent {
+            ctx: ctx.to_vec(),
+            extra: extra.to_vec(),
+        }
+    }
+}
+
 struct Shard {
     inbox: SharedInbox,
     worker: Option<JoinHandle<()>>,
@@ -153,8 +176,14 @@ pub struct FcHost {
     config: HostConfig,
     platform: Platform,
     flavor: EngineFlavor,
-    /// Hook → owning shard.
+    /// Hook → owning shard. **The single routing authority**: every
+    /// fire, attach, detach and migration resolves the shard here, so
+    /// a rebalanced hook's events and lifecycle always land on its
+    /// *current* shard.
     hook_shard: HashMap<Uuid, usize>,
+    /// Hook descriptor + offer, retained for re-registration on the
+    /// target shard when the rebalancer migrates the hook.
+    hook_specs: HashMap<Uuid, (Hook, ContractOffer)>,
     next_hook_shard: usize,
     /// Container → shards carrying it (first entry = home/primary).
     container_shards: BTreeMap<ContainerId, Vec<usize>>,
@@ -225,6 +254,7 @@ impl FcHost {
             platform,
             flavor,
             hook_shard: HashMap::new(),
+            hook_specs: HashMap::new(),
             next_hook_shard: 0,
             container_shards: BTreeMap::new(),
             attachments: HashMap::new(),
@@ -291,7 +321,9 @@ impl FcHost {
     }
 
     /// Registers a launchpad hook, assigning it a shard round-robin and
-    /// creating its bounded event queue there.
+    /// creating its bounded event queue there. Re-registering an id
+    /// keeps the hook on its current shard — including a shard the
+    /// rebalancer moved it to.
     pub fn register_hook(&mut self, hook: Hook, offer: ContractOffer) {
         let shard = match self.hook_shard.get(&hook.id) {
             Some(&s) => s,
@@ -302,6 +334,8 @@ impl FcHost {
                 s
             }
         };
+        self.hook_specs
+            .insert(hook.id, (hook.clone(), offer.clone()));
         let (lock, cvar) = &*self.shards[shard].inbox;
         {
             let mut inbox = lock.lock().expect("inbox lock");
@@ -370,9 +404,21 @@ impl FcHost {
     }
 
     /// Ensures `container` exists on `shard`, migrating the slot there
-    /// when it is still unattached (cheap, no re-verification) or
-    /// installing a replica from the retained image otherwise.
-    fn place_on(&mut self, container: ContainerId, shard: usize) -> Result<(), HostError> {
+    /// when nothing pins it to its current shard (cheap, no
+    /// re-verification) or installing a replica from the retained image
+    /// otherwise.
+    ///
+    /// `moving` names a hook whose attachment is being migrated *along
+    /// with* the container (the rebalancer's case): an attachment to
+    /// that hook does not pin the slot, because the hook is moving to
+    /// `shard` too. `None` recovers the plain attach-time rule — only
+    /// a fully unattached slot moves.
+    fn place_on(
+        &mut self,
+        container: ContainerId,
+        shard: usize,
+        moving: Option<Uuid>,
+    ) -> Result<(), HostError> {
         let shards = self
             .container_shards
             .get(&container)
@@ -381,11 +427,11 @@ impl FcHost {
         if shards.contains(&shard) {
             return Ok(());
         }
-        let unattached = self
+        let unpinned = self
             .attachments
             .get(&container)
-            .is_none_or(HashSet::is_empty);
-        if unattached && shards.len() == 1 {
+            .is_none_or(|set| set.iter().all(|h| Some(*h) == moving));
+        if unpinned && shards.len() == 1 {
             // Migrate: eject from the home shard, adopt on the target.
             let home = shards[0];
             let (tx, rx) = sync_channel(1);
@@ -447,7 +493,7 @@ impl FcHost {
             .hook_shard
             .get(&hook)
             .ok_or(HostError::UnknownHook(hook))?;
-        self.place_on(container, shard)?;
+        self.place_on(container, shard, None)?;
         let (tx, rx) = sync_channel(1);
         self.send_command(
             shard,
@@ -624,6 +670,114 @@ impl FcHost {
         Ok(rx)
     }
 
+    /// Queues a whole vector of events for one hook with a **single
+    /// queue round-trip**: one outstanding-gauge update, one inbox lock
+    /// acquisition, one worker wakeup for the entire batch — the
+    /// amortised fire path the CoAP front-end's batched reads use.
+    ///
+    /// Backpressure applies per event, exactly as if each had been
+    /// offered through [`FcHost::fire`] in order; the returned
+    /// [`BatchAccepted`] says how many entered the queue and how many
+    /// were shed.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownHook`]. Individual shed events are reported
+    /// in the counts, not as an error.
+    pub fn fire_batch(
+        &self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+    ) -> Result<BatchAccepted, HostError> {
+        self.enqueue_batch(hook, events, false)
+            .map(|(counts, _)| counts)
+    }
+
+    /// As [`FcHost::fire_batch`], but every event also gets a reply
+    /// receiver, returned in offer order. A shed event's receiver
+    /// errors on `recv` (its sender is dropped without a send), which
+    /// callers map to [`HostError::Shed`] — identical to the
+    /// single-event [`FcHost::fire_with_reply`] contract.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownHook`].
+    pub fn fire_batch_with_reply(
+        &self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+    ) -> Result<Vec<Receiver<Result<HookReport, EngineError>>>, HostError> {
+        self.enqueue_batch(hook, events, true)
+            .map(|(_, receivers)| receivers)
+    }
+
+    #[allow(clippy::type_complexity)] // reply receivers mirror fire_with_reply
+    fn enqueue_batch(
+        &self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+        with_reply: bool,
+    ) -> Result<
+        (
+            BatchAccepted,
+            Vec<Receiver<Result<HookReport, EngineError>>>,
+        ),
+        HostError,
+    > {
+        let shard = *self
+            .hook_shard
+            .get(&hook)
+            .ok_or(HostError::UnknownHook(hook))?;
+        let n = events.len();
+        let mut receivers = Vec::with_capacity(if with_reply { n } else { 0 });
+        let now = Instant::now();
+        let queued: Vec<Event> = events
+            .into_iter()
+            .map(|e| {
+                let reply = if with_reply {
+                    let (tx, rx) = sync_channel(1);
+                    receivers.push(rx);
+                    Some(tx)
+                } else {
+                    None
+                };
+                Event {
+                    hook,
+                    ctx: e.ctx,
+                    extra: e.extra,
+                    enqueued_at: now,
+                    reply,
+                }
+            })
+            .collect();
+        // As with the single-event path: count the batch as outstanding
+        // *before* it becomes visible to the worker.
+        self.outstanding.add_n(n as u64);
+        let (lock, cvar) = &*self.shards[shard].inbox;
+        let outcome = {
+            let mut inbox = lock.lock().expect("inbox lock");
+            inbox.enqueue_batch(queued, self.config.queue_capacity, self.config.shed)
+        };
+        cvar.notify_one();
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .enqueued
+            .fetch_add(outcome.accepted as u64, Ordering::Relaxed);
+        let shed = (outcome.rejected + outcome.displaced) as u64;
+        if shed > 0 {
+            self.stats.shed.fetch_add(shed, Ordering::Relaxed);
+            self.stats
+                .displaced
+                .fetch_add(outcome.displaced as u64, Ordering::Relaxed);
+            // Rejected events never execute; displaced events' slots
+            // transfer to the newly accepted ones.
+            for _ in 0..shed {
+                self.outstanding.sub();
+            }
+        }
+        Ok((outcome, receivers))
+    }
+
     /// Fires a hook and blocks for its report.
     ///
     /// # Errors
@@ -663,6 +817,169 @@ impl FcHost {
             }
         }
         reports
+    }
+
+    /// Migrates a hook — queue, registration, and attached containers —
+    /// onto another shard. This is the rebalancer's primitive, but it
+    /// is also safe to call directly for explicit placement.
+    ///
+    /// The move is atomic with respect to event routing because it
+    /// holds `&mut self`: no producer can fire while it runs. In order:
+    ///
+    /// 1. the hook's pending events are pulled off the old shard's
+    ///    inbox (they were accepted and must not be shed by the move);
+    /// 2. the hook is unregistered from the old engine, yielding the
+    ///    authoritative attachment order;
+    /// 3. the hook is re-registered on the target shard from the
+    ///    retained descriptor/offer;
+    /// 4. each attached container is placed on the target — the slot
+    ///    itself migrates (eject/adopt, keeping metrics and meter) when
+    ///    only the moving hook pins it, otherwise a replica installs
+    ///    from the retained image — and re-attached in order;
+    /// 5. replicas left on the old shard with no remaining attachment
+    ///    there are ejected and dropped (their shared local store
+    ///    survives; only [`FcHost::remove`] deletes stores);
+    /// 6. the pending events are injected into the target queue, in
+    ///    their original FIFO order.
+    ///
+    /// Per-event reports after a migration are identical to before it —
+    /// attachment order, container identity and the shared environment
+    /// all travel with the hook (`tests/host_differential.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownHook`] / [`HostError::InvalidShard`], or any
+    /// engine error from replica installation. On error the hook is
+    /// left registered and routable **on the target shard** with its
+    /// pending events intact (they execute against whatever subset of
+    /// containers re-attached — never lost, so quiescence and event
+    /// accounting always balance); only a missing or partially
+    /// re-attached container distinguishes the failed state.
+    pub fn migrate_hook(&mut self, hook: Uuid, to: usize) -> Result<(), HostError> {
+        let from = *self
+            .hook_shard
+            .get(&hook)
+            .ok_or(HostError::UnknownHook(hook))?;
+        if to >= self.shards.len() {
+            return Err(HostError::InvalidShard(to));
+        }
+        if from == to {
+            return Ok(());
+        }
+        // 1. Pending events come off the old queue first so the old
+        // worker cannot race them while the hook moves. From here on
+        // they MUST reach a live queue on every path, or their
+        // outstanding-gauge slots would never release and quiesce()
+        // would hang forever.
+        let pending = {
+            let (lock, _) = &*self.shards[from].inbox;
+            lock.lock().expect("inbox lock").remove_queue(hook)
+        };
+        // 2. Unregister on the old engine; its attachment order is the
+        // contract for identical per-event semantics on the target.
+        let (tx, rx) = sync_channel(1);
+        self.send_command(from, Command::UnregisterHook { hook, reply: tx });
+        let attached = match Self::recv(rx) {
+            Ok(attached) => attached,
+            Err(e) => {
+                // The old worker is gone (host shutting down): put the
+                // events back where they came from and bail.
+                let (lock, cvar) = &*self.shards[from].inbox;
+                lock.lock().expect("inbox lock").inject(hook, pending);
+                cvar.notify_one();
+                return Err(e);
+            }
+        };
+        // 3. Register on the target from the retained spec.
+        let (desc, offer) = self
+            .hook_specs
+            .get(&hook)
+            .cloned()
+            .expect("registered hook retains its spec");
+        {
+            let (lock, cvar) = &*self.shards[to].inbox;
+            let mut inbox = lock.lock().expect("inbox lock");
+            inbox.add_queue(hook);
+            inbox
+                .control
+                .push_back(Command::RegisterHook { hook: desc, offer });
+            cvar.notify_one();
+        }
+        // Flip the routing authority now: every subsequent attach,
+        // detach or fire — including the re-attaches below — must see
+        // the hook on its *current* shard.
+        self.hook_shard.insert(hook, to);
+        // 4. Containers follow their hook, in attachment order. A
+        // failure stops re-attachment but NOT the hand-over below —
+        // the pending events must still reach the target queue.
+        let mut outcome = Ok(());
+        for &container in &attached {
+            let placed = self.place_on(container, to, Some(hook)).and_then(|()| {
+                let (tx, rx) = sync_channel(1);
+                self.send_command(
+                    to,
+                    Command::Attach {
+                        id: container,
+                        hook,
+                        reply: tx,
+                    },
+                );
+                Self::recv(rx)?.map_err(HostError::Engine)
+            });
+            if let Err(e) = placed {
+                outcome = Err(e);
+                break;
+            }
+        }
+        // 5. Drop replicas orphaned on the old shard.
+        for &container in &attached {
+            self.drop_orphaned_replica(container, from);
+        }
+        // 6. Hand the pending events to the new worker.
+        if !pending.is_empty() {
+            let (lock, cvar) = &*self.shards[to].inbox;
+            lock.lock().expect("inbox lock").inject(hook, pending);
+            cvar.notify_one();
+        }
+        if outcome.is_ok() {
+            self.stats.migrations.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// Ejects and drops `container`'s replica on `shard` when no hook
+    /// on that shard still uses it and another shard carries the
+    /// container. The slot is discarded; the container's local store
+    /// is keyed by id in the shared environment and survives.
+    fn drop_orphaned_replica(&mut self, container: ContainerId, shard: usize) {
+        let Some(shards) = self.container_shards.get(&container) else {
+            return;
+        };
+        if shards.len() < 2 || !shards.contains(&shard) {
+            return;
+        }
+        let still_used = self
+            .attachments
+            .get(&container)
+            .is_some_and(|hooks| hooks.iter().any(|h| self.hook_shard.get(h) == Some(&shard)));
+        if still_used {
+            return;
+        }
+        let (tx, rx) = sync_channel(1);
+        self.send_command(
+            shard,
+            Command::Eject {
+                id: container,
+                reply: tx,
+            },
+        );
+        // The ejected slot drops here; only FcHost::remove touches the
+        // shared store.
+        let _ = Self::recv(rx);
+        if let Some(shards) = self.container_shards.get_mut(&container) {
+            shards.retain(|s| *s != shard);
+        }
+        self.shard_load[shard] = self.shard_load[shard].saturating_sub(1);
     }
 
     /// Drains outstanding work and stops every shard worker.

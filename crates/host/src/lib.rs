@@ -53,18 +53,36 @@
 //! differential suite proves per-event reports identical to
 //! [`fc_core::engine::HostingEngine::fire_hook`]); across hooks, the
 //! shards run concurrently.
+//!
+//! Two amortisation layers sit on top:
+//!
+//! * **Batched fires** ([`FcHost::fire_batch`],
+//!   [`CoapFront::dispatch_batch`]): a vector of events rides one
+//!   queue round-trip into the shard's inbox, which the worker drains
+//!   batch-wise — per-event reports stay bit-identical to the
+//!   single-event path.
+//! * **Hot-shard rebalancing** ([`rebalance::Rebalancer`]): hooks are
+//!   placed round-robin at registration, blind to event cost; the
+//!   rebalancer watches per-shard simulated busy time and migrates hot
+//!   hooks — queue, registration and containers
+//!   ([`FcHost::migrate_hook`]) — onto underloaded shards, with
+//!   hysteresis so it never thrashes.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the full design.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod coap;
 pub mod host;
 pub mod queue;
+pub mod rebalance;
 pub mod shard;
 pub mod stats;
 
 pub use coap::{CoapFront, CoapReply};
-pub use host::{FcHost, HostConfig, HostError};
-pub use queue::{Accepted, ShedPolicy};
+pub use host::{FcHost, HookEvent, HostConfig, HostError};
+pub use queue::{Accepted, BatchAccepted, ShedPolicy};
+pub use rebalance::{HookMove, RebalanceConfig, RebalanceReport, Rebalancer};
 pub use shard::ShardReport;
 pub use stats::{HostStats, LatencyHistogram, TenantStats};
 
@@ -313,6 +331,186 @@ exit";
             .dispatched
             .load(std::sync::atomic::Ordering::Relaxed);
         assert_eq!(done + shed, 200);
+        h.shutdown();
+    }
+
+    #[test]
+    fn fire_batch_delivers_every_event_with_one_round_trip() {
+        let mut h = host(2);
+        let hook = custom_hook("batch", HookPolicy::First);
+        let hook_id = hook.id;
+        h.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        // Echoes the first context byte.
+        let c = h
+            .install(
+                "echo",
+                1,
+                &image("ldxb r0, [r1]\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        h.attach(c, hook_id).unwrap();
+        let events: Vec<host::HookEvent> =
+            (0..10u8).map(|i| host::HookEvent::new(&[i], &[])).collect();
+        let receivers = h.fire_batch_with_reply(hook_id, events).unwrap();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let report = rx.recv().unwrap().unwrap();
+            assert_eq!(report.combined, Some(i as u64), "per-event reply order");
+        }
+        assert_eq!(
+            h.stats().batches.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "one queue round-trip for the whole batch"
+        );
+        // The no-reply flavour counts acceptance.
+        let out = h
+            .fire_batch(hook_id, vec![host::HookEvent::default(); 5])
+            .unwrap();
+        assert_eq!(out.accepted, 5);
+        assert_eq!(out.rejected + out.displaced, 0);
+        h.quiesce();
+        h.shutdown();
+    }
+
+    #[test]
+    fn fire_batch_sheds_per_event_at_capacity() {
+        let mut h = FcHost::new(
+            Platform::CortexM4,
+            Engine::FemtoContainer,
+            HostConfig {
+                workers: 1,
+                queue_capacity: 4,
+                shed: ShedPolicy::DropNewest,
+                ..HostConfig::default()
+            },
+        );
+        let gate = custom_hook("gate", HookPolicy::First);
+        let gate_id = gate.id;
+        h.register_hook(gate, ContractOffer::helpers(standard_helper_ids()));
+        h.set_exec_config(fc_rbpf::vm::ExecConfig::new(2_000_000, 1_000_000));
+        let spin = "\
+mov r0, 0
+mov r1, 200000
+loop: sub r1, 1
+jne r1, 0, loop
+exit";
+        let c = h
+            .install("spin", 1, &image(spin), ContractRequest::default())
+            .unwrap();
+        h.attach(c, gate_id).unwrap();
+        let mut accepted = 0usize;
+        let mut shed = 0usize;
+        for _ in 0..20 {
+            let out = h
+                .fire_batch(gate_id, vec![host::HookEvent::default(); 10])
+                .unwrap();
+            accepted += out.accepted;
+            shed += out.rejected + out.displaced;
+        }
+        assert!(shed > 0, "tiny queue must shed under batch pressure");
+        h.quiesce();
+        let stats = h.stats();
+        let dispatched = stats.dispatched.load(std::sync::atomic::Ordering::Relaxed) as usize;
+        assert_eq!(dispatched, accepted, "every accepted event executed");
+        assert_eq!(
+            stats.shed.load(std::sync::atomic::Ordering::Relaxed) as usize,
+            shed
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn migrate_hook_moves_queue_containers_and_routing() {
+        let mut h = host(2);
+        let hook = custom_hook("mig", HookPolicy::Sum);
+        let hook_id = hook.id;
+        h.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        let from = h.shard_of_hook(hook_id).unwrap();
+        let to = (from + 1) % 2;
+        let a = h
+            .install(
+                "a",
+                1,
+                &image("mov r0, 40\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        let b = h
+            .install(
+                "b",
+                2,
+                &image("mov r0, 2\nexit"),
+                ContractRequest::default(),
+            )
+            .unwrap();
+        h.attach(a, hook_id).unwrap();
+        h.attach(b, hook_id).unwrap();
+        h.migrate_hook(hook_id, to).unwrap();
+        assert_eq!(h.shard_of_hook(hook_id), Some(to), "routing flipped");
+        assert_eq!(h.shard_of(a), Some(to), "containers followed");
+        assert_eq!(h.shard_of(b), Some(to));
+        let report = h.fire_sync(hook_id, &[], &[]).unwrap();
+        assert_eq!(report.combined, Some(42), "attachment order preserved");
+        assert_eq!(
+            h.stats()
+                .migrations
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // Migrating to the same shard is a no-op; bad shard errors.
+        h.migrate_hook(hook_id, to).unwrap();
+        assert!(matches!(
+            h.migrate_hook(hook_id, 9),
+            Err(HostError::InvalidShard(9))
+        ));
+        // Lifecycle keeps working against the new shard.
+        h.detach(a, hook_id).unwrap();
+        assert_eq!(h.fire_sync(hook_id, &[], &[]).unwrap().combined, Some(2));
+        h.shutdown();
+    }
+
+    #[test]
+    fn migrate_hook_carries_pending_events_unshed() {
+        let mut h = FcHost::new(
+            Platform::CortexM4,
+            Engine::FemtoContainer,
+            HostConfig {
+                workers: 2,
+                queue_capacity: 512,
+                ..HostConfig::default()
+            },
+        );
+        let hook = custom_hook("pending", HookPolicy::First);
+        let hook_id = hook.id;
+        h.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        // Slow container so events pile up behind the first.
+        h.set_exec_config(fc_rbpf::vm::ExecConfig::new(2_000_000, 1_000_000));
+        let spin = "\
+mov r0, 7
+mov r1, 100000
+loop: sub r1, 1
+jne r1, 0, loop
+exit";
+        let c = h
+            .install("spin", 1, &image(spin), ContractRequest::default())
+            .unwrap();
+        h.attach(c, hook_id).unwrap();
+        let receivers: Vec<_> = (0..40)
+            .map(|_| h.fire_with_reply(hook_id, &[], &[]).unwrap())
+            .collect();
+        let to = (h.shard_of_hook(hook_id).unwrap() + 1) % 2;
+        h.migrate_hook(hook_id, to).unwrap();
+        // Every accepted event completes — none were shed by the move.
+        for rx in receivers {
+            assert_eq!(rx.recv().expect("not shed").unwrap().combined, Some(7));
+        }
+        h.quiesce();
+        assert_eq!(
+            h.stats()
+                .dispatched
+                .load(std::sync::atomic::Ordering::Relaxed),
+            40
+        );
         h.shutdown();
     }
 

@@ -1,6 +1,6 @@
 //! Per-hook bounded event queues with deficit-round-robin scheduling.
 //!
-//! Each shard owns one [`Inbox`]: a control lane for lifecycle commands
+//! Each shard owns one `Inbox`: a control lane for lifecycle commands
 //! (drained with priority) and one bounded FIFO per registered hook.
 //! Producers enqueue under the inbox mutex and notify the shard's
 //! condvar; the worker drains **batches** so one lock acquisition pays
@@ -12,7 +12,7 @@
 //! units*: every queue visited in a scheduling round earns a quantum of
 //! deficit, spending it as its events execute (the charge is the actual
 //! VM instruction count the event retired, post-paid via
-//! [`Inbox::charge`]). A hook whose containers burn long programs
+//! `Inbox::charge`). A hook whose containers burn long programs
 //! therefore gets fewer event slots per round than a hook running short
 //! ones — per-tenant fairness falls out when tenants attach to their
 //! own hooks, which is how the CoAP front-end routes resources. Debt is
@@ -60,6 +60,20 @@ pub enum Accepted {
 
 /// Debt clamp, in quanta: a queue can owe at most this many rounds.
 const MAX_DEBT_QUANTA: i64 = 8;
+
+/// Accounting outcome of a batched enqueue (`Inbox::enqueue_batch`):
+/// how many events entered the queue and how many were shed, in one
+/// inbox lock acquisition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchAccepted {
+    /// Events that entered the queue.
+    pub accepted: usize,
+    /// Events shed on arrival (`DropNewest` at capacity, or no queue).
+    pub rejected: usize,
+    /// Previously queued events displaced by this batch (`DropOldest`);
+    /// these were counted as accepted when *they* arrived.
+    pub displaced: usize,
+}
 
 /// One queued hook event.
 #[derive(Debug)]
@@ -149,6 +163,60 @@ impl Inbox {
         q.events.push_back(event);
         self.pending += 1;
         Ok((how, displaced))
+    }
+
+    /// Enqueues a whole batch of events under one lock acquisition —
+    /// the amortised half of the batched-fire path. Per-event semantics
+    /// are exactly those of `Inbox::enqueue`, applied in order: shed
+    /// and displaced events are dropped here (their reply senders drop
+    /// with them, which synchronous callers observe as
+    /// [`crate::HostError::Shed`]) and only the accounting comes back.
+    pub fn enqueue_batch(
+        &mut self,
+        events: Vec<Event>,
+        capacity: usize,
+        shed: ShedPolicy,
+    ) -> BatchAccepted {
+        let mut outcome = BatchAccepted::default();
+        for event in events {
+            match self.enqueue(event, capacity, shed) {
+                Ok((_, displaced)) => {
+                    outcome.accepted += 1;
+                    outcome.displaced += displaced.is_some() as usize;
+                }
+                Err(_rejected) => outcome.rejected += 1,
+            }
+        }
+        outcome
+    }
+
+    /// Removes a hook's queue entirely, returning its pending events in
+    /// FIFO order — the first half of migrating a hook to another
+    /// shard. The DRR cursor is adjusted so the visiting order of the
+    /// remaining queues is unchanged.
+    pub fn remove_queue(&mut self, hook: Uuid) -> Vec<Event> {
+        let Some(q) = self.queues.remove(&hook) else {
+            return Vec::new();
+        };
+        if let Some(pos) = self.order.iter().position(|h| *h == hook) {
+            self.order.remove(pos);
+            if self.cursor > pos {
+                self.cursor -= 1;
+            }
+        }
+        self.pending -= q.events.len();
+        q.events.into()
+    }
+
+    /// Appends events migrated from another shard onto a hook's queue
+    /// (creating it if needed), preserving their order. The capacity
+    /// bound is deliberately not applied: these events were already
+    /// accepted once and must not be shed by the move itself.
+    pub fn inject(&mut self, hook: Uuid, events: Vec<Event>) {
+        self.add_queue(hook);
+        let q = self.queues.get_mut(&hook).expect("queue just ensured");
+        self.pending += events.len();
+        q.events.extend(events);
     }
 
     /// Takes up to `max` events by deficit round-robin (see module
@@ -343,6 +411,72 @@ mod tests {
         assert_eq!(inbox.pending, 1);
         assert_eq!(inbox.take_batch(10, 4).len(), 1);
         assert_eq!(inbox.pending, 0);
+    }
+
+    #[test]
+    fn batch_enqueue_matches_per_event_semantics() {
+        let mut inbox = Inbox::new();
+        let h = hook("h");
+        inbox.add_queue(h);
+        // 6 events into a capacity-4 queue: 4 accepted, 2 tail-dropped.
+        let events: Vec<Event> = (0..6u8)
+            .map(|i| {
+                let mut e = ev(h);
+                e.ctx = vec![i];
+                e
+            })
+            .collect();
+        let out = inbox.enqueue_batch(events, 4, ShedPolicy::DropNewest);
+        assert_eq!(
+            out,
+            BatchAccepted {
+                accepted: 4,
+                rejected: 2,
+                displaced: 0
+            }
+        );
+        assert_eq!(inbox.pending, 4);
+        // Same offer under DropOldest: all 6 accepted, 2 old displaced,
+        // and the queue holds the newest four in order.
+        let events: Vec<Event> = (10..16u8)
+            .map(|i| {
+                let mut e = ev(h);
+                e.ctx = vec![i];
+                e
+            })
+            .collect();
+        let out = inbox.enqueue_batch(events, 4, ShedPolicy::DropOldest);
+        assert_eq!(out.accepted, 6);
+        assert_eq!(out.displaced, 6, "four old + two of this batch");
+        let drained = inbox.take_batch(1 << 20, 16);
+        let ctxs: Vec<u8> = drained.iter().map(|e| e.ctx[0]).collect();
+        assert_eq!(ctxs, vec![12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn remove_and_inject_migrate_a_queue_between_inboxes() {
+        let mut a = Inbox::new();
+        let mut b = Inbox::new();
+        let (h, other) = (hook("h"), hook("other"));
+        a.add_queue(h);
+        a.add_queue(other);
+        for i in 0..3u8 {
+            let mut e = ev(h);
+            e.ctx = vec![i];
+            a.enqueue(e, 16, ShedPolicy::DropNewest).unwrap();
+        }
+        a.enqueue(ev(other), 16, ShedPolicy::DropNewest).unwrap();
+        let moved = a.remove_queue(h);
+        assert_eq!(moved.len(), 3);
+        assert_eq!(a.pending, 1, "other hook's event stays");
+        assert!(a.remove_queue(h).is_empty(), "second removal is empty");
+        // Re-enqueueing to the removed queue sheds (no queue here).
+        assert!(a.enqueue(ev(h), 16, ShedPolicy::DropNewest).is_err());
+        b.inject(h, moved);
+        assert_eq!(b.pending, 3);
+        let drained = b.take_batch(1 << 20, 16);
+        let ctxs: Vec<u8> = drained.iter().map(|e| e.ctx[0]).collect();
+        assert_eq!(ctxs, vec![0, 1, 2], "FIFO order survives the move");
     }
 
     #[test]

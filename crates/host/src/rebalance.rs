@@ -1,0 +1,356 @@
+//! Hot-shard rebalancing: watch per-shard simulated busy time, detect
+//! sustained imbalance, migrate hot hooks onto underloaded shards.
+//!
+//! Hooks are placed round-robin at registration ([`crate::FcHost::
+//! register_hook`]), which is blind to how much work each hook's
+//! events turn out to cost. Under a skewed tenant mix (a few hot
+//! resources, a long cold tail — the common CoAP shape) round-robin
+//! can stack the hot hooks on one shard while its siblings idle,
+//! capping the host's schedulable throughput at the hottest shard.
+//!
+//! The [`Rebalancer`] closes that loop using signals the shards
+//! already export ([`crate::ShardReport`]): **simulated platform
+//! cycles** per shard and per hook. Because the cycle model is
+//! deterministic and preemption-free, the imbalance measure is immune
+//! to how the host box time-slices worker threads — the same
+//! methodology the capacity metric in `BENCH_host.json` is built on.
+//!
+//! ## Hysteresis
+//!
+//! Three guards keep the rebalancer from thrashing:
+//!
+//! * **windowed deltas** — decisions use the cycles accrued *since the
+//!   previous observation*, not lifetime totals, so an old imbalance
+//!   that has already been fixed cannot re-trigger;
+//! * **sustain** — imbalance must persist for `sustain` consecutive
+//!   observations before anything moves (a one-window burst is noise);
+//! * **strict improvement + cooldown** — a hook moves only when the
+//!   move strictly lowers the hottest shard's projected load
+//!   (`cold + hook < hot`), and after any move the rebalancer sits out
+//!   `cooldown` observations so the new placement can prove itself in
+//!   fresh windows.
+//!
+//! The migration itself — queue, registration, containers — is
+//! [`crate::FcHost::migrate_hook`], which preserves per-event
+//! semantics exactly (see its docs and `tests/host_differential.rs`).
+
+use std::collections::HashMap;
+
+use fc_suit::Uuid;
+
+use crate::host::{FcHost, HostError};
+
+/// Tuning knobs for the [`Rebalancer`].
+#[derive(Debug, Clone, Copy)]
+pub struct RebalanceConfig {
+    /// Rebalance only while the window balance (mean/max of per-shard
+    /// busy cycles) is below this. `1.0` would chase noise; the default
+    /// `0.9` matches the placement quality round-robin achieves on a
+    /// uniform mix.
+    pub min_balance: f64,
+    /// Consecutive imbalanced observations required before moving.
+    pub sustain: u32,
+    /// Observations to sit out after performing migrations.
+    pub cooldown: u32,
+    /// Maximum hook migrations per observation.
+    pub max_moves: usize,
+    /// Ignore windows with less total simulated work than this (cycle
+    /// counts too small to be a real signal).
+    pub min_window_cycles: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            min_balance: 0.9,
+            sustain: 2,
+            cooldown: 1,
+            max_moves: 2,
+            min_window_cycles: 10_000,
+        }
+    }
+}
+
+/// One hook migration the rebalancer performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HookMove {
+    /// The migrated hook.
+    pub hook: Uuid,
+    /// Shard it was on.
+    pub from: usize,
+    /// Shard it moved to.
+    pub to: usize,
+}
+
+/// What one [`Rebalancer::observe`] call saw and did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RebalanceReport {
+    /// Simulated busy cycles per shard in the observation window.
+    pub window_cycles: Vec<u64>,
+    /// Window balance: mean over max of `window_cycles` (1.0 = even).
+    pub balance: f64,
+    /// Migrations performed this observation (empty when hysteresis
+    /// held them back or the load is balanced).
+    pub moves: Vec<HookMove>,
+}
+
+/// Watches a host's per-shard busy-time statistics and migrates hot
+/// hooks off overloaded shards (module docs).
+///
+/// # Examples
+///
+/// ```
+/// use fc_host::{FcHost, HostConfig, RebalanceConfig, Rebalancer};
+/// use fc_rtos::platform::{Engine, Platform};
+///
+/// let mut host = FcHost::new(Platform::CortexM4, Engine::FemtoContainer, HostConfig::default());
+/// let mut rebalancer = Rebalancer::new(RebalanceConfig::default());
+/// // ... register hooks, attach containers, fire events ...
+/// let report = rebalancer.observe(&mut host).unwrap();
+/// assert!(report.moves.is_empty(), "an idle host needs no moves");
+/// host.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct Rebalancer {
+    config: RebalanceConfig,
+    /// Lifetime per-shard cycles at the last observation.
+    last_shard_cycles: Vec<u64>,
+    /// Lifetime per-hook cycles (summed over shards) at the last
+    /// observation.
+    last_hook_cycles: HashMap<Uuid, u64>,
+    imbalanced_streak: u32,
+    cooldown_left: u32,
+}
+
+impl Rebalancer {
+    /// Creates a rebalancer; the first [`Rebalancer::observe`] call
+    /// establishes the baseline window and never moves anything.
+    pub fn new(config: RebalanceConfig) -> Self {
+        Rebalancer {
+            config,
+            last_shard_cycles: Vec::new(),
+            last_hook_cycles: HashMap::new(),
+            imbalanced_streak: 0,
+            cooldown_left: 0,
+        }
+    }
+
+    /// Takes one observation: reads the shards' cycle counters,
+    /// computes the window balance, and — when imbalance has persisted
+    /// past the hysteresis guards — migrates hot hooks onto underloaded
+    /// shards via [`FcHost::migrate_hook`].
+    ///
+    /// Call this periodically from whatever owns the host (a timer
+    /// tick, every N dispatched events, between load rounds). Needs
+    /// `&mut FcHost` because migration rewires lifecycle state; that
+    /// exclusivity is also what makes the move race-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FcHost::migrate_hook`] failures; observation itself
+    /// cannot fail.
+    pub fn observe(&mut self, host: &mut FcHost) -> Result<RebalanceReport, HostError> {
+        let reports = host.shard_reports();
+        let n = reports.len();
+        let mut shard_total = vec![0u64; n];
+        let mut hook_total: HashMap<Uuid, u64> = HashMap::new();
+        for r in &reports {
+            if r.shard < n {
+                shard_total[r.shard] = r.sim_cycles;
+            }
+            for &(hook, cycles) in &r.hook_cycles {
+                *hook_total.entry(hook).or_insert(0) += cycles;
+            }
+        }
+
+        // The very first observation only establishes the baseline:
+        // lifetime totals are not a window, and on a long-running host
+        // they may describe an imbalance that is already gone.
+        let first_observation = self.last_shard_cycles.is_empty();
+
+        // Window deltas vs the previous observation.
+        let window: Vec<u64> = shard_total
+            .iter()
+            .enumerate()
+            .map(|(i, &now)| {
+                now.saturating_sub(self.last_shard_cycles.get(i).copied().unwrap_or(0))
+            })
+            .collect();
+        let hook_window: Vec<(Uuid, u64)> = hook_total
+            .iter()
+            .map(|(&hook, &now)| {
+                (
+                    hook,
+                    now.saturating_sub(self.last_hook_cycles.get(&hook).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        self.last_shard_cycles = shard_total;
+        self.last_hook_cycles = hook_total;
+
+        let total: u64 = window.iter().sum();
+        let max = window.iter().copied().max().unwrap_or(0);
+        let balance = if max == 0 {
+            1.0
+        } else {
+            total as f64 / (max as f64 * n as f64)
+        };
+        let mut report = RebalanceReport {
+            window_cycles: window.clone(),
+            balance,
+            moves: Vec::new(),
+        };
+
+        if first_observation {
+            return Ok(report);
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return Ok(report);
+        }
+        if total < self.config.min_window_cycles || balance >= self.config.min_balance {
+            self.imbalanced_streak = 0;
+            return Ok(report);
+        }
+        self.imbalanced_streak += 1;
+        if self.imbalanced_streak < self.config.sustain {
+            return Ok(report);
+        }
+
+        // Only hooks still owned by the shard they burned cycles on are
+        // candidates (a hook that moved mid-window attributes cycles to
+        // several shards; its current owner is authoritative).
+        let candidates: Vec<(Uuid, usize, u64)> = hook_window
+            .into_iter()
+            .filter_map(|(hook, cycles)| host.shard_of_hook(hook).map(|s| (hook, s, cycles)))
+            .collect();
+        let planned = plan_moves(&window, &candidates, self.config.max_moves);
+        for m in &planned {
+            host.migrate_hook(m.hook, m.to)?;
+        }
+        if !planned.is_empty() {
+            self.cooldown_left = self.config.cooldown;
+            self.imbalanced_streak = 0;
+        }
+        report.moves = planned;
+        Ok(report)
+    }
+}
+
+/// Greedy migration planning over one observation window: repeatedly
+/// take the hottest and coldest shards and move the largest hook off
+/// the hot shard that **strictly improves** the pair
+/// (`cold + hook < hot`). The projected max load is monotonically
+/// non-increasing, so a plan can never oscillate.
+///
+/// Pure function of the window — the unit-testable heart of the
+/// rebalancer.
+pub fn plan_moves(window: &[u64], hooks: &[(Uuid, usize, u64)], max_moves: usize) -> Vec<HookMove> {
+    let mut load: Vec<u64> = window.to_vec();
+    let mut owner: HashMap<Uuid, usize> = hooks.iter().map(|&(h, s, _)| (h, s)).collect();
+    let mut moves = Vec::new();
+    for _ in 0..max_moves {
+        let Some(hot) = (0..load.len()).max_by_key(|&i| load[i]) else {
+            break;
+        };
+        let Some(cold) = (0..load.len()).min_by_key(|&i| load[i]) else {
+            break;
+        };
+        if hot == cold {
+            break;
+        }
+        // Largest hook on the hot shard whose move strictly lowers the
+        // pair's max; ties break on the hook id for determinism.
+        let pick = hooks
+            .iter()
+            .filter(|(h, _, cycles)| {
+                owner.get(h) == Some(&hot)
+                    && *cycles > 0
+                    && load[cold].saturating_add(*cycles) < load[hot]
+            })
+            .max_by_key(|(h, _, cycles)| (*cycles, *h));
+        let Some(&(hook, _, cycles)) = pick else {
+            break;
+        };
+        load[hot] -= cycles;
+        load[cold] += cycles;
+        owner.insert(hook, cold);
+        moves.push(HookMove {
+            hook,
+            from: hot,
+            to: cold,
+        });
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hook(n: u32) -> Uuid {
+        Uuid::from_name("test/rebalance", &n.to_string())
+    }
+
+    #[test]
+    fn balanced_window_plans_nothing() {
+        let window = [100, 100, 100, 100];
+        let hooks: Vec<_> = (0..4).map(|i| (hook(i), i as usize, 100)).collect();
+        assert!(plan_moves(&window, &hooks, 4).is_empty());
+    }
+
+    #[test]
+    fn colliding_hot_hooks_spread_to_cold_shards() {
+        // The bench shape: hot hooks 0 and 4 collide on shard 0, hot
+        // hooks 1 and 5 on shard 1; shards 2 and 3 carry only cold
+        // hooks.
+        let window = [400, 400, 100, 100];
+        let hooks = vec![
+            (hook(0), 0, 200),
+            (hook(4), 0, 200),
+            (hook(1), 1, 200),
+            (hook(5), 1, 200),
+            (hook(2), 2, 50),
+            (hook(6), 2, 50),
+            (hook(3), 3, 50),
+            (hook(7), 3, 50),
+        ];
+        let moves = plan_moves(&window, &hooks, 2);
+        assert_eq!(moves.len(), 2);
+        let mut froms: Vec<usize> = moves.iter().map(|m| m.from).collect();
+        froms.sort_unstable();
+        assert_eq!(froms, vec![0, 1], "one hook off each hot shard");
+        assert!(moves.iter().all(|m| m.to >= 2), "moves land on cold shards");
+        // Projected loads after the plan are strictly better.
+        let mut load = window;
+        for m in &moves {
+            let cycles = hooks.iter().find(|(h, _, _)| *h == m.hook).unwrap().2;
+            load[m.from] -= cycles;
+            load[m.to] += cycles;
+        }
+        assert!(load.iter().max() < window.iter().max());
+    }
+
+    #[test]
+    fn no_move_when_nothing_strictly_improves() {
+        // One giant hook dominates its shard: moving it would just move
+        // the hot spot (1000 to a 0-load shard stays max), and the rule
+        // demands strict improvement.
+        let window = [1000, 0];
+        let hooks = vec![(hook(0), 0, 1000)];
+        assert!(plan_moves(&window, &hooks, 4).is_empty());
+        // But a splittable shard does improve.
+        let hooks = vec![(hook(0), 0, 600), (hook(1), 0, 400)];
+        let moves = plan_moves(&window, &hooks, 4);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].hook, hook(0), "largest improving hook moves");
+    }
+
+    #[test]
+    fn plan_respects_max_moves() {
+        let window = [900, 0, 0];
+        let hooks = vec![(hook(0), 0, 300), (hook(1), 0, 300), (hook(2), 0, 300)];
+        assert_eq!(plan_moves(&window, &hooks, 1).len(), 1);
+        assert!(plan_moves(&window, &hooks, 3).len() >= 2);
+    }
+}

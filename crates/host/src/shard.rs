@@ -1,5 +1,5 @@
 //! One execution shard: a worker thread owning a [`HostingEngine`]
-//! and draining its [`Inbox`].
+//! and draining its `Inbox`.
 //!
 //! Lifecycle commands travel on the control lane and are handled
 //! before events in every scheduling round, so an install/attach
@@ -8,6 +8,16 @@
 //! lock, runs the batch against its engine, then post-pays each
 //! event's instruction cost to the DRR state on the next lock
 //! acquisition.
+//!
+//! Events execute through [`HostingEngine::fire_hook`] — which is the
+//! engine's batched entry point
+//! ([`HostingEngine::fire_hook_batch`]) with a batch of one — at
+//! **per-event granularity** deliberately: a panic is contained to one
+//! event, replies stream as soon as each event completes, and fault
+//! accounting stays per event. The batch amortisation lives where the
+//! round-trips actually cost: producers enqueue whole vectors under
+//! one inbox lock (`Inbox::enqueue_batch`), and the worker already
+//! drains up to `drain_batch` events per lock acquisition.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
@@ -72,6 +82,12 @@ pub(crate) enum Command {
         hook: Hook,
         offer: ContractOffer,
     },
+    /// Drops a hook's registration, replying with the containers that
+    /// were attached in attachment order (the migration contract).
+    UnregisterHook {
+        hook: Uuid,
+        reply: SyncSender<Vec<ContainerId>>,
+    },
     SetExecConfig {
         config: ExecConfig,
     },
@@ -81,7 +97,7 @@ pub(crate) enum Command {
 }
 
 /// A point-in-time view of one shard, for balancing and benchmarks.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardReport {
     /// Shard index within the host.
     pub shard: usize,
@@ -97,6 +113,10 @@ pub struct ShardReport {
     /// ([`fc_core::engine::HookReport::cycles`]) — the preemption-free
     /// busy measure behind capacity metrics.
     pub sim_cycles: u64,
+    /// Per-hook share of `sim_cycles` accumulated **on this shard**
+    /// (a hook migrated mid-run appears in the reports of every shard
+    /// it executed on) — the signal the rebalancer picks hot hooks by.
+    pub hook_cycles: Vec<(Uuid, u64)>,
 }
 
 /// The inbox plus its wakeup signal, shared producer/worker.
@@ -121,6 +141,10 @@ impl OutstandingGauge {
 
     pub fn add(&self) {
         self.count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub fn add_n(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::AcqRel);
     }
 
     pub fn sub(&self) {
@@ -190,6 +214,9 @@ fn run_shard(
     let mut events_done = 0u64;
     let mut busy_ns = 0u64;
     let mut sim_cycles = 0u64;
+    // Per-hook share of sim_cycles accrued on this shard (rebalancer
+    // signal).
+    let mut hook_cycles: std::collections::BTreeMap<Uuid, u64> = std::collections::BTreeMap::new();
     // Instruction costs of the last batch, post-paid to the DRR state.
     let mut charges: Vec<(Uuid, u64)> = Vec::new();
     // Per-tenant costs of the current batch, flushed to the shared
@@ -223,6 +250,7 @@ fn run_shard(
                 events_done,
                 busy_ns,
                 sim_cycles,
+                &hook_cycles,
             );
         }
 
@@ -235,6 +263,11 @@ fn run_shard(
             // and leave fire_sync callers blocked forever. VM faults
             // are already values, so a panic here is a host bug — the
             // event is recorded as a fault and the shard carries on.
+            // Execution stays per event (`fire_hook` is the engine's
+            // batch entry point with a batch of one) so panic blast
+            // radius, reply latency and fault accounting all keep
+            // single-event granularity; the batching amortisation
+            // lives at the queue layer, where the round-trips cost.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 engine.fire_hook(event.hook, &event.ctx, &event.extra)
             }));
@@ -248,6 +281,7 @@ fn run_shard(
                     let mut faults = 0u64;
                     if let Ok(report) = &result {
                         sim_cycles += report.cycles;
+                        *hook_cycles.entry(event.hook).or_insert(0) += report.cycles;
                         for exec in &report.executions {
                             let cost = exec.counts.total();
                             insns += cost;
@@ -286,6 +320,7 @@ fn run_shard(
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal wiring call, one site
 fn handle_command(
     index: usize,
     engine: &mut HostingEngine,
@@ -293,6 +328,7 @@ fn handle_command(
     events: u64,
     busy_ns: u64,
     sim_cycles: u64,
+    hook_cycles: &std::collections::BTreeMap<Uuid, u64>,
 ) {
     match command {
         Command::Install {
@@ -331,6 +367,13 @@ fn handle_command(
         Command::RegisterHook { hook, offer } => {
             engine.register_hook(hook, offer);
         }
+        Command::UnregisterHook { hook, reply } => {
+            let attached = engine
+                .unregister_hook(hook)
+                .map(|(_, attached)| attached)
+                .unwrap_or_default();
+            let _ = reply.send(attached);
+        }
         Command::SetExecConfig { config } => {
             engine.set_exec_config(config);
         }
@@ -341,6 +384,7 @@ fn handle_command(
                 events,
                 busy_ns,
                 sim_cycles,
+                hook_cycles: hook_cycles.iter().map(|(h, c)| (*h, *c)).collect(),
             });
         }
     }

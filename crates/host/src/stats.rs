@@ -89,6 +89,11 @@ pub struct HostStats {
     /// (`DropOldest`); needed to reconstruct offered load, since these
     /// events were also counted in `enqueued`.
     pub displaced: AtomicU64,
+    /// Batched enqueue calls ([`crate::FcHost::fire_batch`] &co) — each
+    /// paid one queue round-trip for its whole vector of events.
+    pub batches: AtomicU64,
+    /// Hook migrations executed ([`crate::FcHost::migrate_hook`]).
+    pub migrations: AtomicU64,
     /// Container executions that ended in a fault.
     pub faults: AtomicU64,
     /// VM instructions retired across all events.

@@ -14,8 +14,39 @@
 //!
 //! The store is the only persistent state a container has; its RAM is
 //! accounted so the multi-instance experiments (§10.3) can report totals.
+//!
+//! Two frontends wrap the same semantics: [`StoreManager`] is the
+//! single-threaded manager the paper's one-device engine uses, and
+//! [`ShardedStores`] puts the identical scope rules behind sharded
+//! locks so N engine shards can share one set of stores (`fc-host`).
+//!
+//! # Examples
+//!
+//! The three scopes, end to end — container 1 and 2 belong to tenant
+//! 7, container 3 to tenant 8:
+//!
+//! ```
+//! use fc_kvstore::{Scope, StoreManager};
+//!
+//! let mut stores = StoreManager::new(16);
+//! // Local: private per container, even within a tenant.
+//! stores.store(1, 7, Scope::Local, 1, 100).unwrap();
+//! assert_eq!(stores.fetch(1, 7, Scope::Local, 1), 100);
+//! assert_eq!(stores.fetch(2, 7, Scope::Local, 1), 0, "absent reads as zero");
+//! // Tenant: shared by containers 1 and 2, invisible to tenant 8.
+//! stores.store(1, 7, Scope::Tenant, 2, 200).unwrap();
+//! assert_eq!(stores.fetch(2, 7, Scope::Tenant, 2), 200);
+//! assert_eq!(stores.fetch(3, 8, Scope::Tenant, 2), 0);
+//! // Global: the sanctioned cross-tenant channel.
+//! stores.store(3, 8, Scope::Global, 3, 300).unwrap();
+//! assert_eq!(stores.fetch(1, 7, Scope::Global, 3), 300);
+//! // Removing a container drops its local store only.
+//! stores.remove_container(1);
+//! assert_eq!(stores.fetch(1, 7, Scope::Local, 1), 0);
+//! assert_eq!(stores.fetch(2, 7, Scope::Tenant, 2), 200);
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod sharded;
 

@@ -1,7 +1,7 @@
 //! Sharded, thread-safe key-value stores for the concurrent hosting
 //! runtime.
 //!
-//! [`ShardedStores`] provides the same scope model as [`StoreManager`]
+//! [`ShardedStores`] provides the same scope model as [`crate::StoreManager`]
 //! (local / tenant-shared / global, paper §7) behind fine-grained locks,
 //! so helper calls executing on different worker threads rarely
 //! contend:
@@ -175,7 +175,7 @@ impl ShardedStores {
     }
 
     /// Total accounted RAM across all materialised stores, matching
-    /// [`StoreManager::ram_bytes`]'s accounting exactly.
+    /// [`crate::StoreManager::ram_bytes`]'s accounting exactly.
     pub fn ram_bytes(&self) -> usize {
         let mut total = self.global.lock().expect("store lock").ram_bytes();
         for shard in self.shards.iter() {

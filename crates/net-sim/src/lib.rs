@@ -14,7 +14,7 @@
 //! * [`load`] — deterministic multi-tenant CoAP request load
 //!   generation for hosting benchmarks.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod block;
 pub mod coap;

@@ -26,6 +26,9 @@ pub enum LoadShape {
     /// Low-index paths dominate (≈ 1/(k+1) weighting): a few hot
     /// tenants plus a long cold tail.
     Skewed,
+    /// Explicit per-path weights ([`CoapLoadGen::weighted`]) — e.g. an
+    /// 80/20 hot-set mix with the hot tenants placed adversarially.
+    Weighted,
 }
 
 /// Seeded generator of CoAP GET requests over a fixed path set.
@@ -47,9 +50,12 @@ pub struct CoapLoadGen {
     shape: LoadShape,
     next_mid: u16,
     issued: u64,
-    /// Precomputed harmonic weight total for [`LoadShape::Skewed`]
-    /// (`paths` is immutable, so this never changes).
-    harmonic_total: f64,
+    /// Per-path weights for the non-uniform shapes (`paths` is
+    /// immutable, so these never change): harmonic for
+    /// [`LoadShape::Skewed`], caller-supplied for
+    /// [`LoadShape::Weighted`], unused for uniform.
+    weights: Vec<f64>,
+    weight_total: f64,
 }
 
 impl CoapLoadGen {
@@ -57,17 +63,73 @@ impl CoapLoadGen {
     ///
     /// # Panics
     ///
-    /// Panics when `paths` is empty.
+    /// Panics when `paths` is empty, or when `shape` is
+    /// [`LoadShape::Weighted`] — that shape needs a weight table, so it
+    /// is only constructible through [`CoapLoadGen::weighted`]
+    /// (silently falling back to uniform would make a skew benchmark
+    /// measure nothing while reporting success).
     pub fn new(paths: Vec<String>, seed: u64, shape: LoadShape) -> Self {
+        let weights: Vec<f64> = match shape {
+            LoadShape::Uniform => vec![1.0; paths.len()],
+            LoadShape::Skewed => (0..paths.len()).map(|k| 1.0 / (k + 1) as f64).collect(),
+            LoadShape::Weighted => {
+                panic!("LoadShape::Weighted needs a weight table: use CoapLoadGen::weighted")
+            }
+        };
+        Self::build(paths, seed, shape, weights)
+    }
+
+    /// Creates a generator with an explicit per-path weight table — the
+    /// tool for adversarial mixes like "tenants 0, 1, 4 and 5 are hot
+    /// and collide on two shards". Weights need not sum to anything in
+    /// particular; only ratios matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `paths` is empty, `weights` has a different length,
+    /// or any weight is non-positive/non-finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fc_net::load::CoapLoadGen;
+    /// // 80/20: the first path takes 80% of the volume.
+    /// let mut gen = CoapLoadGen::weighted(
+    ///     vec!["hot/temp".into(), "cold/temp".into()],
+    ///     7,
+    ///     &[8.0, 2.0],
+    /// );
+    /// let hot = (0..1000)
+    ///     .filter(|_| gen.next_request().0 == "hot/temp")
+    ///     .count();
+    /// assert!((700..900).contains(&hot), "hot path got {hot}/1000");
+    /// ```
+    pub fn weighted(paths: Vec<String>, seed: u64, weights: &[f64]) -> Self {
+        assert_eq!(
+            paths.len(),
+            weights.len(),
+            "one weight per path ({} paths, {} weights)",
+            paths.len(),
+            weights.len()
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        Self::build(paths, seed, LoadShape::Weighted, weights.to_vec())
+    }
+
+    fn build(paths: Vec<String>, seed: u64, shape: LoadShape, weights: Vec<f64>) -> Self {
         assert!(!paths.is_empty(), "load generator needs at least one path");
-        let harmonic_total = (0..paths.len()).map(|k| 1.0 / (k + 1) as f64).sum();
+        let weight_total = weights.iter().sum();
         CoapLoadGen {
             paths,
             state: seed | 1,
             shape,
             next_mid: 1,
             issued: 0,
-            harmonic_total,
+            weights,
+            weight_total,
         }
     }
 
@@ -95,11 +157,10 @@ impl CoapLoadGen {
         let n = self.paths.len();
         match self.shape {
             LoadShape::Uniform => (self.next_u64() % n as u64) as usize,
-            LoadShape::Skewed => {
-                // Harmonic weighting: path k with weight 1/(k+1).
-                let mut x = (self.next_u64() as f64 / u64::MAX as f64) * self.harmonic_total;
-                for k in 0..n {
-                    x -= 1.0 / (k + 1) as f64;
+            LoadShape::Skewed | LoadShape::Weighted => {
+                let mut x = (self.next_u64() as f64 / u64::MAX as f64) * self.weight_total;
+                for (k, w) in self.weights.iter().enumerate() {
+                    x -= w;
                     if x <= 0.0 {
                         return k;
                     }
@@ -120,6 +181,14 @@ impl CoapLoadGen {
         req.set_path(&path);
         self.issued += 1;
         (path, req)
+    }
+
+    /// Draws the next `n` requests in one call — the natural producer
+    /// shape for the host's batched dispatch path (one queue round-trip
+    /// per hook per batch). The stream is identical to `n` calls of
+    /// [`CoapLoadGen::next_request`].
+    pub fn next_batch(&mut self, n: usize) -> Vec<(String, Message)> {
+        (0..n).map(|_| self.next_request()).collect()
     }
 }
 
@@ -168,6 +237,48 @@ mod tests {
         }
         assert!(counts[0] > 3 * counts[7], "counts {counts:?}");
         assert!(counts[7] > 0, "tail still served");
+    }
+
+    #[test]
+    fn weighted_mix_follows_the_weight_table() {
+        // The bench's adversarial 80/20 shape: tenants 0, 1, 4, 5 hot.
+        let weights = [4.0, 4.0, 1.0, 1.0, 4.0, 4.0, 1.0, 1.0];
+        let mut g = CoapLoadGen::weighted(paths(8), 0x80_20, &weights);
+        let mut counts = vec![0u32; 8];
+        for _ in 0..4000 {
+            let (p, _) = g.next_request();
+            let idx: usize = p[1..p.find('/').unwrap()].parse().unwrap();
+            counts[idx] += 1;
+        }
+        let hot: u32 = [0, 1, 4, 5].iter().map(|&i| counts[i]).sum();
+        let share = hot as f64 / 4000.0;
+        assert!(
+            (0.75..0.85).contains(&share),
+            "hot share {share:.3}, counts {counts:?}"
+        );
+        assert!(counts.iter().all(|&c| c > 0), "cold tail still served");
+    }
+
+    #[test]
+    fn batch_draw_equals_sequential_draws() {
+        let mut a = CoapLoadGen::new(paths(6), 99, LoadShape::Skewed);
+        let mut b = CoapLoadGen::new(paths(6), 99, LoadShape::Skewed);
+        let batch = a.next_batch(50);
+        let singles: Vec<(String, Message)> = (0..50).map(|_| b.next_request()).collect();
+        assert_eq!(batch, singles);
+        assert_eq!(a.issued(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per path")]
+    fn weighted_rejects_mismatched_table() {
+        let _ = CoapLoadGen::weighted(paths(3), 1, &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a weight table")]
+    fn new_rejects_weighted_shape_without_table() {
+        let _ = CoapLoadGen::new(paths(3), 1, LoadShape::Weighted);
     }
 
     #[test]

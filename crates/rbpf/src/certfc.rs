@@ -10,7 +10,7 @@
 //!   suite runs both on random verified programs and compares results,
 //!   memory and fault behaviour);
 //! * an explicit [`CertState`] struct holding the machine state (the paper
-//!   notes CertFC "stor[es] extra state of the virtual machine in the
+//!   notes CertFC "stor\[es\] extra state of the virtual machine in the
 //!   context struct and not on the thread stack", costing ~50 B more RAM);
 //! * a pure `step` function driven by a bounded loop, the shape proved
 //!   terminating in Coq;

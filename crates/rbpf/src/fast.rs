@@ -3,7 +3,7 @@
 //!
 //! [`FastInterpreter`] executes a [`DecodedProgram`] and is
 //! **observationally equivalent** to the vanilla [`crate::interp::Interpreter`]
-//! on every verified program: same return value, same [`OpCounts`], same
+//! on every verified program: same return value, same [`crate::vm::OpCounts`], same
 //! [`VmError`] (including the reported original program counter) on
 //! faults. The equivalence is enforced by the randomized differential
 //! suite in `tests/differential_vm.rs`.
@@ -20,7 +20,7 @@
 //!   per dispatch (the branch budget is only touched inside branch
 //!   arms), instead of two compare-against-limit checks;
 //! * dynamic op accounting is a single indexed add into a flat array,
-//!   folded into [`OpCounts`] once at `exit`.
+//!   folded into [`crate::vm::OpCounts`] once at `exit`.
 
 use crate::decode::{DecodedInsn, DecodedProgram, Kind};
 use crate::error::VmError;

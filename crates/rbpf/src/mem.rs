@@ -14,7 +14,7 @@
 //! Address resolution is the hottest non-ALU operation in the VM, so the
 //! allow-list keeps two acceleration structures beside the region vector:
 //!
-//! * a **last-hit cache** ([`MemoryMap::find`] checks the region that
+//! * a **last-hit cache** (`MemoryMap::find` checks the region that
 //!   satisfied the previous access first — loops touching one buffer
 //!   resolve in a single bounds compare), and
 //! * a **vaddr-sorted index** used for binary search on a cache miss

@@ -1,7 +1,7 @@
 //! A RIOT-like RTOS kernel simulation: priority scheduler, threads,
 //! virtual clock, software timers and inter-thread messages.
 //!
-//! The paper's architecture assumes "an RTOS [that] supports real-time
+//! The paper's architecture assumes "an RTOS \[that\] supports real-time
 //! multi-threading with a scheduler" (§5) — every Femto-Container
 //! instance runs as a regular thread, and hooks fire on kernel events
 //! such as thread switches. This module provides that substrate as a

@@ -1,5 +1,5 @@
-//! A SAUL-like sensor/actuator registry ([S]ensor [A]ctuator [U]ber
-//! [L]ayer, RIOT's hardware-abstraction registry).
+//! A SAUL-like sensor/actuator registry (\[S\]ensor \[A\]ctuator \[U\]ber
+//! \[L\]ayer, RIOT's hardware-abstraction registry).
 //!
 //! The paper's networked-sensor prototype (§8.3) reads a sensor through
 //! system calls (`bpf_saul_reg_find_nth` / `saul_read`); this module

@@ -20,8 +20,10 @@
 //! * [`host`] — the concurrent multi-tenant hosting runtime: sharded
 //!   engines, per-hook event queues, fair scheduling, CoAP front-end.
 //!
-//! See `examples/` for runnable scenarios and `crates/bench` for the
-//! binaries regenerating every table and figure of the paper.
+//! See `README.md` for the crate map and quickstart, `ARCHITECTURE.md`
+//! for the layered design, `examples/` for runnable scenarios and
+//! `crates/bench` for the binaries regenerating every table and figure
+//! of the paper.
 
 #![warn(missing_docs)]
 

@@ -15,7 +15,9 @@ use femto_containers::core::helpers_impl::{
     coap_ctx_bytes, helper_name_table, standard_helper_ids,
 };
 use femto_containers::core::hooks::{Hook, HookKind, HookPolicy};
-use femto_containers::host::{CoapFront, FcHost, HostConfig, HostError, ShedPolicy};
+use femto_containers::host::{
+    CoapFront, FcHost, HookEvent, HostConfig, HostError, RebalanceConfig, Rebalancer, ShedPolicy,
+};
 use femto_containers::kvstore::Scope;
 use femto_containers::net::load::{CoapLoadGen, LoadShape};
 use femto_containers::rbpf::program::ProgramBuilder;
@@ -252,6 +254,499 @@ fn coap_front_responses_match_reference_pdus() {
             assert_eq!(msg.payload, (2000 + t).to_string().as_bytes());
         }
     }
+    host.shutdown();
+}
+
+/// The batched dispatch path (one queue round-trip per hook per batch,
+/// grouped execution through `fire_hook_batch`) must produce per-event
+/// reports **bit-identical** to the single-threaded `fire_hook`
+/// reference — same guarantee the single-event path gives.
+#[test]
+fn batched_dispatch_reports_identical_to_single_fire_hook() {
+    let events = event_stream(300);
+    let reference = reference_reports(&events);
+    for workers in [1, 4] {
+        let mut host = FcHost::new(
+            Platform::CortexM4,
+            Engine::FemtoContainer,
+            HostConfig {
+                workers,
+                queue_capacity: events.len() + 1,
+                ..HostConfig::default()
+            },
+        );
+        let hooks = provision(
+            |h: &mut FcHost, hook, o| h.register_hook(hook, o),
+            &mut host,
+        );
+        for t in 0..6u32 {
+            host.env()
+                .stores()
+                .store(0, t, Scope::Tenant, 1, 2000 + t as i64)
+                .unwrap();
+            let (img, req) = tenant_program(t);
+            let id = host.install(&format!("t{t}"), t, &img, req).unwrap();
+            host.attach(id, hooks[t as usize]).unwrap();
+        }
+        // Offer the stream in mixed-hook batches of 17: per batch,
+        // group by hook (preserving each hook's order) and ride one
+        // queue round-trip per group.
+        let mut receivers: Vec<Option<std::sync::mpsc::Receiver<_>>> =
+            (0..events.len()).map(|_| None).collect();
+        for chunk_start in (0..events.len()).step_by(17) {
+            let chunk = &events[chunk_start..events.len().min(chunk_start + 17)];
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (off, &t) in chunk.iter().enumerate() {
+                match groups.iter_mut().find(|(tenant, _)| *tenant == t) {
+                    Some((_, idxs)) => idxs.push(chunk_start + off),
+                    None => groups.push((t, vec![chunk_start + off])),
+                }
+            }
+            for (t, idxs) in groups {
+                let batch: Vec<HookEvent> = idxs
+                    .iter()
+                    .map(|_| {
+                        let (ctx, pkt) = event_regions();
+                        HookEvent {
+                            ctx,
+                            extra: vec![pkt],
+                        }
+                    })
+                    .collect();
+                let rxs = host.fire_batch_with_reply(hooks[t], batch).unwrap();
+                for (i, rx) in idxs.into_iter().zip(rxs) {
+                    receivers[i] = Some(rx);
+                }
+            }
+        }
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let report = rx
+                .expect("every event offered")
+                .recv()
+                .expect("not shed")
+                .expect("hook exists");
+            assert_eq!(
+                reference[i], report,
+                "event {i} (tenant {}) diverged at {workers} workers",
+                events[i]
+            );
+        }
+        host.shutdown();
+    }
+}
+
+/// `CoapFront::dispatch_batch` end to end: batched replies arrive in
+/// request order and match the single-threaded reference bit for bit.
+#[test]
+fn coap_batch_replies_match_reference_in_request_order() {
+    let events = event_stream(90);
+    let reference = reference_reports(&events);
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 4,
+            queue_capacity: 256,
+            ..HostConfig::default()
+        },
+    );
+    let hooks = provision(
+        |h: &mut FcHost, hook, o| h.register_hook(hook, o),
+        &mut host,
+    );
+    let mut front = CoapFront::new().with_pkt_len(PKT_LEN);
+    for t in 0..6u32 {
+        host.env()
+            .stores()
+            .store(0, t, Scope::Tenant, 1, 2000 + t as i64)
+            .unwrap();
+        let (img, req) = tenant_program(t);
+        let id = host.install(&format!("t{t}"), t, &img, req).unwrap();
+        host.attach(id, hooks[t as usize]).unwrap();
+        front.add_route(&format!("t{t}/temp"), hooks[t as usize]);
+    }
+    let mut served = 0usize;
+    for (chunk_start, chunk) in events.chunks(30).enumerate() {
+        let requests: Vec<femto_containers::net::coap::Message> = chunk
+            .iter()
+            .enumerate()
+            .map(|(off, &t)| {
+                let mut req = femto_containers::net::coap::Message::request(
+                    femto_containers::net::coap::Code::Get,
+                    (chunk_start * 30 + off) as u16,
+                    &[],
+                );
+                req.set_path(&format!("t{t}/temp"));
+                req
+            })
+            .collect();
+        let replies = front.dispatch_batch(&host, &requests);
+        assert_eq!(replies.len(), chunk.len());
+        for (off, reply) in replies.into_iter().enumerate() {
+            let i = chunk_start * 30 + off;
+            let reply = reply.expect("routed and executed");
+            assert_eq!(reply.report, reference[i], "event {i}");
+            served += 1;
+        }
+    }
+    assert_eq!(served, events.len());
+    // Unrouted requests fail their own slot without harming the batch.
+    let mut good = femto_containers::net::coap::Message::request(
+        femto_containers::net::coap::Code::Get,
+        999,
+        &[],
+    );
+    good.set_path("t0/temp");
+    let mut bad = good.clone();
+    bad.set_path("no/such/resource");
+    let replies = front.dispatch_batch(&host, &[bad, good]);
+    assert!(matches!(replies[0], Err(HostError::UnknownHook(_))));
+    assert!(replies[1].is_ok());
+    host.shutdown();
+}
+
+/// Migrating a hook mid-stream must not change a single per-event
+/// report: attachment order, container identity and the shared stores
+/// all travel with it.
+#[test]
+fn migrated_hook_reports_stay_identical_to_reference() {
+    let events = event_stream(240);
+    let reference = reference_reports(&events);
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 4,
+            queue_capacity: events.len() + 1,
+            ..HostConfig::default()
+        },
+    );
+    let hooks = provision(
+        |h: &mut FcHost, hook, o| h.register_hook(hook, o),
+        &mut host,
+    );
+    for t in 0..6u32 {
+        host.env()
+            .stores()
+            .store(0, t, Scope::Tenant, 1, 2000 + t as i64)
+            .unwrap();
+        let (img, req) = tenant_program(t);
+        let id = host.install(&format!("t{t}"), t, &img, req).unwrap();
+        host.attach(id, hooks[t as usize]).unwrap();
+    }
+    let mut reports = Vec::with_capacity(events.len());
+    for (i, &t) in events.iter().enumerate() {
+        // Every 60 events, forcibly migrate the hottest-by-index hooks
+        // around the ring — with events still queued behind them.
+        if i % 60 == 30 {
+            for (k, &hook) in hooks.iter().enumerate() {
+                let to = (host.shard_of_hook(hook).unwrap() + k + 1) % host.shard_count();
+                host.migrate_hook(hook, to).unwrap();
+            }
+        }
+        let (ctx, pkt) = event_regions();
+        reports.push(
+            host.fire_sync(hooks[t], &ctx, std::slice::from_ref(&pkt))
+                .unwrap(),
+        );
+    }
+    assert_eq!(reference, reports);
+    assert!(
+        host.stats()
+            .migrations
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
+    );
+    host.shutdown();
+}
+
+/// The bugfix ride-along: *after* a hook has been rebalanced, a
+/// replacement attach (and every other lifecycle op) must route to the
+/// hook's **current** shard, not its registration-time one.
+#[test]
+fn attach_after_rebalance_routes_to_current_shard() {
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 4,
+            ..HostConfig::default()
+        },
+    );
+    let hook = Hook::new("rb-route", HookKind::Custom, HookPolicy::Sum);
+    let hook_id = hook.id;
+    host.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+    let original = host.shard_of_hook(hook_id).unwrap();
+    let first = host
+        .install(
+            "first",
+            1,
+            &image("mov r0, 40\nexit"),
+            ContractRequest::default(),
+        )
+        .unwrap();
+    host.attach(first, hook_id).unwrap();
+    let target = (original + 2) % 4;
+    host.migrate_hook(hook_id, target).unwrap();
+
+    // A brand-new container attaching to the migrated hook must land
+    // on the current shard and join the existing attachment order.
+    let second = host
+        .install(
+            "second",
+            2,
+            &image("mov r0, 2\nexit"),
+            ContractRequest::default(),
+        )
+        .unwrap();
+    host.attach(second, hook_id).unwrap();
+    assert_eq!(host.shard_of(second), Some(target), "new attach follows");
+    assert_eq!(
+        host.fire_sync(hook_id, &[], &[]).unwrap().combined,
+        Some(42),
+        "both containers fire on the current shard, in order"
+    );
+
+    // Replacement attach: detach and re-attach the original container.
+    host.detach(first, hook_id).unwrap();
+    host.attach(first, hook_id).unwrap();
+    assert_eq!(
+        host.fire_sync(hook_id, &[], &[]).unwrap().combined,
+        Some(42),
+        "re-attach lands on the current shard"
+    );
+
+    // Re-registering the hook id keeps it on the rebalanced shard.
+    host.register_hook(
+        Hook::new("rb-route", HookKind::Custom, HookPolicy::Sum),
+        ContractOffer::helpers(standard_helper_ids()),
+    );
+    assert_eq!(host.shard_of_hook(hook_id), Some(target));
+    host.shutdown();
+}
+
+/// Seeded lifecycle/rebalance interleaving: migrations race installs,
+/// attaches, detaches, removes, batched and single fires through the
+/// shard lanes in a reproducible order. The host must stay coherent —
+/// no panics, every accepted event accounted, errors only from the
+/// expected set — while the rebalancer shuffles hook placement
+/// underneath.
+#[test]
+fn seeded_lifecycle_rebalance_interleaving_stays_coherent() {
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 4,
+            queue_capacity: 64,
+            shed: ShedPolicy::DropOldest,
+            ..HostConfig::default()
+        },
+    );
+    let hooks = provision(
+        |h: &mut FcHost, hook, o| h.register_hook(hook, o),
+        &mut host,
+    );
+    let mut rebalancer = Rebalancer::new(RebalanceConfig {
+        min_balance: 0.95,
+        sustain: 1,
+        cooldown: 0,
+        ..RebalanceConfig::default()
+    });
+    let mut rng = 0x7eba_1a9c_u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut live: Vec<u32> = Vec::new();
+    let mut attempts = 0u64;
+    for step in 0..600 {
+        match next() % 12 {
+            0 | 1 => {
+                let t = (next() % 6) as u32;
+                let (img, req) = tenant_program(t);
+                let id = host.install(&format!("s{step}"), t, &img, req).unwrap();
+                live.push(id);
+            }
+            2 | 3 => {
+                if let Some(&id) = live.get(next() as usize % live.len().max(1)) {
+                    let hook = hooks[next() as usize % hooks.len()];
+                    host.attach(id, hook).expect("attach of verified image");
+                }
+            }
+            4 => {
+                if let Some(&id) = live.get(next() as usize % live.len().max(1)) {
+                    let hook = hooks[next() as usize % hooks.len()];
+                    match host.detach(id, hook) {
+                        Ok(())
+                        | Err(HostError::Engine(
+                            femto_containers::core::EngineError::NotAttached,
+                        )) => {}
+                        other => panic!("unexpected detach outcome: {other:?}"),
+                    }
+                }
+            }
+            5 => {
+                if !live.is_empty() {
+                    let idx = next() as usize % live.len();
+                    let id = live.swap_remove(idx);
+                    assert!(host.remove(id), "live container removes");
+                }
+            }
+            // Explicit migration with events possibly in flight.
+            6 => {
+                let hook = hooks[next() as usize % hooks.len()];
+                let to = next() as usize % host.shard_count();
+                host.migrate_hook(hook, to).expect("migration of live hook");
+            }
+            // Rebalancer observation (may or may not move hooks).
+            7 => {
+                rebalancer.observe(&mut host).expect("observation");
+            }
+            // Batched fire (sheds are legal under DropOldest).
+            8 | 9 => {
+                let hook = hooks[next() as usize % hooks.len()];
+                let n = 1 + next() as usize % 8;
+                let events: Vec<HookEvent> = (0..n)
+                    .map(|_| {
+                        let (ctx, pkt) = event_regions();
+                        HookEvent {
+                            ctx,
+                            extra: vec![pkt],
+                        }
+                    })
+                    .collect();
+                attempts += n as u64;
+                host.fire_batch(hook, events).expect("known hook");
+            }
+            // Single async fire.
+            10 => {
+                let hook = hooks[next() as usize % hooks.len()];
+                let (ctx, pkt) = event_regions();
+                attempts += 1;
+                match host.fire(hook, &ctx, std::slice::from_ref(&pkt)) {
+                    Ok(_) | Err(HostError::Shed) => {}
+                    Err(e) => panic!("unexpected fire error: {e:?}"),
+                }
+            }
+            // Sync fire: must complete (or report displacement).
+            _ => {
+                let hook = hooks[next() as usize % hooks.len()];
+                let (ctx, pkt) = event_regions();
+                attempts += 1;
+                match host.fire_sync(hook, &ctx, std::slice::from_ref(&pkt)) {
+                    Ok(_) | Err(HostError::Shed) => {}
+                    Err(e) => panic!("unexpected fire_sync error: {e:?}"),
+                }
+            }
+        }
+    }
+    host.quiesce();
+    let stats = host.stats();
+    let dispatched = stats.dispatched.load(std::sync::atomic::Ordering::Relaxed);
+    let shed = stats.shed.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(dispatched + shed, attempts, "event accounting balances");
+    // The host still works after the storm — on whatever shard the
+    // hook ended up on.
+    let probe = host
+        .install(
+            "probe",
+            1,
+            &image("mov r0, 99\nexit"),
+            ContractRequest::default(),
+        )
+        .unwrap();
+    host.attach(probe, hooks[0]).unwrap();
+    let r = host.fire_sync(hooks[0], &[], &[]).unwrap();
+    let probe_exec = r.executions.iter().find(|e| e.container == probe).unwrap();
+    assert_eq!(probe_exec.result, Ok(99));
+    host.shutdown();
+}
+
+/// A skewed 80/20 tenant mix whose hot hooks collide on two shards:
+/// the rebalancer must lift the window balance while every event keeps
+/// its single-device outcome.
+#[test]
+fn rebalancer_lifts_skewed_balance_with_identical_outcomes() {
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 4,
+            queue_capacity: 4096,
+            ..HostConfig::default()
+        },
+    );
+    // Eight equal-cost responder hooks round-robin over four shards:
+    // s0={0,4}, s1={1,5}, s2={2,6}, s3={3,7}. Hot set {0,1,4,5} takes
+    // 80% of the volume, so shards 0 and 1 carry 4x the load of 2/3.
+    let mut hooks = Vec::new();
+    for t in 0..8u32 {
+        let hook = Hook::new(
+            &format!("rb-skew-t{t}"),
+            HookKind::CoapRequest,
+            HookPolicy::First,
+        );
+        hooks.push(hook.id);
+        host.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        host.env()
+            .stores()
+            .store(0, t, Scope::Tenant, 1, 2000 + t as i64)
+            .unwrap();
+        let (img, req) = responder();
+        let id = host.install(&format!("t{t}"), t, &img, req).unwrap();
+        host.attach(id, hooks[t as usize]).unwrap();
+    }
+    let mut gen = femto_containers::net::load::CoapLoadGen::weighted(
+        (0..8).map(|t| format!("t{t}/temp")).collect(),
+        0xba1a,
+        &[4.0, 4.0, 1.0, 1.0, 4.0, 4.0, 1.0, 1.0],
+    );
+    let mut rebalancer = Rebalancer::new(RebalanceConfig {
+        min_balance: 0.9,
+        sustain: 1,
+        cooldown: 0,
+        min_window_cycles: 1_000,
+        max_moves: 2,
+    });
+    let mut first_balance = None;
+    let mut last_balance = 0.0;
+    for _round in 0..8 {
+        for _ in 0..1200 {
+            let (path, _) = gen.next_request();
+            let t: usize = path[1..path.find('/').unwrap()].parse().unwrap();
+            let (ctx, pkt) = event_regions();
+            let report = host
+                .fire_sync(hooks[t], &ctx, std::slice::from_ref(&pkt))
+                .unwrap();
+            // Outcomes stay single-device wherever the hook lives: the
+            // responder formats its tenant's seeded value.
+            assert_eq!(
+                report.combined.map(|len| len > 4),
+                Some(true),
+                "tenant {t} formatted a PDU"
+            );
+        }
+        host.quiesce();
+        let report = rebalancer.observe(&mut host).unwrap();
+        first_balance.get_or_insert(report.balance);
+        last_balance = report.balance;
+    }
+    let first = first_balance.unwrap();
+    assert!(
+        host.stats()
+            .migrations
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "rebalancer moved hooks"
+    );
+    assert!(first < 0.7, "static placement is imbalanced: {first:.3}");
+    assert!(
+        last_balance >= 0.9,
+        "colliding hot hooks separated: {first:.3} -> {last_balance:.3}"
+    );
     host.shutdown();
 }
 
