@@ -22,25 +22,36 @@
 //!   per event and in batches of 32 (one queue round-trip per hook per
 //!   batch).
 //! * **skewed 80/20 rebalance** — a hot-set mix whose hot hooks
-//!   collide on two shards under round-robin placement; run once with
-//!   static placement and once with the [`fc_host::Rebalancer`]
-//!   observing between rounds. The JSON records the balance recovering
-//!   and the capacity gained.
+//!   collide on two shards under round-robin placement; run with
+//!   static placement, with the [`fc_host::Rebalancer`] observing
+//!   between rounds (caller-driven), and with the host's **in-band**
+//!   trigger observing itself every N dispatched events — zero
+//!   `observe()` calls. The JSON records the balance recovering, the
+//!   capacity gained, and in-band/caller-driven parity.
+//! * **live deploy** — SUIT-signed deploys landing through the shard
+//!   control lane while a producer thread keeps the host loaded:
+//!   per-deploy latency (submission → installed + attached + old
+//!   container retired) at each worker count, with the host never
+//!   quiescing.
 //!
 //! Pass `--quick` for a smoke run (CI-sized budgets).
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use fc_core::contract::{ContractOffer, ContractRequest};
+use fc_core::deploy::author_update;
 use fc_core::helpers_impl::{helper_name_table, standard_helper_ids};
 use fc_core::hooks::{Hook, HookKind, HookPolicy};
-use fc_host::{CoapFront, FcHost, HostConfig, HostError, RebalanceConfig, Rebalancer, ShedPolicy};
+use fc_host::{
+    CoapFront, FcHost, HostConfig, HostError, LiveUpdateService, RebalanceConfig, Rebalancer,
+    ShedPolicy,
+};
 use fc_net::load::{CoapLoadGen, LoadShape};
 use fc_rbpf::helpers::ids;
-use fc_rbpf::program::ProgramBuilder;
+use fc_rbpf::program::{FcProgram, ProgramBuilder};
 use fc_rtos::platform::{Engine, Platform};
-use fc_suit::Uuid;
+use fc_suit::{SigningKey, Uuid};
 
 const TENANTS: u32 = 8;
 
@@ -81,13 +92,16 @@ spin:
 "
 }
 
-fn responder_image() -> Vec<u8> {
+fn responder_program() -> FcProgram {
     ProgramBuilder::new()
         .helpers(helper_name_table().iter().map(|(n, i)| (n.as_str(), *i)))
         .asm(responder_src())
         .expect("assembles")
         .build()
-        .to_bytes()
+}
+
+fn responder_image() -> Vec<u8> {
+    responder_program().to_bytes()
 }
 
 fn responder_request() -> ContractRequest {
@@ -103,7 +117,7 @@ fn responder_request() -> ContractRequest {
 /// Builds a host with one CoAP hook + responder per tenant and the
 /// front-end routing `t<i>/temp` onto tenant i's hook.
 fn build_host(workers: usize, config: HostConfig) -> (FcHost, CoapFront, Vec<Uuid>) {
-    let mut host = FcHost::new(
+    let host = FcHost::new(
         Platform::CortexM4,
         Engine::FemtoContainer,
         HostConfig { workers, ..config },
@@ -278,38 +292,60 @@ fn batched_comparison(workers: usize, events: u64, batch_size: usize) -> Batched
     }
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RebalanceMode {
+    /// Round-robin placement, never corrected.
+    Static,
+    /// `Rebalancer::observe` called between load rounds (the PR 3
+    /// protocol).
+    CallerDriven,
+    /// The host's own dispatch-count trigger: zero `observe()` calls
+    /// anywhere in the driver.
+    InBand,
+}
+
 struct SkewedResult {
     whole_run_balance: f64,
     final_window_balance: f64,
     capacity_eps: f64,
     migrations: u64,
+    inband_observations: u64,
 }
 
 /// The adversarial 80/20 mix: tenants {0, 1, 4, 5} take 80% of the
 /// volume and — under round-robin placement of 8 hooks over 4 shards —
-/// collide pairwise on shards 0 and 1. With `rebalance` the
-/// [`Rebalancer`] observes between load rounds and migrates hot hooks
-/// onto the idle shards.
-fn skewed_run(workers: usize, events: u64, rounds: u64, rebalance: bool) -> SkewedResult {
-    let config = HostConfig {
-        queue_capacity: 4096,
-        drain_batch: 32,
-        shed: ShedPolicy::DropNewest,
-        ..HostConfig::default()
-    };
-    let (mut host, front, _) = build_host(workers, config);
-    let mut gen = CoapLoadGen::weighted(
-        (0..TENANTS).map(|t| format!("t{t}/temp")).collect(),
-        0xfc_8020,
-        &[4.0, 4.0, 1.0, 1.0, 4.0, 4.0, 1.0, 1.0],
-    );
-    let mut rebalancer = Rebalancer::new(RebalanceConfig {
+/// collide pairwise on shards 0 and 1. Depending on the mode the
+/// imbalance is left alone, corrected by a caller-driven
+/// [`Rebalancer`] between rounds, or corrected by the host itself
+/// observing in-band every round's worth of dispatched events.
+fn skewed_run(workers: usize, events: u64, rounds: u64, mode: RebalanceMode) -> SkewedResult {
+    let rb = RebalanceConfig {
         min_balance: 0.95,
         sustain: 1,
         cooldown: 0,
         max_moves: 2,
         ..RebalanceConfig::default()
-    });
+    };
+    let per_round_interval = events / rounds.max(1);
+    let config = HostConfig {
+        queue_capacity: 4096,
+        drain_batch: 32,
+        shed: ShedPolicy::DropNewest,
+        rebalance_interval: if mode == RebalanceMode::InBand {
+            per_round_interval
+        } else {
+            0
+        },
+        rebalance: rb,
+        ..HostConfig::default()
+    };
+    let (host, front, _) = build_host(workers, config);
+    let mut gen = CoapLoadGen::weighted(
+        (0..TENANTS).map(|t| format!("t{t}/temp")).collect(),
+        0xfc_8020,
+        &[4.0, 4.0, 1.0, 1.0, 4.0, 4.0, 1.0, 1.0],
+    );
+    let mut rebalancer = Rebalancer::new(rb);
     let shard_cycles = |host: &FcHost| -> Vec<u64> {
         let mut cycles = vec![0u64; workers];
         for r in host.shard_reports() {
@@ -343,9 +379,10 @@ fn skewed_run(workers: usize, events: u64, rounds: u64, rebalance: bool) -> Skew
         }
         host.quiesce();
         // Observe after every round but the last: the final window
-        // must show the settled placement, not react to it.
-        if rebalance && round + 1 < rounds {
-            rebalancer.observe(&mut host).expect("rebalance succeeds");
+        // must show the settled placement, not react to it. (In-band
+        // mode never calls observe — the host triggers itself.)
+        if mode == RebalanceMode::CallerDriven && round + 1 < rounds {
+            rebalancer.observe(&host).expect("rebalance succeeds");
         }
     }
     let lifetime = shard_cycles(&host);
@@ -364,6 +401,150 @@ fn skewed_run(workers: usize, events: u64, rounds: u64, rebalance: bool) -> Skew
         final_window_balance: balance_of(&final_window),
         capacity_eps: (per_round * rounds) as f64 * 1e3 / max_busy_ms,
         migrations: host.stats().migrations.load(Ordering::Relaxed),
+        inband_observations: host.stats().inband_observations.load(Ordering::Relaxed),
+    }
+}
+
+struct LiveDeployResult {
+    workers: usize,
+    deploys: u64,
+    mean_deploy_us: f64,
+    max_deploy_us: f64,
+    events_during: u64,
+}
+
+/// SUIT-signed deploys landing on a **loaded, never-quiesced** host:
+/// a producer thread floods batched CoAP reads the whole time while
+/// the main thread pushes re-deploys through the shard control lane,
+/// measuring submission → swap-complete latency. Initial versions are
+/// installed through the same SUIT pipeline, so every re-deploy is a
+/// real replace (verify → control-lane install + attach + retire the
+/// predecessor).
+fn live_deploy_run(workers: usize, redeploys: u64) -> LiveDeployResult {
+    let config = HostConfig {
+        queue_capacity: 4096,
+        drain_batch: 32,
+        shed: ShedPolicy::DropNewest,
+        ..HostConfig::default()
+    };
+    let host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig { workers, ..config },
+    );
+    let mut front = CoapFront::new().with_pkt_len(64);
+    let maintainer = SigningKey::from_seed(b"bench-maintainer");
+    let mut updates = LiveUpdateService::new();
+    let mut hooks = Vec::new();
+    for t in 0..TENANTS {
+        let hook = Hook::new(
+            &format!("coap-t{t}"),
+            HookKind::CoapRequest,
+            HookPolicy::First,
+        );
+        let hook_id = hook.id;
+        host.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        host.env()
+            .stores()
+            .store(0, t, fc_kvstore::Scope::Tenant, 1, 2000 + t as i64)
+            .expect("seeds tenant value");
+        front.add_route(&format!("t{t}/temp"), hook_id);
+        updates.provision_tenant(
+            format!("bench-t{t}").as_bytes(),
+            maintainer.verifying_key(),
+            t,
+        );
+        hooks.push(hook_id);
+    }
+    let app = responder_program();
+    let deploy = |updates: &mut LiveUpdateService, t: usize, version: u64| -> f64 {
+        let uri = format!("t{t}-v{version}");
+        let (envelope, payload) = author_update(
+            &app,
+            hooks[t],
+            version,
+            &uri,
+            &maintainer,
+            format!("bench-t{t}").as_bytes(),
+        );
+        updates.stage_payload(&uri, &payload);
+        let started = Instant::now();
+        let report = updates.apply(&host, &envelope).expect("deploy accepted");
+        let us = started.elapsed().as_secs_f64() * 1e6;
+        assert!(report.attached, "deploy attached to the live hook");
+        us
+    };
+    // Version 1 of every component, before load starts.
+    for t in 0..TENANTS as usize {
+        deploy(&mut updates, t, 1);
+    }
+
+    let stop = AtomicBool::new(false);
+    let mut latencies_us: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let host_ref = &host;
+        let front_ref = &front;
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let mut gen = CoapLoadGen::new(
+                (0..TENANTS).map(|t| format!("t{t}/temp")).collect(),
+                0xfc_11fe,
+                LoadShape::Uniform,
+            );
+            while !stop_ref.load(Ordering::Relaxed) {
+                let requests: Vec<fc_net::coap::Message> =
+                    gen.next_batch(32).into_iter().map(|(_, r)| r).collect();
+                let out = front_ref.dispatch_batch_nowait(host_ref, &requests);
+                if out.rejected + out.displaced > 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        // Make "under load" real before measuring: on a core-starved
+        // box the producer thread may not be scheduled yet, and a
+        // deploy latency on an idle host would be the wrong number.
+        while host.stats().dispatched.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        // Re-deploys under load: each one replaces the component's
+        // previous container through the control lane, host running.
+        for d in 0..redeploys {
+            let t = (d % TENANTS as u64) as usize;
+            let version = 2 + d / TENANTS as u64;
+            latencies_us.push(deploy(&mut updates, t, version));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    host.quiesce();
+    let stats = host.stats();
+    assert_eq!(
+        stats.deploys.load(Ordering::Relaxed),
+        TENANTS as u64 + redeploys,
+        "every SUIT deploy landed"
+    );
+    let events_during = stats.dispatched.load(Ordering::Relaxed);
+    assert!(
+        events_during > 0,
+        "the host served events while deploys landed"
+    );
+    // The host still serves, and with the freshly deployed containers.
+    let mut req = fc_net::coap::Message::request(fc_net::coap::Code::Get, 9999, b"p");
+    req.set_path("t0/temp");
+    let reply = front
+        .dispatch_sync(&host, &req)
+        .expect("post-deploy request served");
+    assert!(
+        fc_host::coap::is_content_response(&reply.pdu),
+        "deployed responder still formats 2.05 Content"
+    );
+    let mean = latencies_us.iter().sum::<f64>() / latencies_us.len().max(1) as f64;
+    let max = latencies_us.iter().copied().fold(0.0f64, f64::max);
+    LiveDeployResult {
+        workers,
+        deploys: redeploys,
+        mean_deploy_us: mean,
+        max_deploy_us: max,
+        events_during,
     }
 }
 
@@ -456,19 +637,40 @@ fn main() {
     // from deterministic simulated cycles, but the per-window sampling
     // noise of the weighted stream must stay small even in --quick.
     let (skew_events, skew_rounds) = (24_000u64, 12u64);
-    let static_run = skewed_run(4, skew_events, skew_rounds, false);
-    let rebalanced = skewed_run(4, skew_events, skew_rounds, true);
+    let static_run = skewed_run(4, skew_events, skew_rounds, RebalanceMode::Static);
+    let rebalanced = skewed_run(4, skew_events, skew_rounds, RebalanceMode::CallerDriven);
+    let inband = skewed_run(4, skew_events, skew_rounds, RebalanceMode::InBand);
     println!(
-        "skewed 80/20 static:     balance {:.3} (final window {:.3})   capacity {:9.0} ev/s",
+        "skewed 80/20 static:       balance {:.3} (final window {:.3})   capacity {:9.0} ev/s",
         static_run.whole_run_balance, static_run.final_window_balance, static_run.capacity_eps
     );
     println!(
-        "skewed 80/20 rebalanced: balance {:.3} (final window {:.3})   capacity {:9.0} ev/s   {} migrations",
+        "skewed 80/20 caller-driven: balance {:.3} (final window {:.3})   capacity {:9.0} ev/s   {} migrations",
         rebalanced.whole_run_balance,
         rebalanced.final_window_balance,
         rebalanced.capacity_eps,
         rebalanced.migrations
     );
+    println!(
+        "skewed 80/20 in-band:      balance {:.3} (final window {:.3})   capacity {:9.0} ev/s   {} migrations, {} self-observations",
+        inband.whole_run_balance,
+        inband.final_window_balance,
+        inband.capacity_eps,
+        inband.migrations,
+        inband.inband_observations,
+    );
+
+    // Live SUIT deploys on a loaded, never-quiesced host.
+    let redeploys = 2 * TENANTS as u64;
+    let mut deploy_runs = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let r = live_deploy_run(workers, redeploys);
+        println!(
+            "live deploy under load, {workers} worker(s): {} re-deploys   mean {:8.1} µs   max {:8.1} µs   ({} events served meanwhile)",
+            r.deploys, r.mean_deploy_us, r.max_deploy_us, r.events_during
+        );
+        deploy_runs.push(r);
+    }
 
     // --- Emit BENCH_host.json --------------------------------------
     let mut out = String::from("{\n");
@@ -507,7 +709,7 @@ fn main() {
     ));
     out.push_str("  \"skewed_rebalance\": {\n");
     out.push_str(&format!(
-        "    \"load\": \"80/20 hot-set mix: tenants [0,1,4,5] take 80% of {skew_events} events; their hooks collide pairwise on shards 0 and 1 under round-robin placement ({skew_rounds} rounds, observation between rounds)\",\n"
+        "    \"load\": \"80/20 hot-set mix: tenants [0,1,4,5] take 80% of {skew_events} events; their hooks collide pairwise on shards 0 and 1 under round-robin placement ({skew_rounds} rounds; caller-driven observes between rounds, in-band self-observes every round's worth of dispatched events with zero observe() calls)\",\n"
     ));
     out.push_str(&format!(
         "    \"static\": {{\"whole_run_balance\": {:.3}, \"final_window_balance\": {:.3}, \"capacity_events_per_sec\": {:.0}}},\n",
@@ -518,9 +720,32 @@ fn main() {
         rebalanced.whole_run_balance, rebalanced.final_window_balance, rebalanced.capacity_eps, rebalanced.migrations
     ));
     out.push_str(&format!(
+        "    \"inband\": {{\"whole_run_balance\": {:.3}, \"final_window_balance\": {:.3}, \"capacity_events_per_sec\": {:.0}, \"migrations\": {}, \"self_observations\": {}}},\n",
+        inband.whole_run_balance, inband.final_window_balance, inband.capacity_eps, inband.migrations, inband.inband_observations
+    ));
+    out.push_str(&format!(
         "    \"capacity_gain\": {:.2}\n",
         rebalanced.capacity_eps / static_run.capacity_eps
     ));
+    out.push_str("  },\n");
+    out.push_str("  \"live_deploy\": {\n");
+    out.push_str(&format!(
+        "    \"load\": \"SUIT-signed re-deploys ({} per run) through the shard control lane while a producer thread floods batched CoAP reads; latency = manifest submission to swap complete (install + attach + predecessor retired), host never quiesced\",\n",
+        redeploys
+    ));
+    out.push_str("    \"runs\": [\n");
+    for (i, r) in deploy_runs.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"workers\": {}, \"deploys\": {}, \"mean_deploy_us\": {:.1}, \"max_deploy_us\": {:.1}, \"events_served_during\": {}}}{}\n",
+            r.workers,
+            r.deploys,
+            r.mean_deploy_us,
+            r.max_deploy_us,
+            r.events_during,
+            if i + 1 < deploy_runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n");
     out.push_str("  },\n");
     out.push_str("  \"metric_note\": \"capacity = events / max per-shard busy time in simulated platform time (the repo's cycle-model methodology, preemption-free): the dispatch throughput the shard layout sustains with a core per worker. Wall-clock scaling is additionally bounded by host_cores — on a 1-core container the workers time-slice one CPU, so wall stays flat while capacity tracks how the shard map and DRR queues spread the load. The 1→4 scaling criterion uses the capacity metric.\",\n");
     out.push_str("  \"semantics\": \"per-event reports are bit-identical to the single-threaded fire_hook path (tests/host_differential.rs)\"\n");
@@ -550,4 +775,28 @@ fn main() {
         static_run.capacity_eps
     );
     assert!(rebalanced.migrations > 0, "rebalancer must migrate hooks");
+    // In-band parity: the host's own trigger must reproduce the
+    // caller-driven result with zero observe() calls in the driver.
+    assert!(
+        inband.final_window_balance >= 0.9,
+        "in-band rebalancing should lift balance to >= 0.9: {:.3}",
+        inband.final_window_balance
+    );
+    assert!(inband.migrations > 0, "in-band trigger must migrate hooks");
+    assert!(
+        inband.inband_observations > 0,
+        "the host must have observed itself"
+    );
+    assert!(
+        inband.capacity_eps >= static_run.capacity_eps,
+        "in-band rebalancing must not cost capacity: {:.0} vs {:.0}",
+        inband.capacity_eps,
+        static_run.capacity_eps
+    );
+    for r in &deploy_runs {
+        assert!(
+            r.mean_deploy_us > 0.0 && r.events_during > 0,
+            "live deploys must land while the host serves events"
+        );
+    }
 }

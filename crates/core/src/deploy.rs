@@ -68,6 +68,24 @@ pub fn required_helpers(image: &FcProgram) -> HashSet<u32> {
         .collect()
 }
 
+/// The contract request a deployed image is granted: exactly the
+/// helpers it calls ([`required_helpers`]) and no extra stack — the
+/// shared policy of the single-device [`UpdateService`] and the
+/// live-host deploy path, so both install identically.
+pub fn contract_request_for(image: &FcProgram) -> ContractRequest {
+    ContractRequest {
+        helpers: required_helpers(image),
+        extra_stack: 0,
+    }
+}
+
+/// Canonical container name for a SUIT storage location — shared by
+/// every deploy path so a reference engine replaying the same update
+/// sequence produces bit-identical reports.
+pub fn component_name(component: Uuid) -> String {
+    format!("suit-{component}")
+}
+
 /// Author-side: builds and signs the manifest + payload pair for an
 /// application targeting a hook.
 pub fn author_update(
@@ -162,11 +180,8 @@ impl UpdateService {
         // Validate the image against the engine *before* committing the
         // sequence number, so a bad payload doesn't burn it.
         let image = FcProgram::from_bytes(&payload).map_err(EngineError::Parse)?;
-        let request = ContractRequest {
-            helpers: required_helpers(&image),
-            extra_stack: 0,
-        };
-        let name = format!("suit-{}", hook);
+        let request = contract_request_for(&image);
+        let name = component_name(hook);
         let new_id = engine.install(&name, tenant, &payload, request)?;
         match engine.attach(new_id, hook) {
             Ok(()) => {}
@@ -229,18 +244,11 @@ pub fn register_coap_endpoints(
                 });
             let mut staged = staged.borrow_mut();
             let buf = staged.entry(name).or_default();
-            let offset = block.offset();
-            if block.num == 0 && buf.len() > req.payload.len() {
-                buf.clear();
-            }
-            if buf.len() >= offset + req.payload.len() {
-                // Duplicate block (the client retransmitted because our
-                // ACK was lost): idempotent success.
-            } else if buf.len() != offset {
-                // A hole: reject so the client restarts the transfer.
+            // One shared staging state machine (restart clears stale
+            // bytes, duplicates are idempotent, holes reject) for this
+            // endpoint and the hosting runtime's /suit/payload lane.
+            if !fc_net::block::stage_chunk(buf, block.offset(), &req.payload, block.num == 0) {
                 return Message::response_to(req, Code::BadRequest);
-            } else {
-                buf.extend_from_slice(&req.payload);
             }
             let mut resp = Message::response_to(
                 req,

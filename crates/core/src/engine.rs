@@ -532,6 +532,47 @@ impl HostingEngine {
         Ok(id)
     }
 
+    /// The deploy-swap primitive behind live SUIT updates: installs a
+    /// fresh program under `id`, attaches it to `attach` (when given)
+    /// and retires `replace` — detached from the hook and removed —
+    /// as one indivisible engine mutation. Callers that serialize
+    /// engine access (a shard worker's control lane, or the
+    /// single-threaded reference in the differential suite) therefore
+    /// guarantee that every hook fire sees either the predecessor or
+    /// the replacement, never both and never neither.
+    ///
+    /// # Errors
+    ///
+    /// As [`HostingEngine::install_with_id`], plus
+    /// [`EngineError::UnknownHook`] / [`EngineError::Verify`] from the
+    /// attach — the install is rolled back then and `replace` keeps
+    /// running untouched (deploys are atomic, as in the SUIT flow of
+    /// [`crate::deploy::UpdateService`]).
+    #[allow(clippy::too_many_arguments)] // mirrors the install signature + swap operands
+    pub fn deploy_swap(
+        &mut self,
+        id: ContainerId,
+        name: &str,
+        tenant: TenantId,
+        image_bytes: &[u8],
+        request: ContractRequest,
+        attach: Option<Uuid>,
+        replace: Option<ContainerId>,
+    ) -> Result<ContainerId, EngineError> {
+        self.install_with_id(id, name, tenant, image_bytes, request)?;
+        if let Some(hook) = attach {
+            if let Err(e) = self.attach(id, hook) {
+                self.remove(id);
+                return Err(e);
+            }
+            if let Some(old) = replace {
+                let _ = self.detach(old, hook);
+                self.remove(old);
+            }
+        }
+        Ok(id)
+    }
+
     /// Attaches an installed container to a hook, re-verifying the
     /// program against the hook's (possibly narrower) helper offer.
     ///

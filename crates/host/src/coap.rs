@@ -19,9 +19,11 @@ use std::sync::mpsc::Receiver;
 
 use fc_core::engine::{EngineError, HookReport, HostRegion};
 use fc_core::helpers_impl::coap_ctx_bytes;
-use fc_net::coap::{Code, Message};
-use fc_suit::Uuid;
+use fc_net::block::Block;
+use fc_net::coap::{option, Code, Message};
+use fc_suit::{UpdateError, Uuid};
 
+use crate::deploy::{LiveDeployError, LiveUpdateService};
 use crate::host::{FcHost, HookEvent, HostError};
 use crate::queue::{Accepted, BatchAccepted};
 
@@ -210,6 +212,90 @@ impl CoapFront {
             .collect()
     }
 
+    /// Serves the SUIT control resources — the live-deploy lane of the
+    /// front-end. Returns `None` when the path is not a SUIT resource
+    /// (route it through the tenant dispatch paths instead).
+    ///
+    /// * `POST /suit/payload?name=<uri>` with a Block1 option stages
+    ///   one payload chunk into the service (in-order, hole-free; a
+    ///   zero-length terminal block is legal — see
+    ///   [`LiveUpdateService::stage_block`]);
+    /// * `POST /suit/manifest` submits the signed manifest envelope and
+    ///   triggers the full live-deploy pipeline against the staged
+    ///   payloads. The response carries the deploy report — accepted
+    ///   ([`crate::deploy::DeployReport`] via `Display`) or the
+    ///   rejection reason — as its payload, with 2.04 Changed /
+    ///   4.01 Unauthorized / 4.00 Bad Request codes matching the
+    ///   single-device endpoint's conventions.
+    pub fn dispatch_suit(
+        &self,
+        host: &FcHost,
+        updates: &mut LiveUpdateService,
+        request: &Message,
+    ) -> Option<Message> {
+        match normalize(&request.path()).as_str() {
+            "suit/payload" => Some(Self::stage_suit_block(updates, request)),
+            "suit/manifest" => Some(Self::apply_suit_manifest(host, updates, request)),
+            _ => None,
+        }
+    }
+
+    fn stage_suit_block(updates: &mut LiveUpdateService, request: &Message) -> Message {
+        let name = request
+            .options
+            .iter()
+            .find(|(n, _)| *n == option::URI_QUERY)
+            .map(|(_, v)| String::from_utf8_lossy(v).into_owned())
+            .unwrap_or_else(|| "default".to_owned());
+        let block = request
+            .option_uint(option::BLOCK1)
+            .and_then(Block::from_uint)
+            .unwrap_or(Block {
+                num: 0,
+                more: false,
+                szx: 6,
+            });
+        let accepted = updates.stage_block(&name, block.offset(), &request.payload, block.num == 0);
+        if !accepted {
+            // A hole: reject so the client restarts the transfer.
+            return Message::response_to(request, Code::BadRequest);
+        }
+        let mut resp = Message::response_to(
+            request,
+            if block.more {
+                Code::Continue
+            } else {
+                Code::Changed
+            },
+        );
+        resp.add_option_uint(option::BLOCK1, block.to_uint());
+        resp
+    }
+
+    fn apply_suit_manifest(
+        host: &FcHost,
+        updates: &mut LiveUpdateService,
+        request: &Message,
+    ) -> Message {
+        match updates.apply(host, &request.payload) {
+            Ok(report) => {
+                let mut resp = Message::response_to(request, Code::Changed);
+                resp.payload = report.to_string().into_bytes();
+                resp
+            }
+            Err(e) => {
+                let code = match &e {
+                    LiveDeployError::Update(UpdateError::UnknownKeyId { .. })
+                    | LiveDeployError::Update(UpdateError::Manifest(_)) => Code::Unauthorized,
+                    _ => Code::BadRequest,
+                };
+                let mut resp = Message::response_to(request, code);
+                resp.payload = e.to_string().into_bytes();
+                resp
+            }
+        }
+    }
+
     /// Fire-and-forget batch dispatch for load generation: groups the
     /// requests by hook and enqueues each group with one queue
     /// round-trip, without reply channels. Returns the summed
@@ -257,6 +343,172 @@ fn normalize(path: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::host::HostConfig;
+    use fc_core::contract::ContractOffer;
+    use fc_core::deploy::author_update;
+    use fc_core::helpers_impl::standard_helper_ids;
+    use fc_core::hooks::{Hook, HookKind, HookPolicy};
+    use fc_net::block::slice_block;
+    use fc_rtos::platform::{Engine, Platform};
+    use fc_suit::SigningKey;
+
+    fn suit_host() -> (FcHost, Uuid) {
+        let host = FcHost::new(
+            Platform::CortexM4,
+            Engine::FemtoContainer,
+            HostConfig {
+                workers: 2,
+                ..HostConfig::default()
+            },
+        );
+        let hook = Hook::new("suit-coap-t0", HookKind::SchedSwitch, HookPolicy::First);
+        let hook_id = hook.id;
+        host.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+        (host, hook_id)
+    }
+
+    fn provisioned() -> (LiveUpdateService, SigningKey) {
+        let key = SigningKey::from_seed(b"coap-maintainer");
+        let mut updates = LiveUpdateService::new();
+        updates.provision_tenant(b"tenant-a", key.verifying_key(), 1);
+        (updates, key)
+    }
+
+    /// Drives the staging endpoint the way a *streaming* sender does:
+    /// it does not know the total length, marks every full block
+    /// `more = true`, and closes an exact-multiple transfer with a
+    /// zero-length terminal block at `offset == len`. The sender
+    /// chunks through `slice_block`, which used to return `None` at
+    /// that offset and strand the hand-off (the regression this test
+    /// pins).
+    fn stream_payload(
+        front: &CoapFront,
+        host: &FcHost,
+        updates: &mut LiveUpdateService,
+        uri: &str,
+        payload: &[u8],
+        block_size: usize,
+    ) {
+        let mut num = 0u32;
+        loop {
+            let block = Block::with_size(num, false, block_size);
+            let (chunk, _) =
+                slice_block(payload, block).expect("every offset up to and including len resolves");
+            // A short (or empty) chunk is the terminal block.
+            let done = chunk.len() < block_size;
+            let mut req = Message::request(Code::Post, num as u16, &[]);
+            req.set_path("suit/payload");
+            req.add_option(option::URI_QUERY, uri.as_bytes().to_vec());
+            req.add_option_uint(
+                option::BLOCK1,
+                Block {
+                    num,
+                    more: !done,
+                    szx: block.szx,
+                }
+                .to_uint(),
+            );
+            req.payload = chunk;
+            let resp = front
+                .dispatch_suit(host, updates, &req)
+                .expect("suit path routed");
+            assert!(
+                resp.code.is_success(),
+                "block {num} rejected: {:?}",
+                resp.code
+            );
+            if done {
+                return;
+            }
+            num += 1;
+        }
+    }
+
+    #[test]
+    fn streaming_exact_multiple_staging_round_trips() {
+        let (mut host, _) = suit_host();
+        let (mut updates, _) = provisioned();
+        let front = CoapFront::new();
+        // 64 bytes in 32-byte blocks: two full blocks, then the
+        // zero-length terminal block at offset == len.
+        let payload: Vec<u8> = (0..64u8).collect();
+        stream_payload(&front, &host, &mut updates, "img", &payload, 32);
+        assert_eq!(updates.staged_payload("img"), Some(&payload[..]));
+        // Zero-length payload: a single empty terminal block stages an
+        // empty buffer rather than erroring.
+        stream_payload(&front, &host, &mut updates, "empty", &[], 32);
+        assert_eq!(updates.staged_payload("empty"), Some(&[][..]));
+        // A non-multiple payload keeps working (short final block).
+        let odd: Vec<u8> = (0..50u8).collect();
+        stream_payload(&front, &host, &mut updates, "odd", &odd, 32);
+        assert_eq!(updates.staged_payload("odd"), Some(&odd[..]));
+        host.shutdown();
+    }
+
+    #[test]
+    fn suit_endpoints_deploy_live_end_to_end() {
+        let (mut host, hook_id) = suit_host();
+        let (mut updates, key) = provisioned();
+        let front = CoapFront::new();
+        let app = fc_core::apps::thread_counter();
+        let (envelope, payload) = author_update(&app, hook_id, 1, "app-v1", &key, b"tenant-a");
+        stream_payload(&front, &host, &mut updates, "app-v1", &payload, 32);
+
+        let mut req = Message::request(Code::Post, 99, &[1]);
+        req.set_path("suit/manifest");
+        req.payload = envelope;
+        let resp = front
+            .dispatch_suit(&host, &mut updates, &req)
+            .expect("suit path routed");
+        assert_eq!(resp.code, Code::Changed);
+        let report = String::from_utf8(resp.payload).unwrap();
+        assert!(
+            report.contains("deployed"),
+            "reply lane carries the report: {report}"
+        );
+        assert_eq!(updates.accepted_count(), 1);
+        assert_eq!(
+            updates.staged_payload("app-v1"),
+            None,
+            "successful deploy drops its staged payload"
+        );
+        let container = updates.installed_container(hook_id).unwrap();
+        let fired = host.fire_sync(hook_id, &[], &[]).unwrap();
+        assert_eq!(fired.executions.len(), 1);
+        assert_eq!(fired.executions[0].container, container);
+        host.shutdown();
+    }
+
+    #[test]
+    fn suit_manifest_with_bad_signature_gets_401_with_reason() {
+        let (mut host, hook_id) = suit_host();
+        let (mut updates, _) = provisioned();
+        let front = CoapFront::new();
+        let attacker = SigningKey::from_seed(b"attacker");
+        let (envelope, payload) = author_update(
+            &fc_core::apps::thread_counter(),
+            hook_id,
+            1,
+            "evil",
+            &attacker,
+            b"tenant-a", // claims tenant-a's key id
+        );
+        updates.stage_payload("evil", &payload);
+        let mut req = Message::request(Code::Post, 7, &[1]);
+        req.set_path("suit/manifest");
+        req.payload = envelope;
+        let resp = front
+            .dispatch_suit(&host, &mut updates, &req)
+            .expect("suit path routed");
+        assert_eq!(resp.code, Code::Unauthorized);
+        assert!(!resp.payload.is_empty(), "rejection reason travels back");
+        assert_eq!(updates.installed_container(hook_id), None);
+        // Non-SUIT paths fall through to tenant routing.
+        let mut other = Message::request(Code::Get, 8, &[]);
+        other.set_path("t0/temp");
+        assert!(front.dispatch_suit(&host, &mut updates, &other).is_none());
+        host.shutdown();
+    }
 
     #[test]
     fn routes_normalise_leading_slash() {

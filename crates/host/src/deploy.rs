@@ -1,0 +1,290 @@
+//! Live SUIT deployment onto a running [`FcHost`].
+//!
+//! The paper's headline capability (§5) is secure over-the-air
+//! deployment onto a *running* device: a signed SUIT manifest arrives,
+//! its payload is fetched block-wise over CoAP, and only a
+//! fully-verified image reaches the engine. The single-device flow
+//! lives in `fc_core::deploy`; this module is the hosting-runtime
+//! version — the same security pipeline, but the install lands
+//! **through the shard control lane** while the host keeps serving
+//! events:
+//!
+//! 1. payload blocks are staged into the service (over
+//!    [`crate::CoapFront::dispatch_suit`] or directly via
+//!    [`LiveUpdateService::stage_payload`]);
+//! 2. the manifest's COSE/Schnorr envelope is verified against the
+//!    tenant's provisioned key, rollback-checked, and the staged
+//!    payload digest-checked — **before** the engine is touched;
+//! 3. the verified image rides one [`FcHost::deploy_verified`] call:
+//!    placement consults the *current* hook→shard routing
+//!    (post-migration), and the install + attach + predecessor
+//!    retirement execute as one control-lane command between event
+//!    drains — no quiescing, no torn state;
+//! 4. only then is the SUIT sequence number committed, so a deploy the
+//!    engine rejects never burns it.
+//!
+//! Every mutation of a live hook thus funnels through one serialization
+//! point per shard — the control lane — mirroring how containerized
+//! runtimes route all lifecycle through a single agent channel instead
+//! of side-channel mutation of a running sandbox.
+
+use std::collections::HashMap;
+
+use fc_core::deploy::{component_name, contract_request_for};
+use fc_core::engine::{ContainerId, EngineError};
+use fc_kvstore::TenantId;
+use fc_rbpf::program::FcProgram;
+use fc_suit::{UpdateError, UpdateManager, Uuid, VerifyingKey};
+
+use crate::host::{FcHost, HostError};
+
+/// Why a live deployment was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveDeployError {
+    /// Manifest/payload validation failed (signature, rollback, size,
+    /// digest).
+    Update(UpdateError),
+    /// The host (or its target shard's engine) rejected the deploy.
+    Host(HostError),
+    /// The manifest's payload URI has not been staged.
+    PayloadUnavailable {
+        /// The URI the manifest named.
+        uri: String,
+    },
+}
+
+impl std::fmt::Display for LiveDeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveDeployError::Update(e) => write!(f, "update rejected: {e}"),
+            LiveDeployError::Host(e) => write!(f, "host rejected: {e}"),
+            LiveDeployError::PayloadUnavailable { uri } => {
+                write!(f, "payload `{uri}` not staged")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiveDeployError {}
+
+impl From<UpdateError> for LiveDeployError {
+    fn from(e: UpdateError) -> Self {
+        LiveDeployError::Update(e)
+    }
+}
+
+impl From<HostError> for LiveDeployError {
+    fn from(e: HostError) -> Self {
+        LiveDeployError::Host(e)
+    }
+}
+
+/// What an accepted live deploy did — the report sent back through the
+/// reply lane (the CoAP response payload, via its `Display`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeployReport {
+    /// The freshly installed container.
+    pub container: ContainerId,
+    /// The manifest's storage location (= target hook UUID).
+    pub component: Uuid,
+    /// Shard the container landed on.
+    pub shard: usize,
+    /// The committed SUIT sequence number.
+    pub sequence: u64,
+    /// Whether the container was attached to the component's hook
+    /// (`false` for an unattached install: the component names no
+    /// registered hook).
+    pub attached: bool,
+    /// Predecessor container retired by this deploy, if any.
+    pub replaced: Option<ContainerId>,
+}
+
+impl std::fmt::Display for DeployReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deployed container={} shard={} seq={} attached={}",
+            self.container, self.shard, self.sequence, self.attached
+        )?;
+        if let Some(old) = self.replaced {
+            write!(f, " replaced={old}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The host-owned SUIT update service: provisioned trust anchors,
+/// per-component sequence state, block-wise payload staging, and the
+/// component → container bindings that make re-deploys replace their
+/// predecessor.
+///
+/// # Examples
+///
+/// ```
+/// use fc_core::deploy::author_update;
+/// use fc_core::contract::ContractOffer;
+/// use fc_core::helpers_impl::standard_helper_ids;
+/// use fc_core::hooks::{Hook, HookKind, HookPolicy};
+/// use fc_host::{FcHost, HostConfig, LiveUpdateService};
+/// use fc_rtos::platform::{Engine, Platform};
+/// use fc_suit::SigningKey;
+///
+/// let mut host = FcHost::new(Platform::CortexM4, Engine::FemtoContainer, HostConfig::default());
+/// let hook = Hook::new("tick", HookKind::Timer, HookPolicy::First);
+/// let hook_id = hook.id;
+/// host.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+///
+/// // Commissioning: provision the tenant's verification key.
+/// let key = SigningKey::from_seed(b"tenant-a-maintainer");
+/// let mut updates = LiveUpdateService::new();
+/// updates.provision_tenant(b"tenant-a", key.verifying_key(), 1);
+///
+/// // Author side: sign an image for the hook; stage + apply it live.
+/// let app = fc_core::apps::thread_counter();
+/// let (envelope, payload) = author_update(&app, hook_id, 1, "app-v1", &key, b"tenant-a");
+/// updates.stage_payload("app-v1", &payload);
+/// let report = updates.apply(&host, &envelope).unwrap();
+/// assert!(report.attached);
+/// let fired = host.fire_sync(hook_id, &[], &[]).unwrap();
+/// assert_eq!(fired.executions.len(), 1);
+/// host.shutdown();
+/// ```
+#[derive(Debug, Default)]
+pub struct LiveUpdateService {
+    manager: UpdateManager,
+    tenants: HashMap<Vec<u8>, TenantId>,
+    installed: HashMap<Uuid, ContainerId>,
+    staged: HashMap<String, Vec<u8>>,
+}
+
+impl LiveUpdateService {
+    /// Creates a service with no trust anchors.
+    pub fn new() -> Self {
+        LiveUpdateService::default()
+    }
+
+    /// Provisions a tenant: its signing key id, verification key and
+    /// tenant id for store scoping (done at commissioning, not over
+    /// the air).
+    pub fn provision_tenant(&mut self, key_id: &[u8], key: VerifyingKey, tenant: TenantId) {
+        self.manager.trust(key_id, key);
+        self.tenants.insert(key_id.to_vec(), tenant);
+    }
+
+    /// Container currently bound to a storage location.
+    pub fn installed_container(&self, component: Uuid) -> Option<ContainerId> {
+        self.installed.get(&component).copied()
+    }
+
+    /// Updates accepted so far.
+    pub fn accepted_count(&self) -> u64 {
+        self.manager.accepted_count()
+    }
+
+    /// Updates rejected so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.manager.rejected_count()
+    }
+
+    /// Stages a whole payload under a URI in one call (the block-wise
+    /// path is [`LiveUpdateService::stage_block`]).
+    pub fn stage_payload(&mut self, uri: &str, payload: &[u8]) {
+        self.staged.insert(uri.to_owned(), payload.to_vec());
+    }
+
+    /// Appends one Block1 chunk to a staged payload, with the shared
+    /// receiver-side discipline of [`fc_net::block::stage_chunk`]
+    /// (in-order, hole-free; `restart` — Block1 `num == 0` — clears
+    /// any stale staging for the URI; zero-length terminal blocks and
+    /// retransmitted duplicates are idempotent).
+    pub fn stage_block(&mut self, uri: &str, offset: usize, chunk: &[u8], restart: bool) -> bool {
+        fc_net::block::stage_chunk(
+            self.staged.entry(uri.to_owned()).or_default(),
+            offset,
+            chunk,
+            restart,
+        )
+    }
+
+    /// The staged bytes for a URI, if any.
+    pub fn staged_payload(&self, uri: &str) -> Option<&[u8]> {
+        self.staged.get(uri).map(|v| v.as_slice())
+    }
+
+    /// Drops a staged payload (to abort a transfer; a successful
+    /// [`LiveUpdateService::apply`] drops its payload itself).
+    pub fn unstage(&mut self, uri: &str) -> bool {
+        self.staged.remove(uri).is_some()
+    }
+
+    /// Applies a signed manifest to the **running** host: verify →
+    /// rollback-check → digest-check the staged payload → deploy
+    /// through the shard control lane → commit the sequence number.
+    ///
+    /// Placement policy (see [`FcHost::deploy_verified`]): when the
+    /// manifest's component names a registered hook, the container
+    /// attaches to it on the hook's *current* shard, atomically
+    /// replacing this component's previous container; otherwise it
+    /// installs unattached on the least-loaded shard.
+    ///
+    /// On success the staged payload is dropped — a long-lived host
+    /// taking updates forever must not accumulate one image per
+    /// deploy. On error it stays staged, so a corrected manifest can
+    /// retry without re-transferring the payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`LiveDeployError`]. On error nothing changed: the previous
+    /// container keeps running and the sequence number is not burned,
+    /// so a corrected payload can retry under the same manifest.
+    pub fn apply(
+        &mut self,
+        host: &FcHost,
+        envelope: &[u8],
+    ) -> Result<DeployReport, LiveDeployError> {
+        let pending = self.manager.begin(envelope)?;
+        let uri = pending.manifest.uri.clone();
+        let Some(payload) = self.staged.get(&uri).cloned() else {
+            return Err(LiveDeployError::PayloadUnavailable { uri });
+        };
+        // Front-load the digest/size check so a bad payload never
+        // touches the running engine. Routing the failure through
+        // `complete` keeps the manager's rejection counters truthful.
+        if let Err(e) = self.manager.check_payload(&pending, &payload) {
+            let _ = self.manager.complete(pending, payload);
+            return Err(e.into());
+        }
+        let tenant = self
+            .tenants
+            .get(&pending.key_id)
+            .copied()
+            .unwrap_or_default();
+        let component = pending.manifest.component;
+        let image = FcProgram::from_bytes(&payload)
+            .map_err(|e| LiveDeployError::Host(HostError::Engine(EngineError::Parse(e))))?;
+        let request = contract_request_for(&image);
+        let hook = host.shard_of_hook(component).is_some().then_some(component);
+        let replace = self.installed.get(&component).copied();
+        let outcome = host.deploy_verified(
+            &component_name(component),
+            tenant,
+            &payload,
+            request,
+            hook,
+            replace,
+        )?;
+        // The deploy landed: commit the SUIT state. `check_payload`
+        // already validated this exact payload, so this cannot fail.
+        let ready = self.manager.complete(pending, payload)?;
+        self.installed.insert(component, outcome.container);
+        self.staged.remove(&uri);
+        Ok(DeployReport {
+            container: outcome.container,
+            component,
+            shard: outcome.shard,
+            sequence: ready.manifest.sequence,
+            attached: outcome.hook.is_some(),
+            replaced: outcome.replaced,
+        })
+    }
+}

@@ -18,15 +18,34 @@
 //!   the same local store in the shared [`HostEnv`] — so placement is
 //!   invisible to the container.
 //!
+//! ## Concurrency model
+//!
+//! All placement state (hook→shard routing, container→shard carriage,
+//! attachment sets, retained specs) lives behind one `RwLock`:
+//!
+//! * **fires** take the read lock for routing *and hold it across the
+//!   inbox push*, so an accepted event always lands on a live queue —
+//!   a migration can never shed it by racing the enqueue;
+//! * **lifecycle mutations** (install, attach, deploy, migrate, …)
+//!   take the write lock for their whole critical section, which
+//!   serializes them against each other and against every fire. A
+//!   deploy racing a migration of its target hook therefore resolves
+//!   in caller order: whichever runs second sees the other's placement.
+//!
+//! Shard workers never touch the placement lock, so queued events keep
+//! draining while a lifecycle operation holds it — lifecycle stalls
+//! *enqueues*, never execution. This is what lets a SUIT deploy land on
+//! a loaded host without quiescing it.
+//!
 //! Throughput scales with shards because distinct hooks (in the CoAP
 //! front-end: distinct tenant resources) dispatch concurrently, while
 //! everything genuinely shared (stores, sensors, console, clock) lives
 //! in the `HostEnv` behind sharded locks.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -42,6 +61,7 @@ use fc_rtos::platform::{Engine as EngineFlavor, Platform};
 use fc_suit::Uuid;
 
 use crate::queue::{Accepted, BatchAccepted, Event, Inbox, ShedPolicy};
+use crate::rebalance::{RebalanceConfig, Rebalancer};
 use crate::shard::{spawn_shard, Command, OutstandingGauge, ShardParams, ShardReport, SharedInbox};
 use crate::stats::HostStats;
 
@@ -96,6 +116,14 @@ pub struct HostConfig {
     pub quantum_insns: u64,
     /// Backpressure policy for full queues.
     pub shed: ShedPolicy,
+    /// In-band rebalancing: every `rebalance_interval` dispatched
+    /// events the host takes a [`Rebalancer`] observation itself — no
+    /// caller-driven `observe()` needed. `0` disables the trigger
+    /// (observation stays caller-driven, as before).
+    pub rebalance_interval: u64,
+    /// Tuning for the in-band rebalancer (ignored while
+    /// `rebalance_interval` is 0).
+    pub rebalance: RebalanceConfig,
 }
 
 impl Default for HostConfig {
@@ -106,6 +134,8 @@ impl Default for HostConfig {
             drain_batch: 16,
             quantum_insns: 4096,
             shed: ShedPolicy::default(),
+            rebalance_interval: 0,
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -139,9 +169,58 @@ impl HookEvent {
     }
 }
 
+/// What a successful [`FcHost::deploy_verified`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeployOutcome {
+    /// The freshly installed container.
+    pub container: ContainerId,
+    /// Shard it landed on (the target hook's current shard, or the
+    /// least-loaded shard for an unattached install).
+    pub shard: usize,
+    /// Hook the container was attached to, when the deploy targeted
+    /// one.
+    pub hook: Option<Uuid>,
+    /// Previous container retired by this deploy, if any.
+    pub replaced: Option<ContainerId>,
+}
+
 struct Shard {
     inbox: SharedInbox,
     worker: Option<JoinHandle<()>>,
+}
+
+/// Routing and carriage state: every map a lifecycle decision reads or
+/// writes, guarded by one `RwLock` (see the module docs on the
+/// concurrency model).
+struct Placement {
+    /// Hook → owning shard. **The single routing authority**: every
+    /// fire, attach, detach, deploy and migration resolves the shard
+    /// here, so a rebalanced hook's events and lifecycle always land on
+    /// its *current* shard.
+    hook_shard: HashMap<Uuid, usize>,
+    /// Hook descriptor + offer, retained for re-registration on the
+    /// target shard when the rebalancer migrates the hook.
+    hook_specs: HashMap<Uuid, (Hook, ContractOffer)>,
+    next_hook_shard: usize,
+    /// Container → shards carrying it (first entry = home/primary).
+    container_shards: BTreeMap<ContainerId, Vec<usize>>,
+    /// Container → hooks it is attached to.
+    attachments: HashMap<ContainerId, HashSet<Uuid>>,
+    specs: HashMap<ContainerId, ContainerSpec>,
+    /// Containers installed per shard (placement heuristic).
+    shard_load: Vec<usize>,
+    next_id: ContainerId,
+}
+
+impl Placement {
+    fn least_loaded(&self) -> usize {
+        self.shard_load
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, n)| **n)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
 }
 
 /// The concurrent multi-tenant hosting runtime (see module docs).
@@ -176,23 +255,14 @@ pub struct FcHost {
     config: HostConfig,
     platform: Platform,
     flavor: EngineFlavor,
-    /// Hook → owning shard. **The single routing authority**: every
-    /// fire, attach, detach and migration resolves the shard here, so
-    /// a rebalanced hook's events and lifecycle always land on its
-    /// *current* shard.
-    hook_shard: HashMap<Uuid, usize>,
-    /// Hook descriptor + offer, retained for re-registration on the
-    /// target shard when the rebalancer migrates the hook.
-    hook_specs: HashMap<Uuid, (Hook, ContractOffer)>,
-    next_hook_shard: usize,
-    /// Container → shards carrying it (first entry = home/primary).
-    container_shards: BTreeMap<ContainerId, Vec<usize>>,
-    /// Container → hooks it is attached to.
-    attachments: HashMap<ContainerId, HashSet<Uuid>>,
-    specs: HashMap<ContainerId, ContainerSpec>,
-    /// Containers installed per shard (placement heuristic).
-    shard_load: Vec<usize>,
-    next_id: ContainerId,
+    placement: RwLock<Placement>,
+    /// The folded-in rebalancer, present when `rebalance_interval > 0`.
+    /// `try_lock` keeps the trigger non-reentrant and lets every other
+    /// producer skip past while one observation runs.
+    inband: Option<Mutex<Rebalancer>>,
+    /// Dispatched-event count at which the next in-band observation
+    /// fires.
+    next_rebalance_at: AtomicU64,
 }
 
 impl FcHost {
@@ -250,17 +320,22 @@ impl FcHost {
             env,
             stats,
             outstanding,
-            config,
             platform,
             flavor,
-            hook_shard: HashMap::new(),
-            hook_specs: HashMap::new(),
-            next_hook_shard: 0,
-            container_shards: BTreeMap::new(),
-            attachments: HashMap::new(),
-            specs: HashMap::new(),
-            shard_load: vec![0; workers],
-            next_id: 1,
+            placement: RwLock::new(Placement {
+                hook_shard: HashMap::new(),
+                hook_specs: HashMap::new(),
+                next_hook_shard: 0,
+                container_shards: BTreeMap::new(),
+                attachments: HashMap::new(),
+                specs: HashMap::new(),
+                shard_load: vec![0; workers],
+                next_id: 1,
+            }),
+            inband: (config.rebalance_interval > 0)
+                .then(|| Mutex::new(Rebalancer::new(config.rebalance))),
+            next_rebalance_at: AtomicU64::new(config.rebalance_interval),
+            config,
         }
     }
 
@@ -296,14 +371,22 @@ impl FcHost {
 
     /// Shard a container currently calls home, if installed.
     pub fn shard_of(&self, container: ContainerId) -> Option<usize> {
-        self.container_shards
+        self.placement
+            .read()
+            .expect("placement lock")
+            .container_shards
             .get(&container)
             .and_then(|s| s.first().copied())
     }
 
     /// Shard owning a hook's event queue, if registered.
     pub fn shard_of_hook(&self, hook: Uuid) -> Option<usize> {
-        self.hook_shard.get(&hook).copied()
+        self.placement
+            .read()
+            .expect("placement lock")
+            .hook_shard
+            .get(&hook)
+            .copied()
     }
 
     fn send_command(&self, shard: usize, command: Command) {
@@ -314,7 +397,7 @@ impl FcHost {
 
     /// Overrides the finite-execution budgets on every shard, for
     /// installed containers and future installs alike.
-    pub fn set_exec_config(&mut self, config: ExecConfig) {
+    pub fn set_exec_config(&self, config: ExecConfig) {
         for shard in 0..self.shards.len() {
             self.send_command(shard, Command::SetExecConfig { config });
         }
@@ -324,27 +407,81 @@ impl FcHost {
     /// creating its bounded event queue there. Re-registering an id
     /// keeps the hook on its current shard — including a shard the
     /// rebalancer moved it to.
-    pub fn register_hook(&mut self, hook: Hook, offer: ContractOffer) {
-        let shard = match self.hook_shard.get(&hook.id) {
+    pub fn register_hook(&self, hook: Hook, offer: ContractOffer) {
+        let mut p = self.placement.write().expect("placement lock");
+        let shard = match p.hook_shard.get(&hook.id) {
             Some(&s) => s,
             None => {
-                let s = self.next_hook_shard % self.shards.len();
-                self.next_hook_shard += 1;
-                self.hook_shard.insert(hook.id, s);
+                let s = p.next_hook_shard % self.shards.len();
+                p.next_hook_shard += 1;
+                p.hook_shard.insert(hook.id, s);
                 s
             }
         };
-        self.hook_specs
-            .insert(hook.id, (hook.clone(), offer.clone()));
+        p.hook_specs.insert(hook.id, (hook.clone(), offer.clone()));
         let (lock, cvar) = &*self.shards[shard].inbox;
         {
             let mut inbox = lock.lock().expect("inbox lock");
             inbox.add_queue(hook.id);
-            inbox
-                .control
-                .push_back(Command::RegisterHook { hook, offer });
+            inbox.control.push_back(Command::RegisterHook {
+                hook,
+                offer,
+                seed_cycles: 0,
+            });
         }
         cvar.notify_one();
+    }
+
+    /// Unregisters a hook: its queue is removed (pending events are
+    /// shed — their reply senders drop, which synchronous callers see
+    /// as [`HostError::Shed`]), its engine registration is dropped, and
+    /// its per-hook cycle accounting on the owning shard is pruned so a
+    /// later re-registration of the same UUID starts from a clean
+    /// baseline. Attached containers stay installed and are returned in
+    /// attachment order.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownHook`] / [`HostError::Disconnected`].
+    pub fn unregister_hook(&self, hook: Uuid) -> Result<Vec<ContainerId>, HostError> {
+        let mut p = self.placement.write().expect("placement lock");
+        let shard = *p
+            .hook_shard
+            .get(&hook)
+            .ok_or(HostError::UnknownHook(hook))?;
+        // Shed the pending events first: once the queue is gone they
+        // can never execute, and their outstanding slots must release
+        // or quiesce() would hang.
+        let dropped = {
+            let (lock, _) = &*self.shards[shard].inbox;
+            lock.lock().expect("inbox lock").remove_queue(hook)
+        };
+        for _ in &dropped {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            self.stats.displaced.fetch_add(1, Ordering::Relaxed);
+            self.outstanding.sub();
+        }
+        let (tx, rx) = sync_channel(1);
+        self.send_command(shard, Command::UnregisterHook { hook, reply: tx });
+        let (attached, _cycles) = Self::recv(rx)?;
+        p.hook_shard.remove(&hook);
+        p.hook_specs.remove(&hook);
+        for container in &attached {
+            if let Some(set) = p.attachments.get_mut(container) {
+                set.remove(&hook);
+            }
+        }
+        // Release the placement lock before touching the in-band
+        // rebalancer: an in-band observation holds that lock while
+        // waiting for the placement write lock, so taking them in the
+        // opposite order here would deadlock.
+        drop(p);
+        if let Some(inband) = &self.inband {
+            if let Ok(mut rebalancer) = inband.lock() {
+                rebalancer.forget_hook(hook);
+            }
+        }
+        Ok(attached)
     }
 
     fn recv<T>(rx: Receiver<T>) -> Result<T, HostError> {
@@ -358,21 +495,16 @@ impl FcHost {
     /// [`HostError::Engine`] carrying the shard's verdict (parse,
     /// verification or contract failure).
     pub fn install(
-        &mut self,
+        &self,
         name: &str,
         tenant: TenantId,
         image: &[u8],
         request: ContractRequest,
     ) -> Result<ContainerId, HostError> {
-        let shard = self
-            .shard_load
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, n)| **n)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let id = self.next_id;
-        self.next_id += 1;
+        let mut p = self.placement.write().expect("placement lock");
+        let shard = p.least_loaded();
+        let id = p.next_id;
+        p.next_id += 1;
         // One shared allocation serves the install command, the
         // retained spec and every future replica placement.
         let image: Arc<[u8]> = Arc::from(image);
@@ -389,9 +521,9 @@ impl FcHost {
             },
         );
         Self::recv(rx)??;
-        self.container_shards.insert(id, vec![shard]);
-        self.shard_load[shard] += 1;
-        self.specs.insert(
+        p.container_shards.insert(id, vec![shard]);
+        p.shard_load[shard] += 1;
+        p.specs.insert(
             id,
             ContainerSpec {
                 name: name.to_owned(),
@@ -413,13 +545,14 @@ impl FcHost {
     /// that hook does not pin the slot, because the hook is moving to
     /// `shard` too. `None` recovers the plain attach-time rule — only
     /// a fully unattached slot moves.
-    fn place_on(
-        &mut self,
+    fn place_on_locked(
+        &self,
+        p: &mut Placement,
         container: ContainerId,
         shard: usize,
         moving: Option<Uuid>,
     ) -> Result<(), HostError> {
-        let shards = self
+        let shards = p
             .container_shards
             .get(&container)
             .ok_or(HostError::UnknownContainer(container))?
@@ -427,7 +560,7 @@ impl FcHost {
         if shards.contains(&shard) {
             return Ok(());
         }
-        let unpinned = self
+        let unpinned = p
             .attachments
             .get(&container)
             .is_none_or(|set| set.iter().all(|h| Some(*h) == moving));
@@ -449,13 +582,13 @@ impl FcHost {
                     slot: Box::new(slot),
                 },
             );
-            self.container_shards.insert(container, vec![shard]);
-            self.shard_load[home] -= 1;
-            self.shard_load[shard] += 1;
+            p.container_shards.insert(container, vec![shard]);
+            p.shard_load[home] -= 1;
+            p.shard_load[shard] += 1;
             return Ok(());
         }
         // Replica: re-install the retained image under the same id.
-        let spec = self
+        let spec = p
             .specs
             .get(&container)
             .ok_or(HostError::UnknownContainer(container))?;
@@ -472,11 +605,8 @@ impl FcHost {
             },
         );
         Self::recv(rx)??;
-        self.container_shards
-            .entry(container)
-            .or_default()
-            .push(shard);
-        self.shard_load[shard] += 1;
+        p.container_shards.entry(container).or_default().push(shard);
+        p.shard_load[shard] += 1;
         Ok(())
     }
 
@@ -488,12 +618,13 @@ impl FcHost {
     /// [`HostError::UnknownHook`] / [`HostError::UnknownContainer`] /
     /// [`HostError::Engine`] when the hook's offer does not cover the
     /// container's helper calls.
-    pub fn attach(&mut self, container: ContainerId, hook: Uuid) -> Result<(), HostError> {
-        let shard = *self
+    pub fn attach(&self, container: ContainerId, hook: Uuid) -> Result<(), HostError> {
+        let mut p = self.placement.write().expect("placement lock");
+        let shard = *p
             .hook_shard
             .get(&hook)
             .ok_or(HostError::UnknownHook(hook))?;
-        self.place_on(container, shard, None)?;
+        self.place_on_locked(&mut p, container, shard, None)?;
         let (tx, rx) = sync_channel(1);
         self.send_command(
             shard,
@@ -504,7 +635,7 @@ impl FcHost {
             },
         );
         Self::recv(rx)??;
-        self.attachments.entry(container).or_default().insert(hook);
+        p.attachments.entry(container).or_default().insert(hook);
         Ok(())
     }
 
@@ -513,8 +644,9 @@ impl FcHost {
     /// # Errors
     ///
     /// [`HostError::UnknownHook`] / [`HostError::Engine`].
-    pub fn detach(&mut self, container: ContainerId, hook: Uuid) -> Result<(), HostError> {
-        let shard = *self
+    pub fn detach(&self, container: ContainerId, hook: Uuid) -> Result<(), HostError> {
+        let mut p = self.placement.write().expect("placement lock");
+        let shard = *p
             .hook_shard
             .get(&hook)
             .ok_or(HostError::UnknownHook(hook))?;
@@ -528,7 +660,7 @@ impl FcHost {
             },
         );
         Self::recv(rx)??;
-        if let Some(set) = self.attachments.get_mut(&container) {
+        if let Some(set) = p.attachments.get_mut(&container) {
             set.remove(&hook);
         }
         Ok(())
@@ -536,8 +668,13 @@ impl FcHost {
 
     /// Removes a container from every shard carrying it, dropping its
     /// local store.
-    pub fn remove(&mut self, container: ContainerId) -> bool {
-        let Some(shards) = self.container_shards.remove(&container) else {
+    pub fn remove(&self, container: ContainerId) -> bool {
+        let mut p = self.placement.write().expect("placement lock");
+        self.remove_locked(&mut p, container)
+    }
+
+    fn remove_locked(&self, p: &mut Placement, container: ContainerId) -> bool {
+        let Some(shards) = p.container_shards.remove(&container) else {
             return false;
         };
         let mut removed = false;
@@ -551,11 +688,126 @@ impl FcHost {
                 },
             );
             removed |= Self::recv(rx).unwrap_or(false);
-            self.shard_load[shard] = self.shard_load[shard].saturating_sub(1);
+            p.shard_load[shard] = p.shard_load[shard].saturating_sub(1);
         }
-        self.attachments.remove(&container);
-        self.specs.remove(&container);
+        p.attachments.remove(&container);
+        p.specs.remove(&container);
         removed
+    }
+
+    /// Deploys a **verified** application onto the running host through
+    /// the shard control lane — the live half of the SUIT update flow
+    /// (signature, rollback and digest checks belong to the layer
+    /// above, [`crate::deploy::LiveUpdateService`]).
+    ///
+    /// Placement consults the *current* routing state: a deploy
+    /// targeting `hook` lands on whatever shard the hook owns **now**
+    /// (post-migration), and an unattached install (`hook` = `None`)
+    /// lands least-loaded. When the deploy targets a hook, the install,
+    /// the attach and the retirement of `replace` execute as **one
+    /// control-lane command** on the owning shard, between event
+    /// drains: every event fired at the hook sees either the old
+    /// container or the new one, never both and never neither.
+    ///
+    /// Serialization: this holds the placement write lock end to end,
+    /// so a deploy and a [`FcHost::migrate_hook`] of the same hook
+    /// resolve in caller order — if the migration wins, the deploy
+    /// lands on the hook's new shard; if the deploy wins, the migration
+    /// moves the fresh container along with the hook. Queued events
+    /// keep executing throughout (workers never take the placement
+    /// lock); only new enqueues wait.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownHook`] when `hook` is not registered, or
+    /// [`HostError::Engine`] with the shard's verdict — the previous
+    /// container (if any) keeps running untouched then.
+    pub fn deploy_verified(
+        &self,
+        name: &str,
+        tenant: TenantId,
+        image: &[u8],
+        request: ContractRequest,
+        hook: Option<Uuid>,
+        replace: Option<ContainerId>,
+    ) -> Result<DeployOutcome, HostError> {
+        let mut p = self.placement.write().expect("placement lock");
+        let shard = match hook {
+            Some(h) => *p.hook_shard.get(&h).ok_or(HostError::UnknownHook(h))?,
+            None => p.least_loaded(),
+        };
+        let id = p.next_id;
+        p.next_id += 1;
+        let image: Arc<[u8]> = Arc::from(image);
+        // The old container rides the same command — an atomic swap —
+        // only when it actually lives on the target shard (it always
+        // does in the SUIT flow: containers follow their hooks).
+        let swap = match (hook, replace) {
+            (Some(_), Some(old))
+                if p.container_shards
+                    .get(&old)
+                    .is_some_and(|s| s.contains(&shard)) =>
+            {
+                Some(old)
+            }
+            _ => None,
+        };
+        let (tx, rx) = sync_channel(1);
+        self.send_command(
+            shard,
+            Command::Deploy {
+                id,
+                name: name.to_owned(),
+                tenant,
+                image: Arc::clone(&image),
+                request: request.clone(),
+                attach: hook,
+                replace: swap,
+                reply: tx,
+            },
+        );
+        Self::recv(rx)??;
+        p.container_shards.insert(id, vec![shard]);
+        p.shard_load[shard] += 1;
+        p.specs.insert(
+            id,
+            ContainerSpec {
+                name: name.to_owned(),
+                tenant,
+                image,
+                request,
+            },
+        );
+        if let Some(h) = hook {
+            p.attachments.entry(id).or_default().insert(h);
+        }
+        // Retire the replaced container everywhere it was carried; the
+        // target shard already removed it inside the Deploy command.
+        let mut replaced = None;
+        if let Some(old) = replace {
+            if let Some(shards) = p.container_shards.remove(&old) {
+                replaced = Some(old);
+                for s in shards {
+                    if swap == Some(old) && s == shard {
+                        p.shard_load[s] = p.shard_load[s].saturating_sub(1);
+                        continue;
+                    }
+                    let (tx, rx) = sync_channel(1);
+                    self.send_command(s, Command::Remove { id: old, reply: tx });
+                    let _ = Self::recv(rx);
+                    p.shard_load[s] = p.shard_load[s].saturating_sub(1);
+                }
+            }
+            p.attachments.remove(&old);
+            p.specs.remove(&old);
+        }
+        self.stats.deploys.fetch_add(1, Ordering::Relaxed);
+        Ok(DeployOutcome {
+            container: id,
+            shard,
+            hook,
+            replaced,
+        })
     }
 
     /// Executes a container synchronously on its home shard.
@@ -593,46 +845,56 @@ impl FcHost {
         extra: &[HostRegion],
         reply: Option<std::sync::mpsc::SyncSender<Result<HookReport, EngineError>>>,
     ) -> Result<Accepted, HostError> {
-        let shard = *self
-            .hook_shard
-            .get(&hook)
-            .ok_or(HostError::UnknownHook(hook))?;
-        let event = Event {
-            hook,
-            ctx: ctx.to_vec(),
-            extra: extra.to_vec(),
-            enqueued_at: Instant::now(),
-            reply,
-        };
-        // Count the event as outstanding *before* it becomes visible
-        // to the worker: once the inbox lock drops, the worker may
-        // execute it (and decrement) immediately, and quiesce() must
-        // never observe a published-but-uncounted event.
-        self.outstanding.add();
-        let (lock, cvar) = &*self.shards[shard].inbox;
         let outcome = {
-            let mut inbox = lock.lock().expect("inbox lock");
-            inbox.enqueue(event, self.config.queue_capacity, self.config.shed)
-        };
-        match outcome {
-            Ok((accepted, displaced)) => {
-                cvar.notify_one();
-                self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
-                if displaced.is_some() {
-                    // The displaced event never executes; its
-                    // outstanding slot transfers to the new event.
-                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
-                    self.stats.displaced.fetch_add(1, Ordering::Relaxed);
-                    self.outstanding.sub();
+            // Hold the routing read lock across the push: a migration
+            // (write) cannot land between shard resolution and the
+            // inbox append, so an accepted event is never shed by a
+            // concurrent move.
+            let p = self.placement.read().expect("placement lock");
+            let shard = *p
+                .hook_shard
+                .get(&hook)
+                .ok_or(HostError::UnknownHook(hook))?;
+            let event = Event {
+                hook,
+                ctx: ctx.to_vec(),
+                extra: extra.to_vec(),
+                enqueued_at: Instant::now(),
+                reply,
+            };
+            // Count the event as outstanding *before* it becomes
+            // visible to the worker: once the inbox lock drops, the
+            // worker may execute it (and decrement) immediately, and
+            // quiesce() must never observe a published-but-uncounted
+            // event.
+            self.outstanding.add();
+            let (lock, cvar) = &*self.shards[shard].inbox;
+            let outcome = {
+                let mut inbox = lock.lock().expect("inbox lock");
+                inbox.enqueue(event, self.config.queue_capacity, self.config.shed)
+            };
+            match outcome {
+                Ok((accepted, displaced)) => {
+                    cvar.notify_one();
+                    self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                    if displaced.is_some() {
+                        // The displaced event never executes; its
+                        // outstanding slot transfers to the new event.
+                        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        self.stats.displaced.fetch_add(1, Ordering::Relaxed);
+                        self.outstanding.sub();
+                    }
+                    Ok(accepted)
                 }
-                Ok(accepted)
+                Err(_event) => {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    self.outstanding.sub();
+                    Err(HostError::Shed)
+                }
             }
-            Err(_event) => {
-                self.stats.shed.fetch_add(1, Ordering::Relaxed);
-                self.outstanding.sub();
-                Err(HostError::Shed)
-            }
-        }
+        };
+        self.maybe_rebalance();
+        outcome
     }
 
     /// Fires a hook asynchronously: the event is queued on the hook's
@@ -724,58 +986,63 @@ impl FcHost {
         ),
         HostError,
     > {
-        let shard = *self
-            .hook_shard
-            .get(&hook)
-            .ok_or(HostError::UnknownHook(hook))?;
-        let n = events.len();
-        let mut receivers = Vec::with_capacity(if with_reply { n } else { 0 });
-        let now = Instant::now();
-        let queued: Vec<Event> = events
-            .into_iter()
-            .map(|e| {
-                let reply = if with_reply {
-                    let (tx, rx) = sync_channel(1);
-                    receivers.push(rx);
-                    Some(tx)
-                } else {
-                    None
-                };
-                Event {
-                    hook,
-                    ctx: e.ctx,
-                    extra: e.extra,
-                    enqueued_at: now,
-                    reply,
-                }
-            })
-            .collect();
-        // As with the single-event path: count the batch as outstanding
-        // *before* it becomes visible to the worker.
-        self.outstanding.add_n(n as u64);
-        let (lock, cvar) = &*self.shards[shard].inbox;
-        let outcome = {
-            let mut inbox = lock.lock().expect("inbox lock");
-            inbox.enqueue_batch(queued, self.config.queue_capacity, self.config.shed)
-        };
-        cvar.notify_one();
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .enqueued
-            .fetch_add(outcome.accepted as u64, Ordering::Relaxed);
-        let shed = (outcome.rejected + outcome.displaced) as u64;
-        if shed > 0 {
-            self.stats.shed.fetch_add(shed, Ordering::Relaxed);
+        let result = {
+            let p = self.placement.read().expect("placement lock");
+            let shard = *p
+                .hook_shard
+                .get(&hook)
+                .ok_or(HostError::UnknownHook(hook))?;
+            let n = events.len();
+            let mut receivers = Vec::with_capacity(if with_reply { n } else { 0 });
+            let now = Instant::now();
+            let queued: Vec<Event> = events
+                .into_iter()
+                .map(|e| {
+                    let reply = if with_reply {
+                        let (tx, rx) = sync_channel(1);
+                        receivers.push(rx);
+                        Some(tx)
+                    } else {
+                        None
+                    };
+                    Event {
+                        hook,
+                        ctx: e.ctx,
+                        extra: e.extra,
+                        enqueued_at: now,
+                        reply,
+                    }
+                })
+                .collect();
+            // As with the single-event path: count the batch as
+            // outstanding *before* it becomes visible to the worker.
+            self.outstanding.add_n(n as u64);
+            let (lock, cvar) = &*self.shards[shard].inbox;
+            let outcome = {
+                let mut inbox = lock.lock().expect("inbox lock");
+                inbox.enqueue_batch(queued, self.config.queue_capacity, self.config.shed)
+            };
+            cvar.notify_one();
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
             self.stats
-                .displaced
-                .fetch_add(outcome.displaced as u64, Ordering::Relaxed);
-            // Rejected events never execute; displaced events' slots
-            // transfer to the newly accepted ones.
-            for _ in 0..shed {
-                self.outstanding.sub();
+                .enqueued
+                .fetch_add(outcome.accepted as u64, Ordering::Relaxed);
+            let shed = (outcome.rejected + outcome.displaced) as u64;
+            if shed > 0 {
+                self.stats.shed.fetch_add(shed, Ordering::Relaxed);
+                self.stats
+                    .displaced
+                    .fetch_add(outcome.displaced as u64, Ordering::Relaxed);
+                // Rejected events never execute; displaced events'
+                // slots transfer to the newly accepted ones.
+                for _ in 0..shed {
+                    self.outstanding.sub();
+                }
             }
-        }
-        Ok((outcome, receivers))
+            Ok((outcome, receivers))
+        };
+        self.maybe_rebalance();
+        result
     }
 
     /// Fires a hook and blocks for its report.
@@ -798,6 +1065,42 @@ impl FcHost {
             // was dropped without a send.
             Err(_) => Err(HostError::Shed),
         }
+    }
+
+    /// The in-band rebalancing trigger: when the dispatched-event
+    /// counter crosses the configured interval, take one [`Rebalancer`]
+    /// observation right here, on the producer's thread. `try_lock`
+    /// keeps concurrent producers from stacking up behind one
+    /// observation — everyone but the trigger-winner skips past.
+    ///
+    /// A failed migration inside the observation is deliberately
+    /// swallowed: [`FcHost::migrate_hook`] guarantees the hook stays
+    /// registered and routable on the target with its pending events
+    /// intact, so the host remains coherent and the next window simply
+    /// observes again.
+    fn maybe_rebalance(&self) {
+        let Some(inband) = &self.inband else { return };
+        let dispatched = self.stats.dispatched.load(Ordering::Relaxed);
+        if dispatched < self.next_rebalance_at.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(mut rebalancer) = inband.try_lock() else {
+            return;
+        };
+        // Re-check under the lock: another producer may have just
+        // observed and advanced the threshold.
+        let dispatched = self.stats.dispatched.load(Ordering::Relaxed);
+        if dispatched < self.next_rebalance_at.load(Ordering::Relaxed) {
+            return;
+        }
+        self.next_rebalance_at.store(
+            dispatched + self.config.rebalance_interval.max(1),
+            Ordering::Relaxed,
+        );
+        self.stats
+            .inband_observations
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = rebalancer.observe(self);
     }
 
     /// Blocks (parked, not spinning) until every accepted event has
@@ -824,12 +1127,15 @@ impl FcHost {
     /// is also safe to call directly for explicit placement.
     ///
     /// The move is atomic with respect to event routing because it
-    /// holds `&mut self`: no producer can fire while it runs. In order:
+    /// holds the placement write lock: no producer can resolve a route
+    /// while it runs. In order:
     ///
     /// 1. the hook's pending events are pulled off the old shard's
     ///    inbox (they were accepted and must not be shed by the move);
     /// 2. the hook is unregistered from the old engine, yielding the
-    ///    authoritative attachment order;
+    ///    authoritative attachment order plus the cycles the hook
+    ///    accrued there, which travel to the target so rebalancer
+    ///    accounting stays monotone;
     /// 3. the hook is re-registered on the target shard from the
     ///    retained descriptor/offer;
     /// 4. each attached container is placed on the target — the slot
@@ -855,8 +1161,9 @@ impl FcHost {
     /// containers re-attached — never lost, so quiescence and event
     /// accounting always balance); only a missing or partially
     /// re-attached container distinguishes the failed state.
-    pub fn migrate_hook(&mut self, hook: Uuid, to: usize) -> Result<(), HostError> {
-        let from = *self
+    pub fn migrate_hook(&self, hook: Uuid, to: usize) -> Result<(), HostError> {
+        let mut p = self.placement.write().expect("placement lock");
+        let from = *p
             .hook_shard
             .get(&hook)
             .ok_or(HostError::UnknownHook(hook))?;
@@ -876,11 +1183,12 @@ impl FcHost {
             lock.lock().expect("inbox lock").remove_queue(hook)
         };
         // 2. Unregister on the old engine; its attachment order is the
-        // contract for identical per-event semantics on the target.
+        // contract for identical per-event semantics on the target, and
+        // its accrued cycles seed the target's accounting.
         let (tx, rx) = sync_channel(1);
         self.send_command(from, Command::UnregisterHook { hook, reply: tx });
-        let attached = match Self::recv(rx) {
-            Ok(attached) => attached,
+        let (attached, carried_cycles) = match Self::recv(rx) {
+            Ok(reply) => reply,
             Err(e) => {
                 // The old worker is gone (host shutting down): put the
                 // events back where they came from and bail.
@@ -891,7 +1199,7 @@ impl FcHost {
             }
         };
         // 3. Register on the target from the retained spec.
-        let (desc, offer) = self
+        let (desc, offer) = p
             .hook_specs
             .get(&hook)
             .cloned()
@@ -900,32 +1208,36 @@ impl FcHost {
             let (lock, cvar) = &*self.shards[to].inbox;
             let mut inbox = lock.lock().expect("inbox lock");
             inbox.add_queue(hook);
-            inbox
-                .control
-                .push_back(Command::RegisterHook { hook: desc, offer });
+            inbox.control.push_back(Command::RegisterHook {
+                hook: desc,
+                offer,
+                seed_cycles: carried_cycles,
+            });
             cvar.notify_one();
         }
         // Flip the routing authority now: every subsequent attach,
         // detach or fire — including the re-attaches below — must see
         // the hook on its *current* shard.
-        self.hook_shard.insert(hook, to);
+        p.hook_shard.insert(hook, to);
         // 4. Containers follow their hook, in attachment order. A
         // failure stops re-attachment but NOT the hand-over below —
         // the pending events must still reach the target queue.
         let mut outcome = Ok(());
         for &container in &attached {
-            let placed = self.place_on(container, to, Some(hook)).and_then(|()| {
-                let (tx, rx) = sync_channel(1);
-                self.send_command(
-                    to,
-                    Command::Attach {
-                        id: container,
-                        hook,
-                        reply: tx,
-                    },
-                );
-                Self::recv(rx)?.map_err(HostError::Engine)
-            });
+            let placed = self
+                .place_on_locked(&mut p, container, to, Some(hook))
+                .and_then(|()| {
+                    let (tx, rx) = sync_channel(1);
+                    self.send_command(
+                        to,
+                        Command::Attach {
+                            id: container,
+                            hook,
+                            reply: tx,
+                        },
+                    );
+                    Self::recv(rx)?.map_err(HostError::Engine)
+                });
             if let Err(e) = placed {
                 outcome = Err(e);
                 break;
@@ -933,7 +1245,7 @@ impl FcHost {
         }
         // 5. Drop replicas orphaned on the old shard.
         for &container in &attached {
-            self.drop_orphaned_replica(container, from);
+            self.drop_orphaned_replica_locked(&mut p, container, from);
         }
         // 6. Hand the pending events to the new worker.
         if !pending.is_empty() {
@@ -951,17 +1263,22 @@ impl FcHost {
     /// on that shard still uses it and another shard carries the
     /// container. The slot is discarded; the container's local store
     /// is keyed by id in the shared environment and survives.
-    fn drop_orphaned_replica(&mut self, container: ContainerId, shard: usize) {
-        let Some(shards) = self.container_shards.get(&container) else {
+    fn drop_orphaned_replica_locked(
+        &self,
+        p: &mut Placement,
+        container: ContainerId,
+        shard: usize,
+    ) {
+        let Some(shards) = p.container_shards.get(&container) else {
             return;
         };
         if shards.len() < 2 || !shards.contains(&shard) {
             return;
         }
-        let still_used = self
+        let still_used = p
             .attachments
             .get(&container)
-            .is_some_and(|hooks| hooks.iter().any(|h| self.hook_shard.get(h) == Some(&shard)));
+            .is_some_and(|hooks| hooks.iter().any(|h| p.hook_shard.get(h) == Some(&shard)));
         if still_used {
             return;
         }
@@ -976,10 +1293,10 @@ impl FcHost {
         // The ejected slot drops here; only FcHost::remove touches the
         // shared store.
         let _ = Self::recv(rx);
-        if let Some(shards) = self.container_shards.get_mut(&container) {
+        if let Some(shards) = p.container_shards.get_mut(&container) {
             shards.retain(|s| *s != shard);
         }
-        self.shard_load[shard] = self.shard_load[shard].saturating_sub(1);
+        p.shard_load[shard] = p.shard_load[shard].saturating_sub(1);
     }
 
     /// Drains outstanding work and stops every shard worker.
@@ -1006,18 +1323,21 @@ impl Drop for FcHost {
 
 impl std::fmt::Debug for FcHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = self.placement.read().expect("placement lock");
         f.debug_struct("FcHost")
             .field("shards", &self.shards.len())
-            .field("hooks", &self.hook_shard.len())
-            .field("containers", &self.container_shards.len())
+            .field("hooks", &p.hook_shard.len())
+            .field("containers", &p.container_shards.len())
             .finish()
     }
 }
 
-// The host façade itself crosses threads, and `&FcHost` can be shared
-// by several producer threads firing events concurrently (`fire` &co
-// take `&self`; lifecycle methods take `&mut self` and so remain
-// single-writer by construction).
+// The host façade itself crosses threads: `&FcHost` can be shared by
+// several producer threads firing events concurrently, and — since the
+// placement state moved behind its lock — lifecycle mutation (install,
+// attach, deploy, migrate) is safe from any thread too, which is what
+// lets the in-band rebalancer and live deploys run while producers
+// keep firing.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     const fn assert_send<T: Send>() {}

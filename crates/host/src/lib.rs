@@ -66,13 +66,28 @@
 //!   rebalancer watches per-shard simulated busy time and migrates hot
 //!   hooks — queue, registration and containers
 //!   ([`FcHost::migrate_hook`]) — onto underloaded shards, with
-//!   hysteresis so it never thrashes.
+//!   hysteresis so it never thrashes. With
+//!   [`HostConfig::rebalance_interval`] set, the host folds the
+//!   rebalancer in and observes **in-band** every N dispatched events;
+//!   no caller-driven `observe()` loop needed.
+//!
+//! And the paper's headline capability runs live on top of both:
+//! **secure OTA deployment without quiescing**
+//! ([`deploy::LiveUpdateService`]). SUIT payloads stage block-wise
+//! over the CoAP front-end (`/suit/payload`, `/suit/manifest` —
+//! [`CoapFront::dispatch_suit`]), the manifest is verified against the
+//! tenant's provisioned key, and the install + attach + predecessor
+//! swap ride the target shard's **control lane** as one command
+//! between event drains ([`FcHost::deploy_verified`]), so every event
+//! sees either the old container or the new one — never both, never
+//! neither.
 //!
 //! See `ARCHITECTURE.md` at the repository root for the full design.
 
 #![deny(missing_docs)]
 
 pub mod coap;
+pub mod deploy;
 pub mod host;
 pub mod queue;
 pub mod rebalance;
@@ -80,7 +95,8 @@ pub mod shard;
 pub mod stats;
 
 pub use coap::{CoapFront, CoapReply};
-pub use host::{FcHost, HookEvent, HostConfig, HostError};
+pub use deploy::{DeployReport, LiveDeployError, LiveUpdateService};
+pub use host::{DeployOutcome, FcHost, HookEvent, HostConfig, HostError};
 pub use queue::{Accepted, BatchAccepted, ShedPolicy};
 pub use rebalance::{HookMove, RebalanceConfig, RebalanceReport, Rebalancer};
 pub use shard::ShardReport;

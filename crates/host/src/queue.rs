@@ -1,10 +1,12 @@
 //! Per-hook bounded event queues with deficit-round-robin scheduling.
 //!
 //! Each shard owns one `Inbox`: a control lane for lifecycle commands
-//! (drained with priority) and one bounded FIFO per registered hook.
-//! Producers enqueue under the inbox mutex and notify the shard's
-//! condvar; the worker drains **batches** so one lock acquisition pays
-//! for up to `drain_batch` events.
+//! (drained with priority — this is the serialization point live SUIT
+//! deploys ride: a `Deploy` command's install + attach + predecessor
+//! swap lands between event drains) and one bounded FIFO per
+//! registered hook. Producers enqueue under the inbox mutex and notify
+//! the shard's condvar; the worker drains **batches** so one lock
+//! acquisition pays for up to `drain_batch` events.
 //!
 //! ## Fair scheduling
 //!

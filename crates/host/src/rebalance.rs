@@ -39,6 +39,7 @@ use std::collections::HashMap;
 use fc_suit::Uuid;
 
 use crate::host::{FcHost, HostError};
+use crate::shard::ShardReport;
 
 /// Tuning knobs for the [`Rebalancer`].
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +90,9 @@ pub struct RebalanceReport {
     pub window_cycles: Vec<u64>,
     /// Window balance: mean over max of `window_cycles` (1.0 = even).
     pub balance: f64,
+    /// Per-hook simulated cycles in the observation window (summed
+    /// over shards, sorted by hook id).
+    pub hook_window: Vec<(Uuid, u64)>,
     /// Migrations performed this observation (empty when hysteresis
     /// held them back or the load is balanced).
     pub moves: Vec<HookMove>,
@@ -106,7 +110,7 @@ pub struct RebalanceReport {
 /// let mut host = FcHost::new(Platform::CortexM4, Engine::FemtoContainer, HostConfig::default());
 /// let mut rebalancer = Rebalancer::new(RebalanceConfig::default());
 /// // ... register hooks, attach containers, fire events ...
-/// let report = rebalancer.observe(&mut host).unwrap();
+/// let report = rebalancer.observe(&host).unwrap();
 /// assert!(report.moves.is_empty(), "an idle host needs no moves");
 /// host.shutdown();
 /// ```
@@ -140,64 +144,35 @@ impl Rebalancer {
     /// past the hysteresis guards — migrates hot hooks onto underloaded
     /// shards via [`FcHost::migrate_hook`].
     ///
-    /// Call this periodically from whatever owns the host (a timer
-    /// tick, every N dispatched events, between load rounds). Needs
-    /// `&mut FcHost` because migration rewires lifecycle state; that
-    /// exclusivity is also what makes the move race-free.
+    /// Call this periodically from whatever owns the host (between
+    /// load rounds, on a timer tick) — or let the host call it itself:
+    /// with [`crate::HostConfig::rebalance_interval`] set, the host
+    /// folds a `Rebalancer` in and observes in-band every N dispatched
+    /// events. Migration is race-free either way: the host's placement
+    /// lock serializes the move against every concurrent fire and
+    /// lifecycle operation.
     ///
     /// # Errors
     ///
     /// Propagates [`FcHost::migrate_hook`] failures; observation itself
     /// cannot fail.
-    pub fn observe(&mut self, host: &mut FcHost) -> Result<RebalanceReport, HostError> {
+    pub fn observe(&mut self, host: &FcHost) -> Result<RebalanceReport, HostError> {
         let reports = host.shard_reports();
-        let n = reports.len();
-        let mut shard_total = vec![0u64; n];
-        let mut hook_total: HashMap<Uuid, u64> = HashMap::new();
-        for r in &reports {
-            if r.shard < n {
-                shard_total[r.shard] = r.sim_cycles;
-            }
-            for &(hook, cycles) in &r.hook_cycles {
-                *hook_total.entry(hook).or_insert(0) += cycles;
-            }
-        }
-
-        // The very first observation only establishes the baseline:
-        // lifetime totals are not a window, and on a long-running host
-        // they may describe an imbalance that is already gone.
-        let first_observation = self.last_shard_cycles.is_empty();
-
-        // Window deltas vs the previous observation.
-        let window: Vec<u64> = shard_total
-            .iter()
-            .enumerate()
-            .map(|(i, &now)| {
-                now.saturating_sub(self.last_shard_cycles.get(i).copied().unwrap_or(0))
-            })
-            .collect();
-        let hook_window: Vec<(Uuid, u64)> = hook_total
-            .iter()
-            .map(|(&hook, &now)| {
-                (
-                    hook,
-                    now.saturating_sub(self.last_hook_cycles.get(&hook).copied().unwrap_or(0)),
-                )
-            })
-            .collect();
-        self.last_shard_cycles = shard_total;
-        self.last_hook_cycles = hook_total;
+        let (window, mut hook_window, first_observation) =
+            self.take_window(&reports, host.shard_count());
+        hook_window.sort_unstable_by_key(|&(hook, _)| hook);
 
         let total: u64 = window.iter().sum();
         let max = window.iter().copied().max().unwrap_or(0);
         let balance = if max == 0 {
             1.0
         } else {
-            total as f64 / (max as f64 * n as f64)
+            total as f64 / (max as f64 * window.len() as f64)
         };
         let mut report = RebalanceReport {
             window_cycles: window.clone(),
             balance,
+            hook_window: hook_window.clone(),
             moves: Vec::new(),
         };
 
@@ -234,6 +209,87 @@ impl Rebalancer {
         }
         report.moves = planned;
         Ok(report)
+    }
+
+    /// Drops a hook's window baseline. Call when a hook is
+    /// unregistered, so a later reuse of the same UUID starts from a
+    /// fresh window instead of under-counting its first window against
+    /// the departed registration's lifetime count. The host's own
+    /// in-band rebalancer gets this automatically from
+    /// [`FcHost::unregister_hook`]; caller-driven rebalancers should
+    /// mirror that call.
+    pub fn forget_hook(&mut self, hook: Uuid) {
+        self.last_hook_cycles.remove(&hook);
+    }
+
+    /// Folds one round of shard reports into the baseline state and
+    /// returns `(per-shard window, per-hook window, first_observation)`
+    /// — the accounting heart of [`Rebalancer::observe`], split out so
+    /// it is unit-testable against synthetic reports.
+    ///
+    /// Two rules guard the baselines:
+    ///
+    /// * **Sizing**: the shard vector is sized by the host's shard
+    ///   count *and* the largest shard index actually reported, so a
+    ///   report is never silently dropped (dropping one used to zero
+    ///   that shard's baseline, and the next window re-counted the
+    ///   shard's whole lifetime as fresh load — a spurious-migration
+    ///   trigger).
+    /// * **Missing reports preserve their baseline**: a shard that
+    ///   failed to report contributes an empty window this round and
+    ///   keeps its previous lifetime count, instead of being reset to
+    ///   zero.
+    ///
+    /// Hook baselines are retained only for hooks present in the
+    /// current reports: a removed hook's baseline dies with it (the
+    /// shard workers prune their per-hook counters at unregistration),
+    /// so a reused hook UUID starts from a clean window instead of
+    /// under-counting against a stale count.
+    fn take_window(
+        &mut self,
+        reports: &[ShardReport],
+        num_shards: usize,
+    ) -> (Vec<u64>, Vec<(Uuid, u64)>, bool) {
+        let n = num_shards.max(reports.iter().map(|r| r.shard + 1).max().unwrap_or(0));
+        let mut seen: Vec<Option<u64>> = vec![None; n];
+        let mut hook_total: HashMap<Uuid, u64> = HashMap::new();
+        for r in reports {
+            seen[r.shard] = Some(r.sim_cycles);
+            for &(hook, cycles) in &r.hook_cycles {
+                *hook_total.entry(hook).or_insert(0) += cycles;
+            }
+        }
+
+        // The very first observation only establishes the baseline:
+        // lifetime totals are not a window, and on a long-running host
+        // they may describe an imbalance that is already gone.
+        let first_observation = self.last_shard_cycles.is_empty();
+
+        let mut totals = vec![0u64; n];
+        let mut window = vec![0u64; n];
+        for i in 0..n {
+            let prev = self.last_shard_cycles.get(i).copied().unwrap_or(0);
+            match seen[i] {
+                Some(now) => {
+                    totals[i] = now;
+                    window[i] = now.saturating_sub(prev);
+                }
+                // No report this round: empty window, baseline kept.
+                None => totals[i] = prev,
+            }
+        }
+        let hook_window: Vec<(Uuid, u64)> = hook_total
+            .iter()
+            .map(|(&hook, &now)| {
+                (
+                    hook,
+                    now.saturating_sub(self.last_hook_cycles.get(&hook).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        self.last_shard_cycles = totals;
+        self.last_hook_cycles = hook_total;
+        (window, hook_window, first_observation)
     }
 }
 
@@ -352,5 +408,237 @@ mod tests {
         let hooks = vec![(hook(0), 0, 300), (hook(1), 0, 300), (hook(2), 0, 300)];
         assert_eq!(plan_moves(&window, &hooks, 1).len(), 1);
         assert!(plan_moves(&window, &hooks, 3).len() >= 2);
+    }
+
+    fn shard_report(shard: usize, sim_cycles: u64) -> ShardReport {
+        ShardReport {
+            shard,
+            sim_cycles,
+            ..ShardReport::default()
+        }
+    }
+
+    /// Bugfix: a shard that fails to report must keep its previous
+    /// baseline. Zeroing it made the *next* window re-count the
+    /// shard's entire lifetime cycles as fresh load — a spurious
+    /// imbalance out of thin air.
+    #[test]
+    fn missing_report_preserves_shard_baseline() {
+        let mut r = Rebalancer::new(RebalanceConfig::default());
+        let (w, _, first) = r.take_window(&[shard_report(0, 1000), shard_report(1, 800)], 2);
+        assert!(first);
+        assert_eq!(w, vec![1000, 800]);
+        // Shard 1's report goes missing: empty window, baseline kept.
+        let (w, _, first) = r.take_window(&[shard_report(0, 1500)], 2);
+        assert!(!first);
+        assert_eq!(w, vec![500, 0]);
+        // It reports again: only the genuinely new cycles count.
+        let (w, _, _) = r.take_window(&[shard_report(0, 1500), shard_report(1, 900)], 2);
+        assert_eq!(
+            w,
+            vec![0, 100],
+            "no lifetime re-count after a missing report"
+        );
+    }
+
+    /// Bugfix: the shard vector used to be sized by the number of
+    /// reports received, so a report whose `shard` index was ≥ that
+    /// count was silently dropped (and its baseline zeroed).
+    #[test]
+    fn high_shard_index_report_is_not_dropped() {
+        let mut r = Rebalancer::new(RebalanceConfig::default());
+        let (w, _, _) = r.take_window(&[shard_report(3, 700)], 4);
+        assert_eq!(w, vec![0, 0, 0, 700], "shard 3's report survives alone");
+        let (w, _, _) = r.take_window(
+            &[
+                shard_report(0, 10),
+                shard_report(1, 10),
+                shard_report(2, 10),
+                shard_report(3, 800),
+            ],
+            4,
+        );
+        assert_eq!(
+            w,
+            vec![10, 10, 10, 100],
+            "baseline was established, not zeroed"
+        );
+    }
+
+    /// A hook absent from the current reports loses its baseline: a
+    /// departed hook must not be tracked forever, and a later reuse of
+    /// the UUID starts a fresh window.
+    #[test]
+    fn departed_hook_baseline_dies_with_the_reports() {
+        let mut r = Rebalancer::new(RebalanceConfig::default());
+        let h = hook(1);
+        let rep = |cycles: u64, hooks: Vec<(Uuid, u64)>| ShardReport {
+            shard: 0,
+            sim_cycles: cycles,
+            hook_cycles: hooks,
+            ..ShardReport::default()
+        };
+        r.take_window(&[rep(1000, vec![(h, 1000)])], 1);
+        // The hook is unregistered; the worker pruned its entry.
+        let (_, hw, _) = r.take_window(&[rep(1000, vec![])], 1);
+        assert!(hw.is_empty());
+        assert!(
+            r.last_hook_cycles.is_empty(),
+            "baseline pruned with the hook"
+        );
+        // The UUID is reused: its first window is the fresh count.
+        let (_, hw, _) = r.take_window(&[rep(1050, vec![(h, 50)])], 1);
+        assert_eq!(hw, vec![(h, 50)]);
+    }
+
+    #[test]
+    fn forget_hook_drops_the_baseline_immediately() {
+        let mut r = Rebalancer::new(RebalanceConfig::default());
+        let h = hook(2);
+        let rep = |cycles: u64, hooks: Vec<(Uuid, u64)>| ShardReport {
+            shard: 0,
+            sim_cycles: cycles,
+            hook_cycles: hooks,
+            ..ShardReport::default()
+        };
+        r.take_window(&[rep(1000, vec![(h, 1000)])], 1);
+        // Remove-then-reinstall *between* two observations: without the
+        // forget, the reused UUID's fresh 50 cycles would under-count
+        // against the stale 1000-cycle baseline and report a 0 window.
+        r.forget_hook(h);
+        let (_, hw, _) = r.take_window(&[rep(1050, vec![(h, 50)])], 1);
+        assert_eq!(
+            hw,
+            vec![(h, 50)],
+            "fresh window, not 50.saturating_sub(1000)"
+        );
+    }
+
+    mod host_level {
+        use super::*;
+        use crate::host::{FcHost, HostConfig};
+        use fc_core::contract::{ContractOffer, ContractRequest};
+        use fc_core::helpers_impl::standard_helper_ids;
+        use fc_core::hooks::{Hook, HookKind, HookPolicy};
+        use fc_rbpf::program::ProgramBuilder;
+        use fc_rtos::platform::{Engine, Platform};
+
+        fn image() -> Vec<u8> {
+            ProgramBuilder::new()
+                .asm("mov r0, 1\nexit")
+                .unwrap()
+                .build()
+                .to_bytes()
+        }
+
+        fn hook_cycles_of(host: &FcHost, hook: Uuid) -> Vec<(usize, u64)> {
+            host.shard_reports()
+                .iter()
+                .flat_map(|r| {
+                    r.hook_cycles
+                        .iter()
+                        .filter(|(h, _)| *h == hook)
+                        .map(|(_, c)| (r.shard, *c))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        }
+
+        /// Bugfix (the leak): a migrated hook's cycle entry must leave
+        /// the old shard's accounting — it used to stay forever, so
+        /// every migration grew every report until each shard listed
+        /// every hook that ever touched it.
+        #[test]
+        fn migration_prunes_old_shard_and_carries_cycles() {
+            let mut host = FcHost::new(
+                Platform::CortexM4,
+                Engine::FemtoContainer,
+                HostConfig {
+                    workers: 2,
+                    ..HostConfig::default()
+                },
+            );
+            let hook = Hook::new("rb-acct", HookKind::Custom, HookPolicy::First);
+            let hook_id = hook.id;
+            host.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+            let c = host
+                .install("c", 1, &image(), ContractRequest::default())
+                .unwrap();
+            host.attach(c, hook_id).unwrap();
+            for _ in 0..5 {
+                host.fire_sync(hook_id, &[], &[]).unwrap();
+            }
+            let from = host.shard_of_hook(hook_id).unwrap();
+            let before: u64 = hook_cycles_of(&host, hook_id).iter().map(|(_, c)| c).sum();
+            assert!(before > 0);
+            host.migrate_hook(hook_id, 1 - from).unwrap();
+            host.fire_sync(hook_id, &[], &[]).unwrap();
+            let entries = hook_cycles_of(&host, hook_id);
+            assert!(
+                entries.iter().all(|(shard, _)| *shard == 1 - from),
+                "old shard's entry pruned: {entries:?}"
+            );
+            let after: u64 = entries.iter().map(|(_, c)| c).sum();
+            assert!(
+                after > before,
+                "cycles travelled with the hook and kept growing: {before} -> {after}"
+            );
+            host.shutdown();
+        }
+
+        /// The remove-then-reinstall case end to end: a hook is
+        /// unregistered and its UUID reused; the reused hook's first
+        /// observed window must count its fresh cycles (the stale
+        /// baseline would have under-counted it to zero).
+        #[test]
+        fn remove_then_reinstall_counts_fresh_window() {
+            let mut host = FcHost::new(
+                Platform::CortexM4,
+                Engine::FemtoContainer,
+                HostConfig {
+                    workers: 1,
+                    ..HostConfig::default()
+                },
+            );
+            let mk = || Hook::new("rb-reuse", HookKind::Custom, HookPolicy::First);
+            let hook_id = mk().id;
+            let offer = ContractOffer::helpers(standard_helper_ids());
+            host.register_hook(mk(), offer.clone());
+            let c = host
+                .install("c", 1, &image(), ContractRequest::default())
+                .unwrap();
+            host.attach(c, hook_id).unwrap();
+            let mut rb = Rebalancer::new(RebalanceConfig::default());
+            for _ in 0..5 {
+                host.fire_sync(hook_id, &[], &[]).unwrap();
+            }
+            host.quiesce();
+            rb.observe(&host).unwrap(); // baseline over the 5 events
+
+            let attached = host.unregister_hook(hook_id).unwrap();
+            assert_eq!(attached, vec![c]);
+            assert!(
+                hook_cycles_of(&host, hook_id).is_empty(),
+                "unregistration prunes the shard's accounting entry"
+            );
+            rb.forget_hook(hook_id); // caller-driven mirror of the host's in-band forget
+
+            host.register_hook(mk(), offer);
+            host.attach(c, hook_id).unwrap();
+            host.fire_sync(hook_id, &[], &[]).unwrap();
+            host.quiesce();
+            let report = rb.observe(&host).unwrap();
+            let window = report
+                .hook_window
+                .iter()
+                .find(|(h, _)| *h == hook_id)
+                .map(|(_, w)| *w)
+                .unwrap_or(0);
+            assert!(
+                window > 0,
+                "reused hook's first window counts its fresh cycles"
+            );
+            host.shutdown();
+        }
     }
 }

@@ -78,15 +78,44 @@ pub(crate) enum Command {
         extra: Vec<HostRegion>,
         reply: SyncSender<Result<ExecutionReport, EngineError>>,
     },
+    /// Installs, attaches and (optionally) retires a predecessor as
+    /// **one** control-lane command — the live-deploy primitive. The
+    /// whole swap executes between event drains, so every event fired
+    /// at `attach` sees either the old container or the new one, never
+    /// both and never neither.
+    Deploy {
+        id: ContainerId,
+        name: String,
+        tenant: TenantId,
+        /// Shared with the host's retained spec (see `Install`).
+        image: std::sync::Arc<[u8]>,
+        request: ContractRequest,
+        /// Hook to attach the fresh container to, when the deploy
+        /// targets one registered on this shard.
+        attach: Option<Uuid>,
+        /// Predecessor to detach from `attach` and remove, atomically
+        /// with the install.
+        replace: Option<ContainerId>,
+        reply: SyncSender<Result<(), EngineError>>,
+    },
     RegisterHook {
         hook: Hook,
         offer: ContractOffer,
+        /// Per-hook cycles the hook accrued on the shard it migrated
+        /// from, carried over so the rebalancer's summed-over-shards
+        /// accounting stays monotone across moves (0 for a fresh
+        /// registration).
+        seed_cycles: u64,
     },
     /// Drops a hook's registration, replying with the containers that
-    /// were attached in attachment order (the migration contract).
+    /// were attached in attachment order (the migration contract) plus
+    /// the per-hook cycles accrued here, which the host seeds into the
+    /// target shard's registration. The local per-hook cycle entry is
+    /// pruned — a departed hook must not haunt future reports (and a
+    /// reused hook UUID must not inherit a stale count).
     UnregisterHook {
         hook: Uuid,
-        reply: SyncSender<Vec<ContainerId>>,
+        reply: SyncSender<(Vec<ContainerId>, u64)>,
     },
     SetExecConfig {
         config: ExecConfig,
@@ -113,9 +142,12 @@ pub struct ShardReport {
     /// ([`fc_core::engine::HookReport::cycles`]) — the preemption-free
     /// busy measure behind capacity metrics.
     pub sim_cycles: u64,
-    /// Per-hook share of `sim_cycles` accumulated **on this shard**
-    /// (a hook migrated mid-run appears in the reports of every shard
-    /// it executed on) — the signal the rebalancer picks hot hooks by.
+    /// Per-hook share of `sim_cycles` owned by this shard's **current
+    /// hook registrations** — the signal the rebalancer picks hot
+    /// hooks by. When a hook migrates here, the cycles it accrued on
+    /// its previous shard ride along (`Command::RegisterHook`'s seed),
+    /// so summing a hook's entries across shards is monotone over
+    /// moves; an unregistered hook's entry is pruned.
     pub hook_cycles: Vec<(Uuid, u64)>,
 }
 
@@ -250,7 +282,7 @@ fn run_shard(
                 events_done,
                 busy_ns,
                 sim_cycles,
-                &hook_cycles,
+                &mut hook_cycles,
             );
         }
 
@@ -328,7 +360,7 @@ fn handle_command(
     events: u64,
     busy_ns: u64,
     sim_cycles: u64,
-    hook_cycles: &std::collections::BTreeMap<Uuid, u64>,
+    hook_cycles: &mut std::collections::BTreeMap<Uuid, u64>,
 ) {
     match command {
         Command::Install {
@@ -340,6 +372,22 @@ fn handle_command(
             reply,
         } => {
             let _ = reply.send(engine.install_with_id(id, &name, tenant, &image, request));
+        }
+        Command::Deploy {
+            id,
+            name,
+            tenant,
+            image,
+            request,
+            attach,
+            replace,
+            reply,
+        } => {
+            let _ = reply.send(
+                engine
+                    .deploy_swap(id, &name, tenant, &image, request, attach, replace)
+                    .map(|_| ()),
+            );
         }
         Command::Eject { id, reply } => {
             let _ = reply.send(engine.eject(id));
@@ -364,7 +412,14 @@ fn handle_command(
         } => {
             let _ = reply.send(engine.execute(id, &ctx, &extra));
         }
-        Command::RegisterHook { hook, offer } => {
+        Command::RegisterHook {
+            hook,
+            offer,
+            seed_cycles,
+        } => {
+            if seed_cycles > 0 {
+                *hook_cycles.entry(hook.id).or_insert(0) += seed_cycles;
+            }
             engine.register_hook(hook, offer);
         }
         Command::UnregisterHook { hook, reply } => {
@@ -372,7 +427,12 @@ fn handle_command(
                 .unregister_hook(hook)
                 .map(|(_, attached)| attached)
                 .unwrap_or_default();
-            let _ = reply.send(attached);
+            // Prune the departed hook's cycle entry: it either travels
+            // to the shard the hook migrates to (the reply carries it)
+            // or, on removal, must not leak a stale baseline onto a
+            // future reuse of the UUID.
+            let cycles = hook_cycles.remove(&hook).unwrap_or(0);
+            let _ = reply.send((attached, cycles));
         }
         Command::SetExecConfig { config } => {
             engine.set_exec_config(config);

@@ -94,6 +94,13 @@ pub struct HostStats {
     pub batches: AtomicU64,
     /// Hook migrations executed ([`crate::FcHost::migrate_hook`]).
     pub migrations: AtomicU64,
+    /// Live deploys landed through the shard control lane
+    /// ([`crate::FcHost::deploy_verified`]).
+    pub deploys: AtomicU64,
+    /// Rebalancer observations the host triggered itself (in-band,
+    /// every `rebalance_interval` dispatched events) — caller-driven
+    /// `observe()` calls are not counted here.
+    pub inband_observations: AtomicU64,
     /// Container executions that ended in a fault.
     pub faults: AtomicU64,
     /// VM instructions retired across all events.

@@ -70,15 +70,51 @@ pub fn szx_for_size(size: usize) -> Option<u8> {
 }
 
 /// Slices `data` into the payload for `block`, with the corrected `more`
-/// flag. Returns `None` when the block starts past the end.
+/// flag. Returns `None` when the block starts **past** the end; a block
+/// starting exactly *at* the end is the legal zero-length terminal
+/// block (RFC 7959 §2.3) — a streaming sender that does not know the
+/// total length in advance marks every full block `more = true` and
+/// finishes an exact-multiple transfer with an empty final block, so a
+/// receiver (e.g. the SUIT staging endpoint) can observe the transfer
+/// end. Returning `None` here used to strand that hand-off.
 pub fn slice_block(data: &[u8], block: Block) -> Option<(Vec<u8>, bool)> {
     let start = block.offset();
-    if start >= data.len() && !(start == 0 && data.is_empty()) {
+    if start > data.len() {
         return None;
     }
     let end = (start + block.size()).min(data.len());
     let more = end < data.len();
     Some((data[start..end].to_vec(), more))
+}
+
+/// Applies one in-order Block1 chunk to a staging buffer — the single
+/// copy of the receiver-side state machine shared by the single-device
+/// SUIT endpoint and the hosting runtime's `/suit/payload` lane:
+///
+/// * `restart` (Block1 `num == 0`) signals the start of a
+///   (re)transfer: any previous staging for the resource is stale and
+///   is cleared first — a retransmitted first block stays idempotent
+///   because it simply re-appends the same bytes;
+/// * a chunk already entirely within the staged bytes is a
+///   retransmitted duplicate (the receiver's ACK was lost):
+///   idempotent success;
+/// * a chunk at `offset ==` staged length appends — including the
+///   zero-length terminal block closing an exact-multiple transfer
+///   (see [`slice_block`]);
+/// * anything else is a hole: the transfer must restart.
+pub fn stage_chunk(buf: &mut Vec<u8>, offset: usize, chunk: &[u8], restart: bool) -> bool {
+    if restart && offset == 0 {
+        buf.clear();
+    }
+    if buf.len() >= offset + chunk.len() {
+        // Retransmitted duplicate: idempotent success.
+        true
+    } else if buf.len() == offset {
+        buf.extend_from_slice(chunk);
+        true
+    } else {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +164,14 @@ mod tests {
         let (b1, more) = slice_block(&data, Block::with_size(1, false, 64)).unwrap();
         assert_eq!(b1.len(), 64);
         assert!(!more);
+        // Offset == len: the zero-length terminal block a streaming
+        // sender emits to close an exact-multiple transfer. This used
+        // to return `None` and strand the hand-off.
+        let (b2, more2) = slice_block(&data, Block::with_size(2, false, 64)).unwrap();
+        assert!(b2.is_empty());
+        assert!(!more2);
+        // One past the end is still out of range.
+        assert!(slice_block(&data, Block::with_size(3, false, 64)).is_none());
     }
 
     #[test]
@@ -141,5 +185,43 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_size_panics() {
         Block::with_size(0, false, 100);
+    }
+
+    #[test]
+    fn stage_chunk_in_order_duplicate_and_hole() {
+        let mut buf = Vec::new();
+        assert!(stage_chunk(&mut buf, 0, &[1, 2], true));
+        assert!(stage_chunk(&mut buf, 2, &[3, 4], false));
+        // Retransmitted duplicate: idempotent, bytes unchanged.
+        assert!(stage_chunk(&mut buf, 2, &[3, 4], false));
+        assert_eq!(buf, vec![1, 2, 3, 4]);
+        // A hole is rejected.
+        assert!(!stage_chunk(&mut buf, 6, &[9], false));
+        // Zero-length terminal block at offset == len: accepted, and
+        // its retransmission too.
+        assert!(stage_chunk(&mut buf, 4, &[], false));
+        assert!(stage_chunk(&mut buf, 4, &[], false));
+        assert_eq!(buf, vec![1, 2, 3, 4]);
+    }
+
+    /// A restart must clear stale staging whatever its length relative
+    /// to the new first chunk — a previous shorter leftover used to
+    /// wedge the resource (every restart rejected as a hole), and an
+    /// equal-length leftover was silently kept as a "duplicate",
+    /// corrupting the new transfer.
+    #[test]
+    fn stage_chunk_restart_clears_stale_staging() {
+        // Leftover shorter than the new first block.
+        let mut buf = vec![9; 32];
+        assert!(stage_chunk(&mut buf, 0, &[7; 64], true));
+        assert_eq!(buf, vec![7; 64]);
+        // Leftover of exactly the new first block's length.
+        let mut buf = vec![9; 32];
+        assert!(stage_chunk(&mut buf, 0, &[7; 32], true));
+        assert_eq!(buf, vec![7; 32]);
+        // Leftover longer than the new first block.
+        let mut buf = vec![9; 100];
+        assert!(stage_chunk(&mut buf, 0, &[7; 32], true));
+        assert_eq!(buf, vec![7; 32]);
     }
 }

@@ -173,6 +173,33 @@ impl UpdateManager {
         Ok(PendingUpdate { manifest, key_id })
     }
 
+    /// Validates a fetched payload against a pending manifest
+    /// **without committing anything** — no sequence bump, no
+    /// accept/reject counters. Live deploy paths use this to
+    /// front-load the digest check before touching a running engine,
+    /// then commit with [`UpdateManager::complete`] only after the
+    /// install actually landed.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::SizeMismatch`] / [`UpdateError::DigestMismatch`].
+    pub fn check_payload(
+        &self,
+        pending: &PendingUpdate,
+        payload: &[u8],
+    ) -> Result<(), UpdateError> {
+        if payload.len() != pending.manifest.size as usize {
+            return Err(UpdateError::SizeMismatch {
+                expected: pending.manifest.size,
+                got: payload.len(),
+            });
+        }
+        if !ct_eq(&sha256(payload), &pending.manifest.digest) {
+            return Err(UpdateError::DigestMismatch);
+        }
+        Ok(())
+    }
+
     /// Step 3: validate the fetched payload against the manifest. On
     /// success the sequence number is committed.
     ///
@@ -259,6 +286,31 @@ mod tests {
         assert_eq!(ready.payload, payload);
         assert_eq!(mgr.accepted_count(), 1);
         assert_eq!(mgr.installed_sequence(Uuid::from_name("hooks", "timer")), 1);
+    }
+
+    #[test]
+    fn check_payload_validates_without_committing() {
+        let mut mgr = manager();
+        let payload = b"application image".to_vec();
+        let env = manifest_for(&payload, 1).sign(&maintainer(), b"tenant-a");
+        let pending = mgr.begin(&env).unwrap();
+        assert!(mgr.check_payload(&pending, &payload).is_ok());
+        assert!(matches!(
+            mgr.check_payload(&pending, b"evil"),
+            Err(UpdateError::SizeMismatch { .. })
+        ));
+        let mut bad = payload.clone();
+        bad[0] ^= 1;
+        assert_eq!(
+            mgr.check_payload(&pending, &bad),
+            Err(UpdateError::DigestMismatch)
+        );
+        // Nothing was committed: no sequence, no counters.
+        assert_eq!(mgr.installed_sequence(Uuid::from_name("hooks", "timer")), 0);
+        assert_eq!(mgr.accepted_count(), 0);
+        assert_eq!(mgr.rejected_count(), 0);
+        // The pending update still completes normally afterwards.
+        assert!(mgr.complete(pending, payload).is_ok());
     }
 
     #[test]

@@ -10,30 +10,49 @@
 
 use femto_containers::core::apps;
 use femto_containers::core::contract::{ContractOffer, ContractRequest};
+use femto_containers::core::deploy::{author_update, component_name, contract_request_for};
 use femto_containers::core::engine::{HookReport, HostRegion, HostingEngine};
 use femto_containers::core::helpers_impl::{
     coap_ctx_bytes, helper_name_table, standard_helper_ids,
 };
 use femto_containers::core::hooks::{Hook, HookKind, HookPolicy};
 use femto_containers::host::{
-    CoapFront, FcHost, HookEvent, HostConfig, HostError, RebalanceConfig, Rebalancer, ShedPolicy,
+    CoapFront, FcHost, HookEvent, HostConfig, HostError, LiveUpdateService, RebalanceConfig,
+    Rebalancer, ShedPolicy,
 };
 use femto_containers::kvstore::Scope;
 use femto_containers::net::load::{CoapLoadGen, LoadShape};
-use femto_containers::rbpf::program::ProgramBuilder;
+use femto_containers::rbpf::program::{FcProgram, ProgramBuilder};
 use femto_containers::rtos::platform::{Engine, Platform};
-use femto_containers::suit::Uuid;
+use femto_containers::suit::{SigningKey, Uuid};
 
 const PKT_LEN: usize = 64;
 
-fn image(src: &str) -> Vec<u8> {
+fn program(src: &str) -> FcProgram {
     ProgramBuilder::new()
         .helpers(helper_name_table().iter().map(|(n, i)| (n.as_str(), *i)))
         .asm(src)
         .unwrap()
         .build()
-        .to_bytes()
 }
+
+fn image(src: &str) -> Vec<u8> {
+    program(src).to_bytes()
+}
+
+/// A compute-heavy loop body — exercises DRR fairness.
+const CRUNCHER_SRC: &str = "\
+mov r0, 0
+mov r1, 2000
+loop: add r0, 7
+sub r1, 1
+jne r1, 0, loop
+and r0, 0xffff
+exit";
+
+/// Faults on every event (out-of-bounds load) — faults must be
+/// contained identically on both paths.
+const FAULTER_SRC: &str = "ldxdw r0, [r10+4096]\nexit";
 
 /// The §8.3-style responder: tenant-store read + CoAP formatting.
 fn responder() -> (Vec<u8>, ContractRequest) {
@@ -45,24 +64,13 @@ fn responder() -> (Vec<u8>, ContractRequest) {
 
 /// A compute-heavy tenant (long loop) — exercises DRR fairness.
 fn cruncher() -> (Vec<u8>, ContractRequest) {
-    let src = "\
-mov r0, 0
-mov r1, 2000
-loop: add r0, 7
-sub r1, 1
-jne r1, 0, loop
-and r0, 0xffff
-exit";
-    (image(src), ContractRequest::default())
+    (image(CRUNCHER_SRC), ContractRequest::default())
 }
 
 /// A tenant that faults on every event (out-of-bounds load) — faults
 /// must be contained identically on both paths.
 fn faulter() -> (Vec<u8>, ContractRequest) {
-    (
-        image("ldxdw r0, [r10+4096]\nexit"),
-        ContractRequest::default(),
-    )
+    (image(FAULTER_SRC), ContractRequest::default())
 }
 
 /// The shared multi-tenant scenario: 6 CoAP hooks; tenants 0..3 run
@@ -603,7 +611,7 @@ fn seeded_lifecycle_rebalance_interleaving_stays_coherent() {
             }
             // Rebalancer observation (may or may not move hooks).
             7 => {
-                rebalancer.observe(&mut host).expect("observation");
+                rebalancer.observe(&host).expect("observation");
             }
             // Batched fire (sheds are legal under DropOldest).
             8 | 9 => {
@@ -730,7 +738,7 @@ fn rebalancer_lifts_skewed_balance_with_identical_outcomes() {
             );
         }
         host.quiesce();
-        let report = rebalancer.observe(&mut host).unwrap();
+        let report = rebalancer.observe(&host).unwrap();
         first_balance.get_or_insert(report.balance);
         last_balance = report.balance;
     }
@@ -904,6 +912,285 @@ fn seeded_install_execute_interleaving_stays_coherent() {
     let r = host.fire_sync(hooks[0], &[], &[]).unwrap();
     let probe_exec = r.executions.iter().find(|e| e.container == probe).unwrap();
     assert_eq!(probe_exec.result, Ok(99));
+    host.shutdown();
+}
+
+/// The program a component runs in deploy version `v` — rotating
+/// through all three behaviour classes so live updates change what a
+/// hook does, visibly in the reports.
+fn deploy_program(t: u32, version: u64) -> FcProgram {
+    match (t as u64 + version) % 3 {
+        0 => apps::coap_formatter(),
+        1 => program(CRUNCHER_SRC),
+        _ => program(FAULTER_SRC),
+    }
+}
+
+/// Live deploys through the shard control lane, in-band rebalance
+/// migrations and batched fires under one seed: per-event reports must
+/// stay **bit-identical** to a single-threaded engine applying the
+/// same lifecycle sequence (same container ids, same replace chain),
+/// with zero caller-driven `observe()` calls — the host triggers its
+/// own observations from the dispatch count.
+#[test]
+fn live_deploys_with_inband_rebalance_stay_bit_identical() {
+    let maintainer = SigningKey::from_seed(b"diff-maintainer");
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 4,
+            queue_capacity: 4096,
+            rebalance_interval: 100,
+            rebalance: RebalanceConfig {
+                min_balance: 0.95,
+                sustain: 1,
+                cooldown: 0,
+                min_window_cycles: 1_000,
+                max_moves: 2,
+            },
+            ..HostConfig::default()
+        },
+    );
+    let mut engine = HostingEngine::new(Platform::CortexM4, Engine::FemtoContainer);
+    let hooks = provision(
+        |h: &mut FcHost, hook, o| h.register_hook(hook, o),
+        &mut host,
+    );
+    let ref_hooks = provision(
+        |e: &mut HostingEngine, h, o| e.register_hook(h, o),
+        &mut engine,
+    );
+    assert_eq!(hooks, ref_hooks, "name-derived hook ids agree");
+    let mut updates = LiveUpdateService::new();
+    for t in 0..6u32 {
+        updates.provision_tenant(format!("t{t}").as_bytes(), maintainer.verifying_key(), t);
+        for env in [host.env(), engine.env()] {
+            env.stores()
+                .store(0, t, Scope::Tenant, 1, 2000 + t as i64)
+                .unwrap();
+        }
+    }
+
+    let events = event_stream(1200);
+    let mut seq = [0u64; 6];
+    let mut ref_installed: [Option<u32>; 6] = [None; 6];
+    let mut next_ref_id = 1u32;
+    let mut reference: Vec<HookReport> = Vec::with_capacity(events.len());
+    let mut receivers: Vec<Option<std::sync::mpsc::Receiver<_>>> =
+        (0..events.len()).map(|_| None).collect();
+
+    for (round, chunk) in events.chunks(100).enumerate() {
+        // Deploy between rounds (queues are drained, so the control
+        // lane's command order matches the reference's apply order
+        // exactly), cycling components and behaviour classes.
+        host.quiesce();
+        for &t in &[round % 6, (round + 3) % 6] {
+            let t = t as u32;
+            seq[t as usize] += 1;
+            let version = seq[t as usize];
+            let app = deploy_program(t, version);
+            let uri = format!("t{t}-v{version}");
+            let (envelope, payload) = author_update(
+                &app,
+                hooks[t as usize],
+                version,
+                &uri,
+                &maintainer,
+                format!("t{t}").as_bytes(),
+            );
+            updates.stage_payload(&uri, &payload);
+            let report = updates.apply(&host, &envelope).unwrap();
+            // The reference engine applies the identical mutation.
+            let id = engine
+                .deploy_swap(
+                    next_ref_id,
+                    &component_name(hooks[t as usize]),
+                    t,
+                    &payload,
+                    contract_request_for(&app),
+                    Some(hooks[t as usize]),
+                    ref_installed[t as usize],
+                )
+                .unwrap();
+            assert_eq!(report.container, id, "host and reference agree on ids");
+            assert!(report.attached);
+            next_ref_id += 1;
+            ref_installed[t as usize] = Some(id);
+        }
+        // An explicit migration racing the fresh deploy: the deployed
+        // container must travel with its hook, not strand behind.
+        let moved = hooks[round % 6];
+        let to = (host.shard_of_hook(moved).unwrap() + 1) % host.shard_count();
+        host.migrate_hook(moved, to).unwrap();
+        if let Some(c) = ref_installed[round % 6] {
+            assert_eq!(
+                host.shard_of(c),
+                host.shard_of_hook(moved),
+                "deployed container follows its migrated hook"
+            );
+        }
+
+        // Batched fires over the chunk, grouped by hook; the reference
+        // fires the same stream in offer order.
+        let base = round * 100;
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (off, &t) in chunk.iter().enumerate() {
+            match groups.iter_mut().find(|(tenant, _)| *tenant == t) {
+                Some((_, idxs)) => idxs.push(base + off),
+                None => groups.push((t, vec![base + off])),
+            }
+        }
+        for (t, idxs) in groups {
+            let batch: Vec<HookEvent> = idxs
+                .iter()
+                .map(|_| {
+                    let (ctx, pkt) = event_regions();
+                    HookEvent {
+                        ctx,
+                        extra: vec![pkt],
+                    }
+                })
+                .collect();
+            let rxs = host.fire_batch_with_reply(hooks[t], batch).unwrap();
+            for (i, rx) in idxs.into_iter().zip(rxs) {
+                receivers[i] = Some(rx);
+            }
+        }
+        for &t in chunk {
+            let (ctx, pkt) = event_regions();
+            reference.push(
+                engine
+                    .fire_hook(hooks[t], &ctx, std::slice::from_ref(&pkt))
+                    .unwrap(),
+            );
+        }
+    }
+
+    // No event lost or double-executed: every receiver resolves exactly
+    // once, and the dispatch counter equals the offered stream.
+    for (i, rx) in receivers.into_iter().enumerate() {
+        let report = rx
+            .expect("every event offered")
+            .recv()
+            .expect("event neither lost nor shed")
+            .expect("hook exists");
+        assert_eq!(
+            reference[i], report,
+            "event {i} (tenant {}) diverged",
+            events[i]
+        );
+    }
+    host.quiesce();
+    let stats = host.stats();
+    assert_eq!(
+        stats.dispatched.load(std::sync::atomic::Ordering::Relaxed),
+        events.len() as u64
+    );
+    assert_eq!(stats.shed.load(std::sync::atomic::Ordering::Relaxed), 0);
+    assert_eq!(
+        stats.deploys.load(std::sync::atomic::Ordering::Relaxed),
+        24,
+        "two deploys per round, twelve rounds"
+    );
+    assert!(
+        stats
+            .inband_observations
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "the host observed in-band, with no caller-driven observe()"
+    );
+    assert!(stats.migrations.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    host.shutdown();
+}
+
+/// A deploy racing queued events and migrations — **without**
+/// quiescing: every accepted event executes exactly once, against
+/// exactly one of the component's containers (old or new, never both,
+/// never neither), and the freshly deployed container never strands on
+/// the wrong shard.
+#[test]
+fn deploy_racing_queued_events_and_migrations_loses_nothing() {
+    let maintainer = SigningKey::from_seed(b"race-maintainer");
+    let mut host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 4,
+            queue_capacity: 8192,
+            rebalance_interval: 50,
+            rebalance: RebalanceConfig {
+                min_balance: 0.95,
+                sustain: 1,
+                cooldown: 0,
+                min_window_cycles: 100,
+                max_moves: 2,
+            },
+            ..HostConfig::default()
+        },
+    );
+    let hook = Hook::new("race-deploy", HookKind::Custom, HookPolicy::First);
+    let hook_id = hook.id;
+    host.register_hook(hook, ContractOffer::helpers(standard_helper_ids()));
+    let mut updates = LiveUpdateService::new();
+    updates.provision_tenant(b"racer", maintainer.verifying_key(), 1);
+
+    let deploy = |updates: &mut LiveUpdateService, host: &FcHost, version: u64| {
+        let app = program(CRUNCHER_SRC);
+        let uri = format!("race-v{version}");
+        let (envelope, payload) =
+            author_update(&app, hook_id, version, &uri, &maintainer, b"racer");
+        updates.stage_payload(&uri, &payload);
+        updates.apply(host, &envelope).unwrap().container
+    };
+
+    let mut deployed = vec![deploy(&mut updates, &host, 1)];
+    let mut receivers = Vec::new();
+    let mut offered = 0u64;
+    for wave in 0..8u64 {
+        let events: Vec<HookEvent> = (0..60).map(|_| HookEvent::default()).collect();
+        offered += 60;
+        receivers.extend(host.fire_batch_with_reply(hook_id, events).unwrap());
+        // Deploy mid-flight: the swap rides the control lane while the
+        // wave is still draining.
+        deployed.push(deploy(&mut updates, &host, wave + 2));
+        // And a migration racing the deploy it just serialized behind.
+        host.migrate_hook(hook_id, (wave as usize) % host.shard_count())
+            .unwrap();
+        assert_eq!(
+            host.shard_of(*deployed.last().unwrap()),
+            host.shard_of_hook(hook_id),
+            "fresh container travels with its hook"
+        );
+        let events: Vec<HookEvent> = (0..60).map(|_| HookEvent::default()).collect();
+        offered += 60;
+        receivers.extend(host.fire_batch_with_reply(hook_id, events).unwrap());
+    }
+    host.quiesce();
+    for rx in receivers {
+        let report = rx
+            .recv()
+            .expect("event neither lost nor shed")
+            .expect("hook exists");
+        assert_eq!(
+            report.executions.len(),
+            1,
+            "atomic swap: exactly one container serves every event"
+        );
+        assert!(
+            deployed.contains(&report.executions[0].container),
+            "events only ever see a deployed version"
+        );
+    }
+    let stats = host.stats();
+    assert_eq!(
+        stats.dispatched.load(std::sync::atomic::Ordering::Relaxed),
+        offered,
+        "every accepted event executed exactly once"
+    );
+    assert_eq!(stats.shed.load(std::sync::atomic::Ordering::Relaxed), 0);
+    assert_eq!(stats.deploys.load(std::sync::atomic::Ordering::Relaxed), 9);
+    assert!(stats.migrations.load(std::sync::atomic::Ordering::Relaxed) > 0);
     host.shutdown();
 }
 
