@@ -1,0 +1,496 @@
+//! The fleet front tier: N hosting nodes behind a consistent-hash
+//! ring.
+//!
+//! Every hook UUID is owned by exactly one node ([`crate::ring`]); the
+//! front routes dispatches and deploys to the owner through the
+//! [`NodeService`] boundary, so nodes may be in-process
+//! ([`fc_host::LocalNode`]) or across the lossy link
+//! ([`crate::node::RemoteNode`]) interchangeably.
+//!
+//! **Hook handoff.** The ring is rebuilt explicitly on node join/leave
+//! ([`FcFleet::add_node`] / [`FcFleet::remove_node`]); each hook whose
+//! owner changed is evacuated from the old node (whose `FcHost`
+//! retires the container slot through the same eject/adopt machinery
+//! migrations use) and re-created on the new owner: hook registration
+//! from the fleet's retained spec, container from the fleet's retained
+//! SUIT update — deployment state is *fleet-authoritative*, so a node
+//! can leave without warning and its hooks still come back verbatim
+//! elsewhere. Ordering per hook: unregister → register → re-deploy;
+//! dispatches issued between those steps fail with
+//! [`NodeError::UnknownHook`] and are the caller's to retry, exactly
+//! like a CoAP 4.04 during a real re-home.
+//!
+//! **Deploy fan-out.** [`FcFleet::deploy`] pushes one signed update to
+//! its component's owner (stage chunks → apply manifest, each leg with
+//! retry/dedup over the link); [`FcFleet::deploy_fanout`] pushes it to
+//! **every** node — the owner attaches it to the hook, the others hold
+//! it as an unattached standby — and reports per-node accept/reject.
+
+use std::collections::HashMap;
+
+use fc_core::contract::ContractOffer;
+use fc_core::engine::{HookReport, HostRegion};
+use fc_core::helpers_impl::coap_ctx_bytes;
+use fc_core::hooks::Hook;
+use fc_host::coap::{response_pdu, DEFAULT_PKT_LEN};
+use fc_host::{CoapReply, DeployReport, HookEvent, NodeError, NodeService, NodeStats};
+use fc_net::coap::Message;
+use fc_suit::cbor::Value;
+use fc_suit::cose::CoseSign1;
+use fc_suit::{Manifest, Uuid};
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Tuning for a [`FcFleet`].
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Virtual ring points per node.
+    pub vnodes: usize,
+    /// Response packet buffer size for [`FcFleet::serve`].
+    pub pkt_len: usize,
+    /// Chunk size when staging SUIT payloads onto nodes.
+    pub stage_chunk: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            vnodes: DEFAULT_VNODES,
+            pkt_len: DEFAULT_PKT_LEN,
+            stage_chunk: 256,
+        }
+    }
+}
+
+/// A SUIT update the fleet retains per component — the authoritative
+/// copy handoff re-deploys from.
+#[derive(Debug, Clone)]
+struct RetainedUpdate {
+    uri: String,
+    envelope: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+struct FleetNode {
+    id: usize,
+    service: Box<dyn NodeService>,
+}
+
+/// The consistent-hashing front tier over N nodes (module docs).
+///
+/// # Examples
+///
+/// ```
+/// use fc_core::contract::ContractOffer;
+/// use fc_core::helpers_impl::standard_helper_ids;
+/// use fc_core::hooks::{Hook, HookKind, HookPolicy};
+/// use fc_fleet::FcFleet;
+/// use fc_host::{HostConfig, LocalNode};
+/// use fc_rtos::platform::{Engine, Platform};
+///
+/// let mut fleet = FcFleet::new(Default::default());
+/// for _ in 0..2 {
+///     let node = LocalNode::new(Platform::CortexM4, Engine::FemtoContainer, HostConfig::default());
+///     fleet.add_node(Box::new(node)).unwrap();
+/// }
+/// let hook = Hook::new("tick", HookKind::Timer, HookPolicy::First);
+/// let hook_id = hook.id;
+/// fleet.register_hook(hook, ContractOffer::helpers(standard_helper_ids())).unwrap();
+/// let report = fleet.dispatch(hook_id, Default::default()).unwrap();
+/// assert!(report.executions.is_empty()); // nothing deployed yet
+/// ```
+pub struct FcFleet {
+    config: FleetConfig,
+    nodes: Vec<FleetNode>,
+    next_id: usize,
+    ring: HashRing,
+    hooks: HashMap<Uuid, (Hook, ContractOffer)>,
+    routes: HashMap<String, Uuid>,
+    retained: HashMap<Uuid, RetainedUpdate>,
+    handoffs: u64,
+}
+
+impl FcFleet {
+    /// Creates an empty fleet.
+    pub fn new(config: FleetConfig) -> Self {
+        FcFleet {
+            ring: HashRing::new(config.vnodes),
+            config,
+            nodes: Vec::new(),
+            next_id: 0,
+            hooks: HashMap::new(),
+            routes: HashMap::new(),
+            retained: HashMap::new(),
+            handoffs: 0,
+        }
+    }
+
+    /// Member nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Registered hooks.
+    pub fn hook_count(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Hooks re-homed by membership changes so far.
+    pub fn handoff_count(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// The node currently owning a hook on the ring.
+    pub fn owner_of(&self, hook: Uuid) -> Option<usize> {
+        self.ring.owner(hook)
+    }
+
+    fn node_mut(&mut self, id: usize) -> Result<&mut Box<dyn NodeService>, NodeError> {
+        self.nodes
+            .iter_mut()
+            .find(|n| n.id == id)
+            .map(|n| &mut n.service)
+            .ok_or_else(|| NodeError::Rejected(format!("node {id} is not a fleet member")))
+    }
+
+    /// Admits a node and rebuilds the ring, handing the hooks whose
+    /// arcs it took over (registration + retained update) to it.
+    /// Returns the new node's id.
+    ///
+    /// # Errors
+    ///
+    /// Handoff errors ([`NodeError`]); the membership change itself
+    /// always lands — a hook whose handoff failed mid-way reports
+    /// [`NodeError::UnknownHook`] on dispatch until re-registered.
+    pub fn add_node(&mut self, service: Box<dyn NodeService>) -> Result<usize, NodeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.nodes.push(FleetNode { id, service });
+        self.rebuild_ring()?;
+        Ok(id)
+    }
+
+    /// Retires a node: its hooks are evacuated (gracefully while it
+    /// still answers), the ring is rebuilt, and each hook is re-homed
+    /// onto its new owner from the fleet's retained spec + update. The
+    /// removed service is returned for inspection or disposal.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Rejected`] for an unknown id; handoff errors as
+    /// [`FcFleet::add_node`].
+    pub fn remove_node(&mut self, id: usize) -> Result<Box<dyn NodeService>, NodeError> {
+        let pos = self
+            .nodes
+            .iter()
+            .position(|n| n.id == id)
+            .ok_or_else(|| NodeError::Rejected(format!("node {id} is not a fleet member")))?;
+        // Graceful evacuation: best effort — a node being removed
+        // because it died cannot answer, and does not need to (the
+        // retained updates re-create everything on the new owners).
+        let owned: Vec<Uuid> = self
+            .hooks
+            .keys()
+            .copied()
+            .filter(|h| self.ring.owner(*h) == Some(id))
+            .collect();
+        for hook in owned {
+            let _ = self.nodes[pos].service.unregister_hook(hook);
+        }
+        let removed = self.nodes.remove(pos);
+        self.rebuild_ring()?;
+        Ok(removed.service)
+    }
+
+    /// Recomputes the ring over current members and re-homes every
+    /// hook whose owner changed.
+    fn rebuild_ring(&mut self) -> Result<(), NodeError> {
+        let before: HashMap<Uuid, Option<usize>> = self
+            .hooks
+            .keys()
+            .map(|h| (*h, self.ring.owner(*h)))
+            .collect();
+        let ids: Vec<usize> = self.nodes.iter().map(|n| n.id).collect();
+        self.ring.rebuild(&ids);
+        let mut failures: Vec<(Uuid, NodeError)> = Vec::new();
+        for (hook, old) in before {
+            let new = self.ring.owner(hook);
+            if old == new {
+                continue;
+            }
+            if let Err(e) = self.handoff(hook, old, new) {
+                failures.push((hook, e));
+            }
+        }
+        match failures.len() {
+            0 => Ok(()),
+            // Name EVERY failed hook: each one dispatches UnknownHook
+            // until re-registered, and the caller must know which.
+            _ => Err(NodeError::Rejected(format!(
+                "handoff failed for {} hook(s): {}",
+                failures.len(),
+                failures
+                    .iter()
+                    .map(|(hook, e)| format!("{hook}: {e}"))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ))),
+        }
+    }
+
+    fn handoff(
+        &mut self,
+        hook: Uuid,
+        from: Option<usize>,
+        to: Option<usize>,
+    ) -> Result<(), NodeError> {
+        if let Some(from) = from {
+            // The old owner may already be gone (remove_node evacuated
+            // or the node died); evacuation is best effort.
+            if let Ok(node) = self.node_mut(from) {
+                let _ = node.unregister_hook(hook);
+            }
+        }
+        let Some(to) = to else { return Ok(()) };
+        let (desc, offer) = self
+            .hooks
+            .get(&hook)
+            .cloned()
+            .expect("handoff only runs for registered hooks");
+        self.node_mut(to)?.register_hook(desc, offer)?;
+        if let Some(update) = self.retained.get(&hook).cloned() {
+            self.push_update(to, &update)?;
+        }
+        self.handoffs += 1;
+        Ok(())
+    }
+
+    /// Registers a hook fleet-wide: the spec is retained and the
+    /// hook is created on its ring owner. Returns the owner's id.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Rejected`] on an empty fleet; transport errors from
+    /// the owner.
+    pub fn register_hook(&mut self, hook: Hook, offer: ContractOffer) -> Result<usize, NodeError> {
+        let owner = self
+            .ring
+            .owner(hook.id)
+            .ok_or_else(|| NodeError::Rejected("fleet has no nodes".to_owned()))?;
+        self.hooks.insert(hook.id, (hook.clone(), offer.clone()));
+        self.node_mut(owner)?.register_hook(hook, offer)?;
+        Ok(owner)
+    }
+
+    /// Unregisters a hook fleet-wide: evacuated from its owner,
+    /// dropped from the retained specs and updates. The node is
+    /// evacuated **first**: on a transport failure the fleet keeps its
+    /// record of the hook, so the caller can retry instead of orphaning
+    /// a still-running hook the fleet no longer knows how to reach.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::UnknownHook`] when never registered; transport
+    /// errors leave the fleet state intact for a retry.
+    pub fn unregister_hook(&mut self, hook: Uuid) -> Result<(), NodeError> {
+        if !self.hooks.contains_key(&hook) {
+            return Err(NodeError::UnknownHook(hook));
+        }
+        if let Some(owner) = self.ring.owner(hook) {
+            match self.node_mut(owner)?.unregister_hook(hook) {
+                // The owner not knowing the hook means it is already
+                // evacuated there (e.g. an earlier handoff failed after
+                // the old owner let go) — exactly the state this call
+                // wants, so finish the fleet-side cleanup instead of
+                // failing every retry forever.
+                Ok(()) | Err(NodeError::UnknownHook(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.hooks.remove(&hook);
+        self.retained.remove(&hook);
+        self.routes.retain(|_, h| *h != hook);
+        Ok(())
+    }
+
+    /// Fires one event at a hook's owner node.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::UnknownHook`] for an unregistered hook (or one
+    /// mid-handoff), otherwise whatever the node reports.
+    pub fn dispatch(&mut self, hook: Uuid, event: HookEvent) -> Result<HookReport, NodeError> {
+        if !self.hooks.contains_key(&hook) {
+            return Err(NodeError::UnknownHook(hook));
+        }
+        let owner = self.ring.owner(hook).ok_or(NodeError::UnknownHook(hook))?;
+        self.node_mut(owner)?.dispatch(hook, event)
+    }
+
+    /// Fires a vector of events at a hook's owner node with the
+    /// batched wire path; reports in offer order.
+    ///
+    /// # Errors
+    ///
+    /// As [`FcFleet::dispatch`].
+    pub fn dispatch_batch(
+        &mut self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+    ) -> Result<Vec<Result<HookReport, NodeError>>, NodeError> {
+        if !self.hooks.contains_key(&hook) {
+            return Err(NodeError::UnknownHook(hook));
+        }
+        let owner = self.ring.owner(hook).ok_or(NodeError::UnknownHook(hook))?;
+        self.node_mut(owner)?.dispatch_batch(hook, events)
+    }
+
+    /// Routes a CoAP resource path onto a hook (front-tier routing,
+    /// for [`FcFleet::serve`]).
+    pub fn add_route(&mut self, path: &str, hook: Uuid) {
+        self.routes.insert(path.trim_matches('/').to_owned(), hook);
+    }
+
+    /// Serves one tenant CoAP request end to end: path → hook → owner
+    /// node → formatted response, the fleet-tier analogue of
+    /// [`fc_host::CoapFront::dispatch_sync`].
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::UnknownHook`] for unrouted paths; node errors
+    /// otherwise.
+    pub fn serve(&mut self, request: &Message) -> Result<CoapReply, NodeError> {
+        let hook = *self
+            .routes
+            .get(request.path().trim_matches('/'))
+            .ok_or_else(|| {
+                NodeError::UnknownHook(Uuid::from_name("fleet/unrouted", &request.path()))
+            })?;
+        let pkt_len = self.config.pkt_len;
+        let event = HookEvent {
+            ctx: coap_ctx_bytes(pkt_len as u32),
+            extra: vec![HostRegion::read_write("pkt", vec![0; pkt_len])],
+        };
+        let report = self.dispatch(hook, event)?;
+        let pdu = response_pdu(&report);
+        let message = Message::decode(&pdu).ok();
+        Ok(CoapReply {
+            report,
+            pdu,
+            message,
+        })
+    }
+
+    /// Peeks the component and URI out of a manifest envelope without
+    /// verifying it — routing metadata only; every node re-verifies the
+    /// signature itself before installing anything.
+    fn peek_manifest(envelope: &[u8]) -> Result<(Uuid, String), NodeError> {
+        let cose = CoseSign1::decode(envelope)
+            .map_err(|e| NodeError::Rejected(format!("manifest undecodable: {e:?}")))?;
+        let value = Value::decode(&cose.payload)
+            .map_err(|e| NodeError::Rejected(format!("manifest undecodable: {e:?}")))?;
+        let manifest = Manifest::from_cbor(&value)
+            .map_err(|e| NodeError::Rejected(format!("manifest undecodable: {e}")))?;
+        Ok((manifest.component, manifest.uri))
+    }
+
+    fn push_update(
+        &mut self,
+        node: usize,
+        update: &RetainedUpdate,
+    ) -> Result<DeployReport, NodeError> {
+        let chunk = self.config.stage_chunk.max(1);
+        let service = self.node_mut(node)?;
+        if update.payload.is_empty() {
+            service.stage_chunk(&update.uri, 0, &[], true)?;
+        } else {
+            for (i, piece) in update.payload.chunks(chunk).enumerate() {
+                service.stage_chunk(&update.uri, i * chunk, piece, i == 0)?;
+            }
+        }
+        service.deploy(&update.envelope)
+    }
+
+    /// Deploys a signed SUIT update to its component's owner node:
+    /// payload staged block-wise, manifest applied, update retained as
+    /// the fleet's authoritative copy for future handoffs. Returns the
+    /// owner's id and its deploy report.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Rejected`] with the node's verdict (signature,
+    /// rollback, digest, rate limit, engine), or transport errors.
+    pub fn deploy(
+        &mut self,
+        envelope: &[u8],
+        payload: &[u8],
+    ) -> Result<(usize, DeployReport), NodeError> {
+        let (component, uri) = Self::peek_manifest(envelope)?;
+        let owner = self
+            .ring
+            .owner(component)
+            .ok_or_else(|| NodeError::Rejected("fleet has no nodes".to_owned()))?;
+        let update = RetainedUpdate {
+            uri,
+            envelope: envelope.to_vec(),
+            payload: payload.to_vec(),
+        };
+        let report = self.push_update(owner, &update)?;
+        self.retained.insert(component, update);
+        Ok((owner, report))
+    }
+
+    /// Fans a signed SUIT update out to **every** node, reporting each
+    /// node's accept/reject individually: the component's owner
+    /// attaches it to the hook, the other nodes install an unattached
+    /// standby copy (their engines have no such hook registered). The
+    /// update is retained when at least one node accepted.
+    pub fn deploy_fanout(
+        &mut self,
+        envelope: &[u8],
+        payload: &[u8],
+    ) -> Vec<(usize, Result<DeployReport, NodeError>)> {
+        let (component, uri) = match Self::peek_manifest(envelope) {
+            Ok(peeked) => peeked,
+            Err(e) => return self.nodes.iter().map(|n| (n.id, Err(e.clone()))).collect(),
+        };
+        let update = RetainedUpdate {
+            uri,
+            envelope: envelope.to_vec(),
+            payload: payload.to_vec(),
+        };
+        let ids: Vec<usize> = self.nodes.iter().map(|n| n.id).collect();
+        let outcomes: Vec<(usize, Result<DeployReport, NodeError>)> = ids
+            .into_iter()
+            .map(|id| {
+                let outcome = self.push_update(id, &update);
+                (id, outcome)
+            })
+            .collect();
+        if outcomes.iter().any(|(_, r)| r.is_ok()) {
+            self.retained.insert(component, update);
+        }
+        outcomes
+    }
+
+    /// Stats/health snapshots from every node.
+    pub fn stats(&mut self) -> Vec<(usize, Result<NodeStats, NodeError>)> {
+        let ids: Vec<usize> = self.nodes.iter().map(|n| n.id).collect();
+        ids.into_iter()
+            .map(|id| {
+                let stats = self.node_mut(id).and_then(|service| service.stats());
+                (id, stats)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for FcFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FcFleet")
+            .field("nodes", &self.nodes.len())
+            .field("hooks", &self.hooks.len())
+            .field("handoffs", &self.handoffs)
+            .finish()
+    }
+}

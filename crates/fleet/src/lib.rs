@@ -1,0 +1,60 @@
+//! # fc-fleet — the multi-node fleet tier
+//!
+//! The paper deploys tenant functions onto *one* constrained device;
+//! its end state is fleets of them behind a deployment middleware.
+//! This crate is that tier: **N hosting nodes behind a
+//! consistent-hashing front**, every node driven through the
+//! transport-agnostic [`fc_host::NodeService`] boundary so the front
+//! cannot tell an in-process node ([`fc_host::LocalNode`]) from one
+//! across the lossy low-power link ([`node::RemoteNode`]).
+//!
+//! ```text
+//!        CoAP requests / SUIT updates
+//!                 │
+//!             FcFleet            consistent-hash ring (hook UUID →
+//!                 │              node, virtual points; explicit
+//!      ┌──────────┼──────────┐   rebuild + hook handoff on join/leave)
+//!      ▼          ▼          ▼
+//!  NodeService NodeService NodeService      (the boundary)
+//!      │          │          │
+//!  LocalNode   RemoteNode  RemoteNode ──── CoAP codec + retry/dedup
+//!      │          │  ╲          ╲          tokens over fc_net::link
+//!   FcHost    NodeEndpoint  NodeEndpoint   (loss, duplication,
+//!                 │              │          reordering first-class)
+//!              FcHost         FcHost
+//! ```
+//!
+//! What each module owns:
+//!
+//! * [`ring`] — the consistent-hash ring: hook UUIDs → node ids over
+//!   virtual points; membership changes move only the affected arcs.
+//! * [`wire`] — the lossless binary codec shipping every
+//!   `NodeService` operation and result (full
+//!   [`fc_core::engine::HookReport`]s included) inside CoAP payloads.
+//! * [`node`] — the codec adapter: [`node::NodeEndpoint`] executes
+//!   decoded operations **exactly once** (request-token dedup cache),
+//!   [`node::RemoteNode`] retransmits with back-off over the seeded
+//!   lossy link.
+//! * [`fleet`] — [`FcFleet`]: routing, membership + hook handoff
+//!   (fleet-retained hook specs and SUIT updates re-create a hook on
+//!   its new owner), fleet-wide deploy fan-out with per-node
+//!   accept/reject, stats.
+//!
+//! The load-bearing guarantee, pinned by `tests/host_differential.rs`
+//! at the workspace root: a 1-node fleet routed through the codec
+//! adapter over a lossless link produces per-event reports
+//! **bit-identical** to a bare [`fc_host::FcHost`], and a lossy run
+//! (drops + duplicates + reorders) neither loses nor double-executes
+//! any event.
+
+#![deny(missing_docs)]
+
+pub mod fleet;
+pub mod node;
+pub mod ring;
+pub mod wire;
+
+pub use fleet::{FcFleet, FleetConfig};
+pub use node::{NodeEndpoint, RemoteConfig, RemoteNode, FLEET_MTU, NODE_OP_PATH};
+pub use ring::HashRing;
+pub use wire::{NodeOp, ReplyBody, WireError};

@@ -1,0 +1,487 @@
+//! The message-codec [`NodeService`] adapter: the same operations the
+//! in-process adapter performs, serialized as CoAP messages over a
+//! [`LossyLink`] — loss, reordering and duplication first-class on
+//! every node interaction.
+//!
+//! Two halves share this module:
+//!
+//! * [`NodeEndpoint`] — the node-side server. Decodes an operation off
+//!   a CoAP request, executes it on the wrapped [`NodeService`], and
+//!   replies. Its **dedup cache** (request token → cached response) is
+//!   what turns at-least-once delivery into exactly-once effect: a
+//!   retransmitted or link-duplicated request replays the recorded
+//!   response instead of re-executing the operation.
+//! * [`RemoteNode`] — the front-tier client. Implements `NodeService`
+//!   by encoding each operation, exchanging it confirmably
+//!   (retransmission with exponential back-off, RFC 7252 §4.2 style)
+//!   and decoding the reply. Each request carries a fresh token — the
+//!   retry/dedup token — reused verbatim across its retransmissions.
+//!
+//! The simulation couples both halves around one seeded link, driving
+//! virtual time exactly like [`fc_net::endpoint::CoapClient`]; the
+//! codec and dedup discipline are what a real deployment would keep.
+
+use std::collections::VecDeque;
+
+use fc_core::contract::ContractOffer;
+use fc_core::engine::HookReport;
+use fc_core::hooks::Hook;
+use fc_host::{DeployReport, HookEvent, NodeError, NodeService, NodeStats};
+use fc_net::coap::{Code, Message};
+use fc_net::endpoint::{ACK_TIMEOUT_US, MAX_RETRANSMIT};
+use fc_net::link::{Addr, Datagram, LinkConfig, LossyLink};
+use fc_suit::Uuid;
+
+use crate::wire::{self, NodeOp, ReplyBody};
+
+/// The CoAP resource path carrying node operations.
+pub const NODE_OP_PATH: &str = "fc/op";
+
+/// Default bound on remembered (token → response) pairs.
+pub const DEFAULT_DEDUP_CACHE: usize = 128;
+
+/// Default MTU for the front-tier ↔ node leg: a backhaul-class
+/// datagram path rather than the 802.15.4 last hop, sized so a
+/// sub-batch of reports fits one datagram.
+pub const FLEET_MTU: usize = 4096;
+
+/// Headroom reserved for CoAP framing around an encoded operation
+/// (4-byte header, 8-byte token, `fc/op` path options, payload
+/// marker) when checking a datagram against the link MTU.
+const FRAME_OVERHEAD: usize = 32;
+
+/// Reply-size headroom per dispatched event beyond the echoed request
+/// payload: result, op counts, cycles, region framing. A reply echoes
+/// the event's context and regions back (≈ the request payload) plus
+/// this much bookkeeping, so event-carrying requests are budgeted at
+/// `2 × request + REPLY_PER_EVENT × events + REPLY_BASE` against the
+/// MTU — conservatively, since a reply the node cannot send is an
+/// operation whose outcome the caller can never learn.
+const REPLY_PER_EVENT: usize = 192;
+
+/// Fixed reply-size headroom (report envelope, combined result).
+const REPLY_BASE: usize = 128;
+
+/// Node-side server: executes decoded operations with exactly-once
+/// effect (module docs).
+#[derive(Debug)]
+pub struct NodeEndpoint<S> {
+    inner: S,
+    seen: VecDeque<(Vec<u8>, Message)>,
+    cache: usize,
+    served: u64,
+    deduped: u64,
+}
+
+impl<S: NodeService> NodeEndpoint<S> {
+    /// Wraps a node service with the default dedup cache.
+    pub fn new(inner: S) -> Self {
+        NodeEndpoint {
+            inner,
+            seen: VecDeque::new(),
+            cache: DEFAULT_DEDUP_CACHE,
+            served: 0,
+            deduped: 0,
+        }
+    }
+
+    /// Overrides the dedup-cache bound (clamped to at least 1). The
+    /// cache must cover the client's retransmission window; with the
+    /// front tier's one-exchange-at-a-time discipline even a handful
+    /// suffices.
+    pub fn with_cache(mut self, entries: usize) -> Self {
+        self.cache = entries.max(1);
+        self
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped service (tests, provisioning).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Operations actually executed (dedup replays excluded).
+    pub fn served_count(&self) -> u64 {
+        self.served
+    }
+
+    /// Requests answered from the dedup cache without re-executing.
+    pub fn deduped_count(&self) -> u64 {
+        self.deduped
+    }
+
+    /// Serves one decoded CoAP request. Unknown paths get 4.04; an
+    /// undecodable operation gets 4.00; everything else returns 2.05
+    /// with the encoded reply ([`wire::encode_reply`]) as payload —
+    /// node-side rejections ride *inside* that payload, so the
+    /// transport cannot confuse them with its own failures.
+    pub fn handle(&mut self, request: &Message) -> Message {
+        if request.path() != NODE_OP_PATH {
+            return Message::response_to(request, Code::NotFound);
+        }
+        if let Some((_, cached)) = self.seen.iter().find(|(t, _)| *t == request.token) {
+            self.deduped += 1;
+            let mut replay = cached.clone();
+            // The replay answers THIS transmission.
+            replay.message_id = request.message_id;
+            return replay;
+        }
+        let op = match wire::decode_op(&request.payload) {
+            Ok(op) => op,
+            Err(_) => return Message::response_to(request, Code::BadRequest),
+        };
+        self.served += 1;
+        let reply = self.execute(op);
+        let mut resp = Message::response_to(request, Code::Content);
+        resp.payload = wire::encode_reply(&reply);
+        if self.seen.len() >= self.cache {
+            self.seen.pop_front();
+        }
+        self.seen.push_back((request.token.clone(), resp.clone()));
+        resp
+    }
+
+    fn execute(&mut self, op: NodeOp) -> Result<ReplyBody, NodeError> {
+        match op {
+            NodeOp::RegisterHook { hook, offer } => self
+                .inner
+                .register_hook(hook, offer)
+                .map(|()| ReplyBody::Unit),
+            NodeOp::UnregisterHook { hook } => {
+                self.inner.unregister_hook(hook).map(|()| ReplyBody::Unit)
+            }
+            NodeOp::Dispatch { hook, event } => {
+                self.inner.dispatch(hook, event).map(ReplyBody::Report)
+            }
+            NodeOp::Batch { hook, events } => self
+                .inner
+                .dispatch_batch(hook, events)
+                .map(ReplyBody::Batch),
+            NodeOp::StageChunk {
+                uri,
+                offset,
+                restart,
+                chunk,
+            } => self
+                .inner
+                .stage_chunk(&uri, offset as usize, &chunk, restart)
+                .map(|()| ReplyBody::Unit),
+            NodeOp::Deploy { envelope } => self.inner.deploy(&envelope).map(ReplyBody::Deploy),
+            NodeOp::Stats => self.inner.stats().map(ReplyBody::Stats),
+        }
+    }
+}
+
+/// Tuning for a [`RemoteNode`]'s transport.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteConfig {
+    /// The simulated link between the front tier and the node.
+    pub link: LinkConfig,
+    /// Events per wire message on the batch path; larger batches are
+    /// split transparently (exactly-once still holds per sub-batch via
+    /// its token).
+    pub max_events_per_message: usize,
+    /// Initial retransmission timeout in microseconds.
+    pub ack_timeout_us: u64,
+    /// Retransmissions before the exchange reports
+    /// [`NodeError::Timeout`].
+    pub max_retransmit: u32,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            link: LinkConfig {
+                mtu: FLEET_MTU,
+                ..LinkConfig::default()
+            },
+            max_events_per_message: 8,
+            ack_timeout_us: ACK_TIMEOUT_US,
+            max_retransmit: MAX_RETRANSMIT,
+        }
+    }
+}
+
+/// Front-tier proxy for one node across the lossy link (module docs).
+/// Implements [`NodeService`], so a fleet cannot tell it from an
+/// in-process node — except through [`NodeError::Timeout`].
+#[derive(Debug)]
+pub struct RemoteNode<S> {
+    endpoint: NodeEndpoint<S>,
+    link: LossyLink,
+    client_addr: Addr,
+    node_addr: Addr,
+    now_us: u64,
+    next_token: u64,
+    next_mid: u16,
+    config: RemoteConfig,
+}
+
+impl<S: NodeService> RemoteNode<S> {
+    /// Couples a node service to the front tier over a fresh link.
+    pub fn new(service: S, config: RemoteConfig) -> Self {
+        RemoteNode {
+            endpoint: NodeEndpoint::new(service),
+            link: LossyLink::new(config.link),
+            client_addr: Addr::new(1, 40_000),
+            node_addr: Addr::new(2, 5683),
+            now_us: 0,
+            next_token: 1,
+            next_mid: 1,
+            config,
+        }
+    }
+
+    /// The node-side endpoint (dedup counters, wrapped service).
+    pub fn endpoint(&self) -> &NodeEndpoint<S> {
+        &self.endpoint
+    }
+
+    /// Mutable access to the node-side endpoint.
+    pub fn endpoint_mut(&mut self) -> &mut NodeEndpoint<S> {
+        &mut self.endpoint
+    }
+
+    /// The link statistics (sent/dropped/duplicated).
+    pub fn link(&self) -> &LossyLink {
+        &self.link
+    }
+
+    /// Current virtual time on this node's link, microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// One confirmable exchange: send, retransmit with back-off, match
+    /// the response by token, decode the reply payload.
+    fn exchange(&mut self, op: &NodeOp) -> Result<Result<ReplyBody, NodeError>, NodeError> {
+        self.exchange_encoded(wire::encode_op(op))
+    }
+
+    /// Whether an event-carrying request of `encoded_len` bytes fits
+    /// the link both ways: request with framing out, and the reply —
+    /// which echoes the events' payload back plus per-event
+    /// bookkeeping — on the return leg.
+    fn fits_with_reply(&self, encoded_len: usize, events: usize) -> bool {
+        encoded_len
+            .saturating_mul(2)
+            .saturating_add(REPLY_PER_EVENT.saturating_mul(events))
+            .saturating_add(REPLY_BASE + FRAME_OVERHEAD)
+            <= self.config.link.mtu
+    }
+
+    /// [`RemoteNode::exchange`] over an already-encoded operation —
+    /// callers that must size-check the encoding (the batch splitter)
+    /// pass it through so it is serialized exactly once.
+    fn exchange_encoded(
+        &mut self,
+        payload: Vec<u8>,
+    ) -> Result<Result<ReplyBody, NodeError>, NodeError> {
+        // The check covers the framed datagram, not just the payload.
+        if payload.len() + FRAME_OVERHEAD > self.config.link.mtu {
+            return Err(NodeError::Transport(format!(
+                "operation of {} bytes exceeds link mtu {} (incl. framing)",
+                payload.len(),
+                self.config.link.mtu
+            )));
+        }
+        let token = self.next_token.to_be_bytes().to_vec();
+        self.next_token += 1;
+        let mid = self.next_mid;
+        self.next_mid = self.next_mid.wrapping_add(1);
+        let mut request = Message::request(Code::Post, mid, &token);
+        request.set_path(NODE_OP_PATH);
+        request.payload = payload;
+        let encoded = request.encode();
+
+        let mut timeout = self.config.ack_timeout_us;
+        for _attempt in 0..=self.config.max_retransmit {
+            self.link
+                .send(
+                    self.now_us,
+                    Datagram {
+                        src: self.client_addr,
+                        dst: self.node_addr,
+                        payload: encoded.clone(),
+                    },
+                )
+                .map_err(|e| NodeError::Transport(e.to_string()))?;
+            let deadline = self.now_us + timeout;
+            while self.now_us < deadline {
+                let step = self
+                    .link
+                    .next_delivery_us(self.node_addr.node)
+                    .into_iter()
+                    .chain(self.link.next_delivery_us(self.client_addr.node))
+                    .min()
+                    .unwrap_or(deadline)
+                    .max(self.now_us);
+                if step >= deadline {
+                    self.now_us = deadline;
+                    break;
+                }
+                self.now_us = step;
+                while let Some(d) = self.link.poll(self.node_addr.node, self.now_us) {
+                    if let Ok(req) = Message::decode(&d.payload) {
+                        let resp = self.endpoint.handle(&req);
+                        self.link
+                            .send(
+                                self.now_us,
+                                Datagram {
+                                    src: self.node_addr,
+                                    dst: d.src,
+                                    payload: resp.encode(),
+                                },
+                            )
+                            .map_err(|e| NodeError::Transport(e.to_string()))?;
+                    }
+                }
+                while let Some(d) = self.link.poll(self.client_addr.node, self.now_us) {
+                    if let Ok(resp) = Message::decode(&d.payload) {
+                        if resp.token == token {
+                            if resp.code != Code::Content {
+                                return Err(NodeError::Transport(format!(
+                                    "node answered {:?}",
+                                    resp.code
+                                )));
+                            }
+                            return wire::decode_reply(&resp.payload).map_err(NodeError::from);
+                        }
+                    }
+                }
+            }
+            timeout *= 2;
+        }
+        Err(NodeError::Timeout)
+    }
+
+    fn expect_unit(&mut self, op: &NodeOp) -> Result<(), NodeError> {
+        match self.exchange(op)?? {
+            ReplyBody::Unit => Ok(()),
+            other => Err(NodeError::Transport(format!(
+                "unexpected reply body {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<S: NodeService> NodeService for RemoteNode<S> {
+    fn register_hook(&mut self, hook: Hook, offer: ContractOffer) -> Result<(), NodeError> {
+        self.expect_unit(&NodeOp::RegisterHook { hook, offer })
+    }
+
+    fn unregister_hook(&mut self, hook: Uuid) -> Result<(), NodeError> {
+        self.expect_unit(&NodeOp::UnregisterHook { hook })
+    }
+
+    fn dispatch(&mut self, hook: Uuid, event: HookEvent) -> Result<HookReport, NodeError> {
+        let encoded = wire::encode_op(&NodeOp::Dispatch { hook, event });
+        // Refuse up front when the REPLY could not make it back: the
+        // node would execute the event but the caller could never
+        // learn the outcome, retrying (and re-executing) forever.
+        if !self.fits_with_reply(encoded.len(), 1) {
+            return Err(NodeError::Transport(
+                "event too large for link mtu (reply included)".to_owned(),
+            ));
+        }
+        match self.exchange_encoded(encoded)?? {
+            ReplyBody::Report(report) => Ok(report),
+            other => Err(NodeError::Transport(format!(
+                "unexpected reply body {other:?}"
+            ))),
+        }
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+    ) -> Result<Vec<Result<HookReport, NodeError>>, NodeError> {
+        let mut out = Vec::with_capacity(events.len());
+        let per_message = self.config.max_events_per_message.max(1);
+        let mut queue: VecDeque<Vec<HookEvent>> = events
+            .chunks(per_message)
+            .map(<[HookEvent]>::to_vec)
+            .collect();
+        if queue.is_empty() {
+            queue.push_back(Vec::new());
+        }
+        while let Some(chunk) = queue.pop_front() {
+            // A sub-batch splits in two while either its own framed
+            // datagram or its projected reply would not fit the MTU; a
+            // single oversized event is a hard transport error. The
+            // encoding is produced once and shipped as-is.
+            let events_in_chunk = chunk.len();
+            let op = NodeOp::Batch {
+                hook,
+                events: chunk,
+            };
+            let encoded = wire::encode_op(&op);
+            if !self.fits_with_reply(encoded.len(), events_in_chunk) {
+                let NodeOp::Batch {
+                    events: mut chunk, ..
+                } = op
+                else {
+                    unreachable!("op was built as a batch above");
+                };
+                if chunk.len() <= 1 {
+                    return Err(NodeError::Transport(
+                        "single event exceeds link mtu".to_owned(),
+                    ));
+                }
+                let tail = chunk.split_off(chunk.len() / 2);
+                queue.push_front(tail);
+                queue.push_front(chunk);
+                continue;
+            }
+            match self.exchange_encoded(encoded)?? {
+                ReplyBody::Batch(items) => out.extend(items),
+                other => {
+                    return Err(NodeError::Transport(format!(
+                        "unexpected reply body {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn stage_chunk(
+        &mut self,
+        uri: &str,
+        offset: usize,
+        chunk: &[u8],
+        restart: bool,
+    ) -> Result<(), NodeError> {
+        self.expect_unit(&NodeOp::StageChunk {
+            uri: uri.to_owned(),
+            offset: offset as u64,
+            restart,
+            chunk: chunk.to_vec(),
+        })
+    }
+
+    fn deploy(&mut self, envelope: &[u8]) -> Result<DeployReport, NodeError> {
+        match self.exchange(&NodeOp::Deploy {
+            envelope: envelope.to_vec(),
+        })?? {
+            ReplyBody::Deploy(report) => Ok(report),
+            other => Err(NodeError::Transport(format!(
+                "unexpected reply body {other:?}"
+            ))),
+        }
+    }
+
+    fn stats(&mut self) -> Result<NodeStats, NodeError> {
+        match self.exchange(&NodeOp::Stats)?? {
+            ReplyBody::Stats(stats) => Ok(stats),
+            other => Err(NodeError::Transport(format!(
+                "unexpected reply body {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The consistent-hash ring assigning hooks to nodes.
+//!
+//! Every hook UUID hashes to a point on a 64-bit ring; each node
+//! contributes `vnodes` virtual points, and a hook belongs to the node
+//! owning the first point clockwise from the hook's hash. Membership
+//! changes therefore move only the hooks whose arc changed owner —
+//! O(hooks/nodes) per join/leave instead of a full reshuffle — which
+//! is what keeps fleet hook handoff cheap.
+//!
+//! The ring is **explicitly rebuilt** on membership change
+//! ([`HashRing::rebuild`]); lookups between rebuilds are pure reads.
+
+use fc_suit::sha256::sha256;
+use fc_suit::Uuid;
+
+/// Default virtual points per node — enough to keep the expected
+/// per-node share within a few percent of uniform at small fleets.
+pub const DEFAULT_VNODES: usize = 64;
+
+fn point_hash(node: usize, replica: usize) -> u64 {
+    let mut input = [0u8; 26];
+    input[..10].copy_from_slice(b"fleet-ring");
+    input[10..18].copy_from_slice(&(node as u64).to_be_bytes());
+    input[18..26].copy_from_slice(&(replica as u64).to_be_bytes());
+    u64::from_be_bytes(sha256(&input)[..8].try_into().expect("8 bytes"))
+}
+
+fn key_hash(key: Uuid) -> u64 {
+    let mut input = [0u8; 25];
+    input[..9].copy_from_slice(b"fleet-key");
+    input[9..25].copy_from_slice(key.as_bytes());
+    u64::from_be_bytes(sha256(&input)[..8].try_into().expect("8 bytes"))
+}
+
+/// A consistent-hash ring over node ids (module docs).
+///
+/// # Examples
+///
+/// ```
+/// use fc_fleet::ring::HashRing;
+/// use fc_suit::Uuid;
+///
+/// let mut ring = HashRing::new(64);
+/// ring.rebuild(&[0, 1, 2]);
+/// let hook = Uuid::from_name("hooks", "t0");
+/// let owner = ring.owner(hook).unwrap();
+/// // Removing an unrelated node leaves this hook's owner unchanged.
+/// let survivors: Vec<usize> = (0..3).filter(|n| *n != (owner + 1) % 3).collect();
+/// ring.rebuild(&survivors);
+/// assert_eq!(ring.owner(hook), Some(owner));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: usize,
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Creates an empty ring with `vnodes` virtual points per node
+    /// (clamped to at least 1).
+    pub fn new(vnodes: usize) -> Self {
+        HashRing {
+            vnodes: vnodes.max(1),
+            points: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the ring over the given node ids — the explicit
+    /// membership-change step. Duplicated ids are collapsed.
+    pub fn rebuild(&mut self, nodes: &[usize]) {
+        self.points.clear();
+        let mut seen = std::collections::HashSet::new();
+        for &node in nodes {
+            if !seen.insert(node) {
+                continue;
+            }
+            for replica in 0..self.vnodes {
+                self.points.push((point_hash(node, replica), node));
+            }
+        }
+        // Ties (vanishingly rare) resolve to the smaller node id,
+        // deterministically.
+        self.points.sort_unstable();
+    }
+
+    /// The node owning a key: the first virtual point clockwise from
+    /// the key's hash. `None` on an empty ring.
+    pub fn owner(&self, key: Uuid) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = key_hash(key);
+        let idx = self.points.partition_point(|(p, _)| *p < h);
+        let (_, node) = self.points[idx % self.points.len()];
+        Some(node)
+    }
+
+    /// Number of distinct member nodes.
+    pub fn node_count(&self) -> usize {
+        self.points.len() / self.vnodes.max(1)
+    }
+
+    /// True when no node is a member.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Uuid> {
+        (0..n)
+            .map(|i| Uuid::from_name("ring-test", &format!("hook-{i}")))
+            .collect()
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_total() {
+        let mut a = HashRing::new(64);
+        let mut b = HashRing::new(64);
+        a.rebuild(&[0, 1, 2, 3]);
+        b.rebuild(&[3, 2, 1, 0]);
+        for k in keys(200) {
+            assert_eq!(a.owner(k), b.owner(k), "order of members is irrelevant");
+            assert!(a.owner(k).unwrap() < 4);
+        }
+        assert_eq!(a.node_count(), 4);
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(Uuid::nil()), None);
+    }
+
+    #[test]
+    fn load_spreads_roughly_evenly() {
+        let mut ring = HashRing::new(64);
+        ring.rebuild(&[0, 1, 2, 3]);
+        let mut counts = [0usize; 4];
+        for k in keys(2000) {
+            counts[ring.owner(k).unwrap()] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(
+                (250..=750).contains(&c),
+                "node {node} owns {c} of 2000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn join_moves_only_a_bounded_fraction() {
+        let mut ring = HashRing::new(64);
+        ring.rebuild(&[0, 1, 2]);
+        let ks = keys(1000);
+        let before: Vec<_> = ks.iter().map(|k| ring.owner(*k).unwrap()).collect();
+        ring.rebuild(&[0, 1, 2, 3]);
+        let moved = ks
+            .iter()
+            .zip(&before)
+            .filter(|(k, old)| ring.owner(**k).unwrap() != **old)
+            .count();
+        // Expected ~1/4; anything near a full reshuffle is a bug.
+        assert!((100..=450).contains(&moved), "moved {moved} of 1000");
+        // Every moved key moved TO the new node.
+        for (k, old) in ks.iter().zip(&before) {
+            let now = ring.owner(*k).unwrap();
+            assert!(now == *old || now == 3, "key moved between old nodes");
+        }
+    }
+
+    #[test]
+    fn leave_reassigns_only_the_leavers_keys() {
+        let mut ring = HashRing::new(64);
+        ring.rebuild(&[0, 1, 2, 3]);
+        let ks = keys(1000);
+        let before: Vec<_> = ks.iter().map(|k| ring.owner(*k).unwrap()).collect();
+        ring.rebuild(&[0, 1, 3]);
+        for (k, old) in ks.iter().zip(&before) {
+            let now = ring.owner(*k).unwrap();
+            if *old != 2 {
+                assert_eq!(now, *old, "a surviving node's key must not move");
+            } else {
+                assert_ne!(now, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_collapse() {
+        let mut ring = HashRing::new(16);
+        ring.rebuild(&[5, 5, 5]);
+        assert_eq!(ring.node_count(), 1);
+        assert_eq!(ring.owner(Uuid::nil()), Some(5));
+    }
+}

@@ -1,0 +1,981 @@
+//! The node-operation wire codec: every [`fc_host::NodeService`]
+//! operation and result as a compact binary payload inside a CoAP
+//! message.
+//!
+//! The codec is **lossless** for everything semantics depend on —
+//! [`HookReport`]s round-trip bit-identically (per-container results,
+//! op counts, cycles, region contents, faults), which is what lets the
+//! differential suite prove that a node driven over the link behaves
+//! exactly like one called in-process. Errors travel as a discriminant
+//! plus their fields; node-side verdicts are carried as text, matching
+//! the in-process adapter's rendering.
+//!
+//! Framing is length-prefixed little-endian; strings are UTF-8 byte
+//! runs. Decoding is total: truncated or mistagged input yields a
+//! [`WireError`], never a panic.
+
+use fc_core::contract::ContractOffer;
+use fc_core::engine::{ExecutionReport, HookReport, HostRegion};
+use fc_core::hooks::{Hook, HookKind, HookPolicy};
+use fc_host::{DeployReport, HookEvent, NodeError, NodeStats};
+use fc_rbpf::error::VmError;
+use fc_rbpf::vm::OpCounts;
+use fc_suit::Uuid;
+
+/// Why a wire payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the announced structure did.
+    Truncated,
+    /// An enum tag byte was outside its legal range.
+    BadTag(u8),
+    /// A string field was not UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated wire payload"),
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            WireError::BadString => write!(f, "non-utf8 wire string"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for NodeError {
+    fn from(e: WireError) -> Self {
+        NodeError::Transport(e.to_string())
+    }
+}
+
+/// One [`fc_host::NodeService`] operation, as shipped to a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeOp {
+    /// [`fc_host::NodeService::register_hook`].
+    RegisterHook {
+        /// The hook descriptor.
+        hook: Hook,
+        /// The launchpad's helper offer.
+        offer: ContractOffer,
+    },
+    /// [`fc_host::NodeService::unregister_hook`].
+    UnregisterHook {
+        /// The hook to evacuate.
+        hook: Uuid,
+    },
+    /// [`fc_host::NodeService::dispatch`].
+    Dispatch {
+        /// Target hook.
+        hook: Uuid,
+        /// The event.
+        event: HookEvent,
+    },
+    /// [`fc_host::NodeService::dispatch_batch`].
+    Batch {
+        /// Target hook.
+        hook: Uuid,
+        /// The events, in offer order.
+        events: Vec<HookEvent>,
+    },
+    /// [`fc_host::NodeService::stage_chunk`].
+    StageChunk {
+        /// Payload URI.
+        uri: String,
+        /// Byte offset of this chunk.
+        offset: u64,
+        /// Whether this chunk restarts the transfer (Block1 num 0).
+        restart: bool,
+        /// The chunk bytes.
+        chunk: Vec<u8>,
+    },
+    /// [`fc_host::NodeService::deploy`].
+    Deploy {
+        /// The signed SUIT manifest envelope.
+        envelope: Vec<u8>,
+    },
+    /// [`fc_host::NodeService::stats`].
+    Stats,
+}
+
+/// The body of a successful reply; which variant is legal is implied
+/// by the operation the requester sent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyBody {
+    /// Register/unregister/stage succeeded.
+    Unit,
+    /// A dispatch's report.
+    Report(HookReport),
+    /// A batch's per-event outcomes, in offer order.
+    Batch(Vec<Result<HookReport, NodeError>>),
+    /// A deploy's report.
+    Deploy(DeployReport),
+    /// A stats snapshot.
+    Stats(NodeStats),
+}
+
+// ---------------------------------------------------------------- put
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+fn put_str(buf: &mut Vec<u8>, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+fn put_uuid(buf: &mut Vec<u8>, v: Uuid) {
+    buf.extend_from_slice(v.as_bytes());
+}
+
+// ---------------------------------------------------------------- get
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::BadString)
+    }
+
+    fn uuid(&mut self) -> Result<Uuid, WireError> {
+        Ok(Uuid::from_slice(self.take(16)?).expect("16 bytes"))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Truncated)
+        }
+    }
+}
+
+// ------------------------------------------------------- leaf structs
+
+fn put_event(buf: &mut Vec<u8>, e: &HookEvent) {
+    put_bytes(buf, &e.ctx);
+    put_u32(buf, e.extra.len() as u32);
+    for region in &e.extra {
+        put_str(buf, &region.name);
+        put_bytes(buf, &region.data);
+        put_bool(buf, region.writable);
+    }
+}
+
+fn get_event(r: &mut Reader) -> Result<HookEvent, WireError> {
+    let ctx = r.bytes()?;
+    let n = r.u32()? as usize;
+    let mut extra = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let name = r.string()?;
+        let data = r.bytes()?;
+        let writable = r.bool()?;
+        extra.push(HostRegion {
+            name,
+            data,
+            writable,
+        });
+    }
+    Ok(HookEvent { ctx, extra })
+}
+
+fn put_vm_error(buf: &mut Vec<u8>, e: &VmError) {
+    match e {
+        VmError::InvalidMemoryAccess { addr, len, write } => {
+            put_u8(buf, 0);
+            put_u64(buf, *addr);
+            put_u64(buf, *len as u64);
+            put_bool(buf, *write);
+        }
+        VmError::DivisionByZero { pc } => {
+            put_u8(buf, 1);
+            put_u64(buf, *pc as u64);
+        }
+        VmError::UnknownOpcode { pc, opcode } => {
+            put_u8(buf, 2);
+            put_u64(buf, *pc as u64);
+            put_u8(buf, *opcode);
+        }
+        VmError::UnknownHelper { id } => {
+            put_u8(buf, 3);
+            put_u32(buf, *id);
+        }
+        VmError::HelperDenied { id } => {
+            put_u8(buf, 4);
+            put_u32(buf, *id);
+        }
+        VmError::HelperFault { id, reason } => {
+            put_u8(buf, 5);
+            put_u32(buf, *id);
+            put_str(buf, reason);
+        }
+        VmError::InstructionBudgetExceeded { budget } => {
+            put_u8(buf, 6);
+            put_u32(buf, *budget);
+        }
+        VmError::BranchBudgetExceeded { budget } => {
+            put_u8(buf, 7);
+            put_u32(buf, *budget);
+        }
+        VmError::JumpOutOfBounds { pc, target } => {
+            put_u8(buf, 8);
+            put_u64(buf, *pc as u64);
+            put_u64(buf, *target as u64);
+        }
+        VmError::PcOutOfBounds { pc } => {
+            put_u8(buf, 9);
+            put_u64(buf, *pc as u64);
+        }
+        VmError::TruncatedWideInstruction { pc } => {
+            put_u8(buf, 10);
+            put_u64(buf, *pc as u64);
+        }
+        VmError::WriteToReadOnlyRegister { pc } => {
+            put_u8(buf, 11);
+            put_u64(buf, *pc as u64);
+        }
+        VmError::InvalidShift { pc } => {
+            put_u8(buf, 12);
+            put_u64(buf, *pc as u64);
+        }
+    }
+}
+
+fn get_vm_error(r: &mut Reader) -> Result<VmError, WireError> {
+    Ok(match r.u8()? {
+        0 => VmError::InvalidMemoryAccess {
+            addr: r.u64()?,
+            len: r.u64()? as usize,
+            write: r.bool()?,
+        },
+        1 => VmError::DivisionByZero {
+            pc: r.u64()? as usize,
+        },
+        2 => VmError::UnknownOpcode {
+            pc: r.u64()? as usize,
+            opcode: r.u8()?,
+        },
+        3 => VmError::UnknownHelper { id: r.u32()? },
+        4 => VmError::HelperDenied { id: r.u32()? },
+        5 => VmError::HelperFault {
+            id: r.u32()?,
+            reason: r.string()?,
+        },
+        6 => VmError::InstructionBudgetExceeded { budget: r.u32()? },
+        7 => VmError::BranchBudgetExceeded { budget: r.u32()? },
+        8 => VmError::JumpOutOfBounds {
+            pc: r.u64()? as usize,
+            target: r.u64()? as i64,
+        },
+        9 => VmError::PcOutOfBounds {
+            pc: r.u64()? as usize,
+        },
+        10 => VmError::TruncatedWideInstruction {
+            pc: r.u64()? as usize,
+        },
+        11 => VmError::WriteToReadOnlyRegister {
+            pc: r.u64()? as usize,
+        },
+        12 => VmError::InvalidShift {
+            pc: r.u64()? as usize,
+        },
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn put_counts(buf: &mut Vec<u8>, c: &OpCounts) {
+    for v in [
+        c.alu32,
+        c.alu64,
+        c.mul,
+        c.div,
+        c.load,
+        c.store,
+        c.branch_taken,
+        c.branch_not_taken,
+        c.helper_call,
+        c.wide_load,
+        c.exit,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+fn get_counts(r: &mut Reader) -> Result<OpCounts, WireError> {
+    Ok(OpCounts {
+        alu32: r.u64()?,
+        alu64: r.u64()?,
+        mul: r.u64()?,
+        div: r.u64()?,
+        load: r.u64()?,
+        store: r.u64()?,
+        branch_taken: r.u64()?,
+        branch_not_taken: r.u64()?,
+        helper_call: r.u64()?,
+        wide_load: r.u64()?,
+        exit: r.u64()?,
+    })
+}
+
+fn put_execution(buf: &mut Vec<u8>, e: &ExecutionReport) {
+    put_u32(buf, e.container);
+    match &e.result {
+        Ok(v) => {
+            put_u8(buf, 0);
+            put_u64(buf, *v);
+        }
+        Err(err) => {
+            put_u8(buf, 1);
+            put_vm_error(buf, err);
+        }
+    }
+    put_counts(buf, &e.counts);
+    put_u64(buf, e.vm_cycles);
+    put_u64(buf, e.helper_cycles);
+    put_bytes(buf, &e.ctx_back);
+    put_u32(buf, e.regions_back.len() as u32);
+    for (name, data) in &e.regions_back {
+        put_str(buf, name);
+        put_bytes(buf, data);
+    }
+}
+
+fn get_execution(r: &mut Reader) -> Result<ExecutionReport, WireError> {
+    let container = r.u32()?;
+    let result = match r.u8()? {
+        0 => Ok(r.u64()?),
+        1 => Err(get_vm_error(r)?),
+        t => return Err(WireError::BadTag(t)),
+    };
+    let counts = get_counts(r)?;
+    let vm_cycles = r.u64()?;
+    let helper_cycles = r.u64()?;
+    let ctx_back = r.bytes()?;
+    let n = r.u32()? as usize;
+    let mut regions_back = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let name = r.string()?;
+        let data = r.bytes()?;
+        regions_back.push((name, data));
+    }
+    Ok(ExecutionReport {
+        container,
+        result,
+        counts,
+        vm_cycles,
+        helper_cycles,
+        ctx_back,
+        regions_back,
+    })
+}
+
+fn put_report(buf: &mut Vec<u8>, report: &HookReport) {
+    match report.combined {
+        Some(v) => {
+            put_u8(buf, 1);
+            put_u64(buf, v);
+        }
+        None => put_u8(buf, 0),
+    }
+    put_u64(buf, report.cycles);
+    put_u32(buf, report.executions.len() as u32);
+    for e in &report.executions {
+        put_execution(buf, e);
+    }
+}
+
+fn get_report(r: &mut Reader) -> Result<HookReport, WireError> {
+    let combined = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        t => return Err(WireError::BadTag(t)),
+    };
+    let cycles = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut executions = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        executions.push(get_execution(r)?);
+    }
+    Ok(HookReport {
+        executions,
+        combined,
+        cycles,
+    })
+}
+
+fn put_node_error(buf: &mut Vec<u8>, e: &NodeError) {
+    match e {
+        NodeError::UnknownHook(u) => {
+            put_u8(buf, 0);
+            put_uuid(buf, *u);
+        }
+        NodeError::Shed => put_u8(buf, 1),
+        NodeError::Rejected(reason) => {
+            put_u8(buf, 2);
+            put_str(buf, reason);
+        }
+        NodeError::Timeout => put_u8(buf, 3),
+        NodeError::Transport(reason) => {
+            put_u8(buf, 4);
+            put_str(buf, reason);
+        }
+    }
+}
+
+fn get_node_error(r: &mut Reader) -> Result<NodeError, WireError> {
+    Ok(match r.u8()? {
+        0 => NodeError::UnknownHook(r.uuid()?),
+        1 => NodeError::Shed,
+        2 => NodeError::Rejected(r.string()?),
+        3 => NodeError::Timeout,
+        4 => NodeError::Transport(r.string()?),
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn put_deploy_report(buf: &mut Vec<u8>, d: &DeployReport) {
+    put_u32(buf, d.container);
+    put_uuid(buf, d.component);
+    put_u64(buf, d.shard as u64);
+    put_u64(buf, d.sequence);
+    put_bool(buf, d.attached);
+    match d.replaced {
+        Some(old) => {
+            put_u8(buf, 1);
+            put_u32(buf, old);
+        }
+        None => put_u8(buf, 0),
+    }
+}
+
+fn get_deploy_report(r: &mut Reader) -> Result<DeployReport, WireError> {
+    let container = r.u32()?;
+    let component = r.uuid()?;
+    let shard = r.u64()? as usize;
+    let sequence = r.u64()?;
+    let attached = r.bool()?;
+    let replaced = match r.u8()? {
+        0 => None,
+        1 => Some(r.u32()?),
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(DeployReport {
+        container,
+        component,
+        shard,
+        sequence,
+        attached,
+        replaced,
+    })
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &NodeStats) {
+    for v in [
+        s.dispatched,
+        s.shed,
+        s.deploys_accepted,
+        s.deploys_rejected,
+        s.hooks,
+        s.p50_ns,
+        s.p99_ns,
+        s.max_shard_busy_cycles,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+fn get_stats(r: &mut Reader) -> Result<NodeStats, WireError> {
+    Ok(NodeStats {
+        dispatched: r.u64()?,
+        shed: r.u64()?,
+        deploys_accepted: r.u64()?,
+        deploys_rejected: r.u64()?,
+        hooks: r.u64()?,
+        p50_ns: r.u64()?,
+        p99_ns: r.u64()?,
+        max_shard_busy_cycles: r.u64()?,
+    })
+}
+
+fn hook_kind_tag(kind: HookKind) -> u8 {
+    match kind {
+        HookKind::SchedSwitch => 0,
+        HookKind::Timer => 1,
+        HookKind::CoapRequest => 2,
+        HookKind::PacketRx => 3,
+        HookKind::Custom => 4,
+    }
+}
+
+fn hook_kind_from(tag: u8) -> Result<HookKind, WireError> {
+    Ok(match tag {
+        0 => HookKind::SchedSwitch,
+        1 => HookKind::Timer,
+        2 => HookKind::CoapRequest,
+        3 => HookKind::PacketRx,
+        4 => HookKind::Custom,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn hook_policy_tag(policy: HookPolicy) -> u8 {
+    match policy {
+        HookPolicy::First => 0,
+        HookPolicy::Last => 1,
+        HookPolicy::Any => 2,
+        HookPolicy::Sum => 3,
+    }
+}
+
+fn hook_policy_from(tag: u8) -> Result<HookPolicy, WireError> {
+    Ok(match tag {
+        0 => HookPolicy::First,
+        1 => HookPolicy::Last,
+        2 => HookPolicy::Any,
+        3 => HookPolicy::Sum,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn put_hook(buf: &mut Vec<u8>, hook: &Hook) {
+    put_uuid(buf, hook.id);
+    put_str(buf, &hook.name);
+    put_u8(buf, hook_kind_tag(hook.kind));
+    put_u8(buf, hook_policy_tag(hook.policy));
+}
+
+fn get_hook(r: &mut Reader) -> Result<Hook, WireError> {
+    let id = r.uuid()?;
+    let name = r.string()?;
+    let kind = hook_kind_from(r.u8()?)?;
+    let policy = hook_policy_from(r.u8()?)?;
+    Ok(Hook {
+        id,
+        name,
+        kind,
+        policy,
+    })
+}
+
+fn put_offer(buf: &mut Vec<u8>, offer: &ContractOffer) {
+    let mut helpers: Vec<u32> = offer.helpers.iter().copied().collect();
+    helpers.sort_unstable();
+    put_u32(buf, helpers.len() as u32);
+    for id in helpers {
+        put_u32(buf, id);
+    }
+    put_u64(buf, offer.max_extra_stack as u64);
+}
+
+fn get_offer(r: &mut Reader) -> Result<ContractOffer, WireError> {
+    let n = r.u32()? as usize;
+    let mut helpers = std::collections::HashSet::with_capacity(n.min(256));
+    for _ in 0..n {
+        helpers.insert(r.u32()?);
+    }
+    let max_extra_stack = r.u64()? as usize;
+    Ok(ContractOffer {
+        helpers,
+        max_extra_stack,
+    })
+}
+
+// ------------------------------------------------------------ top-level
+
+/// Encodes an operation for the wire.
+pub fn encode_op(op: &NodeOp) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match op {
+        NodeOp::RegisterHook { hook, offer } => {
+            put_u8(&mut buf, 0);
+            put_hook(&mut buf, hook);
+            put_offer(&mut buf, offer);
+        }
+        NodeOp::UnregisterHook { hook } => {
+            put_u8(&mut buf, 1);
+            put_uuid(&mut buf, *hook);
+        }
+        NodeOp::Dispatch { hook, event } => {
+            put_u8(&mut buf, 2);
+            put_uuid(&mut buf, *hook);
+            put_event(&mut buf, event);
+        }
+        NodeOp::Batch { hook, events } => {
+            put_u8(&mut buf, 3);
+            put_uuid(&mut buf, *hook);
+            put_u32(&mut buf, events.len() as u32);
+            for e in events {
+                put_event(&mut buf, e);
+            }
+        }
+        NodeOp::StageChunk {
+            uri,
+            offset,
+            restart,
+            chunk,
+        } => {
+            put_u8(&mut buf, 4);
+            put_str(&mut buf, uri);
+            put_u64(&mut buf, *offset);
+            put_bool(&mut buf, *restart);
+            put_bytes(&mut buf, chunk);
+        }
+        NodeOp::Deploy { envelope } => {
+            put_u8(&mut buf, 5);
+            put_bytes(&mut buf, envelope);
+        }
+        NodeOp::Stats => put_u8(&mut buf, 6),
+    }
+    buf
+}
+
+/// Decodes an operation off the wire.
+///
+/// # Errors
+///
+/// [`WireError`] on truncated or mistagged input.
+pub fn decode_op(bytes: &[u8]) -> Result<NodeOp, WireError> {
+    let mut r = Reader::new(bytes);
+    let op = match r.u8()? {
+        0 => NodeOp::RegisterHook {
+            hook: get_hook(&mut r)?,
+            offer: get_offer(&mut r)?,
+        },
+        1 => NodeOp::UnregisterHook { hook: r.uuid()? },
+        2 => NodeOp::Dispatch {
+            hook: r.uuid()?,
+            event: get_event(&mut r)?,
+        },
+        3 => {
+            let hook = r.uuid()?;
+            let n = r.u32()? as usize;
+            let mut events = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                events.push(get_event(&mut r)?);
+            }
+            NodeOp::Batch { hook, events }
+        }
+        4 => NodeOp::StageChunk {
+            uri: r.string()?,
+            offset: r.u64()?,
+            restart: r.bool()?,
+            chunk: r.bytes()?,
+        },
+        5 => NodeOp::Deploy {
+            envelope: r.bytes()?,
+        },
+        6 => NodeOp::Stats,
+        t => return Err(WireError::BadTag(t)),
+    };
+    r.done()?;
+    Ok(op)
+}
+
+/// Encodes an operation outcome for the wire.
+pub fn encode_reply(reply: &Result<ReplyBody, NodeError>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match reply {
+        Err(e) => {
+            put_u8(&mut buf, 0);
+            put_node_error(&mut buf, e);
+        }
+        Ok(body) => {
+            put_u8(&mut buf, 1);
+            match body {
+                ReplyBody::Unit => put_u8(&mut buf, 0),
+                ReplyBody::Report(report) => {
+                    put_u8(&mut buf, 1);
+                    put_report(&mut buf, report);
+                }
+                ReplyBody::Batch(items) => {
+                    put_u8(&mut buf, 2);
+                    put_u32(&mut buf, items.len() as u32);
+                    for item in items {
+                        match item {
+                            Ok(report) => {
+                                put_u8(&mut buf, 1);
+                                put_report(&mut buf, report);
+                            }
+                            Err(e) => {
+                                put_u8(&mut buf, 0);
+                                put_node_error(&mut buf, e);
+                            }
+                        }
+                    }
+                }
+                ReplyBody::Deploy(report) => {
+                    put_u8(&mut buf, 3);
+                    put_deploy_report(&mut buf, report);
+                }
+                ReplyBody::Stats(stats) => {
+                    put_u8(&mut buf, 4);
+                    put_stats(&mut buf, stats);
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes an operation outcome off the wire.
+///
+/// # Errors
+///
+/// [`WireError`] on truncated or mistagged input.
+pub fn decode_reply(bytes: &[u8]) -> Result<Result<ReplyBody, NodeError>, WireError> {
+    let mut r = Reader::new(bytes);
+    let reply = match r.u8()? {
+        0 => Err(get_node_error(&mut r)?),
+        1 => Ok(match r.u8()? {
+            0 => ReplyBody::Unit,
+            1 => ReplyBody::Report(get_report(&mut r)?),
+            2 => {
+                let n = r.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    items.push(match r.u8()? {
+                        0 => Err(get_node_error(&mut r)?),
+                        1 => Ok(get_report(&mut r)?),
+                        t => return Err(WireError::BadTag(t)),
+                    });
+                }
+                ReplyBody::Batch(items)
+            }
+            3 => ReplyBody::Deploy(get_deploy_report(&mut r)?),
+            4 => ReplyBody::Stats(get_stats(&mut r)?),
+            t => return Err(WireError::BadTag(t)),
+        }),
+        t => return Err(WireError::BadTag(t)),
+    };
+    r.done()?;
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> HookReport {
+        HookReport {
+            executions: vec![
+                ExecutionReport {
+                    container: 7,
+                    result: Ok(0x1234_5678_9abc_def0),
+                    counts: OpCounts {
+                        alu32: 1,
+                        alu64: 2,
+                        mul: 3,
+                        div: 4,
+                        load: 5,
+                        store: 6,
+                        branch_taken: 7,
+                        branch_not_taken: 8,
+                        helper_call: 9,
+                        wide_load: 10,
+                        exit: 1,
+                    },
+                    vm_cycles: 999,
+                    helper_cycles: 111,
+                    ctx_back: vec![1, 2, 3],
+                    regions_back: vec![("pkt".into(), vec![9; 32]), ("aux".into(), vec![])],
+                },
+                ExecutionReport {
+                    container: 8,
+                    result: Err(VmError::HelperFault {
+                        id: 52,
+                        reason: "sensor gone".into(),
+                    }),
+                    counts: OpCounts::default(),
+                    vm_cycles: 0,
+                    helper_cycles: 0,
+                    ctx_back: Vec::new(),
+                    regions_back: Vec::new(),
+                },
+            ],
+            combined: Some(42),
+            cycles: 123_456,
+        }
+    }
+
+    #[test]
+    fn ops_round_trip() {
+        let hook = Hook::new("wire-h", HookKind::CoapRequest, HookPolicy::Sum);
+        let ops = vec![
+            NodeOp::RegisterHook {
+                hook: hook.clone(),
+                offer: ContractOffer::helpers([1, 2, 3, 99]),
+            },
+            NodeOp::UnregisterHook { hook: hook.id },
+            NodeOp::Dispatch {
+                hook: hook.id,
+                event: HookEvent {
+                    ctx: vec![5; 16],
+                    extra: vec![HostRegion::read_write("pkt", vec![0; 64])],
+                },
+            },
+            NodeOp::Batch {
+                hook: hook.id,
+                events: vec![HookEvent::default(), HookEvent::new(&[1], &[])],
+            },
+            NodeOp::StageChunk {
+                uri: "img-v1".into(),
+                offset: 64,
+                restart: false,
+                chunk: vec![7; 32],
+            },
+            NodeOp::Deploy {
+                envelope: vec![0xca; 100],
+            },
+            NodeOp::Stats,
+        ];
+        for op in ops {
+            assert_eq!(decode_op(&encode_op(&op)).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_bit_identically() {
+        let replies: Vec<Result<ReplyBody, NodeError>> = vec![
+            Ok(ReplyBody::Unit),
+            Ok(ReplyBody::Report(sample_report())),
+            Ok(ReplyBody::Batch(vec![
+                Ok(sample_report()),
+                Err(NodeError::Shed),
+                Err(NodeError::UnknownHook(Uuid::from_name("w", "x"))),
+            ])),
+            Ok(ReplyBody::Deploy(DeployReport {
+                container: 3,
+                component: Uuid::from_name("w", "c"),
+                shard: 2,
+                sequence: 9,
+                attached: true,
+                replaced: Some(1),
+            })),
+            Ok(ReplyBody::Stats(NodeStats {
+                dispatched: 1,
+                shed: 2,
+                deploys_accepted: 3,
+                deploys_rejected: 4,
+                hooks: 5,
+                p50_ns: 6,
+                p99_ns: 7,
+                max_shard_busy_cycles: 8,
+            })),
+            Err(NodeError::Rejected("bad image".into())),
+            Err(NodeError::Timeout),
+            Err(NodeError::Transport("mtu".into())),
+        ];
+        for reply in replies {
+            assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn every_vm_error_round_trips() {
+        let errors = vec![
+            VmError::InvalidMemoryAccess {
+                addr: 0xdead,
+                len: 8,
+                write: true,
+            },
+            VmError::DivisionByZero { pc: 4 },
+            VmError::UnknownOpcode {
+                pc: 5,
+                opcode: 0x99,
+            },
+            VmError::UnknownHelper { id: 77 },
+            VmError::HelperDenied { id: 78 },
+            VmError::HelperFault {
+                id: 79,
+                reason: "r".into(),
+            },
+            VmError::InstructionBudgetExceeded { budget: 1000 },
+            VmError::BranchBudgetExceeded { budget: 100 },
+            VmError::JumpOutOfBounds { pc: 1, target: -5 },
+            VmError::PcOutOfBounds { pc: 2 },
+            VmError::TruncatedWideInstruction { pc: 3 },
+            VmError::WriteToReadOnlyRegister { pc: 6 },
+            VmError::InvalidShift { pc: 7 },
+        ];
+        for e in errors {
+            let mut report = sample_report();
+            report.executions[1].result = Err(e);
+            let reply = Ok(ReplyBody::Report(report));
+            assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn decode_is_total_on_garbage() {
+        assert!(decode_op(&[]).is_err());
+        assert!(decode_op(&[200]).is_err());
+        assert!(decode_reply(&[]).is_err());
+        assert!(decode_reply(&[1, 99]).is_err());
+        let mut good = encode_op(&NodeOp::Deploy {
+            envelope: vec![1, 2, 3],
+        });
+        good.truncate(good.len() - 1);
+        assert_eq!(decode_op(&good), Err(WireError::Truncated));
+        // Trailing junk is rejected, not silently ignored.
+        let mut padded = encode_op(&NodeOp::Stats);
+        padded.push(0);
+        assert_eq!(decode_op(&padded), Err(WireError::Truncated));
+    }
+}

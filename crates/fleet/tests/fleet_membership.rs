@@ -1,0 +1,363 @@
+//! Fleet-tier integration: a mixed fleet (in-process and codec-adapter
+//! nodes), ring routing, node join/leave with hook handoff, and
+//! fleet-wide SUIT deploy fan-out with per-node accept/reject.
+
+use fc_core::contract::ContractOffer;
+use fc_core::deploy::author_update;
+use fc_core::helpers_impl::{helper_name_table, standard_helper_ids};
+use fc_core::hooks::{Hook, HookKind, HookPolicy};
+use fc_fleet::node::{RemoteConfig, RemoteNode, FLEET_MTU};
+use fc_fleet::{FcFleet, FleetConfig};
+use fc_host::{HookEvent, HostConfig, LocalNode, NodeError};
+use fc_net::link::LinkConfig;
+use fc_rbpf::program::{FcProgram, ProgramBuilder};
+use fc_rtos::platform::{Engine, Platform};
+use fc_suit::{SigningKey, Uuid};
+
+fn echo_program() -> FcProgram {
+    ProgramBuilder::new()
+        .helpers(helper_name_table().iter().map(|(n, i)| (n.as_str(), *i)))
+        .asm("ldxb r0, [r1]\nexit")
+        .expect("assembles")
+        .build()
+}
+
+fn provisioned_local(key: &SigningKey) -> LocalNode {
+    let mut node = LocalNode::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 2,
+            ..HostConfig::default()
+        },
+    );
+    node.updates_mut()
+        .provision_tenant(b"fleet-tenant", key.verifying_key(), 1);
+    node
+}
+
+fn lossy_remote(key: &SigningKey, seed: u64) -> RemoteNode<LocalNode> {
+    RemoteNode::new(
+        provisioned_local(key),
+        RemoteConfig {
+            link: LinkConfig {
+                loss: 0.1,
+                duplicate: 0.1,
+                jitter_us: 20_000,
+                mtu: FLEET_MTU,
+                seed,
+                ..LinkConfig::default()
+            },
+            max_retransmit: 8,
+            ..RemoteConfig::default()
+        },
+    )
+}
+
+fn signed_update(key: &SigningKey, hook: Uuid, version: u64) -> (Vec<u8>, Vec<u8>) {
+    author_update(
+        &echo_program(),
+        hook,
+        version,
+        &format!("fleet-{hook}-v{version}"),
+        key,
+        b"fleet-tenant",
+    )
+}
+
+struct Deployed {
+    fleet: FcFleet,
+    hooks: Vec<Uuid>,
+}
+
+/// A 3-node fleet (one in-process, two across lossy links) with 8
+/// deployed echo hooks.
+fn deployed_fleet(key: &SigningKey) -> Deployed {
+    let mut fleet = FcFleet::new(FleetConfig::default());
+    fleet.add_node(Box::new(provisioned_local(key))).unwrap();
+    fleet
+        .add_node(Box::new(lossy_remote(key, 0x000f_1ee1)))
+        .unwrap();
+    fleet
+        .add_node(Box::new(lossy_remote(key, 0x000f_1ee2)))
+        .unwrap();
+    let mut hooks = Vec::new();
+    for t in 0..8 {
+        let hook = Hook::new(
+            &format!("fleet-t{t}"),
+            HookKind::CoapRequest,
+            HookPolicy::First,
+        );
+        hooks.push(hook.id);
+        fleet
+            .register_hook(hook, ContractOffer::helpers(standard_helper_ids()))
+            .unwrap();
+        let (envelope, payload) = signed_update(key, hooks[t], 1);
+        let (owner, report) = fleet.deploy(&envelope, &payload).unwrap();
+        assert_eq!(
+            Some(owner),
+            fleet.owner_of(hooks[t]),
+            "deploy lands on the owner"
+        );
+        assert!(report.attached);
+    }
+    Deployed { fleet, hooks }
+}
+
+fn assert_all_serve(fleet: &mut FcFleet, hooks: &[Uuid]) {
+    for (t, &hook) in hooks.iter().enumerate() {
+        let report = fleet
+            .dispatch(hook, HookEvent::new(&[t as u8 + 1], &[]))
+            .unwrap_or_else(|e| panic!("hook {t} failed: {e}"));
+        assert_eq!(report.combined, Some(t as u64 + 1), "hook {t} echoes");
+        assert_eq!(report.executions.len(), 1, "exactly one container serves");
+    }
+}
+
+#[test]
+fn ring_routes_hooks_across_mixed_nodes() {
+    let key = SigningKey::from_seed(b"fleet-maintainer");
+    let Deployed { mut fleet, hooks } = deployed_fleet(&key);
+    assert_eq!(fleet.node_count(), 3);
+    assert_eq!(fleet.hook_count(), 8);
+    // With 8 hooks over 3 nodes, at least two nodes own something.
+    let owners: std::collections::HashSet<usize> =
+        hooks.iter().map(|h| fleet.owner_of(*h).unwrap()).collect();
+    assert!(owners.len() >= 2, "hooks spread over the ring: {owners:?}");
+    assert_all_serve(&mut fleet, &hooks);
+    // Batched dispatch through the owner, in offer order.
+    let events: Vec<HookEvent> = (1..=20u8).map(|i| HookEvent::new(&[i], &[])).collect();
+    let replies = fleet.dispatch_batch(hooks[0], events).unwrap();
+    for (i, reply) in replies.into_iter().enumerate() {
+        assert_eq!(reply.unwrap().combined, Some(i as u64 + 1));
+    }
+    // Unknown hooks are refused at the front.
+    let ghost = Uuid::from_name("fleet", "ghost");
+    assert_eq!(
+        fleet.dispatch(ghost, HookEvent::default()),
+        Err(NodeError::UnknownHook(ghost))
+    );
+}
+
+#[test]
+fn node_join_hands_off_hooks_with_their_deployments() {
+    let key = SigningKey::from_seed(b"fleet-maintainer");
+    let Deployed { mut fleet, hooks } = deployed_fleet(&key);
+    let before: Vec<usize> = hooks.iter().map(|h| fleet.owner_of(*h).unwrap()).collect();
+    let new_id = fleet
+        .add_node(Box::new(lossy_remote(&key, 0x000f_1ee3)))
+        .unwrap();
+    let after: Vec<usize> = hooks.iter().map(|h| fleet.owner_of(*h).unwrap()).collect();
+    let moved: Vec<usize> = (0..hooks.len())
+        .filter(|i| before[*i] != after[*i])
+        .collect();
+    // Consistent hashing: moved hooks moved TO the joiner only.
+    for &i in &moved {
+        assert_eq!(after[i], new_id, "hook {i} moved to the new node only");
+    }
+    assert!(
+        fleet.handoff_count() >= moved.len() as u64,
+        "handoffs recorded"
+    );
+    // Every hook — moved or not — still serves with its deployment.
+    assert_all_serve(&mut fleet, &hooks);
+}
+
+#[test]
+fn node_leave_rehomes_its_hooks_from_retained_updates() {
+    let key = SigningKey::from_seed(b"fleet-maintainer");
+    let Deployed { mut fleet, hooks } = deployed_fleet(&key);
+    let before: Vec<usize> = hooks.iter().map(|h| fleet.owner_of(*h).unwrap()).collect();
+    // Remove a node that actually owns hooks.
+    let leaver = before[0];
+    fleet.remove_node(leaver).unwrap();
+    assert_eq!(fleet.node_count(), 2);
+    for (i, &hook) in hooks.iter().enumerate() {
+        let now = fleet.owner_of(hook).unwrap();
+        assert_ne!(now, leaver);
+        if before[i] != leaver {
+            assert_eq!(now, before[i], "survivors' hooks must not move");
+        }
+    }
+    // The leaver's hooks serve again from the retained updates.
+    assert_all_serve(&mut fleet, &hooks);
+    // Removing an unknown node is refused.
+    assert!(matches!(fleet.remove_node(99), Err(NodeError::Rejected(_))));
+}
+
+#[test]
+fn deploy_fanout_reports_per_node_accept_reject() {
+    let key = SigningKey::from_seed(b"fleet-maintainer");
+    let Deployed { mut fleet, hooks } = deployed_fleet(&key);
+    // Fan a v2 of hook 0's component out to every node: the owner
+    // attaches it, the others hold an unattached standby.
+    let owner = fleet.owner_of(hooks[0]).unwrap();
+    let (envelope, payload) = signed_update(&key, hooks[0], 2);
+    let outcomes = fleet.deploy_fanout(&envelope, &payload);
+    assert_eq!(outcomes.len(), 3);
+    for (node, outcome) in &outcomes {
+        let report = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("node {node}: {e}"));
+        assert_eq!(report.sequence, 2);
+        assert_eq!(
+            report.attached,
+            *node == owner,
+            "only the owner attaches; the rest hold standbys"
+        );
+    }
+    // The owner serves v2 (same echo behaviour, new container).
+    assert_all_serve(&mut fleet, &hooks);
+
+    // A fan-out whose signature no node trusts is rejected everywhere,
+    // each rejection reported per node.
+    let attacker = SigningKey::from_seed(b"attacker");
+    let (bad_envelope, bad_payload) = author_update(
+        &echo_program(),
+        hooks[1],
+        3,
+        "evil",
+        &attacker,
+        b"fleet-tenant",
+    );
+    let outcomes = fleet.deploy_fanout(&bad_envelope, &bad_payload);
+    assert_eq!(outcomes.len(), 3);
+    for (node, outcome) in outcomes {
+        assert!(
+            matches!(outcome, Err(NodeError::Rejected(_))),
+            "node {node} must reject the forgery"
+        );
+    }
+    // And the forgery did not disturb the running hooks.
+    assert_all_serve(&mut fleet, &hooks);
+}
+
+/// The fan-out × membership composition: a standby copy (installed by
+/// a fan-out while the hook lived elsewhere) must not poison a later
+/// handoff — re-homing registers the hook, retires the standby, clears
+/// its rollback state, and re-deploys the retained update at the very
+/// same sequence.
+#[test]
+fn handoff_after_fanout_rehomes_standby_components() {
+    let key = SigningKey::from_seed(b"fleet-maintainer");
+    let Deployed { mut fleet, hooks } = deployed_fleet(&key);
+    // v2 of EVERY component on EVERY node: each non-owner now holds an
+    // unattached standby with installed sequence 2.
+    for &hook in &hooks {
+        let (envelope, payload) = signed_update(&key, hook, 2);
+        for (node, outcome) in fleet.deploy_fanout(&envelope, &payload) {
+            outcome.unwrap_or_else(|e| panic!("node {node} rejected fan-out: {e}"));
+        }
+    }
+    // Join: moved hooks re-deploy sequence 2 onto the joiner (no
+    // standby there — the plain handoff path still works).
+    fleet
+        .add_node(Box::new(lossy_remote(&key, 0x000f_1ee4)))
+        .unwrap();
+    assert_all_serve(&mut fleet, &hooks);
+    // Leave: the leaver's hooks re-home onto survivors that DO hold
+    // same-sequence standby copies — this used to be rejected as a
+    // SUIT rollback, stranding the hook with zero attached containers.
+    let leaver = fleet.owner_of(hooks[0]).unwrap();
+    fleet.remove_node(leaver).unwrap();
+    assert_all_serve(&mut fleet, &hooks);
+}
+
+/// A failed evacuation must not orphan the hook: when the node cannot
+/// be reached, the fleet keeps its record so the caller can retry —
+/// instead of forgetting a hook that is still running remotely.
+#[test]
+fn failed_unregister_keeps_fleet_state_for_retry() {
+    struct FlakyUnregister {
+        inner: LocalNode,
+        fail_next: bool,
+    }
+    impl fc_host::NodeService for FlakyUnregister {
+        fn register_hook(&mut self, hook: Hook, offer: ContractOffer) -> Result<(), NodeError> {
+            self.inner.register_hook(hook, offer)
+        }
+        fn unregister_hook(&mut self, hook: fc_suit::Uuid) -> Result<(), NodeError> {
+            if self.fail_next {
+                self.fail_next = false;
+                return Err(NodeError::Timeout);
+            }
+            self.inner.unregister_hook(hook)
+        }
+        fn dispatch(
+            &mut self,
+            hook: fc_suit::Uuid,
+            event: HookEvent,
+        ) -> Result<fc_core::engine::HookReport, NodeError> {
+            self.inner.dispatch(hook, event)
+        }
+        fn dispatch_batch(
+            &mut self,
+            hook: fc_suit::Uuid,
+            events: Vec<HookEvent>,
+        ) -> Result<Vec<Result<fc_core::engine::HookReport, NodeError>>, NodeError> {
+            self.inner.dispatch_batch(hook, events)
+        }
+        fn stage_chunk(
+            &mut self,
+            uri: &str,
+            offset: usize,
+            chunk: &[u8],
+            restart: bool,
+        ) -> Result<(), NodeError> {
+            self.inner.stage_chunk(uri, offset, chunk, restart)
+        }
+        fn deploy(&mut self, envelope: &[u8]) -> Result<fc_host::DeployReport, NodeError> {
+            self.inner.deploy(envelope)
+        }
+        fn stats(&mut self) -> Result<fc_host::NodeStats, NodeError> {
+            self.inner.stats()
+        }
+    }
+
+    let key = SigningKey::from_seed(b"fleet-maintainer");
+    let mut fleet = FcFleet::new(FleetConfig::default());
+    fleet
+        .add_node(Box::new(FlakyUnregister {
+            inner: provisioned_local(&key),
+            fail_next: true,
+        }))
+        .unwrap();
+    let hook = Hook::new("flaky", HookKind::Custom, HookPolicy::First);
+    let hook_id = hook.id;
+    fleet
+        .register_hook(hook, ContractOffer::helpers(standard_helper_ids()))
+        .unwrap();
+    let (envelope, payload) = signed_update(&key, hook_id, 1);
+    fleet.deploy(&envelope, &payload).unwrap();
+    // The first evacuation attempt times out — the fleet must still
+    // know the hook (and keep serving it)...
+    assert_eq!(fleet.unregister_hook(hook_id), Err(NodeError::Timeout));
+    assert_eq!(fleet.hook_count(), 1);
+    assert!(fleet
+        .dispatch(hook_id, HookEvent::default())
+        .is_ok_and(|r| r.executions.len() == 1));
+    // ...so the retry can actually retire it.
+    fleet.unregister_hook(hook_id).unwrap();
+    assert_eq!(fleet.hook_count(), 0);
+    assert!(matches!(
+        fleet.dispatch(hook_id, HookEvent::default()),
+        Err(NodeError::UnknownHook(_))
+    ));
+}
+
+#[test]
+fn fleet_serves_coap_requests_end_to_end() {
+    let key = SigningKey::from_seed(b"fleet-maintainer");
+    let Deployed { mut fleet, hooks } = deployed_fleet(&key);
+    fleet.add_route("t0/echo", hooks[0]);
+    let mut req = fc_net::coap::Message::request(fc_net::coap::Code::Get, 7, b"t");
+    req.set_path("t0/echo");
+    let reply = fleet.serve(&req).unwrap();
+    assert_eq!(reply.report.executions.len(), 1);
+    let mut unrouted = fc_net::coap::Message::request(fc_net::coap::Code::Get, 8, b"u");
+    unrouted.set_path("no/where");
+    assert!(matches!(
+        fleet.serve(&unrouted),
+        Err(NodeError::UnknownHook(_))
+    ));
+}

@@ -226,7 +226,18 @@ impl CoapFront {
     ///   ([`crate::deploy::DeployReport`] via `Display`) or the
     ///   rejection reason — as its payload, with 2.04 Changed /
     ///   4.01 Unauthorized / 4.00 Bad Request codes matching the
-    ///   single-device endpoint's conventions.
+    ///   single-device endpoint's conventions, and 4.29 Too Many
+    ///   Requests for a rate-limited tenant;
+    /// * `GET /suit/report` polls a deploy outcome (accepted/rejected,
+    ///   reason, sequence, with a monotone serial) — the recovery path
+    ///   for an async client whose in-band manifest response was lost:
+    ///   poll instead of blindly resubmitting. With a Uri-Query naming
+    ///   a component UUID, the answer is scoped to **that component**
+    ///   (tenant-safe: another tenant's later deploy never overwrites
+    ///   it); without one it is the service-wide last apply. 2.05
+    ///   Content with the [`crate::deploy::DeployPoll`] rendered in
+    ///   the payload, or 4.04 Not Found when nothing was recorded
+    ///   under that scope.
     pub fn dispatch_suit(
         &self,
         host: &FcHost,
@@ -236,7 +247,31 @@ impl CoapFront {
         match normalize(&request.path()).as_str() {
             "suit/payload" => Some(Self::stage_suit_block(updates, request)),
             "suit/manifest" => Some(Self::apply_suit_manifest(host, updates, request)),
+            "suit/report" => Some(Self::poll_suit_report(updates, request)),
             _ => None,
+        }
+    }
+
+    fn poll_suit_report(updates: &LiveUpdateService, request: &Message) -> Message {
+        let scoped = request
+            .options
+            .iter()
+            .find(|(n, _)| *n == option::URI_QUERY)
+            .map(|(_, v)| String::from_utf8_lossy(v).into_owned());
+        let poll = match scoped {
+            Some(query) => match query.parse::<Uuid>() {
+                Ok(component) => updates.component_outcome(component),
+                Err(_) => return Message::response_to(request, Code::BadRequest),
+            },
+            None => updates.last_outcome(),
+        };
+        match poll {
+            Some(poll) => {
+                let mut resp = Message::response_to(request, Code::Content);
+                resp.payload = poll.to_string().into_bytes();
+                resp
+            }
+            None => Message::response_to(request, Code::NotFound),
         }
     }
 
@@ -287,6 +322,8 @@ impl CoapFront {
                 let code = match &e {
                     LiveDeployError::Update(UpdateError::UnknownKeyId { .. })
                     | LiveDeployError::Update(UpdateError::Manifest(_)) => Code::Unauthorized,
+                    // 4.29 Too Many Requests (RFC 8516).
+                    LiveDeployError::RateLimited { .. } => Code::Other(0x9d),
                     _ => Code::BadRequest,
                 };
                 let mut resp = Message::response_to(request, code);
@@ -507,6 +544,257 @@ mod tests {
         let mut other = Message::request(Code::Get, 8, &[]);
         other.set_path("t0/temp");
         assert!(front.dispatch_suit(&host, &mut updates, &other).is_none());
+        host.shutdown();
+    }
+
+    /// `/suit/report` polls the last deploy outcome: 4.04 before any
+    /// deploy, the accepted report (with sequence + serial) after a
+    /// good one, the rejection reason after a bad one — the recovery
+    /// path for a client whose in-band manifest response was lost.
+    #[test]
+    fn suit_report_polls_last_deploy_outcome() {
+        let (mut host, hook_id) = suit_host();
+        let (mut updates, key) = provisioned();
+        let front = CoapFront::new();
+        let mut poll = Message::request(Code::Get, 50, &[2]);
+        poll.set_path("suit/report");
+        let resp = front
+            .dispatch_suit(&host, &mut updates, &poll)
+            .expect("suit path routed");
+        assert_eq!(resp.code, Code::NotFound, "no deploy attempted yet");
+
+        let app = fc_core::apps::thread_counter();
+        let (envelope, payload) = author_update(&app, hook_id, 1, "r-v1", &key, b"tenant-a");
+        updates.stage_payload("r-v1", &payload);
+        let mut req = Message::request(Code::Post, 51, &[2]);
+        req.set_path("suit/manifest");
+        req.payload = envelope;
+        front.dispatch_suit(&host, &mut updates, &req).unwrap();
+        let resp = front.dispatch_suit(&host, &mut updates, &poll).unwrap();
+        assert_eq!(resp.code, Code::Content);
+        let body = String::from_utf8(resp.payload).unwrap();
+        assert!(
+            body.contains("#1 accepted") && body.contains("deployed"),
+            "poll carries the accepted report: {body}"
+        );
+
+        // A rejected deploy of ANOTHER component overwrites the global
+        // poll state with its reason and a fresh serial...
+        let other = Hook::new("suit-coap-other", HookKind::SchedSwitch, HookPolicy::First);
+        let other_id = other.id;
+        host.register_hook(other, ContractOffer::helpers(standard_helper_ids()));
+        let (envelope, _) = author_update(&app, other_id, 1, "r-other", &key, b"tenant-a");
+        let mut req = Message::request(Code::Post, 52, &[2]);
+        req.set_path("suit/manifest");
+        req.payload = envelope;
+        front.dispatch_suit(&host, &mut updates, &req).unwrap();
+        let resp = front.dispatch_suit(&host, &mut updates, &poll).unwrap();
+        let body = String::from_utf8(resp.payload).unwrap();
+        assert!(
+            body.contains("#2 rejected") && body.contains("not staged"),
+            "global poll carries the rejection reason: {body}"
+        );
+        // ...but a component-scoped poll is tenant-safe: the first
+        // deploy's verdict survives under its own component.
+        let mut scoped = poll.clone();
+        scoped.add_option(option::URI_QUERY, hook_id.to_string().into_bytes());
+        let resp = front.dispatch_suit(&host, &mut updates, &scoped).unwrap();
+        assert_eq!(resp.code, Code::Content);
+        let body = String::from_utf8(resp.payload).unwrap();
+        assert!(
+            body.contains("#1 accepted") && body.contains(&hook_id.to_string()),
+            "component poll keeps its own verdict: {body}"
+        );
+        let mut scoped = poll.clone();
+        scoped.add_option(option::URI_QUERY, other_id.to_string().into_bytes());
+        let resp = front.dispatch_suit(&host, &mut updates, &scoped).unwrap();
+        let body = String::from_utf8(resp.payload).unwrap();
+        assert!(body.contains("#2 rejected"), "{body}");
+        // A malformed component query is a 4.00, not a panic.
+        let mut bad = poll.clone();
+        bad.add_option(option::URI_QUERY, b"not-a-uuid".to_vec());
+        let resp = front.dispatch_suit(&host, &mut updates, &bad).unwrap();
+        assert_eq!(resp.code, Code::BadRequest);
+        host.shutdown();
+    }
+
+    /// The deploy token bucket refills on the host's **virtual** clock:
+    /// deterministic, and advanced by whoever drives the simulation.
+    #[test]
+    fn deploy_rate_limit_refills_on_virtual_time() {
+        let (mut host, hook_id) = suit_host();
+        let (mut updates, key) = provisioned();
+        updates.limit_tenant_rate(1, 1, 1.0); // 1-deploy burst, 1 token/s
+        let front = CoapFront::new();
+        let app = fc_core::apps::thread_counter();
+        let submit = |updates: &mut LiveUpdateService, host: &FcHost, version: u64| {
+            let uri = format!("rf-v{version}");
+            let (envelope, payload) =
+                author_update(&app, hook_id, version, &uri, &key, b"tenant-a");
+            updates.stage_payload(&uri, &payload);
+            let mut req = Message::request(Code::Post, version as u16, &[5]);
+            req.set_path("suit/manifest");
+            req.payload = envelope;
+            front.dispatch_suit(host, updates, &req).unwrap()
+        };
+        assert_eq!(submit(&mut updates, &host, 1).code, Code::Changed);
+        assert_eq!(
+            submit(&mut updates, &host, 2).code,
+            Code::Other(0x9d),
+            "burst spent, clock unmoved"
+        );
+        // Two virtual seconds refill the (capacity-capped) bucket.
+        host.env().set_now_us(2_000_000);
+        assert_eq!(submit(&mut updates, &host, 2).code, Code::Changed);
+        assert_eq!(updates.accepted_count(), 2);
+        host.shutdown();
+    }
+
+    /// Per-tenant deploy rate limiting: once the token bucket drains,
+    /// further manifests come back 4.29 with a distinct reason, the
+    /// refusal is counted, and a manual credit re-opens the lane.
+    #[test]
+    fn deploy_rate_limit_rejects_with_distinct_reason() {
+        let (mut host, hook_id) = suit_host();
+        let (mut updates, key) = provisioned();
+        updates.limit_tenant_rate(1, 2, 0.0); // 2-deploy burst, no refill
+        let front = CoapFront::new();
+        let app = fc_core::apps::thread_counter();
+        let submit = |updates: &mut LiveUpdateService, version: u64| {
+            let uri = format!("rl-v{version}");
+            let (envelope, payload) =
+                author_update(&app, hook_id, version, &uri, &key, b"tenant-a");
+            updates.stage_payload(&uri, &payload);
+            let mut req = Message::request(Code::Post, version as u16, &[3]);
+            req.set_path("suit/manifest");
+            req.payload = envelope;
+            front.dispatch_suit(&host, updates, &req).unwrap()
+        };
+        assert_eq!(submit(&mut updates, 1).code, Code::Changed);
+        assert_eq!(submit(&mut updates, 2).code, Code::Changed);
+        let throttled = submit(&mut updates, 3);
+        assert_eq!(throttled.code, Code::Other(0x9d), "4.29 Too Many Requests");
+        let reason = String::from_utf8(throttled.payload).unwrap();
+        assert!(reason.contains("rate limit"), "distinct reason: {reason}");
+        assert_eq!(updates.rate_limited_count(), 1);
+        assert_eq!(
+            host.stats()
+                .deploys_rate_limited
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // The refusal burned neither the sequence nor the staged
+        // payload: a credited retry of the SAME manifest lands.
+        updates.credit_tenant(1, 1);
+        let uri = "rl-v3";
+        assert!(updates.staged_payload(uri).is_some(), "payload survived");
+        let (envelope, _) = author_update(&app, hook_id, 3, uri, &key, b"tenant-a");
+        let mut req = Message::request(Code::Post, 99, &[3]);
+        req.set_path("suit/manifest");
+        req.payload = envelope;
+        let resp = front.dispatch_suit(&host, &mut updates, &req).unwrap();
+        assert_eq!(resp.code, Code::Changed, "credited retry lands");
+        assert_eq!(updates.accepted_count(), 3);
+        host.shutdown();
+    }
+
+    /// A rejected deploy's staged payload must stay LRU-recent: the
+    /// retry contract says the refusal keeps the payload staged, so
+    /// upload churn from other transfers must evict *them*, not the
+    /// payload whose tenant is waiting out a rate limit.
+    #[test]
+    fn rejected_deploy_keeps_its_payload_recent() {
+        let (mut host, hook_id) = suit_host();
+        let (mut updates, key) = provisioned();
+        updates = updates.with_staging_capacity(2);
+        updates.limit_tenant_rate(1, 1, 0.0); // 1-deploy burst, no refill
+        let app = fc_core::apps::thread_counter();
+        // v1 spends the only token.
+        let (envelope, payload) = author_update(&app, hook_id, 1, "lru-v1", &key, b"tenant-a");
+        updates.stage_payload("lru-v1", &payload);
+        updates.apply(&host, &envelope).unwrap();
+        // v2 staged first, a competitor transfer after it — then the
+        // rate-limited apply must refresh v2's recency.
+        let (envelope, payload) = author_update(&app, hook_id, 2, "lru-v2", &key, b"tenant-a");
+        updates.stage_payload("lru-v2", &payload);
+        assert!(updates.stage_block("competitor-a", 0, &[1; 8], true));
+        assert!(matches!(
+            updates.apply(&host, &envelope),
+            Err(LiveDeployError::RateLimited { tenant: 1 })
+        ));
+        // The next transfer evicts the competitor, NOT the payload the
+        // throttled tenant is about to retry with.
+        assert!(updates.stage_block("competitor-b", 0, &[2; 8], true));
+        assert!(updates.staged_payload("lru-v2").is_some());
+        assert_eq!(updates.staged_payload("competitor-a"), None);
+        updates.credit_tenant(1, 1);
+        let report = updates.apply(&host, &envelope).unwrap();
+        assert_eq!(report.sequence, 2, "credited retry lands without re-upload");
+        host.shutdown();
+    }
+
+    /// Abandoned Block1 transfers are evicted once the bounded staging
+    /// area fills — they no longer linger until an explicit `unstage` —
+    /// while an active upload survives, completes and deploys.
+    #[test]
+    fn abandoned_block1_transfers_are_evicted() {
+        let (mut host, hook_id) = suit_host();
+        let (mut updates, key) = provisioned();
+        updates = updates.with_staging_capacity(2);
+        let front = CoapFront::new();
+        let stage_first_block = |updates: &mut LiveUpdateService, uri: &str| {
+            let mut req = Message::request(Code::Post, 1, &[4]);
+            req.set_path("suit/payload");
+            req.add_option(option::URI_QUERY, uri.as_bytes().to_vec());
+            req.add_option_uint(
+                option::BLOCK1,
+                Block {
+                    num: 0,
+                    more: true,
+                    szx: 1,
+                }
+                .to_uint(),
+            );
+            req.payload = vec![0xab; 32];
+            front.dispatch_suit(&host, updates, &req).unwrap()
+        };
+        // The active transfer starts first, then a stream of abandoned
+        // one-block uploads churns the bounded area.
+        let app = fc_core::apps::thread_counter();
+        let (envelope, payload) = author_update(&app, hook_id, 1, "live", &key, b"tenant-a");
+        let mut off = 0usize;
+        let stage_live = |updates: &mut LiveUpdateService, off: &mut usize| {
+            let end = (*off + 16).min(payload.len());
+            assert!(updates.stage_block("live", *off, &payload[*off..end], *off == 0));
+            *off = end;
+        };
+        stage_live(&mut updates, &mut off);
+        for i in 0..4 {
+            // Keep the active transfer recently-touched, as a real
+            // interleaved upload would.
+            stage_live(&mut updates, &mut off);
+            assert!(stage_first_block(&mut updates, &format!("abandoned-{i}"))
+                .code
+                .is_success());
+        }
+        assert!(
+            updates.staging_evicted_count() >= 2,
+            "abandoned transfers were evicted, not hoarded"
+        );
+        assert_eq!(
+            updates.staged_payload("abandoned-0"),
+            None,
+            "the stalest abandoned upload is gone"
+        );
+        // The active transfer completes and deploys.
+        while off < payload.len() {
+            stage_live(&mut updates, &mut off);
+        }
+        let mut req = Message::request(Code::Post, 9, &[4]);
+        req.set_path("suit/manifest");
+        req.payload = envelope;
+        let resp = front.dispatch_suit(&host, &mut updates, &req).unwrap();
+        assert_eq!(resp.code, Code::Changed, "active transfer deployed");
         host.shutdown();
     }
 

@@ -29,10 +29,12 @@
 //! of side-channel mutation of a running sandbox.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 
 use fc_core::deploy::{component_name, contract_request_for};
 use fc_core::engine::{ContainerId, EngineError};
 use fc_kvstore::TenantId;
+use fc_net::block::StagingArea;
 use fc_rbpf::program::FcProgram;
 use fc_suit::{UpdateError, UpdateManager, Uuid, VerifyingKey};
 
@@ -51,6 +53,14 @@ pub enum LiveDeployError {
         /// The URI the manifest named.
         uri: String,
     },
+    /// The tenant exhausted its deploy token bucket
+    /// ([`LiveUpdateService::limit_tenant_rate`]); retry after the
+    /// bucket refills. Distinct from validation failures so operators
+    /// can tell throttling from broken images.
+    RateLimited {
+        /// The throttled tenant.
+        tenant: TenantId,
+    },
 }
 
 impl std::fmt::Display for LiveDeployError {
@@ -60,6 +70,9 @@ impl std::fmt::Display for LiveDeployError {
             LiveDeployError::Host(e) => write!(f, "host rejected: {e}"),
             LiveDeployError::PayloadUnavailable { uri } => {
                 write!(f, "payload `{uri}` not staged")
+            }
+            LiveDeployError::RateLimited { tenant } => {
+                write!(f, "deploy rate limit exceeded for tenant {tenant}")
             }
         }
     }
@@ -113,10 +126,97 @@ impl std::fmt::Display for DeployReport {
     }
 }
 
+/// The outcome of one [`LiveUpdateService::apply`], kept for
+/// asynchronous clients polling `/suit/report`
+/// ([`crate::CoapFront::dispatch_suit`]): a client whose in-band
+/// response was lost on the wire can fetch the verdict instead of
+/// blindly resubmitting the manifest. Outcomes are recorded both
+/// globally (the service's last apply) and **per component**, so one
+/// tenant's poll is never answered with another tenant's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployPoll {
+    /// Monotone apply counter — lets a poller tell a fresh outcome from
+    /// the one it already saw.
+    pub serial: u64,
+    /// The manifest's component (storage location), when the envelope
+    /// parsed far enough to name one.
+    pub component: Option<Uuid>,
+    /// Whether the deploy landed.
+    pub accepted: bool,
+    /// The committed SUIT sequence number, when accepted.
+    pub sequence: Option<u64>,
+    /// The accepted report (its `Display`) or the rejection reason.
+    pub detail: String,
+}
+
+impl std::fmt::Display for DeployPoll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deploy #{} {}",
+            self.serial,
+            if self.accepted {
+                "accepted"
+            } else {
+                "rejected"
+            },
+        )?;
+        if let Some(component) = self.component {
+            write!(f, " component={component}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// A deploy-rate token bucket: `capacity` deploys in a burst, refilled
+/// continuously at `refill_per_sec` of **virtual time** — the host's
+/// deterministic clock ([`fc_core::helpers_impl::HostEnv::now_us`]),
+/// like every other time-dependent mechanism in this stack.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    refill_per_sec: f64,
+    /// Virtual timestamp of the last refill; `None` until first use so
+    /// a bucket configured before the clock advances does not count the
+    /// whole epoch as elapsed.
+    last_us: Option<u64>,
+}
+
+impl TokenBucket {
+    fn new(capacity: u32, refill_per_sec: f64) -> Self {
+        TokenBucket {
+            capacity: capacity as f64,
+            tokens: capacity as f64,
+            refill_per_sec: refill_per_sec.max(0.0),
+            last_us: None,
+        }
+    }
+
+    fn try_take(&mut self, now_us: u64) -> bool {
+        if let Some(last_us) = self.last_us {
+            let elapsed_s = now_us.saturating_sub(last_us) as f64 / 1e6;
+            self.tokens = (self.tokens + self.refill_per_sec * elapsed_s).min(self.capacity);
+        }
+        self.last_us = Some(now_us);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn credit(&mut self, tokens: u32) {
+        self.tokens = (self.tokens + tokens as f64).min(self.capacity);
+    }
+}
+
 /// The host-owned SUIT update service: provisioned trust anchors,
-/// per-component sequence state, block-wise payload staging, and the
-/// component → container bindings that make re-deploys replace their
-/// predecessor.
+/// per-component sequence state, block-wise payload staging (bounded —
+/// abandoned transfers are LRU-evicted), per-tenant deploy rate
+/// limits, and the component → container bindings that make re-deploys
+/// replace their predecessor.
 ///
 /// # Examples
 ///
@@ -154,13 +254,26 @@ pub struct LiveUpdateService {
     manager: UpdateManager,
     tenants: HashMap<Vec<u8>, TenantId>,
     installed: HashMap<Uuid, ContainerId>,
-    staged: HashMap<String, Vec<u8>>,
+    staged: StagingArea,
+    rate_limits: HashMap<TenantId, TokenBucket>,
+    rate_limited: u64,
+    last_outcome: Option<DeployPoll>,
+    component_outcomes: HashMap<Uuid, DeployPoll>,
+    applies: u64,
 }
 
 impl LiveUpdateService {
     /// Creates a service with no trust anchors.
     pub fn new() -> Self {
         LiveUpdateService::default()
+    }
+
+    /// Overrides the bound on concurrently staged transfers (default
+    /// [`fc_net::block::DEFAULT_STAGING_CAPACITY`]); abandoned uploads
+    /// beyond it are LRU-evicted.
+    pub fn with_staging_capacity(mut self, capacity: usize) -> Self {
+        self.staged = StagingArea::with_capacity(capacity);
+        self
     }
 
     /// Provisions a tenant: its signing key id, verification key and
@@ -171,9 +284,45 @@ impl LiveUpdateService {
         self.tenants.insert(key_id.to_vec(), tenant);
     }
 
+    /// Imposes a deploy-rate token bucket on a tenant: at most
+    /// `capacity` deploys in a burst, refilled continuously at
+    /// `refill_per_sec` of the host's **virtual** clock
+    /// ([`fc_core::helpers_impl::HostEnv::now_us`]) — deterministic
+    /// like the rest of the stack; whoever drives the simulation
+    /// advances it. A zero refill rate makes the bucket purely
+    /// burst-bounded until [`LiveUpdateService::credit_tenant`] tops it
+    /// up. Unconfigured tenants are unlimited.
+    pub fn limit_tenant_rate(&mut self, tenant: TenantId, capacity: u32, refill_per_sec: f64) {
+        self.rate_limits
+            .insert(tenant, TokenBucket::new(capacity, refill_per_sec));
+    }
+
+    /// Manually credits deploy tokens to a rate-limited tenant (e.g.
+    /// an operator override); a no-op for unlimited tenants.
+    pub fn credit_tenant(&mut self, tenant: TenantId, tokens: u32) {
+        if let Some(bucket) = self.rate_limits.get_mut(&tenant) {
+            bucket.credit(tokens);
+        }
+    }
+
+    /// Deploys refused by per-tenant rate limiting so far.
+    pub fn rate_limited_count(&self) -> u64 {
+        self.rate_limited
+    }
+
     /// Container currently bound to a storage location.
     pub fn installed_container(&self, component: Uuid) -> Option<ContainerId> {
         self.installed.get(&component).copied()
+    }
+
+    /// Evacuates a component from this service: drops its
+    /// container binding **and** its SUIT rollback state, so the
+    /// component can later be re-homed here at the same manifest
+    /// sequence (fleet hook handoff). Returns the container that was
+    /// bound, which the caller is expected to retire from the host.
+    pub fn forget_component(&mut self, component: Uuid) -> Option<ContainerId> {
+        self.manager.forget_component(component);
+        self.installed.remove(&component)
     }
 
     /// Updates accepted so far.
@@ -186,29 +335,46 @@ impl LiveUpdateService {
         self.manager.rejected_count()
     }
 
+    /// The outcome of the most recent [`LiveUpdateService::apply`], for
+    /// the `/suit/report` poll resource. `None` until the first apply.
+    pub fn last_outcome(&self) -> Option<&DeployPoll> {
+        self.last_outcome.as_ref()
+    }
+
+    /// The most recent apply outcome for one component — the
+    /// tenant-safe poll: another tenant's later deploy never overwrites
+    /// it. `None` until some apply got far enough to name the
+    /// component.
+    pub fn component_outcome(&self, component: Uuid) -> Option<&DeployPoll> {
+        self.component_outcomes.get(&component)
+    }
+
+    /// Transfers evicted from staging as abandoned so far.
+    pub fn staging_evicted_count(&self) -> u64 {
+        self.staged.evicted_count()
+    }
+
     /// Stages a whole payload under a URI in one call (the block-wise
     /// path is [`LiveUpdateService::stage_block`]).
     pub fn stage_payload(&mut self, uri: &str, payload: &[u8]) {
-        self.staged.insert(uri.to_owned(), payload.to_vec());
+        self.staged.insert(uri, payload);
     }
 
     /// Appends one Block1 chunk to a staged payload, with the shared
     /// receiver-side discipline of [`fc_net::block::stage_chunk`]
     /// (in-order, hole-free; `restart` — Block1 `num == 0` — clears
     /// any stale staging for the URI; zero-length terminal blocks and
-    /// retransmitted duplicates are idempotent).
+    /// retransmitted duplicates are idempotent). The staging map is
+    /// bounded: starting a transfer beyond the capacity evicts the
+    /// least-recently-touched *abandoned* one, whose client then sees
+    /// its next chunk rejected and restarts from block 0.
     pub fn stage_block(&mut self, uri: &str, offset: usize, chunk: &[u8], restart: bool) -> bool {
-        fc_net::block::stage_chunk(
-            self.staged.entry(uri.to_owned()).or_default(),
-            offset,
-            chunk,
-            restart,
-        )
+        self.staged.stage(uri, offset, chunk, restart)
     }
 
     /// The staged bytes for a URI, if any.
     pub fn staged_payload(&self, uri: &str) -> Option<&[u8]> {
-        self.staged.get(uri).map(|v| v.as_slice())
+        self.staged.get(uri)
     }
 
     /// Drops a staged payload (to abort a transfer; a successful
@@ -236,15 +402,77 @@ impl LiveUpdateService {
     ///
     /// Any [`LiveDeployError`]. On error nothing changed: the previous
     /// container keeps running and the sequence number is not burned,
-    /// so a corrected payload can retry under the same manifest.
+    /// so a corrected payload can retry under the same manifest. A
+    /// [`LiveDeployError::RateLimited`] refusal additionally bumps the
+    /// host's `deploys_rate_limited` stat.
+    ///
+    /// Every apply — accepted or rejected — records a [`DeployPoll`]
+    /// retrievable via [`LiveUpdateService::last_outcome`] and, once
+    /// the component is known, [`LiveUpdateService::component_outcome`]
+    /// (served as `/suit/report` by the CoAP front-end), so a client
+    /// whose in-band response was lost can poll the verdict.
     pub fn apply(
         &mut self,
         host: &FcHost,
         envelope: &[u8],
     ) -> Result<DeployReport, LiveDeployError> {
+        let mut component = None;
+        let result = self.apply_inner(host, envelope, &mut component);
+        self.applies += 1;
+        let poll = match &result {
+            Ok(report) => DeployPoll {
+                serial: self.applies,
+                component,
+                accepted: true,
+                sequence: Some(report.sequence),
+                detail: report.to_string(),
+            },
+            Err(e) => DeployPoll {
+                serial: self.applies,
+                component,
+                accepted: false,
+                sequence: None,
+                detail: e.to_string(),
+            },
+        };
+        if let Some(component) = component {
+            self.component_outcomes.insert(component, poll.clone());
+        }
+        self.last_outcome = Some(poll);
+        result
+    }
+
+    fn apply_inner(
+        &mut self,
+        host: &FcHost,
+        envelope: &[u8],
+        component_out: &mut Option<Uuid>,
+    ) -> Result<DeployReport, LiveDeployError> {
         let pending = self.manager.begin(envelope)?;
+        *component_out = Some(pending.manifest.component);
+        // Any failure below keeps the named payload staged for the
+        // documented retry — so refresh its LRU recency now, or other
+        // tenants' upload churn could evict it while this tenant fixes
+        // the manifest or waits out its rate limit.
+        self.staged.touch(&pending.manifest.uri);
+        // The envelope is authenticated: throttle by the tenant behind
+        // the verified key before any further work.
+        let tenant = self
+            .tenants
+            .get(&pending.key_id)
+            .copied()
+            .unwrap_or_default();
+        if let Some(bucket) = self.rate_limits.get_mut(&tenant) {
+            if !bucket.try_take(host.env().now_us()) {
+                self.rate_limited += 1;
+                host.stats()
+                    .deploys_rate_limited
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(LiveDeployError::RateLimited { tenant });
+            }
+        }
         let uri = pending.manifest.uri.clone();
-        let Some(payload) = self.staged.get(&uri).cloned() else {
+        let Some(payload) = self.staged.get(&uri).map(<[u8]>::to_vec) else {
             return Err(LiveDeployError::PayloadUnavailable { uri });
         };
         // Front-load the digest/size check so a bad payload never
@@ -254,11 +482,6 @@ impl LiveUpdateService {
             let _ = self.manager.complete(pending, payload);
             return Err(e.into());
         }
-        let tenant = self
-            .tenants
-            .get(&pending.key_id)
-            .copied()
-            .unwrap_or_default();
         let component = pending.manifest.component;
         let image = FcProgram::from_bytes(&payload)
             .map_err(|e| LiveDeployError::Host(HostError::Engine(EngineError::Parse(e))))?;

@@ -82,6 +82,13 @@
 //! sees either the old container or the new one — never both, never
 //! neither.
 //!
+//! Finally, the whole per-node surface — hook lifecycle, dispatch,
+//! SUIT staging/deploy, stats — is captured by the transport-agnostic
+//! [`service::NodeService`] trait ([`service::LocalNode`] is the
+//! in-process adapter), which is what lets `fc-fleet` replicate this
+//! host N times behind a consistent-hashing front tier and drive every
+//! node over a lossy link without changing per-node semantics.
+//!
 //! See `ARCHITECTURE.md` at the repository root for the full design.
 
 #![deny(missing_docs)]
@@ -91,14 +98,16 @@ pub mod deploy;
 pub mod host;
 pub mod queue;
 pub mod rebalance;
+pub mod service;
 pub mod shard;
 pub mod stats;
 
 pub use coap::{CoapFront, CoapReply};
-pub use deploy::{DeployReport, LiveDeployError, LiveUpdateService};
+pub use deploy::{DeployPoll, DeployReport, LiveDeployError, LiveUpdateService};
 pub use host::{DeployOutcome, FcHost, HookEvent, HostConfig, HostError};
 pub use queue::{Accepted, BatchAccepted, ShedPolicy};
 pub use rebalance::{HookMove, RebalanceConfig, RebalanceReport, Rebalancer};
+pub use service::{LocalNode, NodeError, NodeService, NodeStats};
 pub use shard::ShardReport;
 pub use stats::{HostStats, LatencyHistogram, TenantStats};
 

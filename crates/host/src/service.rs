@@ -1,0 +1,450 @@
+//! The transport-agnostic node-service boundary.
+//!
+//! A fleet front tier must talk to many hosting nodes without caring
+//! whether a node shares its address space or sits across a lossy
+//! low-power link. [`NodeService`] is that seam: the complete set of
+//! operations the fleet performs against one node — hook lifecycle,
+//! single and batched event dispatch, SUIT payload staging and deploy,
+//! stats/health — expressed over **serializable** inputs and outputs
+//! only, so the exact same calls can run in-process
+//! ([`LocalNode`], this module) or be encoded as CoAP messages over
+//! `fc_net::link` (the codec adapter in `fc-fleet`).
+//!
+//! Two rules keep the adapters observationally identical, which is
+//! what lets the differential suite prove a 1-node fleet bit-identical
+//! to a bare [`FcHost`]:
+//!
+//! * results that must survive the wire ([`fc_core::engine::HookReport`],
+//!   [`crate::DeployReport`], [`NodeStats`]) are plain data, encoded
+//!   losslessly by the codec adapter;
+//! * errors collapse to [`NodeError`], whose node-side verdicts travel
+//!   as text — the in-process adapter renders its engine errors to the
+//!   same strings the wire carries, so callers cannot tell the
+//!   transports apart by error shape.
+
+use fc_core::contract::ContractOffer;
+use fc_core::engine::HookReport;
+use fc_core::hooks::Hook;
+use fc_rtos::platform::{Engine as EngineFlavor, Platform};
+use fc_suit::Uuid;
+
+use crate::deploy::{LiveDeployError, LiveUpdateService};
+use crate::host::{FcHost, HookEvent, HostConfig, HostError};
+
+/// Why a node-service operation failed — the transport-portable
+/// projection of host/deploy errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// The hook is not registered on the node.
+    UnknownHook(Uuid),
+    /// The node shed the event under backpressure.
+    Shed,
+    /// The node rejected the operation; the verdict travels as text
+    /// (engine and SUIT errors render identically on both adapters).
+    Rejected(String),
+    /// The transport gave up (retransmissions exhausted on the lossy
+    /// link). Never produced by the in-process adapter.
+    Timeout,
+    /// The transport delivered something undecodable, or the operation
+    /// does not fit the link MTU.
+    Transport(String),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::UnknownHook(u) => write!(f, "unknown hook {u}"),
+            NodeError::Shed => write!(f, "event shed by node backpressure"),
+            NodeError::Rejected(reason) => write!(f, "node rejected: {reason}"),
+            NodeError::Timeout => write!(f, "node unreachable: retransmissions exhausted"),
+            NodeError::Transport(reason) => write!(f, "transport failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<HostError> for NodeError {
+    fn from(e: HostError) -> Self {
+        match e {
+            HostError::UnknownHook(u) => NodeError::UnknownHook(u),
+            HostError::Shed => NodeError::Shed,
+            other => NodeError::Rejected(other.to_string()),
+        }
+    }
+}
+
+impl From<LiveDeployError> for NodeError {
+    fn from(e: LiveDeployError) -> Self {
+        NodeError::Rejected(e.to_string())
+    }
+}
+
+/// A point-in-time stats/health snapshot of one node — the fleet's
+/// observability surface, wire-encodable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Events fully executed on the node.
+    pub dispatched: u64,
+    /// Events shed by backpressure.
+    pub shed: u64,
+    /// Live deploys accepted (SUIT pipeline + engine).
+    pub deploys_accepted: u64,
+    /// Live deploys rejected (validation, engine or rate limit).
+    pub deploys_rejected: u64,
+    /// Hooks currently registered.
+    pub hooks: u64,
+    /// p50 dispatch latency in nanoseconds (enqueue → completion).
+    pub p50_ns: u64,
+    /// p99 dispatch latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Maximum per-shard busy time in simulated cycles — the node's
+    /// capacity denominator under the repo's cycle-model methodology.
+    pub max_shard_busy_cycles: u64,
+}
+
+/// The operations a fleet front tier performs against one hosting
+/// node, transport-agnostically (module docs).
+///
+/// Containers reach a node **only** through the SUIT lane
+/// ([`NodeService::stage_chunk`] + [`NodeService::deploy`]) — the
+/// paper's deployment model, and the reason hook handoff between nodes
+/// can always be replayed from the fleet's retained updates.
+pub trait NodeService {
+    /// Registers a launchpad hook on the node.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError`] on transport failure (in-process registration is
+    /// infallible).
+    fn register_hook(&mut self, hook: Hook, offer: ContractOffer) -> Result<(), NodeError>;
+
+    /// Unregisters a hook and **evacuates** its component: the bound
+    /// container is retired and the node's SUIT rollback state for the
+    /// component is forgotten, so the hook can be re-homed elsewhere —
+    /// or back here — by re-deploying the fleet's retained update.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::UnknownHook`] when the hook is not registered here.
+    fn unregister_hook(&mut self, hook: Uuid) -> Result<(), NodeError>;
+
+    /// Fires one event at a hook and returns its full report.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::UnknownHook`] / [`NodeError::Shed`] /
+    /// transport errors.
+    fn dispatch(&mut self, hook: Uuid, event: HookEvent) -> Result<HookReport, NodeError>;
+
+    /// Fires a vector of events at one hook, reports in offer order;
+    /// per-event outcomes are independent (a shed event fails its own
+    /// slot only).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::UnknownHook`] or a transport error for the batch as
+    /// a whole.
+    fn dispatch_batch(
+        &mut self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+    ) -> Result<Vec<Result<HookReport, NodeError>>, NodeError>;
+
+    /// Stages one block-wise payload chunk under a URI (the
+    /// [`fc_net::block::stage_chunk`] discipline; a hole is an error —
+    /// the transfer must restart).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Rejected`] for a hole, or transport errors.
+    fn stage_chunk(
+        &mut self,
+        uri: &str,
+        offset: usize,
+        chunk: &[u8],
+        restart: bool,
+    ) -> Result<(), NodeError>;
+
+    /// Applies a signed SUIT manifest against the node's staged
+    /// payloads — the live-deploy pipeline of
+    /// [`LiveUpdateService::apply`].
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Rejected`] with the verdict, or transport errors.
+    fn deploy(&mut self, envelope: &[u8]) -> Result<crate::DeployReport, NodeError>;
+
+    /// Stats/health snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    fn stats(&mut self) -> Result<NodeStats, NodeError>;
+}
+
+/// The in-process [`NodeService`] adapter: one [`FcHost`] plus its
+/// [`LiveUpdateService`], called directly.
+///
+/// # Examples
+///
+/// ```
+/// use fc_core::contract::ContractOffer;
+/// use fc_core::helpers_impl::standard_helper_ids;
+/// use fc_core::hooks::{Hook, HookKind, HookPolicy};
+/// use fc_host::{HostConfig, LocalNode, NodeService};
+/// use fc_rtos::platform::{Engine, Platform};
+///
+/// let mut node = LocalNode::new(Platform::CortexM4, Engine::FemtoContainer, HostConfig::default());
+/// let hook = Hook::new("tick", HookKind::Timer, HookPolicy::First);
+/// let hook_id = hook.id;
+/// node.register_hook(hook, ContractOffer::helpers(standard_helper_ids())).unwrap();
+/// let report = node.dispatch(hook_id, Default::default()).unwrap();
+/// assert!(report.executions.is_empty()); // nothing deployed yet
+/// ```
+pub struct LocalNode {
+    host: FcHost,
+    updates: LiveUpdateService,
+    hooks: u64,
+}
+
+impl LocalNode {
+    /// Starts a node: a fresh host plus an empty update service.
+    pub fn new(platform: Platform, flavor: EngineFlavor, config: HostConfig) -> Self {
+        Self::with_host(
+            FcHost::new(platform, flavor, config),
+            LiveUpdateService::new(),
+        )
+    }
+
+    /// Wraps an existing host and update service.
+    pub fn with_host(host: FcHost, updates: LiveUpdateService) -> Self {
+        LocalNode {
+            host,
+            updates,
+            hooks: 0,
+        }
+    }
+
+    /// The wrapped host (e.g. to seed its environment).
+    pub fn host(&self) -> &FcHost {
+        &self.host
+    }
+
+    /// The wrapped update service (e.g. to provision tenants).
+    pub fn updates_mut(&mut self) -> &mut LiveUpdateService {
+        &mut self.updates
+    }
+
+    /// Renders a host error exactly as the wire adapter would decode
+    /// it, keeping the two transports indistinguishable to callers.
+    fn portable(e: HostError) -> NodeError {
+        e.into()
+    }
+}
+
+impl NodeService for LocalNode {
+    fn register_hook(&mut self, hook: Hook, offer: ContractOffer) -> Result<(), NodeError> {
+        if self.host.shard_of_hook(hook.id).is_none() {
+            // A standby copy of this component (installed unattached by
+            // a deploy fan-out while the hook lived on another node) is
+            // superseded by the authoritative re-deploy that follows a
+            // hook handoff here: retire it and clear its rollback state
+            // now, or that same-sequence re-deploy would be rejected as
+            // a rollback and the stale container would linger.
+            if let Some(standby) = self.updates.forget_component(hook.id) {
+                self.host.remove(standby);
+            }
+            self.hooks += 1;
+        }
+        self.host.register_hook(hook, offer);
+        Ok(())
+    }
+
+    fn unregister_hook(&mut self, hook: Uuid) -> Result<(), NodeError> {
+        self.host.unregister_hook(hook).map_err(Self::portable)?;
+        self.hooks = self.hooks.saturating_sub(1);
+        // Evacuate the component: retire its SUIT-bound container and
+        // clear rollback state so a retained update can re-home it.
+        if let Some(container) = self.updates.forget_component(hook) {
+            self.host.remove(container);
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, hook: Uuid, event: HookEvent) -> Result<HookReport, NodeError> {
+        self.host
+            .fire_sync(hook, &event.ctx, &event.extra)
+            .map_err(Self::portable)
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+    ) -> Result<Vec<Result<HookReport, NodeError>>, NodeError> {
+        let receivers = self
+            .host
+            .fire_batch_with_reply(hook, events)
+            .map_err(Self::portable)?;
+        Ok(receivers
+            .into_iter()
+            .map(|rx| match rx.recv() {
+                Ok(Ok(report)) => Ok(report),
+                Ok(Err(e)) => Err(Self::portable(HostError::Engine(e))),
+                // Sender dropped without a send: displaced after
+                // acceptance.
+                Err(_) => Err(NodeError::Shed),
+            })
+            .collect())
+    }
+
+    fn stage_chunk(
+        &mut self,
+        uri: &str,
+        offset: usize,
+        chunk: &[u8],
+        restart: bool,
+    ) -> Result<(), NodeError> {
+        if self.updates.stage_block(uri, offset, chunk, restart) {
+            Ok(())
+        } else {
+            Err(NodeError::Rejected(format!(
+                "staging hole at offset {offset} for `{uri}`"
+            )))
+        }
+    }
+
+    fn deploy(&mut self, envelope: &[u8]) -> Result<crate::DeployReport, NodeError> {
+        self.updates
+            .apply(&self.host, envelope)
+            .map_err(NodeError::from)
+    }
+
+    fn stats(&mut self) -> Result<NodeStats, NodeError> {
+        use std::sync::atomic::Ordering;
+        let stats = self.host.stats();
+        let max_shard_busy_cycles = self
+            .host
+            .shard_reports()
+            .iter()
+            .map(|r| r.sim_cycles)
+            .max()
+            .unwrap_or(0);
+        Ok(NodeStats {
+            dispatched: stats.dispatched.load(Ordering::Relaxed),
+            shed: stats.shed.load(Ordering::Relaxed),
+            deploys_accepted: self.updates.accepted_count(),
+            deploys_rejected: self.updates.rejected_count() + self.updates.rate_limited_count(),
+            hooks: self.hooks,
+            p50_ns: stats.latency.quantile_ns(0.50),
+            p99_ns: stats.latency.quantile_ns(0.99),
+            max_shard_busy_cycles,
+        })
+    }
+}
+
+impl std::fmt::Debug for LocalNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalNode")
+            .field("host", &self.host)
+            .field("hooks", &self.hooks)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_core::deploy::author_update;
+    use fc_core::helpers_impl::standard_helper_ids;
+    use fc_core::hooks::{HookKind, HookPolicy};
+    use fc_suit::SigningKey;
+
+    fn node() -> (LocalNode, Uuid, SigningKey) {
+        let mut node = LocalNode::new(
+            Platform::CortexM4,
+            EngineFlavor::FemtoContainer,
+            HostConfig {
+                workers: 2,
+                ..HostConfig::default()
+            },
+        );
+        let key = SigningKey::from_seed(b"svc-maintainer");
+        node.updates_mut()
+            .provision_tenant(b"svc-tenant", key.verifying_key(), 1);
+        let hook = Hook::new("svc-hook", HookKind::Custom, HookPolicy::First);
+        let hook_id = hook.id;
+        node.register_hook(hook, ContractOffer::helpers(standard_helper_ids()))
+            .unwrap();
+        (node, hook_id, key)
+    }
+
+    fn deploy_counter(node: &mut LocalNode, hook: Uuid, key: &SigningKey, version: u64) -> u32 {
+        let app = fc_core::apps::thread_counter();
+        let uri = format!("svc-v{version}");
+        let (envelope, payload) = author_update(&app, hook, version, &uri, key, b"svc-tenant");
+        for chunk in payload.chunks(32).enumerate() {
+            node.stage_chunk(&uri, chunk.0 * 32, chunk.1, chunk.0 == 0)
+                .unwrap();
+        }
+        node.deploy(&envelope).unwrap().container
+    }
+
+    #[test]
+    fn suit_deploy_then_dispatch_round_trips() {
+        let (mut node, hook_id, key) = node();
+        let container = deploy_counter(&mut node, hook_id, &key, 1);
+        let report = node.dispatch(hook_id, HookEvent::default()).unwrap();
+        assert_eq!(report.executions.len(), 1);
+        assert_eq!(report.executions[0].container, container);
+        let batch = node
+            .dispatch_batch(hook_id, vec![HookEvent::default(); 4])
+            .unwrap();
+        assert_eq!(batch.len(), 4);
+        assert!(batch.iter().all(|r| r.is_ok()));
+        let stats = node.stats().unwrap();
+        assert_eq!(stats.dispatched, 5);
+        assert_eq!(stats.deploys_accepted, 1);
+        assert_eq!(stats.hooks, 1);
+    }
+
+    #[test]
+    fn unregister_evacuates_component_for_rehoming() {
+        let (mut node, hook_id, key) = node();
+        deploy_counter(&mut node, hook_id, &key, 3);
+        node.unregister_hook(hook_id).unwrap();
+        assert!(matches!(
+            node.dispatch(hook_id, HookEvent::default()),
+            Err(NodeError::UnknownHook(_))
+        ));
+        // Re-homing: the same hook and the SAME sequence re-deploy
+        // cleanly — rollback state was forgotten with the hook.
+        node.register_hook(
+            Hook::new("svc-hook", HookKind::Custom, HookPolicy::First),
+            ContractOffer::helpers(standard_helper_ids()),
+        )
+        .unwrap();
+        deploy_counter(&mut node, hook_id, &key, 3);
+        let report = node.dispatch(hook_id, HookEvent::default()).unwrap();
+        assert_eq!(report.executions.len(), 1, "exactly one container serves");
+    }
+
+    #[test]
+    fn errors_are_wire_portable() {
+        let (mut node, _, _) = node();
+        let ghost = Uuid::from_name("svc", "ghost");
+        assert_eq!(
+            node.dispatch(ghost, HookEvent::default()),
+            Err(NodeError::UnknownHook(ghost))
+        );
+        // A staging hole renders as a textual rejection.
+        assert!(matches!(
+            node.stage_chunk("u", 64, &[1], false),
+            Err(NodeError::Rejected(_))
+        ));
+        // A garbage envelope renders the SUIT verdict as text.
+        let err = node.deploy(b"garbage").unwrap_err();
+        assert!(matches!(err, NodeError::Rejected(_)), "{err:?}");
+    }
+}

@@ -97,6 +97,10 @@ pub struct HostStats {
     /// Live deploys landed through the shard control lane
     /// ([`crate::FcHost::deploy_verified`]).
     pub deploys: AtomicU64,
+    /// Deploys refused by per-tenant rate limiting
+    /// ([`crate::LiveUpdateService::limit_tenant_rate`]) before
+    /// touching the engine.
+    pub deploys_rate_limited: AtomicU64,
     /// Rebalancer observations the host triggered itself (in-band,
     /// every `rebalance_interval` dispatched events) — caller-driven
     /// `observe()` calls are not counted here.

@@ -117,6 +117,142 @@ pub fn stage_chunk(buf: &mut Vec<u8>, offset: usize, chunk: &[u8], restart: bool
     }
 }
 
+/// A bounded, LRU-evicting staging area for block-wise uploads — the
+/// shared answer to *abandoned* transfers: an upload that stalls
+/// mid-way must not pin its buffer forever (a successful deploy drops
+/// its payload itself; nothing used to drop a transfer that simply
+/// stopped arriving).
+///
+/// Every [`StagingArea::stage`]/[`StagingArea::touch`] marks its URI
+/// most-recently-used; when staging a **new** URI would exceed the
+/// capacity, the least-recently-touched other entry is evicted. A
+/// client whose transfer was evicted sees its next chunk rejected as a
+/// hole and restarts from block 0 — exactly the recovery path it
+/// already needs for holes.
+///
+/// # Examples
+///
+/// ```
+/// use fc_net::block::StagingArea;
+/// let mut staging = StagingArea::with_capacity(2);
+/// assert!(staging.stage("a", 0, b"aa", true));
+/// assert!(staging.stage("b", 0, b"bb", true));
+/// // A third transfer evicts the least-recently-touched one ("a").
+/// assert!(staging.stage("c", 0, b"cc", true));
+/// assert_eq!(staging.get("a"), None);
+/// assert_eq!(staging.evicted_count(), 1);
+/// // The abandoned transfer's continuation reads as a hole → restart.
+/// assert!(!staging.stage("a", 2, b"aa", false));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StagingArea {
+    capacity: usize,
+    tick: u64,
+    entries: std::collections::HashMap<String, (u64, Vec<u8>)>,
+    evicted: u64,
+}
+
+/// Default bound on concurrently staged transfers.
+pub const DEFAULT_STAGING_CAPACITY: usize = 16;
+
+impl Default for StagingArea {
+    fn default() -> Self {
+        StagingArea::with_capacity(DEFAULT_STAGING_CAPACITY)
+    }
+}
+
+impl StagingArea {
+    /// Creates a staging area bounding concurrent transfers to
+    /// `capacity` (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        StagingArea {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: std::collections::HashMap::new(),
+            evicted: 0,
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Applies one chunk under `uri` with the [`stage_chunk`] state
+    /// machine, creating the staging buffer on first touch and evicting
+    /// the least-recently-touched *other* transfer when the area is
+    /// full. Returns `false` for holes (including continuations of an
+    /// evicted transfer).
+    pub fn stage(&mut self, uri: &str, offset: usize, chunk: &[u8], restart: bool) -> bool {
+        if !self.entries.contains_key(uri) {
+            // A continuation of an unknown (possibly evicted) transfer
+            // is a hole; only a fresh start creates an entry.
+            if offset != 0 {
+                return false;
+            }
+            if self.entries.len() >= self.capacity {
+                if let Some(stalest) = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (touched, _))| *touched)
+                    .map(|(k, _)| k.clone())
+                {
+                    self.entries.remove(&stalest);
+                    self.evicted += 1;
+                }
+            }
+            let tick = self.bump();
+            self.entries.insert(uri.to_owned(), (tick, Vec::new()));
+        }
+        let tick = self.bump();
+        let (touched, buf) = self.entries.get_mut(uri).expect("entry just ensured");
+        *touched = tick;
+        stage_chunk(buf, offset, chunk, restart)
+    }
+
+    /// Stages a whole payload in one call (replacing any previous
+    /// staging for the URI), with the same eviction discipline.
+    pub fn insert(&mut self, uri: &str, payload: &[u8]) {
+        let ok = self.stage(uri, 0, payload, true);
+        debug_assert!(ok, "a restart at offset 0 always stages");
+    }
+
+    /// Marks a URI most-recently-used without modifying it (e.g. when a
+    /// manifest references the payload but the deploy fails and will be
+    /// retried).
+    pub fn touch(&mut self, uri: &str) {
+        let tick = self.bump();
+        if let Some((touched, _)) = self.entries.get_mut(uri) {
+            *touched = tick;
+        }
+    }
+
+    /// The staged bytes for a URI, if any.
+    pub fn get(&self, uri: &str) -> Option<&[u8]> {
+        self.entries.get(uri).map(|(_, buf)| buf.as_slice())
+    }
+
+    /// Removes and returns a staged payload.
+    pub fn remove(&mut self, uri: &str) -> Option<Vec<u8>> {
+        self.entries.remove(uri).map(|(_, buf)| buf)
+    }
+
+    /// Number of transfers currently staged.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Abandoned transfers evicted so far.
+    pub fn evicted_count(&self) -> u64 {
+        self.evicted
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +338,55 @@ mod tests {
         assert!(stage_chunk(&mut buf, 4, &[], false));
         assert!(stage_chunk(&mut buf, 4, &[], false));
         assert_eq!(buf, vec![1, 2, 3, 4]);
+    }
+
+    /// The abandoned-transfer regression: incomplete uploads used to
+    /// linger until an explicit unstage. The bounded area evicts the
+    /// least-recently-touched transfer, keeps active ones intact, and
+    /// lets the evicted client restart cleanly.
+    #[test]
+    fn staging_area_evicts_stalest_abandoned_transfer() {
+        let mut area = StagingArea::with_capacity(3);
+        // Three in-flight transfers, then "b" and "c" keep making
+        // progress while "a" stalls.
+        assert!(area.stage("a", 0, &[1; 8], true));
+        assert!(area.stage("b", 0, &[2; 8], true));
+        assert!(area.stage("c", 0, &[3; 8], true));
+        assert!(area.stage("b", 8, &[2; 8], false));
+        assert!(area.stage("c", 8, &[3; 8], false));
+        // A fourth transfer must evict the abandoned "a", not the
+        // active ones.
+        assert!(area.stage("d", 0, &[4; 8], true));
+        assert_eq!(area.get("a"), None, "abandoned transfer evicted");
+        assert_eq!(area.len(), 3);
+        assert_eq!(area.evicted_count(), 1);
+        // Active transfers complete unharmed.
+        assert_eq!(area.get("b").unwrap(), &[2; 16]);
+        assert!(area.stage("c", 16, &[], false), "terminal block lands");
+        assert_eq!(area.get("c").unwrap(), &[3; 16]);
+        // The evicted client's continuation is a hole; its restart
+        // stages fresh (evicting the now-stalest "b").
+        assert!(!area.stage("a", 16, &[1; 8], false));
+        assert!(area.stage("a", 0, &[9; 4], true));
+        assert_eq!(area.get("a").unwrap(), &[9; 4]);
+        assert_eq!(area.evicted_count(), 2);
+    }
+
+    #[test]
+    fn staging_area_insert_touch_remove_round_trip() {
+        let mut area = StagingArea::with_capacity(2);
+        area.insert("x", b"payload");
+        assert_eq!(area.get("x"), Some(&b"payload"[..]));
+        area.insert("y", b"other");
+        // Touching "x" makes "y" the eviction victim.
+        area.touch("x");
+        area.insert("z", b"third");
+        assert_eq!(area.get("y"), None);
+        assert_eq!(area.get("x"), Some(&b"payload"[..]));
+        assert_eq!(area.remove("x"), Some(b"payload".to_vec()));
+        assert!(area.remove("x").is_none());
+        assert_eq!(area.len(), 1);
+        assert!(!area.is_empty());
     }
 
     /// A restart must clear stale staging whatever its length relative

@@ -22,7 +22,7 @@ pub mod endpoint;
 pub mod link;
 pub mod load;
 
-pub use block::Block;
+pub use block::{Block, StagingArea};
 pub use coap::{CoapError, Code, Message, MsgType};
 pub use endpoint::{CoapClient, CoapServer, ExchangeOutcome};
 pub use link::{Addr, Datagram, LinkConfig, LossyLink};

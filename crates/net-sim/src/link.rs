@@ -3,7 +3,9 @@
 //! The paper's updates traverse "network paths including low-power
 //! wireless segments" (§5): small MTU, latency, and loss. This module
 //! models a UDP-style datagram service over such a link with
-//! deterministic, seedable loss so failure-injection tests reproduce.
+//! deterministic, seedable loss, **duplication** and latency **jitter**
+//! (which reorders deliveries) so failure-injection tests reproduce —
+//! the three failure modes a datagram consumer must survive.
 
 use std::collections::VecDeque;
 
@@ -47,8 +49,17 @@ pub const DEFAULT_MTU: usize = 512;
 pub struct LinkConfig {
     /// Probability in `[0, 1]` that a datagram is silently dropped.
     pub loss: f64,
+    /// Probability in `[0, 1]` that a datagram is delivered **twice**
+    /// (link-layer retransmission whose ACK was lost — the receiver
+    /// must treat the second copy as a duplicate).
+    pub duplicate: f64,
     /// One-way latency in microseconds.
     pub latency_us: u64,
+    /// Uniform extra latency in `[0, jitter_us]` sampled per delivery.
+    /// A nonzero jitter makes deliveries **reorder**: a later send can
+    /// arrive before an earlier one ([`LossyLink::poll`] delivers in
+    /// arrival order, not send order).
+    pub jitter_us: u64,
     /// Maximum payload size; larger sends are rejected.
     pub mtu: usize,
     /// RNG seed for reproducible loss patterns.
@@ -59,7 +70,9 @@ impl Default for LinkConfig {
     fn default() -> Self {
         LinkConfig {
             loss: 0.0,
+            duplicate: 0.0,
             latency_us: 2_000,
+            jitter_us: 0,
             mtu: DEFAULT_MTU,
             seed: 0x5eed,
         }
@@ -88,6 +101,7 @@ pub struct LossyLink {
     in_flight: VecDeque<(u64, Datagram)>,
     sent: u64,
     dropped: u64,
+    duplicated: u64,
 }
 
 /// Why a send was rejected.
@@ -123,11 +137,27 @@ impl LossyLink {
             in_flight: VecDeque::new(),
             sent: 0,
             dropped: 0,
+            duplicated: 0,
         }
     }
 
+    fn delivery_time(&mut self, now_us: u64) -> u64 {
+        let jitter = match self.config.jitter_us {
+            0 => 0,
+            // `j + 1` would overflow at the numeric ceiling; draw the
+            // full word there instead.
+            u64::MAX => self.rng.next_u64(),
+            j => self.rng.gen_range(0..j + 1),
+        };
+        now_us
+            .saturating_add(self.config.latency_us)
+            .saturating_add(jitter)
+    }
+
     /// Queues a datagram at virtual time `now_us`. Lost datagrams are
-    /// accepted (the sender cannot tell) but never delivered.
+    /// accepted (the sender cannot tell) but never delivered; a
+    /// duplicated datagram is delivered twice, each copy with its own
+    /// jittered delivery time.
     ///
     /// # Errors
     ///
@@ -145,19 +175,28 @@ impl LossyLink {
             self.dropped += 1;
             return Ok(());
         }
-        let deliver_at = now_us + self.config.latency_us;
-        // Keep FIFO per insertion; latency is constant so order holds.
+        if self.rng.gen_bool(self.config.duplicate.clamp(0.0, 1.0)) {
+            self.duplicated += 1;
+            let at = self.delivery_time(now_us);
+            self.in_flight.push_back((at, dgram.clone()));
+        }
+        let deliver_at = self.delivery_time(now_us);
         self.in_flight.push_back((deliver_at, dgram));
         Ok(())
     }
 
     /// Delivers the next datagram addressed to `node` that has arrived by
-    /// `now_us`, if any.
+    /// `now_us`, if any — in **arrival order**: among the eligible
+    /// datagrams the one with the earliest delivery time goes first, so
+    /// a jittered link genuinely reorders relative to send order.
     pub fn poll(&mut self, node: u8, now_us: u64) -> Option<Datagram> {
         let idx = self
             .in_flight
             .iter()
-            .position(|(at, d)| *at <= now_us && d.dst.node == node)?;
+            .enumerate()
+            .filter(|(_, (at, d))| *at <= now_us && d.dst.node == node)
+            .min_by_key(|(i, (at, _))| (*at, *i))
+            .map(|(i, _)| i)?;
         self.in_flight.remove(idx).map(|(_, d)| d)
     }
 
@@ -178,6 +217,11 @@ impl LossyLink {
     /// Datagrams silently dropped so far.
     pub fn dropped_count(&self) -> u64 {
         self.dropped
+    }
+
+    /// Datagrams delivered twice so far.
+    pub fn duplicated_count(&self) -> u64 {
+        self.duplicated
     }
 
     /// Datagrams currently in flight.
@@ -276,6 +320,46 @@ mod tests {
             got += 1;
         }
         assert_eq!(got, 50);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice_and_count() {
+        let mut link = LossyLink::new(LinkConfig {
+            duplicate: 1.0,
+            ..Default::default()
+        });
+        link.send(0, dgram(2)).unwrap();
+        assert_eq!(link.duplicated_count(), 1);
+        assert!(link.poll(2, u64::MAX).is_some());
+        assert!(link.poll(2, u64::MAX).is_some(), "the duplicate arrives");
+        assert!(link.poll(2, u64::MAX).is_none());
+    }
+
+    #[test]
+    fn jitter_reorders_but_poll_follows_arrival_order() {
+        // With heavy jitter, some pair of consecutive sends must swap
+        // arrival order; poll delivers by arrival time.
+        let mut link = LossyLink::new(LinkConfig {
+            latency_us: 100,
+            jitter_us: 10_000,
+            seed: 3,
+            ..Default::default()
+        });
+        for i in 0..16u8 {
+            let mut d = dgram(2);
+            d.payload = vec![i];
+            link.send(0, d).unwrap();
+        }
+        let mut arrivals = Vec::new();
+        while let Some(d) = link.poll(2, u64::MAX) {
+            arrivals.push(d.payload[0]);
+        }
+        assert_eq!(arrivals.len(), 16, "jitter never loses datagrams");
+        assert_ne!(
+            arrivals,
+            (0..16u8).collect::<Vec<_>>(),
+            "heavy jitter reorders at least one pair"
+        );
     }
 
     #[test]

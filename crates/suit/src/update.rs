@@ -240,6 +240,14 @@ impl UpdateManager {
         self.installed_seq.get(&component).copied().unwrap_or(0)
     }
 
+    /// Forgets a storage location's rollback state, as when the
+    /// component is evacuated from this device (fleet hook handoff): a
+    /// later re-deployment of the same manifest sequence to this device
+    /// must start from a clean slate, not read as a rollback.
+    pub fn forget_component(&mut self, component: Uuid) -> bool {
+        self.installed_seq.remove(&component).is_some()
+    }
+
     /// Updates accepted so far.
     pub fn accepted_count(&self) -> u64 {
         self.accepted

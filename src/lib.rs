@@ -18,7 +18,10 @@
 //! * [`core`] — the hosting engine, hooks, contracts, applications and
 //!   deployment;
 //! * [`host`] — the concurrent multi-tenant hosting runtime: sharded
-//!   engines, per-hook event queues, fair scheduling, CoAP front-end.
+//!   engines, per-hook event queues, fair scheduling, CoAP front-end;
+//! * [`fleet`] — the multi-node tier: N hosts behind a
+//!   consistent-hashing front over the lossy link, driven through the
+//!   transport-agnostic `NodeService` boundary.
 //!
 //! See `README.md` for the crate map and quickstart, `ARCHITECTURE.md`
 //! for the layered design, `examples/` for runnable scenarios and
@@ -29,6 +32,7 @@
 
 pub use fc_baselines as baselines;
 pub use fc_core as core;
+pub use fc_fleet as fleet;
 pub use fc_host as host;
 pub use fc_kvstore as kvstore;
 pub use fc_net as net;

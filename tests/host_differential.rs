@@ -16,11 +16,14 @@ use femto_containers::core::helpers_impl::{
     coap_ctx_bytes, helper_name_table, standard_helper_ids,
 };
 use femto_containers::core::hooks::{Hook, HookKind, HookPolicy};
+use femto_containers::fleet::node::{RemoteConfig, RemoteNode, FLEET_MTU};
+use femto_containers::fleet::{FcFleet, FleetConfig};
 use femto_containers::host::{
-    CoapFront, FcHost, HookEvent, HostConfig, HostError, LiveUpdateService, RebalanceConfig,
-    Rebalancer, ShedPolicy,
+    CoapFront, FcHost, HookEvent, HostConfig, HostError, LiveUpdateService, LocalNode,
+    RebalanceConfig, Rebalancer, ShedPolicy,
 };
 use femto_containers::kvstore::Scope;
+use femto_containers::net::link::LinkConfig;
 use femto_containers::net::load::{CoapLoadGen, LoadShape};
 use femto_containers::rbpf::program::{FcProgram, ProgramBuilder};
 use femto_containers::rtos::platform::{Engine, Platform};
@@ -1191,6 +1194,300 @@ fn deploy_racing_queued_events_and_migrations_loses_nothing() {
     assert_eq!(stats.shed.load(std::sync::atomic::Ordering::Relaxed), 0);
     assert_eq!(stats.deploys.load(std::sync::atomic::Ordering::Relaxed), 9);
     assert!(stats.migrations.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    host.shutdown();
+}
+
+/// The app a fleet-differential tenant runs: the §8.3 responder for
+/// tenants 0..3, the cruncher for 4, the faulter for 5 — all three
+/// behaviour classes (formatted PDUs, heavy compute, contained faults)
+/// must survive the wire codec bit-identically.
+fn fleet_tenant_app(t: u32) -> FcProgram {
+    match t {
+        0..=3 => apps::coap_formatter(),
+        4 => program(CRUNCHER_SRC),
+        _ => program(FAULTER_SRC),
+    }
+}
+
+/// Signed v`version` updates for all 6 fleet-differential tenants —
+/// authored once, so the reference host and the fleet node apply
+/// byte-identical envelopes in the same order (container ids agree by
+/// construction).
+fn fleet_updates(maintainer: &SigningKey, hooks: &[Uuid], version: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..6u32)
+        .map(|t| {
+            author_update(
+                &fleet_tenant_app(t + version as u32 - 1),
+                hooks[t as usize],
+                version,
+                &format!("fd-t{t}-v{version}"),
+                maintainer,
+                format!("fd-t{t}").as_bytes(),
+            )
+        })
+        .collect()
+}
+
+/// The bare-host reference for the fleet differential: same config,
+/// same hooks, same seeded stores, same SUIT deploys.
+fn fleet_reference(maintainer: &SigningKey) -> (FcHost, LiveUpdateService) {
+    let host = FcHost::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 2,
+            ..HostConfig::default()
+        },
+    );
+    let mut updates = LiveUpdateService::new();
+    for t in 0..6u32 {
+        updates.provision_tenant(format!("fd-t{t}").as_bytes(), maintainer.verifying_key(), t);
+        host.env()
+            .stores()
+            .store(0, t, Scope::Tenant, 1, 2000 + t as i64)
+            .unwrap();
+        host.register_hook(
+            Hook::new(
+                &format!("fleet-diff-t{t}"),
+                HookKind::CoapRequest,
+                HookPolicy::First,
+            ),
+            ContractOffer::helpers(standard_helper_ids()),
+        );
+    }
+    (host, updates)
+}
+
+/// A 1-node fleet whose single node sits behind the codec adapter on a
+/// link with the given failure profile, provisioned identically to the
+/// reference.
+fn one_node_fleet(maintainer: &SigningKey, link: LinkConfig) -> FcFleet {
+    let mut node = LocalNode::new(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig {
+            workers: 2,
+            ..HostConfig::default()
+        },
+    );
+    for t in 0..6u32 {
+        node.updates_mut().provision_tenant(
+            format!("fd-t{t}").as_bytes(),
+            maintainer.verifying_key(),
+            t,
+        );
+        node.host()
+            .env()
+            .stores()
+            .store(0, t, Scope::Tenant, 1, 2000 + t as i64)
+            .unwrap();
+    }
+    let remote = RemoteNode::new(
+        node,
+        RemoteConfig {
+            link,
+            max_events_per_message: 4,
+            max_retransmit: 8,
+            ..RemoteConfig::default()
+        },
+    );
+    let mut fleet = FcFleet::new(FleetConfig::default());
+    fleet.add_node(Box::new(remote)).unwrap();
+    for t in 0..6u32 {
+        fleet
+            .register_hook(
+                Hook::new(
+                    &format!("fleet-diff-t{t}"),
+                    HookKind::CoapRequest,
+                    HookPolicy::First,
+                ),
+                ContractOffer::helpers(standard_helper_ids()),
+            )
+            .unwrap();
+    }
+    fleet
+}
+
+/// The fleet acceptance differential, lossless half: a 1-node fleet
+/// routed through the codec adapter over a **lossless** link — SUIT
+/// deploys, single dispatches and mid-stream re-deploys included —
+/// produces per-event reports **bit-identical** to a bare `FcHost`
+/// applying the same byte-identical updates.
+#[test]
+fn one_node_fleet_over_codec_adapter_is_bit_identical_to_bare_host() {
+    let maintainer = SigningKey::from_seed(b"fleet-diff-maintainer");
+    let hooks: Vec<Uuid> = (0..6)
+        .map(|t| {
+            Hook::new(
+                &format!("fleet-diff-t{t}"),
+                HookKind::CoapRequest,
+                HookPolicy::First,
+            )
+            .id
+        })
+        .collect();
+    let (mut host, mut updates) = fleet_reference(&maintainer);
+    let mut fleet = one_node_fleet(
+        &maintainer,
+        LinkConfig {
+            mtu: FLEET_MTU,
+            ..LinkConfig::default()
+        },
+    );
+    for (t, (envelope, payload)) in fleet_updates(&maintainer, &hooks, 1).iter().enumerate() {
+        updates.stage_payload(&format!("fd-t{t}-v1"), payload);
+        let reference = updates.apply(&host, envelope).unwrap();
+        let (_, through_fleet) = fleet.deploy(envelope, payload).unwrap();
+        assert_eq!(
+            reference.container, through_fleet.container,
+            "both sides assign the same container ids"
+        );
+    }
+    let events = event_stream(300);
+    for (i, &t) in events.iter().enumerate() {
+        // Re-deploy two components mid-stream, through both paths.
+        if i == 150 {
+            for (t, (envelope, payload)) in fleet_updates(&maintainer, &hooks, 2)
+                .iter()
+                .enumerate()
+                .take(2)
+            {
+                updates.stage_payload(&format!("fd-t{t}-v2"), payload);
+                updates.apply(&host, envelope).unwrap();
+                fleet.deploy(envelope, payload).unwrap();
+            }
+        }
+        let (ctx, pkt) = event_regions();
+        let reference = host
+            .fire_sync(hooks[t], &ctx, std::slice::from_ref(&pkt))
+            .unwrap();
+        let (ctx, pkt) = event_regions();
+        let through_fleet = fleet
+            .dispatch(
+                hooks[t],
+                HookEvent {
+                    ctx,
+                    extra: vec![pkt],
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            reference, through_fleet,
+            "event {i} (tenant {t}) diverged through the codec adapter"
+        );
+    }
+    // The stream exercised formatted PDUs and contained faults.
+    host.shutdown();
+}
+
+/// The fleet acceptance differential, lossy half: the same 1-node
+/// fleet over a link that drops, duplicates and reorders. Reports stay
+/// bit-identical — and the node's own ledger proves **no event was
+/// lost and none double-executed** (a double execution would inflate
+/// `dispatched` past the offered count; a loss would time out or shed).
+#[test]
+fn lossy_one_node_fleet_loses_nothing_and_doubles_nothing() {
+    let maintainer = SigningKey::from_seed(b"fleet-diff-maintainer");
+    let hooks: Vec<Uuid> = (0..6)
+        .map(|t| {
+            Hook::new(
+                &format!("fleet-diff-t{t}"),
+                HookKind::CoapRequest,
+                HookPolicy::First,
+            )
+            .id
+        })
+        .collect();
+    let (mut host, mut updates) = fleet_reference(&maintainer);
+    let mut fleet = one_node_fleet(
+        &maintainer,
+        LinkConfig {
+            loss: 0.15,
+            duplicate: 0.2,
+            jitter_us: 50_000,
+            mtu: FLEET_MTU,
+            seed: 0xd1ff_f1ee,
+            ..LinkConfig::default()
+        },
+    );
+    for (t, (envelope, payload)) in fleet_updates(&maintainer, &hooks, 1).iter().enumerate() {
+        updates.stage_payload(&format!("fd-t{t}-v1"), payload);
+        updates.apply(&host, envelope).unwrap();
+        fleet.deploy(envelope, payload).unwrap();
+    }
+    // Mixed single + batched dispatch: batches group a chunk's events
+    // per hook (preserving each hook's order), mirroring the reference
+    // stream exactly.
+    let events = event_stream(240);
+    let mut reference = Vec::with_capacity(events.len());
+    for &t in &events {
+        let (ctx, pkt) = event_regions();
+        reference.push(
+            host.fire_sync(hooks[t], &ctx, std::slice::from_ref(&pkt))
+                .unwrap(),
+        );
+    }
+    let mut through_fleet: Vec<Option<HookReport>> = (0..events.len()).map(|_| None).collect();
+    for (chunk_idx, chunk) in events.chunks(24).enumerate() {
+        let base = chunk_idx * 24;
+        if chunk_idx % 2 == 0 {
+            // Singles.
+            for (off, &t) in chunk.iter().enumerate() {
+                let (ctx, pkt) = event_regions();
+                let report = fleet
+                    .dispatch(
+                        hooks[t],
+                        HookEvent {
+                            ctx,
+                            extra: vec![pkt],
+                        },
+                    )
+                    .unwrap();
+                through_fleet[base + off] = Some(report);
+            }
+        } else {
+            // Batches, grouped by hook in chunk order.
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (off, &t) in chunk.iter().enumerate() {
+                match groups.iter_mut().find(|(tenant, _)| *tenant == t) {
+                    Some((_, idxs)) => idxs.push(base + off),
+                    None => groups.push((t, vec![base + off])),
+                }
+            }
+            for (t, idxs) in groups {
+                let batch: Vec<HookEvent> = idxs
+                    .iter()
+                    .map(|_| {
+                        let (ctx, pkt) = event_regions();
+                        HookEvent {
+                            ctx,
+                            extra: vec![pkt],
+                        }
+                    })
+                    .collect();
+                let replies = fleet.dispatch_batch(hooks[t], batch).unwrap();
+                for (i, reply) in idxs.into_iter().zip(replies) {
+                    through_fleet[i] = Some(reply.expect("event neither lost nor shed"));
+                }
+            }
+        }
+    }
+    for (i, report) in through_fleet.into_iter().enumerate() {
+        assert_eq!(
+            reference[i],
+            report.expect("every event resolved"),
+            "event {i} (tenant {}) diverged over the lossy link",
+            events[i]
+        );
+    }
+    // The exactly-once ledger: the node executed precisely the offered
+    // stream — duplicates deduped, drops retransmitted, nothing shed.
+    let stats = fleet.stats();
+    assert_eq!(stats.len(), 1);
+    let node_stats = stats[0].1.as_ref().unwrap();
+    assert_eq!(node_stats.dispatched, events.len() as u64);
+    assert_eq!(node_stats.shed, 0);
+    assert_eq!(node_stats.deploys_accepted, 6);
     host.shutdown();
 }
 
