@@ -25,6 +25,17 @@
 //! retry/dedup over the link); [`FcFleet::deploy_fanout`] pushes it to
 //! **every** node — the owner attaches it to the hook, the others hold
 //! it as an unattached standby — and reports per-node accept/reject.
+//!
+//! **Concurrent windows.** Nodes that expose a
+//! [`fc_host::WindowedNode`] face (the remote transport, the local
+//! adapter's worker threads) are driven together: [`FcFleet::dispatch_all`]
+//! partitions a mixed workload by ring owner, submits every node's
+//! share into its window, and round-robins one single-threaded pump
+//! loop across all of them — each node's virtual link clock advances
+//! independently, no threads in the front tier — completing each
+//! entry in offer order. [`FcFleet::deploy_fanout`] pushes its
+//! staging/deploy sequences the same way: strictly ordered per node
+//! (a staging hole is an error), concurrent across nodes.
 
 use std::collections::HashMap;
 
@@ -33,13 +44,20 @@ use fc_core::engine::{HookReport, HostRegion};
 use fc_core::helpers_impl::coap_ctx_bytes;
 use fc_core::hooks::Hook;
 use fc_host::coap::{response_pdu, DEFAULT_PKT_LEN};
-use fc_host::{CoapReply, DeployReport, HookEvent, NodeError, NodeService, NodeStats};
+use fc_host::{
+    CoapReply, DeployReport, HookEvent, NodeError, NodeReply, NodeService, NodeStats, Ticket,
+    TransportStats,
+};
 use fc_net::coap::Message;
 use fc_suit::cbor::Value;
 use fc_suit::cose::CoseSign1;
 use fc_suit::{Manifest, Uuid};
 
 use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// One entry's outcome from [`FcFleet::dispatch_all`]: the whole entry
+/// failed to reach its owner, or per-event reports in offer order.
+pub type BatchOutcome = Result<Vec<Result<HookReport, NodeError>>, NodeError>;
 
 /// Tuning for a [`FcFleet`].
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +126,10 @@ pub struct FcFleet {
     routes: HashMap<String, Uuid>,
     retained: HashMap<Uuid, RetainedUpdate>,
     handoffs: u64,
+    /// Prebuilt [`FcFleet::serve`] event: the CoAP context bytes and
+    /// the zeroed packet region are formatted once and cloned per
+    /// request (one memcpy) instead of re-encoded and re-zeroed.
+    serve_scratch: HookEvent,
 }
 
 impl FcFleet {
@@ -115,6 +137,10 @@ impl FcFleet {
     pub fn new(config: FleetConfig) -> Self {
         FcFleet {
             ring: HashRing::new(config.vnodes),
+            serve_scratch: HookEvent {
+                ctx: coap_ctx_bytes(config.pkt_len as u32),
+                extra: vec![HostRegion::read_write("pkt", vec![0; config.pkt_len])],
+            },
             config,
             nodes: Vec::new(),
             next_id: 0,
@@ -345,6 +371,98 @@ impl FcFleet {
         self.node_mut(owner)?.dispatch_batch(hook, events)
     }
 
+    /// Fires a mixed workload — `(hook, events)` entries — across the
+    /// fleet **concurrently**: the work is partitioned by ring owner,
+    /// each owner's share is submitted into its transport window, and
+    /// one single-threaded loop pumps every node until all entries
+    /// resolve. Results line up with the input entries (offer order);
+    /// per-event outcomes within an entry are independent, as in
+    /// [`FcFleet::dispatch_batch`]. Nodes without a windowed face are
+    /// served blockingly at submission, so mixed fleets still work.
+    ///
+    /// Unlike the one-node-at-a-time path, entries for **different**
+    /// hooks proceed in parallel: cross-entry execution order is
+    /// unspecified (RFC 7252 §4.7 — NSTART > 1 relinquishes
+    /// cross-message ordering). Exactly-once per event still holds.
+    pub fn dispatch_all(&mut self, work: Vec<(Uuid, Vec<HookEvent>)>) -> Vec<BatchOutcome> {
+        let mut results: Vec<Option<BatchOutcome>> = work.iter().map(|_| None).collect();
+        // (owner node id, ticket, index into `results`)
+        let mut pending: Vec<(usize, Ticket, usize)> = Vec::new();
+        for (idx, (hook, events)) in work.into_iter().enumerate() {
+            if !self.hooks.contains_key(&hook) {
+                results[idx] = Some(Err(NodeError::UnknownHook(hook)));
+                continue;
+            }
+            let Some(owner) = self.ring.owner(hook) else {
+                results[idx] = Some(Err(NodeError::UnknownHook(hook)));
+                continue;
+            };
+            let service = match self.node_mut(owner) {
+                Ok(service) => service,
+                Err(e) => {
+                    results[idx] = Some(Err(e));
+                    continue;
+                }
+            };
+            match service.windowed() {
+                Some(w) => match w.submit_batch(hook, events) {
+                    Ok(ticket) => pending.push((owner, ticket, idx)),
+                    Err(e) => results[idx] = Some(Err(e)),
+                },
+                None => results[idx] = Some(service.dispatch_batch(hook, events)),
+            }
+        }
+        while !pending.is_empty() {
+            let mut progressed = false;
+            let mut pumped: Vec<usize> = Vec::new();
+            let mut i = 0;
+            while i < pending.len() {
+                let (owner, ticket, idx) = pending[i];
+                let service = match self.node_mut(owner) {
+                    Ok(service) => service,
+                    Err(e) => {
+                        // The node left the fleet mid-flight.
+                        results[idx] = Some(Err(e));
+                        pending.swap_remove(i);
+                        continue;
+                    }
+                };
+                let w = service
+                    .windowed()
+                    .expect("tickets are only issued by windowed nodes");
+                // One pump per node per round, however many of its
+                // tickets are outstanding.
+                if !pumped.contains(&owner) {
+                    pumped.push(owner);
+                    if w.pump() {
+                        progressed = true;
+                    }
+                }
+                match w.take(ticket) {
+                    Some(result) => {
+                        results[idx] = Some(result.and_then(|reply| match reply {
+                            NodeReply::Batch(items) => Ok(items),
+                            other => Err(NodeError::Transport(format!(
+                                "unexpected windowed reply {other:?}"
+                            ))),
+                        }));
+                        pending.swap_remove(i);
+                        progressed = true;
+                    }
+                    None => i += 1,
+                }
+            }
+            if !progressed && !pending.is_empty() {
+                // Every remaining entry waits on node worker threads.
+                std::thread::yield_now();
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every entry resolved or failed at submission"))
+            .collect()
+    }
+
     /// Routes a CoAP resource path onto a hook (front-tier routing,
     /// for [`FcFleet::serve`]).
     pub fn add_route(&mut self, path: &str, hook: Uuid) {
@@ -366,11 +484,7 @@ impl FcFleet {
             .ok_or_else(|| {
                 NodeError::UnknownHook(Uuid::from_name("fleet/unrouted", &request.path()))
             })?;
-        let pkt_len = self.config.pkt_len;
-        let event = HookEvent {
-            ctx: coap_ctx_bytes(pkt_len as u32),
-            extra: vec![HostRegion::read_write("pkt", vec![0; pkt_len])],
-        };
+        let event = self.serve_scratch.clone();
         let report = self.dispatch(hook, event)?;
         let pdu = response_pdu(&report);
         let message = Message::decode(&pdu).ok();
@@ -445,6 +559,12 @@ impl FcFleet {
     /// attaches it to the hook, the other nodes install an unattached
     /// standby copy (their engines have no such hook registered). The
     /// update is retained when at least one node accepted.
+    ///
+    /// Windowed nodes are pushed **concurrently**: each node walks its
+    /// own stage → … → deploy sequence strictly in order (a staging
+    /// hole is an error, so steps never overlap within one node), but
+    /// all nodes walk at once under one pump loop. Nodes without a
+    /// windowed face are pushed blockingly first.
     pub fn deploy_fanout(
         &mut self,
         envelope: &[u8],
@@ -459,13 +579,110 @@ impl FcFleet {
             envelope: envelope.to_vec(),
             payload: payload.to_vec(),
         };
-        let ids: Vec<usize> = self.nodes.iter().map(|n| n.id).collect();
-        let outcomes: Vec<(usize, Result<DeployReport, NodeError>)> = ids
-            .into_iter()
-            .map(|id| {
-                let outcome = self.push_update(id, &update);
-                (id, outcome)
+        // The per-node script: staging chunks in offset order, then
+        // the deploy (one step past the last chunk).
+        let chunk = self.config.stage_chunk.max(1);
+        let steps: Vec<(usize, &[u8], bool)> = if update.payload.is_empty() {
+            vec![(0, &[][..], true)]
+        } else {
+            update
+                .payload
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, piece)| (i * chunk, piece, i == 0))
+                .collect()
+        };
+        struct Run {
+            id: usize,
+            next_step: usize,
+            ticket: Option<Ticket>,
+            done: Option<Result<DeployReport, NodeError>>,
+        }
+        let mut runs: Vec<Run> = self
+            .nodes
+            .iter()
+            .map(|n| Run {
+                id: n.id,
+                next_step: 0,
+                ticket: None,
+                done: None,
             })
+            .collect();
+        // Nodes without a windowed face get the blocking push now.
+        for run in &mut runs {
+            let windowed = self
+                .node_mut(run.id)
+                .map(|service| service.windowed().is_some())
+                .unwrap_or(false);
+            if !windowed {
+                run.done = Some(self.push_update(run.id, &update));
+            }
+        }
+        loop {
+            let mut progressed = false;
+            let mut all_done = true;
+            for run in &mut runs {
+                if run.done.is_some() {
+                    continue;
+                }
+                all_done = false;
+                let service = match self.node_mut(run.id) {
+                    Ok(service) => service,
+                    Err(e) => {
+                        run.done = Some(Err(e));
+                        continue;
+                    }
+                };
+                let w = service
+                    .windowed()
+                    .expect("non-windowed nodes were resolved blockingly above");
+                if run.ticket.is_none() {
+                    let submitted = if run.next_step < steps.len() {
+                        let (offset, piece, restart) = steps[run.next_step];
+                        w.submit_stage(&update.uri, offset, piece, restart)
+                    } else {
+                        w.submit_deploy(&update.envelope)
+                    };
+                    match submitted {
+                        Ok(ticket) => {
+                            run.ticket = Some(ticket);
+                            progressed = true;
+                        }
+                        Err(e) => {
+                            run.done = Some(Err(e));
+                            continue;
+                        }
+                    }
+                }
+                if w.pump() {
+                    progressed = true;
+                }
+                let ticket = run.ticket.expect("submitted above");
+                if let Some(result) = w.take(ticket) {
+                    progressed = true;
+                    run.ticket = None;
+                    match result {
+                        Ok(NodeReply::Staged) => run.next_step += 1,
+                        Ok(NodeReply::Deploy(report)) => run.done = Some(Ok(report)),
+                        Ok(other) => {
+                            run.done = Some(Err(NodeError::Transport(format!(
+                                "unexpected windowed reply {other:?}"
+                            ))));
+                        }
+                        Err(e) => run.done = Some(Err(e)),
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+        let outcomes: Vec<(usize, Result<DeployReport, NodeError>)> = runs
+            .into_iter()
+            .map(|r| (r.id, r.done.expect("loop exits only when all done")))
             .collect();
         if outcomes.iter().any(|(_, r)| r.is_ok()) {
             self.retained.insert(component, update);
@@ -479,6 +696,23 @@ impl FcFleet {
         ids.into_iter()
             .map(|id| {
                 let stats = self.node_mut(id).and_then(|service| service.stats());
+                (id, stats)
+            })
+            .collect()
+    }
+
+    /// Transport counters from every node's windowed face — the
+    /// observability companion to [`FcFleet::stats`]. Nodes without
+    /// one (pure blocking adapters) report zeros.
+    pub fn transport_stats(&mut self) -> Vec<(usize, TransportStats)> {
+        let ids: Vec<usize> = self.nodes.iter().map(|n| n.id).collect();
+        ids.into_iter()
+            .map(|id| {
+                let stats = self
+                    .node_mut(id)
+                    .ok()
+                    .and_then(|service| service.windowed().map(|w| w.transport_stats()))
+                    .unwrap_or_default();
                 (id, stats)
             })
             .collect()

@@ -33,8 +33,9 @@
 //!   [`fc_core::engine::HookReport`]s included) inside CoAP payloads.
 //! * [`node`] — the codec adapter: [`node::NodeEndpoint`] executes
 //!   decoded operations **exactly once** (request-token dedup cache),
-//!   [`node::RemoteNode`] retransmits with back-off over the seeded
-//!   lossy link.
+//!   [`node::RemoteNode`] keeps a **window** of concurrent exchanges
+//!   in flight (CoAP NSTART > 1) with selective, capped-back-off
+//!   retransmission over the seeded lossy link.
 //! * [`fleet`] — [`FcFleet`]: routing, membership + hook handoff
 //!   (fleet-retained hook specs and SUIT updates re-create a hook on
 //!   its new owner), fleet-wide deploy fan-out with per-node
@@ -54,7 +55,9 @@ pub mod node;
 pub mod ring;
 pub mod wire;
 
-pub use fleet::{FcFleet, FleetConfig};
-pub use node::{NodeEndpoint, RemoteConfig, RemoteNode, FLEET_MTU, NODE_OP_PATH};
+pub use fleet::{BatchOutcome, FcFleet, FleetConfig};
+pub use node::{
+    NodeEndpoint, RemoteConfig, RemoteNode, FLEET_MTU, MAX_TRANSMIT_WAIT_US, NODE_OP_PATH,
+};
 pub use ring::HashRing;
-pub use wire::{NodeOp, ReplyBody, WireError};
+pub use wire::{NodeOp, ReplyBody, WireError, BUNDLE_MAGIC};

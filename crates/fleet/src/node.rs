@@ -10,23 +10,43 @@
 //!   replies. Its **dedup cache** (request token → cached response) is
 //!   what turns at-least-once delivery into exactly-once effect: a
 //!   retransmitted or link-duplicated request replays the recorded
-//!   response instead of re-executing the operation.
-//! * [`RemoteNode`] — the front-tier client. Implements `NodeService`
-//!   by encoding each operation, exchanging it confirmably
-//!   (retransmission with exponential back-off, RFC 7252 §4.2 style)
-//!   and decoding the reply. Each request carries a fresh token — the
-//!   retry/dedup token — reused verbatim across its retransmissions.
+//!   response instead of re-executing the operation. Batch dispatches
+//!   additionally run **deferred** when the wrapped service has a
+//!   windowed face: the endpoint submits them to the node's worker
+//!   threads and replies when they finish, so the event loop never
+//!   blocks inside an exchange.
+//! * [`RemoteNode`] — the front-tier client. A **windowed**,
+//!   multiplexed CoAP endpoint: an exchange table keyed by the dedup
+//!   tokens holds up to [`RemoteConfig::window`] concurrent
+//!   confirmable exchanges (the NSTART > 1 relaxation of RFC 7252
+//!   §4.7), each with its own exponential back-off capped at
+//!   [`RemoteConfig::max_transmit_wait_us`] and **selective**
+//!   per-token retransmission. Replies complete exchanges in whatever
+//!   order the link delivers them; the dedup discipline makes that
+//!   reordering safe. Same-tick frames headed the same way coalesce
+//!   into one datagram under the MTU ([`wire::encode_bundle`]);
+//!   singleton frames stay raw, so `window = 1` — the default — is
+//!   wire-identical to the original stop-and-wait transport.
 //!
 //! The simulation couples both halves around one seeded link, driving
 //! virtual time exactly like [`fc_net::endpoint::CoapClient`]; the
-//! codec and dedup discipline are what a real deployment would keep.
+//! codec, window and dedup discipline are what a real deployment would
+//! keep. One rule anchors the virtual clock: **execution takes zero
+//! virtual time**. The clock only advances while no deferred batch is
+//! executing on the node's (real) worker threads, so a reply is always
+//! sent at the virtual instant its request arrived — which is also
+//! what keeps `window = 1` timing identical to the stop-and-wait
+//! transport it replaces.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use fc_core::contract::ContractOffer;
 use fc_core::engine::HookReport;
 use fc_core::hooks::Hook;
-use fc_host::{DeployReport, HookEvent, NodeError, NodeService, NodeStats};
+use fc_host::{
+    DeployReport, HookEvent, NodeError, NodeReply, NodeService, NodeStats, Ticket, TransportStats,
+    WindowedNode,
+};
 use fc_net::coap::{Code, Message};
 use fc_net::endpoint::{ACK_TIMEOUT_US, MAX_RETRANSMIT};
 use fc_net::link::{Addr, Datagram, LinkConfig, LossyLink};
@@ -45,6 +65,12 @@ pub const DEFAULT_DEDUP_CACHE: usize = 128;
 /// sub-batch of reports fits one datagram.
 pub const FLEET_MTU: usize = 4096;
 
+/// Default cap on one exchange's retransmission interval, in virtual
+/// µs — the RFC 7252 `MAX_TRANSMIT_WAIT` role: back-off grows
+/// exponentially up to this bound, never past it, so a dead link
+/// yields [`NodeError::Timeout`] in bounded virtual time.
+pub const MAX_TRANSMIT_WAIT_US: u64 = 10_000_000;
+
 /// Headroom reserved for CoAP framing around an encoded operation
 /// (4-byte header, 8-byte token, `fc/op` path options, payload
 /// marker) when checking a datagram against the link MTU.
@@ -62,6 +88,24 @@ const REPLY_PER_EVENT: usize = 192;
 /// Fixed reply-size headroom (report envelope, combined result).
 const REPLY_BASE: usize = 128;
 
+/// A batch dispatch the endpoint handed to the node's workers and has
+/// not yet answered.
+#[derive(Debug)]
+struct Deferred {
+    /// The request's dedup token — retransmissions arriving while the
+    /// batch executes match here and are suppressed, not re-executed.
+    token: Vec<u8>,
+    /// The request message, kept to build the eventual response; its
+    /// `message_id` tracks the **latest** transmission seen, so the
+    /// reply acknowledges the copy the client is still waiting on.
+    request: Message,
+    /// The windowed submission to collect the result from.
+    ticket: Ticket,
+    /// The collected outcome, buffered until the whole cohort of
+    /// deferred batches has one (see [`NodeEndpoint::poll_ready`]).
+    done: Option<Result<NodeReply, NodeError>>,
+}
+
 /// Node-side server: executes decoded operations with exactly-once
 /// effect (module docs).
 #[derive(Debug)]
@@ -69,6 +113,7 @@ pub struct NodeEndpoint<S> {
     inner: S,
     seen: VecDeque<(Vec<u8>, Message)>,
     cache: usize,
+    in_progress: Vec<Deferred>,
     served: u64,
     deduped: u64,
 }
@@ -80,15 +125,15 @@ impl<S: NodeService> NodeEndpoint<S> {
             inner,
             seen: VecDeque::new(),
             cache: DEFAULT_DEDUP_CACHE,
+            in_progress: Vec::new(),
             served: 0,
             deduped: 0,
         }
     }
 
     /// Overrides the dedup-cache bound (clamped to at least 1). The
-    /// cache must cover the client's retransmission window; with the
-    /// front tier's one-exchange-at-a-time discipline even a handful
-    /// suffices.
+    /// cache must cover the client's retransmission window; it should
+    /// comfortably exceed [`RemoteConfig::window`].
     pub fn with_cache(mut self, entries: usize) -> Self {
         self.cache = entries.max(1);
         self
@@ -109,25 +154,49 @@ impl<S: NodeService> NodeEndpoint<S> {
         self.served
     }
 
-    /// Requests answered from the dedup cache without re-executing.
+    /// Requests answered from the dedup cache — or suppressed because
+    /// the operation is still executing — without re-executing.
     pub fn deduped_count(&self) -> u64 {
         self.deduped
     }
 
-    /// Serves one decoded CoAP request. Unknown paths get 4.04; an
-    /// undecodable operation gets 4.00; everything else returns 2.05
-    /// with the encoded reply ([`wire::encode_reply`]) as payload —
-    /// node-side rejections ride *inside* that payload, so the
-    /// transport cannot confuse them with its own failures.
+    /// Deferred batches currently executing on the node's workers.
+    pub fn pending_count(&self) -> usize {
+        self.in_progress.len()
+    }
+
+    /// Answers a request from the dedup cache, if its token was served
+    /// before. The replay answers THIS transmission.
+    fn replay(&mut self, request: &Message) -> Option<Message> {
+        let (_, cached) = self.seen.iter().find(|(t, _)| *t == request.token)?;
+        self.deduped += 1;
+        let mut replay = cached.clone();
+        replay.message_id = request.message_id;
+        Some(replay)
+    }
+
+    /// Builds the 2.05 response for a finished operation and records
+    /// it in the dedup cache.
+    fn finish(&mut self, request: &Message, reply: &Result<ReplyBody, NodeError>) -> Message {
+        let mut resp = Message::response_to(request, Code::Content);
+        resp.payload = wire::encode_reply(reply);
+        if self.seen.len() >= self.cache {
+            self.seen.pop_front();
+        }
+        self.seen.push_back((request.token.clone(), resp.clone()));
+        resp
+    }
+
+    /// Serves one decoded CoAP request synchronously. Unknown paths
+    /// get 4.04; an undecodable operation gets 4.00; everything else
+    /// returns 2.05 with the encoded reply ([`wire::encode_reply`]) as
+    /// payload — node-side rejections ride *inside* that payload, so
+    /// the transport cannot confuse them with its own failures.
     pub fn handle(&mut self, request: &Message) -> Message {
         if request.path() != NODE_OP_PATH {
             return Message::response_to(request, Code::NotFound);
         }
-        if let Some((_, cached)) = self.seen.iter().find(|(t, _)| *t == request.token) {
-            self.deduped += 1;
-            let mut replay = cached.clone();
-            // The replay answers THIS transmission.
-            replay.message_id = request.message_id;
+        if let Some(replay) = self.replay(request) {
             return replay;
         }
         let op = match wire::decode_op(&request.payload) {
@@ -136,13 +205,116 @@ impl<S: NodeService> NodeEndpoint<S> {
         };
         self.served += 1;
         let reply = self.execute(op);
-        let mut resp = Message::response_to(request, Code::Content);
-        resp.payload = wire::encode_reply(&reply);
-        if self.seen.len() >= self.cache {
-            self.seen.pop_front();
+        self.finish(request, &reply)
+    }
+
+    /// Serves one request, deferring batch dispatches to the node's
+    /// workers when the wrapped service has a windowed face: `None`
+    /// means the reply will come from a later [`NodeEndpoint::poll_ready`].
+    /// Everything else (cache replays, non-batch operations, services
+    /// without a windowed face) answers immediately, exactly like
+    /// [`NodeEndpoint::handle`].
+    pub fn handle_deferred(&mut self, request: &Message) -> Option<Message> {
+        if request.path() != NODE_OP_PATH {
+            return Some(Message::response_to(request, Code::NotFound));
         }
-        self.seen.push_back((request.token.clone(), resp.clone()));
-        resp
+        if let Some(replay) = self.replay(request) {
+            return Some(replay);
+        }
+        if let Some(pending) = self
+            .in_progress
+            .iter_mut()
+            .find(|p| p.token == request.token)
+        {
+            // A retransmission of a batch still executing: suppress it
+            // (the work must not run twice) and remember the new
+            // message id so the eventual reply answers this copy.
+            pending.request.message_id = request.message_id;
+            self.deduped += 1;
+            return None;
+        }
+        let op = match wire::decode_op(&request.payload) {
+            Ok(op) => op,
+            Err(_) => return Some(Message::response_to(request, Code::BadRequest)),
+        };
+        self.served += 1;
+        if let NodeOp::Batch { hook, events } = op {
+            if self.inner.windowed().is_some() {
+                let submitted = self
+                    .inner
+                    .windowed()
+                    .expect("windowed face checked above")
+                    .submit_batch(hook, events);
+                return match submitted {
+                    Ok(ticket) => {
+                        self.in_progress.push(Deferred {
+                            token: request.token.clone(),
+                            request: request.clone(),
+                            ticket,
+                            done: None,
+                        });
+                        None
+                    }
+                    // Rejected at submission (unknown hook): a normal
+                    // node-side error reply, cached like any other.
+                    Err(e) => Some(self.finish(request, &Err(e))),
+                };
+            }
+            let reply = self
+                .inner
+                .dispatch_batch(hook, events)
+                .map(ReplyBody::Batch);
+            return Some(self.finish(request, &reply));
+        }
+        let reply = self.execute(op);
+        Some(self.finish(request, &reply))
+    }
+
+    /// Pumps the wrapped service's workers and, once **every** deferred
+    /// batch has finished, returns their responses in submission order.
+    /// Each response enters the dedup cache as it is built.
+    pub fn poll_ready(&mut self) -> Vec<Message> {
+        if self.in_progress.is_empty() {
+            return Vec::new();
+        }
+        let Some(w) = self.inner.windowed() else {
+            return Vec::new();
+        };
+        w.pump();
+        for pending in &mut self.in_progress {
+            if pending.done.is_none() {
+                pending.done = self
+                    .inner
+                    .windowed()
+                    .expect("windowed face exists while batches are in progress")
+                    .take(pending.ticket);
+            }
+        }
+        // Release only when the WHOLE cohort has finished, in
+        // submission order. Every deferred batch shares one frozen
+        // virtual instant (the clock cannot advance while work is
+        // pending), so waiting for stragglers costs no virtual time —
+        // and emitting the cohort as one group keeps reply datagram
+        // bundling (hence the link's RNG draw order) independent of
+        // real worker scheduling: lossy runs stay deterministic per
+        // seed.
+        if self.in_progress.iter().any(|p| p.done.is_none()) {
+            return Vec::new();
+        }
+        let cohort: Vec<Deferred> = self.in_progress.drain(..).collect();
+        cohort
+            .into_iter()
+            .map(|pending| {
+                let reply = match pending.done.expect("cohort is complete") {
+                    Ok(NodeReply::Batch(items)) => Ok(ReplyBody::Batch(items)),
+                    Ok(other) => Err(NodeError::Transport(format!(
+                        "unexpected windowed reply {other:?}"
+                    ))),
+                    Err(e) => Err(e),
+                };
+                self.finish(&pending.request, &reply)
+            })
+            .collect()
     }
 
     fn execute(&mut self, op: NodeOp) -> Result<ReplyBody, NodeError> {
@@ -183,13 +355,21 @@ pub struct RemoteConfig {
     pub link: LinkConfig,
     /// Events per wire message on the batch path; larger batches are
     /// split transparently (exactly-once still holds per sub-batch via
-    /// its token).
+    /// its token) and the sub-batches feed the window.
     pub max_events_per_message: usize,
     /// Initial retransmission timeout in microseconds.
     pub ack_timeout_us: u64,
     /// Retransmissions before the exchange reports
     /// [`NodeError::Timeout`].
     pub max_retransmit: u32,
+    /// Concurrent confirmable exchanges the client keeps in flight
+    /// (CoAP NSTART). `1` — the default — degenerates to the
+    /// stop-and-wait transport, bit-identical on the wire.
+    pub window: usize,
+    /// Upper bound on one exchange's back-off interval in virtual µs
+    /// (RFC 7252 `MAX_TRANSMIT_WAIT` role): `timeout` doubles per
+    /// retransmission but never past this.
+    pub max_transmit_wait_us: u64,
 }
 
 impl Default for RemoteConfig {
@@ -202,13 +382,55 @@ impl Default for RemoteConfig {
             max_events_per_message: 8,
             ack_timeout_us: ACK_TIMEOUT_US,
             max_retransmit: MAX_RETRANSMIT,
+            window: 1,
+            max_transmit_wait_us: MAX_TRANSMIT_WAIT_US,
         }
     }
 }
 
+/// One confirmable exchange in flight.
+#[derive(Debug)]
+struct Exchange {
+    /// The full encoded request frame, resent verbatim (same message
+    /// id, same token) on retransmission.
+    frame: Vec<u8>,
+    /// Transmissions so far (the launch counts as the first).
+    attempts: u32,
+    /// Current back-off interval.
+    timeout_us: u64,
+    /// Virtual deadline of the next retransmission.
+    retx_at: u64,
+    /// Virtual time of the latest transmission (RTT sampling).
+    sent_at: u64,
+    /// Whether any retransmission happened — Karn's rule: such an
+    /// exchange never updates the smoothed RTT, since a reply cannot
+    /// be attributed to one specific transmission.
+    retransmitted: bool,
+    /// Launch order, for out-of-order completion accounting.
+    launch_seq: u64,
+}
+
+/// What a resolved ticket's parts assemble into.
+#[derive(Debug, Clone, Copy)]
+enum TicketKind {
+    Batch,
+    Stage,
+    Deploy,
+}
+
+/// One windowed submission: the exchanges it split into, in offer
+/// order.
+#[derive(Debug)]
+struct PendingTicket {
+    kind: TicketKind,
+    parts: Vec<u64>,
+}
+
 /// Front-tier proxy for one node across the lossy link (module docs).
 /// Implements [`NodeService`], so a fleet cannot tell it from an
-/// in-process node — except through [`NodeError::Timeout`].
+/// in-process node — except through [`NodeError::Timeout`] — and
+/// [`WindowedNode`], which is how the fleet keeps its window full
+/// without blocking.
 #[derive(Debug)]
 pub struct RemoteNode<S> {
     endpoint: NodeEndpoint<S>,
@@ -218,6 +440,24 @@ pub struct RemoteNode<S> {
     now_us: u64,
     next_token: u64,
     next_mid: u16,
+    next_ticket: Ticket,
+    launch_seq: u64,
+    /// Highest launch sequence among completed exchanges, to detect
+    /// completions that overtook an earlier launch.
+    completed_seq_hwm: u64,
+    /// Submitted operations waiting for a window slot, in submission
+    /// order: encoded operation payloads keyed by their dedup token.
+    backlog: VecDeque<(u64, Vec<u8>)>,
+    /// The exchange table: token → in-flight exchange. A `BTreeMap`
+    /// keeps retransmission scans in token order, so the link's RNG
+    /// draws stay deterministic.
+    exchanges: BTreeMap<u64, Exchange>,
+    /// Finished exchanges awaiting collection: token → flattened
+    /// outcome (transport failures and node-side errors both collapse
+    /// to [`NodeError`], as in the blocking API).
+    completed: HashMap<u64, Result<ReplyBody, NodeError>>,
+    tickets: HashMap<Ticket, PendingTicket>,
+    tstats: TransportStats,
     config: RemoteConfig,
 }
 
@@ -232,6 +472,14 @@ impl<S: NodeService> RemoteNode<S> {
             now_us: 0,
             next_token: 1,
             next_mid: 1,
+            next_ticket: 0,
+            launch_seq: 0,
+            completed_seq_hwm: 0,
+            backlog: VecDeque::new(),
+            exchanges: BTreeMap::new(),
+            completed: HashMap::new(),
+            tickets: HashMap::new(),
+            tstats: TransportStats::default(),
             config,
         }
     }
@@ -256,12 +504,6 @@ impl<S: NodeService> RemoteNode<S> {
         self.now_us
     }
 
-    /// One confirmable exchange: send, retransmit with back-off, match
-    /// the response by token, decode the reply payload.
-    fn exchange(&mut self, op: &NodeOp) -> Result<Result<ReplyBody, NodeError>, NodeError> {
-        self.exchange_encoded(wire::encode_op(op))
-    }
-
     /// Whether an event-carrying request of `encoded_len` bytes fits
     /// the link both ways: request with framing out, and the reply —
     /// which echoes the events' payload back plus per-event
@@ -274,13 +516,14 @@ impl<S: NodeService> RemoteNode<S> {
             <= self.config.link.mtu
     }
 
-    /// [`RemoteNode::exchange`] over an already-encoded operation —
-    /// callers that must size-check the encoding (the batch splitter)
-    /// pass it through so it is serialized exactly once.
-    fn exchange_encoded(
-        &mut self,
-        payload: Vec<u8>,
-    ) -> Result<Result<ReplyBody, NodeError>, NodeError> {
+    /// Queues one encoded operation for the window, returning its
+    /// dedup token (the exchange-table key).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Transport`] when the framed request cannot fit the
+    /// link MTU.
+    fn submit_payload(&mut self, payload: Vec<u8>) -> Result<u64, NodeError> {
         // The check covers the framed datagram, not just the payload.
         if payload.len() + FRAME_OVERHEAD > self.config.link.mtu {
             return Err(NodeError::Transport(format!(
@@ -289,119 +532,19 @@ impl<S: NodeService> RemoteNode<S> {
                 self.config.link.mtu
             )));
         }
-        let token = self.next_token.to_be_bytes().to_vec();
+        let token = self.next_token;
         self.next_token += 1;
-        let mid = self.next_mid;
-        self.next_mid = self.next_mid.wrapping_add(1);
-        let mut request = Message::request(Code::Post, mid, &token);
-        request.set_path(NODE_OP_PATH);
-        request.payload = payload;
-        let encoded = request.encode();
-
-        let mut timeout = self.config.ack_timeout_us;
-        for _attempt in 0..=self.config.max_retransmit {
-            self.link
-                .send(
-                    self.now_us,
-                    Datagram {
-                        src: self.client_addr,
-                        dst: self.node_addr,
-                        payload: encoded.clone(),
-                    },
-                )
-                .map_err(|e| NodeError::Transport(e.to_string()))?;
-            let deadline = self.now_us + timeout;
-            while self.now_us < deadline {
-                let step = self
-                    .link
-                    .next_delivery_us(self.node_addr.node)
-                    .into_iter()
-                    .chain(self.link.next_delivery_us(self.client_addr.node))
-                    .min()
-                    .unwrap_or(deadline)
-                    .max(self.now_us);
-                if step >= deadline {
-                    self.now_us = deadline;
-                    break;
-                }
-                self.now_us = step;
-                while let Some(d) = self.link.poll(self.node_addr.node, self.now_us) {
-                    if let Ok(req) = Message::decode(&d.payload) {
-                        let resp = self.endpoint.handle(&req);
-                        self.link
-                            .send(
-                                self.now_us,
-                                Datagram {
-                                    src: self.node_addr,
-                                    dst: d.src,
-                                    payload: resp.encode(),
-                                },
-                            )
-                            .map_err(|e| NodeError::Transport(e.to_string()))?;
-                    }
-                }
-                while let Some(d) = self.link.poll(self.client_addr.node, self.now_us) {
-                    if let Ok(resp) = Message::decode(&d.payload) {
-                        if resp.token == token {
-                            if resp.code != Code::Content {
-                                return Err(NodeError::Transport(format!(
-                                    "node answered {:?}",
-                                    resp.code
-                                )));
-                            }
-                            return wire::decode_reply(&resp.payload).map_err(NodeError::from);
-                        }
-                    }
-                }
-            }
-            timeout *= 2;
-        }
-        Err(NodeError::Timeout)
+        self.backlog.push_back((token, payload));
+        Ok(token)
     }
 
-    fn expect_unit(&mut self, op: &NodeOp) -> Result<(), NodeError> {
-        match self.exchange(op)?? {
-            ReplyBody::Unit => Ok(()),
-            other => Err(NodeError::Transport(format!(
-                "unexpected reply body {other:?}"
-            ))),
-        }
-    }
-}
-
-impl<S: NodeService> NodeService for RemoteNode<S> {
-    fn register_hook(&mut self, hook: Hook, offer: ContractOffer) -> Result<(), NodeError> {
-        self.expect_unit(&NodeOp::RegisterHook { hook, offer })
-    }
-
-    fn unregister_hook(&mut self, hook: Uuid) -> Result<(), NodeError> {
-        self.expect_unit(&NodeOp::UnregisterHook { hook })
-    }
-
-    fn dispatch(&mut self, hook: Uuid, event: HookEvent) -> Result<HookReport, NodeError> {
-        let encoded = wire::encode_op(&NodeOp::Dispatch { hook, event });
-        // Refuse up front when the REPLY could not make it back: the
-        // node would execute the event but the caller could never
-        // learn the outcome, retrying (and re-executing) forever.
-        if !self.fits_with_reply(encoded.len(), 1) {
-            return Err(NodeError::Transport(
-                "event too large for link mtu (reply included)".to_owned(),
-            ));
-        }
-        match self.exchange_encoded(encoded)?? {
-            ReplyBody::Report(report) => Ok(report),
-            other => Err(NodeError::Transport(format!(
-                "unexpected reply body {other:?}"
-            ))),
-        }
-    }
-
-    fn dispatch_batch(
-        &mut self,
-        hook: Uuid,
-        events: Vec<HookEvent>,
-    ) -> Result<Vec<Result<HookReport, NodeError>>, NodeError> {
-        let mut out = Vec::with_capacity(events.len());
+    /// Splits a batch into encoded sub-batch payloads, each fitting
+    /// the MTU **both ways**, in offer order.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Transport`] when a single event cannot fit.
+    fn split_batch(&self, hook: Uuid, events: Vec<HookEvent>) -> Result<Vec<Vec<u8>>, NodeError> {
         let per_message = self.config.max_events_per_message.max(1);
         let mut queue: VecDeque<Vec<HookEvent>> = events
             .chunks(per_message)
@@ -410,6 +553,7 @@ impl<S: NodeService> NodeService for RemoteNode<S> {
         if queue.is_empty() {
             queue.push_back(Vec::new());
         }
+        let mut out = Vec::new();
         while let Some(chunk) = queue.pop_front() {
             // A sub-batch splits in two while either its own framed
             // datagram or its projected reply would not fit the MTU; a
@@ -438,16 +582,392 @@ impl<S: NodeService> NodeService for RemoteNode<S> {
                 queue.push_front(chunk);
                 continue;
             }
-            match self.exchange_encoded(encoded)?? {
-                ReplyBody::Batch(items) => out.extend(items),
-                other => {
-                    return Err(NodeError::Transport(format!(
-                        "unexpected reply body {other:?}"
-                    )))
+            out.push(encoded);
+        }
+        Ok(out)
+    }
+
+    /// Sends `frames` towards `dst`, coalescing under the MTU budget:
+    /// consecutive frames share a datagram while the bundle still
+    /// fits; a frame that will not join the current bundle starts the
+    /// next one. Singleton bundles go raw ([`wire::encode_bundle`]).
+    fn flush(&mut self, src: Addr, dst: Addr, frames: Vec<Vec<u8>>) -> Result<(), NodeError> {
+        let mut group: Vec<Vec<u8>> = Vec::new();
+        // Bundle overhead: magic + count, then a u32 length per frame.
+        let mut group_len = 2usize;
+        for frame in frames {
+            let framed = frame.len() + 4;
+            if !group.is_empty()
+                && (group_len + framed > self.config.link.mtu || group.len() == 255)
+            {
+                self.send_group(src, dst, std::mem::take(&mut group))?;
+                group_len = 2;
+            }
+            group_len += framed;
+            group.push(frame);
+        }
+        if !group.is_empty() {
+            self.send_group(src, dst, group)?;
+        }
+        Ok(())
+    }
+
+    fn send_group(&mut self, src: Addr, dst: Addr, group: Vec<Vec<u8>>) -> Result<(), NodeError> {
+        self.tstats.coalesced_frames += group.len() as u64 - 1;
+        let payload = wire::encode_bundle(&group);
+        self.link
+            .send(self.now_us, Datagram { src, dst, payload })
+            .map_err(|e| NodeError::Transport(e.to_string()))
+    }
+
+    /// Records an exchange's outcome and retires it from the table.
+    fn complete(&mut self, token: u64, seq: u64, outcome: Result<ReplyBody, NodeError>) {
+        if seq < self.completed_seq_hwm {
+            self.tstats.completed_out_of_order += 1;
+        } else {
+            self.completed_seq_hwm = seq;
+        }
+        self.completed.insert(token, outcome);
+    }
+
+    /// One event-loop step (module docs for the clock rule): launch
+    /// backlog into free window slots, deliver and serve node-side
+    /// datagrams, collect finished deferred batches, deliver
+    /// client-side replies, retransmit due exchanges — and only when
+    /// none of that moved anything **and** no batch is executing,
+    /// advance the virtual clock to the next scheduled event.
+    fn step(&mut self) -> bool {
+        let mut progressed = false;
+        let window = self.config.window.max(1);
+
+        // Launch queued operations into free window slots.
+        let mut to_node: Vec<Vec<u8>> = Vec::new();
+        while self.exchanges.len() < window {
+            let Some((token, payload)) = self.backlog.pop_front() else {
+                break;
+            };
+            let mid = self.next_mid;
+            self.next_mid = self.next_mid.wrapping_add(1);
+            let mut request = Message::request(Code::Post, mid, &token.to_be_bytes());
+            request.set_path(NODE_OP_PATH);
+            request.payload = payload;
+            let frame = request.encode();
+            self.launch_seq += 1;
+            self.exchanges.insert(
+                token,
+                Exchange {
+                    frame: frame.clone(),
+                    attempts: 1,
+                    timeout_us: self.config.ack_timeout_us,
+                    retx_at: self.now_us + self.config.ack_timeout_us,
+                    sent_at: self.now_us,
+                    retransmitted: false,
+                    launch_seq: self.launch_seq,
+                },
+            );
+            to_node.push(frame);
+            progressed = true;
+        }
+        self.tstats.in_flight_hwm = self.tstats.in_flight_hwm.max(self.exchanges.len() as u64);
+
+        // Deliver the node's datagrams and serve the requests inside.
+        let mut replies: Vec<Vec<u8>> = Vec::new();
+        for dgram in self.link.poll_ready(self.node_addr.node, self.now_us) {
+            progressed = true;
+            let Ok(frames) = wire::split_datagram(&dgram.payload) else {
+                continue;
+            };
+            for frame in frames {
+                if let Ok(req) = Message::decode(&frame) {
+                    if let Some(resp) = self.endpoint.handle_deferred(&req) {
+                        replies.push(resp.encode());
+                    }
                 }
             }
         }
-        Ok(out)
+
+        // Collect deferred batches the workers have finished.
+        for resp in self.endpoint.poll_ready() {
+            replies.push(resp.encode());
+            progressed = true;
+        }
+        // A reply the link refuses (oversized despite the request-side
+        // budget) is dropped: with many exchanges multiplexed there is
+        // no single caller to charge the error to, so the exchange
+        // simply times out.
+        let _ = self.flush(self.node_addr, self.client_addr, replies);
+
+        // Deliver replies to the client side and complete exchanges.
+        for dgram in self.link.poll_ready(self.client_addr.node, self.now_us) {
+            progressed = true;
+            let Ok(frames) = wire::split_datagram(&dgram.payload) else {
+                continue;
+            };
+            for frame in frames {
+                let Ok(resp) = Message::decode(&frame) else {
+                    continue;
+                };
+                let Some(token) = resp
+                    .token
+                    .as_slice()
+                    .try_into()
+                    .ok()
+                    .map(u64::from_be_bytes)
+                else {
+                    continue;
+                };
+                let Some(ex) = self.exchanges.remove(&token) else {
+                    continue; // duplicate reply of a finished exchange
+                };
+                if !ex.retransmitted {
+                    // Karn: only clean exchanges sample the RTT.
+                    let rtt = self.now_us.saturating_sub(ex.sent_at);
+                    self.tstats.srtt_us = if self.tstats.srtt_us == 0 {
+                        rtt
+                    } else {
+                        (7 * self.tstats.srtt_us + rtt) / 8
+                    };
+                }
+                let outcome = if resp.code == Code::Content {
+                    match wire::decode_reply(&resp.payload) {
+                        Ok(reply) => reply,
+                        Err(e) => Err(NodeError::from(e)),
+                    }
+                } else {
+                    Err(NodeError::Transport(format!(
+                        "node answered {:?}",
+                        resp.code
+                    )))
+                };
+                self.complete(token, ex.launch_seq, outcome);
+            }
+        }
+
+        // Selective retransmission: only the exchanges whose own
+        // deadline passed resend; back-off doubles per exchange, capped
+        // at max_transmit_wait_us.
+        let mut retx: Vec<Vec<u8>> = Vec::new();
+        let mut dead: Vec<(u64, u64)> = Vec::new();
+        for (&token, ex) in &mut self.exchanges {
+            if ex.retx_at > self.now_us {
+                continue;
+            }
+            if ex.attempts > self.config.max_retransmit {
+                dead.push((token, ex.launch_seq));
+                continue;
+            }
+            ex.attempts += 1;
+            ex.retransmitted = true;
+            ex.timeout_us = (ex.timeout_us * 2).min(self.config.max_transmit_wait_us.max(1));
+            ex.sent_at = self.now_us;
+            ex.retx_at = self.now_us + ex.timeout_us;
+            retx.push(ex.frame.clone());
+            self.tstats.retransmits += 1;
+            progressed = true;
+        }
+        for (token, seq) in dead {
+            self.exchanges.remove(&token);
+            self.complete(token, seq, Err(NodeError::Timeout));
+            progressed = true;
+        }
+        to_node.extend(retx);
+        self.flush(self.client_addr, self.node_addr, to_node)
+            .expect("submit_payload budgeted every request frame against the MTU");
+
+        if progressed {
+            self.tstats.virtual_now_us = self.now_us;
+            return true;
+        }
+
+        // Nothing moved. While a deferred batch executes on real
+        // worker threads the virtual clock holds still (execution is
+        // instantaneous in virtual time) — the caller should yield and
+        // pump again. Otherwise jump to the next scheduled event.
+        if self.endpoint.pending_count() > 0 {
+            return false;
+        }
+        let next = self
+            .link
+            .next_delivery_us(self.node_addr.node)
+            .into_iter()
+            .chain(self.link.next_delivery_us(self.client_addr.node))
+            .chain(self.exchanges.values().map(|ex| ex.retx_at))
+            .min();
+        if let Some(next) = next {
+            if next > self.now_us {
+                self.now_us = next;
+                self.tstats.virtual_now_us = self.now_us;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drives the window until `token` resolves — the blocking facade
+    /// over the windowed core.
+    fn await_token(&mut self, token: u64) -> Result<ReplyBody, NodeError> {
+        loop {
+            let progressed = self.step();
+            if let Some(outcome) = self.completed.remove(&token) {
+                return outcome;
+            }
+            if !progressed {
+                // Waiting on the node's worker threads.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// One blocking confirmable exchange: submit, drive, decode.
+    fn exchange(&mut self, op: &NodeOp) -> Result<ReplyBody, NodeError> {
+        let token = self.submit_payload(wire::encode_op(op))?;
+        self.await_token(token)
+    }
+
+    fn expect_unit(&mut self, op: &NodeOp) -> Result<(), NodeError> {
+        match self.exchange(op)? {
+            ReplyBody::Unit => Ok(()),
+            other => Err(unexpected_body(&other)),
+        }
+    }
+
+    fn issue_ticket(&mut self, kind: TicketKind, parts: Vec<u64>) -> Ticket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.tickets.insert(ticket, PendingTicket { kind, parts });
+        ticket
+    }
+}
+
+fn unexpected_body(body: &ReplyBody) -> NodeError {
+    NodeError::Transport(format!("unexpected reply body {body:?}"))
+}
+
+impl<S: NodeService> WindowedNode for RemoteNode<S> {
+    fn submit_batch(&mut self, hook: Uuid, events: Vec<HookEvent>) -> Result<Ticket, NodeError> {
+        let payloads = self.split_batch(hook, events)?;
+        let parts = payloads
+            .into_iter()
+            .map(|p| self.submit_payload(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.issue_ticket(TicketKind::Batch, parts))
+    }
+
+    fn submit_stage(
+        &mut self,
+        uri: &str,
+        offset: usize,
+        chunk: &[u8],
+        restart: bool,
+    ) -> Result<Ticket, NodeError> {
+        let payload = wire::encode_op(&NodeOp::StageChunk {
+            uri: uri.to_owned(),
+            offset: offset as u64,
+            restart,
+            chunk: chunk.to_vec(),
+        });
+        let token = self.submit_payload(payload)?;
+        Ok(self.issue_ticket(TicketKind::Stage, vec![token]))
+    }
+
+    fn submit_deploy(&mut self, envelope: &[u8]) -> Result<Ticket, NodeError> {
+        let payload = wire::encode_op(&NodeOp::Deploy {
+            envelope: envelope.to_vec(),
+        });
+        let token = self.submit_payload(payload)?;
+        Ok(self.issue_ticket(TicketKind::Deploy, vec![token]))
+    }
+
+    fn pump(&mut self) -> bool {
+        self.step()
+    }
+
+    fn take(&mut self, ticket: Ticket) -> Option<Result<NodeReply, NodeError>> {
+        let pending = self.tickets.get(&ticket)?;
+        if !pending.parts.iter().all(|t| self.completed.contains_key(t)) {
+            return None;
+        }
+        let pending = self.tickets.remove(&ticket)?;
+        let mut parts = Vec::with_capacity(pending.parts.len());
+        for token in pending.parts {
+            parts.push(self.completed.remove(&token).expect("checked above"));
+        }
+        Some(match pending.kind {
+            TicketKind::Batch => {
+                let mut out = Vec::new();
+                for part in parts {
+                    match part {
+                        Ok(ReplyBody::Batch(items)) => out.extend(items),
+                        Ok(other) => return Some(Err(unexpected_body(&other))),
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+                Ok(NodeReply::Batch(out))
+            }
+            TicketKind::Stage => match parts.remove(0) {
+                Ok(ReplyBody::Unit) => Ok(NodeReply::Staged),
+                Ok(other) => Err(unexpected_body(&other)),
+                Err(e) => Err(e),
+            },
+            TicketKind::Deploy => match parts.remove(0) {
+                Ok(ReplyBody::Deploy(report)) => Ok(NodeReply::Deploy(report)),
+                Ok(other) => Err(unexpected_body(&other)),
+                Err(e) => Err(e),
+            },
+        })
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        self.tstats
+    }
+}
+
+impl<S: NodeService> NodeService for RemoteNode<S> {
+    fn register_hook(&mut self, hook: Hook, offer: ContractOffer) -> Result<(), NodeError> {
+        self.expect_unit(&NodeOp::RegisterHook { hook, offer })
+    }
+
+    fn unregister_hook(&mut self, hook: Uuid) -> Result<(), NodeError> {
+        self.expect_unit(&NodeOp::UnregisterHook { hook })
+    }
+
+    fn dispatch(&mut self, hook: Uuid, event: HookEvent) -> Result<HookReport, NodeError> {
+        let encoded = wire::encode_op(&NodeOp::Dispatch { hook, event });
+        // Refuse up front when the REPLY could not make it back: the
+        // node would execute the event but the caller could never
+        // learn the outcome, retrying (and re-executing) forever.
+        if !self.fits_with_reply(encoded.len(), 1) {
+            return Err(NodeError::Transport(
+                "event too large for link mtu (reply included)".to_owned(),
+            ));
+        }
+        let token = self.submit_payload(encoded)?;
+        match self.await_token(token)? {
+            ReplyBody::Report(report) => Ok(report),
+            other => Err(unexpected_body(&other)),
+        }
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+    ) -> Result<Vec<Result<HookReport, NodeError>>, NodeError> {
+        let ticket = self.submit_batch(hook, events)?;
+        loop {
+            let progressed = self.step();
+            if let Some(result) = WindowedNode::take(self, ticket) {
+                return match result? {
+                    NodeReply::Batch(items) => Ok(items),
+                    other => Err(NodeError::Transport(format!(
+                        "unexpected windowed reply {other:?}"
+                    ))),
+                };
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
     }
 
     fn stage_chunk(
@@ -468,20 +988,20 @@ impl<S: NodeService> NodeService for RemoteNode<S> {
     fn deploy(&mut self, envelope: &[u8]) -> Result<DeployReport, NodeError> {
         match self.exchange(&NodeOp::Deploy {
             envelope: envelope.to_vec(),
-        })?? {
+        })? {
             ReplyBody::Deploy(report) => Ok(report),
-            other => Err(NodeError::Transport(format!(
-                "unexpected reply body {other:?}"
-            ))),
+            other => Err(unexpected_body(&other)),
         }
     }
 
     fn stats(&mut self) -> Result<NodeStats, NodeError> {
-        match self.exchange(&NodeOp::Stats)?? {
+        match self.exchange(&NodeOp::Stats)? {
             ReplyBody::Stats(stats) => Ok(stats),
-            other => Err(NodeError::Transport(format!(
-                "unexpected reply body {other:?}"
-            ))),
+            other => Err(unexpected_body(&other)),
         }
+    }
+
+    fn windowed(&mut self) -> Option<&mut dyn WindowedNode> {
+        Some(self)
     }
 }

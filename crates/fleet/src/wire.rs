@@ -808,6 +808,70 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Result<ReplyBody, NodeError>, WireEr
     Ok(reply)
 }
 
+// ------------------------------------------------------------- bundles
+
+/// First byte of a coalesced multi-message datagram. A CoAP message's
+/// first byte is `0x40 | type<<4 | token_length` with version 1 and
+/// token lengths ≤ 8, i.e. always in `0x40..0x60`, so this magic can
+/// never collide with a raw single message — which is how
+/// [`split_datagram`] tells the two framings apart, and why a
+/// singleton "bundle" is sent raw and stays byte-identical to the
+/// pre-windowed wire format.
+pub const BUNDLE_MAGIC: u8 = 0xB7;
+
+/// Packs CoAP message frames into one datagram payload. One frame is
+/// passed through unchanged (the window=1 degenerate case keeps the
+/// stop-and-wait wire format); two or more are framed as
+/// `BUNDLE_MAGIC, count:u8, (len:u32, bytes)×count`.
+///
+/// # Panics
+///
+/// When `frames` is empty or holds more than 255 frames — the caller
+/// coalesces under an MTU budget that keeps counts far below that.
+pub fn encode_bundle(frames: &[Vec<u8>]) -> Vec<u8> {
+    assert!(
+        !frames.is_empty() && frames.len() <= 255,
+        "bundle of {} frames",
+        frames.len()
+    );
+    if frames.len() == 1 {
+        return frames[0].clone();
+    }
+    let mut buf = Vec::with_capacity(frames.iter().map(|f| f.len() + 5).sum::<usize>() + 2);
+    put_u8(&mut buf, BUNDLE_MAGIC);
+    put_u8(&mut buf, frames.len() as u8);
+    for frame in frames {
+        put_bytes(&mut buf, frame);
+    }
+    buf
+}
+
+/// Splits a datagram payload into its CoAP message frames: a bundle
+/// into its parts, anything else (a raw single message) into a
+/// one-frame vector.
+///
+/// # Errors
+///
+/// [`WireError`] when a bundle header announces more than the payload
+/// carries.
+pub fn split_datagram(payload: &[u8]) -> Result<Vec<Vec<u8>>, WireError> {
+    if payload.first() != Some(&BUNDLE_MAGIC) {
+        return Ok(vec![payload.to_vec()]);
+    }
+    let mut r = Reader::new(payload);
+    r.u8()?; // magic
+    let n = r.u8()? as usize;
+    if n == 0 {
+        return Err(WireError::BadTag(0));
+    }
+    let mut frames = Vec::with_capacity(n);
+    for _ in 0..n {
+        frames.push(r.bytes()?);
+    }
+    r.done()?;
+    Ok(frames)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -977,5 +1041,27 @@ mod tests {
         let mut padded = encode_op(&NodeOp::Stats);
         padded.push(0);
         assert_eq!(decode_op(&padded), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bundles_round_trip_and_singletons_stay_raw() {
+        let a = vec![0x45, 1, 2, 3];
+        let b = vec![0x52, 9];
+        let c = vec![0x40];
+        assert_eq!(encode_bundle(std::slice::from_ref(&a)), a, "singleton raw");
+        assert_eq!(split_datagram(&a).unwrap(), vec![a.clone()]);
+        let packed = encode_bundle(&[a.clone(), b.clone(), c.clone()]);
+        assert_eq!(packed[0], BUNDLE_MAGIC);
+        assert_eq!(split_datagram(&packed).unwrap(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn bundle_split_is_total_on_garbage() {
+        assert!(split_datagram(&[BUNDLE_MAGIC]).is_err());
+        assert!(split_datagram(&[BUNDLE_MAGIC, 0]).is_err());
+        assert!(split_datagram(&[BUNDLE_MAGIC, 2, 1, 0, 0, 0, 7]).is_err());
+        let mut packed = encode_bundle(&[vec![0x45; 4], vec![0x52; 2]]);
+        packed.push(0); // trailing junk
+        assert_eq!(split_datagram(&packed), Err(WireError::Truncated));
     }
 }

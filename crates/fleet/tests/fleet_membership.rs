@@ -49,6 +49,7 @@ fn lossy_remote(key: &SigningKey, seed: u64) -> RemoteNode<LocalNode> {
                 ..LinkConfig::default()
             },
             max_retransmit: 8,
+            window: 4,
             ..RemoteConfig::default()
         },
     )
@@ -360,4 +361,59 @@ fn fleet_serves_coap_requests_end_to_end() {
         fleet.serve(&unrouted),
         Err(NodeError::UnknownHook(_))
     ));
+}
+
+/// The concurrent front tier: one `dispatch_all` wave carries a batch
+/// for every hook — owners both in-process and across lossy windowed
+/// links — and the fleet drives all owners' transport windows from one
+/// loop. Results come back indexed by offer position, per-hook offer
+/// order intact, with an exactly-once ledger across the whole fleet.
+#[test]
+fn dispatch_all_drives_mixed_fleet_windows_concurrently() {
+    let key = SigningKey::from_seed(b"fleet-maintainer");
+    let Deployed { mut fleet, hooks } = deployed_fleet(&key);
+    let ghost = Uuid::from_name("fleet", "ghost");
+    let mut work: Vec<(Uuid, Vec<HookEvent>)> = hooks
+        .iter()
+        .map(|&hook| {
+            (
+                hook,
+                (1..=10u8).map(|i| HookEvent::new(&[i], &[])).collect(),
+            )
+        })
+        .collect();
+    work.insert(3, (ghost, vec![HookEvent::default()]));
+
+    let results = fleet.dispatch_all(work);
+    assert_eq!(results.len(), hooks.len() + 1);
+    for (pos, result) in results.into_iter().enumerate() {
+        if pos == 3 {
+            assert_eq!(
+                result.unwrap_err(),
+                NodeError::UnknownHook(ghost),
+                "the unknown hook fails at its offer position without sinking the wave"
+            );
+            continue;
+        }
+        let replies = result.unwrap_or_else(|e| panic!("offer {pos} failed: {e}"));
+        assert_eq!(replies.len(), 10);
+        for (i, reply) in replies.into_iter().enumerate() {
+            assert_eq!(
+                reply.unwrap().combined,
+                Some(i as u64 + 1),
+                "offer {pos}: per-hook replies stay in offer order"
+            );
+        }
+    }
+    // Exactly-once across the mixed fleet: 8 hooks · 10 events, no
+    // event lost to the lossy links, none executed twice, none shed.
+    let mut dispatched = 0;
+    let mut shed = 0;
+    for (node, stats) in fleet.stats() {
+        let stats = stats.unwrap_or_else(|e| panic!("node {node} stats: {e}"));
+        dispatched += stats.dispatched;
+        shed += stats.shed;
+    }
+    assert_eq!(dispatched, 80);
+    assert_eq!(shed, 0);
 }

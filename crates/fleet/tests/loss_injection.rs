@@ -346,3 +346,135 @@ fn dead_link_times_out_cleanly() {
     );
     assert_eq!(remote.endpoint().served_count(), 0, "nothing got through");
 }
+
+/// Builds a node with the echo container installed directly (no SUIT
+/// transfer), wrapped in a remote transport at the given window over a
+/// link that drops, duplicates and reorders.
+fn windowed_echo_remote(window: usize, seed: u64) -> (RemoteNode<LocalNode>, fc_suit::Uuid) {
+    let mut node = local_node();
+    let hook = Hook::new("window-hook", HookKind::Custom, HookPolicy::First);
+    let hook_id = hook.id;
+    node.register_hook(hook, ContractOffer::helpers(standard_helper_ids()))
+        .unwrap();
+    let image = echo_program();
+    let container = node
+        .host()
+        .install("echo", 1, &image.to_bytes(), ContractRequest::default())
+        .unwrap();
+    node.host().attach(container, hook_id).unwrap();
+    let remote = RemoteNode::new(
+        node,
+        RemoteConfig {
+            window,
+            ..lossy_config(seed)
+        },
+    );
+    (remote, hook_id)
+}
+
+/// The tentpole's exactly-once claim under multiplexing: with window 8
+/// on a link that drops, duplicates and reorders, sub-batch replies
+/// complete out of order and retransmitted requests land while others
+/// are in flight — yet every per-event report is bit-identical to the
+/// window-1 (stop-and-wait) transport over the same seeded link, and
+/// the endpoint's ledger shows each sub-batch executed exactly once.
+#[test]
+fn reordered_duplicated_completions_match_stop_and_wait_reports() {
+    use fc_host::WindowedNode;
+
+    let run = |window: usize| {
+        let (mut remote, hook_id) = windowed_echo_remote(window, 0x5eed_001d);
+        // 600-byte regions keep each sub-batch near the MTU, so the
+        // wave spans many datagrams — enough that the seeded link is
+        // guaranteed to drop, duplicate and reorder some of them.
+        let events: Vec<HookEvent> = (1..=40u8)
+            .map(|i| HookEvent {
+                ctx: vec![i],
+                extra: vec![fc_core::engine::HostRegion::read_write(
+                    "blob",
+                    vec![i; 600],
+                )],
+            })
+            .collect();
+        let replies = remote.dispatch_batch(hook_id, events).unwrap();
+        (replies, remote)
+    };
+    let (baseline, _) = run(1);
+    let (windowed, mut remote) = run(8);
+
+    assert_eq!(
+        windowed, baseline,
+        "per-report bit-identity: window 8 returns exactly what stop-and-wait returns"
+    );
+    for (i, reply) in windowed.into_iter().enumerate() {
+        assert_eq!(reply.unwrap().combined, Some(i as u64 + 1), "offer order");
+    }
+
+    // The window genuinely multiplexed and the link genuinely
+    // misbehaved...
+    let tstats = remote.transport_stats();
+    assert!(tstats.in_flight_hwm > 1, "exchanges overlapped: {tstats:?}");
+    assert!(
+        tstats.completed_out_of_order > 0,
+        "replies completed out of submission order: {tstats:?}"
+    );
+    assert!(remote.link().dropped_count() > 0, "the link dropped");
+    assert!(remote.link().duplicated_count() > 0, "the link duplicated");
+    // ...and the ledger stayed exact: the 40 events split into 20
+    // two-event sub-batches (the reply budget halves the 4-event
+    // chunks), each executed once; duplicates answered from cache.
+    assert_eq!(remote.endpoint().served_count(), 20);
+    assert!(remote.endpoint().deduped_count() > 0);
+    assert_eq!(
+        remote
+            .endpoint_mut()
+            .inner_mut()
+            .stats()
+            .unwrap()
+            .dispatched,
+        40,
+        "every event executed exactly once under window 8"
+    );
+}
+
+/// Satellite for the back-off cap: against a dead link the doubling
+/// retransmission interval clamps at `max_transmit_wait_us`, so the
+/// exchange dies after a *bounded* virtual time — deterministic to the
+/// microsecond — instead of the unbounded exponential (which would be
+/// 200ms · (2⁹−1) ≈ 102 s of virtual waiting for the same budget).
+#[test]
+fn backoff_cap_bounds_dead_link_timeout_virtual_time() {
+    use fc_host::WindowedNode;
+
+    let mut node = local_node();
+    let hook = Hook::new("capped-hook", HookKind::Custom, HookPolicy::First);
+    let hook_id = hook.id;
+    node.register_hook(hook, ContractOffer::helpers(standard_helper_ids()))
+        .unwrap();
+    let mut remote = RemoteNode::new(
+        node,
+        RemoteConfig {
+            link: LinkConfig {
+                loss: 1.0,
+                mtu: FLEET_MTU,
+                ..LinkConfig::default()
+            },
+            max_retransmit: 8,
+            max_transmit_wait_us: 400_000,
+            ..RemoteConfig::default()
+        },
+    );
+    assert_eq!(
+        remote.dispatch(hook_id, HookEvent::default()),
+        Err(NodeError::Timeout)
+    );
+    // Launch at t=0 with a 200ms timeout; every later interval clamps
+    // to the 400ms cap: 200k + 8 · 400k, exactly.
+    assert_eq!(
+        remote.now_us(),
+        200_000 + 8 * 400_000,
+        "virtual time to declare the link dead is bounded by the cap"
+    );
+    assert_eq!(remote.transport_stats().retransmits, 8);
+    assert_eq!(remote.endpoint().served_count(), 0, "nothing got through");
+}

@@ -107,7 +107,9 @@ pub use deploy::{DeployPoll, DeployReport, LiveDeployError, LiveUpdateService};
 pub use host::{DeployOutcome, FcHost, HookEvent, HostConfig, HostError};
 pub use queue::{Accepted, BatchAccepted, ShedPolicy};
 pub use rebalance::{HookMove, RebalanceConfig, RebalanceReport, Rebalancer};
-pub use service::{LocalNode, NodeError, NodeService, NodeStats};
+pub use service::{
+    LocalNode, NodeError, NodeReply, NodeService, NodeStats, Ticket, TransportStats, WindowedNode,
+};
 pub use shard::ShardReport;
 pub use stats::{HostStats, LatencyHistogram, TenantStats};
 

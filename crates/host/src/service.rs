@@ -22,8 +22,11 @@
 //!   same strings the wire carries, so callers cannot tell the
 //!   transports apart by error shape.
 
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, TryRecvError};
+
 use fc_core::contract::ContractOffer;
-use fc_core::engine::HookReport;
+use fc_core::engine::{EngineError, HookReport};
 use fc_core::hooks::Hook;
 use fc_rtos::platform::{Engine as EngineFlavor, Platform};
 use fc_suit::Uuid;
@@ -101,6 +104,101 @@ pub struct NodeStats {
     /// Maximum per-shard busy time in simulated cycles — the node's
     /// capacity denominator under the repo's cycle-model methodology.
     pub max_shard_busy_cycles: u64,
+}
+
+/// Identifies one in-flight asynchronous submission on a
+/// [`WindowedNode`] channel. Tickets are per-node and never reused
+/// within a node's lifetime.
+pub type Ticket = u64;
+
+/// Transport-level counters for one node's windowed channel — the
+/// observability surface the fleet bench prints next to [`NodeStats`].
+/// All time quantities are **virtual** microseconds (the deterministic
+/// `fc_net::link` clock), not wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Datagrams retransmitted (selective, per-token).
+    pub retransmits: u64,
+    /// High-water mark of concurrently open exchanges.
+    pub in_flight_hwm: u64,
+    /// Exchanges whose reply arrived after a later-launched exchange
+    /// had already completed — the reordering the window tolerates.
+    pub completed_out_of_order: u64,
+    /// Smoothed round-trip time estimate in virtual µs (RFC 6298
+    /// shape, Karn-sampled: retransmitted exchanges never update it).
+    pub srtt_us: u64,
+    /// Request/reply frames coalesced into shared datagrams under the
+    /// MTU budget (frames beyond the first in each bundle).
+    pub coalesced_frames: u64,
+    /// Current virtual clock of the node's link, in µs.
+    pub virtual_now_us: u64,
+}
+
+/// A completed asynchronous submission's payload — one variant per
+/// submittable [`NodeService`] operation.
+#[derive(Debug, Clone)]
+pub enum NodeReply {
+    /// `stage_chunk` succeeded.
+    Staged,
+    /// `dispatch_batch` result in offer order.
+    Batch(Vec<Result<HookReport, NodeError>>),
+    /// `deploy` verdict.
+    Deploy(crate::DeployReport),
+}
+
+/// The non-blocking face of a node channel: submissions return a
+/// [`Ticket`] immediately, [`WindowedNode::pump`] drives whatever the
+/// transport needs driving (virtual link clocks, worker completions),
+/// and [`WindowedNode::take`] collects finished replies in any order.
+///
+/// This is what lets `FcFleet` keep many nodes' windows full from one
+/// single-threaded event loop: submit to every owner, then round-robin
+/// `pump` until every ticket resolves. A [`NodeService`] exposes its
+/// windowed face through [`NodeService::windowed`]; transports without
+/// one (mocks, strictly synchronous adapters) simply return `None` and
+/// the fleet falls back to the blocking calls.
+pub trait WindowedNode {
+    /// Submits a batch dispatch; resolves to [`NodeReply::Batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::UnknownHook`] (checked at submission) or transport
+    /// errors that prevent even queuing the work.
+    fn submit_batch(&mut self, hook: Uuid, events: Vec<HookEvent>) -> Result<Ticket, NodeError>;
+
+    /// Submits a staging chunk; resolves to [`NodeReply::Staged`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors that prevent queuing.
+    fn submit_stage(
+        &mut self,
+        uri: &str,
+        offset: usize,
+        chunk: &[u8],
+        restart: bool,
+    ) -> Result<Ticket, NodeError>;
+
+    /// Submits a SUIT deploy; resolves to [`NodeReply::Deploy`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors that prevent queuing.
+    fn submit_deploy(&mut self, envelope: &[u8]) -> Result<Ticket, NodeError>;
+
+    /// Makes one step of progress (delivers datagrams, launches queued
+    /// exchanges, collects worker completions, advances the virtual
+    /// clock). Returns `true` when anything moved — a caller looping
+    /// over several nodes should keep pumping while any node reports
+    /// progress or tickets remain outstanding.
+    fn pump(&mut self) -> bool;
+
+    /// Takes the result of a finished submission, or `None` while it
+    /// is still in flight. A taken ticket is forgotten.
+    fn take(&mut self, ticket: Ticket) -> Option<Result<NodeReply, NodeError>>;
+
+    /// Transport counters so far.
+    fn transport_stats(&self) -> TransportStats;
 }
 
 /// The operations a fleet front tier performs against one hosting
@@ -181,6 +279,13 @@ pub trait NodeService {
     ///
     /// Transport errors only.
     fn stats(&mut self) -> Result<NodeStats, NodeError>;
+
+    /// The node's non-blocking windowed face, when the transport has
+    /// one. Defaults to `None` so existing adapters and test doubles
+    /// stay valid; the fleet falls back to blocking calls for them.
+    fn windowed(&mut self) -> Option<&mut dyn WindowedNode> {
+        None
+    }
 }
 
 /// The in-process [`NodeService`] adapter: one [`FcHost`] plus its
@@ -206,6 +311,22 @@ pub struct LocalNode {
     host: FcHost,
     updates: LiveUpdateService,
     hooks: u64,
+    pending: HashMap<Ticket, LocalPending>,
+    next_ticket: Ticket,
+    in_flight_hwm: u64,
+}
+
+/// One outstanding asynchronous submission on a [`LocalNode`].
+enum LocalPending {
+    /// A batch whose events execute on the host's worker threads; each
+    /// slot fills from its reply channel as the worker finishes.
+    Batch {
+        receivers: Vec<Option<Receiver<Result<HookReport, EngineError>>>>,
+        slots: Vec<Option<Result<HookReport, NodeError>>>,
+    },
+    /// An operation that completed synchronously at submission
+    /// (staging and deploys run on the caller thread in-process).
+    Ready(Result<NodeReply, NodeError>),
 }
 
 impl LocalNode {
@@ -223,7 +344,18 @@ impl LocalNode {
             host,
             updates,
             hooks: 0,
+            pending: HashMap::new(),
+            next_ticket: 0,
+            in_flight_hwm: 0,
         }
+    }
+
+    fn issue_ticket(&mut self, pending: LocalPending) -> Ticket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.pending.insert(ticket, pending);
+        self.in_flight_hwm = self.in_flight_hwm.max(self.pending.len() as u64);
+        ticket
     }
 
     /// The wrapped host (e.g. to seed its environment).
@@ -342,6 +474,90 @@ impl NodeService for LocalNode {
             max_shard_busy_cycles,
         })
     }
+
+    fn windowed(&mut self) -> Option<&mut dyn WindowedNode> {
+        Some(self)
+    }
+}
+
+impl WindowedNode for LocalNode {
+    fn submit_batch(&mut self, hook: Uuid, events: Vec<HookEvent>) -> Result<Ticket, NodeError> {
+        let receivers = self
+            .host
+            .fire_batch_with_reply(hook, events)
+            .map_err(Self::portable)?;
+        let slots = receivers.iter().map(|_| None).collect();
+        let receivers = receivers.into_iter().map(Some).collect();
+        Ok(self.issue_ticket(LocalPending::Batch { receivers, slots }))
+    }
+
+    fn submit_stage(
+        &mut self,
+        uri: &str,
+        offset: usize,
+        chunk: &[u8],
+        restart: bool,
+    ) -> Result<Ticket, NodeError> {
+        let result = self
+            .stage_chunk(uri, offset, chunk, restart)
+            .map(|()| NodeReply::Staged);
+        Ok(self.issue_ticket(LocalPending::Ready(result)))
+    }
+
+    fn submit_deploy(&mut self, envelope: &[u8]) -> Result<Ticket, NodeError> {
+        let result = self.deploy(envelope).map(NodeReply::Deploy);
+        Ok(self.issue_ticket(LocalPending::Ready(result)))
+    }
+
+    fn pump(&mut self) -> bool {
+        let mut progressed = false;
+        for pending in self.pending.values_mut() {
+            let LocalPending::Batch { receivers, slots } = pending else {
+                continue;
+            };
+            for (rx_slot, out) in receivers.iter_mut().zip(slots.iter_mut()) {
+                let Some(rx) = rx_slot else { continue };
+                let filled = match rx.try_recv() {
+                    Ok(Ok(report)) => Some(Ok(report)),
+                    Ok(Err(e)) => Some(Err(Self::portable(HostError::Engine(e)))),
+                    Err(TryRecvError::Empty) => None,
+                    // Sender dropped without a send: displaced after
+                    // acceptance.
+                    Err(TryRecvError::Disconnected) => Some(Err(NodeError::Shed)),
+                };
+                if let Some(result) = filled {
+                    *out = Some(result);
+                    *rx_slot = None;
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    fn take(&mut self, ticket: Ticket) -> Option<Result<NodeReply, NodeError>> {
+        let done = match self.pending.get(&ticket)? {
+            LocalPending::Ready(_) => true,
+            LocalPending::Batch { slots, .. } => slots.iter().all(Option::is_some),
+        };
+        if !done {
+            return None;
+        }
+        match self.pending.remove(&ticket)? {
+            LocalPending::Ready(result) => Some(result),
+            LocalPending::Batch { slots, .. } => Some(Ok(NodeReply::Batch(
+                slots.into_iter().map(|s| s.expect("slot filled")).collect(),
+            ))),
+        }
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        // In-process: no link, no retransmissions, no virtual clock.
+        TransportStats {
+            in_flight_hwm: self.in_flight_hwm,
+            ..TransportStats::default()
+        }
+    }
 }
 
 impl std::fmt::Debug for LocalNode {
@@ -428,6 +644,59 @@ mod tests {
         deploy_counter(&mut node, hook_id, &key, 3);
         let report = node.dispatch(hook_id, HookEvent::default()).unwrap();
         assert_eq!(report.executions.len(), 1, "exactly one container serves");
+    }
+
+    #[test]
+    fn windowed_face_resolves_tickets_out_of_order() {
+        let (mut node, hook_id, key) = node();
+        deploy_counter(&mut node, hook_id, &key, 1);
+        let w = node.windowed().expect("local node has a windowed face");
+        let t1 = w
+            .submit_batch(hook_id, vec![HookEvent::default(); 3])
+            .unwrap();
+        let t2 = w
+            .submit_batch(hook_id, vec![HookEvent::default(); 2])
+            .unwrap();
+        let mut got = HashMap::new();
+        while got.len() < 2 {
+            w.pump();
+            for t in [t1, t2] {
+                if let std::collections::hash_map::Entry::Vacant(e) = got.entry(t) {
+                    if let Some(r) = w.take(t) {
+                        e.insert(r);
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+        for (t, len) in [(t1, 3), (t2, 2)] {
+            match got.remove(&t).unwrap() {
+                Ok(NodeReply::Batch(reports)) => {
+                    assert_eq!(reports.len(), len);
+                    assert!(reports.iter().all(Result::is_ok));
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert!(w.take(t1).is_none(), "tickets are single-take");
+        assert!(w.transport_stats().in_flight_hwm >= 2);
+        assert_eq!(node.stats().unwrap().dispatched, 5);
+    }
+
+    #[test]
+    fn windowed_submit_rejects_unknown_hook_at_submission() {
+        let (mut node, _, _) = node();
+        let ghost = Uuid::from_name("svc", "ghost");
+        let w = node.windowed().unwrap();
+        assert!(matches!(
+            w.submit_batch(ghost, vec![HookEvent::default()]),
+            Err(NodeError::UnknownHook(_))
+        ));
+        // Synchronous-at-submit operations still resolve via take().
+        let t = w.submit_stage("w-uri", 0, &[1, 2, 3], true).unwrap();
+        assert!(matches!(w.take(t), Some(Ok(NodeReply::Staged))));
+        let t = w.submit_deploy(b"garbage").unwrap();
+        assert!(matches!(w.take(t), Some(Err(NodeError::Rejected(_)))));
     }
 
     #[test]

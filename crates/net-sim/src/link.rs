@@ -200,6 +200,18 @@ impl LossyLink {
         self.in_flight.remove(idx).map(|(_, d)| d)
     }
 
+    /// Drains **every** datagram addressed to `node` that has arrived
+    /// by `now_us`, in arrival order — the batch form of
+    /// [`LossyLink::poll`] for event loops that service a whole window
+    /// of exchanges per tick instead of one datagram per call.
+    pub fn poll_ready(&mut self, node: u8, now_us: u64) -> Vec<Datagram> {
+        let mut out = Vec::new();
+        while let Some(d) = self.poll(node, now_us) {
+            out.push(d);
+        }
+        out
+    }
+
     /// Earliest pending delivery time for `node`, for schedulers.
     pub fn next_delivery_us(&self, node: u8) -> Option<u64> {
         self.in_flight
@@ -360,6 +372,41 @@ mod tests {
             (0..16u8).collect::<Vec<_>>(),
             "heavy jitter reorders at least one pair"
         );
+    }
+
+    #[test]
+    fn poll_ready_drains_in_arrival_order() {
+        let mut link = LossyLink::new(LinkConfig {
+            latency_us: 100,
+            jitter_us: 10_000,
+            seed: 3,
+            ..Default::default()
+        });
+        for i in 0..8u8 {
+            let mut d = dgram(2);
+            d.payload = vec![i];
+            link.send(0, d).unwrap();
+        }
+        link.send(0, dgram(3)).unwrap();
+        let drained = link.poll_ready(2, u64::MAX);
+        assert_eq!(drained.len(), 8, "drains only node 2's datagrams");
+        let mut by_poll = LossyLink::new(LinkConfig {
+            latency_us: 100,
+            jitter_us: 10_000,
+            seed: 3,
+            ..Default::default()
+        });
+        for i in 0..8u8 {
+            let mut d = dgram(2);
+            d.payload = vec![i];
+            by_poll.send(0, d).unwrap();
+        }
+        by_poll.send(0, dgram(3)).unwrap();
+        for d in &drained {
+            assert_eq!(by_poll.poll(2, u64::MAX).unwrap(), *d);
+        }
+        assert_eq!(link.poll_ready(2, u64::MAX), Vec::new());
+        assert_eq!(link.poll_ready(3, u64::MAX).len(), 1);
     }
 
     #[test]
