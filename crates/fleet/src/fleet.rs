@@ -45,8 +45,8 @@ use fc_core::helpers_impl::coap_ctx_bytes;
 use fc_core::hooks::Hook;
 use fc_host::coap::{response_pdu, DEFAULT_PKT_LEN};
 use fc_host::{
-    CoapReply, DeployReport, HookEvent, NodeError, NodeReply, NodeService, NodeStats, Ticket,
-    TransportStats,
+    CoapReply, CounterId, DeployReport, GaugeId, HookEvent, MetricsSnapshot, NodeError, NodeReply,
+    NodeService, NodeStats, Ticket, TransportStats,
 };
 use fc_net::coap::Message;
 use fc_suit::cbor::Value;
@@ -699,6 +699,50 @@ impl FcFleet {
                 (id, stats)
             })
             .collect()
+    }
+
+    /// Full telemetry snapshots scraped from every node over its own
+    /// transport — the deep companion to [`FcFleet::stats`]. Each
+    /// snapshot crosses the (possibly lossy) wire in the snapshot's
+    /// own binary format nested inside the node-op codec, so a scrape
+    /// enjoys the same retry/dedup discipline as any other operation.
+    pub fn metrics(&mut self) -> Vec<(usize, Result<MetricsSnapshot, NodeError>)> {
+        let ids: Vec<usize> = self.nodes.iter().map(|n| n.id).collect();
+        ids.into_iter()
+            .map(|id| {
+                let snapshot = self.node_mut(id).and_then(|service| service.metrics());
+                (id, snapshot)
+            })
+            .collect()
+    }
+
+    /// One fleet-wide telemetry view: every node scraped
+    /// ([`FcFleet::metrics`]), each snapshot retagged with the node's
+    /// fleet id, then merged — counters sum, gauges max, histograms
+    /// add bucket-wise — with each node's transport counters
+    /// (retransmits, coalesced frames, in-flight high-water, smoothed
+    /// RTT) overlaid so the wire itself shows up in the same view.
+    /// Nodes that fail to answer are skipped and reported alongside.
+    pub fn merged_metrics(&mut self) -> (MetricsSnapshot, Vec<(usize, NodeError)>) {
+        let mut merged = MetricsSnapshot::default();
+        let mut failed: Vec<(usize, NodeError)> = Vec::new();
+        for (id, scraped) in self.metrics() {
+            match scraped {
+                Ok(mut snapshot) => {
+                    snapshot.retag_node(id as u32);
+                    merged.merge(&snapshot);
+                }
+                Err(e) => failed.push((id, e)),
+            }
+        }
+        for (_, t) in self.transport_stats() {
+            merged.add_counter(CounterId::Retransmits, t.retransmits);
+            merged.add_counter(CounterId::CoalescedFrames, t.coalesced_frames);
+            merged.gauge_max(GaugeId::InFlightHwm, t.in_flight_hwm);
+            merged.gauge_max(GaugeId::SrttUs, t.srtt_us);
+            merged.gauge_max(GaugeId::VirtualNowUs, t.virtual_now_us);
+        }
+        (merged, failed)
     }
 
     /// Transport counters from every node's windowed face — the

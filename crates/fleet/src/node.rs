@@ -44,8 +44,8 @@ use fc_core::contract::ContractOffer;
 use fc_core::engine::HookReport;
 use fc_core::hooks::Hook;
 use fc_host::{
-    DeployReport, HookEvent, NodeError, NodeReply, NodeService, NodeStats, Ticket, TransportStats,
-    WindowedNode,
+    DeployReport, HookEvent, MetricsSnapshot, NodeError, NodeReply, NodeService, NodeStats, Ticket,
+    TraceEvent, TraceKind, TraceRing, TransportStats, WindowedNode,
 };
 use fc_net::coap::{Code, Message};
 use fc_net::endpoint::{ACK_TIMEOUT_US, MAX_RETRANSMIT};
@@ -70,6 +70,11 @@ pub const FLEET_MTU: usize = 4096;
 /// exponentially up to this bound, never past it, so a dead link
 /// yields [`NodeError::Timeout`] in bounded virtual time.
 pub const MAX_TRANSMIT_WAIT_US: u64 = 10_000_000;
+
+/// Capacity of a [`RemoteNode`]'s transport trace ring: enough to
+/// hold the retransmission history of a whole windowed burst without
+/// growing on the hot path.
+pub const TRANSPORT_TRACE_CAPACITY: usize = 256;
 
 /// Headroom reserved for CoAP framing around an encoded operation
 /// (4-byte header, 8-byte token, `fc/op` path options, payload
@@ -344,6 +349,10 @@ impl<S: NodeService> NodeEndpoint<S> {
                 .map(|()| ReplyBody::Unit),
             NodeOp::Deploy { envelope } => self.inner.deploy(&envelope).map(ReplyBody::Deploy),
             NodeOp::Stats => self.inner.stats().map(ReplyBody::Stats),
+            NodeOp::Metrics => self
+                .inner
+                .metrics()
+                .map(|snap| ReplyBody::Metrics(Box::new(snap))),
         }
     }
 }
@@ -458,6 +467,9 @@ pub struct RemoteNode<S> {
     completed: HashMap<u64, Result<ReplyBody, NodeError>>,
     tickets: HashMap<Ticket, PendingTicket>,
     tstats: TransportStats,
+    /// Transport-side event trace: retransmissions and exchange
+    /// timeouts, stamped with this link's virtual clock.
+    trace: TraceRing,
     config: RemoteConfig,
 }
 
@@ -480,6 +492,7 @@ impl<S: NodeService> RemoteNode<S> {
             completed: HashMap::new(),
             tickets: HashMap::new(),
             tstats: TransportStats::default(),
+            trace: TraceRing::new(TRANSPORT_TRACE_CAPACITY),
             config,
         }
     }
@@ -502,6 +515,13 @@ impl<S: NodeService> RemoteNode<S> {
     /// Current virtual time on this node's link, microseconds.
     pub fn now_us(&self) -> u64 {
         self.now_us
+    }
+
+    /// The transport-side trace: one [`TraceKind::Retransmit`] event
+    /// per resent frame, stamped with this link's virtual clock
+    /// (`a` = exchange token, `b` = transmission attempt).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.events()
     }
 
     /// Whether an event-carrying request of `encoded_len` bytes fits
@@ -763,6 +783,12 @@ impl<S: NodeService> RemoteNode<S> {
             ex.retx_at = self.now_us + ex.timeout_us;
             retx.push(ex.frame.clone());
             self.tstats.retransmits += 1;
+            self.trace.record(
+                self.now_us,
+                TraceKind::Retransmit,
+                token,
+                u64::from(ex.attempts),
+            );
             progressed = true;
         }
         for (token, seq) in dead {
@@ -997,6 +1023,13 @@ impl<S: NodeService> NodeService for RemoteNode<S> {
     fn stats(&mut self) -> Result<NodeStats, NodeError> {
         match self.exchange(&NodeOp::Stats)? {
             ReplyBody::Stats(stats) => Ok(stats),
+            other => Err(unexpected_body(&other)),
+        }
+    }
+
+    fn metrics(&mut self) -> Result<MetricsSnapshot, NodeError> {
+        match self.exchange(&NodeOp::Metrics)? {
+            ReplyBody::Metrics(snapshot) => Ok(*snapshot),
             other => Err(unexpected_body(&other)),
         }
     }

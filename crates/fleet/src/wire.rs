@@ -17,7 +17,7 @@
 use fc_core::contract::ContractOffer;
 use fc_core::engine::{ExecutionReport, HookReport, HostRegion};
 use fc_core::hooks::{Hook, HookKind, HookPolicy};
-use fc_host::{DeployReport, HookEvent, NodeError, NodeStats};
+use fc_host::{DeployReport, HookEvent, MetricsSnapshot, NodeError, NodeStats};
 use fc_rbpf::error::VmError;
 use fc_rbpf::vm::OpCounts;
 use fc_suit::Uuid;
@@ -98,6 +98,8 @@ pub enum NodeOp {
     },
     /// [`fc_host::NodeService::stats`].
     Stats,
+    /// [`fc_host::NodeService::metrics`].
+    Metrics,
 }
 
 /// The body of a successful reply; which variant is legal is implied
@@ -114,6 +116,9 @@ pub enum ReplyBody {
     Deploy(DeployReport),
     /// A stats snapshot.
     Stats(NodeStats),
+    /// A full telemetry snapshot (boxed: it dwarfs every other
+    /// variant).
+    Metrics(Box<MetricsSnapshot>),
 }
 
 // ---------------------------------------------------------------- put
@@ -682,6 +687,7 @@ pub fn encode_op(op: &NodeOp) -> Vec<u8> {
             put_bytes(&mut buf, envelope);
         }
         NodeOp::Stats => put_u8(&mut buf, 6),
+        NodeOp::Metrics => put_u8(&mut buf, 7),
     }
     buf
 }
@@ -722,6 +728,7 @@ pub fn decode_op(bytes: &[u8]) -> Result<NodeOp, WireError> {
             envelope: r.bytes()?,
         },
         6 => NodeOp::Stats,
+        7 => NodeOp::Metrics,
         t => return Err(WireError::BadTag(t)),
     };
     r.done()?;
@@ -768,6 +775,13 @@ pub fn encode_reply(reply: &Result<ReplyBody, NodeError>) -> Vec<u8> {
                     put_u8(&mut buf, 4);
                     put_stats(&mut buf, stats);
                 }
+                ReplyBody::Metrics(snapshot) => {
+                    put_u8(&mut buf, 5);
+                    // The snapshot owns its wire format; nest it as one
+                    // opaque length-prefixed run so the codecs version
+                    // independently.
+                    put_bytes(&mut buf, &snapshot.encode());
+                }
             }
         }
     }
@@ -800,6 +814,11 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Result<ReplyBody, NodeError>, WireEr
             }
             3 => ReplyBody::Deploy(get_deploy_report(&mut r)?),
             4 => ReplyBody::Stats(get_stats(&mut r)?),
+            5 => {
+                let raw = r.bytes()?;
+                let snapshot = MetricsSnapshot::decode(&raw).map_err(|_| WireError::Truncated)?;
+                ReplyBody::Metrics(Box::new(snapshot))
+            }
             t => return Err(WireError::BadTag(t)),
         }),
         t => return Err(WireError::BadTag(t)),
@@ -918,6 +937,28 @@ mod tests {
         }
     }
 
+    fn sample_metrics() -> fc_host::MetricsSnapshot {
+        use fc_host::{CounterId, GaugeId, HistogramSnapshot, TenantMetrics};
+        let mut snap = fc_host::MetricsSnapshot {
+            nodes: 1,
+            ..Default::default()
+        };
+        snap.set_counter(CounterId::Dispatched, 240);
+        snap.set_counter(CounterId::Shed, 3);
+        snap.gauge_max(GaugeId::QueueDepthMax, 17);
+        snap.latency.0[12] = 200;
+        snap.latency.0[13] = 40;
+        let mut latency = HistogramSnapshot::default();
+        latency.0[9] = 120;
+        snap.tenants.push(TenantMetrics {
+            tenant: 7,
+            executions: 120,
+            insns: 4800,
+            latency,
+        });
+        snap
+    }
+
     #[test]
     fn ops_round_trip() {
         let hook = Hook::new("wire-h", HookKind::CoapRequest, HookPolicy::Sum);
@@ -948,6 +989,7 @@ mod tests {
                 envelope: vec![0xca; 100],
             },
             NodeOp::Stats,
+            NodeOp::Metrics,
         ];
         for op in ops {
             assert_eq!(decode_op(&encode_op(&op)).unwrap(), op);
@@ -982,6 +1024,7 @@ mod tests {
                 p99_ns: 7,
                 max_shard_busy_cycles: 8,
             })),
+            Ok(ReplyBody::Metrics(Box::new(sample_metrics()))),
             Err(NodeError::Rejected("bad image".into())),
             Err(NodeError::Timeout),
             Err(NodeError::Transport("mtu".into())),
@@ -989,6 +1032,16 @@ mod tests {
         for reply in replies {
             assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
         }
+    }
+
+    #[test]
+    fn metrics_reply_rejects_corrupt_inner_snapshot() {
+        let reply = Ok(ReplyBody::Metrics(Box::new(sample_metrics())));
+        let mut bytes = encode_reply(&reply);
+        // Flip the nested snapshot's version byte (outer tag bytes and
+        // inner length prefix come first: reply=1, body=5, len:u32).
+        bytes[6] = 0xff;
+        assert!(decode_reply(&bytes).is_err());
     }
 
     #[test]

@@ -437,6 +437,78 @@ fn reordered_duplicated_completions_match_stop_and_wait_reports() {
     );
 }
 
+/// Observability must be invisible in the behaviour it observes: the
+/// same seeded lossy run with telemetry recording enabled (the
+/// default) and fully disabled returns bit-identical per-event
+/// reports, the same virtual clock reading, and the same transport
+/// counters — at stop-and-wait (window 1) and under multiplexing
+/// (window 8).
+#[test]
+fn telemetry_on_and_off_lossy_runs_are_bit_identical() {
+    use fc_host::{TelemetryConfig, WindowedNode};
+
+    let run = |window: usize, telemetry: TelemetryConfig| {
+        let mut node = LocalNode::new(
+            Platform::CortexM4,
+            Engine::FemtoContainer,
+            HostConfig {
+                workers: 2,
+                telemetry,
+                ..HostConfig::default()
+            },
+        );
+        let hook = Hook::new("telemetry-hook", HookKind::Custom, HookPolicy::First);
+        let hook_id = hook.id;
+        node.register_hook(hook, ContractOffer::helpers(standard_helper_ids()))
+            .unwrap();
+        let image = echo_program();
+        let container = node
+            .host()
+            .install("echo", 1, &image.to_bytes(), ContractRequest::default())
+            .unwrap();
+        node.host().attach(container, hook_id).unwrap();
+        let mut remote = RemoteNode::new(
+            node,
+            RemoteConfig {
+                window,
+                ..lossy_config(0x0b5e_7e1e)
+            },
+        );
+        let events: Vec<HookEvent> = (1..=40u8)
+            .map(|i| HookEvent {
+                ctx: vec![i],
+                extra: vec![fc_core::engine::HostRegion::read_write(
+                    "blob",
+                    vec![i; 600],
+                )],
+            })
+            .collect();
+        let replies = remote.dispatch_batch(hook_id, events).unwrap();
+        (replies, remote.now_us(), remote.transport_stats())
+    };
+
+    let off = TelemetryConfig {
+        enabled: false,
+        trace_capacity: 0,
+    };
+    for window in [1usize, 8] {
+        let (on_replies, on_now, on_tstats) = run(window, TelemetryConfig::default());
+        let (off_replies, off_now, off_tstats) = run(window, off);
+        assert_eq!(
+            on_replies, off_replies,
+            "window {window}: per-event reports bit-identical"
+        );
+        assert_eq!(
+            on_now, off_now,
+            "window {window}: virtual clock reads identically"
+        );
+        assert_eq!(
+            on_tstats, off_tstats,
+            "window {window}: transport counters identical"
+        );
+    }
+}
+
 /// Satellite for the back-off cap: against a dead link the doubling
 /// retransmission interval clamps at `max_transmit_wait_us`, so the
 /// exchange dies after a *bounded* virtual time — deterministic to the

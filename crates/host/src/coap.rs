@@ -19,8 +19,9 @@ use std::sync::mpsc::Receiver;
 
 use fc_core::engine::{EngineError, HookReport, HostRegion};
 use fc_core::helpers_impl::coap_ctx_bytes;
+use fc_kvstore::TenantId;
 use fc_net::block::Block;
-use fc_net::coap::{option, Code, Message};
+use fc_net::coap::{content_format, option, Code, Message};
 use fc_suit::{UpdateError, Uuid};
 
 use crate::deploy::{LiveDeployError, LiveUpdateService};
@@ -250,6 +251,76 @@ impl CoapFront {
             "suit/report" => Some(Self::poll_suit_report(updates, request)),
             _ => None,
         }
+    }
+
+    /// Serves the observability resources — the scrape lane of the
+    /// front-end. Returns `None` when the path is not an observability
+    /// resource (route it through the tenant dispatch paths instead).
+    ///
+    /// * `GET /metrics` serves the host's full
+    ///   [`crate::MetricsSnapshot`]: the human-readable text rendering
+    ///   by default (`text/plain`), or the lossless binary encoding
+    ///   (`application/octet-stream`) with a Uri-Query of `bin` — what
+    ///   a fleet scraper asks for;
+    /// * `GET /metrics/tenant/<id>` serves one tenant's row (2.05, or
+    ///   4.04 when the tenant has never executed here);
+    /// * `GET /trace` dumps the bounded event-trace ring, oldest event
+    ///   first, one line per [`crate::TraceEvent`].
+    ///
+    /// Non-GET methods on these resources get 4.05 Method Not Allowed.
+    pub fn dispatch_observability(&self, host: &FcHost, request: &Message) -> Option<Message> {
+        let path = normalize(&request.path());
+        let tenant_scoped = path.strip_prefix("metrics/tenant/");
+        if path != "metrics" && path != "trace" && tenant_scoped.is_none() {
+            return None;
+        }
+        if request.code != Code::Get {
+            return Some(Message::response_to(request, Code::MethodNotAllowed));
+        }
+        let mut resp = Message::response_to(request, Code::Content);
+        resp.set_content_format(content_format::TEXT_PLAIN);
+        match path.as_str() {
+            "metrics" => {
+                let snap = host.metrics_snapshot();
+                let binary = request
+                    .options
+                    .iter()
+                    .any(|(n, v)| *n == option::URI_QUERY && v == b"bin");
+                if binary {
+                    resp.payload = snap.encode();
+                    resp.set_content_format(content_format::OCTET_STREAM);
+                } else {
+                    resp.payload = snap.to_string().into_bytes();
+                }
+            }
+            "trace" => {
+                let mut out = String::new();
+                for event in host.telemetry().trace_events() {
+                    out.push_str(&event.to_string());
+                    out.push('\n');
+                }
+                resp.payload = out.into_bytes();
+            }
+            _ => {
+                let Some(tenant) = tenant_scoped.and_then(|s| s.parse::<TenantId>().ok()) else {
+                    return Some(Message::response_to(request, Code::BadRequest));
+                };
+                let snap = host.metrics_snapshot();
+                let Some(t) = snap.tenant(tenant) else {
+                    return Some(Message::response_to(request, Code::NotFound));
+                };
+                resp.payload = format!(
+                    "tenant {} executions={} insns={} p50_ns={} p99_ns={}\n",
+                    t.tenant,
+                    t.executions,
+                    t.insns,
+                    t.latency.quantile_ns(0.50),
+                    t.latency.quantile_ns(0.99)
+                )
+                .into_bytes();
+            }
+        }
+        Some(resp)
     }
 
     fn poll_suit_report(updates: &LiveUpdateService, request: &Message) -> Message {
@@ -795,6 +866,83 @@ mod tests {
         req.payload = envelope;
         let resp = front.dispatch_suit(&host, &mut updates, &req).unwrap();
         assert_eq!(resp.code, Code::Changed, "active transfer deployed");
+        host.shutdown();
+    }
+
+    /// `/metrics` round-trips the snapshot (text and binary), the
+    /// tenant-scoped resource serves one row, `/trace` dumps spans,
+    /// and non-GET methods are refused — the in-process half of the
+    /// fleet scrape path.
+    #[test]
+    fn observability_resources_serve_metrics_and_trace() {
+        use crate::telemetry::{CounterId, MetricsSnapshot};
+        let (mut host, hook_id) = suit_host();
+        let app = fc_core::apps::thread_counter();
+        let c = host
+            .install(
+                "obs",
+                7,
+                &app.to_bytes(),
+                fc_core::deploy::contract_request_for(&app),
+            )
+            .unwrap();
+        host.attach(c, hook_id).unwrap();
+        for _ in 0..10 {
+            host.fire_sync(hook_id, &[], &[]).unwrap();
+        }
+        let front = CoapFront::new();
+        let get = |path: &str, query: Option<&[u8]>| {
+            let mut req = Message::request(Code::Get, 1, &[9]);
+            req.set_path(path);
+            if let Some(q) = query {
+                req.add_option(option::URI_QUERY, q.to_vec());
+            }
+            front.dispatch_observability(&host, &req)
+        };
+        // Text rendering by default.
+        let resp = get("metrics", None).expect("metrics routed");
+        assert_eq!(resp.code, Code::Content);
+        assert_eq!(resp.content_format(), Some(content_format::TEXT_PLAIN));
+        let text = String::from_utf8(resp.payload).unwrap();
+        assert!(text.contains("counter dispatched 10"), "{text}");
+        assert!(text.contains("tenant 7 "), "{text}");
+        // Binary encoding decodes losslessly and reconciles with the
+        // host ledger.
+        let resp = get("metrics", Some(b"bin")).unwrap();
+        assert_eq!(resp.content_format(), Some(content_format::OCTET_STREAM));
+        let snap = MetricsSnapshot::decode(&resp.payload).unwrap();
+        assert_eq!(
+            snap.counter(CounterId::Dispatched),
+            host.stats()
+                .dispatched
+                .load(std::sync::atomic::Ordering::Relaxed)
+        );
+        assert_eq!(snap.tenant(7).unwrap().executions, 10);
+        // Tenant-scoped resource.
+        let resp = get("metrics/tenant/7", None).unwrap();
+        assert_eq!(resp.code, Code::Content);
+        let row = String::from_utf8(resp.payload).unwrap();
+        assert!(row.starts_with("tenant 7 executions=10"), "{row}");
+        assert_eq!(get("metrics/tenant/99", None).unwrap().code, Code::NotFound);
+        assert_eq!(
+            get("metrics/tenant/nope", None).unwrap().code,
+            Code::BadRequest
+        );
+        // Trace ring dumps enqueue→drain→exec→reply spans.
+        let resp = get("trace", None).unwrap();
+        let trace = String::from_utf8(resp.payload).unwrap();
+        assert!(trace.contains("enqueue"), "{trace}");
+        assert!(trace.contains("exec"), "{trace}");
+        // Non-observability paths fall through; non-GET is refused.
+        let mut other = Message::request(Code::Get, 2, &[9]);
+        other.set_path("t0/temp");
+        assert!(front.dispatch_observability(&host, &other).is_none());
+        let mut post = Message::request(Code::Post, 3, &[9]);
+        post.set_path("metrics");
+        assert_eq!(
+            front.dispatch_observability(&host, &post).unwrap().code,
+            Code::MethodNotAllowed
+        );
         host.shutdown();
     }
 

@@ -39,6 +39,7 @@ use fc_rbpf::program::FcProgram;
 use fc_suit::{UpdateError, UpdateManager, Uuid, VerifyingKey};
 
 use crate::host::{FcHost, HostError};
+use crate::telemetry::TraceKind;
 
 /// Why a live deployment was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -468,6 +469,12 @@ impl LiveUpdateService {
                 host.stats()
                     .deploys_rate_limited
                     .fetch_add(1, Ordering::Relaxed);
+                host.telemetry().trace_hook(
+                    host.env().now_us(),
+                    TraceKind::DeployRateLimited,
+                    &pending.manifest.component,
+                    u64::from(tenant),
+                );
                 return Err(LiveDeployError::RateLimited { tenant });
             }
         }

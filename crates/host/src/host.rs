@@ -64,6 +64,10 @@ use crate::queue::{Accepted, BatchAccepted, Event, Inbox, ShedPolicy};
 use crate::rebalance::{RebalanceConfig, Rebalancer};
 use crate::shard::{spawn_shard, Command, OutstandingGauge, ShardParams, ShardReport, SharedInbox};
 use crate::stats::HostStats;
+use crate::telemetry::{
+    CounterId, GaugeId, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ShardMetrics,
+    TelemetryConfig, TenantMetrics, TraceKind,
+};
 
 /// Why a host operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,6 +128,9 @@ pub struct HostConfig {
     /// Tuning for the in-band rebalancer (ignored while
     /// `rebalance_interval` is 0).
     pub rebalance: RebalanceConfig,
+    /// Observability plane: keyed metrics registry + event trace ring
+    /// (see [`crate::telemetry`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for HostConfig {
@@ -136,6 +143,7 @@ impl Default for HostConfig {
             shed: ShedPolicy::default(),
             rebalance_interval: 0,
             rebalance: RebalanceConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -250,6 +258,9 @@ pub struct FcHost {
     shards: Vec<Shard>,
     env: Arc<HostEnv>,
     stats: Arc<HostStats>,
+    /// Keyed metrics + trace ring, recorded into by producers and
+    /// shard workers alike (lock-free; see [`crate::telemetry`]).
+    telemetry: Arc<MetricsRegistry>,
     /// Events accepted but not yet executed (quiescence tracking).
     outstanding: Arc<OutstandingGauge>,
     config: HostConfig,
@@ -289,6 +300,7 @@ impl FcHost {
         // would displace from an empty queue.
         config.queue_capacity = config.queue_capacity.max(1);
         let stats = Arc::new(HostStats::new());
+        let telemetry = Arc::new(MetricsRegistry::new(config.telemetry, workers));
         let outstanding = Arc::new(OutstandingGauge::new());
         let params = ShardParams {
             // A zero quantum would never let any queue's deficit go
@@ -307,6 +319,7 @@ impl FcHost {
                     Arc::clone(&inbox),
                     Arc::clone(&stats),
                     Arc::clone(&outstanding),
+                    Arc::clone(&telemetry),
                     params,
                 );
                 Shard {
@@ -319,6 +332,7 @@ impl FcHost {
             shards,
             env,
             stats,
+            telemetry,
             outstanding,
             platform,
             flavor,
@@ -367,6 +381,85 @@ impl FcHost {
     /// Dispatch statistics.
     pub fn stats(&self) -> &HostStats {
         &self.stats
+    }
+
+    /// The observability registry: keyed metrics plus the bounded
+    /// event-trace ring (see [`crate::telemetry`]).
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        &self.telemetry
+    }
+
+    /// Builds a point-in-time [`MetricsSnapshot`] of this host: ledger
+    /// counters from [`HostStats`] (so the snapshot reconciles exactly
+    /// with `stats()` by construction), keyed per-hook/per-tenant/
+    /// per-shard sections from the telemetry registry, and per-shard
+    /// queue depth plus busy cycles observed at scrape time.
+    ///
+    /// This is a *scrape-path* operation: it takes each inbox lock
+    /// briefly for the queue depth and round-trips every shard's
+    /// control lane for busy cycles. The dispatch path records nothing
+    /// here.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            nodes: 1,
+            ..MetricsSnapshot::default()
+        };
+        let s = &self.stats;
+        let pairs = [
+            (CounterId::Enqueued, &s.enqueued),
+            (CounterId::Dispatched, &s.dispatched),
+            (CounterId::Shed, &s.shed),
+            (CounterId::Displaced, &s.displaced),
+            (CounterId::Batches, &s.batches),
+            (CounterId::Migrations, &s.migrations),
+            (CounterId::Deploys, &s.deploys),
+            (CounterId::DeploysRateLimited, &s.deploys_rate_limited),
+            (CounterId::InbandObservations, &s.inband_observations),
+            (CounterId::Faults, &s.faults),
+            (CounterId::Insns, &s.insns),
+        ];
+        for (id, counter) in pairs {
+            snap.set_counter(id, counter.load(Ordering::Relaxed));
+        }
+        snap.latency = HistogramSnapshot(s.latency.load());
+        self.telemetry.fill_snapshot(&mut snap);
+        // With keyed recording disabled the registry contributes no
+        // tenant rows; fall back to the ledger (no latency breakdown).
+        if snap.tenants.is_empty() {
+            for (tenant, t) in self.stats.tenants_shared().iter() {
+                snap.tenants.push(TenantMetrics {
+                    tenant: *tenant,
+                    executions: t.executions,
+                    insns: t.insns,
+                    latency: HistogramSnapshot::default(),
+                });
+            }
+        }
+        // One shard row per worker even when the registry is disabled.
+        while snap.shards.len() < self.shards.len() {
+            snap.shards.push(ShardMetrics {
+                node: 0,
+                shard: snap.shards.len() as u32,
+                dispatched: 0,
+                queue_depth: 0,
+                busy_cycles: 0,
+                latency: HistogramSnapshot::default(),
+            });
+        }
+        let mut max_depth = 0u64;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let depth = shard.inbox.0.lock().expect("inbox lock").depth() as u64;
+            max_depth = max_depth.max(depth);
+            snap.shards[i].queue_depth = depth;
+        }
+        for report in self.shard_reports() {
+            if let Some(row) = snap.shards.get_mut(report.shard) {
+                row.busy_cycles = report.sim_cycles;
+            }
+        }
+        snap.gauge_max(GaugeId::QueueDepthMax, max_depth);
+        snap.gauge_max(GaugeId::VirtualNowUs, self.env.now_us());
+        snap
     }
 
     /// Shard a container currently calls home, if installed.
@@ -419,6 +512,8 @@ impl FcHost {
             }
         };
         p.hook_specs.insert(hook.id, (hook.clone(), offer.clone()));
+        self.telemetry
+            .trace_hook(self.env.now_us(), TraceKind::Lifecycle, &hook.id, 1);
         let (lock, cvar) = &*self.shards[shard].inbox;
         {
             let mut inbox = lock.lock().expect("inbox lock");
@@ -461,6 +556,17 @@ impl FcHost {
             self.stats.displaced.fetch_add(1, Ordering::Relaxed);
             self.outstanding.sub();
         }
+        if !dropped.is_empty() {
+            self.telemetry.record_shed(&hook, dropped.len() as u64);
+            self.telemetry.trace_hook(
+                self.env.now_us(),
+                TraceKind::Shed,
+                &hook,
+                dropped.len() as u64,
+            );
+        }
+        self.telemetry
+            .trace_hook(self.env.now_us(), TraceKind::Lifecycle, &hook, 0);
         let (tx, rx) = sync_channel(1);
         self.send_command(shard, Command::UnregisterHook { hook, reply: tx });
         let (attached, _cycles) = Self::recv(rx)?;
@@ -802,6 +908,15 @@ impl FcHost {
             p.specs.remove(&old);
         }
         self.stats.deploys.fetch_add(1, Ordering::Relaxed);
+        let at = self.env.now_us();
+        match hook {
+            Some(h) => self
+                .telemetry
+                .trace_hook(at, TraceKind::Deploy, &h, u64::from(id)),
+            None => self
+                .telemetry
+                .trace(at, TraceKind::Deploy, 0, u64::from(id)),
+        }
         Ok(DeployOutcome {
             container: id,
             shard,
@@ -877,18 +992,30 @@ impl FcHost {
                 Ok((accepted, displaced)) => {
                     cvar.notify_one();
                     self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.trace_hook(
+                        self.env.now_us(),
+                        TraceKind::Enqueue,
+                        &hook,
+                        shard as u64,
+                    );
                     if displaced.is_some() {
                         // The displaced event never executes; its
                         // outstanding slot transfers to the new event.
                         self.stats.shed.fetch_add(1, Ordering::Relaxed);
                         self.stats.displaced.fetch_add(1, Ordering::Relaxed);
                         self.outstanding.sub();
+                        self.telemetry.record_shed(&hook, 1);
+                        self.telemetry
+                            .trace_hook(self.env.now_us(), TraceKind::Shed, &hook, 1);
                     }
                     Ok(accepted)
                 }
                 Err(_event) => {
                     self.stats.shed.fetch_add(1, Ordering::Relaxed);
                     self.outstanding.sub();
+                    self.telemetry.record_shed(&hook, 1);
+                    self.telemetry
+                        .trace_hook(self.env.now_us(), TraceKind::Shed, &hook, 1);
                     Err(HostError::Shed)
                 }
             }
@@ -1027,12 +1154,25 @@ impl FcHost {
             self.stats
                 .enqueued
                 .fetch_add(outcome.accepted as u64, Ordering::Relaxed);
+            if outcome.accepted > 0 {
+                // One span for the whole batch: the amortised path
+                // stays amortised in the trace too.
+                self.telemetry.trace_hook(
+                    self.env.now_us(),
+                    TraceKind::Enqueue,
+                    &hook,
+                    shard as u64,
+                );
+            }
             let shed = (outcome.rejected + outcome.displaced) as u64;
             if shed > 0 {
                 self.stats.shed.fetch_add(shed, Ordering::Relaxed);
                 self.stats
                     .displaced
                     .fetch_add(outcome.displaced as u64, Ordering::Relaxed);
+                self.telemetry.record_shed(&hook, shed);
+                self.telemetry
+                    .trace_hook(self.env.now_us(), TraceKind::Shed, &hook, shed);
                 // Rejected events never execute; displaced events'
                 // slots transfer to the newly accepted ones.
                 for _ in 0..shed {
@@ -1255,6 +1395,12 @@ impl FcHost {
         }
         if outcome.is_ok() {
             self.stats.migrations.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.trace_hook(
+                self.env.now_us(),
+                TraceKind::Migrate,
+                &hook,
+                ((from as u64) << 32) | to as u64,
+            );
         }
         outcome
     }

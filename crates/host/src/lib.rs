@@ -101,6 +101,7 @@ pub mod rebalance;
 pub mod service;
 pub mod shard;
 pub mod stats;
+pub mod telemetry;
 
 pub use coap::{CoapFront, CoapReply};
 pub use deploy::{DeployPoll, DeployReport, LiveDeployError, LiveUpdateService};
@@ -112,6 +113,10 @@ pub use service::{
 };
 pub use shard::ShardReport;
 pub use stats::{HostStats, LatencyHistogram, TenantStats};
+pub use telemetry::{
+    CounterId, GaugeId, HistogramSnapshot, HookMetrics, MetricsRegistry, MetricsSnapshot,
+    ShardMetrics, SnapshotError, TelemetryConfig, TenantMetrics, TraceEvent, TraceKind, TraceRing,
+};
 
 #[cfg(test)]
 mod tests {

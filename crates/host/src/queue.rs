@@ -119,6 +119,12 @@ impl Inbox {
         }
     }
 
+    /// Total queued events across all hooks — the per-shard queue
+    /// depth a `/metrics` scrape reports.
+    pub fn depth(&self) -> usize {
+        self.pending
+    }
+
     /// Creates the queue for a newly registered hook (idempotent).
     pub fn add_queue(&mut self, hook: Uuid) {
         if let std::collections::btree_map::Entry::Vacant(slot) = self.queues.entry(hook) {

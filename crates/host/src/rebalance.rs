@@ -40,6 +40,7 @@ use fc_suit::Uuid;
 
 use crate::host::{FcHost, HostError};
 use crate::shard::ShardReport;
+use crate::telemetry::TraceKind;
 
 /// Tuning knobs for the [`Rebalancer`].
 #[derive(Debug, Clone, Copy)]
@@ -201,6 +202,12 @@ impl Rebalancer {
             .collect();
         let planned = plan_moves(&window, &candidates, self.config.max_moves);
         for m in &planned {
+            host.telemetry().trace_hook(
+                host.env().now_us(),
+                TraceKind::Rebalance,
+                &m.hook,
+                ((m.from as u64) << 32) | m.to as u64,
+            );
             host.migrate_hook(m.hook, m.to)?;
         }
         if !planned.is_empty() {

@@ -280,6 +280,23 @@ pub trait NodeService {
     /// Transport errors only.
     fn stats(&mut self) -> Result<NodeStats, NodeError>;
 
+    /// Full observability snapshot ([`crate::MetricsSnapshot`]): every
+    /// ledger counter, per-tenant/per-hook/per-shard sections with
+    /// mergeable latency histograms — what the fleet aggregator scrapes
+    /// and merges into its fleet-wide view. Defaults to a rejection so
+    /// transports and test doubles predating the metrics plane stay
+    /// valid [`NodeService`] implementations.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`NodeError::Rejected`] when the node does
+    /// not serve metrics.
+    fn metrics(&mut self) -> Result<crate::MetricsSnapshot, NodeError> {
+        Err(NodeError::Rejected(
+            "node does not serve metrics".to_owned(),
+        ))
+    }
+
     /// The node's non-blocking windowed face, when the transport has
     /// one. Defaults to `None` so existing adapters and test doubles
     /// stay valid; the fleet falls back to blocking calls for them.
@@ -473,6 +490,19 @@ impl NodeService for LocalNode {
             p99_ns: stats.latency.quantile_ns(0.99),
             max_shard_busy_cycles,
         })
+    }
+
+    fn metrics(&mut self) -> Result<crate::MetricsSnapshot, NodeError> {
+        use crate::telemetry::CounterId;
+        let mut snap = self.host.metrics_snapshot();
+        // Overlay the live-update service's ledgers — they live beside
+        // the host, not inside it.
+        snap.set_counter(CounterId::DeploysAccepted, self.updates.accepted_count());
+        snap.set_counter(
+            CounterId::DeploysRejected,
+            self.updates.rejected_count() + self.updates.rate_limited_count(),
+        );
+        Ok(snap)
     }
 
     fn windowed(&mut self) -> Option<&mut dyn WindowedNode> {
@@ -697,6 +727,42 @@ mod tests {
         assert!(matches!(w.take(t), Some(Ok(NodeReply::Staged))));
         let t = w.submit_deploy(b"garbage").unwrap();
         assert!(matches!(w.take(t), Some(Err(NodeError::Rejected(_)))));
+    }
+
+    /// The node's metrics snapshot reconciles exactly with its
+    /// `stats()` ledgers — the invariant the fleet aggregation tests
+    /// lean on per node.
+    #[test]
+    fn metrics_snapshot_reconciles_with_stats() {
+        use crate::telemetry::CounterId;
+        let (mut node, hook_id, key) = node();
+        deploy_counter(&mut node, hook_id, &key, 1);
+        node.dispatch_batch(hook_id, vec![HookEvent::default(); 8])
+            .unwrap();
+        let stats = node.stats().unwrap();
+        let snap = node.metrics().unwrap();
+        assert_eq!(snap.counter(CounterId::Dispatched), stats.dispatched);
+        assert_eq!(snap.counter(CounterId::Shed), stats.shed);
+        assert_eq!(
+            snap.counter(CounterId::DeploysAccepted),
+            stats.deploys_accepted
+        );
+        assert_eq!(
+            snap.counter(CounterId::DeploysRejected),
+            stats.deploys_rejected
+        );
+        // The keyed sections saw the same traffic as the ledgers.
+        assert_eq!(snap.tenant(1).unwrap().executions, stats.dispatched);
+        assert_eq!(snap.hook(&hook_id).unwrap().dispatched, stats.dispatched);
+        assert_eq!(
+            snap.shards.iter().map(|s| s.dispatched).sum::<u64>(),
+            stats.dispatched
+        );
+        // Interpolated quantiles agree with the ledger histogram.
+        assert_eq!(snap.latency.quantile_ns(0.99), stats.p99_ns);
+        // Round-trips the wire encoding losslessly.
+        let decoded = crate::MetricsSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
     }
 
     #[test]

@@ -38,6 +38,7 @@ use fc_suit::Uuid;
 
 use crate::queue::Inbox;
 use crate::stats::HostStats;
+use crate::telemetry::{MetricsRegistry, TraceKind};
 
 /// A lifecycle or query command routed to one shard's control lane.
 pub(crate) enum Command {
@@ -223,23 +224,26 @@ pub(crate) fn spawn_shard(
     inbox: SharedInbox,
     stats: Arc<HostStats>,
     outstanding: Arc<OutstandingGauge>,
+    telemetry: Arc<MetricsRegistry>,
     params: ShardParams,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("fc-host-shard-{index}"))
         .spawn(move || {
             let engine = HostingEngine::with_env(platform, flavor, env);
-            run_shard(index, engine, inbox, stats, outstanding, params);
+            run_shard(index, engine, inbox, stats, outstanding, telemetry, params);
         })
         .expect("spawn shard worker")
 }
 
+#[allow(clippy::too_many_arguments)] // internal wiring call, one site
 fn run_shard(
     index: usize,
     mut engine: HostingEngine,
     inbox: SharedInbox,
     stats: Arc<HostStats>,
     outstanding: Arc<OutstandingGauge>,
+    telemetry: Arc<MetricsRegistry>,
     params: ShardParams,
 ) {
     let (lock, cvar) = &*inbox;
@@ -287,6 +291,14 @@ fn run_shard(
         }
 
         let batch_len = batch.len();
+        if batch_len > 0 {
+            telemetry.trace(
+                engine.env().now_us(),
+                TraceKind::Drain,
+                index as u64,
+                batch_len as u64,
+            );
+        }
         for event in batch {
             let started = Instant::now();
             // A host-side panic inside an event (e.g. a poisoned
@@ -311,22 +323,43 @@ fn run_shard(
                 Ok(result) => {
                     let mut insns = 0u64;
                     let mut faults = 0u64;
+                    let mut executions = 0u64;
                     if let Ok(report) = &result {
                         sim_cycles += report.cycles;
                         *hook_cycles.entry(event.hook).or_insert(0) += report.cycles;
+                        executions = report.executions.len() as u64;
                         for exec in &report.executions {
                             let cost = exec.counts.total();
                             insns += cost;
                             faults += exec.result.is_err() as u64;
                             if let Some(slot) = engine.container(exec.container) {
                                 tenant_charges.push((slot.tenant, cost));
+                                telemetry.record_tenant_execution(
+                                    index,
+                                    slot.tenant,
+                                    cost,
+                                    latency_ns,
+                                );
                             }
                         }
                     }
                     // An empty hook still consumed a scheduling slot.
                     charges.push((event.hook, insns.max(1)));
                     stats.record_dispatch(latency_ns, insns, faults);
+                    telemetry.record_dispatch(index, &event.hook, latency_ns);
+                    telemetry.trace_hook(
+                        engine.env().now_us(),
+                        TraceKind::Exec,
+                        &event.hook,
+                        insns,
+                    );
                     if let Some(reply) = event.reply {
+                        telemetry.trace_hook(
+                            engine.env().now_us(),
+                            TraceKind::Reply,
+                            &event.hook,
+                            executions,
+                        );
                         // A disinterested caller may have dropped the
                         // receiver.
                         let _ = reply.send(result);
@@ -335,6 +368,7 @@ fn run_shard(
                 Err(_panic) => {
                     charges.push((event.hook, 1));
                     stats.record_dispatch(latency_ns, 0, 1);
+                    telemetry.record_dispatch(index, &event.hook, latency_ns);
                     // The reply sender drops without a send; a
                     // fire_sync caller observes HostError::Shed.
                 }

@@ -3,12 +3,39 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use fc_kvstore::TenantId;
 
 /// Number of power-of-two latency buckets (covers 1 ns … ~584 years).
-const BUCKETS: usize = 64;
+pub(crate) const BUCKETS: usize = 64;
+
+/// Interpolated quantile over a frozen bucket array (shared by
+/// [`LatencyHistogram`] and the telemetry snapshot type). Bucket `i`
+/// covers `[2^i, 2^(i+1))` ns; the returned value places the requested
+/// rank linearly within its bucket instead of reporting the bucket
+/// upper bound, which overstated p50/p99 by up to 2x at coarse buckets.
+pub(crate) fn quantile_from_buckets(buckets: &[u64; BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        if seen + b >= rank {
+            let lo = 1u64 << i;
+            let hi = 1u64 << (i + 1).min(63);
+            let within = (rank - seen) as f64 / b as f64;
+            return lo + (within * (hi - lo) as f64).round() as u64;
+        }
+        seen += b;
+    }
+    u64::MAX
+}
 
 /// A lock-free histogram over power-of-two nanosecond buckets, precise
 /// enough for p50/p99 dispatch-latency reporting without allocating or
@@ -41,27 +68,49 @@ impl LatencyHistogram {
         self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one latency sample into a histogram with a single
+    /// writer: a plain load+store bump instead of a locked
+    /// read-modify-write. Callers must guarantee no concurrent
+    /// `record` on the same histogram — concurrent *readers* are fine
+    /// and observe each sample exactly once or not yet.
+    pub fn record_single_writer(&self, ns: u64) {
+        let bucket = &self.buckets[Self::bucket_of(ns)];
+        bucket.store(bucket.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
     /// Total recorded samples.
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
-    /// The upper bound (ns) of the bucket containing the `q`-quantile
-    /// sample (`q` in `0.0..=1.0`); `0` when empty.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
+    /// Freezes the bucket counts into a plain array (one relaxed load
+    /// per bucket; a racing `record` may or may not be included).
+    pub fn load(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
         }
-        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1).min(63);
+        out
+    }
+
+    /// The `q`-quantile (`q` in `0.0..=1.0`) in nanoseconds, linearly
+    /// interpolated within the power-of-two bucket that contains the
+    /// requested rank; `0` when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.load(), q)
+    }
+
+    /// Adds every bucket of `other` into `self` — the fleet
+    /// aggregator's histogram-merge primitive. Quantiles of the merged
+    /// histogram are exactly those of the concatenated sample streams
+    /// (bucketing loses no cross-histogram information).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n != 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
             }
         }
-        u64::MAX
     }
 }
 
@@ -112,7 +161,16 @@ pub struct HostStats {
     /// Enqueue→completion dispatch latency.
     pub latency: LatencyHistogram,
     tenants: Mutex<BTreeMap<TenantId, TenantStats>>,
+    /// Bumped (under the `tenants` lock) by every `record_tenants`
+    /// batch; lets scrapers skip per-tenant work when nothing changed.
+    tenants_epoch: AtomicU64,
+    /// Cached `(epoch, snapshot)` pair serving repeat scrapes of an
+    /// idle host without touching the tenant map.
+    tenants_cache: Mutex<TenantsCache>,
 }
+
+/// `(epoch, snapshot)` pair behind [`HostStats::tenants`].
+type TenantsCache = (u64, Arc<Vec<(TenantId, TenantStats)>>);
 
 impl HostStats {
     /// Creates zeroed stats.
@@ -142,16 +200,37 @@ impl HostStats {
             t.executions += 1;
             t.insns += insns;
         }
+        // Inside the map lock, so a snapshot built under the same lock
+        // is tagged with an epoch that exactly matches its contents.
+        self.tenants_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Shared snapshot of per-tenant totals, sorted by tenant id.
+    ///
+    /// The snapshot is rebuilt only when `record_tenants` has run since
+    /// the last call (tracked by an epoch counter); scraping an idle
+    /// host returns the cached `Arc` and does no per-tenant work.
+    pub fn tenants_shared(&self) -> Arc<Vec<(TenantId, TenantStats)>> {
+        let mut cache = self.tenants_cache.lock().expect("tenant cache lock");
+        // The default cache `(0, [])` is itself a valid epoch-0
+        // snapshot, so a plain equality check suffices.
+        if cache.0 == self.tenants_epoch.load(Ordering::Acquire) {
+            return Arc::clone(&cache.1);
+        }
+        let tenants = self.tenants.lock().expect("tenant stats lock");
+        // Read the epoch under the map lock: `record_tenants` bumps it
+        // while holding the same lock, so this tag cannot go stale
+        // between the read and the copy below.
+        let epoch = self.tenants_epoch.load(Ordering::Acquire);
+        let snapshot: Arc<Vec<_>> = Arc::new(tenants.iter().map(|(t, s)| (*t, *s)).collect());
+        drop(tenants);
+        *cache = (epoch, Arc::clone(&snapshot));
+        snapshot
     }
 
     /// Snapshot of per-tenant totals, sorted by tenant id.
     pub fn tenants(&self) -> Vec<(TenantId, TenantStats)> {
-        self.tenants
-            .lock()
-            .expect("tenant stats lock")
-            .iter()
-            .map(|(t, s)| (*t, *s))
-            .collect()
+        self.tenants_shared().as_ref().clone()
     }
 
     /// Events offered so far: accepted ones plus those rejected at the
@@ -203,6 +282,90 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile_ns(0.5), 0);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 samples all in bucket [1024, 2048): ranks spread linearly
+        // across the bucket instead of every quantile reporting the
+        // 2048 upper bound.
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(1500);
+        }
+        let p25 = h.quantile_ns(0.25);
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        assert_eq!(p25, 1024 + 256, "rank 25/100 sits 1/4 into the bucket");
+        assert_eq!(p50, 1024 + 512, "rank 50/100 sits halfway");
+        assert_eq!(p99, 1024 + 1014, "p99 = {p99}");
+        assert!(p25 < p50 && p50 < p99, "quantiles monotone in q");
+        // Full-rank quantile reaches the bucket upper bound exactly.
+        assert_eq!(h.quantile_ns(1.0), 2048);
+    }
+
+    #[test]
+    fn quantiles_of_known_two_bucket_distribution() {
+        // 90 samples in [64,128), 10 in [65536,131072): p50 must stay
+        // inside the low bucket (the old upper-bound rule already did
+        // this, but interpolation places it at 90/… precision), and
+        // p95 must land inside the high bucket, not at its upper bound.
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let p50 = h.quantile_ns(0.50);
+        assert!((64..128).contains(&p50), "p50 = {p50}");
+        // rank 95 is the 5th of 10 samples in [65536,131072):
+        // 65536 + 5/10 * 65536 = 98304.
+        assert_eq!(h.quantile_ns(0.95), 98_304);
+    }
+
+    #[test]
+    fn merge_matches_concatenated_sample_stream() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let both = LatencyHistogram::new();
+        for ns in [100u64, 300, 900, 2_700] {
+            a.record(ns);
+            both.record(ns);
+        }
+        for ns in [150u64, 450, 8_100, 24_300, 72_900] {
+            b.record(ns);
+            both.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 9);
+        assert_eq!(a.load(), both.load(), "merge is bucket-wise exact");
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_ns(q), both.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn tenant_snapshot_cache_hits_when_idle() {
+        let s = HostStats::new();
+        // Empty map: the default cache is already a valid epoch-0 view.
+        let empty = s.tenants_shared();
+        assert!(empty.is_empty());
+        assert!(Arc::ptr_eq(&empty, &s.tenants_shared()));
+
+        s.record_tenants(&[(1, 10), (2, 20)]);
+        let first = s.tenants_shared();
+        assert_eq!(first.len(), 2);
+        // Idle host: repeat scrapes return the same Arc, no rebuild.
+        assert!(Arc::ptr_eq(&first, &s.tenants_shared()));
+        assert!(!Arc::ptr_eq(&first, &empty));
+
+        // New charges invalidate the cache and show up in the rebuild.
+        s.record_tenants(&[(1, 5)]);
+        let second = s.tenants_shared();
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(second[0].1.executions, 2);
+        assert_eq!(second[0].1.insns, 15);
     }
 
     #[test]

@@ -284,6 +284,17 @@ impl Message {
             .map(|v| v.iter().fold(0u64, |acc, b| (acc << 8) | *b as u64))
     }
 
+    /// Sets the Content-Format option, replacing any existing one.
+    pub fn set_content_format(&mut self, format: u16) -> &mut Self {
+        self.options.retain(|(n, _)| *n != option::CONTENT_FORMAT);
+        self.add_option_uint(option::CONTENT_FORMAT, format as u64)
+    }
+
+    /// The Content-Format option value, if present.
+    pub fn content_format(&self) -> Option<u16> {
+        self.option_uint(option::CONTENT_FORMAT).map(|v| v as u16)
+    }
+
     /// Sets an option to a minimally-encoded big-endian unsigned integer.
     pub fn add_option_uint(&mut self, number: u16, value: u64) -> &mut Self {
         let mut buf = value.to_be_bytes().to_vec();

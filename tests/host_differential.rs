@@ -20,7 +20,7 @@ use femto_containers::fleet::node::{RemoteConfig, RemoteNode, FLEET_MTU};
 use femto_containers::fleet::{FcFleet, FleetConfig};
 use femto_containers::host::{
     CoapFront, FcHost, HookEvent, HostConfig, HostError, LiveUpdateService, LocalNode,
-    RebalanceConfig, Rebalancer, ShedPolicy,
+    RebalanceConfig, Rebalancer, ShedPolicy, TelemetryConfig,
 };
 use femto_containers::kvstore::Scope;
 use femto_containers::net::link::LinkConfig;
@@ -154,12 +154,23 @@ fn reference_reports(events: &[usize]) -> Vec<HookReport> {
 /// Concurrent host run over the same stream, reports collected per
 /// event index.
 fn host_reports(events: &[usize], workers: usize) -> Vec<HookReport> {
+    host_reports_with(events, workers, TelemetryConfig::default())
+}
+
+/// As [`host_reports`], with an explicit telemetry configuration —
+/// the observability on/off differential runs through here.
+fn host_reports_with(
+    events: &[usize],
+    workers: usize,
+    telemetry: TelemetryConfig,
+) -> Vec<HookReport> {
     let mut host = FcHost::new(
         Platform::CortexM4,
         Engine::FemtoContainer,
         HostConfig {
             workers,
             queue_capacity: events.len() + 1,
+            telemetry,
             ..HostConfig::default()
         },
     );
@@ -220,6 +231,32 @@ fn per_event_reports_identical_to_single_threaded_fire_hook() {
         reference.iter().any(|r| r.combined.unwrap_or(0) > 4),
         "responders formatted PDUs"
     );
+}
+
+/// The telemetry registry must be invisible to the work it observes:
+/// with recording fully disabled the concurrent host returns per-event
+/// reports bit-identical to the default (telemetry-on) run — and both
+/// match the single-threaded reference — at 1 and 4 workers.
+#[test]
+fn telemetry_on_and_off_reports_are_bit_identical() {
+    let events = event_stream(300);
+    let reference = reference_reports(&events);
+    let off = TelemetryConfig {
+        enabled: false,
+        trace_capacity: 0,
+    };
+    for workers in [1, 4] {
+        let with_telemetry = host_reports_with(&events, workers, TelemetryConfig::default());
+        let without = host_reports_with(&events, workers, off);
+        assert_eq!(
+            with_telemetry, without,
+            "telemetry on/off diverged at {workers} workers"
+        );
+        assert_eq!(
+            reference, without,
+            "telemetry-off run diverged from the reference at {workers} workers"
+        );
+    }
 }
 
 #[test]
