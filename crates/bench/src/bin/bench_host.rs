@@ -44,7 +44,8 @@ use fc_core::deploy::author_update;
 use fc_core::helpers_impl::{helper_name_table, standard_helper_ids};
 use fc_core::hooks::{Hook, HookKind, HookPolicy};
 use fc_host::{
-    CoapFront, FcHost, HostConfig, HostError, LiveUpdateService, RebalanceConfig, Rebalancer,
+    CoapFront, CrashPlan, CrashPoint, DurabilityConfig, FcHost, HookEvent, HostConfig, HostError,
+    JournalMedia, LiveUpdateService, LocalNode, NodeService, RebalanceConfig, Rebalancer,
     ShedPolicy, TelemetryConfig,
 };
 use fc_net::load::{CoapLoadGen, LoadShape};
@@ -117,11 +118,16 @@ fn responder_request() -> ContractRequest {
 /// Builds a host with one CoAP hook + responder per tenant and the
 /// front-end routing `t<i>/temp` onto tenant i's hook.
 fn build_host(workers: usize, config: HostConfig) -> (FcHost, CoapFront, Vec<Uuid>) {
-    let host = FcHost::new(
+    populate_host(FcHost::new(
         Platform::CortexM4,
         Engine::FemtoContainer,
         HostConfig { workers, ..config },
-    );
+    ))
+}
+
+/// Installs the tenant hooks, responders and routes on an
+/// already-constructed host (plain or durable).
+fn populate_host(host: FcHost) -> (FcHost, CoapFront, Vec<Uuid>) {
     let mut front = CoapFront::new().with_pkt_len(64);
     let image = responder_image();
     let mut hooks = Vec::new();
@@ -420,6 +426,205 @@ fn telemetry_overhead(workers: usize, events: u64) -> TelemetryOverheadResult {
         on_cpu_ns_per_event: per_event(min_on),
         overhead_pct,
         basis,
+    }
+}
+
+struct JournalOverheadResult {
+    off_eps: f64,
+    on_eps: f64,
+    off_cpu_ns_per_event: Option<f64>,
+    on_cpu_ns_per_event: Option<f64>,
+    cpu_overhead_pct: f64,
+    cpu_basis: &'static str,
+    off_sim_cycles: u64,
+    on_sim_cycles: u64,
+    cycle_overhead_pct: f64,
+}
+
+/// The durability tax on the dispatch path: the identical uniform mix
+/// on a durable host — every dispatch write-ahead committed to the
+/// in-sim A/B-slot media before its outcome is released, snapshot
+/// folds at the default threshold — and on a plain host.
+///
+/// The *gated* verdict is on the cycle model, the repo's standard
+/// platform-time methodology: journaling is host-side bookkeeping
+/// against in-sim media and must not leak into simulated device time,
+/// so the summed per-shard `sim_cycles` of the two runs are compared
+/// directly (deterministic — same seed, same mix). Host CPU cost is
+/// also measured on the telemetry-overhead CPU-delta methodology
+/// ([`telemetry_overhead`]) and reported for transparency, but not
+/// gated: a WAL commit per event is real work whose relative cost
+/// depends on how many cores back the worker pool, which is a property
+/// of the box, not of the dispatch path.
+fn journal_overhead(workers: usize, events: u64) -> JournalOverheadResult {
+    let events = events.max(16_000);
+    let run = |durable: bool| -> (f64, Option<u64>, u64) {
+        let config = HostConfig {
+            workers,
+            queue_capacity: events as usize + 1,
+            drain_batch: 32,
+            shed: ShedPolicy::DropNewest,
+            ..HostConfig::default()
+        };
+        let host = if durable {
+            let media = JournalMedia::new();
+            FcHost::with_durability(
+                Platform::CortexM4,
+                Engine::FemtoContainer,
+                config,
+                &media,
+                DurabilityConfig::default(),
+            )
+        } else {
+            FcHost::new(Platform::CortexM4, Engine::FemtoContainer, config)
+        };
+        let (host, front, _) = populate_host(host);
+        let mut gen = CoapLoadGen::new(
+            (0..TENANTS).map(|t| format!("t{t}/temp")).collect(),
+            0xfc_0508,
+            LoadShape::Uniform,
+        );
+        let cpu_before = process_cpu_ns();
+        let started = Instant::now();
+        for _ in 0..events {
+            let (_, req) = gen.next_request();
+            front.dispatch(&host, &req).expect("queues hold the budget");
+        }
+        host.quiesce();
+        let wall = started.elapsed();
+        let cpu = match (cpu_before, process_cpu_ns()) {
+            (Some(before), Some(after)) if after > before => Some(after - before),
+            _ => None,
+        };
+        let sim_cycles: u64 = host.shard_reports().iter().map(|r| r.sim_cycles).sum();
+        (events as f64 / wall.as_secs_f64(), cpu, sim_cycles)
+    };
+    run(true); // warmup: pay the cold caches once
+    let mut on_eps = 0f64;
+    let mut off_eps = 0f64;
+    let mut on_sim_cycles = 0u64;
+    let mut off_sim_cycles = 0u64;
+    let mut pairs: Vec<(u64, u64)> = Vec::new();
+    for _trial in 0..7 {
+        let (eps, on_cpu, on_cycles) = run(true);
+        on_eps = on_eps.max(eps);
+        on_sim_cycles = on_cycles;
+        let (eps, off_cpu, off_cycles) = run(false);
+        off_eps = off_eps.max(eps);
+        off_sim_cycles = off_cycles;
+        if let (Some(on), Some(off)) = (on_cpu, off_cpu) {
+            pairs.push((on, off));
+        }
+    }
+    let per_event = |cpu: Option<u64>| cpu.map(|ns| ns as f64 / events as f64);
+    let (min_on, min_off) = (
+        pairs.iter().map(|p| p.0).min(),
+        pairs.iter().map(|p| p.1).min(),
+    );
+    let (cpu_overhead_pct, cpu_basis) = match (min_on, min_off) {
+        (Some(min_on), Some(min_off)) => {
+            let floor = min_on as f64 / min_off as f64;
+            let mut ratios: Vec<f64> = pairs
+                .iter()
+                .map(|&(on, off)| on as f64 / off as f64)
+                .collect();
+            ratios.sort_by(f64::total_cmp);
+            let median = ratios[ratios.len() / 2];
+            ((floor.min(median) - 1.0) * 100.0, "cpu")
+        }
+        _ => ((off_eps / on_eps - 1.0) * 100.0, "wall"),
+    };
+    JournalOverheadResult {
+        off_eps,
+        on_eps,
+        off_cpu_ns_per_event: per_event(min_off),
+        on_cpu_ns_per_event: per_event(min_on),
+        cpu_overhead_pct,
+        cpu_basis,
+        off_sim_cycles,
+        on_sim_cycles,
+        cycle_overhead_pct: (on_sim_cycles as f64 / off_sim_cycles as f64 - 1.0) * 100.0,
+    }
+}
+
+struct RecoveryResult {
+    commits: u64,
+    journal_bytes: u64,
+    restore_ms: f64,
+    replay_eps: f64,
+}
+
+/// Crash-recovery cost versus journal length: a durable [`LocalNode`]
+/// accumulates `commits` journaled dispatches with snapshot folding
+/// disabled (so the journal length is the independent variable), is
+/// powered off mid-exchange, and [`LocalNode::restore`] — media
+/// recovery, hook re-registration, deploy + kv replay, counter
+/// seeding, resume-cache rebuild — is timed wall-clock.
+fn recovery_run(commits: u64) -> RecoveryResult {
+    let durability = || DurabilityConfig {
+        enabled: true,
+        snapshot_threshold: 0,
+        retain_exchanges: 128,
+    };
+    let host_config = || HostConfig {
+        workers: 2,
+        queue_capacity: 4096,
+        ..HostConfig::default()
+    };
+    let media = JournalMedia::new();
+    let mut node = LocalNode::durable(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        host_config(),
+        &media,
+        durability(),
+    );
+    let key = SigningKey::from_seed(b"bench-recovery");
+    node.updates_mut()
+        .provision_tenant(b"bench-r", key.verifying_key(), 1);
+    let hook = Hook::new("bench-recovery", HookKind::Custom, HookPolicy::First);
+    let offer = ContractOffer::helpers(standard_helper_ids());
+    node.register_hook(hook.clone(), offer.clone())
+        .expect("registers");
+    // One kv write per event, so the replay path does real work.
+    let writer = ProgramBuilder::new()
+        .helpers(helper_name_table().iter().map(|(n, i)| (n.as_str(), *i)))
+        .asm("ldxb r6, [r1]\nmov r1, r6\nmov r2, r6\ncall bpf_store_global\nmov r0, r6\nexit")
+        .expect("assembles")
+        .build();
+    let (envelope, payload) =
+        author_update(&writer, hook.id, 1, "bench-recovery-v1", &key, b"bench-r");
+    node.stage_chunk("bench-recovery-v1", 0, &payload, true)
+        .expect("stages");
+    node.deploy(&envelope).expect("deploys");
+    for i in 0..commits.saturating_sub(1) {
+        node.dispatch(hook.id, HookEvent::new(&[(i % 251) as u8], &[]))
+            .expect("dispatches");
+    }
+    // Power off mid-exchange: the last commit lands, its reply dies.
+    media.set_crash_plan(CrashPlan {
+        point: CrashPoint::PostCommitPreReply,
+        after: 0,
+    });
+    let _ = node.dispatch_tagged(hook.id, HookEvent::new(&[255], &[]), b"bench-tok");
+    let journal_bytes = media.journal_len() as u64;
+    let started = Instant::now();
+    let restored = LocalNode::restore(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        host_config(),
+        &media,
+        durability(),
+        vec![(hook, offer)],
+    )
+    .expect("restores");
+    let secs = started.elapsed().as_secs_f64();
+    drop(restored);
+    RecoveryResult {
+        commits,
+        journal_bytes,
+        restore_ms: secs * 1e3,
+        replay_eps: commits as f64 / secs,
     }
 }
 
@@ -770,6 +975,30 @@ fn main() {
         overhead.on_eps, overhead.off_eps, overhead.overhead_pct, overhead.basis,
     );
 
+    let journal = journal_overhead(4, events);
+    println!(
+        "journaling overhead: {:+.2}% cycle model (gated)   {:+.2}% host {} (informational; on {:9.0} ev/s, off {:9.0} ev/s)",
+        journal.cycle_overhead_pct,
+        journal.cpu_overhead_pct,
+        journal.cpu_basis,
+        journal.on_eps,
+        journal.off_eps,
+    );
+    let recovery_commits: &[u64] = if quick {
+        &[250, 1_000]
+    } else {
+        &[500, 2_000, 8_000]
+    };
+    let mut recovery_runs = Vec::new();
+    for &n in recovery_commits {
+        let r = recovery_run(n);
+        println!(
+            "recovery: {:6} journaled commits ({:8} bytes)   restore {:8.2} ms   ({:9.0} commits/s replayed)",
+            r.commits, r.journal_bytes, r.restore_ms, r.replay_eps
+        );
+        recovery_runs.push(r);
+    }
+
     // The skewed runs use a fixed event budget: balance is measured
     // from deterministic simulated cycles, but the per-window sampling
     // noise of the weighted stream must stay small even in --quick.
@@ -857,6 +1086,33 @@ fn main() {
         overhead.overhead_pct,
         overhead.basis
     ));
+    out.push_str("  \"recovery\": {\n");
+    out.push_str(&format!(
+        "    \"journaling_overhead\": {{\"workers\": 4, \"on_sim_cycles\": {}, \"off_sim_cycles\": {}, \"cycle_overhead_pct\": {:.2}, \"on_wall_events_per_sec\": {:.0}, \"off_wall_events_per_sec\": {:.0}, \"on_cpu_ns_per_event\": {}, \"off_cpu_ns_per_event\": {}, \"cpu_overhead_pct\": {:.2}, \"cpu_basis\": \"{}\"}},\n",
+        journal.on_sim_cycles,
+        journal.off_sim_cycles,
+        journal.cycle_overhead_pct,
+        journal.on_eps,
+        journal.off_eps,
+        json_cpu(journal.on_cpu_ns_per_event),
+        json_cpu(journal.off_cpu_ns_per_event),
+        journal.cpu_overhead_pct,
+        journal.cpu_basis
+    ));
+    out.push_str("    \"restore_runs\": [\n");
+    for (i, r) in recovery_runs.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"journal_commits\": {}, \"journal_bytes\": {}, \"restore_ms\": {:.2}, \"replay_commits_per_sec\": {:.0}}}{}\n",
+            r.commits,
+            r.journal_bytes,
+            r.restore_ms,
+            r.replay_eps,
+            if i + 1 < recovery_runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str("    \"note\": \"journaling_overhead runs the same uniform CoAP mix on a durable host (every dispatch write-ahead committed to the in-sim A/B-slot media before its outcome is released, snapshot fold every 256 records) and on a plain host; the gated verdict is on the cycle model (summed per-shard sim_cycles, deterministic) because journaling is host-side bookkeeping that must not leak into simulated device time, while host CPU cost is reported on the telemetry-overhead CPU-delta methodology for transparency without gating (its relative size depends on the runner's core count); restore_runs time LocalNode::restore (media recovery + hook re-registration + deploy/kv replay + counter seeding + resume-cache rebuild) against journal length with folding disabled\"\n");
+    out.push_str("  },\n");
     out.push_str("  \"skewed_rebalance\": {\n");
     out.push_str(&format!(
         "    \"load\": \"80/20 hot-set mix: tenants [0,1,4,5] take 80% of {skew_events} events; their hooks collide pairwise on shards 0 and 1 under round-robin placement ({skew_rounds} rounds; caller-driven observes between rounds, in-band self-observes every round's worth of dispatched events with zero observe() calls)\",\n"
@@ -915,6 +1171,25 @@ fn main() {
         overhead.on_eps,
         overhead.off_eps,
         overhead.overhead_pct
+    );
+    assert!(
+        journal.cycle_overhead_pct <= 2.0,
+        "journaling dispatch overhead exceeded 2% on the cycle model: {} vs {} sim cycles ({:+.2}%) — journaling must not leak into simulated device time",
+        journal.on_sim_cycles,
+        journal.off_sim_cycles,
+        journal.cycle_overhead_pct
+    );
+    for r in &recovery_runs {
+        assert!(
+            r.restore_ms > 0.0 && r.journal_bytes > 0,
+            "recovery runs must journal and restore"
+        );
+    }
+    assert!(
+        recovery_runs
+            .windows(2)
+            .all(|w| w[1].journal_bytes > w[0].journal_bytes),
+        "journal length must grow with the commit budget"
     );
     assert!(
         static_run.final_window_balance < 0.7,

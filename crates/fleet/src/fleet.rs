@@ -171,6 +171,36 @@ impl FcFleet {
         self.ring.owner(hook)
     }
 
+    /// The fleet-retained hook specs, sorted by hook id — the restore
+    /// input for a crashed durable node ([`fc_host::LocalNode::restore`]
+    /// rebuilds its hooks from these plus its own journal).
+    pub fn hook_specs(&self) -> Vec<(Hook, ContractOffer)> {
+        let mut specs: Vec<(Hook, ContractOffer)> = self.hooks.values().cloned().collect();
+        specs.sort_by_key(|(hook, _)| hook.id);
+        specs
+    }
+
+    /// Swaps the service behind a member node **without** touching the
+    /// ring — the restart-in-place seam: a crashed durable node keeps
+    /// its id and its ring arcs, and its restored replacement resumes
+    /// serving them. Returns the old (crashed) service.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Rejected`] for an unknown id.
+    pub fn replace_node_service(
+        &mut self,
+        id: usize,
+        service: Box<dyn NodeService>,
+    ) -> Result<Box<dyn NodeService>, NodeError> {
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.id == id)
+            .ok_or_else(|| NodeError::Rejected(format!("node {id} is not a fleet member")))?;
+        Ok(std::mem::replace(&mut node.service, service))
+    }
+
     fn node_mut(&mut self, id: usize) -> Result<&mut Box<dyn NodeService>, NodeError> {
         self.nodes
             .iter_mut()

@@ -154,6 +154,19 @@ impl<S: NodeService> NodeEndpoint<S> {
         &mut self.inner
     }
 
+    /// Replaces the wrapped service — the restart seam after a crash:
+    /// the caller restores a node from its durable media (e.g.
+    /// [`fc_host::LocalNode::restore`]) and swaps it in here. The
+    /// volatile endpoint state dies with the old process image: the
+    /// dedup cache and deferred batches are cleared, so post-restart
+    /// exactly-once rests entirely on the restored node's journal
+    /// resume state. Returns the old (crashed) service.
+    pub fn restart(&mut self, inner: S) -> S {
+        self.seen.clear();
+        self.in_progress.clear();
+        std::mem::replace(&mut self.inner, inner)
+    }
+
     /// Operations actually executed (dedup replays excluded).
     pub fn served_count(&self) -> u64 {
         self.served
@@ -209,7 +222,7 @@ impl<S: NodeService> NodeEndpoint<S> {
             Err(_) => return Message::response_to(request, Code::BadRequest),
         };
         self.served += 1;
-        let reply = self.execute(op);
+        let reply = self.execute(op, &request.token);
         self.finish(request, &reply)
     }
 
@@ -220,6 +233,12 @@ impl<S: NodeService> NodeEndpoint<S> {
     /// without a windowed face) answers immediately, exactly like
     /// [`NodeEndpoint::handle`].
     pub fn handle_deferred(&mut self, request: &Message) -> Option<Message> {
+        // A crash-stopped node is powered off: it answers nothing at
+        // all (not even 4.04) until the caller restores it and swaps
+        // the restored service in through [`NodeEndpoint::restart`].
+        if self.inner.crashed() {
+            return None;
+        }
         if request.path() != NODE_OP_PATH {
             return Some(Message::response_to(request, Code::NotFound));
         }
@@ -249,7 +268,7 @@ impl<S: NodeService> NodeEndpoint<S> {
                     .inner
                     .windowed()
                     .expect("windowed face checked above")
-                    .submit_batch(hook, events);
+                    .submit_batch_tagged(hook, events, &request.token);
                 return match submitted {
                     Ok(ticket) => {
                         self.in_progress.push(Deferred {
@@ -267,11 +286,21 @@ impl<S: NodeService> NodeEndpoint<S> {
             }
             let reply = self
                 .inner
-                .dispatch_batch(hook, events)
+                .dispatch_batch_tagged(hook, events, &request.token)
                 .map(ReplyBody::Batch);
+            if self.inner.crashed() {
+                return None;
+            }
             return Some(self.finish(request, &reply));
         }
-        let reply = self.execute(op);
+        let reply = self.execute(op, &request.token);
+        // A crash **during** the operation (fault injection at a
+        // commit seam) suppresses the reply: the record may or may not
+        // be durable, but the client must learn the verdict only from
+        // the restored node's journal, never from a dying reply.
+        if self.inner.crashed() {
+            return None;
+        }
         Some(self.finish(request, &reply))
     }
 
@@ -306,6 +335,13 @@ impl<S: NodeService> NodeEndpoint<S> {
         if self.in_progress.iter().any(|p| p.done.is_none()) {
             return Vec::new();
         }
+        if self.inner.crashed() {
+            // The node died while the cohort executed: every reply is
+            // suppressed (and not cached) — the deferred work's fate is
+            // whatever the journal committed before the power cut.
+            self.in_progress.clear();
+            return Vec::new();
+        }
         let cohort: Vec<Deferred> = self.in_progress.drain(..).collect();
         cohort
             .into_iter()
@@ -322,7 +358,7 @@ impl<S: NodeService> NodeEndpoint<S> {
             .collect()
     }
 
-    fn execute(&mut self, op: NodeOp) -> Result<ReplyBody, NodeError> {
+    fn execute(&mut self, op: NodeOp, token: &[u8]) -> Result<ReplyBody, NodeError> {
         match op {
             NodeOp::RegisterHook { hook, offer } => self
                 .inner
@@ -331,12 +367,19 @@ impl<S: NodeService> NodeEndpoint<S> {
             NodeOp::UnregisterHook { hook } => {
                 self.inner.unregister_hook(hook).map(|()| ReplyBody::Unit)
             }
-            NodeOp::Dispatch { hook, event } => {
-                self.inner.dispatch(hook, event).map(ReplyBody::Report)
-            }
+            // Dispatches and deploys carry the request's dedup token
+            // into the node as the **durable** exchange identity: a
+            // durable node commits under it before replying, and a
+            // restored node answers a pre-crash token from its journal
+            // instead of re-executing (the endpoint's own dedup cache
+            // is volatile and dies with a crash).
+            NodeOp::Dispatch { hook, event } => self
+                .inner
+                .dispatch_tagged(hook, event, token)
+                .map(ReplyBody::Report),
             NodeOp::Batch { hook, events } => self
                 .inner
-                .dispatch_batch(hook, events)
+                .dispatch_batch_tagged(hook, events, token)
                 .map(ReplyBody::Batch),
             NodeOp::StageChunk {
                 uri,
@@ -347,7 +390,10 @@ impl<S: NodeService> NodeEndpoint<S> {
                 .inner
                 .stage_chunk(&uri, offset as usize, &chunk, restart)
                 .map(|()| ReplyBody::Unit),
-            NodeOp::Deploy { envelope } => self.inner.deploy(&envelope).map(ReplyBody::Deploy),
+            NodeOp::Deploy { envelope } => self
+                .inner
+                .deploy_tagged(&envelope, token)
+                .map(ReplyBody::Deploy),
             NodeOp::Stats => self.inner.stats().map(ReplyBody::Stats),
             NodeOp::Metrics => self
                 .inner
@@ -379,6 +425,15 @@ pub struct RemoteConfig {
     /// (RFC 7252 `MAX_TRANSMIT_WAIT` role): `timeout` doubles per
     /// retransmission but never past this.
     pub max_transmit_wait_us: u64,
+    /// First exchange token this client draws (tokens count up from
+    /// here). A durable node's journal answers retransmissions by
+    /// token identity, so a **fresh** front tier attached to a
+    /// restored node must pick a token space disjoint from its
+    /// predecessor's — real CoAP clients start from a random token
+    /// for the same reason. Irrelevant when the same client survives
+    /// the node's restart ([`NodeEndpoint::restart`]), whose token
+    /// counter simply keeps counting.
+    pub initial_token: u64,
 }
 
 impl Default for RemoteConfig {
@@ -393,6 +448,7 @@ impl Default for RemoteConfig {
             max_retransmit: MAX_RETRANSMIT,
             window: 1,
             max_transmit_wait_us: MAX_TRANSMIT_WAIT_US,
+            initial_token: 1,
         }
     }
 }
@@ -482,7 +538,7 @@ impl<S: NodeService> RemoteNode<S> {
             client_addr: Addr::new(1, 40_000),
             node_addr: Addr::new(2, 5683),
             now_us: 0,
-            next_token: 1,
+            next_token: config.initial_token.max(1),
             next_mid: 1,
             next_ticket: 0,
             launch_seq: 0,

@@ -10,7 +10,10 @@ use fc_core::helpers_impl::{helper_name_table, standard_helper_ids};
 use fc_core::hooks::{Hook, HookKind, HookPolicy};
 use fc_fleet::node::{RemoteConfig, RemoteNode, FLEET_MTU};
 use fc_fleet::{FcFleet, FleetConfig};
-use fc_host::{CounterId, GaugeId, HookEvent, HostConfig, LocalNode, MetricsSnapshot, NodeError};
+use fc_host::{
+    CounterId, CrashPlan, CrashPoint, DurabilityConfig, GaugeId, HookEvent, HostConfig,
+    JournalMedia, LocalNode, MetricsSnapshot, NodeError,
+};
 use fc_net::link::LinkConfig;
 use fc_rbpf::program::{FcProgram, ProgramBuilder};
 use fc_rtos::platform::{Engine, Platform};
@@ -312,5 +315,155 @@ fn four_node_lossy_fleet_merged_view_reconciles_exactly() {
         merged.shards.iter().map(|s| s.dispatched).sum::<u64>(),
         merged.counter(CounterId::Dispatched),
         "per-shard dispatch reconciles with the fleet total"
+    );
+}
+
+/// Counter audit across crash + restore: a restored node seeds its
+/// counters from the journal's committed prefix only, so the merged
+/// fleet view neither re-counts pre-crash dispatches nor loses them —
+/// it reconciles **exactly** with the load the clients saw succeed.
+#[test]
+fn restored_node_does_not_recount_pre_crash_dispatches() {
+    let key = SigningKey::from_seed(b"metrics-maintainer");
+    let mut fleet = FcFleet::new(FleetConfig::default());
+    let mut medias = Vec::new();
+    let mut ids = Vec::new();
+    for seed in [0x4e57_a9e1u64, 0x4e57_a9e2] {
+        let media = JournalMedia::new();
+        let mut node = LocalNode::durable(
+            Platform::CortexM4,
+            Engine::FemtoContainer,
+            HostConfig::default(),
+            &media,
+            DurabilityConfig::default(),
+        );
+        node.updates_mut()
+            .provision_tenant(b"metrics-tenant", key.verifying_key(), 1);
+        let remote = RemoteNode::new(
+            node,
+            RemoteConfig {
+                link: LinkConfig {
+                    loss: 0.05,
+                    duplicate: 0.05,
+                    jitter_us: 20_000,
+                    mtu: FLEET_MTU,
+                    seed,
+                    ..LinkConfig::default()
+                },
+                max_retransmit: 8,
+                window: 4,
+                ..RemoteConfig::default()
+            },
+        );
+        ids.push(fleet.add_node(Box::new(remote)).unwrap());
+        medias.push(media);
+    }
+    let hooks = deploy_hooks(&mut fleet, &key, 4);
+
+    // Phase 1: every dispatch succeeds, so the committed load is
+    // exactly what the clients counted.
+    let mut offered_ok = 0u64;
+    for &hook in &hooks {
+        for i in 1..=5u8 {
+            fleet.dispatch(hook, HookEvent::new(&[i], &[])).unwrap();
+            offered_ok += 1;
+        }
+    }
+
+    // Kill the owner of hooks[0] with a pre-commit probe: the probe
+    // executes on the doomed process but never commits, so it must
+    // appear in NO ledger — the client sees a timeout.
+    let victim = fleet.owner_of(hooks[0]).unwrap();
+    let media = &medias[ids.iter().position(|&id| id == victim).unwrap()];
+    media.set_crash_plan(CrashPlan {
+        point: CrashPoint::PreCommit,
+        after: 0,
+    });
+    let probe = fleet.dispatch(hooks[0], HookEvent::new(&[9], &[]));
+    assert!(
+        matches!(probe, Err(NodeError::Timeout)),
+        "a crashed node answers nothing: {probe:?}"
+    );
+
+    // Restore the victim from its journal, handing back the
+    // fleet-retained hook specs it owned, and swap it into the ring.
+    let specs: Vec<_> = fleet
+        .hook_specs()
+        .into_iter()
+        .filter(|(hook, _)| fleet.owner_of(hook.id) == Some(victim))
+        .collect();
+    assert!(!specs.is_empty(), "the victim owned at least hooks[0]");
+    let mut back = LocalNode::restore(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        HostConfig::default(),
+        media,
+        DurabilityConfig::default(),
+        specs,
+    )
+    .expect("restore victim");
+    back.updates_mut()
+        .provision_tenant(b"metrics-tenant", key.verifying_key(), 1);
+    fleet
+        .replace_node_service(
+            victim,
+            Box::new(RemoteNode::new(
+                back,
+                RemoteConfig {
+                    link: LinkConfig {
+                        loss: 0.05,
+                        duplicate: 0.05,
+                        jitter_us: 20_000,
+                        mtu: FLEET_MTU,
+                        seed: 0x4e57_a9e3,
+                        ..LinkConfig::default()
+                    },
+                    max_retransmit: 8,
+                    window: 4,
+                    // A fresh front tier must not collide with its
+                    // predecessor's token space: the restored node's
+                    // journal answers known tokens from the resume
+                    // cache instead of executing.
+                    initial_token: 1 << 32,
+                    ..RemoteConfig::default()
+                },
+            )),
+        )
+        .expect("swap the restored node in");
+
+    // Phase 2: the full fleet serves again, restored node included.
+    for &hook in &hooks {
+        for i in 1..=5u8 {
+            fleet.dispatch(hook, HookEvent::new(&[i], &[])).unwrap();
+            offered_ok += 1;
+        }
+    }
+
+    let (merged, failed) = fleet.merged_metrics();
+    assert!(failed.is_empty(), "every node answered: {failed:?}");
+    assert_eq!(merged.nodes, 2);
+    let ledger = ledger_of(&mut fleet);
+    assert_eq!(
+        merged.counter(CounterId::Dispatched),
+        offered_ok,
+        "pre-crash dispatches counted once — not re-counted, not lost"
+    );
+    assert_eq!(merged.counter(CounterId::Dispatched), ledger.dispatched);
+    assert_eq!(
+        merged.counter(CounterId::Enqueued),
+        merged.counter(CounterId::Dispatched),
+        "the uncommitted probe appears in no ledger"
+    );
+    assert_eq!(merged.counter(CounterId::Shed), 0);
+    assert_eq!(
+        merged.counter(CounterId::DeploysAccepted),
+        hooks.len() as u64,
+        "restored deploys seed the acceptance ledger exactly once"
+    );
+    let tenant = merged.tenant(1).expect("tenant 1 in the merged view");
+    assert_eq!(
+        tenant.executions,
+        merged.counter(CounterId::Dispatched),
+        "per-tenant executions reconcile across the restore"
     );
 }

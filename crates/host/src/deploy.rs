@@ -417,8 +417,22 @@ impl LiveUpdateService {
         host: &FcHost,
         envelope: &[u8],
     ) -> Result<DeployReport, LiveDeployError> {
+        self.apply_tagged(host, envelope, None)
+    }
+
+    /// As [`LiveUpdateService::apply`], with the transport token of the
+    /// deploying exchange: on a durable host the accepted deploy is
+    /// journaled under `token`, so a restored node answers a
+    /// retransmission of the same exchange with the pre-crash report
+    /// instead of re-running (and rejecting) the manifest.
+    pub fn apply_tagged(
+        &mut self,
+        host: &FcHost,
+        envelope: &[u8],
+        token: Option<Vec<u8>>,
+    ) -> Result<DeployReport, LiveDeployError> {
         let mut component = None;
-        let result = self.apply_inner(host, envelope, &mut component);
+        let result = self.apply_inner(host, envelope, &mut component, token);
         self.applies += 1;
         let poll = match &result {
             Ok(report) => DeployPoll {
@@ -448,6 +462,7 @@ impl LiveUpdateService {
         host: &FcHost,
         envelope: &[u8],
         component_out: &mut Option<Uuid>,
+        token: Option<Vec<u8>>,
     ) -> Result<DeployReport, LiveDeployError> {
         let pending = self.manager.begin(envelope)?;
         *component_out = Some(pending.manifest.component);
@@ -505,16 +520,84 @@ impl LiveUpdateService {
         )?;
         // The deploy landed: commit the SUIT state. `check_payload`
         // already validated this exact payload, so this cannot fail.
+        let journal_payload = host.journal().map(|_| payload.clone());
         let ready = self.manager.complete(pending, payload)?;
         self.installed.insert(component, outcome.container);
         self.staged.remove(&uri);
-        Ok(DeployReport {
+        let report = DeployReport {
             container: outcome.container,
             component,
             shard: outcome.shard,
             sequence: ready.manifest.sequence,
             attached: outcome.hook.is_some(),
             replaced: outcome.replaced,
-        })
+        };
+        // The manifest commit point: the accepted deploy (payload +
+        // committed sequence + report) must be durable before the
+        // reply can leave the node. A dead node's reply is suppressed
+        // by the transport layer (`FcHost::alive`).
+        if let Some(journal) = host.journal() {
+            journal.commit_deploy(&crate::journal::DeployRecord {
+                tenant,
+                uri,
+                payload: journal_payload.unwrap_or_default(),
+                token,
+                report,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Replays one journaled deploy onto a restored host: the verified
+    /// payload installs under its **pre-crash container id** on the
+    /// component's current shard, and the SUIT rollback floor is
+    /// seeded to the committed sequence — so a pre-crash lower-sequence
+    /// manifest re-staged after the restore is rejected with the same
+    /// verdict as before the crash.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveDeployError::Host`] when the image no longer parses or
+    /// the host refuses the install (both indicate corrupted state the
+    /// caller should surface, not swallow).
+    pub fn restore_component(
+        &mut self,
+        host: &FcHost,
+        rec: &crate::journal::DeployRecord,
+    ) -> Result<(), LiveDeployError> {
+        let component = rec.report.component;
+        let image = FcProgram::from_bytes(&rec.payload)
+            .map_err(|e| LiveDeployError::Host(HostError::Engine(EngineError::Parse(e))))?;
+        let request = contract_request_for(&image);
+        let hook = host.shard_of_hook(component).is_some().then_some(component);
+        let replace = self.installed.get(&component).copied();
+        host.deploy_restored(
+            &component_name(component),
+            rec.tenant,
+            &rec.payload,
+            request,
+            hook,
+            replace,
+            rec.report.container,
+        )?;
+        self.manager.seed_sequence(component, rec.report.sequence);
+        self.installed.insert(component, rec.report.container);
+        Ok(())
+    }
+
+    /// Seeds the accepted-update counter from journal-recovered state
+    /// (see [`fc_suit::UpdateManager::seed_accepted`]).
+    pub fn seed_accepted(&mut self, accepted: u64) {
+        self.manager.seed_accepted(accepted);
+    }
+
+    /// As [`LiveUpdateService::forget_component`], journaling the
+    /// evacuation when `host` is durable so a restored node does not
+    /// resurrect the departed component.
+    pub fn forget_component_on(&mut self, host: &FcHost, component: Uuid) -> Option<ContainerId> {
+        if let Some(journal) = host.journal() {
+            journal.forget(component);
+        }
+        self.forget_component(component)
     }
 }

@@ -60,6 +60,7 @@ use fc_rbpf::vm::ExecConfig;
 use fc_rtos::platform::{Engine as EngineFlavor, Platform};
 use fc_suit::Uuid;
 
+use crate::journal::{CaptureSink, DurabilityConfig, DurableTag, Journal, JournalMedia};
 use crate::queue::{Accepted, BatchAccepted, Event, Inbox, ShedPolicy};
 use crate::rebalance::{RebalanceConfig, Rebalancer};
 use crate::shard::{spawn_shard, Command, OutstandingGauge, ShardParams, ShardReport, SharedInbox};
@@ -274,6 +275,9 @@ pub struct FcHost {
     /// Dispatched-event count at which the next in-band observation
     /// fires.
     next_rebalance_at: AtomicU64,
+    /// Write-ahead journal, when this host is durable. Shared with the
+    /// shard workers (event commits) and the stores' capture sink.
+    journal: Option<Arc<Journal>>,
 }
 
 impl FcHost {
@@ -292,9 +296,54 @@ impl FcHost {
     pub fn with_env(
         platform: Platform,
         flavor: EngineFlavor,
-        mut config: HostConfig,
+        config: HostConfig,
         env: Arc<HostEnv>,
     ) -> Self {
+        Self::with_env_and_journal(platform, flavor, config, env, None)
+    }
+
+    /// Starts a **durable** host: every event commit, accepted deploy
+    /// and bare store write is journaled to `media` before its reply
+    /// can leave, and the journal folds to a snapshot every
+    /// [`DurabilityConfig::snapshot_threshold`] records. With
+    /// `durability.enabled == false` this is exactly [`FcHost::new`]
+    /// (no journal, no capture, bit-identical outputs).
+    pub fn with_durability(
+        platform: Platform,
+        flavor: EngineFlavor,
+        config: HostConfig,
+        media: &JournalMedia,
+        durability: DurabilityConfig,
+    ) -> Self {
+        let journal = durability
+            .enabled
+            .then(|| Journal::create(media, durability));
+        Self::with_env_and_journal(
+            platform,
+            flavor,
+            config,
+            Arc::new(HostEnv::new(fc_kvstore::DEFAULT_CAPACITY)),
+            journal,
+        )
+    }
+
+    /// Starts a host over an existing environment and, optionally, an
+    /// existing journal (the restore path hands in a quiet journal
+    /// recovered from crashed media).
+    pub(crate) fn with_env_and_journal(
+        platform: Platform,
+        flavor: EngineFlavor,
+        mut config: HostConfig,
+        env: Arc<HostEnv>,
+        journal: Option<Arc<Journal>>,
+    ) -> Self {
+        if let Some(journal) = &journal {
+            // The stores tell the journal about every committed write:
+            // captured into the worker's commit record inside an
+            // event, journaled as a bare record outside one.
+            env.stores()
+                .set_sink(Arc::new(CaptureSink::new(Arc::clone(journal))));
+        }
         let workers = config.workers.max(1);
         // A zero-capacity queue could never hold an event; DropOldest
         // would displace from an empty queue.
@@ -321,6 +370,7 @@ impl FcHost {
                     Arc::clone(&outstanding),
                     Arc::clone(&telemetry),
                     params,
+                    journal.clone(),
                 );
                 Shard {
                     inbox,
@@ -350,7 +400,20 @@ impl FcHost {
                 .then(|| Mutex::new(Rebalancer::new(config.rebalance))),
             next_rebalance_at: AtomicU64::new(config.rebalance_interval),
             config,
+            journal,
         }
+    }
+
+    /// The host's journal, when durable.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Whether the host is still powered: `false` once a seeded
+    /// [`crate::CrashPlan`] fired on its journal media. A non-durable
+    /// host is always alive.
+    pub fn alive(&self) -> bool {
+        self.journal.as_ref().is_none_or(|j| j.alive())
     }
 
     /// Number of engine shards (= worker threads).
@@ -422,6 +485,12 @@ impl FcHost {
             snap.set_counter(id, counter.load(Ordering::Relaxed));
         }
         snap.latency = HistogramSnapshot(s.latency.load());
+        if let Some(journal) = &self.journal {
+            let ops = journal.ops();
+            snap.set_counter(CounterId::JournalAppends, ops.appends);
+            snap.set_counter(CounterId::JournalBytes, ops.bytes);
+            snap.set_counter(CounterId::JournalFolds, ops.folds);
+        }
         self.telemetry.fill_snapshot(&mut snap);
         // With keyed recording disabled the registry contributes no
         // tenant rows; fall back to the ledger (no latency breakdown).
@@ -837,13 +906,62 @@ impl FcHost {
         hook: Option<Uuid>,
         replace: Option<ContainerId>,
     ) -> Result<DeployOutcome, HostError> {
+        self.deploy_inner(name, tenant, image, request, hook, replace, None)
+    }
+
+    /// Replays a journaled deploy on a restored host: the container
+    /// lands under its **pre-crash id** (so retransmitted replies stay
+    /// byte-identical) and the deploy counter is *not* bumped — the
+    /// restore seeds it from the journal's counter state instead.
+    #[allow(clippy::too_many_arguments)] // same fan-in as deploy_inner
+    pub(crate) fn deploy_restored(
+        &self,
+        name: &str,
+        tenant: TenantId,
+        image: &[u8],
+        request: ContractRequest,
+        hook: Option<Uuid>,
+        replace: Option<ContainerId>,
+        forced_id: ContainerId,
+    ) -> Result<DeployOutcome, HostError> {
+        self.deploy_inner(name, tenant, image, request, hook, replace, Some(forced_id))
+    }
+
+    /// Bumps the container-id allocator past `next` — called at the
+    /// end of a restore so fresh deploys never collide with replayed
+    /// pre-crash ids.
+    pub(crate) fn ensure_next_container_id(&self, next: ContainerId) {
+        let mut p = self.placement.write().expect("placement lock");
+        p.next_id = p.next_id.max(next);
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal fan-in, two call sites
+    fn deploy_inner(
+        &self,
+        name: &str,
+        tenant: TenantId,
+        image: &[u8],
+        request: ContractRequest,
+        hook: Option<Uuid>,
+        replace: Option<ContainerId>,
+        forced_id: Option<ContainerId>,
+    ) -> Result<DeployOutcome, HostError> {
         let mut p = self.placement.write().expect("placement lock");
         let shard = match hook {
             Some(h) => *p.hook_shard.get(&h).ok_or(HostError::UnknownHook(h))?,
             None => p.least_loaded(),
         };
-        let id = p.next_id;
-        p.next_id += 1;
+        let id = match forced_id {
+            Some(id) => {
+                p.next_id = p.next_id.max(id + 1);
+                id
+            }
+            None => {
+                let id = p.next_id;
+                p.next_id += 1;
+                id
+            }
+        };
         let image: Arc<[u8]> = Arc::from(image);
         // The old container rides the same command — an atomic swap —
         // only when it actually lives on the target shard (it always
@@ -907,7 +1025,9 @@ impl FcHost {
             p.attachments.remove(&old);
             p.specs.remove(&old);
         }
-        self.stats.deploys.fetch_add(1, Ordering::Relaxed);
+        if forced_id.is_none() {
+            self.stats.deploys.fetch_add(1, Ordering::Relaxed);
+        }
         let at = self.env.now_us();
         match hook {
             Some(h) => self
@@ -959,6 +1079,7 @@ impl FcHost {
         ctx: &[u8],
         extra: &[HostRegion],
         reply: Option<std::sync::mpsc::SyncSender<Result<HookReport, EngineError>>>,
+        durable_tag: Option<DurableTag>,
     ) -> Result<Accepted, HostError> {
         let outcome = {
             // Hold the routing read lock across the push: a migration
@@ -976,6 +1097,7 @@ impl FcHost {
                 extra: extra.to_vec(),
                 enqueued_at: Instant::now(),
                 reply,
+                durable_tag,
             };
             // Count the event as outstanding *before* it becomes
             // visible to the worker: once the inbox lock drops, the
@@ -1037,7 +1159,7 @@ impl FcHost {
         ctx: &[u8],
         extra: &[HostRegion],
     ) -> Result<Accepted, HostError> {
-        self.enqueue(hook, ctx, extra, None)
+        self.enqueue(hook, ctx, extra, None, None)
     }
 
     /// Fires a hook and returns a receiver for its report, without
@@ -1055,7 +1177,23 @@ impl FcHost {
         extra: &[HostRegion],
     ) -> Result<Receiver<Result<HookReport, EngineError>>, HostError> {
         let (tx, rx) = sync_channel(1);
-        self.enqueue(hook, ctx, extra, Some(tx))?;
+        self.enqueue(hook, ctx, extra, Some(tx), None)?;
+        Ok(rx)
+    }
+
+    /// As [`FcHost::fire_with_reply`], with a durable exchange tag: on
+    /// a durable host the event's commit record is journaled under
+    /// `tag` before the reply is sent, so a restored node can answer a
+    /// retransmission of the same exchange without re-executing.
+    pub fn fire_with_reply_tagged(
+        &self,
+        hook: Uuid,
+        ctx: &[u8],
+        extra: &[HostRegion],
+        tag: Option<DurableTag>,
+    ) -> Result<Receiver<Result<HookReport, EngineError>>, HostError> {
+        let (tx, rx) = sync_channel(1);
+        self.enqueue(hook, ctx, extra, Some(tx), tag)?;
         Ok(rx)
     }
 
@@ -1078,7 +1216,7 @@ impl FcHost {
         hook: Uuid,
         events: Vec<HookEvent>,
     ) -> Result<BatchAccepted, HostError> {
-        self.enqueue_batch(hook, events, false)
+        self.enqueue_batch(hook, events, false, None)
             .map(|(counts, _)| counts)
     }
 
@@ -1096,7 +1234,20 @@ impl FcHost {
         hook: Uuid,
         events: Vec<HookEvent>,
     ) -> Result<Vec<Receiver<Result<HookReport, EngineError>>>, HostError> {
-        self.enqueue_batch(hook, events, true)
+        self.enqueue_batch(hook, events, true, None)
+            .map(|(_, receivers)| receivers)
+    }
+
+    /// As [`FcHost::fire_batch_with_reply`], with per-event durable
+    /// tags (parallel to `events`; shorter vectors leave the tail
+    /// untagged). See [`FcHost::fire_with_reply_tagged`].
+    pub fn fire_batch_with_reply_tagged(
+        &self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+        tags: Vec<DurableTag>,
+    ) -> Result<Vec<Receiver<Result<HookReport, EngineError>>>, HostError> {
+        self.enqueue_batch(hook, events, true, Some(tags))
             .map(|(_, receivers)| receivers)
     }
 
@@ -1106,6 +1257,7 @@ impl FcHost {
         hook: Uuid,
         events: Vec<HookEvent>,
         with_reply: bool,
+        tags: Option<Vec<DurableTag>>,
     ) -> Result<
         (
             BatchAccepted,
@@ -1122,6 +1274,7 @@ impl FcHost {
             let n = events.len();
             let mut receivers = Vec::with_capacity(if with_reply { n } else { 0 });
             let now = Instant::now();
+            let mut tags = tags.unwrap_or_default().into_iter();
             let queued: Vec<Event> = events
                 .into_iter()
                 .map(|e| {
@@ -1138,6 +1291,7 @@ impl FcHost {
                         extra: e.extra,
                         enqueued_at: now,
                         reply,
+                        durable_tag: tags.next(),
                     }
                 })
                 .collect();

@@ -96,16 +96,23 @@
 pub mod coap;
 pub mod deploy;
 pub mod host;
+pub mod journal;
 pub mod queue;
 pub mod rebalance;
 pub mod service;
 pub mod shard;
 pub mod stats;
 pub mod telemetry;
+pub mod wire;
 
 pub use coap::{CoapFront, CoapReply};
 pub use deploy::{DeployPoll, DeployReport, LiveDeployError, LiveUpdateService};
 pub use host::{DeployOutcome, FcHost, HookEvent, HostConfig, HostError};
+pub use journal::{
+    crc32, CounterSeeds, CrashPlan, CrashPoint, DeployRecord, DurabilityConfig, DurableTag,
+    Journal, JournalError, JournalMedia, JournalOps, KvWrite, RecoveredExchange, RecoveredState,
+    TagKind,
+};
 pub use queue::{Accepted, BatchAccepted, ShedPolicy};
 pub use rebalance::{HookMove, RebalanceConfig, RebalanceReport, Rebalancer};
 pub use service::{

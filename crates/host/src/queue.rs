@@ -37,6 +37,7 @@ use std::time::Instant;
 use fc_core::engine::{EngineError, HookReport, HostRegion};
 use fc_suit::Uuid;
 
+use crate::journal::DurableTag;
 use crate::shard::Command;
 
 /// What to do when a hook queue is full (paper-scale devices must
@@ -86,6 +87,9 @@ pub(crate) struct Event {
     pub enqueued_at: Instant,
     /// Present for synchronous fires; dropped replies signal shedding.
     pub reply: Option<SyncSender<Result<HookReport, EngineError>>>,
+    /// Exactly-once identity of the client exchange behind this event,
+    /// when the caller wants its commit journaled under a token.
+    pub durable_tag: Option<DurableTag>,
 }
 
 /// A hook's FIFO plus its scheduling deficit (instruction units).
@@ -142,6 +146,7 @@ impl Inbox {
     /// full queue, or the hook has no queue here); `Ok` carries how it
     /// entered plus any displaced event (already shed, returned so the
     /// caller can account it).
+    #[allow(clippy::result_large_err)] // Err hands the shed event back by value for accounting
     pub fn enqueue(
         &mut self,
         event: Event,
@@ -296,6 +301,7 @@ mod tests {
             extra: Vec::new(),
             enqueued_at: Instant::now(),
             reply: None,
+            durable_tag: None,
         }
     }
 

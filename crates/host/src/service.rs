@@ -24,15 +24,20 @@
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Arc;
 
 use fc_core::contract::ContractOffer;
 use fc_core::engine::{EngineError, HookReport};
+use fc_core::helpers_impl::HostEnv;
 use fc_core::hooks::Hook;
 use fc_rtos::platform::{Engine as EngineFlavor, Platform};
 use fc_suit::Uuid;
 
 use crate::deploy::{LiveDeployError, LiveUpdateService};
 use crate::host::{FcHost, HookEvent, HostConfig, HostError};
+use crate::journal::{
+    DurabilityConfig, DurableTag, Journal, JournalError, JournalMedia, RecoveredExchange, TagKind,
+};
 
 /// Why a node-service operation failed — the transport-portable
 /// projection of host/deploy errors.
@@ -186,6 +191,36 @@ pub trait WindowedNode {
     /// Transport errors that prevent queuing.
     fn submit_deploy(&mut self, envelope: &[u8]) -> Result<Ticket, NodeError>;
 
+    /// As [`WindowedNode::submit_batch`] with a durable exchange token
+    /// (see [`NodeService::dispatch_batch_tagged`]). Defaults to the
+    /// untagged submission for transports without durability.
+    ///
+    /// # Errors
+    ///
+    /// As [`WindowedNode::submit_batch`].
+    fn submit_batch_tagged(
+        &mut self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+        _token: &[u8],
+    ) -> Result<Ticket, NodeError> {
+        self.submit_batch(hook, events)
+    }
+
+    /// As [`WindowedNode::submit_deploy`] with a durable exchange
+    /// token (see [`NodeService::deploy_tagged`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`WindowedNode::submit_deploy`].
+    fn submit_deploy_tagged(
+        &mut self,
+        envelope: &[u8],
+        _token: &[u8],
+    ) -> Result<Ticket, NodeError> {
+        self.submit_deploy(envelope)
+    }
+
     /// Makes one step of progress (delivers datagrams, launches queued
     /// exchanges, collects worker completions, advances the virtual
     /// clock). Returns `true` when anything moved — a caller looping
@@ -303,6 +338,53 @@ pub trait NodeService {
     fn windowed(&mut self) -> Option<&mut dyn WindowedNode> {
         None
     }
+
+    /// Whether the node has crash-stopped: its durable media powered
+    /// off mid-operation (fault injection) and the node will answer
+    /// nothing until restored. Defaults to `false` — non-durable nodes
+    /// cannot crash this way.
+    fn crashed(&self) -> bool {
+        false
+    }
+
+    /// As [`NodeService::dispatch`], carrying the transport token of
+    /// the exchange. On a durable node the event commits under the
+    /// token before the reply leaves, and a **restored** node answers a
+    /// retransmission of a pre-crash token from its journal — same
+    /// report bytes, no re-execution. Defaults to plain dispatch for
+    /// adapters without durability.
+    fn dispatch_tagged(
+        &mut self,
+        hook: Uuid,
+        event: HookEvent,
+        _token: &[u8],
+    ) -> Result<HookReport, NodeError> {
+        self.dispatch(hook, event)
+    }
+
+    /// As [`NodeService::dispatch_batch`] with a durable exchange
+    /// token; per-slot commits mean a restored node re-executes only
+    /// the slots that had not committed before the crash.
+    fn dispatch_batch_tagged(
+        &mut self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+        _token: &[u8],
+    ) -> Result<Vec<Result<HookReport, NodeError>>, NodeError> {
+        self.dispatch_batch(hook, events)
+    }
+
+    /// As [`NodeService::deploy`] with a durable exchange token: an
+    /// accepted deploy journals its report under the token, so a
+    /// restored node answers a retransmission without re-applying.
+    /// (Rejections are deterministic and simply re-derive.)
+    fn deploy_tagged(
+        &mut self,
+        envelope: &[u8],
+        _token: &[u8],
+    ) -> Result<crate::DeployReport, NodeError> {
+        self.deploy(envelope)
+    }
 }
 
 /// The in-process [`NodeService`] adapter: one [`FcHost`] plus its
@@ -331,6 +413,11 @@ pub struct LocalNode {
     pending: HashMap<Ticket, LocalPending>,
     next_ticket: Ticket,
     in_flight_hwm: u64,
+    /// Journal-recovered tagged exchanges, by token: retransmissions
+    /// of pre-crash exchanges answer from here without re-executing.
+    resume: HashMap<Vec<u8>, RecoveredExchange>,
+    /// Journal-recovered deploy reports, by token.
+    deploy_replies: HashMap<Vec<u8>, crate::DeployReport>,
 }
 
 /// One outstanding asynchronous submission on a [`LocalNode`].
@@ -355,6 +442,113 @@ impl LocalNode {
         )
     }
 
+    /// Starts a **durable** node: every event commit, accepted deploy
+    /// and bare store write is journaled to `media` before its reply
+    /// can leave (see [`FcHost::with_durability`]). With
+    /// `durability.enabled == false` this is exactly [`LocalNode::new`].
+    pub fn durable(
+        platform: Platform,
+        flavor: EngineFlavor,
+        config: HostConfig,
+        media: &JournalMedia,
+        durability: DurabilityConfig,
+    ) -> Self {
+        Self::with_host(
+            FcHost::with_durability(platform, flavor, config, media, durability),
+            LiveUpdateService::new(),
+        )
+    }
+
+    /// Restores a node from crashed durable media: replays the
+    /// journal's durable prefix, re-registers `hooks` (the
+    /// fleet-retained specs, **in original registration order** — hook
+    /// placement is round-robin over registration order, and counter
+    /// seeding keys per-hook telemetry off the re-derived shard),
+    /// reinstalls every committed deploy at its pre-crash container id
+    /// and rollback-protected sequence, reapplies committed kv state,
+    /// seeds the stats/telemetry counters so pre-crash dispatches are
+    /// not re-counted, and rebuilds the exchange-resume cache so
+    /// retransmissions of pre-crash exchanges answer byte-identically.
+    ///
+    /// Tenant trust anchors are **not** durable — re-provision them
+    /// through [`LocalNode::updates_mut`] before accepting new deploys.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] when the media fails closed (header/CRC
+    /// corruption beyond the durable prefix) or a recovered record no
+    /// longer re-applies.
+    pub fn restore(
+        platform: Platform,
+        flavor: EngineFlavor,
+        config: HostConfig,
+        media: &JournalMedia,
+        durability: DurabilityConfig,
+        hooks: Vec<(Hook, ContractOffer)>,
+    ) -> Result<Self, JournalError> {
+        use std::sync::atomic::Ordering;
+
+        let (journal, state) = Journal::recover(media, durability)?;
+        // The journal is still quiet: nothing replayed below re-enters
+        // it (bare store notifications no-op until `arm`).
+        let host = FcHost::with_env_and_journal(
+            platform,
+            flavor,
+            config,
+            Arc::new(HostEnv::new(fc_kvstore::DEFAULT_CAPACITY)),
+            Some(Arc::clone(&journal)),
+        );
+        let mut node = Self::with_host(host, LiveUpdateService::new());
+        for (hook, offer) in hooks {
+            node.register_hook(hook, offer)
+                .map_err(|e| JournalError::Replay(e.to_string()))?;
+        }
+        for rec in &state.deploys {
+            node.updates
+                .restore_component(&node.host, rec)
+                .map_err(|e| JournalError::Replay(e.to_string()))?;
+        }
+        if let Some(next) = state.deploys.iter().map(|d| d.report.container).max() {
+            node.host.ensure_next_container_id(next + 1);
+        }
+        for w in &state.kv {
+            node.host
+                .env()
+                .stores()
+                .store(w.container, w.tenant, w.scope, w.key, w.value)
+                .map_err(|e| JournalError::Replay(e.to_string()))?;
+        }
+        let seeds = &state.seeds;
+        let stats = node.host.stats();
+        stats.enqueued.fetch_add(seeds.enqueued, Ordering::Relaxed);
+        stats
+            .dispatched
+            .fetch_add(seeds.dispatched, Ordering::Relaxed);
+        stats.faults.fetch_add(seeds.faults, Ordering::Relaxed);
+        stats.insns.fetch_add(seeds.insns, Ordering::Relaxed);
+        stats.deploys.fetch_add(seeds.deploys, Ordering::Relaxed);
+        stats.latency.absorb(&seeds.latency.0);
+        for &(tenant, executions, insns) in &seeds.tenants {
+            stats.seed_tenant(tenant, executions, insns);
+            node.host
+                .telemetry()
+                .seed_tenant(0, tenant, executions, insns);
+        }
+        for &(hook, dispatched) in &seeds.hooks {
+            let shard = node.host.shard_of_hook(hook).unwrap_or(0);
+            node.host.telemetry().seed_hook(shard, &hook, dispatched);
+        }
+        node.updates.seed_accepted(seeds.deploys);
+        node.resume = state
+            .exchanges
+            .into_iter()
+            .map(|e| (e.token.clone(), e))
+            .collect();
+        node.deploy_replies = state.deploy_replies.into_iter().collect();
+        journal.arm();
+        Ok(node)
+    }
+
     /// Wraps an existing host and update service.
     pub fn with_host(host: FcHost, updates: LiveUpdateService) -> Self {
         LocalNode {
@@ -364,6 +558,8 @@ impl LocalNode {
             pending: HashMap::new(),
             next_ticket: 0,
             in_flight_hwm: 0,
+            resume: HashMap::new(),
+            deploy_replies: HashMap::new(),
         }
     }
 
@@ -390,6 +586,65 @@ impl LocalNode {
     fn portable(e: HostError) -> NodeError {
         e.into()
     }
+
+    /// Pre-fills a batch's outcome slots with the committed results a
+    /// restored journal retained for `token`; uncommitted slots stay
+    /// `None` and must be (re-)executed.
+    fn resume_slots(
+        &self,
+        token: &[u8],
+        total: usize,
+    ) -> Vec<Option<Result<HookReport, NodeError>>> {
+        let mut slots = vec![None; total];
+        if let Some(exchange) = self.resume.get(token) {
+            for (index, outcome) in &exchange.outcomes {
+                if let Some(slot) = slots.get_mut(*index as usize) {
+                    *slot = Some(outcome.clone());
+                }
+            }
+        }
+        slots
+    }
+
+    /// Fires the not-yet-committed slots of a tagged batch and fills
+    /// their reply receivers back into position; committed slots keep
+    /// their journal-recovered outcomes and are not re-executed.
+    #[allow(clippy::type_complexity)] // mirrors fire_batch_with_reply
+    fn fire_uncommitted(
+        &mut self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+        token: &[u8],
+        slots: &[Option<Result<HookReport, NodeError>>],
+    ) -> Result<Vec<Option<Receiver<Result<HookReport, EngineError>>>>, NodeError> {
+        let total = events.len() as u32;
+        let mut receivers: Vec<Option<Receiver<_>>> = (0..events.len()).map(|_| None).collect();
+        let mut to_fire = Vec::new();
+        let mut tags = Vec::new();
+        let mut fired = Vec::new();
+        for (index, event) in events.into_iter().enumerate() {
+            if slots[index].is_none() {
+                to_fire.push(event);
+                tags.push(DurableTag {
+                    token: token.to_vec(),
+                    kind: TagKind::Batch,
+                    index: index as u32,
+                    total,
+                });
+                fired.push(index);
+            }
+        }
+        if !to_fire.is_empty() {
+            let fresh = self
+                .host
+                .fire_batch_with_reply_tagged(hook, to_fire, tags)
+                .map_err(Self::portable)?;
+            for (index, rx) in fired.into_iter().zip(fresh) {
+                receivers[index] = Some(rx);
+            }
+        }
+        Ok(receivers)
+    }
 }
 
 impl NodeService for LocalNode {
@@ -401,7 +656,7 @@ impl NodeService for LocalNode {
             // hook handoff here: retire it and clear its rollback state
             // now, or that same-sequence re-deploy would be rejected as
             // a rollback and the stale container would linger.
-            if let Some(standby) = self.updates.forget_component(hook.id) {
+            if let Some(standby) = self.updates.forget_component_on(&self.host, hook.id) {
                 self.host.remove(standby);
             }
             self.hooks += 1;
@@ -415,7 +670,9 @@ impl NodeService for LocalNode {
         self.hooks = self.hooks.saturating_sub(1);
         // Evacuate the component: retire its SUIT-bound container and
         // clear rollback state so a retained update can re-home it.
-        if let Some(container) = self.updates.forget_component(hook) {
+        // Durable nodes journal the evacuation so a restore does not
+        // resurrect the departed component.
+        if let Some(container) = self.updates.forget_component_on(&self.host, hook) {
             self.host.remove(container);
         }
         Ok(())
@@ -508,6 +765,73 @@ impl NodeService for LocalNode {
     fn windowed(&mut self) -> Option<&mut dyn WindowedNode> {
         Some(self)
     }
+
+    fn crashed(&self) -> bool {
+        !self.host.alive()
+    }
+
+    fn dispatch_tagged(
+        &mut self,
+        hook: Uuid,
+        event: HookEvent,
+        token: &[u8],
+    ) -> Result<HookReport, NodeError> {
+        if let Some(exchange) = self.resume.get(token) {
+            if let Some((_, outcome)) = exchange.outcomes.iter().find(|(i, _)| *i == 0) {
+                return outcome.clone();
+            }
+        }
+        let tag = DurableTag {
+            token: token.to_vec(),
+            kind: TagKind::Dispatch,
+            index: 0,
+            total: 1,
+        };
+        let rx = self
+            .host
+            .fire_with_reply_tagged(hook, &event.ctx, &event.extra, Some(tag))
+            .map_err(Self::portable)?;
+        match rx.recv() {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(e)) => Err(Self::portable(HostError::Engine(e))),
+            // Sender dropped without a send: displaced after
+            // acceptance, or reply suppressed by a mid-commit crash
+            // (callers check `crashed()` before trusting the verdict).
+            Err(_) => Err(NodeError::Shed),
+        }
+    }
+
+    fn dispatch_batch_tagged(
+        &mut self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+        token: &[u8],
+    ) -> Result<Vec<Result<HookReport, NodeError>>, NodeError> {
+        let mut slots = self.resume_slots(token, events.len());
+        let receivers = self.fire_uncommitted(hook, events, token, &slots)?;
+        for (slot, rx) in slots.iter_mut().zip(receivers) {
+            let Some(rx) = rx else { continue };
+            *slot = Some(match rx.recv() {
+                Ok(Ok(report)) => Ok(report),
+                Ok(Err(e)) => Err(Self::portable(HostError::Engine(e))),
+                Err(_) => Err(NodeError::Shed),
+            });
+        }
+        Ok(slots.into_iter().map(|s| s.expect("slot filled")).collect())
+    }
+
+    fn deploy_tagged(
+        &mut self,
+        envelope: &[u8],
+        token: &[u8],
+    ) -> Result<crate::DeployReport, NodeError> {
+        if let Some(report) = self.deploy_replies.get(token) {
+            return Ok(*report);
+        }
+        self.updates
+            .apply_tagged(&self.host, envelope, Some(token.to_vec()))
+            .map_err(NodeError::from)
+    }
 }
 
 impl WindowedNode for LocalNode {
@@ -536,6 +860,22 @@ impl WindowedNode for LocalNode {
 
     fn submit_deploy(&mut self, envelope: &[u8]) -> Result<Ticket, NodeError> {
         let result = self.deploy(envelope).map(NodeReply::Deploy);
+        Ok(self.issue_ticket(LocalPending::Ready(result)))
+    }
+
+    fn submit_batch_tagged(
+        &mut self,
+        hook: Uuid,
+        events: Vec<HookEvent>,
+        token: &[u8],
+    ) -> Result<Ticket, NodeError> {
+        let slots = self.resume_slots(token, events.len());
+        let receivers = self.fire_uncommitted(hook, events, token, &slots)?;
+        Ok(self.issue_ticket(LocalPending::Batch { receivers, slots }))
+    }
+
+    fn submit_deploy_tagged(&mut self, envelope: &[u8], token: &[u8]) -> Result<Ticket, NodeError> {
+        let result = NodeService::deploy_tagged(self, envelope, token).map(NodeReply::Deploy);
         Ok(self.issue_ticket(LocalPending::Ready(result)))
     }
 

@@ -36,9 +36,11 @@ use fc_rbpf::vm::ExecConfig;
 use fc_rtos::platform::{Engine as EngineFlavor, Platform};
 use fc_suit::Uuid;
 
+use crate::journal::{self, CommitRecord, Journal};
 use crate::queue::Inbox;
 use crate::stats::HostStats;
 use crate::telemetry::{MetricsRegistry, TraceKind};
+use crate::{HostError, NodeError};
 
 /// A lifecycle or query command routed to one shard's control lane.
 pub(crate) enum Command {
@@ -226,12 +228,22 @@ pub(crate) fn spawn_shard(
     outstanding: Arc<OutstandingGauge>,
     telemetry: Arc<MetricsRegistry>,
     params: ShardParams,
+    journal: Option<Arc<Journal>>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("fc-host-shard-{index}"))
         .spawn(move || {
             let engine = HostingEngine::with_env(platform, flavor, env);
-            run_shard(index, engine, inbox, stats, outstanding, telemetry, params);
+            run_shard(
+                index,
+                engine,
+                inbox,
+                stats,
+                outstanding,
+                telemetry,
+                params,
+                journal,
+            );
         })
         .expect("spawn shard worker")
 }
@@ -245,6 +257,7 @@ fn run_shard(
     outstanding: Arc<OutstandingGauge>,
     telemetry: Arc<MetricsRegistry>,
     params: ShardParams,
+    journal: Option<Arc<Journal>>,
 ) {
     let (lock, cvar) = &*inbox;
     let mut events_done = 0u64;
@@ -301,6 +314,12 @@ fn run_shard(
         }
         for event in batch {
             let started = Instant::now();
+            // On a durable host the worker captures the event's store
+            // writes (thread-local, installed as the stores' sink) so
+            // they land in the same commit record as the outcome.
+            if journal.is_some() {
+                journal::begin_capture();
+            }
             // A host-side panic inside an event (e.g. a poisoned
             // shared-state lock in a helper) must not kill the worker:
             // a dead worker would strand its queues, hang quiesce()
@@ -315,6 +334,11 @@ fn run_shard(
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 engine.fire_hook(event.hook, &event.ctx, &event.extra)
             }));
+            let writes = if journal.is_some() {
+                journal::take_capture()
+            } else {
+                Vec::new()
+            };
             busy_ns += started.elapsed().as_nanos() as u64;
             events_done += 1;
             let latency_ns = event.enqueued_at.elapsed().as_nanos() as u64;
@@ -324,6 +348,7 @@ fn run_shard(
                     let mut insns = 0u64;
                     let mut faults = 0u64;
                     let mut executions = 0u64;
+                    let mut event_charges: Vec<(fc_kvstore::TenantId, u64)> = Vec::new();
                     if let Ok(report) = &result {
                         sim_cycles += report.cycles;
                         *hook_cycles.entry(event.hook).or_insert(0) += report.cycles;
@@ -333,7 +358,7 @@ fn run_shard(
                             insns += cost;
                             faults += exec.result.is_err() as u64;
                             if let Some(slot) = engine.container(exec.container) {
-                                tenant_charges.push((slot.tenant, cost));
+                                event_charges.push((slot.tenant, cost));
                                 telemetry.record_tenant_execution(
                                     index,
                                     slot.tenant,
@@ -353,19 +378,47 @@ fn run_shard(
                         &event.hook,
                         insns,
                     );
+                    // The write-ahead commit point: the record (writes
+                    // + wire-level outcome) must be durable *before*
+                    // the reply can leave the node. A `false` return
+                    // means the node lost power at this seam — the
+                    // reply is suppressed, exactly as a real crash
+                    // between commit and send would.
+                    let alive = match &journal {
+                        Some(j) => j.commit(&CommitRecord {
+                            hook: event.hook,
+                            tag: event.durable_tag.clone(),
+                            latency_ns,
+                            insns,
+                            faults,
+                            charges: event_charges.clone(),
+                            writes,
+                            outcome: match &result {
+                                Ok(report) => Ok(report.clone()),
+                                Err(e) => Err(NodeError::from(HostError::Engine(e.clone()))),
+                            },
+                        }),
+                        None => true,
+                    };
+                    tenant_charges.extend(event_charges);
                     if let Some(reply) = event.reply {
-                        telemetry.trace_hook(
-                            engine.env().now_us(),
-                            TraceKind::Reply,
-                            &event.hook,
-                            executions,
-                        );
-                        // A disinterested caller may have dropped the
-                        // receiver.
-                        let _ = reply.send(result);
+                        if alive {
+                            telemetry.trace_hook(
+                                engine.env().now_us(),
+                                TraceKind::Reply,
+                                &event.hook,
+                                executions,
+                            );
+                            // A disinterested caller may have dropped
+                            // the receiver.
+                            let _ = reply.send(result);
+                        }
                     }
                 }
                 Err(_panic) => {
+                    // Never journal a panicked event: the engine's
+                    // state is suspect and its captured writes are
+                    // discarded with it.
                     charges.push((event.hook, 1));
                     stats.record_dispatch(latency_ns, 0, 1);
                     telemetry.record_dispatch(index, &event.hook, latency_ns);

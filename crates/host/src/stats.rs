@@ -112,6 +112,16 @@ impl LatencyHistogram {
             }
         }
     }
+
+    /// Adds a frozen bucket array into `self` — how a restored node
+    /// seeds its histogram from journal-recovered counter state.
+    pub fn absorb(&self, buckets: &[u64; BUCKETS]) {
+        for (dst, &n) in self.buckets.iter().zip(buckets.iter()) {
+            if n != 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Per-tenant dispatch totals, maintained by the shard workers for
@@ -202,6 +212,16 @@ impl HostStats {
         }
         // Inside the map lock, so a snapshot built under the same lock
         // is tagged with an epoch that exactly matches its contents.
+        self.tenants_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Seeds a tenant's ledger wholesale — how a restored node folds
+    /// journal-recovered per-tenant totals back in before serving.
+    pub fn seed_tenant(&self, tenant: TenantId, executions: u64, insns: u64) {
+        let mut tenants = self.tenants.lock().expect("tenant stats lock");
+        let t = tenants.entry(tenant).or_default();
+        t.executions += executions;
+        t.insns += insns;
         self.tenants_epoch.fetch_add(1, Ordering::Release);
     }
 

@@ -546,6 +546,34 @@ impl MetricsRegistry {
         }
     }
 
+    /// Seeds a hook's lane totals from journal-recovered state — how a
+    /// restored node's telemetry continues from the crashed node's
+    /// counts instead of re-counting replayed commits. Only safe while
+    /// the lane's shard worker is idle (restore runs before any event
+    /// is offered), which upholds the single-writer contract.
+    pub fn seed_hook(&self, shard: usize, hook: &Uuid, dispatched: u64) {
+        let Some(lane) = self.lanes.get(shard) else {
+            return;
+        };
+        bump(&lane.dispatched, dispatched);
+        let (k0, k1) = uuid_key(hook);
+        if let Some(slot) = lane.hooks.slot(k0, k1) {
+            bump(&slot.events, dispatched);
+        }
+    }
+
+    /// Seeds a tenant's lane totals from journal-recovered state (same
+    /// restore-time-only contract as [`MetricsRegistry::seed_hook`]).
+    pub fn seed_tenant(&self, shard: usize, tenant: TenantId, executions: u64, insns: u64) {
+        let Some(lane) = self.lanes.get(shard) else {
+            return;
+        };
+        if let Some(slot) = lane.tenants.slot(u64::from(tenant), u64::MAX) {
+            bump(&slot.events, executions);
+            bump(&slot.extra, insns);
+        }
+    }
+
     /// Records `n` events shed for a hook. Callable from any thread:
     /// sheds land in the shared table, not a lane.
     pub fn record_shed(&self, hook: &Uuid, n: u64) {
@@ -709,10 +737,16 @@ pub enum CounterId {
     TraceDropped = 15,
     /// Keyed metric records dropped because a slot table was full.
     KeyedOverflow = 16,
+    /// Write-ahead journal records appended (durable hosts only).
+    JournalAppends = 17,
+    /// Framed bytes written to the journal.
+    JournalBytes = 18,
+    /// Snapshot folds completed.
+    JournalFolds = 19,
 }
 
 /// Number of counter ids (array length in [`MetricsSnapshot`]).
-pub const NUM_COUNTERS: usize = 17;
+pub const NUM_COUNTERS: usize = 20;
 
 impl CounterId {
     /// All counter ids, in encoding order.
@@ -734,6 +768,9 @@ impl CounterId {
         CounterId::CoalescedFrames,
         CounterId::TraceDropped,
         CounterId::KeyedOverflow,
+        CounterId::JournalAppends,
+        CounterId::JournalBytes,
+        CounterId::JournalFolds,
     ];
 
     /// Stable lower-snake name used by the text rendering.
@@ -756,6 +793,9 @@ impl CounterId {
             CounterId::CoalescedFrames => "coalesced_frames",
             CounterId::TraceDropped => "trace_dropped",
             CounterId::KeyedOverflow => "keyed_overflow",
+            CounterId::JournalAppends => "journal_appends",
+            CounterId::JournalBytes => "journal_bytes",
+            CounterId::JournalFolds => "journal_folds",
         }
     }
 

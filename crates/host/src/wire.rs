@@ -1,0 +1,702 @@
+//! The shared binary leaf codec for node-facing payloads.
+//!
+//! PR 5 introduced this codec inside `fc-fleet` to ship
+//! [`NodeService`](crate::NodeService) operations over CoAP; the
+//! durability journal reuses the exact same record discipline
+//! (length-prefixed little-endian, tagged enums, total decoding), so
+//! the leaf encoders live here in `fc-host` where both consumers can
+//! reach them. `fc_fleet::wire` re-exports everything — the fleet wire
+//! format is byte-identical to before the move.
+//!
+//! Encoding is infallible; decoding is **total**: truncated or
+//! mistagged input yields a [`WireError`], never a panic.
+
+use fc_core::contract::ContractOffer;
+use fc_core::engine::{ExecutionReport, HookReport, HostRegion};
+use fc_core::hooks::{Hook, HookKind, HookPolicy};
+use fc_rbpf::error::VmError;
+use fc_rbpf::vm::OpCounts;
+use fc_suit::Uuid;
+
+use crate::{DeployReport, HookEvent, NodeError, NodeStats};
+
+/// Why a wire payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the announced structure did.
+    Truncated,
+    /// An enum tag byte was outside its legal range.
+    BadTag(u8),
+    /// A string field was not UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated wire payload"),
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            WireError::BadString => write!(f, "non-utf8 wire string"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for NodeError {
+    fn from(e: WireError) -> Self {
+        NodeError::Transport(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------- put
+
+/// Appends one byte.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a bool as one byte (`0`/`1`).
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64`, little-endian two's complement.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32`-length-prefixed byte run.
+pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+/// Appends a UUID as its raw 16 bytes.
+pub fn put_uuid(buf: &mut Vec<u8>, v: Uuid) {
+    buf.extend_from_slice(v.as_bytes());
+}
+
+// ---------------------------------------------------------------- get
+
+/// A bounds-checked cursor over a wire payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] past the end.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] past the end.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool byte (any non-zero is `true`).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] past the end.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] past the end.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] past the end.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] past the end.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads a `u32`-length-prefixed byte run.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] past the end.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] or [`WireError::BadString`].
+    pub fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::BadString)
+    }
+
+    /// Reads a raw 16-byte UUID.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] past the end.
+    pub fn uuid(&mut self) -> Result<Uuid, WireError> {
+        Ok(Uuid::from_slice(self.take(16)?).expect("16 bytes"))
+    }
+
+    /// Asserts the payload is fully consumed — trailing bytes are a
+    /// framing error, not padding.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when bytes remain.
+    pub fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Truncated)
+        }
+    }
+}
+
+// ------------------------------------------------------- leaf structs
+
+/// Encodes a [`HookEvent`] (context bytes + extra host regions).
+pub fn put_event(buf: &mut Vec<u8>, e: &HookEvent) {
+    put_bytes(buf, &e.ctx);
+    put_u32(buf, e.extra.len() as u32);
+    for region in &e.extra {
+        put_str(buf, &region.name);
+        put_bytes(buf, &region.data);
+        put_bool(buf, region.writable);
+    }
+}
+
+/// Decodes a [`HookEvent`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncated or mistagged input.
+pub fn get_event(r: &mut Reader) -> Result<HookEvent, WireError> {
+    let ctx = r.bytes()?;
+    let n = r.u32()? as usize;
+    let mut extra = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let name = r.string()?;
+        let data = r.bytes()?;
+        let writable = r.bool()?;
+        extra.push(HostRegion {
+            name,
+            data,
+            writable,
+        });
+    }
+    Ok(HookEvent { ctx, extra })
+}
+
+/// Encodes a [`VmError`] as a tag byte plus its fields.
+pub fn put_vm_error(buf: &mut Vec<u8>, e: &VmError) {
+    match e {
+        VmError::InvalidMemoryAccess { addr, len, write } => {
+            put_u8(buf, 0);
+            put_u64(buf, *addr);
+            put_u64(buf, *len as u64);
+            put_bool(buf, *write);
+        }
+        VmError::DivisionByZero { pc } => {
+            put_u8(buf, 1);
+            put_u64(buf, *pc as u64);
+        }
+        VmError::UnknownOpcode { pc, opcode } => {
+            put_u8(buf, 2);
+            put_u64(buf, *pc as u64);
+            put_u8(buf, *opcode);
+        }
+        VmError::UnknownHelper { id } => {
+            put_u8(buf, 3);
+            put_u32(buf, *id);
+        }
+        VmError::HelperDenied { id } => {
+            put_u8(buf, 4);
+            put_u32(buf, *id);
+        }
+        VmError::HelperFault { id, reason } => {
+            put_u8(buf, 5);
+            put_u32(buf, *id);
+            put_str(buf, reason);
+        }
+        VmError::InstructionBudgetExceeded { budget } => {
+            put_u8(buf, 6);
+            put_u32(buf, *budget);
+        }
+        VmError::BranchBudgetExceeded { budget } => {
+            put_u8(buf, 7);
+            put_u32(buf, *budget);
+        }
+        VmError::JumpOutOfBounds { pc, target } => {
+            put_u8(buf, 8);
+            put_u64(buf, *pc as u64);
+            put_u64(buf, *target as u64);
+        }
+        VmError::PcOutOfBounds { pc } => {
+            put_u8(buf, 9);
+            put_u64(buf, *pc as u64);
+        }
+        VmError::TruncatedWideInstruction { pc } => {
+            put_u8(buf, 10);
+            put_u64(buf, *pc as u64);
+        }
+        VmError::WriteToReadOnlyRegister { pc } => {
+            put_u8(buf, 11);
+            put_u64(buf, *pc as u64);
+        }
+        VmError::InvalidShift { pc } => {
+            put_u8(buf, 12);
+            put_u64(buf, *pc as u64);
+        }
+    }
+}
+
+/// Decodes a [`VmError`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncated or mistagged input.
+pub fn get_vm_error(r: &mut Reader) -> Result<VmError, WireError> {
+    Ok(match r.u8()? {
+        0 => VmError::InvalidMemoryAccess {
+            addr: r.u64()?,
+            len: r.u64()? as usize,
+            write: r.bool()?,
+        },
+        1 => VmError::DivisionByZero {
+            pc: r.u64()? as usize,
+        },
+        2 => VmError::UnknownOpcode {
+            pc: r.u64()? as usize,
+            opcode: r.u8()?,
+        },
+        3 => VmError::UnknownHelper { id: r.u32()? },
+        4 => VmError::HelperDenied { id: r.u32()? },
+        5 => VmError::HelperFault {
+            id: r.u32()?,
+            reason: r.string()?,
+        },
+        6 => VmError::InstructionBudgetExceeded { budget: r.u32()? },
+        7 => VmError::BranchBudgetExceeded { budget: r.u32()? },
+        8 => VmError::JumpOutOfBounds {
+            pc: r.u64()? as usize,
+            target: r.u64()? as i64,
+        },
+        9 => VmError::PcOutOfBounds {
+            pc: r.u64()? as usize,
+        },
+        10 => VmError::TruncatedWideInstruction {
+            pc: r.u64()? as usize,
+        },
+        11 => VmError::WriteToReadOnlyRegister {
+            pc: r.u64()? as usize,
+        },
+        12 => VmError::InvalidShift {
+            pc: r.u64()? as usize,
+        },
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+/// Encodes an [`OpCounts`] as its eleven counters in fixed order.
+pub fn put_counts(buf: &mut Vec<u8>, c: &OpCounts) {
+    for v in [
+        c.alu32,
+        c.alu64,
+        c.mul,
+        c.div,
+        c.load,
+        c.store,
+        c.branch_taken,
+        c.branch_not_taken,
+        c.helper_call,
+        c.wide_load,
+        c.exit,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+/// Decodes an [`OpCounts`].
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] past the end.
+pub fn get_counts(r: &mut Reader) -> Result<OpCounts, WireError> {
+    Ok(OpCounts {
+        alu32: r.u64()?,
+        alu64: r.u64()?,
+        mul: r.u64()?,
+        div: r.u64()?,
+        load: r.u64()?,
+        store: r.u64()?,
+        branch_taken: r.u64()?,
+        branch_not_taken: r.u64()?,
+        helper_call: r.u64()?,
+        wide_load: r.u64()?,
+        exit: r.u64()?,
+    })
+}
+
+/// Encodes one container's [`ExecutionReport`].
+pub fn put_execution(buf: &mut Vec<u8>, e: &ExecutionReport) {
+    put_u32(buf, e.container);
+    match &e.result {
+        Ok(v) => {
+            put_u8(buf, 0);
+            put_u64(buf, *v);
+        }
+        Err(err) => {
+            put_u8(buf, 1);
+            put_vm_error(buf, err);
+        }
+    }
+    put_counts(buf, &e.counts);
+    put_u64(buf, e.vm_cycles);
+    put_u64(buf, e.helper_cycles);
+    put_bytes(buf, &e.ctx_back);
+    put_u32(buf, e.regions_back.len() as u32);
+    for (name, data) in &e.regions_back {
+        put_str(buf, name);
+        put_bytes(buf, data);
+    }
+}
+
+/// Decodes an [`ExecutionReport`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncated or mistagged input.
+pub fn get_execution(r: &mut Reader) -> Result<ExecutionReport, WireError> {
+    let container = r.u32()?;
+    let result = match r.u8()? {
+        0 => Ok(r.u64()?),
+        1 => Err(get_vm_error(r)?),
+        t => return Err(WireError::BadTag(t)),
+    };
+    let counts = get_counts(r)?;
+    let vm_cycles = r.u64()?;
+    let helper_cycles = r.u64()?;
+    let ctx_back = r.bytes()?;
+    let n = r.u32()? as usize;
+    let mut regions_back = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let name = r.string()?;
+        let data = r.bytes()?;
+        regions_back.push((name, data));
+    }
+    Ok(ExecutionReport {
+        container,
+        result,
+        counts,
+        vm_cycles,
+        helper_cycles,
+        ctx_back,
+        regions_back,
+    })
+}
+
+/// Encodes a [`HookReport`] losslessly (the differential suites depend
+/// on bit-identical round-trips).
+pub fn put_report(buf: &mut Vec<u8>, report: &HookReport) {
+    match report.combined {
+        Some(v) => {
+            put_u8(buf, 1);
+            put_u64(buf, v);
+        }
+        None => put_u8(buf, 0),
+    }
+    put_u64(buf, report.cycles);
+    put_u32(buf, report.executions.len() as u32);
+    for e in &report.executions {
+        put_execution(buf, e);
+    }
+}
+
+/// Decodes a [`HookReport`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncated or mistagged input.
+pub fn get_report(r: &mut Reader) -> Result<HookReport, WireError> {
+    let combined = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        t => return Err(WireError::BadTag(t)),
+    };
+    let cycles = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut executions = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        executions.push(get_execution(r)?);
+    }
+    Ok(HookReport {
+        executions,
+        combined,
+        cycles,
+    })
+}
+
+/// Encodes a [`NodeError`] verdict.
+pub fn put_node_error(buf: &mut Vec<u8>, e: &NodeError) {
+    match e {
+        NodeError::UnknownHook(u) => {
+            put_u8(buf, 0);
+            put_uuid(buf, *u);
+        }
+        NodeError::Shed => put_u8(buf, 1),
+        NodeError::Rejected(reason) => {
+            put_u8(buf, 2);
+            put_str(buf, reason);
+        }
+        NodeError::Timeout => put_u8(buf, 3),
+        NodeError::Transport(reason) => {
+            put_u8(buf, 4);
+            put_str(buf, reason);
+        }
+    }
+}
+
+/// Decodes a [`NodeError`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncated or mistagged input.
+pub fn get_node_error(r: &mut Reader) -> Result<NodeError, WireError> {
+    Ok(match r.u8()? {
+        0 => NodeError::UnknownHook(r.uuid()?),
+        1 => NodeError::Shed,
+        2 => NodeError::Rejected(r.string()?),
+        3 => NodeError::Timeout,
+        4 => NodeError::Transport(r.string()?),
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+/// Encodes a [`DeployReport`].
+pub fn put_deploy_report(buf: &mut Vec<u8>, d: &DeployReport) {
+    put_u32(buf, d.container);
+    put_uuid(buf, d.component);
+    put_u64(buf, d.shard as u64);
+    put_u64(buf, d.sequence);
+    put_bool(buf, d.attached);
+    match d.replaced {
+        Some(old) => {
+            put_u8(buf, 1);
+            put_u32(buf, old);
+        }
+        None => put_u8(buf, 0),
+    }
+}
+
+/// Decodes a [`DeployReport`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncated or mistagged input.
+pub fn get_deploy_report(r: &mut Reader) -> Result<DeployReport, WireError> {
+    let container = r.u32()?;
+    let component = r.uuid()?;
+    let shard = r.u64()? as usize;
+    let sequence = r.u64()?;
+    let attached = r.bool()?;
+    let replaced = match r.u8()? {
+        0 => None,
+        1 => Some(r.u32()?),
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(DeployReport {
+        container,
+        component,
+        shard,
+        sequence,
+        attached,
+        replaced,
+    })
+}
+
+/// Encodes a [`NodeStats`] snapshot as its eight counters.
+pub fn put_stats(buf: &mut Vec<u8>, s: &NodeStats) {
+    for v in [
+        s.dispatched,
+        s.shed,
+        s.deploys_accepted,
+        s.deploys_rejected,
+        s.hooks,
+        s.p50_ns,
+        s.p99_ns,
+        s.max_shard_busy_cycles,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+/// Decodes a [`NodeStats`] snapshot.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] past the end.
+pub fn get_stats(r: &mut Reader) -> Result<NodeStats, WireError> {
+    Ok(NodeStats {
+        dispatched: r.u64()?,
+        shed: r.u64()?,
+        deploys_accepted: r.u64()?,
+        deploys_rejected: r.u64()?,
+        hooks: r.u64()?,
+        p50_ns: r.u64()?,
+        p99_ns: r.u64()?,
+        max_shard_busy_cycles: r.u64()?,
+    })
+}
+
+fn hook_kind_tag(kind: HookKind) -> u8 {
+    match kind {
+        HookKind::SchedSwitch => 0,
+        HookKind::Timer => 1,
+        HookKind::CoapRequest => 2,
+        HookKind::PacketRx => 3,
+        HookKind::Custom => 4,
+    }
+}
+
+fn hook_kind_from(tag: u8) -> Result<HookKind, WireError> {
+    Ok(match tag {
+        0 => HookKind::SchedSwitch,
+        1 => HookKind::Timer,
+        2 => HookKind::CoapRequest,
+        3 => HookKind::PacketRx,
+        4 => HookKind::Custom,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn hook_policy_tag(policy: HookPolicy) -> u8 {
+    match policy {
+        HookPolicy::First => 0,
+        HookPolicy::Last => 1,
+        HookPolicy::Any => 2,
+        HookPolicy::Sum => 3,
+    }
+}
+
+fn hook_policy_from(tag: u8) -> Result<HookPolicy, WireError> {
+    Ok(match tag {
+        0 => HookPolicy::First,
+        1 => HookPolicy::Last,
+        2 => HookPolicy::Any,
+        3 => HookPolicy::Sum,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+/// Encodes a [`Hook`] descriptor (id, name, kind, policy).
+pub fn put_hook(buf: &mut Vec<u8>, hook: &Hook) {
+    put_uuid(buf, hook.id);
+    put_str(buf, &hook.name);
+    put_u8(buf, hook_kind_tag(hook.kind));
+    put_u8(buf, hook_policy_tag(hook.policy));
+}
+
+/// Decodes a [`Hook`] descriptor.
+///
+/// # Errors
+///
+/// [`WireError`] on truncated or mistagged input.
+pub fn get_hook(r: &mut Reader) -> Result<Hook, WireError> {
+    let id = r.uuid()?;
+    let name = r.string()?;
+    let kind = hook_kind_from(r.u8()?)?;
+    let policy = hook_policy_from(r.u8()?)?;
+    Ok(Hook {
+        id,
+        name,
+        kind,
+        policy,
+    })
+}
+
+/// Encodes a [`ContractOffer`] with its helper set sorted so the
+/// encoding is deterministic.
+pub fn put_offer(buf: &mut Vec<u8>, offer: &ContractOffer) {
+    let mut helpers: Vec<u32> = offer.helpers.iter().copied().collect();
+    helpers.sort_unstable();
+    put_u32(buf, helpers.len() as u32);
+    for id in helpers {
+        put_u32(buf, id);
+    }
+    put_u64(buf, offer.max_extra_stack as u64);
+}
+
+/// Decodes a [`ContractOffer`].
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] past the end.
+pub fn get_offer(r: &mut Reader) -> Result<ContractOffer, WireError> {
+    let n = r.u32()? as usize;
+    let mut helpers = std::collections::HashSet::with_capacity(n.min(256));
+    for _ in 0..n {
+        helpers.insert(r.u32()?);
+    }
+    let max_extra_stack = r.u64()? as usize;
+    Ok(ContractOffer {
+        helpers,
+        max_extra_stack,
+    })
+}

@@ -50,7 +50,7 @@
 
 pub mod sharded;
 
-pub use sharded::{ShardedStores, DEFAULT_STORE_SHARDS};
+pub use sharded::{ShardedStores, StoreSink, DEFAULT_STORE_SHARDS};
 
 use std::collections::BTreeMap;
 

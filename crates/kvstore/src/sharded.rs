@@ -17,9 +17,28 @@
 //!   the shard count.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use crate::{ContainerId, KvStore, Scope, StoreError, TenantId};
+
+/// Observer of successful writes into [`ShardedStores`].
+///
+/// A durability layer (e.g. a write-ahead journal) registers a sink via
+/// [`ShardedStores::set_sink`] to be told about every committed store
+/// operation, *after* the write has been applied. The sink runs on the
+/// calling (worker) thread; implementations must be cheap and must not
+/// call back into the stores.
+pub trait StoreSink: Send + Sync {
+    /// Called after `store()` successfully applied a write.
+    fn on_store(
+        &self,
+        container: ContainerId,
+        tenant: TenantId,
+        scope: Scope,
+        key: u32,
+        value: i64,
+    );
+}
 
 /// Default shard count for tenant/local stores. Chosen to comfortably
 /// exceed typical worker counts (1–8) so two workers touching different
@@ -44,11 +63,21 @@ struct ScopeShard {
 /// assert_eq!(stores.fetch(2, 10, Scope::Tenant, 5), 42); // same tenant
 /// assert_eq!(stores.fetch(2, 11, Scope::Tenant, 5), 0); // other tenant
 /// ```
-#[derive(Debug)]
 pub struct ShardedStores {
     global: Mutex<KvStore>,
     shards: Box<[Mutex<ScopeShard>]>,
     capacity: usize,
+    sink: OnceLock<std::sync::Arc<dyn StoreSink>>,
+}
+
+impl std::fmt::Debug for ShardedStores {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStores")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("sink", &self.sink.get().is_some())
+            .finish()
+    }
 }
 
 impl ShardedStores {
@@ -67,7 +96,16 @@ impl ShardedStores {
                 .map(|_| Mutex::new(ScopeShard::default()))
                 .collect(),
             capacity,
+            sink: OnceLock::new(),
         }
+    }
+
+    /// Registers the write observer. At most one sink can ever be
+    /// installed; a second call is ignored (the stores are shared
+    /// across shards through an `Arc`, so the sink is set once at host
+    /// construction). Returns `false` when a sink was already set.
+    pub fn set_sink(&self, sink: std::sync::Arc<dyn StoreSink>) -> bool {
+        self.sink.set(sink).is_ok()
     }
 
     /// Number of scope shards.
@@ -119,7 +157,7 @@ impl ShardedStores {
         value: i64,
     ) -> Result<(), StoreError> {
         let capacity = self.capacity;
-        match scope {
+        let result = match scope {
             Scope::Global => self.global.lock().expect("store lock").store(key, value),
             Scope::Tenant => {
                 let mut shard = self.shard_of(tenant).lock().expect("store lock");
@@ -137,7 +175,13 @@ impl ShardedStores {
                     .or_insert_with(|| KvStore::new(capacity))
                     .store(key, value)
             }
+        };
+        if result.is_ok() {
+            if let Some(sink) = self.sink.get() {
+                sink.on_store(container, tenant, scope, key, value);
+            }
         }
+        result
     }
 
     /// Drops a container's local store (container removal). Idempotent.
@@ -264,6 +308,28 @@ mod tests {
         s.store(1, 1, Scope::Global, 1, 1).unwrap();
         s.store(1, 1, Scope::Local, 1, 1).unwrap();
         assert!(s.ram_bytes() >= base + 2 * ENTRY_BYTES);
+    }
+
+    #[test]
+    fn sink_sees_committed_writes_only() {
+        type Write = (ContainerId, TenantId, Scope, u32, i64);
+        struct Recorder(Mutex<Vec<Write>>);
+        impl StoreSink for Recorder {
+            fn on_store(&self, c: ContainerId, t: TenantId, s: Scope, k: u32, v: i64) {
+                self.0.lock().unwrap().push((c, t, s, k, v));
+            }
+        }
+        let recorder = std::sync::Arc::new(Recorder(Mutex::new(Vec::new())));
+        let stores = ShardedStores::new(1);
+        assert!(stores.set_sink(recorder.clone()));
+        assert!(!stores.set_sink(recorder.clone()), "second sink rejected");
+        stores.store(1, 10, Scope::Tenant, 5, 42).unwrap();
+        // Capacity rejection must not reach the sink.
+        assert!(stores.store(1, 10, Scope::Tenant, 6, 43).is_err());
+        assert_eq!(
+            recorder.0.lock().unwrap().as_slice(),
+            &[(1, 10, Scope::Tenant, 5, 42)]
+        );
     }
 
     #[test]

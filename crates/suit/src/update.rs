@@ -248,6 +248,23 @@ impl UpdateManager {
         self.installed_seq.remove(&component).is_some()
     }
 
+    /// Restores a component's rollback floor from durable state, as
+    /// when a crashed device reboots and replays its journal: the
+    /// highest sequence wins, so replaying installs in order converges
+    /// on the pre-crash floor and a pre-crash lower-sequence manifest
+    /// is still rejected as a rollback.
+    pub fn seed_sequence(&mut self, component: Uuid, sequence: u64) {
+        let slot = self.installed_seq.entry(component).or_insert(0);
+        *slot = (*slot).max(sequence);
+    }
+
+    /// Seeds the accepted-update counter from durable state so a
+    /// restored device's counters continue from where the crashed one
+    /// stopped instead of re-counting replayed installs.
+    pub fn seed_accepted(&mut self, accepted: u64) {
+        self.accepted = self.accepted.max(accepted);
+    }
+
     /// Updates accepted so far.
     pub fn accepted_count(&self) -> u64 {
         self.accepted

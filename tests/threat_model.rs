@@ -313,6 +313,98 @@ fn client_cannot_replay_or_roll_back() {
     }
 }
 
+// --- Malicious client: restart-then-replay ------------------------------
+
+/// A crash must not reopen the rollback window: the SUIT sequence
+/// counter is journaled with each accepted deploy, so re-staging a
+/// pre-crash lower-sequence signed manifest after
+/// [`LocalNode::restore`] draws the **same verdict** it drew before
+/// the crash — and genuinely newer updates still land.
+#[test]
+fn client_cannot_replay_stale_manifest_after_node_restart() {
+    use femto_containers::core::helpers_impl::helper_name_table;
+    use femto_containers::host::{
+        CrashPlan, CrashPoint, DurabilityConfig, HookEvent, JournalMedia, LocalNode, NodeError,
+        NodeService,
+    };
+    use femto_containers::rbpf::program::ProgramBuilder;
+
+    let app = ProgramBuilder::new()
+        .helpers(helper_name_table().iter().map(|(n, i)| (n.as_str(), *i)))
+        .asm("ldxb r0, [r1]\nexit")
+        .expect("assembles")
+        .build();
+    let key = SigningKey::from_seed(b"replay-maintainer");
+    let hook = Hook::new("replay-hook", HookKind::Custom, HookPolicy::First);
+    let media = JournalMedia::new();
+    let mut node = LocalNode::durable(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        femto_containers::host::HostConfig {
+            workers: 2,
+            ..Default::default()
+        },
+        &media,
+        DurabilityConfig::default(),
+    );
+    node.updates_mut()
+        .provision_tenant(b"replay-m", key.verifying_key(), 1);
+    node.register_hook(hook.clone(), ContractOffer::helpers(standard_helper_ids()))
+        .expect("register");
+
+    let stage_and_deploy = |node: &mut LocalNode, seq: u64| -> Result<u64, NodeError> {
+        let uri = format!("replay-v{seq}");
+        let (envelope, payload) = author_update(&app, hook.id, seq, &uri, &key, b"replay-m");
+        node.stage_chunk(&uri, 0, &payload, true)?;
+        node.deploy(&envelope).map(|r| r.sequence)
+    };
+    assert_eq!(stage_and_deploy(&mut node, 1).expect("v1"), 1);
+    assert_eq!(stage_and_deploy(&mut node, 2).expect("v2"), 2);
+
+    // The replay attack before the crash, for the reference verdict.
+    let before = stage_and_deploy(&mut node, 1).expect_err("v1 replay accepted");
+    assert!(
+        matches!(&before, NodeError::Rejected(msg) if msg.contains("rollback")),
+        "unexpected pre-crash verdict: {before:?}"
+    );
+
+    // Kill the node mid-exchange and restore it from the journal.
+    media.set_crash_plan(CrashPlan {
+        point: CrashPoint::PostCommitPreReply,
+        after: 0,
+    });
+    let _ = node.dispatch_tagged(hook.id, HookEvent::new(&[1], &[]), b"replay-tok");
+    assert!(node.crashed());
+    let mut back = LocalNode::restore(
+        Platform::CortexM4,
+        Engine::FemtoContainer,
+        femto_containers::host::HostConfig {
+            workers: 2,
+            ..Default::default()
+        },
+        &media,
+        DurabilityConfig::default(),
+        vec![(hook.clone(), ContractOffer::helpers(standard_helper_ids()))],
+    )
+    .expect("restore");
+    back.updates_mut()
+        .provision_tenant(b"replay-m", key.verifying_key(), 1);
+
+    // Same attack, same verdict: the restored sequence counter sits at
+    // 2, so the stale-but-correctly-signed v1 manifest still bounces.
+    let after = stage_and_deploy(&mut back, 1).expect_err("v1 replay accepted after restart");
+    assert_eq!(
+        format!("{before:?}"),
+        format!("{after:?}"),
+        "restart changed the replay verdict"
+    );
+
+    // And the window only moved forward: v2 re-play also bounces, a
+    // genuine v3 lands.
+    stage_and_deploy(&mut back, 2).expect_err("v2 replay accepted after restart");
+    assert_eq!(stage_and_deploy(&mut back, 3).expect("v3"), 3);
+}
+
 // --- Fault isolation on the hot path -----------------------------------
 
 #[test]
