@@ -1,20 +1,29 @@
-//! Interpreter-throughput tracker: measures the decoded fast path
-//! against the seed (vanilla) interpreter and emits `BENCH_interp.json`
-//! at the workspace root so successive PRs can track the trajectory.
+//! Interpreter-throughput tracker: measures the decoded fast path and
+//! the threaded-code tier against the seed (vanilla) interpreter and
+//! emits `BENCH_interp.json` at the workspace root so successive PRs
+//! can track the trajectory.
 //!
-//! Three measurements:
+//! Four measurements:
 //!
-//! 1. **per_instruction** — ns/op for each Figure 8 micro-program class,
-//!    vanilla `Interpreter` vs `FastInterpreter` (memory map and helper
-//!    registry reused in both, isolating pure dispatch cost);
+//! 1. **per_instruction** — ns/op for each Figure 8 micro-program
+//!    class, vanilla `Interpreter` vs `FastInterpreter` vs
+//!    `ThreadedInterpreter` (memory map and helper registry reused in
+//!    all three, isolating pure dispatch cost);
 //! 2. **alu_branch_mix** — a combined ALU/branch workload, the paper's
-//!    dominant interpreter cost and this repo's headline speedup number;
-//! 3. **hook_dispatch** — events/sec firing an engine hook with the
+//!    dominant interpreter cost and this repo's headline speedup
+//!    number, plus the looped non-fusable mix where the threaded tier
+//!    must beat the fast tier by ≥1.3x (asserted — a dispatch-loop
+//!    regression fails the binary);
+//! 3. **div_imm_mix** — alternating constant-divisor ops that no tier
+//!    can run-length fuse: isolates the decode-time divisor resolution
+//!    (threaded) against the per-op guard (fast; asserted);
+//! 4. **hook_dispatch** — events/sec firing an engine hook with the
 //!    thread-counter application: seed-style dispatch (fresh memory
 //!    map + helper registry per event, vanilla interpreter) vs the
-//!    arena-reusing fast-path engine.
+//!    arena-reusing engine at the fast and threaded tiers.
 //!
-//! Pass `--quick` for a smoke run (CI) with tiny measurement budgets.
+//! Pass `--quick` for a smoke run (CI) with tiny measurement budgets
+//! (the assertions drop to noise-tolerant floors there).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -22,7 +31,7 @@ use std::time::{Duration, Instant};
 use fc_bench::figure8_classes;
 use fc_core::apps;
 use fc_core::contract::ContractOffer;
-use fc_core::engine::HostingEngine;
+use fc_core::engine::{ExecTier, HostingEngine};
 use fc_core::helpers_impl::{build_registry, standard_helper_ids, HostEnv};
 use fc_core::hooks::{sched_hook_id, Hook, HookKind, HookPolicy};
 use fc_rbpf::decode::DecodedProgram;
@@ -31,12 +40,19 @@ use fc_rbpf::helpers::HelperRegistry;
 use fc_rbpf::interp::Interpreter;
 use fc_rbpf::mem::MemoryMap;
 use fc_rbpf::program::FcProgram;
+use fc_rbpf::threaded::{ThreadedInterpreter, ThreadedProgram};
 use fc_rbpf::vm::ExecConfig;
 use fc_rbpf::{asm, isa, verifier};
 use fc_rtos::platform::{Engine, Platform};
 use std::hint::black_box;
 
-/// Times `routine` for roughly `budget`, returning mean ns per call.
+/// Times `routine` for roughly `budget`, returning ns per call.
+///
+/// The budget is split into rounds and the *fastest* round wins:
+/// single-run means absorb scheduler interrupts and frequency dips
+/// (±20-30% on shared hosts), while the per-round minimum converges on
+/// the code's actual cost — the standard estimator for throughput
+/// microbenchmarks.
 fn measure<F: FnMut() -> u64>(budget: Duration, mut routine: F) -> f64 {
     // Calibrate a batch that runs ~1 ms.
     let cal_start = Instant::now();
@@ -48,34 +64,47 @@ fn measure<F: FnMut() -> u64>(budget: Duration, mut routine: F) -> f64 {
     let per = Duration::from_millis(20).as_secs_f64() / cal_iters.max(1) as f64;
     let batch = ((1.0e-3 / per) as u64).clamp(1, 1 << 22);
 
-    let start = Instant::now();
-    let mut iters = 0u64;
-    while start.elapsed() < budget {
-        for _ in 0..batch {
-            black_box(routine());
+    const ROUNDS: u32 = 5;
+    let round_budget = budget / ROUNDS;
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < round_budget {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
         }
-        iters += batch;
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
     }
-    start.elapsed().as_nanos() as f64 / iters as f64
+    best
 }
 
 struct ClassRow {
     name: &'static str,
     vanilla_ns_per_op: f64,
     fast_ns_per_op: f64,
+    threaded_ns_per_op: f64,
 }
 
 impl ClassRow {
     fn speedup(&self) -> f64 {
         self.vanilla_ns_per_op / self.fast_ns_per_op
     }
+
+    fn threaded_speedup(&self) -> f64 {
+        self.vanilla_ns_per_op / self.threaded_ns_per_op
+    }
 }
 
-/// Measures one micro-program under both interpreters; returns ns/op.
-fn bench_program(src: &str, budget: Duration) -> (f64, f64) {
+/// Measures one micro-program under all three tiers; returns
+/// (vanilla, fast, threaded) ns/op.
+fn bench_program(src: &str, budget: Duration) -> (f64, f64, f64) {
     let text = isa::encode_all(&asm::assemble(src).expect("assembles"));
     let prog = verifier::verify(&text, &Default::default()).expect("verifies");
     let decoded = DecodedProgram::lower(&prog);
+    let threaded = ThreadedProgram::lower(&decoded);
 
     let mut mem = MemoryMap::new();
     mem.add_stack(512);
@@ -100,7 +129,13 @@ fn bench_program(src: &str, budget: Duration) -> (f64, f64) {
             .expect("runs")
             .return_value
     });
-    (vanilla_ns / ops, fast_ns / ops)
+    let thr = ThreadedInterpreter::new(&threaded, ExecConfig::default());
+    let threaded_ns = measure(budget, || {
+        thr.run(&mut mem, &mut helpers, 0)
+            .expect("runs")
+            .return_value
+    });
+    (vanilla_ns / ops, fast_ns / ops, threaded_ns / ops)
 }
 
 /// A mixed ALU/branch workload: tight loop of 64-bit ALU, 32-bit ALU,
@@ -126,6 +161,25 @@ wrap:
 and r3, 0xffff
 ja loop"
         .to_owned()
+}
+
+/// Alternating constant-divisor ops: adjacent ops are never identical,
+/// so neither tier gets run-length fusion — what remains is pure
+/// dispatch plus the divide itself: the hardware divide (with its
+/// decode-time-resolved zero guard) on the fast tier against the
+/// threaded tier's strength-reduced multiply. The `or32` re-seeds bit
+/// 30 of each dividend every round: hardware 32-bit division has
+/// *data-dependent* latency and is cheap on the small dividends this
+/// chain would otherwise collapse to, which made the comparison
+/// measure divider luck instead of the lowering.
+fn div_imm_mix_src() -> String {
+    let mut src = String::from("mov r3, 123456789\nmov r4, 987654321\n");
+    for _ in 0..32 {
+        src.push_str("or32 r3, 0x40000000\nor32 r4, 0x40000000\n");
+        src.push_str("div32 r3, 7\ndiv32 r4, 9\nmod32 r3, 1000003\nmod32 r4, 999983\n");
+    }
+    src.push_str("add r3, r4\nmov r0, r3\nexit");
+    src
 }
 
 fn seed_style_hook_event(
@@ -173,15 +227,17 @@ fn main() {
     // --- 1. Per-instruction classes --------------------------------
     let mut rows = Vec::new();
     for (name, src, _class) in figure8_classes() {
-        let (vanilla, fast) = bench_program(&src, budget);
+        let (vanilla, fast, threaded) = bench_program(&src, budget);
         println!(
-            "{name:<28} vanilla {vanilla:7.2} ns/op   fast {fast:7.2} ns/op   speedup {:.2}x",
-            vanilla / fast
+            "{name:<28} vanilla {vanilla:7.2} ns/op   fast {fast:7.2} ns/op   threaded {threaded:7.2} ns/op   speedup {:.2}x/{:.2}x",
+            vanilla / fast,
+            vanilla / threaded
         );
         rows.push(ClassRow {
             name,
             vanilla_ns_per_op: vanilla,
             fast_ns_per_op: fast,
+            threaded_ns_per_op: threaded,
         });
     }
 
@@ -194,22 +250,40 @@ fn main() {
         .collect();
     let class_mix_speedup =
         (alu_branch.iter().map(|r| r.speedup().ln()).sum::<f64>() / alu_branch.len() as f64).exp();
+    let class_mix_threaded = (alu_branch
+        .iter()
+        .map(|r| r.threaded_speedup().ln())
+        .sum::<f64>()
+        / alu_branch.len() as f64)
+        .exp();
     println!(
-        "{:<28} geometric-mean speedup {class_mix_speedup:.2}x over {} classes",
+        "{:<28} geometric-mean speedup fast {class_mix_speedup:.2}x  threaded {class_mix_threaded:.2}x over {} classes",
         "ALU/branch class mix",
         alu_branch.len()
     );
 
     // Secondary: a looped, non-fusable ALU/branch workload (pure
-    // dispatch-loop improvement, no superinstruction help).
-    let (mix_vanilla, mix_fast) = bench_program(&alu_branch_mix_src(), budget * 2);
+    // dispatch-loop improvement, no run-length superinstruction help —
+    // the threaded tier's per-op handler chains and pair fusion are
+    // exactly what this shape measures).
+    let (mix_vanilla, mix_fast, mix_threaded) = bench_program(&alu_branch_mix_src(), budget * 2);
     let mix_speedup = mix_vanilla / mix_fast;
+    let mix_threaded_speedup = mix_vanilla / mix_threaded;
+    let mix_threaded_over_fast = mix_fast / mix_threaded;
     println!(
-        "{:<28} vanilla {mix_vanilla:7.2} ns/op   fast {mix_fast:7.2} ns/op   speedup {mix_speedup:.2}x",
+        "{:<28} vanilla {mix_vanilla:7.2} ns/op   fast {mix_fast:7.2} ns/op   threaded {mix_threaded:7.2} ns/op   threaded/fast {mix_threaded_over_fast:.2}x",
         "ALU/branch looped mix"
     );
 
-    // --- 3. Hook dispatch ------------------------------------------
+    // --- 3. Constant-divisor mix -----------------------------------
+    let (div_vanilla, div_fast, div_threaded) = bench_program(&div_imm_mix_src(), budget);
+    let div_threaded_over_fast = div_fast / div_threaded;
+    println!(
+        "{:<28} vanilla {div_vanilla:7.2} ns/op   fast {div_fast:7.2} ns/op   threaded {div_threaded:7.2} ns/op   threaded/fast {div_threaded_over_fast:.2}x",
+        "ALU divide imm mixed"
+    );
+
+    // --- 4. Hook dispatch ------------------------------------------
     let image_bytes = apps::thread_counter().to_bytes();
     let image = FcProgram::from_bytes(&image_bytes).expect("parses");
     let prog = verifier::verify(&image.text, &standard_helper_ids()).expect("verifies");
@@ -229,7 +303,15 @@ fn main() {
         .install("pid_log", 1, &image_bytes, apps::thread_counter_request())
         .expect("installs");
     engine.attach(id, sched_hook_id()).expect("attaches");
+    engine.set_tier(ExecTier::Fast);
     let arena_ns = measure(budget, || {
+        engine
+            .fire_hook(sched_hook_id(), &ctx, &[])
+            .expect("fires")
+            .cycles
+    });
+    engine.set_tier(ExecTier::Threaded);
+    let arena_threaded_ns = measure(budget, || {
         engine
             .fire_hook(sched_hook_id(), &ctx, &[])
             .expect("fires")
@@ -238,9 +320,10 @@ fn main() {
 
     let seed_eps = 1.0e9 / seed_ns;
     let arena_eps = 1.0e9 / arena_ns;
+    let arena_threaded_eps = 1.0e9 / arena_threaded_ns;
     println!(
-        "hook dispatch: seed-style {seed_eps:.0} events/s   arena+fast {arena_eps:.0} events/s   speedup {:.2}x",
-        arena_eps / seed_eps
+        "hook dispatch: seed-style {seed_eps:.0} events/s   arena+fast {arena_eps:.0} events/s   arena+threaded {arena_threaded_eps:.0} events/s   speedup {:.2}x",
+        arena_threaded_eps / seed_eps
     );
 
     // --- Emit BENCH_interp.json ------------------------------------
@@ -250,24 +333,29 @@ fn main() {
     out.push_str("  \"per_instruction\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"vanilla_ns_per_op\": {:.3}, \"fast_ns_per_op\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"vanilla_ns_per_op\": {:.3}, \"fast_ns_per_op\": {:.3}, \"threaded_ns_per_op\": {:.3}, \"speedup\": {:.3}, \"threaded_speedup\": {:.3}}}{}\n",
             json_escape(r.name),
             r.vanilla_ns_per_op,
             r.fast_ns_per_op,
+            r.threaded_ns_per_op,
             r.speedup(),
+            r.threaded_speedup(),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"alu_branch_mix\": {{\"geomean_class_speedup\": {class_mix_speedup:.3}}},\n"
+        "  \"alu_branch_mix\": {{\"geomean_class_speedup\": {class_mix_speedup:.3}, \"geomean_class_threaded_speedup\": {class_mix_threaded:.3}}},\n"
     ));
     out.push_str(&format!(
-        "  \"alu_branch_looped_mix\": {{\"vanilla_ns_per_op\": {mix_vanilla:.3}, \"fast_ns_per_op\": {mix_fast:.3}, \"speedup\": {mix_speedup:.3}}},\n"
+        "  \"alu_branch_looped_mix\": {{\"vanilla_ns_per_op\": {mix_vanilla:.3}, \"fast_ns_per_op\": {mix_fast:.3}, \"threaded_ns_per_op\": {mix_threaded:.3}, \"speedup\": {mix_speedup:.3}, \"threaded_speedup\": {mix_threaded_speedup:.3}, \"threaded_over_fast\": {mix_threaded_over_fast:.3}}},\n"
     ));
     out.push_str(&format!(
-        "  \"hook_dispatch\": {{\"seed_style_events_per_sec\": {seed_eps:.0}, \"arena_fast_events_per_sec\": {arena_eps:.0}, \"speedup\": {:.3}}}\n",
-        arena_eps / seed_eps
+        "  \"div_imm_mix\": {{\"vanilla_ns_per_op\": {div_vanilla:.3}, \"fast_ns_per_op\": {div_fast:.3}, \"threaded_ns_per_op\": {div_threaded:.3}, \"threaded_over_fast\": {div_threaded_over_fast:.3}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"hook_dispatch\": {{\"seed_style_events_per_sec\": {seed_eps:.0}, \"arena_fast_events_per_sec\": {arena_eps:.0}, \"arena_threaded_events_per_sec\": {arena_threaded_eps:.0}, \"speedup\": {:.3}}}\n",
+        arena_threaded_eps / seed_eps
     ));
     out.push_str("}\n");
 
@@ -284,4 +372,22 @@ fn main() {
             "WARNING: ALU/branch class-mix speedup {class_mix_speedup:.2}x below the 3x target"
         );
     }
+
+    // Regression gates (ISSUE 10 acceptance): the threaded tier must
+    // beat the fast tier on the looped non-fusable mix — that shape is
+    // the whole point of per-op handler chains — and on the
+    // constant-divisor mix, where the decode-time divisor resolution
+    // dropped the per-op guard. Quick (CI smoke) budgets are tiny and
+    // noisy, so the floors are lower there; full runs enforce the
+    // ≥1.3x acceptance threshold.
+    let mix_floor = if quick { 1.1 } else { 1.3 };
+    assert!(
+        mix_threaded_over_fast >= mix_floor,
+        "threaded tier regression: looped mix only {mix_threaded_over_fast:.2}x over fast (floor {mix_floor}x)"
+    );
+    let div_floor = if quick { 1.0 } else { 1.05 };
+    assert!(
+        div_threaded_over_fast >= div_floor,
+        "threaded tier regression: div-imm mix only {div_threaded_over_fast:.2}x over fast (floor {div_floor}x)"
+    );
 }

@@ -42,6 +42,7 @@ use fc_rbpf::fast::FastInterpreter;
 use fc_rbpf::interp::Interpreter;
 use fc_rbpf::mem::{MemoryMap, Perm, RegionId, CTX_VADDR, STACK_SIZE};
 use fc_rbpf::program::{FcProgram, ParseError};
+use fc_rbpf::threaded::{ThreadedInterpreter, ThreadedProgram};
 use fc_rbpf::verifier::{verify, VerifiedProgram, VerifierError};
 use fc_rbpf::vm::{ExecConfig, OpCounts};
 use fc_rtos::platform::{cycle_model, Engine as EngineFlavor, Platform};
@@ -53,6 +54,29 @@ use crate::hooks::Hook;
 
 /// Identifier the engine assigns to an installed container.
 pub type ContainerId = u32;
+
+/// Which execution tier the Femto-Container flavour dispatches to.
+///
+/// All tiers are proven observationally equivalent by the differential
+/// suite; the knob trades startup-independent hot-loop speed against
+/// debuggability of the executed representation. It only affects
+/// [`EngineFlavor::FemtoContainer`] — the `Rbpf` flavour always runs
+/// the reference interpreter and `CertFc` the defensive engine, since
+/// those flavours *are* the paper's comparison points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecTier {
+    /// The vanilla reference interpreter (`interp.rs`): fetch/decode
+    /// per op, the semantic baseline.
+    Reference,
+    /// The decoded fast path (`fast.rs`): pre-decoded ops, single
+    /// `match` dispatch site.
+    Fast,
+    /// The threaded-code tier (`threaded.rs`): per-op handler chains
+    /// with pair fusion and cursor-backed memory access. The default —
+    /// shard workers run this unless configured down.
+    #[default]
+    Threaded,
+}
 
 /// Fixed per-instance housekeeping bytes (slot struct, region table —
 /// the paper's 624 B per instance = 512 B stack + register set +
@@ -193,6 +217,10 @@ pub struct ContainerSlot {
     /// Fast-path lowering of `program`, produced once at install, with
     /// helper call sites bound to registry slots.
     decoded: DecodedProgram,
+    /// Handler-chain lowering of `decoded` for the threaded tier,
+    /// produced once at install (after helper binding, so slot-bound
+    /// call sites carry over).
+    threaded: ThreadedProgram,
     /// Helper registry built once at install from the granted contract.
     helpers: fc_rbpf::helpers::HelperRegistry<'static>,
     /// Helper-internal cycle meter captured by `helpers`' closures.
@@ -329,6 +357,7 @@ struct HookEntry {
 pub struct HostingEngine {
     platform: Platform,
     flavor: EngineFlavor,
+    tier: ExecTier,
     env: Arc<HostEnv>,
     containers: BTreeMap<ContainerId, ContainerSlot>,
     hooks: BTreeMap<Uuid, HookEntry>,
@@ -357,6 +386,7 @@ impl HostingEngine {
         HostingEngine {
             platform,
             flavor,
+            tier: ExecTier::default(),
             env,
             containers: BTreeMap::new(),
             hooks: BTreeMap::new(),
@@ -373,6 +403,18 @@ impl HostingEngine {
     /// The interpreter flavour in use.
     pub fn flavor(&self) -> EngineFlavor {
         self.flavor
+    }
+
+    /// The execution tier the Femto-Container flavour dispatches to.
+    pub fn tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// Selects the execution tier for the Femto-Container flavour.
+    /// Takes effect on the next event — every tier's representation is
+    /// lowered at install, so switching costs nothing at run time.
+    pub fn set_tier(&mut self, tier: ExecTier) {
+        self.tier = tier;
     }
 
     /// Overrides the finite-execution budgets applied to every
@@ -503,6 +545,9 @@ impl HostingEngine {
         // Resolve call sites to registry slots: hot helper calls skip
         // the id hash lookup from the first event on.
         decoded.bind_helpers(&helpers);
+        // Lower the bound decoded stream once more into handler-chain
+        // form for the threaded tier (slot bindings carry over).
+        let threaded = ThreadedProgram::lower(&decoded);
         let arena = ExecArena::new(STACK_SIZE + contract.extra_stack, &image);
         // A replaced container must not inherit the old program's
         // attachments — they were granted against the *old* helper
@@ -521,6 +566,7 @@ impl HostingEngine {
                 image,
                 program,
                 decoded,
+                threaded,
                 helpers,
                 meter,
                 arena,
@@ -709,9 +755,16 @@ impl HostingEngine {
             EngineFlavor::Rbpf => {
                 Interpreter::new(&slot.program, slot.config).run(mem, helpers, ctx_addr)
             }
-            EngineFlavor::FemtoContainer => {
-                FastInterpreter::new(&slot.decoded, slot.config).run(mem, helpers, ctx_addr)
-            }
+            EngineFlavor::FemtoContainer => match self.tier {
+                ExecTier::Reference => {
+                    Interpreter::new(&slot.program, slot.config).run(mem, helpers, ctx_addr)
+                }
+                ExecTier::Fast => {
+                    FastInterpreter::new(&slot.decoded, slot.config).run(mem, helpers, ctx_addr)
+                }
+                ExecTier::Threaded => ThreadedInterpreter::new(&slot.threaded, slot.config)
+                    .run(mem, helpers, ctx_addr),
+            },
         };
 
         let model = cycle_model(self.platform, self.flavor);

@@ -67,6 +67,6 @@ pub mod integration;
 
 pub use contract::{Contract, ContractOffer, ContractRequest};
 pub use engine::{
-    ContainerId, EngineError, ExecutionReport, HookReport, HostRegion, HostingEngine,
+    ContainerId, EngineError, ExecTier, ExecutionReport, HookReport, HostRegion, HostingEngine,
 };
 pub use hooks::{Hook, HookKind, HookPolicy};

@@ -107,6 +107,7 @@ pub mod wire;
 
 pub use coap::{CoapFront, CoapReply};
 pub use deploy::{DeployPoll, DeployReport, LiveDeployError, LiveUpdateService};
+pub use fc_core::engine::ExecTier;
 pub use host::{DeployOutcome, FcHost, HookEvent, HostConfig, HostError};
 pub use journal::{
     crc32, CounterSeeds, CrashPlan, CrashPoint, DeployRecord, DurabilityConfig, DurableTag,

@@ -155,6 +155,21 @@ pub enum Kind {
     /// ever runs past the last real op, making the dispatch loop's
     /// unchecked fetch sound even against a broken invariant.
     Sentinel,
+    /// Micro-only fused pair (threaded-tier block members, never
+    /// produced by instruction decoding): `add32 dst, a` then
+    /// `and32 dst, b` — the bit-field-extract idiom — with both
+    /// immediates packed in `imm` (`a` low half, `b` high half).
+    FusedAddAnd32,
+    /// Micro-only fused pair: `and32 dst, a` then `add32 dst, b`
+    /// (mask then bias), immediates packed as in [`Kind::FusedAddAnd32`].
+    FusedAndAdd32,
+    /// Micro-only fused pair, 64-bit: `add dst, a` then `and dst, b`.
+    /// Each packed half is sign-extended back to 64 bits at execution,
+    /// so only i32-representable immediates are fused.
+    FusedAddAnd64,
+    /// Micro-only fused pair, 64-bit: `and dst, a` then `add dst, b`,
+    /// packed as in [`Kind::FusedAddAnd64`].
+    FusedAndAdd64,
 }
 
 impl Kind {

@@ -22,7 +22,7 @@
 //! * dynamic op accounting is a single indexed add into a flat array,
 //!   folded into [`crate::vm::OpCounts`] once at `exit`.
 
-use crate::decode::{DecodedInsn, DecodedProgram, Kind};
+use crate::decode::{DecodedProgram, Kind};
 use crate::error::VmError;
 use crate::helpers::HelperRegistry;
 use crate::isa::OpClass;
@@ -30,14 +30,37 @@ use crate::mem::MemoryMap;
 use crate::vm::{ExecConfig, Execution};
 
 /// Applies one pure (register-only, non-faulting) ALU op `n` times —
-/// the execution body of the [`Kind::AluRep`] superinstruction. Each
-/// application repeats the member op's exact single-step semantics, so
-/// the result is identical to dispatching the op `n` times; LLVM
-/// strength-reduces the idempotent and affine cases.
+/// the execution body of the [`Kind::AluRep`] superinstruction and the
+/// member-op executor of the threaded tier's fused ALU pairs
+/// ([`crate::threaded`]). Each application repeats the member op's
+/// exact single-step semantics, so the result is identical to
+/// dispatching the op `n` times; LLVM strength-reduces the idempotent
+/// and affine cases, and `n = 1` callers collapse to the bare op.
+///
+/// Operands arrive as scalars (not a `&DecodedInsn`) so every
+/// execution tier can feed its own op representation through the one
+/// semantic implementation.
 #[inline(always)]
-fn exec_pure_alu(kind: Kind, op: &DecodedInsn, regs: &mut [u64; 11], n: u32) {
-    let dst = op.dst as usize;
-    let src = op.src as usize;
+pub(crate) fn exec_pure_alu(
+    kind: Kind,
+    dst: usize,
+    src: usize,
+    imm: u64,
+    regs: &mut [u64; 11],
+    n: u32,
+) {
+    let s = regs[src];
+    exec_alu_val(kind, &mut regs[dst], s, imm, n);
+}
+
+/// Value-level core of [`exec_pure_alu`]: applies one pure ALU op `n`
+/// times to the destination value in place. `src` is the *value* of
+/// the source register (ignored by immediate and unary kinds), so
+/// callers that pre-resolve operands — the threaded tier's block
+/// member loop — keep the register-file indexing out of the per-kind
+/// match entirely.
+#[inline(always)]
+pub(crate) fn exec_alu_val(kind: Kind, dst: &mut u64, src: u64, imm: u64, n: u32) {
     macro_rules! rep {
         ($body:expr) => {
             for _ in 0..n {
@@ -46,123 +69,130 @@ fn exec_pure_alu(kind: Kind, op: &DecodedInsn, regs: &mut [u64; 11], n: u32) {
         };
     }
     match kind {
-        Kind::LdImm | Kind::Mov64Imm | Kind::Mov32Imm => regs[dst] = op.imm,
+        Kind::LdImm | Kind::Mov64Imm | Kind::Mov32Imm => *dst = imm,
         Kind::Add32Imm => {
-            rep!(regs[dst] = (regs[dst] as u32).wrapping_add(op.imm as u32) as u64)
+            rep!(*dst = (*dst as u32).wrapping_add(imm as u32) as u64)
         }
         Kind::Add32Reg => {
-            rep!(regs[dst] = (regs[dst] as u32).wrapping_add(regs[src] as u32) as u64)
+            rep!(*dst = (*dst as u32).wrapping_add(src as u32) as u64)
         }
         Kind::Sub32Imm => {
-            rep!(regs[dst] = (regs[dst] as u32).wrapping_sub(op.imm as u32) as u64)
+            rep!(*dst = (*dst as u32).wrapping_sub(imm as u32) as u64)
         }
         Kind::Sub32Reg => {
-            rep!(regs[dst] = (regs[dst] as u32).wrapping_sub(regs[src] as u32) as u64)
+            rep!(*dst = (*dst as u32).wrapping_sub(src as u32) as u64)
         }
         Kind::Mul32Imm => {
-            rep!(regs[dst] = (regs[dst] as u32).wrapping_mul(op.imm as u32) as u64)
+            rep!(*dst = (*dst as u32).wrapping_mul(imm as u32) as u64)
         }
         Kind::Mul32Reg => {
-            rep!(regs[dst] = (regs[dst] as u32).wrapping_mul(regs[src] as u32) as u64)
+            rep!(*dst = (*dst as u32).wrapping_mul(src as u32) as u64)
         }
-        Kind::Or32Imm => rep!(regs[dst] = ((regs[dst] as u32) | op.imm as u32) as u64),
+        Kind::Or32Imm => rep!(*dst = ((*dst as u32) | imm as u32) as u64),
         Kind::Or32Reg => {
-            rep!(regs[dst] = ((regs[dst] as u32) | (regs[src] as u32)) as u64)
+            rep!(*dst = ((*dst as u32) | (src as u32)) as u64)
         }
-        Kind::And32Imm => rep!(regs[dst] = ((regs[dst] as u32) & op.imm as u32) as u64),
+        Kind::And32Imm => rep!(*dst = ((*dst as u32) & imm as u32) as u64),
         Kind::And32Reg => {
-            rep!(regs[dst] = ((regs[dst] as u32) & (regs[src] as u32)) as u64)
+            rep!(*dst = ((*dst as u32) & (src as u32)) as u64)
         }
-        Kind::Lsh32Imm => rep!(regs[dst] = ((regs[dst] as u32) << op.imm) as u64),
+        Kind::Lsh32Imm => rep!(*dst = ((*dst as u32) << imm) as u64),
         Kind::Lsh32Reg => {
-            rep!(regs[dst] = ((regs[dst] as u32) << ((regs[src] as u32) & 31)) as u64)
+            rep!(*dst = ((*dst as u32) << ((src as u32) & 31)) as u64)
         }
-        Kind::Rsh32Imm => rep!(regs[dst] = ((regs[dst] as u32) >> op.imm) as u64),
+        Kind::Rsh32Imm => rep!(*dst = ((*dst as u32) >> imm) as u64),
         Kind::Rsh32Reg => {
-            rep!(regs[dst] = ((regs[dst] as u32) >> ((regs[src] as u32) & 31)) as u64)
+            rep!(*dst = ((*dst as u32) >> ((src as u32) & 31)) as u64)
         }
-        Kind::Neg32 => rep!(regs[dst] = (regs[dst] as u32).wrapping_neg() as u64),
-        Kind::Xor32Imm => rep!(regs[dst] = ((regs[dst] as u32) ^ op.imm as u32) as u64),
+        Kind::Neg32 => rep!(*dst = (*dst as u32).wrapping_neg() as u64),
+        Kind::Xor32Imm => rep!(*dst = ((*dst as u32) ^ imm as u32) as u64),
         Kind::Xor32Reg => {
-            rep!(regs[dst] = ((regs[dst] as u32) ^ (regs[src] as u32)) as u64)
+            rep!(*dst = ((*dst as u32) ^ (src as u32)) as u64)
         }
-        Kind::Mov32Reg => regs[dst] = regs[src] as u32 as u64,
+        Kind::Mov32Reg => *dst = src as u32 as u64,
         Kind::Arsh32Imm => {
-            rep!(regs[dst] = (((regs[dst] as i32) >> op.imm) as u32) as u64)
+            rep!(*dst = (((*dst as i32) >> imm) as u32) as u64)
         }
         Kind::Arsh32Reg => {
-            rep!(regs[dst] = (((regs[dst] as i32) >> ((regs[src] as u32) & 31)) as u32) as u64)
+            rep!(*dst = (((*dst as i32) >> ((src as u32) & 31)) as u32) as u64)
         }
-        Kind::Le16 => regs[dst] &= 0xffff,
-        Kind::Le32 => regs[dst] &= 0xffff_ffff,
+        Kind::Le16 => *dst &= 0xffff,
+        Kind::Le32 => *dst &= 0xffff_ffff,
         Kind::Le64 => {}
-        Kind::Be16 => rep!(regs[dst] = (regs[dst] as u16).swap_bytes() as u64),
-        Kind::Be32 => rep!(regs[dst] = (regs[dst] as u32).swap_bytes() as u64),
-        Kind::Be64 => rep!(regs[dst] = regs[dst].swap_bytes()),
-        Kind::Add64Imm => rep!(regs[dst] = regs[dst].wrapping_add(op.imm)),
-        Kind::Add64Reg => rep!(regs[dst] = regs[dst].wrapping_add(regs[src])),
-        Kind::Sub64Imm => rep!(regs[dst] = regs[dst].wrapping_sub(op.imm)),
-        Kind::Sub64Reg => rep!(regs[dst] = regs[dst].wrapping_sub(regs[src])),
-        Kind::Mul64Imm => rep!(regs[dst] = regs[dst].wrapping_mul(op.imm)),
-        Kind::Mul64Reg => rep!(regs[dst] = regs[dst].wrapping_mul(regs[src])),
-        Kind::Or64Imm => rep!(regs[dst] |= op.imm),
-        Kind::Or64Reg => rep!(regs[dst] |= regs[src]),
-        Kind::And64Imm => rep!(regs[dst] &= op.imm),
-        Kind::And64Reg => rep!(regs[dst] &= regs[src]),
-        Kind::Lsh64Imm => rep!(regs[dst] = regs[dst].wrapping_shl(op.imm as u32)),
-        Kind::Lsh64Reg => rep!(regs[dst] = regs[dst].wrapping_shl(regs[src] as u32)),
-        Kind::Rsh64Imm => rep!(regs[dst] = regs[dst].wrapping_shr(op.imm as u32)),
-        Kind::Rsh64Reg => rep!(regs[dst] = regs[dst].wrapping_shr(regs[src] as u32)),
-        Kind::Neg64 => rep!(regs[dst] = regs[dst].wrapping_neg()),
-        Kind::Xor64Imm => rep!(regs[dst] ^= op.imm),
-        Kind::Xor64Reg => rep!(regs[dst] ^= regs[src]),
-        Kind::Mov64Reg => regs[dst] = regs[src],
+        Kind::Be16 => rep!(*dst = (*dst as u16).swap_bytes() as u64),
+        Kind::Be32 => rep!(*dst = (*dst as u32).swap_bytes() as u64),
+        Kind::Be64 => rep!(*dst = dst.swap_bytes()),
+        Kind::Add64Imm => rep!(*dst = dst.wrapping_add(imm)),
+        Kind::Add64Reg => rep!(*dst = dst.wrapping_add(src)),
+        Kind::Sub64Imm => rep!(*dst = dst.wrapping_sub(imm)),
+        Kind::Sub64Reg => rep!(*dst = dst.wrapping_sub(src)),
+        Kind::Mul64Imm => rep!(*dst = dst.wrapping_mul(imm)),
+        Kind::Mul64Reg => rep!(*dst = dst.wrapping_mul(src)),
+        Kind::Or64Imm => rep!(*dst |= imm),
+        Kind::Or64Reg => rep!(*dst |= src),
+        Kind::And64Imm => rep!(*dst &= imm),
+        Kind::And64Reg => rep!(*dst &= src),
+        Kind::Lsh64Imm => rep!(*dst = dst.wrapping_shl(imm as u32)),
+        Kind::Lsh64Reg => rep!(*dst = dst.wrapping_shl(src as u32)),
+        Kind::Rsh64Imm => rep!(*dst = dst.wrapping_shr(imm as u32)),
+        Kind::Rsh64Reg => rep!(*dst = dst.wrapping_shr(src as u32)),
+        Kind::Neg64 => rep!(*dst = dst.wrapping_neg()),
+        Kind::Xor64Imm => rep!(*dst ^= imm),
+        Kind::Xor64Reg => rep!(*dst ^= src),
+        Kind::Mov64Reg => *dst = src,
         Kind::Arsh64Imm => {
-            rep!(regs[dst] = ((regs[dst] as i64).wrapping_shr(op.imm as u32)) as u64)
+            rep!(*dst = ((*dst as i64).wrapping_shr(imm as u32)) as u64)
         }
         Kind::Arsh64Reg => {
-            rep!(regs[dst] = ((regs[dst] as i64).wrapping_shr(regs[src] as u32)) as u64)
+            rep!(*dst = ((*dst as i64).wrapping_shr(src as u32)) as u64)
         }
         // Constant divisors: fused only when the immediate is non-zero
         // (the verifier guarantees it), so these cannot fault.
-        Kind::Div32Imm => rep!(regs[dst] = ((regs[dst] as u32) / op.imm as u32) as u64),
-        Kind::Mod32Imm => rep!(regs[dst] = ((regs[dst] as u32) % op.imm as u32) as u64),
-        Kind::Div64Imm => rep!(regs[dst] /= op.imm),
-        Kind::Mod64Imm => rep!(regs[dst] %= op.imm),
+        Kind::Div32Imm => rep!(*dst = ((*dst as u32) / imm as u32) as u64),
+        Kind::Mod32Imm => rep!(*dst = ((*dst as u32) % imm as u32) as u64),
+        Kind::Div64Imm => rep!(*dst /= imm),
+        Kind::Mod64Imm => rep!(*dst %= imm),
         other => unreachable!("AluRep of non-pure kind {other:?}"),
     }
 }
 
 /// Evaluates a branch condition without side effects — the decision
-/// body of the [`Kind::BranchRep`] superinstruction.
+/// body of the [`Kind::BranchRep`] superinstruction and of the
+/// threaded tier's per-kind branch handlers ([`crate::threaded`]).
+/// Scalar operands, for the same reason as [`exec_pure_alu`].
 #[inline(always)]
-fn eval_cond(kind: Kind, regs: &[u64; 11], op: &DecodedInsn) -> bool {
-    let dst = op.dst as usize;
-    let src = op.src as usize;
+pub(crate) fn eval_cond(kind: Kind, dst: usize, src: usize, imm: u64, regs: &[u64; 11]) -> bool {
+    eval_cond_val(kind, regs[dst], regs[src], imm)
+}
+
+/// Value-level core of [`eval_cond`]: operands are register *values*,
+/// pre-resolved by the caller.
+#[inline(always)]
+pub(crate) fn eval_cond_val(kind: Kind, dst: u64, src: u64, imm: u64) -> bool {
     match kind {
         Kind::Ja => true,
-        Kind::JeqImm => regs[dst] == op.imm,
-        Kind::JeqReg => regs[dst] == regs[src],
-        Kind::JgtImm => regs[dst] > op.imm,
-        Kind::JgtReg => regs[dst] > regs[src],
-        Kind::JgeImm => regs[dst] >= op.imm,
-        Kind::JgeReg => regs[dst] >= regs[src],
-        Kind::JltImm => regs[dst] < op.imm,
-        Kind::JltReg => regs[dst] < regs[src],
-        Kind::JleImm => regs[dst] <= op.imm,
-        Kind::JleReg => regs[dst] <= regs[src],
-        Kind::JsetImm => regs[dst] & op.imm != 0,
-        Kind::JsetReg => regs[dst] & regs[src] != 0,
-        Kind::JneImm => regs[dst] != op.imm,
-        Kind::JneReg => regs[dst] != regs[src],
-        Kind::JsgtImm => (regs[dst] as i64) > op.imm as i64,
-        Kind::JsgtReg => (regs[dst] as i64) > regs[src] as i64,
-        Kind::JsgeImm => (regs[dst] as i64) >= op.imm as i64,
-        Kind::JsgeReg => (regs[dst] as i64) >= regs[src] as i64,
-        Kind::JsltImm => (regs[dst] as i64) < (op.imm as i64),
-        Kind::JsltReg => (regs[dst] as i64) < (regs[src] as i64),
-        Kind::JsleImm => (regs[dst] as i64) <= (op.imm as i64),
-        Kind::JsleReg => (regs[dst] as i64) <= (regs[src] as i64),
+        Kind::JeqImm => dst == imm,
+        Kind::JeqReg => dst == src,
+        Kind::JgtImm => dst > imm,
+        Kind::JgtReg => dst > src,
+        Kind::JgeImm => dst >= imm,
+        Kind::JgeReg => dst >= src,
+        Kind::JltImm => dst < imm,
+        Kind::JltReg => dst < src,
+        Kind::JleImm => dst <= imm,
+        Kind::JleReg => dst <= src,
+        Kind::JsetImm => dst & imm != 0,
+        Kind::JsetReg => dst & src != 0,
+        Kind::JneImm => dst != imm,
+        Kind::JneReg => dst != src,
+        Kind::JsgtImm => (dst as i64) > imm as i64,
+        Kind::JsgtReg => (dst as i64) > src as i64,
+        Kind::JsgeImm => (dst as i64) >= imm as i64,
+        Kind::JsgeReg => (dst as i64) >= src as i64,
+        Kind::JsltImm => (dst as i64) < (imm as i64),
+        Kind::JsltReg => (dst as i64) < (src as i64),
+        Kind::JsleImm => (dst as i64) <= (imm as i64),
+        Kind::JsleReg => (dst as i64) <= (src as i64),
         other => unreachable!("BranchRep of non-branch kind {other:?}"),
     }
 }
@@ -448,29 +478,29 @@ impl<'p> FastInterpreter<'p> {
                 // (dispatch arms, BranchRep, and the reference match in
                 // eval_cond): the kind is a per-arm constant, so the
                 // inliner folds each call to the bare compare.
-                Kind::Ja => branch!(op, eval_cond(Kind::Ja, &regs, op)),
-                Kind::JeqImm => branch!(op, eval_cond(Kind::JeqImm, &regs, op)),
-                Kind::JeqReg => branch!(op, eval_cond(Kind::JeqReg, &regs, op)),
-                Kind::JgtImm => branch!(op, eval_cond(Kind::JgtImm, &regs, op)),
-                Kind::JgtReg => branch!(op, eval_cond(Kind::JgtReg, &regs, op)),
-                Kind::JgeImm => branch!(op, eval_cond(Kind::JgeImm, &regs, op)),
-                Kind::JgeReg => branch!(op, eval_cond(Kind::JgeReg, &regs, op)),
-                Kind::JltImm => branch!(op, eval_cond(Kind::JltImm, &regs, op)),
-                Kind::JltReg => branch!(op, eval_cond(Kind::JltReg, &regs, op)),
-                Kind::JleImm => branch!(op, eval_cond(Kind::JleImm, &regs, op)),
-                Kind::JleReg => branch!(op, eval_cond(Kind::JleReg, &regs, op)),
-                Kind::JsetImm => branch!(op, eval_cond(Kind::JsetImm, &regs, op)),
-                Kind::JsetReg => branch!(op, eval_cond(Kind::JsetReg, &regs, op)),
-                Kind::JneImm => branch!(op, eval_cond(Kind::JneImm, &regs, op)),
-                Kind::JneReg => branch!(op, eval_cond(Kind::JneReg, &regs, op)),
-                Kind::JsgtImm => branch!(op, eval_cond(Kind::JsgtImm, &regs, op)),
-                Kind::JsgtReg => branch!(op, eval_cond(Kind::JsgtReg, &regs, op)),
-                Kind::JsgeImm => branch!(op, eval_cond(Kind::JsgeImm, &regs, op)),
-                Kind::JsgeReg => branch!(op, eval_cond(Kind::JsgeReg, &regs, op)),
-                Kind::JsltImm => branch!(op, eval_cond(Kind::JsltImm, &regs, op)),
-                Kind::JsltReg => branch!(op, eval_cond(Kind::JsltReg, &regs, op)),
-                Kind::JsleImm => branch!(op, eval_cond(Kind::JsleImm, &regs, op)),
-                Kind::JsleReg => branch!(op, eval_cond(Kind::JsleReg, &regs, op)),
+                Kind::Ja => branch!(op, eval_cond(Kind::Ja, dst, src, op.imm, &regs)),
+                Kind::JeqImm => branch!(op, eval_cond(Kind::JeqImm, dst, src, op.imm, &regs)),
+                Kind::JeqReg => branch!(op, eval_cond(Kind::JeqReg, dst, src, op.imm, &regs)),
+                Kind::JgtImm => branch!(op, eval_cond(Kind::JgtImm, dst, src, op.imm, &regs)),
+                Kind::JgtReg => branch!(op, eval_cond(Kind::JgtReg, dst, src, op.imm, &regs)),
+                Kind::JgeImm => branch!(op, eval_cond(Kind::JgeImm, dst, src, op.imm, &regs)),
+                Kind::JgeReg => branch!(op, eval_cond(Kind::JgeReg, dst, src, op.imm, &regs)),
+                Kind::JltImm => branch!(op, eval_cond(Kind::JltImm, dst, src, op.imm, &regs)),
+                Kind::JltReg => branch!(op, eval_cond(Kind::JltReg, dst, src, op.imm, &regs)),
+                Kind::JleImm => branch!(op, eval_cond(Kind::JleImm, dst, src, op.imm, &regs)),
+                Kind::JleReg => branch!(op, eval_cond(Kind::JleReg, dst, src, op.imm, &regs)),
+                Kind::JsetImm => branch!(op, eval_cond(Kind::JsetImm, dst, src, op.imm, &regs)),
+                Kind::JsetReg => branch!(op, eval_cond(Kind::JsetReg, dst, src, op.imm, &regs)),
+                Kind::JneImm => branch!(op, eval_cond(Kind::JneImm, dst, src, op.imm, &regs)),
+                Kind::JneReg => branch!(op, eval_cond(Kind::JneReg, dst, src, op.imm, &regs)),
+                Kind::JsgtImm => branch!(op, eval_cond(Kind::JsgtImm, dst, src, op.imm, &regs)),
+                Kind::JsgtReg => branch!(op, eval_cond(Kind::JsgtReg, dst, src, op.imm, &regs)),
+                Kind::JsgeImm => branch!(op, eval_cond(Kind::JsgeImm, dst, src, op.imm, &regs)),
+                Kind::JsgeReg => branch!(op, eval_cond(Kind::JsgeReg, dst, src, op.imm, &regs)),
+                Kind::JsltImm => branch!(op, eval_cond(Kind::JsltImm, dst, src, op.imm, &regs)),
+                Kind::JsltReg => branch!(op, eval_cond(Kind::JsltReg, dst, src, op.imm, &regs)),
+                Kind::JsleImm => branch!(op, eval_cond(Kind::JsleImm, dst, src, op.imm, &regs)),
+                Kind::JsleReg => branch!(op, eval_cond(Kind::JsleReg, dst, src, op.imm, &regs)),
 
                 Kind::AluRep => {
                     let n = op.target;
@@ -481,13 +511,13 @@ impl<'p> FastInterpreter<'p> {
                     // itself an `AluRep` head (or a plain op), so the
                     // head check reproduces exact per-op exhaustion.
                     if insn_left < n - 1 {
-                        exec_pure_alu(op.sub, op, &mut regs, 1);
+                        exec_pure_alu(op.sub, dst, src, op.imm, &mut regs, 1);
                         pc += 1;
                         continue;
                     }
                     insn_left -= n - 1;
                     counts[op.cls as usize] += (n - 1) as u64;
-                    exec_pure_alu(op.sub, op, &mut regs, n);
+                    exec_pure_alu(op.sub, dst, src, op.imm, &mut regs, n);
                     pc += n as usize;
                     continue;
                 }
@@ -507,14 +537,14 @@ impl<'p> FastInterpreter<'p> {
                             });
                         }
                         branch_left -= 1;
-                        let t = eval_cond(op.sub, &regs, op);
+                        let t = eval_cond(op.sub, dst, src, op.imm, &regs);
                         counts[BNT - t as usize] += 1;
                         pc += 1;
                         continue;
                     }
                     insn_left -= n - 1;
                     branch_left -= n;
-                    let t = eval_cond(op.sub, &regs, op);
+                    let t = eval_cond(op.sub, dst, src, op.imm, &regs);
                     counts[BNT - t as usize] += n as u64;
                     pc += n as usize;
                     continue;
@@ -543,6 +573,14 @@ impl<'p> FastInterpreter<'p> {
                 // programs, which end in a terminal op).
                 Kind::Sentinel => {
                     return Err(VmError::PcOutOfBounds { pc: op.pc as usize });
+                }
+                // Fused micro kinds live only inside threaded-tier
+                // block streams, never in a decoded program.
+                Kind::FusedAddAnd32
+                | Kind::FusedAndAdd32
+                | Kind::FusedAddAnd64
+                | Kind::FusedAndAdd64 => {
+                    unreachable!("fused micro kind in decoded stream")
                 }
             }
             pc += 1;

@@ -5,11 +5,11 @@
 //! §9): the eBPF instruction set with the Femto-Container extensions, a
 //! text assembler and disassembler, the application binary format, the
 //! pre-flight instruction checker, the run-time memory allow-list, and
-//! three execution engines — the vanilla rBPF-derived reference
-//! interpreter, the decoded fast path, and the CertFC-style defensive
-//! engine.
+//! four execution engines — the vanilla rBPF-derived reference
+//! interpreter, the decoded fast path, the threaded-code tier, and the
+//! CertFC-style defensive engine.
 //!
-//! ## The two-tier execution pipeline: verify → decode → run
+//! ## The three-tier execution pipeline: verify → decode → lower → run
 //!
 //! Execution is staged so that every per-program cost is paid exactly
 //! once, before the first event:
@@ -26,14 +26,24 @@
 //!    branch targets resolved to absolute decoded indices, and helper
 //!    call sites optionally re-checked against the granted set
 //!    ([`decode::DecodedProgram::precheck_helpers`]).
-//! 3. **Run** ([`fast::FastInterpreter`]) — the hot loop dispatches
-//!    decoded ops with a single decrementing instruction-budget check
-//!    and flat-array op accounting.
+//! 3. **Run** — two hot-loop tiers share the decoded format:
+//!    * [`fast::FastInterpreter`] dispatches decoded ops through a
+//!      single `match` with a decrementing instruction-budget check and
+//!      flat-array op accounting.
+//!    * [`threaded::ThreadedInterpreter`] (the default on hosting
+//!      shards) first lowers the decoded ops once more into
+//!      handler-chain *threaded code*
+//!      ([`threaded::ThreadedProgram::lower`]): a per-op handler
+//!      function pointer stored inline with its operands, adjacent
+//!      non-identical pure-ALU ops fused into pair handlers, constant
+//!      divisors resolved to guard-free handlers, and memory ops routed
+//!      through per-direction region cursors
+//!      ([`mem::RegionCursor`]).
 //!
 //! The reference interpreter ([`interp::Interpreter`]) executes the
 //! [`VerifiedProgram`] directly and remains the semantic baseline: the
 //! randomized differential suite (`tests/differential_vm.rs`) checks
-//! that the fast path is observationally equivalent — same return
+//! that both hot tiers are observationally equivalent — same return
 //! values, same [`OpCounts`], same faults — on thousands of seeded
 //! programs, alongside the CertFC defensive engine ([`certfc`]).
 //!
@@ -104,6 +114,7 @@ pub mod interp;
 pub mod isa;
 pub mod mem;
 pub mod program;
+pub mod threaded;
 pub mod verifier;
 pub mod vm;
 
@@ -112,6 +123,7 @@ pub use error::VmError;
 pub use fast::FastInterpreter;
 pub use isa::Insn;
 pub use program::FcProgram;
+pub use threaded::{ThreadedInterpreter, ThreadedProgram};
 pub use verifier::{verify, VerifiedProgram, VerifierError};
 pub use vm::{ExecConfig, Execution, OpCounts};
 
@@ -126,4 +138,6 @@ const _: () = {
     _assert_send::<mem::MemoryMap>();
     _assert_send::<helpers::HelperRegistry<'static>>();
     _assert_send::<FastInterpreter<'static>>();
+    _assert_send::<ThreadedProgram>();
+    _assert_send::<ThreadedInterpreter<'static>>();
 };

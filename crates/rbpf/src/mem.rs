@@ -101,6 +101,48 @@ impl Perm {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RegionId(usize);
 
+/// A caller-owned region cursor for the threaded interpreter's
+/// specialized access path (see [`MemoryMap::cursor_load`]).
+///
+/// The cursor remembers the base/length of the last region that
+/// satisfied an access *for one access direction* (the threaded tier
+/// keeps one cursor for loads and one for stores, so a hit never needs
+/// a permission re-check: the region satisfied the same access kind
+/// before, and permissions are immutable after insertion). A
+/// generation stamp ties the cursor to the map's current region
+/// layout; any structural change (add/truncate/recycle) bumps the
+/// map's generation and silently invalidates every outstanding cursor.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionCursor {
+    /// Map generation this cursor was primed against (0 = never).
+    generation: u64,
+    /// Region index the cursor points at.
+    idx: u32,
+    /// Cached region base address.
+    start: u64,
+    /// Cached region length in bytes.
+    len: u64,
+}
+
+impl RegionCursor {
+    /// A cursor that matches nothing until primed by its first access
+    /// (map generations start at 1, so generation 0 never matches).
+    pub const fn new() -> Self {
+        RegionCursor {
+            generation: 0,
+            idx: 0,
+            start: 0,
+            len: 0,
+        }
+    }
+}
+
+impl Default for RegionCursor {
+    fn default() -> Self {
+        RegionCursor::new()
+    }
+}
+
 /// Role of a region in the standard layout, letting hot paths resolve
 /// well-known regions without name-string comparisons.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -146,6 +188,10 @@ pub struct MemoryMap {
     order: Vec<u32>,
     /// Region index that satisfied the previous check, or `u32::MAX`.
     last_hit: Cell<u32>,
+    /// Structural-layout generation, bumped by every index rebuild;
+    /// validates caller-owned [`RegionCursor`]s. Starts at 1 so a
+    /// default cursor (generation 0) can never false-hit.
+    generation: u64,
     /// Cached `stack_top()` result (0 when no stack region exists).
     stack_top: u64,
     next_host_vaddr: u64,
@@ -173,6 +219,7 @@ impl MemoryMap {
             regions: Vec::new(),
             order: Vec::new(),
             last_hit: Cell::new(NO_HIT),
+            generation: 1,
             stack_top: 0,
             next_host_vaddr: HOST_VADDR_BASE,
             checks: 0,
@@ -331,6 +378,7 @@ impl MemoryMap {
         self.order
             .sort_unstable_by_key(|&i| self.regions[i as usize].vaddr);
         self.last_hit.set(NO_HIT);
+        self.generation += 1;
     }
 
     /// First region carrying the given tag, if any.
@@ -473,6 +521,126 @@ impl MemoryMap {
         debug_assert!(matches!(len, 1 | 2 | 4 | 8));
         let (idx, off) = self.find(addr, len, true)?;
         let bytes = &mut self.regions[idx].data[off..off + len];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// As [`MemoryMap::load`], but resolves the allow-list check through
+    /// a caller-owned [`RegionCursor`] — the threaded interpreter's
+    /// specialized access path. A cursor hit is a single wrapping
+    /// subtract plus two compares with **no** permission re-check (the
+    /// cursor was primed by a successful read of the same region, and
+    /// permissions are immutable), hoisting the probe that
+    /// `MemoryMap::find` performs per access out of the hot loop. A
+    /// miss falls back to `find` and re-primes the cursor.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`MemoryMap::load`].
+    #[inline(always)]
+    pub fn cursor_load(
+        &mut self,
+        cur: &mut RegionCursor,
+        addr: u64,
+        len: usize,
+    ) -> Result<u64, VmError> {
+        debug_assert!(matches!(len, 1 | 2 | 4 | 8));
+        if cur.generation == self.generation {
+            let off = addr.wrapping_sub(cur.start);
+            if off < cur.len && len as u64 <= cur.len - off {
+                self.checks += 1;
+                self.entries_scanned += 1;
+                let bytes = &self.regions[cur.idx as usize].data[off as usize..off as usize + len];
+                let mut v = 0u64;
+                for (i, b) in bytes.iter().enumerate() {
+                    v |= (*b as u64) << (8 * i);
+                }
+                return Ok(v);
+            }
+        }
+        self.cursor_load_slow(cur, addr, len)
+    }
+
+    /// Cursor-miss path of [`MemoryMap::cursor_load`]: full allow-list
+    /// resolution, then re-prime the cursor on success.
+    #[cold]
+    fn cursor_load_slow(
+        &mut self,
+        cur: &mut RegionCursor,
+        addr: u64,
+        len: usize,
+    ) -> Result<u64, VmError> {
+        // The failed cursor probe counts as one scanned entry, matching
+        // the bookkeeping of the internal last-hit cache.
+        self.entries_scanned += 1;
+        let (idx, off) = self.find(addr, len, false)?;
+        let r = &self.regions[idx];
+        *cur = RegionCursor {
+            generation: self.generation,
+            idx: idx as u32,
+            start: r.vaddr,
+            len: r.data.len() as u64,
+        };
+        let bytes = &r.data[off..off + len];
+        let mut v = 0u64;
+        for (i, b) in bytes.iter().enumerate() {
+            v |= (*b as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// As [`MemoryMap::store`], through a caller-owned write-side
+    /// [`RegionCursor`]; see [`MemoryMap::cursor_load`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`MemoryMap::store`].
+    #[inline(always)]
+    pub fn cursor_store(
+        &mut self,
+        cur: &mut RegionCursor,
+        addr: u64,
+        len: usize,
+        value: u64,
+    ) -> Result<(), VmError> {
+        debug_assert!(matches!(len, 1 | 2 | 4 | 8));
+        if cur.generation == self.generation {
+            let off = addr.wrapping_sub(cur.start);
+            if off < cur.len && len as u64 <= cur.len - off {
+                self.checks += 1;
+                self.entries_scanned += 1;
+                let bytes =
+                    &mut self.regions[cur.idx as usize].data[off as usize..off as usize + len];
+                for (i, b) in bytes.iter_mut().enumerate() {
+                    *b = (value >> (8 * i)) as u8;
+                }
+                return Ok(());
+            }
+        }
+        self.cursor_store_slow(cur, addr, len, value)
+    }
+
+    /// Cursor-miss path of [`MemoryMap::cursor_store`].
+    #[cold]
+    fn cursor_store_slow(
+        &mut self,
+        cur: &mut RegionCursor,
+        addr: u64,
+        len: usize,
+        value: u64,
+    ) -> Result<(), VmError> {
+        self.entries_scanned += 1;
+        let (idx, off) = self.find(addr, len, true)?;
+        let r = &mut self.regions[idx];
+        *cur = RegionCursor {
+            generation: self.generation,
+            idx: idx as u32,
+            start: r.vaddr,
+            len: r.data.len() as u64,
+        };
+        let bytes = &mut r.data[off..off + len];
         for (i, b) in bytes.iter_mut().enumerate() {
             *b = (value >> (8 * i)) as u8;
         }
@@ -750,6 +918,56 @@ mod tests {
         let mut m = m;
         let id = m.add_host_region("x", vec![0; 4], Perm::RW);
         assert_eq!(m.region_vaddr(id), HOST_VADDR_BASE);
+    }
+
+    #[test]
+    fn cursor_load_store_round_trip() {
+        let (mut m, _) = map_with_stack();
+        let mut lc = RegionCursor::new();
+        let mut sc = RegionCursor::new();
+        m.cursor_store(&mut sc, STACK_VADDR + 16, 8, 0xfeed_f00d)
+            .unwrap();
+        assert_eq!(
+            m.cursor_load(&mut lc, STACK_VADDR + 16, 8).unwrap(),
+            0xfeed_f00d
+        );
+        // Primed cursors keep answering without consulting the index.
+        let scanned = m.entries_scanned();
+        m.cursor_load(&mut lc, STACK_VADDR + 24, 4).unwrap();
+        m.cursor_store(&mut sc, STACK_VADDR + 32, 2, 7).unwrap();
+        assert_eq!(m.entries_scanned(), scanned + 2);
+    }
+
+    #[test]
+    fn cursor_respects_bounds_and_permissions() {
+        let mut m = MemoryMap::new();
+        m.add_stack(64);
+        m.add_rodata(vec![9; 16]);
+        let mut lc = RegionCursor::new();
+        let mut sc = RegionCursor::new();
+        // Prime the load cursor on rodata, then verify a store there
+        // still faults (store cursor is independent and re-resolves).
+        assert_eq!(m.cursor_load(&mut lc, RODATA_VADDR, 1).unwrap(), 9);
+        assert!(m.cursor_store(&mut sc, RODATA_VADDR, 1, 0).is_err());
+        // An access straddling the region end misses the cursor and is
+        // rejected by the full lookup.
+        assert!(m.cursor_load(&mut lc, RODATA_VADDR + 12, 8).is_err());
+        assert!(m.cursor_load(&mut lc, RODATA_VADDR + 8, 8).is_ok());
+    }
+
+    #[test]
+    fn cursor_invalidated_by_structural_change() {
+        let mut m = MemoryMap::new();
+        m.add_stack(64);
+        let keep = m.region_count();
+        let id = m.add_host_region("pkt", vec![5; 32], Perm::RW);
+        let base = m.region_vaddr(id);
+        let mut lc = RegionCursor::new();
+        assert_eq!(m.cursor_load(&mut lc, base, 1).unwrap(), 5);
+        m.truncate_regions(keep);
+        // The cursor's generation is stale: the access re-resolves and
+        // faults instead of reading freed region state.
+        assert!(m.cursor_load(&mut lc, base, 1).is_err());
     }
 
     #[test]

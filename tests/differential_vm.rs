@@ -1,8 +1,9 @@
 //! Randomized differential tests on the VM stack: the vanilla reference
-//! interpreter, the decoded fast path and the CertFC defensive engine
-//! must be observationally identical on every verified program (the
-//! property the paper proves in Coq for CertFC, checked here by seeded
-//! adversarial search), and the assembler/disassembler round-trips.
+//! interpreter, the decoded fast path, the threaded-code tier and the
+//! CertFC defensive engine must be observationally identical on every
+//! verified program (the property the paper proves in Coq for CertFC,
+//! checked here by seeded adversarial search), and the
+//! assembler/disassembler round-trips.
 //!
 //! The generator is a deterministic seeded sampler over the workspace's
 //! offline `rand` shim (the build environment has no crates.io access
@@ -10,7 +11,7 @@
 //! replayable from the reported seed): it draws instruction streams
 //! from a vocabulary rich enough to exercise every interpreter path,
 //! canonicalizes unused fields so more programs verify, and runs every
-//! verified program through all three engines comparing return values,
+//! verified program through all four engines comparing return values,
 //! final stacks, [`OpCounts`] and faults.
 
 use femto_containers::rbpf::certfc::CertInterpreter;
@@ -19,6 +20,7 @@ use femto_containers::rbpf::fast::FastInterpreter;
 use femto_containers::rbpf::helpers::HelperRegistry;
 use femto_containers::rbpf::interp::Interpreter;
 use femto_containers::rbpf::mem::{MemoryMap, Perm};
+use femto_containers::rbpf::threaded::{ThreadedInterpreter, ThreadedProgram};
 use femto_containers::rbpf::vm::{ExecConfig, OpCounts};
 use femto_containers::rbpf::{asm, disasm, isa, verifier, VmError};
 use rand::rngs::StdRng;
@@ -170,15 +172,75 @@ fn observe(engine: &str, prog: &verifier::VerifiedProgram) -> Observation {
             let decoded = DecodedProgram::lower(prog);
             FastInterpreter::new(&decoded, cfg).run(&mut mem, &mut helpers, 0x2000_0000)
         }
+        "threaded" => {
+            let threaded = ThreadedProgram::lower(&DecodedProgram::lower(prog));
+            ThreadedInterpreter::new(&threaded, cfg).run(&mut mem, &mut helpers, 0x2000_0000)
+        }
+        other => unreachable!("unknown engine {other}"),
+    };
+    out.map(|e| (e.return_value, e.counts, mem.region_bytes(stack).to_vec()))
+}
+
+/// Registers the differential helper set: a pure-arithmetic helper, a
+/// memory-writing helper, and a data-dependently faulting helper —
+/// each path a distinct observable the engines must agree on.
+fn register_diff_helpers(helpers: &mut HelperRegistry<'_>) {
+    helpers.register(1, "mix", |_m, a| {
+        Ok(a[0].wrapping_mul(0x9e37_79b9).wrapping_add(a[1] >> 3))
+    });
+    helpers.register(2, "poke", |m, a| {
+        let addr = 0x2000_0000 + (a[0] % 24);
+        m.store(addr, 8, a[1])?;
+        Ok(addr)
+    });
+    helpers.register(3, "picky", |_m, a| {
+        // ≡2 mod 3 covers the untouched-r1 (ctx pointer) case, so the
+        // corpus hits the helper fault path often.
+        if a[0] % 3 == 2 {
+            Err(VmError::HelperFault {
+                id: 3,
+                reason: "bad argument residue".into(),
+            })
+        } else {
+            Ok(a[0] / 3)
+        }
+    });
+}
+
+/// Like [`observe`], but with the differential helper set registered
+/// and (for the decoded tiers) call sites slot-bound, as the hosting
+/// engine does at install.
+fn observe_with_helpers(engine: &str, prog: &verifier::VerifiedProgram) -> Observation {
+    let cfg = ExecConfig::new(4_096, 512);
+    let mut mem = MemoryMap::new();
+    let stack = mem.add_stack(256);
+    mem.add_ctx(vec![0xa5; 32], Perm::RW);
+    let mut helpers = HelperRegistry::new();
+    register_diff_helpers(&mut helpers);
+    let out = match engine {
+        "vanilla" => Interpreter::new(prog, cfg).run(&mut mem, &mut helpers, 0x2000_0000),
+        "certfc" => CertInterpreter::new(prog, cfg).run(&mut mem, &mut helpers, 0x2000_0000),
+        "fast" => {
+            let mut decoded = DecodedProgram::lower(prog);
+            decoded.bind_helpers(&helpers);
+            FastInterpreter::new(&decoded, cfg).run(&mut mem, &mut helpers, 0x2000_0000)
+        }
+        "threaded" => {
+            let mut decoded = DecodedProgram::lower(prog);
+            decoded.bind_helpers(&helpers);
+            let threaded = ThreadedProgram::lower(&decoded);
+            ThreadedInterpreter::new(&threaded, cfg).run(&mut mem, &mut helpers, 0x2000_0000)
+        }
         other => unreachable!("unknown engine {other}"),
     };
     out.map(|e| (e.return_value, e.counts, mem.region_bytes(stack).to_vec()))
 }
 
 /// The tentpole property: over thousands of seeded random programs, the
-/// decoded fast path is observationally equivalent to the reference
-/// interpreter (same `return_value`, same `OpCounts`, same final stack,
-/// same `VmError` on faults), and CertFC agrees too.
+/// decoded fast path and the threaded-code tier are observationally
+/// equivalent to the reference interpreter (same `return_value`, same
+/// `OpCounts`, same final stack, same `VmError` on faults), and CertFC
+/// agrees too.
 #[test]
 fn engines_agree_on_seeded_random_programs() {
     let mut verified = 0u32;
@@ -201,8 +263,15 @@ fn engines_agree_on_seeded_random_programs() {
         verified += 1;
         let vanilla = observe("vanilla", &prog);
         let fast = observe("fast", &prog);
+        let threaded = observe("threaded", &prog);
         let cert = observe("certfc", &prog);
         assert_eq!(vanilla, fast, "fast path diverged, seed {}", seed - 1);
+        assert_eq!(
+            vanilla,
+            threaded,
+            "threaded tier diverged, seed {}",
+            seed - 1
+        );
         assert_eq!(vanilla, cert, "certfc diverged, seed {}", seed - 1);
         if vanilla.is_err() {
             faulting += 1;
@@ -211,6 +280,66 @@ fn engines_agree_on_seeded_random_programs() {
     // The corpus must actually exercise fault paths, not only clean
     // exits; with memory ops in the vocabulary this is plentiful.
     assert!(faulting > 50, "only {faulting} faulting programs in corpus");
+}
+
+/// Helper-call differential corpus: seeded random programs whose
+/// vocabulary includes `call` into the three-helper differential set
+/// (pure, memory-writing, data-dependently faulting). All four engines
+/// must agree on values, counts, stacks — and on `HelperFault` /
+/// `HelperDenied` outcomes — with the decoded tiers running slot-bound
+/// call sites as the hosting engine installs them.
+#[test]
+fn engines_agree_on_helper_call_programs() {
+    let granted: std::collections::HashSet<u32> = [1, 2, 3].into_iter().collect();
+    let mut verified = 0u32;
+    let mut called = 0u32;
+    let mut helper_faults = 0u32;
+    let mut seed = 3_000_000u64;
+    while verified < 300 {
+        assert!(seed < 3_300_000, "generator exhausted");
+        let mut rng = XorShift::new(seed);
+        seed += 1;
+        let mut insns = arb_program(&mut rng);
+        // Splice 1–4 helper calls over the generated stream (replacing
+        // non-wide slots keeps branch targets structurally plausible;
+        // the verifier rejects the rest).
+        let n_calls = 1 + rng.below(4) as usize;
+        for _ in 0..n_calls {
+            let at = rng.below(insns.len() as u64) as usize;
+            if insns[at].is_wide() || insns[at].opcode == 0 {
+                continue;
+            }
+            insns[at] = isa::Insn::new(isa::CALL, 0, 0, 0, 1 + (rng.below(3) as i32));
+        }
+        let text = isa::encode_all(&insns);
+        let Ok(prog) = verifier::verify(&text, &granted) else {
+            continue;
+        };
+        verified += 1;
+        if insns.iter().any(|i| i.opcode == isa::CALL) {
+            called += 1;
+        }
+        let vanilla = observe_with_helpers("vanilla", &prog);
+        let fast = observe_with_helpers("fast", &prog);
+        let threaded = observe_with_helpers("threaded", &prog);
+        let cert = observe_with_helpers("certfc", &prog);
+        assert_eq!(vanilla, fast, "fast path diverged, seed {}", seed - 1);
+        assert_eq!(
+            vanilla,
+            threaded,
+            "threaded tier diverged, seed {}",
+            seed - 1
+        );
+        assert_eq!(vanilla, cert, "certfc diverged, seed {}", seed - 1);
+        if matches!(vanilla, Err(VmError::HelperFault { .. })) {
+            helper_faults += 1;
+        }
+    }
+    assert!(called > 100, "only {called} programs actually called");
+    assert!(
+        helper_faults > 5,
+        "only {helper_faults} helper-fault outcomes in corpus"
+    );
 }
 
 /// The verifier never accepts a program that later faults for a

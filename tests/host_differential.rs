@@ -19,7 +19,7 @@ use femto_containers::core::hooks::{Hook, HookKind, HookPolicy};
 use femto_containers::fleet::node::{RemoteConfig, RemoteNode, FLEET_MTU};
 use femto_containers::fleet::{FcFleet, FleetConfig};
 use femto_containers::host::{
-    CoapFront, FcHost, HookEvent, HostConfig, HostError, LiveUpdateService, LocalNode,
+    CoapFront, ExecTier, FcHost, HookEvent, HostConfig, HostError, LiveUpdateService, LocalNode,
     RebalanceConfig, Rebalancer, ShedPolicy, TelemetryConfig,
 };
 use femto_containers::kvstore::Scope;
@@ -157,6 +157,20 @@ fn host_reports(events: &[usize], workers: usize) -> Vec<HookReport> {
     host_reports_with(events, workers, TelemetryConfig::default())
 }
 
+/// As [`host_reports`], with an explicit execution tier — the
+/// interpreter-tier differential runs through here.
+fn host_reports_tier(events: &[usize], workers: usize, tier: ExecTier) -> Vec<HookReport> {
+    host_reports_config(
+        events,
+        HostConfig {
+            workers,
+            queue_capacity: events.len() + 1,
+            exec_tier: tier,
+            ..HostConfig::default()
+        },
+    )
+}
+
 /// As [`host_reports`], with an explicit telemetry configuration —
 /// the observability on/off differential runs through here.
 fn host_reports_with(
@@ -164,16 +178,21 @@ fn host_reports_with(
     workers: usize,
     telemetry: TelemetryConfig,
 ) -> Vec<HookReport> {
-    let mut host = FcHost::new(
-        Platform::CortexM4,
-        Engine::FemtoContainer,
+    host_reports_config(
+        events,
         HostConfig {
             workers,
             queue_capacity: events.len() + 1,
             telemetry,
             ..HostConfig::default()
         },
-    );
+    )
+}
+
+/// Common body: provisions the six-tenant fixture on a concurrent host
+/// built from `config`, fires `events`, and collects per-event reports.
+fn host_reports_config(events: &[usize], config: HostConfig) -> Vec<HookReport> {
+    let mut host = FcHost::new(Platform::CortexM4, Engine::FemtoContainer, config);
     let hooks = provision(
         |h: &mut FcHost, hook, o| h.register_hook(hook, o),
         &mut host,
@@ -231,6 +250,37 @@ fn per_event_reports_identical_to_single_threaded_fire_hook() {
         reference.iter().any(|r| r.combined.unwrap_or(0) > 4),
         "responders formatted PDUs"
     );
+}
+
+/// The interpreter tier must be invisible in every per-event report:
+/// running the same event stream under the reference, fast and
+/// threaded tiers (the threaded tier is the shard default) produces
+/// bit-identical [`HookReport`]s — results, op counts, cycles, region
+/// contents, faults — and all match the single-threaded reference
+/// engine, at 1 and 4 workers.
+#[test]
+fn exec_tiers_produce_bit_identical_reports() {
+    let events = event_stream(300);
+    let reference = reference_reports(&events);
+    for workers in [1, 4] {
+        let by_tier: Vec<Vec<HookReport>> =
+            [ExecTier::Reference, ExecTier::Fast, ExecTier::Threaded]
+                .into_iter()
+                .map(|tier| host_reports_tier(&events, workers, tier))
+                .collect();
+        assert_eq!(
+            by_tier[0], by_tier[2],
+            "threaded tier diverged from reference tier at {workers} workers"
+        );
+        assert_eq!(
+            by_tier[1], by_tier[2],
+            "threaded tier diverged from fast tier at {workers} workers"
+        );
+        assert_eq!(
+            reference, by_tier[2],
+            "threaded host diverged from single-threaded reference at {workers} workers"
+        );
+    }
 }
 
 /// The telemetry registry must be invisible to the work it observes:
